@@ -1,0 +1,52 @@
+// E12 — Processor allocation: factored grids vs the coalesced 1-D space.
+//
+// Allocating P processors to an m-deep nest without coalescing requires
+// factoring P across the levels; the best factorization still idles
+// processors whenever the factors do not divide the extents, and awkward P
+// (primes, P > some extent) have no good factorization at all. The
+// coalesced loop's allocation is ceil(N/P) for every P.
+//
+// Shape claims: coalesced efficiency >= best-grid efficiency for every
+// (shape, P), with the gap largest at prime P and on skewed shapes.
+#include "core/coalesce.hpp"
+#include "index/grid.hpp"
+
+int main() {
+  using namespace coalesce;
+  using support::i64;
+
+  struct Shape {
+    const char* name;
+    std::vector<i64> extents;
+  };
+  const Shape shapes[] = {
+      {"10x10", {10, 10}},
+      {"100x4", {100, 4}},
+      {"12x12x12", {12, 12, 12}},
+      {"30x7", {30, 7}},
+  };
+
+  for (const auto& shape : shapes) {
+    support::Table table(support::format(
+        "E12: processor allocation, %s nest", shape.name));
+    table.header({"P", "best grid", "grid max load", "coalesced max load",
+                  "grid eff %", "coalesced eff %"});
+    for (i64 p : {4, 6, 7, 8, 12, 13, 16, 24, 32, 37, 64}) {
+      const auto grid = index::best_grid(shape.extents, p);
+      std::string grid_str;
+      for (std::size_t k = 0; k < grid.grid.size(); ++k) {
+        if (k > 0) grid_str += "x";
+        grid_str += std::to_string(grid.grid[k]);
+      }
+      table.cell(p)
+          .cell(grid_str)
+          .cell(grid.max_load)
+          .cell(index::coalesced_max_load(shape.extents, p))
+          .cell(grid.efficiency * 100.0, 1)
+          .cell(index::coalesced_efficiency(shape.extents, p) * 100.0, 1)
+          .end_row();
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E1 — Synchronized dispatch operations: nested vs coalesced self-scheduling.
+//
+// Reconstructs the paper's core scheduling-traffic claim: self-scheduling an
+// m-deep nest touches one counter per level per iteration (sum over levels of
+// the level's instance count), while the coalesced loop touches ONE counter —
+// once per chunk, so guided self-scheduling drives it to O(P log N).
+//
+// Shape claims verified here (see EXPERIMENTS.md):
+//   * nested ops  = sum_k prod_{j<=k} N_j  > N  (grows with depth),
+//   * coalesced self ops = N exactly,
+//   * coalesced GSS ops  <<  N, near P*log(N/P).
+#include <vector>
+
+#include "core/coalesce.hpp"
+
+int main() {
+  using namespace coalesce;
+  using support::i64;
+
+  struct Shape {
+    const char* name;
+    std::vector<i64> extents;
+  };
+  const Shape shapes[] = {
+      {"10x10", {10, 10}},
+      {"16x16", {16, 16}},
+      {"100x100", {100, 100}},
+      {"10x10x10", {10, 10, 10}},
+      {"16x16x16", {16, 16, 16}},
+      {"4x4x4x4", {4, 4, 4, 4}},
+  };
+
+  support::Table table(
+      "E1: synchronized dispatch operations per nest execution");
+  table.header({"shape", "P", "iterations", "nested(multi-counter)",
+                "coalesced self(1)", "coalesced chunk(8)", "coalesced GSS",
+                "nested/GSS"});
+
+  const sim::CostModel costs;
+  for (const auto& shape : shapes) {
+    const auto space = index::CoalescedSpace::create(shape.extents).value();
+    const sim::Workload work = sim::Workload::constant(space.total(), 10);
+    for (std::size_t p : {4u, 8u, 16u, 32u}) {
+      const auto nested =
+          sim::simulate_nested_multicounter(space, p, costs, work);
+      const auto self = sim::simulate_coalesced_dynamic(
+          space, p, {sim::SimSchedule::kSelf, 1}, costs, work);
+      const auto chunked = sim::simulate_coalesced_dynamic(
+          space, p, {sim::SimSchedule::kChunked, 8}, costs, work);
+      const auto gss = sim::simulate_coalesced_dynamic(
+          space, p, {sim::SimSchedule::kGuided, 1}, costs, work);
+      table.cell(shape.name)
+          .cell(static_cast<std::int64_t>(p))
+          .cell(space.total())
+          .cell(nested.dispatch_ops)
+          .cell(self.dispatch_ops)
+          .cell(chunked.dispatch_ops)
+          .cell(gss.dispatch_ops)
+          .cell(static_cast<double>(nested.dispatch_ops) /
+                    static_cast<double>(gss.dispatch_ops),
+                1)
+          .end_row();
+    }
+  }
+  table.print();
+  return 0;
+}

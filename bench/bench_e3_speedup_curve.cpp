@@ -1,0 +1,51 @@
+// E3 — Speedup vs processor count: coalesced vs nested execution under
+// dispatch overhead sigma.
+//
+// A 64x64 DOALL nest, body 50 units per iteration. Two machine settings:
+// cheap synchronization (sigma = 5, combining network) and expensive
+// (sigma = 50, e.g. a lock). Shape claims: the coalesced curve dominates
+// both nested curves everywhere, the gap grows with sigma and with P, and
+// the nested fork-join curve flattens earliest (64 fork/joins on its
+// critical path).
+#include "core/coalesce.hpp"
+
+int main() {
+  using namespace coalesce;
+  using support::i64;
+
+  const auto space =
+      index::CoalescedSpace::create(std::vector<i64>{64, 64}).value();
+  const sim::Workload work = sim::Workload::constant(space.total(), 50);
+
+  for (i64 sigma : {5, 50}) {
+    sim::CostModel costs;
+    costs.dispatch = sigma;
+
+    support::Table table(support::format(
+        "E3: speedup vs P, 64x64 nest, body=50u, dispatch sigma=%lld",
+        static_cast<long long>(sigma)));
+    table.header({"P", "coalesced GSS", "coalesced chunk(16)",
+                  "nested multi-counter", "nested fork-join",
+                  "coalesced/nested-fj"});
+
+    for (std::size_t p : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      const auto coal_gss = sim::simulate_coalesced_dynamic(
+          space, p, {sim::SimSchedule::kGuided, 1}, costs, work);
+      const auto coal_chunk = sim::simulate_coalesced_dynamic(
+          space, p, {sim::SimSchedule::kChunked, 16}, costs, work);
+      const auto nested_mc =
+          sim::simulate_nested_multicounter(space, p, costs, work);
+      const auto nested_fj = sim::simulate_nested_forkjoin(
+          space, p, {sim::SimSchedule::kChunked, 16}, costs, work);
+      table.cell(static_cast<std::int64_t>(p))
+          .cell(coal_gss.speedup(costs), 2)
+          .cell(coal_chunk.speedup(costs), 2)
+          .cell(nested_mc.speedup(costs), 2)
+          .cell(nested_fj.speedup(costs), 2)
+          .cell(coal_gss.speedup(costs) / nested_fj.speedup(costs), 2)
+          .end_row();
+    }
+    table.print();
+  }
+  return 0;
+}

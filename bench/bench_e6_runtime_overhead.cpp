@@ -1,0 +1,101 @@
+// E6 — Real-machine per-iteration overhead of the thread runtime
+// (google-benchmark).
+//
+// Measures, on the host, what the simulator models: the cost of dispatching
+// and index-recovering iterations of a coalesced loop under each schedule,
+// against the nested fork-join execution shape. Bodies are tiny on purpose —
+// this measures the *runtime*, not the workload. Absolute numbers are
+// host-dependent; the reproduction claims are about ordering:
+// chunked/guided < unit self-scheduling << nested fork-join per instance.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "core/coalesce.hpp"
+
+namespace {
+
+using namespace coalesce;
+using support::i64;
+
+constexpr i64 kN1 = 64;
+constexpr i64 kN2 = 64;
+
+runtime::ThreadPool& pool() {
+  static runtime::ThreadPool instance(4);
+  return instance;
+}
+
+const index::CoalescedSpace& space() {
+  static auto instance =
+      index::CoalescedSpace::create(std::vector<i64>{kN1, kN2}).value();
+  return instance;
+}
+
+void consume(std::span<const i64> idx) {
+  benchmark::DoNotOptimize(idx[0] + idx[1]);
+}
+
+void BM_Collapsed(benchmark::State& state, runtime::ScheduleParams params) {
+  std::uint64_t dispatches = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    const runtime::ForStats stats =
+        runtime::parallel_for_collapsed(pool(), space(), params, consume);
+    dispatches += stats.dispatch_ops;
+    ++rounds;
+  }
+  state.SetItemsProcessed(state.iterations() * kN1 * kN2);
+  state.counters["dispatch_ops_per_loop"] =
+      rounds == 0 ? 0.0
+                  : static_cast<double>(dispatches) /
+                        static_cast<double>(rounds);
+}
+
+void BM_NestedOuter(benchmark::State& state) {
+  const std::vector<i64> extents{kN1, kN2};
+  for (auto _ : state) {
+    runtime::parallel_for_nested_outer(pool(), extents,
+                                       {runtime::Schedule::kSelf, 1}, consume);
+  }
+  state.SetItemsProcessed(state.iterations() * kN1 * kN2);
+}
+
+void BM_NestedForkJoin(benchmark::State& state) {
+  const std::vector<i64> extents{kN1, kN2};
+  for (auto _ : state) {
+    runtime::parallel_for_nested_forkjoin(
+        pool(), extents, {runtime::Schedule::kChunked, 16}, consume);
+  }
+  state.SetItemsProcessed(state.iterations() * kN1 * kN2);
+}
+
+void BM_SerialSweep(benchmark::State& state) {
+  // The no-runtime baseline: a plain double loop.
+  for (auto _ : state) {
+    for (i64 i = 1; i <= kN1; ++i) {
+      for (i64 j = 1; j <= kN2; ++j) {
+        benchmark::DoNotOptimize(i + j);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kN1 * kN2);
+}
+
+BENCHMARK_CAPTURE(BM_Collapsed, self1,
+                  runtime::ScheduleParams{runtime::Schedule::kSelf, 1});
+BENCHMARK_CAPTURE(BM_Collapsed, chunk16,
+                  runtime::ScheduleParams{runtime::Schedule::kChunked, 16});
+BENCHMARK_CAPTURE(BM_Collapsed, chunk256,
+                  runtime::ScheduleParams{runtime::Schedule::kChunked, 256});
+BENCHMARK_CAPTURE(BM_Collapsed, guided,
+                  runtime::ScheduleParams{runtime::Schedule::kGuided, 1});
+BENCHMARK_CAPTURE(BM_Collapsed, static_block,
+                  runtime::ScheduleParams{runtime::Schedule::kStaticBlock, 1});
+BENCHMARK(BM_NestedOuter);
+BENCHMARK(BM_NestedForkJoin);
+BENCHMARK(BM_SerialSweep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

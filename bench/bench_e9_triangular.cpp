@@ -1,0 +1,82 @@
+// E9 — Triangular (non-rectangular) nests: guarded coalescing vs row-level
+// execution.
+//
+// A lower-triangular nest has rows of linearly growing weight; scheduling
+// whole rows (the nested baseline) cannot balance them, while the guarded
+// coalesced loop schedules individual box points. The guard costs one
+// comparison on inactive points; this harness prices that in explicitly.
+//
+// Shape claims: coalesced dynamic utilization beats nested-static-outer by
+// a widening margin as P grows; the box overhead (inactive points) never
+// costs more than its point count times the guard price; the static IR view
+// shows active/box == (n+1)/2n -> 1/2.
+#include "core/coalesce.hpp"
+
+int main() {
+  using namespace coalesce;
+  using support::i64;
+
+  const i64 n = 64;
+  const auto space =
+      index::CoalescedSpace::create(std::vector<i64>{n, n}).value();
+  // Active point: full body (100u); inactive: guard evaluation only (2u).
+  std::vector<i64> times;
+  times.reserve(static_cast<std::size_t>(n * n));
+  for (i64 i = 1; i <= n; ++i) {
+    for (i64 j = 1; j <= n; ++j) times.push_back(j <= i ? 100 : 2);
+  }
+  const sim::Workload work{std::vector<i64>(times)};
+
+  sim::CostModel costs;
+  costs.dispatch = 10;
+
+  support::Table table(support::format(
+      "E9: triangular %lldx%lld nest (body=100u active, guard=2u inactive)",
+      static_cast<long long>(n), static_cast<long long>(n)));
+  table.header({"P", "nested-static rows", "nested self rows",
+                "coalesced chunk(32)", "coalesced GSS", "static/GSS"});
+
+  for (std::size_t p : {2u, 4u, 8u, 16u, 32u}) {
+    // Row-level baselines: iterations are whole rows with triangular cost.
+    std::vector<i64> row_cost;
+    for (i64 i = 1; i <= n; ++i) row_cost.push_back(i * 100 + (n - i) * 0);
+    const auto rows =
+        index::CoalescedSpace::create(std::vector<i64>{n}).value();
+    const sim::Workload row_work{std::vector<i64>(row_cost)};
+    const auto nested_static =
+        sim::simulate_coalesced_static(rows, p, costs, row_work);
+    const auto nested_self = sim::simulate_coalesced_dynamic(
+        rows, p, {sim::SimSchedule::kSelf, 1}, costs, row_work);
+
+    const auto chunk = sim::simulate_coalesced_dynamic(
+        space, p, {sim::SimSchedule::kChunked, 32}, costs, work);
+    const auto gss = sim::simulate_coalesced_dynamic(
+        space, p, {sim::SimSchedule::kGuided, 1}, costs, work);
+
+    table.cell(static_cast<std::int64_t>(p))
+        .cell(nested_static.completion)
+        .cell(nested_self.completion)
+        .cell(chunk.completion)
+        .cell(gss.completion)
+        .cell(static_cast<double>(nested_static.completion) /
+                  static_cast<double>(gss.completion),
+              2)
+        .end_row();
+  }
+  table.print();
+
+  // The transformation itself, on a small instance, with its exact
+  // active/box accounting and verified equivalence.
+  const ir::LoopNest nest = ir::make_triangular_witness(8);
+  const auto result = transform::coalesce_guarded(nest);
+  if (result.ok()) {
+    const auto& r = result.value();
+    std::printf(
+        "\nIR view (8x8 triangle): box=%lld active=%lld guards=%zu "
+        "verified=%s\n",
+        static_cast<long long>(r.box_points),
+        static_cast<long long>(r.active_points), r.guards_emitted,
+        core::equivalent_by_execution(nest, r.nest) ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// The full compiler pipeline on an imperfect nest, end to end:
+//
+//   matmul (imperfect: init + reduction)
+//     --[analyze]--> DOALL flags proven
+//     --[make_perfect]--> two perfect nests (loop distribution)
+//     --[coalesce_program]--> two single coalesced DOALLs
+//     --[emit C]--> compilable output
+//
+// plus the non-rectangular path: a triangular nest coalesced over its
+// bounding box with a membership guard.
+#include <cstdio>
+
+#include "core/coalesce.hpp"
+
+int main() {
+  using namespace coalesce;
+
+  // ---- imperfect rectangular nest: distribute, then coalesce ------------
+  ir::LoopNest matmul = ir::make_matmul(4, 3, 2);
+  analysis::analyze_and_mark(matmul);
+  std::printf("== input (imperfect nest) ==\n%s\n",
+              ir::to_string(matmul).c_str());
+
+  auto program = transform::make_perfect(matmul);
+  if (!program.ok()) {
+    std::fprintf(stderr, "make_perfect failed: %s\n",
+                 program.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("== after loop distribution (%zu perfect nests) ==\n",
+              program.value().roots.size());
+  for (const auto& root : program.value().roots) {
+    std::printf("%s\n",
+                ir::to_string(*root, program.value().symbols).c_str());
+  }
+
+  const auto coalesced = transform::coalesce_program(program.value());
+  std::printf("== after coalescing (%zu bands fused) ==\n",
+              coalesced.bands_coalesced);
+  for (const auto& root : coalesced.program.roots) {
+    std::printf("%s\n",
+                ir::to_string(*root, coalesced.program.symbols).c_str());
+  }
+
+  const bool ok1 = core::equivalent_by_execution(matmul, coalesced.program);
+  std::printf("pipeline verified equivalent: %s\n\n", ok1 ? "yes" : "NO");
+
+  // ---- non-rectangular nest: guarded coalescing --------------------------
+  const ir::LoopNest triangle = ir::make_triangular_witness(5);
+  std::printf("== triangular input ==\n%s\n",
+              ir::to_string(triangle).c_str());
+  const auto guarded = transform::coalesce_guarded(triangle);
+  if (!guarded.ok()) {
+    std::fprintf(stderr, "guarded coalescing failed: %s\n",
+                 guarded.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("== guarded coalesced (box %lld, active %lld) ==\n%s\n",
+              static_cast<long long>(guarded.value().box_points),
+              static_cast<long long>(guarded.value().active_points),
+              ir::to_string(guarded.value().nest).c_str());
+
+  codegen::EmitOptions emit;
+  emit.standalone_main = false;
+  emit.kernel_name = "triangle_kernel";
+  std::printf("== emitted C ==\n%s",
+              codegen::emit_c(guarded.value().nest, emit).c_str());
+
+  const bool ok2 =
+      core::equivalent_by_execution(triangle, guarded.value().nest);
+  std::printf("guarded path verified equivalent: %s\n", ok2 ? "yes" : "NO");
+
+  return ok1 && ok2 ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+// Gauss-Jordan elimination of AX = B with coalesced update planes.
+//
+// The elimination's pivot loop is sequential, but for each pivot the whole
+// (row, column) update plane is a rectangular DOALL nest — a hybrid nest of
+// exactly the kind the paper coalesces: keep the serial outer loop, fuse the
+// parallel band under it. The final back-substitution X(i,j) = AB(i, j+n) /
+// AB(i,i) is another 2-deep DOALL band, coalesced the same way.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/coalesce.hpp"
+
+namespace {
+
+using coalesce::support::i64;
+
+struct Dense {
+  i64 rows, cols;
+  std::vector<double> data;
+  Dense(i64 r, i64 c) : rows(r), cols(c), data(static_cast<std::size_t>(r * c)) {}
+  double& at(i64 i, i64 j) {
+    return data[static_cast<std::size_t>((i - 1) * cols + (j - 1))];
+  }
+  double at(i64 i, i64 j) const {
+    return data[static_cast<std::size_t>((i - 1) * cols + (j - 1))];
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace coalesce;
+  const i64 n = 64;  // system size
+  const i64 m = 8;   // right-hand sides
+
+  // Build a well-conditioned system with a known solution: X*(i,j) = i + j,
+  // A = diagonally dominant, B = A * X*.
+  Dense ab(n, n + m);
+  Dense expected(n, m);
+  for (i64 i = 1; i <= n; ++i) {
+    for (i64 j = 1; j <= n; ++j) {
+      ab.at(i, j) = i == j ? static_cast<double>(n) + 1.0
+                           : 1.0 / static_cast<double>(i + j);
+    }
+    for (i64 j = 1; j <= m; ++j) expected.at(i, j) = static_cast<double>(i + j);
+  }
+  for (i64 i = 1; i <= n; ++i) {
+    for (i64 j = 1; j <= m; ++j) {
+      double acc = 0.0;
+      for (i64 k = 1; k <= n; ++k) acc += ab.at(i, k) * expected.at(k, j);
+      ab.at(i, n + j) = acc;
+    }
+  }
+
+  runtime::ThreadPool pool(4);
+  std::uint64_t total_dispatches = 0;
+
+  // Elimination: sequential over pivots; the (row, col) update plane for
+  // each pivot is one coalesced DOALL.
+  for (i64 pivot = 1; pivot <= n; ++pivot) {
+    // Pre-compute multipliers (a 1-D DOALL).
+    std::vector<double> mult(static_cast<std::size_t>(n) + 1, 0.0);
+    const double denom = ab.at(pivot, pivot);
+    runtime::parallel_for(pool, n, {runtime::Schedule::kChunked, 8},
+                          [&](i64 i) {
+                            mult[static_cast<std::size_t>(i)] =
+                                i == pivot ? 0.0 : ab.at(i, pivot) / denom;
+                          });
+
+    // Update plane: rows 1..n (except pivot) x columns pivot..n+m.
+    const auto plane =
+        index::CoalescedSpace::create(
+            {index::LevelGeometry{1, n, 1},
+             index::LevelGeometry{pivot, n + m - pivot + 1, 1}})
+            .value();
+    const runtime::ForStats stats = runtime::parallel_for_collapsed(
+        pool, plane, {runtime::Schedule::kGuided},
+        [&](std::span<const i64> ik) {
+          const i64 i = ik[0], k = ik[1];
+          if (i == pivot) return;
+          ab.at(i, k) -= mult[static_cast<std::size_t>(i)] * ab.at(pivot, k);
+        });
+    total_dispatches += stats.dispatch_ops;
+  }
+
+  // Back-substitution: X(i, j) = AB(i, n + j) / AB(i, i), fully parallel.
+  Dense x(n, m);
+  const auto backsolve_space =
+      index::CoalescedSpace::create(std::vector<i64>{n, m}).value();
+  const runtime::ForStats back_stats = runtime::parallel_for_collapsed(
+      pool, backsolve_space, {runtime::Schedule::kGuided},
+      [&](std::span<const i64> ij) {
+        x.at(ij[0], ij[1]) = ab.at(ij[0], n + ij[1]) / ab.at(ij[0], ij[0]);
+      });
+  total_dispatches += back_stats.dispatch_ops;
+
+  double max_err = 0.0;
+  for (i64 i = 1; i <= n; ++i) {
+    for (i64 j = 1; j <= m; ++j) {
+      max_err = std::max(max_err, std::fabs(x.at(i, j) - expected.at(i, j)));
+    }
+  }
+
+  std::printf("gauss-jordan n=%lld m=%lld on %zu workers\n",
+              static_cast<long long>(n), static_cast<long long>(m),
+              pool.worker_count());
+  std::printf("  total synchronized dispatches: %llu\n",
+              static_cast<unsigned long long>(total_dispatches));
+  std::printf("  max |X - X*| = %.3e  (%s)\n", max_err,
+              max_err < 1e-9 ? "ok" : "FAILED");
+
+  // The IR view of the back-substitution nest, coalesced and verified.
+  const auto pipeline =
+      core::analyze_coalesce_verify(ir::make_gauss_jordan_backsolve(6, 3));
+  if (pipeline.ok()) {
+    std::printf("\n== back-substitution nest, coalesced (6x3 instance) ==\n%s",
+                pipeline.value().coalesced_source.c_str());
+  }
+  return max_err < 1e-9 ? 0 : 1;
+}

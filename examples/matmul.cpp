@@ -1,0 +1,102 @@
+// Matrix multiplication with a coalesced (i, j) plane — the example the
+// paper's era used to motivate coalescing: fuse the two outer DOALL loops so
+// one dispatch counter feeds all N*M dot products, instead of forking a
+// family of tasks per row.
+//
+// The program runs the same multiplication three ways and cross-checks:
+//   serial            — reference
+//   nested-outer      — rows scheduled across workers (the usual baseline)
+//   coalesced         — parallel_for_collapsed over the (i, j) space
+#include <cstdio>
+#include <vector>
+
+#include "core/coalesce.hpp"
+
+namespace {
+
+using coalesce::support::i64;
+
+struct Matrix {
+  i64 rows;
+  i64 cols;
+  std::vector<double> data;
+
+  Matrix(i64 r, i64 c) : rows(r), cols(c), data(static_cast<std::size_t>(r * c)) {}
+  double& at(i64 i, i64 j) {
+    return data[static_cast<std::size_t>((i - 1) * cols + (j - 1))];
+  }
+  double at(i64 i, i64 j) const {
+    return data[static_cast<std::size_t>((i - 1) * cols + (j - 1))];
+  }
+};
+
+void fill(Matrix& m, unsigned salt) {
+  for (std::size_t q = 0; q < m.data.size(); ++q) {
+    m.data[q] = static_cast<double>((q * 31 + salt) % 17) - 8.0;
+  }
+}
+
+double dot(const Matrix& a, const Matrix& b, i64 i, i64 j) {
+  double acc = 0.0;
+  for (i64 k = 1; k <= a.cols; ++k) acc += a.at(i, k) * b.at(k, j);
+  return acc;
+}
+
+bool same(const Matrix& x, const Matrix& y) { return x.data == y.data; }
+
+}  // namespace
+
+int main() {
+  using namespace coalesce;
+  const i64 n = 96, m = 80, p = 64;
+
+  Matrix a(n, p), b(p, m);
+  fill(a, 17);
+  fill(b, 5);
+
+  // Reference: serial triple loop.
+  Matrix serial(n, m);
+  for (i64 i = 1; i <= n; ++i) {
+    for (i64 j = 1; j <= m; ++j) serial.at(i, j) = dot(a, b, i, j);
+  }
+
+  runtime::ThreadPool pool(4);
+
+  // Baseline: parallelize the outer row loop only.
+  Matrix nested(n, m);
+  const std::vector<i64> extents{n, m};
+  const runtime::ForStats nested_stats = runtime::parallel_for_nested_outer(
+      pool, extents, {runtime::Schedule::kSelf},
+      [&](std::span<const i64> ij) {
+        nested.at(ij[0], ij[1]) = dot(a, b, ij[0], ij[1]);
+      });
+
+  // Coalesced: one counter over all n*m dot products, guided chunks.
+  Matrix coalesced(n, m);
+  const auto space = index::CoalescedSpace::create(extents).value();
+  const runtime::ForStats coal_stats = runtime::parallel_for_collapsed(
+      pool, space, {runtime::Schedule::kGuided},
+      [&](std::span<const i64> ij) {
+        coalesced.at(ij[0], ij[1]) = dot(a, b, ij[0], ij[1]);
+      });
+
+  std::printf("matmul %lldx%lldx%lld on %zu workers\n",
+              static_cast<long long>(n), static_cast<long long>(p),
+              static_cast<long long>(m), pool.worker_count());
+  std::printf("  nested-outer: dispatches=%llu imbalance=%.3f  correct=%s\n",
+              static_cast<unsigned long long>(nested_stats.dispatch_ops),
+              nested_stats.imbalance(), same(serial, nested) ? "yes" : "NO");
+  std::printf("  coalesced:    dispatches=%llu imbalance=%.3f  correct=%s\n",
+              static_cast<unsigned long long>(coal_stats.dispatch_ops),
+              coal_stats.imbalance(), same(serial, coalesced) ? "yes" : "NO");
+
+  // And the compiler view: the same fusion as a source transformation.
+  const ir::LoopNest nest = ir::make_matmul(6, 5, 4);
+  const auto transformed = core::analyze_coalesce_verify(nest);
+  if (transformed.ok()) {
+    std::printf("\n== the transformation itself (6x5x4 instance) ==\n%s\n",
+                transformed.value().coalesced_source.c_str());
+  }
+
+  return same(serial, nested) && same(serial, coalesced) ? 0 : 1;
+}

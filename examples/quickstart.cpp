@@ -1,0 +1,58 @@
+// Quickstart: the whole library in one file.
+//
+//  1. Build a doubly nested parallel loop in the IR.
+//  2. Prove it is a DOALL nest (dependence analysis).
+//  3. Coalesce it into a single loop (the paper's transformation).
+//  4. Show the before/after source and the emitted C.
+//  5. Execute the coalesced space on the real thread runtime.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "core/coalesce.hpp"
+
+int main() {
+  using namespace coalesce;
+
+  // -- 1. a 4 x 6 parallel nest: OUT(i, j) = 10*i + j --------------------
+  ir::LoopNest nest = ir::make_rectangular_witness({4, 6});
+
+  // -- 2 + 3. analyze, coalesce, and verify equivalence -------------------
+  auto pipeline = core::analyze_coalesce_verify(nest);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 pipeline.error().to_string().c_str());
+    return 1;
+  }
+  const core::PipelineResult& result = pipeline.value();
+
+  std::printf("== original nest ==\n%s\n", result.original_source.c_str());
+  std::printf("== coalesced nest (verified equivalent) ==\n%s\n",
+              result.coalesced_source.c_str());
+
+  // -- 4. the transformation as compilable C ------------------------------
+  codegen::EmitOptions emit_options;
+  emit_options.standalone_main = false;
+  std::printf("== emitted C kernel ==\n%s\n",
+              codegen::emit_c(result.coalesced.nest, emit_options).c_str());
+
+  // -- 5. run the coalesced loop on the thread runtime --------------------
+  runtime::ThreadPool pool(4);
+  const index::CoalescedSpace& space = result.coalesced.space;
+  std::vector<double> out(static_cast<std::size_t>(space.total()), 0.0);
+  const runtime::ForStats stats = runtime::parallel_for_collapsed(
+      pool, space, {runtime::Schedule::kGuided},
+      [&](std::span<const support::i64> ij) {
+        const auto flat =
+            static_cast<std::size_t>((ij[0] - 1) * 6 + (ij[1] - 1));
+        out[flat] = static_cast<double>(10 * ij[0] + ij[1]);
+      });
+
+  std::printf("== runtime execution ==\n");
+  std::printf("iterations: %lld   dispatch ops: %llu   chunks: %llu\n",
+              static_cast<long long>(space.total()),
+              static_cast<unsigned long long>(stats.dispatch_ops),
+              static_cast<unsigned long long>(stats.chunks_executed));
+  std::printf("OUT(4, 6) = %.0f (expect 46)\n", out.back());
+  return out.back() == 46.0 ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Jacobi relaxation on a 2-D grid with coalesced interior sweeps.
+//
+// Each sweep's interior update is a 2-deep DOALL band with non-unit lower
+// bounds (2..n+1 over an (n+2)^2 grid) — exactly the geometry the coalescing
+// index maps handle via LevelGeometry. The example iterates to convergence,
+// double-buffered, and also shows the IR-level transformation of one sweep.
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/coalesce.hpp"
+
+int main() {
+  using namespace coalesce;
+  using support::i64;
+
+  const i64 n = 64;               // interior size
+  const i64 side = n + 2;         // including boundary
+  const double target = 1e-6;
+
+  // Boundary condition: left edge at 1.0, everything else starts at 0.
+  std::vector<double> grid_a(static_cast<std::size_t>(side * side), 0.0);
+  for (i64 i = 0; i < side; ++i) grid_a[static_cast<std::size_t>(i * side)] = 1.0;
+  std::vector<double> grid_b = grid_a;
+
+  auto at = [side](std::vector<double>& g, i64 i, i64 j) -> double& {
+    return g[static_cast<std::size_t>((i - 1) * side + (j - 1))];
+  };
+
+  runtime::ThreadPool pool(4);
+  // Interior points: rows 2..n+1, cols 2..n+1.
+  const auto interior =
+      index::CoalescedSpace::create({index::LevelGeometry{2, n, 1},
+                                     index::LevelGeometry{2, n, 1}})
+          .value();
+
+  std::vector<double>* src = &grid_a;
+  std::vector<double>* dst = &grid_b;
+  int sweeps = 0;
+  double max_delta = 1.0;
+  std::uint64_t dispatches = 0;
+
+  while (max_delta > target && sweeps < 20000) {
+    // Convergence metric: atomic max over all points (CAS only when a new
+    // maximum is observed, so contention stays negligible).
+    std::atomic<double> sweep_delta{0.0};
+    const runtime::ForStats stats = runtime::parallel_for_collapsed(
+        pool, interior, {runtime::Schedule::kChunked, 256},
+        [&](std::span<const i64> ij) {
+          const i64 i = ij[0], j = ij[1];
+          const double next = 0.25 * (at(*src, i - 1, j) + at(*src, i + 1, j) +
+                                      at(*src, i, j - 1) + at(*src, i, j + 1));
+          const double delta = std::fabs(next - at(*src, i, j));
+          at(*dst, i, j) = next;
+          double seen = sweep_delta.load(std::memory_order_relaxed);
+          while (seen < delta && !sweep_delta.compare_exchange_weak(
+                                     seen, delta, std::memory_order_relaxed)) {
+          }
+        });
+    dispatches += stats.dispatch_ops;
+    max_delta = sweep_delta.load();
+    std::swap(src, dst);
+    ++sweeps;
+  }
+
+  // Sanity: interior values bounded by the boundary extremes.
+  bool bounded = true;
+  for (double v : *src) bounded = bounded && v >= -1e-12 && v <= 1.0 + 1e-12;
+
+  std::printf("jacobi %lldx%lld interior, %zu workers\n",
+              static_cast<long long>(n), static_cast<long long>(n),
+              pool.worker_count());
+  std::printf("  converged to %.1e in %d sweeps, %llu dispatches total\n",
+              max_delta, sweeps,
+              static_cast<unsigned long long>(dispatches));
+  std::printf("  solution bounded by boundary values: %s\n",
+              bounded ? "yes" : "NO");
+
+  // The IR-level view of one sweep (A -> B), coalesced and verified.
+  const auto pipeline = core::analyze_coalesce_verify(ir::make_jacobi_step(6));
+  if (pipeline.ok()) {
+    std::printf("\n== one sweep as a compiler transformation (6x6) ==\n%s",
+                pipeline.value().coalesced_source.c_str());
+  }
+  return bounded && max_delta <= target ? 0 : 1;
+}

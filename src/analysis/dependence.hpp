@@ -1,0 +1,89 @@
+// Data-dependence testing between array references.
+//
+// Implements the classical test hierarchy the paper's compiler setting
+// assumes (Parafrase-style): per-dimension ZIV / strong-SIV exact tests,
+// with GCD and Banerjee range tests as the conservative backstop for MIV
+// subscripts. Results are *sound for parallelization*: kIndependent is only
+// returned when independence is proven; anything unproven stays kMaybe and
+// blocks DOALL marking.
+//
+// Distance vectors are computed over the loops common to both references
+// (outermost first). Each entry is either an exact iteration distance or
+// "unknown" (std::nullopt), which downstream legality checks treat as
+// possibly-any-value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/subscript.hpp"
+
+namespace coalesce::analysis {
+
+enum class DepAnswer : std::uint8_t {
+  kIndependent,  ///< proven: no two instances conflict
+  kDependent,    ///< proven dependence with known distances
+  kMaybe,        ///< not disproven; must be assumed
+};
+
+enum class DepKind : std::uint8_t {
+  kFlow,    ///< write then read
+  kAnti,    ///< read then write
+  kOutput,  ///< write then write
+};
+
+[[nodiscard]] const char* to_string(DepAnswer a) noexcept;
+[[nodiscard]] const char* to_string(DepKind k) noexcept;
+
+/// A (possibly unproven) dependence between two references.
+struct Dependence {
+  std::size_t src_ref;  ///< index into the collect_array_refs() vector
+  std::size_t dst_ref;
+  DepKind kind;
+  DepAnswer answer;  ///< kDependent or kMaybe (kIndependent pairs dropped)
+  /// Loops common to both references, outermost first.
+  std::vector<const ir::Loop*> common;
+  /// Per-common-loop distance, aligned with `common`. nullopt = unknown.
+  /// Fully-known vectors are direction-normalized (first nonzero entry
+  /// positive, src/dst swapped accordingly); vectors with unknown entries
+  /// keep computed signs, and legality checks use only zero/nonzero-ness.
+  std::vector<std::optional<std::int64_t>> distance;
+
+  /// True when the dependence could be carried by common loop `level`
+  /// (0-based, outermost first): every outer entry could be zero and the
+  /// entry at `level` could be nonzero.
+  [[nodiscard]] bool may_be_carried_at(std::size_t level) const;
+
+  /// True when every distance entry is known zero (loop-independent).
+  [[nodiscard]] bool is_loop_independent() const;
+
+  /// Classic direction-vector rendering aligned with `common`: '<' for a
+  /// positive distance (source iteration earlier), '=' for zero, '>' for
+  /// negative, '*' for unknown. E.g. "(=, <)" or "(=, =, *)".
+  [[nodiscard]] std::string direction_string() const;
+};
+
+/// Result of testing one reference pair.
+struct PairTest {
+  DepAnswer answer = DepAnswer::kMaybe;
+  std::vector<std::optional<std::int64_t>> distance;
+};
+
+/// Tests one pair of references to the same array. `common` is the number of
+/// shared enclosing loops (shared prefix of both chains).
+[[nodiscard]] PairTest test_pair(const ArrayRef& a, const ArrayRef& b,
+                                 std::size_t common);
+
+/// All dependences among the array references of a loop tree. Pairs proven
+/// independent are omitted; exact dependences are direction-normalized so
+/// the first unknown-or-nonzero distance entry is positive (or the pair is
+/// loop-independent in statement order).
+[[nodiscard]] std::vector<Dependence> compute_dependences(
+    const ir::Loop& root, const std::vector<ArrayRef>& refs);
+
+/// Convenience overload that collects the refs itself.
+[[nodiscard]] std::vector<Dependence> compute_dependences(const ir::Loop& root);
+
+}  // namespace coalesce::analysis

@@ -1,0 +1,169 @@
+#include "analysis/doall.hpp"
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::analysis {
+
+using ir::Loop;
+using ir::LoopNest;
+using ir::VarId;
+
+const LoopVerdict* ParallelismReport::find(const ir::Loop* loop) const {
+  for (const auto& v : loops) {
+    if (v.loop == loop) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+enum class Touch { kNone, kAssignFirst, kReadFirst };
+
+Touch first_touch_stmt(const ir::Stmt& stmt, VarId s);
+
+Touch first_touch_body(const std::vector<ir::Stmt>& body, VarId s) {
+  for (const ir::Stmt& stmt : body) {
+    const Touch t = first_touch_stmt(stmt, s);
+    if (t != Touch::kNone) return t;
+  }
+  return Touch::kNone;
+}
+
+Touch first_touch_stmt(const ir::Stmt& stmt, VarId s) {
+  if (const auto* guard = std::get_if<ir::IfPtr>(&stmt)) {
+    if (ir::references((*guard)->condition, s)) return Touch::kReadFirst;
+    const Touch inner = first_touch_body((*guard)->then_body, s);
+    if (inner == Touch::kReadFirst) return Touch::kReadFirst;
+    // An assignment under a guard may not execute: it cannot establish
+    // "assigned before read" for statements after the guard.
+    return Touch::kNone;
+  }
+  if (const auto* assign = std::get_if<ir::AssignStmt>(&stmt)) {
+    // Reads happen before the write: rhs first, then lhs subscripts.
+    if (ir::references(assign->rhs, s)) return Touch::kReadFirst;
+    if (const auto* access = std::get_if<ir::ArrayAccess>(&assign->lhs)) {
+      for (const auto& sub : access->subscripts) {
+        if (ir::references(sub, s)) return Touch::kReadFirst;
+      }
+    }
+    if (const auto* scalar = std::get_if<VarId>(&assign->lhs)) {
+      if (*scalar == s) return Touch::kAssignFirst;
+    }
+    return Touch::kNone;
+  }
+  const auto& loop = std::get<ir::LoopPtr>(stmt);
+  if (ir::references(loop->lower, s) || ir::references(loop->upper, s))
+    return Touch::kReadFirst;
+  const Touch inner = first_touch_body(loop->body, s);
+  if (inner == Touch::kReadFirst) return Touch::kReadFirst;
+  if (inner == Touch::kAssignFirst) {
+    // The loop might execute zero times, in which case its assignment never
+    // happens; only a provably non-empty loop establishes "assigned".
+    auto trips = ir::constant_trip_count(*loop);
+    return (trips.has_value() && *trips >= 1) ? Touch::kAssignFirst
+                                              : Touch::kNone;
+  }
+  return Touch::kNone;
+}
+
+void collect_loops_body(const std::vector<ir::Stmt>& body,
+                        std::vector<const Loop*>& out);
+
+void collect_loops(const Loop& loop, std::vector<const Loop*>& out) {
+  out.push_back(&loop);
+  collect_loops_body(loop.body, out);
+}
+
+void collect_loops_body(const std::vector<ir::Stmt>& body,
+                        std::vector<const Loop*>& out) {
+  for (const ir::Stmt& s : body) {
+    if (const auto* inner = std::get_if<ir::LoopPtr>(&s)) {
+      collect_loops(**inner, out);
+    } else if (const auto* guard = std::get_if<ir::IfPtr>(&s)) {
+      collect_loops_body((*guard)->then_body, out);
+    }
+  }
+}
+
+}  // namespace
+
+bool scalar_privatizable(const Loop& loop, VarId s) {
+  return first_touch_body(loop.body, s) != Touch::kReadFirst;
+}
+
+ParallelismReport analyze_parallelism(const LoopNest& nest) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  ParallelismReport report;
+
+  const std::vector<ArrayRef> refs = collect_array_refs(*nest.root);
+  report.dependences = compute_dependences(*nest.root, refs);
+
+  std::vector<const Loop*> loops;
+  collect_loops(*nest.root, loops);
+
+  for (const Loop* loop : loops) {
+    LoopVerdict verdict;
+    verdict.loop = loop;
+
+    // (a) No array dependence carried at this loop's level.
+    for (const Dependence& dep : report.dependences) {
+      for (std::size_t l = 0; l < dep.common.size(); ++l) {
+        if (dep.common[l] != loop) continue;
+        if (dep.may_be_carried_at(l)) {
+          const ir::VarId array = refs[dep.src_ref].array;
+          verdict.blockers.push_back(support::format(
+              "%s dependence on %s may be carried at this level (%s)",
+              to_string(dep.kind), nest.symbols.name(array).c_str(),
+              to_string(dep.answer)));
+        }
+        break;  // a loop appears at most once in a chain
+      }
+    }
+
+    // (b) Scalars written in the body must be privatizable.
+    for (VarId s : ir::scalars_written(*loop)) {
+      if (nest.symbols.kind(s) != ir::SymbolKind::kScalar) continue;
+      if (!scalar_privatizable(*loop, s)) {
+        verdict.blockers.push_back(support::format(
+            "scalar %s is read before assigned within an iteration",
+            nest.symbols.name(s).c_str()));
+      }
+    }
+
+    verdict.parallelizable = verdict.blockers.empty();
+    report.loops.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+namespace {
+
+void mark_body(std::vector<ir::Stmt>& body, const ParallelismReport& report);
+
+void mark_loops(Loop& loop, const ParallelismReport& report) {
+  const LoopVerdict* verdict = report.find(&loop);
+  COALESCE_ASSERT(verdict != nullptr);
+  loop.parallel = verdict->parallelizable;
+  mark_body(loop.body, report);
+}
+
+void mark_body(std::vector<ir::Stmt>& body, const ParallelismReport& report) {
+  for (ir::Stmt& s : body) {
+    if (auto* inner = std::get_if<ir::LoopPtr>(&s)) {
+      mark_loops(**inner, report);
+    } else if (auto* guard = std::get_if<ir::IfPtr>(&s)) {
+      mark_body((*guard)->then_body, report);
+    }
+  }
+}
+
+}  // namespace
+
+ParallelismReport analyze_and_mark(LoopNest& nest) {
+  ParallelismReport report = analyze_parallelism(nest);
+  mark_loops(*nest.root, report);
+  return report;
+}
+
+}  // namespace coalesce::analysis

@@ -1,0 +1,45 @@
+// DOALL legality: which loops of a nest may be executed fully in parallel.
+//
+// A loop is marked DOALL when (a) no array dependence may be carried at its
+// level and (b) every scalar written in its body is provably privatizable
+// (assigned before any use within an iteration) — the scalar-expansion
+// precondition. Anything unproven keeps the loop sequential; the analysis is
+// sound for parallelization, not complete.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dependence.hpp"
+#include "ir/stmt.hpp"
+
+namespace coalesce::analysis {
+
+/// Verdict for one loop of the tree (preorder).
+struct LoopVerdict {
+  const ir::Loop* loop = nullptr;
+  bool parallelizable = false;
+  /// Human-readable reasons when not parallelizable (empty otherwise).
+  std::vector<std::string> blockers;
+};
+
+struct ParallelismReport {
+  std::vector<LoopVerdict> loops;  ///< preorder over the tree
+  std::vector<Dependence> dependences;
+
+  [[nodiscard]] const LoopVerdict* find(const ir::Loop* loop) const;
+};
+
+/// Analyzes the tree without modifying it.
+[[nodiscard]] ParallelismReport analyze_parallelism(const ir::LoopNest& nest);
+
+/// Analyzes and sets each loop's `parallel` flag to the proven verdict
+/// (overwriting any prior value). Returns the report.
+ParallelismReport analyze_and_mark(ir::LoopNest& nest);
+
+/// True when scalar `s` is privatizable in `loop`: along every control path
+/// of one iteration, `s` is assigned before it is read. (Conservative
+/// textual-order check over the loop's body, recursing into inner loops.)
+[[nodiscard]] bool scalar_privatizable(const ir::Loop& loop, ir::VarId s);
+
+}  // namespace coalesce::analysis

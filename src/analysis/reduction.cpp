@@ -1,0 +1,219 @@
+#include "analysis/reduction.hpp"
+
+#include <algorithm>
+
+#include "analysis/subscript.hpp"
+#include "support/assert.hpp"
+
+namespace coalesce::analysis {
+
+using ir::ExprOp;
+using ir::ExprRef;
+using ir::Loop;
+using ir::VarId;
+
+namespace {
+
+/// Does `e` structurally equal a read of the lvalue?
+bool reads_target(const ExprRef& e, const ir::LValue& target) {
+  if (const auto* scalar = std::get_if<VarId>(&target)) {
+    return e->op == ExprOp::kVarRef && e->var == *scalar;
+  }
+  const auto& access = std::get<ir::ArrayAccess>(target);
+  if (e->op != ExprOp::kArrayRead || e->var != access.array) return false;
+  if (e->kids.size() != access.subscripts.size()) return false;
+  for (std::size_t d = 0; d < e->kids.size(); ++d) {
+    if (!ir::equal(e->kids[d], access.subscripts[d])) return false;
+  }
+  return true;
+}
+
+/// Does `e` reference the target's storage at all (any subscript)?
+bool touches_target_storage(const ExprRef& e, const ir::LValue& target) {
+  const VarId var = std::holds_alternative<VarId>(target)
+                        ? std::get<VarId>(target)
+                        : std::get<ir::ArrayAccess>(target).array;
+  return ir::references(e, var);
+}
+
+/// Matches rhs == op(read(target), e) or op(e, read(target)) with `e` free
+/// of the target. Returns the free operand on success.
+std::optional<ExprRef> match_accumulate(const ExprRef& rhs,
+                                        const ir::LValue& target,
+                                        ExprOp* op_out) {
+  switch (rhs->op) {
+    case ExprOp::kAdd:
+    case ExprOp::kMul:
+    case ExprOp::kMin:
+    case ExprOp::kMax:
+      break;
+    default:
+      return std::nullopt;
+  }
+  COALESCE_ASSERT(rhs->kids.size() == 2);
+  for (int side = 0; side < 2; ++side) {
+    const ExprRef& acc = rhs->kids[static_cast<std::size_t>(side)];
+    const ExprRef& free = rhs->kids[static_cast<std::size_t>(1 - side)];
+    if (reads_target(acc, target) && !touches_target_storage(free, target)) {
+      *op_out = rhs->op;
+      return free;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Subscripts of the target invariant in `loop` (don't reference its var)?
+bool target_invariant_in(const ir::LValue& target, const Loop& loop) {
+  if (std::holds_alternative<VarId>(target)) return true;  // scalar
+  const auto& access = std::get<ir::ArrayAccess>(target);
+  return std::none_of(access.subscripts.begin(), access.subscripts.end(),
+                      [&](const ExprRef& sub) {
+                        return ir::references(sub, loop.var);
+                      });
+}
+
+void collect_loops_pre(const Loop& loop, std::vector<const Loop*>& out) {
+  out.push_back(&loop);
+  for (const ir::Stmt& s : loop.body) {
+    if (const auto* inner = std::get_if<ir::LoopPtr>(&s)) {
+      collect_loops_pre(**inner, out);
+    } else if (const auto* guard = std::get_if<ir::IfPtr>(&s)) {
+      for (const ir::Stmt& gs : (*guard)->then_body) {
+        if (const auto* il = std::get_if<ir::LoopPtr>(&gs)) {
+          collect_loops_pre(**il, out);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Reduction> find_reductions(const Loop& root) {
+  std::vector<Reduction> out;
+  for (const auto& na : ir::collect_assignments(root)) {
+    ExprOp op = ExprOp::kAdd;
+    const auto free = match_accumulate(na.stmt->rhs, na.stmt->lhs, &op);
+    if (!free.has_value()) continue;
+
+    Reduction r;
+    r.stmt = na.stmt;
+    r.op = op;
+    r.target = na.stmt->lhs;
+    for (const Loop* loop : na.enclosing) {
+      if (target_invariant_in(na.stmt->lhs, *loop)) {
+        r.foldable_levels.push_back(loop);
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+ReductionReport analyze_with_reductions(const ir::LoopNest& nest) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  ReductionReport report;
+  report.reductions = find_reductions(*nest.root);
+
+  const ParallelismReport base = analyze_parallelism(nest);
+  const std::vector<ArrayRef> refs = collect_array_refs(*nest.root);
+  const auto deps = compute_dependences(*nest.root, refs);
+
+  // A ref "belongs to" a reduction target when it reads/writes exactly the
+  // accumulator's element pattern.
+  auto ref_is_accumulator = [&](const ArrayRef& ref,
+                                const Reduction& r) -> bool {
+    if (std::holds_alternative<VarId>(r.target)) return false;  // array deps only
+    const auto& access = std::get<ir::ArrayAccess>(r.target);
+    if (ref.array != access.array) return false;
+    // Compare affine views (structural equality on affine forms).
+    if (ref.subscripts.size() != access.subscripts.size()) return false;
+    for (std::size_t d = 0; d < ref.subscripts.size(); ++d) {
+      const auto want = ir::to_affine(access.subscripts[d]);
+      if (!ref.subscripts[d].has_value() || !want.has_value()) return false;
+      if (!(*ref.subscripts[d] == *want)) return false;
+    }
+    return true;
+  };
+
+  std::vector<const Loop*> loops;
+  collect_loops_pre(*nest.root, loops);
+
+  for (const Loop* loop : loops) {
+    ReductionVerdict verdict;
+    verdict.loop = loop;
+    const LoopVerdict* plain = base.find(loop);
+    verdict.doall = plain != nullptr && plain->parallelizable;
+    if (verdict.doall) {
+      verdict.reduction_parallelizable = true;
+      report.loops.push_back(std::move(verdict));
+      continue;
+    }
+
+    // Check every blocker: array dependences carried at this loop must be
+    // accumulator self-dependences of a reduction foldable at this loop;
+    // scalar blockers must be reduction targets.
+    bool all_waivable = true;
+    std::vector<const Reduction*> used;
+
+    for (const auto& dep : deps) {
+      for (std::size_t l = 0; l < dep.common.size(); ++l) {
+        if (dep.common[l] != loop) continue;
+        if (!dep.may_be_carried_at(l)) break;
+        const Reduction* waiver = nullptr;
+        for (const auto& r : report.reductions) {
+          const bool foldable =
+              std::find(r.foldable_levels.begin(), r.foldable_levels.end(),
+                        loop) != r.foldable_levels.end();
+          if (foldable && ref_is_accumulator(refs[dep.src_ref], r) &&
+              ref_is_accumulator(refs[dep.dst_ref], r)) {
+            waiver = &r;
+            break;
+          }
+        }
+        if (waiver == nullptr) {
+          all_waivable = false;
+        } else if (std::find(used.begin(), used.end(), waiver) ==
+                   used.end()) {
+          used.push_back(waiver);
+        }
+        break;
+      }
+      if (!all_waivable) break;
+    }
+
+    // Scalar blockers: a scalar written in the body is acceptable when it
+    // is a recognized reduction target foldable here.
+    if (all_waivable) {
+      for (VarId s : ir::scalars_written(*loop)) {
+        if (nest.symbols.kind(s) != ir::SymbolKind::kScalar) continue;
+        if (scalar_privatizable(*loop, s)) continue;
+        const Reduction* waiver = nullptr;
+        for (const auto& r : report.reductions) {
+          const auto* scalar_target = std::get_if<VarId>(&r.target);
+          const bool foldable =
+              std::find(r.foldable_levels.begin(), r.foldable_levels.end(),
+                        loop) != r.foldable_levels.end();
+          if (scalar_target != nullptr && *scalar_target == s && foldable) {
+            waiver = &r;
+            break;
+          }
+        }
+        if (waiver == nullptr) {
+          all_waivable = false;
+          break;
+        }
+        if (std::find(used.begin(), used.end(), waiver) == used.end()) {
+          used.push_back(waiver);
+        }
+      }
+    }
+
+    verdict.reduction_parallelizable = all_waivable && !used.empty();
+    verdict.reductions = std::move(used);
+    report.loops.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+}  // namespace coalesce::analysis

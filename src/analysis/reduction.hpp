@@ -1,0 +1,56 @@
+// Reduction recognition — the classic answer to "this loop carries a
+// dependence but is still parallelizable".
+//
+// A statement of the form
+//
+//     target = target (+|*|min|max) expr        // expr free of target
+//
+// where `target` is a scalar or an array element whose subscripts are
+// invariant in a loop L, makes L *parallelizable as a reduction*: the
+// carried dependence is the accumulation itself, and associative folding
+// (per-worker partials, see runtime/reduce.hpp) preserves the result up to
+// floating-point reassociation.
+//
+// This module recognizes such statements and upgrades DOALL verdicts: a
+// loop whose only blockers are recognized accumulations is reported
+// reduction-parallelizable, with the operator and target identified.
+#pragma once
+
+#include <vector>
+
+#include "analysis/doall.hpp"
+#include "ir/stmt.hpp"
+
+namespace coalesce::analysis {
+
+struct Reduction {
+  const ir::AssignStmt* stmt = nullptr;
+  ir::ExprOp op = ir::ExprOp::kAdd;  ///< kAdd, kMul, kMin, or kMax
+  /// The accumulator: scalar id, or array + subscripts (structural).
+  ir::LValue target;
+  /// Loops enclosing the statement in which the target is invariant
+  /// (subscripts do not reference the loop variable) — the levels this
+  /// reduction can be folded across.
+  std::vector<const ir::Loop*> foldable_levels;
+};
+
+/// All recognized reduction statements in the tree.
+[[nodiscard]] std::vector<Reduction> find_reductions(const ir::Loop& root);
+
+/// Per-loop verdicts with reduction upgrades.
+struct ReductionVerdict {
+  const ir::Loop* loop = nullptr;
+  bool doall = false;                 ///< plain DOALL (no help needed)
+  bool reduction_parallelizable = false;  ///< DOALL after folding reductions
+  std::vector<const Reduction*> reductions;  ///< the enabling accumulations
+};
+
+struct ReductionReport {
+  std::vector<Reduction> reductions;
+  std::vector<ReductionVerdict> loops;  ///< preorder over the tree
+};
+
+[[nodiscard]] ReductionReport analyze_with_reductions(
+    const ir::LoopNest& nest);
+
+}  // namespace coalesce::analysis

@@ -1,0 +1,171 @@
+#include "analysis/report.hpp"
+
+#include "analysis/subscript.hpp"
+#include "ir/printer.hpp"
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::analysis {
+
+namespace {
+
+std::string distance_string(
+    const std::vector<std::optional<std::int64_t>>& distance) {
+  std::vector<std::string> parts;
+  parts.reserve(distance.size());
+  for (const auto& d : distance) {
+    parts.push_back(d.has_value() ? std::to_string(*d) : std::string("*"));
+  }
+  return "(" + support::join(parts, ", ") + ")";
+}
+
+std::string dependences_text(const ir::LoopNest& nest,
+                             const std::vector<Dependence>& deps,
+                             const std::vector<ArrayRef>& refs) {
+  std::string out;
+  out += support::format("dependences: %zu\n", deps.size());
+  for (const auto& dep : deps) {
+    out += support::format(
+        "  %-6s %-8s distance %-12s direction %-10s [%s]\n",
+        to_string(dep.kind),
+        nest.symbols.name(refs[dep.src_ref].array).c_str(),
+        distance_string(dep.distance).c_str(),
+        dep.direction_string().c_str(), to_string(dep.answer));
+  }
+  return out;
+}
+
+std::string verdicts_text(const ir::LoopNest& nest,
+                          const ParallelismReport& report) {
+  std::string out;
+  out += "loops:\n";
+  for (const auto& verdict : report.loops) {
+    out += support::format("  %-8s %s\n",
+                           nest.symbols.name(verdict.loop->var).c_str(),
+                           verdict.parallelizable ? "DOALL" : "serial");
+    for (const auto& blocker : verdict.blockers) {
+      out += "           - " + blocker + "\n";
+    }
+  }
+  return out;
+}
+
+/// Statement labels in the same ordinal enumeration collect_array_refs
+/// uses (assignment / guard / loop header each take one ordinal).
+void collect_labels(const std::vector<ir::Stmt>& body,
+                    const ir::SymbolTable& symbols,
+                    std::vector<std::string>& labels) {
+  for (const ir::Stmt& s : body) {
+    if (const auto* assign = std::get_if<ir::AssignStmt>(&s)) {
+      std::string text = ir::to_string(ir::Stmt{*assign}, symbols);
+      if (!text.empty() && text.back() == '\n') text.pop_back();
+      labels.push_back(std::move(text));
+    } else if (const auto* guard = std::get_if<ir::IfPtr>(&s)) {
+      labels.push_back(
+          "if (" + ir::to_string((*guard)->condition, symbols) + ")");
+      collect_labels((*guard)->then_body, symbols, labels);
+    } else {
+      const ir::Loop& loop = *std::get<ir::LoopPtr>(s);
+      labels.push_back(
+          support::format("%s %s", loop.parallel ? "doall" : "do",
+                          symbols.name(loop.var).c_str()));
+      collect_labels(loop.body, symbols, labels);
+    }
+  }
+}
+
+std::string escape_dot(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_report(const ir::LoopNest& nest,
+                          const ParallelismReport& report) {
+  const auto refs = collect_array_refs(*nest.root);
+  std::string out = "== parallelism report ==\n";
+  out += dependences_text(nest, report.dependences, refs);
+  out += verdicts_text(nest, report);
+  return out;
+}
+
+std::string render_report(const ir::LoopNest& nest,
+                          const ReductionReport& report) {
+  const ParallelismReport base = analyze_parallelism(nest);
+  std::string out = render_report(nest, base);
+  out += support::format("reductions: %zu\n", report.reductions.size());
+  for (const auto& r : report.reductions) {
+    std::string target;
+    if (const auto* scalar = std::get_if<ir::VarId>(&r.target)) {
+      target = nest.symbols.name(*scalar);
+    } else {
+      const auto& access = std::get<ir::ArrayAccess>(r.target);
+      target = nest.symbols.name(access.array) + "[...]";
+    }
+    std::vector<std::string> levels;
+    for (const ir::Loop* loop : r.foldable_levels) {
+      levels.push_back(nest.symbols.name(loop->var));
+    }
+    out += support::format("  %s %s= ... foldable at {%s}\n", target.c_str(),
+                           ir::to_string(r.op), support::join(levels, ", ").c_str());
+  }
+  for (const auto& verdict : report.loops) {
+    if (!verdict.doall && verdict.reduction_parallelizable) {
+      out += support::format("  loop %s: parallelizable AS REDUCTION\n",
+                             nest.symbols.name(verdict.loop->var).c_str());
+    }
+  }
+  return out;
+}
+
+std::string dependence_graph_dot(const ir::LoopNest& nest) {
+  const auto refs = collect_array_refs(*nest.root);
+  const auto deps = compute_dependences(*nest.root, refs);
+
+  // Labels in collect_array_refs' ordinal space. Guard-condition refs use
+  // SIZE_MAX-g ordinals (legacy of the whole-tree collector) — those edges
+  // are labelled "guard".
+  std::vector<std::string> labels;
+  collect_labels(nest.root->body, nest.symbols, labels);
+
+  auto node_name = [&](std::size_t ordinal) {
+    return ordinal < labels.size()
+               ? support::format("s%zu", ordinal)
+               : std::string("guard");
+  };
+
+  std::string out = "digraph dependences {\n  rankdir=TB;\n";
+  out += "  node [shape=box, fontname=\"monospace\"];\n";
+  for (std::size_t t = 0; t < labels.size(); ++t) {
+    out += support::format("  s%zu [label=\"%s\"];\n", t,
+                           escape_dot(labels[t]).c_str());
+  }
+  bool guard_node = false;
+  for (const auto& dep : deps) {
+    const std::size_t src = refs[dep.src_ref].stmt_ordinal;
+    const std::size_t dst = refs[dep.dst_ref].stmt_ordinal;
+    if (src >= labels.size() || dst >= labels.size()) guard_node = true;
+  }
+  if (guard_node) out += "  guard [label=\"(guard condition)\"];\n";
+
+  for (const auto& dep : deps) {
+    const char* style = dep.kind == DepKind::kFlow     ? "solid"
+                        : dep.kind == DepKind::kAnti   ? "dashed"
+                                                       : "dotted";
+    out += support::format(
+        "  %s -> %s [style=%s, label=\"%s %s\"];\n",
+        node_name(refs[dep.src_ref].stmt_ordinal).c_str(),
+        node_name(refs[dep.dst_ref].stmt_ordinal).c_str(), style,
+        nest.symbols.name(refs[dep.src_ref].array).c_str(),
+        distance_string(dep.distance).c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace coalesce::analysis

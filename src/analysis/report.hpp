@@ -1,0 +1,28 @@
+// Human-readable and Graphviz renderings of the analysis results: the
+// dependence set, per-loop verdicts, and reduction upgrades. Powers
+// `coalescec --report` and the examples' diagnostics.
+#pragma once
+
+#include <string>
+
+#include "analysis/doall.hpp"
+#include "analysis/reduction.hpp"
+
+namespace coalesce::analysis {
+
+/// Multi-line text report: every dependence (kind, array, distance vector)
+/// and every loop's verdict with its blockers.
+[[nodiscard]] std::string render_report(const ir::LoopNest& nest,
+                                        const ParallelismReport& report);
+
+/// Same, with reduction upgrades appended.
+[[nodiscard]] std::string render_report(const ir::LoopNest& nest,
+                                        const ReductionReport& report);
+
+/// Graphviz DOT of the statement-level dependence graph: one node per
+/// assignment (labelled by its text), one edge per dependence, styled by
+/// kind (flow solid, anti dashed, output dotted) and annotated with the
+/// distance vector.
+[[nodiscard]] std::string dependence_graph_dot(const ir::LoopNest& nest);
+
+}  // namespace coalesce::analysis

@@ -1,0 +1,104 @@
+#include "analysis/subscript.hpp"
+
+#include "support/assert.hpp"
+
+namespace coalesce::analysis {
+namespace {
+
+/// Recursively collect kArrayRead nodes in an expression.
+void collect_reads(const ir::ExprRef& e,
+                   const std::vector<const ir::Loop*>& chain,
+                   std::size_t ordinal, std::vector<ArrayRef>& out) {
+  if (e == nullptr) return;
+  if (e->op == ir::ExprOp::kArrayRead) {
+    ArrayRef ref;
+    ref.array = e->var;
+    ref.kind = RefKind::kRead;
+    ref.enclosing = chain;
+    ref.stmt_ordinal = ordinal;
+    ref.subscripts.reserve(e->kids.size());
+    for (const auto& sub : e->kids) {
+      ref.subscripts.push_back(ir::to_affine(sub));
+      // Subscripts can themselves contain array reads (indirection); those
+      // inner reads are still reads of the inner array.
+      collect_reads(sub, chain, ordinal, out);
+    }
+    out.push_back(std::move(ref));
+    return;
+  }
+  for (const auto& k : e->kids) collect_reads(k, chain, ordinal, out);
+}
+
+void collect_assign_refs(const ir::AssignStmt& assign,
+                         const std::vector<const ir::Loop*>& chain,
+                         std::size_t ordinal, std::vector<ArrayRef>& out) {
+  collect_reads(assign.rhs, chain, ordinal, out);
+  if (const auto* access = std::get_if<ir::ArrayAccess>(&assign.lhs)) {
+    ArrayRef ref;
+    ref.array = access->array;
+    ref.kind = RefKind::kWrite;
+    ref.enclosing = chain;
+    ref.stmt_ordinal = ordinal;
+    ref.subscripts.reserve(access->subscripts.size());
+    for (const auto& sub : access->subscripts) {
+      ref.subscripts.push_back(ir::to_affine(sub));
+      collect_reads(sub, chain, ordinal, out);
+    }
+    out.push_back(std::move(ref));
+  }
+}
+
+void collect_stmt_refs(const ir::Stmt& stmt,
+                       std::vector<const ir::Loop*>& chain,
+                       std::size_t& ordinal, std::vector<ArrayRef>& out) {
+  if (const auto* assign = std::get_if<ir::AssignStmt>(&stmt)) {
+    collect_assign_refs(*assign, chain, ordinal++, out);
+  } else if (const auto* guard = std::get_if<ir::IfPtr>(&stmt)) {
+    collect_reads((*guard)->condition, chain, ordinal++, out);
+    for (const ir::Stmt& s : (*guard)->then_body) {
+      collect_stmt_refs(s, chain, ordinal, out);
+    }
+  } else {
+    const ir::Loop& loop = *std::get<ir::LoopPtr>(stmt);
+    chain.push_back(&loop);
+    // Bound expressions can read arrays too (rare, but sound to include).
+    collect_reads(loop.lower, chain, ordinal, out);
+    collect_reads(loop.upper, chain, ordinal, out);
+    ++ordinal;
+    for (const ir::Stmt& s : loop.body) {
+      collect_stmt_refs(s, chain, ordinal, out);
+    }
+    chain.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<ArrayRef> collect_array_refs(const ir::Loop& root) {
+  std::vector<ArrayRef> out;
+  std::vector<const ir::Loop*> chain;
+  chain.push_back(&root);
+  std::size_t ordinal = 0;
+  for (const ir::Stmt& s : root.body) {
+    collect_stmt_refs(s, chain, ordinal, out);
+  }
+  return out;
+}
+
+std::vector<ArrayRef> collect_array_refs_of_stmt(
+    const ir::Stmt& stmt, const std::vector<const ir::Loop*>& prefix) {
+  std::vector<ArrayRef> out;
+  std::vector<const ir::Loop*> chain = prefix;
+  std::size_t ordinal = 0;
+  collect_stmt_refs(stmt, chain, ordinal, out);
+  return out;
+}
+
+std::optional<ConstBounds> constant_bounds(const ir::Loop& loop) {
+  auto lo = ir::as_constant(loop.lower);
+  auto hi = ir::as_constant(loop.upper);
+  if (!lo || !hi) return std::nullopt;
+  return ConstBounds{*lo, *hi};
+}
+
+}  // namespace coalesce::analysis

@@ -1,0 +1,54 @@
+// Extraction of array references and their affine subscript views.
+//
+// The dependence tests (dependence.hpp) work on pairs of references to the
+// same array whose subscripts are affine in the enclosing induction
+// variables. This header walks assignments and produces that normalized
+// view, flagging anything non-affine so the tests can stay conservative.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ir/stmt.hpp"
+
+namespace coalesce::analysis {
+
+enum class RefKind : std::uint8_t { kRead, kWrite };
+
+/// One array reference inside a nest, with the loop chain that encloses it.
+struct ArrayRef {
+  ir::VarId array;
+  RefKind kind;
+  /// Affine view of each subscript dimension; nullopt when that dimension's
+  /// expression is not affine (division, array read, call...).
+  std::vector<std::optional<ir::AffineForm>> subscripts;
+  /// Enclosing loops, outermost first (same order as NestedAssignment).
+  std::vector<const ir::Loop*> enclosing;
+  /// Index of the owning assignment in collect_assignments() order; used to
+  /// distinguish intra-statement (read & write in the same stmt) pairs.
+  std::size_t stmt_ordinal = 0;
+};
+
+/// All array references in the tree, execution order. Reads include those in
+/// lhs subscripts (a write's subscript expressions read their variables but
+/// we only track *array* reads; scalar reads are handled by the scalar
+/// analysis in doall.hpp).
+[[nodiscard]] std::vector<ArrayRef> collect_array_refs(const ir::Loop& root);
+
+/// References of a single statement, with `prefix` (outermost first)
+/// prepended to every enclosing chain. Used by loop distribution to compare
+/// references from *sibling* statements of one loop body under a shared
+/// chain.
+[[nodiscard]] std::vector<ArrayRef> collect_array_refs_of_stmt(
+    const ir::Stmt& stmt, const std::vector<const ir::Loop*>& prefix);
+
+/// Constant inclusive bounds of a loop when both bounds fold; nullopt
+/// otherwise. The Banerjee bounds test requires these.
+struct ConstBounds {
+  std::int64_t lower;
+  std::int64_t upper;
+};
+[[nodiscard]] std::optional<ConstBounds> constant_bounds(const ir::Loop& loop);
+
+}  // namespace coalesce::analysis

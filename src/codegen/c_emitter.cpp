@@ -1,0 +1,388 @@
+#include "codegen/c_emitter.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::codegen {
+
+using ir::ExprOp;
+using ir::ExprRef;
+using ir::Loop;
+using ir::LoopNest;
+using ir::SymbolTable;
+using ir::VarId;
+
+namespace {
+
+// The runtime preamble every emitted unit carries: exact mathematical
+// floor/ceiling division (C's `/` truncates) and the builtin functions the
+// IR's opaque calls may use.
+constexpr const char* kPreamble = R"(#include <stdint.h>
+#include <stdio.h>
+
+static inline int64_t cg_fdiv(int64_t a, int64_t b) {
+  int64_t q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+static inline int64_t cg_cdiv(int64_t a, int64_t b) {
+  int64_t q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) ++q;
+  return q;
+}
+static inline int64_t cg_mod(int64_t a, int64_t b) {
+  int64_t r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) r += b;
+  return r;
+}
+static inline int64_t cg_min(int64_t a, int64_t b) { return a < b ? a : b; }
+static inline int64_t cg_max(int64_t a, int64_t b) { return a > b ? a : b; }
+static inline double real_div(double a, double b) { return a / b; }
+static inline double avg4(double a, double b, double c, double d) {
+  return (a + b + c + d) / 4.0;
+}
+static inline double pi_height(int64_t strip, int64_t r, int64_t strips,
+                               int64_t ips) {
+  double total = (double)(strips * ips);
+  double g = (double)((strip - 1) * ips + r);
+  double x = (g - 0.5) / total;
+  return (4.0 / (1.0 + x * x)) / total;
+}
+)";
+
+int precedence(ExprOp op) {
+  switch (op) {
+    case ExprOp::kMul:
+      return 5;
+    case ExprOp::kAdd:
+    case ExprOp::kSub:
+      return 4;
+    case ExprOp::kNeg:
+      return 6;
+    case ExprOp::kCmpLt:
+    case ExprOp::kCmpLe:
+    case ExprOp::kCmpGt:
+    case ExprOp::kCmpGe:
+    case ExprOp::kCmpEq:
+    case ExprOp::kCmpNe:
+      return 3;
+    case ExprOp::kAnd:
+      return 2;
+    case ExprOp::kOr:
+      return 1;
+    default:
+      return 100;  // atoms and call-syntax forms never need parens
+  }
+}
+
+const char* c_operator(ExprOp op) {
+  switch (op) {
+    case ExprOp::kCmpLt: return "<";
+    case ExprOp::kCmpLe: return "<=";
+    case ExprOp::kCmpGt: return ">";
+    case ExprOp::kCmpGe: return ">=";
+    case ExprOp::kCmpEq: return "==";
+    case ExprOp::kCmpNe: return "!=";
+    case ExprOp::kAnd: return "&&";
+    case ExprOp::kOr: return "||";
+    default: return "?";
+  }
+}
+
+std::string emit(const ExprRef& e, const SymbolTable& symbols,
+                 int parent_prec) {
+  COALESCE_ASSERT(e != nullptr);
+  const int prec = precedence(e->op);
+  std::string out;
+  switch (e->op) {
+    case ExprOp::kIntConst:
+      out = "INT64_C(" + std::to_string(e->literal) + ")";
+      break;
+    case ExprOp::kVarRef:
+      out = symbols.name(e->var);
+      break;
+    case ExprOp::kAdd:
+      out = emit(e->kids[0], symbols, prec) + " + " +
+            emit(e->kids[1], symbols, prec);
+      break;
+    case ExprOp::kSub:
+      out = emit(e->kids[0], symbols, prec) + " - " +
+            emit(e->kids[1], symbols, prec + 1);
+      break;
+    case ExprOp::kMul:
+      out = emit(e->kids[0], symbols, prec) + " * " +
+            emit(e->kids[1], symbols, prec);
+      break;
+    case ExprOp::kNeg:
+      out = "-" + emit(e->kids[0], symbols, prec);
+      break;
+    case ExprOp::kFloorDiv:
+      out = "cg_fdiv(" + emit(e->kids[0], symbols, 0) + ", " +
+            emit(e->kids[1], symbols, 0) + ")";
+      break;
+    case ExprOp::kCeilDiv:
+      out = "cg_cdiv(" + emit(e->kids[0], symbols, 0) + ", " +
+            emit(e->kids[1], symbols, 0) + ")";
+      break;
+    case ExprOp::kMod:
+      out = "cg_mod(" + emit(e->kids[0], symbols, 0) + ", " +
+            emit(e->kids[1], symbols, 0) + ")";
+      break;
+    case ExprOp::kMin:
+      out = "cg_min(" + emit(e->kids[0], symbols, 0) + ", " +
+            emit(e->kids[1], symbols, 0) + ")";
+      break;
+    case ExprOp::kMax:
+      out = "cg_max(" + emit(e->kids[0], symbols, 0) + ", " +
+            emit(e->kids[1], symbols, 0) + ")";
+      break;
+    case ExprOp::kArrayRead: {
+      out = symbols.name(e->var);
+      for (const auto& sub : e->kids) {
+        out += "[" + emit(sub, symbols, 4) + " - 1]";
+      }
+      break;
+    }
+    case ExprOp::kCall: {
+      std::vector<std::string> args;
+      args.reserve(e->kids.size());
+      for (const auto& arg : e->kids) args.push_back(emit(arg, symbols, 0));
+      out = e->callee + "(" + support::join(args, ", ") + ")";
+      break;
+    }
+    case ExprOp::kCmpLt:
+    case ExprOp::kCmpLe:
+    case ExprOp::kCmpGt:
+    case ExprOp::kCmpGe:
+    case ExprOp::kCmpEq:
+    case ExprOp::kCmpNe:
+    case ExprOp::kAnd:
+    case ExprOp::kOr:
+      out = emit(e->kids[0], symbols, prec + 1) + " " + c_operator(e->op) +
+            " " + emit(e->kids[1], symbols, prec + 1);
+      break;
+  }
+  if (prec < parent_prec) out = "(" + out + ")";
+  return out;
+}
+
+std::string emit_lvalue(const ir::LValue& lhs, const SymbolTable& symbols) {
+  if (const auto* scalar = std::get_if<VarId>(&lhs)) {
+    return symbols.name(*scalar);
+  }
+  const auto& access = std::get<ir::ArrayAccess>(lhs);
+  std::string out = symbols.name(access.array);
+  for (const auto& sub : access.subscripts) {
+    out += "[" + emit(sub, symbols, 4) + " - 1]";
+  }
+  return out;
+}
+
+/// Non-loop variables assigned anywhere in the tree: these become function-
+/// scope int64_t declarations (and OpenMP private clauses).
+void collect_assigned_scalars_body(const std::vector<ir::Stmt>& body,
+                                   std::vector<VarId>& out) {
+  for (const ir::Stmt& s : body) {
+    if (const auto* assign = std::get_if<ir::AssignStmt>(&s)) {
+      if (const auto* scalar = std::get_if<VarId>(&assign->lhs)) {
+        if (std::find(out.begin(), out.end(), *scalar) == out.end())
+          out.push_back(*scalar);
+      }
+    } else if (const auto* guard = std::get_if<ir::IfPtr>(&s)) {
+      collect_assigned_scalars_body((*guard)->then_body, out);
+    } else {
+      collect_assigned_scalars_body(std::get<ir::LoopPtr>(s)->body, out);
+    }
+  }
+}
+
+void collect_assigned_scalars(const Loop& loop, std::vector<VarId>& out) {
+  collect_assigned_scalars_body(loop.body, out);
+}
+
+void emit_stmt(const ir::Stmt& stmt, const SymbolTable& symbols,
+               const EmitOptions& options,
+               const std::vector<VarId>& privates, std::size_t depth,
+               std::string& out, std::size_t suppress_pragma);
+
+void emit_loop(const Loop& loop, const SymbolTable& symbols,
+               const EmitOptions& options,
+               const std::vector<VarId>& privates, std::size_t depth,
+               std::string& out, std::size_t suppress_pragma = 0) {
+  const std::string pad(depth * 2, ' ');
+  const std::string& v = symbols.name(loop.var);
+  std::size_t collapse_levels = 0;
+  if (loop.parallel && suppress_pragma == 0) {
+    if (options.openmp) {
+      out += pad + "#pragma omp parallel for";
+      // A perfect parallel band maps to collapse(k) — the modern form of
+      // the paper's transformation, emitted when the nest still has one.
+      collapse_levels = ir::parallel_band(loop).size();
+      if (collapse_levels > 1) {
+        out += " collapse(" + std::to_string(collapse_levels) + ")";
+      }
+      if (!privates.empty()) {
+        std::vector<std::string> names;
+        names.reserve(privates.size());
+        for (VarId p : privates) names.push_back(symbols.name(p));
+        out += " private(" + support::join(names, ", ") + ")";
+      }
+      out += "\n";
+    } else {
+      out += pad + "/* doall */\n";
+    }
+  }
+  out += pad + "for (int64_t " + v + " = " + emit(loop.lower, symbols, 0) +
+         "; " + v + " <= " + emit(loop.upper, symbols, 0) + "; " + v +
+         " += " + std::to_string(loop.step) + ") {\n";
+  // Loops covered by an emitted collapse(k) clause must not repeat the
+  // pragma; suppress it for the next (k-1) band levels.
+  const std::size_t next_suppress =
+      collapse_levels > 1 ? collapse_levels - 1
+      : suppress_pragma > 0 ? suppress_pragma - 1
+                            : 0;
+  for (const ir::Stmt& s : loop.body) {
+    emit_stmt(s, symbols, options, privates, depth + 1, out, next_suppress);
+  }
+  out += pad + "}\n";
+}
+
+void emit_stmt(const ir::Stmt& stmt, const SymbolTable& symbols,
+               const EmitOptions& options,
+               const std::vector<VarId>& privates, std::size_t depth,
+               std::string& out, std::size_t suppress_pragma = 0) {
+  if (const auto* assign = std::get_if<ir::AssignStmt>(&stmt)) {
+    out += std::string(depth * 2, ' ');
+    out += emit_lvalue(assign->lhs, symbols);
+    out += " = " + emit(assign->rhs, symbols, 0) + ";\n";
+  } else if (const auto* guard = std::get_if<ir::IfPtr>(&stmt)) {
+    const std::string pad(depth * 2, ' ');
+    out += pad + "if (" + emit((*guard)->condition, symbols, 0) + ") {\n";
+    for (const ir::Stmt& s : (*guard)->then_body) {
+      emit_stmt(s, symbols, options, privates, depth + 1, out);
+    }
+    out += pad + "}\n";
+  } else {
+    emit_loop(*std::get<ir::LoopPtr>(stmt), symbols, options, privates, depth,
+              out, suppress_pragma);
+  }
+}
+
+std::string array_dims(const ir::Symbol& sym) {
+  std::string out;
+  for (std::int64_t extent : sym.shape) {
+    out += "[" + std::to_string(extent) + "]";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string emit_expr_c(const ExprRef& expr, const SymbolTable& symbols) {
+  return emit(expr, symbols, 0);
+}
+
+namespace {
+
+/// Preamble + file-scope array definitions; returns the array ids.
+std::vector<VarId> emit_prelude(const SymbolTable& symbols, std::string& out) {
+  out += kPreamble;
+  out += "\n";
+  std::vector<VarId> arrays;
+  for (std::uint32_t raw = 0; raw < symbols.size(); ++raw) {
+    const VarId id{raw};
+    if (symbols.kind(id) == ir::SymbolKind::kArray) {
+      arrays.push_back(id);
+      out += "static double " + symbols.name(id) + array_dims(symbols[id]) +
+             ";\n";
+    }
+  }
+  out += "\n";
+  return arrays;
+}
+
+/// One kernel function wrapping one root loop.
+void emit_kernel(const Loop& root, const SymbolTable& symbols,
+                 const EmitOptions& options, const std::string& name,
+                 std::string& out) {
+  std::vector<VarId> scalars;
+  collect_assigned_scalars(root, scalars);
+  out += "static void " + name + "(void) {\n";
+  for (VarId s : scalars) {
+    out += "  int64_t " + symbols.name(s) + " = 0;\n";
+  }
+  if (!scalars.empty()) out += "\n";
+  emit_loop(root, symbols, options, scalars, 1, out);
+  out += "}\n";
+}
+
+/// main(): deterministic init of every array, run the driver, dump arrays.
+void emit_main(const std::vector<VarId>& arrays, const SymbolTable& symbols,
+               const std::string& driver, std::string& out) {
+  out += "\nint main(void) {\n";
+  for (VarId a : arrays) {
+    const ir::Symbol& sym = symbols[a];
+    std::int64_t total = 1;
+    for (std::int64_t extent : sym.shape) total *= extent;
+    out += support::format(
+        "  { double* p = &%s%s; for (int64_t q = 0; q < %lld; ++q) "
+        "p[q] = (double)((q * 31 + 17) %% 97) / 7.0; }\n",
+        sym.name.c_str(),
+        support::repeat("[0]", sym.shape.size()).c_str(),
+        static_cast<long long>(total));
+  }
+  out += "  " + driver + "();\n";
+  for (VarId a : arrays) {
+    const ir::Symbol& sym = symbols[a];
+    std::int64_t total = 1;
+    for (std::int64_t extent : sym.shape) total *= extent;
+    out += support::format(
+        "  { const double* p = &%s%s; for (int64_t q = 0; q < %lld; ++q) "
+        "printf(\"%%.17g\\n\", p[q]); }\n",
+        sym.name.c_str(),
+        support::repeat("[0]", sym.shape.size()).c_str(),
+        static_cast<long long>(total));
+  }
+  out += "  return 0;\n}\n";
+}
+
+}  // namespace
+
+std::string emit_c(const LoopNest& nest, const EmitOptions& options) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  std::string out;
+  const std::vector<VarId> arrays = emit_prelude(nest.symbols, out);
+  emit_kernel(*nest.root, nest.symbols, options, options.kernel_name, out);
+  if (options.standalone_main) {
+    emit_main(arrays, nest.symbols, options.kernel_name, out);
+  }
+  return out;
+}
+
+std::string emit_c_program(const ir::Program& program,
+                           const EmitOptions& options) {
+  COALESCE_ASSERT(!program.roots.empty());
+  std::string out;
+  const std::vector<VarId> arrays = emit_prelude(program.symbols, out);
+
+  const std::string base = options.kernel_name;
+  for (std::size_t r = 0; r < program.roots.size(); ++r) {
+    COALESCE_ASSERT(program.roots[r] != nullptr);
+    emit_kernel(*program.roots[r], program.symbols, options,
+                base + "_" + std::to_string(r), out);
+    out += "\n";
+  }
+  out += "static void " + base + "(void) {\n";
+  for (std::size_t r = 0; r < program.roots.size(); ++r) {
+    out += "  " + base + "_" + std::to_string(r) + "();\n";
+  }
+  out += "}\n";
+  if (options.standalone_main) {
+    emit_main(arrays, program.symbols, base, out);
+  }
+  return out;
+}
+
+}  // namespace coalesce::codegen

@@ -1,0 +1,41 @@
+// Source-to-source back end: emits a loop nest as a standalone, compilable C
+// translation unit. This is the "compiler transformation" made inspectable —
+// tests compile both the original and the coalesced emission with the host
+// compiler, run them, and diff their output streams.
+#pragma once
+
+#include <string>
+
+#include "ir/stmt.hpp"
+
+namespace coalesce::codegen {
+
+struct EmitOptions {
+  /// Emit `#pragma omp parallel for` (plus private clauses) on DOALL loops.
+  /// Off by default: the default emission is plain sequential C so the
+  /// equivalence tests do not depend on an OpenMP runtime.
+  bool openmp = false;
+  /// Emit a main() that deterministically initializes every array, runs the
+  /// kernel, and prints all array contents (one value per line). Without it
+  /// only the kernel function is emitted.
+  bool standalone_main = true;
+  /// Name of the emitted kernel function.
+  const char* kernel_name = "kernel";
+};
+
+/// Emits the complete C source for the nest.
+[[nodiscard]] std::string emit_c(const ir::LoopNest& nest,
+                                 const EmitOptions& options = {});
+
+/// Emits a multi-root program (the output of loop distribution): one
+/// function per root, named `<kernel_name>_0`, `<kernel_name>_1`, ..., plus
+/// a `<kernel_name>` driver calling them in order; standalone_main wraps
+/// the driver exactly as emit_c does.
+[[nodiscard]] std::string emit_c_program(const ir::Program& program,
+                                         const EmitOptions& options = {});
+
+/// Emits just one expression as C (used by tests and the E7 report).
+[[nodiscard]] std::string emit_expr_c(const ir::ExprRef& expr,
+                                      const ir::SymbolTable& symbols);
+
+}  // namespace coalesce::codegen

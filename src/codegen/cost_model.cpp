@@ -1,0 +1,96 @@
+#include "codegen/cost_model.hpp"
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::codegen {
+
+OpCounts& OpCounts::operator+=(const OpCounts& other) noexcept {
+  adds += other.adds;
+  muls += other.muls;
+  divisions += other.divisions;
+  minmax += other.minmax;
+  memory += other.memory;
+  calls += other.calls;
+  assigns += other.assigns;
+  return *this;
+}
+
+std::string OpCounts::summary() const {
+  return support::format(
+      "adds=%llu muls=%llu divs=%llu minmax=%llu mem=%llu calls=%llu "
+      "assigns=%llu total=%llu",
+      static_cast<unsigned long long>(adds),
+      static_cast<unsigned long long>(muls),
+      static_cast<unsigned long long>(divisions),
+      static_cast<unsigned long long>(minmax),
+      static_cast<unsigned long long>(memory),
+      static_cast<unsigned long long>(calls),
+      static_cast<unsigned long long>(assigns),
+      static_cast<unsigned long long>(total()));
+}
+
+OpCounts count_ops(const ir::ExprRef& expr) {
+  COALESCE_ASSERT(expr != nullptr);
+  OpCounts c;
+  switch (expr->op) {
+    case ir::ExprOp::kAdd:
+    case ir::ExprOp::kSub:
+    case ir::ExprOp::kNeg:
+      c.adds += 1;
+      break;
+    case ir::ExprOp::kMul:
+      c.muls += 1;
+      break;
+    case ir::ExprOp::kFloorDiv:
+    case ir::ExprOp::kCeilDiv:
+    case ir::ExprOp::kMod:
+      c.divisions += 1;
+      break;
+    case ir::ExprOp::kMin:
+    case ir::ExprOp::kMax:
+      c.minmax += 1;
+      break;
+    case ir::ExprOp::kArrayRead:
+      c.memory += 1;
+      break;
+    case ir::ExprOp::kCall:
+      c.calls += 1;
+      break;
+    case ir::ExprOp::kIntConst:
+    case ir::ExprOp::kVarRef:
+      break;
+  }
+  for (const auto& k : expr->kids) c += count_ops(k);
+  return c;
+}
+
+namespace {
+
+/// Guarded statements count in full (an upper bound on the dynamic cost);
+/// nested loops do not — their iterations are not "this body".
+void count_body(const std::vector<ir::Stmt>& body, OpCounts& c) {
+  for (const ir::Stmt& s : body) {
+    if (const auto* assign = std::get_if<ir::AssignStmt>(&s)) {
+      c.assigns += 1;
+      c += count_ops(assign->rhs);
+      if (const auto* access = std::get_if<ir::ArrayAccess>(&assign->lhs)) {
+        c.memory += 1;  // the store
+        for (const auto& sub : access->subscripts) c += count_ops(sub);
+      }
+    } else if (const auto* guard = std::get_if<ir::IfPtr>(&s)) {
+      c += count_ops((*guard)->condition);
+      count_body((*guard)->then_body, c);
+    }
+  }
+}
+
+}  // namespace
+
+OpCounts count_body_ops(const ir::Loop& loop) {
+  OpCounts c;
+  count_body(loop.body, c);
+  return c;
+}
+
+}  // namespace coalesce::codegen

@@ -1,0 +1,38 @@
+// Static operation counting for emitted code — the reproduction's analogue
+// of the paper era's "number of instructions" accounting. Experiment E7
+// reports these counts for the two index-recovery styles next to measured
+// per-iteration times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/stmt.hpp"
+
+namespace coalesce::codegen {
+
+struct OpCounts {
+  std::uint64_t adds = 0;      ///< add/sub/neg
+  std::uint64_t muls = 0;
+  std::uint64_t divisions = 0; ///< floor-div, ceil-div, mod
+  std::uint64_t minmax = 0;
+  std::uint64_t memory = 0;    ///< array element reads + writes
+  std::uint64_t calls = 0;
+  std::uint64_t assigns = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return adds + muls + divisions + minmax + memory + calls + assigns;
+  }
+  OpCounts& operator+=(const OpCounts& other) noexcept;
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Ops performed by evaluating this expression once.
+[[nodiscard]] OpCounts count_ops(const ir::ExprRef& expr);
+
+/// Ops performed by one execution of the loop's *own body statements*,
+/// excluding iterations of nested loops (their headers count as nothing;
+/// use transform::compute_stats for whole-nest dynamic counts).
+[[nodiscard]] OpCounts count_body_ops(const ir::Loop& loop);
+
+}  // namespace coalesce::codegen

@@ -1,0 +1,104 @@
+#include "core/api.hpp"
+
+#include <cmath>
+
+#include "analysis/doall.hpp"
+#include "ir/eval.hpp"
+#include "ir/printer.hpp"
+#include "support/assert.hpp"
+
+namespace coalesce::core {
+
+const char* version() noexcept { return "1.0.0"; }
+
+namespace {
+
+/// Deterministic array initialization shared with the codegen main():
+/// element q of every array gets ((q*31 + 17) mod 97) / 7.0.
+void seed_arrays(ir::Evaluator& eval, const ir::SymbolTable& symbols) {
+  for (std::uint32_t raw = 0; raw < symbols.size(); ++raw) {
+    const ir::VarId id{raw};
+    if (symbols.kind(id) != ir::SymbolKind::kArray) continue;
+    auto data = eval.store().data(id);
+    for (std::size_t q = 0; q < data.size(); ++q) {
+      data[q] = static_cast<double>((q * 31 + 17) % 97) / 7.0;
+    }
+  }
+}
+
+bool bits_equal(double a, double b) {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+}  // namespace
+
+namespace {
+
+/// Runs nest `a` and the given roots over `b_symbols`, then compares all
+/// arrays of `a` against same-named arrays of the other universe.
+bool equivalent_impl(const ir::LoopNest& a, const ir::SymbolTable& b_symbols,
+                     const std::vector<ir::LoopPtr>& b_roots) {
+  ir::Evaluator eval_a(a.symbols);
+  ir::Evaluator eval_b(b_symbols);
+  seed_arrays(eval_a, a.symbols);
+  seed_arrays(eval_b, b_symbols);
+  eval_a.run(*a.root);
+  for (const ir::LoopPtr& root : b_roots) {
+    COALESCE_ASSERT(root != nullptr);
+    eval_b.run(*root);
+  }
+
+  // Compare array-by-array, matched by name (tables may differ in scalars).
+  for (std::uint32_t raw = 0; raw < a.symbols.size(); ++raw) {
+    const ir::VarId id_a{raw};
+    if (a.symbols.kind(id_a) != ir::SymbolKind::kArray) continue;
+    const auto id_b = b_symbols.lookup(a.symbols.name(id_a));
+    if (!id_b.has_value() ||
+        b_symbols.kind(*id_b) != ir::SymbolKind::kArray) {
+      return false;
+    }
+    const auto da = eval_a.store().data(id_a);
+    const auto db = eval_b.store().data(*id_b);
+    if (da.size() != db.size()) return false;
+    for (std::size_t q = 0; q < da.size(); ++q) {
+      if (!bits_equal(da[q], db[q])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool equivalent_by_execution(const ir::LoopNest& a, const ir::LoopNest& b) {
+  return equivalent_impl(a, b.symbols, {b.root});
+}
+
+bool equivalent_by_execution(const ir::LoopNest& a, const ir::Program& b) {
+  return equivalent_impl(a, b.symbols, b.roots);
+}
+
+support::Expected<PipelineResult> analyze_coalesce_verify(
+    const ir::LoopNest& nest, const transform::CoalesceOptions& options) {
+  COALESCE_ASSERT(nest.root != nullptr);
+
+  // Work on a marked copy; the caller's nest is untouched.
+  ir::LoopNest marked{nest.symbols, ir::clone(*nest.root)};
+  analysis::analyze_and_mark(marked);
+
+  auto coalesced = transform::coalesce_nest(marked, options);
+  if (!coalesced.ok()) return coalesced.error();
+
+  PipelineResult result{std::move(coalesced).value(),
+                        ir::to_string(marked), std::string{}, false};
+  result.coalesced_source = ir::to_string(result.coalesced.nest);
+  result.verified = equivalent_by_execution(marked, result.coalesced.nest);
+  if (!result.verified) {
+    return support::make_error(
+        support::ErrorCode::kIllegalTransform,
+        "coalesced nest diverged from the original under interpretation "
+        "(library bug — please report)");
+  }
+  return result;
+}
+
+}  // namespace coalesce::core

@@ -1,0 +1,44 @@
+// High-level one-call drivers built on the module APIs: the operations every
+// example and experiment performs, packaged so downstream users get the
+// analyze -> transform -> verify pipeline in one call.
+#pragma once
+
+#include <string>
+
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+#include "transform/coalesce.hpp"
+
+namespace coalesce::core {
+
+/// Library version string.
+[[nodiscard]] const char* version() noexcept;
+
+/// The full pipeline: prove DOALL flags on a copy of the nest, coalesce the
+/// root band, and verify semantic equivalence by interpreting both versions
+/// on identically initialized arrays (bit-exact comparison). Fails when
+/// analysis finds no band, the transform is illegal, or — which would be a
+/// library bug — the verification mismatches.
+struct PipelineResult {
+  transform::CoalesceResult coalesced;
+  std::string original_source;   ///< pretty-printed input (after marking)
+  std::string coalesced_source;  ///< pretty-printed output
+  bool verified = false;         ///< interpreter equivalence check passed
+};
+[[nodiscard]] support::Expected<PipelineResult> analyze_coalesce_verify(
+    const ir::LoopNest& nest,
+    const transform::CoalesceOptions& options = {});
+
+/// Interpreter-level equivalence of two nests over the same symbol universe:
+/// runs both on deterministically initialized arrays and compares all array
+/// contents bit-exactly. The nests may have different symbol tables as long
+/// as array names and shapes agree (the transformed nest adds scalars).
+[[nodiscard]] bool equivalent_by_execution(const ir::LoopNest& a,
+                                           const ir::LoopNest& b);
+
+/// Same check against a multi-root program (the shape loop distribution
+/// produces): the program's roots run in order through one interpreter.
+[[nodiscard]] bool equivalent_by_execution(const ir::LoopNest& a,
+                                           const ir::Program& b);
+
+}  // namespace coalesce::core

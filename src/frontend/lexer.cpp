@@ -1,0 +1,185 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+
+#include "support/strings.hpp"
+
+namespace coalesce::frontend {
+
+const char* to_string(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+support::Expected<std::vector<Token>> tokenize(std::string_view source) {
+  std::vector<Token> out;
+  int line = 1;
+  int column = 1;
+  std::size_t pos = 0;
+
+  auto error = [&](const std::string& what) {
+    return support::make_error(
+        support::ErrorCode::kInvalidArgument,
+        support::format("%d:%d: %s", line, column, what.c_str()));
+  };
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && pos < source.size(); ++k) {
+      if (source[pos] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++pos;
+    }
+  };
+  auto peek = [&](std::size_t ahead = 0) -> char {
+    return pos + ahead < source.size() ? source[pos + ahead] : '\0';
+  };
+  auto push = [&](TokenKind kind, std::string text = {}) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = column;
+    out.push_back(std::move(t));
+  };
+
+  while (pos < source.size()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (pos < source.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      const int tl = line, tc = column;
+      while (pos < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_')) {
+        text += peek();
+        advance();
+      }
+      Token t;
+      t.kind = TokenKind::kIdentifier;
+      t.text = std::move(text);
+      t.line = tl;
+      t.column = tc;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      const int tl = line, tc = column;
+      while (pos < source.size() &&
+             std::isdigit(static_cast<unsigned char>(peek()))) {
+        text += peek();
+        advance();
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      errno = 0;
+      t.number = std::strtoll(text.c_str(), nullptr, 10);
+      t.text = std::move(text);
+      t.line = tl;
+      t.column = tc;
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '+': push(TokenKind::kPlus); advance(); break;
+      case '-': push(TokenKind::kMinus); advance(); break;
+      case '*': push(TokenKind::kStar); advance(); break;
+      case '(': push(TokenKind::kLParen); advance(); break;
+      case ')': push(TokenKind::kRParen); advance(); break;
+      case '{': push(TokenKind::kLBrace); advance(); break;
+      case '}': push(TokenKind::kRBrace); advance(); break;
+      case '[': push(TokenKind::kLBracket); advance(); break;
+      case ']': push(TokenKind::kRBracket); advance(); break;
+      case ',': push(TokenKind::kComma); advance(); break;
+      case ';': push(TokenKind::kSemicolon); advance(); break;
+      case '=':
+        if (peek(1) == '=') {
+          push(TokenKind::kEq);
+          advance(2);
+        } else {
+          push(TokenKind::kAssign);
+          advance();
+        }
+        break;
+      case '<':
+        if (peek(1) == '=') {
+          push(TokenKind::kLe);
+          advance(2);
+        } else {
+          push(TokenKind::kLt);
+          advance();
+        }
+        break;
+      case '>':
+        if (peek(1) == '=') {
+          push(TokenKind::kGe);
+          advance(2);
+        } else {
+          push(TokenKind::kGt);
+          advance();
+        }
+        break;
+      case '!':
+        if (peek(1) == '=') {
+          push(TokenKind::kNe);
+          advance(2);
+          break;
+        }
+        return error("unexpected '!'");
+      case '&':
+        if (peek(1) == '&') {
+          push(TokenKind::kAndAnd);
+          advance(2);
+          break;
+        }
+        return error("unexpected '&'");
+      case '|':
+        if (peek(1) == '|') {
+          push(TokenKind::kOrOr);
+          advance(2);
+          break;
+        }
+        return error("unexpected '|'");
+      default:
+        return error(support::format("unexpected character '%c'", c));
+    }
+  }
+  push(TokenKind::kEnd);
+  return out;
+}
+
+}  // namespace coalesce::frontend

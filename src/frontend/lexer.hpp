@@ -1,0 +1,55 @@
+// Lexer for the textual loop language.
+//
+// The language is exactly what ir/printer.hpp emits, plus declarations:
+//
+//   array A[10][20];
+//   scalar t;
+//   doall i = 1, 10 {
+//     do k = 1, 20, 2 {
+//       A[i][k] = fdiv(A[i][k] + 1, 2);
+//       if (k <= i && i != 3) { t = k; }
+//     }
+//   }
+//
+// so every printed program parses back (round-trip property tests rely on
+// this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace coalesce::frontend {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,  ///< names and keywords (keywords resolved by the parser)
+  kNumber,      ///< integer literal
+  kPlus, kMinus, kStar,
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemicolon,
+  kAssign,      ///< '='
+  kLt, kLe, kGt, kGe, kEq, kNe,  ///< '<' '<=' '>' '>=' '==' '!='
+  kAndAnd, kOrOr,
+  kEnd,         ///< end of input
+};
+
+[[nodiscard]] const char* to_string(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        ///< identifier name or number literal
+  std::int64_t number = 0; ///< value for kNumber
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes the whole input. Fails on unknown characters or malformed
+/// numbers, with line/column in the message. `//` comments run to the end
+/// of the line.
+[[nodiscard]] support::Expected<std::vector<Token>> tokenize(
+    std::string_view source);
+
+}  // namespace coalesce::frontend

@@ -1,0 +1,443 @@
+#include "frontend/parser.hpp"
+
+#include <algorithm>
+
+#include "frontend/lexer.hpp"
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::frontend {
+
+using ir::ExprRef;
+using ir::VarId;
+using support::Error;
+using support::Expected;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Expected<ir::Program> parse() {
+    ir::Program program;
+    symbols_ = &program.symbols;
+
+    while (true) {
+      if (at_keyword("array") || at_keyword("scalar") || at_keyword("param")) {
+        if (auto err = parse_decl()) return *err;
+        continue;
+      }
+      break;
+    }
+    while (at_keyword("doall") || at_keyword("do")) {
+      auto loop = parse_loop();
+      if (!loop.ok()) return loop.error();
+      program.roots.push_back(std::move(loop).value());
+    }
+    if (program.roots.empty()) {
+      return fail("expected at least one loop");
+    }
+    if (peek().kind != TokenKind::kEnd) {
+      return fail(support::format("unexpected %s after the last loop",
+                                  to_string(peek().kind)));
+    }
+    return program;
+  }
+
+ private:
+  // ---- token plumbing ------------------------------------------------------
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+  bool at_keyword(std::string_view word) const {
+    return peek().kind == TokenKind::kIdentifier && peek().text == word;
+  }
+  bool consume(TokenKind kind) {
+    if (!at(kind)) return false;
+    advance();
+    return true;
+  }
+
+  Error fail(const std::string& what) const {
+    return support::make_error(
+        support::ErrorCode::kInvalidArgument,
+        support::format("%d:%d: %s", peek().line, peek().column,
+                        what.c_str()));
+  }
+  std::optional<Error> expect(TokenKind kind) {
+    if (consume(kind)) return std::nullopt;
+    return fail(support::format("expected %s, found %s", to_string(kind),
+                                to_string(peek().kind)));
+  }
+
+  // ---- declarations --------------------------------------------------------
+
+  std::optional<Error> parse_decl() {
+    const std::string kind_word = advance().text;  // array | scalar | param
+    if (!at(TokenKind::kIdentifier)) {
+      return fail("expected a name in declaration");
+    }
+    const std::string name = advance().text;
+    if (symbols_->lookup(name).has_value()) {
+      return fail(support::format("'%s' already declared", name.c_str()));
+    }
+    if (kind_word == "array") {
+      std::vector<std::int64_t> shape;
+      while (consume(TokenKind::kLBracket)) {
+        if (!at(TokenKind::kNumber)) {
+          return fail("array extents must be integer literals");
+        }
+        shape.push_back(advance().number);
+        if (auto err = expect(TokenKind::kRBracket)) return err;
+      }
+      if (shape.empty()) return fail("array needs at least one extent");
+      symbols_->declare(name, ir::SymbolKind::kArray, std::move(shape));
+    } else if (kind_word == "scalar") {
+      symbols_->declare(name, ir::SymbolKind::kScalar);
+    } else {
+      symbols_->declare(name, ir::SymbolKind::kParam);
+    }
+    return expect(TokenKind::kSemicolon);
+  }
+
+  // ---- loops and statements ------------------------------------------------
+
+  Expected<ir::LoopPtr> parse_loop() {
+    const bool parallel = peek().text == "doall";
+    advance();  // doall | do
+    if (!at(TokenKind::kIdentifier)) {
+      return fail("expected induction variable name");
+    }
+    const std::string name = advance().text;
+
+    VarId var;
+    if (auto existing = symbols_->lookup(name)) {
+      if (symbols_->kind(*existing) != ir::SymbolKind::kInduction) {
+        return fail(support::format(
+            "'%s' is already declared as a non-loop symbol", name.c_str()));
+      }
+      if (std::find(live_.begin(), live_.end(), *existing) != live_.end()) {
+        return fail(support::format("loop variable '%s' shadows an enclosing "
+                                    "loop's variable",
+                                    name.c_str()));
+      }
+      var = *existing;  // sequentially reused induction name: same symbol
+    } else {
+      var = symbols_->declare(name, ir::SymbolKind::kInduction);
+    }
+
+    if (auto err = expect(TokenKind::kAssign)) return *err;
+    auto lower = parse_expr();
+    if (!lower.ok()) return lower.error();
+    if (auto err = expect(TokenKind::kComma)) return *err;
+    auto upper = parse_expr();
+    if (!upper.ok()) return upper.error();
+    std::int64_t step = 1;
+    if (consume(TokenKind::kComma)) {
+      if (!at(TokenKind::kNumber)) return fail("step must be a literal");
+      step = advance().number;
+      if (step < 1) return fail("step must be positive");
+    }
+
+    auto loop = std::make_shared<ir::Loop>();
+    loop->var = var;
+    loop->lower = std::move(lower).value();
+    loop->upper = std::move(upper).value();
+    loop->step = step;
+    loop->parallel = parallel;
+
+    live_.push_back(var);
+    auto body = parse_block();
+    live_.pop_back();
+    if (!body.ok()) return body.error();
+    loop->body = std::move(body).value();
+    return loop;
+  }
+
+  Expected<std::vector<ir::Stmt>> parse_block() {
+    if (auto err = expect(TokenKind::kLBrace)) return *err;
+    std::vector<ir::Stmt> body;
+    while (!at(TokenKind::kRBrace)) {
+      if (at(TokenKind::kEnd)) return fail("unterminated block");
+      auto stmt = parse_stmt();
+      if (!stmt.ok()) return stmt.error();
+      body.push_back(std::move(stmt).value());
+    }
+    advance();  // }
+    return body;
+  }
+
+  Expected<ir::Stmt> parse_stmt() {
+    if (at_keyword("doall") || at_keyword("do")) {
+      auto loop = parse_loop();
+      if (!loop.ok()) return loop.error();
+      return ir::Stmt{std::move(loop).value()};
+    }
+    if (at_keyword("if")) {
+      advance();
+      if (auto err = expect(TokenKind::kLParen)) return *err;
+      auto condition = parse_expr();
+      if (!condition.ok()) return condition.error();
+      if (auto err = expect(TokenKind::kRParen)) return *err;
+      auto body = parse_block();
+      if (!body.ok()) return body.error();
+      auto guard = std::make_shared<ir::IfStmt>();
+      guard->condition = std::move(condition).value();
+      guard->then_body = std::move(body).value();
+      return ir::Stmt{std::move(guard)};
+    }
+    // Assignment.
+    if (!at(TokenKind::kIdentifier)) {
+      return fail("expected a statement");
+    }
+    const std::string name = advance().text;
+    auto target = symbols_->lookup(name);
+    if (!target.has_value()) {
+      // Plain-name assignment implicitly declares the target: the printed
+      // form of coalesced code assigns recovered index variables that have
+      // no declaration syntax. They are declared kInduction (matching what
+      // the transform produces), so re-printing is exact. Subscripted
+      // targets must still be declared.
+      if (at(TokenKind::kAssign)) {
+        target = symbols_->declare(name, ir::SymbolKind::kInduction);
+      } else {
+        return fail(support::format("assignment to undeclared '%s'",
+                                    name.c_str()));
+      }
+    }
+    ir::LValue lhs;
+    if (symbols_->kind(*target) == ir::SymbolKind::kArray) {
+      std::vector<ExprRef> subs;
+      while (consume(TokenKind::kLBracket)) {
+        auto sub = parse_expr();
+        if (!sub.ok()) return sub.error();
+        subs.push_back(std::move(sub).value());
+        if (auto err = expect(TokenKind::kRBracket)) return *err;
+      }
+      if (subs.empty()) return fail("array assignment needs subscripts");
+      lhs = ir::ArrayAccess{*target, std::move(subs)};
+    } else {
+      lhs = *target;
+    }
+    if (auto err = expect(TokenKind::kAssign)) return *err;
+    auto rhs = parse_expr();
+    if (!rhs.ok()) return rhs.error();
+    if (auto err = expect(TokenKind::kSemicolon)) return *err;
+    return ir::Stmt{ir::AssignStmt{std::move(lhs), std::move(rhs).value()}};
+  }
+
+  // ---- expressions -----------------------------------------------------------
+
+  Expected<ExprRef> parse_expr() { return parse_or(); }
+
+  Expected<ExprRef> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.ok()) return lhs;
+    while (consume(TokenKind::kOrOr)) {
+      auto rhs = parse_and();
+      if (!rhs.ok()) return rhs;
+      lhs = ir::logical_or(std::move(lhs).value(), std::move(rhs).value());
+    }
+    return lhs;
+  }
+
+  Expected<ExprRef> parse_and() {
+    auto lhs = parse_cmp();
+    if (!lhs.ok()) return lhs;
+    while (consume(TokenKind::kAndAnd)) {
+      auto rhs = parse_cmp();
+      if (!rhs.ok()) return rhs;
+      lhs = ir::logical_and(std::move(lhs).value(), std::move(rhs).value());
+    }
+    return lhs;
+  }
+
+  Expected<ExprRef> parse_cmp() {
+    auto lhs = parse_add();
+    if (!lhs.ok()) return lhs;
+    const TokenKind kind = peek().kind;
+    switch (kind) {
+      case TokenKind::kLt:
+      case TokenKind::kLe:
+      case TokenKind::kGt:
+      case TokenKind::kGe:
+      case TokenKind::kEq:
+      case TokenKind::kNe:
+        break;
+      default:
+        return lhs;
+    }
+    advance();
+    auto rhs = parse_add();
+    if (!rhs.ok()) return rhs;
+    ExprRef a = std::move(lhs).value();
+    ExprRef b = std::move(rhs).value();
+    switch (kind) {
+      case TokenKind::kLt: return ir::cmp_lt(std::move(a), std::move(b));
+      case TokenKind::kLe: return ir::cmp_le(std::move(a), std::move(b));
+      case TokenKind::kGt: return ir::cmp_gt(std::move(a), std::move(b));
+      case TokenKind::kGe: return ir::cmp_ge(std::move(a), std::move(b));
+      case TokenKind::kEq: return ir::cmp_eq(std::move(a), std::move(b));
+      default: return ir::cmp_ne(std::move(a), std::move(b));
+    }
+  }
+
+  Expected<ExprRef> parse_add() {
+    auto lhs = parse_mul();
+    if (!lhs.ok()) return lhs;
+    while (at(TokenKind::kPlus) || at(TokenKind::kMinus)) {
+      const bool plus = advance().kind == TokenKind::kPlus;
+      auto rhs = parse_mul();
+      if (!rhs.ok()) return rhs;
+      lhs = plus ? ir::add(std::move(lhs).value(), std::move(rhs).value())
+                 : ir::sub(std::move(lhs).value(), std::move(rhs).value());
+    }
+    return lhs;
+  }
+
+  Expected<ExprRef> parse_mul() {
+    auto lhs = parse_unary();
+    if (!lhs.ok()) return lhs;
+    while (consume(TokenKind::kStar)) {
+      auto rhs = parse_unary();
+      if (!rhs.ok()) return rhs;
+      lhs = ir::mul(std::move(lhs).value(), std::move(rhs).value());
+    }
+    return lhs;
+  }
+
+  Expected<ExprRef> parse_unary() {
+    if (consume(TokenKind::kMinus)) {
+      auto inner = parse_unary();
+      if (!inner.ok()) return inner;
+      return ir::simplify(ir::neg(std::move(inner).value()));
+    }
+    return parse_primary();
+  }
+
+  Expected<ExprRef> parse_primary() {
+    if (at(TokenKind::kNumber)) {
+      return ir::int_const(advance().number);
+    }
+    if (consume(TokenKind::kLParen)) {
+      auto inner = parse_expr();
+      if (!inner.ok()) return inner;
+      if (auto err = expect(TokenKind::kRParen)) return *err;
+      return inner;
+    }
+    if (!at(TokenKind::kIdentifier)) {
+      return fail(support::format("expected an expression, found %s",
+                                  to_string(peek().kind)));
+    }
+    const std::string name = advance().text;
+
+    if (at(TokenKind::kLParen)) {
+      // Intrinsic or opaque call.
+      advance();
+      std::vector<ExprRef> args;
+      if (!at(TokenKind::kRParen)) {
+        while (true) {
+          auto arg = parse_expr();
+          if (!arg.ok()) return arg.error();
+          args.push_back(std::move(arg).value());
+          if (!consume(TokenKind::kComma)) break;
+        }
+      }
+      if (auto err = expect(TokenKind::kRParen)) return *err;
+      auto binary = [&](auto&& make) -> Expected<ExprRef> {
+        if (args.size() != 2) {
+          return fail(support::format("%s takes two arguments",
+                                      name.c_str()));
+        }
+        return make(std::move(args[0]), std::move(args[1]));
+      };
+      if (name == "fdiv") return binary([](ExprRef a, ExprRef b) { return ir::floor_div(std::move(a), std::move(b)); });
+      if (name == "cdiv") return binary([](ExprRef a, ExprRef b) { return ir::ceil_div(std::move(a), std::move(b)); });
+      if (name == "mod") return binary([](ExprRef a, ExprRef b) { return ir::mod(std::move(a), std::move(b)); });
+      if (name == "min") return binary([](ExprRef a, ExprRef b) { return ir::min_expr(std::move(a), std::move(b)); });
+      if (name == "max") return binary([](ExprRef a, ExprRef b) { return ir::max_expr(std::move(a), std::move(b)); });
+      return ir::call(name, std::move(args));
+    }
+
+    const auto id = symbols_->lookup(name);
+    if (!id.has_value()) {
+      return fail(support::format("use of undeclared '%s'", name.c_str()));
+    }
+    if (symbols_->kind(*id) == ir::SymbolKind::kArray) {
+      std::vector<ExprRef> subs;
+      while (consume(TokenKind::kLBracket)) {
+        auto sub = parse_expr();
+        if (!sub.ok()) return sub.error();
+        subs.push_back(std::move(sub).value());
+        if (auto err = expect(TokenKind::kRBracket)) return *err;
+      }
+      if (subs.empty()) {
+        return fail(support::format("array '%s' used without subscripts",
+                                    name.c_str()));
+      }
+      return ir::array_read(*id, std::move(subs));
+    }
+    return ir::var_ref(*id);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  ir::SymbolTable* symbols_ = nullptr;
+  std::vector<VarId> live_;  ///< induction vars of enclosing loops
+};
+
+}  // namespace
+
+Expected<ir::Program> parse_program(std::string_view source) {
+  auto tokens = tokenize(source);
+  if (!tokens.ok()) return tokens.error();
+  Parser parser(std::move(tokens).value());
+  return parser.parse();
+}
+
+Expected<ir::LoopNest> parse_nest(std::string_view source) {
+  auto program = parse_program(source);
+  if (!program.ok()) return program.error();
+  if (program.value().roots.size() != 1) {
+    return support::make_error(
+        support::ErrorCode::kInvalidArgument,
+        support::format("expected exactly one top-level loop, found %zu",
+                        program.value().roots.size()));
+  }
+  return ir::LoopNest{std::move(program.value().symbols),
+                      std::move(program.value().roots.front())};
+}
+
+std::string declarations_to_string(const ir::SymbolTable& symbols) {
+  std::string out;
+  for (std::uint32_t raw = 0; raw < symbols.size(); ++raw) {
+    const ir::VarId id{raw};
+    const ir::Symbol& sym = symbols[id];
+    switch (sym.kind) {
+      case ir::SymbolKind::kArray: {
+        out += "array " + sym.name;
+        for (std::int64_t extent : sym.shape) {
+          out += "[" + std::to_string(extent) + "]";
+        }
+        out += ";\n";
+        break;
+      }
+      case ir::SymbolKind::kScalar:
+        out += "scalar " + sym.name + ";\n";
+        break;
+      case ir::SymbolKind::kParam:
+        out += "param " + sym.name + ";\n";
+        break;
+      case ir::SymbolKind::kInduction:
+        break;  // declared by loops
+    }
+  }
+  return out;
+}
+
+}  // namespace coalesce::frontend

@@ -1,0 +1,38 @@
+// Recursive-descent parser for the textual loop language (see lexer.hpp for
+// the grammar's surface). Produces an ir::Program; the printer's output
+// parses back exactly (modulo constant folding), which the round-trip tests
+// assert.
+//
+// Grammar:
+//
+//   program    := decl* loop+
+//   decl       := ("array" ident ("[" number "]")+ | "scalar" ident
+//                 | "param" ident) ";"
+//   loop       := ("doall" | "do") ident "=" expr "," expr ("," number)?
+//                 "{" stmt* "}"
+//   stmt       := loop | "if" "(" expr ")" "{" stmt* "}" | lvalue "=" expr ";"
+//   expr       := or-expr with C-like precedence; fdiv/cdiv/mod/min/max are
+//                 call-syntax intrinsics; other calls are opaque builtins.
+#pragma once
+
+#include <string_view>
+
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::frontend {
+
+/// Parses a whole program (declarations + one or more top-level loops).
+[[nodiscard]] support::Expected<ir::Program> parse_program(
+    std::string_view source);
+
+/// Convenience: parses a program that must have exactly one top-level loop.
+[[nodiscard]] support::Expected<ir::LoopNest> parse_nest(
+    std::string_view source);
+
+/// Renders the declarations of a symbol table in the language's syntax
+/// (arrays, scalars, params; induction variables are declared by loops).
+/// `declarations_to_string(s) + to_string(nest)` re-parses to the program.
+[[nodiscard]] std::string declarations_to_string(const ir::SymbolTable& symbols);
+
+}  // namespace coalesce::frontend

@@ -1,0 +1,126 @@
+#include "index/chunk.hpp"
+
+#include "support/assert.hpp"
+#include "support/int_math.hpp"
+
+namespace coalesce::index {
+
+void for_each_in_chunk(const CoalescedSpace& space, Chunk chunk,
+                       const std::function<void(std::span<const i64>)>& body) {
+  if (chunk.empty()) return;
+  COALESCE_ASSERT(chunk.first >= 1 && chunk.last <= space.total() + 1);
+  IncrementalDecoder decoder(space, chunk.first);
+  while (true) {
+    body(decoder.original());
+    if (decoder.position() + 1 >= chunk.last) break;
+    decoder.advance();
+  }
+}
+
+std::vector<Chunk> static_blocks(i64 total, i64 parts) {
+  COALESCE_ASSERT(total >= 0);
+  COALESCE_ASSERT(parts >= 1);
+  std::vector<Chunk> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  const i64 base = total / parts;
+  const i64 extra = total % parts;
+  i64 next = 1;
+  for (i64 p = 0; p < parts; ++p) {
+    const i64 size = base + (p < extra ? 1 : 0);
+    out.push_back(Chunk{next, next + size});
+    next += size;
+  }
+  COALESCE_ASSERT(next == total + 1);
+  return out;
+}
+
+std::vector<std::vector<i64>> static_cyclic(i64 total, i64 parts) {
+  COALESCE_ASSERT(total >= 0);
+  COALESCE_ASSERT(parts >= 1);
+  std::vector<std::vector<i64>> out(static_cast<std::size_t>(parts));
+  for (i64 j = 1; j <= total; ++j) {
+    out[static_cast<std::size_t>((j - 1) % parts)].push_back(j);
+  }
+  return out;
+}
+
+i64 UnitPolicy::next_chunk(i64 remaining) {
+  COALESCE_ASSERT(remaining > 0);
+  return 1;
+}
+
+FixedChunkPolicy::FixedChunkPolicy(i64 k) : k_(k) {
+  COALESCE_ASSERT(k >= 1);
+}
+
+i64 FixedChunkPolicy::next_chunk(i64 remaining) {
+  COALESCE_ASSERT(remaining > 0);
+  return std::min(k_, remaining);
+}
+
+GuidedPolicy::GuidedPolicy(i64 processors, i64 min_chunk)
+    : processors_(processors), min_chunk_(min_chunk) {
+  COALESCE_ASSERT(processors >= 1);
+  COALESCE_ASSERT(min_chunk >= 1);
+}
+
+i64 GuidedPolicy::next_chunk(i64 remaining) {
+  COALESCE_ASSERT(remaining > 0);
+  const i64 guided = support::ceil_div(remaining, processors_);
+  return std::min(remaining, std::max(guided, min_chunk_));
+}
+
+FactoringPolicy::FactoringPolicy(i64 processors) : processors_(processors) {
+  COALESCE_ASSERT(processors >= 1);
+}
+
+i64 FactoringPolicy::next_chunk(i64 remaining) {
+  COALESCE_ASSERT(remaining > 0);
+  if (batch_left_ == 0) {
+    // Start a new batch: P chunks covering half the remaining iterations.
+    batch_chunk_ = std::max<i64>(
+        1, support::ceil_div(remaining, 2 * processors_));
+    batch_left_ = processors_;
+  }
+  --batch_left_;
+  return std::min(remaining, batch_chunk_);
+}
+
+TrapezoidPolicy::TrapezoidPolicy(i64 total, i64 processors) {
+  COALESCE_ASSERT(total >= 1);
+  COALESCE_ASSERT(processors >= 1);
+  // Classic TSS(first, last) with first = N/(2P), last = 1: the number of
+  // dispatches is S = ceil(2N / (first + last)) and sizes decrease by
+  // (first - last)/(S - 1) per dispatch.
+  const i64 first = std::max<i64>(1, total / (2 * processors));
+  const i64 last = 1;
+  const i64 dispatches = support::ceil_div(2 * total, first + last);
+  next_size_ = first;
+  decrement_ = dispatches <= 1 ? 0 : (first - last) / std::max<i64>(1, dispatches - 1);
+}
+
+i64 TrapezoidPolicy::next_chunk(i64 remaining) {
+  COALESCE_ASSERT(remaining > 0);
+  const i64 take = std::min(remaining, std::max<i64>(1, next_size_));
+  next_size_ -= decrement_;
+  if (next_size_ < 1) next_size_ = 1;
+  return take;
+}
+
+std::vector<Chunk> dispatch_sequence(ChunkPolicy& policy, i64 total) {
+  COALESCE_ASSERT(total >= 0);
+  std::vector<Chunk> out;
+  i64 next = 1;
+  i64 remaining = total;
+  while (remaining > 0) {
+    const i64 take = policy.next_chunk(remaining);
+    COALESCE_ASSERT_MSG(take >= 1 && take <= remaining,
+                        "policy returned an invalid chunk size");
+    out.push_back(Chunk{next, next + take});
+    next += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+}  // namespace coalesce::index

@@ -1,0 +1,124 @@
+// Chunk algebra over the coalesced index space.
+//
+// Schedulers hand out half-open ranges [first, last) of the 1-based
+// coalesced index. This header provides the helpers both the real runtime
+// and the simulator share: iterating a chunk with the strength-reduced
+// decoder, splitting the space into static blocks, and the chunk-size
+// sequences of the self-scheduling family (unit, fixed-size chunking,
+// guided self-scheduling, trapezoid self-scheduling).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "index/coalesced_space.hpp"
+#include "index/incremental.hpp"
+
+namespace coalesce::index {
+
+/// Half-open range of coalesced indices: iterations first..last-1 (1-based).
+struct Chunk {
+  i64 first = 1;
+  i64 last = 1;
+
+  [[nodiscard]] i64 size() const noexcept { return last - first; }
+  [[nodiscard]] bool empty() const noexcept { return last <= first; }
+  friend bool operator==(const Chunk&, const Chunk&) = default;
+};
+
+/// Calls `body(original_indices)` for every iteration of the chunk, in
+/// ascending coalesced order, using one full decode plus odometer advances.
+void for_each_in_chunk(const CoalescedSpace& space, Chunk chunk,
+                       const std::function<void(std::span<const i64>)>& body);
+
+/// Static block partition of [1, total] into `parts` contiguous chunks whose
+/// sizes differ by at most one (the first `total mod parts` chunks are one
+/// larger). Empty chunks are included so the result always has `parts`
+/// entries, mirroring processors that receive no work.
+[[nodiscard]] std::vector<Chunk> static_blocks(i64 total, i64 parts);
+
+/// Static cyclic partition: processor p takes iterations p+1, p+1+P, ...
+/// Returned as per-processor iteration lists (not contiguous chunks).
+[[nodiscard]] std::vector<std::vector<i64>> static_cyclic(i64 total,
+                                                          i64 parts);
+
+// ---- self-scheduling chunk-size policies -----------------------------------
+
+/// Policy interface: given remaining iteration count, produce the size of
+/// the next chunk to dispatch (>= 1 while remaining > 0).
+class ChunkPolicy {
+ public:
+  virtual ~ChunkPolicy() = default;
+  [[nodiscard]] virtual i64 next_chunk(i64 remaining) = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// Unit self-scheduling: one iteration per dispatch (maximum balance,
+/// maximum synchronization traffic).
+class UnitPolicy final : public ChunkPolicy {
+ public:
+  i64 next_chunk(i64 remaining) override;
+  const char* name() const noexcept override { return "self(1)"; }
+};
+
+/// Fixed-size chunking: k iterations per dispatch.
+class FixedChunkPolicy final : public ChunkPolicy {
+ public:
+  explicit FixedChunkPolicy(i64 k);
+  i64 next_chunk(i64 remaining) override;
+  const char* name() const noexcept override { return "chunk(k)"; }
+
+ private:
+  i64 k_;
+};
+
+/// Guided self-scheduling (Polychronopoulos & Kuck 1987): each dispatch
+/// takes ceil(remaining / P) iterations. O(P log(N/P)) dispatches total.
+class GuidedPolicy final : public ChunkPolicy {
+ public:
+  explicit GuidedPolicy(i64 processors, i64 min_chunk = 1);
+  i64 next_chunk(i64 remaining) override;
+  const char* name() const noexcept override { return "gss"; }
+
+ private:
+  i64 processors_;
+  i64 min_chunk_;
+};
+
+/// Factoring (Hummel/Schonberg/Flynn): chunks are handed out in *batches*
+/// of P equal-sized chunks; each batch takes half of the remaining work
+/// (chunk = ceil(remaining / (2P))). More robust than GSS when early
+/// iterations are the expensive ones, at ~2x GSS's dispatch count.
+class FactoringPolicy final : public ChunkPolicy {
+ public:
+  explicit FactoringPolicy(i64 processors);
+  i64 next_chunk(i64 remaining) override;
+  const char* name() const noexcept override { return "factoring"; }
+
+ private:
+  i64 processors_;
+  i64 batch_left_ = 0;   ///< chunks remaining in the current batch
+  i64 batch_chunk_ = 0;  ///< chunk size of the current batch
+};
+
+/// Trapezoid self-scheduling (Tzen & Ni): chunk sizes decrease linearly from
+/// first to last. Dispatch count ~ 2N/(first+last).
+class TrapezoidPolicy final : public ChunkPolicy {
+ public:
+  TrapezoidPolicy(i64 total, i64 processors);
+  i64 next_chunk(i64 remaining) override;
+  const char* name() const noexcept override { return "tss"; }
+
+ private:
+  i64 next_size_;
+  i64 decrement_;
+};
+
+/// Runs a policy to exhaustion over `total` iterations and returns the
+/// dispatched chunks in order. Used by tests and the analytic experiments.
+[[nodiscard]] std::vector<Chunk> dispatch_sequence(ChunkPolicy& policy,
+                                                   i64 total);
+
+}  // namespace coalesce::index

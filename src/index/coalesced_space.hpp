@@ -1,0 +1,87 @@
+// The coalesced iteration space and its index-recovery maps.
+//
+// Coalescing an m-deep rectangular nest with trip counts N_1..N_m flattens
+// the iteration space to a single index j in [1, N] with N = prod N_k. This
+// class implements both directions of the bijection:
+//
+//  * decode_paper  — the closed form from the paper, one ceiling and one
+//    floor division per level:
+//        i_k(j) = ceil(j / P_{k+1}) - N_k * floor((j-1) / P_k)
+//    where P_k = N_k * N_{k+1} * ... * N_m (suffix products, P_{m+1} = 1);
+//  * decode_mixed_radix — the equivalent digit extraction
+//        i_k(j) = ((j-1) / P_{k+1}) mod N_k + 1
+//    (one truncating division + one modulus per level).
+//
+// Both produce *normalized* indices in [1, N_k]; `decode_original` maps them
+// through each level's (lower, step) to the original loop values. Property
+// tests assert the two decoders agree on every point of random spaces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/int_math.hpp"
+
+namespace coalesce::index {
+
+using support::i64;
+
+/// One loop level of the original (possibly unnormalized) nest:
+/// values are lower, lower+step, ..., lower+(extent-1)*step.
+struct LevelGeometry {
+  i64 lower = 1;
+  i64 extent = 1;  ///< trip count; must be >= 1
+  i64 step = 1;    ///< must be >= 1
+};
+
+class CoalescedSpace {
+ public:
+  /// Normalized space: level k runs 1..extents[k].
+  static support::Expected<CoalescedSpace> create(std::vector<i64> extents);
+
+  /// General space with per-level lower bounds and steps.
+  static support::Expected<CoalescedSpace> create(
+      std::vector<LevelGeometry> levels);
+
+  [[nodiscard]] std::size_t depth() const noexcept { return extents_.size(); }
+  [[nodiscard]] i64 total() const noexcept { return suffix_[0]; }
+  [[nodiscard]] i64 extent(std::size_t level) const;
+  [[nodiscard]] const LevelGeometry& level(std::size_t k) const;
+
+  /// P_k = extents[k] * ... * extents[m-1]; suffix_product(depth()) == 1.
+  [[nodiscard]] i64 suffix_product(std::size_t k) const;
+
+  /// Paper's closed form. j in [1, total]; out.size() == depth().
+  void decode_paper(i64 j, std::span<i64> out) const;
+
+  /// Mixed-radix digit extraction (reference decoder).
+  void decode_mixed_radix(i64 j, std::span<i64> out) const;
+
+  /// Normalized indices (1-based per level) -> coalesced j in [1, total].
+  [[nodiscard]] i64 encode(std::span<const i64> normalized) const;
+
+  /// Decode j and map through (lower, step) to original loop values.
+  void decode_original(i64 j, std::span<i64> out) const;
+
+  /// Map one normalized index to the original value at a level.
+  [[nodiscard]] i64 original_value(std::size_t level, i64 normalized) const;
+
+  /// Original loop values -> coalesced j (inverse of decode_original).
+  [[nodiscard]] i64 encode_original(std::span<const i64> original) const;
+
+  /// Cost accounting for experiment E7: division-family ops per decode.
+  [[nodiscard]] std::size_t divisions_per_decode_paper() const noexcept;
+  [[nodiscard]] std::size_t divisions_per_decode_mixed_radix() const noexcept;
+
+ private:
+  CoalescedSpace(std::vector<LevelGeometry> levels, std::vector<i64> extents,
+                 std::vector<i64> suffix);
+
+  std::vector<LevelGeometry> levels_;
+  std::vector<i64> extents_;
+  std::vector<i64> suffix_;  ///< size depth()+1, suffix_[depth()] == 1
+};
+
+}  // namespace coalesce::index

@@ -1,0 +1,71 @@
+#include "index/grid.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace coalesce::index {
+
+namespace {
+
+/// Recursively assigns divisors of `remaining_p` to levels [k..m).
+void search(const std::vector<i64>& extents, std::size_t k, i64 remaining_p,
+            std::vector<i64>& grid, i64 load_so_far, GridAllocation& best) {
+  const std::size_t m = extents.size();
+  if (k == m - 1) {
+    // Last level takes whatever remains.
+    grid[k] = remaining_p;
+    const i64 load =
+        load_so_far * support::ceil_div(extents[k], remaining_p);
+    if (best.max_load == 0 || load < best.max_load) {
+      best.max_load = load;
+      best.grid = grid;
+    }
+    return;
+  }
+  for (i64 g = 1; g <= remaining_p; ++g) {
+    if (remaining_p % g != 0) continue;
+    grid[k] = g;
+    const i64 load = load_so_far * support::ceil_div(extents[k], g);
+    // Prune: load only grows monotonically with the remaining factors' 1s.
+    if (best.max_load != 0 && load >= best.max_load) continue;
+    search(extents, k + 1, remaining_p / g, grid, load, best);
+  }
+}
+
+i64 total_iterations(const std::vector<i64>& extents) {
+  auto total = support::checked_product(extents);
+  COALESCE_ASSERT(total.has_value());
+  return *total;
+}
+
+}  // namespace
+
+GridAllocation best_grid(const std::vector<i64>& extents, i64 processors) {
+  COALESCE_ASSERT(!extents.empty());
+  COALESCE_ASSERT(processors >= 1);
+  for (i64 n : extents) COALESCE_ASSERT(n >= 1);
+
+  GridAllocation best;
+  std::vector<i64> grid(extents.size(), 1);
+  search(extents, 0, processors, grid, 1, best);
+  COALESCE_ASSERT(best.max_load > 0);
+  best.efficiency =
+      static_cast<double>(total_iterations(extents)) /
+      (static_cast<double>(processors) * static_cast<double>(best.max_load));
+  return best;
+}
+
+i64 coalesced_max_load(const std::vector<i64>& extents, i64 processors) {
+  COALESCE_ASSERT(processors >= 1);
+  return support::ceil_div(total_iterations(extents), processors);
+}
+
+double coalesced_efficiency(const std::vector<i64>& extents, i64 processors) {
+  const i64 total = total_iterations(extents);
+  const i64 load = coalesced_max_load(extents, processors);
+  return static_cast<double>(total) /
+         (static_cast<double>(processors) * static_cast<double>(load));
+}
+
+}  // namespace coalesce::index

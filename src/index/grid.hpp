@@ -1,0 +1,43 @@
+// Processor allocation: multi-dimensional grids vs the coalesced 1-D space.
+//
+// Without coalescing, assigning P processors to an m-deep nest means
+// factoring P = g_1 * ... * g_m and block-partitioning level k among g_k
+// processors; each processor then owns prod_k ceil(N_k / g_k) iterations.
+// Whenever some g_k does not divide N_k the grid wastes capacity, and for
+// prime or awkward P no good factorization exists at all. The coalesced
+// loop needs no factorization: max load is ceil(prod N_k / P), within one
+// iteration of ideal for every P.
+//
+// This module enumerates factorizations exactly (P is small) and reports
+// the best grid — the quantitative form of the paper's processor-allocation
+// argument (experiment E12).
+#pragma once
+
+#include <vector>
+
+#include "support/int_math.hpp"
+
+namespace coalesce::index {
+
+using support::i64;
+
+struct GridAllocation {
+  std::vector<i64> grid;   ///< g_k per level, prod == P
+  i64 max_load = 0;        ///< prod_k ceil(N_k / g_k)
+  double efficiency = 0.0; ///< total iterations / (P * max_load)
+};
+
+/// The best (minimum max-load) factorization of `processors` over the
+/// nest's extents. Exhaustive over all ordered factorizations.
+[[nodiscard]] GridAllocation best_grid(const std::vector<i64>& extents,
+                                       i64 processors);
+
+/// Max load of the coalesced 1-D allocation: ceil(prod extents / P).
+[[nodiscard]] i64 coalesced_max_load(const std::vector<i64>& extents,
+                                     i64 processors);
+
+/// Efficiency of the coalesced allocation (total / (P * max_load)).
+[[nodiscard]] double coalesced_efficiency(const std::vector<i64>& extents,
+                                          i64 processors);
+
+}  // namespace coalesce::index

@@ -1,0 +1,44 @@
+#include "index/incremental.hpp"
+
+#include "support/assert.hpp"
+
+namespace coalesce::index {
+
+IncrementalDecoder::IncrementalDecoder(const CoalescedSpace& space,
+                                       i64 start_j)
+    : space_(&space),
+      position_(0),
+      normalized_(space.depth()),
+      original_(space.depth()) {
+  seek(start_j);
+}
+
+void IncrementalDecoder::seek(i64 j) {
+  position_ = j;
+  space_->decode_paper(j, normalized_);
+  for (std::size_t k = 0; k < space_->depth(); ++k) {
+    original_[k] = space_->original_value(k, normalized_[k]);
+  }
+}
+
+void IncrementalDecoder::advance() noexcept {
+  COALESCE_ASSERT_MSG(position_ < space_->total(),
+                      "advance past end of space");
+  ++position_;
+  // Odometer: increment the innermost digit; on overflow reset it and carry
+  // outward. Amortized cost is < 2 digit updates per call.
+  for (std::size_t k = space_->depth(); k-- > 0;) {
+    const LevelGeometry& g = space_->level(k);
+    if (normalized_[k] < space_->extent(k)) {
+      ++normalized_[k];
+      original_[k] += g.step;
+      return;
+    }
+    normalized_[k] = 1;
+    original_[k] = g.lower;
+    ++carries_;
+  }
+  COALESCE_ASSERT_MSG(false, "odometer overflowed a full space");
+}
+
+}  // namespace coalesce::index

@@ -1,0 +1,56 @@
+// Division-free (strength-reduced) index recovery.
+//
+// A processor that executes a *contiguous* chunk of the coalesced loop only
+// needs one full decode — for the chunk's first iteration — after which each
+// subsequent iteration is an odometer increment: ++innermost digit, carry on
+// overflow. This replaces 2m divisions per iteration with an expected
+// O(1 + 1/N_m + 1/(N_m N_{m-1}) + ...) ≈ 1 addition/compare per iteration,
+// which is the optimization measured by experiment E7.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/coalesced_space.hpp"
+
+namespace coalesce::index {
+
+class IncrementalDecoder {
+ public:
+  /// Positions the decoder at coalesced index `start_j` (one full decode).
+  IncrementalDecoder(const CoalescedSpace& space, i64 start_j);
+
+  /// Current coalesced index, in [1, total] (or total+1 after exhausting).
+  [[nodiscard]] i64 position() const noexcept { return position_; }
+
+  /// Normalized indices for the current position (1-based per level).
+  [[nodiscard]] std::span<const i64> normalized() const noexcept {
+    return normalized_;
+  }
+
+  /// Original loop values for the current position.
+  [[nodiscard]] std::span<const i64> original() const noexcept {
+    return original_;
+  }
+
+  /// Moves to position()+1. Division-free. Valid while position() < total.
+  void advance() noexcept;
+
+  /// Repositions with one full decode (used when a scheduler hands the
+  /// worker a non-adjacent chunk).
+  void seek(i64 j);
+
+  /// Carries performed so far (statistics for the E7 report: how often the
+  /// odometer rolls more than one digit).
+  [[nodiscard]] std::uint64_t carries() const noexcept { return carries_; }
+
+ private:
+  const CoalescedSpace* space_;
+  i64 position_;
+  std::vector<i64> normalized_;
+  std::vector<i64> original_;
+  std::uint64_t carries_ = 0;
+};
+
+}  // namespace coalesce::index

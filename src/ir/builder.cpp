@@ -1,0 +1,261 @@
+#include "ir/builder.hpp"
+
+#include "support/assert.hpp"
+
+namespace coalesce::ir {
+
+VarId NestBuilder::array(std::string name, std::vector<std::int64_t> shape) {
+  return symbols_.declare(std::move(name), SymbolKind::kArray,
+                          std::move(shape));
+}
+
+VarId NestBuilder::scalar(std::string name) {
+  return symbols_.declare(std::move(name), SymbolKind::kScalar);
+}
+
+VarId NestBuilder::param(std::string name) {
+  return symbols_.declare(std::move(name), SymbolKind::kParam);
+}
+
+VarId NestBuilder::begin_loop(std::string name, std::int64_t lo,
+                              std::int64_t hi, std::int64_t step,
+                              bool parallel) {
+  return begin_loop_expr(std::move(name), int_const(lo), int_const(hi), step,
+                         parallel);
+}
+
+VarId NestBuilder::begin_parallel_loop(std::string name, std::int64_t lo,
+                                       std::int64_t hi, std::int64_t step) {
+  return begin_loop(std::move(name), lo, hi, step, /*parallel=*/true);
+}
+
+VarId NestBuilder::begin_loop_expr(std::string name, ExprRef lo, ExprRef hi,
+                                   std::int64_t step, bool parallel) {
+  COALESCE_ASSERT_MSG(step > 0, "loop steps must be positive; normalize first");
+  const VarId var = symbols_.declare(std::move(name), SymbolKind::kInduction);
+  auto loop = std::make_shared<Loop>();
+  loop->var = var;
+  loop->lower = std::move(lo);
+  loop->upper = std::move(hi);
+  loop->step = step;
+  loop->parallel = parallel;
+  open_.push_back(Frame{std::move(loop), nullptr});
+  return var;
+}
+
+std::vector<Stmt>* NestBuilder::current_body() {
+  if (open_.empty()) return nullptr;
+  Frame& top = open_.back();
+  return top.loop != nullptr ? &top.loop->body : &top.guard->then_body;
+}
+
+void NestBuilder::append(Stmt stmt) {
+  std::vector<Stmt>* body = current_body();
+  if (body == nullptr) {
+    completed_.push_back(std::move(stmt));
+  } else {
+    body->push_back(std::move(stmt));
+  }
+}
+
+void NestBuilder::end_loop() {
+  COALESCE_ASSERT_MSG(!open_.empty() && open_.back().loop != nullptr,
+                      "end_loop without a matching begin_loop");
+  LoopPtr finished = std::move(open_.back().loop);
+  open_.pop_back();
+  append(std::move(finished));
+}
+
+void NestBuilder::begin_if(ExprRef condition) {
+  COALESCE_ASSERT_MSG(!open_.empty(), "guard outside any loop");
+  COALESCE_ASSERT(condition != nullptr);
+  auto guard = std::make_shared<IfStmt>();
+  guard->condition = std::move(condition);
+  open_.push_back(Frame{nullptr, std::move(guard)});
+}
+
+void NestBuilder::end_if() {
+  COALESCE_ASSERT_MSG(!open_.empty() && open_.back().guard != nullptr,
+                      "end_if without a matching begin_if");
+  IfPtr finished = std::move(open_.back().guard);
+  open_.pop_back();
+  append(std::move(finished));
+}
+
+void NestBuilder::assign(LValue lhs, ExprRef rhs) {
+  COALESCE_ASSERT_MSG(!open_.empty(), "assignment outside any loop");
+  COALESCE_ASSERT(rhs != nullptr);
+  append(AssignStmt{std::move(lhs), std::move(rhs)});
+}
+
+LValue NestBuilder::element(VarId array, std::vector<VarId> subscripts) const {
+  std::vector<ExprRef> subs;
+  subs.reserve(subscripts.size());
+  for (VarId v : subscripts) subs.push_back(var_ref(v));
+  return ArrayAccess{array, std::move(subs)};
+}
+
+LValue NestBuilder::element_expr(VarId array,
+                                 std::vector<ExprRef> subscripts) const {
+  return ArrayAccess{array, std::move(subscripts)};
+}
+
+ExprRef NestBuilder::read(VarId array, std::vector<VarId> subscripts) const {
+  std::vector<ExprRef> subs;
+  subs.reserve(subscripts.size());
+  for (VarId v : subscripts) subs.push_back(var_ref(v));
+  return array_read(array, std::move(subs));
+}
+
+LoopNest NestBuilder::build() {
+  COALESCE_ASSERT_MSG(open_.empty(), "build() with unclosed loops or guards");
+  COALESCE_ASSERT_MSG(completed_.size() == 1,
+                      "build() requires exactly one root loop");
+  auto* root = std::get_if<LoopPtr>(&completed_.front());
+  COALESCE_ASSERT_MSG(root != nullptr, "root statement must be a loop");
+  return LoopNest{std::move(symbols_), std::move(*root)};
+}
+
+// ---- stock workloads -------------------------------------------------------
+
+LoopNest make_matmul(std::int64_t n, std::int64_t m, std::int64_t p) {
+  NestBuilder b;
+  const VarId a = b.array("A", {n, p});
+  const VarId bb = b.array("B", {p, m});
+  const VarId c = b.array("C", {n, m});
+  const VarId i = b.begin_parallel_loop("i", 1, n);
+  const VarId j = b.begin_parallel_loop("j", 1, m);
+  b.assign(b.element(c, {i, j}), int_const(0));
+  const VarId k = b.begin_loop("k", 1, p);  // sequential reduction
+  b.assign(b.element(c, {i, j}),
+           add(b.read(c, {i, j}), mul(b.read(a, {i, k}), b.read(bb, {k, j}))));
+  b.end_loop();
+  b.end_loop();
+  b.end_loop();
+  return b.build();
+}
+
+LoopNest make_gauss_jordan_backsolve(std::int64_t n, std::int64_t m) {
+  // After elimination, AB is n x (n+m) holding [A' | B']; the solution is
+  // X(i,j) = AB(i, j+n) / AB(i,i). Both loops are parallel; [Pol87]-style
+  // coalescing fuses them into one (the optimization the mismatched thesis
+  // also performs by hand in its Appendix A).
+  NestBuilder b;
+  const VarId ab = b.array("AB", {n, n + m});
+  const VarId x = b.array("X", {n, m});
+  const VarId i = b.begin_parallel_loop("i", 1, n);
+  const VarId j = b.begin_parallel_loop("j", 1, m);
+  b.assign(b.element(x, {i, j}),
+           call("real_div", {array_read(ab, {var_ref(i),
+                                             add(var_ref(j), int_const(n))}),
+                             b.read(ab, {i, i})}));
+  b.end_loop();
+  b.end_loop();
+  return b.build();
+}
+
+LoopNest make_jacobi_step(std::int64_t n) {
+  NestBuilder b;
+  // Interior sweep of an (n+2)x(n+2) grid: loops run 2..n+1 (array
+  // subscripts are 1-based), so the +/-1 halo accesses stay in bounds.
+  // The non-unit lower bound also exercises normalization before coalescing.
+  const VarId a = b.array("A", {n + 2, n + 2});
+  const VarId out = b.array("B", {n + 2, n + 2});
+  const VarId i = b.begin_parallel_loop("i", 2, n + 1);
+  const VarId j = b.begin_parallel_loop("j", 2, n + 1);
+  auto at = [&](std::int64_t di, std::int64_t dj) {
+    return array_read(a, {add(var_ref(i), int_const(di)),
+                          add(var_ref(j), int_const(dj))});
+  };
+  b.assign(b.element(out, {i, j}),
+           call("avg4", {at(-1, 0), at(1, 0), at(0, -1), at(0, 1)}));
+  b.end_loop();
+  b.end_loop();
+  return b.build();
+}
+
+LoopNest make_rectangular_witness(const std::vector<std::int64_t>& extents) {
+  COALESCE_ASSERT(!extents.empty());
+  NestBuilder b;
+  const VarId out = b.array("OUT", extents);
+  std::vector<VarId> ivs;
+  ivs.reserve(extents.size());
+  for (std::size_t d = 0; d < extents.size(); ++d) {
+    ivs.push_back(b.begin_parallel_loop("i" + std::to_string(d), 1,
+                                        extents[d]));
+  }
+  // OUT(i0,...,id) = i0*10^(d) + i1*10^(d-1) + ... + id — a distinct value
+  // per cell whose digits reveal which indices wrote it.
+  ExprRef value = int_const(0);
+  for (VarId iv : ivs) {
+    value = add(mul(value, int_const(10)), var_ref(iv));
+  }
+  b.assign(b.element(out, ivs), std::move(value));
+  for (std::size_t d = 0; d < extents.size(); ++d) b.end_loop();
+  return b.build();
+}
+
+LoopNest make_recurrence(std::int64_t n) {
+  // Loop runs 2..n+1 so the A(i-1) read stays within the 1-based array.
+  NestBuilder b;
+  const VarId a = b.array("A", {n + 1});
+  const VarId i = b.begin_loop("i", 2, n + 1);  // analyzer keeps this serial
+  b.assign(b.element(a, {i}),
+           mul(int_const(2),
+               array_read(a, {sub(var_ref(i), int_const(1))})));
+  b.end_loop();
+  return b.build();
+}
+
+LoopNest make_triangular_witness(std::int64_t n) {
+  COALESCE_ASSERT(n >= 1);
+  NestBuilder b;
+  const VarId out = b.array("OUT", {n, n});
+  const VarId i = b.begin_parallel_loop("i", 1, n);
+  const VarId j =
+      b.begin_loop_expr("j", int_const(1), var_ref(i), 1, /*parallel=*/true);
+  b.assign(b.element(out, {i, j}),
+           add(mul(var_ref(i), int_const(10)), var_ref(j)));
+  b.end_loop();
+  b.end_loop();
+  return b.build();
+}
+
+LoopNest make_pivot_update(std::int64_t n, std::int64_t piv) {
+  COALESCE_ASSERT(n >= 2);
+  COALESCE_ASSERT(piv >= 1 && piv < n);
+  NestBuilder b;
+  const VarId ab = b.array("AB", {n, n});
+  const VarId m = b.array("M", {n});
+  const VarId i = b.begin_parallel_loop("i", 1, n);
+  const VarId kk = b.begin_parallel_loop("kk", piv + 1, n);
+  b.begin_if(cmp_ne(var_ref(i), int_const(piv)));
+  b.assign(b.element(ab, {i, kk}),
+           sub(b.read(ab, {i, kk}),
+               mul(b.read(m, {i}),
+                   array_read(ab, {int_const(piv), var_ref(kk)}))));
+  b.end_if();
+  b.end_loop();
+  b.end_loop();
+  return b.build();
+}
+
+LoopNest make_pi_strips(std::int64_t strips, std::int64_t intervals_per_strip) {
+  // SUM(t) accumulates the rectangle heights of strip t; strips are
+  // independent (outer DOALL), intervals within a strip are a reduction.
+  NestBuilder b;
+  const VarId sum = b.array("SUM", {strips});
+  const VarId t = b.begin_parallel_loop("t", 1, strips);
+  b.assign(b.element(sum, {t}), int_const(0));
+  const VarId r = b.begin_loop("r", 1, intervals_per_strip);
+  b.assign(b.element(sum, {t}),
+           add(b.read(sum, {t}),
+               call("pi_height",
+                    {var_ref(t), var_ref(r), int_const(strips),
+                     int_const(intervals_per_strip)})));
+  b.end_loop();
+  b.end_loop();
+  return b.build();
+}
+
+}  // namespace coalesce::ir

@@ -1,0 +1,122 @@
+// Fluent construction of loop nests, plus the stock workloads used across
+// tests, examples, and the experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.hpp"
+
+namespace coalesce::ir {
+
+/// Builds one loop nest imperatively:
+///
+///   NestBuilder b;
+///   VarId c = b.array("C", {n, m});
+///   VarId i = b.begin_parallel_loop("i", 1, n);
+///   VarId j = b.begin_parallel_loop("j", 1, m);
+///   b.assign(b.element(c, {i, j}), int_const(0));
+///   b.end_loop();
+///   b.end_loop();
+///   LoopNest nest = b.build();
+///
+/// The builder asserts on structural misuse (unbalanced begin/end, zero or
+/// multiple root loops) because those are programming errors, not inputs.
+class NestBuilder {
+ public:
+  NestBuilder() = default;
+
+  SymbolTable& symbols() noexcept { return symbols_; }
+
+  // -- declarations --------------------------------------------------------
+  VarId array(std::string name, std::vector<std::int64_t> shape);
+  VarId scalar(std::string name);
+  VarId param(std::string name);
+
+  // -- loops ---------------------------------------------------------------
+  /// Opens a loop with constant inclusive bounds. Returns the induction var.
+  VarId begin_loop(std::string name, std::int64_t lo, std::int64_t hi,
+                   std::int64_t step = 1, bool parallel = false);
+  VarId begin_parallel_loop(std::string name, std::int64_t lo,
+                            std::int64_t hi, std::int64_t step = 1);
+  /// Opens a loop with expression bounds (e.g. referencing params).
+  VarId begin_loop_expr(std::string name, ExprRef lo, ExprRef hi,
+                        std::int64_t step = 1, bool parallel = false);
+  void end_loop();
+
+  /// Opens a guarded block: statements until end_if() execute only when
+  /// `condition` is nonzero.
+  void begin_if(ExprRef condition);
+  void end_if();
+
+  // -- statements ----------------------------------------------------------
+  void assign(LValue lhs, ExprRef rhs);
+
+  /// Shorthand for an ArrayAccess lvalue with induction-variable subscripts.
+  [[nodiscard]] LValue element(VarId array, std::vector<VarId> subscripts) const;
+  /// Shorthand for an ArrayAccess lvalue with expression subscripts.
+  [[nodiscard]] LValue element_expr(VarId array,
+                                    std::vector<ExprRef> subscripts) const;
+  /// Shorthand for an array-element read with induction-variable subscripts.
+  [[nodiscard]] ExprRef read(VarId array, std::vector<VarId> subscripts) const;
+
+  /// Finalizes. Exactly one root loop must have been built and closed.
+  [[nodiscard]] LoopNest build();
+
+ private:
+  /// One open construct (loop or guard) whose body is being filled.
+  struct Frame {
+    LoopPtr loop;  ///< exactly one of loop/guard is set
+    IfPtr guard;
+  };
+  std::vector<Stmt>* current_body();
+  void append(Stmt stmt);
+
+  SymbolTable symbols_;
+  std::vector<Frame> open_;        ///< stack of constructs under construction
+  std::vector<Stmt> completed_;    ///< closed top-level statements
+};
+
+// ---- stock workloads -------------------------------------------------------
+// Each returns a nest whose arrays are declared in the nest's symbol table;
+// shapes are baked in so the evaluator can allocate storage directly.
+
+/// C(i,j) = sum_k A(i,k)*B(k,j) — i/j parallel, k sequential reduction.
+/// Perfect 2-deep parallel band over an inner sequential loop.
+[[nodiscard]] LoopNest make_matmul(std::int64_t n, std::int64_t m,
+                                   std::int64_t p);
+
+/// X(i,j) = AB(i, j+n) / AB(i,i) — the back-substitution nest of
+/// Gauss-Jordan elimination; a perfect 2-deep fully parallel nest.
+[[nodiscard]] LoopNest make_gauss_jordan_backsolve(std::int64_t n,
+                                                   std::int64_t m);
+
+/// B(i,j) = (A(i-1,j) + A(i+1,j) + A(i,j-1) + A(i,j+1)) / 4 over the
+/// interior of an (n+2)x(n+2) grid — Jacobi relaxation step, fully parallel.
+[[nodiscard]] LoopNest make_jacobi_step(std::int64_t n);
+
+/// A fully parallel rectangular d-deep nest writing OUT(i1,...,id) =
+/// i1 + 10*i2 + 100*i3 + ... — trivially checkable contents for tests.
+[[nodiscard]] LoopNest make_rectangular_witness(
+    const std::vector<std::int64_t>& extents);
+
+/// A(i) = 2*A(i-1) — a genuinely sequential loop (flow dependence), used to
+/// verify the analyzer refuses to mark it DOALL.
+[[nodiscard]] LoopNest make_recurrence(std::int64_t n);
+
+/// Lower-triangular witness: OUT(i,j) = 10*i + j for j in 1..i — the
+/// canonical non-rectangular band for guarded coalescing.
+[[nodiscard]] LoopNest make_triangular_witness(std::int64_t n);
+
+/// The Gauss-elimination style update band for a fixed pivot `piv`:
+/// doall i = 1..n, doall kk = piv+1..n: AB(i,kk) -= M(i) * AB(piv,kk) —
+/// rectangular but offset, with an interior guard skipping the pivot row.
+[[nodiscard]] LoopNest make_pivot_update(std::int64_t n, std::int64_t piv);
+
+/// The pi-integration nest: SUM(t) accumulates rectangle heights for a strip
+/// of the [0,1] interval; outer loop over strips is parallel.
+[[nodiscard]] LoopNest make_pi_strips(std::int64_t strips,
+                                      std::int64_t intervals_per_strip);
+
+}  // namespace coalesce::ir

@@ -1,0 +1,285 @@
+#include "ir/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/int_math.hpp"
+
+namespace coalesce::ir {
+
+double as_double(const Value& v) noexcept {
+  if (const auto* i = std::get_if<std::int64_t>(&v))
+    return static_cast<double>(*i);
+  return std::get<double>(v);
+}
+
+std::int64_t as_int(const Value& v) {
+  const auto* i = std::get_if<std::int64_t>(&v);
+  COALESCE_ASSERT_MSG(i != nullptr, "integer value required");
+  return *i;
+}
+
+// ---- ArrayStore -----------------------------------------------------------
+
+ArrayStore::ArrayStore(const SymbolTable& symbols) : symbols_(&symbols) {
+  slots_.resize(symbols.size());
+  for (std::uint32_t raw = 0; raw < symbols.size(); ++raw) {
+    const Symbol& sym = symbols[VarId{raw}];
+    if (sym.kind != SymbolKind::kArray) continue;
+    std::int64_t total = 1;
+    for (std::int64_t extent : sym.shape) {
+      COALESCE_ASSERT(extent >= 1);
+      auto next = support::checked_mul(total, extent);
+      COALESCE_ASSERT_MSG(next.has_value(), "array too large");
+      total = *next;
+    }
+    slots_[raw].shape = sym.shape;
+    slots_[raw].data.assign(static_cast<std::size_t>(total), 0.0);
+  }
+}
+
+std::span<double> ArrayStore::data(VarId array) {
+  COALESCE_ASSERT(array.valid() && array.raw < slots_.size());
+  COALESCE_ASSERT_MSG(!slots_[array.raw].shape.empty() ||
+                          !slots_[array.raw].data.empty(),
+                      "not an array symbol");
+  return slots_[array.raw].data;
+}
+
+std::span<const double> ArrayStore::data(VarId array) const {
+  COALESCE_ASSERT(array.valid() && array.raw < slots_.size());
+  return slots_[array.raw].data;
+}
+
+std::size_t ArrayStore::offset(VarId array,
+                               std::span<const std::int64_t> subs) const {
+  COALESCE_ASSERT(array.valid() && array.raw < slots_.size());
+  const Slot& slot = slots_[array.raw];
+  COALESCE_ASSERT_MSG(subs.size() == slot.shape.size(),
+                      "subscript arity mismatch");
+  std::size_t off = 0;
+  for (std::size_t d = 0; d < subs.size(); ++d) {
+    const std::int64_t s = subs[d];
+    COALESCE_ASSERT_MSG(s >= 1 && s <= slot.shape[d],
+                        "array subscript out of bounds");
+    off = off * static_cast<std::size_t>(slot.shape[d]) +
+          static_cast<std::size_t>(s - 1);
+  }
+  return off;
+}
+
+double ArrayStore::get(VarId array,
+                       std::span<const std::int64_t> subscripts) const {
+  return slots_[array.raw].data[offset(array, subscripts)];
+}
+
+void ArrayStore::set(VarId array, std::span<const std::int64_t> subscripts,
+                     double value) {
+  slots_[array.raw].data[offset(array, subscripts)] = value;
+}
+
+void ArrayStore::fill(VarId array, double value) {
+  auto span = data(array);
+  std::fill(span.begin(), span.end(), value);
+}
+
+bool ArrayStore::identical(const ArrayStore& a, const ArrayStore& b) {
+  if (a.slots_.size() != b.slots_.size()) return false;
+  for (std::size_t i = 0; i < a.slots_.size(); ++i) {
+    if (a.slots_[i].shape != b.slots_[i].shape) return false;
+    const auto& da = a.slots_[i].data;
+    const auto& db = b.slots_[i].data;
+    if (da.size() != db.size()) return false;
+    for (std::size_t k = 0; k < da.size(); ++k) {
+      // Bit comparison: transformations must not perturb results at all.
+      if (!(da[k] == db[k]) && !(std::isnan(da[k]) && std::isnan(db[k])))
+        return false;
+    }
+  }
+  return true;
+}
+
+// ---- Evaluator ------------------------------------------------------------
+
+Evaluator::Evaluator(const SymbolTable& symbols)
+    : symbols_(&symbols),
+      owned_store_(std::make_unique<ArrayStore>(symbols)),
+      store_(owned_store_.get()),
+      env_(symbols.size()) {
+  register_default_builtins();
+}
+
+Evaluator::Evaluator(const SymbolTable& symbols, ArrayStore& shared)
+    : symbols_(&symbols), store_(&shared), env_(symbols.size()) {
+  register_default_builtins();
+}
+
+void Evaluator::register_default_builtins() {
+  register_builtin("real_div", [](std::span<const Value> args) -> Value {
+    COALESCE_ASSERT(args.size() == 2);
+    const double denom = as_double(args[1]);
+    COALESCE_ASSERT_MSG(denom != 0.0, "real_div by zero");
+    return as_double(args[0]) / denom;
+  });
+  register_builtin("avg4", [](std::span<const Value> args) -> Value {
+    COALESCE_ASSERT(args.size() == 4);
+    return (as_double(args[0]) + as_double(args[1]) + as_double(args[2]) +
+            as_double(args[3])) /
+           4.0;
+  });
+  register_builtin("pi_height", [](std::span<const Value> args) -> Value {
+    // pi_height(strip, r, strips, intervals_per_strip): the area of global
+    // rectangle g = (strip-1)*ips + r under 4/(1+x^2) with width 1/total.
+    COALESCE_ASSERT(args.size() == 4);
+    const std::int64_t strip = as_int(args[0]);
+    const std::int64_t r = as_int(args[1]);
+    const std::int64_t strips = as_int(args[2]);
+    const std::int64_t ips = as_int(args[3]);
+    const double total = static_cast<double>(strips * ips);
+    const double g = static_cast<double>((strip - 1) * ips + r);
+    const double x = (g - 0.5) / total;
+    return (4.0 / (1.0 + x * x)) / total;
+  });
+}
+
+void Evaluator::run_body_once(const Loop& loop, std::int64_t value) {
+  env_[loop.var.raw] = Value{value};
+  ++iterations_;
+  for (const Stmt& s : loop.body) exec(s);
+}
+
+void Evaluator::set_param(VarId param, std::int64_t value) {
+  COALESCE_ASSERT(symbols_->kind(param) == SymbolKind::kParam);
+  env_[param.raw] = Value{value};
+}
+
+void Evaluator::register_builtin(std::string name, Builtin fn) {
+  builtins_[std::move(name)] = std::move(fn);
+}
+
+void Evaluator::run(const Loop& root) {
+  const std::int64_t lo = eval_int(root.lower);
+  const std::int64_t hi = eval_int(root.upper);
+  COALESCE_ASSERT(root.step > 0);
+  for (std::int64_t v = lo; v <= hi; v += root.step) {
+    run_body_once(root, v);
+  }
+  env_[root.var.raw].reset();  // induction var dead outside its loop
+}
+
+void Evaluator::exec(const Stmt& stmt) {
+  if (const auto* assign = std::get_if<AssignStmt>(&stmt)) {
+    exec_assign(*assign);
+  } else if (const auto* guard = std::get_if<IfPtr>(&stmt)) {
+    if (eval_int((*guard)->condition) != 0) {
+      for (const Stmt& s : (*guard)->then_body) exec(s);
+    }
+  } else {
+    run(*std::get<LoopPtr>(stmt));
+  }
+}
+
+void Evaluator::exec_assign(const AssignStmt& assign) {
+  const Value rhs = eval(assign.rhs);
+  if (const auto* scalar = std::get_if<VarId>(&assign.lhs)) {
+    env_[scalar->raw] = rhs;
+    return;
+  }
+  const auto& access = std::get<ArrayAccess>(assign.lhs);
+  std::vector<std::int64_t> subs;
+  subs.reserve(access.subscripts.size());
+  for (const auto& sub : access.subscripts) subs.push_back(eval_int(sub));
+  store_->set(access.array, subs, as_double(rhs));
+}
+
+std::int64_t Evaluator::eval_int(const ExprRef& expr) {
+  return as_int(eval(expr));
+}
+
+Value Evaluator::eval(const ExprRef& expr) {
+  COALESCE_ASSERT(expr != nullptr);
+  switch (expr->op) {
+    case ExprOp::kIntConst:
+      return Value{expr->literal};
+    case ExprOp::kVarRef: {
+      const auto& bound = env_[expr->var.raw];
+      COALESCE_ASSERT_MSG(bound.has_value(), "read of unbound variable");
+      return *bound;
+    }
+    case ExprOp::kArrayRead: {
+      std::vector<std::int64_t> subs;
+      subs.reserve(expr->kids.size());
+      for (const auto& sub : expr->kids) subs.push_back(eval_int(sub));
+      return Value{store_->get(expr->var, subs)};
+    }
+    case ExprOp::kCall: {
+      std::vector<Value> args;
+      args.reserve(expr->kids.size());
+      for (const auto& arg : expr->kids) args.push_back(eval(arg));
+      auto it = builtins_.find(expr->callee);
+      COALESCE_ASSERT_MSG(it != builtins_.end(), "unknown builtin");
+      return it->second(args);
+    }
+    case ExprOp::kNeg: {
+      const Value v = eval(expr->kids[0]);
+      if (const auto* i = std::get_if<std::int64_t>(&v)) return Value{-*i};
+      return Value{-std::get<double>(v)};
+    }
+    default:
+      break;
+  }
+
+  // Binary operators.
+  const Value a = eval(expr->kids[0]);
+  const Value b = eval(expr->kids[1]);
+  const bool both_int = std::holds_alternative<std::int64_t>(a) &&
+                        std::holds_alternative<std::int64_t>(b);
+
+  switch (expr->op) {
+    case ExprOp::kAdd:
+      if (both_int) return Value{as_int(a) + as_int(b)};
+      return Value{as_double(a) + as_double(b)};
+    case ExprOp::kSub:
+      if (both_int) return Value{as_int(a) - as_int(b)};
+      return Value{as_double(a) - as_double(b)};
+    case ExprOp::kMul:
+      if (both_int) return Value{as_int(a) * as_int(b)};
+      return Value{as_double(a) * as_double(b)};
+    case ExprOp::kFloorDiv:
+      return Value{support::floor_div(as_int(a), as_int(b))};
+    case ExprOp::kCeilDiv:
+      return Value{support::ceil_div(as_int(a), as_int(b))};
+    case ExprOp::kMod:
+      return Value{support::mod_floor(as_int(a), as_int(b))};
+    case ExprOp::kMin:
+      if (both_int) return Value{std::min(as_int(a), as_int(b))};
+      return Value{std::min(as_double(a), as_double(b))};
+    case ExprOp::kMax:
+      if (both_int) return Value{std::max(as_int(a), as_int(b))};
+      return Value{std::max(as_double(a), as_double(b))};
+    case ExprOp::kCmpLt:
+      return Value{std::int64_t{as_double(a) < as_double(b) ? 1 : 0}};
+    case ExprOp::kCmpLe:
+      return Value{std::int64_t{as_double(a) <= as_double(b) ? 1 : 0}};
+    case ExprOp::kCmpGt:
+      return Value{std::int64_t{as_double(a) > as_double(b) ? 1 : 0}};
+    case ExprOp::kCmpGe:
+      return Value{std::int64_t{as_double(a) >= as_double(b) ? 1 : 0}};
+    case ExprOp::kCmpEq:
+      if (both_int) return Value{std::int64_t{as_int(a) == as_int(b) ? 1 : 0}};
+      return Value{std::int64_t{as_double(a) == as_double(b) ? 1 : 0}};
+    case ExprOp::kCmpNe:
+      if (both_int) return Value{std::int64_t{as_int(a) != as_int(b) ? 1 : 0}};
+      return Value{std::int64_t{as_double(a) != as_double(b) ? 1 : 0}};
+    case ExprOp::kAnd:
+      return Value{std::int64_t{as_int(a) != 0 && as_int(b) != 0 ? 1 : 0}};
+    case ExprOp::kOr:
+      return Value{std::int64_t{as_int(a) != 0 || as_int(b) != 0 ? 1 : 0}};
+    default:
+      COALESCE_ASSERT_MSG(false, "unhandled expression op");
+  }
+  return Value{std::int64_t{0}};
+}
+
+}  // namespace coalesce::ir

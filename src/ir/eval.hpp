@@ -1,0 +1,117 @@
+// Reference interpreter for the loop-nest IR.
+//
+// The interpreter executes nests *sequentially* in program order (the DOALL
+// flag is advisory; a legal DOALL produces the same result either way). Its
+// job is to define the semantics against which every transformation is
+// verified: tests run the original and the coalesced nest through this
+// evaluator and demand bit-identical array contents.
+//
+// Arrays hold doubles and are subscripted 1-based (Fortran style, matching
+// the builders). Index arithmetic is exact 64-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/stmt.hpp"
+
+namespace coalesce::ir {
+
+using Value = std::variant<std::int64_t, double>;
+
+[[nodiscard]] double as_double(const Value& v) noexcept;
+[[nodiscard]] std::int64_t as_int(const Value& v);  // asserts if double
+
+/// Row-major storage for every array in a symbol table.
+class ArrayStore {
+ public:
+  explicit ArrayStore(const SymbolTable& symbols);
+
+  [[nodiscard]] std::span<double> data(VarId array);
+  [[nodiscard]] std::span<const double> data(VarId array) const;
+
+  /// Element access with 1-based subscripts, bounds-asserted.
+  [[nodiscard]] double get(VarId array,
+                           std::span<const std::int64_t> subscripts) const;
+  void set(VarId array, std::span<const std::int64_t> subscripts,
+           double value);
+
+  /// Flat row-major offset of 1-based subscripts.
+  [[nodiscard]] std::size_t offset(VarId array,
+                                   std::span<const std::int64_t> subs) const;
+
+  void fill(VarId array, double value);
+
+  /// True when every array has identical contents in both stores.
+  [[nodiscard]] static bool identical(const ArrayStore& a, const ArrayStore& b);
+
+ private:
+  struct Slot {
+    std::vector<std::int64_t> shape;
+    std::vector<double> data;
+  };
+  const SymbolTable* symbols_;
+  std::vector<Slot> slots_;  // indexed by VarId raw; empty for non-arrays
+};
+
+/// Builtin function: pure mapping from argument values to a value.
+using Builtin = std::function<Value(std::span<const Value>)>;
+
+class Evaluator {
+ public:
+  explicit Evaluator(const SymbolTable& symbols);
+
+  /// Evaluator sharing an external array store. Used by the parallel IR
+  /// executor: one store, one evaluator (with private scalar environment)
+  /// per worker. The store must outlive the evaluator.
+  Evaluator(const SymbolTable& symbols, ArrayStore& shared);
+
+  /// Binds an integer parameter (SymbolKind::kParam) for the whole run.
+  void set_param(VarId param, std::int64_t value);
+
+  /// Registers/overrides a builtin callable by kCall expressions.
+  /// "real_div", "avg4", and "pi_height" are pre-registered.
+  void register_builtin(std::string name, Builtin fn);
+
+  [[nodiscard]] ArrayStore& store() noexcept { return *store_; }
+  [[nodiscard]] const ArrayStore& store() const noexcept { return *store_; }
+
+  /// Executes a loop tree sequentially.
+  void run(const Loop& root);
+
+  /// Executes the loop's body once with the induction variable bound to
+  /// `value` (no bounds check — the caller owns iteration-space slicing).
+  /// This is the parallel executor's per-iteration entry point.
+  void run_body_once(const Loop& loop, std::int64_t value);
+
+  /// Evaluates an expression in the current environment.
+  [[nodiscard]] Value eval(const ExprRef& expr);
+
+  /// Number of loop-body iterations executed so far (innermost statements
+  /// don't count; one per loop-variable binding). Useful in tests.
+  [[nodiscard]] std::uint64_t iterations_executed() const noexcept {
+    return iterations_;
+  }
+
+ private:
+  void register_default_builtins();
+  void exec(const Stmt& stmt);
+  void exec_assign(const AssignStmt& assign);
+  [[nodiscard]] std::int64_t eval_int(const ExprRef& expr);
+
+  const SymbolTable* symbols_;
+  std::unique_ptr<ArrayStore> owned_store_;  ///< null when sharing
+  ArrayStore* store_;                        ///< owned or external
+  std::vector<std::optional<Value>> env_;    // by VarId raw
+  std::map<std::string, Builtin, std::less<>> builtins_;
+  std::uint64_t iterations_ = 0;
+};
+
+}  // namespace coalesce::ir

@@ -1,0 +1,363 @@
+#include "ir/expr.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/int_math.hpp"
+
+namespace coalesce::ir {
+namespace {
+
+ExprRef make(ExprOp op, std::vector<ExprRef> kids) {
+  auto node = std::make_shared<ExprNode>();
+  node->op = op;
+  node->kids = std::move(kids);
+  for (const auto& k : node->kids) COALESCE_ASSERT(k != nullptr);
+  return node;
+}
+
+}  // namespace
+
+const char* to_string(ExprOp op) noexcept {
+  switch (op) {
+    case ExprOp::kIntConst: return "const";
+    case ExprOp::kVarRef: return "var";
+    case ExprOp::kAdd: return "+";
+    case ExprOp::kSub: return "-";
+    case ExprOp::kMul: return "*";
+    case ExprOp::kFloorDiv: return "fdiv";
+    case ExprOp::kCeilDiv: return "cdiv";
+    case ExprOp::kMod: return "mod";
+    case ExprOp::kMin: return "min";
+    case ExprOp::kMax: return "max";
+    case ExprOp::kNeg: return "neg";
+    case ExprOp::kArrayRead: return "read";
+    case ExprOp::kCall: return "call";
+    case ExprOp::kCmpLt: return "<";
+    case ExprOp::kCmpLe: return "<=";
+    case ExprOp::kCmpGt: return ">";
+    case ExprOp::kCmpGe: return ">=";
+    case ExprOp::kCmpEq: return "==";
+    case ExprOp::kCmpNe: return "!=";
+    case ExprOp::kAnd: return "&&";
+    case ExprOp::kOr: return "||";
+  }
+  return "?";
+}
+
+ExprRef int_const(std::int64_t v) {
+  auto node = std::make_shared<ExprNode>();
+  node->op = ExprOp::kIntConst;
+  node->literal = v;
+  return node;
+}
+
+ExprRef var_ref(VarId v) {
+  COALESCE_ASSERT(v.valid());
+  auto node = std::make_shared<ExprNode>();
+  node->op = ExprOp::kVarRef;
+  node->var = v;
+  return node;
+}
+
+ExprRef add(ExprRef a, ExprRef b) { return make(ExprOp::kAdd, {std::move(a), std::move(b)}); }
+ExprRef sub(ExprRef a, ExprRef b) { return make(ExprOp::kSub, {std::move(a), std::move(b)}); }
+ExprRef mul(ExprRef a, ExprRef b) { return make(ExprOp::kMul, {std::move(a), std::move(b)}); }
+ExprRef floor_div(ExprRef a, ExprRef b) { return make(ExprOp::kFloorDiv, {std::move(a), std::move(b)}); }
+ExprRef ceil_div(ExprRef a, ExprRef b) { return make(ExprOp::kCeilDiv, {std::move(a), std::move(b)}); }
+ExprRef mod(ExprRef a, ExprRef b) { return make(ExprOp::kMod, {std::move(a), std::move(b)}); }
+ExprRef min_expr(ExprRef a, ExprRef b) { return make(ExprOp::kMin, {std::move(a), std::move(b)}); }
+ExprRef max_expr(ExprRef a, ExprRef b) { return make(ExprOp::kMax, {std::move(a), std::move(b)}); }
+ExprRef neg(ExprRef a) { return make(ExprOp::kNeg, {std::move(a)}); }
+
+ExprRef array_read(VarId array, std::vector<ExprRef> subscripts) {
+  COALESCE_ASSERT(array.valid());
+  auto node = std::make_shared<ExprNode>();
+  node->op = ExprOp::kArrayRead;
+  node->var = array;
+  node->kids = std::move(subscripts);
+  return node;
+}
+
+ExprRef cmp_lt(ExprRef a, ExprRef b) { return make(ExprOp::kCmpLt, {std::move(a), std::move(b)}); }
+ExprRef cmp_le(ExprRef a, ExprRef b) { return make(ExprOp::kCmpLe, {std::move(a), std::move(b)}); }
+ExprRef cmp_gt(ExprRef a, ExprRef b) { return make(ExprOp::kCmpGt, {std::move(a), std::move(b)}); }
+ExprRef cmp_ge(ExprRef a, ExprRef b) { return make(ExprOp::kCmpGe, {std::move(a), std::move(b)}); }
+ExprRef cmp_eq(ExprRef a, ExprRef b) { return make(ExprOp::kCmpEq, {std::move(a), std::move(b)}); }
+ExprRef cmp_ne(ExprRef a, ExprRef b) { return make(ExprOp::kCmpNe, {std::move(a), std::move(b)}); }
+ExprRef logical_and(ExprRef a, ExprRef b) { return make(ExprOp::kAnd, {std::move(a), std::move(b)}); }
+ExprRef logical_or(ExprRef a, ExprRef b) { return make(ExprOp::kOr, {std::move(a), std::move(b)}); }
+
+ExprRef call(std::string callee, std::vector<ExprRef> args) {
+  auto node = std::make_shared<ExprNode>();
+  node->op = ExprOp::kCall;
+  node->callee = std::move(callee);
+  node->kids = std::move(args);
+  return node;
+}
+
+bool equal(const ExprRef& a, const ExprRef& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->op != b->op || a->literal != b->literal || a->var != b->var ||
+      a->callee != b->callee || a->kids.size() != b->kids.size())
+    return false;
+  for (std::size_t i = 0; i < a->kids.size(); ++i)
+    if (!equal(a->kids[i], b->kids[i])) return false;
+  return true;
+}
+
+bool references(const ExprRef& e, VarId v) {
+  if (e == nullptr) return false;
+  if ((e->op == ExprOp::kVarRef || e->op == ExprOp::kArrayRead) && e->var == v)
+    return true;
+  return std::any_of(e->kids.begin(), e->kids.end(),
+                     [&](const ExprRef& k) { return references(k, v); });
+}
+
+namespace {
+void collect_vars(const ExprRef& e, std::vector<VarId>& out) {
+  if (e == nullptr) return;
+  if (e->op == ExprOp::kVarRef || e->op == ExprOp::kArrayRead)
+    out.push_back(e->var);
+  for (const auto& k : e->kids) collect_vars(k, out);
+}
+}  // namespace
+
+std::vector<VarId> referenced_vars(const ExprRef& e) {
+  std::vector<VarId> out;
+  collect_vars(e, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::optional<std::int64_t> as_constant(const ExprRef& e) {
+  ExprRef folded = simplify(e);
+  if (folded->op == ExprOp::kIntConst) return folded->literal;
+  return std::nullopt;
+}
+
+ExprRef substitute(const ExprRef& e, VarId v, const ExprRef& replacement) {
+  COALESCE_ASSERT(e != nullptr);
+  if (e->op == ExprOp::kVarRef) {
+    return e->var == v ? replacement : e;
+  }
+  bool changed = false;
+  std::vector<ExprRef> kids;
+  kids.reserve(e->kids.size());
+  for (const auto& k : e->kids) {
+    ExprRef nk = substitute(k, v, replacement);
+    changed = changed || nk != k;
+    kids.push_back(std::move(nk));
+  }
+  if (!changed) return e;
+  auto node = std::make_shared<ExprNode>(*e);
+  node->kids = std::move(kids);
+  return node;
+}
+
+namespace {
+
+std::optional<std::int64_t> fold_binary(ExprOp op, std::int64_t a,
+                                        std::int64_t b) {
+  using support::checked_add;
+  using support::checked_mul;
+  switch (op) {
+    case ExprOp::kAdd: return checked_add(a, b);
+    case ExprOp::kSub: return checked_add(a, -b);
+    case ExprOp::kMul: return checked_mul(a, b);
+    case ExprOp::kFloorDiv:
+      if (b == 0) return std::nullopt;
+      return support::floor_div(a, b);
+    case ExprOp::kCeilDiv:
+      if (b == 0) return std::nullopt;
+      return support::ceil_div(a, b);
+    case ExprOp::kMod:
+      if (b == 0) return std::nullopt;
+      return support::mod_floor(a, b);
+    case ExprOp::kMin: return std::min(a, b);
+    case ExprOp::kMax: return std::max(a, b);
+    case ExprOp::kCmpLt: return a < b ? 1 : 0;
+    case ExprOp::kCmpLe: return a <= b ? 1 : 0;
+    case ExprOp::kCmpGt: return a > b ? 1 : 0;
+    case ExprOp::kCmpGe: return a >= b ? 1 : 0;
+    case ExprOp::kCmpEq: return a == b ? 1 : 0;
+    case ExprOp::kCmpNe: return a != b ? 1 : 0;
+    case ExprOp::kAnd: return (a != 0 && b != 0) ? 1 : 0;
+    case ExprOp::kOr: return (a != 0 || b != 0) ? 1 : 0;
+    default: return std::nullopt;
+  }
+}
+
+bool is_const(const ExprRef& e, std::int64_t v) {
+  return e->op == ExprOp::kIntConst && e->literal == v;
+}
+
+}  // namespace
+
+ExprRef simplify(const ExprRef& e) {
+  COALESCE_ASSERT(e != nullptr);
+  if (e->kids.empty()) return e;
+
+  std::vector<ExprRef> kids;
+  kids.reserve(e->kids.size());
+  bool changed = false;
+  for (const auto& k : e->kids) {
+    ExprRef nk = simplify(k);
+    changed = changed || nk != k;
+    kids.push_back(std::move(nk));
+  }
+
+  auto rebuilt = [&]() -> ExprRef {
+    if (!changed) return e;
+    auto node = std::make_shared<ExprNode>(*e);
+    node->kids = kids;
+    return node;
+  };
+
+  // Constant folding for binary arithmetic.
+  if (kids.size() == 2 && kids[0]->op == ExprOp::kIntConst &&
+      kids[1]->op == ExprOp::kIntConst) {
+    if (auto v = fold_binary(e->op, kids[0]->literal, kids[1]->literal))
+      return int_const(*v);
+  }
+  if (e->op == ExprOp::kNeg && kids[0]->op == ExprOp::kIntConst)
+    return int_const(-kids[0]->literal);
+
+  // Algebraic identities.
+  switch (e->op) {
+    case ExprOp::kAdd:
+      if (is_const(kids[0], 0)) return kids[1];
+      if (is_const(kids[1], 0)) return kids[0];
+      break;
+    case ExprOp::kSub:
+      if (is_const(kids[1], 0)) return kids[0];
+      if (equal(kids[0], kids[1])) return int_const(0);
+      break;
+    case ExprOp::kMul:
+      if (is_const(kids[0], 1)) return kids[1];
+      if (is_const(kids[1], 1)) return kids[0];
+      if (is_const(kids[0], 0) || is_const(kids[1], 0)) return int_const(0);
+      break;
+    case ExprOp::kFloorDiv:
+    case ExprOp::kCeilDiv:
+      if (is_const(kids[1], 1)) return kids[0];
+      break;
+    case ExprOp::kMod:
+      if (is_const(kids[1], 1)) return int_const(0);
+      break;
+    case ExprOp::kMin:
+    case ExprOp::kMax:
+      if (equal(kids[0], kids[1])) return kids[0];
+      break;
+    case ExprOp::kNeg:
+      if (kids[0]->op == ExprOp::kNeg) return kids[0]->kids[0];
+      break;
+    case ExprOp::kCmpLe:
+    case ExprOp::kCmpGe:
+    case ExprOp::kCmpEq:
+      if (equal(kids[0], kids[1])) return int_const(1);
+      break;
+    case ExprOp::kCmpLt:
+    case ExprOp::kCmpGt:
+    case ExprOp::kCmpNe:
+      if (equal(kids[0], kids[1])) return int_const(0);
+      break;
+    case ExprOp::kAnd:
+      if (is_const(kids[0], 0) || is_const(kids[1], 0)) return int_const(0);
+      if (is_const(kids[0], 1)) return kids[1];
+      if (is_const(kids[1], 1)) return kids[0];
+      break;
+    case ExprOp::kOr:
+      if (is_const(kids[0], 1) || is_const(kids[1], 1)) return int_const(1);
+      if (is_const(kids[0], 0)) return kids[1];
+      if (is_const(kids[1], 0)) return kids[0];
+      break;
+    default:
+      break;
+  }
+  return rebuilt();
+}
+
+std::size_t tree_size(const ExprRef& e) {
+  if (e == nullptr) return 0;
+  std::size_t n = 1;
+  for (const auto& k : e->kids) n += tree_size(k);
+  return n;
+}
+
+std::size_t division_count(const ExprRef& e) {
+  if (e == nullptr) return 0;
+  std::size_t n = (e->op == ExprOp::kFloorDiv || e->op == ExprOp::kCeilDiv ||
+                   e->op == ExprOp::kMod)
+                      ? 1
+                      : 0;
+  for (const auto& k : e->kids) n += division_count(k);
+  return n;
+}
+
+std::optional<AffineForm> to_affine(const ExprRef& e) {
+  COALESCE_ASSERT(e != nullptr);
+  switch (e->op) {
+    case ExprOp::kIntConst:
+      return AffineForm{e->literal, {}};
+    case ExprOp::kVarRef: {
+      AffineForm f;
+      f.coeffs[e->var] = 1;
+      return f;
+    }
+    case ExprOp::kNeg: {
+      auto inner = to_affine(e->kids[0]);
+      if (!inner) return std::nullopt;
+      inner->constant = -inner->constant;
+      for (auto& [v, c] : inner->coeffs) c = -c;
+      return inner;
+    }
+    case ExprOp::kAdd:
+    case ExprOp::kSub: {
+      auto lhs = to_affine(e->kids[0]);
+      auto rhs = to_affine(e->kids[1]);
+      if (!lhs || !rhs) return std::nullopt;
+      const std::int64_t sign = e->op == ExprOp::kAdd ? 1 : -1;
+      lhs->constant += sign * rhs->constant;
+      for (const auto& [v, c] : rhs->coeffs) {
+        lhs->coeffs[v] += sign * c;
+        if (lhs->coeffs[v] == 0) lhs->coeffs.erase(v);
+      }
+      return lhs;
+    }
+    case ExprOp::kMul: {
+      auto lhs = to_affine(e->kids[0]);
+      auto rhs = to_affine(e->kids[1]);
+      if (!lhs || !rhs) return std::nullopt;
+      // Affine-preserving only when one side is constant.
+      const AffineForm* konst = lhs->is_constant() ? &*lhs
+                                : rhs->is_constant() ? &*rhs
+                                                     : nullptr;
+      if (konst == nullptr) return std::nullopt;
+      const AffineForm* other = konst == &*lhs ? &*rhs : &*lhs;
+      AffineForm out;
+      out.constant = other->constant * konst->constant;
+      for (const auto& [v, c] : other->coeffs) {
+        const std::int64_t scaled = c * konst->constant;
+        if (scaled != 0) out.coeffs[v] = scaled;
+      }
+      return out;
+    }
+    default:
+      return std::nullopt;  // division, array reads, calls: not affine
+  }
+}
+
+ExprRef from_affine(const AffineForm& form) {
+  ExprRef acc = int_const(form.constant);
+  for (const auto& [v, c] : form.coeffs) {
+    if (c == 0) continue;
+    ExprRef term = c == 1 ? var_ref(v) : mul(int_const(c), var_ref(v));
+    acc = add(std::move(acc), std::move(term));
+  }
+  return simplify(acc);
+}
+
+}  // namespace coalesce::ir

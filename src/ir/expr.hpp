@@ -1,0 +1,138 @@
+// Expression trees for the loop-nest IR.
+//
+// Expressions are immutable and shared (ExprRef is a shared_ptr-to-const), so
+// transformations can freely splice subtrees without cloning. Two layers:
+//
+//  * the general tree (this file) — anything a loop body or bound can say,
+//    including the floor/ceiling divisions produced by index recovery;
+//  * AffineForm — the linear view `c0 + sum(ck * vk)` that the dependence
+//    analyzer and the coalescing legality checks consume. `to_affine`
+//    extracts it when the tree happens to be affine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/symbol.hpp"
+
+namespace coalesce::ir {
+
+enum class ExprOp : std::uint8_t {
+  kIntConst,   ///< literal (field `literal`)
+  kVarRef,     ///< scalar/induction/param reference (field `var`)
+  kAdd,        ///< kids[0] + kids[1]
+  kSub,        ///< kids[0] - kids[1]
+  kMul,        ///< kids[0] * kids[1]
+  kFloorDiv,   ///< floor(kids[0] / kids[1])   (mathematical floor)
+  kCeilDiv,    ///< ceil(kids[0] / kids[1])    (mathematical ceiling)
+  kMod,        ///< kids[0] mod kids[1]        (floor-style, sign of divisor)
+  kMin,        ///< min(kids[0], kids[1])
+  kMax,        ///< max(kids[0], kids[1])
+  kNeg,        ///< -kids[0]
+  kArrayRead,  ///< var[kids...] (element read; arrays hold doubles)
+  kCall,       ///< opaque call `callee(kids...)`, assumed side-effect free
+  // Comparisons yield integer 0/1; used by guard statements (IfStmt).
+  kCmpLt,      ///< kids[0] <  kids[1]
+  kCmpLe,      ///< kids[0] <= kids[1]
+  kCmpGt,      ///< kids[0] >  kids[1]
+  kCmpGe,      ///< kids[0] >= kids[1]
+  kCmpEq,      ///< kids[0] == kids[1]
+  kCmpNe,      ///< kids[0] != kids[1]
+  kAnd,        ///< logical and of 0/1 operands
+  kOr,         ///< logical or of 0/1 operands
+};
+
+[[nodiscard]] const char* to_string(ExprOp op) noexcept;
+
+struct ExprNode;
+using ExprRef = std::shared_ptr<const ExprNode>;
+
+struct ExprNode {
+  ExprOp op;
+  std::int64_t literal = 0;         // kIntConst
+  VarId var;                        // kVarRef, kArrayRead (the array)
+  std::string callee;               // kCall
+  std::vector<ExprRef> kids;
+};
+
+// ---- constructors -------------------------------------------------------
+
+[[nodiscard]] ExprRef int_const(std::int64_t v);
+[[nodiscard]] ExprRef var_ref(VarId v);
+[[nodiscard]] ExprRef add(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef sub(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef mul(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef floor_div(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef ceil_div(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef mod(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef min_expr(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef max_expr(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef neg(ExprRef a);
+[[nodiscard]] ExprRef array_read(VarId array, std::vector<ExprRef> subscripts);
+[[nodiscard]] ExprRef call(std::string callee, std::vector<ExprRef> args);
+[[nodiscard]] ExprRef cmp_lt(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef cmp_le(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef cmp_gt(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef cmp_ge(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef cmp_eq(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef cmp_ne(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef logical_and(ExprRef a, ExprRef b);
+[[nodiscard]] ExprRef logical_or(ExprRef a, ExprRef b);
+
+// ---- queries ------------------------------------------------------------
+
+/// Structural equality (literals, vars, ops, children).
+[[nodiscard]] bool equal(const ExprRef& a, const ExprRef& b);
+
+/// True when the tree contains a reference to `v` (including array ids).
+[[nodiscard]] bool references(const ExprRef& e, VarId v);
+
+/// All variables referenced anywhere in the tree (dedicated, sorted).
+[[nodiscard]] std::vector<VarId> referenced_vars(const ExprRef& e);
+
+/// Constant value when the tree is a literal (after folding), else nullopt.
+[[nodiscard]] std::optional<std::int64_t> as_constant(const ExprRef& e);
+
+/// Rebuild the tree substituting every read of `v` with `replacement`.
+[[nodiscard]] ExprRef substitute(const ExprRef& e, VarId v,
+                                 const ExprRef& replacement);
+
+/// Bottom-up constant folding plus algebraic identities (x*1, x+0, 0*x,
+/// x/1, x mod 1, min/max of equal constants, double negation).
+[[nodiscard]] ExprRef simplify(const ExprRef& e);
+
+/// Number of nodes in the tree (for codegen cost reporting).
+[[nodiscard]] std::size_t tree_size(const ExprRef& e);
+
+/// Count of division-family operations (kFloorDiv, kCeilDiv, kMod); this is
+/// the index-recovery cost metric used by experiment E7.
+[[nodiscard]] std::size_t division_count(const ExprRef& e);
+
+// ---- affine view --------------------------------------------------------
+
+/// c0 + sum over vars of coeff*var, exact 64-bit coefficients.
+struct AffineForm {
+  std::int64_t constant = 0;
+  std::map<VarId, std::int64_t> coeffs;
+
+  [[nodiscard]] std::int64_t coeff(VarId v) const {
+    auto it = coeffs.find(v);
+    return it == coeffs.end() ? 0 : it->second;
+  }
+  [[nodiscard]] bool is_constant() const { return coeffs.empty(); }
+
+  friend bool operator==(const AffineForm&, const AffineForm&) = default;
+};
+
+/// Affine extraction; nullopt when the tree is not affine (contains
+/// division, array reads, calls, or products of two variables).
+[[nodiscard]] std::optional<AffineForm> to_affine(const ExprRef& e);
+
+/// Rebuild an expression tree from an affine form (canonical shape).
+[[nodiscard]] ExprRef from_affine(const AffineForm& form);
+
+}  // namespace coalesce::ir

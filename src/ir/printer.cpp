@@ -1,0 +1,194 @@
+#include "ir/printer.hpp"
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::ir {
+namespace {
+
+/// Precedence levels for minimal parenthesization.
+int precedence(ExprOp op) {
+  switch (op) {
+    case ExprOp::kAnd:
+    case ExprOp::kOr:
+      return -2;
+    case ExprOp::kCmpLt:
+    case ExprOp::kCmpLe:
+    case ExprOp::kCmpGt:
+    case ExprOp::kCmpGe:
+    case ExprOp::kCmpEq:
+    case ExprOp::kCmpNe:
+      return -1;
+    default:
+      break;
+  }
+  switch (op) {
+    case ExprOp::kIntConst:
+    case ExprOp::kVarRef:
+    case ExprOp::kArrayRead:
+    case ExprOp::kCall:
+    case ExprOp::kFloorDiv:  // rendered as fdiv(a, b): call-like
+    case ExprOp::kCeilDiv:
+    case ExprOp::kMod:
+    case ExprOp::kMin:
+    case ExprOp::kMax:
+      return 100;
+    case ExprOp::kNeg:
+      return 3;
+    case ExprOp::kMul:
+      return 2;
+    case ExprOp::kAdd:
+    case ExprOp::kSub:
+      return 1;
+  }
+  return 0;
+}
+
+std::string render(const ExprRef& e, const SymbolTable& symbols,
+                   int parent_prec) {
+  COALESCE_ASSERT(e != nullptr);
+  const int prec = precedence(e->op);
+  std::string out;
+  switch (e->op) {
+    case ExprOp::kIntConst:
+      out = std::to_string(e->literal);
+      break;
+    case ExprOp::kVarRef:
+      out = symbols.name(e->var);
+      break;
+    case ExprOp::kAdd:
+      out = render(e->kids[0], symbols, prec) + " + " +
+            render(e->kids[1], symbols, prec);
+      break;
+    case ExprOp::kSub:
+      // Right side needs the stricter context: a - (b - c) != a - b - c.
+      out = render(e->kids[0], symbols, prec) + " - " +
+            render(e->kids[1], symbols, prec + 1);
+      break;
+    case ExprOp::kMul:
+      out = render(e->kids[0], symbols, prec) + " * " +
+            render(e->kids[1], symbols, prec);
+      break;
+    case ExprOp::kNeg:
+      out = "-" + render(e->kids[0], symbols, prec);
+      break;
+    case ExprOp::kFloorDiv:
+      out = "fdiv(" + render(e->kids[0], symbols, 0) + ", " +
+            render(e->kids[1], symbols, 0) + ")";
+      break;
+    case ExprOp::kCeilDiv:
+      out = "cdiv(" + render(e->kids[0], symbols, 0) + ", " +
+            render(e->kids[1], symbols, 0) + ")";
+      break;
+    case ExprOp::kMod:
+      out = "mod(" + render(e->kids[0], symbols, 0) + ", " +
+            render(e->kids[1], symbols, 0) + ")";
+      break;
+    case ExprOp::kMin:
+      out = "min(" + render(e->kids[0], symbols, 0) + ", " +
+            render(e->kids[1], symbols, 0) + ")";
+      break;
+    case ExprOp::kMax:
+      out = "max(" + render(e->kids[0], symbols, 0) + ", " +
+            render(e->kids[1], symbols, 0) + ")";
+      break;
+    case ExprOp::kCmpLt:
+    case ExprOp::kCmpLe:
+    case ExprOp::kCmpGt:
+    case ExprOp::kCmpGe:
+    case ExprOp::kCmpEq:
+    case ExprOp::kCmpNe:
+    case ExprOp::kAnd:
+    case ExprOp::kOr:
+      out = render(e->kids[0], symbols, prec + 1) + " " +
+            std::string(to_string(e->op)) + " " +
+            render(e->kids[1], symbols, prec + 1);
+      break;
+    case ExprOp::kArrayRead: {
+      out = symbols.name(e->var);
+      for (const auto& sub : e->kids)
+        out += "[" + render(sub, symbols, 0) + "]";
+      break;
+    }
+    case ExprOp::kCall: {
+      std::vector<std::string> args;
+      args.reserve(e->kids.size());
+      for (const auto& arg : e->kids) args.push_back(render(arg, symbols, 0));
+      out = e->callee + "(" + support::join(args, ", ") + ")";
+      break;
+    }
+  }
+  if (prec < parent_prec) out = "(" + out + ")";
+  return out;
+}
+
+std::string render_lvalue(const LValue& lhs, const SymbolTable& symbols) {
+  if (const auto* scalar = std::get_if<VarId>(&lhs)) {
+    return symbols.name(*scalar);
+  }
+  const auto& access = std::get<ArrayAccess>(lhs);
+  std::string out = symbols.name(access.array);
+  for (const auto& sub : access.subscripts)
+    out += "[" + render(sub, symbols, 0) + "]";
+  return out;
+}
+
+void render_stmt(const Stmt& stmt, const SymbolTable& symbols,
+                 std::size_t depth, std::string& out);
+
+void render_loop(const Loop& loop, const SymbolTable& symbols,
+                 std::size_t depth, std::string& out) {
+  const std::string pad(depth * 2, ' ');
+  out += pad;
+  out += loop.parallel ? "doall " : "do ";
+  out += symbols.name(loop.var);
+  out += " = " + render(loop.lower, symbols, 0);
+  out += ", " + render(loop.upper, symbols, 0);
+  if (loop.step != 1) out += ", " + std::to_string(loop.step);
+  out += " {\n";
+  for (const Stmt& s : loop.body) render_stmt(s, symbols, depth + 1, out);
+  out += pad + "}\n";
+}
+
+void render_stmt(const Stmt& stmt, const SymbolTable& symbols,
+                 std::size_t depth, std::string& out) {
+  if (const auto* assign = std::get_if<AssignStmt>(&stmt)) {
+    out += std::string(depth * 2, ' ');
+    out += render_lvalue(assign->lhs, symbols);
+    out += " = " + render(assign->rhs, symbols, 0) + ";\n";
+  } else if (const auto* guard = std::get_if<IfPtr>(&stmt)) {
+    const std::string pad(depth * 2, ' ');
+    out += pad + "if (" + render((*guard)->condition, symbols, -100) + ") {\n";
+    for (const Stmt& s : (*guard)->then_body) {
+      render_stmt(s, symbols, depth + 1, out);
+    }
+    out += pad + "}\n";
+  } else {
+    render_loop(*std::get<LoopPtr>(stmt), symbols, depth, out);
+  }
+}
+
+}  // namespace
+
+std::string to_string(const ExprRef& expr, const SymbolTable& symbols) {
+  return render(expr, symbols, -100);  // lowest context: no outer parens
+}
+
+std::string to_string(const Stmt& stmt, const SymbolTable& symbols) {
+  std::string out;
+  render_stmt(stmt, symbols, 0, out);
+  return out;
+}
+
+std::string to_string(const Loop& loop, const SymbolTable& symbols) {
+  std::string out;
+  render_loop(loop, symbols, 0, out);
+  return out;
+}
+
+std::string to_string(const LoopNest& nest) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  return to_string(*nest.root, nest.symbols);
+}
+
+}  // namespace coalesce::ir

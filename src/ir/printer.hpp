@@ -1,0 +1,33 @@
+// Human-readable rendering of IR expressions and loop nests. The codegen
+// module builds on this for compilable C output; this printer targets eyes
+// (tests' failure messages, examples' before/after dumps).
+#pragma once
+
+#include <string>
+
+#include "ir/stmt.hpp"
+
+namespace coalesce::ir {
+
+/// Render an expression in infix form, e.g. "(i0 - 1) * 16 + i1".
+[[nodiscard]] std::string to_string(const ExprRef& expr,
+                                    const SymbolTable& symbols);
+
+/// Render one statement (assignment or nested loop), newline-terminated.
+[[nodiscard]] std::string to_string(const Stmt& stmt,
+                                    const SymbolTable& symbols);
+
+/// Render a loop tree:
+///
+///   doall i0 = 1, 16 {
+///     doall i1 = 1, 8 {
+///       C[i0][i1] = 0;
+///     }
+///   }
+[[nodiscard]] std::string to_string(const Loop& loop,
+                                    const SymbolTable& symbols);
+
+/// Render a whole nest (its root loop).
+[[nodiscard]] std::string to_string(const LoopNest& nest);
+
+}  // namespace coalesce::ir

@@ -1,0 +1,240 @@
+#include "ir/stmt.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace coalesce::ir {
+
+LoopPtr clone(const Loop& loop) {
+  auto out = std::make_shared<Loop>();
+  out->var = loop.var;
+  out->lower = loop.lower;
+  out->upper = loop.upper;
+  out->step = loop.step;
+  out->parallel = loop.parallel;
+  out->body.reserve(loop.body.size());
+  for (const Stmt& s : loop.body) out->body.push_back(clone(s));
+  return out;
+}
+
+Stmt clone(const Stmt& stmt) {
+  if (const auto* assign = std::get_if<AssignStmt>(&stmt)) {
+    return *assign;  // expressions immutable; value copy is a deep-enough copy
+  }
+  if (const auto* guard = std::get_if<IfPtr>(&stmt)) {
+    COALESCE_ASSERT(*guard != nullptr);
+    auto out = std::make_shared<IfStmt>();
+    out->condition = (*guard)->condition;
+    out->then_body.reserve((*guard)->then_body.size());
+    for (const Stmt& s : (*guard)->then_body) out->then_body.push_back(clone(s));
+    return out;
+  }
+  const auto& loop = std::get<LoopPtr>(stmt);
+  COALESCE_ASSERT(loop != nullptr);
+  return clone(*loop);
+}
+
+LoopPtr substitute(const Loop& loop, VarId v, const ExprRef& replacement) {
+  auto out = std::make_shared<Loop>();
+  out->var = loop.var;
+  out->lower = substitute(loop.lower, v, replacement);
+  out->upper = substitute(loop.upper, v, replacement);
+  out->step = loop.step;
+  out->parallel = loop.parallel;
+  out->body.reserve(loop.body.size());
+  for (const Stmt& s : loop.body) {
+    out->body.push_back(substitute(s, v, replacement));
+  }
+  return out;
+}
+
+Stmt substitute(const Stmt& stmt, VarId v, const ExprRef& replacement) {
+  if (const auto* assign = std::get_if<AssignStmt>(&stmt)) {
+    AssignStmt out = *assign;
+    out.rhs = substitute(out.rhs, v, replacement);
+    if (auto* access = std::get_if<ArrayAccess>(&out.lhs)) {
+      for (auto& sub : access->subscripts) {
+        sub = substitute(sub, v, replacement);
+      }
+    }
+    return out;
+  }
+  if (const auto* guard = std::get_if<IfPtr>(&stmt)) {
+    auto out = std::make_shared<IfStmt>();
+    out->condition = substitute((*guard)->condition, v, replacement);
+    out->then_body.reserve((*guard)->then_body.size());
+    for (const Stmt& s : (*guard)->then_body) {
+      out->then_body.push_back(substitute(s, v, replacement));
+    }
+    return out;
+  }
+  return substitute(*std::get<LoopPtr>(stmt), v, replacement);
+}
+
+std::vector<const Loop*> perfect_band(const Loop& root) {
+  std::vector<const Loop*> band;
+  const Loop* cur = &root;
+  while (true) {
+    band.push_back(cur);
+    if (cur->body.size() != 1) break;
+    const auto* inner = std::get_if<LoopPtr>(&cur->body.front());
+    if (inner == nullptr) break;
+    cur = inner->get();
+  }
+  return band;
+}
+
+std::vector<const Loop*> parallel_band(const Loop& root) {
+  std::vector<const Loop*> band = perfect_band(root);
+  std::size_t len = 0;
+  while (len < band.size() && band[len]->parallel) ++len;
+  band.resize(len);
+  return band;
+}
+
+std::size_t perfect_depth(const Loop& root) {
+  return perfect_band(root).size();
+}
+
+std::optional<std::int64_t> constant_trip_count(const Loop& loop) {
+  auto lo = as_constant(loop.lower);
+  auto hi = as_constant(loop.upper);
+  if (!lo || !hi) return std::nullopt;
+  COALESCE_ASSERT(loop.step > 0);
+  if (*hi < *lo) return 0;
+  return (*hi - *lo) / loop.step + 1;
+}
+
+bool is_normalized(const Loop& loop) {
+  auto lo = as_constant(loop.lower);
+  return lo.has_value() && *lo == 1 && loop.step == 1;
+}
+
+namespace {
+
+std::size_t loop_count_body(const std::vector<Stmt>& body);
+
+std::size_t loop_count_stmt(const Stmt& s) {
+  if (const auto* inner = std::get_if<LoopPtr>(&s)) {
+    return loop_count(**inner);
+  }
+  if (const auto* guard = std::get_if<IfPtr>(&s)) {
+    return loop_count_body((*guard)->then_body);
+  }
+  return 0;
+}
+
+std::size_t loop_count_body(const std::vector<Stmt>& body) {
+  std::size_t n = 0;
+  for (const Stmt& s : body) n += loop_count_stmt(s);
+  return n;
+}
+
+std::size_t assignment_count_body(const std::vector<Stmt>& body);
+
+std::size_t assignment_count_stmt(const Stmt& s) {
+  if (std::holds_alternative<AssignStmt>(s)) return 1;
+  if (const auto* guard = std::get_if<IfPtr>(&s)) {
+    return assignment_count_body((*guard)->then_body);
+  }
+  return assignment_count(*std::get<LoopPtr>(s));
+}
+
+std::size_t assignment_count_body(const std::vector<Stmt>& body) {
+  std::size_t n = 0;
+  for (const Stmt& s : body) n += assignment_count_stmt(s);
+  return n;
+}
+
+}  // namespace
+
+std::size_t loop_count(const Loop& root) {
+  return 1 + loop_count_body(root.body);
+}
+
+std::size_t assignment_count(const Loop& root) {
+  return assignment_count_body(root.body);
+}
+
+namespace {
+
+void collect_body(const std::vector<Stmt>& body,
+                  std::vector<const Loop*>& chain, bool guarded,
+                  std::vector<NestedAssignment>& assigns,
+                  std::vector<NestedGuard>& guards) {
+  for (const Stmt& s : body) {
+    if (const auto* assign = std::get_if<AssignStmt>(&s)) {
+      assigns.push_back(NestedAssignment{chain, assign, guarded});
+    } else if (const auto* guard = std::get_if<IfPtr>(&s)) {
+      guards.push_back(NestedGuard{chain, &(*guard)->condition});
+      collect_body((*guard)->then_body, chain, /*guarded=*/true, assigns,
+                   guards);
+    } else {
+      const Loop& loop = *std::get<LoopPtr>(s);
+      chain.push_back(&loop);
+      collect_body(loop.body, chain, guarded, assigns, guards);
+      chain.pop_back();
+    }
+  }
+}
+
+void collect_all(const Loop& root, std::vector<NestedAssignment>& assigns,
+                 std::vector<NestedGuard>& guards) {
+  std::vector<const Loop*> chain;
+  chain.push_back(&root);
+  collect_body(root.body, chain, /*guarded=*/false, assigns, guards);
+}
+
+void push_unique(std::vector<VarId>& xs, VarId v) {
+  if (std::find(xs.begin(), xs.end(), v) == xs.end()) xs.push_back(v);
+}
+
+void arrays_in_expr(const ExprRef& e, std::vector<VarId>& out) {
+  if (e == nullptr) return;
+  if (e->op == ExprOp::kArrayRead) push_unique(out, e->var);
+  for (const auto& k : e->kids) arrays_in_expr(k, out);
+}
+
+}  // namespace
+
+std::vector<NestedAssignment> collect_assignments(const Loop& root) {
+  std::vector<NestedAssignment> assigns;
+  std::vector<NestedGuard> guards;
+  collect_all(root, assigns, guards);
+  return assigns;
+}
+
+std::vector<NestedGuard> collect_guards(const Loop& root) {
+  std::vector<NestedAssignment> assigns;
+  std::vector<NestedGuard> guards;
+  collect_all(root, assigns, guards);
+  return guards;
+}
+
+std::vector<VarId> scalars_written(const Loop& root) {
+  std::vector<VarId> out;
+  for (const auto& na : collect_assignments(root)) {
+    if (const auto* scalar = std::get_if<VarId>(&na.stmt->lhs)) {
+      push_unique(out, *scalar);
+    }
+  }
+  return out;
+}
+
+std::vector<VarId> arrays_touched(const Loop& root) {
+  std::vector<VarId> out;
+  for (const auto& na : collect_assignments(root)) {
+    if (const auto* access = std::get_if<ArrayAccess>(&na.stmt->lhs)) {
+      push_unique(out, access->array);
+      for (const auto& sub : access->subscripts) arrays_in_expr(sub, out);
+    }
+    arrays_in_expr(na.stmt->rhs, out);
+  }
+  for (const auto& guard : collect_guards(root)) {
+    arrays_in_expr(*guard.condition, out);
+  }
+  return out;
+}
+
+}  // namespace coalesce::ir

@@ -1,0 +1,137 @@
+// Statements and loops for the loop-nest IR.
+//
+// A program fragment is a list of statements; a statement is either an
+// assignment (to a scalar or an array element) or a loop. Loops carry the
+// DOALL flag that the dependence analyzer proves and the coalescing
+// transformation consumes. Bounds are inclusive (`for v = lo .. hi step s`),
+// matching the Fortran DO loops the paper transforms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "ir/symbol.hpp"
+
+namespace coalesce::ir {
+
+struct ArrayAccess {
+  VarId array;
+  std::vector<ExprRef> subscripts;
+};
+
+/// Assignment target: a scalar variable or an array element.
+using LValue = std::variant<VarId, ArrayAccess>;
+
+struct AssignStmt {
+  LValue lhs;
+  ExprRef rhs;
+};
+
+struct Loop;
+using LoopPtr = std::shared_ptr<Loop>;
+struct IfStmt;
+using IfPtr = std::shared_ptr<IfStmt>;
+
+/// A statement is an assignment, a (nested) loop, or a guarded block.
+/// Sequencing is positional within the enclosing body vector.
+using Stmt = std::variant<AssignStmt, LoopPtr, IfPtr>;
+
+/// Guard: execute `then_body` when `condition` evaluates nonzero. Guards are
+/// what non-rectangular coalescing emits (bounding box + membership test).
+struct IfStmt {
+  ExprRef condition;
+  std::vector<Stmt> then_body;
+};
+
+struct Loop {
+  VarId var;                 ///< induction variable
+  ExprRef lower;             ///< inclusive lower bound
+  ExprRef upper;             ///< inclusive upper bound
+  std::int64_t step = 1;     ///< positive step
+  bool parallel = false;     ///< DOALL: iterations independent
+  std::vector<Stmt> body;
+};
+
+/// A loop nest plus the symbol table its ids refer to. The unit every
+/// analysis and transformation operates on.
+struct LoopNest {
+  SymbolTable symbols;
+  LoopPtr root;
+};
+
+/// An ordered sequence of top-level loops over one symbol universe —
+/// the result shape of root-level loop distribution.
+struct Program {
+  SymbolTable symbols;
+  std::vector<LoopPtr> roots;  ///< executed in order
+};
+
+// ---- structural queries ---------------------------------------------------
+
+/// Deep copy of a loop (fresh Loop objects; expression trees shared, which is
+/// safe because expressions are immutable).
+[[nodiscard]] LoopPtr clone(const Loop& loop);
+[[nodiscard]] Stmt clone(const Stmt& stmt);
+
+/// Deep copy substituting every expression read of `v` with `replacement`
+/// (bounds, subscripts, right-hand sides, guard conditions). Scalar
+/// assignments *to* `v` are left targeting `v` — callers renaming induction
+/// variables must ensure `v` is not assigned in the tree.
+[[nodiscard]] LoopPtr substitute(const Loop& loop, VarId v,
+                                 const ExprRef& replacement);
+[[nodiscard]] Stmt substitute(const Stmt& stmt, VarId v,
+                              const ExprRef& replacement);
+
+/// The maximal *perfect* band starting at `root`: root, then — as long as a
+/// loop's body is exactly one statement and that statement is a loop — the
+/// inner loop, and so on. Always non-empty.
+[[nodiscard]] std::vector<const Loop*> perfect_band(const Loop& root);
+
+/// Longest prefix of the perfect band in which every loop is parallel.
+[[nodiscard]] std::vector<const Loop*> parallel_band(const Loop& root);
+
+/// Depth of the maximal perfect band.
+[[nodiscard]] std::size_t perfect_depth(const Loop& root);
+
+/// Trip count when lower/upper fold to constants; nullopt otherwise.
+[[nodiscard]] std::optional<std::int64_t> constant_trip_count(const Loop& loop);
+
+/// True when lower == 1 and step == 1 (the paper's normalized form).
+[[nodiscard]] bool is_normalized(const Loop& loop);
+
+/// Total number of loops in the tree rooted at `root` (not just the band).
+[[nodiscard]] std::size_t loop_count(const Loop& root);
+
+/// Total number of assignment statements in the tree.
+[[nodiscard]] std::size_t assignment_count(const Loop& root);
+
+/// All assignments inside the tree, in execution order, paired with the
+/// enclosing loop chain (outermost first; guards do not extend the chain but
+/// set `guarded`). Used by the dependence analyzer.
+struct NestedAssignment {
+  std::vector<const Loop*> enclosing;  ///< outermost ... innermost
+  const AssignStmt* stmt;
+  bool guarded = false;  ///< true when under at least one IfStmt
+};
+[[nodiscard]] std::vector<NestedAssignment> collect_assignments(
+    const Loop& root);
+
+/// All guard conditions inside the tree with their enclosing loop chains
+/// (for the analyzer: condition reads participate in dependences).
+struct NestedGuard {
+  std::vector<const Loop*> enclosing;
+  const ExprRef* condition;
+};
+[[nodiscard]] std::vector<NestedGuard> collect_guards(const Loop& root);
+
+/// All variables assigned (scalar lhs) anywhere in the tree.
+[[nodiscard]] std::vector<VarId> scalars_written(const Loop& root);
+
+/// All arrays read or written anywhere in the tree.
+[[nodiscard]] std::vector<VarId> arrays_touched(const Loop& root);
+
+}  // namespace coalesce::ir

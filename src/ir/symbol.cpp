@@ -1,0 +1,74 @@
+#include "ir/symbol.hpp"
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::ir {
+
+const char* to_string(SymbolKind kind) noexcept {
+  switch (kind) {
+    case SymbolKind::kInduction:
+      return "induction";
+    case SymbolKind::kScalar:
+      return "scalar";
+    case SymbolKind::kArray:
+      return "array";
+    case SymbolKind::kParam:
+      return "param";
+  }
+  return "unknown";
+}
+
+VarId SymbolTable::declare(std::string name, SymbolKind kind,
+                           std::vector<std::int64_t> shape) {
+  COALESCE_ASSERT_MSG(!lookup(name).has_value(),
+                      "symbol already declared");
+  COALESCE_ASSERT_MSG(kind == SymbolKind::kArray || shape.empty(),
+                      "shape only valid for arrays");
+  symbols_.push_back(Symbol{std::move(name), kind, std::move(shape)});
+  return VarId{static_cast<std::uint32_t>(symbols_.size() - 1)};
+}
+
+support::Expected<VarId> SymbolTable::declare_or_get(
+    std::string name, SymbolKind kind, std::vector<std::int64_t> shape) {
+  if (auto existing = lookup(name)) {
+    if (symbols_[existing->raw].kind != kind) {
+      return support::make_error(
+          support::ErrorCode::kInvalidArgument,
+          support::format("symbol '%s' redeclared with a different kind",
+                          name.c_str()));
+    }
+    return *existing;
+  }
+  return declare(std::move(name), kind, std::move(shape));
+}
+
+std::optional<VarId> SymbolTable::lookup(std::string_view name) const {
+  for (std::size_t i = 0; i < symbols_.size(); ++i) {
+    if (symbols_[i].name == name)
+      return VarId{static_cast<std::uint32_t>(i)};
+  }
+  return std::nullopt;
+}
+
+const Symbol& SymbolTable::operator[](VarId id) const {
+  COALESCE_ASSERT(id.valid() && id.raw < symbols_.size());
+  return symbols_[id.raw];
+}
+
+const std::string& SymbolTable::name(VarId id) const {
+  return (*this)[id].name;
+}
+
+SymbolKind SymbolTable::kind(VarId id) const { return (*this)[id].kind; }
+
+VarId SymbolTable::fresh_induction(std::string_view prefix) {
+  for (std::size_t n = 0;; ++n) {
+    std::string candidate = std::string(prefix) + std::to_string(n);
+    if (!lookup(candidate).has_value()) {
+      return declare(std::move(candidate), SymbolKind::kInduction);
+    }
+  }
+}
+
+}  // namespace coalesce::ir

@@ -1,0 +1,69 @@
+// Symbol table for the loop-nest IR.
+//
+// Symbols are interned once and referenced by a small integral id everywhere
+// else (expressions, loops, array accesses), which keeps IR nodes cheap to
+// copy and makes identity comparisons trivial.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace coalesce::ir {
+
+/// Index into a SymbolTable. Valid only for the table that produced it.
+struct VarId {
+  std::uint32_t raw = UINT32_MAX;
+
+  [[nodiscard]] bool valid() const noexcept { return raw != UINT32_MAX; }
+  friend bool operator==(VarId, VarId) = default;
+  friend auto operator<=>(VarId, VarId) = default;
+};
+
+enum class SymbolKind : std::uint8_t {
+  kInduction,  ///< loop induction variable (integer)
+  kScalar,     ///< integer or floating scalar
+  kArray,      ///< array of doubles, row-major
+  kParam,      ///< integer parameter constant for a whole execution (e.g. N)
+};
+
+[[nodiscard]] const char* to_string(SymbolKind kind) noexcept;
+
+struct Symbol {
+  std::string name;
+  SymbolKind kind;
+  /// For kArray: extents per dimension (row-major). Empty otherwise.
+  std::vector<std::int64_t> shape;
+};
+
+class SymbolTable {
+ public:
+  /// Interns a new symbol; name must not already exist.
+  VarId declare(std::string name, SymbolKind kind,
+                std::vector<std::int64_t> shape = {});
+
+  /// Declares `name`, or returns the existing id when kinds match.
+  support::Expected<VarId> declare_or_get(std::string name, SymbolKind kind,
+                                          std::vector<std::int64_t> shape = {});
+
+  [[nodiscard]] std::optional<VarId> lookup(std::string_view name) const;
+
+  [[nodiscard]] const Symbol& operator[](VarId id) const;
+  [[nodiscard]] const std::string& name(VarId id) const;
+  [[nodiscard]] SymbolKind kind(VarId id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return symbols_.size(); }
+
+  /// Fresh induction variable with an unused canonical name ("i0", "i1", ...
+  /// or "<prefix>N" if the plain name is taken).
+  VarId fresh_induction(std::string_view prefix = "i");
+
+ private:
+  std::vector<Symbol> symbols_;
+};
+
+}  // namespace coalesce::ir

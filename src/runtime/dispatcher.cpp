@@ -1,0 +1,54 @@
+#include "runtime/dispatcher.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace coalesce::runtime {
+
+FetchAddDispatcher::FetchAddDispatcher(i64 total, i64 chunk_size)
+    : total_(total), chunk_(chunk_size) {
+  COALESCE_ASSERT(total >= 0);
+  COALESCE_ASSERT(chunk_size >= 1);
+}
+
+index::Chunk FetchAddDispatcher::next() {
+  // The fetch&add: claim [first, first + k) in one wait-free operation.
+  const i64 first = next_.fetch_add(chunk_, std::memory_order_relaxed);
+  if (first > total_) {
+    return index::Chunk{total_ + 1, total_ + 1};  // empty: exhausted
+  }
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  return index::Chunk{first, std::min(first + chunk_, total_ + 1)};
+}
+
+std::uint64_t FetchAddDispatcher::dispatch_ops() const noexcept {
+  return ops_.load(std::memory_order_relaxed);
+}
+
+PolicyDispatcher::PolicyDispatcher(i64 total,
+                                   std::unique_ptr<index::ChunkPolicy> policy)
+    : cursor_(1), remaining_(total), policy_(std::move(policy)) {
+  COALESCE_ASSERT(total >= 0);
+  COALESCE_ASSERT(policy_ != nullptr);
+}
+
+index::Chunk PolicyDispatcher::next() {
+  std::scoped_lock lock(mutex_);
+  if (remaining_ <= 0) {
+    return index::Chunk{cursor_, cursor_};  // empty
+  }
+  const i64 take = policy_->next_chunk(remaining_);
+  COALESCE_ASSERT(take >= 1 && take <= remaining_);
+  const index::Chunk chunk{cursor_, cursor_ + take};
+  cursor_ += take;
+  remaining_ -= take;
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  return chunk;
+}
+
+std::uint64_t PolicyDispatcher::dispatch_ops() const noexcept {
+  return ops_.load(std::memory_order_relaxed);
+}
+
+}  // namespace coalesce::runtime

@@ -1,0 +1,45 @@
+// Parallel execution of IR programs on real threads.
+//
+// This is the runtime half of the compiler story: the nests the
+// transformations produce are *executed in parallel* by interpreting the
+// root DOALL's iterations across the worker pool. One ArrayStore is shared
+// (a legal DOALL writes disjoint elements); each worker owns a private
+// Evaluator, so recovered indices and privatized scalars live in per-worker
+// environments — exactly the privatization model the emitted OpenMP code
+// uses with `private(...)` clauses.
+//
+// Soundness contract: the root loop must be a proven DOALL (run
+// analysis::analyze_and_mark or construct via the transforms). Executing a
+// non-DOALL root in parallel is a data race; execute_program falls back to
+// sequential interpretation for roots not marked parallel.
+#pragma once
+
+#include "ir/eval.hpp"
+#include "ir/stmt.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::runtime {
+
+/// Executes `nest.root` with its iterations scheduled across the pool.
+/// Requires: root marked parallel, constant bounds, positive step.
+/// Returns the scheduling stats; array results land in `store`.
+[[nodiscard]] support::Expected<ForStats> execute_parallel(
+    ThreadPool& pool, const ir::LoopNest& nest, ScheduleParams params,
+    ir::ArrayStore& store);
+
+/// Executes a whole program (e.g. the output of distribute + coalesce):
+/// parallel roots run across the pool, sequential roots are interpreted on
+/// the calling thread, in order, against one shared store.
+struct ProgramStats {
+  std::uint64_t parallel_roots = 0;
+  std::uint64_t sequential_roots = 0;
+  std::uint64_t dispatch_ops = 0;
+  std::uint64_t iterations = 0;
+};
+[[nodiscard]] support::Expected<ProgramStats> execute_program(
+    ThreadPool& pool, const ir::Program& program, ScheduleParams params,
+    ir::ArrayStore& store);
+
+}  // namespace coalesce::runtime

@@ -1,0 +1,290 @@
+#include "runtime/parallel_for.hpp"
+
+#include <chrono>
+
+#include "support/assert.hpp"
+#include "support/int_math.hpp"
+#include "support/stats.hpp"
+
+namespace coalesce::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Sequentially visits every point of a rectangular space with a fixed
+/// prefix; `indices` holds the full index vector, levels [from, end) are
+/// swept here.
+void sweep_tail(std::span<const i64> extents, std::size_t from,
+                std::vector<i64>& indices, const IndexedBody& body) {
+  if (from == extents.size()) {
+    body(indices);
+    return;
+  }
+  for (i64 v = 1; v <= extents[from]; ++v) {
+    indices[from] = v;
+    sweep_tail(extents, from + 1, indices, body);
+  }
+}
+
+}  // namespace
+
+const char* to_string(Schedule schedule) noexcept {
+  switch (schedule) {
+    case Schedule::kStaticBlock: return "static-block";
+    case Schedule::kStaticCyclic: return "static-cyclic";
+    case Schedule::kSelf: return "self(1)";
+    case Schedule::kChunked: return "chunked";
+    case Schedule::kGuided: return "guided";
+    case Schedule::kFactoring: return "factoring";
+    case Schedule::kTrapezoid: return "trapezoid";
+  }
+  return "?";
+}
+
+double ForStats::imbalance() const {
+  std::vector<double> xs;
+  xs.reserve(iterations_per_worker.size());
+  for (auto n : iterations_per_worker) xs.push_back(static_cast<double>(n));
+  if (xs.empty()) return 1.0;
+  support::Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.mean() == 0.0 ? 1.0 : acc.max() / acc.mean();
+}
+
+std::unique_ptr<Dispatcher> make_dispatcher(ScheduleParams params, i64 total,
+                                            std::size_t workers) {
+  switch (params.kind) {
+    case Schedule::kStaticBlock:
+    case Schedule::kStaticCyclic:
+      return nullptr;
+    case Schedule::kSelf:
+      return std::make_unique<FetchAddDispatcher>(total, 1);
+    case Schedule::kChunked:
+      return std::make_unique<FetchAddDispatcher>(total, params.chunk_size);
+    case Schedule::kGuided:
+      return std::make_unique<PolicyDispatcher>(
+          total,
+          std::make_unique<index::GuidedPolicy>(static_cast<i64>(workers)));
+    case Schedule::kFactoring:
+      return std::make_unique<PolicyDispatcher>(
+          total, std::make_unique<index::FactoringPolicy>(
+                     static_cast<i64>(workers)));
+    case Schedule::kTrapezoid:
+      return std::make_unique<PolicyDispatcher>(
+          total, std::make_unique<index::TrapezoidPolicy>(
+                     std::max<i64>(total, 1), static_cast<i64>(workers)));
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Shared driver: runs one region in which each worker pulls chunks (from
+/// the dispatcher or its static partition) and feeds them to `run_chunk`.
+ForStats drive(ThreadPool& pool, i64 total, ScheduleParams params,
+               const std::function<void(index::Chunk, std::uint64_t* iters)>&
+                   run_chunk) {
+  const std::size_t workers = pool.worker_count();
+  ForStats stats;
+  stats.iterations_per_worker.assign(workers, 0);
+  std::vector<std::uint64_t> chunks(workers, 0);
+
+  const auto dispatcher = make_dispatcher(params, total, workers);
+  const auto start = Clock::now();
+
+  pool.run_region([&](std::size_t w) {
+    std::uint64_t local_iters = 0;
+    std::uint64_t local_chunks = 0;
+    if (dispatcher != nullptr) {
+      while (true) {
+        const index::Chunk chunk = dispatcher->next();
+        if (chunk.empty()) break;
+        ++local_chunks;
+        run_chunk(chunk, &local_iters);
+      }
+    } else if (params.kind == Schedule::kStaticBlock) {
+      const auto blocks = index::static_blocks(total, static_cast<i64>(workers));
+      const index::Chunk mine = blocks[w];
+      if (!mine.empty()) {
+        ++local_chunks;
+        run_chunk(mine, &local_iters);
+      }
+    } else {  // kStaticCyclic: unit chunks w+1, w+1+P, ...
+      for (i64 j = static_cast<i64>(w) + 1; j <= total;
+           j += static_cast<i64>(workers)) {
+        ++local_chunks;
+        run_chunk(index::Chunk{j, j + 1}, &local_iters);
+      }
+    }
+    stats.iterations_per_worker[w] = local_iters;
+    chunks[w] = local_chunks;
+  });
+
+  stats.wall_seconds = seconds_since(start);
+  for (auto c : chunks) stats.chunks_executed += c;
+  stats.dispatch_ops = dispatcher != nullptr ? dispatcher->dispatch_ops() : 0;
+  return stats;
+}
+
+}  // namespace
+
+ForStats parallel_for(ThreadPool& pool, i64 total, ScheduleParams params,
+                      const FlatBody& body) {
+  COALESCE_ASSERT(total >= 0);
+  return drive(pool, total, params,
+               [&](index::Chunk chunk, std::uint64_t* iters) {
+                 for (i64 j = chunk.first; j < chunk.last; ++j) {
+                   body(j);
+                   ++*iters;
+                 }
+               });
+}
+
+ForStats parallel_for_collapsed(ThreadPool& pool,
+                                const index::CoalescedSpace& space,
+                                ScheduleParams params,
+                                const IndexedBody& body) {
+  return drive(pool, space.total(), params,
+               [&](index::Chunk chunk, std::uint64_t* iters) {
+                 // One full decode per chunk, odometer within: the
+                 // strength-reduced recovery (index/incremental.hpp).
+                 index::IncrementalDecoder decoder(space, chunk.first);
+                 while (true) {
+                   body(decoder.original());
+                   ++*iters;
+                   if (decoder.position() + 1 >= chunk.last) break;
+                   decoder.advance();
+                 }
+               });
+}
+
+ForStats parallel_for_collapsed_tiled(ThreadPool& pool,
+                                      const index::CoalescedSpace& space,
+                                      std::span<const i64> tile_sizes,
+                                      ScheduleParams params,
+                                      const IndexedBody& body) {
+  COALESCE_ASSERT(tile_sizes.size() == space.depth());
+  const std::size_t depth = space.depth();
+
+  // Tile grid: level k has ceil(extent_k / tile_k) tiles.
+  std::vector<i64> grid(depth);
+  for (std::size_t k = 0; k < depth; ++k) {
+    COALESCE_ASSERT(tile_sizes[k] >= 1);
+    grid[k] = support::ceil_div(space.extent(k), tile_sizes[k]);
+  }
+  const auto tile_space = index::CoalescedSpace::create(grid).value();
+
+  return drive(
+      pool, tile_space.total(), params,
+      [&](index::Chunk chunk, std::uint64_t* iters) {
+        std::vector<i64> tile(depth);
+        std::vector<i64> point(depth);
+        for (i64 t = chunk.first; t < chunk.last; ++t) {
+          tile_space.decode_paper(t, tile);
+          // Sweep the tile's box in row-major order over ORIGINAL values.
+          std::vector<i64> lo(depth), hi(depth);
+          for (std::size_t k = 0; k < depth; ++k) {
+            const i64 first_norm = (tile[k] - 1) * tile_sizes[k] + 1;
+            const i64 last_norm =
+                std::min(first_norm + tile_sizes[k] - 1, space.extent(k));
+            lo[k] = space.original_value(k, first_norm);
+            hi[k] = space.original_value(k, last_norm);
+            point[k] = lo[k];
+          }
+          bool tile_done = false;
+          while (!tile_done) {
+            body(point);
+            ++*iters;
+            // Odometer over the tile box, honoring per-level steps.
+            bool advanced = false;
+            for (std::size_t k = depth; k-- > 0;) {
+              const i64 step = space.level(k).step;
+              if (point[k] + step <= hi[k]) {
+                point[k] += step;
+                advanced = true;
+                break;
+              }
+              point[k] = lo[k];
+            }
+            tile_done = !advanced;
+          }
+        }
+      });
+}
+
+ForStats parallel_for_nested_outer(ThreadPool& pool,
+                                   std::span<const i64> extents,
+                                   ScheduleParams params,
+                                   const IndexedBody& body) {
+  COALESCE_ASSERT(!extents.empty());
+  const i64 outer = extents[0];
+  return drive(pool, outer, params,
+               [&, extents](index::Chunk chunk, std::uint64_t* iters) {
+                 std::vector<i64> indices(extents.size(), 1);
+                 for (i64 i = chunk.first; i < chunk.last; ++i) {
+                   indices[0] = i;
+                   sweep_tail(extents, 1, indices,
+                              [&](std::span<const i64> idx) {
+                                body(idx);
+                                ++*iters;
+                              });
+                 }
+               });
+}
+
+ForStats parallel_for_nested_forkjoin(ThreadPool& pool,
+                                      std::span<const i64> extents,
+                                      ScheduleParams params,
+                                      const IndexedBody& body) {
+  COALESCE_ASSERT(!extents.empty());
+  // Execution shape of nested DOALLs without coalescing: all levels but the
+  // innermost run sequentially here, and every instance of the innermost
+  // loop is its own fork-join over the pool — prod(extents[0..m-2])
+  // parallel-loop initiations in total.
+  ForStats total_stats;
+  total_stats.iterations_per_worker.assign(pool.worker_count(), 0);
+  const auto start = Clock::now();
+
+  std::vector<i64> prefix(extents.size(), 1);
+  const std::size_t last = extents.size() - 1;
+
+  // Iterate the outer product space sequentially.
+  std::function<void(std::size_t)> outer_sweep = [&](std::size_t level) {
+    if (level == last) {
+      const i64 inner = extents[last];
+      const ForStats inner_stats = drive(
+          pool, inner, params,
+          [&](index::Chunk chunk, std::uint64_t* iters) {
+            std::vector<i64> indices(prefix.begin(), prefix.end());
+            for (i64 j = chunk.first; j < chunk.last; ++j) {
+              indices[last] = j;
+              body(indices);
+              ++*iters;
+            }
+          });
+      total_stats.dispatch_ops += inner_stats.dispatch_ops;
+      total_stats.chunks_executed += inner_stats.chunks_executed;
+      for (std::size_t w = 0; w < total_stats.iterations_per_worker.size();
+           ++w) {
+        total_stats.iterations_per_worker[w] +=
+            inner_stats.iterations_per_worker[w];
+      }
+      return;
+    }
+    for (i64 v = 1; v <= extents[level]; ++v) {
+      prefix[level] = v;
+      outer_sweep(level + 1);
+    }
+  };
+  outer_sweep(0);
+
+  total_stats.wall_seconds = seconds_since(start);
+  return total_stats;
+}
+
+}  // namespace coalesce::runtime

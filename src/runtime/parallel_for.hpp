@@ -1,0 +1,101 @@
+// The public runtime API: coalesced parallel-for — the OpenMP-collapse
+// equivalent the paper's transformation targets — plus a flat parallel-for
+// and the nested-execution baseline it is measured against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "index/chunk.hpp"
+#include "index/coalesced_space.hpp"
+#include "runtime/dispatcher.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace coalesce::runtime {
+
+/// Scheduling discipline for dynamic (dispatcher-based) execution.
+enum class Schedule : std::uint8_t {
+  kStaticBlock,   ///< contiguous blocks, no dispatcher (one "dispatch" each)
+  kStaticCyclic,  ///< round-robin single iterations, no dispatcher
+  kSelf,          ///< unit self-scheduling: fetch&add, chunk 1
+  kChunked,       ///< fetch&add, fixed chunk `chunk_size`
+  kGuided,        ///< guided self-scheduling (GSS)
+  kFactoring,     ///< factoring (batched halving)
+  kTrapezoid,     ///< trapezoid self-scheduling (TSS)
+};
+
+[[nodiscard]] const char* to_string(Schedule schedule) noexcept;
+
+struct ScheduleParams {
+  Schedule kind = Schedule::kSelf;
+  i64 chunk_size = 1;  ///< for kChunked
+};
+
+/// Execution report (what E5/E6 print).
+struct ForStats {
+  std::uint64_t dispatch_ops = 0;      ///< synchronized allocation points
+  std::uint64_t chunks_executed = 0;
+  std::vector<std::uint64_t> iterations_per_worker;
+  double wall_seconds = 0.0;
+
+  /// max/mean of iterations_per_worker (1.0 = perfectly balanced).
+  [[nodiscard]] double imbalance() const;
+};
+
+/// Body forms. The flat body receives the coalesced index j (1-based); the
+/// indexed body receives the recovered original indices.
+using FlatBody = std::function<void(i64 j)>;
+using IndexedBody = std::function<void(std::span<const i64> indices)>;
+
+/// Runs `body(j)` for every j in [1, total] on the pool.
+ForStats parallel_for(ThreadPool& pool, i64 total, ScheduleParams params,
+                      const FlatBody& body);
+
+/// The coalesced nest executor: one dispatcher over the flattened space,
+/// strength-reduced index recovery per chunk. This is loop coalescing as a
+/// library: `parallel_for_collapsed(pool, space, {kGuided}, body)` executes
+/// `body(i1..im)` for every point of the rectangular space.
+ForStats parallel_for_collapsed(ThreadPool& pool,
+                                const index::CoalescedSpace& space,
+                                ScheduleParams params,
+                                const IndexedBody& body);
+
+/// Tiled coalesced executor: the space is partitioned into rectangular
+/// tiles of the given per-level sizes; the scheduler hands out whole tiles
+/// (one dispatch per tile), and the body sweeps each tile's points in
+/// row-major order — the runtime form of transform::tile_and_coalesce,
+/// trading scheduling granularity for spatial locality within a tile.
+/// tile_sizes.size() must equal space.depth(); sizes need not divide the
+/// extents (edge tiles are ragged).
+ForStats parallel_for_collapsed_tiled(ThreadPool& pool,
+                                      const index::CoalescedSpace& space,
+                                      std::span<const i64> tile_sizes,
+                                      ScheduleParams params,
+                                      const IndexedBody& body);
+
+/// Baseline 1 — "parallelize outer only": the outer level is scheduled
+/// across workers; inner levels run sequentially inside each outer
+/// iteration. One fork-join total, but outer-level granularity (the
+/// imbalance victim when P does not divide extents[0]).
+ForStats parallel_for_nested_outer(ThreadPool& pool,
+                                   std::span<const i64> extents,
+                                   ScheduleParams params,
+                                   const IndexedBody& body);
+
+/// Baseline 2 — fully nested DOALL execution: every parallel level is a
+/// fresh fork-join over the pool (one per enclosing iteration), the
+/// execution shape nested parallel loops have without coalescing.
+ForStats parallel_for_nested_forkjoin(ThreadPool& pool,
+                                      std::span<const i64> extents,
+                                      ScheduleParams params,
+                                      const IndexedBody& body);
+
+/// Builds the dispatcher for a schedule over `total` iterations (shared by
+/// the runtime and tests). Null for the static schedules.
+[[nodiscard]] std::unique_ptr<Dispatcher> make_dispatcher(
+    ScheduleParams params, i64 total, std::size_t workers);
+
+}  // namespace coalesce::runtime

@@ -1,0 +1,54 @@
+// Parallel reductions over coalesced spaces.
+//
+// Reduction loops (sum += f(i)) carry a dependence on the accumulator, so
+// they are not DOALLs — but the classic runtime answer is per-worker
+// partial accumulators combined after the join, which this header provides
+// for the flat and collapsed iteration spaces. Partials are padded to cache
+// lines so workers never share one.
+//
+// Determinism note: combining order is worker-id order, which is fixed, but
+// the *assignment* of iterations to workers varies with dynamic schedules,
+// so floating-point results can differ run to run at rounding level (as
+// with any parallel reduction). Use kStaticBlock for bitwise-reproducible
+// results.
+#pragma once
+
+#include <functional>
+
+#include "index/coalesced_space.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace coalesce::runtime {
+
+/// result-combining function: fold `value` into `accumulator`.
+using Combine = std::function<double(double accumulator, double value)>;
+
+struct ReduceResult {
+  double value = 0.0;
+  ForStats stats;
+};
+
+/// Reduces body(j) over j in [1, total]: each worker folds locally from
+/// `identity`, partials are combined in worker order.
+ReduceResult parallel_reduce(ThreadPool& pool, i64 total,
+                             ScheduleParams params, double identity,
+                             const std::function<double(i64)>& body,
+                             const Combine& combine);
+
+/// Reduces body(indices) over every point of the coalesced space.
+ReduceResult parallel_reduce_collapsed(
+    ThreadPool& pool, const index::CoalescedSpace& space,
+    ScheduleParams params, double identity,
+    const std::function<double(std::span<const i64>)>& body,
+    const Combine& combine);
+
+/// Convenience sum-reductions.
+ReduceResult parallel_sum(ThreadPool& pool, i64 total, ScheduleParams params,
+                          const std::function<double(i64)>& body);
+ReduceResult parallel_sum_collapsed(
+    ThreadPool& pool, const index::CoalescedSpace& space,
+    ScheduleParams params,
+    const std::function<double(std::span<const i64>)>& body);
+
+}  // namespace coalesce::runtime

@@ -1,0 +1,66 @@
+#include "runtime/thread_pool.hpp"
+
+#include "support/assert.hpp"
+
+namespace coalesce::runtime {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  COALESCE_ASSERT(workers >= 1);
+  threads_.reserve(workers - 1);  // caller participates as worker 0
+  for (std::size_t id = 1; id < workers; ++id) {
+    threads_.emplace_back(
+        [this, id](std::stop_token stop) { worker_main(id, stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    COALESCE_ASSERT_MSG(remaining_ == 0, "destroying pool mid-region");
+    for (auto& t : threads_) t.request_stop();
+  }
+  cv_start_.notify_all();
+  // jthread destructors join.
+}
+
+void ThreadPool::run_region(const std::function<void(std::size_t)>& body) {
+  {
+    std::scoped_lock lock(mutex_);
+    COALESCE_ASSERT_MSG(body_ == nullptr, "run_region is not reentrant");
+    body_ = &body;
+    remaining_ = threads_.size();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  body(0);  // the calling thread is worker 0
+
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::worker_main(std::size_t id, std::stop_token stop) {
+  std::size_t seen_generation = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] {
+        return stop.stop_requested() || generation_ != seen_generation;
+      });
+      if (stop.stop_requested()) return;
+      seen_generation = generation_;
+      body = body_;
+    }
+    COALESCE_ASSERT(body != nullptr);
+    (*body)(id);
+    {
+      std::scoped_lock lock(mutex_);
+      --remaining_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+}  // namespace coalesce::runtime

@@ -1,0 +1,54 @@
+// Fork-join worker pool.
+//
+// The runtime's execution model is the paper's: a parallel loop is a single
+// fork (all workers enter a region), a per-worker scheduling loop against a
+// shared dispatcher, and a join. Workers are created once and parked between
+// regions so region entry costs a notification, not a thread spawn —
+// mirroring the "processors grab work" model rather than task-per-iteration.
+//
+// Concurrency style per the C++ Core Guidelines: jthread-based, RAII
+// throughout, no detached threads, condition variables always used with a
+// predicate, shared state confined to this class.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coalesce::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (>= 1). They park until run_region is called.
+  explicit ThreadPool(std::size_t workers);
+
+  /// Joins all workers. Must not be called while a region is running.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size() + 1;  // workers plus the calling thread
+  }
+
+  /// Fork-join: every worker (and the calling thread, as worker 0) runs
+  /// `body(worker_id)` once; returns after all have finished. Not reentrant.
+  void run_region(const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_main(std::size_t id, std::stop_token stop);
+
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* body_ = nullptr;  // guarded by mutex_
+  std::size_t generation_ = 0;   ///< bumped per region; wakes workers
+  std::size_t remaining_ = 0;    ///< workers still running current region
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace coalesce::runtime

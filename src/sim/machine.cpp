@@ -1,0 +1,358 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace coalesce::sim {
+
+double SimResult::utilization() const {
+  if (completion <= 0 || busy.empty()) return 0.0;
+  i64 total_busy = 0;
+  for (i64 b : busy) total_busy += b;
+  return static_cast<double>(total_busy) /
+         (static_cast<double>(completion) * static_cast<double>(busy.size()));
+}
+
+double SimResult::speedup(const CostModel& costs) const {
+  if (completion <= 0) return 0.0;
+  const double serial = static_cast<double>(work_total) +
+                        static_cast<double>(iterations) *
+                            static_cast<double>(costs.loop_overhead);
+  return serial / static_cast<double>(completion);
+}
+
+double SimResult::imbalance() const {
+  if (busy.empty()) return 1.0;
+  i64 max_busy = 0;
+  i64 sum = 0;
+  for (i64 b : busy) {
+    max_busy = std::max(max_busy, b);
+    sum += b;
+  }
+  if (sum == 0) return 1.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(busy.size());
+  return static_cast<double>(max_busy) / mean;
+}
+
+const char* to_string(SimSchedule schedule) noexcept {
+  switch (schedule) {
+    case SimSchedule::kSelf: return "self(1)";
+    case SimSchedule::kChunked: return "chunked";
+    case SimSchedule::kGuided: return "gss";
+    case SimSchedule::kFactoring: return "factoring";
+    case SimSchedule::kTrapezoid: return "tss";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<index::ChunkPolicy> make_policy(SimScheduleParams params,
+                                                i64 total,
+                                                std::size_t processors) {
+  switch (params.kind) {
+    case SimSchedule::kSelf:
+      return std::make_unique<index::UnitPolicy>();
+    case SimSchedule::kChunked:
+      return std::make_unique<index::FixedChunkPolicy>(params.chunk_size);
+    case SimSchedule::kGuided:
+      return std::make_unique<index::GuidedPolicy>(
+          static_cast<i64>(processors));
+    case SimSchedule::kFactoring:
+      return std::make_unique<index::FactoringPolicy>(
+          static_cast<i64>(processors));
+    case SimSchedule::kTrapezoid:
+      return std::make_unique<index::TrapezoidPolicy>(
+          std::max<i64>(total, 1), static_cast<i64>(processors));
+  }
+  return nullptr;
+}
+
+/// The event engine: processors poll a central dispenser in clock order.
+/// `chunk_cost` returns (execution cycles, useful-work cycles) for a chunk;
+/// `dispatch_cost` returns (cycles, synchronized ops) for claiming it.
+struct ChunkCost {
+  i64 cycles;
+  i64 useful;
+};
+struct DispatchCost {
+  i64 cycles;
+  std::uint64_t ops;
+};
+
+SimResult run_dynamic(
+    i64 total, std::size_t processors, index::ChunkPolicy& policy,
+    const CostModel& costs,
+    const std::function<ChunkCost(index::Chunk)>& chunk_cost,
+    const std::function<DispatchCost(index::Chunk)>& dispatch_cost) {
+  COALESCE_ASSERT(processors >= 1);
+  SimResult result;
+  result.busy.assign(processors, 0);
+  result.fork_joins = 1;
+
+  // (clock, processor id), earliest first; ids break ties deterministically.
+  using Entry = std::pair<i64, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+  for (std::size_t p = 0; p < processors; ++p) {
+    ready.emplace(costs.fork, p);
+  }
+
+  i64 counter_free = 0;
+  i64 cursor = 1;
+  i64 remaining = total;
+  i64 last_finish = costs.fork;
+
+  while (remaining > 0) {
+    auto [t, p] = ready.top();
+    ready.pop();
+
+    const i64 take = policy.next_chunk(remaining);
+    COALESCE_ASSERT(take >= 1 && take <= remaining);
+    const index::Chunk chunk{cursor, cursor + take};
+    cursor += take;
+    remaining -= take;
+
+    const DispatchCost d = dispatch_cost(chunk);
+    if (costs.serialized_dispatch) {
+      const i64 start = std::max(t, counter_free);
+      t = start + d.cycles;
+      counter_free = t;
+    } else {
+      t += d.cycles;
+    }
+    result.dispatch_ops += d.ops;
+    result.chunks += 1;
+
+    const ChunkCost c = chunk_cost(chunk);
+    if (costs.record_trace) {
+      result.trace.push_back(ChunkEvent{p, t, t + c.cycles, chunk});
+    }
+    t += c.cycles;
+    result.busy[p] += c.useful;
+    last_finish = std::max(last_finish, t);
+    ready.emplace(t, p);
+  }
+
+  result.completion = last_finish + costs.barrier;
+  return result;
+}
+
+/// Execution cycles of a coalesced chunk: full decode at entry, odometer +
+/// loop bookkeeping per iteration, body times from the workload.
+ChunkCost coalesced_chunk_cost(const index::CoalescedSpace& space,
+                               const CostModel& costs, const Workload& work,
+                               index::Chunk chunk) {
+  const i64 len = chunk.size();
+  i64 body = 0;
+  for (i64 j = chunk.first; j < chunk.last; ++j) body += work.time(j);
+  const i64 decode = static_cast<i64>(space.divisions_per_decode_paper()) *
+                     costs.recovery_division;
+  i64 cycles = decode + body + len * costs.loop_overhead +
+               (len - 1) * costs.recovery_increment;
+  if (costs.row_switch > 0) {
+    // Row switches: one at chunk entry plus one per innermost-row boundary
+    // crossed inside the chunk (row length = innermost extent).
+    const i64 row = space.extent(space.depth() - 1);
+    const i64 crossings = (chunk.last - 2) / row - (chunk.first - 1) / row;
+    cycles += costs.row_switch * (1 + std::max<i64>(crossings, 0));
+  }
+  return ChunkCost{cycles, body};
+}
+
+}  // namespace
+
+SimResult simulate_coalesced_dynamic(const index::CoalescedSpace& space,
+                                     std::size_t processors,
+                                     SimScheduleParams schedule,
+                                     const CostModel& costs,
+                                     const Workload& work) {
+  COALESCE_ASSERT(work.iterations() == space.total());
+  auto policy = make_policy(schedule, space.total(), processors);
+  SimResult result = run_dynamic(
+      space.total(), processors, *policy, costs,
+      [&](index::Chunk chunk) {
+        return coalesced_chunk_cost(space, costs, work, chunk);
+      },
+      [&](index::Chunk) {
+        return DispatchCost{costs.dispatch, 1};
+      });
+  result.work_total = work.total_time();
+  result.iterations = space.total();
+  return result;
+}
+
+SimResult simulate_coalesced_static(const index::CoalescedSpace& space,
+                                    std::size_t processors,
+                                    const CostModel& costs,
+                                    const Workload& work) {
+  COALESCE_ASSERT(work.iterations() == space.total());
+  SimResult result;
+  result.busy.assign(processors, 0);
+  result.fork_joins = 1;
+  result.work_total = work.total_time();
+  result.iterations = space.total();
+
+  i64 last_finish = costs.fork;
+  const auto blocks =
+      index::static_blocks(space.total(), static_cast<i64>(processors));
+  for (std::size_t p = 0; p < processors; ++p) {
+    if (blocks[p].empty()) continue;
+    const ChunkCost c = coalesced_chunk_cost(space, costs, work, blocks[p]);
+    result.busy[p] = c.useful;
+    result.chunks += 1;
+    last_finish = std::max(last_finish, costs.fork + c.cycles);
+  }
+  result.completion = last_finish + costs.barrier;
+  return result;
+}
+
+SimResult simulate_nested_multicounter(const index::CoalescedSpace& space,
+                                       std::size_t processors,
+                                       const CostModel& costs,
+                                       const Workload& work) {
+  COALESCE_ASSERT(work.iterations() == space.total());
+  const std::size_t depth = space.depth();
+  std::vector<i64> digits(depth);
+
+  // Self-scheduling each level separately: iteration j touches the
+  // innermost counter, plus one outer counter per leading digit that just
+  // wrapped (trailing run of 1s in the normalized index vector).
+  auto counters_touched = [&](i64 j) -> std::uint64_t {
+    space.decode_mixed_radix(j, digits);
+    std::size_t trailing_ones = 0;
+    for (std::size_t k = depth; k-- > 0;) {
+      if (digits[k] != 1) break;
+      ++trailing_ones;
+    }
+    return 1 + std::min(trailing_ones, depth - 1);
+  };
+
+  index::UnitPolicy unit;  // level counters hand out single iterations
+  SimResult result = run_dynamic(
+      space.total(), processors, unit, costs,
+      [&](index::Chunk chunk) {
+        // No recovery arithmetic: the nest keeps its original indices.
+        const i64 body = work.time(chunk.first);
+        return ChunkCost{body + costs.loop_overhead, body};
+      },
+      [&](index::Chunk chunk) {
+        const std::uint64_t ops = counters_touched(chunk.first);
+        return DispatchCost{static_cast<i64>(ops) * costs.dispatch, ops};
+      });
+  result.work_total = work.total_time();
+  result.iterations = space.total();
+  return result;
+}
+
+SimResult simulate_nested_forkjoin(const index::CoalescedSpace& space,
+                                   std::size_t processors,
+                                   SimScheduleParams schedule,
+                                   const CostModel& costs,
+                                   const Workload& work) {
+  COALESCE_ASSERT(work.iterations() == space.total());
+  COALESCE_ASSERT(space.depth() >= 1);
+  const i64 inner = space.extent(space.depth() - 1);
+  const i64 instances = space.total() / inner;
+
+  SimResult result;
+  result.busy.assign(processors, 0);
+  result.work_total = work.total_time();
+  result.iterations = space.total();
+
+  i64 clock = 0;
+  for (i64 inst = 0; inst < instances; ++inst) {
+    const i64 base = inst * inner;  // flat offset of this inner instance
+    auto policy = make_policy(schedule, inner, processors);
+    const SimResult one = run_dynamic(
+        inner, processors, *policy, costs,
+        [&](index::Chunk chunk) {
+          i64 body = 0;
+          for (i64 j = chunk.first; j < chunk.last; ++j)
+            body += work.time(base + j);
+          return ChunkCost{body + chunk.size() * costs.loop_overhead, body};
+        },
+        [&](index::Chunk) {
+          return DispatchCost{costs.dispatch, 1};
+        });
+    // The instance runs fork..barrier; outer sweep adds its own bookkeeping.
+    clock += one.completion + costs.loop_overhead;
+    result.dispatch_ops += one.dispatch_ops;
+    result.chunks += one.chunks;
+    result.fork_joins += 1;
+    for (std::size_t p = 0; p < processors; ++p) {
+      result.busy[p] += one.busy[p];
+    }
+  }
+  result.completion = clock;
+  return result;
+}
+
+SimResult simulate_nested_static_outer(const index::CoalescedSpace& space,
+                                       std::size_t processors,
+                                       const CostModel& costs,
+                                       const Workload& work) {
+  COALESCE_ASSERT(work.iterations() == space.total());
+  const i64 outer = space.extent(0);
+  const i64 stride = space.total() / outer;  // flat iterations per outer iter
+
+  SimResult result;
+  result.busy.assign(processors, 0);
+  result.fork_joins = 1;
+  result.work_total = work.total_time();
+  result.iterations = space.total();
+
+  const auto blocks = index::static_blocks(outer, static_cast<i64>(processors));
+  i64 last_finish = costs.fork;
+  for (std::size_t p = 0; p < processors; ++p) {
+    if (blocks[p].empty()) continue;
+    i64 body = 0;
+    for (i64 i = blocks[p].first; i < blocks[p].last; ++i) {
+      for (i64 r = 1; r <= stride; ++r) {
+        body += work.time((i - 1) * stride + r);
+      }
+    }
+    const i64 iters = blocks[p].size() * stride;
+    result.busy[p] = body;
+    result.chunks += 1;
+    last_finish =
+        std::max(last_finish, costs.fork + body + iters * costs.loop_overhead);
+  }
+  result.completion = last_finish + costs.barrier;
+  return result;
+}
+
+i64 serial_time(const Workload& work, const CostModel& costs) {
+  return work.total_time() + work.iterations() * costs.loop_overhead;
+}
+
+std::string render_gantt(const SimResult& result, i64 cycles_per_char) {
+  COALESCE_ASSERT(cycles_per_char >= 1);
+  const std::size_t procs = result.busy.size();
+  const std::size_t width = static_cast<std::size_t>(
+      (result.completion + cycles_per_char - 1) / cycles_per_char);
+  std::vector<std::string> rows(procs, std::string(width, '.'));
+  for (const ChunkEvent& event : result.trace) {
+    const auto from = static_cast<std::size_t>(event.start / cycles_per_char);
+    auto to = static_cast<std::size_t>(
+        (event.end + cycles_per_char - 1) / cycles_per_char);
+    if (to > width) to = width;
+    for (std::size_t col = from; col < to; ++col) {
+      rows[event.proc][col] = '#';
+    }
+  }
+  std::string out;
+  for (std::size_t p = 0; p < procs; ++p) {
+    char label[16];
+    std::snprintf(label, sizeof label, "P%-3zu |", p);
+    out += label;
+    out += rows[p];
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace coalesce::sim

@@ -1,0 +1,139 @@
+// Deterministic discrete-event model of a P-processor shared-memory machine
+// executing a parallel loop — the reproduction's substitute for the paper's
+// evaluation hardware (see DESIGN.md, "Hardware substitution").
+//
+// Every cost is in abstract "cycles". A simulation is a pure function of its
+// inputs, so experiment tables are exactly reproducible. The execution
+// disciplines mirror the runtime module one-for-one:
+//
+//  * coalesced dynamic — one shared counter, chunks by any policy, index
+//    recovery paid per chunk (full decode) + per iteration (odometer);
+//  * coalesced static  — block or cyclic pre-partition, no dispatch ops;
+//  * nested multi-counter — self-scheduling each level of the original
+//    nest: iteration j pays one dispatch per loop level whose counter is
+//    touched (1 + number of odometer carries), the traffic coalescing
+//    collapses to a single counter;
+//  * nested fork-join  — every instance of the innermost parallel loop is a
+//    separate fork + dynamic loop + barrier (prod of outer extents
+//    instances), the shape nested DOALLs have without coalescing;
+//  * nested static-outer — the outer level is block-partitioned, inner
+//    levels sequential: the P ∤ N1 utilization victim of experiment E2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+#include <string>
+
+#include "index/chunk.hpp"
+#include "index/coalesced_space.hpp"
+#include "sim/workload.hpp"
+
+namespace coalesce::sim {
+
+struct CostModel {
+  i64 dispatch = 5;        ///< sigma: one synchronized allocation (fetch&add)
+  i64 fork = 100;          ///< initiating a parallel loop instance
+  i64 barrier = 50;        ///< joining a parallel loop instance
+  i64 loop_overhead = 2;   ///< per-iteration bookkeeping (the classic 2 instr)
+  i64 recovery_division = 3;  ///< one div/mod of index recovery
+  i64 recovery_increment = 1; ///< one odometer advance (strength-reduced)
+  bool serialized_dispatch = false;  ///< no combining network: counter is a
+                                     ///< serial resource (dispatches queue)
+  bool record_trace = false;  ///< record per-chunk events into SimResult::trace
+  /// Locality model: cost charged whenever execution moves to a different
+  /// innermost row — once at each chunk start and once per odometer carry
+  /// inside a chunk. Models the cache-line/page switch of leaving a row;
+  /// 0 disables the model. Large contiguous chunks amortize it (E15).
+  i64 row_switch = 0;
+};
+
+/// One chunk execution in a simulation trace: processor `proc` was busy on
+/// coalesced iterations [chunk.first, chunk.last) during [start, end).
+struct ChunkEvent {
+  std::size_t proc = 0;
+  i64 start = 0;
+  i64 end = 0;
+  index::Chunk chunk;
+};
+
+struct SimResult {
+  i64 completion = 0;             ///< cycles from fork to after final barrier
+  std::uint64_t dispatch_ops = 0; ///< synchronized allocation operations
+  std::uint64_t chunks = 0;
+  std::uint64_t fork_joins = 0;   ///< parallel-loop instances executed
+  /// Per-chunk execution trace, recorded when CostModel::record_trace is
+  /// set. Empty otherwise.
+  std::vector<ChunkEvent> trace;
+  std::vector<i64> busy;          ///< per-processor useful-work cycles
+  i64 work_total = 0;             ///< sum of body times (useful work)
+  i64 iterations = 0;             ///< iterations executed
+
+  /// Fraction of processor-cycles spent on useful body work.
+  [[nodiscard]] double utilization() const;
+  /// Serial time / completion, serial time = work + loop overhead per iter.
+  [[nodiscard]] double speedup(const CostModel& costs) const;
+  /// max(busy) / mean(busy); 1.0 = perfectly balanced useful work.
+  [[nodiscard]] double imbalance() const;
+};
+
+/// Which schedule drives a dynamic simulation.
+enum class SimSchedule : std::uint8_t {
+  kSelf,       ///< unit chunks
+  kChunked,    ///< fixed chunk size
+  kGuided,     ///< GSS
+  kFactoring,  ///< factoring (batched halving)
+  kTrapezoid,  ///< TSS
+};
+[[nodiscard]] const char* to_string(SimSchedule schedule) noexcept;
+
+struct SimScheduleParams {
+  SimSchedule kind = SimSchedule::kSelf;
+  i64 chunk_size = 1;
+};
+
+// ---- coalesced executions ---------------------------------------------------
+
+/// Dynamic self-scheduled execution of the coalesced loop over `space`.
+[[nodiscard]] SimResult simulate_coalesced_dynamic(
+    const index::CoalescedSpace& space, std::size_t processors,
+    SimScheduleParams schedule, const CostModel& costs,
+    const Workload& work);
+
+/// Static block execution of the coalesced loop (one contiguous chunk per
+/// processor; sizes differ by at most one iteration).
+[[nodiscard]] SimResult simulate_coalesced_static(
+    const index::CoalescedSpace& space, std::size_t processors,
+    const CostModel& costs, const Workload& work);
+
+// ---- nested (uncoalesced) executions ---------------------------------------
+
+/// Self-scheduling every level of the original nest with one counter per
+/// level: iteration j costs (1 + carries(j)) dispatches.
+[[nodiscard]] SimResult simulate_nested_multicounter(
+    const index::CoalescedSpace& space, std::size_t processors,
+    const CostModel& costs, const Workload& work);
+
+/// Fork-join per innermost-loop instance: outer levels swept sequentially,
+/// each inner instance is fork + dynamic loop + barrier.
+[[nodiscard]] SimResult simulate_nested_forkjoin(
+    const index::CoalescedSpace& space, std::size_t processors,
+    SimScheduleParams schedule, const CostModel& costs,
+    const Workload& work);
+
+/// Outer level block-partitioned across processors; inner levels sequential
+/// inside each outer iteration. One fork-join, no dispatch ops.
+[[nodiscard]] SimResult simulate_nested_static_outer(
+    const index::CoalescedSpace& space, std::size_t processors,
+    const CostModel& costs, const Workload& work);
+
+/// Serial execution time of the whole space (baseline for speedups).
+[[nodiscard]] i64 serial_time(const Workload& work, const CostModel& costs);
+
+/// ASCII Gantt chart of a recorded trace: one row per processor, '#' for
+/// busy spans, '.' for idle, one character per `cycles_per_char` cycles.
+[[nodiscard]] std::string render_gantt(const SimResult& result,
+                                       i64 cycles_per_char);
+
+}  // namespace coalesce::sim

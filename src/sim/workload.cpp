@@ -1,0 +1,45 @@
+#include "sim/workload.hpp"
+
+#include "support/assert.hpp"
+
+namespace coalesce::sim {
+
+Workload Workload::constant(i64 iterations, i64 cost) {
+  COALESCE_ASSERT(iterations >= 0);
+  COALESCE_ASSERT(cost >= 0);
+  return Workload(std::vector<i64>(static_cast<std::size_t>(iterations), cost));
+}
+
+Workload Workload::from_model(support::WorkModel model, i64 iterations, i64 a,
+                              i64 b, std::uint64_t seed) {
+  COALESCE_ASSERT(iterations >= 0);
+  support::Rng rng(seed);
+  return Workload(support::synthesize_work(
+      model, static_cast<std::size_t>(iterations), a, b, rng));
+}
+
+Workload Workload::triangular(i64 n1, i64 n2, i64 base) {
+  COALESCE_ASSERT(n1 >= 1 && n2 >= 1 && base >= 1);
+  std::vector<i64> times;
+  times.reserve(static_cast<std::size_t>(n1 * n2));
+  for (i64 i = 1; i <= n1; ++i) {
+    for (i64 j = 1; j <= n2; ++j) {
+      times.push_back(j <= i ? base : 1);
+    }
+  }
+  return Workload(std::move(times));
+}
+
+Workload::Workload(std::vector<i64> times) : times_(std::move(times)) {
+  for (i64 t : times_) {
+    COALESCE_ASSERT(t >= 0);
+    total_ += t;
+  }
+}
+
+i64 Workload::time(i64 j) const {
+  COALESCE_ASSERT(j >= 1 && j <= iterations());
+  return times_[static_cast<std::size_t>(j - 1)];
+}
+
+}  // namespace coalesce::sim

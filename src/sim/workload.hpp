@@ -1,0 +1,44 @@
+// Synthetic workloads for the machine simulator: a per-iteration body-time
+// table over the flattened (row-major) iteration space of a nest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/int_math.hpp"
+#include "support/rng.hpp"
+
+namespace coalesce::sim {
+
+using support::i64;
+
+class Workload {
+ public:
+  /// Every iteration costs `cost` units.
+  static Workload constant(i64 iterations, i64 cost);
+
+  /// Per-iteration costs drawn from a work model (deterministic given seed).
+  static Workload from_model(support::WorkModel model, i64 iterations, i64 a,
+                             i64 b, std::uint64_t seed);
+
+  /// Triangular-nest profile over an n1 x n2 space: iteration (i, j) costs
+  /// `base` when j <= i and `0` handling is avoided by costing 1 otherwise —
+  /// models guarded bodies (`if (j <= i) ...`), the classic imbalance case.
+  static Workload triangular(i64 n1, i64 n2, i64 base);
+
+  /// Explicit table.
+  explicit Workload(std::vector<i64> times);
+
+  [[nodiscard]] i64 iterations() const noexcept {
+    return static_cast<i64>(times_.size());
+  }
+  /// Body time of 1-based flattened iteration j.
+  [[nodiscard]] i64 time(i64 j) const;
+  [[nodiscard]] i64 total_time() const noexcept { return total_; }
+
+ private:
+  std::vector<i64> times_;
+  i64 total_ = 0;
+};
+
+}  // namespace coalesce::sim

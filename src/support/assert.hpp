@@ -1,0 +1,29 @@
+// Lightweight always-on assertion for invariants that guard correctness of
+// the transformation and schedulers. Unlike <cassert> these fire in release
+// builds too: a violated invariant in a compiler transformation silently
+// produces wrong code, which is strictly worse than aborting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace coalesce::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "coalesce: invariant violated: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace coalesce::support
+
+#define COALESCE_ASSERT(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::coalesce::support::assert_fail(#expr, __FILE__, __LINE__,    \
+                                             nullptr))
+
+#define COALESCE_ASSERT_MSG(expr, msg)                                     \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::coalesce::support::assert_fail(#expr, __FILE__, __LINE__,    \
+                                             (msg)))

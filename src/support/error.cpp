@@ -1,0 +1,28 @@
+#include "support/error.hpp"
+
+namespace coalesce::support {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kIllegalTransform:
+      return "illegal_transform";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+    case ErrorCode::kOverflow:
+      return "overflow";
+    case ErrorCode::kNotFound:
+      return "not_found";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out = support::to_string(code);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+}  // namespace coalesce::support

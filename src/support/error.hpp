@@ -1,0 +1,76 @@
+// Expected-style error handling for operations that can fail for reasons the
+// caller must handle (illegal transformation requests, malformed IR). We avoid
+// exceptions across module boundaries; internal invariant violations use
+// COALESCE_ASSERT instead.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "support/assert.hpp"
+
+namespace coalesce::support {
+
+/// Why an operation was rejected. Codes are coarse; `message` carries detail.
+enum class ErrorCode {
+  kInvalidArgument,   ///< caller passed a value outside the documented domain
+  kIllegalTransform,  ///< transformation legality check failed
+  kUnsupported,       ///< construct recognized but intentionally not handled
+  kOverflow,          ///< 64-bit arithmetic would overflow
+  kNotFound,          ///< named entity missing from a symbol table
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code) noexcept;
+
+struct Error {
+  ErrorCode code;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] inline Error make_error(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+/// Minimal expected<T, Error>. Intentionally tiny: value-or-error plus the
+/// few accessors the codebase needs, no monadic machinery.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : payload_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Expected(Error error) : payload_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(payload_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    COALESCE_ASSERT_MSG(ok(), "Expected accessed without a value");
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] const T& value() const& {
+    COALESCE_ASSERT_MSG(ok(), "Expected accessed without a value");
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] T&& value() && {
+    COALESCE_ASSERT_MSG(ok(), "Expected accessed without a value");
+    return std::get<T>(std::move(payload_));
+  }
+
+  [[nodiscard]] const Error& error() const& {
+    COALESCE_ASSERT_MSG(!ok(), "Expected::error() on a value");
+    return std::get<Error>(payload_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> payload_;
+};
+
+}  // namespace coalesce::support

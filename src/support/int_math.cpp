@@ -1,0 +1,144 @@
+#include "support/int_math.hpp"
+
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace coalesce::support {
+
+i64 floor_div(i64 a, i64 b) noexcept {
+  COALESCE_ASSERT(b != 0);
+  i64 q = a / b;
+  i64 r = a % b;
+  // Truncation rounded toward zero; fix up when remainder and divisor
+  // disagree in sign (the mathematical floor is one less).
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+i64 ceil_div(i64 a, i64 b) noexcept {
+  COALESCE_ASSERT(b != 0);
+  i64 q = a / b;
+  i64 r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) ++q;
+  return q;
+}
+
+i64 mod_floor(i64 a, i64 b) noexcept {
+  COALESCE_ASSERT(b != 0);
+  i64 r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) r += b;
+  return r;
+}
+
+i64 gcd(i64 a, i64 b) noexcept {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    i64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+i64 lcm(i64 a, i64 b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  i64 g = gcd(a, b);
+  auto prod = checked_mul(a / g, b);
+  COALESCE_ASSERT_MSG(prod.has_value(), "lcm overflow");
+  i64 r = *prod;
+  return r < 0 ? -r : r;
+}
+
+std::optional<i64> checked_mul(i64 a, i64 b) noexcept {
+  i64 out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+std::optional<i64> checked_add(i64 a, i64 b) noexcept {
+  i64 out = 0;
+  if (__builtin_add_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+std::optional<i64> checked_product(std::span<const i64> xs) noexcept {
+  i64 acc = 1;
+  for (i64 x : xs) {
+    COALESCE_ASSERT(x >= 0);
+    auto next = checked_mul(acc, x);
+    if (!next) return std::nullopt;
+    acc = *next;
+  }
+  return acc;
+}
+
+ExtGcd ext_gcd(i64 a, i64 b) noexcept {
+  // Iterative extended Euclid keeping Bezout coefficients.
+  i64 old_r = a, r = b;
+  i64 old_s = 1, s = 0;
+  i64 old_t = 0, t = 1;
+  while (r != 0) {
+    i64 q = old_r / r;
+    i64 tmp = old_r - q * r;
+    old_r = r;
+    r = tmp;
+    tmp = old_s - q * s;
+    old_s = s;
+    s = tmp;
+    tmp = old_t - q * t;
+    old_t = t;
+    t = tmp;
+  }
+  if (old_r < 0) {
+    old_r = -old_r;
+    old_s = -old_s;
+    old_t = -old_t;
+  }
+  return ExtGcd{old_r, old_s, old_t};
+}
+
+i64 trip_count(i64 lo, i64 hi, i64 step) noexcept {
+  COALESCE_ASSERT(step > 0);
+  if (hi < lo) return 0;
+  return (hi - lo) / step + 1;
+}
+
+void mixed_radix_decode(i64 value, std::span<const i64> radices,
+                        std::span<i64> digits_out) noexcept {
+  COALESCE_ASSERT(radices.size() == digits_out.size());
+  COALESCE_ASSERT(value >= 0);
+  // Peel digits from least significant (innermost radix) upward.
+  for (std::size_t k = radices.size(); k-- > 0;) {
+    i64 radix = radices[k];
+    COALESCE_ASSERT(radix >= 1);
+    digits_out[k] = value % radix;
+    value /= radix;
+  }
+  COALESCE_ASSERT_MSG(value == 0, "value out of range for radices");
+}
+
+i64 mixed_radix_encode(std::span<const i64> digits,
+                       std::span<const i64> radices) noexcept {
+  COALESCE_ASSERT(digits.size() == radices.size());
+  i64 acc = 0;
+  for (std::size_t k = 0; k < digits.size(); ++k) {
+    COALESCE_ASSERT(radices[k] >= 1);
+    COALESCE_ASSERT(digits[k] >= 0 && digits[k] < radices[k]);
+    acc = acc * radices[k] + digits[k];
+  }
+  return acc;
+}
+
+std::vector<i64> suffix_products(std::span<const i64> radices) {
+  std::vector<i64> out(radices.size() + 1, 1);
+  for (std::size_t k = radices.size(); k-- > 0;) {
+    auto prod = checked_mul(out[k + 1], radices[k]);
+    COALESCE_ASSERT_MSG(prod.has_value(), "suffix product overflow");
+    out[k] = *prod;
+  }
+  return out;
+}
+
+}  // namespace coalesce::support

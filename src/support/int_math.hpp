@@ -1,0 +1,72 @@
+// Exact integer arithmetic used throughout the coalescing index maps.
+//
+// C++ integer division truncates toward zero; the paper's index-recovery
+// formulas are stated with mathematical floor/ceiling division. These helpers
+// implement the mathematical operations for all sign combinations so the
+// transformation remains correct for loops with negative bounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace coalesce::support {
+
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+
+/// Mathematical floor division: largest q with q*b <= a. Requires b != 0.
+[[nodiscard]] i64 floor_div(i64 a, i64 b) noexcept;
+
+/// Mathematical ceiling division: smallest q with q*b >= a. Requires b != 0.
+[[nodiscard]] i64 ceil_div(i64 a, i64 b) noexcept;
+
+/// Mathematical (Euclidean-style) modulus paired with floor_div:
+/// a == floor_div(a, b) * b + mod_floor(a, b), result has the sign of b.
+[[nodiscard]] i64 mod_floor(i64 a, i64 b) noexcept;
+
+/// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
+[[nodiscard]] i64 gcd(i64 a, i64 b) noexcept;
+
+/// Least common multiple; returns 0 when either argument is 0.
+/// Aborts on overflow (COALESCE_ASSERT) since callers use it for small radices.
+[[nodiscard]] i64 lcm(i64 a, i64 b) noexcept;
+
+/// a*b with overflow detection. nullopt on overflow.
+[[nodiscard]] std::optional<i64> checked_mul(i64 a, i64 b) noexcept;
+
+/// a+b with overflow detection. nullopt on overflow.
+[[nodiscard]] std::optional<i64> checked_add(i64 a, i64 b) noexcept;
+
+/// Product of a span of non-negative extents with overflow detection.
+/// Empty product is 1.
+[[nodiscard]] std::optional<i64> checked_product(std::span<const i64> xs) noexcept;
+
+/// Extended Euclid: returns (g, x, y) with a*x + b*y == g == gcd(a, b).
+struct ExtGcd {
+  i64 g;
+  i64 x;
+  i64 y;
+};
+[[nodiscard]] ExtGcd ext_gcd(i64 a, i64 b) noexcept;
+
+/// Number of iterations of a normalized-for loop `for (v = lo; v <= hi; v += step)`
+/// with step > 0; zero when the range is empty.
+[[nodiscard]] i64 trip_count(i64 lo, i64 hi, i64 step) noexcept;
+
+/// Decompose `value` (0-based) into mixed-radix digits for the given radices,
+/// most-significant digit first; i.e. value = sum_k digit[k] * prod_{j>k} radix[j].
+/// Requires 0 <= value < prod(radices) and every radix >= 1.
+void mixed_radix_decode(i64 value, std::span<const i64> radices,
+                        std::span<i64> digits_out) noexcept;
+
+/// Inverse of mixed_radix_decode.
+[[nodiscard]] i64 mixed_radix_encode(std::span<const i64> digits,
+                                     std::span<const i64> radices) noexcept;
+
+/// Suffix products: out[k] = radices[k] * radices[k+1] * ... * radices[m-1],
+/// plus a final sentinel out[m] = 1. (These are the paper's `P_k` terms.)
+[[nodiscard]] std::vector<i64> suffix_products(std::span<const i64> radices);
+
+}  // namespace coalesce::support

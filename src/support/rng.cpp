@@ -1,0 +1,149 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace coalesce::support {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // splitmix64 expansion guarantees a non-zero xoshiro state even for seed 0.
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  COALESCE_ASSERT(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range requested
+    return static_cast<std::int64_t>(next());
+  }
+  // Rejection sampling for exact uniformity.
+  const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % span;
+  std::uint64_t r = next();
+  while (r >= limit) r = next();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::uniform01() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::exponential(double mean) noexcept {
+  COALESCE_ASSERT(mean > 0.0);
+  double u = uniform01();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Polar method; loop terminates with probability 1.
+  double u = 0.0, v = 0.0, s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  return mean + stddev * u * factor;
+}
+
+Rng Rng::split() noexcept {
+  return Rng(next() ^ 0xa5a5a5a5a5a5a5a5ULL);
+}
+
+std::vector<std::int64_t> synthesize_work(WorkModel model, std::size_t n,
+                                          std::int64_t a, std::int64_t b,
+                                          Rng& rng) {
+  std::vector<std::int64_t> work(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t t = 1;
+    switch (model) {
+      case WorkModel::kUniformConstant:
+        t = a;
+        break;
+      case WorkModel::kUniformRange:
+        t = rng.uniform_int(a, b);
+        break;
+      case WorkModel::kDecreasing: {
+        // First iteration costs a, last costs b (a >= b typical).
+        const double frac =
+            n <= 1 ? 0.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+        t = a + static_cast<std::int64_t>(
+                    std::llround(frac * static_cast<double>(b - a)));
+        break;
+      }
+      case WorkModel::kIncreasing: {
+        // Linear from a to b; callers pass a < b for increasing work.
+        const double frac =
+            n <= 1 ? 0.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+        t = a + static_cast<std::int64_t>(
+                    std::llround(frac * static_cast<double>(b - a)));
+        break;
+      }
+      case WorkModel::kBimodal:
+        t = rng.uniform01() < 0.9 ? a : b;
+        break;
+      case WorkModel::kExponential:
+        t = static_cast<std::int64_t>(
+            std::llround(rng.exponential(static_cast<double>(a))));
+        break;
+    }
+    work[i] = t < 1 ? 1 : t;
+  }
+  return work;
+}
+
+const char* to_string(WorkModel model) noexcept {
+  switch (model) {
+    case WorkModel::kUniformConstant:
+      return "constant";
+    case WorkModel::kUniformRange:
+      return "uniform";
+    case WorkModel::kDecreasing:
+      return "decreasing";
+    case WorkModel::kIncreasing:
+      return "increasing";
+    case WorkModel::kBimodal:
+      return "bimodal";
+    case WorkModel::kExponential:
+      return "exponential";
+  }
+  return "unknown";
+}
+
+}  // namespace coalesce::support

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random generation for workload synthesis.
+//
+// Benchmarks and property tests must be reproducible across runs and
+// machines, so we implement a fixed algorithm (splitmix64 seeding a
+// xoshiro256**) rather than relying on implementation-defined std::
+// distributions. All distribution mappings here are exact-specified.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace coalesce::support {
+
+/// xoshiro256** seeded via splitmix64. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Standard normal via polar Box-Muller (no cached spare; deterministic).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> xs) noexcept {
+    for (std::size_t i = xs.size(); i > 1; --i) {
+      auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(xs[i - 1], xs[j]);
+    }
+  }
+
+  /// A fresh generator whose stream is independent of this one.
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Generates n values from the given per-iteration work-time model. Used by
+/// the simulator's workload synthesis; kept here so tests can reuse it.
+enum class WorkModel {
+  kUniformConstant,  ///< every iteration costs `a`
+  kUniformRange,     ///< uniform integer in [a, b]
+  kDecreasing,       ///< linearly decreasing from a to b (triangular loops)
+  kIncreasing,       ///< linearly increasing from a to b
+  kBimodal,          ///< a with prob 0.9, b with prob 0.1 (stragglers)
+  kExponential,      ///< exponential with mean a, clamped to >= 1
+};
+
+[[nodiscard]] std::vector<std::int64_t> synthesize_work(WorkModel model,
+                                                        std::size_t n,
+                                                        std::int64_t a,
+                                                        std::int64_t b,
+                                                        Rng& rng);
+
+[[nodiscard]] const char* to_string(WorkModel model) noexcept;
+
+}  // namespace coalesce::support

@@ -1,0 +1,115 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace coalesce::support {
+
+void Accumulator::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::min() const noexcept {
+  COALESCE_ASSERT(count_ > 0);
+  return min_;
+}
+
+double Accumulator::max() const noexcept {
+  COALESCE_ASSERT(count_ > 0);
+  return max_;
+}
+
+double Accumulator::mean() const noexcept {
+  COALESCE_ASSERT(count_ > 0);
+  return mean_;
+}
+
+double Accumulator::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> xs, double p) {
+  COALESCE_ASSERT(!xs.empty());
+  COALESCE_ASSERT(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: smallest value with at least p% of the data at or below it.
+  const auto n = sorted.size();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+double coefficient_of_variation(std::span<const double> xs) {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  if (acc.count() == 0 || acc.mean() == 0.0) return 0.0;
+  return acc.stddev() / acc.mean();
+}
+
+double imbalance_ratio(std::span<const double> xs) {
+  COALESCE_ASSERT(!xs.empty());
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  COALESCE_ASSERT(acc.mean() > 0.0);
+  return acc.max() / acc.mean();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  COALESCE_ASSERT(hi > lo);
+  COALESCE_ASSERT(bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(
+      std::floor(frac * static_cast<double>(counts_.size())));
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<std::ptrdiff_t>(counts_.size()))
+    idx = static_cast<std::ptrdiff_t>(counts_.size()) - 1;
+  ++counts_[static_cast<std::size_t>(idx)];
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double bin_lo = lo_ + bin_width * static_cast<double>(i);
+    char label[64];
+    std::snprintf(label, sizeof label, "%10.2f | ", bin_lo);
+    out += label;
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(
+                        static_cast<double>(counts_[i]) /
+                        static_cast<double>(peak) * static_cast<double>(width));
+    out.append(bar, '#');
+    out += " ";
+    out += std::to_string(counts_[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace coalesce::support

@@ -1,0 +1,64 @@
+// Summary statistics for benchmark reporting (completion times, dispatch
+// counts, utilization). Small, allocation-light, and exact where possible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace coalesce::support {
+
+/// Streaming accumulator: count/min/max/mean/variance (Welford).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile by nearest-rank on a copy of the data. p in [0, 100].
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Coefficient of variation (stddev / mean); 0 when mean is 0.
+[[nodiscard]] double coefficient_of_variation(std::span<const double> xs);
+
+/// Load-imbalance metric used by the experiments: max(xs) / mean(xs).
+/// 1.0 is perfectly balanced. Requires non-empty xs with positive mean.
+[[nodiscard]] double imbalance_ratio(std::span<const double> xs);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range clamp to the boundary buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::span<const std::uint64_t> counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace coalesce::support

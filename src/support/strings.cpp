@@ -1,0 +1,82 @@
+#include "support/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace coalesce::support {
+
+std::string join(std::span<const std::string> parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string index_name(std::size_t level) {
+  return "i" + std::to_string(level);
+}
+
+std::string repeat(std::string_view piece, std::size_t n) {
+  std::string out;
+  out.reserve(piece.size() * n);
+  for (std::size_t i = 0; i < n; ++i) out += piece;
+  return out;
+}
+
+std::string indent(std::string_view body, std::size_t spaces) {
+  const std::string pad(spaces, ' ');
+  std::string out;
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    const std::size_t nl = body.find('\n', start);
+    const std::string_view line =
+        body.substr(start, nl == std::string_view::npos ? body.size() - start
+                                                        : nl - start);
+    if (!line.empty()) out += pad;
+    out += line;
+    if (nl == std::string_view::npos) break;
+    out += '\n';
+    start = nl + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace coalesce::support

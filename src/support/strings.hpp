@@ -1,0 +1,36 @@
+// Small string-formatting helpers shared by the IR printer, the code
+// generator, and the benchmark tables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coalesce::support {
+
+/// Join the elements with a separator: join({"a","b"}, ", ") == "a, b".
+[[nodiscard]] std::string join(std::span<const std::string> parts,
+                               std::string_view sep);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// "i0", "i1", ... canonical induction-variable names.
+[[nodiscard]] std::string index_name(std::size_t level);
+
+/// Repeat a string n times.
+[[nodiscard]] std::string repeat(std::string_view piece, std::size_t n);
+
+/// Indent every line of `body` by `spaces` spaces.
+[[nodiscard]] std::string indent(std::string_view body, std::size_t spaces);
+
+/// Split on a single-character separator; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace coalesce::support

@@ -1,0 +1,97 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::support {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::header(std::vector<std::string> names) {
+  header_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  COALESCE_ASSERT_MSG(pending_.empty(),
+                      "row() while a builder row is in progress");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  pending_.push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(std::int64_t v) {
+  return cell(std::to_string(v));
+}
+
+Table& Table::cell(std::uint64_t v) {
+  return cell(std::to_string(v));
+}
+
+Table& Table::cell(double v, int precision) {
+  return cell(format("%.*f", precision, v));
+}
+
+Table& Table::end_row() {
+  rows_.push_back(std::move(pending_));
+  pending_.clear();
+  return *this;
+}
+
+std::string Table::render() const {
+  // Compute column widths over header + rows.
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto render_row = [&](const std::vector<std::string>& r) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      line += " ";
+      line += cell;
+      line.append(width[c] - cell.size(), ' ');
+      line += " |";
+    }
+    return line + "\n";
+  };
+
+  std::string rule = "+";
+  for (std::size_t c = 0; c < cols; ++c) {
+    rule.append(width[c] + 2, '-');
+    rule += "+";
+  }
+  rule += "\n";
+
+  std::string out;
+  out += "== " + title_ + " ==\n";
+  out += rule;
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += rule;
+  }
+  for (const auto& r : rows_) out += render_row(r);
+  out += rule;
+  return out;
+}
+
+void Table::print() const {
+  const std::string text = render();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace coalesce::support

@@ -1,0 +1,41 @@
+// ASCII table rendering for the benchmark harnesses. Every experiment binary
+// prints tables in the same format so EXPERIMENTS.md can quote them directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coalesce::support {
+
+/// Column-aligned text table with a title, a header row, and data rows.
+/// Cells are strings; numeric helpers format consistently (fixed precision).
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  Table& header(std::vector<std::string> names);
+  Table& row(std::vector<std::string> cells);
+
+  /// Append a cell to the row under construction (builder style).
+  Table& cell(std::string text);
+  Table& cell(std::int64_t v);
+  Table& cell(std::uint64_t v);
+  Table& cell(double v, int precision = 2);
+  /// Finish the row under construction.
+  Table& end_row();
+
+  [[nodiscard]] std::string render() const;
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+};
+
+}  // namespace coalesce::support

@@ -1,0 +1,266 @@
+#include "transform/coalesce.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::transform {
+
+using ir::ExprRef;
+using ir::Loop;
+using ir::LoopNest;
+using ir::LoopPtr;
+using ir::VarId;
+using support::i64;
+
+ExprRef recovery_expression(const index::CoalescedSpace& space, std::size_t k,
+                            VarId coalesced, RecoveryStyle style) {
+  COALESCE_ASSERT(k < space.depth());
+  const ExprRef j = ir::var_ref(coalesced);
+  const i64 nk = space.extent(k);
+  const i64 p_k = space.suffix_product(k);
+  const i64 p_k1 = space.suffix_product(k + 1);
+
+  ExprRef normalized;  // value in [1, N_k]
+  switch (style) {
+    case RecoveryStyle::kPaperClosedForm:
+      // v = ceil(j / P_{k+1}) - N_k * floor((j - 1) / P_k)
+      normalized = ir::sub(
+          ir::ceil_div(j, ir::int_const(p_k1)),
+          ir::mul(ir::int_const(nk),
+                  ir::floor_div(ir::sub(j, ir::int_const(1)),
+                                ir::int_const(p_k))));
+      break;
+    case RecoveryStyle::kMixedRadix:
+      // v = ((j - 1) / P_{k+1}) mod N_k + 1
+      normalized = ir::add(
+          ir::mod(ir::floor_div(ir::sub(j, ir::int_const(1)),
+                                ir::int_const(p_k1)),
+                  ir::int_const(nk)),
+          ir::int_const(1));
+      break;
+  }
+
+  // Original value: lower + step * (v - 1) == (lower - step) + step * v.
+  const auto& geom = space.level(k);
+  ExprRef original = ir::add(
+      ir::int_const(geom.lower - geom.step),
+      ir::mul(ir::int_const(geom.step), std::move(normalized)));
+  return ir::simplify(original);
+}
+
+namespace {
+
+/// Everything needed to splice a coalesced band into a tree.
+struct BandPlan {
+  std::vector<const Loop*> band;  ///< the loops being fused, outermost first
+  std::vector<index::LevelGeometry> geometry;
+};
+
+/// Structural legality; fills `why` with the first violated precondition.
+std::optional<BandPlan> plan_band(const Loop& root,
+                                  const CoalesceOptions& options,
+                                  std::string* why) {
+  const std::vector<const Loop*> parallel = ir::parallel_band(root);
+  std::size_t k = options.levels == 0 ? parallel.size() : options.levels;
+
+  if (k < 2) {
+    *why = "coalescing needs a parallel band of depth >= 2 at the root";
+    return std::nullopt;
+  }
+  if (k > parallel.size()) {
+    *why = support::format(
+        "requested %zu levels but the perfect parallel band has depth %zu",
+        k, parallel.size());
+    return std::nullopt;
+  }
+
+  BandPlan plan;
+  plan.band.assign(parallel.begin(),
+                   parallel.begin() + static_cast<std::ptrdiff_t>(k));
+
+  for (std::size_t level = 0; level < k; ++level) {
+    const Loop* loop = plan.band[level];
+    const auto lo = ir::as_constant(loop->lower);
+    const auto hi = ir::as_constant(loop->upper);
+    if (!lo || !hi) {
+      *why = support::format(
+          "band level %zu has non-constant bounds; rectangular constant "
+          "bounds are required (fold parameters first)", level);
+      return std::nullopt;
+    }
+    if (*hi < *lo) {
+      *why = support::format("band level %zu is empty", level);
+      return std::nullopt;
+    }
+    const i64 trips = (*hi - *lo) / loop->step + 1;
+    plan.geometry.push_back(index::LevelGeometry{*lo, trips, loop->step});
+  }
+
+  // The innermost coalesced loop's body must not assign any band variable:
+  // the recovery statements would be clobbered.
+  const std::vector<VarId> written = ir::scalars_written(*plan.band.back());
+  for (const Loop* loop : plan.band) {
+    if (std::find(written.begin(), written.end(), loop->var) !=
+        written.end()) {
+      *why = support::format(
+          "loop body assigns induction variable of a coalesced level");
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+struct BuiltBand {
+  LoopPtr loop;
+  index::CoalescedSpace space;
+  VarId coalesced;
+  std::vector<VarId> recovered;
+  std::size_t levels;
+};
+
+/// Materializes the coalesced loop for a validated plan. `symbols` gains the
+/// fresh coalesced induction variable.
+support::Expected<BuiltBand> build_band(ir::SymbolTable& symbols,
+                                        const BandPlan& plan,
+                                        const CoalesceOptions& options) {
+  auto space = index::CoalescedSpace::create(plan.geometry);
+  if (!space.ok()) return space.error();
+
+  VarId j;
+  if (!symbols.lookup(options.coalesced_name).has_value()) {
+    j = symbols.declare(options.coalesced_name, ir::SymbolKind::kInduction);
+  } else {
+    j = symbols.fresh_induction(options.coalesced_name);
+  }
+
+  auto coalesced = std::make_shared<Loop>();
+  coalesced->var = j;
+  coalesced->lower = ir::int_const(1);
+  coalesced->upper = ir::int_const(space.value().total());
+  coalesced->step = 1;
+  coalesced->parallel = true;
+
+  std::vector<VarId> recovered;
+  for (std::size_t level = 0; level < plan.band.size(); ++level) {
+    const VarId original_var = plan.band[level]->var;
+    recovered.push_back(original_var);
+    coalesced->body.push_back(ir::AssignStmt{
+        original_var,
+        recovery_expression(space.value(), level, j, options.recovery)});
+  }
+  for (const ir::Stmt& s : plan.band.back()->body) {
+    coalesced->body.push_back(ir::clone(s));
+  }
+
+  return BuiltBand{std::move(coalesced), std::move(space).value(), j,
+                   std::move(recovered), plan.band.size()};
+}
+
+}  // namespace
+
+support::Expected<CoalesceResult> coalesce_nest(
+    const LoopNest& nest, const CoalesceOptions& options) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  std::string why;
+  auto plan = plan_band(*nest.root, options, &why);
+  if (!plan) {
+    return support::make_error(support::ErrorCode::kIllegalTransform, why);
+  }
+
+  ir::SymbolTable symbols = nest.symbols;  // value copy
+  auto built = build_band(symbols, *plan, options);
+  if (!built.ok()) return built.error();
+
+  BuiltBand band = std::move(built).value();
+  CoalesceResult result{
+      LoopNest{std::move(symbols), std::move(band.loop)},
+      std::move(band.space), band.coalesced, std::move(band.recovered),
+      band.levels};
+  return result;
+}
+
+namespace {
+
+LoopPtr rewrite_tree(ir::SymbolTable& symbols, const Loop& loop,
+                     const CoalesceOptions& options, std::size_t* count);
+
+/// Rewrites each statement, descending into loops.
+std::vector<ir::Stmt> rewrite_body(ir::SymbolTable& symbols,
+                                   const std::vector<ir::Stmt>& body,
+                                   const CoalesceOptions& options,
+                                   std::size_t* count) {
+  std::vector<ir::Stmt> out;
+  out.reserve(body.size());
+  for (const ir::Stmt& s : body) {
+    if (const auto* inner = std::get_if<LoopPtr>(&s)) {
+      out.push_back(rewrite_tree(symbols, **inner, options, count));
+    } else if (const auto* guard = std::get_if<ir::IfPtr>(&s)) {
+      auto rebuilt = std::make_shared<ir::IfStmt>();
+      rebuilt->condition = (*guard)->condition;
+      rebuilt->then_body =
+          rewrite_body(symbols, (*guard)->then_body, options, count);
+      out.push_back(std::move(rebuilt));
+    } else {
+      out.push_back(ir::clone(s));
+    }
+  }
+  return out;
+}
+
+LoopPtr rewrite_tree(ir::SymbolTable& symbols, const Loop& loop,
+                     const CoalesceOptions& options, std::size_t* count) {
+  std::string why;
+  // options.levels == 0 fuses the maximal band at each point; a nonzero
+  // request (collapse(k)) is honored per band and bands shallower than k
+  // are left unchanged.
+  if (auto plan = plan_band(loop, options, &why)) {
+    auto built = build_band(symbols, *plan, options);
+    if (built.ok()) {
+      ++*count;
+      BuiltBand band = std::move(built).value();
+      // The fused body may itself contain deeper loops (e.g. a sequential
+      // reduction); rewrite those too. Recovery assignments stay in place.
+      band.loop->body = rewrite_body(symbols, band.loop->body, options, count);
+      return band.loop;
+    }
+  }
+  // Not coalescible here: keep this loop, rewrite its children.
+  auto kept = std::make_shared<Loop>();
+  kept->var = loop.var;
+  kept->lower = loop.lower;
+  kept->upper = loop.upper;
+  kept->step = loop.step;
+  kept->parallel = loop.parallel;
+  kept->body = rewrite_body(symbols, loop.body, options, count);
+  return kept;
+}
+
+}  // namespace
+
+CoalesceAllResult coalesce_all(const LoopNest& nest,
+                               const CoalesceOptions& options) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  ir::SymbolTable symbols = nest.symbols;
+  std::size_t count = 0;
+  LoopPtr root = rewrite_tree(symbols, *nest.root, options, &count);
+  return CoalesceAllResult{LoopNest{std::move(symbols), std::move(root)},
+                           count};
+}
+
+CoalesceProgramResult coalesce_program(const ir::Program& program,
+                                       const CoalesceOptions& options) {
+  ir::SymbolTable symbols = program.symbols;
+  std::size_t count = 0;
+  std::vector<LoopPtr> roots;
+  roots.reserve(program.roots.size());
+  for (const LoopPtr& root : program.roots) {
+    COALESCE_ASSERT(root != nullptr);
+    roots.push_back(rewrite_tree(symbols, *root, options, &count));
+  }
+  return CoalesceProgramResult{
+      ir::Program{std::move(symbols), std::move(roots)}, count};
+}
+
+}  // namespace coalesce::transform

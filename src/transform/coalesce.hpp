@@ -1,0 +1,86 @@
+// Loop coalescing — the paper's transformation.
+//
+// Input: a nest whose outermost loops form a perfect band of k >= 2
+// rectangular DOALL loops with constant bounds. Output: an equivalent nest
+// whose outermost loop is a single DOALL over j = 1..N (N the product of the
+// band's trip counts) that recovers the original induction values at the top
+// of its body:
+//
+//   doall i = 1, 4 {               doall j = 1, 12 {
+//     doall k = 1, 3 {      ==>      i = cdiv(j, 3) - 4 * fdiv(j - 1, 12);
+//       B(i, k);                     k = j - 3 * fdiv(j - 1, 3);
+//     }                              B(i, k);
+//   }                              }
+//
+// Legality is checked structurally here (perfect, rectangular, constant
+// bounds, DOALL flags); proving the DOALL flags themselves is the
+// analysis module's job (analyze_and_mark).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/coalesced_space.hpp"
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::transform {
+
+/// How the transformed code recovers original indices from the coalesced j.
+enum class RecoveryStyle : std::uint8_t {
+  kPaperClosedForm,  ///< ceil/floor form from the paper (default)
+  kMixedRadix,       ///< (j-1)/P mod N + 1 digit extraction
+};
+
+struct CoalesceOptions {
+  /// Number of outer band levels to coalesce; 0 means "the whole maximal
+  /// parallel band". Values >= 2 request partial coalescing of exactly that
+  /// many levels (the collapse(k) view).
+  std::size_t levels = 0;
+  RecoveryStyle recovery = RecoveryStyle::kPaperClosedForm;
+  /// Name for the coalesced induction variable (uniquified if taken).
+  const char* coalesced_name = "j";
+};
+
+struct CoalesceResult {
+  ir::LoopNest nest;                  ///< the transformed program
+  index::CoalescedSpace space;        ///< geometry of the coalesced band
+  ir::VarId coalesced_var;            ///< the new induction variable
+  std::vector<ir::VarId> recovered;   ///< original band vars, outermost first
+  std::size_t levels = 0;             ///< band depth actually coalesced
+};
+
+/// Coalesces the band rooted at the nest's outermost loop. Fails with
+/// kIllegalTransform / kUnsupported when preconditions don't hold; the
+/// input nest is never modified.
+[[nodiscard]] support::Expected<CoalesceResult> coalesce_nest(
+    const ir::LoopNest& nest, const CoalesceOptions& options = {});
+
+/// Coalesces every maximal parallel band of depth >= 2 found anywhere in the
+/// tree (hybrid nests: serial loops are kept and their parallel sub-bands
+/// coalesced in place). Loops that cannot be coalesced are left unchanged.
+/// Returns the rewritten nest and how many bands were coalesced.
+struct CoalesceAllResult {
+  ir::LoopNest nest;
+  std::size_t bands_coalesced = 0;
+};
+[[nodiscard]] CoalesceAllResult coalesce_all(const ir::LoopNest& nest,
+                                             const CoalesceOptions& options = {});
+
+/// coalesce_all over every root of a multi-loop program (the output of loop
+/// distribution / make_perfect): the distribute-then-coalesce pipeline.
+struct CoalesceProgramResult {
+  ir::Program program;
+  std::size_t bands_coalesced = 0;
+};
+[[nodiscard]] CoalesceProgramResult coalesce_program(
+    const ir::Program& program, const CoalesceOptions& options = {});
+
+/// Builds the index-recovery expression for band level `k` (0-based,
+/// outermost first) in terms of the coalesced variable. Exposed for the
+/// codegen cost experiments (E7).
+[[nodiscard]] ir::ExprRef recovery_expression(
+    const index::CoalescedSpace& space, std::size_t k, ir::VarId coalesced,
+    RecoveryStyle style);
+
+}  // namespace coalesce::transform

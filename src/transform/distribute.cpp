@@ -1,0 +1,315 @@
+#include "transform/distribute.hpp"
+
+#include <algorithm>
+
+#include "analysis/dependence.hpp"
+#include "analysis/subscript.hpp"
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::transform {
+
+using ir::Loop;
+using ir::LoopNest;
+using ir::LoopPtr;
+using ir::VarId;
+
+namespace {
+
+/// Scalar variables read / written by a statement subtree (any non-array
+/// lvalue counts as written; reads from expressions and bounds).
+struct ScalarUse {
+  std::vector<VarId> reads;
+  std::vector<VarId> writes;
+};
+
+void push_unique(std::vector<VarId>& xs, VarId v) {
+  if (std::find(xs.begin(), xs.end(), v) == xs.end()) xs.push_back(v);
+}
+
+void scalar_reads_in(const ir::ExprRef& e, const ir::SymbolTable& symbols,
+                     std::vector<VarId>& out) {
+  for (VarId v : ir::referenced_vars(e)) {
+    const ir::SymbolKind kind = symbols.kind(v);
+    if (kind == ir::SymbolKind::kScalar) push_unique(out, v);
+  }
+}
+
+void scalar_use_stmt(const ir::Stmt& stmt, const ir::SymbolTable& symbols,
+                     ScalarUse& out) {
+  if (const auto* assign = std::get_if<ir::AssignStmt>(&stmt)) {
+    scalar_reads_in(assign->rhs, symbols, out.reads);
+    if (const auto* access = std::get_if<ir::ArrayAccess>(&assign->lhs)) {
+      for (const auto& sub : access->subscripts) {
+        scalar_reads_in(sub, symbols, out.reads);
+      }
+    } else {
+      const VarId target = std::get<VarId>(assign->lhs);
+      if (symbols.kind(target) == ir::SymbolKind::kScalar) {
+        push_unique(out.writes, target);
+      }
+    }
+  } else if (const auto* guard = std::get_if<ir::IfPtr>(&stmt)) {
+    scalar_reads_in((*guard)->condition, symbols, out.reads);
+    for (const ir::Stmt& s : (*guard)->then_body) {
+      scalar_use_stmt(s, symbols, out);
+    }
+  } else {
+    const Loop& loop = *std::get<LoopPtr>(stmt);
+    scalar_reads_in(loop.lower, symbols, out.reads);
+    scalar_reads_in(loop.upper, symbols, out.reads);
+    for (const ir::Stmt& s : loop.body) scalar_use_stmt(s, symbols, out);
+  }
+}
+
+bool intersects(const std::vector<VarId>& a, const std::vector<VarId>& b) {
+  for (VarId v : a) {
+    if (std::find(b.begin(), b.end(), v) != b.end()) return true;
+  }
+  return false;
+}
+
+/// Tarjan SCC over a small adjacency matrix. Emits components in reverse
+/// topological order of the condensation.
+class Tarjan {
+ public:
+  explicit Tarjan(const std::vector<std::vector<bool>>& adj)
+      : adj_(adj), n_(adj.size()), index_(n_, -1), low_(n_, 0),
+        on_stack_(n_, false) {
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (index_[v] < 0) strongconnect(v);
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& components()
+      const noexcept {
+    return components_;
+  }
+
+ private:
+  void strongconnect(std::size_t v) {
+    index_[v] = low_[v] = counter_++;
+    stack_.push_back(v);
+    on_stack_[v] = true;
+    for (std::size_t w = 0; w < n_; ++w) {
+      if (!adj_[v][w]) continue;
+      if (index_[w] < 0) {
+        strongconnect(w);
+        low_[v] = std::min(low_[v], low_[w]);
+      } else if (on_stack_[w]) {
+        low_[v] = std::min(low_[v], index_[w]);
+      }
+    }
+    if (low_[v] == index_[v]) {
+      std::vector<std::size_t> comp;
+      while (true) {
+        const std::size_t w = stack_.back();
+        stack_.pop_back();
+        on_stack_[w] = false;
+        comp.push_back(w);
+        if (w == v) break;
+      }
+      std::sort(comp.begin(), comp.end());  // original textual order
+      components_.push_back(std::move(comp));
+    }
+  }
+
+  const std::vector<std::vector<bool>>& adj_;
+  std::size_t n_;
+  std::vector<int> index_;
+  std::vector<int> low_;
+  std::vector<bool> on_stack_;
+  std::vector<std::size_t> stack_;
+  int counter_ = 0;
+  std::vector<std::vector<std::size_t>> components_;
+};
+
+/// Which way(s) must statement a stay ordered relative to statement b?
+struct EdgeSet {
+  bool a_before_b = false;
+  bool b_before_a = false;
+};
+
+/// Classify one dependence-test result for distribution of the loop at
+/// chain position `pos` (0-based within the common prefix).
+void classify(const analysis::PairTest& t, std::size_t pos, EdgeSet& edges) {
+  if (t.answer == analysis::DepAnswer::kIndependent) return;
+
+  // Entries before `pos` belong to loops enclosing the distributed one: a
+  // known nonzero distance there means the dependence crosses outer
+  // iterations and is preserved by any intra-iteration ordering.
+  for (std::size_t l = 0; l < pos && l < t.distance.size(); ++l) {
+    if (!t.distance[l].has_value()) {
+      edges.a_before_b = edges.b_before_a = true;  // direction unknowable
+      return;
+    }
+    if (*t.distance[l] != 0) return;  // carried by an outer loop
+  }
+
+  if (pos >= t.distance.size()) {
+    // No common entry at the distributed level (shouldn't happen for
+    // sibling statements, but stay conservative).
+    edges.a_before_b = edges.b_before_a = true;
+    return;
+  }
+  const auto& d = t.distance[pos];
+  if (!d.has_value()) {
+    edges.a_before_b = edges.b_before_a = true;
+  } else if (*d >= 0) {
+    edges.a_before_b = true;  // loop-independent or carried forward
+  } else {
+    edges.b_before_a = true;  // the real dependence runs b -> a
+  }
+}
+
+}  // namespace
+
+support::Expected<std::vector<LoopPtr>> distribute_loop(
+    ir::SymbolTable& symbols, const Loop& loop,
+    const std::vector<const Loop*>& enclosing) {
+  const std::size_t m = loop.body.size();
+  if (m <= 1) {
+    return std::vector<LoopPtr>{ir::clone(loop)};
+  }
+
+  std::vector<const Loop*> chain = enclosing;
+  chain.push_back(&loop);
+  const std::size_t pos = chain.size() - 1;
+
+  // Per-statement reference and scalar-use summaries.
+  std::vector<std::vector<analysis::ArrayRef>> refs(m);
+  std::vector<ScalarUse> scalars(m);
+  for (std::size_t t = 0; t < m; ++t) {
+    refs[t] = analysis::collect_array_refs_of_stmt(loop.body[t], chain);
+    scalar_use_stmt(loop.body[t], symbols, scalars[t]);
+  }
+
+  // Statement dependence graph.
+  std::vector<std::vector<bool>> adj(m, std::vector<bool>(m, false));
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b < m; ++b) {
+      EdgeSet edges;
+      for (const auto& ra : refs[a]) {
+        for (const auto& rb : refs[b]) {
+          if (ra.array != rb.array) continue;
+          if (ra.kind == analysis::RefKind::kRead &&
+              rb.kind == analysis::RefKind::kRead)
+            continue;
+          std::size_t common = 0;
+          while (common < ra.enclosing.size() &&
+                 common < rb.enclosing.size() &&
+                 ra.enclosing[common] == rb.enclosing[common]) {
+            ++common;
+          }
+          classify(analysis::test_pair(ra, rb, common), pos, edges);
+          if (edges.a_before_b && edges.b_before_a) break;
+        }
+        if (edges.a_before_b && edges.b_before_a) break;
+      }
+      // Scalar conflicts: any shared scalar with at least one writer welds
+      // the statements together (order cannot be proven either way).
+      if (intersects(scalars[a].writes, scalars[b].writes) ||
+          intersects(scalars[a].writes, scalars[b].reads) ||
+          intersects(scalars[a].reads, scalars[b].writes)) {
+        edges.a_before_b = edges.b_before_a = true;
+      }
+      if (edges.a_before_b) adj[a][b] = true;
+      if (edges.b_before_a) adj[b][a] = true;
+    }
+  }
+
+  Tarjan tarjan(adj);
+  // Reverse emission order == topological order of the condensation.
+  std::vector<std::vector<std::size_t>> order(tarjan.components().rbegin(),
+                                              tarjan.components().rend());
+
+  std::vector<LoopPtr> out;
+  out.reserve(order.size());
+  for (std::size_t c = 0; c < order.size(); ++c) {
+    auto piece = std::make_shared<Loop>();
+    piece->lower = loop.lower;
+    piece->upper = loop.upper;
+    piece->step = loop.step;
+    piece->parallel = loop.parallel;
+    if (c == 0) {
+      piece->var = loop.var;
+      for (std::size_t idx : order[c]) {
+        piece->body.push_back(ir::clone(loop.body[idx]));
+      }
+    } else {
+      // Fresh induction variable: sibling loops must not share ids or the
+      // dependence tester would treat two independent instances as one.
+      piece->var = symbols.fresh_induction(symbols.name(loop.var) + "_d");
+      const ir::ExprRef replacement = ir::var_ref(piece->var);
+      for (std::size_t idx : order[c]) {
+        piece->body.push_back(
+            ir::substitute(loop.body[idx], loop.var, replacement));
+      }
+    }
+    out.push_back(std::move(piece));
+  }
+  return out;
+}
+
+support::Expected<Program> distribute_root(const LoopNest& nest) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  ir::SymbolTable symbols = nest.symbols;
+  auto pieces = distribute_loop(symbols, *nest.root, {});
+  if (!pieces.ok()) return pieces.error();
+  return Program{std::move(symbols), std::move(pieces).value()};
+}
+
+namespace {
+
+/// Rebuilds a loop with every child loop recursively made perfect and
+/// spliced in place, then distributes the rebuilt loop itself.
+support::Expected<std::vector<LoopPtr>> make_perfect_loop(
+    ir::SymbolTable& symbols, const Loop& loop,
+    std::vector<const Loop*>& enclosing) {
+  auto rebuilt = std::make_shared<Loop>();
+  rebuilt->var = loop.var;
+  rebuilt->lower = loop.lower;
+  rebuilt->upper = loop.upper;
+  rebuilt->step = loop.step;
+  rebuilt->parallel = loop.parallel;
+
+  enclosing.push_back(&loop);
+  for (const ir::Stmt& s : loop.body) {
+    if (const auto* inner = std::get_if<LoopPtr>(&s)) {
+      auto pieces = make_perfect_loop(symbols, **inner, enclosing);
+      if (!pieces.ok()) {
+        enclosing.pop_back();
+        return pieces.error();
+      }
+      for (LoopPtr& piece : pieces.value()) {
+        rebuilt->body.push_back(std::move(piece));
+      }
+    } else {
+      rebuilt->body.push_back(ir::clone(s));
+    }
+  }
+  enclosing.pop_back();
+
+  return distribute_loop(symbols, *rebuilt, enclosing);
+}
+
+}  // namespace
+
+support::Expected<Program> make_perfect(const LoopNest& nest) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  ir::SymbolTable symbols = nest.symbols;
+  std::vector<const Loop*> enclosing;
+  auto roots = make_perfect_loop(symbols, *nest.root, enclosing);
+  if (!roots.ok()) return roots.error();
+  return Program{std::move(symbols), std::move(roots).value()};
+}
+
+std::size_t total_parallel_band_depth(const Program& program) {
+  std::size_t total = 0;
+  for (const LoopPtr& root : program.roots) {
+    total += ir::parallel_band(*root).size();
+  }
+  return total;
+}
+
+}  // namespace coalesce::transform

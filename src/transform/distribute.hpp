@@ -1,0 +1,53 @@
+// Loop distribution (fission) — the enabling transformation for coalescing.
+//
+// Coalescing requires a *perfect* band, but real nests carry initialization
+// statements or multiple inner loops in one body (matmul's `C = 0` next to
+// its reduction loop). Distribution splits
+//
+//   do i { S1; S2 }   ==>   do i { S1 }  ;  do i { S2 }
+//
+// whenever the statement-level dependence graph allows it: statements in a
+// dependence cycle stay in one loop (one strongly connected component each),
+// and the resulting loops are emitted in a topological order of the
+// condensation. Unknown dependence directions conservatively glue statements
+// together.
+//
+// Distributing a loop can turn one root into several, so results are a
+// `Program`: an ordered list of top-level loops over one symbol table.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::transform {
+
+using Program = ir::Program;
+
+/// Distributes the statements of `loop` into a maximal sequence of loops,
+/// one per dependence SCC, in legal order. The first piece keeps the
+/// original induction variable; each further piece gets a fresh one
+/// (declared in `symbols`) so induction variables stay globally unique —
+/// the dependence tester relies on that invariant. Returns a single-element
+/// vector when nothing can be split. `enclosing` is the loop chain above
+/// `loop` (outermost first); pass {} for a root loop.
+[[nodiscard]] support::Expected<std::vector<ir::LoopPtr>> distribute_loop(
+    ir::SymbolTable& symbols, const ir::Loop& loop,
+    const std::vector<const ir::Loop*>& enclosing);
+
+/// Distributes the nest's root loop.
+[[nodiscard]] support::Expected<Program> distribute_root(
+    const ir::LoopNest& nest);
+
+/// Fixpoint: distributes every loop in the tree, outermost first, until no
+/// loop body mixes statements that could be split — maximizing the perfect
+/// bands available to coalescing. The paper's "make the nest perfect" step.
+[[nodiscard]] support::Expected<Program> make_perfect(const ir::LoopNest& nest);
+
+/// Depth of the maximal perfect parallel band summed over program roots —
+/// the quantity make_perfect improves (diagnostics for tests and benches).
+[[nodiscard]] std::size_t total_parallel_band_depth(const Program& program);
+
+}  // namespace coalesce::transform

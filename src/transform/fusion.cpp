@@ -1,0 +1,225 @@
+#include "transform/fusion.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "analysis/dependence.hpp"
+#include "analysis/subscript.hpp"
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::transform {
+
+using ir::Loop;
+using ir::LoopPtr;
+using ir::VarId;
+
+namespace {
+
+/// Scalars read or written anywhere in a statement list.
+void scalar_conflict_set(const std::vector<ir::Stmt>& body,
+                         const ir::SymbolTable& symbols,
+                         std::vector<VarId>& reads,
+                         std::vector<VarId>& writes) {
+  auto add_reads = [&](const ir::ExprRef& e) {
+    for (VarId v : ir::referenced_vars(e)) {
+      if (symbols.kind(v) == ir::SymbolKind::kScalar &&
+          std::find(reads.begin(), reads.end(), v) == reads.end()) {
+        reads.push_back(v);
+      }
+    }
+  };
+  std::function<void(const ir::Stmt&)> walk = [&](const ir::Stmt& stmt) {
+    if (const auto* assign = std::get_if<ir::AssignStmt>(&stmt)) {
+      add_reads(assign->rhs);
+      if (const auto* access = std::get_if<ir::ArrayAccess>(&assign->lhs)) {
+        for (const auto& sub : access->subscripts) add_reads(sub);
+      } else {
+        const VarId target = std::get<VarId>(assign->lhs);
+        if (symbols.kind(target) == ir::SymbolKind::kScalar &&
+            std::find(writes.begin(), writes.end(), target) == writes.end()) {
+          writes.push_back(target);
+        }
+      }
+    } else if (const auto* guard = std::get_if<ir::IfPtr>(&stmt)) {
+      add_reads((*guard)->condition);
+      for (const ir::Stmt& s : (*guard)->then_body) walk(s);
+    } else {
+      const Loop& loop = *std::get<LoopPtr>(stmt);
+      add_reads(loop.lower);
+      add_reads(loop.upper);
+      for (const ir::Stmt& s : loop.body) walk(s);
+    }
+  };
+  for (const ir::Stmt& s : body) walk(s);
+}
+
+bool intersects(const std::vector<VarId>& a, const std::vector<VarId>& b) {
+  return std::any_of(a.begin(), a.end(), [&](VarId v) {
+    return std::find(b.begin(), b.end(), v) != b.end();
+  });
+}
+
+}  // namespace
+
+support::Expected<LoopPtr> fuse_loops(
+    const ir::SymbolTable& symbols, const Loop& first, const Loop& second,
+    const std::vector<const Loop*>& enclosing) {
+  // Headers must match exactly (after simplification).
+  if (!ir::equal(ir::simplify(first.lower), ir::simplify(second.lower)) ||
+      !ir::equal(ir::simplify(first.upper), ir::simplify(second.upper)) ||
+      first.step != second.step) {
+    return support::make_error(support::ErrorCode::kIllegalTransform,
+                               "fusion requires identical loop headers");
+  }
+
+  // Candidate fused loop: first's header, second's body renamed to the
+  // first's induction variable.
+  auto fused = std::make_shared<Loop>();
+  fused->var = first.var;
+  fused->lower = first.lower;
+  fused->upper = first.upper;
+  fused->step = first.step;
+  std::vector<ir::Stmt> body_a;
+  for (const ir::Stmt& s : first.body) body_a.push_back(ir::clone(s));
+  std::vector<ir::Stmt> body_b;
+  const ir::ExprRef replacement = ir::var_ref(first.var);
+  for (const ir::Stmt& s : second.body) {
+    body_b.push_back(ir::substitute(s, second.var, replacement));
+  }
+
+  // Scalar conflicts between the bodies: conservatively fusion-preventing
+  // when any shared scalar is written by either side.
+  {
+    std::vector<VarId> reads_a, writes_a, reads_b, writes_b;
+    scalar_conflict_set(body_a, symbols, reads_a, writes_a);
+    scalar_conflict_set(body_b, symbols, reads_b, writes_b);
+    if (intersects(writes_a, writes_b) || intersects(writes_a, reads_b) ||
+        intersects(reads_a, writes_b)) {
+      return support::make_error(
+          support::ErrorCode::kIllegalTransform,
+          "a shared scalar couples the bodies; expand it first");
+    }
+  }
+
+  fused->body = body_a;
+  for (ir::Stmt& s : body_b) fused->body.push_back(std::move(s));
+
+  // Cross-body dependences, evaluated over the fused chain.
+  std::vector<const Loop*> chain = enclosing;
+  chain.push_back(fused.get());
+  const std::size_t pos = chain.size() - 1;
+
+  std::vector<analysis::ArrayRef> refs_a, refs_b;
+  for (std::size_t t = 0; t < body_a.size(); ++t) {
+    auto refs = analysis::collect_array_refs_of_stmt(fused->body[t], chain);
+    refs_a.insert(refs_a.end(), refs.begin(), refs.end());
+  }
+  for (std::size_t t = body_a.size(); t < fused->body.size(); ++t) {
+    auto refs = analysis::collect_array_refs_of_stmt(fused->body[t], chain);
+    refs_b.insert(refs_b.end(), refs.begin(), refs.end());
+  }
+
+  bool all_cross_independent_or_zero = true;
+  for (const auto& ra : refs_a) {
+    for (const auto& rb : refs_b) {
+      if (ra.array != rb.array) continue;
+      if (ra.kind == analysis::RefKind::kRead &&
+          rb.kind == analysis::RefKind::kRead)
+        continue;
+      std::size_t common = 0;
+      while (common < ra.enclosing.size() && common < rb.enclosing.size() &&
+             ra.enclosing[common] == rb.enclosing[common]) {
+        ++common;
+      }
+      const analysis::PairTest t = analysis::test_pair(ra, rb, common);
+      if (t.answer == analysis::DepAnswer::kIndependent) continue;
+      // Outer-carried dependences are unaffected by fusion order.
+      bool outer_carried = false;
+      bool outer_unknown = false;
+      for (std::size_t l = 0; l < pos && l < t.distance.size(); ++l) {
+        if (!t.distance[l].has_value()) {
+          outer_unknown = true;
+          break;
+        }
+        if (*t.distance[l] != 0) {
+          outer_carried = true;
+          break;
+        }
+      }
+      if (outer_carried) continue;
+      const auto& d =
+          pos < t.distance.size() ? t.distance[pos] : std::optional<std::int64_t>{};
+      if (outer_unknown || !d.has_value()) {
+        return support::make_error(
+            support::ErrorCode::kIllegalTransform,
+            "a cross-body dependence has unknown distance");
+      }
+      // Distance is dst - src where src is an A-ref (executed first in the
+      // original): fusion preserves it only when >= 0.
+      if (*d < 0) {
+        return support::make_error(
+            support::ErrorCode::kIllegalTransform,
+            support::format("fusion would reverse a dependence (distance "
+                            "%lld at the fused level)",
+                            static_cast<long long>(*d)));
+      }
+      if (*d != 0) all_cross_independent_or_zero = false;
+    }
+  }
+
+  // DOALL survives only when both inputs were DOALL and no cross-body
+  // dependence became carried.
+  fused->parallel =
+      first.parallel && second.parallel && all_cross_independent_or_zero;
+  return fused;
+}
+
+support::Expected<ir::Program> fuse_roots(const ir::Program& program,
+                                          std::size_t index) {
+  if (index + 1 >= program.roots.size()) {
+    return support::make_error(support::ErrorCode::kInvalidArgument,
+                               "fuse_roots index out of range");
+  }
+  auto fused = fuse_loops(program.symbols, *program.roots[index],
+                          *program.roots[index + 1], {});
+  if (!fused.ok()) return fused.error();
+
+  ir::Program out;
+  out.symbols = program.symbols;
+  for (std::size_t r = 0; r < program.roots.size(); ++r) {
+    if (r == index) {
+      out.roots.push_back(std::move(fused).value());
+    } else if (r == index + 1) {
+      continue;
+    } else {
+      out.roots.push_back(ir::clone(*program.roots[r]));
+    }
+  }
+  return out;
+}
+
+FuseAllResult fuse_adjacent_roots(const ir::Program& program) {
+  ir::Program current;
+  current.symbols = program.symbols;
+  for (const LoopPtr& root : program.roots) {
+    current.roots.push_back(ir::clone(*root));
+  }
+  std::size_t fused = 0;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t r = 0; r + 1 < current.roots.size(); ++r) {
+      auto attempt = fuse_roots(current, r);
+      if (attempt.ok()) {
+        current = std::move(attempt).value();
+        ++fused;
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return FuseAllResult{std::move(current), fused};
+}
+
+}  // namespace coalesce::transform

@@ -1,0 +1,41 @@
+// Loop fusion — the inverse of distribution.
+//
+//   do i { S1 }  ;  do i { S2 }   ==>   do i { S1; S2 }
+//
+// Legal when no dependence between the two bodies becomes backward-carried:
+// originally every S1 instance runs before every S2 instance, so a
+// dependence from S1 at iteration v1 to S2 at iteration v2 is only
+// preserved by fusion when v2 >= v1 (non-negative distance at the fused
+// level). Unknown distances are conservatively fusion-preventing.
+//
+// The fused loop keeps the DOALL flag only when both inputs were DOALL and
+// every cross-body dependence is loop-independent (distance exactly 0);
+// otherwise fusion may create a carried dependence and the result is
+// marked sequential.
+#pragma once
+
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::transform {
+
+/// Fuses two sibling loops (same constant header: bounds and step).
+/// `enclosing` is the shared loop chain above both (outermost first).
+/// The second loop's induction variable is renamed to the first's.
+[[nodiscard]] support::Expected<ir::LoopPtr> fuse_loops(
+    const ir::SymbolTable& symbols, const ir::Loop& first,
+    const ir::Loop& second, const std::vector<const ir::Loop*>& enclosing);
+
+/// Fuses program roots `index` and `index + 1`, splicing the result back.
+[[nodiscard]] support::Expected<ir::Program> fuse_roots(
+    const ir::Program& program, std::size_t index);
+
+/// Greedy pass: repeatedly fuses adjacent fusable roots until none remain.
+/// Returns the result and the number of fusions performed.
+struct FuseAllResult {
+  ir::Program program;
+  std::size_t fused = 0;
+};
+[[nodiscard]] FuseAllResult fuse_adjacent_roots(const ir::Program& program);
+
+}  // namespace coalesce::transform

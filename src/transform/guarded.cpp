@@ -1,0 +1,270 @@
+#include "transform/guarded.hpp"
+
+#include <algorithm>
+
+#include "index/incremental.hpp"
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::transform {
+
+using ir::AffineForm;
+using ir::ExprRef;
+using ir::Loop;
+using ir::LoopNest;
+using ir::LoopPtr;
+using ir::VarId;
+using support::i64;
+
+namespace {
+
+/// One analyzed band level.
+struct LevelInfo {
+  const Loop* loop = nullptr;
+  AffineForm lower;        ///< affine in outer band variables
+  AffineForm upper;
+  bool lower_constant = false;
+  bool upper_constant = false;
+  i64 min_lower = 0;       ///< interval bounds over the outer box
+  i64 max_upper = 0;
+};
+
+/// Interval of an affine form given per-variable value intervals.
+struct Interval {
+  i64 lo;
+  i64 hi;
+};
+
+Interval affine_interval(const AffineForm& f,
+                         const std::vector<const Loop*>& outer,
+                         const std::vector<Interval>& outer_range) {
+  Interval out{f.constant, f.constant};
+  for (const auto& [v, c] : f.coeffs) {
+    // Find the outer level for this variable.
+    std::size_t idx = outer.size();
+    for (std::size_t t = 0; t < outer.size(); ++t) {
+      if (outer[t]->var == v) {
+        idx = t;
+        break;
+      }
+    }
+    COALESCE_ASSERT_MSG(idx < outer.size(), "variable not in outer band");
+    const Interval r = outer_range[idx];
+    if (c >= 0) {
+      out.lo += c * r.lo;
+      out.hi += c * r.hi;
+    } else {
+      out.lo += c * r.hi;
+      out.hi += c * r.lo;
+    }
+  }
+  return out;
+}
+
+/// Affine view of a bound, restricted to outer band variables.
+support::Expected<AffineForm> bound_affine(
+    const ExprRef& bound, const std::vector<const Loop*>& outer,
+    const char* which, std::size_t level) {
+  auto form = ir::to_affine(ir::simplify(bound));
+  if (!form) {
+    return support::make_error(
+        support::ErrorCode::kUnsupported,
+        support::format("%s bound of band level %zu is not affine", which,
+                        level));
+  }
+  for (const auto& [v, c] : form->coeffs) {
+    const bool in_outer =
+        std::any_of(outer.begin(), outer.end(),
+                    [&](const Loop* l) { return l->var == v; });
+    if (!in_outer) {
+      return support::make_error(
+          support::ErrorCode::kUnsupported,
+          support::format("%s bound of band level %zu references a variable "
+                          "outside the band",
+                          which, level));
+    }
+  }
+  return *form;
+}
+
+}  // namespace
+
+support::Expected<GuardedCoalesceResult> coalesce_guarded(
+    const LoopNest& nest, const CoalesceOptions& options) {
+  COALESCE_ASSERT(nest.root != nullptr);
+
+  const std::vector<const Loop*> parallel = ir::parallel_band(*nest.root);
+  const std::size_t k = options.levels == 0 ? parallel.size() : options.levels;
+  if (k < 2 || k > parallel.size()) {
+    return support::make_error(
+        support::ErrorCode::kIllegalTransform,
+        support::format("guarded coalescing needs a parallel band of depth "
+                        ">= 2 (band depth %zu, requested %zu)",
+                        parallel.size(), k));
+  }
+  const std::vector<const Loop*> band(parallel.begin(),
+                                      parallel.begin() +
+                                          static_cast<std::ptrdiff_t>(k));
+
+  // Analyze each level: affine bounds over outer levels, interval ranges.
+  std::vector<LevelInfo> levels(k);
+  std::vector<const Loop*> outer;
+  std::vector<Interval> outer_range;
+  std::vector<index::LevelGeometry> geometry;
+
+  for (std::size_t t = 0; t < k; ++t) {
+    LevelInfo& info = levels[t];
+    info.loop = band[t];
+
+    auto lower = bound_affine(band[t]->lower, outer, "lower", t);
+    if (!lower.ok()) return lower.error();
+    auto upper = bound_affine(band[t]->upper, outer, "upper", t);
+    if (!upper.ok()) return upper.error();
+    info.lower = std::move(lower).value();
+    info.upper = std::move(upper).value();
+    info.lower_constant = info.lower.is_constant();
+    info.upper_constant = info.upper.is_constant();
+
+    if ((!info.lower_constant || !info.upper_constant) &&
+        band[t]->step != 1) {
+      return support::make_error(
+          support::ErrorCode::kUnsupported,
+          support::format("band level %zu has variable bounds and a "
+                          "non-unit step",
+                          t));
+    }
+
+    const Interval lo_range = affine_interval(info.lower, outer, outer_range);
+    const Interval hi_range = affine_interval(info.upper, outer, outer_range);
+    info.min_lower = lo_range.lo;
+    info.max_upper = hi_range.hi;
+    if (info.max_upper < info.min_lower) {
+      return support::make_error(
+          support::ErrorCode::kIllegalTransform,
+          support::format("band level %zu is empty over the whole box", t));
+    }
+    const i64 trips =
+        (info.max_upper - info.min_lower) / band[t]->step + 1;
+    geometry.push_back(
+        index::LevelGeometry{info.min_lower, trips, band[t]->step});
+
+    outer.push_back(band[t]);
+    outer_range.push_back(Interval{info.min_lower, info.max_upper});
+  }
+
+  // The body must not assign any band variable (same rule as coalesce_nest).
+  const std::vector<VarId> written = ir::scalars_written(*band.back());
+  for (const Loop* loop : band) {
+    if (std::find(written.begin(), written.end(), loop->var) !=
+        written.end()) {
+      return support::make_error(
+          support::ErrorCode::kIllegalTransform,
+          "loop body assigns induction variable of a coalesced level");
+    }
+  }
+
+  auto space = index::CoalescedSpace::create(geometry);
+  if (!space.ok()) return space.error();
+
+  ir::SymbolTable symbols = nest.symbols;
+  VarId j;
+  if (!symbols.lookup(options.coalesced_name).has_value()) {
+    j = symbols.declare(options.coalesced_name, ir::SymbolKind::kInduction);
+  } else {
+    j = symbols.fresh_induction(options.coalesced_name);
+  }
+
+  auto coalesced = std::make_shared<Loop>();
+  coalesced->var = j;
+  coalesced->lower = ir::int_const(1);
+  coalesced->upper = ir::int_const(space.value().total());
+  coalesced->step = 1;
+  coalesced->parallel = true;
+
+  std::vector<VarId> recovered;
+  for (std::size_t t = 0; t < k; ++t) {
+    recovered.push_back(band[t]->var);
+    coalesced->body.push_back(ir::AssignStmt{
+        band[t]->var,
+        recovery_expression(space.value(), t, j, options.recovery)});
+  }
+
+  // Guard condition: conjunction of the non-trivial bound predicates. A
+  // predicate is trivial when the bound is constant (the box edge is exact).
+  ExprRef condition;
+  std::size_t guards = 0;
+  auto add_clause = [&](ExprRef clause) {
+    ++guards;
+    condition = condition == nullptr
+                    ? std::move(clause)
+                    : ir::logical_and(std::move(condition), std::move(clause));
+  };
+  for (std::size_t t = 0; t < k; ++t) {
+    const VarId v = band[t]->var;
+    if (!levels[t].lower_constant) {
+      add_clause(ir::cmp_ge(ir::var_ref(v), ir::from_affine(levels[t].lower)));
+    }
+    if (!levels[t].upper_constant) {
+      add_clause(ir::cmp_le(ir::var_ref(v), ir::from_affine(levels[t].upper)));
+    }
+  }
+
+  std::vector<ir::Stmt> body;
+  body.reserve(band.back()->body.size());
+  for (const ir::Stmt& s : band.back()->body) body.push_back(ir::clone(s));
+
+  if (condition != nullptr) {
+    auto guard = std::make_shared<ir::IfStmt>();
+    guard->condition = std::move(condition);
+    guard->then_body = std::move(body);
+    coalesced->body.push_back(std::move(guard));
+  } else {
+    for (ir::Stmt& s : body) coalesced->body.push_back(std::move(s));
+  }
+
+  // Exact active-point count: sweep the box once evaluating the affine
+  // bounds numerically (cheap: pure integer arithmetic per point).
+  const i64 box_points = space.value().total();
+  i64 active = 0;
+  {
+    index::IncrementalDecoder decoder(space.value(), 1);
+    std::vector<i64> value(k);
+    for (i64 p = 1;; ++p) {
+      const auto original = decoder.original();
+      for (std::size_t t = 0; t < k; ++t) value[t] = original[t];
+      bool ok = true;
+      for (std::size_t t = 0; t < k && ok; ++t) {
+        auto eval_affine = [&](const AffineForm& f) {
+          i64 acc = f.constant;
+          for (const auto& [var, coeff] : f.coeffs) {
+            for (std::size_t u = 0; u < t; ++u) {
+              if (band[u]->var == var) {
+                acc += coeff * value[u];
+                break;
+              }
+            }
+          }
+          return acc;
+        };
+        ok = value[t] >= eval_affine(levels[t].lower) &&
+             value[t] <= eval_affine(levels[t].upper);
+      }
+      if (ok) ++active;
+      if (p == box_points) break;
+      decoder.advance();
+    }
+  }
+
+  GuardedCoalesceResult result{
+      LoopNest{std::move(symbols), std::move(coalesced)},
+      std::move(space).value(),
+      j,
+      std::move(recovered),
+      k,
+      guards,
+      box_points,
+      active};
+  return result;
+}
+
+}  // namespace coalesce::transform

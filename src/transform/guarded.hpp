@@ -1,0 +1,51 @@
+// Guarded coalescing of non-rectangular (e.g. triangular) parallel bands.
+//
+// The closed-form index recovery requires a rectangular space. A band whose
+// inner bounds depend affinely on outer band variables (the triangular
+// update loops of LU/Gauss elimination, symmetric-matrix sweeps, ...) is
+// coalesced by over-approximating it with its rectangular *bounding box* and
+// guarding the body with the original bound predicates:
+//
+//   doall i = 1, N {              doall j = 1, N*N {
+//     doall k = i, N {      ==>     i = <recover>; k = <recover over 1..N>;
+//       B(i, k);                    if (k >= i) { B(i, k); }
+//     }                           }
+//   }
+//
+// The win is the paper's: one scheduling counter and near-perfect load
+// balance even though iterations-per-row varies — at the price of decoding
+// (and immediately discarding) the inactive box points. The result reports
+// box vs active point counts so callers can judge the trade
+// (active/box >= 1/2 for triangles; very sparse bands should not use this).
+#pragma once
+
+#include <cstdint>
+
+#include "index/coalesced_space.hpp"
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+#include "transform/coalesce.hpp"
+
+namespace coalesce::transform {
+
+struct GuardedCoalesceResult {
+  ir::LoopNest nest;
+  index::CoalescedSpace space;       ///< the bounding box
+  ir::VarId coalesced_var;
+  std::vector<ir::VarId> recovered;  ///< band vars, outermost first
+  std::size_t levels = 0;
+  std::size_t guards_emitted = 0;    ///< 0 when the band was rectangular
+  support::i64 box_points = 0;       ///< iterations of the coalesced loop
+  support::i64 active_points = 0;    ///< iterations whose guard passes
+};
+
+/// Coalesces the maximal parallel band at the nest's root, allowing inner
+/// bounds that are affine in outer band variables. Falls back to exactly
+/// plain coalescing when the band is rectangular (no guard emitted).
+///
+/// Preconditions beyond coalesce_nest's: affine-dependent levels must have
+/// step 1; every bound must be constant or affine in outer band variables.
+[[nodiscard]] support::Expected<GuardedCoalesceResult> coalesce_guarded(
+    const ir::LoopNest& nest, const CoalesceOptions& options = {});
+
+}  // namespace coalesce::transform

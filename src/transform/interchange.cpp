@@ -1,0 +1,121 @@
+#include "transform/interchange.hpp"
+
+#include "analysis/dependence.hpp"
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::transform {
+
+using ir::Loop;
+using ir::LoopNest;
+using ir::LoopPtr;
+
+namespace {
+
+/// Is the distance vector still lexicographically non-negative after
+/// swapping entries l and l+1? Unknown entries are assumed hostile.
+bool permutation_legal(
+    const std::vector<std::optional<std::int64_t>>& distance, std::size_t l) {
+  // Normalize direction: the stored vector may be the reverse dependence
+  // (negative leading entry). Find the first known-nonzero entry.
+  int sign = 0;
+  for (const auto& d : distance) {
+    if (!d.has_value()) {
+      // Direction unknown. Safe only if the swap cannot change order:
+      // both swapped entries known and equal.
+      return distance[l].has_value() && distance[l + 1].has_value() &&
+             *distance[l] == *distance[l + 1];
+    }
+    if (*d != 0) {
+      sign = *d > 0 ? 1 : -1;
+      break;
+    }
+  }
+  if (sign == 0) return true;  // loop-independent: any permutation fine
+
+  std::vector<std::int64_t> permuted;
+  permuted.reserve(distance.size());
+  for (const auto& d : distance) permuted.push_back(sign * *d);
+  std::swap(permuted[l], permuted[l + 1]);
+
+  for (std::int64_t d : permuted) {
+    if (d > 0) return true;
+    if (d < 0) return false;
+  }
+  return true;
+}
+
+support::Expected<bool> check(const LoopNest& nest, std::size_t outer,
+                              std::vector<const Loop*>* band_out) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  const std::vector<const Loop*> band = ir::perfect_band(*nest.root);
+  if (outer + 1 >= band.size()) {
+    return support::make_error(
+        support::ErrorCode::kIllegalTransform,
+        support::format("band depth %zu; cannot interchange levels %zu/%zu",
+                        band.size(), outer, outer + 1));
+  }
+  const Loop* a = band[outer];
+  const Loop* b = band[outer + 1];
+  if (ir::references(b->lower, a->var) || ir::references(b->upper, a->var)) {
+    return support::make_error(
+        support::ErrorCode::kUnsupported,
+        "inner bounds depend on the outer variable (non-rectangular)");
+  }
+
+  for (const auto& dep : analysis::compute_dependences(*nest.root)) {
+    // The swap affects a dependence only if its common chain reaches both
+    // levels.
+    if (dep.common.size() <= outer + 1) continue;
+    if (dep.common[outer] != a || dep.common[outer + 1] != b) continue;
+    if (!permutation_legal(dep.distance, outer)) {
+      if (band_out != nullptr) band_out->clear();
+      return false;
+    }
+  }
+  if (band_out != nullptr) *band_out = band;
+  return true;
+}
+
+}  // namespace
+
+support::Expected<bool> interchange_legal(const LoopNest& nest,
+                                          std::size_t outer) {
+  return check(nest, outer, nullptr);
+}
+
+support::Expected<ir::LoopNest> interchange(const LoopNest& nest,
+                                            std::size_t outer) {
+  std::vector<const Loop*> band;
+  auto legal = check(nest, outer, &band);
+  if (!legal.ok()) return legal.error();
+  if (!legal.value()) {
+    return support::make_error(support::ErrorCode::kIllegalTransform,
+                               "a dependence forbids this interchange");
+  }
+
+  LoopPtr root = ir::clone(*nest.root);
+
+  // Walk the cloned band and swap the loop headers at `outer` and
+  // `outer + 1`; bodies stay attached to their structural position.
+  std::vector<Loop*> chain;
+  Loop* cur = root.get();
+  while (true) {
+    chain.push_back(cur);
+    if (chain.size() > outer + 1) break;
+    auto* inner = std::get_if<LoopPtr>(&cur->body.front());
+    COALESCE_ASSERT(inner != nullptr);
+    cur = inner->get();
+  }
+  Loop* a = chain[outer];
+  Loop* b = chain[outer + 1];
+  std::swap(a->var, b->var);
+  std::swap(a->lower, b->lower);
+  std::swap(a->upper, b->upper);
+  std::swap(a->step, b->step);
+  std::swap(a->parallel, b->parallel);
+
+  return LoopNest{nest.symbols, std::move(root)};
+}
+
+}  // namespace coalesce::transform

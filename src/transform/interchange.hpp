@@ -1,0 +1,25 @@
+// Loop interchange of two adjacent levels of a perfect band.
+//
+// Interchange is the companion transformation the paper's setting assumes
+// (move a parallel loop outward before coalescing). Legality: permuting the
+// two levels must not make any dependence's distance vector lexicographically
+// negative. Unknown distance entries are conservatively assumed hostile.
+#pragma once
+
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::transform {
+
+/// Swaps band levels `outer` and `outer + 1` (0-based from the root) of the
+/// maximal perfect band. Fails when the band is too shallow, the inner
+/// loop's bounds depend on the outer variable (non-rectangular), or a
+/// dependence forbids the permutation.
+[[nodiscard]] support::Expected<ir::LoopNest> interchange(
+    const ir::LoopNest& nest, std::size_t outer);
+
+/// Legality check only (no rewrite).
+[[nodiscard]] support::Expected<bool> interchange_legal(
+    const ir::LoopNest& nest, std::size_t outer);
+
+}  // namespace coalesce::transform

@@ -1,0 +1,149 @@
+#include "transform/normalize.hpp"
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::transform {
+
+using ir::ExprRef;
+using ir::Loop;
+using ir::LoopNest;
+using ir::LoopPtr;
+using ir::VarId;
+
+namespace {
+
+ExprRef subst(const ExprRef& e, VarId v, const ExprRef& replacement) {
+  return ir::simplify(ir::substitute(e, v, replacement));
+}
+
+ir::Stmt subst_stmt(const ir::Stmt& stmt, VarId v, const ExprRef& r);
+
+LoopPtr subst_loop(const Loop& loop, VarId v, const ExprRef& r) {
+  auto out = std::make_shared<Loop>();
+  out->var = loop.var;
+  out->lower = subst(loop.lower, v, r);
+  out->upper = subst(loop.upper, v, r);
+  out->step = loop.step;
+  out->parallel = loop.parallel;
+  out->body.reserve(loop.body.size());
+  for (const ir::Stmt& s : loop.body) out->body.push_back(subst_stmt(s, v, r));
+  return out;
+}
+
+ir::Stmt subst_stmt(const ir::Stmt& stmt, VarId v, const ExprRef& r) {
+  if (const auto* assign = std::get_if<ir::AssignStmt>(&stmt)) {
+    ir::AssignStmt out = *assign;
+    out.rhs = subst(out.rhs, v, r);
+    if (auto* access = std::get_if<ir::ArrayAccess>(&out.lhs)) {
+      for (auto& sub : access->subscripts) sub = subst(sub, v, r);
+    }
+    return out;
+  }
+  if (const auto* guard = std::get_if<ir::IfPtr>(&stmt)) {
+    auto out = std::make_shared<ir::IfStmt>();
+    out->condition = subst((*guard)->condition, v, r);
+    out->then_body.reserve((*guard)->then_body.size());
+    for (const ir::Stmt& s : (*guard)->then_body) {
+      out->then_body.push_back(subst_stmt(s, v, r));
+    }
+    return out;
+  }
+  return subst_loop(*std::get<LoopPtr>(stmt), v, r);
+}
+
+support::Expected<LoopPtr> normalize_tree(ir::SymbolTable& symbols,
+                                          const Loop& loop) {
+  if (ir::references(loop.upper, loop.var) ||
+      ir::references(loop.lower, loop.var)) {
+    return support::make_error(
+        support::ErrorCode::kInvalidArgument,
+        support::format("bounds of loop %s reference its own variable",
+                        symbols.name(loop.var).c_str()));
+  }
+
+  const auto lo = ir::as_constant(loop.lower);
+  const bool already = lo.has_value() && *lo == 1 && loop.step == 1;
+
+  auto out = std::make_shared<Loop>();
+  out->parallel = loop.parallel;
+
+  std::vector<ir::Stmt> body;
+  if (already || !lo.has_value()) {
+    // Already normal, or non-constant lower bound (left as-is; coalescing
+    // will reject it later with a precise message).
+    out->var = loop.var;
+    out->lower = loop.lower;
+    out->upper = loop.upper;
+    out->step = loop.step;
+    body = loop.body;  // shallow: statements re-normalized below
+  } else {
+    // v' = 1 .. trips;  v := lo + (v' - 1) * step.
+    const VarId fresh =
+        symbols.fresh_induction(symbols.name(loop.var) + "_n");
+    out->var = fresh;
+    out->lower = ir::int_const(1);
+    // trips = floor((hi - lo) / step) + 1 (folds when hi is constant).
+    out->upper = ir::simplify(ir::add(
+        ir::floor_div(ir::sub(loop.upper, ir::int_const(*lo)),
+                      ir::int_const(loop.step)),
+        ir::int_const(1)));
+    out->step = 1;
+    const ExprRef replacement = ir::simplify(ir::add(
+        ir::int_const(*lo - loop.step),
+        ir::mul(ir::int_const(loop.step), ir::var_ref(fresh))));
+    body.reserve(loop.body.size());
+    for (const ir::Stmt& s : loop.body)
+      body.push_back(subst_stmt(s, loop.var, replacement));
+  }
+
+  // Recurse into child loops (also under guards).
+  auto normalize_body = [&](const std::vector<ir::Stmt>& in,
+                            std::vector<ir::Stmt>& dest,
+                            auto&& self) -> std::optional<support::Error> {
+    dest.reserve(in.size());
+    for (const ir::Stmt& s : in) {
+      if (const auto* inner = std::get_if<LoopPtr>(&s)) {
+        auto normalized = normalize_tree(symbols, **inner);
+        if (!normalized.ok()) return normalized.error();
+        dest.push_back(std::move(normalized).value());
+      } else if (const auto* guard = std::get_if<ir::IfPtr>(&s)) {
+        auto rebuilt = std::make_shared<ir::IfStmt>();
+        rebuilt->condition = (*guard)->condition;
+        if (auto err = self((*guard)->then_body, rebuilt->then_body, self)) {
+          return err;
+        }
+        dest.push_back(std::move(rebuilt));
+      } else {
+        dest.push_back(ir::clone(s));
+      }
+    }
+    return std::nullopt;
+  };
+  if (auto err = normalize_body(body, out->body, normalize_body)) {
+    return *err;
+  }
+  return out;
+}
+
+}  // namespace
+
+support::Expected<LoopNest> normalize_nest(const LoopNest& nest) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  ir::SymbolTable symbols = nest.symbols;
+  auto root = normalize_tree(symbols, *nest.root);
+  if (!root.ok()) return root.error();
+  return LoopNest{std::move(symbols), std::move(root).value()};
+}
+
+bool fully_normalized(const Loop& root) {
+  if (!ir::is_normalized(root)) return false;
+  for (const ir::Stmt& s : root.body) {
+    if (const auto* inner = std::get_if<LoopPtr>(&s)) {
+      if (!fully_normalized(**inner)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace coalesce::transform

@@ -1,0 +1,23 @@
+// Loop normalization: rewrite `for v = lo, hi, s` (constant lo, s) as
+// `for v' = 1, trips, 1` substituting v := lo + (v' - 1) * s in the body.
+// Coalescing handles unnormalized geometry natively, but normalization is
+// the standard preparation pass for other consumers (interchange legality,
+// simpler codegen) and we expose it as its own transformation.
+#pragma once
+
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::transform {
+
+/// Normalizes every loop in the tree whose lower bound folds to a constant.
+/// Loops already in normal form are left untouched (no fresh variables).
+/// Fails only when a loop's trip count cannot be computed because the upper
+/// bound references the loop's own variable (malformed input).
+[[nodiscard]] support::Expected<ir::LoopNest> normalize_nest(
+    const ir::LoopNest& nest);
+
+/// True when every loop in the tree has lower == 1 and step == 1.
+[[nodiscard]] bool fully_normalized(const ir::Loop& root);
+
+}  // namespace coalesce::transform

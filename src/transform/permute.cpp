@@ -1,0 +1,194 @@
+#include "transform/permute.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "analysis/dependence.hpp"
+#include "analysis/doall.hpp"
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::transform {
+
+using ir::Loop;
+using ir::LoopNest;
+using ir::LoopPtr;
+
+namespace {
+
+bool is_permutation(const std::vector<std::size_t>& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (std::size_t p : perm) {
+    if (p >= perm.size() || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+/// Is a dependence's (partial) distance vector lexicographically
+/// non-negative after applying `perm` to its leading `perm.size()` levels?
+/// Unknown entries are hostile unless an earlier permuted entry is already
+/// known positive.
+bool vector_legal_after(const std::vector<std::optional<std::int64_t>>& dist,
+                        const std::vector<std::size_t>& perm) {
+  // Normalize direction first (stored vectors may lead negative only when
+  // they contain unknowns; fully-known vectors are normalized already, but
+  // be defensive).
+  int sign = 0;
+  for (const auto& d : dist) {
+    if (!d.has_value()) break;
+    if (*d != 0) {
+      sign = *d > 0 ? 1 : -1;
+      break;
+    }
+  }
+  if (sign == 0) sign = 1;  // all-zero prefix or unknown-led: take as-is
+
+  std::vector<std::optional<std::int64_t>> permuted(dist.size());
+  for (std::size_t k = 0; k < dist.size(); ++k) {
+    const std::size_t src = k < perm.size() ? perm[k] : k;
+    permuted[k] = src < dist.size() ? dist[src] : std::nullopt;
+  }
+  for (const auto& d : permuted) {
+    if (!d.has_value()) return false;  // could be negative: reject
+    const std::int64_t v = sign * *d;
+    if (v > 0) return true;
+    if (v < 0) return false;
+  }
+  return true;  // all zero: loop-independent
+}
+
+support::Expected<std::vector<const Loop*>> check(
+    const LoopNest& nest, const std::vector<std::size_t>& perm) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  if (!is_permutation(perm)) {
+    return support::make_error(support::ErrorCode::kInvalidArgument,
+                               "perm is not a permutation of 0..k-1");
+  }
+  const std::vector<const Loop*> band = ir::perfect_band(*nest.root);
+  if (perm.size() > band.size()) {
+    return support::make_error(
+        support::ErrorCode::kIllegalTransform,
+        support::format("permutation touches %zu levels but the band has "
+                        "depth %zu",
+                        perm.size(), band.size()));
+  }
+  // Rectangularity over the permuted region: no bound may reference another
+  // permuted level's variable (any order must be valid textually).
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    for (std::size_t other = 0; other < perm.size(); ++other) {
+      if (other == k) continue;
+      if (ir::references(band[k]->lower, band[other]->var) ||
+          ir::references(band[k]->upper, band[other]->var)) {
+        return support::make_error(
+            support::ErrorCode::kUnsupported,
+            "band is not rectangular over the permuted levels");
+      }
+    }
+  }
+  return band;
+}
+
+bool identity(const std::vector<std::size_t>& perm) {
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    if (perm[k] != k) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+support::Expected<bool> permutation_legal(
+    const LoopNest& nest, const std::vector<std::size_t>& perm) {
+  auto band = check(nest, perm);
+  if (!band.ok()) return band.error();
+  if (identity(perm)) return true;
+
+  for (const auto& dep : analysis::compute_dependences(*nest.root)) {
+    // Only dependences whose common chain reaches into the permuted region
+    // are affected.
+    if (dep.common.empty()) continue;
+    bool in_band = dep.common.size() >= 1 &&
+                   dep.common[0] == band.value()[0];
+    if (!in_band) continue;
+    if (!vector_legal_after(dep.distance, perm)) return false;
+  }
+  return true;
+}
+
+support::Expected<LoopNest> permute(const LoopNest& nest,
+                                    const std::vector<std::size_t>& perm) {
+  auto legal = permutation_legal(nest, perm);
+  if (!legal.ok()) return legal.error();
+  if (!legal.value()) {
+    return support::make_error(support::ErrorCode::kIllegalTransform,
+                               "a dependence forbids this permutation");
+  }
+
+  LoopPtr root = ir::clone(*nest.root);
+  std::vector<Loop*> chain;
+  Loop* cur = root.get();
+  while (chain.size() < perm.size()) {
+    chain.push_back(cur);
+    if (chain.size() == perm.size()) break;
+    auto* inner = std::get_if<LoopPtr>(&cur->body.front());
+    COALESCE_ASSERT(inner != nullptr);
+    cur = inner->get();
+  }
+
+  // Snapshot headers, then rewrite each position with its source header.
+  struct Header {
+    ir::VarId var;
+    ir::ExprRef lower;
+    ir::ExprRef upper;
+    std::int64_t step;
+    bool parallel;
+  };
+  std::vector<Header> headers;
+  headers.reserve(chain.size());
+  for (Loop* loop : chain) {
+    headers.push_back(Header{loop->var, loop->lower, loop->upper, loop->step,
+                             loop->parallel});
+  }
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    const Header& h = headers[perm[k]];
+    chain[k]->var = h.var;
+    chain[k]->lower = h.lower;
+    chain[k]->upper = h.upper;
+    chain[k]->step = h.step;
+    chain[k]->parallel = h.parallel;
+  }
+  return LoopNest{nest.symbols, std::move(root)};
+}
+
+std::vector<std::size_t> best_parallel_permutation(const LoopNest& nest,
+                                                   std::size_t levels) {
+  COALESCE_ASSERT(levels <= 6);
+  std::vector<std::size_t> perm(levels);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<std::size_t> best = perm;
+  std::size_t best_depth = 0;
+  {
+    LoopNest marked{nest.symbols, ir::clone(*nest.root)};
+    analysis::analyze_and_mark(marked);
+    best_depth = ir::parallel_band(*marked.root).size();
+  }
+
+  std::vector<std::size_t> candidate = perm;
+  while (std::next_permutation(candidate.begin(), candidate.end())) {
+    auto legal = permutation_legal(nest, candidate);
+    if (!legal.ok() || !legal.value()) continue;
+    auto permuted = permute(nest, candidate);
+    if (!permuted.ok()) continue;
+    analysis::analyze_and_mark(permuted.value());
+    const std::size_t depth =
+        ir::parallel_band(*permuted.value().root).size();
+    if (depth > best_depth) {
+      best_depth = depth;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace coalesce::transform

@@ -1,0 +1,36 @@
+// General loop permutation of a perfect band — the closure of interchange.
+//
+// Permuting a band reorders every dependence's distance vector by the same
+// permutation; the permutation is legal iff every permuted vector remains
+// lexicographically non-negative. Interchange is the adjacent-transposition
+// special case; permutation composes them in one legality check, which is
+// how a compiler moves the best parallel loop outward before coalescing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::transform {
+
+/// Applies `perm` to the outer levels of the maximal perfect band:
+/// new level k gets old level perm[k]. `perm` must be a permutation of
+/// 0..perm.size()-1 with perm.size() <= band depth. Fails on non-rectangular
+/// bands (bounds referencing permuted variables) or dependence violations.
+[[nodiscard]] support::Expected<ir::LoopNest> permute(
+    const ir::LoopNest& nest, const std::vector<std::size_t>& perm);
+
+/// Legality check only.
+[[nodiscard]] support::Expected<bool> permutation_legal(
+    const ir::LoopNest& nest, const std::vector<std::size_t>& perm);
+
+/// Searches all permutations of the band's outer `levels` (<= 6) for one
+/// that maximizes the depth of the leading parallel band after permutation
+/// (re-analyzed), preferring the identity on ties. Returns the permutation
+/// found (identity when nothing better is legal).
+[[nodiscard]] std::vector<std::size_t> best_parallel_permutation(
+    const ir::LoopNest& nest, std::size_t levels);
+
+}  // namespace coalesce::transform

@@ -1,0 +1,143 @@
+#include "transform/scalar_expand.hpp"
+
+#include <algorithm>
+
+#include "analysis/doall.hpp"
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::transform {
+
+using ir::ExprRef;
+using ir::Loop;
+using ir::LoopNest;
+using ir::LoopPtr;
+using ir::VarId;
+
+namespace {
+
+/// Rewrites one statement: reads of `scalar` become reads of
+/// `array[index]`, scalar-assignments to it become element stores.
+ir::Stmt expand_stmt(const ir::Stmt& stmt, VarId scalar, VarId array,
+                     const ExprRef& index) {
+  const ExprRef replacement = ir::array_read(array, {index});
+  if (const auto* assign = std::get_if<ir::AssignStmt>(&stmt)) {
+    ir::AssignStmt out = *assign;
+    out.rhs = ir::substitute(out.rhs, scalar, replacement);
+    if (auto* access = std::get_if<ir::ArrayAccess>(&out.lhs)) {
+      for (auto& sub : access->subscripts) {
+        sub = ir::substitute(sub, scalar, replacement);
+      }
+    } else if (std::get<VarId>(out.lhs) == scalar) {
+      out.lhs = ir::ArrayAccess{array, {index}};
+    }
+    return out;
+  }
+  if (const auto* guard = std::get_if<ir::IfPtr>(&stmt)) {
+    auto out = std::make_shared<ir::IfStmt>();
+    out->condition = ir::substitute((*guard)->condition, scalar, replacement);
+    out->then_body.reserve((*guard)->then_body.size());
+    for (const ir::Stmt& s : (*guard)->then_body) {
+      out->then_body.push_back(expand_stmt(s, scalar, array, index));
+    }
+    return out;
+  }
+  const Loop& loop = *std::get<LoopPtr>(stmt);
+  auto out = std::make_shared<Loop>();
+  out->var = loop.var;
+  out->lower = ir::substitute(loop.lower, scalar, replacement);
+  out->upper = ir::substitute(loop.upper, scalar, replacement);
+  out->step = loop.step;
+  out->parallel = loop.parallel;
+  out->body.reserve(loop.body.size());
+  for (const ir::Stmt& s : loop.body) {
+    out->body.push_back(expand_stmt(s, scalar, array, index));
+  }
+  return out;
+}
+
+}  // namespace
+
+support::Expected<LoopNest> expand_scalar(const LoopNest& nest,
+                                          VarId scalar) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  if (nest.symbols.kind(scalar) != ir::SymbolKind::kScalar) {
+    return support::make_error(support::ErrorCode::kInvalidArgument,
+                               "expand_scalar requires a scalar symbol");
+  }
+  const Loop& root = *nest.root;
+  const auto lo = ir::as_constant(root.lower);
+  const auto trips = ir::constant_trip_count(root);
+  if (!lo || !trips) {
+    return support::make_error(
+        support::ErrorCode::kUnsupported,
+        "scalar expansion requires constant root bounds");
+  }
+  const std::vector<VarId> written = ir::scalars_written(root);
+  if (std::find(written.begin(), written.end(), scalar) == written.end()) {
+    return support::make_error(
+        support::ErrorCode::kInvalidArgument,
+        support::format("scalar %s is not assigned under the root loop",
+                        nest.symbols.name(scalar).c_str()));
+  }
+  if (!analysis::scalar_privatizable(root, scalar)) {
+    return support::make_error(
+        support::ErrorCode::kIllegalTransform,
+        support::format("scalar %s is read before assigned; its value flows "
+                        "in from outside the iteration",
+                        nest.symbols.name(scalar).c_str()));
+  }
+
+  ir::SymbolTable symbols = nest.symbols;
+  std::string array_name = symbols.name(scalar) + "_x";
+  while (symbols.lookup(array_name).has_value()) array_name += "x";
+  const VarId array =
+      symbols.declare(std::move(array_name), ir::SymbolKind::kArray,
+                      {std::max<std::int64_t>(*trips, 1)});
+
+  // Element index: the 1-based iteration ordinal of the root variable.
+  ExprRef index = ir::var_ref(root.var);
+  if (*lo != 1 || root.step != 1) {
+    index = ir::add(ir::floor_div(ir::sub(std::move(index),
+                                          ir::int_const(*lo)),
+                                  ir::int_const(root.step)),
+                    ir::int_const(1));
+  }
+  index = ir::simplify(index);
+
+  auto out = std::make_shared<Loop>();
+  out->var = root.var;
+  out->lower = root.lower;
+  out->upper = root.upper;
+  out->step = root.step;
+  out->parallel = root.parallel;
+  out->body.reserve(root.body.size());
+  for (const ir::Stmt& s : root.body) {
+    out->body.push_back(expand_stmt(s, scalar, array, index));
+  }
+  return LoopNest{std::move(symbols), std::move(out)};
+}
+
+support::Expected<ExpandAllResult> expand_all_scalars(const LoopNest& nest) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  LoopNest current{nest.symbols, ir::clone(*nest.root)};
+  std::size_t expanded = 0;
+  // Re-scan after each expansion: ids stay valid (expansion only appends).
+  while (true) {
+    bool progressed = false;
+    for (VarId s : ir::scalars_written(*current.root)) {
+      if (current.symbols.kind(s) != ir::SymbolKind::kScalar) continue;
+      if (!analysis::scalar_privatizable(*current.root, s)) continue;
+      auto next = expand_scalar(current, s);
+      if (!next.ok()) return next.error();
+      current = std::move(next).value();
+      ++expanded;
+      progressed = true;
+      break;
+    }
+    if (!progressed) break;
+  }
+  return ExpandAllResult{std::move(current), expanded};
+}
+
+}  // namespace coalesce::transform

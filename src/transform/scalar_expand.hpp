@@ -1,0 +1,36 @@
+// Scalar expansion: replace a per-iteration temporary with an array indexed
+// by the loop variable,
+//
+//   do i { t = A(i); A(i) = B(i); B(i) = t }
+//     ==>  do i { T(i) = A(i); A(i) = B(i); B(i) = T(i) }
+//
+// eliminating the scalar's anti/output dependences. Two uses in this
+// library: it makes loops with reused temporaries DOALL-able under
+// execution models without privatization, and it removes the scalar "welds"
+// that force loop distribution to keep statements together.
+#pragma once
+
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::transform {
+
+/// Expands `scalar` over the nest's root loop. The root must have a
+/// constant lower bound; the expansion array is named "<scalar>_x" (
+/// uniquified) with one element per root iteration. Fails when `scalar`
+/// is not a scalar symbol, is never assigned under the root, or is read
+/// before its first assignment in an iteration (the value would have to
+/// flow in from outside — expansion cannot represent that).
+[[nodiscard]] support::Expected<ir::LoopNest> expand_scalar(
+    const ir::LoopNest& nest, ir::VarId scalar);
+
+/// Expands every privatizable scalar written under the root. Returns the
+/// rewritten nest and how many scalars were expanded.
+struct ExpandAllResult {
+  ir::LoopNest nest;
+  std::size_t expanded = 0;
+};
+[[nodiscard]] support::Expected<ExpandAllResult> expand_all_scalars(
+    const ir::LoopNest& nest);
+
+}  // namespace coalesce::transform

@@ -1,0 +1,77 @@
+#include "transform/stats.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace coalesce::transform {
+
+namespace {
+
+bool walk(const ir::Loop& loop, std::uint64_t enclosing_instances,
+          std::size_t depth, NestStats& stats);
+
+/// Guarded statements are counted as always executing — compute_stats is an
+/// upper bound on dynamic counts for guarded code.
+bool walk_body(const std::vector<ir::Stmt>& body, std::uint64_t instances,
+               std::size_t depth, NestStats& stats) {
+  for (const ir::Stmt& s : body) {
+    if (const auto* assign = std::get_if<ir::AssignStmt>(&s)) {
+      stats.assignment_instances += instances;
+      std::uint64_t divisions = ir::division_count(assign->rhs);
+      if (const auto* access = std::get_if<ir::ArrayAccess>(&assign->lhs)) {
+        for (const auto& sub : access->subscripts)
+          divisions += ir::division_count(sub);
+      }
+      stats.division_ops += divisions * instances;
+    } else if (const auto* guard = std::get_if<ir::IfPtr>(&s)) {
+      stats.division_ops +=
+          ir::division_count((*guard)->condition) * instances;
+      if (!walk_body((*guard)->then_body, instances, depth, stats)) {
+        return false;
+      }
+    } else {
+      if (!walk(*std::get<ir::LoopPtr>(s), instances, depth + 1, stats)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Returns false when a loop's trip count is not constant.
+bool walk(const ir::Loop& loop, std::uint64_t enclosing_instances,
+          std::size_t depth, NestStats& stats) {
+  stats.loops += 1;
+  stats.max_depth = std::max(stats.max_depth, depth);
+  if (loop.parallel) {
+    stats.parallel_loops += 1;
+    stats.fork_join_points += enclosing_instances;
+  }
+
+  const auto trips = ir::constant_trip_count(loop);
+  if (!trips.has_value()) return false;
+  const std::uint64_t instances =
+      enclosing_instances * static_cast<std::uint64_t>(*trips);
+  stats.loop_iterations += instances;
+
+  return walk_body(loop.body, instances, depth, stats);
+}
+
+}  // namespace
+
+NestStats compute_stats(const ir::LoopNest& nest) {
+  auto stats = try_compute_stats(nest);
+  COALESCE_ASSERT_MSG(stats.has_value(),
+                      "compute_stats requires constant loop bounds");
+  return *stats;
+}
+
+std::optional<NestStats> try_compute_stats(const ir::LoopNest& nest) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  NestStats stats;
+  if (!walk(*nest.root, 1, 1, stats)) return std::nullopt;
+  return stats;
+}
+
+}  // namespace coalesce::transform

@@ -1,0 +1,41 @@
+// Static transformation metrics (experiment E8): what coalescing does to the
+// *shape* of a program — fork/join points, scheduling counters, iteration
+// counts, and index-recovery arithmetic — computed without executing it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ir/stmt.hpp"
+
+namespace coalesce::transform {
+
+struct NestStats {
+  std::size_t loops = 0;           ///< loops in the tree
+  std::size_t parallel_loops = 0;  ///< loops marked DOALL
+  std::size_t max_depth = 0;       ///< deepest loop nesting
+
+  /// Dynamic instance counts, assuming constant bounds (asserts otherwise):
+  /// number of times a parallel loop header is *entered* during execution.
+  /// Each entry is one fork/join (and one barrier, and one fresh dispatch
+  /// counter) under nested-DOALL execution — the quantity coalescing
+  /// collapses to 1 for a perfect parallel band.
+  std::uint64_t fork_join_points = 0;
+  /// Total loop-body iterations executed across all loops.
+  std::uint64_t loop_iterations = 0;
+  /// Assignment-statement instances executed (the "useful work" proxy).
+  std::uint64_t assignment_instances = 0;
+  /// Division-family operations executed by assignments (the index-recovery
+  /// cost the transformation introduces; 0 for untransformed nests).
+  std::uint64_t division_ops = 0;
+};
+
+[[nodiscard]] NestStats compute_stats(const ir::LoopNest& nest);
+
+/// Like compute_stats, but returns nullopt when any loop's trip count is
+/// not a compile-time constant (e.g. triangular bounds) instead of
+/// asserting.
+[[nodiscard]] std::optional<NestStats> try_compute_stats(
+    const ir::LoopNest& nest);
+
+}  // namespace coalesce::transform

@@ -1,0 +1,64 @@
+#include "transform/strip_mine.hpp"
+
+#include "support/assert.hpp"
+#include "support/int_math.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::transform {
+
+using ir::Loop;
+using ir::LoopNest;
+using ir::LoopPtr;
+
+support::Expected<LoopNest> strip_mine(const LoopNest& nest,
+                                       std::int64_t strip_size) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  if (strip_size < 1) {
+    return support::make_error(support::ErrorCode::kInvalidArgument,
+                               "strip size must be >= 1");
+  }
+  const Loop& loop = *nest.root;
+  if (!ir::is_normalized(loop)) {
+    return support::make_error(support::ErrorCode::kUnsupported,
+                               "strip mining requires a normalized loop");
+  }
+  const auto n = ir::as_constant(loop.upper);
+  if (!n) {
+    return support::make_error(support::ErrorCode::kUnsupported,
+                               "strip mining requires a constant bound");
+  }
+
+  ir::SymbolTable symbols = nest.symbols;
+  const ir::VarId strip =
+      symbols.fresh_induction(symbols.name(loop.var) + "_s");
+
+  const std::int64_t strips = support::ceil_div(*n, strip_size);
+
+  // Inner: i = (is-1)*S + 1 .. min(is*S, N), keeping the original variable
+  // so the body is reused verbatim.
+  auto inner = std::make_shared<Loop>();
+  inner->var = loop.var;
+  inner->lower = ir::simplify(
+      ir::add(ir::mul(ir::sub(ir::var_ref(strip), ir::int_const(1)),
+                      ir::int_const(strip_size)),
+              ir::int_const(1)));
+  inner->upper = ir::simplify(ir::min_expr(
+      ir::mul(ir::var_ref(strip), ir::int_const(strip_size)),
+      ir::int_const(*n)));
+  inner->step = 1;
+  inner->parallel = false;
+  inner->body.reserve(loop.body.size());
+  for (const ir::Stmt& s : loop.body) inner->body.push_back(ir::clone(s));
+
+  auto outer = std::make_shared<Loop>();
+  outer->var = strip;
+  outer->lower = ir::int_const(1);
+  outer->upper = ir::int_const(strips);
+  outer->step = 1;
+  outer->parallel = loop.parallel;
+  outer->body.push_back(std::move(inner));
+
+  return LoopNest{std::move(symbols), std::move(outer)};
+}
+
+}  // namespace coalesce::transform

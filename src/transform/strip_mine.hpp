@@ -1,0 +1,25 @@
+// Strip mining: split one loop into an outer loop over strips and an inner
+// loop over elements of the strip. The inverse direction of coalescing —
+// used as the chunking baseline in the experiments and as the building
+// block for comparing "coalesce then chunk" against "strip-mine the nest".
+#pragma once
+
+#include <cstdint>
+
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::transform {
+
+/// Strip-mines the root loop with the given strip size:
+///
+///   doall i = 1, N          doall is = 1, ceil(N/S)
+///     B(i)           ==>      do i = (is-1)*S + 1, min(is*S, N)
+///                               B(i)
+///
+/// The outer loop inherits the parallel flag; the inner strip is sequential.
+/// Requires a normalized root (lower 1, step 1) with constant bounds.
+[[nodiscard]] support::Expected<ir::LoopNest> strip_mine(
+    const ir::LoopNest& nest, std::int64_t strip_size);
+
+}  // namespace coalesce::transform

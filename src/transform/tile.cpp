@@ -1,0 +1,109 @@
+#include "transform/tile.hpp"
+
+#include "support/assert.hpp"
+#include "support/int_math.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::transform {
+
+using ir::ExprRef;
+using ir::Loop;
+using ir::LoopNest;
+using ir::LoopPtr;
+using ir::VarId;
+using support::i64;
+
+support::Expected<LoopNest> tile2(const LoopNest& nest, i64 tile_i,
+                                  i64 tile_j) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  if (tile_i < 1 || tile_j < 1) {
+    return support::make_error(support::ErrorCode::kInvalidArgument,
+                               "tile sizes must be >= 1");
+  }
+  const auto band = ir::parallel_band(*nest.root);
+  if (band.size() < 2) {
+    return support::make_error(
+        support::ErrorCode::kIllegalTransform,
+        "tiling needs a parallel band of depth >= 2 at the root");
+  }
+  const Loop* outer = band[0];
+  const Loop* inner = band[1];
+  for (const Loop* loop : {outer, inner}) {
+    if (!ir::is_normalized(*loop) ||
+        !ir::as_constant(loop->upper).has_value()) {
+      return support::make_error(
+          support::ErrorCode::kUnsupported,
+          "tiling requires normalized levels with constant bounds "
+          "(run normalize_nest first)");
+    }
+  }
+  const i64 n = *ir::as_constant(outer->upper);
+  const i64 m = *ir::as_constant(inner->upper);
+
+  ir::SymbolTable symbols = nest.symbols;
+  const VarId it = symbols.fresh_induction(symbols.name(outer->var) + "_t");
+  const VarId jt = symbols.fresh_induction(symbols.name(inner->var) + "_t");
+
+  auto strip_bounds = [](VarId tile_var, i64 tile, i64 extent)
+      -> std::pair<ExprRef, ExprRef> {
+    // (t-1)*T + 1 .. min(t*T, extent)
+    ExprRef lower = ir::simplify(
+        ir::add(ir::mul(ir::sub(ir::var_ref(tile_var), ir::int_const(1)),
+                        ir::int_const(tile)),
+                ir::int_const(1)));
+    ExprRef upper = ir::simplify(ir::min_expr(
+        ir::mul(ir::var_ref(tile_var), ir::int_const(tile)),
+        ir::int_const(extent)));
+    return {std::move(lower), std::move(upper)};
+  };
+
+  // Innermost: the original inner loop over its strip.
+  auto [j_lo, j_hi] = strip_bounds(jt, tile_j, m);
+  auto j_loop = std::make_shared<Loop>();
+  j_loop->var = inner->var;
+  j_loop->lower = std::move(j_lo);
+  j_loop->upper = std::move(j_hi);
+  j_loop->step = 1;
+  j_loop->parallel = false;  // intra-tile: serial by design
+  j_loop->body.reserve(inner->body.size());
+  for (const ir::Stmt& s : inner->body) j_loop->body.push_back(ir::clone(s));
+
+  auto [i_lo, i_hi] = strip_bounds(it, tile_i, n);
+  auto i_loop = std::make_shared<Loop>();
+  i_loop->var = outer->var;
+  i_loop->lower = std::move(i_lo);
+  i_loop->upper = std::move(i_hi);
+  i_loop->step = 1;
+  i_loop->parallel = false;
+  i_loop->body.push_back(std::move(j_loop));
+
+  auto jt_loop = std::make_shared<Loop>();
+  jt_loop->var = jt;
+  jt_loop->lower = ir::int_const(1);
+  jt_loop->upper = ir::int_const(support::ceil_div(m, tile_j));
+  jt_loop->step = 1;
+  jt_loop->parallel = true;
+  jt_loop->body.push_back(std::move(i_loop));
+
+  auto it_loop = std::make_shared<Loop>();
+  it_loop->var = it;
+  it_loop->lower = ir::int_const(1);
+  it_loop->upper = ir::int_const(support::ceil_div(n, tile_i));
+  it_loop->step = 1;
+  it_loop->parallel = true;
+  it_loop->body.push_back(std::move(jt_loop));
+
+  return LoopNest{std::move(symbols), std::move(it_loop)};
+}
+
+support::Expected<CoalesceResult> tile_and_coalesce(
+    const LoopNest& nest, i64 tile_i, i64 tile_j,
+    const CoalesceOptions& options) {
+  auto tiled = tile2(nest, tile_i, tile_j);
+  if (!tiled.ok()) return tiled.error();
+  CoalesceOptions opts = options;
+  opts.levels = 2;  // fuse exactly the inter-tile band
+  return coalesce_nest(tiled.value(), opts);
+}
+
+}  // namespace coalesce::transform

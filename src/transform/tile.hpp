@@ -1,0 +1,39 @@
+// Tiling (blocking) of a 2-deep DOALL band, and the tile-then-coalesce
+// composition.
+//
+//   doall i = 1, N {                doall it = 1, ceil(N/tx) {
+//     doall j = 1, M {       ==>      doall jt = 1, ceil(M/ty) {
+//       B(i, j);                        do i = (it-1)*tx+1, min(it*tx, N) {
+//     }                                   do j = (jt-1)*ty+1, min(jt*ty, M) {
+//   }                                       B(i, j); } } } }
+//
+// Both original levels being DOALL makes any iteration reordering legal, so
+// tiling needs no dependence test beyond the band's existing flags. The
+// inter-tile band is itself a perfect rectangular DOALL band — coalescing
+// it (tile_and_coalesce) yields a single loop over tiles, which is exactly
+// chunked self-scheduling expressed as a source transformation: each
+// coalesced iteration owns a tx*ty block with unit-stride interior loops.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+#include "transform/coalesce.hpp"
+
+namespace coalesce::transform {
+
+/// Tiles the outer two levels of the maximal parallel band. Requires the
+/// band to be >= 2 deep, normalized (lower 1, step 1), with constant
+/// bounds. Tile sizes must be >= 1 (they need not divide the extents).
+[[nodiscard]] support::Expected<ir::LoopNest> tile2(const ir::LoopNest& nest,
+                                                    std::int64_t tile_i,
+                                                    std::int64_t tile_j);
+
+/// tile2 followed by coalescing the inter-tile band: one parallel loop over
+/// tiles, serial unit-stride loops inside each tile.
+[[nodiscard]] support::Expected<CoalesceResult> tile_and_coalesce(
+    const ir::LoopNest& nest, std::int64_t tile_i, std::int64_t tile_j,
+    const CoalesceOptions& options = {});
+
+}  // namespace coalesce::transform

@@ -1,0 +1,111 @@
+// Tests for the analysis report renderers (text + DOT).
+#include <gtest/gtest.h>
+
+#include "analysis/report.hpp"
+#include "ir/builder.hpp"
+
+namespace coalesce::analysis {
+namespace {
+
+TEST(Report, TextListsDependencesAndVerdicts) {
+  ir::LoopNest nest = ir::make_matmul(4, 4, 4);
+  const auto report = analyze_parallelism(nest);
+  const std::string text = render_report(nest, report);
+  EXPECT_NE(text.find("dependences:"), std::string::npos);
+  EXPECT_NE(text.find("flow   C"), std::string::npos);
+  EXPECT_NE(text.find("distance (0, 0)"), std::string::npos);
+  EXPECT_NE(text.find("i        DOALL"), std::string::npos);
+  EXPECT_NE(text.find("k        serial"), std::string::npos);
+  EXPECT_NE(text.find("may be carried"), std::string::npos);
+}
+
+TEST(Report, DirectionVectorsRendered) {
+  ir::LoopNest nest = ir::make_recurrence(8);
+  const auto report = analyze_parallelism(nest);
+  const std::string text = render_report(nest, report);
+  EXPECT_NE(text.find("direction (<)"), std::string::npos);
+}
+
+TEST(DirectionString, AllSymbolClasses) {
+  Dependence dep;
+  dep.distance = {std::optional<std::int64_t>{0},
+                  std::optional<std::int64_t>{2},
+                  std::optional<std::int64_t>{-1}, std::nullopt};
+  EXPECT_EQ(dep.direction_string(), "(=, <, >, *)");
+  dep.distance.clear();
+  EXPECT_EQ(dep.direction_string(), "()");
+}
+
+TEST(Report, UnknownDistancesRenderAsStars) {
+  ir::LoopNest nest = ir::make_matmul(4, 4, 4);
+  const auto report = analyze_parallelism(nest);
+  const std::string text = render_report(nest, report);
+  EXPECT_NE(text.find("(0, 0, *)"), std::string::npos);
+}
+
+TEST(Report, ReductionUpgradeAppended) {
+  ir::LoopNest nest = ir::make_matmul(4, 4, 4);
+  const auto report = analyze_with_reductions(nest);
+  const std::string text = render_report(nest, report);
+  EXPECT_NE(text.find("reductions: 1"), std::string::npos);
+  EXPECT_NE(text.find("C[...] += ..."), std::string::npos);
+  EXPECT_NE(text.find("foldable at {k}"), std::string::npos);
+  EXPECT_NE(text.find("loop k: parallelizable AS REDUCTION"),
+            std::string::npos);
+}
+
+TEST(Report, CleanNestReportsNoBlockers) {
+  ir::LoopNest nest = ir::make_rectangular_witness({3, 4});
+  const auto report = analyze_parallelism(nest);
+  const std::string text = render_report(nest, report);
+  EXPECT_EQ(text.find("serial"), std::string::npos);
+  EXPECT_NE(text.find("DOALL"), std::string::npos);
+}
+
+TEST(Dot, WellFormedGraphWithStyledEdges) {
+  ir::LoopNest nest = ir::make_matmul(4, 4, 4);
+  const std::string dot = dependence_graph_dot(nest);
+  EXPECT_EQ(dot.find("digraph dependences {"), 0u);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  // Node for each statement/loop header, labelled with source text.
+  EXPECT_NE(dot.find("C[i][j] = 0;"), std::string::npos);
+  EXPECT_NE(dot.find("doall j"), std::string::npos);
+  // Flow solid, anti dashed, output dotted.
+  EXPECT_NE(dot.find("style=solid"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);
+  // Quotes in labels are escaped (no raw quote-in-quote).
+  EXPECT_EQ(dot.find("\"\""), std::string::npos);
+}
+
+TEST(Dot, IndependentNestHasNoEdges) {
+  ir::LoopNest nest = ir::make_rectangular_witness({4, 4});
+  const std::string dot = dependence_graph_dot(nest);
+  EXPECT_EQ(dot.find("->"), std::string::npos);
+}
+
+TEST(Dot, EveryEdgeEndpointIsADeclaredNode) {
+  for (const auto& nest :
+       {ir::make_matmul(3, 3, 3), ir::make_pi_strips(3, 4),
+        ir::make_pivot_update(5, 2), ir::make_recurrence(6)}) {
+    const std::string dot = dependence_graph_dot(nest);
+    // Parse naive: every "sN ->" or "-> sN" must have a matching
+    // "sN [label=" declaration.
+    std::size_t pos = 0;
+    while ((pos = dot.find("s", pos)) != std::string::npos) {
+      if (pos > 0 && (dot[pos - 1] == ' ' || dot[pos - 1] == '>')) {
+        std::size_t end = pos + 1;
+        while (end < dot.size() && std::isdigit(dot[end])) ++end;
+        if (end > pos + 1) {
+          const std::string node = dot.substr(pos, end - pos);
+          EXPECT_NE(dot.find(node + " [label="), std::string::npos)
+              << node << " undeclared in:\n" << dot;
+        }
+      }
+      ++pos;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coalesce::analysis

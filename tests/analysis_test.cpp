@@ -1,0 +1,417 @@
+// Tests for the dependence analyzer and DOALL legality: the soundness
+// foundation under the coalescing transformation.
+#include <gtest/gtest.h>
+
+#include "analysis/dependence.hpp"
+#include "analysis/doall.hpp"
+#include "analysis/subscript.hpp"
+#include "ir/builder.hpp"
+
+namespace coalesce::analysis {
+namespace {
+
+using ir::int_const;
+using ir::LoopNest;
+using ir::NestBuilder;
+using ir::VarId;
+using ir::var_ref;
+
+/// Finds the verdict for the loop with the given induction-variable name.
+const LoopVerdict& verdict_for(const ParallelismReport& report,
+                               const LoopNest& nest, const char* name) {
+  const VarId v = nest.symbols.lookup(name).value();
+  for (const auto& lv : report.loops) {
+    if (lv.loop->var == v) return lv;
+  }
+  ADD_FAILURE() << "no verdict for loop " << name;
+  static LoopVerdict dummy;
+  return dummy;
+}
+
+// ---- reference collection ---------------------------------------------------
+
+TEST(Subscripts, CollectsReadsAndWrites) {
+  const LoopNest nest = ir::make_matmul(4, 5, 6);
+  const auto refs = collect_array_refs(*nest.root);
+  // init: write C. accumulate: reads C, A, B + write C.
+  std::size_t writes = 0, reads = 0;
+  for (const auto& r : refs) {
+    (r.kind == RefKind::kWrite ? writes : reads) += 1;
+  }
+  EXPECT_EQ(writes, 2u);
+  EXPECT_EQ(reads, 3u);
+}
+
+TEST(Subscripts, AffineViewsExtracted) {
+  const LoopNest nest = ir::make_gauss_jordan_backsolve(4, 3);
+  const auto refs = collect_array_refs(*nest.root);
+  for (const auto& r : refs) {
+    for (const auto& sub : r.subscripts) {
+      EXPECT_TRUE(sub.has_value());  // all subscripts here are affine
+    }
+  }
+}
+
+TEST(Subscripts, ConstantBoundsExtracted) {
+  const LoopNest nest = ir::make_rectangular_witness({7});
+  const auto cb = constant_bounds(*nest.root);
+  ASSERT_TRUE(cb.has_value());
+  EXPECT_EQ(cb->lower, 1);
+  EXPECT_EQ(cb->upper, 7);
+}
+
+// ---- pairwise tests ----------------------------------------------------------
+
+TEST(Dependence, DistinctColumnsProvenIndependent) {
+  // A(i, 1) = A(i, 2): ZIV on dim 2 proves independence.
+  NestBuilder b;
+  const VarId a = b.array("A", {8, 2});
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(b.element_expr(a, {var_ref(i), int_const(1)}),
+           ir::array_read(a, {var_ref(i), int_const(2)}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_TRUE(compute_dependences(*nest.root).empty());
+}
+
+TEST(Dependence, RecurrenceHasCarriedFlowDistanceOne) {
+  const LoopNest nest = ir::make_recurrence(10);
+  const auto deps = compute_dependences(*nest.root);
+  ASSERT_FALSE(deps.empty());
+  bool found = false;
+  for (const auto& dep : deps) {
+    if (dep.kind != DepKind::kFlow) continue;
+    ASSERT_EQ(dep.distance.size(), 1u);
+    ASSERT_TRUE(dep.distance[0].has_value());
+    EXPECT_EQ(std::abs(*dep.distance[0]), 1);
+    EXPECT_TRUE(dep.may_be_carried_at(0));
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Dependence, GcdTestDisprovesOffsetStrideConflict) {
+  // A(2i) = A(2i+1): 2i == 2i'+1 has no integer solution (gcd 2 ∤ 1).
+  NestBuilder b;
+  const VarId a = b.array("A", {50});
+  const VarId i = b.begin_parallel_loop("i", 1, 20);
+  b.assign(
+      b.element_expr(a, {ir::mul(int_const(2), var_ref(i))}),
+      ir::array_read(a, {ir::add(ir::mul(int_const(2), var_ref(i)),
+                                 int_const(1))}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_TRUE(compute_dependences(*nest.root).empty());
+}
+
+TEST(Dependence, BanerjeeDisprovesOutOfRangeShift) {
+  // A(i) = A(i + 100) with i in 1..20: ranges do not overlap.
+  NestBuilder b;
+  const VarId a = b.array("A", {200});
+  const VarId i = b.begin_parallel_loop("i", 1, 20);
+  b.assign(b.element(a, {i}),
+           ir::array_read(a, {ir::add(var_ref(i), int_const(100))}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_TRUE(compute_dependences(*nest.root).empty());
+}
+
+TEST(Dependence, InRangeShiftIsCarried) {
+  // A(i) = A(i + 3), i in 1..20: anti dependence, distance 3.
+  NestBuilder b;
+  const VarId a = b.array("A", {30});
+  const VarId i = b.begin_parallel_loop("i", 1, 20);
+  b.assign(b.element(a, {i}),
+           ir::array_read(a, {ir::add(var_ref(i), int_const(3))}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto deps = compute_dependences(*nest.root);
+  ASSERT_FALSE(deps.empty());
+  bool carried = false;
+  for (const auto& dep : deps) carried = carried || dep.may_be_carried_at(0);
+  EXPECT_TRUE(carried);
+}
+
+TEST(Dependence, MatmulReductionCarriedOnlyByK) {
+  LoopNest nest = ir::make_matmul(4, 4, 4);
+  const auto report = analyze_parallelism(nest);
+  EXPECT_TRUE(verdict_for(report, nest, "i").parallelizable);
+  EXPECT_TRUE(verdict_for(report, nest, "j").parallelizable);
+  EXPECT_FALSE(verdict_for(report, nest, "k").parallelizable);
+}
+
+TEST(Dependence, SivInconsistentDistancesProveIndependence) {
+  // A(i, i) = A(i - 1, i - 2): dim1 demands distance 1 at i, dim2 demands 2.
+  NestBuilder b;
+  const VarId a = b.array("A", {20, 20});
+  const VarId i = b.begin_parallel_loop("i", 3, 18);
+  b.assign(b.element_expr(a, {var_ref(i), var_ref(i)}),
+           ir::array_read(a, {ir::sub(var_ref(i), int_const(1)),
+                              ir::sub(var_ref(i), int_const(2))}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_TRUE(compute_dependences(*nest.root).empty());
+}
+
+TEST(Dependence, LoopIndependentIntraStatement) {
+  // C(i) = C(i) + 1: read and write same element in one iteration only.
+  NestBuilder b;
+  const VarId c = b.array("C", {8});
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(b.element(c, {i}), ir::add(b.read(c, {i}), int_const(1)));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto deps = compute_dependences(*nest.root);
+  for (const auto& dep : deps) {
+    EXPECT_TRUE(dep.is_loop_independent());
+    EXPECT_FALSE(dep.may_be_carried_at(0));
+  }
+}
+
+TEST(Dependence, NonAffineSubscriptIsConservative) {
+  // A(B-indexed) writes: subscript is an array read -> must stay kMaybe.
+  NestBuilder b;
+  const VarId a = b.array("A", {10});
+  const VarId idx = b.array("IDX", {10});
+  const VarId i = b.begin_parallel_loop("i", 1, 10);
+  b.assign(b.element_expr(a, {ir::array_read(idx, {var_ref(i)})}),
+           int_const(1));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto deps = compute_dependences(*nest.root);
+  ASSERT_FALSE(deps.empty());
+  bool maybe_carried = false;
+  for (const auto& dep : deps) {
+    if (dep.answer == DepAnswer::kMaybe && dep.may_be_carried_at(0)) {
+      maybe_carried = true;
+    }
+  }
+  EXPECT_TRUE(maybe_carried);
+}
+
+TEST(Dependence, BanerjeeBoundaryExactlyOutOfReach) {
+  // A(2i) = A(2i + 8), i in 1..3: max |2i - 2i'| = 4 < 8 -> independent.
+  NestBuilder b;
+  const VarId a = b.array("A", {20});
+  const VarId i = b.begin_parallel_loop("i", 1, 3);
+  b.assign(
+      b.element_expr(a, {ir::mul(int_const(2), var_ref(i))}),
+      ir::array_read(a, {ir::add(ir::mul(int_const(2), var_ref(i)),
+                                 int_const(8))}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_TRUE(compute_dependences(*nest.root).empty());
+
+  // Same with offset 4: reachable (i=1 writes A(2)... i'=3 reads A(2*3+4)?
+  // 2i = 2i' + 4 -> i = i' + 2: i=3, i'=1 works -> dependence.
+  NestBuilder b2;
+  const VarId a2 = b2.array("A", {20});
+  const VarId i2 = b2.begin_parallel_loop("i", 1, 3);
+  b2.assign(
+      b2.element_expr(a2, {ir::mul(int_const(2), var_ref(i2))}),
+      ir::array_read(a2, {ir::add(ir::mul(int_const(2), var_ref(i2)),
+                                  int_const(4))}));
+  b2.end_loop();
+  const LoopNest nest2 = b2.build();
+  EXPECT_FALSE(compute_dependences(*nest2.root).empty());
+}
+
+TEST(Dependence, WeakSivDifferentCoefficientsStaysConservative) {
+  // A(2i) = A(i): gcd(2,1)=1 divides 0 and ranges overlap: kMaybe, serial.
+  NestBuilder b;
+  const VarId a = b.array("A", {30});
+  const VarId i = b.begin_parallel_loop("i", 1, 10);
+  b.assign(b.element_expr(a, {ir::mul(int_const(2), var_ref(i))}),
+           b.read(a, {i}));
+  b.end_loop();
+  LoopNest nest = b.build();
+  const auto report = analyze_parallelism(nest);
+  EXPECT_FALSE(verdict_for(report, nest, "i").parallelizable);
+}
+
+TEST(Dependence, SteppedLatticeDistanceConversion) {
+  // Step 2, offset 2: value distance 2 = 1 iteration -> carried, serial.
+  NestBuilder b;
+  const VarId a = b.array("A", {30});
+  const VarId i = b.begin_parallel_loop("i", 3, 21, 2);
+  b.assign(b.element(a, {i}),
+           ir::array_read(a, {ir::sub(var_ref(i), int_const(2))}));
+  b.end_loop();
+  LoopNest nest = b.build();
+  EXPECT_FALSE(
+      verdict_for(analyze_parallelism(nest), nest, "i").parallelizable);
+
+  // Step 3, offset 2: 2 is not a multiple of 3 -> no two lattice points
+  // conflict -> DOALL.
+  NestBuilder b2;
+  const VarId a2 = b2.array("A", {30});
+  const VarId i2 = b2.begin_parallel_loop("i", 3, 21, 3);
+  b2.assign(b2.element(a2, {i2}),
+            ir::array_read(a2, {ir::sub(var_ref(i2), int_const(2))}));
+  b2.end_loop();
+  LoopNest nest2 = b2.build();
+  EXPECT_TRUE(
+      verdict_for(analyze_parallelism(nest2), nest2, "i").parallelizable);
+}
+
+TEST(Dependence, SymbolicParamOffsetsAreConservative) {
+  // A(i + n) = A(i): the difference leaves an unresolved n term -> kMaybe.
+  NestBuilder b;
+  const VarId n = b.param("n");
+  const VarId a = b.array("A", {40});
+  const VarId i = b.begin_parallel_loop("i", 1, 10);
+  b.assign(b.element_expr(a, {ir::add(var_ref(i), var_ref(n))}),
+           b.read(a, {i}));
+  b.end_loop();
+  LoopNest nest = b.build();
+  EXPECT_FALSE(
+      verdict_for(analyze_parallelism(nest), nest, "i").parallelizable);
+
+  // Equal symbolic offsets on both sides cancel: A(i+n) = A(i+n) + 1 is a
+  // loop-independent self dependence -> DOALL.
+  NestBuilder b2;
+  const VarId n2 = b2.param("n");
+  const VarId a2 = b2.array("A", {40});
+  const VarId i2 = b2.begin_parallel_loop("i", 1, 10);
+  b2.assign(
+      b2.element_expr(a2, {ir::add(var_ref(i2), var_ref(n2))}),
+      ir::add(ir::array_read(a2, {ir::add(var_ref(i2), var_ref(n2))}),
+              int_const(1)));
+  b2.end_loop();
+  LoopNest nest2 = b2.build();
+  EXPECT_TRUE(
+      verdict_for(analyze_parallelism(nest2), nest2, "i").parallelizable);
+}
+
+// ---- scalar privatization -----------------------------------------------------
+
+TEST(ScalarPrivatization, SwapTempIsPrivatizable) {
+  // t = A(i); A(i) = B(i); B(i) = t — the scalar-expansion classic.
+  NestBuilder b;
+  const VarId a = b.array("A", {8});
+  const VarId bb = b.array("B", {8});
+  const VarId t = b.scalar("t");
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(t, b.read(a, {i}));
+  b.assign(b.element(a, {i}), b.read(bb, {i}));
+  b.assign(b.element(bb, {i}), var_ref(t));
+  b.end_loop();
+  LoopNest nest = b.build();
+  EXPECT_TRUE(scalar_privatizable(*nest.root, t));
+  const auto report = analyze_parallelism(nest);
+  EXPECT_TRUE(verdict_for(report, nest, "i").parallelizable);
+}
+
+TEST(ScalarPrivatization, ReadBeforeWriteBlocks) {
+  // A(i) = t; t = A(i): t read before assigned -> not privatizable.
+  NestBuilder b;
+  const VarId a = b.array("A", {8});
+  const VarId t = b.scalar("t");
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(b.element(a, {i}), var_ref(t));
+  b.assign(t, b.read(a, {i}));
+  b.end_loop();
+  LoopNest nest = b.build();
+  EXPECT_FALSE(scalar_privatizable(*nest.root, t));
+  const auto report = analyze_parallelism(nest);
+  EXPECT_FALSE(verdict_for(report, nest, "i").parallelizable);
+  EXPECT_FALSE(verdict_for(report, nest, "i").blockers.empty());
+}
+
+TEST(ScalarPrivatization, AssignmentInsideMaybeEmptyInnerLoopDoesNotCount) {
+  // The inner loop assigning t may run zero times; a later read is unsafe...
+  // here the read comes after a provably non-empty inner loop instead.
+  NestBuilder b;
+  const VarId a = b.array("A", {8, 8});
+  const VarId t = b.scalar("t");
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  const VarId j = b.begin_loop("j", 1, 8);  // non-empty: 8 iterations
+  b.assign(t, b.read(a, {i, j}));
+  b.end_loop();
+  b.assign(b.element(a, {i, i}), var_ref(t));
+  b.end_loop();
+  LoopNest nest = b.build();
+  EXPECT_TRUE(scalar_privatizable(*nest.root, t));
+}
+
+// ---- whole-nest verdicts -------------------------------------------------------
+
+TEST(Doall, WitnessNestFullyParallel) {
+  LoopNest nest = ir::make_rectangular_witness({3, 4, 5});
+  const auto report = analyze_parallelism(nest);
+  for (const auto& lv : report.loops) {
+    EXPECT_TRUE(lv.parallelizable);
+  }
+}
+
+TEST(Doall, GaussJordanBacksolveFullyParallel) {
+  LoopNest nest = ir::make_gauss_jordan_backsolve(6, 4);
+  const auto report = analyze_parallelism(nest);
+  EXPECT_TRUE(verdict_for(report, nest, "i").parallelizable);
+  EXPECT_TRUE(verdict_for(report, nest, "j").parallelizable);
+}
+
+TEST(Doall, JacobiStepFullyParallel) {
+  // Reads A, writes B: no dependence between distinct arrays.
+  LoopNest nest = ir::make_jacobi_step(6);
+  const auto report = analyze_parallelism(nest);
+  EXPECT_TRUE(verdict_for(report, nest, "i").parallelizable);
+  EXPECT_TRUE(verdict_for(report, nest, "j").parallelizable);
+}
+
+TEST(Doall, RecurrenceStaysSerial) {
+  LoopNest nest = ir::make_recurrence(10);
+  const auto report = analyze_parallelism(nest);
+  EXPECT_FALSE(verdict_for(report, nest, "i").parallelizable);
+}
+
+TEST(Doall, PiStripsOuterParallelInnerSerial) {
+  LoopNest nest = ir::make_pi_strips(4, 16);
+  const auto report = analyze_parallelism(nest);
+  EXPECT_TRUE(verdict_for(report, nest, "t").parallelizable);
+  // The interval loop accumulates into SUM(t): carried flow dependence.
+  EXPECT_FALSE(verdict_for(report, nest, "r").parallelizable);
+}
+
+TEST(Doall, AnalyzeAndMarkSetsFlags) {
+  // Build matmul with every parallel flag stripped; analysis must prove
+  // i and j parallel and keep k serial.
+  LoopNest nest = ir::make_matmul(4, 4, 4);
+  std::function<void(ir::Loop&)> strip = [&](ir::Loop& loop) {
+    loop.parallel = false;
+    for (auto& s : loop.body) {
+      if (auto* inner = std::get_if<ir::LoopPtr>(&s)) strip(**inner);
+    }
+  };
+  strip(*nest.root);
+  analyze_and_mark(nest);
+  const auto band = ir::parallel_band(*nest.root);
+  EXPECT_EQ(band.size(), 2u);  // i, j proven parallel; k not
+}
+
+TEST(Doall, JacobiInPlaceIsNotParallel) {
+  // In-place relaxation A(i,j) = avg(A(i±1,j),...) carries dependences.
+  NestBuilder b;
+  const VarId a = b.array("A", {10, 10});
+  const VarId i = b.begin_parallel_loop("i", 2, 9);
+  const VarId j = b.begin_parallel_loop("j", 2, 9);
+  b.assign(b.element(a, {i, j}),
+           ir::array_read(a, {ir::sub(var_ref(i), int_const(1)), var_ref(j)}));
+  b.end_loop();
+  b.end_loop();
+  LoopNest nest = b.build();
+  const auto report = analyze_parallelism(nest);
+  EXPECT_FALSE(verdict_for(report, nest, "i").parallelizable);
+  // j-level: the dependence has distance (1, 0): carried by i, not j.
+  EXPECT_TRUE(verdict_for(report, nest, "j").parallelizable);
+}
+
+TEST(Doall, ReportFindByPointer) {
+  LoopNest nest = ir::make_matmul(3, 3, 3);
+  const auto report = analyze_parallelism(nest);
+  EXPECT_NE(report.find(nest.root.get()), nullptr);
+  EXPECT_EQ(report.find(nullptr), nullptr);
+}
+
+}  // namespace
+}  // namespace coalesce::analysis

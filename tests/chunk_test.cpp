@@ -1,0 +1,190 @@
+// Tests for chunk algebra and the self-scheduling chunk-size policies
+// (unit, fixed, guided, trapezoid) that both the runtime and the simulator
+// consume.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "index/chunk.hpp"
+
+namespace coalesce::index {
+namespace {
+
+TEST(Chunk, SizeAndEmptiness) {
+  EXPECT_EQ((Chunk{1, 5}).size(), 4);
+  EXPECT_TRUE((Chunk{3, 3}).empty());
+  EXPECT_FALSE((Chunk{3, 4}).empty());
+}
+
+TEST(StaticBlocks, EvenSplit) {
+  const auto blocks = static_blocks(12, 4);
+  ASSERT_EQ(blocks.size(), 4u);
+  for (const auto& b : blocks) EXPECT_EQ(b.size(), 3);
+  EXPECT_EQ(blocks[0].first, 1);
+  EXPECT_EQ(blocks[3].last, 13);
+}
+
+TEST(StaticBlocks, RemainderGoesToLeadingBlocks) {
+  const auto blocks = static_blocks(10, 4);
+  ASSERT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(blocks[0].size(), 3);
+  EXPECT_EQ(blocks[1].size(), 3);
+  EXPECT_EQ(blocks[2].size(), 2);
+  EXPECT_EQ(blocks[3].size(), 2);
+}
+
+TEST(StaticBlocks, MorePartsThanWork) {
+  const auto blocks = static_blocks(2, 5);
+  ASSERT_EQ(blocks.size(), 5u);
+  EXPECT_EQ(blocks[0].size(), 1);
+  EXPECT_EQ(blocks[1].size(), 1);
+  for (std::size_t p = 2; p < 5; ++p) EXPECT_TRUE(blocks[p].empty());
+}
+
+TEST(StaticBlocks, CoversExactlyOnce) {
+  for (i64 total : {0, 1, 7, 100}) {
+    for (i64 parts : {1, 3, 8}) {
+      const auto blocks = static_blocks(total, parts);
+      std::set<i64> seen;
+      for (const auto& b : blocks) {
+        for (i64 j = b.first; j < b.last; ++j) {
+          EXPECT_TRUE(seen.insert(j).second);
+        }
+      }
+      EXPECT_EQ(seen.size(), static_cast<std::size_t>(total));
+    }
+  }
+}
+
+TEST(StaticCyclic, RoundRobinAssignment) {
+  const auto lists = static_cyclic(7, 3);
+  ASSERT_EQ(lists.size(), 3u);
+  EXPECT_EQ(lists[0], (std::vector<i64>{1, 4, 7}));
+  EXPECT_EQ(lists[1], (std::vector<i64>{2, 5}));
+  EXPECT_EQ(lists[2], (std::vector<i64>{3, 6}));
+}
+
+TEST(ForEachInChunk, VisitsOriginalIndicesInOrder) {
+  const auto space = CoalescedSpace::create(std::vector<i64>{3, 4}).value();
+  std::vector<std::vector<i64>> visited;
+  for_each_in_chunk(space, Chunk{5, 9}, [&](std::span<const i64> idx) {
+    visited.emplace_back(idx.begin(), idx.end());
+  });
+  ASSERT_EQ(visited.size(), 4u);
+  EXPECT_EQ(visited[0], (std::vector<i64>{2, 1}));  // j=5
+  EXPECT_EQ(visited[1], (std::vector<i64>{2, 2}));
+  EXPECT_EQ(visited[2], (std::vector<i64>{2, 3}));
+  EXPECT_EQ(visited[3], (std::vector<i64>{2, 4}));  // j=8
+}
+
+TEST(ForEachInChunk, EmptyChunkVisitsNothing) {
+  const auto space = CoalescedSpace::create(std::vector<i64>{3, 4}).value();
+  int count = 0;
+  for_each_in_chunk(space, Chunk{5, 5},
+                    [&](std::span<const i64>) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+// ---- policies ----------------------------------------------------------------
+
+TEST(Policies, UnitAlwaysOne) {
+  UnitPolicy p;
+  EXPECT_EQ(p.next_chunk(100), 1);
+  EXPECT_EQ(p.next_chunk(1), 1);
+}
+
+TEST(Policies, FixedClampsToRemaining) {
+  FixedChunkPolicy p(8);
+  EXPECT_EQ(p.next_chunk(100), 8);
+  EXPECT_EQ(p.next_chunk(5), 5);
+}
+
+TEST(Policies, GuidedTakesCeilRemainingOverP) {
+  GuidedPolicy p(4);
+  EXPECT_EQ(p.next_chunk(100), 25);
+  EXPECT_EQ(p.next_chunk(75), 19);   // ceil(75/4)
+  EXPECT_EQ(p.next_chunk(3), 1);
+  EXPECT_EQ(p.next_chunk(1), 1);
+}
+
+TEST(Policies, GuidedRespectsMinChunk) {
+  GuidedPolicy p(4, /*min_chunk=*/5);
+  EXPECT_EQ(p.next_chunk(100), 25);
+  EXPECT_EQ(p.next_chunk(8), 5);   // guided would be 2; floor at 5
+  EXPECT_EQ(p.next_chunk(3), 3);   // cannot exceed remaining
+}
+
+TEST(DispatchSequence, CoversSpaceExactlyOnce) {
+  for (i64 total : {1, 10, 97, 1000}) {
+    UnitPolicy unit;
+    FixedChunkPolicy fixed(7);
+    GuidedPolicy guided(4);
+    TrapezoidPolicy tss(total, 4);
+    for (ChunkPolicy* p :
+         std::initializer_list<ChunkPolicy*>{&unit, &fixed, &guided, &tss}) {
+      const auto chunks = dispatch_sequence(*p, total);
+      i64 expected_next = 1;
+      for (const auto& c : chunks) {
+        EXPECT_EQ(c.first, expected_next) << p->name();
+        EXPECT_GE(c.size(), 1) << p->name();
+        expected_next = c.last;
+      }
+      EXPECT_EQ(expected_next, total + 1) << p->name();
+    }
+  }
+}
+
+TEST(DispatchSequence, UnitCountEqualsTotal) {
+  UnitPolicy p;
+  EXPECT_EQ(dispatch_sequence(p, 64).size(), 64u);
+}
+
+TEST(DispatchSequence, FixedCountIsCeil) {
+  FixedChunkPolicy p(10);
+  EXPECT_EQ(dispatch_sequence(p, 95).size(), 10u);  // 9 full + 1 partial
+}
+
+TEST(DispatchSequence, GuidedSizesNonIncreasing) {
+  GuidedPolicy p(8);
+  const auto chunks = dispatch_sequence(p, 10000);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_LE(chunks[i].size(), chunks[i - 1].size());
+  }
+}
+
+TEST(DispatchSequence, GuidedDispatchCountIsLogarithmic) {
+  // GSS dispatches O(P * ln(N/P)) chunks: dramatically fewer than N.
+  const i64 n = 100000;
+  const i64 procs = 16;
+  GuidedPolicy p(procs);
+  const auto chunks = dispatch_sequence(p, n);
+  const double bound =
+      static_cast<double>(procs) *
+          (std::log(static_cast<double>(n) / static_cast<double>(procs)) + 2.0) +
+      static_cast<double>(procs);
+  EXPECT_LT(static_cast<double>(chunks.size()), bound);
+  EXPECT_LT(chunks.size(), 300u);
+}
+
+TEST(DispatchSequence, TrapezoidSizesNonIncreasing) {
+  TrapezoidPolicy p(10000, 8);
+  const auto chunks = dispatch_sequence(p, 10000);
+  for (std::size_t i = 1; i + 1 < chunks.size(); ++i) {
+    EXPECT_LE(chunks[i].size(), chunks[i - 1].size());
+  }
+}
+
+TEST(DispatchSequence, TrapezoidFirstChunkIsNOver2P) {
+  TrapezoidPolicy p(1000, 5);
+  const auto chunks = dispatch_sequence(p, 1000);
+  EXPECT_EQ(chunks.front().size(), 100);  // N / (2P)
+}
+
+TEST(DispatchSequence, TrapezoidFewerDispatchesThanUnit) {
+  TrapezoidPolicy p(10000, 8);
+  EXPECT_LT(dispatch_sequence(p, 10000).size(), 200u);
+}
+
+}  // namespace
+}  // namespace coalesce::index

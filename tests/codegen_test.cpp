@@ -1,0 +1,327 @@
+// Tests for the C emitter and cost model, including end-to-end integration:
+// compile the emitted original and coalesced programs with the host C
+// compiler, run both, and demand identical output streams.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "codegen/c_emitter.hpp"
+#include "codegen/cost_model.hpp"
+#include "ir/builder.hpp"
+#include "transform/coalesce.hpp"
+#include "transform/distribute.hpp"
+
+namespace coalesce::codegen {
+namespace {
+
+using ir::int_const;
+using ir::LoopNest;
+using ir::VarId;
+using ir::var_ref;
+
+// ---- expression emission -----------------------------------------------------
+
+class EmitExprTest : public ::testing::Test {
+ protected:
+  ir::SymbolTable symbols;
+  VarId i = symbols.declare("i", ir::SymbolKind::kInduction);
+  VarId a = symbols.declare("A", ir::SymbolKind::kArray, {10});
+};
+
+TEST_F(EmitExprTest, ArithmeticAndPrecedence) {
+  const auto e = ir::mul(ir::add(var_ref(i), int_const(1)), int_const(2));
+  EXPECT_EQ(emit_expr_c(e, symbols), "(i + INT64_C(1)) * INT64_C(2)");
+}
+
+TEST_F(EmitExprTest, DivFamilyUsesHelpers) {
+  EXPECT_EQ(emit_expr_c(ir::ceil_div(var_ref(i), int_const(3)), symbols),
+            "cg_cdiv(i, INT64_C(3))");
+  EXPECT_EQ(emit_expr_c(ir::floor_div(var_ref(i), int_const(3)), symbols),
+            "cg_fdiv(i, INT64_C(3))");
+  EXPECT_EQ(emit_expr_c(ir::mod(var_ref(i), int_const(3)), symbols),
+            "cg_mod(i, INT64_C(3))");
+  EXPECT_EQ(emit_expr_c(ir::min_expr(var_ref(i), int_const(3)), symbols),
+            "cg_min(i, INT64_C(3))");
+}
+
+TEST_F(EmitExprTest, ArrayReadShiftsToZeroBased) {
+  const auto e = ir::array_read(a, {ir::add(var_ref(i), int_const(1))});
+  EXPECT_EQ(emit_expr_c(e, symbols), "A[i + INT64_C(1) - 1]");
+}
+
+// ---- unit emission -------------------------------------------------------------
+
+TEST(EmitC, ContainsKernelArraysAndLoops) {
+  const LoopNest nest = ir::make_rectangular_witness({3, 4});
+  const std::string src = emit_c(nest);
+  EXPECT_NE(src.find("static double OUT[3][4];"), std::string::npos);
+  EXPECT_NE(src.find("static void kernel(void)"), std::string::npos);
+  EXPECT_NE(src.find("for (int64_t i0 = INT64_C(1); i0 <= INT64_C(3); i0 += 1)"),
+            std::string::npos);
+  EXPECT_NE(src.find("/* doall */"), std::string::npos);
+  EXPECT_NE(src.find("int main(void)"), std::string::npos);
+}
+
+TEST(EmitC, OpenMpModeEmitsCollapsePragmas) {
+  const LoopNest nest = ir::make_rectangular_witness({3, 4});
+  EmitOptions options;
+  options.openmp = true;
+  const std::string src = emit_c(nest, options);
+  // A 2-deep perfect parallel band becomes ONE pragma with collapse(2) —
+  // the modern spelling of the paper's transformation.
+  EXPECT_NE(src.find("#pragma omp parallel for collapse(2)"),
+            std::string::npos);
+  EXPECT_EQ(src.find("/* doall */"), std::string::npos);
+  // Exactly one pragma: the inner band loop must not repeat it.
+  const auto first = src.find("#pragma");
+  EXPECT_EQ(src.find("#pragma", first + 1), std::string::npos);
+}
+
+TEST(EmitC, OpenMpCollapseDepthMatchesBand) {
+  const LoopNest nest = ir::make_rectangular_witness({2, 3, 4});
+  EmitOptions options;
+  options.openmp = true;
+  const std::string src = emit_c(nest, options);
+  EXPECT_NE(src.find("collapse(3)"), std::string::npos);
+}
+
+TEST(EmitC, OpenMpNoCollapseOnSingleLoopOrCoalescedOutput) {
+  EmitOptions options;
+  options.openmp = true;
+  // Single parallel loop: plain pragma, no collapse clause.
+  const LoopNest single = ir::make_rectangular_witness({8});
+  const std::string s1 = emit_c(single, options);
+  EXPECT_NE(s1.find("#pragma omp parallel for"), std::string::npos);
+  EXPECT_EQ(s1.find("collapse"), std::string::npos);
+  // Coalesced output is a single loop too (with private recovery vars).
+  const auto result =
+      transform::coalesce_nest(ir::make_rectangular_witness({3, 4}));
+  ASSERT_TRUE(result.ok());
+  const std::string s2 = emit_c(result.value().nest, options);
+  EXPECT_EQ(s2.find("collapse"), std::string::npos);
+  EXPECT_NE(s2.find("private(i0, i1)"), std::string::npos);
+}
+
+TEST(EmitC, OpenMpMatmulPragmaOnlyOnTheBand) {
+  // matmul: band {i, j} collapses; the serial k loop gets no pragma.
+  const LoopNest nest = ir::make_matmul(4, 4, 4);
+  EmitOptions options;
+  options.openmp = true;
+  const std::string src = emit_c(nest, options);
+  EXPECT_NE(src.find("collapse(2)"), std::string::npos);
+  const auto first = src.find("#pragma");
+  EXPECT_EQ(src.find("#pragma", first + 1), std::string::npos);
+}
+
+TEST(EmitC, CoalescedKernelDeclaresRecoveredScalars) {
+  const LoopNest nest = ir::make_rectangular_witness({3, 4});
+  const auto result = transform::coalesce_nest(nest);
+  ASSERT_TRUE(result.ok());
+  const std::string src = emit_c(result.value().nest);
+  EXPECT_NE(src.find("int64_t i0 = 0;"), std::string::npos);
+  EXPECT_NE(src.find("int64_t i1 = 0;"), std::string::npos);
+  EXPECT_NE(src.find("cg_cdiv"), std::string::npos);
+  EXPECT_NE(src.find("cg_fdiv"), std::string::npos);
+}
+
+TEST(EmitC, KernelOnlyModeOmitsMain) {
+  const LoopNest nest = ir::make_rectangular_witness({2, 2});
+  EmitOptions options;
+  options.standalone_main = false;
+  options.kernel_name = "witness";
+  const std::string src = emit_c(nest, options);
+  EXPECT_EQ(src.find("int main"), std::string::npos);
+  EXPECT_NE(src.find("static void witness(void)"), std::string::npos);
+}
+
+// ---- cost model ------------------------------------------------------------------
+
+TEST(CostModel, CountsExpressionOps) {
+  ir::SymbolTable symbols;
+  const VarId i = symbols.declare("i", ir::SymbolKind::kInduction);
+  const VarId a = symbols.declare("A", ir::SymbolKind::kArray, {8});
+  const auto e = ir::add(ir::mul(ir::array_read(a, {var_ref(i)}),
+                                 int_const(2)),
+                         ir::mod(var_ref(i), int_const(3)));
+  const OpCounts c = count_ops(e);
+  EXPECT_EQ(c.adds, 1u);
+  EXPECT_EQ(c.muls, 1u);
+  EXPECT_EQ(c.divisions, 1u);
+  EXPECT_EQ(c.memory, 1u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(CostModel, BodyOpsExcludeNestedLoops) {
+  const LoopNest nest = ir::make_matmul(4, 4, 4);
+  // Body of the j loop: the init assignment only (the k loop is nested).
+  const auto band = ir::perfect_band(*nest.root);
+  const OpCounts c = count_body_ops(*band[1]);
+  EXPECT_EQ(c.assigns, 1u);
+  EXPECT_EQ(c.memory, 1u);  // store to C
+}
+
+TEST(CostModel, CoalescedBodyPaysRecoveryDivisions) {
+  const LoopNest nest = ir::make_rectangular_witness({6, 5});
+  const auto result = transform::coalesce_nest(nest);
+  ASSERT_TRUE(result.ok());
+  const OpCounts c = count_body_ops(*result.value().nest.root);
+  EXPECT_EQ(c.assigns, 3u);      // 2 recovery + 1 body
+  EXPECT_EQ(c.divisions, 3u);    // 2 (outer) + 1 (inner, cdiv/1 folded)
+  const OpCounts original = count_body_ops(*ir::perfect_band(*nest.root)[1]);
+  EXPECT_EQ(original.divisions, 0u);
+}
+
+TEST(CostModel, SummaryMentionsAllClasses) {
+  OpCounts c;
+  c.adds = 1;
+  const std::string s = c.summary();
+  EXPECT_NE(s.find("adds=1"), std::string::npos);
+  EXPECT_NE(s.find("total=1"), std::string::npos);
+}
+
+// ---- end-to-end: compile and run emitted code -------------------------------------
+
+/// Writes source, compiles with the host cc, runs, returns stdout.
+std::string compile_and_run(const std::string& source, const char* tag,
+                            const char* extra_flags = "",
+                            const char* run_env = "") {
+  const std::string dir = ::testing::TempDir();
+  const std::string c_path = dir + "/emit_" + tag + ".c";
+  const std::string bin_path = dir + "/emit_" + tag + ".bin";
+  const std::string out_path = dir + "/emit_" + tag + ".out";
+  {
+    std::ofstream out(c_path);
+    out << source;
+  }
+  const std::string compile = std::string("cc -O1 -std=c11 ") + extra_flags +
+                              " -o " + bin_path + " " + c_path + " 2>&1";
+  if (std::system(compile.c_str()) != 0) {
+    ADD_FAILURE() << "compilation failed for " << c_path;
+    return {};
+  }
+  const std::string run =
+      std::string(run_env) + " " + bin_path + " > " + out_path;
+  if (std::system(run.c_str()) != 0) {
+    ADD_FAILURE() << "execution failed for " << bin_path;
+    return {};
+  }
+  std::ifstream in(out_path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+struct EndToEndCase {
+  const char* name;
+  LoopNest (*make)();
+};
+
+LoopNest make_witness_3d() { return ir::make_rectangular_witness({3, 4, 5}); }
+LoopNest make_matmul_small() { return ir::make_matmul(5, 6, 4); }
+LoopNest make_jacobi_small() { return ir::make_jacobi_step(5); }
+LoopNest make_gauss_small() { return ir::make_gauss_jordan_backsolve(5, 3); }
+
+class EmittedEquivalence : public ::testing::TestWithParam<EndToEndCase> {};
+
+TEST_P(EmittedEquivalence, OriginalAndCoalescedProgramsPrintIdenticalOutput) {
+  const LoopNest nest = GetParam().make();
+  const auto result = transform::coalesce_nest(nest);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+
+  const std::string original =
+      compile_and_run(emit_c(nest), (std::string(GetParam().name) + "_orig").c_str());
+  const std::string coalesced = compile_and_run(
+      emit_c(result.value().nest),
+      (std::string(GetParam().name) + "_coal").c_str());
+  ASSERT_FALSE(original.empty());
+  EXPECT_EQ(original, coalesced);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, EmittedEquivalence,
+    ::testing::Values(EndToEndCase{"witness3d", &make_witness_3d},
+                      EndToEndCase{"matmul", &make_matmul_small},
+                      EndToEndCase{"jacobi", &make_jacobi_small},
+                      EndToEndCase{"gauss", &make_gauss_small}),
+    [](const ::testing::TestParamInfo<EndToEndCase>& info) {
+      return info.param.name;
+    });
+
+TEST(EmittedEquivalence, OpenMpCollapseMatchesSequential) {
+  // The emitted collapse(2) program, run with real OpenMP threads, must
+  // produce exactly the sequential emission's output (disjoint writes).
+  const LoopNest nest = ir::make_matmul(6, 5, 4);
+  EmitOptions omp;
+  omp.openmp = true;
+  const std::string sequential = compile_and_run(emit_c(nest), "omp_seq");
+  const std::string parallel =
+      compile_and_run(emit_c(nest, omp), "omp_par", "-fopenmp",
+                      "OMP_NUM_THREADS=3");
+  ASSERT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, parallel);
+}
+
+TEST(EmittedEquivalence, OpenMpCoalescedLoopMatchesSequential) {
+  // And the coalesced single loop under OpenMP (private recovery vars).
+  const LoopNest nest = ir::make_rectangular_witness({7, 9});
+  const auto result = transform::coalesce_nest(nest);
+  ASSERT_TRUE(result.ok());
+  EmitOptions omp;
+  omp.openmp = true;
+  const std::string sequential = compile_and_run(emit_c(nest), "ompc_seq");
+  const std::string parallel =
+      compile_and_run(emit_c(result.value().nest, omp), "ompc_par",
+                      "-fopenmp", "OMP_NUM_THREADS=4");
+  ASSERT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, parallel);
+}
+
+TEST(EmittedEquivalence, ProgramEmissionMatchesSingleNest) {
+  // make_perfect splits matmul into two roots; the emitted multi-kernel
+  // program must print exactly what the untransformed emission prints.
+  const LoopNest nest = ir::make_matmul(5, 4, 3);
+  auto program = transform::make_perfect(nest);
+  ASSERT_TRUE(program.ok());
+  const auto coalesced = transform::coalesce_program(program.value());
+  ASSERT_EQ(coalesced.program.roots.size(), 2u);
+
+  const std::string single = compile_and_run(emit_c(nest), "prog_single");
+  const std::string multi =
+      compile_and_run(emit_c_program(coalesced.program), "prog_multi");
+  ASSERT_FALSE(single.empty());
+  EXPECT_EQ(single, multi);
+}
+
+TEST(EmitC, ProgramEmissionStructure) {
+  const LoopNest nest = ir::make_matmul(4, 4, 4);
+  auto program = transform::make_perfect(nest);
+  ASSERT_TRUE(program.ok());
+  EmitOptions options;
+  options.standalone_main = false;
+  options.kernel_name = "pipeline";
+  const std::string src = emit_c_program(program.value(), options);
+  EXPECT_NE(src.find("static void pipeline_0(void)"), std::string::npos);
+  EXPECT_NE(src.find("static void pipeline_1(void)"), std::string::npos);
+  EXPECT_NE(src.find("static void pipeline(void)"), std::string::npos);
+  EXPECT_NE(src.find("pipeline_0();"), std::string::npos);
+  EXPECT_NE(src.find("pipeline_1();"), std::string::npos);
+  EXPECT_EQ(src.find("int main"), std::string::npos);
+}
+
+TEST(EmittedEquivalence, MixedRadixStyleAlsoMatches) {
+  const LoopNest nest = ir::make_rectangular_witness({4, 3});
+  transform::CoalesceOptions options;
+  options.recovery = transform::RecoveryStyle::kMixedRadix;
+  const auto result = transform::coalesce_nest(nest, options);
+  ASSERT_TRUE(result.ok());
+  const std::string original = compile_and_run(emit_c(nest), "mr_orig");
+  const std::string coalesced =
+      compile_and_run(emit_c(result.value().nest), "mr_coal");
+  ASSERT_FALSE(original.empty());
+  EXPECT_EQ(original, coalesced);
+}
+
+}  // namespace
+}  // namespace coalesce::codegen

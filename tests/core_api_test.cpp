@@ -1,0 +1,82 @@
+// Tests for the façade API: the analyze -> coalesce -> verify pipeline.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+
+namespace coalesce::core {
+namespace {
+
+TEST(Api, VersionIsNonEmpty) {
+  EXPECT_NE(version(), nullptr);
+  EXPECT_GT(std::string(version()).size(), 0u);
+}
+
+TEST(Pipeline, WitnessSucceedsAndVerifies) {
+  const ir::LoopNest nest = ir::make_rectangular_witness({6, 7});
+  const auto result = analyze_coalesce_verify(nest);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(result.value().verified);
+  EXPECT_EQ(result.value().coalesced.space.total(), 42);
+  EXPECT_NE(result.value().original_source.find("doall"), std::string::npos);
+  EXPECT_NE(result.value().coalesced_source.find("cdiv"), std::string::npos);
+}
+
+TEST(Pipeline, ProvesParallelismWithoutPreMarkedFlags) {
+  // Strip all parallel flags; the pipeline's analysis must restore them.
+  ir::LoopNest nest = ir::make_gauss_jordan_backsolve(5, 3);
+  std::function<void(ir::Loop&)> strip = [&](ir::Loop& loop) {
+    loop.parallel = false;
+    for (auto& s : loop.body) {
+      if (auto* inner = std::get_if<ir::LoopPtr>(&s)) strip(**inner);
+    }
+  };
+  strip(*nest.root);
+  const auto result = analyze_coalesce_verify(nest);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(result.value().verified);
+}
+
+TEST(Pipeline, RefusesGenuinelySerialNest) {
+  const ir::LoopNest nest = ir::make_recurrence(10);
+  const auto result = analyze_coalesce_verify(nest);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, support::ErrorCode::kIllegalTransform);
+}
+
+TEST(Pipeline, MatmulKeepsReductionInside) {
+  const ir::LoopNest nest = ir::make_matmul(4, 4, 4);
+  const auto result = analyze_coalesce_verify(nest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().coalesced.levels, 2u);
+  // The reduction loop survives inside the coalesced body.
+  EXPECT_NE(result.value().coalesced_source.find("do k = 1, 4"),
+            std::string::npos);
+}
+
+TEST(Pipeline, DoesNotModifyInput) {
+  const ir::LoopNest nest = ir::make_matmul(3, 3, 3);
+  const std::string before = ir::to_string(nest);
+  (void)analyze_coalesce_verify(nest);
+  EXPECT_EQ(ir::to_string(nest), before);
+}
+
+TEST(EquivalentByExecution, DetectsDifferences) {
+  const ir::LoopNest a = ir::make_rectangular_witness({3, 3});
+  ir::LoopNest b = ir::make_rectangular_witness({3, 3});
+  EXPECT_TRUE(equivalent_by_execution(a, b));
+  // Perturb b: write a constant instead of the digit encoding.
+  auto& inner = *std::get<ir::LoopPtr>(b.root->body.front());
+  std::get<ir::AssignStmt>(inner.body.front()).rhs = ir::int_const(0);
+  EXPECT_FALSE(equivalent_by_execution(a, b));
+}
+
+TEST(EquivalentByExecution, MismatchedArraysAreUnequal) {
+  const ir::LoopNest a = ir::make_rectangular_witness({3, 3});
+  const ir::LoopNest b = ir::make_rectangular_witness({3, 4});
+  EXPECT_FALSE(equivalent_by_execution(a, b));
+}
+
+}  // namespace
+}  // namespace coalesce::core

@@ -1,0 +1,167 @@
+// Cross-module property tests: independent re-implementations checked
+// against the library (grid search vs closed-form divisor scan), random
+// chunk traversal vs reference decode, and transformed-IR workloads pushed
+// through the parallel executor.
+#include <gtest/gtest.h>
+
+#include "core/coalesce.hpp"
+
+namespace coalesce {
+namespace {
+
+using support::i64;
+using support::Rng;
+
+// ---- grid search vs independent 2-level brute force ---------------------------
+
+TEST(CrossCheck, BestGridMatchesDivisorScanFor2Levels) {
+  Rng rng(101);
+  for (int trial = 0; trial < 100; ++trial) {
+    const i64 n1 = rng.uniform_int(1, 40);
+    const i64 n2 = rng.uniform_int(1, 40);
+    const i64 p = rng.uniform_int(1, 24);
+    const auto grid = index::best_grid({n1, n2}, p);
+
+    i64 best = INT64_MAX;
+    for (i64 d = 1; d <= p; ++d) {
+      if (p % d != 0) continue;
+      best = std::min(best, support::ceil_div(n1, d) *
+                                support::ceil_div(n2, p / d));
+    }
+    ASSERT_EQ(grid.max_load, best)
+        << n1 << "x" << n2 << " P=" << p;
+    // And the coalesced load never exceeds the best grid's.
+    ASSERT_LE(index::coalesced_max_load({n1, n2}, p), best);
+  }
+}
+
+// ---- random chunk traversal vs reference decode --------------------------------
+
+TEST(CrossCheck, ForEachInChunkMatchesReferenceDecode) {
+  Rng rng(202);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t depth = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    std::vector<index::LevelGeometry> levels;
+    for (std::size_t k = 0; k < depth; ++k) {
+      levels.push_back(index::LevelGeometry{rng.uniform_int(-4, 4),
+                                            rng.uniform_int(1, 5),
+                                            rng.uniform_int(1, 3)});
+    }
+    const auto space = index::CoalescedSpace::create(levels).value();
+    const i64 first = rng.uniform_int(1, space.total());
+    const i64 last = rng.uniform_int(first, space.total() + 1);
+
+    std::vector<std::vector<i64>> walked;
+    index::for_each_in_chunk(space, index::Chunk{first, last},
+                             [&](std::span<const i64> idx) {
+                               walked.emplace_back(idx.begin(), idx.end());
+                             });
+    ASSERT_EQ(walked.size(), static_cast<std::size_t>(last - first));
+    std::vector<i64> expect(depth);
+    for (i64 j = first; j < last; ++j) {
+      space.decode_original(j, expect);
+      ASSERT_EQ(walked[static_cast<std::size_t>(j - first)], expect);
+    }
+  }
+}
+
+// ---- transformed IR through the parallel executor -------------------------------
+
+TEST(CrossCheck, GuardedTriangleExecutesInParallel) {
+  const ir::LoopNest nest = ir::make_triangular_witness(9);
+  const auto result = transform::coalesce_guarded(nest);
+  ASSERT_TRUE(result.ok());
+
+  ir::Evaluator sequential(nest.symbols);
+  sequential.run(*nest.root);
+
+  runtime::ThreadPool pool(4);
+  ir::ArrayStore store(result.value().nest.symbols);
+  const auto stats = runtime::execute_parallel(
+      pool, result.value().nest, {runtime::Schedule::kGuided, 1}, store);
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+
+  const auto a = sequential.store().data(nest.symbols.lookup("OUT").value());
+  const auto b =
+      store.data(result.value().nest.symbols.lookup("OUT").value());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t q = 0; q < a.size(); ++q) EXPECT_EQ(a[q], b[q]);
+}
+
+TEST(CrossCheck, JacobiPipelineEndToEndParallel) {
+  // analyze -> coalesce -> parallel interpretation == sequential original,
+  // with nontrivial input data.
+  const ir::LoopNest nest = ir::make_jacobi_step(10);
+  const auto pipeline = core::analyze_coalesce_verify(nest);
+  ASSERT_TRUE(pipeline.ok());
+
+  auto seed = [](ir::ArrayStore& store, const ir::SymbolTable& symbols) {
+    auto data = store.data(symbols.lookup("A").value());
+    for (std::size_t q = 0; q < data.size(); ++q) {
+      data[q] = static_cast<double>((q * 17 + 5) % 23);
+    }
+  };
+  ir::Evaluator sequential(nest.symbols);
+  seed(sequential.store(), nest.symbols);
+  sequential.run(*nest.root);
+
+  runtime::ThreadPool pool(4);
+  const auto& coalesced = pipeline.value().coalesced.nest;
+  ir::ArrayStore store(coalesced.symbols);
+  seed(store, coalesced.symbols);
+  const auto stats = runtime::execute_parallel(
+      pool, coalesced, {runtime::Schedule::kChunked, 16}, store);
+  ASSERT_TRUE(stats.ok());
+
+  const auto expect = sequential.store().data(nest.symbols.lookup("B").value());
+  const auto got = store.data(coalesced.symbols.lookup("B").value());
+  for (std::size_t q = 0; q < expect.size(); ++q) {
+    EXPECT_EQ(expect[q], got[q]);
+  }
+}
+
+TEST(CrossCheck, TiledRuntimeMatchesSimulatedTileCount) {
+  // The runtime's tiled executor and the IR-level tile_and_coalesce agree
+  // on the number of scheduling units for the same tile sizes.
+  const i64 n = 24, m = 18, ti = 5, tj = 4;
+  const auto result =
+      transform::tile_and_coalesce(ir::make_rectangular_witness({n, m}), ti,
+                                   tj);
+  ASSERT_TRUE(result.ok());
+
+  runtime::ThreadPool pool(2);
+  const auto space =
+      index::CoalescedSpace::create(std::vector<i64>{n, m}).value();
+  const auto stats = runtime::parallel_for_collapsed_tiled(
+      pool, space, std::vector<i64>{ti, tj}, {runtime::Schedule::kSelf, 1},
+      [](std::span<const i64>) {});
+  EXPECT_EQ(static_cast<i64>(stats.dispatch_ops),
+            result.value().space.total());
+}
+
+TEST(CrossCheck, SimulatorAndRuntimeAgreeOnDispatchCounts) {
+  // For deterministic policies the simulator's dispatch count must equal
+  // the real runtime's (same chunk sequence, machine-independent).
+  const auto space =
+      index::CoalescedSpace::create(std::vector<i64>{30, 20}).value();
+  const sim::Workload work = sim::Workload::constant(space.total(), 5);
+  sim::CostModel costs;
+  runtime::ThreadPool pool(4);
+
+  const auto sim_self = sim::simulate_coalesced_dynamic(
+      space, 4, {sim::SimSchedule::kSelf, 1}, costs, work);
+  const auto run_self = runtime::parallel_for_collapsed(
+      pool, space, {runtime::Schedule::kSelf, 1},
+      [](std::span<const i64>) {});
+  EXPECT_EQ(sim_self.dispatch_ops, run_self.dispatch_ops);
+
+  const auto sim_chunk = sim::simulate_coalesced_dynamic(
+      space, 4, {sim::SimSchedule::kChunked, 7}, costs, work);
+  const auto run_chunk = runtime::parallel_for_collapsed(
+      pool, space, {runtime::Schedule::kChunked, 7},
+      [](std::span<const i64>) {});
+  EXPECT_EQ(sim_chunk.dispatch_ops, run_chunk.dispatch_ops);
+}
+
+}  // namespace
+}  // namespace coalesce

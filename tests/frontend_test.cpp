@@ -1,0 +1,265 @@
+// Tests for the lexer and parser, including the printer round-trip
+// property: declarations + printed nest re-parse to a program that prints
+// identically.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+#include "ir/builder.hpp"
+#include "ir/eval.hpp"
+#include "ir/printer.hpp"
+#include "transform/coalesce.hpp"
+#include "transform/guarded.hpp"
+
+namespace coalesce::frontend {
+namespace {
+
+// ---- lexer ------------------------------------------------------------------
+
+TEST(Lexer, TokenizesAllCategories) {
+  const auto tokens =
+      tokenize("doall i = 1, 10 { A[i] = fdiv(i + 2, 3) * -4; }");
+  ASSERT_TRUE(tokens.ok());
+  const auto& ts = tokens.value();
+  EXPECT_EQ(ts.front().kind, TokenKind::kIdentifier);
+  EXPECT_EQ(ts.front().text, "doall");
+  EXPECT_EQ(ts.back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, TwoCharacterOperators) {
+  const auto tokens = tokenize("<= >= == != && || < >");
+  ASSERT_TRUE(tokens.ok());
+  const auto& ts = tokens.value();
+  ASSERT_EQ(ts.size(), 9u);  // 8 operators + end
+  EXPECT_EQ(ts[0].kind, TokenKind::kLe);
+  EXPECT_EQ(ts[1].kind, TokenKind::kGe);
+  EXPECT_EQ(ts[2].kind, TokenKind::kEq);
+  EXPECT_EQ(ts[3].kind, TokenKind::kNe);
+  EXPECT_EQ(ts[4].kind, TokenKind::kAndAnd);
+  EXPECT_EQ(ts[5].kind, TokenKind::kOrOr);
+  EXPECT_EQ(ts[6].kind, TokenKind::kLt);
+  EXPECT_EQ(ts[7].kind, TokenKind::kGt);
+}
+
+TEST(Lexer, CommentsAndWhitespace) {
+  const auto tokens = tokenize("a // comment to end\n  b");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens.value().size(), 3u);
+  EXPECT_EQ(tokens.value()[1].text, "b");
+  EXPECT_EQ(tokens.value()[1].line, 2);
+}
+
+TEST(Lexer, NumbersCarryValues) {
+  const auto tokens = tokenize("1234567890");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].number, 1234567890);
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  EXPECT_FALSE(tokenize("a $ b").ok());
+  EXPECT_FALSE(tokenize("a ! b").ok());   // bare '!'
+  EXPECT_FALSE(tokenize("a & b").ok());   // bare '&'
+}
+
+TEST(Lexer, ReportsLineAndColumn) {
+  const auto bad = tokenize("ok\n   ?");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("2:4"), std::string::npos);
+}
+
+// ---- parser -----------------------------------------------------------------
+
+TEST(Parser, ParsesDeclarationsAndLoop) {
+  const auto program = parse_program(R"(
+    array A[4][5];
+    scalar t;
+    param n;
+    doall i = 1, 4 {
+      do j = 1, 5, 2 {
+        t = i * j;
+        A[i][j] = t + 1;
+      }
+    }
+  )");
+  ASSERT_TRUE(program.ok()) << program.error().to_string();
+  const auto& p = program.value();
+  ASSERT_EQ(p.roots.size(), 1u);
+  EXPECT_TRUE(p.roots[0]->parallel);
+  EXPECT_EQ(p.symbols[p.symbols.lookup("A").value()].shape,
+            (std::vector<std::int64_t>{4, 5}));
+  const auto band = ir::perfect_band(*p.roots[0]);
+  ASSERT_EQ(band.size(), 2u);
+  EXPECT_EQ(band[1]->step, 2);
+  EXPECT_FALSE(band[1]->parallel);
+}
+
+TEST(Parser, ParsesGuardsAndComparisons) {
+  const auto nest = parse_nest(R"(
+    array A[6][6];
+    doall i = 1, 6 {
+      doall j = 1, 6 {
+        if (j <= i && i != 3) {
+          A[i][j] = 1;
+        }
+      }
+    }
+  )");
+  ASSERT_TRUE(nest.ok()) << nest.error().to_string();
+  EXPECT_EQ(ir::collect_guards(*nest.value().root).size(), 1u);
+
+  // Semantics: count the written cells.
+  ir::Evaluator eval(nest.value().symbols);
+  eval.run(*nest.value().root);
+  double sum = 0;
+  for (double v :
+       eval.store().data(nest.value().symbols.lookup("A").value())) {
+    sum += v;
+  }
+  EXPECT_EQ(sum, 21.0 - 3.0);  // triangle minus row i==3's cells (j<=3)
+}
+
+TEST(Parser, IntrinsicCallsMapToOps) {
+  const auto nest = parse_nest(R"(
+    array A[10];
+    do i = 1, 10 {
+      A[i] = fdiv(i, 2) + cdiv(i, 3) + mod(i, 4) + min(i, 5) + max(i, 6);
+    }
+  )");
+  ASSERT_TRUE(nest.ok()) << nest.error().to_string();
+  const auto assigns = ir::collect_assignments(*nest.value().root);
+  ASSERT_EQ(assigns.size(), 1u);
+  EXPECT_EQ(ir::division_count(assigns[0].stmt->rhs), 3u);
+}
+
+TEST(Parser, OpaqueCallsPreserved) {
+  const auto nest = parse_nest(R"(
+    array A[4];
+    do i = 1, 4 {
+      A[i] = real_div(A[i], 2);
+    }
+  )");
+  ASSERT_TRUE(nest.ok());
+  ir::Evaluator eval(nest.value().symbols);
+  const auto a = nest.value().symbols.lookup("A").value();
+  eval.store().fill(a, 8.0);
+  eval.run(*nest.value().root);
+  for (double v : eval.store().data(a)) EXPECT_EQ(v, 4.0);
+}
+
+TEST(Parser, TriangularBoundsReferenceOuterVar) {
+  const auto nest = parse_nest(R"(
+    array OUT[8][8];
+    doall i = 1, 8 {
+      doall j = 1, i {
+        OUT[i][j] = i * 10 + j;
+      }
+    }
+  )");
+  ASSERT_TRUE(nest.ok());
+  const auto result = transform::coalesce_guarded(nest.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().active_points, 36);
+}
+
+TEST(Parser, MultipleTopLevelLoops) {
+  const auto program = parse_program(R"(
+    array A[4];
+    array B[4];
+    doall i = 1, 4 { A[i] = i; }
+    doall k = 1, 4 { B[k] = A[k]; }
+  )");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().roots.size(), 2u);
+}
+
+TEST(Parser, SequentialReuseOfInductionNameAllowed) {
+  const auto program = parse_program(R"(
+    array A[4];
+    do i = 1, 4 { A[i] = 1; }
+    do i = 1, 4 { A[i] = 2; }
+  )");
+  ASSERT_TRUE(program.ok()) << program.error().to_string();
+  EXPECT_EQ(program.value().roots[0]->var, program.value().roots[1]->var);
+}
+
+TEST(Parser, NegativeBoundsAndUnaryMinus) {
+  const auto nest = parse_nest(R"(
+    array A[7];
+    do i = -3, 3 {
+      A[i + 4] = -i;
+    }
+  )");
+  ASSERT_TRUE(nest.ok()) << nest.error().to_string();
+  EXPECT_EQ(ir::as_constant(nest.value().root->lower).value(), -3);
+}
+
+// ---- parse errors --------------------------------------------------------------
+
+TEST(ParserErrors, UsefulDiagnostics) {
+  struct Case {
+    const char* source;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"array A[3]; do i = 1 { A[i] = 1; }", "expected ','"},
+      {"array A[3]; do i = 1, 3 { A[i] = ; }", "expected an expression"},
+      {"array A[3]; do i = 1, 3 { B[i] = 1; }", "undeclared"},
+      {"array A[3]; do i = 1, 3 { A[i] = j; }", "undeclared"},
+      {"array A[3]; doall i = 1, 3 { do i = 1, 2 { A[i] = 1; } }",
+       "shadows"},
+      {"array A[3];", "at least one loop"},
+      {"array A[3]; array A[4]; do i = 1, 3 { A[i] = 1; }",
+       "already declared"},
+      {"array A[3]; do i = 1, 3 { A[i] = 1; } trailing", "unexpected"},
+      {"array A[3]; do i = 1, 3, 0 { A[i] = 1; }", "positive"},
+      {"array A[3]; do i = 1, 3 { A = 1; }", "subscripts"},
+  };
+  for (const auto& c : cases) {
+    const auto result = parse_program(c.source);
+    ASSERT_FALSE(result.ok()) << c.source;
+    EXPECT_NE(result.error().message.find(c.needle), std::string::npos)
+        << c.source << " -> " << result.error().message;
+  }
+}
+
+// ---- round trips -----------------------------------------------------------------
+
+void expect_round_trip(const ir::LoopNest& nest) {
+  const std::string text =
+      declarations_to_string(nest.symbols) + ir::to_string(nest);
+  const auto reparsed = parse_nest(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string() << "\n" << text;
+  const std::string text2 = declarations_to_string(reparsed.value().symbols) +
+                            ir::to_string(reparsed.value());
+  EXPECT_EQ(text, text2);
+  EXPECT_TRUE(core::equivalent_by_execution(nest, reparsed.value())) << text;
+}
+
+TEST(RoundTrip, AllStockWorkloads) {
+  expect_round_trip(ir::make_rectangular_witness({3, 4}));
+  expect_round_trip(ir::make_rectangular_witness({2, 3, 2}));
+  expect_round_trip(ir::make_matmul(4, 3, 2));
+  expect_round_trip(ir::make_gauss_jordan_backsolve(4, 2));
+  expect_round_trip(ir::make_jacobi_step(4));
+  expect_round_trip(ir::make_recurrence(6));
+  expect_round_trip(ir::make_pi_strips(3, 5));
+  expect_round_trip(ir::make_triangular_witness(5));
+  expect_round_trip(ir::make_pivot_update(5, 2));
+}
+
+TEST(RoundTrip, TransformedNestsAlsoRoundTrip) {
+  // Coalesced output (div/mod recovery expressions) must re-parse.
+  const auto coalesced =
+      transform::coalesce_nest(ir::make_rectangular_witness({4, 5}));
+  ASSERT_TRUE(coalesced.ok());
+  expect_round_trip(coalesced.value().nest);
+
+  const auto guarded =
+      transform::coalesce_guarded(ir::make_triangular_witness(6));
+  ASSERT_TRUE(guarded.ok());
+  expect_round_trip(guarded.value().nest);
+}
+
+}  // namespace
+}  // namespace coalesce::frontend

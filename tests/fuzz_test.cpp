@@ -1,0 +1,267 @@
+// Randomized property tests: generate random loop nests and check that
+// every transformation preserves interpreter semantics bit-exactly.
+//
+// The generators are deliberately small-shaped (extents <= 6, depth <= 4)
+// so each case sweeps its whole iteration space; breadth comes from count.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "support/rng.hpp"
+#include "transform/coalesce.hpp"
+#include "transform/distribute.hpp"
+#include "transform/guarded.hpp"
+#include "frontend/parser.hpp"
+#include "transform/normalize.hpp"
+
+namespace coalesce {
+namespace {
+
+using ir::ExprRef;
+using ir::int_const;
+using ir::LoopNest;
+using ir::NestBuilder;
+using ir::VarId;
+using ir::var_ref;
+using support::i64;
+using support::Rng;
+
+/// Random integer expression over the given induction variables; always
+/// well-defined (divisors nonzero, no array reads).
+ExprRef random_expr(Rng& rng, const std::vector<VarId>& ivs, int depth) {
+  if (depth <= 0 || rng.uniform01() < 0.3) {
+    if (!ivs.empty() && rng.uniform01() < 0.7) {
+      return var_ref(ivs[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<i64>(ivs.size()) - 1))]);
+    }
+    return int_const(rng.uniform_int(-9, 9));
+  }
+  ExprRef a = random_expr(rng, ivs, depth - 1);
+  ExprRef b = random_expr(rng, ivs, depth - 1);
+  switch (rng.uniform_int(0, 6)) {
+    case 0: return ir::add(std::move(a), std::move(b));
+    case 1: return ir::sub(std::move(a), std::move(b));
+    case 2: return ir::mul(std::move(a), std::move(b));
+    case 3: return ir::min_expr(std::move(a), std::move(b));
+    case 4: return ir::max_expr(std::move(a), std::move(b));
+    case 5:
+      return ir::mod(std::move(a), int_const(rng.uniform_int(1, 7)));
+    default:
+      return ir::floor_div(std::move(a), int_const(rng.uniform_int(1, 5)));
+  }
+}
+
+struct RandomNest {
+  LoopNest nest;
+  std::size_t depth;
+};
+
+/// Rectangular nest with random lower bounds, steps, extents, and one or
+/// two body assignments into distinct cells of OUT.
+RandomNest random_rectangular(Rng& rng) {
+  NestBuilder b;
+  const std::size_t depth = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  std::vector<i64> lowers(depth), steps(depth), extents(depth);
+  std::vector<i64> shape;
+  for (std::size_t d = 0; d < depth; ++d) {
+    lowers[d] = rng.uniform_int(-3, 3);
+    steps[d] = rng.uniform_int(1, 3);
+    extents[d] = rng.uniform_int(1, 5);
+    shape.push_back(extents[d]);
+  }
+  const VarId out = b.array("OUT", shape);
+  const VarId out2 = b.array("OUT2", shape);
+  std::vector<VarId> ivs;
+  for (std::size_t d = 0; d < depth; ++d) {
+    ivs.push_back(b.begin_parallel_loop(
+        "v" + std::to_string(d), lowers[d],
+        lowers[d] + (extents[d] - 1) * steps[d], steps[d]));
+  }
+  // Subscripts: the 1-based ordinal of each level, exact on the lattice.
+  std::vector<ExprRef> subs;
+  for (std::size_t d = 0; d < depth; ++d) {
+    subs.push_back(ir::simplify(ir::add(
+        ir::floor_div(ir::sub(var_ref(ivs[d]), int_const(lowers[d])),
+                      int_const(steps[d])),
+        int_const(1))));
+  }
+  b.assign(b.element_expr(out, subs), random_expr(rng, ivs, 3));
+  if (rng.uniform01() < 0.5) {
+    b.assign(b.element_expr(out2, subs), random_expr(rng, ivs, 2));
+  }
+  for (std::size_t d = 0; d < depth; ++d) b.end_loop();
+  return RandomNest{b.build(), depth};
+}
+
+/// 2-deep triangular nest: inner upper bound affine in the outer variable.
+LoopNest random_triangular(Rng& rng) {
+  NestBuilder b;
+  const i64 n = rng.uniform_int(2, 7);
+  const i64 slope = rng.uniform_int(1, 2);
+  const i64 offset = rng.uniform_int(0, 2);
+  const i64 max_inner = slope * n + offset;
+  const VarId out = b.array("OUT", {n, max_inner});
+  const VarId i = b.begin_parallel_loop("i", 1, n);
+  const VarId j = b.begin_loop_expr(
+      "j", int_const(1),
+      ir::add(ir::mul(int_const(slope), var_ref(i)), int_const(offset)), 1,
+      /*parallel=*/true);
+  b.assign(b.element(out, {i, j}), random_expr(rng, {i, j}, 3));
+  b.end_loop();
+  b.end_loop();
+  return b.build();
+}
+
+class FuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSweep, CoalesceNestPreservesSemantics) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int trial = 0; trial < 60; ++trial) {
+    const RandomNest rn = random_rectangular(rng);
+    for (auto style : {transform::RecoveryStyle::kPaperClosedForm,
+                       transform::RecoveryStyle::kMixedRadix}) {
+      transform::CoalesceOptions options;
+      options.recovery = style;
+      const auto result = transform::coalesce_nest(rn.nest, options);
+      ASSERT_TRUE(result.ok())
+          << result.error().to_string() << "\n" << ir::to_string(rn.nest);
+      ASSERT_TRUE(core::equivalent_by_execution(rn.nest, result.value().nest))
+          << "original:\n" << ir::to_string(rn.nest) << "coalesced:\n"
+          << ir::to_string(result.value().nest);
+    }
+  }
+}
+
+TEST_P(FuzzSweep, PartialCoalescePreservesSemantics) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  for (int trial = 0; trial < 40; ++trial) {
+    const RandomNest rn = random_rectangular(rng);
+    transform::CoalesceOptions options;
+    options.levels = static_cast<std::size_t>(
+        rng.uniform_int(2, static_cast<i64>(rn.depth)));
+    const auto result = transform::coalesce_nest(rn.nest, options);
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+    ASSERT_TRUE(core::equivalent_by_execution(rn.nest, result.value().nest));
+  }
+}
+
+TEST_P(FuzzSweep, NormalizeThenCoalescePreservesSemantics) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1299709);
+  for (int trial = 0; trial < 40; ++trial) {
+    const RandomNest rn = random_rectangular(rng);
+    const auto normalized = transform::normalize_nest(rn.nest);
+    ASSERT_TRUE(normalized.ok());
+    ASSERT_TRUE(core::equivalent_by_execution(rn.nest, normalized.value()));
+    const auto result = transform::coalesce_nest(normalized.value());
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(core::equivalent_by_execution(rn.nest, result.value().nest));
+  }
+}
+
+TEST_P(FuzzSweep, GuardedCoalescePreservesTriangles) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863);
+  for (int trial = 0; trial < 60; ++trial) {
+    const LoopNest nest = random_triangular(rng);
+    const auto result = transform::coalesce_guarded(nest);
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+    ASSERT_GE(result.value().active_points, 1);
+    ASSERT_LE(result.value().active_points, result.value().box_points);
+    ASSERT_TRUE(core::equivalent_by_execution(nest, result.value().nest))
+        << ir::to_string(nest);
+  }
+}
+
+TEST_P(FuzzSweep, DistributionPreservesSemantics) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 32452843);
+  for (int trial = 0; trial < 40; ++trial) {
+    // 2-4 statements over 3 arrays with random +-1 offset reads: a soup of
+    // forward/backward/cyclic dependences.
+    NestBuilder b;
+    const i64 n = rng.uniform_int(3, 8);
+    const VarId arrays[3] = {b.array("P", {n + 2}), b.array("Q", {n + 2}),
+                             b.array("R", {n + 2})};
+    const VarId i = b.begin_loop("i", 2, n + 1);
+    const int stmts = static_cast<int>(rng.uniform_int(2, 4));
+    for (int s = 0; s < stmts; ++s) {
+      const VarId dst = arrays[rng.uniform_int(0, 2)];
+      const VarId src = arrays[rng.uniform_int(0, 2)];
+      const i64 offset = rng.uniform_int(-1, 1);
+      b.assign(b.element(dst, {i}),
+               ir::add(ir::array_read(
+                           src, {ir::add(var_ref(i), int_const(offset))}),
+                       int_const(rng.uniform_int(0, 5))));
+    }
+    b.end_loop();
+    const LoopNest nest = b.build();
+
+    const auto program = transform::distribute_root(nest);
+    ASSERT_TRUE(program.ok());
+    ASSERT_TRUE(core::equivalent_by_execution(nest, program.value()))
+        << ir::to_string(nest);
+  }
+}
+
+TEST_P(FuzzSweep, MakePerfectThenCoalesceProgram) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 49979687);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Imperfect 2-deep nest: outer body = init assignment + inner loop.
+    NestBuilder b;
+    const i64 n = rng.uniform_int(2, 6);
+    const i64 m = rng.uniform_int(2, 6);
+    const VarId a = b.array("A", {n, m});
+    const VarId row = b.array("ROW", {n});
+    const VarId i = b.begin_parallel_loop("i", 1, n);
+    b.assign(b.element(row, {i}), random_expr(rng, {i}, 2));
+    const VarId j = b.begin_parallel_loop("j", 1, m);
+    b.assign(b.element(a, {i, j}), random_expr(rng, {i, j}, 2));
+    b.end_loop();
+    b.end_loop();
+    const LoopNest nest = b.build();
+
+    auto program = transform::make_perfect(nest);
+    ASSERT_TRUE(program.ok());
+    const auto coalesced = transform::coalesce_program(program.value());
+    ASSERT_TRUE(core::equivalent_by_execution(nest, coalesced.program))
+        << ir::to_string(nest);
+  }
+}
+
+TEST_P(FuzzSweep, FrontendRoundTripsRandomNests) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 86028121);
+  for (int trial = 0; trial < 40; ++trial) {
+    const RandomNest rn = random_rectangular(rng);
+    const std::string text =
+        frontend::declarations_to_string(rn.nest.symbols) +
+        ir::to_string(rn.nest);
+    const auto reparsed = frontend::parse_nest(text);
+    ASSERT_TRUE(reparsed.ok())
+        << reparsed.error().to_string() << "\n" << text;
+    const std::string text2 =
+        frontend::declarations_to_string(reparsed.value().symbols) +
+        ir::to_string(reparsed.value());
+    ASSERT_EQ(text, text2);
+    ASSERT_TRUE(core::equivalent_by_execution(rn.nest, reparsed.value()));
+  }
+}
+
+TEST_P(FuzzSweep, FrontendRoundTripsTransformedTriangles) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 472882027);
+  for (int trial = 0; trial < 25; ++trial) {
+    const ir::LoopNest nest = random_triangular(rng);
+    const auto result = transform::coalesce_guarded(nest);
+    ASSERT_TRUE(result.ok());
+    const std::string text =
+        frontend::declarations_to_string(result.value().nest.symbols) +
+        ir::to_string(result.value().nest);
+    const auto reparsed = frontend::parse_nest(text);
+    ASSERT_TRUE(reparsed.ok())
+        << reparsed.error().to_string() << "\n" << text;
+    ASSERT_TRUE(core::equivalent_by_execution(nest, reparsed.value()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace coalesce

@@ -1,0 +1,226 @@
+// Tests for the coalesced index space: the paper's closed-form recovery, the
+// mixed-radix reference decoder, and the strength-reduced incremental
+// decoder. These are the correctness heart of the reproduction, so the
+// properties are swept over many space shapes (TEST_P).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "index/coalesced_space.hpp"
+#include "index/incremental.hpp"
+#include "support/rng.hpp"
+
+namespace coalesce::index {
+namespace {
+
+TEST(CoalescedSpace, PaperTwoLevelExample) {
+  // The worked example from the header: 4 x 3.
+  const auto space = CoalescedSpace::create(std::vector<i64>{4, 3}).value();
+  EXPECT_EQ(space.total(), 12);
+  EXPECT_EQ(space.depth(), 2u);
+  EXPECT_EQ(space.suffix_product(0), 12);
+  EXPECT_EQ(space.suffix_product(1), 3);
+  EXPECT_EQ(space.suffix_product(2), 1);
+
+  std::vector<i64> idx(2);
+  space.decode_paper(1, idx);
+  EXPECT_EQ(idx, (std::vector<i64>{1, 1}));
+  space.decode_paper(3, idx);
+  EXPECT_EQ(idx, (std::vector<i64>{1, 3}));
+  space.decode_paper(4, idx);
+  EXPECT_EQ(idx, (std::vector<i64>{2, 1}));
+  space.decode_paper(12, idx);
+  EXPECT_EQ(idx, (std::vector<i64>{4, 3}));
+}
+
+TEST(CoalescedSpace, RejectsEmptyAndDegenerate) {
+  EXPECT_FALSE(CoalescedSpace::create(std::vector<i64>{}).ok());
+  EXPECT_FALSE(CoalescedSpace::create(std::vector<i64>{4, 0}).ok());
+  EXPECT_FALSE(CoalescedSpace::create(std::vector<i64>{-2}).ok());
+  EXPECT_FALSE(
+      CoalescedSpace::create({LevelGeometry{1, 3, 0}}).ok());  // bad step
+}
+
+TEST(CoalescedSpace, RejectsOverflowingProduct) {
+  EXPECT_FALSE(
+      CoalescedSpace::create(std::vector<i64>{i64{1} << 32, i64{1} << 32})
+          .ok());
+}
+
+TEST(CoalescedSpace, SingleLevelIsIdentity) {
+  const auto space = CoalescedSpace::create(std::vector<i64>{7}).value();
+  std::vector<i64> idx(1);
+  for (i64 j = 1; j <= 7; ++j) {
+    space.decode_paper(j, idx);
+    EXPECT_EQ(idx[0], j);
+  }
+}
+
+TEST(CoalescedSpace, OriginalValuesWithLowerAndStep) {
+  // Outer: 5, 7, 9 (lower 5, step 2, extent 3); inner: 0..3 (lower 0).
+  const auto space = CoalescedSpace::create(
+                         {LevelGeometry{5, 3, 2}, LevelGeometry{0, 4, 1}})
+                         .value();
+  EXPECT_EQ(space.total(), 12);
+  std::vector<i64> orig(2);
+  space.decode_original(1, orig);
+  EXPECT_EQ(orig, (std::vector<i64>{5, 0}));
+  space.decode_original(5, orig);
+  EXPECT_EQ(orig, (std::vector<i64>{7, 0}));
+  space.decode_original(12, orig);
+  EXPECT_EQ(orig, (std::vector<i64>{9, 3}));
+  EXPECT_EQ(space.original_value(0, 2), 7);
+  EXPECT_EQ(space.encode_original(orig), 12);
+}
+
+TEST(CoalescedSpace, DivisionsPerDecodeReported) {
+  const auto space = CoalescedSpace::create(std::vector<i64>{4, 3, 2}).value();
+  EXPECT_EQ(space.divisions_per_decode_paper(), 6u);
+  EXPECT_EQ(space.divisions_per_decode_mixed_radix(), 6u);
+}
+
+// ---- parameterized sweeps over shapes ---------------------------------------
+
+struct ShapeCase {
+  std::vector<i64> extents;
+};
+
+class SpaceSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(SpaceSweep, PaperFormulaAgreesWithMixedRadixEverywhere) {
+  const auto space = CoalescedSpace::create(GetParam().extents).value();
+  std::vector<i64> a(space.depth()), b(space.depth());
+  for (i64 j = 1; j <= space.total(); ++j) {
+    space.decode_paper(j, a);
+    space.decode_mixed_radix(j, b);
+    ASSERT_EQ(a, b) << "j=" << j;
+  }
+}
+
+TEST_P(SpaceSweep, DecodeEncodeIsBijective) {
+  const auto space = CoalescedSpace::create(GetParam().extents).value();
+  std::vector<i64> idx(space.depth());
+  for (i64 j = 1; j <= space.total(); ++j) {
+    space.decode_paper(j, idx);
+    for (std::size_t k = 0; k < space.depth(); ++k) {
+      ASSERT_GE(idx[k], 1);
+      ASSERT_LE(idx[k], space.extent(k));
+    }
+    ASSERT_EQ(space.encode(idx), j);
+  }
+}
+
+TEST_P(SpaceSweep, DecodeVisitsLexicographicOrder) {
+  const auto space = CoalescedSpace::create(GetParam().extents).value();
+  std::vector<i64> prev(space.depth()), cur(space.depth());
+  space.decode_paper(1, prev);
+  for (i64 j = 2; j <= space.total(); ++j) {
+    space.decode_paper(j, cur);
+    ASSERT_TRUE(std::lexicographical_compare(prev.begin(), prev.end(),
+                                             cur.begin(), cur.end()))
+        << "order violated at j=" << j;
+    prev = cur;
+  }
+}
+
+TEST_P(SpaceSweep, IncrementalDecoderTracksFullDecode) {
+  const auto space = CoalescedSpace::create(GetParam().extents).value();
+  IncrementalDecoder decoder(space, 1);
+  std::vector<i64> expect(space.depth());
+  for (i64 j = 1; j <= space.total(); ++j) {
+    space.decode_paper(j, expect);
+    ASSERT_EQ(decoder.position(), j);
+    ASSERT_TRUE(std::equal(expect.begin(), expect.end(),
+                           decoder.normalized().begin()));
+    if (j < space.total()) decoder.advance();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpaceSweep,
+    ::testing::Values(ShapeCase{{2, 3}}, ShapeCase{{3, 2}}, ShapeCase{{1, 5}},
+                      ShapeCase{{5, 1}}, ShapeCase{{1, 1, 1}},
+                      ShapeCase{{4, 3, 2}}, ShapeCase{{2, 2, 2, 2}},
+                      ShapeCase{{7, 11}}, ShapeCase{{16, 16}},
+                      ShapeCase{{3, 1, 4, 1, 5}}, ShapeCase{{30}},
+                      ShapeCase{{2, 3, 5, 7}}));
+
+// Randomized shapes with lower bounds and steps.
+class RandomGeometry : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGeometry, EncodeOriginalInvertsDecodeOriginal) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000003);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t depth =
+        static_cast<std::size_t>(rng.uniform_int(1, 4));
+    std::vector<LevelGeometry> levels;
+    for (std::size_t k = 0; k < depth; ++k) {
+      levels.push_back(LevelGeometry{rng.uniform_int(-10, 10),
+                                     rng.uniform_int(1, 6),
+                                     rng.uniform_int(1, 4)});
+    }
+    const auto space = CoalescedSpace::create(levels).value();
+    std::vector<i64> orig(depth);
+    for (i64 j = 1; j <= space.total(); ++j) {
+      space.decode_original(j, orig);
+      ASSERT_EQ(space.encode_original(orig), j);
+      // Each original value lies on its level's lattice.
+      for (std::size_t k = 0; k < depth; ++k) {
+        const auto& g = space.level(k);
+        ASSERT_GE(orig[k], g.lower);
+        ASSERT_LE(orig[k], g.lower + (g.extent - 1) * g.step);
+        ASSERT_EQ((orig[k] - g.lower) % g.step, 0);
+      }
+    }
+  }
+}
+
+TEST_P(RandomGeometry, IncrementalDecoderMatchesOriginals) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()) * 77777);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t depth =
+        static_cast<std::size_t>(rng.uniform_int(1, 3));
+    std::vector<LevelGeometry> levels;
+    for (std::size_t k = 0; k < depth; ++k) {
+      levels.push_back(LevelGeometry{rng.uniform_int(-5, 5),
+                                     rng.uniform_int(1, 5),
+                                     rng.uniform_int(1, 3)});
+    }
+    const auto space = CoalescedSpace::create(levels).value();
+    const i64 start = rng.uniform_int(1, space.total());
+    IncrementalDecoder decoder(space, start);
+    std::vector<i64> expect(depth);
+    for (i64 j = start; j <= space.total(); ++j) {
+      space.decode_original(j, expect);
+      ASSERT_TRUE(std::equal(expect.begin(), expect.end(),
+                             decoder.original().begin()))
+          << "j=" << j;
+      if (j < space.total()) decoder.advance();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGeometry, ::testing::Values(1, 2, 3));
+
+TEST(IncrementalDecoder, CarryCountMatchesTheory) {
+  // Sweeping an n1 x n2 space from 1 to total: the inner digit wraps
+  // (n1 - 1) times before the final position... each wrap is >= 1 carry.
+  const auto space = CoalescedSpace::create(std::vector<i64>{5, 4}).value();
+  IncrementalDecoder decoder(space, 1);
+  for (i64 j = 1; j < space.total(); ++j) decoder.advance();
+  EXPECT_EQ(decoder.carries(), 4u);  // inner wrapped after 4, 8, 12, 16
+}
+
+TEST(IncrementalDecoder, SeekRepositionsExactly) {
+  const auto space = CoalescedSpace::create(std::vector<i64>{4, 3, 2}).value();
+  IncrementalDecoder decoder(space, 1);
+  decoder.seek(17);
+  std::vector<i64> expect(3);
+  space.decode_paper(17, expect);
+  EXPECT_TRUE(std::equal(expect.begin(), expect.end(),
+                         decoder.normalized().begin()));
+  EXPECT_EQ(decoder.position(), 17);
+}
+
+}  // namespace
+}  // namespace coalesce::index

@@ -1,0 +1,186 @@
+// Tests for the parallel IR executor (real threads interpreting transformed
+// programs) and the processor-grid allocation math.
+#include <gtest/gtest.h>
+
+#include "analysis/doall.hpp"
+#include "core/api.hpp"
+#include "index/grid.hpp"
+#include "ir/builder.hpp"
+#include "ir/eval.hpp"
+#include "runtime/ir_executor.hpp"
+#include "transform/coalesce.hpp"
+#include "transform/distribute.hpp"
+
+namespace coalesce::runtime {
+namespace {
+
+using ir::LoopNest;
+using support::i64;
+
+/// Runs the nest sequentially and in parallel, compares all arrays.
+void expect_parallel_matches_sequential(const LoopNest& nest,
+                                        ScheduleParams params) {
+  ir::Evaluator sequential(nest.symbols);
+  sequential.run(*nest.root);
+
+  ThreadPool pool(4);
+  ir::ArrayStore parallel_store(nest.symbols);
+  const auto stats = execute_parallel(pool, nest, params, parallel_store);
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_TRUE(ir::ArrayStore::identical(sequential.store(), parallel_store));
+}
+
+TEST(IrExecutor, WitnessNestAllSchedules) {
+  const LoopNest nest = ir::make_rectangular_witness({9, 7});
+  const auto coalesced = transform::coalesce_nest(nest);
+  ASSERT_TRUE(coalesced.ok());
+  for (auto kind : {Schedule::kStaticBlock, Schedule::kStaticCyclic,
+                    Schedule::kSelf, Schedule::kChunked, Schedule::kGuided,
+                    Schedule::kFactoring, Schedule::kTrapezoid}) {
+    expect_parallel_matches_sequential(coalesced.value().nest, {kind, 4});
+  }
+}
+
+TEST(IrExecutor, CoalescedMatmulRunsInParallel) {
+  // The coalesced matmul: recovery assigns + inner reduction loop execute
+  // in per-worker private environments against the shared store.
+  const LoopNest nest = ir::make_matmul(8, 6, 5);
+  const auto coalesced = transform::coalesce_nest(nest);
+  ASSERT_TRUE(coalesced.ok());
+
+  ir::Evaluator reference(nest.symbols);
+  // Seed A and B the same way in both universes.
+  auto seed = [](ir::ArrayStore& store, const ir::SymbolTable& symbols) {
+    for (const char* name : {"A", "B"}) {
+      auto data = store.data(symbols.lookup(name).value());
+      for (std::size_t q = 0; q < data.size(); ++q) {
+        data[q] = static_cast<double>((q * 13 + 3) % 11) - 5.0;
+      }
+    }
+  };
+  seed(reference.store(), nest.symbols);
+  reference.run(*nest.root);
+
+  ThreadPool pool(4);
+  ir::ArrayStore store(coalesced.value().nest.symbols);
+  seed(store, coalesced.value().nest.symbols);
+  const auto stats = execute_parallel(pool, coalesced.value().nest,
+                                      {Schedule::kGuided, 1}, store);
+  ASSERT_TRUE(stats.ok());
+
+  const auto c_ref = reference.store().data(nest.symbols.lookup("C").value());
+  const auto c_par =
+      store.data(coalesced.value().nest.symbols.lookup("C").value());
+  ASSERT_EQ(c_ref.size(), c_par.size());
+  for (std::size_t q = 0; q < c_ref.size(); ++q) {
+    EXPECT_EQ(c_ref[q], c_par[q]) << q;
+  }
+}
+
+TEST(IrExecutor, OffsetSteppedRootValuesCorrect) {
+  ir::NestBuilder b;
+  const auto a = b.array("A", {10});
+  const auto i = b.begin_parallel_loop("i", 3, 21, 2);  // 3,5,...,21
+  b.assign(b.element_expr(
+               a, {ir::add(ir::floor_div(ir::sub(ir::var_ref(i),
+                                                 ir::int_const(3)),
+                                         ir::int_const(2)),
+                           ir::int_const(1))}),
+           ir::var_ref(i));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  expect_parallel_matches_sequential(nest, {Schedule::kChunked, 3});
+}
+
+TEST(IrExecutor, RejectsSerialRoot) {
+  const LoopNest nest = ir::make_recurrence(8);
+  ThreadPool pool(2);
+  ir::ArrayStore store(nest.symbols);
+  const auto stats =
+      execute_parallel(pool, nest, {Schedule::kSelf, 1}, store);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.error().code, support::ErrorCode::kIllegalTransform);
+}
+
+TEST(IrExecutor, ProgramMixesParallelAndSequentialRoots) {
+  // make_perfect(matmul) produces two DOALL roots; execute_program runs
+  // both in parallel against one store and matches the sequential result.
+  const LoopNest nest = ir::make_matmul(6, 5, 4);
+  auto program = transform::make_perfect(nest);
+  ASSERT_TRUE(program.ok());
+  const auto coalesced = transform::coalesce_program(program.value());
+
+  ir::Evaluator reference(nest.symbols);
+  reference.run(*nest.root);
+
+  ThreadPool pool(3);
+  ir::ArrayStore store(coalesced.program.symbols);
+  const auto stats = execute_program(pool, coalesced.program,
+                                     {Schedule::kGuided, 1}, store);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().parallel_roots, 2u);
+  EXPECT_EQ(stats.value().sequential_roots, 0u);
+
+  const auto c_ref = reference.store().data(nest.symbols.lookup("C").value());
+  const auto c_par =
+      store.data(coalesced.program.symbols.lookup("C").value());
+  for (std::size_t q = 0; q < c_ref.size(); ++q) {
+    EXPECT_EQ(c_ref[q], c_par[q]);
+  }
+}
+
+TEST(IrExecutor, SequentialFallbackForSerialRootsInPrograms) {
+  const LoopNest nest = ir::make_recurrence(8);
+  ir::Program program{nest.symbols, {nest.root}};
+  ThreadPool pool(2);
+  ir::ArrayStore store(nest.symbols);
+  const auto stats =
+      execute_program(pool, program, {Schedule::kSelf, 1}, store);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().sequential_roots, 1u);
+  EXPECT_EQ(stats.value().parallel_roots, 0u);
+}
+
+// ---- grid allocation -----------------------------------------------------------
+
+TEST(GridAllocation, PerfectFactorizationIsFullyEfficient) {
+  const auto grid = index::best_grid({10, 10}, 4);
+  EXPECT_EQ(grid.max_load, 25);
+  EXPECT_DOUBLE_EQ(grid.efficiency, 1.0);
+}
+
+TEST(GridAllocation, PrimePCollapsesToOneDimension) {
+  const auto grid = index::best_grid({10, 10}, 7);
+  // Only 1x7 and 7x1 exist; both give ceil(10/7)*10 = 20.
+  EXPECT_EQ(grid.max_load, 20);
+  EXPECT_NEAR(grid.efficiency, 100.0 / (7 * 20), 1e-12);
+}
+
+TEST(GridAllocation, CoalescedAlwaysAtLeastAsEfficient) {
+  for (const auto& extents :
+       {std::vector<i64>{10, 10}, std::vector<i64>{100, 4},
+        std::vector<i64>{12, 12, 12}, std::vector<i64>{30, 7}}) {
+    for (i64 p : {2, 3, 5, 7, 8, 13, 16, 24, 37, 64}) {
+      const auto grid = index::best_grid(extents, p);
+      const double coalesced = index::coalesced_efficiency(extents, p);
+      EXPECT_GE(coalesced + 1e-12, grid.efficiency)
+          << "P=" << p << " shape[0]=" << extents[0];
+    }
+  }
+}
+
+TEST(GridAllocation, GridProductEqualsP) {
+  const auto grid = index::best_grid({12, 12, 12}, 24);
+  i64 product = 1;
+  for (i64 g : grid.grid) product *= g;
+  EXPECT_EQ(product, 24);
+}
+
+TEST(GridAllocation, CoalescedMaxLoadFormula) {
+  EXPECT_EQ(index::coalesced_max_load({10, 10}, 7), 15);  // ceil(100/7)
+  EXPECT_EQ(index::coalesced_max_load({10, 10}, 100), 1);
+  EXPECT_EQ(index::coalesced_max_load({3, 3}, 2), 5);
+}
+
+}  // namespace
+}  // namespace coalesce::runtime

@@ -1,0 +1,237 @@
+// Tests for IR expressions: construction, structural queries, substitution,
+// simplification, and the affine view the dependence analyzer consumes.
+#include <gtest/gtest.h>
+
+#include "ir/expr.hpp"
+#include "ir/printer.hpp"
+#include "ir/symbol.hpp"
+
+namespace coalesce::ir {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  SymbolTable symbols;
+  VarId i = symbols.declare("i", SymbolKind::kInduction);
+  VarId j = symbols.declare("j", SymbolKind::kInduction);
+  VarId a = symbols.declare("A", SymbolKind::kArray, {10});
+};
+
+TEST_F(ExprTest, ConstantsAndVars) {
+  EXPECT_EQ(int_const(5)->op, ExprOp::kIntConst);
+  EXPECT_EQ(int_const(5)->literal, 5);
+  EXPECT_EQ(var_ref(i)->var, i);
+}
+
+TEST_F(ExprTest, EqualIsStructural) {
+  const auto e1 = add(var_ref(i), int_const(1));
+  const auto e2 = add(var_ref(i), int_const(1));
+  const auto e3 = add(var_ref(j), int_const(1));
+  EXPECT_TRUE(equal(e1, e2));
+  EXPECT_FALSE(equal(e1, e3));
+  EXPECT_FALSE(equal(e1, int_const(1)));
+}
+
+TEST_F(ExprTest, ReferencesFindsVarsAndArrays) {
+  const auto e = add(array_read(a, {var_ref(i)}), int_const(2));
+  EXPECT_TRUE(references(e, i));
+  EXPECT_TRUE(references(e, a));
+  EXPECT_FALSE(references(e, j));
+}
+
+TEST_F(ExprTest, ReferencedVarsDeduplicatesAndSorts) {
+  const auto e = add(mul(var_ref(j), var_ref(i)), var_ref(i));
+  const auto vars = referenced_vars(e);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], i);
+  EXPECT_EQ(vars[1], j);
+}
+
+TEST_F(ExprTest, SubstituteReplacesAllOccurrences) {
+  const auto e = add(var_ref(i), mul(var_ref(i), int_const(2)));
+  const auto out = substitute(e, i, int_const(3));
+  EXPECT_EQ(as_constant(out).value(), 9);
+}
+
+TEST_F(ExprTest, SubstituteLeavesUntouchedTreeShared) {
+  const auto e = add(var_ref(j), int_const(1));
+  const auto out = substitute(e, i, int_const(3));
+  EXPECT_EQ(e, out);  // pointer-identical: nothing replaced
+}
+
+// ---- simplify ---------------------------------------------------------------
+
+TEST_F(ExprTest, SimplifyFoldsConstants) {
+  EXPECT_EQ(as_constant(add(int_const(2), int_const(3))).value(), 5);
+  EXPECT_EQ(as_constant(sub(int_const(2), int_const(3))).value(), -1);
+  EXPECT_EQ(as_constant(mul(int_const(4), int_const(3))).value(), 12);
+  EXPECT_EQ(as_constant(floor_div(int_const(-7), int_const(2))).value(), -4);
+  EXPECT_EQ(as_constant(ceil_div(int_const(7), int_const(2))).value(), 4);
+  EXPECT_EQ(as_constant(mod(int_const(-7), int_const(3))).value(), 2);
+  EXPECT_EQ(as_constant(min_expr(int_const(2), int_const(5))).value(), 2);
+  EXPECT_EQ(as_constant(max_expr(int_const(2), int_const(5))).value(), 5);
+  EXPECT_EQ(as_constant(neg(int_const(4))).value(), -4);
+}
+
+TEST_F(ExprTest, SimplifyIdentities) {
+  const auto v = var_ref(i);
+  EXPECT_TRUE(equal(simplify(add(v, int_const(0))), v));
+  EXPECT_TRUE(equal(simplify(add(int_const(0), v)), v));
+  EXPECT_TRUE(equal(simplify(sub(v, int_const(0))), v));
+  EXPECT_TRUE(equal(simplify(mul(v, int_const(1))), v));
+  EXPECT_TRUE(equal(simplify(mul(int_const(1), v)), v));
+  EXPECT_EQ(as_constant(simplify(mul(v, int_const(0)))).value(), 0);
+  EXPECT_TRUE(equal(simplify(floor_div(v, int_const(1))), v));
+  EXPECT_TRUE(equal(simplify(ceil_div(v, int_const(1))), v));
+  EXPECT_EQ(as_constant(simplify(mod(v, int_const(1)))).value(), 0);
+  EXPECT_EQ(as_constant(simplify(sub(v, v))).value(), 0);
+  EXPECT_TRUE(equal(simplify(neg(neg(v))), v));
+  EXPECT_TRUE(equal(simplify(min_expr(v, v)), v));
+}
+
+TEST_F(ExprTest, SimplifyDoesNotFoldDivByZero) {
+  const auto e = floor_div(int_const(4), int_const(0));
+  EXPECT_EQ(simplify(e)->op, ExprOp::kFloorDiv);  // left intact
+}
+
+TEST_F(ExprTest, SimplifyRecursesThroughTree) {
+  // (i * 1) + (2 * 3) -> i + 6
+  const auto e = add(mul(var_ref(i), int_const(1)),
+                     mul(int_const(2), int_const(3)));
+  const auto out = simplify(e);
+  ASSERT_EQ(out->op, ExprOp::kAdd);
+  EXPECT_TRUE(equal(out->kids[0], var_ref(i)));
+  EXPECT_EQ(out->kids[1]->literal, 6);
+}
+
+// ---- counting ---------------------------------------------------------------
+
+TEST_F(ExprTest, TreeSizeAndDivisionCount) {
+  const auto e = sub(ceil_div(var_ref(i), int_const(3)),
+                     mul(int_const(4), floor_div(sub(var_ref(i), int_const(1)),
+                                                 int_const(12))));
+  EXPECT_EQ(division_count(e), 2u);
+  EXPECT_GT(tree_size(e), 5u);
+  EXPECT_EQ(division_count(var_ref(i)), 0u);
+  EXPECT_EQ(division_count(mod(var_ref(i), int_const(2))), 1u);
+}
+
+// ---- affine view ------------------------------------------------------------
+
+TEST_F(ExprTest, ToAffineLinearCombination) {
+  // 3*i - 2*j + 7
+  const auto e = add(sub(mul(int_const(3), var_ref(i)),
+                         mul(int_const(2), var_ref(j))),
+                     int_const(7));
+  const auto f = to_affine(e);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->constant, 7);
+  EXPECT_EQ(f->coeff(i), 3);
+  EXPECT_EQ(f->coeff(j), -2);
+}
+
+TEST_F(ExprTest, ToAffineHandlesNegAndConstMul) {
+  const auto e = neg(mul(var_ref(i), int_const(5)));
+  const auto f = to_affine(e);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->coeff(i), -5);
+}
+
+TEST_F(ExprTest, ToAffineCancelsTerms) {
+  const auto e = sub(var_ref(i), var_ref(i));
+  const auto f = to_affine(e);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->is_constant());
+  EXPECT_EQ(f->constant, 0);
+}
+
+TEST_F(ExprTest, ToAffineRejectsNonAffine) {
+  EXPECT_FALSE(to_affine(mul(var_ref(i), var_ref(j))).has_value());
+  EXPECT_FALSE(to_affine(floor_div(var_ref(i), int_const(2))).has_value());
+  EXPECT_FALSE(to_affine(array_read(a, {var_ref(i)})).has_value());
+  EXPECT_FALSE(to_affine(call("f", {var_ref(i)})).has_value());
+  EXPECT_FALSE(to_affine(mod(var_ref(i), int_const(3))).has_value());
+}
+
+TEST_F(ExprTest, FromAffineRoundTrip) {
+  AffineForm f;
+  f.constant = -4;
+  f.coeffs[i] = 2;
+  f.coeffs[j] = -1;
+  const auto back = to_affine(from_affine(f));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, f);
+}
+
+TEST_F(ExprTest, FromAffineConstantOnly) {
+  AffineForm f;
+  f.constant = 9;
+  EXPECT_EQ(as_constant(from_affine(f)).value(), 9);
+}
+
+// ---- printer ----------------------------------------------------------------
+
+TEST_F(ExprTest, PrinterRendersInfix) {
+  const auto e = add(mul(int_const(3), var_ref(i)), int_const(1));
+  EXPECT_EQ(to_string(e, symbols), "3 * i + 1");
+}
+
+TEST_F(ExprTest, PrinterParenthesizesPrecedence) {
+  const auto e = mul(add(var_ref(i), int_const(1)), int_const(2));
+  EXPECT_EQ(to_string(e, symbols), "(i + 1) * 2");
+}
+
+TEST_F(ExprTest, PrinterSubtractionAssociativity) {
+  const auto e = sub(var_ref(i), sub(var_ref(j), int_const(1)));
+  EXPECT_EQ(to_string(e, symbols), "i - (j - 1)");
+}
+
+TEST_F(ExprTest, PrinterRendersDivFamilyAsCalls) {
+  EXPECT_EQ(to_string(ceil_div(var_ref(i), int_const(3)), symbols),
+            "cdiv(i, 3)");
+  EXPECT_EQ(to_string(mod(var_ref(i), int_const(3)), symbols), "mod(i, 3)");
+}
+
+TEST_F(ExprTest, PrinterRendersArrayAndCall) {
+  EXPECT_EQ(to_string(array_read(a, {add(var_ref(i), int_const(1))}), symbols),
+            "A[i + 1]");
+  EXPECT_EQ(to_string(call("f", {var_ref(i), int_const(2)}), symbols),
+            "f(i, 2)");
+}
+
+// ---- symbol table -----------------------------------------------------------
+
+TEST(SymbolTable, DeclareAndLookup) {
+  SymbolTable t;
+  const VarId x = t.declare("x", SymbolKind::kScalar);
+  EXPECT_EQ(t.lookup("x").value(), x);
+  EXPECT_FALSE(t.lookup("y").has_value());
+  EXPECT_EQ(t.name(x), "x");
+  EXPECT_EQ(t.kind(x), SymbolKind::kScalar);
+}
+
+TEST(SymbolTable, DeclareOrGetMatchesKind) {
+  SymbolTable t;
+  const VarId x = t.declare("x", SymbolKind::kScalar);
+  const auto again = t.declare_or_get("x", SymbolKind::kScalar);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), x);
+  const auto clash = t.declare_or_get("x", SymbolKind::kArray, {3});
+  EXPECT_FALSE(clash.ok());
+}
+
+TEST(SymbolTable, FreshInductionAvoidsCollisions) {
+  SymbolTable t;
+  t.declare("i0", SymbolKind::kScalar);
+  const VarId v = t.fresh_induction("i");
+  EXPECT_EQ(t.name(v), "i1");
+}
+
+TEST(SymbolTable, ArrayShapeStored) {
+  SymbolTable t;
+  const VarId arr = t.declare("M", SymbolKind::kArray, {3, 4});
+  EXPECT_EQ(t[arr].shape, (std::vector<std::int64_t>{3, 4}));
+}
+
+}  // namespace
+}  // namespace coalesce::ir

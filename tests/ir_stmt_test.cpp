@@ -1,0 +1,178 @@
+// Tests for IR statements, loop structure queries, builders, and cloning.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "ir/stmt.hpp"
+
+namespace coalesce::ir {
+namespace {
+
+TEST(NestBuilder, BuildsSimpleParallelLoop) {
+  NestBuilder b;
+  const VarId a = b.array("A", {10});
+  const VarId i = b.begin_parallel_loop("i", 1, 10);
+  b.assign(b.element(a, {i}), var_ref(i));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_TRUE(nest.root->parallel);
+  EXPECT_EQ(constant_trip_count(*nest.root).value(), 10);
+  EXPECT_EQ(nest.root->body.size(), 1u);
+}
+
+TEST(NestBuilder, ElementAndReadShorthands) {
+  NestBuilder b;
+  const VarId a = b.array("A", {4, 4});
+  const VarId i = b.begin_parallel_loop("i", 1, 4);
+  const VarId j = b.begin_parallel_loop("j", 1, 4);
+  b.assign(b.element(a, {i, j}), b.read(a, {j, i}));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto assigns = collect_assignments(*nest.root);
+  ASSERT_EQ(assigns.size(), 1u);
+  const auto& access = std::get<ArrayAccess>(assigns[0].stmt->lhs);
+  EXPECT_EQ(access.array, a);
+  EXPECT_EQ(access.subscripts.size(), 2u);
+}
+
+TEST(PerfectBand, FullyPerfectNest) {
+  const LoopNest nest = make_rectangular_witness({3, 4, 5});
+  const auto band = perfect_band(*nest.root);
+  EXPECT_EQ(band.size(), 3u);
+  EXPECT_EQ(perfect_depth(*nest.root), 3u);
+  EXPECT_EQ(parallel_band(*nest.root).size(), 3u);
+}
+
+TEST(PerfectBand, MatmulBandStopsAtMultiStatementBody) {
+  // matmul: i -> j -> {init; k-loop}: perfect band is {i, j}.
+  const LoopNest nest = make_matmul(4, 5, 6);
+  const auto band = perfect_band(*nest.root);
+  EXPECT_EQ(band.size(), 2u);
+  EXPECT_EQ(parallel_band(*nest.root).size(), 2u);
+}
+
+TEST(PerfectBand, ParallelBandStopsAtSerialLoop) {
+  NestBuilder b;
+  const VarId a = b.array("A", {4, 4});
+  const VarId i = b.begin_parallel_loop("i", 1, 4);
+  const VarId j = b.begin_loop("j", 1, 4);  // serial
+  b.assign(b.element(a, {i, j}), int_const(0));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_EQ(perfect_band(*nest.root).size(), 2u);
+  EXPECT_EQ(parallel_band(*nest.root).size(), 1u);
+}
+
+TEST(PerfectBand, NonParallelRootGivesEmptyParallelBand) {
+  const LoopNest nest = make_recurrence(8);
+  EXPECT_EQ(parallel_band(*nest.root).size(), 0u);
+}
+
+TEST(TripCount, ConstantAndStepped) {
+  NestBuilder b;
+  const VarId a = b.array("A", {30});
+  const VarId i = b.begin_loop("i", 3, 21, 3);
+  b.assign(b.element(a, {i}), int_const(1));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_EQ(constant_trip_count(*nest.root).value(), 7);  // 3,6,...,21
+  EXPECT_FALSE(is_normalized(*nest.root));
+}
+
+TEST(TripCount, NormalizedDetection) {
+  const LoopNest nest = make_rectangular_witness({5});
+  EXPECT_TRUE(is_normalized(*nest.root));
+}
+
+TEST(LoopCounts, CountsLoopsAndAssignments) {
+  const LoopNest nest = make_matmul(4, 5, 6);
+  EXPECT_EQ(loop_count(*nest.root), 3u);       // i, j, k
+  EXPECT_EQ(assignment_count(*nest.root), 2u); // init + accumulate
+}
+
+TEST(CollectAssignments, ChainsAreOutermostFirst) {
+  const LoopNest nest = make_matmul(4, 5, 6);
+  const auto assigns = collect_assignments(*nest.root);
+  ASSERT_EQ(assigns.size(), 2u);
+  // init: inside i, j
+  EXPECT_EQ(assigns[0].enclosing.size(), 2u);
+  // accumulate: inside i, j, k
+  EXPECT_EQ(assigns[1].enclosing.size(), 3u);
+  EXPECT_EQ(assigns[1].enclosing[0], nest.root.get());
+}
+
+TEST(ScalarsWritten, FindsScalarTargets) {
+  NestBuilder b;
+  const VarId a = b.array("A", {4});
+  const VarId t = b.scalar("t");
+  const VarId i = b.begin_parallel_loop("i", 1, 4);
+  b.assign(t, b.read(a, {i}));
+  b.assign(b.element(a, {i}), var_ref(t));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto written = scalars_written(*nest.root);
+  ASSERT_EQ(written.size(), 1u);
+  EXPECT_EQ(written[0], t);
+}
+
+TEST(ArraysTouched, FindsAllArrays) {
+  const LoopNest nest = make_matmul(4, 5, 6);
+  const auto arrays = arrays_touched(*nest.root);
+  EXPECT_EQ(arrays.size(), 3u);  // A, B, C
+}
+
+TEST(Clone, DeepCopiesLoops) {
+  const LoopNest nest = make_matmul(4, 5, 6);
+  const LoopPtr copy = clone(*nest.root);
+  EXPECT_NE(copy.get(), nest.root.get());
+  // Same rendering == same structure.
+  EXPECT_EQ(to_string(*copy, nest.symbols), to_string(*nest.root, nest.symbols));
+  // Mutating the copy must not affect the original.
+  copy->parallel = !copy->parallel;
+  EXPECT_NE(copy->parallel, nest.root->parallel);
+}
+
+TEST(Printer, RendersNestWithDoallMarkers) {
+  const LoopNest nest = make_rectangular_witness({2, 3});
+  const std::string text = to_string(nest);
+  EXPECT_NE(text.find("doall i0 = 1, 2 {"), std::string::npos);
+  EXPECT_NE(text.find("doall i1 = 1, 3 {"), std::string::npos);
+  EXPECT_NE(text.find("OUT[i0][i1]"), std::string::npos);
+}
+
+TEST(Printer, RendersSerialLoopAndStep) {
+  NestBuilder b;
+  const VarId a = b.array("A", {20});
+  const VarId i = b.begin_loop("i", 2, 20, 2);
+  b.assign(b.element(a, {i}), int_const(0));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const std::string text = to_string(nest);
+  EXPECT_NE(text.find("do i = 2, 20, 2 {"), std::string::npos);
+}
+
+TEST(Workloads, JacobiUsesInteriorBounds) {
+  const LoopNest nest = make_jacobi_step(8);
+  const auto band = perfect_band(*nest.root);
+  ASSERT_EQ(band.size(), 2u);
+  EXPECT_EQ(as_constant(band[0]->lower).value(), 2);
+  EXPECT_EQ(as_constant(band[0]->upper).value(), 9);
+}
+
+TEST(Workloads, GaussJordanBandIsParallel) {
+  const LoopNest nest = make_gauss_jordan_backsolve(6, 3);
+  EXPECT_EQ(parallel_band(*nest.root).size(), 2u);
+}
+
+TEST(Workloads, PiStripsOuterParallelInnerSerial) {
+  const LoopNest nest = make_pi_strips(8, 100);
+  EXPECT_TRUE(nest.root->parallel);
+  // Body: init assignment + serial reduction loop.
+  EXPECT_EQ(nest.root->body.size(), 2u);
+  EXPECT_EQ(parallel_band(*nest.root).size(), 1u);
+}
+
+}  // namespace
+}  // namespace coalesce::ir

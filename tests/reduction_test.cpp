@@ -1,0 +1,263 @@
+// Tests for reduction recognition (analysis) and parallel reductions
+// (runtime).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/reduction.hpp"
+#include "ir/builder.hpp"
+#include "runtime/reduce.hpp"
+
+namespace coalesce {
+namespace {
+
+using analysis::ReductionReport;
+using ir::int_const;
+using ir::LoopNest;
+using ir::NestBuilder;
+using ir::VarId;
+using ir::var_ref;
+using support::i64;
+
+const analysis::ReductionVerdict& verdict_for(const ReductionReport& report,
+                                              const LoopNest& nest,
+                                              const char* name) {
+  const VarId v = nest.symbols.lookup(name).value();
+  for (const auto& rv : report.loops) {
+    if (rv.loop->var == v) return rv;
+  }
+  ADD_FAILURE() << "no verdict for " << name;
+  static analysis::ReductionVerdict dummy;
+  return dummy;
+}
+
+// ---- recognition ---------------------------------------------------------------
+
+TEST(ReductionRecognition, MatmulAccumulationFoundAndFoldableAtK) {
+  const LoopNest nest = ir::make_matmul(4, 4, 4);
+  const auto reductions = analysis::find_reductions(*nest.root);
+  ASSERT_EQ(reductions.size(), 1u);
+  EXPECT_EQ(reductions[0].op, ir::ExprOp::kAdd);
+  // C(i,j) is invariant in k only.
+  ASSERT_EQ(reductions[0].foldable_levels.size(), 1u);
+  EXPECT_EQ(nest.symbols.name(reductions[0].foldable_levels[0]->var), "k");
+}
+
+TEST(ReductionRecognition, PiStripsAccumulationFoldableAtR) {
+  const LoopNest nest = ir::make_pi_strips(4, 8);
+  const auto reductions = analysis::find_reductions(*nest.root);
+  ASSERT_EQ(reductions.size(), 1u);
+  ASSERT_EQ(reductions[0].foldable_levels.size(), 1u);
+  EXPECT_EQ(nest.symbols.name(reductions[0].foldable_levels[0]->var), "r");
+}
+
+TEST(ReductionRecognition, RecurrenceIsNotAReduction) {
+  // A(i) = 2 * A(i-1): the rhs reads a DIFFERENT element.
+  const LoopNest nest = ir::make_recurrence(8);
+  EXPECT_TRUE(analysis::find_reductions(*nest.root).empty());
+}
+
+TEST(ReductionRecognition, ScalarSumProductMinMax) {
+  NestBuilder b;
+  const VarId a = b.array("A", {8});
+  const VarId sum = b.scalar("sum");
+  const VarId prod = b.scalar("prod");
+  const VarId lo = b.scalar("lo");
+  const VarId hi = b.scalar("hi");
+  const VarId i = b.begin_loop("i", 1, 8);
+  b.assign(sum, ir::add(var_ref(sum), b.read(a, {i})));
+  b.assign(prod, ir::mul(b.read(a, {i}), var_ref(prod)));  // commuted
+  b.assign(lo, ir::min_expr(var_ref(lo), b.read(a, {i})));
+  b.assign(hi, ir::max_expr(var_ref(hi), b.read(a, {i})));
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto reductions = analysis::find_reductions(*nest.root);
+  ASSERT_EQ(reductions.size(), 4u);
+  EXPECT_EQ(reductions[0].op, ir::ExprOp::kAdd);
+  EXPECT_EQ(reductions[1].op, ir::ExprOp::kMul);
+  EXPECT_EQ(reductions[2].op, ir::ExprOp::kMin);
+  EXPECT_EQ(reductions[3].op, ir::ExprOp::kMax);
+}
+
+TEST(ReductionRecognition, FreeOperandMustNotTouchTarget) {
+  // sum = sum + (sum * 0 + 1): the "free" operand references sum: rejected.
+  NestBuilder b;
+  const VarId sum = b.scalar("sum");
+  const VarId i = b.begin_loop("i", 1, 4);
+  b.assign(sum, ir::add(var_ref(sum),
+                        ir::add(ir::mul(var_ref(sum), int_const(0)),
+                                int_const(1))));
+  b.end_loop();
+  (void)i;
+  const LoopNest nest = b.build();
+  EXPECT_TRUE(analysis::find_reductions(*nest.root).empty());
+}
+
+TEST(ReductionRecognition, SubtractionIsNotRecognized) {
+  // sum = sum - A(i): not associative-commutative in this form.
+  NestBuilder b;
+  const VarId a = b.array("A", {4});
+  const VarId sum = b.scalar("sum");
+  const VarId i = b.begin_loop("i", 1, 4);
+  b.assign(sum, ir::sub(var_ref(sum), b.read(a, {i})));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_TRUE(analysis::find_reductions(*nest.root).empty());
+}
+
+// ---- verdict upgrades ------------------------------------------------------------
+
+TEST(ReductionVerdicts, MatmulKBecomesReductionParallel) {
+  const LoopNest nest = ir::make_matmul(4, 4, 4);
+  const auto report = analysis::analyze_with_reductions(nest);
+  const auto& i = verdict_for(report, nest, "i");
+  const auto& k = verdict_for(report, nest, "k");
+  EXPECT_TRUE(i.doall);
+  EXPECT_FALSE(k.doall);
+  EXPECT_TRUE(k.reduction_parallelizable);
+  ASSERT_EQ(k.reductions.size(), 1u);
+  EXPECT_EQ(k.reductions[0]->op, ir::ExprOp::kAdd);
+}
+
+TEST(ReductionVerdicts, PiStripsInnerLoopUpgraded) {
+  const LoopNest nest = ir::make_pi_strips(4, 8);
+  const auto report = analysis::analyze_with_reductions(nest);
+  EXPECT_TRUE(verdict_for(report, nest, "t").doall);
+  const auto& r = verdict_for(report, nest, "r");
+  EXPECT_FALSE(r.doall);
+  EXPECT_TRUE(r.reduction_parallelizable);
+}
+
+TEST(ReductionVerdicts, RecurrenceStaysSequential) {
+  const LoopNest nest = ir::make_recurrence(8);
+  const auto report = analysis::analyze_with_reductions(nest);
+  const auto& i = report.loops.front();
+  EXPECT_FALSE(i.doall);
+  EXPECT_FALSE(i.reduction_parallelizable);
+}
+
+TEST(ReductionVerdicts, MixedBlockerIsNotWaived) {
+  // Loop carries BOTH a reduction on S and a genuine recurrence on A:
+  // must not be upgraded.
+  NestBuilder b;
+  const VarId a = b.array("A", {10});
+  const VarId s = b.array("S", {1});
+  const VarId i = b.begin_loop("i", 2, 9);
+  b.assign(b.element_expr(s, {int_const(1)}),
+           ir::add(ir::array_read(s, {int_const(1)}), b.read(a, {i})));
+  b.assign(b.element(a, {i}),
+           ir::mul(int_const(2),
+                   ir::array_read(a, {ir::sub(var_ref(i), int_const(1))})));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto report = analysis::analyze_with_reductions(nest);
+  EXPECT_FALSE(report.loops.front().reduction_parallelizable);
+}
+
+TEST(ReductionVerdicts, ArrayAccumulatorInvariantSubscripts) {
+  // HIST(5) += A(i): array-element accumulator with constant subscript.
+  NestBuilder b;
+  const VarId a = b.array("A", {16});
+  const VarId hist = b.array("HIST", {8});
+  const VarId i = b.begin_parallel_loop("i", 1, 16);
+  b.assign(b.element_expr(hist, {int_const(5)}),
+           ir::add(ir::array_read(hist, {int_const(5)}), b.read(a, {i})));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto report = analysis::analyze_with_reductions(nest);
+  const auto& i_verdict = report.loops.front();
+  EXPECT_FALSE(i_verdict.doall);
+  EXPECT_TRUE(i_verdict.reduction_parallelizable);
+}
+
+// ---- runtime reductions -------------------------------------------------------------
+
+TEST(ParallelReduce, SumOfFirstNIntegers) {
+  runtime::ThreadPool pool(4);
+  for (auto kind : {runtime::Schedule::kStaticBlock, runtime::Schedule::kSelf,
+                    runtime::Schedule::kChunked, runtime::Schedule::kGuided}) {
+    const auto result = runtime::parallel_sum(
+        pool, 1000, {kind, 16},
+        [](i64 j) { return static_cast<double>(j); });
+    EXPECT_DOUBLE_EQ(result.value, 500500.0) << runtime::to_string(kind);
+  }
+}
+
+TEST(ParallelReduce, ProductViaCustomCombine) {
+  runtime::ThreadPool pool(4);
+  const auto result = runtime::parallel_reduce(
+      pool, 10, {runtime::Schedule::kStaticBlock, 1}, 1.0,
+      [](i64 j) { return static_cast<double>(j); },
+      [](double a, double v) { return a * v; });
+  EXPECT_DOUBLE_EQ(result.value, 3628800.0);  // 10!
+}
+
+TEST(ParallelReduce, MaxReduction) {
+  runtime::ThreadPool pool(3);
+  const auto result = runtime::parallel_reduce(
+      pool, 257, {runtime::Schedule::kGuided, 1},
+      -std::numeric_limits<double>::infinity(),
+      [](i64 j) { return static_cast<double>((j * 37) % 101); },
+      [](double a, double v) { return std::max(a, v); });
+  EXPECT_DOUBLE_EQ(result.value, 100.0);
+}
+
+TEST(ParallelReduce, CollapsedSpaceSum) {
+  runtime::ThreadPool pool(4);
+  const auto space =
+      index::CoalescedSpace::create(std::vector<i64>{12, 9}).value();
+  const auto result = runtime::parallel_sum_collapsed(
+      pool, space, {runtime::Schedule::kChunked, 8},
+      [](std::span<const i64> ij) {
+        return static_cast<double>(ij[0] * ij[1]);
+      });
+  // sum(i) * sum(j) = 78 * 45.
+  EXPECT_DOUBLE_EQ(result.value, 78.0 * 45.0);
+}
+
+TEST(ParallelReduce, StaticBlockIsBitwiseReproducible) {
+  runtime::ThreadPool pool(4);
+  auto run = [&] {
+    return runtime::parallel_sum(
+               pool, 4096, {runtime::Schedule::kStaticBlock, 1},
+               [](i64 j) { return 1.0 / static_cast<double>(j); })
+        .value;
+  };
+  const double first = run();
+  for (int trial = 0; trial < 5; ++trial) EXPECT_EQ(run(), first);
+}
+
+TEST(ParallelReduce, MatmulViaReductionPerCell) {
+  // The "recognized reduction" executed: for each (i,j), reduce over k.
+  runtime::ThreadPool pool(2);
+  const i64 n = 6;
+  std::vector<double> a(n * n), bmat(n * n);
+  for (i64 q = 0; q < n * n; ++q) {
+    a[static_cast<std::size_t>(q)] = static_cast<double>(q % 7);
+    bmat[static_cast<std::size_t>(q)] = static_cast<double>((q * 3) % 5);
+  }
+  const auto space =
+      index::CoalescedSpace::create(std::vector<i64>{n, n}).value();
+  std::vector<double> c(n * n, 0.0);
+  runtime::parallel_for_collapsed(
+      pool, space, {runtime::Schedule::kGuided},
+      [&](std::span<const i64> ij) {
+        double acc = 0.0;
+        for (i64 k = 0; k < n; ++k) {
+          acc += a[static_cast<std::size_t>((ij[0] - 1) * n + k)] *
+                 bmat[static_cast<std::size_t>(k * n + (ij[1] - 1))];
+        }
+        c[static_cast<std::size_t>((ij[0] - 1) * n + (ij[1] - 1))] = acc;
+      });
+  // Spot check one cell against a direct computation.
+  double expect = 0.0;
+  for (i64 k = 0; k < n; ++k) {
+    expect += a[static_cast<std::size_t>(2 * n + k)] *
+              bmat[static_cast<std::size_t>(k * n + 4)];
+  }
+  EXPECT_DOUBLE_EQ(c[static_cast<std::size_t>(2 * n + 4)], expect);
+}
+
+}  // namespace
+}  // namespace coalesce

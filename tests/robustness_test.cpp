@@ -1,0 +1,228 @@
+// Robustness and failure-path tests: invariant aborts (death tests), error
+// propagation through Expected, concurrency stress on the pool and
+// dispatchers, and miscellaneous edge cases not covered by the per-module
+// suites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/coalesce.hpp"
+
+namespace coalesce {
+namespace {
+
+using support::i64;
+
+// ---- invariant aborts (release-mode asserts) -----------------------------------
+
+using RobustnessDeathTest = ::testing::Test;
+
+TEST(RobustnessDeathTest, FloorDivByZeroAborts) {
+  EXPECT_DEATH((void)support::floor_div(4, 0), "invariant violated");
+}
+
+TEST(RobustnessDeathTest, ExpectedValueWithoutValueAborts) {
+  support::Expected<int> e = support::make_error(
+      support::ErrorCode::kInvalidArgument, "nope");
+  EXPECT_DEATH((void)e.value(), "Expected accessed without a value");
+}
+
+TEST(RobustnessDeathTest, ArrayStoreOutOfBoundsAborts) {
+  ir::SymbolTable symbols;
+  const ir::VarId a = symbols.declare("A", ir::SymbolKind::kArray, {3});
+  ir::ArrayStore store(symbols);
+  const std::int64_t bad[] = {4};
+  EXPECT_DEATH((void)store.get(a, bad), "out of bounds");
+  const std::int64_t zero[] = {0};
+  EXPECT_DEATH((void)store.get(a, zero), "out of bounds");
+}
+
+TEST(RobustnessDeathTest, DecodeOutOfRangeAborts) {
+  const auto space =
+      index::CoalescedSpace::create(std::vector<i64>{3, 3}).value();
+  std::vector<i64> out(2);
+  EXPECT_DEATH(space.decode_paper(0, out), "out of range");
+  EXPECT_DEATH(space.decode_paper(10, out), "out of range");
+}
+
+TEST(RobustnessDeathTest, EvaluatorUnboundVariableAborts) {
+  ir::SymbolTable symbols;
+  const ir::VarId x = symbols.declare("x", ir::SymbolKind::kScalar);
+  ir::Evaluator eval(symbols);
+  EXPECT_DEATH((void)eval.eval(ir::var_ref(x)), "unbound");
+}
+
+TEST(RobustnessDeathTest, BuilderMisuseAborts) {
+  ir::NestBuilder b;
+  EXPECT_DEATH(b.end_loop(), "end_loop");
+}
+
+// ---- Expected / Error plumbing -----------------------------------------------
+
+TEST(ExpectedType, ValueAndErrorPaths) {
+  support::Expected<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  support::Expected<int> bad =
+      support::make_error(support::ErrorCode::kOverflow, "too big");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.value_or(7), 7);
+  EXPECT_EQ(bad.error().code, support::ErrorCode::kOverflow);
+  EXPECT_EQ(bad.error().to_string(), "overflow: too big");
+}
+
+TEST(ExpectedType, ErrorCodeNames) {
+  EXPECT_STREQ(support::to_string(support::ErrorCode::kInvalidArgument),
+               "invalid_argument");
+  EXPECT_STREQ(support::to_string(support::ErrorCode::kIllegalTransform),
+               "illegal_transform");
+  EXPECT_STREQ(support::to_string(support::ErrorCode::kUnsupported),
+               "unsupported");
+  EXPECT_STREQ(support::to_string(support::ErrorCode::kNotFound),
+               "not_found");
+}
+
+// ---- concurrency stress ----------------------------------------------------------
+
+TEST(Stress, DispatcherUnderContention) {
+  // Many rounds of a small space with all workers hammering the counter:
+  // every index claimed exactly once, every round.
+  runtime::ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    runtime::FetchAddDispatcher dispatcher(200, 3);
+    std::vector<std::atomic<int>> hits(200);
+    pool.run_region([&](std::size_t) {
+      while (true) {
+        const index::Chunk chunk = dispatcher.next();
+        if (chunk.empty()) break;
+        for (i64 j = chunk.first; j < chunk.last; ++j) {
+          hits[static_cast<std::size_t>(j - 1)].fetch_add(1);
+        }
+      }
+    });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1) << "round " << round;
+  }
+}
+
+TEST(Stress, PolicyDispatcherUnderContention) {
+  runtime::ThreadPool pool(4);
+  for (int round = 0; round < 30; ++round) {
+    runtime::PolicyDispatcher dispatcher(
+        500, std::make_unique<index::GuidedPolicy>(4));
+    std::atomic<i64> covered{0};
+    pool.run_region([&](std::size_t) {
+      while (true) {
+        const index::Chunk chunk = dispatcher.next();
+        if (chunk.empty()) break;
+        covered.fetch_add(chunk.size());
+      }
+    });
+    ASSERT_EQ(covered.load(), 500);
+  }
+}
+
+TEST(Stress, ManySmallRegions) {
+  runtime::ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 500; ++round) {
+    pool.run_region([&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 2000);
+}
+
+TEST(Stress, ParallelReduceRepeatability) {
+  // Integer-valued doubles: every schedule must give the exact sum even
+  // though iteration-to-worker assignment varies.
+  runtime::ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    const auto result = runtime::parallel_sum(
+        pool, 10000, {runtime::Schedule::kGuided, 1},
+        [](i64 j) { return static_cast<double>(j % 97); });
+    double expect = 0;
+    for (i64 j = 1; j <= 10000; ++j) expect += static_cast<double>(j % 97);
+    ASSERT_EQ(result.value, expect);
+  }
+}
+
+// ---- miscellaneous edge cases ---------------------------------------------------
+
+TEST(EdgeCases, SingleIterationEverything) {
+  // 1x1 nest: coalesce, tile, distribute, execute — all degenerate sizes.
+  const ir::LoopNest nest = ir::make_rectangular_witness({1, 1});
+  const auto coalesced = transform::coalesce_nest(nest);
+  ASSERT_TRUE(coalesced.ok());
+  EXPECT_EQ(coalesced.value().space.total(), 1);
+  EXPECT_TRUE(core::equivalent_by_execution(nest, coalesced.value().nest));
+
+  const auto tiled = transform::tile_and_coalesce(nest, 5, 5);
+  ASSERT_TRUE(tiled.ok());
+  EXPECT_TRUE(core::equivalent_by_execution(nest, tiled.value().nest));
+}
+
+TEST(EdgeCases, DeepNarrowNest) {
+  // 6-deep nest of extent 2: 64 iterations through 6 recovery levels.
+  const ir::LoopNest nest =
+      ir::make_rectangular_witness({2, 2, 2, 2, 2, 2});
+  const auto result = transform::coalesce_nest(nest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().space.total(), 64);
+  EXPECT_EQ(result.value().levels, 6u);
+  EXPECT_TRUE(core::equivalent_by_execution(nest, result.value().nest));
+}
+
+TEST(EdgeCases, LargeExtentsDoNotOverflowDecode) {
+  // Big but valid space: decode endpoints only.
+  const auto space = index::CoalescedSpace::create(
+                         std::vector<i64>{1 << 20, 1 << 20})
+                         .value();
+  std::vector<i64> idx(2);
+  space.decode_paper(1, idx);
+  EXPECT_EQ(idx, (std::vector<i64>{1, 1}));
+  space.decode_paper(space.total(), idx);
+  EXPECT_EQ(idx, (std::vector<i64>{1 << 20, 1 << 20}));
+  EXPECT_EQ(space.encode(idx), space.total());
+}
+
+TEST(EdgeCases, WorkloadAndSimSingleIteration) {
+  const auto space = index::CoalescedSpace::create(std::vector<i64>{1}).value();
+  const sim::Workload work = sim::Workload::constant(1, 5);
+  sim::CostModel costs;
+  const auto r = sim::simulate_coalesced_dynamic(
+      space, 8, {sim::SimSchedule::kGuided, 1}, costs, work);
+  EXPECT_EQ(r.dispatch_ops, 1u);
+  EXPECT_EQ(r.iterations, 1);
+  EXPECT_GT(r.completion, 0);
+}
+
+TEST(EdgeCases, GuardedCoalesceOnParsedSource) {
+  // Frontend -> guarded coalesce -> emit C -> compile-free sanity: just
+  // verify the emitted source names the guard helpers.
+  const auto nest = frontend::parse_nest(R"(
+    array A[5][5];
+    doall i = 1, 5 {
+      doall j = i, 5 {
+        A[i][j] = 1;
+      }
+    }
+  )");
+  ASSERT_TRUE(nest.ok());
+  const auto result = transform::coalesce_guarded(nest.value());
+  ASSERT_TRUE(result.ok());
+  const std::string c = codegen::emit_c(result.value().nest);
+  EXPECT_NE(c.find("if (j >= i)"), std::string::npos);
+}
+
+TEST(EdgeCases, TableHandlesRaggedRows) {
+  support::Table t("ragged");
+  t.header({"a", "b"});
+  t.row({"1"});
+  t.row({"1", "2", "3"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("ragged"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coalesce

@@ -1,0 +1,334 @@
+// Tests for the real-thread runtime: pool fork-join semantics, dispatchers,
+// and the coalesced / nested parallel-for executors. The key invariant
+// everywhere: every iteration executed exactly once, under every schedule.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "runtime/dispatcher.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace coalesce::runtime {
+namespace {
+
+TEST(ThreadPool, RunsBodyOncePerWorker) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_region([&](std::size_t w) { hits[w].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RegionsAreReusable) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.run_region([&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 30);
+}
+
+TEST(ThreadPool, SingleWorkerPoolWorks) {
+  ThreadPool pool(1);
+  int hits = 0;
+  pool.run_region([&](std::size_t w) {
+    EXPECT_EQ(w, 0u);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+// ---- dispatchers ---------------------------------------------------------------
+
+TEST(FetchAddDispatcher, HandsOutDisjointChunks) {
+  FetchAddDispatcher d(100, 7);
+  std::set<i64> seen;
+  while (true) {
+    const index::Chunk c = d.next();
+    if (c.empty()) break;
+    for (i64 j = c.first; j < c.last; ++j) {
+      EXPECT_TRUE(seen.insert(j).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(d.dispatch_ops(), 15u);  // ceil(100/7)
+}
+
+TEST(FetchAddDispatcher, ExhaustedStaysEmpty) {
+  FetchAddDispatcher d(3, 1);
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(d.next().empty());
+  EXPECT_TRUE(d.next().empty());
+  EXPECT_TRUE(d.next().empty());
+  EXPECT_EQ(d.dispatch_ops(), 3u);
+}
+
+TEST(PolicyDispatcher, GuidedCoversSpace) {
+  PolicyDispatcher d(1000, std::make_unique<index::GuidedPolicy>(4));
+  i64 covered = 0;
+  i64 prev_size = 1 << 30;
+  while (true) {
+    const index::Chunk c = d.next();
+    if (c.empty()) break;
+    covered += c.size();
+    EXPECT_LE(c.size(), prev_size);
+    prev_size = c.size();
+  }
+  EXPECT_EQ(covered, 1000);
+}
+
+// ---- parallel_for ----------------------------------------------------------------
+
+class ScheduleSweep : public ::testing::TestWithParam<ScheduleParams> {};
+
+TEST_P(ScheduleSweep, FlatLoopExecutesEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  const i64 total = 503;  // prime: exercises ragged chunking
+  std::vector<std::atomic<int>> hits(total);
+  const ForStats stats = parallel_for(pool, total, GetParam(), [&](i64 j) {
+    hits[static_cast<std::size_t>(j - 1)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  std::uint64_t iter_sum = 0;
+  for (auto n : stats.iterations_per_worker) iter_sum += n;
+  EXPECT_EQ(iter_sum, static_cast<std::uint64_t>(total));
+}
+
+TEST_P(ScheduleSweep, CollapsedLoopVisitsWholeSpaceExactlyOnce) {
+  ThreadPool pool(4);
+  const auto space =
+      index::CoalescedSpace::create(std::vector<i64>{11, 7, 3}).value();
+  std::vector<std::atomic<int>> hits(
+      static_cast<std::size_t>(space.total()));
+  const ForStats stats = parallel_for_collapsed(
+      pool, space, GetParam(), [&](std::span<const i64> idx) {
+        ASSERT_EQ(idx.size(), 3u);
+        const i64 flat =
+            ((idx[0] - 1) * 7 + (idx[1] - 1)) * 3 + (idx[2] - 1);
+        hits[static_cast<std::size_t>(flat)].fetch_add(1);
+      });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_GE(stats.imbalance(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, ScheduleSweep,
+    ::testing::Values(ScheduleParams{Schedule::kStaticBlock, 1},
+                      ScheduleParams{Schedule::kStaticCyclic, 1},
+                      ScheduleParams{Schedule::kSelf, 1},
+                      ScheduleParams{Schedule::kChunked, 8},
+                      ScheduleParams{Schedule::kChunked, 64},
+                      ScheduleParams{Schedule::kGuided, 1},
+                      ScheduleParams{Schedule::kTrapezoid, 1}),
+    [](const ::testing::TestParamInfo<ScheduleParams>& info) {
+      std::string name = to_string(info.param.kind);
+      for (char& c : name) {
+        if (c == '-' || c == '(' || c == ')') c = '_';
+      }
+      return name + "_" + std::to_string(info.param.chunk_size);
+    });
+
+TEST(ParallelFor, SelfScheduleDispatchOpsEqualIterations) {
+  ThreadPool pool(4);
+  const ForStats stats =
+      parallel_for(pool, 256, {Schedule::kSelf, 1}, [](i64) {});
+  EXPECT_EQ(stats.dispatch_ops, 256u);
+}
+
+TEST(ParallelFor, ChunkedDispatchOpsAreCeilTotalOverK) {
+  ThreadPool pool(4);
+  const ForStats stats =
+      parallel_for(pool, 250, {Schedule::kChunked, 32}, [](i64) {});
+  EXPECT_EQ(stats.dispatch_ops, 8u);  // ceil(250/32)
+}
+
+TEST(ParallelFor, GuidedDispatchOpsFarBelowIterations) {
+  ThreadPool pool(4);
+  const ForStats stats =
+      parallel_for(pool, 10000, {Schedule::kGuided, 1}, [](i64) {});
+  EXPECT_LT(stats.dispatch_ops, 200u);
+  EXPECT_GT(stats.dispatch_ops, 0u);
+}
+
+TEST(ParallelFor, StaticSchedulesNeedNoDispatchOps) {
+  ThreadPool pool(4);
+  EXPECT_EQ(parallel_for(pool, 100, {Schedule::kStaticBlock, 1}, [](i64) {})
+                .dispatch_ops,
+            0u);
+  EXPECT_EQ(parallel_for(pool, 100, {Schedule::kStaticCyclic, 1}, [](i64) {})
+                .dispatch_ops,
+            0u);
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop) {
+  ThreadPool pool(2);
+  const ForStats stats =
+      parallel_for(pool, 0, {Schedule::kSelf, 1}, [](i64) { FAIL(); });
+  EXPECT_EQ(stats.dispatch_ops, 0u);
+  EXPECT_EQ(stats.chunks_executed, 0u);
+}
+
+TEST(ParallelFor, CollapsedIndicesAreInBoundsAndOrderedPerChunk) {
+  ThreadPool pool(2);
+  const auto space =
+      index::CoalescedSpace::create(
+          {index::LevelGeometry{5, 4, 10}, index::LevelGeometry{-3, 5, 2}})
+          .value();
+  std::mutex mu;
+  std::set<std::pair<i64, i64>> seen;
+  parallel_for_collapsed(pool, space, {Schedule::kChunked, 3},
+                         [&](std::span<const i64> idx) {
+                           std::scoped_lock lock(mu);
+                           EXPECT_TRUE(
+                               seen.emplace(idx[0], idx[1]).second);
+                         });
+  EXPECT_EQ(seen.size(), 20u);
+  // Original values on the lattices.
+  for (const auto& [a, b] : seen) {
+    EXPECT_GE(a, 5);
+    EXPECT_LE(a, 35);
+    EXPECT_EQ((a - 5) % 10, 0);
+    EXPECT_GE(b, -3);
+    EXPECT_LE(b, 5);
+    EXPECT_EQ((b + 3) % 2, 0);
+  }
+}
+
+// ---- tiled executor ------------------------------------------------------------------
+
+TEST(ParallelForTiled, CoversWholeSpaceExactlyOnce) {
+  ThreadPool pool(4);
+  const auto space =
+      index::CoalescedSpace::create(std::vector<i64>{10, 12}).value();
+  const std::vector<i64> tiles{4, 5};  // ragged edges
+  std::vector<std::atomic<int>> hits(120);
+  const ForStats stats = parallel_for_collapsed_tiled(
+      pool, space, tiles, {Schedule::kSelf, 1},
+      [&](std::span<const i64> ij) {
+        hits[static_cast<std::size_t>((ij[0] - 1) * 12 + (ij[1] - 1))]
+            .fetch_add(1);
+      });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // One dispatch per tile: ceil(10/4) * ceil(12/5) = 3 * 3.
+  EXPECT_EQ(stats.dispatch_ops, 9u);
+}
+
+TEST(ParallelForTiled, HonorsOffsetAndSteppedGeometry) {
+  ThreadPool pool(2);
+  // Level 0: values 5, 8, 11, 14 (lower 5, step 3); level 1: -2..1.
+  const auto space =
+      index::CoalescedSpace::create(
+          {index::LevelGeometry{5, 4, 3}, index::LevelGeometry{-2, 4, 1}})
+          .value();
+  std::mutex mu;
+  std::set<std::pair<i64, i64>> seen;
+  parallel_for_collapsed_tiled(pool, space, std::vector<i64>{2, 3},
+                               {Schedule::kGuided, 1},
+                               [&](std::span<const i64> xy) {
+                                 std::scoped_lock lock(mu);
+                                 EXPECT_TRUE(
+                                     seen.emplace(xy[0], xy[1]).second);
+                               });
+  EXPECT_EQ(seen.size(), 16u);
+  for (const auto& [x, y] : seen) {
+    EXPECT_EQ((x - 5) % 3, 0);
+    EXPECT_GE(y, -2);
+    EXPECT_LE(y, 1);
+  }
+}
+
+TEST(ParallelForTiled, TileLargerThanSpaceIsOneDispatch) {
+  ThreadPool pool(2);
+  const auto space =
+      index::CoalescedSpace::create(std::vector<i64>{3, 3}).value();
+  std::atomic<int> count{0};
+  const ForStats stats = parallel_for_collapsed_tiled(
+      pool, space, std::vector<i64>{100, 100}, {Schedule::kSelf, 1},
+      [&](std::span<const i64>) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 9);
+  EXPECT_EQ(stats.dispatch_ops, 1u);
+}
+
+TEST(ParallelForTiled, MatchesUntiledResults) {
+  ThreadPool pool(3);
+  const auto space =
+      index::CoalescedSpace::create(std::vector<i64>{9, 7, 5}).value();
+  std::vector<double> tiled(9 * 7 * 5, 0.0), flat(9 * 7 * 5, 0.0);
+  auto fill = [&](std::vector<double>& out) {
+    return [&out](std::span<const i64> idx) {
+      out[static_cast<std::size_t>(((idx[0] - 1) * 7 + (idx[1] - 1)) * 5 +
+                                   (idx[2] - 1))] =
+          static_cast<double>(idx[0] * 100 + idx[1] * 10 + idx[2]);
+    };
+  };
+  parallel_for_collapsed_tiled(pool, space, std::vector<i64>{4, 3, 2},
+                               {Schedule::kGuided, 1}, fill(tiled));
+  parallel_for_collapsed(pool, space, {Schedule::kGuided, 1}, fill(flat));
+  EXPECT_EQ(tiled, flat);
+}
+
+// ---- nested baselines ---------------------------------------------------------------
+
+TEST(NestedOuter, VisitsWholeSpaceOnce) {
+  ThreadPool pool(4);
+  const std::vector<i64> extents{6, 5, 4};
+  std::vector<std::atomic<int>> hits(6 * 5 * 4);
+  const ForStats stats = parallel_for_nested_outer(
+      pool, extents, {Schedule::kSelf, 1}, [&](std::span<const i64> idx) {
+        const i64 flat = ((idx[0] - 1) * 5 + (idx[1] - 1)) * 4 + (idx[2] - 1);
+        hits[static_cast<std::size_t>(flat)].fetch_add(1);
+      });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Only the outer level is dispatched.
+  EXPECT_EQ(stats.dispatch_ops, 6u);
+}
+
+TEST(NestedForkJoin, VisitsWholeSpaceOnceWithManyForkJoins) {
+  ThreadPool pool(4);
+  const std::vector<i64> extents{3, 4, 5};
+  std::vector<std::atomic<int>> hits(3 * 4 * 5);
+  const ForStats stats = parallel_for_nested_forkjoin(
+      pool, extents, {Schedule::kSelf, 1}, [&](std::span<const i64> idx) {
+        const i64 flat = ((idx[0] - 1) * 4 + (idx[1] - 1)) * 5 + (idx[2] - 1);
+        hits[static_cast<std::size_t>(flat)].fetch_add(1);
+      });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // One unit dispatch per iteration, regardless of instance structure.
+  EXPECT_EQ(stats.dispatch_ops, 60u);
+}
+
+TEST(NestedVsCollapsed, CoalescedNeedsFewerDispatchesUnderChunking) {
+  ThreadPool pool(4);
+  const std::vector<i64> extents{16, 16};
+  const auto space = index::CoalescedSpace::create(extents).value();
+
+  const ForStats collapsed = parallel_for_collapsed(
+      pool, space, {Schedule::kChunked, 16}, [](std::span<const i64>) {});
+  const ForStats nested = parallel_for_nested_forkjoin(
+      pool, extents, {Schedule::kChunked, 16}, [](std::span<const i64>) {});
+  // Coalesced: ceil(256/16) = 16 dispatches. Nested: 16 instances x 1 = 16
+  // dispatches but ALSO 16 fork-joins vs 1; with unit chunks the dispatch
+  // gap shows directly:
+  const ForStats collapsed_unit = parallel_for_collapsed(
+      pool, space, {Schedule::kGuided, 1}, [](std::span<const i64>) {});
+  const ForStats nested_unit = parallel_for_nested_forkjoin(
+      pool, extents, {Schedule::kGuided, 1}, [](std::span<const i64>) {});
+  EXPECT_EQ(collapsed.dispatch_ops, 16u);
+  EXPECT_EQ(nested.dispatch_ops, 16u);
+  // Guided over the full space dispatches far fewer chunks than guided
+  // restarted 16 times over rows of 16.
+  EXPECT_LT(collapsed_unit.dispatch_ops, nested_unit.dispatch_ops);
+}
+
+TEST(ForStats, ImbalanceOfUniformAndSkewedDistributions) {
+  ForStats stats;
+  stats.iterations_per_worker = {10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(stats.imbalance(), 1.0);
+  stats.iterations_per_worker = {40, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(stats.imbalance(), 4.0);
+}
+
+}  // namespace
+}  // namespace coalesce::runtime

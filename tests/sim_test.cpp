@@ -1,0 +1,396 @@
+// Tests for the machine simulator: determinism, conservation laws, closed-
+// form checks against hand-computable schedules, and the qualitative
+// relations the experiments rely on (coalesced beats nested, GSS dispatches
+// logarithmically, serialized dispatch hurts).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/coalesced_space.hpp"
+#include "sim/machine.hpp"
+#include "sim/workload.hpp"
+
+namespace coalesce::sim {
+namespace {
+
+index::CoalescedSpace make_space(std::vector<i64> extents) {
+  return index::CoalescedSpace::create(std::move(extents)).value();
+}
+
+CostModel zero_costs() {
+  CostModel costs;
+  costs.dispatch = 0;
+  costs.fork = 0;
+  costs.barrier = 0;
+  costs.loop_overhead = 0;
+  costs.recovery_division = 0;
+  costs.recovery_increment = 0;
+  return costs;
+}
+
+// ---- workload ----------------------------------------------------------------
+
+TEST(Workload, ConstantTable) {
+  const Workload w = Workload::constant(5, 7);
+  EXPECT_EQ(w.iterations(), 5);
+  EXPECT_EQ(w.time(1), 7);
+  EXPECT_EQ(w.time(5), 7);
+  EXPECT_EQ(w.total_time(), 35);
+}
+
+TEST(Workload, TriangularProfile) {
+  const Workload w = Workload::triangular(3, 3, 10);
+  // Row i: j <= i costs 10, else 1.
+  EXPECT_EQ(w.time(1), 10);  // (1,1)
+  EXPECT_EQ(w.time(2), 1);   // (1,2)
+  EXPECT_EQ(w.time(9), 10);  // (3,3)
+  EXPECT_EQ(w.total_time(), 6 * 10 + 3 * 1);
+}
+
+TEST(Workload, FromModelDeterministic) {
+  const Workload a = Workload::from_model(support::WorkModel::kUniformRange,
+                                          100, 1, 9, 42);
+  const Workload b = Workload::from_model(support::WorkModel::kUniformRange,
+                                          100, 1, 9, 42);
+  for (i64 j = 1; j <= 100; ++j) EXPECT_EQ(a.time(j), b.time(j));
+}
+
+// ---- conservation and determinism ----------------------------------------------
+
+class SimSweep : public ::testing::TestWithParam<SimScheduleParams> {};
+
+TEST_P(SimSweep, BusyCyclesEqualUsefulWork) {
+  const auto space = make_space({8, 9});
+  const Workload work = Workload::from_model(
+      support::WorkModel::kUniformRange, space.total(), 5, 50, 7);
+  CostModel costs;
+  const SimResult r =
+      simulate_coalesced_dynamic(space, 4, GetParam(), costs, work);
+  i64 busy = 0;
+  for (i64 b : r.busy) busy += b;
+  EXPECT_EQ(busy, work.total_time());
+  EXPECT_EQ(r.work_total, work.total_time());
+  EXPECT_EQ(r.iterations, space.total());
+}
+
+TEST_P(SimSweep, DeterministicAcrossRuns) {
+  const auto space = make_space({10, 10});
+  const Workload work = Workload::from_model(
+      support::WorkModel::kExponential, space.total(), 20, 0, 99);
+  CostModel costs;
+  costs.serialized_dispatch = true;
+  const SimResult r1 =
+      simulate_coalesced_dynamic(space, 8, GetParam(), costs, work);
+  const SimResult r2 =
+      simulate_coalesced_dynamic(space, 8, GetParam(), costs, work);
+  EXPECT_EQ(r1.completion, r2.completion);
+  EXPECT_EQ(r1.dispatch_ops, r2.dispatch_ops);
+  EXPECT_EQ(r1.busy, r2.busy);
+}
+
+TEST_P(SimSweep, CompletionAtLeastCriticalPath) {
+  const auto space = make_space({16, 4});
+  const Workload work = Workload::constant(space.total(), 10);
+  CostModel costs;
+  const SimResult r =
+      simulate_coalesced_dynamic(space, 4, GetParam(), costs, work);
+  // Lower bound: work/P plus fork and barrier.
+  EXPECT_GE(r.completion,
+            costs.fork + work.total_time() / 4 + costs.barrier);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, SimSweep,
+    ::testing::Values(SimScheduleParams{SimSchedule::kSelf, 1},
+                      SimScheduleParams{SimSchedule::kChunked, 8},
+                      SimScheduleParams{SimSchedule::kGuided, 1},
+                      SimScheduleParams{SimSchedule::kTrapezoid, 1}),
+    [](const ::testing::TestParamInfo<SimScheduleParams>& info) {
+      switch (info.param.kind) {
+        case SimSchedule::kSelf: return std::string("self");
+        case SimSchedule::kChunked: return std::string("chunked");
+        case SimSchedule::kGuided: return std::string("guided");
+        case SimSchedule::kTrapezoid: return std::string("trapezoid");
+      }
+      return std::string("x");
+    });
+
+// ---- closed-form checks -----------------------------------------------------------
+
+TEST(SimClosedForm, SingleProcessorUnitSelfSchedule) {
+  // P=1: completion = fork + N*(sigma + decode + body + loop) + barrier.
+  const auto space = make_space({4, 5});
+  const Workload work = Workload::constant(20, 10);
+  CostModel costs;
+  costs.dispatch = 3;
+  costs.fork = 100;
+  costs.barrier = 50;
+  costs.loop_overhead = 2;
+  costs.recovery_division = 4;
+  costs.recovery_increment = 1;
+  const SimResult r = simulate_coalesced_dynamic(
+      space, 1, {SimSchedule::kSelf, 1}, costs, work);
+  const i64 decode = 4 * static_cast<i64>(space.divisions_per_decode_paper());
+  const i64 per_iter = 3 + decode + 10 + 2;  // dispatch + decode + body + loop
+  EXPECT_EQ(r.completion, 100 + 20 * per_iter + 50);
+  EXPECT_EQ(r.dispatch_ops, 20u);
+}
+
+TEST(SimClosedForm, StaticBlockBalancedUniform) {
+  // 40 iterations, 4 procs, body 10: each block 10 iters.
+  const auto space = make_space({40});
+  const Workload work = Workload::constant(40, 10);
+  CostModel costs;
+  costs.fork = 100;
+  costs.barrier = 50;
+  costs.loop_overhead = 2;
+  costs.recovery_division = 0;
+  costs.recovery_increment = 0;
+  const SimResult r = simulate_coalesced_static(space, 4, costs, work);
+  EXPECT_EQ(r.completion, 100 + 10 * 12 + 50);
+  EXPECT_EQ(r.dispatch_ops, 0u);
+  EXPECT_DOUBLE_EQ(r.imbalance(), 1.0);
+}
+
+TEST(SimClosedForm, MulticounterDispatchOpsMatchLevelInstances) {
+  // 2-deep N1 x N2 nest: inner counter touched N1*N2 times, outer N1 times.
+  const auto space = make_space({6, 7});
+  const Workload work = Workload::constant(42, 5);
+  CostModel costs;
+  const SimResult r = simulate_nested_multicounter(space, 4, costs, work);
+  EXPECT_EQ(r.dispatch_ops, 42u + 6u);
+  // 3-deep: N1*N2*N3 + N1*N2 + N1.
+  const auto space3 = make_space({3, 4, 5});
+  const Workload work3 = Workload::constant(60, 5);
+  const SimResult r3 = simulate_nested_multicounter(space3, 4, costs, work3);
+  EXPECT_EQ(r3.dispatch_ops, 60u + 12u + 3u);
+}
+
+TEST(SimClosedForm, ForkJoinInstancesEqualOuterProduct) {
+  const auto space = make_space({3, 4, 5});
+  const Workload work = Workload::constant(60, 5);
+  CostModel costs;
+  const SimResult r = simulate_nested_forkjoin(
+      space, 4, {SimSchedule::kSelf, 1}, costs, work);
+  EXPECT_EQ(r.fork_joins, 12u);  // 3 * 4 inner-loop instances
+  // Coalesced pays fork+barrier once.
+  const SimResult c = simulate_coalesced_dynamic(
+      space, 4, {SimSchedule::kSelf, 1}, costs, work);
+  EXPECT_EQ(c.fork_joins, 1u);
+}
+
+TEST(SimClosedForm, NestedStaticOuterUtilizationDropsWhenPNotDividing) {
+  // N1 = 10 rows of equal work, P = 4: one processor gets 3 rows while
+  // another gets 2 -> imbalance 3/2.5 = 1.2. Coalesced static over 100
+  // iterations balances perfectly.
+  const auto space = make_space({10, 10});
+  const Workload work = Workload::constant(100, 10);
+  const CostModel costs = zero_costs();
+  const SimResult nested =
+      simulate_nested_static_outer(space, 4, costs, work);
+  const SimResult coalesced =
+      simulate_coalesced_static(space, 4, costs, work);
+  EXPECT_DOUBLE_EQ(nested.imbalance(), 1.2);
+  EXPECT_DOUBLE_EQ(coalesced.imbalance(), 1.0);
+  EXPECT_LT(coalesced.completion, nested.completion);
+  EXPECT_GT(coalesced.utilization(), nested.utilization());
+}
+
+TEST(SimClosedForm, SerialTimeFormula) {
+  const Workload work = Workload::constant(10, 7);
+  CostModel costs;
+  costs.loop_overhead = 2;
+  EXPECT_EQ(serial_time(work, costs), 10 * 7 + 10 * 2);
+}
+
+// ---- qualitative relations ----------------------------------------------------------
+
+TEST(SimRelations, GuidedDispatchesFarFewerChunksThanSelf) {
+  const auto space = make_space({100, 100});
+  const Workload work = Workload::constant(space.total(), 10);
+  CostModel costs;
+  const SimResult self = simulate_coalesced_dynamic(
+      space, 16, {SimSchedule::kSelf, 1}, costs, work);
+  const SimResult gss = simulate_coalesced_dynamic(
+      space, 16, {SimSchedule::kGuided, 1}, costs, work);
+  EXPECT_EQ(self.dispatch_ops, 10000u);
+  EXPECT_LT(gss.dispatch_ops, 300u);
+  EXPECT_LE(gss.completion, self.completion);
+}
+
+TEST(SimRelations, CoalescedBeatsMulticounterUnderDispatchCost) {
+  const auto space = make_space({32, 32});
+  const Workload work = Workload::constant(space.total(), 20);
+  CostModel costs;
+  costs.dispatch = 20;
+  costs.recovery_division = 1;  // recovery much cheaper than dispatch
+  const SimResult coal = simulate_coalesced_dynamic(
+      space, 8, {SimSchedule::kChunked, 8}, costs, work);
+  const SimResult nested =
+      simulate_nested_multicounter(space, 8, costs, work);
+  EXPECT_LT(coal.completion, nested.completion);
+  EXPECT_LT(coal.dispatch_ops, nested.dispatch_ops);
+}
+
+TEST(SimRelations, CoalescedBeatsForkJoinNest) {
+  const auto space = make_space({64, 16});
+  const Workload work = Workload::constant(space.total(), 10);
+  CostModel costs;  // default fork 100 / barrier 50 punish 64 instances
+  const SimResult coal = simulate_coalesced_dynamic(
+      space, 8, {SimSchedule::kGuided, 1}, costs, work);
+  const SimResult nested = simulate_nested_forkjoin(
+      space, 8, {SimSchedule::kGuided, 1}, costs, work);
+  EXPECT_LT(coal.completion, nested.completion);
+}
+
+TEST(SimRelations, SerializedDispatchSlowsSelfScheduling) {
+  const auto space = make_space({64, 8});
+  const Workload work = Workload::constant(space.total(), 5);
+  CostModel combining;
+  combining.dispatch = 10;
+  CostModel serialized = combining;
+  serialized.serialized_dispatch = true;
+  const SimResult fast = simulate_coalesced_dynamic(
+      space, 16, {SimSchedule::kSelf, 1}, combining, work);
+  const SimResult slow = simulate_coalesced_dynamic(
+      space, 16, {SimSchedule::kSelf, 1}, serialized, work);
+  EXPECT_GT(slow.completion, fast.completion);
+}
+
+TEST(SimRelations, SpeedupGrowsWithProcessorsThenSaturates) {
+  const auto space = make_space({40, 25});
+  const Workload work = Workload::constant(space.total(), 50);
+  CostModel costs;
+  double prev = 0.0;
+  for (std::size_t p : {1u, 2u, 4u, 8u, 16u}) {
+    const SimResult r = simulate_coalesced_dynamic(
+        space, p, {SimSchedule::kGuided, 1}, costs, work);
+    const double s = r.speedup(costs);
+    EXPECT_GT(s, prev * 0.999);  // monotone up to modeling noise
+    prev = s;
+  }
+  EXPECT_GT(prev, 8.0);  // 16 processors achieve substantial speedup
+}
+
+TEST(SimRelations, GssBalancesIncreasingWorkBetterThanCoarseChunks) {
+  // Increasing iteration times: GSS's shrinking chunks land the heavy tail
+  // in small pieces, while coarse fixed chunks strand it on one processor.
+  const auto space = make_space({1000});
+  const Workload work = Workload::from_model(support::WorkModel::kIncreasing,
+                                             1000, 2, 200, 3);
+  CostModel costs;
+  const SimResult coarse = simulate_coalesced_dynamic(
+      space, 8, {SimSchedule::kChunked, 250}, costs, work);
+  const SimResult gss = simulate_coalesced_dynamic(
+      space, 8, {SimSchedule::kGuided, 1}, costs, work);
+  EXPECT_LT(gss.completion, coarse.completion);
+
+  // Against well-tuned N/P chunking GSS is never meaningfully worse (its
+  // first dispatch IS an N/P chunk), and pays far fewer dispatches than
+  // unit self-scheduling for the same balance.
+  const SimResult tuned = simulate_coalesced_dynamic(
+      space, 8, {SimSchedule::kChunked, 125}, costs, work);
+  EXPECT_LE(gss.completion, tuned.completion + work.total_time() / 100);
+}
+
+TEST(SimLocality, RowSwitchChargesMatchGeometry) {
+  // One processor, chunk = row length: exactly one row switch per chunk.
+  const auto space = make_space({8, 16});
+  const Workload work = Workload::constant(space.total(), 10);
+  CostModel costs = zero_costs();
+  costs.row_switch = 7;
+  const SimResult per_row = simulate_coalesced_dynamic(
+      space, 1, {SimSchedule::kChunked, 16}, costs, work);
+  CostModel free_costs = zero_costs();
+  const SimResult baseline = simulate_coalesced_dynamic(
+      space, 1, {SimSchedule::kChunked, 16}, free_costs, work);
+  EXPECT_EQ(per_row.completion - baseline.completion, 8 * 7);
+
+  // Unit chunks: one switch per iteration.
+  const SimResult unit = simulate_coalesced_dynamic(
+      space, 1, {SimSchedule::kSelf, 1}, costs, work);
+  const SimResult unit_free = simulate_coalesced_dynamic(
+      space, 1, {SimSchedule::kSelf, 1}, free_costs, work);
+  EXPECT_EQ(unit.completion - unit_free.completion, 128 * 7);
+
+  // A chunk spanning two rows: two switches (entry + one crossing).
+  const SimResult span = simulate_coalesced_dynamic(
+      space, 1, {SimSchedule::kChunked, 32}, costs, work);
+  const SimResult span_free = simulate_coalesced_dynamic(
+      space, 1, {SimSchedule::kChunked, 32}, free_costs, work);
+  EXPECT_EQ(span.completion - span_free.completion, 4 * 2 * 7);
+}
+
+TEST(SimTrace, EventsCoverEveryIterationExactlyOnce) {
+  const auto space = make_space({12, 8});
+  const Workload work = Workload::from_model(
+      support::WorkModel::kUniformRange, space.total(), 5, 40, 9);
+  CostModel costs;
+  costs.record_trace = true;
+  const SimResult r = simulate_coalesced_dynamic(
+      space, 4, {SimSchedule::kGuided, 1}, costs, work);
+  ASSERT_EQ(r.trace.size(), r.chunks);
+  std::vector<int> hits(static_cast<std::size_t>(space.total()), 0);
+  for (const ChunkEvent& event : r.trace) {
+    EXPECT_LT(event.proc, 4u);
+    EXPECT_LE(event.start, event.end);
+    EXPECT_LE(event.end, r.completion);
+    for (i64 j = event.chunk.first; j < event.chunk.last; ++j) {
+      ++hits[static_cast<std::size_t>(j - 1)];
+    }
+  }
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(SimTrace, EventsOnOneProcessorDoNotOverlap) {
+  const auto space = make_space({64});
+  const Workload work = Workload::constant(64, 25);
+  CostModel costs;
+  costs.record_trace = true;
+  const SimResult r = simulate_coalesced_dynamic(
+      space, 3, {SimSchedule::kChunked, 4}, costs, work);
+  std::vector<i64> last_end(3, 0);
+  for (const ChunkEvent& event : r.trace) {
+    EXPECT_GE(event.start, last_end[event.proc]);
+    last_end[event.proc] = event.end;
+  }
+}
+
+TEST(SimTrace, OffByDefault) {
+  const auto space = make_space({16});
+  const Workload work = Workload::constant(16, 5);
+  CostModel costs;
+  const SimResult r = simulate_coalesced_dynamic(
+      space, 2, {SimSchedule::kSelf, 1}, costs, work);
+  EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(SimTrace, GanttRendersOneRowPerProcessor) {
+  const auto space = make_space({32});
+  const Workload work = Workload::constant(32, 30);
+  CostModel costs;
+  costs.record_trace = true;
+  const SimResult r = simulate_coalesced_dynamic(
+      space, 4, {SimSchedule::kChunked, 8}, costs, work);
+  const std::string gantt = render_gantt(r, 10);
+  EXPECT_EQ(std::count(gantt.begin(), gantt.end(), '\n'), 4);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+  EXPECT_NE(gantt.find("P0"), std::string::npos);
+  EXPECT_NE(gantt.find("P3"), std::string::npos);
+}
+
+TEST(SimRelations, UtilizationBounded) {
+  const auto space = make_space({13, 17});
+  const Workload work = Workload::from_model(
+      support::WorkModel::kBimodal, space.total(), 10, 200, 5);
+  CostModel costs;
+  for (auto kind : {SimSchedule::kSelf, SimSchedule::kGuided}) {
+    const SimResult r =
+        simulate_coalesced_dynamic(space, 4, {kind, 1}, costs, work);
+    EXPECT_GT(r.utilization(), 0.0);
+    EXPECT_LE(r.utilization(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace coalesce::sim

@@ -1,0 +1,415 @@
+// Unit and property tests for the support substrate: exact integer math,
+// deterministic RNG, statistics, strings, and table rendering.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "support/int_math.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace coalesce::support {
+namespace {
+
+// ---- floor/ceil/mod ---------------------------------------------------------
+
+TEST(IntMath, FloorDivMatchesMathematicalFloor) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(floor_div(6, 3), 2);
+  EXPECT_EQ(floor_div(-6, 3), -2);
+  EXPECT_EQ(floor_div(0, 5), 0);
+}
+
+TEST(IntMath, CeilDivMatchesMathematicalCeiling) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(7, -2), -3);
+  EXPECT_EQ(ceil_div(-7, -2), 4);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+  EXPECT_EQ(ceil_div(1, 100), 1);
+}
+
+TEST(IntMath, ModFloorHasSignOfDivisor) {
+  EXPECT_EQ(mod_floor(7, 3), 1);
+  EXPECT_EQ(mod_floor(-7, 3), 2);
+  EXPECT_EQ(mod_floor(7, -3), -2);
+  EXPECT_EQ(mod_floor(-7, -3), -1);
+  EXPECT_EQ(mod_floor(9, 3), 0);
+}
+
+// Property: a == floor_div(a,b)*b + mod_floor(a,b) for all sign combos.
+class DivModProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DivModProperty, EuclideanIdentityHoldsOnRandomPairs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 500; ++trial) {
+    const i64 a = rng.uniform_int(-1000000, 1000000);
+    i64 b = rng.uniform_int(-1000, 1000);
+    if (b == 0) b = 7;
+    EXPECT_EQ(a, floor_div(a, b) * b + mod_floor(a, b))
+        << "a=" << a << " b=" << b;
+    // ceil(a/b) == -floor(-a/b)
+    EXPECT_EQ(ceil_div(a, b), -floor_div(-a, b)) << "a=" << a << " b=" << b;
+    // 0 <= |mod| < |b| with sign of b
+    const i64 m = mod_floor(a, b);
+    if (b > 0) {
+      EXPECT_GE(m, 0);
+      EXPECT_LT(m, b);
+    } else {
+      EXPECT_LE(m, 0);
+      EXPECT_GT(m, b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DivModProperty, ::testing::Values(1, 2, 3, 4));
+
+// ---- gcd / lcm / ext_gcd ----------------------------------------------------
+
+TEST(IntMath, GcdBasics) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(-12, 18), 6);
+  EXPECT_EQ(gcd(12, -18), 6);
+  EXPECT_EQ(gcd(0, 5), 5);
+  EXPECT_EQ(gcd(5, 0), 5);
+  EXPECT_EQ(gcd(0, 0), 0);
+  EXPECT_EQ(gcd(17, 13), 1);
+}
+
+TEST(IntMath, LcmBasics) {
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(0, 6), 0);
+  EXPECT_EQ(lcm(-4, 6), 12);
+  EXPECT_EQ(lcm(7, 7), 7);
+}
+
+TEST(IntMath, ExtGcdProducesBezoutCoefficients) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const i64 a = rng.uniform_int(-100000, 100000);
+    const i64 b = rng.uniform_int(-100000, 100000);
+    const ExtGcd r = ext_gcd(a, b);
+    EXPECT_EQ(r.g, gcd(a, b));
+    EXPECT_EQ(a * r.x + b * r.y, r.g) << "a=" << a << " b=" << b;
+  }
+}
+
+// ---- checked arithmetic -----------------------------------------------------
+
+TEST(IntMath, CheckedMulDetectsOverflow) {
+  const i64 big = std::numeric_limits<i64>::max();
+  EXPECT_FALSE(checked_mul(big, 2).has_value());
+  EXPECT_FALSE(checked_mul(big / 2 + 1, 2).has_value());
+  EXPECT_EQ(checked_mul(1 << 20, 1 << 20).value(), i64{1} << 40);
+  EXPECT_EQ(checked_mul(-3, 7).value(), -21);
+}
+
+TEST(IntMath, CheckedAddDetectsOverflow) {
+  const i64 big = std::numeric_limits<i64>::max();
+  EXPECT_FALSE(checked_add(big, 1).has_value());
+  EXPECT_EQ(checked_add(big, -1).value(), big - 1);
+}
+
+TEST(IntMath, CheckedProductEmptyIsOne) {
+  EXPECT_EQ(checked_product({}).value(), 1);
+}
+
+TEST(IntMath, CheckedProductOverflow) {
+  std::vector<i64> huge(10, 1'000'000'000);
+  EXPECT_FALSE(checked_product(huge).has_value());
+  std::vector<i64> ok{2, 3, 4};
+  EXPECT_EQ(checked_product(ok).value(), 24);
+}
+
+// ---- trip counts ------------------------------------------------------------
+
+TEST(IntMath, TripCount) {
+  EXPECT_EQ(trip_count(1, 10, 1), 10);
+  EXPECT_EQ(trip_count(1, 10, 3), 4);   // 1,4,7,10
+  EXPECT_EQ(trip_count(1, 9, 3), 3);    // 1,4,7
+  EXPECT_EQ(trip_count(5, 4, 1), 0);    // empty
+  EXPECT_EQ(trip_count(-3, 3, 2), 4);   // -3,-1,1,3
+  EXPECT_EQ(trip_count(7, 7, 5), 1);
+}
+
+// ---- mixed radix ------------------------------------------------------------
+
+TEST(IntMath, MixedRadixDecodeKnownValues) {
+  const std::vector<i64> radices{4, 3};
+  std::vector<i64> digits(2);
+  mixed_radix_decode(0, radices, digits);
+  EXPECT_EQ(digits, (std::vector<i64>{0, 0}));
+  mixed_radix_decode(5, radices, digits);
+  EXPECT_EQ(digits, (std::vector<i64>{1, 2}));
+  mixed_radix_decode(11, radices, digits);
+  EXPECT_EQ(digits, (std::vector<i64>{3, 2}));
+}
+
+TEST(IntMath, MixedRadixRoundTripExhaustive) {
+  const std::vector<i64> radices{3, 1, 4, 2};
+  std::vector<i64> digits(radices.size());
+  for (i64 v = 0; v < 3 * 1 * 4 * 2; ++v) {
+    mixed_radix_decode(v, radices, digits);
+    EXPECT_EQ(mixed_radix_encode(digits, radices), v);
+  }
+}
+
+TEST(IntMath, SuffixProducts) {
+  const std::vector<i64> radices{4, 3, 5};
+  const auto suffix = suffix_products(radices);
+  ASSERT_EQ(suffix.size(), 4u);
+  EXPECT_EQ(suffix[0], 60);
+  EXPECT_EQ(suffix[1], 15);
+  EXPECT_EQ(suffix[2], 5);
+  EXPECT_EQ(suffix[3], 1);
+}
+
+// ---- rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const i64 v = rng.uniform_int(-3, 11);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 11);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[rng.uniform_int(0, 4)];
+  for (int count : seen) EXPECT_GT(count, 100);  // roughly uniform
+}
+
+TEST(Rng, ExponentialHasApproximateMean) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Rng, NormalHasApproximateMoments) {
+  Rng rng(6);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 5.0, 0.1);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng a(42);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(8);
+  std::vector<int> xs{1, 2, 3, 4, 5, 6, 7};
+  auto copy = xs;
+  rng.shuffle(std::span<int>(copy));
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, xs);
+}
+
+// ---- work synthesis ---------------------------------------------------------
+
+TEST(WorkSynthesis, ConstantModel) {
+  Rng rng(1);
+  const auto work = synthesize_work(WorkModel::kUniformConstant, 10, 7, 0, rng);
+  ASSERT_EQ(work.size(), 10u);
+  for (auto t : work) EXPECT_EQ(t, 7);
+}
+
+TEST(WorkSynthesis, UniformRangeStaysInBounds) {
+  Rng rng(2);
+  const auto work = synthesize_work(WorkModel::kUniformRange, 500, 3, 9, rng);
+  for (auto t : work) {
+    EXPECT_GE(t, 3);
+    EXPECT_LE(t, 9);
+  }
+}
+
+TEST(WorkSynthesis, DecreasingIsMonotone) {
+  Rng rng(3);
+  const auto work = synthesize_work(WorkModel::kDecreasing, 100, 50, 5, rng);
+  for (std::size_t i = 1; i < work.size(); ++i) {
+    EXPECT_LE(work[i], work[i - 1]);
+  }
+  EXPECT_EQ(work.front(), 50);
+  EXPECT_EQ(work.back(), 5);
+}
+
+TEST(WorkSynthesis, IncreasingIsMonotone) {
+  Rng rng(4);
+  const auto work = synthesize_work(WorkModel::kIncreasing, 100, 5, 50, rng);
+  for (std::size_t i = 1; i < work.size(); ++i) {
+    EXPECT_GE(work[i], work[i - 1]);
+  }
+}
+
+TEST(WorkSynthesis, AllValuesAtLeastOne) {
+  Rng rng(5);
+  for (auto model : {WorkModel::kExponential, WorkModel::kBimodal,
+                     WorkModel::kUniformRange}) {
+    const auto work = synthesize_work(model, 300, 1, 2, rng);
+    for (auto t : work) EXPECT_GE(t, 1) << to_string(model);
+  }
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(Stats, AccumulatorBasics) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  Accumulator acc;
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Stats, PercentileNearestRank) {
+  const std::vector<double> xs{15, 20, 35, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 30), 20);
+  EXPECT_DOUBLE_EQ(percentile(xs, 40), 20);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 35);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 15);
+}
+
+TEST(Stats, ImbalanceRatioBalanced) {
+  const std::vector<double> xs{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(imbalance_ratio(xs), 1.0);
+}
+
+TEST(Stats, ImbalanceRatioSkewed) {
+  const std::vector<double> xs{10, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(imbalance_ratio(xs), 4.0);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(9.9);
+  h.add(-100.0);  // clamps to first bin
+  h.add(100.0);   // clamps to last bin
+  const auto counts = h.counts();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[4], 2u);
+  EXPECT_FALSE(h.render().empty());
+}
+
+// ---- strings ----------------------------------------------------------------
+
+TEST(Strings, Join) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(join(parts, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.2f", 1.5), "1.50");
+}
+
+TEST(Strings, IndexName) {
+  EXPECT_EQ(index_name(0), "i0");
+  EXPECT_EQ(index_name(12), "i12");
+}
+
+TEST(Strings, Repeat) {
+  EXPECT_EQ(repeat("ab", 3), "ababab");
+  EXPECT_EQ(repeat("x", 0), "");
+}
+
+TEST(Strings, IndentAddsPadding) {
+  EXPECT_EQ(indent("a\nb", 2), "  a\n  b");
+  EXPECT_EQ(indent("a\n\nb", 2), "  a\n\n  b");  // blank lines not padded
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+}
+
+// ---- table ------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.cell("alpha").cell(std::int64_t{42}).end_row();
+  t.cell("b").cell(3.14159, 2).end_row();
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+  // Every data line has the same width.
+  const auto lines = split(out, '\n');
+  std::size_t width = 0;
+  for (const auto& line : lines) {
+    if (line.empty() || line[0] != '|') continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, RowVectorApi) {
+  Table t("t");
+  t.header({"a"});
+  t.row({"1"});
+  t.row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace coalesce::support

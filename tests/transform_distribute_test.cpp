@@ -1,0 +1,327 @@
+// Tests for loop distribution, make_perfect, scalar expansion, and the
+// distribute-then-coalesce pipeline.
+#include <gtest/gtest.h>
+
+#include "analysis/doall.hpp"
+#include "core/api.hpp"
+#include "index/chunk.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "transform/coalesce.hpp"
+#include "transform/distribute.hpp"
+#include "transform/scalar_expand.hpp"
+
+namespace coalesce::transform {
+namespace {
+
+using core::equivalent_by_execution;
+using ir::int_const;
+using ir::LoopNest;
+using ir::NestBuilder;
+using ir::VarId;
+using ir::var_ref;
+
+// ---- distribute_loop ------------------------------------------------------------
+
+TEST(Distribute, SplitsIndependentStatements) {
+  // do i { A(i) = i; B(i) = 2i } — no shared array: two loops.
+  NestBuilder b;
+  const VarId a = b.array("A", {8});
+  const VarId bb = b.array("B", {8});
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(b.element(a, {i}), var_ref(i));
+  b.assign(b.element(bb, {i}), ir::mul(int_const(2), var_ref(i)));
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto program = distribute_root(nest);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().roots.size(), 2u);
+  EXPECT_TRUE(equivalent_by_execution(nest, program.value()));
+}
+
+TEST(Distribute, SplitPiecesGetFreshInductionVariables) {
+  NestBuilder b;
+  const VarId a = b.array("A", {8});
+  const VarId bb = b.array("B", {8});
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(b.element(a, {i}), var_ref(i));
+  b.assign(b.element(bb, {i}), var_ref(i));
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto program = distribute_root(nest);
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program.value().roots.size(), 2u);
+  EXPECT_NE(program.value().roots[0]->var, program.value().roots[1]->var);
+}
+
+TEST(Distribute, ForwardDependenceOrdersLoops) {
+  // do i { A(i) = i; B(i) = A(i) }: flow dep A->B, loop-independent:
+  // distribution legal with producer loop first.
+  NestBuilder b;
+  const VarId a = b.array("A", {8});
+  const VarId bb = b.array("B", {8});
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(b.element(a, {i}), var_ref(i));
+  b.assign(b.element(bb, {i}), b.read(a, {i}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto program = distribute_root(nest);
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program.value().roots.size(), 2u);
+  // First loop writes A, second reads it.
+  const auto arrays0 = ir::arrays_touched(*program.value().roots[0]);
+  EXPECT_EQ(arrays0.size(), 1u);
+  EXPECT_EQ(program.value().symbols.name(arrays0[0]), "A");
+  EXPECT_TRUE(equivalent_by_execution(nest, program.value()));
+}
+
+TEST(Distribute, CycleKeepsStatementsTogether) {
+  // do i { A(i) = B(i-1); B(i) = A(i) } — A->B loop-independent forward and
+  // B->A carried backward: a cycle; no split.
+  NestBuilder b;
+  const VarId a = b.array("A", {9});
+  const VarId bb = b.array("B", {9});
+  const VarId i = b.begin_loop("i", 2, 9);
+  b.assign(b.element(a, {i}),
+           ir::array_read(bb, {ir::sub(var_ref(i), int_const(1))}));
+  b.assign(b.element(bb, {i}), b.read(a, {i}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto program = distribute_root(nest);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().roots.size(), 1u);
+}
+
+TEST(Distribute, BackwardDependenceReordersLoops) {
+  // do i { A(i) = B(i+1) ; B(i) = i } — anti dep from stmt0's read of
+  // B(i+1) to stmt1's write of B: carried (distance -1 as computed), i.e.
+  // the write must happen AFTER the read of the later iteration... the
+  // legal distribution keeps the reader loop first.
+  NestBuilder b;
+  const VarId a = b.array("A", {8});
+  const VarId bb = b.array("B", {9});
+  const VarId i = b.begin_loop("i", 1, 8);
+  b.assign(b.element(a, {i}),
+           ir::array_read(bb, {ir::add(var_ref(i), int_const(1))}));
+  b.assign(b.element(bb, {i}), var_ref(i));
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto program = distribute_root(nest);
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(equivalent_by_execution(nest, program.value()));
+}
+
+TEST(Distribute, ScalarConflictWeldsStatements) {
+  // t is written by S1 and read by S2: conservative weld (one loop), even
+  // though a human can see the order.
+  NestBuilder b;
+  const VarId a = b.array("A", {8});
+  const VarId bb = b.array("B", {8});
+  const VarId t = b.scalar("t");
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(t, b.read(a, {i}));
+  b.assign(b.element(bb, {i}), var_ref(t));
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto program = distribute_root(nest);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().roots.size(), 1u);
+}
+
+TEST(Distribute, SingleStatementLoopIsUntouched) {
+  const LoopNest nest = ir::make_rectangular_witness({4, 4});
+  const auto program = distribute_root(nest);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().roots.size(), 1u);
+  EXPECT_TRUE(equivalent_by_execution(nest, program.value()));
+}
+
+// ---- make_perfect + coalesce_program ----------------------------------------------
+
+TEST(MakePerfect, MatmulBecomesTwoPerfectNests) {
+  const LoopNest nest = ir::make_matmul(6, 5, 4);
+  const auto program = make_perfect(nest);
+  ASSERT_TRUE(program.ok()) << program.error().to_string();
+  // init nest {i,j} and compute nest {i,j,k}.
+  ASSERT_EQ(program.value().roots.size(), 2u);
+  EXPECT_EQ(ir::perfect_band(*program.value().roots[0]).size(), 2u);
+  EXPECT_EQ(ir::perfect_band(*program.value().roots[1]).size(), 3u);
+  EXPECT_TRUE(equivalent_by_execution(nest, program.value()));
+}
+
+TEST(MakePerfect, IncreasesParallelBandDepth) {
+  const LoopNest nest = ir::make_matmul(6, 5, 4);
+  const Program before{nest.symbols, {nest.root}};
+  const auto after = make_perfect(nest);
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(total_parallel_band_depth(after.value()),
+            total_parallel_band_depth(before));
+}
+
+TEST(MakePerfect, ThenCoalesceProgramFusesBothBands) {
+  const LoopNest nest = ir::make_matmul(6, 5, 4);
+  auto program = make_perfect(nest);
+  ASSERT_TRUE(program.ok());
+  const auto coalesced = coalesce_program(program.value());
+  EXPECT_EQ(coalesced.bands_coalesced, 2u);
+  for (const auto& root : coalesced.program.roots) {
+    EXPECT_TRUE(root->parallel);
+    EXPECT_TRUE(ir::is_normalized(*root));
+  }
+  EXPECT_TRUE(equivalent_by_execution(nest, coalesced.program));
+}
+
+TEST(MakePerfect, AlreadyPerfectNestPassesThrough) {
+  const LoopNest nest = ir::make_rectangular_witness({3, 4, 5});
+  const auto program = make_perfect(nest);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().roots.size(), 1u);
+  EXPECT_EQ(ir::to_string(LoopNest{program.value().symbols,
+                                   program.value().roots[0]}),
+            ir::to_string(nest));
+}
+
+TEST(MakePerfect, PiStripsStaysWhole) {
+  // The reduction welds SUM(t)=0 and the accumulation loop: flow + output
+  // deps at t-level distance 0 force order but allow distribution; the
+  // inner accumulation self-dep is carried by r inside one statement.
+  const LoopNest nest = ir::make_pi_strips(4, 8);
+  const auto program = make_perfect(nest);
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(equivalent_by_execution(nest, program.value()));
+}
+
+// ---- scalar expansion ---------------------------------------------------------------
+
+TEST(ScalarExpansion, SwapBecomesArrayTemp) {
+  NestBuilder b;
+  const VarId a = b.array("A", {8});
+  const VarId bb = b.array("B", {8});
+  const VarId t = b.scalar("t");
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(t, b.read(a, {i}));
+  b.assign(b.element(a, {i}), b.read(bb, {i}));
+  b.assign(b.element(bb, {i}), var_ref(t));
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto expanded = expand_scalar(nest, t);
+  ASSERT_TRUE(expanded.ok()) << expanded.error().to_string();
+  EXPECT_TRUE(expanded.value().symbols.lookup("t_x").has_value());
+  EXPECT_TRUE(ir::scalars_written(*expanded.value().root).empty());
+  EXPECT_TRUE(equivalent_by_execution(nest, expanded.value()));
+}
+
+TEST(ScalarExpansion, OffsetSteppedRootIndexesOrdinally) {
+  NestBuilder b;
+  const VarId a = b.array("A", {20});
+  const VarId t = b.scalar("t");
+  const VarId i = b.begin_parallel_loop("i", 4, 20, 4);  // 4,8,12,16,20
+  b.assign(t, ir::mul(var_ref(i), int_const(3)));
+  b.assign(b.element(a, {i}), var_ref(t));
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto expanded = expand_scalar(nest, t);
+  ASSERT_TRUE(expanded.ok());
+  const auto tx = expanded.value().symbols.lookup("t_x");
+  ASSERT_TRUE(tx.has_value());
+  EXPECT_EQ(expanded.value().symbols[*tx].shape,
+            (std::vector<std::int64_t>{5}));
+  EXPECT_TRUE(equivalent_by_execution(nest, expanded.value()));
+}
+
+TEST(ScalarExpansion, RejectsUpwardExposedScalar) {
+  // t read before assigned: its value flows in from outside.
+  NestBuilder b;
+  const VarId a = b.array("A", {8});
+  const VarId t = b.scalar("t");
+  const VarId i = b.begin_loop("i", 1, 8);
+  b.assign(b.element(a, {i}), var_ref(t));
+  b.assign(t, b.read(a, {i}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto expanded = expand_scalar(nest, t);
+  ASSERT_FALSE(expanded.ok());
+  EXPECT_EQ(expanded.error().code, support::ErrorCode::kIllegalTransform);
+}
+
+TEST(ScalarExpansion, RejectsNonScalarAndUnwritten) {
+  NestBuilder b;
+  const VarId a = b.array("A", {4});
+  const VarId t = b.scalar("t");
+  const VarId i = b.begin_loop("i", 1, 4);
+  b.assign(b.element(a, {i}), int_const(1));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_FALSE(expand_scalar(nest, a).ok());  // array, not scalar
+  EXPECT_FALSE(expand_scalar(nest, t).ok());  // never assigned
+}
+
+TEST(ScalarExpansion, ExpansionUnlocksDistribution) {
+  // With the scalar welded: 1 loop. After expansion: the weld is gone and
+  // the producer/consumer split succeeds.
+  NestBuilder b;
+  const VarId a = b.array("A", {8});
+  const VarId bb = b.array("B", {8});
+  const VarId t = b.scalar("t");
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(t, ir::add(b.read(a, {i}), int_const(1)));
+  b.assign(b.element(bb, {i}), var_ref(t));
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  ASSERT_EQ(distribute_root(nest).value().roots.size(), 1u);
+
+  const auto expanded = expand_all_scalars(nest);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded.value().expanded, 1u);
+  const auto program = distribute_root(expanded.value().nest);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().roots.size(), 2u);
+  EXPECT_TRUE(equivalent_by_execution(nest, program.value()));
+}
+
+TEST(ScalarExpansion, ExpandAllIsIdempotentOnCleanNest) {
+  const LoopNest nest = ir::make_rectangular_witness({4, 4});
+  const auto expanded = expand_all_scalars(nest);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded.value().expanded, 0u);
+}
+
+// ---- factoring policy -----------------------------------------------------------
+
+TEST(Factoring, BatchesHalveRemaining) {
+  index::FactoringPolicy policy(4);
+  // R=1000: batch chunk = ceil(1000/8) = 125, four chunks of 125;
+  // R=500: chunk 63, four chunks; ...
+  const auto chunks = index::dispatch_sequence(policy, 1000);
+  ASSERT_GE(chunks.size(), 8u);
+  EXPECT_EQ(chunks[0].size(), 125);
+  EXPECT_EQ(chunks[1].size(), 125);
+  EXPECT_EQ(chunks[2].size(), 125);
+  EXPECT_EQ(chunks[3].size(), 125);
+  EXPECT_EQ(chunks[4].size(), 63);  // ceil(500/8)
+}
+
+TEST(Factoring, CoversExactlyOnce) {
+  for (support::i64 total : {1, 7, 100, 999}) {
+    index::FactoringPolicy policy(4);
+    const auto chunks = index::dispatch_sequence(policy, total);
+    support::i64 next = 1;
+    for (const auto& c : chunks) {
+      EXPECT_EQ(c.first, next);
+      next = c.last;
+    }
+    EXPECT_EQ(next, total + 1);
+  }
+}
+
+}  // namespace
+}  // namespace coalesce::transform

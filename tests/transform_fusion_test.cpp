@@ -1,0 +1,229 @@
+// Tests for loop fusion: legality, DOALL preservation, and the
+// distribute/fuse round trip.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "transform/distribute.hpp"
+#include "transform/fusion.hpp"
+#include "transform/scalar_expand.hpp"
+
+namespace coalesce::transform {
+namespace {
+
+using core::equivalent_by_execution;
+using ir::int_const;
+using ir::LoopNest;
+using ir::NestBuilder;
+using ir::VarId;
+using ir::var_ref;
+
+/// Two separate elementwise loops over distinct/related arrays, as a
+/// Program for fuse_roots.
+struct TwoLoops {
+  ir::Program program;
+  LoopNest reference;  ///< single nest with the same overall semantics
+};
+
+TEST(Fusion, IndependentElementwiseLoopsFuseAndStayParallel) {
+  NestBuilder b;
+  const VarId a = b.array("A", {10});
+  const VarId c = b.array("C", {10});
+  const VarId i = b.begin_parallel_loop("i", 1, 10);
+  b.assign(b.element(a, {i}), var_ref(i));
+  b.assign(b.element(c, {i}), ir::mul(var_ref(i), int_const(2)));
+  b.end_loop();
+  const LoopNest reference = b.build();
+
+  // Distribute, then fuse back: should round-trip semantically.
+  const auto program = distribute_root(reference);
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program.value().roots.size(), 2u);
+
+  const auto fused = fuse_roots(program.value(), 0);
+  ASSERT_TRUE(fused.ok()) << fused.error().to_string();
+  ASSERT_EQ(fused.value().roots.size(), 1u);
+  EXPECT_TRUE(fused.value().roots[0]->parallel);
+  EXPECT_TRUE(equivalent_by_execution(reference, fused.value()));
+}
+
+TEST(Fusion, ProducerConsumerFusesWithZeroDistance) {
+  // do i { A(i) = i } ; do i { B(i) = A(i) }: distance 0 — fuse, stay DOALL.
+  NestBuilder b1;
+  const VarId a1 = b1.array("A", {8});
+  const VarId i1 = b1.begin_parallel_loop("i", 1, 8);
+  b1.assign(b1.element(a1, {i1}), var_ref(i1));
+  b1.end_loop();
+  LoopNest first = b1.build();
+
+  // Build the second loop in the SAME symbol table universe.
+  ir::SymbolTable symbols = first.symbols;
+  const VarId bb = symbols.declare("B", ir::SymbolKind::kArray, {8});
+  const VarId i2 = symbols.fresh_induction("i");
+  auto second = std::make_shared<ir::Loop>();
+  second->var = i2;
+  second->lower = int_const(1);
+  second->upper = int_const(8);
+  second->parallel = true;
+  second->body.push_back(ir::AssignStmt{
+      ir::ArrayAccess{bb, {var_ref(i2)}},
+      ir::array_read(symbols.lookup("A").value(), {var_ref(i2)})});
+
+  ir::Program program{symbols, {first.root, second}};
+  const auto fused = fuse_roots(program, 0);
+  ASSERT_TRUE(fused.ok()) << fused.error().to_string();
+  EXPECT_TRUE(fused.value().roots[0]->parallel);
+}
+
+TEST(Fusion, ForwardShiftFusesButLosesDoall) {
+  // do i { A(i) = i } ; do i { B(i) = A(i-1)... }: wait — reading A(i-1)
+  // from the second loop gives distance -1 (backward) and must be REJECTED?
+  // No: src = first-loop write A(i1); dst = second-loop read A(i2-1);
+  // equal elements need i2 = i1 + 1: distance +1 — forward-carried: fusion
+  // is legal but the fused loop is no longer DOALL.
+  NestBuilder b1;
+  const VarId a1 = b1.array("A", {10});
+  const VarId i1 = b1.begin_parallel_loop("i", 2, 9);
+  b1.assign(b1.element(a1, {i1}), var_ref(i1));
+  b1.end_loop();
+  LoopNest first = b1.build();
+
+  ir::SymbolTable symbols = first.symbols;
+  const VarId bb = symbols.declare("B", ir::SymbolKind::kArray, {10});
+  const VarId i2 = symbols.fresh_induction("i");
+  auto second = std::make_shared<ir::Loop>();
+  second->var = i2;
+  second->lower = int_const(2);
+  second->upper = int_const(9);
+  second->parallel = true;
+  second->body.push_back(ir::AssignStmt{
+      ir::ArrayAccess{bb, {var_ref(i2)}},
+      ir::array_read(symbols.lookup("A").value(),
+                     {ir::sub(var_ref(i2), int_const(1))})});
+
+  ir::Program program{symbols, {first.root, second}};
+  const auto fused = fuse_roots(program, 0);
+  ASSERT_TRUE(fused.ok()) << fused.error().to_string();
+  EXPECT_FALSE(fused.value().roots[0]->parallel);  // carried dep now
+}
+
+TEST(Fusion, BackwardShiftIsRejected) {
+  // do i { A(i) = i } ; do i { B(i) = A(i+1) }: the second loop's read of
+  // A(i+1) matches the first loop's write at iteration i+1: distance -1 —
+  // after fusion iteration i would read a value not yet written. Illegal.
+  NestBuilder b1;
+  const VarId a1 = b1.array("A", {10});
+  const VarId i1 = b1.begin_parallel_loop("i", 1, 8);
+  b1.assign(b1.element(a1, {i1}), var_ref(i1));
+  b1.end_loop();
+  LoopNest first = b1.build();
+
+  ir::SymbolTable symbols = first.symbols;
+  const VarId bb = symbols.declare("B", ir::SymbolKind::kArray, {10});
+  const VarId i2 = symbols.fresh_induction("i");
+  auto second = std::make_shared<ir::Loop>();
+  second->var = i2;
+  second->lower = int_const(1);
+  second->upper = int_const(8);
+  second->parallel = true;
+  second->body.push_back(ir::AssignStmt{
+      ir::ArrayAccess{bb, {var_ref(i2)}},
+      ir::array_read(symbols.lookup("A").value(),
+                     {ir::add(var_ref(i2), int_const(1))})});
+
+  ir::Program program{symbols, {first.root, second}};
+  const auto fused = fuse_roots(program, 0);
+  ASSERT_FALSE(fused.ok());
+  EXPECT_EQ(fused.error().code, support::ErrorCode::kIllegalTransform);
+}
+
+TEST(Fusion, MismatchedHeadersRejected) {
+  NestBuilder b1;
+  const VarId a1 = b1.array("A", {10});
+  const VarId i1 = b1.begin_parallel_loop("i", 1, 10);
+  b1.assign(b1.element(a1, {i1}), var_ref(i1));
+  b1.end_loop();
+  LoopNest first = b1.build();
+
+  ir::SymbolTable symbols = first.symbols;
+  const VarId bb = symbols.declare("B", ir::SymbolKind::kArray, {10});
+  const VarId i2 = symbols.fresh_induction("i");
+  auto second = std::make_shared<ir::Loop>();
+  second->var = i2;
+  second->lower = int_const(1);
+  second->upper = int_const(9);  // shorter
+  second->parallel = true;
+  second->body.push_back(
+      ir::AssignStmt{ir::ArrayAccess{bb, {var_ref(i2)}}, int_const(0)});
+
+  ir::Program program{symbols, {first.root, second}};
+  EXPECT_FALSE(fuse_roots(program, 0).ok());
+}
+
+TEST(Fusion, SharedScalarRejectedUntilExpanded) {
+  // Both loops write/read the scalar t: rejected with a helpful message.
+  NestBuilder b;
+  const VarId a = b.array("A", {6});
+  const VarId c = b.array("C", {6});
+  const VarId t = b.scalar("t");
+  const VarId i = b.begin_parallel_loop("i", 1, 6);
+  b.assign(t, b.read(a, {i}));
+  b.assign(b.element(c, {i}), var_ref(t));
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  // Expansion removes the weld, distribution splits, fusion re-joins.
+  const auto expanded = expand_all_scalars(nest);
+  ASSERT_TRUE(expanded.ok());
+  const auto program = distribute_root(expanded.value().nest);
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program.value().roots.size(), 2u);
+  const auto fused = fuse_roots(program.value(), 0);
+  ASSERT_TRUE(fused.ok()) << fused.error().to_string();
+  EXPECT_TRUE(equivalent_by_execution(nest, fused.value()));
+}
+
+TEST(Fusion, FuseRootsIndexOutOfRange) {
+  const LoopNest nest = ir::make_rectangular_witness({4});
+  ir::Program program{nest.symbols, {nest.root}};
+  EXPECT_FALSE(fuse_roots(program, 0).ok());
+}
+
+TEST(Fusion, FuseAdjacentRootsGreedy) {
+  // Three independent elementwise loops: all collapse into one.
+  NestBuilder b;
+  const VarId a = b.array("A", {7});
+  const VarId c = b.array("C", {7});
+  const VarId d = b.array("D", {7});
+  const VarId i = b.begin_parallel_loop("i", 1, 7);
+  b.assign(b.element(a, {i}), var_ref(i));
+  b.assign(b.element(c, {i}), ir::mul(var_ref(i), int_const(2)));
+  b.assign(b.element(d, {i}), ir::mul(var_ref(i), int_const(3)));
+  b.end_loop();
+  const LoopNest reference = b.build();
+
+  const auto program = distribute_root(reference);
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program.value().roots.size(), 3u);
+
+  const FuseAllResult fused = fuse_adjacent_roots(program.value());
+  EXPECT_EQ(fused.fused, 2u);
+  ASSERT_EQ(fused.program.roots.size(), 1u);
+  EXPECT_TRUE(equivalent_by_execution(reference, fused.program));
+}
+
+TEST(Fusion, DistributeFuseRoundTripOnMatmulInit) {
+  // make_perfect splits matmul; greedily fusing the distributed roots can
+  // rejoin the init and compute nests (distance-0 dependence) — and the
+  // result must still compute matmul.
+  const LoopNest nest = ir::make_matmul(5, 4, 3);
+  auto program = make_perfect(nest);
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program.value().roots.size(), 2u);
+  const FuseAllResult fused = fuse_adjacent_roots(program.value());
+  EXPECT_TRUE(equivalent_by_execution(nest, fused.program));
+}
+
+}  // namespace
+}  // namespace coalesce::transform

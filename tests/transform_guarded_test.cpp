@@ -1,0 +1,234 @@
+// Tests for guarded (non-rectangular) coalescing and the IfStmt machinery
+// it rests on.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "ir/builder.hpp"
+#include "ir/eval.hpp"
+#include "ir/printer.hpp"
+#include "transform/guarded.hpp"
+
+namespace coalesce::transform {
+namespace {
+
+using core::equivalent_by_execution;
+using ir::int_const;
+using ir::LoopNest;
+using ir::NestBuilder;
+using ir::VarId;
+using ir::var_ref;
+
+// ---- IfStmt / comparison groundwork -------------------------------------------
+
+TEST(GuardIr, BuilderEvaluatorRoundTrip) {
+  NestBuilder b;
+  const VarId a = b.array("A", {6, 6});
+  const VarId i = b.begin_parallel_loop("i", 1, 6);
+  const VarId j = b.begin_parallel_loop("j", 1, 6);
+  b.begin_if(ir::cmp_le(var_ref(j), var_ref(i)));
+  b.assign(b.element(a, {i, j}), int_const(1));
+  b.end_if();
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  ir::Evaluator eval(nest.symbols);
+  eval.run(*nest.root);
+  double sum = 0.0;
+  for (double v : eval.store().data(a)) sum += v;
+  EXPECT_EQ(sum, 21.0);  // 6*7/2 lower-triangular cells
+}
+
+TEST(GuardIr, PrinterRendersGuardsAndComparisons) {
+  const LoopNest nest = ir::make_pivot_update(4, 2);
+  const std::string text = ir::to_string(nest);
+  EXPECT_NE(text.find("if (i != 2) {"), std::string::npos);
+}
+
+TEST(GuardIr, CloneCopiesGuardsDeeply) {
+  const LoopNest nest = ir::make_pivot_update(4, 2);
+  const ir::LoopPtr copy = ir::clone(*nest.root);
+  EXPECT_EQ(ir::to_string(*copy, nest.symbols),
+            ir::to_string(*nest.root, nest.symbols));
+}
+
+TEST(GuardIr, ComparisonSimplification) {
+  const auto one = ir::simplify(ir::cmp_le(int_const(3), int_const(7)));
+  EXPECT_EQ(ir::as_constant(one).value(), 1);
+  const auto zero = ir::simplify(ir::cmp_gt(int_const(3), int_const(7)));
+  EXPECT_EQ(ir::as_constant(zero).value(), 0);
+  const auto folded =
+      ir::simplify(ir::logical_and(int_const(1), ir::cmp_ne(int_const(2),
+                                                            int_const(2))));
+  EXPECT_EQ(ir::as_constant(folded).value(), 0);
+}
+
+TEST(GuardIr, AssignmentCountSeesThroughGuards) {
+  const LoopNest nest = ir::make_pivot_update(5, 2);
+  EXPECT_EQ(ir::assignment_count(*nest.root), 1u);
+  EXPECT_EQ(ir::collect_guards(*nest.root).size(), 1u);
+}
+
+// ---- triangular coalescing ------------------------------------------------------
+
+TEST(GuardedCoalesce, TriangularWitnessStructure) {
+  const LoopNest nest = ir::make_triangular_witness(8);
+  const auto result = coalesce_guarded(nest);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const auto& r = result.value();
+  EXPECT_EQ(r.levels, 2u);
+  EXPECT_EQ(r.box_points, 64);
+  EXPECT_EQ(r.active_points, 36);  // 8*9/2
+  EXPECT_EQ(r.guards_emitted, 1u);  // only the upper bound j <= i varies
+  EXPECT_TRUE(r.nest.root->parallel);
+  EXPECT_EQ(ir::as_constant(r.nest.root->upper).value(), 64);
+}
+
+TEST(GuardedCoalesce, TriangularWitnessEquivalent) {
+  for (std::int64_t n : {1, 2, 3, 7, 12}) {
+    const LoopNest nest = ir::make_triangular_witness(n);
+    const auto result = coalesce_guarded(nest);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest)) << n;
+  }
+}
+
+TEST(GuardedCoalesce, RectangularBandEmitsNoGuard) {
+  const LoopNest nest = ir::make_rectangular_witness({5, 4});
+  const auto result = coalesce_guarded(nest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().guards_emitted, 0u);
+  EXPECT_EQ(result.value().box_points, result.value().active_points);
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+}
+
+TEST(GuardedCoalesce, UpperTriangularLowerBoundDependence) {
+  // j runs i..n (upper triangle): the *lower* bound varies.
+  NestBuilder b;
+  const VarId a = b.array("A", {6, 6});
+  const VarId i = b.begin_parallel_loop("i", 1, 6);
+  const VarId j =
+      b.begin_loop_expr("j", var_ref(i), int_const(6), 1, /*parallel=*/true);
+  b.assign(b.element(a, {i, j}),
+           ir::add(ir::mul(var_ref(i), int_const(10)), var_ref(j)));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto result = coalesce_guarded(nest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().active_points, 21);
+  EXPECT_EQ(result.value().guards_emitted, 1u);
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+}
+
+TEST(GuardedCoalesce, BandedMatrixBothBoundsVary) {
+  // j in i-1 .. i+1 clipped is NOT expressible affinely with min/max, so use
+  // the unclipped band over a padded array: j in i..i+2 over A(8, 10).
+  NestBuilder b;
+  const VarId a = b.array("A", {8, 10});
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  const VarId j = b.begin_loop_expr(
+      "j", var_ref(i), ir::add(var_ref(i), int_const(2)), 1, true);
+  b.assign(b.element(a, {i, j}), var_ref(j));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto result = coalesce_guarded(nest);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().guards_emitted, 2u);  // both bounds vary
+  EXPECT_EQ(result.value().active_points, 24);   // 3 per row
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+}
+
+TEST(GuardedCoalesce, ThreeDeepWithMiddleDependence) {
+  // i: 1..4; j: 1..i; k: 1..3 — the varying level in the middle.
+  NestBuilder b;
+  const VarId a = b.array("A", {4, 4, 3});
+  const VarId i = b.begin_parallel_loop("i", 1, 4);
+  const VarId j =
+      b.begin_loop_expr("j", int_const(1), var_ref(i), 1, true);
+  const VarId k = b.begin_parallel_loop("k", 1, 3);
+  b.assign(b.element(a, {i, j, k}),
+           ir::add(ir::add(ir::mul(var_ref(i), int_const(100)),
+                           ir::mul(var_ref(j), int_const(10))),
+                   var_ref(k)));
+  b.end_loop();
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto result = coalesce_guarded(nest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().box_points, 4 * 4 * 3);
+  EXPECT_EQ(result.value().active_points, 10 * 3);  // sum(i)=10 pairs x 3
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+}
+
+TEST(GuardedCoalesce, GuardedBodyInsideTriangularBand) {
+  // The band body itself contains a guard: guards nest correctly.
+  NestBuilder b;
+  const VarId a = b.array("A", {6, 6});
+  const VarId i = b.begin_parallel_loop("i", 1, 6);
+  const VarId j =
+      b.begin_loop_expr("j", int_const(1), var_ref(i), 1, true);
+  b.begin_if(ir::cmp_ne(var_ref(j), int_const(2)));
+  b.assign(b.element(a, {i, j}), int_const(5));
+  b.end_if();
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto result = coalesce_guarded(nest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+}
+
+// ---- rejections --------------------------------------------------------------------
+
+TEST(GuardedCoalesce, RejectsNonAffineBound) {
+  NestBuilder b;
+  const VarId a = b.array("A", {6, 6});
+  const VarId idx = b.array("IDX", {6});
+  const VarId i = b.begin_parallel_loop("i", 1, 6);
+  const VarId j = b.begin_loop_expr(
+      "j", int_const(1), ir::array_read(idx, {var_ref(i)}), 1, true);
+  b.assign(b.element(a, {i, j}), int_const(1));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto result = coalesce_guarded(nest);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, support::ErrorCode::kUnsupported);
+}
+
+TEST(GuardedCoalesce, RejectsVariableBoundWithStep) {
+  NestBuilder b;
+  const VarId a = b.array("A", {8, 8});
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  const VarId j = b.begin_loop_expr("j", int_const(1), var_ref(i),
+                                    /*step=*/2, true);
+  b.assign(b.element(a, {i, j}), int_const(1));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_FALSE(coalesce_guarded(nest).ok());
+}
+
+TEST(GuardedCoalesce, RejectsShallowBand) {
+  const LoopNest nest = ir::make_recurrence(6);
+  EXPECT_FALSE(coalesce_guarded(nest).ok());
+}
+
+TEST(GuardedCoalesce, PivotUpdateRectangularOffsetBand) {
+  // make_pivot_update: rectangular but offset band with an interior guard.
+  const LoopNest nest = ir::make_pivot_update(8, 3);
+  const auto result = coalesce_guarded(nest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().guards_emitted, 0u);  // bounds are constant
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+}
+
+}  // namespace
+}  // namespace coalesce::transform

@@ -1,0 +1,159 @@
+// Tests for general loop permutation and the best-parallel-permutation
+// search.
+#include <gtest/gtest.h>
+
+#include "analysis/doall.hpp"
+#include "core/api.hpp"
+#include "ir/builder.hpp"
+#include "transform/coalesce.hpp"
+#include "transform/permute.hpp"
+
+namespace coalesce::transform {
+namespace {
+
+using core::equivalent_by_execution;
+using ir::int_const;
+using ir::LoopNest;
+using ir::NestBuilder;
+using ir::VarId;
+using ir::var_ref;
+
+TEST(Permute, RotatesThreeIndependentLevels) {
+  const LoopNest nest = ir::make_rectangular_witness({2, 3, 4});
+  const auto rotated = permute(nest, {2, 0, 1});
+  ASSERT_TRUE(rotated.ok()) << rotated.error().to_string();
+  const auto band = ir::perfect_band(*rotated.value().root);
+  EXPECT_EQ(ir::as_constant(band[0]->upper).value(), 4);
+  EXPECT_EQ(ir::as_constant(band[1]->upper).value(), 2);
+  EXPECT_EQ(ir::as_constant(band[2]->upper).value(), 3);
+  EXPECT_TRUE(equivalent_by_execution(nest, rotated.value()));
+}
+
+TEST(Permute, IdentityIsAlwaysLegal) {
+  const LoopNest nest = ir::make_recurrence(8);
+  const auto legal = permutation_legal(nest, {0});
+  ASSERT_TRUE(legal.ok());
+  EXPECT_TRUE(legal.value());
+}
+
+TEST(Permute, AllPermutationsOfIndependentNestAreEquivalent) {
+  const LoopNest nest = ir::make_rectangular_witness({2, 3, 2});
+  const std::vector<std::vector<std::size_t>> perms = {
+      {0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (const auto& perm : perms) {
+    const auto permuted = permute(nest, perm);
+    ASSERT_TRUE(permuted.ok());
+    EXPECT_TRUE(equivalent_by_execution(nest, permuted.value()));
+  }
+}
+
+TEST(Permute, RejectsDirectionReversingPermutation) {
+  // A(i, j) = A(i-1, j+1): distance (1, -1); any permutation placing j
+  // first leads with -1: illegal.
+  NestBuilder b;
+  const VarId a = b.array("A", {8, 8});
+  const VarId i = b.begin_loop("i", 2, 7);
+  const VarId j = b.begin_loop("jj", 2, 7);
+  b.assign(b.element(a, {i, j}),
+           ir::array_read(a, {ir::sub(var_ref(i), int_const(1)),
+                              ir::add(var_ref(j), int_const(1))}));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto legal = permutation_legal(nest, {1, 0});
+  ASSERT_TRUE(legal.ok());
+  EXPECT_FALSE(legal.value());
+  EXPECT_FALSE(permute(nest, {1, 0}).ok());
+}
+
+TEST(Permute, RejectsMalformedInputs) {
+  const LoopNest nest = ir::make_rectangular_witness({3, 3});
+  EXPECT_FALSE(permute(nest, {0, 0}).ok());      // not a permutation
+  EXPECT_FALSE(permute(nest, {0, 2, 1}).ok());   // deeper than the band
+  EXPECT_FALSE(permute(ir::make_triangular_witness(4), {1, 0}).ok());
+}
+
+TEST(Permute, MatchesInterchangeForAdjacentSwap) {
+  // A(i, j) = A(i-1, j-1): distance (1, 1) — swap legal both ways.
+  NestBuilder b;
+  const VarId a = b.array("A", {8, 8});
+  const VarId i = b.begin_loop("i", 2, 8);
+  const VarId j = b.begin_loop("jj", 2, 8);
+  b.assign(b.element(a, {i, j}),
+           ir::array_read(a, {ir::sub(var_ref(i), int_const(1)),
+                              ir::sub(var_ref(j), int_const(1))}));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto swapped = permute(nest, {1, 0});
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_TRUE(equivalent_by_execution(nest, swapped.value()));
+}
+
+TEST(BestParallelPermutation, MovesParallelLoopOutward) {
+  // A(i, j) = A(i-1, j): the i loop carries a dependence; j is parallel but
+  // inner. The best permutation puts j outermost, deepening the leading
+  // parallel band from 0 to 1.
+  NestBuilder b;
+  const VarId a = b.array("A", {8, 8});
+  const VarId i = b.begin_loop("i", 2, 8);
+  const VarId j = b.begin_loop("jj", 1, 8);
+  b.assign(b.element(a, {i, j}),
+           ir::array_read(a, {ir::sub(var_ref(i), int_const(1)),
+                              var_ref(j)}));
+  b.end_loop();
+  b.end_loop();
+  LoopNest nest = b.build();
+  analysis::analyze_and_mark(nest);
+  EXPECT_EQ(ir::parallel_band(*nest.root).size(), 0u);  // serial outer
+
+  const auto perm = best_parallel_permutation(nest, 2);
+  EXPECT_EQ(perm, (std::vector<std::size_t>{1, 0}));
+  auto permuted = permute(nest, perm);
+  ASSERT_TRUE(permuted.ok());
+  analysis::analyze_and_mark(permuted.value());
+  EXPECT_EQ(ir::parallel_band(*permuted.value().root).size(), 1u);
+  EXPECT_TRUE(equivalent_by_execution(nest, permuted.value()));
+}
+
+TEST(BestParallelPermutation, IdentityWhenAlreadyOptimal) {
+  LoopNest nest = ir::make_rectangular_witness({4, 4});
+  analysis::analyze_and_mark(nest);
+  const auto perm = best_parallel_permutation(nest, 2);
+  EXPECT_EQ(perm, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(BestParallelPermutation, EnablesDeeperCoalescing) {
+  // 3-deep: serial k sandwiched between parallel i (outer) and parallel j
+  // (inner): band depth 1. Moving k innermost gives band depth 2, which
+  // coalesce_nest then fuses.
+  NestBuilder b;
+  const VarId a = b.array("A", {6, 6, 6});
+  const VarId i = b.begin_parallel_loop("i", 1, 6);
+  const VarId k = b.begin_loop("k", 2, 6);
+  const VarId j = b.begin_parallel_loop("jj", 1, 6);
+  b.assign(b.element(a, {i, k, j}),
+           ir::array_read(a, {var_ref(i),
+                              ir::sub(var_ref(k), int_const(1)),
+                              var_ref(j)}));
+  b.end_loop();
+  b.end_loop();
+  b.end_loop();
+  LoopNest nest = b.build();
+  analysis::analyze_and_mark(nest);
+  EXPECT_EQ(ir::parallel_band(*nest.root).size(), 1u);
+
+  const auto perm = best_parallel_permutation(nest, 3);
+  auto permuted = permute(nest, perm);
+  ASSERT_TRUE(permuted.ok());
+  analysis::analyze_and_mark(permuted.value());
+  EXPECT_GE(ir::parallel_band(*permuted.value().root).size(), 2u);
+
+  const auto coalesced = coalesce_nest(permuted.value());
+  ASSERT_TRUE(coalesced.ok());
+  EXPECT_TRUE(equivalent_by_execution(nest, coalesced.value().nest));
+}
+
+}  // namespace
+}  // namespace coalesce::transform

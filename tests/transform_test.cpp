@@ -1,0 +1,582 @@
+// Tests for the transformations: coalescing (full, partial, hybrid, both
+// recovery styles), normalization, interchange, strip mining, and the static
+// metrics. Semantic equivalence is checked by interpreting the original and
+// transformed nests on identical inputs and demanding bit-equal arrays.
+#include <gtest/gtest.h>
+
+#include "analysis/doall.hpp"
+#include "core/api.hpp"
+#include "ir/builder.hpp"
+#include "ir/eval.hpp"
+#include "ir/printer.hpp"
+#include "transform/coalesce.hpp"
+#include "transform/interchange.hpp"
+#include "transform/normalize.hpp"
+#include "transform/stats.hpp"
+#include "transform/strip_mine.hpp"
+
+namespace coalesce::transform {
+namespace {
+
+using core::equivalent_by_execution;
+using ir::int_const;
+using ir::LoopNest;
+using ir::NestBuilder;
+using ir::VarId;
+using ir::var_ref;
+
+// ---- coalesce_nest structure -------------------------------------------------
+
+TEST(Coalesce, FusesTwoLevelWitness) {
+  const LoopNest nest = ir::make_rectangular_witness({4, 3});
+  const auto result = coalesce_nest(nest);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const auto& r = result.value();
+  EXPECT_EQ(r.levels, 2u);
+  EXPECT_EQ(r.space.total(), 12);
+  EXPECT_TRUE(r.nest.root->parallel);
+  EXPECT_EQ(ir::as_constant(r.nest.root->upper).value(), 12);
+  // Body: 2 recovery assignments + 1 original statement.
+  EXPECT_EQ(r.nest.root->body.size(), 3u);
+  EXPECT_EQ(ir::loop_count(*r.nest.root), 1u);
+}
+
+TEST(Coalesce, RecoveredVariablesAreTheOriginalInductions) {
+  const LoopNest nest = ir::make_rectangular_witness({4, 3});
+  const auto result = coalesce_nest(nest);
+  ASSERT_TRUE(result.ok());
+  const auto& r = result.value();
+  ASSERT_EQ(r.recovered.size(), 2u);
+  EXPECT_EQ(r.nest.symbols.name(r.recovered[0]), "i0");
+  EXPECT_EQ(r.nest.symbols.name(r.recovered[1]), "i1");
+  EXPECT_EQ(r.nest.symbols.name(r.coalesced_var), "j");
+}
+
+TEST(Coalesce, ThreeAndFourDeepBands) {
+  for (const auto& extents :
+       {std::vector<std::int64_t>{3, 4, 5}, std::vector<std::int64_t>{2, 3, 2, 2}}) {
+    const LoopNest nest = ir::make_rectangular_witness(extents);
+    const auto result = coalesce_nest(nest);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().levels, extents.size());
+    EXPECT_EQ(ir::loop_count(*result.value().nest.root), 1u);
+  }
+}
+
+TEST(Coalesce, PartialLevelsKeepsInnerLoops) {
+  const LoopNest nest = ir::make_rectangular_witness({3, 4, 5});
+  CoalesceOptions options;
+  options.levels = 2;  // collapse(2): fuse i0, i1; keep i2
+  const auto result = coalesce_nest(nest, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().levels, 2u);
+  EXPECT_EQ(result.value().space.total(), 12);
+  EXPECT_EQ(ir::loop_count(*result.value().nest.root), 2u);
+}
+
+TEST(Coalesce, MatmulFusesIJAroundReduction) {
+  LoopNest nest = ir::make_matmul(4, 6, 5);
+  const auto result = coalesce_nest(nest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().levels, 2u);
+  EXPECT_EQ(result.value().space.total(), 24);
+  EXPECT_EQ(ir::loop_count(*result.value().nest.root), 2u);  // j-loop + k
+}
+
+TEST(Coalesce, CoalescedNameCollisionGetsFreshName) {
+  NestBuilder b;
+  const VarId a = b.array("A", {4, 4});
+  b.scalar("j");  // taken
+  const VarId i0 = b.begin_parallel_loop("x", 1, 4);
+  const VarId i1 = b.begin_parallel_loop("y", 1, 4);
+  b.assign(b.element(a, {i0, i1}), int_const(1));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto result = coalesce_nest(nest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result.value().nest.symbols.name(result.value().coalesced_var),
+            "j");
+}
+
+// ---- legality rejections -------------------------------------------------------
+
+TEST(Coalesce, RejectsDepthOneBand) {
+  const LoopNest nest = ir::make_rectangular_witness({8});
+  const auto result = coalesce_nest(nest);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, support::ErrorCode::kIllegalTransform);
+}
+
+TEST(Coalesce, RejectsSerialOuterLoop) {
+  const LoopNest nest = ir::make_recurrence(8);
+  EXPECT_FALSE(coalesce_nest(nest).ok());
+}
+
+TEST(Coalesce, RejectsMoreLevelsThanBand) {
+  const LoopNest nest = ir::make_rectangular_witness({3, 4});
+  CoalesceOptions options;
+  options.levels = 3;
+  const auto result = coalesce_nest(nest, options);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(Coalesce, RejectsNonConstantBounds) {
+  NestBuilder b;
+  const VarId n = b.param("n");
+  const VarId a = b.array("A", {10, 10});
+  const VarId i = b.begin_loop_expr("i", int_const(1), var_ref(n), 1, true);
+  const VarId j = b.begin_parallel_loop("jj", 1, 10);
+  b.assign(b.element(a, {i, j}), int_const(1));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto result = coalesce_nest(nest);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("non-constant"), std::string::npos);
+}
+
+TEST(Coalesce, RejectsTriangularBand) {
+  // Inner bound depends on the outer variable: not rectangular, and also
+  // not constant — must be rejected, not silently mis-coalesced.
+  NestBuilder b;
+  const VarId a = b.array("A", {10, 10});
+  const VarId i = b.begin_parallel_loop("i", 1, 10);
+  const VarId j = b.begin_loop_expr("jj", int_const(1), var_ref(i), 1, true);
+  b.assign(b.element(a, {i, j}), int_const(1));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_FALSE(coalesce_nest(nest).ok());
+}
+
+TEST(Coalesce, RejectsEmptyLoop) {
+  NestBuilder b;
+  const VarId a = b.array("A", {4, 4});
+  const VarId i = b.begin_parallel_loop("i", 3, 2);  // empty
+  const VarId j = b.begin_parallel_loop("jj", 1, 4);
+  b.assign(b.element(a, {j, j}), int_const(1));
+  b.end_loop();
+  b.end_loop();
+  (void)i;
+  const LoopNest nest = b.build();
+  const auto result = coalesce_nest(nest);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("empty"), std::string::npos);
+}
+
+TEST(Coalesce, RejectsBodyAssigningBandVariable) {
+  NestBuilder b;
+  const VarId a = b.array("A", {4, 4});
+  const VarId i = b.begin_parallel_loop("i", 1, 4);
+  const VarId j = b.begin_parallel_loop("jj", 1, 4);
+  b.assign(i, int_const(2));  // clobbers the band variable
+  b.assign(b.element(a, {i, j}), int_const(1));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_FALSE(coalesce_nest(nest).ok());
+}
+
+TEST(Coalesce, InputNestIsNotModified) {
+  const LoopNest nest = ir::make_rectangular_witness({3, 4});
+  const std::string before = ir::to_string(nest);
+  const auto result = coalesce_nest(nest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ir::to_string(nest), before);
+}
+
+// ---- semantic equivalence (the core property) ---------------------------------
+
+struct EquivCase {
+  std::vector<std::int64_t> extents;
+  RecoveryStyle style;
+};
+
+class CoalesceEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(CoalesceEquivalence, WitnessNestProducesIdenticalArrays) {
+  const LoopNest nest = ir::make_rectangular_witness(GetParam().extents);
+  CoalesceOptions options;
+  options.recovery = GetParam().style;
+  const auto result = coalesce_nest(nest, options);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndStyles, CoalesceEquivalence,
+    ::testing::Values(
+        EquivCase{{2, 3}, RecoveryStyle::kPaperClosedForm},
+        EquivCase{{2, 3}, RecoveryStyle::kMixedRadix},
+        EquivCase{{5, 1}, RecoveryStyle::kPaperClosedForm},
+        EquivCase{{1, 5}, RecoveryStyle::kPaperClosedForm},
+        EquivCase{{1, 1}, RecoveryStyle::kMixedRadix},
+        EquivCase{{7, 11}, RecoveryStyle::kPaperClosedForm},
+        EquivCase{{3, 4, 5}, RecoveryStyle::kPaperClosedForm},
+        EquivCase{{3, 4, 5}, RecoveryStyle::kMixedRadix},
+        EquivCase{{2, 2, 2, 2}, RecoveryStyle::kPaperClosedForm},
+        EquivCase{{6, 1, 4}, RecoveryStyle::kMixedRadix}));
+
+TEST(CoalesceEquivalenceWorkloads, Matmul) {
+  const LoopNest nest = ir::make_matmul(5, 4, 6);
+  const auto result = coalesce_nest(nest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+}
+
+TEST(CoalesceEquivalenceWorkloads, GaussJordanBacksolve) {
+  const LoopNest nest = ir::make_gauss_jordan_backsolve(6, 4);
+  const auto result = coalesce_nest(nest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+}
+
+TEST(CoalesceEquivalenceWorkloads, JacobiWithNonUnitLowerBounds) {
+  const LoopNest nest = ir::make_jacobi_step(6);
+  const auto result = coalesce_nest(nest);
+  ASSERT_TRUE(result.ok());
+  // Band lower bounds are 2..n+1: exercises LevelGeometry lower != 1.
+  EXPECT_EQ(result.value().space.level(0).lower, 2);
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+}
+
+TEST(CoalesceEquivalenceWorkloads, SteppedBand) {
+  NestBuilder b;
+  const VarId a = b.array("A", {20, 20});
+  const VarId i = b.begin_parallel_loop("i", 2, 20, 3);   // 2,5,...,20
+  const VarId j = b.begin_parallel_loop("jj", 1, 19, 2);  // 1,3,...,19
+  b.assign(b.element(a, {i, j}),
+           ir::add(ir::mul(var_ref(i), int_const(100)), var_ref(j)));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto result = coalesce_nest(nest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().space.total(), 7 * 10);
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+}
+
+TEST(CoalesceEquivalenceWorkloads, PartialOfThreeDeep) {
+  const LoopNest nest = ir::make_rectangular_witness({3, 4, 5});
+  CoalesceOptions options;
+  options.levels = 2;
+  const auto result = coalesce_nest(nest, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+}
+
+// ---- recovery expressions -----------------------------------------------------
+
+TEST(RecoveryExpression, PaperFormDivisionCounts) {
+  const auto space =
+      index::CoalescedSpace::create(std::vector<support::i64>{4, 3}).value();
+  ir::SymbolTable symbols;
+  const VarId j = symbols.declare("j", ir::SymbolKind::kInduction);
+  const auto e0 =
+      recovery_expression(space, 0, j, RecoveryStyle::kPaperClosedForm);
+  const auto e1 =
+      recovery_expression(space, 1, j, RecoveryStyle::kPaperClosedForm);
+  EXPECT_EQ(ir::division_count(e0), 2u);
+  // Innermost level: ceil(j / P_{m+1}) = ceil(j / 1) folds to j, leaving a
+  // single floor division — the emitted code is cheaper than the formula's
+  // nominal 2 divisions per level.
+  EXPECT_EQ(ir::division_count(e1), 1u);
+}
+
+TEST(RecoveryExpression, InnermostMixedRadixSimplifies) {
+  // Innermost level: (j-1)/1 mod N + 1 -> mod(j-1, N) + 1: one division.
+  const auto space =
+      index::CoalescedSpace::create(std::vector<support::i64>{4, 3}).value();
+  ir::SymbolTable symbols;
+  const VarId j = symbols.declare("j", ir::SymbolKind::kInduction);
+  const auto e1 = recovery_expression(space, 1, j, RecoveryStyle::kMixedRadix);
+  EXPECT_EQ(ir::division_count(e1), 1u);
+}
+
+TEST(RecoveryExpression, EvaluatesToDecodeOriginal) {
+  const auto space = index::CoalescedSpace::create(
+                         {index::LevelGeometry{3, 4, 2},
+                          index::LevelGeometry{-1, 3, 1}})
+                         .value();
+  ir::SymbolTable symbols;
+  const VarId j = symbols.declare("j", ir::SymbolKind::kInduction);
+  for (auto style : {RecoveryStyle::kPaperClosedForm,
+                     RecoveryStyle::kMixedRadix}) {
+    std::vector<support::i64> expect(2);
+    for (support::i64 jj = 1; jj <= space.total(); ++jj) {
+      space.decode_original(jj, expect);
+      for (std::size_t level = 0; level < 2; ++level) {
+        const auto expr = recovery_expression(space, level, j, style);
+        const auto value =
+            ir::as_constant(ir::simplify(ir::substitute(expr, j,
+                                                        int_const(jj))));
+        ASSERT_TRUE(value.has_value());
+        EXPECT_EQ(*value, expect[level]) << "j=" << jj << " level=" << level;
+      }
+    }
+  }
+}
+
+// ---- coalesce_all (hybrid nests) -----------------------------------------------
+
+TEST(CoalesceAll, HandlesSerialOuterParallelInnerBand) {
+  // do t { doall i { doall j { ... } } }: the inner band is fused in place.
+  NestBuilder b;
+  const VarId a = b.array("A", {4, 4});
+  const VarId t = b.begin_loop("t", 1, 3);  // serial time loop
+  const VarId i = b.begin_parallel_loop("i", 1, 4);
+  const VarId j = b.begin_parallel_loop("jj", 1, 4);
+  b.assign(b.element(a, {i, j}),
+           ir::add(b.read(a, {i, j}), var_ref(t)));
+  b.end_loop();
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto result = coalesce_all(nest);
+  EXPECT_EQ(result.bands_coalesced, 1u);
+  // Serial outer survives; inside it a single coalesced loop.
+  EXPECT_FALSE(result.nest.root->parallel);
+  EXPECT_EQ(ir::loop_count(*result.nest.root), 2u);
+  EXPECT_TRUE(equivalent_by_execution(nest, result.nest));
+}
+
+TEST(CoalesceAll, FusesRootBandAndLeavesReductionAlone) {
+  const LoopNest nest = ir::make_matmul(4, 4, 4);
+  const auto result = coalesce_all(nest);
+  EXPECT_EQ(result.bands_coalesced, 1u);
+  EXPECT_TRUE(equivalent_by_execution(nest, result.nest));
+}
+
+TEST(CoalesceAll, LeavesUncoalescibleTreesUntouched) {
+  const LoopNest nest = ir::make_recurrence(8);
+  const auto result = coalesce_all(nest);
+  EXPECT_EQ(result.bands_coalesced, 0u);
+  EXPECT_EQ(ir::to_string(result.nest), ir::to_string(nest));
+}
+
+TEST(CoalesceAll, TwoIndependentBandsBothFused) {
+  // A serial loop containing two disjoint 2-deep parallel bands.
+  NestBuilder b;
+  const VarId a = b.array("A", {3, 3});
+  const VarId c = b.array("C", {3, 3});
+  const VarId t = b.begin_loop("t", 1, 2);
+  {
+    const VarId i = b.begin_parallel_loop("i", 1, 3);
+    const VarId j = b.begin_parallel_loop("jj", 1, 3);
+    b.assign(b.element(a, {i, j}), ir::add(b.read(a, {i, j}), var_ref(t)));
+    b.end_loop();
+    b.end_loop();
+  }
+  {
+    const VarId p = b.begin_parallel_loop("p", 1, 3);
+    const VarId q = b.begin_parallel_loop("q", 1, 3);
+    b.assign(b.element(c, {p, q}), ir::add(b.read(c, {p, q}), int_const(1)));
+    b.end_loop();
+    b.end_loop();
+  }
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto result = coalesce_all(nest);
+  EXPECT_EQ(result.bands_coalesced, 2u);
+  EXPECT_TRUE(equivalent_by_execution(nest, result.nest));
+}
+
+// ---- normalization --------------------------------------------------------------
+
+TEST(Normalize, RewritesLowerBoundAndStep) {
+  NestBuilder b;
+  const VarId a = b.array("A", {20});
+  const VarId i = b.begin_parallel_loop("i", 5, 19, 2);  // 5,7,...,19
+  b.assign(b.element(a, {i}), var_ref(i));
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto normalized = normalize_nest(nest);
+  ASSERT_TRUE(normalized.ok());
+  EXPECT_TRUE(fully_normalized(*normalized.value().root));
+  EXPECT_EQ(ir::constant_trip_count(*normalized.value().root).value(), 8);
+  EXPECT_TRUE(equivalent_by_execution(nest, normalized.value()));
+}
+
+TEST(Normalize, LeavesNormalLoopsAlone) {
+  const LoopNest nest = ir::make_rectangular_witness({4, 3});
+  const auto normalized = normalize_nest(nest);
+  ASSERT_TRUE(normalized.ok());
+  EXPECT_EQ(ir::to_string(normalized.value()), ir::to_string(nest));
+}
+
+TEST(Normalize, RecursesIntoInnerLoops) {
+  const LoopNest nest = ir::make_jacobi_step(5);  // bounds 2..n+1
+  const auto normalized = normalize_nest(nest);
+  ASSERT_TRUE(normalized.ok());
+  EXPECT_TRUE(fully_normalized(*normalized.value().root));
+  EXPECT_TRUE(equivalent_by_execution(nest, normalized.value()));
+}
+
+TEST(Normalize, RejectsSelfReferencingBounds) {
+  NestBuilder b;
+  const VarId a = b.array("A", {10});
+  const VarId i = b.begin_loop_expr("i", int_const(1), int_const(5));
+  b.assign(b.element(a, {i}), int_const(1));
+  b.end_loop();
+  LoopNest nest = b.build();
+  // Manually corrupt: upper references the loop's own variable.
+  nest.root->upper = var_ref(nest.root->var);
+  EXPECT_FALSE(normalize_nest(nest).ok());
+}
+
+TEST(Normalize, ThenCoalesceHandlesOffsetBands) {
+  const LoopNest nest = ir::make_jacobi_step(6);
+  const auto normalized = normalize_nest(nest);
+  ASSERT_TRUE(normalized.ok());
+  const auto result = coalesce_nest(normalized.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+}
+
+// ---- interchange ----------------------------------------------------------------
+
+TEST(Interchange, SwapsRectangularParallelLevels) {
+  const LoopNest nest = ir::make_rectangular_witness({3, 5});
+  const auto swapped = interchange(nest, 0);
+  ASSERT_TRUE(swapped.ok()) << swapped.error().to_string();
+  const auto band = ir::perfect_band(*swapped.value().root);
+  ASSERT_EQ(band.size(), 2u);
+  EXPECT_EQ(ir::as_constant(band[0]->upper).value(), 5);
+  EXPECT_EQ(ir::as_constant(band[1]->upper).value(), 3);
+  EXPECT_TRUE(equivalent_by_execution(nest, swapped.value()));
+}
+
+TEST(Interchange, LegalWhenDistancePositiveAtBothLevels) {
+  // A(i, j) = A(i-1, j-1): distance (1, 1) stays lexicographically positive
+  // under the swap.
+  NestBuilder b;
+  const VarId a = b.array("A", {8, 8});
+  const VarId i = b.begin_loop("i", 2, 8);
+  const VarId j = b.begin_loop("jj", 2, 8);
+  b.assign(b.element(a, {i, j}),
+           ir::array_read(a, {ir::sub(var_ref(i), int_const(1)),
+                              ir::sub(var_ref(j), int_const(1))}));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto legal = interchange_legal(nest, 0);
+  ASSERT_TRUE(legal.ok());
+  EXPECT_TRUE(legal.value());
+  const auto swapped = interchange(nest, 0);
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_TRUE(equivalent_by_execution(nest, swapped.value()));
+}
+
+TEST(Interchange, IllegalWhenSwapFlipsDirection) {
+  // A(i, j) = A(i-1, j+1): distance (1, -1); swapping makes (-1, 1): illegal.
+  NestBuilder b;
+  const VarId a = b.array("A", {8, 8});
+  const VarId i = b.begin_loop("i", 2, 7);
+  const VarId j = b.begin_loop("jj", 2, 7);
+  b.assign(b.element(a, {i, j}),
+           ir::array_read(a, {ir::sub(var_ref(i), int_const(1)),
+                              ir::add(var_ref(j), int_const(1))}));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto legal = interchange_legal(nest, 0);
+  ASSERT_TRUE(legal.ok());
+  EXPECT_FALSE(legal.value());
+  EXPECT_FALSE(interchange(nest, 0).ok());
+}
+
+TEST(Interchange, RejectsTooShallowBand) {
+  const LoopNest nest = ir::make_rectangular_witness({4});
+  EXPECT_FALSE(interchange(nest, 0).ok());
+}
+
+TEST(Interchange, RejectsNonRectangular) {
+  NestBuilder b;
+  const VarId a = b.array("A", {10, 10});
+  const VarId i = b.begin_parallel_loop("i", 1, 10);
+  const VarId j = b.begin_loop_expr("jj", int_const(1), var_ref(i), 1, true);
+  b.assign(b.element(a, {i, j}), int_const(1));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_FALSE(interchange(nest, 0).ok());
+}
+
+// ---- strip mining ----------------------------------------------------------------
+
+TEST(StripMine, SplitsAndStaysEquivalent) {
+  NestBuilder b;
+  const VarId a = b.array("A", {17});
+  const VarId i = b.begin_parallel_loop("i", 1, 17);
+  b.assign(b.element(a, {i}), ir::mul(var_ref(i), var_ref(i)));
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto mined = strip_mine(nest, 5);
+  ASSERT_TRUE(mined.ok());
+  const auto band = ir::perfect_band(*mined.value().root);
+  ASSERT_EQ(band.size(), 2u);
+  EXPECT_EQ(ir::as_constant(band[0]->upper).value(), 4);  // ceil(17/5)
+  EXPECT_TRUE(band[0]->parallel);
+  EXPECT_FALSE(band[1]->parallel);
+  EXPECT_TRUE(equivalent_by_execution(nest, mined.value()));
+}
+
+TEST(StripMine, ExactDivision) {
+  NestBuilder b;
+  const VarId a = b.array("A", {16});
+  const VarId i = b.begin_parallel_loop("i", 1, 16);
+  b.assign(b.element(a, {i}), var_ref(i));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto mined = strip_mine(nest, 4);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_TRUE(equivalent_by_execution(nest, mined.value()));
+}
+
+TEST(StripMine, RejectsBadInputs) {
+  const LoopNest nest = ir::make_rectangular_witness({8});
+  EXPECT_FALSE(strip_mine(nest, 0).ok());
+  const LoopNest offset = ir::make_jacobi_step(4);  // lower bound 2
+  EXPECT_FALSE(strip_mine(offset, 2).ok());
+}
+
+// ---- static metrics ---------------------------------------------------------------
+
+TEST(Stats, WitnessBeforeAndAfterCoalescing) {
+  const LoopNest nest = ir::make_rectangular_witness({10, 20});
+  const NestStats before = compute_stats(nest);
+  EXPECT_EQ(before.loops, 2u);
+  EXPECT_EQ(before.parallel_loops, 2u);
+  EXPECT_EQ(before.max_depth, 2u);
+  // Outer parallel loop entered once; inner entered once per outer iter.
+  EXPECT_EQ(before.fork_join_points, 1u + 10u);
+  EXPECT_EQ(before.loop_iterations, 10u + 200u);
+  EXPECT_EQ(before.assignment_instances, 200u);
+  EXPECT_EQ(before.division_ops, 0u);
+
+  const auto result = coalesce_nest(nest);
+  ASSERT_TRUE(result.ok());
+  const NestStats after = compute_stats(result.value().nest);
+  EXPECT_EQ(after.loops, 1u);
+  EXPECT_EQ(after.fork_join_points, 1u);       // the paper's headline effect
+  EXPECT_EQ(after.loop_iterations, 200u);
+  EXPECT_EQ(after.assignment_instances, 600u); // 2 recovery + 1 body per iter
+  // 2 divisions for the outer level + 1 for the inner (cdiv(j,1) folded).
+  EXPECT_EQ(after.division_ops, 200u * 3u);
+}
+
+TEST(Stats, MatmulDepth) {
+  const NestStats stats = compute_stats(ir::make_matmul(4, 5, 6));
+  EXPECT_EQ(stats.loops, 3u);
+  EXPECT_EQ(stats.max_depth, 3u);
+  EXPECT_EQ(stats.parallel_loops, 2u);
+  EXPECT_EQ(stats.fork_join_points, 1u + 4u);
+  EXPECT_EQ(stats.assignment_instances, 4u * 5u + 4u * 5u * 6u);
+}
+
+}  // namespace
+}  // namespace coalesce::transform

@@ -1,0 +1,97 @@
+// Tests for tiling and tile-then-coalesce.
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "transform/normalize.hpp"
+#include "transform/tile.hpp"
+
+namespace coalesce::transform {
+namespace {
+
+using core::equivalent_by_execution;
+using ir::LoopNest;
+
+TEST(Tile, StructureOfTiledWitness) {
+  const LoopNest nest = ir::make_rectangular_witness({10, 12});
+  const auto tiled = tile2(nest, 4, 5);
+  ASSERT_TRUE(tiled.ok()) << tiled.error().to_string();
+  const auto band = ir::perfect_band(*tiled.value().root);
+  ASSERT_EQ(band.size(), 4u);
+  EXPECT_TRUE(band[0]->parallel);   // it
+  EXPECT_TRUE(band[1]->parallel);   // jt
+  EXPECT_FALSE(band[2]->parallel);  // i strip
+  EXPECT_FALSE(band[3]->parallel);  // j strip
+  EXPECT_EQ(ir::as_constant(band[0]->upper).value(), 3);  // ceil(10/4)
+  EXPECT_EQ(ir::as_constant(band[1]->upper).value(), 3);  // ceil(12/5)
+}
+
+class TileSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(TileSweep, TiledNestIsEquivalent) {
+  const auto [n, m, ti, tj] = GetParam();
+  const LoopNest nest = ir::make_rectangular_witness({n, m});
+  const auto tiled = tile2(nest, ti, tj);
+  ASSERT_TRUE(tiled.ok());
+  EXPECT_TRUE(equivalent_by_execution(nest, tiled.value()));
+}
+
+TEST_P(TileSweep, TileAndCoalesceIsEquivalent) {
+  const auto [n, m, ti, tj] = GetParam();
+  const LoopNest nest = ir::make_rectangular_witness({n, m});
+  const auto result = tile_and_coalesce(nest, ti, tj);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  // One parallel loop over all tiles.
+  EXPECT_TRUE(result.value().nest.root->parallel);
+  EXPECT_EQ(result.value().space.total(),
+            support::ceil_div(n, ti) * support::ceil_div(m, tj));
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TileSweep,
+    ::testing::Values(std::make_tuple(10, 12, 4, 5),   // ragged tiles
+                      std::make_tuple(8, 8, 4, 4),     // exact tiles
+                      std::make_tuple(7, 3, 10, 10),   // tile > extent
+                      std::make_tuple(5, 5, 1, 1),     // degenerate tiles
+                      std::make_tuple(16, 2, 3, 2),
+                      std::make_tuple(1, 9, 2, 4)));
+
+TEST(Tile, MatmulTiledKeepsReductionInside) {
+  const LoopNest nest = ir::make_matmul(6, 6, 4);
+  const auto result = tile_and_coalesce(nest, 3, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(equivalent_by_execution(nest, result.value().nest));
+  // 2x3 = 6 tiles.
+  EXPECT_EQ(result.value().space.total(), 6);
+}
+
+TEST(Tile, RejectsBadInputs) {
+  EXPECT_FALSE(tile2(ir::make_rectangular_witness({8, 8}), 0, 4).ok());
+  EXPECT_FALSE(tile2(ir::make_rectangular_witness({8}), 2, 2).ok());
+  EXPECT_FALSE(tile2(ir::make_recurrence(8), 2, 2).ok());
+  // Non-normalized band (jacobi: lower bound 2) is rejected until
+  // normalized.
+  EXPECT_FALSE(tile2(ir::make_jacobi_step(6), 2, 2).ok());
+  const auto normalized = normalize_nest(ir::make_jacobi_step(6));
+  ASSERT_TRUE(normalized.ok());
+  const auto tiled = tile2(normalized.value(), 2, 3);
+  ASSERT_TRUE(tiled.ok());
+  EXPECT_TRUE(
+      equivalent_by_execution(ir::make_jacobi_step(6), tiled.value()));
+}
+
+TEST(Tile, CoalescedTileLoopCountsMatchChunking) {
+  // tile_and_coalesce(N x M, tx, ty) over P workers is chunk scheduling
+  // with chunk = tx*ty expressed at the source level: the coalesced tile
+  // count equals the chunk count of the equivalent chunked dispatch.
+  const LoopNest nest = ir::make_rectangular_witness({32, 32});
+  const auto result = tile_and_coalesce(nest, 8, 8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().space.total(), 16);  // 1024 / 64 per tile
+}
+
+}  // namespace
+}  // namespace coalesce::transform

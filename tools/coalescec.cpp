@@ -1,0 +1,299 @@
+// coalescec — the source-to-source driver.
+//
+// Reads a program in the textual loop language, runs the requested passes,
+// and prints the result. This is the paper's transformation as a standalone
+// compiler tool.
+//
+// Usage:
+//   coalescec [options] [file]          (file defaults to stdin)
+//
+// Options:
+//   --analyze          prove and set DOALL flags (default on; --no-analyze)
+//   --make-perfect     distribute loops to maximize perfect bands
+//   --coalesce         coalesce every maximal parallel band (default)
+//   --guarded          use guarded coalescing (triangular bands allowed);
+//                      implies a single top-level loop
+//   --collapse=K       partially coalesce only K levels
+//   --mixed-radix      use mixed-radix index recovery
+//   --expand-scalars   scalar-expand privatizable temporaries first
+//   --emit=ir|c|c-main emit transformed IR (default), a C kernel, or a
+//                      standalone C program
+//   --openmp           add OpenMP pragmas to emitted C
+//   --verify           interpret original and result; fail on divergence
+//   --stats            print before/after static metrics to stderr
+//   --report           print the dependence/parallelism report to stderr
+//   --dot              print the dependence graph (Graphviz) and exit
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/coalesce.hpp"
+
+namespace {
+
+using namespace coalesce;
+
+struct Options {
+  bool analyze = true;
+  bool make_perfect = false;
+  bool do_coalesce = true;
+  bool guarded = false;
+  std::size_t collapse = 0;
+  bool mixed_radix = false;
+  bool expand_scalars = false;
+  std::string emit = "ir";
+  bool openmp = false;
+  bool verify = false;
+  bool stats = false;
+  bool report = false;
+  bool dot = false;
+  std::string input_path;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--analyze|--no-analyze] [--make-perfect] "
+               "[--coalesce|--no-coalesce] [--guarded] [--collapse=K] "
+               "[--mixed-radix] [--expand-scalars] [--emit=ir|c|c-main] "
+               "[--openmp] [--verify] [--stats] [file]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--analyze") options.analyze = true;
+    else if (arg == "--no-analyze") options.analyze = false;
+    else if (arg == "--make-perfect") options.make_perfect = true;
+    else if (arg == "--coalesce") options.do_coalesce = true;
+    else if (arg == "--no-coalesce") options.do_coalesce = false;
+    else if (arg == "--guarded") options.guarded = true;
+    else if (arg.rfind("--collapse=", 0) == 0)
+      options.collapse = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 11, nullptr, 10));
+    else if (arg == "--mixed-radix") options.mixed_radix = true;
+    else if (arg == "--expand-scalars") options.expand_scalars = true;
+    else if (arg.rfind("--emit=", 0) == 0) options.emit = arg.substr(7);
+    else if (arg == "--openmp") options.openmp = true;
+    else if (arg == "--verify") options.verify = true;
+    else if (arg == "--stats") options.stats = true;
+    else if (arg == "--report") options.report = true;
+    else if (arg == "--dot") options.dot = true;
+    else if (!arg.empty() && arg[0] == '-') return false;
+    else options.input_path = arg;
+  }
+  return options.emit == "ir" || options.emit == "c" ||
+         options.emit == "c-main";
+}
+
+std::string read_input(const Options& options) {
+  if (options.input_path.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+  }
+  std::ifstream in(options.input_path);
+  if (!in) {
+    std::fprintf(stderr, "coalescec: cannot open %s\n",
+                 options.input_path.c_str());
+    std::exit(1);
+  }
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void print_stats(const char* label, const ir::Program& program) {
+  transform::NestStats total;
+  for (const auto& root : program.roots) {
+    const auto s =
+        transform::try_compute_stats(ir::LoopNest{program.symbols, root});
+    if (!s.has_value()) {
+      std::fprintf(stderr,
+                   "%s: (dynamic counts unavailable: non-constant bounds)\n",
+                   label);
+      return;
+    }
+    total.loops += s->loops;
+    total.parallel_loops += s->parallel_loops;
+    total.fork_join_points += s->fork_join_points;
+    total.loop_iterations += s->loop_iterations;
+    total.assignment_instances += s->assignment_instances;
+    total.division_ops += s->division_ops;
+  }
+  std::fprintf(stderr,
+               "%s: roots=%zu loops=%zu doall=%zu fork/joins=%llu "
+               "iterations=%llu divisions=%llu\n",
+               label, program.roots.size(), total.loops,
+               total.parallel_loops,
+               static_cast<unsigned long long>(total.fork_join_points),
+               static_cast<unsigned long long>(total.loop_iterations),
+               static_cast<unsigned long long>(total.division_ops));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) return usage(argv[0]);
+
+  const std::string source = read_input(options);
+  auto parsed = frontend::parse_program(source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "coalescec: parse error: %s\n",
+                 parsed.error().to_string().c_str());
+    return 1;
+  }
+  ir::Program original = std::move(parsed).value();
+
+  if (options.dot) {
+    for (const auto& root : original.roots) {
+      std::fputs(analysis::dependence_graph_dot(
+                     ir::LoopNest{original.symbols, root})
+                     .c_str(),
+                 stdout);
+    }
+    return 0;
+  }
+
+  // Passes operate root-by-root over the program.
+  ir::Program current{original.symbols, {}};
+  for (const auto& root : original.roots) {
+    current.roots.push_back(ir::clone(*root));
+  }
+
+  auto per_root = [&](auto&& fn) -> bool {
+    ir::Program next{current.symbols, {}};
+    for (const auto& root : current.roots) {
+      if (!fn(ir::LoopNest{current.symbols, root}, next)) return false;
+    }
+    current = std::move(next);
+    return true;
+  };
+
+  if (options.analyze) {
+    per_root([&](ir::LoopNest nest, ir::Program& next) {
+      const auto report = analysis::analyze_and_mark(nest);
+      if (options.report) {
+        std::fputs(analysis::render_report(nest, report).c_str(), stderr);
+        std::fputs(analysis::render_report(
+                       nest, analysis::analyze_with_reductions(nest))
+                       .c_str(),
+                   stderr);
+      }
+      next.symbols = std::move(nest.symbols);
+      next.roots.push_back(nest.root);
+      return true;
+    });
+  }
+
+  if (options.expand_scalars) {
+    if (!per_root([&](ir::LoopNest nest, ir::Program& next) {
+          auto expanded = transform::expand_all_scalars(nest);
+          if (!expanded.ok()) {
+            std::fprintf(stderr, "coalescec: %s\n",
+                         expanded.error().to_string().c_str());
+            return false;
+          }
+          next.symbols = std::move(expanded.value().nest.symbols);
+          next.roots.push_back(expanded.value().nest.root);
+          return true;
+        })) {
+      return 1;
+    }
+  }
+
+  if (options.make_perfect) {
+    ir::Program next{current.symbols, {}};
+    for (const auto& root : current.roots) {
+      auto program =
+          transform::make_perfect(ir::LoopNest{next.symbols, root});
+      if (!program.ok()) {
+        std::fprintf(stderr, "coalescec: %s\n",
+                     program.error().to_string().c_str());
+        return 1;
+      }
+      next.symbols = std::move(program.value().symbols);
+      for (auto& piece : program.value().roots) {
+        next.roots.push_back(std::move(piece));
+      }
+    }
+    current = std::move(next);
+  }
+
+  if (options.do_coalesce) {
+    transform::CoalesceOptions copts;
+    copts.levels = options.collapse;
+    copts.recovery = options.mixed_radix
+                         ? transform::RecoveryStyle::kMixedRadix
+                         : transform::RecoveryStyle::kPaperClosedForm;
+    if (options.guarded) {
+      if (current.roots.size() != 1) {
+        std::fprintf(stderr,
+                     "coalescec: --guarded requires one top-level loop\n");
+        return 1;
+      }
+      auto result = transform::coalesce_guarded(
+          ir::LoopNest{current.symbols, current.roots[0]}, copts);
+      if (!result.ok()) {
+        std::fprintf(stderr, "coalescec: %s\n",
+                     result.error().to_string().c_str());
+        return 1;
+      }
+      current.symbols = std::move(result.value().nest.symbols);
+      current.roots = {result.value().nest.root};
+    } else {
+      const auto result = transform::coalesce_program(current, copts);
+      current = ir::Program{result.program.symbols, result.program.roots};
+    }
+  }
+
+  if (options.verify) {
+    // Verify root-for-root is impossible after make_perfect; run both whole
+    // programs through the interpreter instead.
+    ir::Evaluator eval_a(original.symbols);
+    ir::Evaluator eval_b(current.symbols);
+    for (const auto& root : original.roots) eval_a.run(*root);
+    for (const auto& root : current.roots) eval_b.run(*root);
+    for (std::uint32_t raw = 0; raw < original.symbols.size(); ++raw) {
+      const ir::VarId id{raw};
+      if (original.symbols.kind(id) != ir::SymbolKind::kArray) continue;
+      const auto other = current.symbols.lookup(original.symbols.name(id));
+      if (!other.has_value()) {
+        std::fprintf(stderr, "coalescec: verification lost array %s\n",
+                     original.symbols.name(id).c_str());
+        return 1;
+      }
+      const auto da = eval_a.store().data(id);
+      const auto db = eval_b.store().data(*other);
+      if (!std::equal(da.begin(), da.end(), db.begin(), db.end())) {
+        std::fprintf(stderr, "coalescec: VERIFICATION FAILED on %s\n",
+                     original.symbols.name(id).c_str());
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "coalescec: verified equivalent\n");
+  }
+
+  if (options.stats) {
+    print_stats("before", original);
+    print_stats("after", current);
+  }
+
+  if (options.emit == "ir") {
+    std::fputs(frontend::declarations_to_string(current.symbols).c_str(),
+               stdout);
+    for (const auto& root : current.roots) {
+      std::fputs(ir::to_string(*root, current.symbols).c_str(), stdout);
+    }
+  } else {
+    codegen::EmitOptions emit;
+    emit.openmp = options.openmp;
+    emit.standalone_main = options.emit == "c-main";
+    std::fputs(codegen::emit_c_program(current, emit).c_str(), stdout);
+  }
+  return 0;
+}
