@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_serialized_dispatch.dir/bench_e11_serialized_dispatch.cpp.o"
+  "CMakeFiles/bench_e11_serialized_dispatch.dir/bench_e11_serialized_dispatch.cpp.o.d"
+  "bench_e11_serialized_dispatch"
+  "bench_e11_serialized_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_serialized_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_processor_allocation.dir/bench_e12_processor_allocation.cpp.o"
+  "CMakeFiles/bench_e12_processor_allocation.dir/bench_e12_processor_allocation.cpp.o.d"
+  "bench_e12_processor_allocation"
+  "bench_e12_processor_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_processor_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_locality.dir/bench_e15_locality.cpp.o"
+  "CMakeFiles/bench_e15_locality.dir/bench_e15_locality.cpp.o.d"
+  "bench_e15_locality"
+  "bench_e15_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_dispatch_ops.dir/bench_e1_dispatch_ops.cpp.o"
+  "CMakeFiles/bench_e1_dispatch_ops.dir/bench_e1_dispatch_ops.cpp.o.d"
+  "bench_e1_dispatch_ops"
+  "bench_e1_dispatch_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_dispatch_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_utilization.dir/bench_e2_utilization.cpp.o"
+  "CMakeFiles/bench_e2_utilization.dir/bench_e2_utilization.cpp.o.d"
+  "bench_e2_utilization"
+  "bench_e2_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

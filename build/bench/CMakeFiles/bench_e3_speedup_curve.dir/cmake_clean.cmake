@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_speedup_curve.dir/bench_e3_speedup_curve.cpp.o"
+  "CMakeFiles/bench_e3_speedup_curve.dir/bench_e3_speedup_curve.cpp.o.d"
+  "bench_e3_speedup_curve"
+  "bench_e3_speedup_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_speedup_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

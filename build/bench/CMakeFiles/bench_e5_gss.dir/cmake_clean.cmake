@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_gss.dir/bench_e5_gss.cpp.o"
+  "CMakeFiles/bench_e5_gss.dir/bench_e5_gss.cpp.o.d"
+  "bench_e5_gss"
+  "bench_e5_gss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_gss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_recovery_codegen.dir/bench_e7_recovery_codegen.cpp.o"
+  "CMakeFiles/bench_e7_recovery_codegen.dir/bench_e7_recovery_codegen.cpp.o.d"
+  "bench_e7_recovery_codegen"
+  "bench_e7_recovery_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_recovery_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_static_stats.dir/bench_e8_static_stats.cpp.o"
+  "CMakeFiles/bench_e8_static_stats.dir/bench_e8_static_stats.cpp.o.d"
+  "bench_e8_static_stats"
+  "bench_e8_static_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_static_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

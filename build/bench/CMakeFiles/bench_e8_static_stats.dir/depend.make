@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e8_static_stats.
+# This may be replaced when dependencies are built.

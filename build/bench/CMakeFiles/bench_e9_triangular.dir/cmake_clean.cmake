@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_triangular.dir/bench_e9_triangular.cpp.o"
+  "CMakeFiles/bench_e9_triangular.dir/bench_e9_triangular.cpp.o.d"
+  "bench_e9_triangular"
+  "bench_e9_triangular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_triangular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

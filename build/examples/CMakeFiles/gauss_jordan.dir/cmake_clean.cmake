@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauss_jordan.dir/gauss_jordan.cpp.o"
+  "CMakeFiles/gauss_jordan.dir/gauss_jordan.cpp.o.d"
+  "gauss_jordan"
+  "gauss_jordan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauss_jordan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_integration.dir/pi_integration.cpp.o"
+  "CMakeFiles/pi_integration.dir/pi_integration.cpp.o.d"
+  "pi_integration"
+  "pi_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_sum.dir/reduction_sum.cpp.o"
+  "CMakeFiles/reduction_sum.dir/reduction_sum.cpp.o.d"
+  "reduction_sum"
+  "reduction_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

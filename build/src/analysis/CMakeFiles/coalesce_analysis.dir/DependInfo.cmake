@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dependence.cpp" "src/analysis/CMakeFiles/coalesce_analysis.dir/dependence.cpp.o" "gcc" "src/analysis/CMakeFiles/coalesce_analysis.dir/dependence.cpp.o.d"
+  "/root/repo/src/analysis/doall.cpp" "src/analysis/CMakeFiles/coalesce_analysis.dir/doall.cpp.o" "gcc" "src/analysis/CMakeFiles/coalesce_analysis.dir/doall.cpp.o.d"
+  "/root/repo/src/analysis/reduction.cpp" "src/analysis/CMakeFiles/coalesce_analysis.dir/reduction.cpp.o" "gcc" "src/analysis/CMakeFiles/coalesce_analysis.dir/reduction.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/coalesce_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/coalesce_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/subscript.cpp" "src/analysis/CMakeFiles/coalesce_analysis.dir/subscript.cpp.o" "gcc" "src/analysis/CMakeFiles/coalesce_analysis.dir/subscript.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/coalesce_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/coalesce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesce_analysis.dir/dependence.cpp.o"
+  "CMakeFiles/coalesce_analysis.dir/dependence.cpp.o.d"
+  "CMakeFiles/coalesce_analysis.dir/doall.cpp.o"
+  "CMakeFiles/coalesce_analysis.dir/doall.cpp.o.d"
+  "CMakeFiles/coalesce_analysis.dir/reduction.cpp.o"
+  "CMakeFiles/coalesce_analysis.dir/reduction.cpp.o.d"
+  "CMakeFiles/coalesce_analysis.dir/report.cpp.o"
+  "CMakeFiles/coalesce_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/coalesce_analysis.dir/subscript.cpp.o"
+  "CMakeFiles/coalesce_analysis.dir/subscript.cpp.o.d"
+  "libcoalesce_analysis.a"
+  "libcoalesce_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesce_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

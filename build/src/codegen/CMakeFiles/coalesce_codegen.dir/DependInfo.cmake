@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/c_emitter.cpp" "src/codegen/CMakeFiles/coalesce_codegen.dir/c_emitter.cpp.o" "gcc" "src/codegen/CMakeFiles/coalesce_codegen.dir/c_emitter.cpp.o.d"
+  "/root/repo/src/codegen/cost_model.cpp" "src/codegen/CMakeFiles/coalesce_codegen.dir/cost_model.cpp.o" "gcc" "src/codegen/CMakeFiles/coalesce_codegen.dir/cost_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/coalesce_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/coalesce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

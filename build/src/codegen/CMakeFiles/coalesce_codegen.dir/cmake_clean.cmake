@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesce_codegen.dir/c_emitter.cpp.o"
+  "CMakeFiles/coalesce_codegen.dir/c_emitter.cpp.o.d"
+  "CMakeFiles/coalesce_codegen.dir/cost_model.cpp.o"
+  "CMakeFiles/coalesce_codegen.dir/cost_model.cpp.o.d"
+  "libcoalesce_codegen.a"
+  "libcoalesce_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesce_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

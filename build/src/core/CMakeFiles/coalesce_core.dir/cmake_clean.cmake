@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesce_core.dir/api.cpp.o"
+  "CMakeFiles/coalesce_core.dir/api.cpp.o.d"
+  "libcoalesce_core.a"
+  "libcoalesce_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesce_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

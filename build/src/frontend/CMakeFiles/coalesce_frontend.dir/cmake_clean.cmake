@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesce_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/coalesce_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/coalesce_frontend.dir/parser.cpp.o"
+  "CMakeFiles/coalesce_frontend.dir/parser.cpp.o.d"
+  "libcoalesce_frontend.a"
+  "libcoalesce_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesce_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

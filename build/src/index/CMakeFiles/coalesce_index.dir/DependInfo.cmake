@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/chunk.cpp" "src/index/CMakeFiles/coalesce_index.dir/chunk.cpp.o" "gcc" "src/index/CMakeFiles/coalesce_index.dir/chunk.cpp.o.d"
+  "/root/repo/src/index/coalesced_space.cpp" "src/index/CMakeFiles/coalesce_index.dir/coalesced_space.cpp.o" "gcc" "src/index/CMakeFiles/coalesce_index.dir/coalesced_space.cpp.o.d"
+  "/root/repo/src/index/grid.cpp" "src/index/CMakeFiles/coalesce_index.dir/grid.cpp.o" "gcc" "src/index/CMakeFiles/coalesce_index.dir/grid.cpp.o.d"
+  "/root/repo/src/index/incremental.cpp" "src/index/CMakeFiles/coalesce_index.dir/incremental.cpp.o" "gcc" "src/index/CMakeFiles/coalesce_index.dir/incremental.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/coalesce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

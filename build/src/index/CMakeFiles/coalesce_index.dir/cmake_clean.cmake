@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesce_index.dir/chunk.cpp.o"
+  "CMakeFiles/coalesce_index.dir/chunk.cpp.o.d"
+  "CMakeFiles/coalesce_index.dir/coalesced_space.cpp.o"
+  "CMakeFiles/coalesce_index.dir/coalesced_space.cpp.o.d"
+  "CMakeFiles/coalesce_index.dir/grid.cpp.o"
+  "CMakeFiles/coalesce_index.dir/grid.cpp.o.d"
+  "CMakeFiles/coalesce_index.dir/incremental.cpp.o"
+  "CMakeFiles/coalesce_index.dir/incremental.cpp.o.d"
+  "libcoalesce_index.a"
+  "libcoalesce_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesce_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

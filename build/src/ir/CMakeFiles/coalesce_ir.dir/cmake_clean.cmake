@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesce_ir.dir/builder.cpp.o"
+  "CMakeFiles/coalesce_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/coalesce_ir.dir/eval.cpp.o"
+  "CMakeFiles/coalesce_ir.dir/eval.cpp.o.d"
+  "CMakeFiles/coalesce_ir.dir/expr.cpp.o"
+  "CMakeFiles/coalesce_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/coalesce_ir.dir/printer.cpp.o"
+  "CMakeFiles/coalesce_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/coalesce_ir.dir/stmt.cpp.o"
+  "CMakeFiles/coalesce_ir.dir/stmt.cpp.o.d"
+  "CMakeFiles/coalesce_ir.dir/symbol.cpp.o"
+  "CMakeFiles/coalesce_ir.dir/symbol.cpp.o.d"
+  "libcoalesce_ir.a"
+  "libcoalesce_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesce_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

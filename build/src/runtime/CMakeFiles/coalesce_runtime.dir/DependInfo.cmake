@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/dispatcher.cpp" "src/runtime/CMakeFiles/coalesce_runtime.dir/dispatcher.cpp.o" "gcc" "src/runtime/CMakeFiles/coalesce_runtime.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/runtime/ir_executor.cpp" "src/runtime/CMakeFiles/coalesce_runtime.dir/ir_executor.cpp.o" "gcc" "src/runtime/CMakeFiles/coalesce_runtime.dir/ir_executor.cpp.o.d"
+  "/root/repo/src/runtime/parallel_for.cpp" "src/runtime/CMakeFiles/coalesce_runtime.dir/parallel_for.cpp.o" "gcc" "src/runtime/CMakeFiles/coalesce_runtime.dir/parallel_for.cpp.o.d"
+  "/root/repo/src/runtime/reduce.cpp" "src/runtime/CMakeFiles/coalesce_runtime.dir/reduce.cpp.o" "gcc" "src/runtime/CMakeFiles/coalesce_runtime.dir/reduce.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/runtime/CMakeFiles/coalesce_runtime.dir/thread_pool.cpp.o" "gcc" "src/runtime/CMakeFiles/coalesce_runtime.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/coalesce_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/coalesce_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/coalesce_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesce_runtime.dir/dispatcher.cpp.o"
+  "CMakeFiles/coalesce_runtime.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/coalesce_runtime.dir/ir_executor.cpp.o"
+  "CMakeFiles/coalesce_runtime.dir/ir_executor.cpp.o.d"
+  "CMakeFiles/coalesce_runtime.dir/parallel_for.cpp.o"
+  "CMakeFiles/coalesce_runtime.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/coalesce_runtime.dir/reduce.cpp.o"
+  "CMakeFiles/coalesce_runtime.dir/reduce.cpp.o.d"
+  "CMakeFiles/coalesce_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/coalesce_runtime.dir/thread_pool.cpp.o.d"
+  "libcoalesce_runtime.a"
+  "libcoalesce_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesce_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesce_sim.dir/machine.cpp.o"
+  "CMakeFiles/coalesce_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/coalesce_sim.dir/workload.cpp.o"
+  "CMakeFiles/coalesce_sim.dir/workload.cpp.o.d"
+  "libcoalesce_sim.a"
+  "libcoalesce_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesce_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesce_support.dir/error.cpp.o"
+  "CMakeFiles/coalesce_support.dir/error.cpp.o.d"
+  "CMakeFiles/coalesce_support.dir/int_math.cpp.o"
+  "CMakeFiles/coalesce_support.dir/int_math.cpp.o.d"
+  "CMakeFiles/coalesce_support.dir/rng.cpp.o"
+  "CMakeFiles/coalesce_support.dir/rng.cpp.o.d"
+  "CMakeFiles/coalesce_support.dir/stats.cpp.o"
+  "CMakeFiles/coalesce_support.dir/stats.cpp.o.d"
+  "CMakeFiles/coalesce_support.dir/strings.cpp.o"
+  "CMakeFiles/coalesce_support.dir/strings.cpp.o.d"
+  "CMakeFiles/coalesce_support.dir/table.cpp.o"
+  "CMakeFiles/coalesce_support.dir/table.cpp.o.d"
+  "libcoalesce_support.a"
+  "libcoalesce_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesce_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/coalesce.cpp" "src/transform/CMakeFiles/coalesce_transform.dir/coalesce.cpp.o" "gcc" "src/transform/CMakeFiles/coalesce_transform.dir/coalesce.cpp.o.d"
+  "/root/repo/src/transform/distribute.cpp" "src/transform/CMakeFiles/coalesce_transform.dir/distribute.cpp.o" "gcc" "src/transform/CMakeFiles/coalesce_transform.dir/distribute.cpp.o.d"
+  "/root/repo/src/transform/fusion.cpp" "src/transform/CMakeFiles/coalesce_transform.dir/fusion.cpp.o" "gcc" "src/transform/CMakeFiles/coalesce_transform.dir/fusion.cpp.o.d"
+  "/root/repo/src/transform/guarded.cpp" "src/transform/CMakeFiles/coalesce_transform.dir/guarded.cpp.o" "gcc" "src/transform/CMakeFiles/coalesce_transform.dir/guarded.cpp.o.d"
+  "/root/repo/src/transform/interchange.cpp" "src/transform/CMakeFiles/coalesce_transform.dir/interchange.cpp.o" "gcc" "src/transform/CMakeFiles/coalesce_transform.dir/interchange.cpp.o.d"
+  "/root/repo/src/transform/normalize.cpp" "src/transform/CMakeFiles/coalesce_transform.dir/normalize.cpp.o" "gcc" "src/transform/CMakeFiles/coalesce_transform.dir/normalize.cpp.o.d"
+  "/root/repo/src/transform/permute.cpp" "src/transform/CMakeFiles/coalesce_transform.dir/permute.cpp.o" "gcc" "src/transform/CMakeFiles/coalesce_transform.dir/permute.cpp.o.d"
+  "/root/repo/src/transform/scalar_expand.cpp" "src/transform/CMakeFiles/coalesce_transform.dir/scalar_expand.cpp.o" "gcc" "src/transform/CMakeFiles/coalesce_transform.dir/scalar_expand.cpp.o.d"
+  "/root/repo/src/transform/stats.cpp" "src/transform/CMakeFiles/coalesce_transform.dir/stats.cpp.o" "gcc" "src/transform/CMakeFiles/coalesce_transform.dir/stats.cpp.o.d"
+  "/root/repo/src/transform/strip_mine.cpp" "src/transform/CMakeFiles/coalesce_transform.dir/strip_mine.cpp.o" "gcc" "src/transform/CMakeFiles/coalesce_transform.dir/strip_mine.cpp.o.d"
+  "/root/repo/src/transform/tile.cpp" "src/transform/CMakeFiles/coalesce_transform.dir/tile.cpp.o" "gcc" "src/transform/CMakeFiles/coalesce_transform.dir/tile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/coalesce_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/coalesce_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/coalesce_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/coalesce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalesce_transform.dir/coalesce.cpp.o"
+  "CMakeFiles/coalesce_transform.dir/coalesce.cpp.o.d"
+  "CMakeFiles/coalesce_transform.dir/distribute.cpp.o"
+  "CMakeFiles/coalesce_transform.dir/distribute.cpp.o.d"
+  "CMakeFiles/coalesce_transform.dir/fusion.cpp.o"
+  "CMakeFiles/coalesce_transform.dir/fusion.cpp.o.d"
+  "CMakeFiles/coalesce_transform.dir/guarded.cpp.o"
+  "CMakeFiles/coalesce_transform.dir/guarded.cpp.o.d"
+  "CMakeFiles/coalesce_transform.dir/interchange.cpp.o"
+  "CMakeFiles/coalesce_transform.dir/interchange.cpp.o.d"
+  "CMakeFiles/coalesce_transform.dir/normalize.cpp.o"
+  "CMakeFiles/coalesce_transform.dir/normalize.cpp.o.d"
+  "CMakeFiles/coalesce_transform.dir/permute.cpp.o"
+  "CMakeFiles/coalesce_transform.dir/permute.cpp.o.d"
+  "CMakeFiles/coalesce_transform.dir/scalar_expand.cpp.o"
+  "CMakeFiles/coalesce_transform.dir/scalar_expand.cpp.o.d"
+  "CMakeFiles/coalesce_transform.dir/stats.cpp.o"
+  "CMakeFiles/coalesce_transform.dir/stats.cpp.o.d"
+  "CMakeFiles/coalesce_transform.dir/strip_mine.cpp.o"
+  "CMakeFiles/coalesce_transform.dir/strip_mine.cpp.o.d"
+  "CMakeFiles/coalesce_transform.dir/tile.cpp.o"
+  "CMakeFiles/coalesce_transform.dir/tile.cpp.o.d"
+  "libcoalesce_transform.a"
+  "libcoalesce_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalesce_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoalesce_transform.a"
+)

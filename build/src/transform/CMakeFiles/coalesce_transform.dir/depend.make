@@ -1,0 +1,2 @@
+# Empty dependencies file for coalesce_transform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_report_test.dir/analysis_report_test.cpp.o"
+  "CMakeFiles/analysis_report_test.dir/analysis_report_test.cpp.o.d"
+  "analysis_report_test"
+  "analysis_report_test.pdb"
+  "analysis_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

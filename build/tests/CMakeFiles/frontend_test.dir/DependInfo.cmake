@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/frontend_test.cpp" "tests/CMakeFiles/frontend_test.dir/frontend_test.cpp.o" "gcc" "tests/CMakeFiles/frontend_test.dir/frontend_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/coalesce_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/coalesce_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/coalesce_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/coalesce_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/coalesce_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/coalesce_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/coalesce_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/coalesce_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/coalesce_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/coalesce_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

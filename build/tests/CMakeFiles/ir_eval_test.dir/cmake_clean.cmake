@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_eval_test.dir/ir_eval_test.cpp.o"
+  "CMakeFiles/ir_eval_test.dir/ir_eval_test.cpp.o.d"
+  "ir_eval_test"
+  "ir_eval_test.pdb"
+  "ir_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_executor_test.dir/ir_executor_test.cpp.o"
+  "CMakeFiles/ir_executor_test.dir/ir_executor_test.cpp.o.d"
+  "ir_executor_test"
+  "ir_executor_test.pdb"
+  "ir_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_stmt_test.dir/ir_stmt_test.cpp.o"
+  "CMakeFiles/ir_stmt_test.dir/ir_stmt_test.cpp.o.d"
+  "ir_stmt_test"
+  "ir_stmt_test.pdb"
+  "ir_stmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_stmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_fusion_test.dir/transform_fusion_test.cpp.o"
+  "CMakeFiles/transform_fusion_test.dir/transform_fusion_test.cpp.o.d"
+  "transform_fusion_test"
+  "transform_fusion_test.pdb"
+  "transform_fusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_fusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

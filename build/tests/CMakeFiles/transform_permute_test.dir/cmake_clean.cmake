@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_permute_test.dir/transform_permute_test.cpp.o"
+  "CMakeFiles/transform_permute_test.dir/transform_permute_test.cpp.o.d"
+  "transform_permute_test"
+  "transform_permute_test.pdb"
+  "transform_permute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_permute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

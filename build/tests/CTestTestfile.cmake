@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_stmt_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/chunk_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_api_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_guarded_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_distribute_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_fusion_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/reduction_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_tile_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_report_test[1]_include.cmake")
+include("/root/repo/build/tests/tool_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_permute_test[1]_include.cmake")
+include("/root/repo/build/tests/cross_module_test[1]_include.cmake")

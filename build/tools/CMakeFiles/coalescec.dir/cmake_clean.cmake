@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalescec.dir/coalescec.cpp.o"
+  "CMakeFiles/coalescec.dir/coalescec.cpp.o.d"
+  "coalescec"
+  "coalescec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalescec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
