@@ -10,11 +10,13 @@
 // Shape claims: completion(c) is U-shaped — dominated by dispatch overhead
 // at c=1 and by imbalance at c=N/P — and the adaptive policies sit within a
 // few percent of the best fixed chunk without tuning.
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coalesce;
   using support::i64;
+  bench::Reporter reporter("e10_chunk_sweep", argc, argv);
 
   const i64 total = 4096;
   const auto space =
@@ -49,6 +51,14 @@ int main() {
           .cell(r.completion)
           .cell(r.utilization() * 100.0, 1)
           .end_row();
+      reporter.record("fixed_chunk")
+          .field("extents", "64x64")
+          .field("P", procs)
+          .field("profile", name)
+          .field("chunk", c)
+          .field("dispatch_ops", r.dispatch_ops)
+          .field("completion", r.completion)
+          .field("utilization", r.utilization());
     }
     const std::pair<const char*, sim::SimScheduleParams> adaptive[] = {
         {"gss", {sim::SimSchedule::kGuided, 1}},
@@ -63,6 +73,14 @@ int main() {
           .cell(r.completion)
           .cell(r.utilization() * 100.0, 1)
           .end_row();
+      reporter.record("adaptive")
+          .field("extents", "64x64")
+          .field("P", procs)
+          .field("profile", name)
+          .field("schedule", aname)
+          .field("dispatch_ops", r.dispatch_ops)
+          .field("completion", r.completion)
+          .field("utilization", r.utilization());
     }
     table.print();
     std::printf("best fixed-chunk completion: %lld\n\n",

@@ -12,11 +12,13 @@
 // coalescing remains effective WITHOUT combining provided chunks amortize
 // the counter — the library's answer to the "combining network dependence"
 // question.
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coalesce;
   using support::i64;
+  bench::Reporter reporter("e11_serialized_dispatch", argc, argv);
 
   const auto space =
       index::CoalescedSpace::create(std::vector<i64>{128, 32}).value();
@@ -46,6 +48,13 @@ int main() {
           .cell(gss.speedup(costs), 2)
           .cell(self.utilization() * 100.0, 1)
           .end_row();
+      reporter.record("speedup")
+          .field("extents", "128x32")
+          .field("P", p)
+          .field("serialized", serialized ? "yes" : "no")
+          .field("self", self.speedup(costs))
+          .field("chunk16", chunk.speedup(costs))
+          .field("gss", gss.speedup(costs));
     }
     table.print();
   }

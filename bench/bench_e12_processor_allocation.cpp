@@ -8,12 +8,14 @@
 //
 // Shape claims: coalesced efficiency >= best-grid efficiency for every
 // (shape, P), with the gap largest at prime P and on skewed shapes.
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 #include "index/grid.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coalesce;
   using support::i64;
+  bench::Reporter reporter("e12_processor_allocation", argc, argv);
 
   struct Shape {
     const char* name;
@@ -45,6 +47,13 @@ int main() {
           .cell(grid.efficiency * 100.0, 1)
           .cell(index::coalesced_efficiency(shape.extents, p) * 100.0, 1)
           .end_row();
+      reporter.record("allocation")
+          .field("extents", bench::Reporter::shape_string(shape.extents))
+          .field("P", p)
+          .field("grid", grid_str)
+          .field("grid_efficiency", grid.efficiency)
+          .field("coalesced_efficiency",
+                 index::coalesced_efficiency(shape.extents, p));
     }
     table.print();
   }

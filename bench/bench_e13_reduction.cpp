@@ -17,11 +17,13 @@
 #include <atomic>
 #include <chrono>
 
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coalesce;
   using support::i64;
+  bench::Reporter reporter("e13_reduction", argc, argv);
 
   const i64 n = 4096;
   const auto space = index::CoalescedSpace::create(std::vector<i64>{n}).value();
@@ -71,6 +73,13 @@ int main() {
         .cell(gss.completion)
         .cell(atomic.utilization() * 100.0, 1)
         .end_row();
+    reporter.record("strategy")
+        .field("extents", "4096")
+        .field("P", p)
+        .field("serial", serial_time)
+        .field("atomic", atomic.completion)
+        .field("partials_chunk32", chunk.completion)
+        .field("partials_gss", gss.completion);
   }
   table.print();
 
@@ -106,5 +115,10 @@ int main() {
       "accumulator %.2f ms (%.1fx), results agree to %.1e\n",
       static_cast<long long>(real_n), partials_ms, cas_ms,
       cas_ms / partials_ms, std::abs(partials.value - cas_sum.load()));
+  reporter.record("real_machine")
+      .field("extents", std::to_string(real_n))
+      .field("P", std::size_t{4})
+      .field("partials_ms", partials_ms)
+      .field("cas_ms", cas_ms);
   return 0;
 }

@@ -10,11 +10,13 @@
 // Shape claims: coalesced completion is flat in m (chunked) or mildly
 // linear (unit self-scheduling); both nested baselines degrade with m, the
 // fork-join one catastrophically.
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coalesce;
   using support::i64;
+  bench::Reporter reporter("e14_depth_scaling", argc, argv);
 
   struct Shape {
     const char* name;
@@ -62,6 +64,15 @@ int main() {
         .cell(forkjoin.completion)
         .cell(forkjoin.fork_joins)
         .end_row();
+    reporter.record("depth")
+        .field("extents", bench::Reporter::shape_string(shape.extents))
+        .field("depth", shape.extents.size())
+        .field("P", procs)
+        .field("coalesced_chunk32", chunk.completion)
+        .field("coalesced_self", self.completion)
+        .field("nested_multicounter", multi.completion)
+        .field("nested_forkjoin", forkjoin.completion)
+        .field("fork_joins", forkjoin.fork_joins);
   }
   table.print();
 

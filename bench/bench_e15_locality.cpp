@@ -11,11 +11,13 @@
 // as row_switch grows, unit self-scheduling degrades linearly while
 // chunk(64) (= one row per dispatch) and GSS stay near flat; the crossover
 // chunk size tracks the row length.
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coalesce;
   using support::i64;
+  bench::Reporter reporter("e15_locality", argc, argv);
 
   const auto space =
       index::CoalescedSpace::create(std::vector<i64>{64, 64}).value();
@@ -56,6 +58,14 @@ int main() {
                 2)
           .cell(with.utilization() * 100.0, 1)
           .end_row();
+      reporter.record("locality")
+          .field("extents", "64x64")
+          .field("P", procs)
+          .field("row_switch", row_switch)
+          .field("schedule", name)
+          .field("completion", with.completion)
+          .field("completion_switch_free", without.completion)
+          .field("utilization", with.utilization());
     }
     table.print();
   }

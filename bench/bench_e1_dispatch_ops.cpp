@@ -11,11 +11,13 @@
 //   * coalesced GSS ops  <<  N, near P*log(N/P).
 #include <vector>
 
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coalesce;
   using support::i64;
+  bench::Reporter reporter("e1_dispatch_ops", argc, argv);
 
   struct Shape {
     const char* name;
@@ -60,6 +62,14 @@ int main() {
                     static_cast<double>(gss.dispatch_ops),
                 1)
           .end_row();
+      reporter.record("dispatch_ops")
+          .field("extents", bench::Reporter::shape_string(shape.extents))
+          .field("P", p)
+          .field("iterations", space.total())
+          .field("nested_multicounter", nested.dispatch_ops)
+          .field("coalesced_self", self.dispatch_ops)
+          .field("coalesced_chunk8", chunked.dispatch_ops)
+          .field("coalesced_gss", gss.dispatch_ops);
     }
   }
   table.print();

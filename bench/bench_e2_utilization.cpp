@@ -8,11 +8,13 @@
 // >= nested for every P, equality exactly when P | N1 (up to the +-1
 // iteration granularity), and the nested penalty is worst just above a
 // divisor (P = 11, 6, ...).
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coalesce;
   using support::i64;
+  bench::Reporter reporter("e2_utilization", argc, argv);
 
   const auto space =
       index::CoalescedSpace::create(std::vector<i64>{10, 10}).value();
@@ -41,6 +43,13 @@ int main() {
         .cell(nested.imbalance(), 3)
         .cell(coalesced.imbalance(), 3)
         .end_row();
+    reporter.record("uniform")
+        .field("extents", "10x10")
+        .field("P", p)
+        .field("nested_completion", nested.completion)
+        .field("coalesced_completion", coalesced.completion)
+        .field("nested_utilization", nested.utilization())
+        .field("coalesced_utilization", coalesced.utilization());
   }
   table.print();
 
@@ -58,6 +67,11 @@ int main() {
         .cell(nested.utilization() * 100.0, 1)
         .cell(coalesced.utilization() * 100.0, 1)
         .end_row();
+    reporter.record("triangular")
+        .field("extents", "10x10")
+        .field("P", p)
+        .field("nested_utilization", nested.utilization())
+        .field("coalesced_utilization", coalesced.utilization());
   }
   table2.print();
   return 0;

@@ -7,11 +7,13 @@
 // both nested curves everywhere, the gap grows with sigma and with P, and
 // the nested fork-join curve flattens earliest (64 fork/joins on its
 // critical path).
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coalesce;
   using support::i64;
+  bench::Reporter reporter("e3_speedup_curve", argc, argv);
 
   const auto space =
       index::CoalescedSpace::create(std::vector<i64>{64, 64}).value();
@@ -44,6 +46,14 @@ int main() {
           .cell(nested_fj.speedup(costs), 2)
           .cell(coal_gss.speedup(costs) / nested_fj.speedup(costs), 2)
           .end_row();
+      reporter.record("speedup")
+          .field("extents", "64x64")
+          .field("sigma", sigma)
+          .field("P", p)
+          .field("coalesced_gss", coal_gss.speedup(costs))
+          .field("coalesced_chunk16", coal_chunk.speedup(costs))
+          .field("nested_multicounter", nested_mc.speedup(costs))
+          .field("nested_forkjoin", nested_fj.speedup(costs));
     }
     table.print();
   }

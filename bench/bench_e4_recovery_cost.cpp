@@ -9,11 +9,13 @@
 // chunked execution (strength-reduced odometer inside the chunk) pushes the
 // crossover far out because the full decode is paid once per chunk, not per
 // iteration.
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coalesce;
   using support::i64;
+  bench::Reporter reporter("e4_recovery_cost", argc, argv);
 
   const auto space =
       index::CoalescedSpace::create(std::vector<i64>{32, 32}).value();
@@ -53,6 +55,14 @@ int main() {
           .cell(self_wins ? "yes" : "no")
           .cell(chunk_wins ? "yes" : "no")
           .end_row();
+      reporter.record("crossover")
+          .field("extents", "32x32")
+          .field("P", procs)
+          .field("sigma", sigma)
+          .field("h", h)
+          .field("coalesced_self", self.completion)
+          .field("coalesced_chunk32", chunk.completion)
+          .field("nested_multicounter", nested.completion);
     }
     table.print();
     if (crossover_self >= 0) {

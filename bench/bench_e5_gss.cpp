@@ -5,11 +5,13 @@
 // GSS dispatches O(P log N) chunks (vs N for unit) while matching its
 // balance within a few percent; fixed chunks are cheap but lose badly on
 // non-uniform profiles; TSS sits between.
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coalesce;
   using support::i64;
+  bench::Reporter reporter("e5_gss", argc, argv);
 
   const auto space =
       index::CoalescedSpace::create(std::vector<i64>{1000}).value();
@@ -67,6 +69,14 @@ int main() {
                   3)
             .cell(r.utilization() * 100.0, 1)
             .end_row();
+        reporter.record("schedule")
+            .field("extents", "1000")
+            .field("P", procs)
+            .field("profile", profile.name)
+            .field("schedule", schedules[s].first)
+            .field("dispatch_ops", r.dispatch_ops)
+            .field("completion", r.completion)
+            .field("utilization", r.utilization());
       }
     }
     table.print();

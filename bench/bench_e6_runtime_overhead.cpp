@@ -11,6 +11,7 @@
 
 #include <atomic>
 
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 
 namespace {
@@ -98,4 +99,12 @@ BENCHMARK(BM_SerialSweep);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> ptrs;
+  const auto storage = coalesce::bench::translate_json_flag(argc, argv, ptrs);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

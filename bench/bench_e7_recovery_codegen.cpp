@@ -13,6 +13,7 @@
 // its measured per-iteration cost is flat in depth.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 
 namespace {
@@ -123,7 +124,10 @@ void print_static_table() {
 
 int main(int argc, char** argv) {
   print_static_table();
+  std::vector<char*> ptrs;
+  const auto storage = coalesce::bench::translate_json_flag(argc, argv, ptrs);
   benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -6,10 +6,12 @@
 // the same arrays. fork_join_points is the paper's headline count — the
 // number of parallel-loop initiations a nested execution performs, which
 // coalescing collapses to one per band.
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coalesce;
+  bench::Reporter reporter("e8_static_stats", argc, argv);
 
   struct Case {
     const char* name;
@@ -50,6 +52,15 @@ int main() {
         .cell(static_cast<std::uint64_t>(result.bands_coalesced))
         .cell(verified ? "yes" : "NO")
         .end_row();
+    reporter.record("shape")
+        .field("workload", c.name)
+        .field("loops_before", before.loops)
+        .field("loops_after", after.loops)
+        .field("fork_joins_before", before.fork_join_points)
+        .field("fork_joins_after", after.fork_join_points)
+        .field("recovery_divs_per_iter", divs_per_iter)
+        .field("bands", result.bands_coalesced)
+        .field("verified", verified ? "yes" : "no");
   }
   table.print();
 

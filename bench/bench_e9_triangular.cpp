@@ -10,11 +10,13 @@
 // a widening margin as P grows; the box overhead (inactive points) never
 // costs more than its point count times the guard price; the static IR view
 // shows active/box == (n+1)/2n -> 1/2.
+#include "bench_harness.hpp"
 #include "core/coalesce.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coalesce;
   using support::i64;
+  bench::Reporter reporter("e9_triangular", argc, argv);
 
   const i64 n = 64;
   const auto space =
@@ -62,6 +64,13 @@ int main() {
                   static_cast<double>(gss.completion),
               2)
         .end_row();
+    reporter.record("triangular")
+        .field("extents", "64x64")
+        .field("P", p)
+        .field("nested_static_rows", nested_static.completion)
+        .field("nested_self_rows", nested_self.completion)
+        .field("coalesced_chunk32", chunk.completion)
+        .field("coalesced_gss", gss.completion);
   }
   table.print();
 

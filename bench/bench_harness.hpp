@@ -1,0 +1,163 @@
+// Shared bench harness: machine-readable results for cross-PR tracking.
+//
+// Every bench_e* executable constructs a Reporter from (argc, argv) and
+// mirrors each printed table row into a record. When invoked with
+// --json=<file>, the Reporter writes all records as one JSON document on
+// destruction; without the flag it is inert and the bench prints its usual
+// tables only. Google-benchmark-based benches instead pass --json through
+// translate_json_flag(), mapping it onto --benchmark_out.
+//
+// Document shape:
+//   {"bench": "<name>",
+//    "records": [{"kind": "<row kind>", "<key>": <value>, ...}, ...]}
+// Values are int64, double, or string; keys appear in insertion order.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "trace/export.hpp"  // json_escape
+
+namespace coalesce::bench {
+
+class Reporter {
+ public:
+  using Value = std::variant<std::int64_t, double, std::string>;
+
+  /// A record under construction. field() calls chain; the record is owned
+  /// by the Reporter and finalized when the Reporter is destroyed.
+  class Record {
+   public:
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T>, int> = 0>
+    Record& field(std::string_view key, T value) {
+      fields_.emplace_back(std::string(key),
+                           Value(static_cast<std::int64_t>(value)));
+      return *this;
+    }
+    Record& field(std::string_view key, double value) {
+      fields_.emplace_back(std::string(key), Value(value));
+      return *this;
+    }
+    Record& field(std::string_view key, std::string_view value) {
+      fields_.emplace_back(std::string(key), Value(std::string(value)));
+      return *this;
+    }
+    Record& field(std::string_view key, const char* value) {
+      return field(key, std::string_view(value));
+    }
+
+   private:
+    friend class Reporter;
+    std::vector<std::pair<std::string, Value>> fields_;
+  };
+
+  /// Parses --json=<file> out of argv; every other argument is ignored so
+  /// benches stay forgiving about extra flags.
+  Reporter(std::string bench_name, int argc, char** argv)
+      : name_(std::move(bench_name)) {
+    for (int a = 1; a < argc; ++a) {
+      const std::string_view arg = argv[a];
+      if (arg.rfind("--json=", 0) == 0) {
+        path_ = std::string(arg.substr(7));
+      }
+    }
+  }
+
+  ~Reporter() {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "bench_harness: cannot write %s\n", path_.c_str());
+      return;
+    }
+    out << "{\"bench\":\"" << trace::json_escape(name_)
+        << "\",\"records\":[";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      if (r > 0) out << ",";
+      out << "{";
+      const Record& record = records_[r];
+      for (std::size_t f = 0; f < record.fields_.size(); ++f) {
+        if (f > 0) out << ",";
+        const auto& [key, value] = record.fields_[f];
+        out << "\"" << trace::json_escape(key) << "\":";
+        if (const auto* i = std::get_if<std::int64_t>(&value)) {
+          out << *i;
+        } else if (const auto* d = std::get_if<double>(&value)) {
+          char buf[40];
+          std::snprintf(buf, sizeof buf, "%.17g", *d);
+          out << buf;
+        } else {
+          out << "\"" << trace::json_escape(std::get<std::string>(value))
+              << "\"";
+        }
+      }
+      out << "}";
+    }
+    out << "]}\n";
+    std::fprintf(stderr, "bench_harness: wrote %zu records to %s\n",
+                 records_.size(), path_.c_str());
+  }
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  /// Starts a new record; `kind` distinguishes row families within a bench.
+  Record& record(std::string_view kind) {
+    records_.emplace_back();
+    records_.back().field("kind", kind);
+    return records_.back();
+  }
+
+  [[nodiscard]] bool json_requested() const noexcept {
+    return !path_.empty();
+  }
+
+  /// Renders a shape like {10, 10, 10} as "10x10x10" for an extents field.
+  static std::string shape_string(const std::vector<std::int64_t>& extents) {
+    std::string out;
+    for (std::size_t k = 0; k < extents.size(); ++k) {
+      if (k > 0) out += "x";
+      out += std::to_string(extents[k]);
+    }
+    return out;
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::vector<Record> records_;
+};
+
+/// For google-benchmark benches: rewrites --json=<file> (if present) into
+/// --benchmark_out=<file> --benchmark_out_format=json in a new argv, so
+/// every bench understands the same flag. Returns the storage for the
+/// rewritten argv; pass `argc`/`argv` by reference.
+inline std::vector<std::string> translate_json_flag(int& argc, char**& argv,
+                                                    std::vector<char*>& ptrs) {
+  std::vector<std::string> args;
+  for (int a = 0; a < argc; ++a) {
+    const std::string_view arg = argv[a];
+    if (a > 0 && arg.rfind("--json=", 0) == 0) {
+      args.emplace_back(std::string("--benchmark_out=") +
+                        std::string(arg.substr(7)));
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+  ptrs.clear();
+  for (auto& s : args) ptrs.push_back(s.data());
+  argc = static_cast<int>(ptrs.size());
+  argv = ptrs.data();
+  return args;
+}
+
+}  // namespace coalesce::bench

@@ -44,6 +44,10 @@
 #include "support/stats.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "trace/counters.hpp"
+#include "trace/event.hpp"
+#include "trace/export.hpp"
+#include "trace/recorder.hpp"
 #include "transform/coalesce.hpp"
 #include "transform/distribute.hpp"
 #include "transform/interchange.hpp"

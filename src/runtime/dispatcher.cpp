@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
+#include "trace/recorder.hpp"
 
 namespace coalesce::runtime {
 
@@ -12,14 +13,52 @@ FetchAddDispatcher::FetchAddDispatcher(i64 total, i64 chunk_size)
   COALESCE_ASSERT(chunk_size >= 1);
 }
 
+namespace {
+
+/// Shared instrumentation tail of Dispatcher::next(): one kChunkDispatch
+/// span plus the dispatch-op counter and latency/size histograms. `t0` is
+/// the timestamp captured at entry (0 when no recorder was installed).
+void trace_dispatch(std::uint64_t t0, index::Chunk chunk) {
+  if constexpr (trace::kEnabled) {
+    trace::Recorder* rec = trace::Recorder::current();
+    if (rec == nullptr) return;
+    const std::uint64_t t1 = rec->now_ns();
+    const std::uint32_t worker = trace::thread_worker();
+    rec->record(trace::EventKind::kChunkDispatch, worker, t0, t1, chunk.first,
+                chunk.size());
+    trace::Counters& counters = rec->counters();
+    counters.add(worker, trace::Counter::kDispatchOps);
+    counters.observe(worker, trace::Hist::kDispatchLatencyNs, t1 - t0);
+    counters.observe(worker, trace::Hist::kChunkSize,
+                     static_cast<std::uint64_t>(chunk.size()));
+  } else {
+    (void)t0;
+    (void)chunk;
+  }
+}
+
+std::uint64_t trace_clock() {
+  if constexpr (trace::kEnabled) {
+    if (trace::Recorder* rec = trace::Recorder::current()) {
+      return rec->now_ns();
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
 index::Chunk FetchAddDispatcher::next() {
+  const std::uint64_t t0 = trace_clock();
   // The fetch&add: claim [first, first + k) in one wait-free operation.
   const i64 first = next_.fetch_add(chunk_, std::memory_order_relaxed);
   if (first > total_) {
     return index::Chunk{total_ + 1, total_ + 1};  // empty: exhausted
   }
   ops_.fetch_add(1, std::memory_order_relaxed);
-  return index::Chunk{first, std::min(first + chunk_, total_ + 1)};
+  const index::Chunk chunk{first, std::min(first + chunk_, total_ + 1)};
+  trace_dispatch(t0, chunk);
+  return chunk;
 }
 
 std::uint64_t FetchAddDispatcher::dispatch_ops() const noexcept {
@@ -34,16 +73,21 @@ PolicyDispatcher::PolicyDispatcher(i64 total,
 }
 
 index::Chunk PolicyDispatcher::next() {
-  std::scoped_lock lock(mutex_);
-  if (remaining_ <= 0) {
-    return index::Chunk{cursor_, cursor_};  // empty
+  const std::uint64_t t0 = trace_clock();
+  index::Chunk chunk;
+  {
+    std::scoped_lock lock(mutex_);
+    if (remaining_ <= 0) {
+      return index::Chunk{cursor_, cursor_};  // empty
+    }
+    const i64 take = policy_->next_chunk(remaining_);
+    COALESCE_ASSERT(take >= 1 && take <= remaining_);
+    chunk = index::Chunk{cursor_, cursor_ + take};
+    cursor_ += take;
+    remaining_ -= take;
+    ops_.fetch_add(1, std::memory_order_relaxed);
   }
-  const i64 take = policy_->next_chunk(remaining_);
-  COALESCE_ASSERT(take >= 1 && take <= remaining_);
-  const index::Chunk chunk{cursor_, cursor_ + take};
-  cursor_ += take;
-  remaining_ -= take;
-  ops_.fetch_add(1, std::memory_order_relaxed);
+  trace_dispatch(t0, chunk);
   return chunk;
 }
 

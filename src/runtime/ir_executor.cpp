@@ -5,6 +5,7 @@
 
 #include "support/assert.hpp"
 #include "support/strings.hpp"
+#include "trace/recorder.hpp"
 
 namespace coalesce::runtime {
 
@@ -53,10 +54,15 @@ support::Expected<ForStats> execute_parallel(ThreadPool& pool,
     std::uint64_t local_iters = 0;
     std::uint64_t local_chunks = 0;
     auto run_chunk = [&](index::Chunk chunk) {
+      trace::ScopedSpan span(trace::EventKind::kChunkExec, chunk.first,
+                             chunk.size());
       for (support::i64 j = chunk.first; j < chunk.last; ++j) {
         eval.run_body_once(root, *lo + (j - 1) * root.step);
         ++local_iters;
       }
+      trace::count(trace::Counter::kChunksExecuted);
+      trace::count(trace::Counter::kIterations,
+                   static_cast<std::uint64_t>(chunk.size()));
     };
     if (dispatcher != nullptr) {
       while (true) {
@@ -85,6 +91,7 @@ support::Expected<ForStats> execute_parallel(ThreadPool& pool,
 
   for (auto c : chunks) stats.chunks_executed += c;
   stats.dispatch_ops = dispatcher != nullptr ? dispatcher->dispatch_ops() : 0;
+  stats.trace = trace::Recorder::current();
   return stats;
 }
 

@@ -1,10 +1,12 @@
 #include "runtime/parallel_for.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "support/assert.hpp"
 #include "support/int_math.hpp"
 #include "support/stats.hpp"
+#include "trace/recorder.hpp"
 
 namespace coalesce::runtime {
 
@@ -47,13 +49,17 @@ const char* to_string(Schedule schedule) noexcept {
 }
 
 double ForStats::imbalance() const {
-  std::vector<double> xs;
-  xs.reserve(iterations_per_worker.size());
-  for (auto n : iterations_per_worker) xs.push_back(static_cast<double>(n));
-  if (xs.empty()) return 1.0;
-  support::Accumulator acc;
-  for (double x : xs) acc.add(x);
-  return acc.mean() == 0.0 ? 1.0 : acc.max() / acc.mean();
+  if (iterations_per_worker.empty()) return 1.0;
+  std::uint64_t max = 0;
+  std::uint64_t sum = 0;
+  for (const std::uint64_t n : iterations_per_worker) {
+    max = std::max(max, n);
+    sum += n;
+  }
+  if (sum == 0) return 1.0;  // zero-trip loop: balanced by definition
+  const double mean = static_cast<double>(sum) /
+                      static_cast<double>(iterations_per_worker.size());
+  return static_cast<double>(max) / mean;
 }
 
 std::unique_ptr<Dispatcher> make_dispatcher(ScheduleParams params, i64 total,
@@ -100,25 +106,31 @@ ForStats drive(ThreadPool& pool, i64 total, ScheduleParams params,
   pool.run_region([&](std::size_t w) {
     std::uint64_t local_iters = 0;
     std::uint64_t local_chunks = 0;
+    auto traced_chunk = [&](index::Chunk chunk) {
+      trace::ScopedSpan span(trace::EventKind::kChunkExec, chunk.first,
+                             chunk.size());
+      const std::uint64_t before = local_iters;
+      run_chunk(chunk, &local_iters);
+      ++local_chunks;
+      trace::count(trace::Counter::kChunksExecuted);
+      trace::count(trace::Counter::kIterations, local_iters - before);
+    };
     if (dispatcher != nullptr) {
       while (true) {
         const index::Chunk chunk = dispatcher->next();
         if (chunk.empty()) break;
-        ++local_chunks;
-        run_chunk(chunk, &local_iters);
+        traced_chunk(chunk);
       }
     } else if (params.kind == Schedule::kStaticBlock) {
       const auto blocks = index::static_blocks(total, static_cast<i64>(workers));
       const index::Chunk mine = blocks[w];
       if (!mine.empty()) {
-        ++local_chunks;
-        run_chunk(mine, &local_iters);
+        traced_chunk(mine);
       }
     } else {  // kStaticCyclic: unit chunks w+1, w+1+P, ...
       for (i64 j = static_cast<i64>(w) + 1; j <= total;
            j += static_cast<i64>(workers)) {
-        ++local_chunks;
-        run_chunk(index::Chunk{j, j + 1}, &local_iters);
+        traced_chunk(index::Chunk{j, j + 1});
       }
     }
     stats.iterations_per_worker[w] = local_iters;
@@ -128,6 +140,7 @@ ForStats drive(ThreadPool& pool, i64 total, ScheduleParams params,
   stats.wall_seconds = seconds_since(start);
   for (auto c : chunks) stats.chunks_executed += c;
   stats.dispatch_ops = dispatcher != nullptr ? dispatcher->dispatch_ops() : 0;
+  stats.trace = trace::Recorder::current();
   return stats;
 }
 
@@ -153,7 +166,13 @@ ForStats parallel_for_collapsed(ThreadPool& pool,
                [&](index::Chunk chunk, std::uint64_t* iters) {
                  // One full decode per chunk, odometer within: the
                  // strength-reduced recovery (index/incremental.hpp).
+                 const std::uint64_t t0 = trace::span_begin();
                  index::IncrementalDecoder decoder(space, chunk.first);
+                 trace::span_end(trace::EventKind::kIndexRecovery, t0,
+                                 chunk.first);
+                 trace::count(trace::Counter::kRecoveryDecodes);
+                 trace::count(trace::Counter::kRecoverySteps,
+                              static_cast<std::uint64_t>(chunk.size() - 1));
                  while (true) {
                    body(decoder.original());
                    ++*iters;
@@ -185,7 +204,10 @@ ForStats parallel_for_collapsed_tiled(ThreadPool& pool,
         std::vector<i64> tile(depth);
         std::vector<i64> point(depth);
         for (i64 t = chunk.first; t < chunk.last; ++t) {
+          const std::uint64_t t0 = trace::span_begin();
           tile_space.decode_paper(t, tile);
+          trace::span_end(trace::EventKind::kIndexRecovery, t0, t);
+          trace::count(trace::Counter::kRecoveryDecodes);
           // Sweep the tile's box in row-major order over ORIGINAL values.
           std::vector<i64> lo(depth), hi(depth);
           for (std::size_t k = 0; k < depth; ++k) {

@@ -14,6 +14,10 @@
 #include "runtime/dispatcher.hpp"
 #include "runtime/thread_pool.hpp"
 
+namespace coalesce::trace {
+class Recorder;
+}  // namespace coalesce::trace
+
 namespace coalesce::runtime {
 
 /// Scheduling discipline for dynamic (dispatcher-based) execution.
@@ -40,8 +44,14 @@ struct ForStats {
   std::uint64_t chunks_executed = 0;
   std::vector<std::uint64_t> iterations_per_worker;
   double wall_seconds = 0.0;
+  /// The recorder that collected this run's events, when tracing was
+  /// enabled during the run (trace::Recorder::current() at entry); null
+  /// otherwise. Borrowed, not owned — valid while that recorder lives.
+  const trace::Recorder* trace = nullptr;
 
-  /// max/mean of iterations_per_worker (1.0 = perfectly balanced).
+  /// max/mean of iterations_per_worker; 1.0 = perfectly balanced. Defined
+  /// as 1.0 for the degenerate cases (no workers recorded, or no
+  /// iterations executed at all).
   [[nodiscard]] double imbalance() const;
 };
 

@@ -1,6 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
 #include "support/assert.hpp"
+#include "trace/recorder.hpp"
 
 namespace coalesce::runtime {
 
@@ -24,6 +25,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_region(const std::function<void(std::size_t)>& body) {
+  trace::ScopedSpan region(trace::EventKind::kRegion,
+                           static_cast<trace::i64>(worker_count()));
+  trace::count(trace::Counter::kRegions);
   {
     std::scoped_lock lock(mutex_);
     COALESCE_ASSERT_MSG(body_ == nullptr, "run_region is not reentrant");
@@ -33,7 +37,12 @@ void ThreadPool::run_region(const std::function<void(std::size_t)>& body) {
   }
   cv_start_.notify_all();
 
-  body(0);  // the calling thread is worker 0
+  {
+    trace::set_thread_worker(0);  // the calling thread is worker 0
+    trace::ScopedSpan run(trace::EventKind::kWorkerRun,
+                          trace::Hist::kWorkerBusyNs);
+    body(0);
+  }
 
   std::unique_lock lock(mutex_);
   cv_done_.wait(lock, [this] { return remaining_ == 0; });
@@ -41,9 +50,16 @@ void ThreadPool::run_region(const std::function<void(std::size_t)>& body) {
 }
 
 void ThreadPool::worker_main(std::size_t id, std::stop_token stop) {
+  trace::set_thread_worker(static_cast<std::uint32_t>(id));
   std::size_t seen_generation = 0;
   while (true) {
     const std::function<void(std::size_t)>* body = nullptr;
+    // Park span, recorded only when the SAME recorder is installed at both
+    // ends of the wait: a worker can stay parked across a whole recorder
+    // lifetime, so holding a pointer through the wait could dangle.
+    trace::Recorder* rec_at_park = trace::Recorder::current();
+    const std::uint64_t parked_at =
+        rec_at_park != nullptr ? rec_at_park->now_ns() : 0;
     {
       std::unique_lock lock(mutex_);
       cv_start_.wait(lock, [&] {
@@ -53,8 +69,17 @@ void ThreadPool::worker_main(std::size_t id, std::stop_token stop) {
       seen_generation = generation_;
       body = body_;
     }
+    if (trace::Recorder* rec = trace::Recorder::current();
+        rec != nullptr && rec == rec_at_park) {
+      rec->record(trace::EventKind::kWorkerPark,
+                  static_cast<std::uint32_t>(id), parked_at, rec->now_ns());
+    }
     COALESCE_ASSERT(body != nullptr);
-    (*body)(id);
+    {
+      trace::ScopedSpan run(trace::EventKind::kWorkerRun,
+                            trace::Hist::kWorkerBusyNs);
+      (*body)(id);
+    }
     {
       std::scoped_lock lock(mutex_);
       --remaining_;

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "support/assert.hpp"
+#include "trace/recorder.hpp"
 
 namespace coalesce::sim {
 
@@ -131,6 +132,20 @@ SimResult run_dynamic(
     if (costs.record_trace) {
       result.trace.push_back(ChunkEvent{p, t, t + c.cycles, chunk});
     }
+    // Mirror the simulated execution into an installed recorder: simulated
+    // processor p becomes a worker timeline, one cycle == one nanosecond.
+    if constexpr (trace::kEnabled) {
+      if (trace::Recorder* rec = trace::Recorder::current()) {
+        rec->record(trace::EventKind::kSimChunk,
+                    static_cast<std::uint32_t>(p),
+                    static_cast<std::uint64_t>(t),
+                    static_cast<std::uint64_t>(t + c.cycles), chunk.first,
+                    chunk.size());
+        rec->counters().add(p, trace::Counter::kSimChunks);
+        rec->counters().observe(p, trace::Hist::kChunkSize,
+                                static_cast<std::uint64_t>(chunk.size()));
+      }
+    }
     t += c.cycles;
     result.busy[p] += c.useful;
     last_finish = std::max(last_finish, t);
@@ -204,6 +219,16 @@ SimResult simulate_coalesced_static(const index::CoalescedSpace& space,
     const ChunkCost c = coalesced_chunk_cost(space, costs, work, blocks[p]);
     result.busy[p] = c.useful;
     result.chunks += 1;
+    if constexpr (trace::kEnabled) {
+      if (trace::Recorder* rec = trace::Recorder::current()) {
+        rec->record(trace::EventKind::kSimChunk,
+                    static_cast<std::uint32_t>(p),
+                    static_cast<std::uint64_t>(costs.fork),
+                    static_cast<std::uint64_t>(costs.fork + c.cycles),
+                    blocks[p].first, blocks[p].size());
+        rec->counters().add(p, trace::Counter::kSimChunks);
+      }
+    }
     last_finish = std::max(last_finish, costs.fork + c.cycles);
   }
   result.completion = last_finish + costs.barrier;

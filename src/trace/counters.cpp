@@ -1,0 +1,105 @@
+#include "trace/counters.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "support/assert.hpp"
+
+namespace coalesce::trace {
+
+const char* to_string(Counter counter) noexcept {
+  switch (counter) {
+    case Counter::kRegions: return "regions";
+    case Counter::kDispatchOps: return "dispatch_ops";
+    case Counter::kChunksExecuted: return "chunks_executed";
+    case Counter::kIterations: return "iterations";
+    case Counter::kRecoveryDecodes: return "recovery_decodes";
+    case Counter::kRecoverySteps: return "recovery_steps";
+    case Counter::kSimChunks: return "sim_chunks";
+    case Counter::kCount_: break;
+  }
+  return "?";
+}
+
+const char* to_string(Hist hist) noexcept {
+  switch (hist) {
+    case Hist::kDispatchLatencyNs: return "dispatch_latency_ns";
+    case Hist::kChunkSize: return "chunk_size";
+    case Hist::kWorkerBusyNs: return "worker_busy_ns";
+    case Hist::kCount_: break;
+  }
+  return "?";
+}
+
+std::uint64_t HistogramSnapshot::total() const noexcept {
+  std::uint64_t n = 0;
+  for (auto b : buckets) n += b;
+  return n;
+}
+
+double HistogramSnapshot::approx_mean() const noexcept {
+  const std::uint64_t n = total();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t b = 0; b < kHistBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    // Geometric midpoint of [2^b, 2^(b+1)).
+    sum += static_cast<double>(buckets[b]) *
+           std::exp2(static_cast<double>(b) + 0.5);
+  }
+  return sum / static_cast<double>(n);
+}
+
+std::string HistogramSnapshot::render(std::size_t width) const {
+  std::uint64_t peak = 0;
+  std::size_t top = 0;
+  for (std::size_t b = 0; b < kHistBuckets; ++b) {
+    if (buckets[b] > 0) top = b;
+    peak = std::max(peak, buckets[b]);
+  }
+  std::string out;
+  if (peak == 0) return out;
+  for (std::size_t b = 0; b <= top; ++b) {
+    char label[32];
+    std::snprintf(label, sizeof label, "2^%-2zu |", b);
+    out += label;
+    const auto bar = static_cast<std::size_t>(
+        (buckets[b] * width + peak - 1) / peak);
+    out.append(bar, '#');
+    out += " ";
+    out += std::to_string(buckets[b]);
+    out += "\n";
+  }
+  return out;
+}
+
+Counters::Counters(std::size_t workers)
+    : capacity_(std::bit_ceil(std::max<std::size_t>(workers, 1))),
+      shards_(capacity_) {}
+
+std::uint64_t Counters::total(Counter counter) const noexcept {
+  std::uint64_t sum = 0;
+  for (const Shard& shard : shards_) {
+    sum += shard.counters[static_cast<std::size_t>(counter)];
+  }
+  return sum;
+}
+
+std::uint64_t Counters::of_worker(std::size_t worker,
+                                  Counter counter) const noexcept {
+  return shards_[worker & (capacity_ - 1)]
+      .counters[static_cast<std::size_t>(counter)];
+}
+
+HistogramSnapshot Counters::snapshot(Hist hist) const {
+  HistogramSnapshot snap;
+  for (const Shard& shard : shards_) {
+    const auto& h = shard.hist[static_cast<std::size_t>(hist)];
+    for (std::size_t b = 0; b < kHistBuckets; ++b) snap.buckets[b] += h[b];
+  }
+  return snap;
+}
+
+}  // namespace coalesce::trace

@@ -1,0 +1,99 @@
+// Named monotonic counters and log-scale histograms, sharded per worker.
+//
+// Each worker owns a shard and bumps it with plain (non-atomic) stores —
+// single-writer per shard, merged on the read side after the region joins
+// (the pool join provides the happens-before edge). Increments on the hot
+// path are one array store; no locks, no allocation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace coalesce::trace {
+
+/// The fixed counter registry. Counters are monotonic event tallies.
+enum class Counter : std::uint8_t {
+  kRegions,          ///< parallel regions (fork/join pairs) entered
+  kDispatchOps,      ///< synchronized chunk-allocation operations
+  kChunksExecuted,   ///< chunks run to completion
+  kIterations,       ///< loop-body iterations executed
+  kRecoveryDecodes,  ///< full index decodes (one per chunk entry)
+  kRecoverySteps,    ///< strength-reduced odometer advances
+  kSimChunks,        ///< simulated chunk executions
+  kCount_            ///< sentinel
+};
+
+/// Log2-bucketed histogram registry.
+enum class Hist : std::uint8_t {
+  kDispatchLatencyNs,  ///< wall time of one dispatcher->next() call
+  kChunkSize,          ///< iterations per dispatched chunk
+  kWorkerBusyNs,       ///< per-region busy span of one worker
+  kCount_              ///< sentinel
+};
+
+[[nodiscard]] const char* to_string(Counter counter) noexcept;
+[[nodiscard]] const char* to_string(Hist hist) noexcept;
+
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount_);
+inline constexpr std::size_t kHistCount =
+    static_cast<std::size_t>(Hist::kCount_);
+inline constexpr std::size_t kHistBuckets = 64;  ///< bucket b: [2^b, 2^(b+1))
+
+/// Merged view of one histogram: counts per power-of-two bucket.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  /// Geometric midpoint estimate of the mean, 0 when empty.
+  [[nodiscard]] double approx_mean() const noexcept;
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+};
+
+class Counters {
+ public:
+  explicit Counters(std::size_t workers);
+
+  /// Hot path: bump `counter` on worker `worker`'s shard. Plain store.
+  void add(std::size_t worker, Counter counter,
+           std::uint64_t delta = 1) noexcept {
+    shards_[worker & (capacity_ - 1)]
+        .counters[static_cast<std::size_t>(counter)] += delta;
+  }
+
+  /// Hot path: record `value` into the log2 histogram on `worker`'s shard.
+  void observe(std::size_t worker, Hist hist, std::uint64_t value) noexcept {
+    shards_[worker & (capacity_ - 1)]
+        .hist[static_cast<std::size_t>(hist)][bucket_of(value)] += 1;
+  }
+
+  /// Read side (call after workers joined): sum across all shards.
+  [[nodiscard]] std::uint64_t total(Counter counter) const noexcept;
+  /// Read side: one worker's tally.
+  [[nodiscard]] std::uint64_t of_worker(std::size_t worker,
+                                        Counter counter) const noexcept;
+  [[nodiscard]] HistogramSnapshot snapshot(Hist hist) const;
+
+  [[nodiscard]] std::size_t worker_capacity() const noexcept {
+    return capacity_;
+  }
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) noexcept {
+    if (value <= 1) return 0;
+    return static_cast<std::size_t>(64 - __builtin_clzll(value) - 1);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::uint64_t, kCounterCount> counters{};
+    std::array<std::array<std::uint64_t, kHistBuckets>, kHistCount> hist{};
+  };
+  std::size_t capacity_;  // power of two >= workers
+  std::vector<Shard> shards_;
+};
+
+}  // namespace coalesce::trace

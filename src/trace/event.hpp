@@ -1,0 +1,41 @@
+// Event taxonomy of the runtime observability subsystem.
+//
+// An Event is one timestamped span (or instant, when begin == end) on one
+// worker's timeline. Timestamps are nanoseconds since the owning Recorder
+// was constructed; the simulator records abstract cycles in the same field
+// (one cycle == one nanosecond for export purposes), so both real and
+// simulated executions share one exporter.
+#pragma once
+
+#include <cstdint>
+
+#include "support/int_math.hpp"
+
+namespace coalesce::trace {
+
+using support::i64;
+
+enum class EventKind : std::uint8_t {
+  kRegion,        ///< fork..join of one parallel region (emitted by worker 0)
+  kWorkerRun,     ///< one worker's span inside a region (unpark..done)
+  kWorkerPark,    ///< span a pool worker spent parked between regions
+  kChunkDispatch, ///< span claiming a chunk from the dispatcher; arg0 = size
+  kChunkExec,     ///< span executing a chunk; arg0 = chunk.first, arg1 = size
+  kIndexRecovery, ///< full index decode at chunk entry; arg0 = coalesced j
+  kSimChunk,      ///< simulated chunk execution; timestamps are sim cycles
+  kMark,          ///< instantaneous marker; arg0/arg1 free-form
+};
+
+/// Stable display name (used as the Chrome trace-event "name" field).
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+struct Event {
+  EventKind kind = EventKind::kMark;
+  std::uint32_t worker = 0;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  i64 arg0 = 0;
+  i64 arg1 = 0;
+};
+
+}  // namespace coalesce::trace

@@ -1,0 +1,201 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace coalesce::trace {
+
+namespace {
+
+/// Chrome trace-event timestamps are microseconds; we keep nanosecond
+/// precision by emitting fractional microseconds.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+void append_counter_block(std::string& out, const Counters& counters) {
+  out += "\"counters\":{";
+  bool first = true;
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    const auto counter = static_cast<Counter>(c);
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += to_string(counter);
+    out += "\":";
+    out += std::to_string(counters.total(counter));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (std::size_t h = 0; h < kHistCount; ++h) {
+    const auto hist = static_cast<Hist>(h);
+    const HistogramSnapshot snap = counters.snapshot(hist);
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += to_string(hist);
+    out += "\":{\"total\":";
+    out += std::to_string(snap.total());
+    char mean[32];
+    std::snprintf(mean, sizeof mean, "%.1f", snap.approx_mean());
+    out += ",\"approx_mean\":";
+    out += mean;
+    out += ",\"buckets\":[";
+    std::size_t top = 0;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (snap.buckets[b] > 0) top = b;
+    }
+    for (std::size_t b = 0; b <= top; ++b) {
+      if (b > 0) out += ",";
+      out += std::to_string(snap.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string chrome_trace_json(const Recorder& recorder) {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+
+  bool first = true;
+  for (const std::uint32_t w : recorder.active_workers()) {
+    // Thread-name metadata row so chrome://tracing labels the timeline.
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(w);
+    out += ",\"args\":{\"name\":\"worker ";
+    out += std::to_string(w);
+    out += "\"}}";
+
+    for (const Event& event : recorder.events(w)) {
+      out += ",{\"name\":\"";
+      out += to_string(event.kind);
+      out += "\",\"cat\":\"";
+      out += event.kind == EventKind::kSimChunk ? "sim" : "runtime";
+      out += "\",\"ph\":\"";
+      out += event.kind == EventKind::kMark ? "i" : "X";
+      out += "\",\"ts\":";
+      append_us(out, event.begin_ns);
+      if (event.kind != EventKind::kMark) {
+        out += ",\"dur\":";
+        append_us(out, event.end_ns - event.begin_ns);
+      } else {
+        out += ",\"s\":\"t\"";
+      }
+      out += ",\"pid\":1,\"tid\":";
+      out += std::to_string(event.worker);
+      out += ",\"args\":{\"arg0\":";
+      out += std::to_string(event.arg0);
+      out += ",\"arg1\":";
+      out += std::to_string(event.arg1);
+      out += "}}";
+    }
+  }
+
+  out += "],\"otherData\":{";
+  append_counter_block(out, recorder.counters());
+  out += ",\"dropped_events\":";
+  out += std::to_string(recorder.dropped());
+  out += "}}";
+  return out;
+}
+
+void write_chrome_trace(const Recorder& recorder, std::ostream& out) {
+  out << chrome_trace_json(recorder);
+}
+
+std::string worker_summary(const Recorder& recorder, std::size_t width) {
+  const auto workers = recorder.active_workers();
+  std::string out;
+  if (workers.empty() || width == 0) return "(empty trace)\n";
+
+  auto is_busy = [](EventKind kind) {
+    return kind == EventKind::kChunkExec || kind == EventKind::kSimChunk;
+  };
+
+  std::uint64_t horizon = 0;
+  for (const std::uint32_t w : workers) {
+    for (const Event& event : recorder.events(w)) {
+      horizon = std::max(horizon, event.end_ns);
+    }
+  }
+  if (horizon == 0) horizon = 1;
+  const std::uint64_t ns_per_col = (horizon + width - 1) / width;
+
+  std::ostringstream text;
+  text << "per-worker timeline (1 col = " << ns_per_col << " ns, '"
+       << "#' busy, '.' idle)\n";
+  for (const std::uint32_t w : workers) {
+    std::string row(width, '.');
+    std::uint64_t busy_ns = 0;
+    std::uint64_t chunks = 0;
+    for (const Event& event : recorder.events(w)) {
+      if (!is_busy(event.kind)) continue;
+      busy_ns += event.end_ns - event.begin_ns;
+      ++chunks;
+      const auto from = static_cast<std::size_t>(event.begin_ns / ns_per_col);
+      auto to = static_cast<std::size_t>(
+          (event.end_ns + ns_per_col - 1) / ns_per_col);
+      to = std::min(to, width);
+      for (std::size_t col = from; col < std::max(to, from + 1); ++col) {
+        if (col < width) row[col] = '#';
+      }
+    }
+    char label[64];
+    std::snprintf(label, sizeof label, "W%-3u |", w);
+    text << label << row << "| chunks=" << chunks << " busy="
+         << busy_ns / 1000 << "us iters="
+         << recorder.counters().of_worker(w, Counter::kIterations) << "\n";
+  }
+
+  const Counters& counters = recorder.counters();
+  text << "totals:";
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    const auto counter = static_cast<Counter>(c);
+    text << " " << to_string(counter) << "=" << counters.total(counter);
+  }
+  text << " dropped=" << recorder.dropped() << "\n";
+
+  const HistogramSnapshot chunk_sizes = counters.snapshot(Hist::kChunkSize);
+  if (chunk_sizes.total() > 0) {
+    text << "chunk-size distribution (log2 buckets):\n"
+         << chunk_sizes.render();
+  }
+  out += text.str();
+  return out;
+}
+
+}  // namespace coalesce::trace

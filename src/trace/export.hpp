@@ -1,0 +1,37 @@
+// Exporters for a collected trace.
+//
+//  * Chrome trace-event JSON — load in chrome://tracing (or Perfetto's
+//    legacy importer): one "X" (complete) event per recorded span, one
+//    timeline row per worker, counter totals and histogram summaries under
+//    the top-level "otherData" object.
+//  * Plain-text per-worker Gantt — busy/idle bars on a fixed-width grid,
+//    one row per worker, for terminals and test logs.
+//
+// Both read the recorder after the traced region has joined; call them from
+// the thread that owns the recorder, never concurrently with recording.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/recorder.hpp"
+
+namespace coalesce::trace {
+
+/// Writes the whole recorder state as Chrome trace-event JSON.
+void write_chrome_trace(const Recorder& recorder, std::ostream& out);
+
+/// write_chrome_trace into a string.
+[[nodiscard]] std::string chrome_trace_json(const Recorder& recorder);
+
+/// Renders per-worker busy bars ('#' = inside a chunk_exec/sim_chunk span,
+/// '.' = idle) plus per-worker event/iteration tallies and the merged
+/// counter block. `width` is the number of grid columns.
+[[nodiscard]] std::string worker_summary(const Recorder& recorder,
+                                         std::size_t width = 64);
+
+/// Escapes a string for embedding in a JSON string literal (shared with
+/// the bench harness; exposed for tests).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace coalesce::trace

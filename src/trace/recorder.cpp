@@ -1,0 +1,135 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/assert.hpp"
+
+namespace coalesce::trace {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kRegion: return "region";
+    case EventKind::kWorkerRun: return "worker_run";
+    case EventKind::kWorkerPark: return "worker_park";
+    case EventKind::kChunkDispatch: return "chunk_dispatch";
+    case EventKind::kChunkExec: return "chunk_exec";
+    case EventKind::kIndexRecovery: return "index_recovery";
+    case EventKind::kSimChunk: return "sim_chunk";
+    case EventKind::kMark: return "mark";
+  }
+  return "?";
+}
+
+std::atomic<Recorder*> Recorder::current_{nullptr};
+
+/// Single-writer ring: the owning worker appends with plain stores; the
+/// read side runs strictly after the writer has joined.
+struct Recorder::Ring {
+  explicit Ring(std::size_t capacity) : events(capacity) {}
+  std::vector<Event> events;
+  std::uint64_t appended = 0;  ///< total records; ring holds the last N
+};
+
+Recorder::Recorder(std::size_t capacity_per_worker)
+    : capacity_(std::bit_ceil(std::max<std::size_t>(capacity_per_worker, 2))),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Recorder::~Recorder() {
+  uninstall();
+  for (auto& slot : slots_) delete slot.load(std::memory_order_acquire);
+}
+
+void Recorder::install() noexcept {
+  Recorder* expected = nullptr;
+  const bool installed = current_.compare_exchange_strong(
+      expected, this, std::memory_order_release);
+  COALESCE_ASSERT_MSG(installed || expected == this,
+                      "another trace::Recorder is already installed");
+}
+
+void Recorder::uninstall() noexcept {
+  Recorder* expected = this;
+  current_.compare_exchange_strong(expected, nullptr,
+                                   std::memory_order_release);
+}
+
+Recorder::Ring* Recorder::ring_for(std::uint32_t worker) noexcept {
+  const std::size_t slot = worker % kMaxWorkers;
+  Ring* ring = slots_[slot].load(std::memory_order_acquire);
+  if (ring == nullptr) {
+    auto fresh = std::make_unique<Ring>(capacity_);
+    Ring* expected = nullptr;
+    if (slots_[slot].compare_exchange_strong(expected, fresh.get(),
+                                             std::memory_order_acq_rel)) {
+      ring = fresh.release();
+    } else {
+      ring = expected;  // another thread won the race for this slot
+    }
+  }
+  return ring;
+}
+
+void Recorder::record(EventKind kind, std::uint32_t worker,
+                      std::uint64_t begin_ns, std::uint64_t end_ns, i64 arg0,
+                      i64 arg1) noexcept {
+  Ring* ring = ring_for(worker);
+  if (ring->appended >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring->events[ring->appended & (capacity_ - 1)] =
+      Event{kind, worker, begin_ns, end_ns, arg0, arg1};
+  ++ring->appended;
+}
+
+std::vector<Event> Recorder::events(std::uint32_t worker) const {
+  const Ring* ring =
+      slots_[worker % kMaxWorkers].load(std::memory_order_acquire);
+  if (ring == nullptr) return {};
+  std::vector<Event> out;
+  const std::uint64_t kept = std::min<std::uint64_t>(ring->appended, capacity_);
+  out.reserve(static_cast<std::size_t>(kept));
+  for (std::uint64_t k = ring->appended - kept; k < ring->appended; ++k) {
+    out.push_back(ring->events[k & (capacity_ - 1)]);
+  }
+  return out;
+}
+
+std::vector<Event> Recorder::all_events() const {
+  std::vector<Event> out;
+  for (std::size_t w = 0; w < kMaxWorkers; ++w) {
+    const auto worker_events = events(static_cast<std::uint32_t>(w));
+    out.insert(out.end(), worker_events.begin(), worker_events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.begin_ns != b.begin_ns) {
+                       return a.begin_ns < b.begin_ns;
+                     }
+                     return a.worker < b.worker;
+                   });
+  return out;
+}
+
+std::vector<std::uint32_t> Recorder::active_workers() const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t w = 0; w < kMaxWorkers; ++w) {
+    const Ring* ring = slots_[w].load(std::memory_order_acquire);
+    if (ring != nullptr && ring->appended > 0) {
+      out.push_back(static_cast<std::uint32_t>(w));
+    }
+  }
+  return out;
+}
+
+// ---- per-thread worker identity ---------------------------------------------
+
+namespace {
+thread_local std::uint32_t t_worker = 0;
+}  // namespace
+
+void set_thread_worker(std::uint32_t worker) noexcept { t_worker = worker; }
+
+std::uint32_t thread_worker() noexcept { return t_worker; }
+
+}  // namespace coalesce::trace

@@ -1,0 +1,216 @@
+// trace::Recorder — the collection point of the observability subsystem.
+//
+// One Recorder owns a lock-free single-writer ring buffer of Events per
+// worker plus the sharded Counters. Instrumentation sites reach it through
+// a process-wide installed pointer (one relaxed atomic load); when no
+// recorder is installed — the default — every emit helper is a
+// load-compare-branch and nothing else: no locks, no allocation, no
+// timestamp read. Defining COALESCE_TRACE_DISABLED at build time
+// (-DCOALESCE_ENABLE_TRACE=OFF in CMake) compiles the helpers out entirely.
+//
+// Writing an event is wait-free: each worker appends to its own
+// preallocated ring (plain stores; the ring keeps the most recent
+// `capacity` events and counts overwrites as drops). The read side —
+// exporters, tests — runs after the region has joined, so the pool's join
+// provides the happens-before edge; no event is read while it is written.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/counters.hpp"
+#include "trace/event.hpp"
+
+namespace coalesce::trace {
+
+class Recorder {
+ public:
+  /// Upper bound on distinct worker timelines (real threads or simulated
+  /// processors). Events from higher ids fold onto id % kMaxWorkers.
+  static constexpr std::size_t kMaxWorkers = 256;
+
+  /// `capacity_per_worker` is rounded up to a power of two; each worker's
+  /// ring keeps the most recent `capacity` events (older ones are dropped
+  /// and tallied in dropped()).
+  explicit Recorder(std::size_t capacity_per_worker = std::size_t{1} << 14);
+  ~Recorder();
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  // ---- installation ---------------------------------------------------------
+
+  /// The process-wide recorder instrumentation sites emit through, or
+  /// nullptr (tracing disabled). Relaxed load: this is the fast-path check.
+  [[nodiscard]] static Recorder* current() noexcept {
+    return current_.load(std::memory_order_relaxed);
+  }
+
+  /// Makes this recorder the process-wide sink. Only one may be installed;
+  /// installing while another is installed asserts.
+  void install() noexcept;
+  /// Removes this recorder as the sink (no-op if not installed).
+  void uninstall() noexcept;
+
+  // ---- write side (hot) -----------------------------------------------------
+
+  /// Nanoseconds since this recorder was constructed.
+  [[nodiscard]] std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Appends a span to `worker`'s timeline. Wait-free, allocation-free
+  /// after the worker's first event (the ring is created on first use).
+  void record(EventKind kind, std::uint32_t worker, std::uint64_t begin_ns,
+              std::uint64_t end_ns, i64 arg0 = 0, i64 arg1 = 0) noexcept;
+
+  [[nodiscard]] Counters& counters() noexcept { return counters_; }
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
+  // ---- read side (after join) -----------------------------------------------
+
+  /// Events of one worker, oldest first (post-drop window).
+  [[nodiscard]] std::vector<Event> events(std::uint32_t worker) const;
+  /// All events, sorted by (begin_ns, worker).
+  [[nodiscard]] std::vector<Event> all_events() const;
+  /// Worker ids that recorded at least one event, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> active_workers() const;
+  /// Events overwritten because a ring wrapped.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t ring_capacity() const noexcept {
+    return capacity_;
+  }
+
+ private:
+  struct Ring;
+
+  Ring* ring_for(std::uint32_t worker) noexcept;
+
+  static std::atomic<Recorder*> current_;
+
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  Counters counters_{kMaxWorkers};
+  std::atomic<Ring*> slots_[kMaxWorkers] = {};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+// ---- per-thread worker identity ---------------------------------------------
+
+/// The worker id instrumentation on this thread attributes events to. The
+/// ThreadPool sets it for the span of a region; the main thread defaults
+/// to 0. Cheap thread-local read/write.
+void set_thread_worker(std::uint32_t worker) noexcept;
+[[nodiscard]] std::uint32_t thread_worker() noexcept;
+
+// ---- emit helpers (the instrumentation API) ---------------------------------
+
+#if defined(COALESCE_TRACE_DISABLED)
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(EventKind, i64 = 0, i64 = 0) noexcept {}
+  ScopedSpan(EventKind, Hist, i64 = 0, i64 = 0) noexcept {}
+  void set_args(i64, i64 = 0) noexcept {}
+};
+inline void mark(EventKind, i64 = 0, i64 = 0) noexcept {}
+inline void count(Counter, std::uint64_t = 1) noexcept {}
+inline void observe(Hist, std::uint64_t) noexcept {}
+inline std::uint64_t span_begin() noexcept { return 0; }
+inline void span_end(EventKind, std::uint64_t, i64 = 0, i64 = 0) noexcept {}
+inline constexpr bool kEnabled = false;
+
+#else
+
+/// RAII span: captures a begin timestamp if a recorder is installed and
+/// records [begin, now] on destruction. Near-zero cost when none is.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(EventKind kind, i64 arg0 = 0, i64 arg1 = 0) noexcept
+      : rec_(Recorder::current()), kind_(kind), arg0_(arg0), arg1_(arg1) {
+    if (rec_ != nullptr) begin_ = rec_->now_ns();
+  }
+  /// Span that additionally records its duration into `hist` on close.
+  ScopedSpan(EventKind kind, Hist hist, i64 arg0 = 0, i64 arg1 = 0) noexcept
+      : ScopedSpan(kind, arg0, arg1) {
+    hist_ = hist;
+  }
+  ~ScopedSpan() {
+    if (rec_ != nullptr) {
+      const std::uint64_t end = rec_->now_ns();
+      const std::uint32_t worker = thread_worker();
+      rec_->record(kind_, worker, begin_, end, arg0_, arg1_);
+      if (hist_ != Hist::kCount_) {
+        rec_->counters().observe(worker, hist_, end - begin_);
+      }
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Updates the args recorded at destruction (e.g. once the size is known).
+  void set_args(i64 arg0, i64 arg1 = 0) noexcept {
+    arg0_ = arg0;
+    arg1_ = arg1;
+  }
+
+ private:
+  Recorder* rec_;
+  EventKind kind_;
+  Hist hist_ = Hist::kCount_;
+  std::uint64_t begin_ = 0;
+  i64 arg0_;
+  i64 arg1_;
+};
+
+/// Records an instantaneous event on the current thread's worker timeline.
+inline void mark(EventKind kind, i64 arg0 = 0, i64 arg1 = 0) noexcept {
+  if (Recorder* rec = Recorder::current()) {
+    const std::uint64_t t = rec->now_ns();
+    rec->record(kind, thread_worker(), t, t, arg0, arg1);
+  }
+}
+
+/// Bumps a counter on the current thread's worker shard.
+inline void count(Counter counter, std::uint64_t delta = 1) noexcept {
+  if (Recorder* rec = Recorder::current()) {
+    rec->counters().add(thread_worker(), counter, delta);
+  }
+}
+
+/// Records a histogram observation on the current thread's worker shard.
+inline void observe(Hist hist, std::uint64_t value) noexcept {
+  if (Recorder* rec = Recorder::current()) {
+    rec->counters().observe(thread_worker(), hist, value);
+  }
+}
+
+/// Non-RAII span pair for hot paths where a scoped object is awkward:
+/// `span_begin()` captures the current timestamp (0 when tracing is off)
+/// and `span_end(kind, t0, ...)` records [t0, now]. Both ends must run on
+/// the same thread with the same recorder installed.
+[[nodiscard]] inline std::uint64_t span_begin() noexcept {
+  if (Recorder* rec = Recorder::current()) return rec->now_ns();
+  return 0;
+}
+inline void span_end(EventKind kind, std::uint64_t begin_ns, i64 arg0 = 0,
+                     i64 arg1 = 0) noexcept {
+  if (Recorder* rec = Recorder::current()) {
+    rec->record(kind, thread_worker(), begin_ns, rec->now_ns(), arg0, arg1);
+  }
+}
+
+inline constexpr bool kEnabled = true;
+
+#endif  // COALESCE_TRACE_DISABLED
+
+}  // namespace coalesce::trace

@@ -330,5 +330,28 @@ TEST(ForStats, ImbalanceOfUniformAndSkewedDistributions) {
   EXPECT_DOUBLE_EQ(stats.imbalance(), 4.0);
 }
 
+TEST(ForStats, ImbalanceOfEmptyDistributionIsBalanced) {
+  // A stats object never filled in (no workers recorded) reads as balanced,
+  // not as a division by zero.
+  ForStats stats;
+  EXPECT_TRUE(stats.iterations_per_worker.empty());
+  EXPECT_DOUBLE_EQ(stats.imbalance(), 1.0);
+}
+
+TEST(ForStats, ImbalanceOfAllZeroDistributionIsBalanced) {
+  // A zero-trip loop executes no iterations on any worker: every worker did
+  // the same (zero) work, so imbalance is 1.0, not 0/0.
+  ForStats stats;
+  stats.iterations_per_worker = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(stats.imbalance(), 1.0);
+}
+
+TEST(ForStats, ZeroTripParallelForReportsBalancedStats) {
+  ThreadPool pool(4);
+  const ForStats stats = parallel_for(
+      pool, 0, {Schedule::kGuided, 1}, [](i64) { FAIL() << "no iterations"; });
+  EXPECT_DOUBLE_EQ(stats.imbalance(), 1.0);
+}
+
 }  // namespace
 }  // namespace coalesce::runtime

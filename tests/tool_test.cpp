@@ -3,6 +3,8 @@
 // injected by CMake as COALESCEC_PATH.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -22,10 +24,12 @@ struct RunResult {
 RunResult run_tool(const std::string& args, const std::string& source) {
   static int counter = 0;
   const std::string dir = ::testing::TempDir();
-  const std::string in_path =
-      dir + "/tool_in_" + std::to_string(counter) + ".loop";
-  const std::string out_path =
-      dir + "/tool_out_" + std::to_string(counter) + ".txt";
+  // The pid keeps names unique when ctest runs each discovered test as its
+  // own concurrent process against the same temp directory.
+  const std::string tag =
+      std::to_string(::getpid()) + "_" + std::to_string(counter);
+  const std::string in_path = dir + "/tool_in_" + tag + ".loop";
+  const std::string out_path = dir + "/tool_out_" + tag + ".txt";
   ++counter;
   {
     std::ofstream out(in_path);
@@ -181,6 +185,37 @@ doall i = 1, 6 {
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("t_x"), std::string::npos);
   EXPECT_NE(r.output.find("verified equivalent"), std::string::npos);
+}
+
+TEST(Coalescec, TraceWritesChromeTraceJson) {
+  const std::string trace_path = ::testing::TempDir() + "/tool_trace_" +
+                                 std::to_string(::getpid()) + ".json";
+  const RunResult r = run_tool(
+      "--verify --trace=" + trace_path + " --trace-workers=2", kMatmul);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("verified equivalent"), std::string::npos);
+  EXPECT_NE(r.output.find("traced"), std::string::npos);
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << "trace file not written: " << trace_path;
+  const std::string json((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("worker 0"), std::string::npos);
+  EXPECT_NE(json.find("worker 1"), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST(Coalescec, TraceSummaryRendersWorkerGantt) {
+  const std::string trace_path = ::testing::TempDir() + "/tool_trace_s_" +
+                                 std::to_string(::getpid()) + ".json";
+  const RunResult r = run_tool(
+      "--trace=" + trace_path + " --trace-workers=2 --trace-summary",
+      kMatmul);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("W0"), std::string::npos);
+  std::remove(trace_path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,434 @@
+// Tests for the observability subsystem: recorder semantics, counter
+// merging, exporter validity, and the cost of the disabled path.
+#include <atomic>
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/coalesced_space.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "trace/counters.hpp"
+#include "trace/event.hpp"
+#include "trace/export.hpp"
+#include "trace/recorder.hpp"
+
+// ---- allocation counting ----------------------------------------------------
+// Global operator new/delete overrides that tally every heap allocation in
+// the test binary. Tests snapshot the counter around a code region to prove
+// the region allocates nothing (the disabled-tracing fast path).
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace coalesce::trace {
+namespace {
+
+using support::i64;
+
+// ---- a minimal JSON syntax checker ------------------------------------------
+// Enough of a recursive-descent parser to prove the exporter emits
+// syntactically valid JSON and to count elements; no DOM is built.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  /// Parses one complete JSON value; true iff the whole input is consumed.
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  /// Elements seen in the array that followed `"key":` (last occurrence).
+  [[nodiscard]] std::size_t array_size(std::string_view key) const {
+    const auto it = array_sizes_.find(std::string(key));
+    return it == array_sizes_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] bool has_key(std::string_view key) const {
+    return keys_.count(std::string(key)) > 0;
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array(nullptr);
+      case '"': return string(nullptr);
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      keys_.insert(key);
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (peek() == '[') {
+        std::size_t n = 0;
+        if (!array(&n)) return false;
+        array_sizes_[key] = n;
+      } else if (!value()) {
+        return false;
+      }
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array(std::size_t* count) {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      if (count != nullptr) ++*count;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string(std::string* out) {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        ++pos_;
+        continue;
+      }
+      if (out != nullptr) out->push_back(c);
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::size_t> array_sizes_;
+  std::set<std::string> keys_;
+};
+
+// ---- recorder semantics -----------------------------------------------------
+
+TEST(Recorder, EventsOnOneWorkerReadBackInRecordOrder) {
+  Recorder rec;
+  rec.record(EventKind::kChunkExec, 3, 100, 200, 1, 10);
+  rec.record(EventKind::kChunkExec, 3, 250, 300, 11, 10);
+  rec.record(EventKind::kMark, 3, 400, 400, 0, 0);
+
+  const std::vector<Event> events = rec.events(3);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].begin_ns, 100u);
+  EXPECT_EQ(events[0].end_ns, 200u);
+  EXPECT_EQ(events[0].arg0, 1);
+  EXPECT_EQ(events[1].begin_ns, 250u);
+  EXPECT_EQ(events[2].kind, EventKind::kMark);
+  // Within one worker's timeline the order is append order.
+  EXPECT_LE(events[0].begin_ns, events[1].begin_ns);
+  EXPECT_LE(events[1].begin_ns, events[2].begin_ns);
+
+  EXPECT_TRUE(rec.events(4).empty());
+  EXPECT_EQ(rec.active_workers(), std::vector<std::uint32_t>{3});
+}
+
+TEST(Recorder, RingKeepsMostRecentEventsAndCountsDrops) {
+  Recorder rec(/*capacity_per_worker=*/4);
+  ASSERT_EQ(rec.ring_capacity(), 4u);
+  for (std::uint64_t n = 0; n < 10; ++n) {
+    rec.record(EventKind::kChunkExec, 0, n, n + 1,
+               static_cast<i64>(n), 0);
+  }
+  const std::vector<Event> events = rec.events(0);
+  ASSERT_EQ(events.size(), 4u);
+  // The window is the most recent four appends, oldest first.
+  EXPECT_EQ(events[0].arg0, 6);
+  EXPECT_EQ(events[3].arg0, 9);
+  EXPECT_EQ(rec.dropped(), 6u);
+}
+
+TEST(Recorder, WorkersBeyondMaxFoldOntoLowerTimelines) {
+  Recorder rec;
+  rec.record(EventKind::kMark, Recorder::kMaxWorkers + 7, 1, 1);
+  EXPECT_EQ(rec.events(7).size(), 1u);
+}
+
+TEST(Recorder, InstallMakesRecorderCurrentAndUninstallClears) {
+  EXPECT_EQ(Recorder::current(), nullptr);
+  {
+    Recorder rec;
+    rec.install();
+    EXPECT_EQ(Recorder::current(), &rec);
+    rec.uninstall();
+    EXPECT_EQ(Recorder::current(), nullptr);
+  }
+  EXPECT_EQ(Recorder::current(), nullptr);
+}
+
+TEST(Recorder, AllEventsSortedByBeginAcrossWorkers) {
+  Recorder rec;
+  rec.record(EventKind::kChunkExec, 1, 500, 600);
+  rec.record(EventKind::kChunkExec, 0, 100, 200);
+  rec.record(EventKind::kChunkExec, 2, 300, 400);
+  const std::vector<Event> all = rec.all_events();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].worker, 0u);
+  EXPECT_EQ(all[1].worker, 2u);
+  EXPECT_EQ(all[2].worker, 1u);
+}
+
+// ---- counters ---------------------------------------------------------------
+
+TEST(Counters, MergesTalliesAcrossWorkerShards) {
+  Counters counters(8);
+  counters.add(0, Counter::kIterations, 10);
+  counters.add(3, Counter::kIterations, 20);
+  counters.add(7, Counter::kIterations, 30);
+  counters.add(3, Counter::kDispatchOps, 5);
+
+  EXPECT_EQ(counters.total(Counter::kIterations), 60u);
+  EXPECT_EQ(counters.total(Counter::kDispatchOps), 5u);
+  EXPECT_EQ(counters.total(Counter::kRegions), 0u);
+  EXPECT_EQ(counters.of_worker(3, Counter::kIterations), 20u);
+  EXPECT_EQ(counters.of_worker(1, Counter::kIterations), 0u);
+}
+
+TEST(Counters, MergesConcurrentWritersOnDistinctShards) {
+  // One writer thread per shard, plain stores, merged after join — the
+  // sharded design's whole claim.
+  Counters counters(4);
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < 4; ++w) {
+    threads.emplace_back([w, &counters] {
+      for (int n = 0; n < 1000; ++n) {
+        counters.add(w, Counter::kChunksExecuted);
+        counters.observe(w, Hist::kChunkSize, 16);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counters.total(Counter::kChunksExecuted), 4000u);
+  EXPECT_EQ(counters.snapshot(Hist::kChunkSize).total(), 4000u);
+}
+
+TEST(Counters, HistogramBucketsArePowersOfTwo) {
+  EXPECT_EQ(Counters::bucket_of(0), 0u);
+  EXPECT_EQ(Counters::bucket_of(1), 0u);
+  EXPECT_EQ(Counters::bucket_of(2), 1u);
+  EXPECT_EQ(Counters::bucket_of(3), 1u);
+  EXPECT_EQ(Counters::bucket_of(4), 2u);
+  EXPECT_EQ(Counters::bucket_of(1023), 9u);
+  EXPECT_EQ(Counters::bucket_of(1024), 10u);
+
+  Counters counters(2);
+  counters.observe(0, Hist::kDispatchLatencyNs, 100);   // bucket 6
+  counters.observe(1, Hist::kDispatchLatencyNs, 100);
+  counters.observe(0, Hist::kDispatchLatencyNs, 5000);  // bucket 12
+  const HistogramSnapshot snap = counters.snapshot(Hist::kDispatchLatencyNs);
+  EXPECT_EQ(snap.total(), 3u);
+  EXPECT_EQ(snap.buckets[6], 2u);
+  EXPECT_EQ(snap.buckets[12], 1u);
+  EXPECT_GT(snap.approx_mean(), 0.0);
+}
+
+// ---- integration with the runtime -------------------------------------------
+
+TEST(TraceIntegration, ParallelForEmitsEventsOnEveryWorker) {
+  Recorder rec;
+  rec.install();
+  {
+    runtime::ThreadPool pool(4);
+    const auto space =
+        index::CoalescedSpace::create(std::vector<i64>{32, 32}).value();
+    const runtime::ForStats stats = runtime::parallel_for_collapsed(
+        pool, space, {runtime::Schedule::kGuided, 1},
+        [](std::span<const i64>) {});
+    EXPECT_EQ(stats.trace, &rec);
+  }  // pool joined: safe to read
+  rec.uninstall();
+
+  // Every pool worker ran its region body, so every worker timeline holds
+  // at least one event (kWorkerRun at minimum) even if it won no chunks.
+  EXPECT_EQ(rec.active_workers().size(), 4u);
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    EXPECT_GE(rec.events(w).size(), 1u) << "worker " << w;
+  }
+
+  // The counters saw the whole iteration space exactly once.
+  EXPECT_EQ(rec.counters().total(Counter::kIterations), 1024u);
+  EXPECT_EQ(rec.counters().total(Counter::kRegions), 1u);
+  EXPECT_GT(rec.counters().total(Counter::kDispatchOps), 0u);
+  EXPECT_GT(rec.counters().total(Counter::kChunksExecuted), 0u);
+
+  // Spans never run backwards.
+  for (const Event& e : rec.all_events()) {
+    EXPECT_LE(e.begin_ns, e.end_ns);
+  }
+}
+
+TEST(TraceIntegration, StatsTraceIsNullWithoutInstalledRecorder) {
+  runtime::ThreadPool pool(2);
+  const runtime::ForStats stats = runtime::parallel_for(
+      pool, 100, {runtime::Schedule::kChunked, 10}, [](i64) {});
+  EXPECT_EQ(stats.trace, nullptr);
+}
+
+// ---- exporters --------------------------------------------------------------
+
+TEST(Export, ChromeTraceIsValidJsonWithOneRowPerWorker) {
+  Recorder rec;
+  rec.install();
+  {
+    runtime::ThreadPool pool(3);
+    const auto space =
+        index::CoalescedSpace::create(std::vector<i64>{16, 16}).value();
+    runtime::parallel_for_collapsed(pool, space,
+                                    {runtime::Schedule::kChunked, 8},
+                                    [](std::span<const i64>) {});
+  }
+  rec.uninstall();
+
+  const std::string json = chrome_trace_json(rec);
+  JsonChecker checker(json);
+  ASSERT_TRUE(checker.valid()) << json.substr(0, 400);
+  EXPECT_TRUE(checker.has_key("displayTimeUnit"));
+  EXPECT_TRUE(checker.has_key("otherData"));
+  // At least one metadata event and one span per active worker.
+  EXPECT_GE(checker.array_size("traceEvents"),
+            2 * rec.active_workers().size());
+  // Counter totals surface in the export.
+  EXPECT_NE(json.find("\"iterations\":256"), std::string::npos);
+}
+
+TEST(Export, WorkerSummaryListsEveryActiveWorker) {
+  Recorder rec;
+  rec.record(EventKind::kChunkExec, 0, 0, 1000, 1, 64);
+  rec.record(EventKind::kChunkExec, 2, 500, 1500, 65, 64);
+  const std::string summary = worker_summary(rec);
+  EXPECT_NE(summary.find("W0"), std::string::npos);
+  EXPECT_NE(summary.find("W2"), std::string::npos);
+  EXPECT_EQ(summary.find("W1 "), std::string::npos);
+  EXPECT_NE(summary.find('#'), std::string::npos);
+}
+
+TEST(Export, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+// ---- the disabled fast path -------------------------------------------------
+
+TEST(DisabledPath, EmitHelpersAllocateNothingWithoutRecorder) {
+  ASSERT_EQ(Recorder::current(), nullptr);
+
+  const std::uint64_t before = g_allocations.load();
+  for (int n = 0; n < 10000; ++n) {
+    ScopedSpan span(EventKind::kChunkExec, n, 1);
+    span.set_args(n, 2);
+    mark(EventKind::kMark, n);
+    count(Counter::kIterations);
+    observe(Hist::kChunkSize, static_cast<std::uint64_t>(n));
+    const std::uint64_t t0 = span_begin();
+    span_end(EventKind::kIndexRecovery, t0, n);
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after, before)
+      << "emit helpers allocated with tracing uninstalled";
+}
+
+TEST(DisabledPath, RecordingAllocatesOnlyOnRingCreation) {
+  Recorder rec;
+  rec.record(EventKind::kChunkExec, 0, 0, 1);  // creates worker 0's ring
+
+  const std::uint64_t before = g_allocations.load();
+  for (std::uint64_t n = 0; n < 10000; ++n) {
+    rec.record(EventKind::kChunkExec, 0, n, n + 1);
+    rec.counters().add(0, Counter::kIterations);
+    rec.counters().observe(0, Hist::kChunkSize, n);
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after, before) << "steady-state recording allocated";
+}
+
+}  // namespace
+}  // namespace coalesce::trace

@@ -23,12 +23,21 @@
 //   --stats            print before/after static metrics to stderr
 //   --report           print the dependence/parallelism report to stderr
 //   --dot              print the dependence graph (Graphviz) and exit
+//   --trace=FILE       execute the transformed program on the thread pool
+//                      with event tracing and write a Chrome trace-event
+//                      JSON file (open in chrome://tracing). Combined with
+//                      --verify, the traced parallel execution is what is
+//                      checked against the original's interpretation.
+//   --trace-workers=P  worker count for --trace (default: hardware)
+//   --trace-summary    also print the per-worker Gantt summary to stderr
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/coalesce.hpp"
 
@@ -50,6 +59,9 @@ struct Options {
   bool stats = false;
   bool report = false;
   bool dot = false;
+  std::string trace_path;
+  std::size_t trace_workers = 0;  // 0: hardware_concurrency
+  bool trace_summary = false;
   std::string input_path;
 };
 
@@ -58,7 +70,8 @@ int usage(const char* argv0) {
                "usage: %s [--analyze|--no-analyze] [--make-perfect] "
                "[--coalesce|--no-coalesce] [--guarded] [--collapse=K] "
                "[--mixed-radix] [--expand-scalars] [--emit=ir|c|c-main] "
-               "[--openmp] [--verify] [--stats] [file]\n",
+               "[--openmp] [--verify] [--stats] [--trace=FILE] "
+               "[--trace-workers=P] [--trace-summary] [file]\n",
                argv0);
   return 2;
 }
@@ -81,6 +94,11 @@ bool parse_args(int argc, char** argv, Options& options) {
     else if (arg == "--openmp") options.openmp = true;
     else if (arg == "--verify") options.verify = true;
     else if (arg == "--stats") options.stats = true;
+    else if (arg.rfind("--trace=", 0) == 0) options.trace_path = arg.substr(8);
+    else if (arg.rfind("--trace-workers=", 0) == 0)
+      options.trace_workers = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 16, nullptr, 10));
+    else if (arg == "--trace-summary") options.trace_summary = true;
     else if (arg == "--report") options.report = true;
     else if (arg == "--dot") options.dot = true;
     else if (!arg.empty() && arg[0] == '-') return false;
@@ -251,31 +269,82 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (options.verify) {
+  const bool tracing = !options.trace_path.empty();
+  if (options.verify || tracing) {
     // Verify root-for-root is impossible after make_perfect; run both whole
-    // programs through the interpreter instead.
+    // programs and compare final array contents. The transformed program
+    // runs through the sequential interpreter, or — with --trace — on the
+    // thread pool with event tracing, so the trace shows the execution
+    // --verify actually checks.
     ir::Evaluator eval_a(original.symbols);
-    ir::Evaluator eval_b(current.symbols);
     for (const auto& root : original.roots) eval_a.run(*root);
-    for (const auto& root : current.roots) eval_b.run(*root);
-    for (std::uint32_t raw = 0; raw < original.symbols.size(); ++raw) {
-      const ir::VarId id{raw};
-      if (original.symbols.kind(id) != ir::SymbolKind::kArray) continue;
-      const auto other = current.symbols.lookup(original.symbols.name(id));
-      if (!other.has_value()) {
-        std::fprintf(stderr, "coalescec: verification lost array %s\n",
-                     original.symbols.name(id).c_str());
+
+    ir::ArrayStore store_b(current.symbols);
+    if (tracing) {
+      trace::Recorder recorder;
+      recorder.install();
+      {
+        const std::size_t workers =
+            options.trace_workers > 0
+                ? options.trace_workers
+                : std::max(1u, std::thread::hardware_concurrency());
+        runtime::ThreadPool pool(workers);
+        const auto stats = runtime::execute_program(
+            pool, current, {runtime::Schedule::kGuided, 1}, store_b);
+        if (!stats.ok()) {
+          std::fprintf(stderr, "coalescec: %s\n",
+                       stats.error().to_string().c_str());
+          return 1;
+        }
+        std::fprintf(stderr,
+                     "coalescec: traced %llu parallel / %llu sequential "
+                     "roots, %llu iterations, %llu dispatch ops on %zu "
+                     "workers\n",
+                     static_cast<unsigned long long>(stats.value().parallel_roots),
+                     static_cast<unsigned long long>(stats.value().sequential_roots),
+                     static_cast<unsigned long long>(stats.value().iterations),
+                     static_cast<unsigned long long>(stats.value().dispatch_ops),
+                     workers);
+      }  // pool joins before the recorder is read
+      recorder.uninstall();
+      std::ofstream out(options.trace_path);
+      if (!out) {
+        std::fprintf(stderr, "coalescec: cannot write %s\n",
+                     options.trace_path.c_str());
         return 1;
       }
-      const auto da = eval_a.store().data(id);
-      const auto db = eval_b.store().data(*other);
-      if (!std::equal(da.begin(), da.end(), db.begin(), db.end())) {
-        std::fprintf(stderr, "coalescec: VERIFICATION FAILED on %s\n",
-                     original.symbols.name(id).c_str());
-        return 1;
+      trace::write_chrome_trace(recorder, out);
+      std::fprintf(stderr, "coalescec: wrote trace to %s\n",
+                   options.trace_path.c_str());
+      if (options.trace_summary) {
+        std::fputs(trace::worker_summary(recorder).c_str(), stderr);
       }
+    } else {
+      ir::Evaluator eval_b(current.symbols);
+      for (const auto& root : current.roots) eval_b.run(*root);
+      store_b = std::move(eval_b.store());
     }
-    std::fprintf(stderr, "coalescec: verified equivalent\n");
+
+    if (options.verify) {
+      for (std::uint32_t raw = 0; raw < original.symbols.size(); ++raw) {
+        const ir::VarId id{raw};
+        if (original.symbols.kind(id) != ir::SymbolKind::kArray) continue;
+        const auto other = current.symbols.lookup(original.symbols.name(id));
+        if (!other.has_value()) {
+          std::fprintf(stderr, "coalescec: verification lost array %s\n",
+                       original.symbols.name(id).c_str());
+          return 1;
+        }
+        const auto da = eval_a.store().data(id);
+        const auto db = store_b.data(*other);
+        if (!std::equal(da.begin(), da.end(), db.begin(), db.end())) {
+          std::fprintf(stderr, "coalescec: VERIFICATION FAILED on %s\n",
+                       original.symbols.name(id).c_str());
+          return 1;
+        }
+      }
+      std::fprintf(stderr, "coalescec: verified equivalent\n");
+    }
   }
 
   if (options.stats) {
