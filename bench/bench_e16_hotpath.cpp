@@ -1,0 +1,340 @@
+// E16 — Hot-path overhaul: measured before/after for the three runtime
+// optimizations, each with the old path still callable.
+//
+//  (a) dispatch: variable-chunk dispatch under contention — the mutex
+//      PolicyDispatcher (serialized allocation point) vs the wait-free
+//      ChunkScheduleDispatcher (precomputed boundary table + one fetch&add
+//      per dispatch). Reported per synchronized dispatch op, with the
+//      precompute cost charged to the wait-free side (a fresh dispatcher is
+//      built every drain).
+//  (b) per-iteration overhead: the erased std::function entry point vs the
+//      templated executor (runtime/executor.hpp) for an empty body — the
+//      difference is pure runtime overhead per iteration.
+//  (c) decode: full index recovery with Granlund–Montgomery multiply+shift
+//      (decode_paper / decode_mixed_radix) vs the hardware-division
+//      variants (*_hwdiv) on a depth-4 space.
+//
+// Every record carries a "ratio" field (old cost / new cost; > 1 means the
+// overhaul wins). Flags: --json=FILE (bench_harness), --tiny (CI smoke
+// sizes).
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_harness.hpp"
+#include "core/coalesce.hpp"
+
+namespace {
+
+using namespace coalesce;
+using support::i64;
+using Clock = std::chrono::steady_clock;
+
+/// Keeps `value` alive in a register without a memory barrier.
+template <typename T>
+inline void escape(T& value) {
+  asm volatile("" : "+r"(value));
+}
+
+double ns_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - start)
+      .count();
+}
+
+std::unique_ptr<index::ChunkPolicy> make_policy(runtime::Schedule kind,
+                                                i64 total, i64 processors) {
+  switch (kind) {
+    case runtime::Schedule::kGuided:
+      return std::make_unique<index::GuidedPolicy>(processors);
+    case runtime::Schedule::kFactoring:
+      return std::make_unique<index::FactoringPolicy>(processors);
+    case runtime::Schedule::kTrapezoid:
+      return std::make_unique<index::TrapezoidPolicy>(
+          std::max<i64>(total, 1), processors);
+    default:
+      COALESCE_ASSERT_MSG(false, "not a policy schedule");
+      return nullptr;
+  }
+}
+
+struct DispatchCost {
+  double ns_per_op = 0.0;       ///< mean latency of one successful next()
+  double precompute_ns = 0.0;   ///< dispatcher construction, per round
+  std::uint64_t ops = 0;
+};
+
+/// Builds `rounds` dispatchers (construction timed separately — that is
+/// where the wait-free side pays its ChunkSchedule precompute) and drains
+/// them in order with `threads` contending threads. Each thread timestamps
+/// its own next() calls, so the reported figure is dispatch-op *latency* —
+/// what a worker waits before it owns a chunk — and is robust against
+/// scheduler noise outside the call (thread start, barrier spins), which
+/// would otherwise dominate on small machines. Exhausted next() calls are
+/// safe polls, so threads need no barrier between rounds: each moves on
+/// when its dispatcher runs dry.
+DispatchCost measure_dispatch(runtime::Schedule kind, i64 total,
+                              unsigned threads, int rounds, bool serialized) {
+  std::vector<std::unique_ptr<runtime::Dispatcher>> dispatchers;
+  dispatchers.reserve(static_cast<std::size_t>(rounds));
+  const auto build_start = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    if (serialized) {
+      dispatchers.push_back(runtime::PolicyDispatcher::create(
+                                total, make_policy(kind, total, threads))
+                                .value());
+    } else {
+      auto policy = make_policy(kind, total, static_cast<i64>(threads));
+      dispatchers.push_back(std::make_unique<runtime::ChunkScheduleDispatcher>(
+          index::ChunkSchedule::precompute(*policy, total)));
+    }
+  }
+  const double build_ns = ns_since(build_start);
+
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<double> thread_ns(threads, 0.0);
+  std::vector<std::thread> crew;
+  crew.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    crew.emplace_back([&, t] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      i64 sink = 0;
+      double local_ns = 0.0;
+      for (const auto& dispatcher : dispatchers) {
+        while (true) {
+          const auto t0 = Clock::now();
+          const index::Chunk chunk = dispatcher->next();
+          if (chunk.empty()) break;
+          local_ns += ns_since(t0);
+          sink += chunk.first;  // touch the result; no body work
+        }
+      }
+      escape(sink);
+      thread_ns[t] = local_ns;
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < threads) {
+    std::this_thread::yield();
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : crew) th.join();
+
+  DispatchCost cost;
+  for (const auto& dispatcher : dispatchers) {
+    cost.ops += dispatcher->dispatch_ops();
+  }
+  double latency_ns = 0.0;
+  for (const double ns : thread_ns) latency_ns += ns;
+  cost.ns_per_op =
+      cost.ops > 0 ? latency_ns / static_cast<double>(cost.ops) : 0.0;
+  cost.precompute_ns = build_ns / rounds;
+  return cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter("e16_hotpath", argc, argv);
+  bool tiny = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--tiny") == 0) tiny = true;
+  }
+
+  const unsigned hw = std::max(4u, std::thread::hardware_concurrency());
+  const unsigned threads = std::min(hw, 8u);  // >= 4 contenders
+
+  // ---- (a) dispatch-op latency under contention ----------------------------
+  {
+    const i64 total = tiny ? (i64{1} << 12) : (i64{1} << 20);
+    const int rounds = tiny ? 3 : 20;
+    support::Table table(support::format(
+        "E16a: dispatch under contention, N=%lld, %u threads, %d drains",
+        static_cast<long long>(total), threads, rounds));
+    table.header({"schedule", "mutex ns/op", "wait-free ns/op", "ratio",
+                  "dispatch ops"});
+    for (const runtime::Schedule kind :
+         {runtime::Schedule::kGuided, runtime::Schedule::kFactoring,
+          runtime::Schedule::kTrapezoid}) {
+      const DispatchCost mutex_cost =
+          measure_dispatch(kind, total, threads, rounds, /*serialized=*/true);
+      const DispatchCost waitfree_cost =
+          measure_dispatch(kind, total, threads, rounds, /*serialized=*/false);
+      const double ratio = waitfree_cost.ns_per_op > 0.0
+                               ? mutex_cost.ns_per_op / waitfree_cost.ns_per_op
+                               : 0.0;
+      table.cell(runtime::to_string(kind))
+          .cell(mutex_cost.ns_per_op, 1)
+          .cell(waitfree_cost.ns_per_op, 1)
+          .cell(ratio, 2)
+          .cell(static_cast<std::int64_t>(waitfree_cost.ops))
+          .end_row();
+      reporter.record("dispatch")
+          .field("schedule", runtime::to_string(kind))
+          .field("threads", threads)
+          .field("total", total)
+          .field("dispatch_ops", waitfree_cost.ops)
+          .field("mutex_ns_per_op", mutex_cost.ns_per_op)
+          .field("waitfree_ns_per_op", waitfree_cost.ns_per_op)
+          .field("waitfree_precompute_ns", waitfree_cost.precompute_ns)
+          .field("ratio", ratio);
+    }
+    table.print();
+  }
+
+  // ---- (b) per-iteration overhead: erased vs templated executor ------------
+  {
+    const i64 n = tiny ? (i64{1} << 15) : (i64{1} << 22);
+    const int rounds = tiny ? 3 : 10;
+    runtime::ThreadPool pool(threads);
+    const runtime::ScheduleParams params{runtime::Schedule::kChunked, 1024};
+
+    // The erased "before": every iteration is an indirect call through
+    // std::function.
+    const runtime::FlatBody erased_body = [](i64 j) {
+      escape(j);  // empty body; keep j observable
+    };
+    double erased_ns = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+      const auto start = Clock::now();
+      (void)runtime::parallel_for(pool, n, params, erased_body);
+      erased_ns += ns_since(start);
+    }
+
+    // The templated "after": overload resolution picks the executor
+    // template; the body inlines into the scheduling loop.
+    double inlined_ns = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+      const auto start = Clock::now();
+      (void)runtime::parallel_for(pool, n, params, [](i64 j) { escape(j); });
+      inlined_ns += ns_since(start);
+    }
+
+    const double iters = static_cast<double>(n) * rounds;
+    const double erased_per = erased_ns / iters;
+    const double inlined_per = inlined_ns / iters;
+    const double ratio = inlined_per > 0.0 ? erased_per / inlined_per : 0.0;
+    support::Table table(support::format(
+        "E16b: empty-body per-iteration overhead, N=%lld, chunk=1024",
+        static_cast<long long>(n)));
+    table.header({"variant", "ns/iter"});
+    table.cell("std::function").cell(erased_per, 3).end_row();
+    table.cell("templated").cell(inlined_per, 3).end_row();
+    table.cell("ratio").cell(ratio, 2).end_row();
+    table.print();
+    reporter.record("per_iteration")
+        .field("threads", threads)
+        .field("total", n)
+        .field("erased_ns_per_iter", erased_per)
+        .field("inlined_ns_per_iter", inlined_per)
+        .field("ratio", ratio);
+  }
+
+  // ---- (c) full-decode cost: magic multiply+shift vs hardware division -----
+  {
+    // Depth-4 with non-power-of-two extents, so the divisions are real.
+    const auto space =
+        index::CoalescedSpace::create(tiny ? std::vector<i64>{7, 5, 6, 4}
+                                           : std::vector<i64>{23, 19, 17, 13})
+            .value();
+    const int rounds = tiny ? 20 : 200;
+    std::vector<i64> out(space.depth());
+    i64 sink = 0;
+
+    struct Variant {
+      const char* name;
+      void (index::CoalescedSpace::*decode)(i64, std::span<i64>) const;
+    };
+    const Variant variants[] = {
+        {"paper_magic", &index::CoalescedSpace::decode_paper},
+        {"paper_hwdiv", &index::CoalescedSpace::decode_paper_hwdiv},
+        {"mixed_magic", &index::CoalescedSpace::decode_mixed_radix},
+        {"mixed_hwdiv", &index::CoalescedSpace::decode_mixed_radix_hwdiv},
+    };
+    double per_decode[4] = {};
+    for (int v = 0; v < 4; ++v) {
+      const auto start = Clock::now();
+      for (int r = 0; r < rounds; ++r) {
+        for (i64 j = 1; j <= space.total(); ++j) {
+          (space.*variants[v].decode)(j, out);
+          sink += out[0] + out[space.depth() - 1];
+        }
+      }
+      per_decode[v] =
+          ns_since(start) / (static_cast<double>(space.total()) * rounds);
+    }
+    escape(sink);
+
+    const double paper_ratio =
+        per_decode[0] > 0.0 ? per_decode[1] / per_decode[0] : 0.0;
+    const double mixed_ratio =
+        per_decode[2] > 0.0 ? per_decode[3] / per_decode[2] : 0.0;
+    support::Table table(support::format(
+        "E16c: full decode cost, depth-4 space N=%lld, %d sweeps",
+        static_cast<long long>(space.total()), rounds));
+    table.header({"decode", "hwdiv ns", "magic ns", "ratio"});
+    table.cell("paper")
+        .cell(per_decode[1], 2)
+        .cell(per_decode[0], 2)
+        .cell(paper_ratio, 2)
+        .end_row();
+    table.cell("mixed_radix")
+        .cell(per_decode[3], 2)
+        .cell(per_decode[2], 2)
+        .cell(mixed_ratio, 2)
+        .end_row();
+    table.print();
+    reporter.record("decode")
+        .field("decode", "paper")
+        .field("total", space.total())
+        .field("hwdiv_ns_per_decode", per_decode[1])
+        .field("magic_ns_per_decode", per_decode[0])
+        .field("ratio", paper_ratio);
+    reporter.record("decode")
+        .field("decode", "mixed_radix")
+        .field("total", space.total())
+        .field("hwdiv_ns_per_decode", per_decode[3])
+        .field("magic_ns_per_decode", per_decode[2])
+        .field("ratio", mixed_ratio);
+  }
+
+  // ---- traced run: dispatch-latency histogram, wait-free vs mutex ----------
+  {
+    const i64 n = tiny ? (i64{1} << 12) : (i64{1} << 18);
+    runtime::ThreadPool pool(threads);
+    support::Table table("E16: traced dispatch latency (kDispatchLatencyNs)");
+    table.header({"variant", "approx mean ns", "dispatch ops"});
+    for (const bool serialized : {true, false}) {
+      trace::Recorder recorder;
+      recorder.install();
+      runtime::ScheduleParams params{runtime::Schedule::kGuided};
+      params.serialized = serialized;
+      (void)runtime::parallel_for(pool, n, params, [](i64 j) { escape(j); });
+      recorder.uninstall();
+      const auto hist =
+          recorder.counters().snapshot(trace::Hist::kDispatchLatencyNs);
+      const std::uint64_t ops =
+          recorder.counters().total(trace::Counter::kDispatchOps);
+      table.cell(serialized ? "mutex" : "wait-free")
+          .cell(hist.approx_mean(), 1)
+          .cell(static_cast<std::int64_t>(ops))
+          .end_row();
+      reporter.record("traced_dispatch")
+          .field("variant", serialized ? "mutex" : "wait-free")
+          .field("total", n)
+          .field("dispatch_ops", ops)
+          .field("approx_mean_latency_ns", hist.approx_mean());
+    }
+    table.print();
+  }
+
+  std::printf(
+      "note: ratios are old/new (>1 means the hot-path overhaul wins): "
+      "mutex vs wait-free dispatch, erased vs inlined body, hardware "
+      "division vs magic multiply+shift.\n");
+  return 0;
+}

@@ -107,6 +107,30 @@ i64 TrapezoidPolicy::next_chunk(i64 remaining) {
   return take;
 }
 
+ChunkSchedule::ChunkSchedule(std::vector<i64> starts)
+    : starts_(std::move(starts)) {}
+
+ChunkSchedule ChunkSchedule::precompute(ChunkPolicy& policy, i64 total) {
+  COALESCE_ASSERT(total >= 0);
+  std::vector<i64> starts{1};
+  i64 remaining = total;
+  while (remaining > 0) {
+    const i64 take = policy.next_chunk(remaining);
+    COALESCE_ASSERT_MSG(take >= 1 && take <= remaining,
+                        "policy returned an invalid chunk size");
+    starts.push_back(starts.back() + take);
+    remaining -= take;
+  }
+  return ChunkSchedule(std::move(starts));
+}
+
+std::vector<Chunk> ChunkSchedule::chunks() const {
+  std::vector<Chunk> out;
+  out.reserve(chunk_count());
+  for (std::size_t i = 0; i < chunk_count(); ++i) out.push_back(chunk(i));
+  return out;
+}
+
 std::vector<Chunk> dispatch_sequence(ChunkPolicy& policy, i64 total) {
   COALESCE_ASSERT(total >= 0);
   std::vector<Chunk> out;

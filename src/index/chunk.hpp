@@ -121,4 +121,41 @@ class TrapezoidPolicy final : public ChunkPolicy {
 [[nodiscard]] std::vector<Chunk> dispatch_sequence(ChunkPolicy& policy,
                                                    i64 total);
 
+// ---- precomputed schedules --------------------------------------------------
+
+/// The chunk sequence of a self-scheduling policy, materialized as a
+/// boundary table.
+///
+/// Every policy above is a deterministic function of (total, P): the whole
+/// sequence of chunk boundaries is known before the loop starts. Computing
+/// it once at region entry turns variable-chunk dispatch into "claim the
+/// next table slot" — a single fetch&add on the chunk index — which is
+/// exactly the machine primitive the paper assumes, with no critical
+/// section left (see runtime::ChunkScheduleDispatcher). Cost: O(#chunks)
+/// time and space at entry, e.g. ~P·log(N/P) entries for GSS.
+class ChunkSchedule {
+ public:
+  /// Runs `policy` to exhaustion over [1, total] and records the
+  /// boundaries. total >= 0 (an empty schedule has zero chunks).
+  [[nodiscard]] static ChunkSchedule precompute(ChunkPolicy& policy,
+                                                i64 total);
+
+  [[nodiscard]] i64 total() const noexcept { return starts_.back() - 1; }
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return starts_.size() - 1;
+  }
+  [[nodiscard]] Chunk chunk(std::size_t i) const noexcept {
+    return Chunk{starts_[i], starts_[i + 1]};
+  }
+
+  /// The whole sequence, materialized (tests and analytic experiments).
+  [[nodiscard]] std::vector<Chunk> chunks() const;
+
+ private:
+  explicit ChunkSchedule(std::vector<i64> starts);
+
+  /// starts_[i] is chunk i's first index; starts_[chunk_count()] == total+1.
+  std::vector<i64> starts_;
+};
+
 }  // namespace coalesce::index

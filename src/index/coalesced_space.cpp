@@ -56,7 +56,10 @@ CoalescedSpace::CoalescedSpace(std::vector<LevelGeometry> levels,
                                std::vector<i64> suffix)
     : levels_(std::move(levels)),
       extents_(std::move(extents)),
-      suffix_(std::move(suffix)) {}
+      suffix_(std::move(suffix)) {
+  suffix_magic_.reserve(suffix_.size());
+  for (const i64 p : suffix_) suffix_magic_.emplace_back(p);
+}
 
 i64 CoalescedSpace::extent(std::size_t level) const {
   COALESCE_ASSERT(level < extents_.size());
@@ -76,6 +79,31 @@ i64 CoalescedSpace::suffix_product(std::size_t k) const {
 void CoalescedSpace::decode_paper(i64 j, std::span<i64> out) const {
   COALESCE_ASSERT(out.size() == depth());
   COALESCE_ASSERT_MSG(j >= 1 && j <= total(), "coalesced index out of range");
+  // With j >= 1 and positive P's, ceil(j / P_{k+1}) == (j-1)/P_{k+1} + 1 and
+  // floor((j-1) / P_k) == (j-1)/P_k, so both terms run on one non-negative
+  // dividend through the precomputed multipliers.
+  const support::u64 n = static_cast<support::u64>(j - 1);
+  for (std::size_t k = 0; k < depth(); ++k) {
+    // i_k(j) = ceil(j / P_{k+1}) - N_k * floor((j-1) / P_k)
+    out[k] = static_cast<i64>(suffix_magic_[k + 1].divide(n)) + 1 -
+             extents_[k] * static_cast<i64>(suffix_magic_[k].divide(n));
+  }
+}
+
+void CoalescedSpace::decode_mixed_radix(i64 j, std::span<i64> out) const {
+  COALESCE_ASSERT(out.size() == depth());
+  COALESCE_ASSERT_MSG(j >= 1 && j <= total(), "coalesced index out of range");
+  support::u64 rem = static_cast<support::u64>(j - 1);  // 0-based
+  for (std::size_t k = 0; k < depth(); ++k) {
+    const support::u64 q = suffix_magic_[k + 1].divide(rem);
+    out[k] = static_cast<i64>(q) + 1;
+    rem -= q * static_cast<support::u64>(suffix_[k + 1]);
+  }
+}
+
+void CoalescedSpace::decode_paper_hwdiv(i64 j, std::span<i64> out) const {
+  COALESCE_ASSERT(out.size() == depth());
+  COALESCE_ASSERT_MSG(j >= 1 && j <= total(), "coalesced index out of range");
   for (std::size_t k = 0; k < depth(); ++k) {
     // i_k(j) = ceil(j / P_{k+1}) - N_k * floor((j-1) / P_k)
     out[k] = ceil_div(j, suffix_[k + 1]) -
@@ -83,7 +111,7 @@ void CoalescedSpace::decode_paper(i64 j, std::span<i64> out) const {
   }
 }
 
-void CoalescedSpace::decode_mixed_radix(i64 j, std::span<i64> out) const {
+void CoalescedSpace::decode_mixed_radix_hwdiv(i64 j, std::span<i64> out) const {
   COALESCE_ASSERT(out.size() == depth());
   COALESCE_ASSERT_MSG(j >= 1 && j <= total(), "coalesced index out of range");
   i64 rem = j - 1;  // 0-based

@@ -15,6 +15,13 @@
 // Both produce *normalized* indices in [1, N_k]; `decode_original` maps them
 // through each level's (lower, step) to the original loop values. Property
 // tests assert the two decoders agree on every point of random spaces.
+//
+// The suffix products P_k are fixed for the lifetime of the space, so both
+// decoders run division-free: a support::MagicDiv multiplier is precomputed
+// per level at construction and every div/mod above becomes a widening
+// multiply plus shift. The `_hwdiv` variants keep the plain hardware-divide
+// forms callable as the differential-test oracle and the "before" side of
+// the E16 benchmark.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +30,7 @@
 
 #include "support/error.hpp"
 #include "support/int_math.hpp"
+#include "support/magic_div.hpp"
 
 namespace coalesce::index {
 
@@ -53,11 +61,18 @@ class CoalescedSpace {
   /// P_k = extents[k] * ... * extents[m-1]; suffix_product(depth()) == 1.
   [[nodiscard]] i64 suffix_product(std::size_t k) const;
 
-  /// Paper's closed form. j in [1, total]; out.size() == depth().
+  /// Paper's closed form, strength-reduced: the per-level divisions run as
+  /// precomputed multiply+shift. j in [1, total]; out.size() == depth().
   void decode_paper(i64 j, std::span<i64> out) const;
 
-  /// Mixed-radix digit extraction (reference decoder).
+  /// Mixed-radix digit extraction, strength-reduced the same way.
   void decode_mixed_radix(i64 j, std::span<i64> out) const;
+
+  /// Reference forms of the two decoders using hardware div/mod. Kept
+  /// callable as the differential oracle (tests assert exact agreement with
+  /// the magic-number forms) and for the E16 before/after measurement.
+  void decode_paper_hwdiv(i64 j, std::span<i64> out) const;
+  void decode_mixed_radix_hwdiv(i64 j, std::span<i64> out) const;
 
   /// Normalized indices (1-based per level) -> coalesced j in [1, total].
   [[nodiscard]] i64 encode(std::span<const i64> normalized) const;
@@ -82,6 +97,8 @@ class CoalescedSpace {
   std::vector<LevelGeometry> levels_;
   std::vector<i64> extents_;
   std::vector<i64> suffix_;  ///< size depth()+1, suffix_[depth()] == 1
+  /// Magic divider for each suffix product (same indexing as suffix_).
+  std::vector<support::MagicDiv> suffix_magic_;
 };
 
 }  // namespace coalesce::index

@@ -3,14 +3,45 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
+#include "support/strings.hpp"
 #include "trace/recorder.hpp"
 
 namespace coalesce::runtime {
+
+const char* to_string(Schedule schedule) noexcept {
+  switch (schedule) {
+    case Schedule::kStaticBlock: return "static-block";
+    case Schedule::kStaticCyclic: return "static-cyclic";
+    case Schedule::kSelf: return "self(1)";
+    case Schedule::kChunked: return "chunked";
+    case Schedule::kGuided: return "guided";
+    case Schedule::kFactoring: return "factoring";
+    case Schedule::kTrapezoid: return "trapezoid";
+  }
+  return "?";
+}
 
 FetchAddDispatcher::FetchAddDispatcher(i64 total, i64 chunk_size)
     : total_(total), chunk_(chunk_size) {
   COALESCE_ASSERT(total >= 0);
   COALESCE_ASSERT(chunk_size >= 1);
+}
+
+support::Expected<std::unique_ptr<FetchAddDispatcher>>
+FetchAddDispatcher::create(i64 total, i64 chunk_size) {
+  if (total < 0) {
+    return support::make_error(
+        support::ErrorCode::kInvalidArgument,
+        support::format("dispatcher total must be >= 0, got %lld",
+                        static_cast<long long>(total)));
+  }
+  if (chunk_size < 1) {
+    return support::make_error(
+        support::ErrorCode::kInvalidArgument,
+        support::format("chunk size must be >= 1, got %lld",
+                        static_cast<long long>(chunk_size)));
+  }
+  return std::make_unique<FetchAddDispatcher>(total, chunk_size);
 }
 
 namespace {
@@ -49,6 +80,13 @@ std::uint64_t trace_clock() {
 }  // namespace
 
 index::Chunk FetchAddDispatcher::next() {
+  // Clamp once exhausted: repeated polling must not keep growing next_
+  // (unbounded growth would eventually overflow i64) and must not pay the
+  // trace clock. At most one overshooting fetch_add per thread can slip
+  // past this check, so the cursor stays within total_ + P * chunk_.
+  if (next_.load(std::memory_order_relaxed) > total_) {
+    return index::Chunk{total_ + 1, total_ + 1};  // empty: exhausted
+  }
   const std::uint64_t t0 = trace_clock();
   // The fetch&add: claim [first, first + k) in one wait-free operation.
   const i64 first = next_.fetch_add(chunk_, std::memory_order_relaxed);
@@ -65,11 +103,53 @@ std::uint64_t FetchAddDispatcher::dispatch_ops() const noexcept {
   return ops_.load(std::memory_order_relaxed);
 }
 
+ChunkScheduleDispatcher::ChunkScheduleDispatcher(index::ChunkSchedule schedule)
+    : schedule_(std::move(schedule)) {}
+
+index::Chunk ChunkScheduleDispatcher::next() {
+  const std::uint64_t count = schedule_.chunk_count();
+  const i64 total = schedule_.total();
+  // Same clamp-and-accounting rule as FetchAddDispatcher: exhausted calls
+  // are polls — no cursor growth, no dispatch_ops, no trace span.
+  if (cursor_.load(std::memory_order_relaxed) >= count) {
+    return index::Chunk{total + 1, total + 1};  // empty: exhausted
+  }
+  const std::uint64_t t0 = trace_clock();
+  // The fetch&add: claim the next precomputed table slot.
+  const std::uint64_t slot = cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= count) {
+    return index::Chunk{total + 1, total + 1};  // lost the race to the end
+  }
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  const index::Chunk chunk = schedule_.chunk(slot);
+  trace_dispatch(t0, chunk);
+  return chunk;
+}
+
+std::uint64_t ChunkScheduleDispatcher::dispatch_ops() const noexcept {
+  return ops_.load(std::memory_order_relaxed);
+}
+
 PolicyDispatcher::PolicyDispatcher(i64 total,
                                    std::unique_ptr<index::ChunkPolicy> policy)
     : cursor_(1), remaining_(total), policy_(std::move(policy)) {
   COALESCE_ASSERT(total >= 0);
   COALESCE_ASSERT(policy_ != nullptr);
+}
+
+support::Expected<std::unique_ptr<PolicyDispatcher>> PolicyDispatcher::create(
+    i64 total, std::unique_ptr<index::ChunkPolicy> policy) {
+  if (total < 0) {
+    return support::make_error(
+        support::ErrorCode::kInvalidArgument,
+        support::format("dispatcher total must be >= 0, got %lld",
+                        static_cast<long long>(total)));
+  }
+  if (policy == nullptr) {
+    return support::make_error(support::ErrorCode::kInvalidArgument,
+                               "PolicyDispatcher needs a chunk policy");
+  }
+  return std::make_unique<PolicyDispatcher>(total, std::move(policy));
 }
 
 index::Chunk PolicyDispatcher::next() {
@@ -93,6 +173,76 @@ index::Chunk PolicyDispatcher::next() {
 
 std::uint64_t PolicyDispatcher::dispatch_ops() const noexcept {
   return ops_.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// The policy behind a dynamic variable-chunk schedule, or null for the
+/// fixed-chunk kinds.
+std::unique_ptr<index::ChunkPolicy> make_policy(Schedule kind, i64 total,
+                                                i64 workers) {
+  switch (kind) {
+    case Schedule::kGuided:
+      return std::make_unique<index::GuidedPolicy>(workers);
+    case Schedule::kFactoring:
+      return std::make_unique<index::FactoringPolicy>(workers);
+    case Schedule::kTrapezoid:
+      return std::make_unique<index::TrapezoidPolicy>(std::max<i64>(total, 1),
+                                                      workers);
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+support::Expected<std::unique_ptr<Dispatcher>> make_dispatcher(
+    ScheduleParams params, i64 total, std::size_t workers) {
+  if (total < 0) {
+    return support::make_error(
+        support::ErrorCode::kInvalidArgument,
+        support::format("parallel loop total must be >= 0, got %lld",
+                        static_cast<long long>(total)));
+  }
+  if (workers == 0) {
+    return support::make_error(support::ErrorCode::kInvalidArgument,
+                               "dispatcher needs at least one worker");
+  }
+  switch (params.kind) {
+    case Schedule::kStaticBlock:
+    case Schedule::kStaticCyclic:
+      return std::unique_ptr<Dispatcher>{};  // static: no dispatcher
+    case Schedule::kSelf:
+      return std::unique_ptr<Dispatcher>{
+          std::make_unique<FetchAddDispatcher>(total, 1)};
+    case Schedule::kChunked: {
+      if (params.chunk_size < 1) {
+        return support::make_error(
+            support::ErrorCode::kInvalidArgument,
+            support::format("chunk size must be >= 1, got %lld",
+                            static_cast<long long>(params.chunk_size)));
+      }
+      return std::unique_ptr<Dispatcher>{
+          std::make_unique<FetchAddDispatcher>(total, params.chunk_size)};
+    }
+    case Schedule::kGuided:
+    case Schedule::kFactoring:
+    case Schedule::kTrapezoid: {
+      auto policy =
+          make_policy(params.kind, total, static_cast<i64>(workers));
+      if (params.serialized) {
+        return std::unique_ptr<Dispatcher>{
+            std::make_unique<PolicyDispatcher>(total, std::move(policy))};
+      }
+      // These chunk sequences are deterministic in (total, P): precompute
+      // the boundary table once and dispatch wait-free over it.
+      return std::unique_ptr<Dispatcher>{
+          std::make_unique<ChunkScheduleDispatcher>(
+              index::ChunkSchedule::precompute(*policy, total))};
+    }
+  }
+  return support::make_error(support::ErrorCode::kInvalidArgument,
+                             "unknown schedule kind");
 }
 
 }  // namespace coalesce::runtime

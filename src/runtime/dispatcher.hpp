@@ -3,17 +3,22 @@
 //
 // The paper's machine provides a fetch&add primitive; coalescing matters
 // precisely because it reduces an m-level scheduling problem to fetch&adds
-// on ONE counter. Two dispatchers:
+// on ONE counter. Three dispatchers:
 //
 //  * FetchAddDispatcher — fixed chunk size k: one std::atomic fetch_add per
 //    dispatch, wait-free, exactly the paper's mechanism;
-//  * PolicyDispatcher — variable chunk sizes (guided/trapezoid) need
-//    remaining-count-dependent sizes, which a single fetch&add cannot
-//    express; a small critical section plays the role of the synchronized
-//    "allocation point".
+//  * ChunkScheduleDispatcher — variable chunk sizes whose sequence is a
+//    deterministic function of (total, P) (guided/factoring/trapezoid):
+//    the boundary table is precomputed at region entry
+//    (index::ChunkSchedule) and each dispatch is one fetch_add on the
+//    chunk index — wait-free, same primitive as the fixed-size case;
+//  * PolicyDispatcher — a mutex-guarded critical section that consults the
+//    policy per dispatch. Kept for genuinely state-dependent policies and
+//    as the differential-test oracle the wait-free path is checked against
+//    (and as the "serialized allocation point" E11 ablates).
 //
-// Both count their synchronized operations; that count is the runtime
-// measurement experiment E6 reports.
+// All of them count their synchronized operations; that count is the
+// runtime measurement experiment E6 reports.
 #pragma once
 
 #include <atomic>
@@ -22,10 +27,34 @@
 #include <mutex>
 
 #include "index/chunk.hpp"
+#include "support/error.hpp"
 
 namespace coalesce::runtime {
 
 using support::i64;
+
+/// Scheduling discipline for dynamic (dispatcher-based) execution.
+enum class Schedule : std::uint8_t {
+  kStaticBlock,   ///< contiguous blocks, no dispatcher (one "dispatch" each)
+  kStaticCyclic,  ///< round-robin single iterations, no dispatcher
+  kSelf,          ///< unit self-scheduling: fetch&add, chunk 1
+  kChunked,       ///< fetch&add, fixed chunk `chunk_size`
+  kGuided,        ///< guided self-scheduling (GSS)
+  kFactoring,     ///< factoring (batched halving)
+  kTrapezoid,     ///< trapezoid self-scheduling (TSS)
+};
+
+[[nodiscard]] const char* to_string(Schedule schedule) noexcept;
+
+struct ScheduleParams {
+  Schedule kind = Schedule::kSelf;
+  i64 chunk_size = 1;  ///< for kChunked
+  /// Force the mutex PolicyDispatcher for guided/factoring/trapezoid
+  /// instead of the precomputed wait-free path. The chunk sequence is
+  /// identical; only the dispatch mechanism differs. Differential tests
+  /// and the E16 before/after measurement use this as the oracle.
+  bool serialized = false;
+};
 
 /// Abstract source of work chunks over [1, total].
 class Dispatcher {
@@ -35,7 +64,8 @@ class Dispatcher {
   /// Next chunk, or an empty chunk when the space is exhausted. Thread-safe.
   [[nodiscard]] virtual index::Chunk next() = 0;
 
-  /// Synchronized dispatch operations performed so far.
+  /// Synchronized dispatch operations performed so far. Exhausted calls
+  /// (empty chunks) are polls, not dispatches, and are never counted.
   [[nodiscard]] virtual std::uint64_t dispatch_ops() const noexcept = 0;
 };
 
@@ -43,6 +73,11 @@ class Dispatcher {
 /// self-scheduling). One atomic fetch_add per dispatch.
 class FetchAddDispatcher final : public Dispatcher {
  public:
+  /// Validating factory: total >= 0 and chunk_size >= 1, else an error.
+  [[nodiscard]] static support::Expected<std::unique_ptr<FetchAddDispatcher>>
+  create(i64 total, i64 chunk_size);
+
+  /// Asserting constructor; prefer create() for unvalidated inputs.
   FetchAddDispatcher(i64 total, i64 chunk_size);
 
   index::Chunk next() override;
@@ -55,9 +90,37 @@ class FetchAddDispatcher final : public Dispatcher {
   std::atomic<std::uint64_t> ops_{0};
 };
 
+/// Wait-free dispatcher over a precomputed chunk boundary table: one
+/// fetch_add on the chunk index per dispatch. The schedule is immutable
+/// after construction, so workers read it without synchronization.
+class ChunkScheduleDispatcher final : public Dispatcher {
+ public:
+  explicit ChunkScheduleDispatcher(index::ChunkSchedule schedule);
+
+  index::Chunk next() override;
+  std::uint64_t dispatch_ops() const noexcept override;
+
+  [[nodiscard]] const index::ChunkSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+
+ private:
+  const index::ChunkSchedule schedule_;
+  std::atomic<std::uint64_t> cursor_{0};  ///< next table slot to claim
+  std::atomic<std::uint64_t> ops_{0};
+};
+
 /// Mutex-guarded dispatcher driven by a ChunkPolicy (guided, trapezoid, ...).
+/// The serialized "allocation point": kept for state-dependent policies and
+/// as the oracle the precomputed wait-free path is differentially tested
+/// against.
 class PolicyDispatcher final : public Dispatcher {
  public:
+  /// Validating factory: total >= 0 and a non-null policy, else an error.
+  [[nodiscard]] static support::Expected<std::unique_ptr<PolicyDispatcher>>
+  create(i64 total, std::unique_ptr<index::ChunkPolicy> policy);
+
+  /// Asserting constructor; prefer create() for unvalidated inputs.
   PolicyDispatcher(i64 total, std::unique_ptr<index::ChunkPolicy> policy);
 
   index::Chunk next() override;
@@ -70,5 +133,11 @@ class PolicyDispatcher final : public Dispatcher {
   std::unique_ptr<index::ChunkPolicy> policy_;  // guarded by mutex_
   std::atomic<std::uint64_t> ops_{0};
 };
+
+/// Builds the dispatcher for a schedule over `total` iterations (shared by
+/// the runtime and tests). A null pointer (with ok() true) for the static
+/// schedules; an error for total < 0, chunk_size < 1, or workers == 0.
+[[nodiscard]] support::Expected<std::unique_ptr<Dispatcher>> make_dispatcher(
+    ScheduleParams params, i64 total, std::size_t workers);
 
 }  // namespace coalesce::runtime

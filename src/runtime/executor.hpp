@@ -1,0 +1,168 @@
+// Templated region executors: the zero-type-erasure hot path.
+//
+// The per-worker scheduling loop — pull a chunk, decode, run the body per
+// iteration — is where the runtime spends its life, and an indirect call
+// per iteration through std::function can dominate a small body the same
+// way the 2m divisions the paper strength-reduces would. detail::drive is
+// the single scheduling loop, templated on the chunk runner so the
+// compiler inlines the body into it; the templated parallel_for overloads
+// below instantiate it directly on the caller's callable. The
+// std::function entry points in parallel_for.hpp are thin wrappers over
+// the same template and remain the measurable "before" (E16 reports the
+// erased-vs-inlined per-iteration gap).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "index/chunk.hpp"
+#include "index/coalesced_space.hpp"
+#include "index/incremental.hpp"
+#include "runtime/dispatcher.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/assert.hpp"
+#include "trace/recorder.hpp"
+
+namespace coalesce::trace {
+class Recorder;
+}  // namespace coalesce::trace
+
+namespace coalesce::runtime {
+
+/// Execution report (what E5/E6 print).
+struct ForStats {
+  std::uint64_t dispatch_ops = 0;      ///< synchronized allocation points
+  std::uint64_t chunks_executed = 0;
+  std::vector<std::uint64_t> iterations_per_worker;
+  double wall_seconds = 0.0;
+  /// The recorder that collected this run's events, when tracing was
+  /// enabled during the run (trace::Recorder::current() at entry); null
+  /// otherwise. Borrowed, not owned — valid while that recorder lives.
+  const trace::Recorder* trace = nullptr;
+
+  /// max/mean of iterations_per_worker; 1.0 = perfectly balanced. Defined
+  /// as 1.0 for the degenerate cases (no workers recorded, or no
+  /// iterations executed at all).
+  [[nodiscard]] double imbalance() const;
+};
+
+namespace detail {
+
+/// Shared driver: runs one region in which each worker pulls chunks (from
+/// the dispatcher or its static partition) and feeds them to `run_chunk`,
+/// a callable of shape void(index::Chunk, std::uint64_t* iters). Templated
+/// so run_chunk — and through it the loop body — inlines into the
+/// scheduling loop.
+template <typename RunChunk>
+ForStats drive(ThreadPool& pool, i64 total, ScheduleParams params,
+               RunChunk&& run_chunk) {
+  using Clock = std::chrono::steady_clock;
+  const std::size_t workers = pool.worker_count();
+  ForStats stats;
+  stats.iterations_per_worker.assign(workers, 0);
+  std::vector<std::uint64_t> chunks(workers, 0);
+
+  auto dispatcher_or = make_dispatcher(params, total, workers);
+  COALESCE_ASSERT_MSG(dispatcher_or.ok(),
+                      "invalid schedule parameters (see make_dispatcher)");
+  const std::unique_ptr<Dispatcher> dispatcher =
+      std::move(dispatcher_or).value();
+  const auto start = Clock::now();
+
+  pool.run_region([&](std::size_t w) {
+    std::uint64_t local_iters = 0;
+    std::uint64_t local_chunks = 0;
+    auto traced_chunk = [&](index::Chunk chunk) {
+      trace::ScopedSpan span(trace::EventKind::kChunkExec, chunk.first,
+                             chunk.size());
+      const std::uint64_t before = local_iters;
+      run_chunk(chunk, &local_iters);
+      ++local_chunks;
+      trace::count(trace::Counter::kChunksExecuted);
+      trace::count(trace::Counter::kIterations, local_iters - before);
+    };
+    if (dispatcher != nullptr) {
+      while (true) {
+        const index::Chunk chunk = dispatcher->next();
+        if (chunk.empty()) break;
+        traced_chunk(chunk);
+      }
+    } else if (params.kind == Schedule::kStaticBlock) {
+      const auto blocks =
+          index::static_blocks(total, static_cast<i64>(workers));
+      const index::Chunk mine = blocks[w];
+      if (!mine.empty()) {
+        traced_chunk(mine);
+      }
+    } else {  // kStaticCyclic: unit chunks w+1, w+1+P, ...
+      for (i64 j = static_cast<i64>(w) + 1; j <= total;
+           j += static_cast<i64>(workers)) {
+        traced_chunk(index::Chunk{j, j + 1});
+      }
+    }
+    stats.iterations_per_worker[w] = local_iters;
+    chunks[w] = local_chunks;
+  });
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (auto c : chunks) stats.chunks_executed += c;
+  stats.dispatch_ops = dispatcher != nullptr ? dispatcher->dispatch_ops() : 0;
+  stats.trace = trace::Recorder::current();
+  return stats;
+}
+
+}  // namespace detail
+
+/// Runs `body(j)` for every j in [1, total] on the pool, with the body
+/// inlined into the scheduling loop (no type erasure anywhere on the hot
+/// path). Lambdas and function objects land here by overload resolution;
+/// an exact std::function argument still takes the erased entry point in
+/// parallel_for.hpp.
+template <typename Body,
+          std::enable_if_t<std::is_invocable_v<Body&, i64>, int> = 0>
+ForStats parallel_for(ThreadPool& pool, i64 total, ScheduleParams params,
+                      Body&& body) {
+  COALESCE_ASSERT(total >= 0);
+  return detail::drive(pool, total, params,
+                       [&body](index::Chunk chunk, std::uint64_t* iters) {
+                         for (i64 j = chunk.first; j < chunk.last; ++j) {
+                           body(j);
+                           ++*iters;
+                         }
+                       });
+}
+
+/// The coalesced nest executor, body inlined: one dispatcher over the
+/// flattened space, strength-reduced index recovery per chunk.
+template <typename Body,
+          std::enable_if_t<
+              std::is_invocable_v<Body&, std::span<const i64>>, int> = 0>
+ForStats parallel_for_collapsed(ThreadPool& pool,
+                                const index::CoalescedSpace& space,
+                                ScheduleParams params, Body&& body) {
+  return detail::drive(
+      pool, space.total(), params,
+      [&body, &space](index::Chunk chunk, std::uint64_t* iters) {
+        // One full decode per chunk, odometer within: the strength-reduced
+        // recovery (index/incremental.hpp).
+        const std::uint64_t t0 = trace::span_begin();
+        index::IncrementalDecoder decoder(space, chunk.first);
+        trace::span_end(trace::EventKind::kIndexRecovery, t0, chunk.first);
+        trace::count(trace::Counter::kRecoveryDecodes);
+        trace::count(trace::Counter::kRecoverySteps,
+                     static_cast<std::uint64_t>(chunk.size() - 1));
+        while (true) {
+          body(decoder.original());
+          ++*iters;
+          if (decoder.position() + 1 >= chunk.last) break;
+          decoder.advance();
+        }
+      });
+}
+
+}  // namespace coalesce::runtime

@@ -45,8 +45,12 @@ support::Expected<ForStats> execute_parallel(ThreadPool& pool,
   ForStats stats;
   stats.iterations_per_worker.assign(worker_count, 0);
 
-  const auto dispatcher =
-      make_dispatcher(params, *trips, worker_count);
+  // Propagate invalid schedule parameters (negative total, chunk_size < 1)
+  // as the caller-facing error this entry point already reports.
+  auto dispatcher_or = make_dispatcher(params, *trips, worker_count);
+  if (!dispatcher_or.ok()) return dispatcher_or.error();
+  const std::unique_ptr<Dispatcher> dispatcher =
+      std::move(dispatcher_or).value();
   std::vector<std::uint64_t> chunks(worker_count, 0);
 
   pool.run_region([&](std::size_t w) {

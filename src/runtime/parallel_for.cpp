@@ -35,19 +35,6 @@ void sweep_tail(std::span<const i64> extents, std::size_t from,
 
 }  // namespace
 
-const char* to_string(Schedule schedule) noexcept {
-  switch (schedule) {
-    case Schedule::kStaticBlock: return "static-block";
-    case Schedule::kStaticCyclic: return "static-cyclic";
-    case Schedule::kSelf: return "self(1)";
-    case Schedule::kChunked: return "chunked";
-    case Schedule::kGuided: return "guided";
-    case Schedule::kFactoring: return "factoring";
-    case Schedule::kTrapezoid: return "trapezoid";
-  }
-  return "?";
-}
-
 double ForStats::imbalance() const {
   if (iterations_per_worker.empty()) return 1.0;
   std::uint64_t max = 0;
@@ -62,124 +49,43 @@ double ForStats::imbalance() const {
   return static_cast<double>(max) / mean;
 }
 
-std::unique_ptr<Dispatcher> make_dispatcher(ScheduleParams params, i64 total,
-                                            std::size_t workers) {
-  switch (params.kind) {
-    case Schedule::kStaticBlock:
-    case Schedule::kStaticCyclic:
-      return nullptr;
-    case Schedule::kSelf:
-      return std::make_unique<FetchAddDispatcher>(total, 1);
-    case Schedule::kChunked:
-      return std::make_unique<FetchAddDispatcher>(total, params.chunk_size);
-    case Schedule::kGuided:
-      return std::make_unique<PolicyDispatcher>(
-          total,
-          std::make_unique<index::GuidedPolicy>(static_cast<i64>(workers)));
-    case Schedule::kFactoring:
-      return std::make_unique<PolicyDispatcher>(
-          total, std::make_unique<index::FactoringPolicy>(
-                     static_cast<i64>(workers)));
-    case Schedule::kTrapezoid:
-      return std::make_unique<PolicyDispatcher>(
-          total, std::make_unique<index::TrapezoidPolicy>(
-                     std::max<i64>(total, 1), static_cast<i64>(workers)));
-  }
-  return nullptr;
-}
-
-namespace {
-
-/// Shared driver: runs one region in which each worker pulls chunks (from
-/// the dispatcher or its static partition) and feeds them to `run_chunk`.
-ForStats drive(ThreadPool& pool, i64 total, ScheduleParams params,
-               const std::function<void(index::Chunk, std::uint64_t* iters)>&
-                   run_chunk) {
-  const std::size_t workers = pool.worker_count();
-  ForStats stats;
-  stats.iterations_per_worker.assign(workers, 0);
-  std::vector<std::uint64_t> chunks(workers, 0);
-
-  const auto dispatcher = make_dispatcher(params, total, workers);
-  const auto start = Clock::now();
-
-  pool.run_region([&](std::size_t w) {
-    std::uint64_t local_iters = 0;
-    std::uint64_t local_chunks = 0;
-    auto traced_chunk = [&](index::Chunk chunk) {
-      trace::ScopedSpan span(trace::EventKind::kChunkExec, chunk.first,
-                             chunk.size());
-      const std::uint64_t before = local_iters;
-      run_chunk(chunk, &local_iters);
-      ++local_chunks;
-      trace::count(trace::Counter::kChunksExecuted);
-      trace::count(trace::Counter::kIterations, local_iters - before);
-    };
-    if (dispatcher != nullptr) {
-      while (true) {
-        const index::Chunk chunk = dispatcher->next();
-        if (chunk.empty()) break;
-        traced_chunk(chunk);
-      }
-    } else if (params.kind == Schedule::kStaticBlock) {
-      const auto blocks = index::static_blocks(total, static_cast<i64>(workers));
-      const index::Chunk mine = blocks[w];
-      if (!mine.empty()) {
-        traced_chunk(mine);
-      }
-    } else {  // kStaticCyclic: unit chunks w+1, w+1+P, ...
-      for (i64 j = static_cast<i64>(w) + 1; j <= total;
-           j += static_cast<i64>(workers)) {
-        traced_chunk(index::Chunk{j, j + 1});
-      }
-    }
-    stats.iterations_per_worker[w] = local_iters;
-    chunks[w] = local_chunks;
-  });
-
-  stats.wall_seconds = seconds_since(start);
-  for (auto c : chunks) stats.chunks_executed += c;
-  stats.dispatch_ops = dispatcher != nullptr ? dispatcher->dispatch_ops() : 0;
-  stats.trace = trace::Recorder::current();
-  return stats;
-}
-
-}  // namespace
-
 ForStats parallel_for(ThreadPool& pool, i64 total, ScheduleParams params,
                       const FlatBody& body) {
   COALESCE_ASSERT(total >= 0);
-  return drive(pool, total, params,
-               [&](index::Chunk chunk, std::uint64_t* iters) {
-                 for (i64 j = chunk.first; j < chunk.last; ++j) {
-                   body(j);
-                   ++*iters;
-                 }
-               });
+  // Erased variant: the scheduling loop is the shared template, but each
+  // iteration goes through the std::function — the E16 "before" path.
+  return detail::drive(pool, total, params,
+                       [&](index::Chunk chunk, std::uint64_t* iters) {
+                         for (i64 j = chunk.first; j < chunk.last; ++j) {
+                           body(j);
+                           ++*iters;
+                         }
+                       });
 }
 
 ForStats parallel_for_collapsed(ThreadPool& pool,
                                 const index::CoalescedSpace& space,
                                 ScheduleParams params,
                                 const IndexedBody& body) {
-  return drive(pool, space.total(), params,
-               [&](index::Chunk chunk, std::uint64_t* iters) {
-                 // One full decode per chunk, odometer within: the
-                 // strength-reduced recovery (index/incremental.hpp).
-                 const std::uint64_t t0 = trace::span_begin();
-                 index::IncrementalDecoder decoder(space, chunk.first);
-                 trace::span_end(trace::EventKind::kIndexRecovery, t0,
-                                 chunk.first);
-                 trace::count(trace::Counter::kRecoveryDecodes);
-                 trace::count(trace::Counter::kRecoverySteps,
-                              static_cast<std::uint64_t>(chunk.size() - 1));
-                 while (true) {
-                   body(decoder.original());
-                   ++*iters;
-                   if (decoder.position() + 1 >= chunk.last) break;
-                   decoder.advance();
-                 }
-               });
+  return detail::drive(pool, space.total(), params,
+                       [&](index::Chunk chunk, std::uint64_t* iters) {
+                         // One full decode per chunk, odometer within: the
+                         // strength-reduced recovery (index/incremental.hpp).
+                         const std::uint64_t t0 = trace::span_begin();
+                         index::IncrementalDecoder decoder(space, chunk.first);
+                         trace::span_end(trace::EventKind::kIndexRecovery, t0,
+                                         chunk.first);
+                         trace::count(trace::Counter::kRecoveryDecodes);
+                         trace::count(trace::Counter::kRecoverySteps,
+                                      static_cast<std::uint64_t>(
+                                          chunk.size() - 1));
+                         while (true) {
+                           body(decoder.original());
+                           ++*iters;
+                           if (decoder.position() + 1 >= chunk.last) break;
+                           decoder.advance();
+                         }
+                       });
 }
 
 ForStats parallel_for_collapsed_tiled(ThreadPool& pool,
@@ -198,7 +104,7 @@ ForStats parallel_for_collapsed_tiled(ThreadPool& pool,
   }
   const auto tile_space = index::CoalescedSpace::create(grid).value();
 
-  return drive(
+  return detail::drive(
       pool, tile_space.total(), params,
       [&](index::Chunk chunk, std::uint64_t* iters) {
         std::vector<i64> tile(depth);
@@ -245,18 +151,18 @@ ForStats parallel_for_nested_outer(ThreadPool& pool,
                                    const IndexedBody& body) {
   COALESCE_ASSERT(!extents.empty());
   const i64 outer = extents[0];
-  return drive(pool, outer, params,
-               [&, extents](index::Chunk chunk, std::uint64_t* iters) {
-                 std::vector<i64> indices(extents.size(), 1);
-                 for (i64 i = chunk.first; i < chunk.last; ++i) {
-                   indices[0] = i;
-                   sweep_tail(extents, 1, indices,
-                              [&](std::span<const i64> idx) {
-                                body(idx);
-                                ++*iters;
-                              });
-                 }
-               });
+  return detail::drive(pool, outer, params,
+                       [&, extents](index::Chunk chunk, std::uint64_t* iters) {
+                         std::vector<i64> indices(extents.size(), 1);
+                         for (i64 i = chunk.first; i < chunk.last; ++i) {
+                           indices[0] = i;
+                           sweep_tail(extents, 1, indices,
+                                      [&](std::span<const i64> idx) {
+                                        body(idx);
+                                        ++*iters;
+                                      });
+                         }
+                       });
 }
 
 ForStats parallel_for_nested_forkjoin(ThreadPool& pool,
@@ -279,7 +185,7 @@ ForStats parallel_for_nested_forkjoin(ThreadPool& pool,
   std::function<void(std::size_t)> outer_sweep = [&](std::size_t level) {
     if (level == last) {
       const i64 inner = extents[last];
-      const ForStats inner_stats = drive(
+      const ForStats inner_stats = detail::drive(
           pool, inner, params,
           [&](index::Chunk chunk, std::uint64_t* iters) {
             std::vector<i64> indices(prefix.begin(), prefix.end());

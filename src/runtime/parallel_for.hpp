@@ -1,6 +1,14 @@
 // The public runtime API: coalesced parallel-for — the OpenMP-collapse
 // equivalent the paper's transformation targets — plus a flat parallel-for
 // and the nested-execution baseline it is measured against.
+//
+// Two ways in:
+//  * pass any lambda/function object — overload resolution selects the
+//    templated executors in runtime/executor.hpp and the body inlines into
+//    the per-worker scheduling loop (the fast path);
+//  * pass a std::function (FlatBody / IndexedBody) — the erased entry
+//    points below are thin wrappers over the same driver, kept for ABI
+//    stability across translation units and as the E16 "before" variant.
 #pragma once
 
 #include <cstdint>
@@ -12,55 +20,18 @@
 #include "index/chunk.hpp"
 #include "index/coalesced_space.hpp"
 #include "runtime/dispatcher.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/thread_pool.hpp"
 
-namespace coalesce::trace {
-class Recorder;
-}  // namespace coalesce::trace
-
 namespace coalesce::runtime {
-
-/// Scheduling discipline for dynamic (dispatcher-based) execution.
-enum class Schedule : std::uint8_t {
-  kStaticBlock,   ///< contiguous blocks, no dispatcher (one "dispatch" each)
-  kStaticCyclic,  ///< round-robin single iterations, no dispatcher
-  kSelf,          ///< unit self-scheduling: fetch&add, chunk 1
-  kChunked,       ///< fetch&add, fixed chunk `chunk_size`
-  kGuided,        ///< guided self-scheduling (GSS)
-  kFactoring,     ///< factoring (batched halving)
-  kTrapezoid,     ///< trapezoid self-scheduling (TSS)
-};
-
-[[nodiscard]] const char* to_string(Schedule schedule) noexcept;
-
-struct ScheduleParams {
-  Schedule kind = Schedule::kSelf;
-  i64 chunk_size = 1;  ///< for kChunked
-};
-
-/// Execution report (what E5/E6 print).
-struct ForStats {
-  std::uint64_t dispatch_ops = 0;      ///< synchronized allocation points
-  std::uint64_t chunks_executed = 0;
-  std::vector<std::uint64_t> iterations_per_worker;
-  double wall_seconds = 0.0;
-  /// The recorder that collected this run's events, when tracing was
-  /// enabled during the run (trace::Recorder::current() at entry); null
-  /// otherwise. Borrowed, not owned — valid while that recorder lives.
-  const trace::Recorder* trace = nullptr;
-
-  /// max/mean of iterations_per_worker; 1.0 = perfectly balanced. Defined
-  /// as 1.0 for the degenerate cases (no workers recorded, or no
-  /// iterations executed at all).
-  [[nodiscard]] double imbalance() const;
-};
 
 /// Body forms. The flat body receives the coalesced index j (1-based); the
 /// indexed body receives the recovered original indices.
 using FlatBody = std::function<void(i64 j)>;
 using IndexedBody = std::function<void(std::span<const i64> indices)>;
 
-/// Runs `body(j)` for every j in [1, total] on the pool.
+/// Runs `body(j)` for every j in [1, total] on the pool (erased entry
+/// point; see executor.hpp for the inlining overload).
 ForStats parallel_for(ThreadPool& pool, i64 total, ScheduleParams params,
                       const FlatBody& body);
 
@@ -102,10 +73,5 @@ ForStats parallel_for_nested_forkjoin(ThreadPool& pool,
                                       std::span<const i64> extents,
                                       ScheduleParams params,
                                       const IndexedBody& body);
-
-/// Builds the dispatcher for a schedule over `total` iterations (shared by
-/// the runtime and tests). Null for the static schedules.
-[[nodiscard]] std::unique_ptr<Dispatcher> make_dispatcher(
-    ScheduleParams params, i64 total, std::size_t workers);
 
 }  // namespace coalesce::runtime

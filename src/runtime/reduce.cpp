@@ -31,7 +31,11 @@ ReduceResult parallel_reduce(ThreadPool& pool, i64 total,
   const std::size_t workers = pool.worker_count();
   ForStats stats;
   stats.iterations_per_worker.assign(workers, 0);
-  const auto dispatcher = make_dispatcher(params, total, workers);
+  auto dispatcher_or = make_dispatcher(params, total, workers);
+  COALESCE_ASSERT_MSG(dispatcher_or.ok(),
+                      "invalid schedule parameters (see make_dispatcher)");
+  const std::unique_ptr<Dispatcher> dispatcher =
+      std::move(dispatcher_or).value();
   std::vector<std::uint64_t> chunks(workers, 0);
 
   pool.run_region([&](std::size_t w) {

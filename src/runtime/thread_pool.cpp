@@ -24,14 +24,15 @@ ThreadPool::~ThreadPool() {
   // jthread destructors join.
 }
 
-void ThreadPool::run_region(const std::function<void(std::size_t)>& body) {
+void ThreadPool::run_region(support::function_ref<void(std::size_t)> body) {
+  COALESCE_ASSERT(static_cast<bool>(body));
   trace::ScopedSpan region(trace::EventKind::kRegion,
                            static_cast<trace::i64>(worker_count()));
   trace::count(trace::Counter::kRegions);
   {
     std::scoped_lock lock(mutex_);
-    COALESCE_ASSERT_MSG(body_ == nullptr, "run_region is not reentrant");
-    body_ = &body;
+    COALESCE_ASSERT_MSG(!body_, "run_region is not reentrant");
+    body_ = body;
     remaining_ = threads_.size();
     ++generation_;
   }
@@ -46,14 +47,14 @@ void ThreadPool::run_region(const std::function<void(std::size_t)>& body) {
 
   std::unique_lock lock(mutex_);
   cv_done_.wait(lock, [this] { return remaining_ == 0; });
-  body_ = nullptr;
+  body_ = {};
 }
 
 void ThreadPool::worker_main(std::size_t id, std::stop_token stop) {
   trace::set_thread_worker(static_cast<std::uint32_t>(id));
   std::size_t seen_generation = 0;
   while (true) {
-    const std::function<void(std::size_t)>* body = nullptr;
+    support::function_ref<void(std::size_t)> body;
     // Park span, recorded only when the SAME recorder is installed at both
     // ends of the wait: a worker can stay parked across a whole recorder
     // lifetime, so holding a pointer through the wait could dangle.
@@ -67,18 +68,18 @@ void ThreadPool::worker_main(std::size_t id, std::stop_token stop) {
       });
       if (stop.stop_requested()) return;
       seen_generation = generation_;
-      body = body_;
+      body = body_;  // two-word copy of the non-owning reference
     }
     if (trace::Recorder* rec = trace::Recorder::current();
         rec != nullptr && rec == rec_at_park) {
       rec->record(trace::EventKind::kWorkerPark,
                   static_cast<std::uint32_t>(id), parked_at, rec->now_ns());
     }
-    COALESCE_ASSERT(body != nullptr);
+    COALESCE_ASSERT(static_cast<bool>(body));
     {
       trace::ScopedSpan run(trace::EventKind::kWorkerRun,
                             trace::Hist::kWorkerBusyNs);
-      (*body)(id);
+      body(id);
     }
     {
       std::scoped_lock lock(mutex_);

@@ -13,10 +13,11 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/function_ref.hpp"
 
 namespace coalesce::runtime {
 
@@ -36,8 +37,11 @@ class ThreadPool {
   }
 
   /// Fork-join: every worker (and the calling thread, as worker 0) runs
-  /// `body(worker_id)` once; returns after all have finished. Not reentrant.
-  void run_region(const std::function<void(std::size_t)>& body);
+  /// `body(worker_id)` once; returns after all have finished. Not
+  /// reentrant. The callable is borrowed, never copied: run_region blocks
+  /// until every worker is done with it, so a caller's local lambda is
+  /// safe and region entry costs no allocation.
+  void run_region(support::function_ref<void(std::size_t)> body);
 
  private:
   void worker_main(std::size_t id, std::stop_token stop);
@@ -45,7 +49,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  const std::function<void(std::size_t)>* body_ = nullptr;  // guarded by mutex_
+  support::function_ref<void(std::size_t)> body_;  // guarded by mutex_
   std::size_t generation_ = 0;   ///< bumped per region; wakes workers
   std::size_t remaining_ = 0;    ///< workers still running current region
   std::vector<std::jthread> threads_;

@@ -1,0 +1,60 @@
+// support::function_ref — a non-owning, trivially-copyable callable
+// reference (two words: object pointer + trampoline).
+//
+// The runtime's fork-join region passes a callable to every worker and
+// blocks until all of them return, so the callable always outlives the
+// call. std::function would pay type erasure with a possible heap
+// allocation per region; function_ref pays a single indirect call and
+// nothing else, which is what the paper's "one fetch&add per dispatch"
+// cost model assumes region entry looks like.
+//
+// Lifetime rule: a function_ref must not outlive the callable it was bound
+// to. Bind only to callables that live across the call (locals in the
+// calling frame are fine for blocking calls like ThreadPool::run_region).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace coalesce::support {
+
+template <typename Signature>
+class function_ref;  // undefined; only the R(Args...) partial below exists
+
+template <typename R, typename... Args>
+class function_ref<R(Args...)> {
+ public:
+  /// Null reference; calling it is undefined. Test with operator bool.
+  constexpr function_ref() noexcept = default;
+
+  /// Binds to any callable invocable as R(Args...). Non-owning.
+  template <typename F,
+            std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, function_ref> &&
+                    std::is_invocable_r_v<R, F&, Args...>,
+                int> = 0>
+  function_ref(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return std::invoke(
+              *static_cast<std::remove_reference_t<F>*>(obj),
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return call_ != nullptr;
+  }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace coalesce::support

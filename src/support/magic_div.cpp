@@ -1,0 +1,19 @@
+#include "support/magic_div.hpp"
+
+namespace coalesce::support {
+
+MagicDiv::MagicDiv(i64 divisor) : divisor_(divisor) {
+  COALESCE_ASSERT_MSG(divisor >= 1, "MagicDiv divisor must be positive");
+  const u64 d = static_cast<u64>(divisor);
+  unsigned ell = 0;  // ceil(log2 d); d <= 2^63 - 1 keeps ell <= 63
+  while ((u64{1} << ell) < d) ++ell;
+  shift_ = 63 + ell;
+#if defined(__SIZEOF_INT128__)
+  const unsigned __int128 p = static_cast<unsigned __int128>(1) << shift_;
+  magic_ = static_cast<u64>((p + d - 1) / d);  // ceil(2^shift / d)
+#else
+  magic_ = 0;  // divide() falls back to the hardware divider
+#endif
+}
+
+}  // namespace coalesce::support

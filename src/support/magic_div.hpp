@@ -1,0 +1,69 @@
+// support::MagicDiv — division by a runtime-invariant divisor via one
+// multiply and one shift (Granlund & Montgomery, "Division by Invariant
+// Integers using Multiplication", PLDI 1994).
+//
+// The coalesced index maps divide by the suffix products P_k on every full
+// decode and every seek; the P_k are fixed for the lifetime of a
+// CoalescedSpace, so the ~20-40 cycle hardware divide can be strength-
+// reduced to a widening multiply plus shift the same way E7 strength-
+// reduces the per-iteration decode to an odometer. This is the
+// non-contiguous-chunk counterpart: GSS/factoring hand workers chunks that
+// are NOT adjacent, so each chunk still needs one full decode, and that
+// decode is where the divisions live.
+//
+// Scheme (round-up method, specialised to dividends < 2^63): for divisor
+// d >= 1 let L = ceil(log2 d) and p = 63 + L. Then
+//
+//     m = ceil(2^p / d)   satisfies   floor(n*m / 2^p) == floor(n / d)
+//
+// for every 0 <= n < 2^63. Proof of the bound: write m*d = 2^p + e with
+// 0 <= e < d <= 2^L; for n = q*d + r, n*m/2^p = q + (r*2^p + n*e)/(d*2^p),
+// and the fraction is < 1 because n*e < 2^63 * 2^L = 2^p. m itself fits in
+// 64 bits because d > 2^(L-1) implies m < 2^(63+L)/2^(L-1) = 2^64 (and for
+// d a power of two, m = 2^63 exactly). All dividends in the decode paths
+// are coalesced indices minus one, i.e. in [0, total) with total < 2^63,
+// so the precondition always holds.
+#pragma once
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace coalesce::support {
+
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+
+class MagicDiv {
+ public:
+  /// Precomputes the magic pair for `divisor` (>= 1).
+  explicit MagicDiv(i64 divisor);
+
+  [[nodiscard]] i64 divisor() const noexcept { return divisor_; }
+
+  /// floor(n / divisor) without a hardware divide. Requires n < 2^63.
+  [[nodiscard]] u64 divide(u64 n) const noexcept {
+#if defined(__SIZEOF_INT128__)
+    return static_cast<u64>(
+        (static_cast<unsigned __int128>(n) * magic_) >> shift_);
+#else
+    return n / static_cast<u64>(divisor_);
+#endif
+  }
+
+  /// n mod divisor, via the quotient (still division-free).
+  [[nodiscard]] u64 remainder(u64 n) const noexcept {
+    return n - divide(n) * static_cast<u64>(divisor_);
+  }
+
+  /// The precomputed multiplier and shift (exposed for tests/benchmarks).
+  [[nodiscard]] u64 magic() const noexcept { return magic_; }
+  [[nodiscard]] unsigned shift() const noexcept { return shift_; }
+
+ private:
+  u64 magic_ = 0;
+  unsigned shift_ = 0;
+  i64 divisor_ = 1;
+};
+
+}  // namespace coalesce::support

@@ -222,5 +222,73 @@ TEST(IncrementalDecoder, SeekRepositionsExactly) {
   EXPECT_EQ(decoder.position(), 17);
 }
 
+// ---- division-free decode ---------------------------------------------------
+
+// The magic multiply+shift decodes (the default paths) must agree with the
+// hardware-division reference variants everywhere, on randomized shapes.
+TEST(DivisionFreeDecode, MagicAgreesWithHardwareDivisionEverywhere) {
+  support::Rng rng(0xD1F);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t depth =
+        static_cast<std::size_t>(rng.uniform_int(1, 5));
+    std::vector<i64> extents;
+    for (std::size_t k = 0; k < depth; ++k) {
+      extents.push_back(rng.uniform_int(1, 9));
+    }
+    const auto space = CoalescedSpace::create(extents).value();
+    std::vector<i64> magic(depth), hwdiv(depth);
+    for (i64 j = 1; j <= space.total(); ++j) {
+      space.decode_paper(j, magic);
+      space.decode_paper_hwdiv(j, hwdiv);
+      ASSERT_EQ(magic, hwdiv) << "decode_paper j=" << j;
+      space.decode_mixed_radix(j, magic);
+      space.decode_mixed_radix_hwdiv(j, hwdiv);
+      ASSERT_EQ(magic, hwdiv) << "decode_mixed_radix j=" << j;
+    }
+  }
+}
+
+TEST(DivisionFreeDecode, AgreesOnHugeSuffixProducts) {
+  // Extents chosen so the suffix products approach the i64 range where the
+  // p = 63 + ceil(log2 d) scheme is at its tightest.
+  const auto space = CoalescedSpace::create(
+                         std::vector<i64>{3, 1 << 20, (1 << 20) - 1, 4095})
+                         .value();
+  support::Rng rng(0xD1F2);
+  std::vector<i64> magic(4), hwdiv(4);
+  for (const i64 j : {i64{1}, i64{2}, space.total() - 1, space.total()}) {
+    space.decode_paper(j, magic);
+    space.decode_paper_hwdiv(j, hwdiv);
+    ASSERT_EQ(magic, hwdiv) << "j=" << j;
+  }
+  for (int trial = 0; trial < 5000; ++trial) {
+    const i64 j = rng.uniform_int(1, space.total());
+    space.decode_paper(j, magic);
+    space.decode_paper_hwdiv(j, hwdiv);
+    ASSERT_EQ(magic, hwdiv) << "j=" << j;
+    space.decode_mixed_radix(j, magic);
+    space.decode_mixed_radix_hwdiv(j, hwdiv);
+    ASSERT_EQ(magic, hwdiv) << "j=" << j;
+  }
+}
+
+TEST(DivisionFreeDecode, SeekStillMatchesFullDecode) {
+  // seek() goes through decode_paper, now division-free; spot-check it
+  // against the odometer on a randomized walk.
+  const auto space =
+      CoalescedSpace::create(std::vector<i64>{6, 7, 5, 4}).value();
+  support::Rng rng(0xD1F3);
+  IncrementalDecoder decoder(space, 1);
+  std::vector<i64> expect(4);
+  for (int hop = 0; hop < 200; ++hop) {
+    const i64 j = rng.uniform_int(1, space.total());
+    decoder.seek(j);
+    space.decode_paper_hwdiv(j, expect);
+    ASSERT_TRUE(std::equal(expect.begin(), expect.end(),
+                           decoder.normalized().begin()))
+        << "j=" << j;
+  }
+}
+
 }  // namespace
 }  // namespace coalesce::index

@@ -4,12 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <mutex>
 #include <set>
+#include <thread>
 
+#include "index/chunk.hpp"
 #include "runtime/dispatcher.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
+#include "support/rng.hpp"
 
 namespace coalesce::runtime {
 namespace {
@@ -79,6 +83,147 @@ TEST(PolicyDispatcher, GuidedCoversSpace) {
   EXPECT_EQ(covered, 1000);
 }
 
+TEST(FetchAddDispatcher, CreateRejectsInvalidArguments) {
+  EXPECT_FALSE(FetchAddDispatcher::create(-1, 1).ok());
+  EXPECT_FALSE(FetchAddDispatcher::create(10, 0).ok());
+  EXPECT_FALSE(FetchAddDispatcher::create(10, -5).ok());
+  ASSERT_TRUE(FetchAddDispatcher::create(0, 1).ok());
+  EXPECT_TRUE(FetchAddDispatcher::create(0, 1).value()->next().empty());
+}
+
+TEST(FetchAddDispatcher, ExhaustedPollingIsStableNearOverflow) {
+  // Regression: before the clamp, every exhausted poll still ran the
+  // fetch_add, so with a huge chunk the cursor overflowed i64 (UB) after a
+  // couple of polls — and each poll was miscounted as a dispatch op.
+  const i64 huge = std::numeric_limits<i64>::max() / 2;
+  FetchAddDispatcher d(10, huge);
+  EXPECT_EQ(d.next(), (index::Chunk{1, 11}));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(d.next().empty());
+  }
+  EXPECT_EQ(d.dispatch_ops(), 1u);
+}
+
+// ---- wait-free variable-chunk dispatch ------------------------------------------
+
+std::unique_ptr<index::ChunkPolicy> policy_for(Schedule kind, i64 total,
+                                               i64 processors) {
+  switch (kind) {
+    case Schedule::kGuided:
+      return std::make_unique<index::GuidedPolicy>(processors);
+    case Schedule::kFactoring:
+      return std::make_unique<index::FactoringPolicy>(processors);
+    case Schedule::kTrapezoid:
+      return std::make_unique<index::TrapezoidPolicy>(
+          std::max<i64>(total, 1), processors);
+    default:
+      return nullptr;
+  }
+}
+
+// The differential property behind the wait-free path: for every
+// deterministic policy, the precomputed table and the dispatcher over it
+// reproduce the mutex PolicyDispatcher's chunk sequence exactly.
+TEST(ChunkScheduleDispatcher, MatchesMutexOracleOnRandomizedInputs) {
+  support::Rng rng(0xE16);
+  for (int trial = 0; trial < 40; ++trial) {
+    const i64 total = rng.uniform_int(0, 5000);
+    const i64 processors = rng.uniform_int(1, 16);
+    for (const Schedule kind :
+         {Schedule::kGuided, Schedule::kFactoring, Schedule::kTrapezoid}) {
+      PolicyDispatcher oracle(total, policy_for(kind, total, processors));
+      std::vector<index::Chunk> expected;
+      while (true) {
+        const index::Chunk c = oracle.next();
+        if (c.empty()) break;
+        expected.push_back(c);
+      }
+
+      const auto policy = policy_for(kind, total, processors);
+      ChunkScheduleDispatcher waitfree(
+          index::ChunkSchedule::precompute(*policy, total));
+      EXPECT_EQ(waitfree.schedule().chunks(), expected);
+      std::vector<index::Chunk> actual;
+      while (true) {
+        const index::Chunk c = waitfree.next();
+        if (c.empty()) break;
+        actual.push_back(c);
+      }
+      EXPECT_EQ(actual, expected)
+          << to_string(kind) << " total=" << total << " P=" << processors;
+      EXPECT_EQ(waitfree.dispatch_ops(), expected.size());
+    }
+  }
+}
+
+TEST(ChunkScheduleDispatcher, ConcurrentDrainCoversSpaceExactlyOnce) {
+  // Contended drain: every iteration claimed exactly once, dispatch_ops
+  // equals the table's chunk count, exhausted polls uncounted. Runs under
+  // TSan in CI, which would flag any unsynchronized table access.
+  const i64 total = 20011;  // prime: ragged chunk tail
+  index::GuidedPolicy policy(8);
+  ChunkScheduleDispatcher d(index::ChunkSchedule::precompute(policy, total));
+  const std::size_t chunk_count = d.schedule().chunk_count();
+
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(total));
+  std::vector<std::thread> crew;
+  for (int t = 0; t < 8; ++t) {
+    crew.emplace_back([&] {
+      while (true) {
+        const index::Chunk c = d.next();
+        if (c.empty()) break;
+        for (i64 j = c.first; j < c.last; ++j) {
+          hits[static_cast<std::size_t>(j - 1)].fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : crew) th.join();
+
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(d.dispatch_ops(), chunk_count);
+  EXPECT_TRUE(d.next().empty());
+  EXPECT_EQ(d.dispatch_ops(), chunk_count);  // polls never count
+}
+
+// ---- make_dispatcher validation -------------------------------------------------
+
+TEST(MakeDispatcher, RejectsInvalidParameters) {
+  EXPECT_FALSE(make_dispatcher({Schedule::kSelf, 1}, -1, 4).ok());
+  EXPECT_FALSE(make_dispatcher({Schedule::kChunked, 0}, 10, 4).ok());
+  EXPECT_FALSE(make_dispatcher({Schedule::kChunked, -3}, 10, 4).ok());
+  EXPECT_FALSE(make_dispatcher({Schedule::kGuided, 1}, 10, 0).ok());
+  EXPECT_FALSE(make_dispatcher({Schedule::kStaticBlock, 1}, -7, 4).ok());
+}
+
+TEST(MakeDispatcher, StaticSchedulesYieldNoDispatcher) {
+  auto block = make_dispatcher({Schedule::kStaticBlock, 1}, 10, 4);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block.value(), nullptr);
+  auto cyclic = make_dispatcher({Schedule::kStaticCyclic, 1}, 10, 4);
+  ASSERT_TRUE(cyclic.ok());
+  EXPECT_EQ(cyclic.value(), nullptr);
+}
+
+TEST(MakeDispatcher, PolicySchedulesTakeTheWaitFreePathUnlessSerialized) {
+  for (const Schedule kind :
+       {Schedule::kGuided, Schedule::kFactoring, Schedule::kTrapezoid}) {
+    auto fast = make_dispatcher({kind, 1}, 1000, 4);
+    ASSERT_TRUE(fast.ok());
+    EXPECT_NE(dynamic_cast<ChunkScheduleDispatcher*>(fast.value().get()),
+              nullptr)
+        << to_string(kind);
+
+    auto oracle = make_dispatcher(
+        ScheduleParams{.kind = kind, .chunk_size = 1, .serialized = true},
+        1000, 4);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_NE(dynamic_cast<PolicyDispatcher*>(oracle.value().get()), nullptr)
+        << to_string(kind);
+  }
+}
+
 // ---- parallel_for ----------------------------------------------------------------
 
 class ScheduleSweep : public ::testing::TestWithParam<ScheduleParams> {};
@@ -121,13 +266,25 @@ INSTANTIATE_TEST_SUITE_P(
                       ScheduleParams{Schedule::kChunked, 8},
                       ScheduleParams{Schedule::kChunked, 64},
                       ScheduleParams{Schedule::kGuided, 1},
-                      ScheduleParams{Schedule::kTrapezoid, 1}),
+                      ScheduleParams{Schedule::kFactoring, 1},
+                      ScheduleParams{Schedule::kTrapezoid, 1},
+                      ScheduleParams{.kind = Schedule::kGuided,
+                                     .chunk_size = 1,
+                                     .serialized = true},
+                      ScheduleParams{.kind = Schedule::kFactoring,
+                                     .chunk_size = 1,
+                                     .serialized = true},
+                      ScheduleParams{.kind = Schedule::kTrapezoid,
+                                     .chunk_size = 1,
+                                     .serialized = true}),
     [](const ::testing::TestParamInfo<ScheduleParams>& info) {
       std::string name = to_string(info.param.kind);
       for (char& c : name) {
         if (c == '-' || c == '(' || c == ')') c = '_';
       }
-      return name + "_" + std::to_string(info.param.chunk_size);
+      name += "_" + std::to_string(info.param.chunk_size);
+      if (info.param.serialized) name += "_mutex";
+      return name;
     });
 
 TEST(ParallelFor, SelfScheduleDispatchOpsEqualIterations) {

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "support/int_math.hpp"
+#include "support/magic_div.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
@@ -409,6 +410,66 @@ TEST(Table, RowVectorApi) {
   t.row({"1"});
   t.row({"2"});
   EXPECT_EQ(t.row_count(), 2u);
+}
+
+// ---- magic-number division --------------------------------------------------
+
+namespace {
+
+/// Checks divide/remainder against the hardware result at the edge
+/// dividends of `d` plus the extremes of the valid range [0, 2^63).
+void check_magic_edges(i64 d) {
+  const MagicDiv magic(d);
+  EXPECT_EQ(magic.divisor(), d);
+  const u64 ud = static_cast<u64>(d);
+  const u64 max_dividend = (u64{1} << 63) - 1;
+  const u64 dividends[] = {0,
+                           1,
+                           ud - 1,
+                           ud,
+                           ud + 1,
+                           2 * ud,
+                           2 * ud + 1,
+                           max_dividend - 1,
+                           max_dividend};
+  for (const u64 n : dividends) {
+    if (n > max_dividend) continue;
+    EXPECT_EQ(magic.divide(n), n / ud) << "n=" << n << " d=" << d;
+    EXPECT_EQ(magic.remainder(n), n % ud) << "n=" << n << " d=" << d;
+  }
+}
+
+}  // namespace
+
+TEST(MagicDiv, ExactAtEdgeCasesForRepresentativeDivisors) {
+  for (const i64 d : {i64{1}, i64{2}, i64{3}, i64{5}, i64{7}, i64{10},
+                      i64{641}, i64{1} << 20, (i64{1} << 20) + 1,
+                      (i64{1} << 62) - 1, i64{1} << 62,
+                      std::numeric_limits<i64>::max()}) {
+    check_magic_edges(d);
+  }
+}
+
+TEST(MagicDiv, PowerOfTwoDivisorsAreExact) {
+  for (unsigned bit = 0; bit < 63; ++bit) {
+    check_magic_edges(i64{1} << bit);
+  }
+}
+
+TEST(MagicDiv, RandomizedAgreementWithHardwareDivision) {
+  Rng rng(20260807);
+  const i64 max_i64 = std::numeric_limits<i64>::max();
+  for (int trial = 0; trial < 20000; ++trial) {
+    // Mix small divisors (the common suffix-product case) with huge ones.
+    const i64 d = (trial % 2 == 0) ? rng.uniform_int(1, 1 << 20)
+                                   : rng.uniform_int(1, max_i64);
+    const u64 n = static_cast<u64>(rng.uniform_int(0, max_i64));
+    const MagicDiv magic(d);
+    ASSERT_EQ(magic.divide(n), n / static_cast<u64>(d))
+        << "n=" << n << " d=" << d;
+    ASSERT_EQ(magic.remainder(n), n % static_cast<u64>(d))
+        << "n=" << n << " d=" << d;
+  }
 }
 
 }  // namespace

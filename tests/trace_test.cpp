@@ -15,7 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include "index/chunk.hpp"
 #include "index/coalesced_space.hpp"
+#include "runtime/dispatcher.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
 #include "trace/counters.hpp"
@@ -341,6 +343,44 @@ TEST(TraceIntegration, ParallelForEmitsEventsOnEveryWorker) {
   for (const Event& e : rec.all_events()) {
     EXPECT_LE(e.begin_ns, e.end_ns);
   }
+}
+
+TEST(TraceIntegration, WaitFreeDispatcherEmitsDispatchSpansAndLatency) {
+  // The precomputed wait-free dispatcher must be as observable as the
+  // mutex path it replaces: one kChunkDispatch span and one latency
+  // observation per successful dispatch, none for exhausted polls.
+  Recorder rec;
+  rec.install();
+  index::GuidedPolicy policy(4);
+  runtime::ChunkScheduleDispatcher dispatcher(
+      index::ChunkSchedule::precompute(policy, 500));
+  while (!dispatcher.next().empty()) {
+  }
+  EXPECT_TRUE(dispatcher.next().empty());  // poll: must emit nothing
+  rec.uninstall();
+
+  const std::uint64_t ops = rec.counters().total(Counter::kDispatchOps);
+  EXPECT_GT(ops, 0u);
+  EXPECT_EQ(ops, dispatcher.dispatch_ops());
+
+  std::size_t dispatch_events = 0;
+  i64 covered = 0;
+  for (const Event& e : rec.all_events()) {
+    if (e.kind == EventKind::kChunkDispatch) {
+      ++dispatch_events;
+      covered += e.arg1;  // arg1 carries the chunk size
+      EXPECT_LE(e.begin_ns, e.end_ns);
+    }
+  }
+  EXPECT_EQ(dispatch_events, ops);
+  EXPECT_EQ(covered, 500);
+
+  const HistogramSnapshot latency =
+      rec.counters().snapshot(Hist::kDispatchLatencyNs);
+  EXPECT_EQ(latency.total(), ops);
+  const HistogramSnapshot sizes =
+      rec.counters().snapshot(Hist::kChunkSize);
+  EXPECT_EQ(sizes.total(), ops);
 }
 
 TEST(TraceIntegration, StatsTraceIsNullWithoutInstalledRecorder) {

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Compare two bench_harness --json outputs and flag regressions.
+
+Usage:
+    bench_compare.py baseline.json current.json [--threshold 0.10]
+                     [--metrics name1,name2,...]
+
+Records are matched by their string fields (kind, schedule, variant, ...):
+two records pair up when every string field agrees. Numeric fields are then
+compared pairwise:
+
+  * fields whose name contains "ns" (per-op / per-iter / per-decode times)
+    are lower-is-better: a regression is current > baseline * (1 + t);
+  * fields named "ratio" are higher-is-better (old-path cost over new-path
+    cost): a regression is current < baseline * (1 - t);
+  * every other numeric field (sizes, op counts) is informational only.
+
+--metrics restricts the comparison to the named fields. Exit status is 1
+when any regression beyond the threshold is found, else 0 — suitable as a
+CI gate around the E16 hot-path bench.
+"""
+
+import argparse
+import json
+import sys
+
+
+def record_key(record):
+    """Identity of a record: its string fields, in a stable order."""
+    return tuple(
+        sorted((k, v) for k, v in record.items() if isinstance(v, str))
+    )
+
+
+def numeric_fields(record):
+    return {
+        k: v
+        for k, v in record.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+def direction(metric):
+    """-1 = lower is better, +1 = higher is better, 0 = informational."""
+    if metric == "ratio":
+        return 1
+    if "ns" in metric.split("_") or metric.endswith("_ns"):
+        return -1
+    return 0
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("bench", "?"), doc.get("records", [])
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two bench --json outputs, flag regressions."
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative change tolerated before a metric counts as a "
+        "regression (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default="",
+        help="comma-separated list of numeric fields to compare "
+        "(default: every time metric and every ratio)",
+    )
+    args = parser.parse_args()
+
+    base_name, base_records = load_records(args.baseline)
+    cur_name, cur_records = load_records(args.current)
+    if base_name != cur_name:
+        print(
+            f"warning: comparing different benches "
+            f"({base_name!r} vs {cur_name!r})",
+            file=sys.stderr,
+        )
+
+    selected = {m for m in args.metrics.split(",") if m}
+    baseline_by_key = {}
+    for record in base_records:
+        baseline_by_key.setdefault(record_key(record), []).append(record)
+
+    regressions = []
+    compared = 0
+    unmatched = 0
+    for record in cur_records:
+        candidates = baseline_by_key.get(record_key(record))
+        if not candidates:
+            unmatched += 1
+            continue
+        base = candidates.pop(0)
+        label = " ".join(
+            f"{k}={v}" for k, v in record.items() if isinstance(v, str)
+        )
+        base_nums = numeric_fields(base)
+        for metric, cur_value in numeric_fields(record).items():
+            if selected and metric not in selected:
+                continue
+            sense = direction(metric)
+            if sense == 0 and not selected:
+                continue
+            if metric not in base_nums:
+                continue
+            base_value = base_nums[metric]
+            if base_value == 0:
+                continue
+            compared += 1
+            change = (cur_value - base_value) / abs(base_value)
+            worse = (sense <= 0 and change > args.threshold) or (
+                sense > 0 and change < -args.threshold
+            )
+            marker = "REGRESSION" if worse else "ok"
+            print(
+                f"{marker:>10}  {label}  {metric}: "
+                f"{base_value:.4g} -> {cur_value:.4g} "
+                f"({change:+.1%})"
+            )
+            if worse:
+                regressions.append((label, metric, base_value, cur_value))
+
+    if unmatched:
+        print(
+            f"note: {unmatched} current record(s) had no baseline match",
+            file=sys.stderr,
+        )
+    if compared == 0:
+        print("error: no comparable metrics found", file=sys.stderr)
+        return 1
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for label, metric, base_value, cur_value in regressions:
+            print(
+                f"  {label}  {metric}: {base_value:.4g} -> {cur_value:.4g}",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"\nall {compared} compared metrics within {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
