@@ -81,10 +81,14 @@ struct Interval {
   int64_t hi;
 };
 
-/// Contribution of coeff*var with var ranging over [b.lo, b.hi].
-Interval scaled(int64_t coeff, Interval b) {
-  if (coeff >= 0) return Interval{coeff * b.lo, coeff * b.hi};
-  return Interval{coeff * b.hi, coeff * b.lo};
+/// Contribution of coeff*var with var ranging over [b.lo, b.hi]. nullopt
+/// when the products overflow int64 (INT64_MAX-adjacent bounds): the
+/// Banerjee range is then unknown and the caller must answer kMaybe.
+std::optional<Interval> scaled(int64_t coeff, Interval b) {
+  const auto x = support::checked_mul(coeff, coeff >= 0 ? b.lo : b.hi);
+  const auto y = support::checked_mul(coeff, coeff >= 0 ? b.hi : b.lo);
+  if (!x.has_value() || !y.has_value()) return std::nullopt;
+  return Interval{*x, *y};
 }
 
 /// Per-dimension verdict.
@@ -110,8 +114,12 @@ DimVerdict test_dimension(const AffineForm& fa, const AffineForm& fb,
   // Unequal coefficients on an invariant leave an unresolvable term ->
   // kMaybe. Induction variables of non-common loops act as free variables.
   //
-  // We first fold invariants, then classify.
-  int64_t const_diff = fa.constant - fb.constant;  // fa - fb residual
+  // We first fold invariants, then classify. A constant residual that
+  // overflows int64 (or equals INT64_MIN, whose negation below would) makes
+  // every exact test meaningless: answer kMaybe, the sound default.
+  const auto diff = support::checked_sub(fa.constant, fb.constant);
+  if (!diff.has_value() || *diff == INT64_MIN) return verdict;
+  int64_t const_diff = *diff;  // fa - fb residual
   struct Term {
     int64_t coeff;            // multiplies an integer unknown
     std::optional<Interval> bounds;  // value range when known
@@ -144,10 +152,13 @@ DimVerdict test_dimension(const AffineForm& fa, const AffineForm& fb,
         // ca*i - ca*i' = -ca * (i' - i): one delta unknown.
         if (ca != 0) {
           terms.push_back(Term{-ca, std::nullopt, lvl, /*is_delta=*/true});
-          // Delta bounds: i' - i in [-(U-L), U-L] when bounds known.
+          // Delta bounds: i' - i in [-(U-L), U-L] when bounds known and the
+          // span itself fits in int64; otherwise leave the delta unbounded.
           if (bounds) {
-            const int64_t span = bounds->hi - bounds->lo;
-            terms.back().bounds = Interval{-span, span};
+            const auto span = support::checked_sub(bounds->hi, bounds->lo);
+            if (span.has_value()) {
+              terms.back().bounds = Interval{-*span, *span};
+            }
           }
         }
         continue;
@@ -214,7 +225,8 @@ DimVerdict test_dimension(const AffineForm& fa, const AffineForm& fb,
     return verdict;
   }
 
-  // Banerjee range test: requires every term bounded.
+  // Banerjee range test: requires every term bounded, with every product
+  // and partial sum representable (overflow widens the range to unknown).
   bool all_bounded = !unresolvable;
   Interval range{const_diff, const_diff};
   for (const Term& t : terms) {
@@ -222,9 +234,17 @@ DimVerdict test_dimension(const AffineForm& fa, const AffineForm& fb,
       all_bounded = false;
       break;
     }
-    const Interval contrib = scaled(t.coeff, *t.bounds);
-    range.lo += contrib.lo;
-    range.hi += contrib.hi;
+    const auto contrib = scaled(t.coeff, *t.bounds);
+    const auto lo = contrib ? support::checked_add(range.lo, contrib->lo)
+                            : std::nullopt;
+    const auto hi = contrib ? support::checked_add(range.hi, contrib->hi)
+                            : std::nullopt;
+    if (!lo.has_value() || !hi.has_value()) {
+      all_bounded = false;
+      break;
+    }
+    range.lo = *lo;
+    range.hi = *hi;
   }
   if (all_bounded && (range.lo > 0 || range.hi < 0)) {
     verdict.answer = DepAnswer::kIndependent;

@@ -1,0 +1,501 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "analysis/doall.hpp"
+#include "ir/verify.hpp"
+#include "support/assert.hpp"
+#include "support/int_math.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::analysis {
+
+using ir::ExprRef;
+using ir::Loop;
+using ir::VarId;
+using support::i64;
+
+const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+const std::vector<LintRule>& lint_rules() {
+  static const std::vector<LintRule> kRules = {
+      {"ir-invalid", Severity::kError,
+       "the IR violates a structural invariant (dangling symbol, bad arity, "
+       "malformed loop)"},
+      {"div-by-zero", Severity::kError,
+       "a constant zero divisor reaches floor/ceil division or modulus"},
+      {"product-overflow", Severity::kError,
+       "the coalesced trip count prod N_k of a DOALL band exceeds INT64_MAX, "
+       "so index recovery and MagicDiv decode would overflow"},
+      {"box-overflow", Severity::kError,
+       "the rectangular bounding box of a non-rectangular band exceeds "
+       "INT64_MAX points"},
+      {"unprivatized-scalar", Severity::kError,
+       "a loop marked doall writes a scalar that is read before assigned: a "
+       "data race under parallel execution"},
+      {"doall-unproven", Severity::kWarning,
+       "a loop is marked doall but the dependence analyzer cannot prove its "
+       "iterations independent"},
+      {"nonperfect-band", Severity::kWarning,
+       "imperfect nesting caps the coalescible band depth; distribution "
+       "could deepen it"},
+      {"nonrectangular-band", Severity::kWarning,
+       "an inner band bound reads an outer band variable; plain coalescing "
+       "will reject the nest"},
+      {"nonconstant-bounds", Severity::kWarning,
+       "a band bound does not fold to a constant, so the coalesced geometry "
+       "cannot be computed statically"},
+      {"zero-trip-band", Severity::kWarning,
+       "a loop inside a coalescible band has constant bounds with zero "
+       "iterations"},
+      {"missed-parallelism", Severity::kNote,
+       "a loop marked do is provably DOALL"},
+  };
+  return kRules;
+}
+
+namespace {
+
+const LintRule* rule(const char* id) {
+  for (const LintRule& r : lint_rules()) {
+    if (std::strcmp(r.id, id) == 0) return &r;
+  }
+  COALESCE_ASSERT_MSG(false, "unknown lint rule id");
+  return nullptr;
+}
+
+std::size_t rule_index(const LintRule* r) {
+  return static_cast<std::size_t>(r - lint_rules().data());
+}
+
+struct Interval {
+  i64 lo = 0;
+  i64 hi = 0;
+};
+
+enum class RangeKind { kOk, kNotAffine, kOverflow };
+
+struct RangeResult {
+  RangeKind kind = RangeKind::kNotAffine;
+  Interval range{0, 0};
+};
+
+/// Value range of an affine expression given value ranges of its variables.
+/// kNotAffine when the tree is not affine or reads a variable without a
+/// known range; kOverflow when a bound exceeds int64.
+RangeResult affine_range(const ExprRef& e,
+                         const std::map<VarId, Interval>& ranges) {
+  const auto form = ir::to_affine(e);
+  if (!form.has_value()) return {};
+  Interval out{form->constant, form->constant};
+  for (const auto& [v, c] : form->coeffs) {
+    const auto it = ranges.find(v);
+    if (it == ranges.end()) return {};
+    const Interval r = it->second;
+    const auto a = support::checked_mul(c, c >= 0 ? r.lo : r.hi);
+    const auto b = support::checked_mul(c, c >= 0 ? r.hi : r.lo);
+    const auto lo = a ? support::checked_add(out.lo, *a) : std::nullopt;
+    const auto hi = b ? support::checked_add(out.hi, *b) : std::nullopt;
+    if (!lo.has_value() || !hi.has_value()) {
+      return {RangeKind::kOverflow, {0, 0}};
+    }
+    out = Interval{*lo, *hi};
+  }
+  return {RangeKind::kOk, out};
+}
+
+class Linter {
+ public:
+  Linter(const ir::LoopNest& nest, const LintOptions& options)
+      : nest_(nest), options_(options) {}
+
+  std::vector<Diagnostic> run() {
+    // Structural damage first; semantic analyses assume a valid tree, so a
+    // broken one stops here with only the verifier findings.
+    bool structurally_broken = false;
+    for (const ir::VerifyIssue& issue : ir::verify_nest(nest_)) {
+      const bool zero_div =
+          issue.message.find("zero divisor") != std::string::npos;
+      emit(zero_div ? "div-by-zero" : "ir-invalid", issue.message, issue.loc);
+      // A zero divisor is an evaluation hazard, not structural damage; the
+      // semantic passes below stay safe to run on it.
+      if (!zero_div) structurally_broken = true;
+    }
+    if (!structurally_broken) {
+      check_parallel_flags();
+      check_bands(*nest_.root, /*parent_chains=*/false);
+    }
+
+    std::stable_sort(diags_.begin(), diags_.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       return rule_index(a.rule) < rule_index(b.rule);
+                     });
+    if (!options_.include_notes) {
+      std::erase_if(diags_, [](const Diagnostic& d) {
+        return d.severity == Severity::kNote;
+      });
+    }
+    return std::move(diags_);
+  }
+
+ private:
+  void emit(const char* id, std::string message, ir::SourceLoc loc,
+            std::string fixit = {}) {
+    const LintRule* r = rule(id);
+    diags_.push_back(Diagnostic{r, r->severity, std::move(message), loc,
+                                std::move(fixit)});
+  }
+
+  const char* name(VarId v) const { return nest_.symbols.name(v).c_str(); }
+
+  // ---- doall flags vs. the analyzer --------------------------------------
+
+  void check_parallel_flags() {
+    const ParallelismReport report = analyze_parallelism(nest_);
+    for (const LoopVerdict& verdict : report.loops) {
+      const Loop& loop = *verdict.loop;
+      if (loop.parallel && !verdict.parallelizable) {
+        std::vector<std::string> dep_blockers;
+        for (const std::string& blocker : verdict.blockers) {
+          // Scalar-privatization blockers get their own (error) rule; the
+          // rest are unproven array dependences.
+          if (blocker.find("read before assigned") != std::string::npos) {
+            emit("unprivatized-scalar",
+                 support::format("doall '%s': %s", name(loop.var),
+                                 blocker.c_str()),
+                 loop.loc,
+                 "privatize with --expand-scalars (scalar expansion) or "
+                 "mark the loop 'do'");
+          } else {
+            dep_blockers.push_back(blocker);
+          }
+        }
+        if (!dep_blockers.empty()) {
+          emit("doall-unproven",
+               support::format("doall '%s' is not provably parallel: %s",
+                               name(loop.var),
+                               support::join(dep_blockers, "; ").c_str()),
+               loop.loc,
+               "make the dependence explicit or mark the loop 'do'");
+        }
+      } else if (!loop.parallel && verdict.parallelizable) {
+        emit("missed-parallelism",
+             support::format("loop '%s' is provably DOALL but marked 'do'",
+                             name(loop.var)),
+             loop.loc, "mark the loop 'doall' (or run --analyze)");
+      }
+    }
+  }
+
+  // ---- band geometry: overflow and legality ------------------------------
+
+  /// Walks every loop; runs band checks on each maximal parallel band head
+  /// (a parallel loop that is not the perfectly-nested child of another
+  /// parallel loop).
+  void check_bands(const Loop& loop, bool parent_chains) {
+    if (loop.parallel && !parent_chains) check_band(loop);
+    const bool chains = loop.parallel && loop.body.size() == 1;
+    for (const ir::Stmt& s : loop.body) {
+      visit_stmt(s, chains);
+    }
+  }
+
+  void visit_stmt(const ir::Stmt& s, bool parent_chains) {
+    if (const auto* inner = std::get_if<ir::LoopPtr>(&s)) {
+      check_bands(**inner, parent_chains);
+    } else if (const auto* guard = std::get_if<ir::IfPtr>(&s)) {
+      for (const ir::Stmt& t : (*guard)->then_body) {
+        visit_stmt(t, /*parent_chains=*/false);
+      }
+    }
+  }
+
+  void check_band(const Loop& head) {
+    const std::vector<const Loop*> band = ir::parallel_band(head);
+
+    // Could distribution deepen this band? The deepest band loop holding
+    // several statements among them a parallel loop is the classic
+    // imperfect-nest shape coalescing wants split first.
+    const Loop& tail = *band.back();
+    if (tail.body.size() > 1) {
+      for (const ir::Stmt& s : tail.body) {
+        const auto* inner = std::get_if<ir::LoopPtr>(&s);
+        if (inner != nullptr && (*inner)->parallel) {
+          emit("nonperfect-band",
+               support::format(
+                   "doall '%s' mixes statements with the parallel loop "
+                   "'%s'; the coalescible band stops at depth %zu",
+                   name(tail.var), name((*inner)->var), band.size()),
+               tail.loc,
+               "distribute first (--make-perfect) to deepen the band");
+          break;
+        }
+      }
+    }
+    if (band.size() < 2) return;  // nothing to coalesce; geometry rules moot
+
+    // Per-level geometry. Outer levels feed value ranges to inner affine
+    // bounds so triangular bands get an exact bounding box.
+    std::map<VarId, Interval> ranges;
+    std::vector<i64> box_extents;
+    bool box_known = true;
+    bool rectangular = true;
+    for (std::size_t k = 0; k < band.size(); ++k) {
+      const Loop& level = *band[k];
+      const auto lo_const = ir::as_constant(ir::simplify(level.lower));
+      const auto hi_const = ir::as_constant(ir::simplify(level.upper));
+
+      bool reads_outer = false;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (ir::references(level.lower, band[j]->var) ||
+            ir::references(level.upper, band[j]->var)) {
+          reads_outer = true;
+          break;
+        }
+      }
+      if (reads_outer) {
+        rectangular = false;
+        emit("nonrectangular-band",
+             support::format("bounds of doall '%s' read an outer band "
+                             "variable; plain coalescing will reject this "
+                             "nest",
+                             name(level.var)),
+             level.loc,
+             "coalesce over the bounding box with --guarded");
+      }
+
+      Interval lo_range, hi_range;
+      if (lo_const.has_value() && hi_const.has_value()) {
+        lo_range = Interval{*lo_const, *lo_const};
+        hi_range = Interval{*hi_const, *hi_const};
+      } else {
+        const RangeResult lo = affine_range(level.lower, ranges);
+        const RangeResult hi = affine_range(level.upper, ranges);
+        if (lo.kind == RangeKind::kOverflow ||
+            hi.kind == RangeKind::kOverflow) {
+          emit("box-overflow",
+               support::format("bounding-box bounds of doall '%s' overflow "
+                               "int64",
+                               name(level.var)),
+               level.loc);
+          box_known = false;
+          continue;
+        }
+        if (lo.kind != RangeKind::kOk || hi.kind != RangeKind::kOk) {
+          emit("nonconstant-bounds",
+               support::format("bounds of doall '%s' do not fold to "
+                               "constants; the coalesced geometry cannot "
+                               "be computed statically",
+                               name(level.var)),
+               level.loc,
+               "bind parameters to constants before coalescing");
+          box_known = false;
+          continue;
+        }
+        lo_range = lo.range;
+        hi_range = hi.range;
+      }
+
+      // The level's values fall in [lo_range.lo, hi_range.hi]: the
+      // bounding-box extent over all outer iterations.
+      ranges[level.var] = Interval{lo_range.lo, hi_range.hi};
+      const auto width = support::checked_sub(hi_range.hi, lo_range.lo);
+      if (!width.has_value()) {
+        emit("box-overflow",
+             support::format("value range of doall '%s' spans more than "
+                             "int64",
+                             name(level.var)),
+             level.loc);
+        box_known = false;
+        continue;
+      }
+      const i64 trips = support::trip_count(lo_range.lo, hi_range.hi,
+                                            level.step);
+      if (trips == 0) {
+        emit("zero-trip-band",
+             support::format("doall '%s' in a coalescible band has zero "
+                             "iterations",
+                             name(level.var)),
+             level.loc, "drop the empty loop");
+        box_known = false;
+        continue;
+      }
+      box_extents.push_back(trips);
+    }
+
+    if (!box_known || box_extents.size() != band.size()) return;
+    const auto product = support::checked_product(box_extents);
+    if (!product.has_value()) {
+      std::vector<std::string> parts;
+      parts.reserve(box_extents.size());
+      for (i64 e : box_extents) parts.push_back(std::to_string(e));
+      emit(rectangular ? "product-overflow" : "box-overflow",
+           support::format(
+               "coalesced trip count %s of the band at doall '%s' exceeds "
+               "INT64_MAX; index recovery and MagicDiv decode require the "
+               "total to fit in int64",
+               support::join(parts, " * ").c_str(), name(head.var)),
+           head.loc,
+           "coalesce fewer levels (--collapse=K) so the product fits");
+    }
+  }
+
+  const ir::LoopNest& nest_;
+  const LintOptions& options_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> lint_nest(const ir::LoopNest& nest,
+                                  const LintOptions& options) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  return Linter(nest, options).run();
+}
+
+std::vector<Diagnostic> lint_program(const ir::Program& program,
+                                     const LintOptions& options) {
+  std::vector<Diagnostic> out;
+  for (const ir::LoopPtr& root : program.roots) {
+    auto piece = lint_nest(ir::LoopNest{program.symbols, root}, options);
+    out.insert(out.end(), std::make_move_iterator(piece.begin()),
+               std::make_move_iterator(piece.end()));
+  }
+  return out;
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+// ---- rendering ------------------------------------------------------------
+
+namespace {
+
+std::string location_prefix(std::string_view file, ir::SourceLoc loc) {
+  std::string out(file.empty() ? "<input>" : file);
+  if (loc.valid()) {
+    out += support::format(":%d:%d", loc.line, loc.column);
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += support::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_text(const std::vector<Diagnostic>& diags,
+                        std::string_view file) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += support::format("%s: %s: %s [%s]\n",
+                           location_prefix(file, d.loc).c_str(),
+                           to_string(d.severity), d.message.c_str(),
+                           d.rule->id);
+    if (!d.fixit.empty()) {
+      out += support::format("  fix-it: %s\n", d.fixit.c_str());
+    }
+  }
+  if (diags.empty()) out = "no findings\n";
+  return out;
+}
+
+std::string render_json(const std::vector<Diagnostic>& diags) {
+  std::string out = "[";
+  for (std::size_t k = 0; k < diags.size(); ++k) {
+    const Diagnostic& d = diags[k];
+    if (k > 0) out += ",";
+    out += support::format(
+        "\n  {\"rule\": \"%s\", \"severity\": \"%s\", \"message\": \"%s\", "
+        "\"line\": %d, \"column\": %d, \"fixit\": \"%s\"}",
+        d.rule->id, to_string(d.severity),
+        json_escape(d.message).c_str(), d.loc.line, d.loc.column,
+        json_escape(d.fixit).c_str());
+  }
+  out += diags.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+std::string render_sarif(const std::vector<Diagnostic>& diags,
+                         std::string_view file) {
+  const std::string uri(file.empty() ? "<stdin>" : file);
+  std::string out =
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [{\n"
+      "    \"tool\": {\"driver\": {\n"
+      "      \"name\": \"coalesce-lint\",\n"
+      "      \"rules\": [";
+  const auto& rules = lint_rules();
+  for (std::size_t k = 0; k < rules.size(); ++k) {
+    if (k > 0) out += ",";
+    out += support::format(
+        "\n        {\"id\": \"%s\", \"shortDescription\": {\"text\": "
+        "\"%s\"}, \"defaultConfiguration\": {\"level\": \"%s\"}}",
+        rules[k].id, json_escape(rules[k].summary).c_str(),
+        to_string(rules[k].severity));
+  }
+  out +=
+      "\n      ]\n"
+      "    }},\n"
+      "    \"results\": [";
+  for (std::size_t k = 0; k < diags.size(); ++k) {
+    const Diagnostic& d = diags[k];
+    if (k > 0) out += ",";
+    std::string region;
+    if (d.loc.valid()) {
+      region = support::format(", \"region\": {\"startLine\": %d, "
+                               "\"startColumn\": %d}",
+                               d.loc.line, d.loc.column);
+    }
+    std::string text = d.message;
+    if (!d.fixit.empty()) text += " (fix-it: " + d.fixit + ")";
+    out += support::format(
+        "\n      {\"ruleId\": \"%s\", \"ruleIndex\": %zu, \"level\": "
+        "\"%s\", \"message\": {\"text\": \"%s\"}, \"locations\": "
+        "[{\"physicalLocation\": {\"artifactLocation\": {\"uri\": "
+        "\"%s\"}%s}}]}",
+        d.rule->id, rule_index(d.rule), to_string(d.severity),
+        json_escape(text).c_str(), json_escape(uri).c_str(),
+        region.c_str());
+  }
+  out +=
+      "\n    ]\n"
+      "  }]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace coalesce::analysis

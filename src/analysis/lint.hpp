@@ -1,0 +1,91 @@
+// coalesce-lint: the overflow & legality linter.
+//
+// The coalescing transformation is only sound when the nest really is a
+// perfect rectangular DOALL band and the coalesced trip count N = prod N_k
+// (plus the ceil/floor index-recovery arithmetic and the MagicDiv dividends
+// derived from it) stays within machine-integer range. The transforms check
+// what they must to refuse illegal requests; this linter goes further and
+// turns every unprovable precondition into a structured Diagnostic — rule
+// id, severity, source span from the frontend, optional fix-it — instead of
+// a late error or silent UB.
+//
+// Rules (the catalog lint_rules() returns, also in docs/LINTING.md):
+//
+//   ir-invalid              error    structural verifier violation
+//   div-by-zero             error    constant zero divisor reaches eval
+//   product-overflow        error    prod N_k of a DOALL band > INT64_MAX
+//   box-overflow            error    guarded bounding box > INT64_MAX
+//   unprivatized-scalar     error    parallel loop races on a scalar
+//   doall-unproven          warning  'doall' flag the analyzer cannot prove
+//   nonperfect-band         warning  imperfect nesting caps the band depth
+//   nonrectangular-band     warning  inner bounds read outer band variables
+//   nonconstant-bounds      warning  band bounds do not fold to constants
+//   zero-trip-band          warning  empty loop inside a coalescible band
+//   missed-parallelism      note     provably-DOALL loop marked 'do'
+//
+// Output: render_text for humans, render_json for machines, render_sarif
+// for code-scanning UIs (SARIF 2.1.0). The coalescec driver surfaces all
+// three behind --lint / --lint-format and exits non-zero on any
+// error-severity finding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/stmt.hpp"
+
+namespace coalesce::analysis {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+[[nodiscard]] const char* to_string(Severity s) noexcept;
+
+/// One lint rule: stable id, default severity, one-line summary. The
+/// catalog drives SARIF rule metadata and the docs.
+struct LintRule {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+/// The full rule catalog, in the order listed above.
+[[nodiscard]] const std::vector<LintRule>& lint_rules();
+
+/// One finding. `rule` points into lint_rules(); `loc` is the offending
+/// loop's source position when the program was parsed from text.
+struct Diagnostic {
+  const LintRule* rule = nullptr;
+  Severity severity = Severity::kWarning;  ///< may differ from rule default
+  std::string message;
+  ir::SourceLoc loc;
+  std::string fixit;  ///< suggested remedy ("" when none applies)
+};
+
+struct LintOptions {
+  bool include_notes = true;  ///< false drops note-severity findings
+};
+
+/// Lints one nest / every root of a program. Diagnostics come out grouped
+/// by rule in catalog order, then in preorder over the tree.
+[[nodiscard]] std::vector<Diagnostic> lint_nest(const ir::LoopNest& nest,
+                                                const LintOptions& options = {});
+[[nodiscard]] std::vector<Diagnostic> lint_program(
+    const ir::Program& program, const LintOptions& options = {});
+
+/// True when any finding has error severity (the CLI's exit-code predicate).
+[[nodiscard]] bool has_errors(const std::vector<Diagnostic>& diags);
+
+/// "file:line:col: severity: message [rule-id]" lines plus fix-it notes.
+[[nodiscard]] std::string render_text(const std::vector<Diagnostic>& diags,
+                                      std::string_view file);
+
+/// JSON array of {rule, severity, message, line, column, fixit} objects.
+[[nodiscard]] std::string render_json(const std::vector<Diagnostic>& diags);
+
+/// SARIF 2.1.0 log with the rule catalog as tool.driver.rules.
+[[nodiscard]] std::string render_sarif(const std::vector<Diagnostic>& diags,
+                                       std::string_view file);
+
+}  // namespace coalesce::analysis

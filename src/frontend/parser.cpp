@@ -109,6 +109,7 @@ class Parser {
 
   Expected<ir::LoopPtr> parse_loop() {
     const bool parallel = peek().text == "doall";
+    const ir::SourceLoc loc{peek().line, peek().column};
     advance();  // doall | do
     if (!at(TokenKind::kIdentifier)) {
       return fail("expected induction variable name");
@@ -150,6 +151,7 @@ class Parser {
     loop->upper = std::move(upper).value();
     loop->step = step;
     loop->parallel = parallel;
+    loop->loc = loc;
 
     live_.push_back(var);
     auto body = parse_block();

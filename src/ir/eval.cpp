@@ -158,6 +158,12 @@ void Evaluator::register_builtin(std::string name, Builtin fn) {
   builtins_[std::move(name)] = std::move(fn);
 }
 
+std::optional<Value> Evaluator::scalar_value(VarId v) const {
+  COALESCE_ASSERT(v.valid());
+  if (v.raw >= env_.size()) return std::nullopt;
+  return env_[v.raw];
+}
+
 void Evaluator::run(const Loop& root) {
   const std::int64_t lo = eval_int(root.lower);
   const std::int64_t hi = eval_int(root.upper);

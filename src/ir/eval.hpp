@@ -94,6 +94,11 @@ class Evaluator {
   /// Evaluates an expression in the current environment.
   [[nodiscard]] Value eval(const ExprRef& expr);
 
+  /// Final binding of a non-array variable after run(), or nullopt when it
+  /// was never assigned. The differential post-pass oracle diffs scalar
+  /// state through this.
+  [[nodiscard]] std::optional<Value> scalar_value(VarId v) const;
+
   /// Number of loop-body iterations executed so far (innermost statements
   /// don't count; one per loop-variable binding). Useful in tests.
   [[nodiscard]] std::uint64_t iterations_executed() const noexcept {

@@ -13,6 +13,7 @@ LoopPtr clone(const Loop& loop) {
   out->upper = loop.upper;
   out->step = loop.step;
   out->parallel = loop.parallel;
+  out->loc = loop.loc;
   out->body.reserve(loop.body.size());
   for (const Stmt& s : loop.body) out->body.push_back(clone(s));
   return out;
@@ -42,6 +43,7 @@ LoopPtr substitute(const Loop& loop, VarId v, const ExprRef& replacement) {
   out->upper = substitute(loop.upper, v, replacement);
   out->step = loop.step;
   out->parallel = loop.parallel;
+  out->loc = loop.loc;
   out->body.reserve(loop.body.size());
   for (const Stmt& s : loop.body) {
     out->body.push_back(substitute(s, v, replacement));

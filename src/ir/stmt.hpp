@@ -47,6 +47,18 @@ struct IfStmt {
   std::vector<Stmt> then_body;
 };
 
+/// Position of a construct in the textual source it was parsed from.
+/// Loops built programmatically (builders, transforms) carry the invalid
+/// default; transforms propagate the location of the loop they rewrote so
+/// diagnostics on transformed code still point at the original source.
+struct SourceLoc {
+  int line = 0;    ///< 1-based; 0 = unknown
+  int column = 0;  ///< 1-based; 0 = unknown
+
+  [[nodiscard]] bool valid() const noexcept { return line > 0; }
+  friend bool operator==(SourceLoc, SourceLoc) = default;
+};
+
 struct Loop {
   VarId var;                 ///< induction variable
   ExprRef lower;             ///< inclusive lower bound
@@ -54,6 +66,7 @@ struct Loop {
   std::int64_t step = 1;     ///< positive step
   bool parallel = false;     ///< DOALL: iterations independent
   std::vector<Stmt> body;
+  SourceLoc loc;             ///< header position when parsed from text
 };
 
 /// A loop nest plus the symbol table its ids refer to. The unit every

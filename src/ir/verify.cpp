@@ -1,0 +1,297 @@
+#include "ir/verify.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace coalesce::ir {
+
+namespace {
+
+/// Walk state: the symbol table, the live induction-variable stack, and the
+/// accumulated issues. Locations are attributed to the nearest enclosing
+/// loop that has one.
+class Verifier {
+ public:
+  explicit Verifier(const SymbolTable& symbols) : symbols_(symbols) {}
+
+  std::vector<VerifyIssue> take() { return std::move(issues_); }
+
+  void check_loop(const Loop& loop) {
+    const SourceLoc outer_loc = loc_;
+    if (loop.loc.valid()) loc_ = loop.loc;
+
+    if (!check_var(loop.var, "loop induction variable")) {
+      loc_ = outer_loc;
+      return;  // nothing below can be named sensibly
+    }
+    if (symbols_.kind(loop.var) != SymbolKind::kInduction) {
+      report(support::format("loop variable '%s' is declared %s, not %s",
+                             name(loop.var), kind_name(loop.var),
+                             to_string(SymbolKind::kInduction)));
+    }
+    if (std::find(live_.begin(), live_.end(), loop.var) != live_.end()) {
+      report(support::format("loop variable '%s' shadows an enclosing loop",
+                             name(loop.var)));
+    }
+    if (loop.step < 1) {
+      report(support::format("loop '%s' has non-positive step %lld",
+                             name(loop.var),
+                             static_cast<long long>(loop.step)));
+    }
+    check_bound(loop, loop.lower, "lower");
+    check_bound(loop, loop.upper, "upper");
+
+    live_.push_back(loop.var);
+    for (const Stmt& s : loop.body) check_stmt(s);
+    live_.pop_back();
+    loc_ = outer_loc;
+  }
+
+ private:
+  void report(std::string message) {
+    issues_.push_back(VerifyIssue{std::move(message), loc_});
+  }
+
+  const char* name(VarId v) const { return symbols_.name(v).c_str(); }
+  const char* kind_name(VarId v) const {
+    return to_string(symbols_.kind(v));
+  }
+
+  bool check_var(VarId v, const char* role) {
+    if (!v.valid() || v.raw >= symbols_.size()) {
+      report(support::format("%s references symbol id %u outside the table "
+                             "(size %zu)",
+                             role, v.valid() ? v.raw : UINT32_MAX,
+                             symbols_.size()));
+      return false;
+    }
+    return true;
+  }
+
+  void check_bound(const Loop& loop, const ExprRef& bound, const char* which) {
+    if (bound == nullptr) {
+      report(support::format("loop '%s' has a null %s bound", name(loop.var),
+                             which));
+      return;
+    }
+    check_expr(bound, support::format("%s bound of loop '%s'", which,
+                                      name(loop.var))
+                          .c_str());
+    if (references(bound, loop.var)) {
+      report(support::format("%s bound of loop '%s' reads the loop's own "
+                             "variable",
+                             which, name(loop.var)));
+    }
+  }
+
+  void check_stmt(const Stmt& stmt) {
+    if (const auto* assign = std::get_if<AssignStmt>(&stmt)) {
+      check_assign(*assign);
+      return;
+    }
+    if (const auto* guard = std::get_if<IfPtr>(&stmt)) {
+      if (*guard == nullptr) {
+        report("null IfStmt in a statement list");
+        return;
+      }
+      check_expr((*guard)->condition, "guard condition");
+      for (const Stmt& s : (*guard)->then_body) check_stmt(s);
+      return;
+    }
+    const auto& loop = std::get<LoopPtr>(stmt);
+    if (loop == nullptr) {
+      report("null Loop in a statement list");
+      return;
+    }
+    check_loop(*loop);
+  }
+
+  void check_assign(const AssignStmt& assign) {
+    if (const auto* scalar = std::get_if<VarId>(&assign.lhs)) {
+      if (check_var(*scalar, "scalar assignment target")) {
+        switch (symbols_.kind(*scalar)) {
+          case SymbolKind::kArray:
+            report(support::format("assignment to array '%s' without "
+                                   "subscripts",
+                                   name(*scalar)));
+            break;
+          case SymbolKind::kParam:
+            report(support::format("assignment to parameter '%s'",
+                                   name(*scalar)));
+            break;
+          case SymbolKind::kInduction:
+            // Recovery assignments (coalescing) target induction variables
+            // that are *not* live loops here; writing a live one would
+            // change iteration semantics.
+            if (std::find(live_.begin(), live_.end(), *scalar) !=
+                live_.end()) {
+              report(support::format("assignment to live induction variable "
+                                     "'%s' of an enclosing loop",
+                                     name(*scalar)));
+            }
+            break;
+          case SymbolKind::kScalar:
+            break;
+        }
+      }
+    } else {
+      const auto& access = std::get<ArrayAccess>(assign.lhs);
+      check_array_use(access.array, access.subscripts, "assignment target");
+    }
+    check_expr(assign.rhs, "assignment right-hand side");
+  }
+
+  void check_array_use(VarId array, const std::vector<ExprRef>& subscripts,
+                       const char* role) {
+    if (!check_var(array, role)) return;
+    if (symbols_.kind(array) != SymbolKind::kArray) {
+      report(support::format("%s subscripts non-array '%s' (%s)", role,
+                             name(array), kind_name(array)));
+      return;
+    }
+    const std::size_t rank = symbols_[array].shape.size();
+    if (subscripts.size() != rank) {
+      report(support::format("%s of '%s' has %zu subscripts, array rank is "
+                             "%zu",
+                             role, name(array), subscripts.size(), rank));
+    }
+    for (const ExprRef& sub : subscripts) {
+      check_expr(sub, support::format("subscript of '%s'", name(array))
+                          .c_str());
+    }
+  }
+
+  void check_expr(const ExprRef& e, const char* context) {
+    if (e == nullptr) {
+      report(support::format("null expression in %s", context));
+      return;
+    }
+    const std::size_t kids = e->kids.size();
+    switch (e->op) {
+      case ExprOp::kIntConst:
+      case ExprOp::kVarRef:
+        if (kids != 0) {
+          report(support::format("%s node with %zu children in %s",
+                                 to_string(e->op), kids, context));
+        }
+        break;
+      case ExprOp::kNeg:
+        if (kids != 1) {
+          report(support::format("%s node with %zu children (expects 1) in "
+                                 "%s",
+                                 to_string(e->op), kids, context));
+        }
+        break;
+      case ExprOp::kArrayRead:
+      case ExprOp::kCall:
+        break;  // variadic; array arity checked below
+      default:
+        if (kids != 2) {
+          report(support::format("%s node with %zu children (expects 2) in "
+                                 "%s",
+                                 to_string(e->op), kids, context));
+        }
+        break;
+    }
+
+    if (e->op == ExprOp::kVarRef) {
+      if (check_var(e->var, context) &&
+          symbols_.kind(e->var) == SymbolKind::kArray) {
+        report(support::format("array '%s' read without subscripts in %s",
+                               name(e->var), context));
+      }
+      return;
+    }
+    if (e->op == ExprOp::kArrayRead) {
+      check_array_use(e->var, e->kids, context);
+      return;
+    }
+    if (e->op == ExprOp::kFloorDiv || e->op == ExprOp::kCeilDiv ||
+        e->op == ExprOp::kMod) {
+      if (kids == 2) {
+        const auto divisor = as_constant(e->kids[1]);
+        if (divisor.has_value() && *divisor == 0) {
+          report(support::format("constant zero divisor in %s", context));
+        }
+      }
+    }
+    for (const ExprRef& k : e->kids) check_expr(k, context);
+  }
+
+  const SymbolTable& symbols_;
+  std::vector<VarId> live_;
+  SourceLoc loc_;
+  std::vector<VerifyIssue> issues_;
+};
+
+}  // namespace
+
+std::string to_string(const VerifyIssue& issue) {
+  if (!issue.loc.valid()) return issue.message;
+  return support::format("%d:%d: %s", issue.loc.line, issue.loc.column,
+                         issue.message.c_str());
+}
+
+std::vector<VerifyIssue> verify_loop(const SymbolTable& symbols,
+                                     const Loop& root) {
+  Verifier v(symbols);
+  v.check_loop(root);
+  return v.take();
+}
+
+std::vector<VerifyIssue> verify_nest(const LoopNest& nest) {
+  if (nest.root == nullptr) {
+    return {VerifyIssue{"loop nest has a null root", SourceLoc{}}};
+  }
+  return verify_loop(nest.symbols, *nest.root);
+}
+
+std::vector<VerifyIssue> verify_program(const Program& program) {
+  std::vector<VerifyIssue> issues;
+  if (program.roots.empty()) {
+    issues.push_back(VerifyIssue{"program has no roots", SourceLoc{}});
+  }
+  for (const LoopPtr& root : program.roots) {
+    if (root == nullptr) {
+      issues.push_back(VerifyIssue{"program has a null root", SourceLoc{}});
+      continue;
+    }
+    auto piece = verify_loop(program.symbols, *root);
+    issues.insert(issues.end(), std::make_move_iterator(piece.begin()),
+                  std::make_move_iterator(piece.end()));
+  }
+  return issues;
+}
+
+namespace {
+
+support::Expected<bool> issues_to_expected(std::vector<VerifyIssue> issues,
+                                           const char* context) {
+  if (issues.empty()) return true;
+  std::string message = support::format("IR verification failed after %s:",
+                                        context);
+  constexpr std::size_t kMaxReported = 4;
+  for (std::size_t k = 0; k < issues.size() && k < kMaxReported; ++k) {
+    message += "\n  " + to_string(issues[k]);
+  }
+  if (issues.size() > kMaxReported) {
+    message += support::format("\n  ... and %zu more",
+                               issues.size() - kMaxReported);
+  }
+  return support::make_error(support::ErrorCode::kVerifyFailed,
+                             std::move(message));
+}
+
+}  // namespace
+
+support::Expected<bool> verify_ok(const LoopNest& nest, const char* context) {
+  return issues_to_expected(verify_nest(nest), context);
+}
+
+support::Expected<bool> verify_ok(const Program& program,
+                                  const char* context) {
+  return issues_to_expected(verify_program(program), context);
+}
+
+}  // namespace coalesce::ir

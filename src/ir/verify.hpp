@@ -1,0 +1,52 @@
+// Structural verifier for the loop-nest IR.
+//
+// Checks the invariants every analysis and transformation in this codebase
+// assumes but (before this existed) never re-validated: symbol references
+// resolve into the nest's own table with the right kinds, loops are
+// well-formed (positive step, bounds that do not read the loop's own
+// variable, no shadowed induction variables), expressions have the arity
+// their operator demands, and assignments do not clobber a live enclosing
+// induction variable. Transformation passes re-run this after every rewrite
+// (transform/postcheck.hpp), so a pass that corrupts the IR fails loudly at
+// the pass boundary instead of as downstream UB.
+//
+// The verifier is purely structural: it never executes the nest and never
+// runs dependence analysis. Semantic checks (DOALL provability, overflow of
+// coalesced trip counts) live in analysis/lint.hpp, which builds on this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::ir {
+
+/// One invariant violation. `loc` is the nearest enclosing loop's source
+/// position when the nest was parsed from text (invalid for built IR).
+struct VerifyIssue {
+  std::string message;
+  SourceLoc loc;
+};
+
+/// Renders "line:col: message" (or just the message without a location).
+[[nodiscard]] std::string to_string(const VerifyIssue& issue);
+
+/// All structural violations in the tree rooted at `root`. Empty = valid.
+[[nodiscard]] std::vector<VerifyIssue> verify_loop(const SymbolTable& symbols,
+                                                   const Loop& root);
+
+[[nodiscard]] std::vector<VerifyIssue> verify_nest(const LoopNest& nest);
+
+/// Verifies every root of a multi-loop program against the shared table.
+[[nodiscard]] std::vector<VerifyIssue> verify_program(const Program& program);
+
+/// Convenience for pass boundaries: true when valid, otherwise a
+/// kVerifyFailed Error carrying `context` and the first few issues.
+[[nodiscard]] support::Expected<bool> verify_ok(const LoopNest& nest,
+                                                const char* context);
+[[nodiscard]] support::Expected<bool> verify_ok(const Program& program,
+                                                const char* context);
+
+}  // namespace coalesce::ir

@@ -14,6 +14,8 @@ const char* to_string(ErrorCode code) noexcept {
       return "overflow";
     case ErrorCode::kNotFound:
       return "not_found";
+    case ErrorCode::kVerifyFailed:
+      return "verify_failed";
   }
   return "unknown";
 }

@@ -19,6 +19,7 @@ enum class ErrorCode {
   kUnsupported,       ///< construct recognized but intentionally not handled
   kOverflow,          ///< 64-bit arithmetic would overflow
   kNotFound,          ///< named entity missing from a symbol table
+  kVerifyFailed,      ///< post-pass IR verification or oracle check failed
 };
 
 [[nodiscard]] const char* to_string(ErrorCode code) noexcept;

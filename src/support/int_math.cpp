@@ -63,6 +63,12 @@ std::optional<i64> checked_add(i64 a, i64 b) noexcept {
   return out;
 }
 
+std::optional<i64> checked_sub(i64 a, i64 b) noexcept {
+  i64 out = 0;
+  if (__builtin_sub_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
 std::optional<i64> checked_product(std::span<const i64> xs) noexcept {
   i64 acc = 1;
   for (i64 x : xs) {

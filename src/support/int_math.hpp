@@ -39,6 +39,9 @@ using u64 = std::uint64_t;
 /// a+b with overflow detection. nullopt on overflow.
 [[nodiscard]] std::optional<i64> checked_add(i64 a, i64 b) noexcept;
 
+/// a-b with overflow detection. nullopt on overflow.
+[[nodiscard]] std::optional<i64> checked_sub(i64 a, i64 b) noexcept;
+
 /// Product of a span of non-negative extents with overflow detection.
 /// Empty product is 1.
 [[nodiscard]] std::optional<i64> checked_product(std::span<const i64> xs) noexcept;

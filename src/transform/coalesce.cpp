@@ -4,6 +4,7 @@
 
 #include "support/assert.hpp"
 #include "support/strings.hpp"
+#include "transform/postcheck.hpp"
 
 namespace coalesce::transform {
 
@@ -178,6 +179,9 @@ support::Expected<CoalesceResult> coalesce_nest(
       LoopNest{std::move(symbols), std::move(band.loop)},
       std::move(band.space), band.coalesced, std::move(band.recovered),
       band.levels};
+  if (auto checked = postcheck("coalesce", nest, result.nest); !checked.ok()) {
+    return checked.error();
+  }
   return result;
 }
 
@@ -245,8 +249,13 @@ CoalesceAllResult coalesce_all(const LoopNest& nest,
   ir::SymbolTable symbols = nest.symbols;
   std::size_t count = 0;
   LoopPtr root = rewrite_tree(symbols, *nest.root, options, &count);
-  return CoalesceAllResult{LoopNest{std::move(symbols), std::move(root)},
+  CoalesceAllResult result{LoopNest{std::move(symbols), std::move(root)},
                            count};
+  // This entry point cannot report errors, so a postcheck failure is an
+  // internal compiler bug: fail hard.
+  auto checked = postcheck("coalesce-all", nest, result.nest);
+  COALESCE_ASSERT_MSG(checked.ok(), "coalesce_all failed post-pass checks");
+  return result;
 }
 
 CoalesceProgramResult coalesce_program(const ir::Program& program,
@@ -259,8 +268,11 @@ CoalesceProgramResult coalesce_program(const ir::Program& program,
     COALESCE_ASSERT(root != nullptr);
     roots.push_back(rewrite_tree(symbols, *root, options, &count));
   }
-  return CoalesceProgramResult{
-      ir::Program{std::move(symbols), std::move(roots)}, count};
+  CoalesceProgramResult result{ir::Program{std::move(symbols), std::move(roots)},
+                               count};
+  auto checked = postcheck("coalesce-program", program, result.program);
+  COALESCE_ASSERT_MSG(checked.ok(), "coalesce_program failed post-pass checks");
+  return result;
 }
 
 }  // namespace coalesce::transform

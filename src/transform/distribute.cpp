@@ -6,6 +6,7 @@
 #include "analysis/subscript.hpp"
 #include "support/assert.hpp"
 #include "support/strings.hpp"
+#include "transform/postcheck.hpp"
 
 namespace coalesce::transform {
 
@@ -256,7 +257,11 @@ support::Expected<Program> distribute_root(const LoopNest& nest) {
   ir::SymbolTable symbols = nest.symbols;
   auto pieces = distribute_loop(symbols, *nest.root, {});
   if (!pieces.ok()) return pieces.error();
-  return Program{std::move(symbols), std::move(pieces).value()};
+  Program out{std::move(symbols), std::move(pieces).value()};
+  if (auto checked = postcheck("distribute", nest, out); !checked.ok()) {
+    return checked.error();
+  }
+  return out;
 }
 
 namespace {
@@ -301,7 +306,11 @@ support::Expected<Program> make_perfect(const LoopNest& nest) {
   std::vector<const Loop*> enclosing;
   auto roots = make_perfect_loop(symbols, *nest.root, enclosing);
   if (!roots.ok()) return roots.error();
-  return Program{std::move(symbols), std::move(roots).value()};
+  Program out{std::move(symbols), std::move(roots).value()};
+  if (auto checked = postcheck("make-perfect", nest, out); !checked.ok()) {
+    return checked.error();
+  }
+  return out;
 }
 
 std::size_t total_parallel_band_depth(const Program& program) {

@@ -6,6 +6,7 @@
 #include "analysis/dependence.hpp"
 #include "analysis/subscript.hpp"
 #include "support/assert.hpp"
+#include "transform/postcheck.hpp"
 #include "support/strings.hpp"
 
 namespace coalesce::transform {
@@ -195,6 +196,9 @@ support::Expected<ir::Program> fuse_roots(const ir::Program& program,
     } else {
       out.roots.push_back(ir::clone(*program.roots[r]));
     }
+  }
+  if (auto checked = postcheck("fuse-roots", program, out); !checked.ok()) {
+    return checked.error();
   }
   return out;
 }

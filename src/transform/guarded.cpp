@@ -5,6 +5,7 @@
 #include "index/incremental.hpp"
 #include "support/assert.hpp"
 #include "support/strings.hpp"
+#include "transform/postcheck.hpp"
 
 namespace coalesce::transform {
 
@@ -264,6 +265,10 @@ support::Expected<GuardedCoalesceResult> coalesce_guarded(
       guards,
       box_points,
       active};
+  if (auto checked = postcheck("coalesce-guarded", nest, result.nest);
+      !checked.ok()) {
+    return checked.error();
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include "analysis/dependence.hpp"
 #include "support/assert.hpp"
 #include "support/strings.hpp"
+#include "transform/postcheck.hpp"
 
 namespace coalesce::transform {
 
@@ -115,7 +116,11 @@ support::Expected<ir::LoopNest> interchange(const LoopNest& nest,
   std::swap(a->step, b->step);
   std::swap(a->parallel, b->parallel);
 
-  return LoopNest{nest.symbols, std::move(root)};
+  LoopNest out{nest.symbols, std::move(root)};
+  if (auto checked = postcheck("interchange", nest, out); !checked.ok()) {
+    return checked.error();
+  }
+  return out;
 }
 
 }  // namespace coalesce::transform

@@ -2,6 +2,7 @@
 
 #include "support/assert.hpp"
 #include "support/strings.hpp"
+#include "transform/postcheck.hpp"
 
 namespace coalesce::transform {
 
@@ -133,7 +134,11 @@ support::Expected<LoopNest> normalize_nest(const LoopNest& nest) {
   ir::SymbolTable symbols = nest.symbols;
   auto root = normalize_tree(symbols, *nest.root);
   if (!root.ok()) return root.error();
-  return LoopNest{std::move(symbols), std::move(root).value()};
+  LoopNest out{std::move(symbols), std::move(root).value()};
+  if (auto checked = postcheck("normalize", nest, out); !checked.ok()) {
+    return checked.error();
+  }
+  return out;
 }
 
 bool fully_normalized(const Loop& root) {

@@ -6,6 +6,7 @@
 #include "analysis/dependence.hpp"
 #include "analysis/doall.hpp"
 #include "support/assert.hpp"
+#include "transform/postcheck.hpp"
 #include "support/strings.hpp"
 
 namespace coalesce::transform {
@@ -158,7 +159,11 @@ support::Expected<LoopNest> permute(const LoopNest& nest,
     chain[k]->step = h.step;
     chain[k]->parallel = h.parallel;
   }
-  return LoopNest{nest.symbols, std::move(root)};
+  LoopNest out{nest.symbols, std::move(root)};
+  if (auto checked = postcheck("permute", nest, out); !checked.ok()) {
+    return checked.error();
+  }
+  return out;
 }
 
 std::vector<std::size_t> best_parallel_permutation(const LoopNest& nest,

@@ -1,0 +1,370 @@
+#include "transform/postcheck.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/eval.hpp"
+#include "ir/verify.hpp"
+#include "support/int_math.hpp"
+
+namespace coalesce::transform {
+namespace {
+
+using support::i64;
+
+std::atomic<bool> g_post_verify{true};
+#ifdef NDEBUG
+std::atomic<bool> g_oracle{false};
+#else
+std::atomic<bool> g_oracle{true};
+#endif
+
+// ---- oracle eligibility ---------------------------------------------------
+
+// The oracle interprets both sides, so it must refuse anything the
+// evaluator cannot execute standalone: calls to builtins we did not
+// register ourselves and parameters nobody bound.
+struct Traits {
+  bool has_call = false;
+  bool reads_param = false;
+};
+
+void scan_expr(const ir::ExprRef& e, const ir::SymbolTable& symbols,
+               Traits& t) {
+  if (!e) return;
+  if (e->op == ir::ExprOp::kCall) t.has_call = true;
+  if (e->op == ir::ExprOp::kVarRef && e->var.valid() &&
+      e->var.raw < symbols.size() &&
+      symbols.kind(e->var) == ir::SymbolKind::kParam) {
+    t.reads_param = true;
+  }
+  for (const auto& kid : e->kids) scan_expr(kid, symbols, t);
+}
+
+void scan_loop(const ir::Loop& loop, const ir::SymbolTable& symbols,
+               Traits& t);
+
+void scan_stmt(const ir::Stmt& stmt, const ir::SymbolTable& symbols,
+               Traits& t) {
+  if (const auto* assign = std::get_if<ir::AssignStmt>(&stmt)) {
+    if (const auto* access = std::get_if<ir::ArrayAccess>(&assign->lhs)) {
+      for (const auto& sub : access->subscripts) scan_expr(sub, symbols, t);
+    }
+    scan_expr(assign->rhs, symbols, t);
+  } else if (const auto* inner = std::get_if<ir::LoopPtr>(&stmt)) {
+    if (*inner) scan_loop(**inner, symbols, t);
+  } else if (const auto* guard = std::get_if<ir::IfPtr>(&stmt)) {
+    if (*guard) {
+      scan_expr((*guard)->condition, symbols, t);
+      for (const auto& s : (*guard)->then_body) scan_stmt(s, symbols, t);
+    }
+  }
+}
+
+void scan_loop(const ir::Loop& loop, const ir::SymbolTable& symbols,
+               Traits& t) {
+  scan_expr(loop.lower, symbols, t);
+  scan_expr(loop.upper, symbols, t);
+  for (const auto& stmt : loop.body) scan_stmt(stmt, symbols, t);
+}
+
+// ---- iteration budget -----------------------------------------------------
+
+// Upper bound on total loop iterations via interval arithmetic over the
+// live induction variables, so triangular nests (bounds reading outer
+// variables) still get a finite estimate. nullopt = unbounded/unknown.
+struct Interval {
+  i64 lo = 0;
+  i64 hi = 0;
+};
+
+std::optional<Interval> expr_range(const ir::ExprRef& e,
+                                   const std::map<std::uint32_t, Interval>& env) {
+  if (!e) return std::nullopt;
+  switch (e->op) {
+    case ir::ExprOp::kIntConst:
+      return Interval{e->literal, e->literal};
+    case ir::ExprOp::kVarRef: {
+      const auto it = env.find(e->var.raw);
+      if (it == env.end()) return std::nullopt;
+      return it->second;
+    }
+    case ir::ExprOp::kAdd:
+    case ir::ExprOp::kSub: {
+      const auto a = expr_range(e->kids[0], env);
+      const auto b = expr_range(e->kids[1], env);
+      if (!a || !b) return std::nullopt;
+      const bool add = e->op == ir::ExprOp::kAdd;
+      const auto lo = add ? support::checked_add(a->lo, b->lo)
+                          : support::checked_sub(a->lo, b->hi);
+      const auto hi = add ? support::checked_add(a->hi, b->hi)
+                          : support::checked_sub(a->hi, b->lo);
+      if (!lo || !hi) return std::nullopt;
+      return Interval{*lo, *hi};
+    }
+    case ir::ExprOp::kMul: {
+      const auto a = expr_range(e->kids[0], env);
+      const auto b = expr_range(e->kids[1], env);
+      if (!a || !b) return std::nullopt;
+      Interval out{INT64_MAX, INT64_MIN};
+      for (const i64 x : {a->lo, a->hi}) {
+        for (const i64 y : {b->lo, b->hi}) {
+          const auto p = support::checked_mul(x, y);
+          if (!p) return std::nullopt;
+          out.lo = std::min(out.lo, *p);
+          out.hi = std::max(out.hi, *p);
+        }
+      }
+      return out;
+    }
+    case ir::ExprOp::kNeg: {
+      const auto a = expr_range(e->kids[0], env);
+      if (!a || a->lo == INT64_MIN) return std::nullopt;
+      return Interval{-a->hi, -a->lo};
+    }
+    case ir::ExprOp::kMin:
+    case ir::ExprOp::kMax: {
+      const auto a = expr_range(e->kids[0], env);
+      const auto b = expr_range(e->kids[1], env);
+      if (!a || !b) return std::nullopt;
+      if (e->op == ir::ExprOp::kMin) {
+        return Interval{std::min(a->lo, b->lo), std::min(a->hi, b->hi)};
+      }
+      return Interval{std::max(a->lo, b->lo), std::max(a->hi, b->hi)};
+    }
+    default:
+      return std::nullopt;  // division, reads, calls: give up conservatively
+  }
+}
+
+std::optional<i64> max_iterations(const ir::Loop& loop,
+                                  std::map<std::uint32_t, Interval>& env);
+
+std::optional<i64> max_iterations_in(const std::vector<ir::Stmt>& body,
+                                     std::map<std::uint32_t, Interval>& env) {
+  i64 total = 0;
+  for (const auto& stmt : body) {
+    std::optional<i64> inner;
+    if (const auto* loop = std::get_if<ir::LoopPtr>(&stmt)) {
+      if (!*loop) return std::nullopt;
+      inner = max_iterations(**loop, env);
+    } else if (const auto* guard = std::get_if<ir::IfPtr>(&stmt)) {
+      if (!*guard) return std::nullopt;
+      inner = max_iterations_in((*guard)->then_body, env);
+    } else {
+      continue;
+    }
+    if (!inner) return std::nullopt;
+    const auto sum = support::checked_add(total, *inner);
+    if (!sum) return std::nullopt;
+    total = *sum;
+  }
+  return total;
+}
+
+std::optional<i64> max_iterations(const ir::Loop& loop,
+                                  std::map<std::uint32_t, Interval>& env) {
+  const auto lower = expr_range(loop.lower, env);
+  const auto upper = expr_range(loop.upper, env);
+  if (!lower || !upper || loop.step < 1) return std::nullopt;
+  const auto span = support::checked_sub(upper->hi, lower->lo);
+  i64 trips = 0;
+  if (span && *span >= 0) {
+    trips = *span / loop.step + 1;
+  }
+  if (!span && upper->hi > lower->lo) return std::nullopt;  // span overflowed
+
+  env[loop.var.raw] = Interval{lower->lo, std::max(lower->lo, upper->hi)};
+  const auto inner = max_iterations_in(loop.body, env);
+  env.erase(loop.var.raw);
+  if (!inner) return std::nullopt;
+
+  const auto per = support::checked_add(1, *inner);
+  if (!per) return std::nullopt;
+  return support::checked_mul(trips, *per);
+}
+
+// ---- shadow execution -----------------------------------------------------
+
+// One side of the diff: a symbol table plus its roots in execution order.
+struct Side {
+  const ir::SymbolTable* symbols;
+  std::vector<const ir::Loop*> roots;
+};
+
+bool side_oracle_eligible(const Side& side) {
+  Traits traits;
+  std::map<std::uint32_t, Interval> env;
+  i64 total = 0;
+  for (const ir::Loop* root : side.roots) {
+    if (root == nullptr) return false;
+    scan_loop(*root, *side.symbols, traits);
+    const auto iters = max_iterations(*root, env);
+    if (!iters) return false;
+    const auto sum = support::checked_add(total, *iters);
+    if (!sum) return false;
+    total = *sum;
+  }
+  if (traits.has_call || traits.reads_param) return false;
+  return static_cast<std::uint64_t>(total) <= kOracleIterationCap;
+}
+
+// Matches core's deterministic seeding so oracle runs and the public
+// equivalence API exercise identical initial states.
+void seed_arrays(ir::Evaluator& eval, const ir::SymbolTable& symbols) {
+  for (std::uint32_t raw = 0; raw < symbols.size(); ++raw) {
+    const ir::VarId id{raw};
+    if (symbols.kind(id) != ir::SymbolKind::kArray) continue;
+    auto data = eval.store().data(id);
+    for (std::size_t q = 0; q < data.size(); ++q) {
+      data[q] = static_cast<double>((q * 31 + 17) % 97) / 7.0;
+    }
+  }
+}
+
+bool bits_equal(double a, double b) noexcept {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool values_equal(const ir::Value& a, const ir::Value& b) {
+  const auto* ai = std::get_if<i64>(&a);
+  const auto* bi = std::get_if<i64>(&b);
+  if ((ai != nullptr) != (bi != nullptr)) return false;
+  if (ai != nullptr) return *ai == *bi;
+  return bits_equal(std::get<double>(a), std::get<double>(b));
+}
+
+std::optional<ir::VarId> find_symbol(const ir::SymbolTable& symbols,
+                                     const std::string& name,
+                                     ir::SymbolKind kind) {
+  const auto id = symbols.lookup(name);
+  if (!id || symbols.kind(*id) != kind) return std::nullopt;
+  return id;
+}
+
+/// Runs both sides on identically seeded state and reports the first
+/// divergence; nullopt = states match.
+std::optional<std::string> diff_executions(const Side& before,
+                                           const Side& after,
+                                           const PostcheckOptions& options) {
+  ir::Evaluator eval_before(*before.symbols);
+  ir::Evaluator eval_after(*after.symbols);
+  seed_arrays(eval_before, *before.symbols);
+  seed_arrays(eval_after, *after.symbols);
+  for (const ir::Loop* root : before.roots) eval_before.run(*root);
+  for (const ir::Loop* root : after.roots) eval_after.run(*root);
+
+  for (std::uint32_t raw = 0; raw < before.symbols->size(); ++raw) {
+    const ir::VarId id{raw};
+    const ir::Symbol& sym = (*before.symbols)[id];
+    if (sym.kind == ir::SymbolKind::kArray) {
+      const auto other =
+          find_symbol(*after.symbols, sym.name, ir::SymbolKind::kArray);
+      if (!other) return "array '" + sym.name + "' missing after the pass";
+      const auto a = eval_before.store().data(id);
+      const auto b = eval_after.store().data(*other);
+      if (a.size() != b.size()) {
+        return "array '" + sym.name + "' changed size across the pass";
+      }
+      for (std::size_t q = 0; q < a.size(); ++q) {
+        if (!bits_equal(a[q], b[q])) {
+          return "array '" + sym.name + "' diverges at flat index " +
+                 std::to_string(q);
+        }
+      }
+    } else if (sym.kind == ir::SymbolKind::kScalar && options.compare_scalars) {
+      const auto va = eval_before.scalar_value(id);
+      if (!va) continue;  // never written on the reference side
+      const auto other =
+          find_symbol(*after.symbols, sym.name, ir::SymbolKind::kScalar);
+      // A scalar the pass retired (still declared, never written) only
+      // matters when the reference side produced a value.
+      const auto vb = other ? eval_after.scalar_value(*other)
+                            : std::optional<ir::Value>{};
+      if (!vb || !values_equal(*va, *vb)) {
+        return "scalar '" + sym.name + "' diverges after the pass";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+support::Expected<bool> postcheck_impl(const char* pass, const Side& before,
+                                       const Side& after,
+                                       const PostcheckOptions& options,
+                                       const ir::Program* after_program,
+                                       const ir::LoopNest* after_nest) {
+  if (post_verify_enabled()) {
+    auto verified = after_program != nullptr
+                        ? ir::verify_ok(*after_program, pass)
+                        : ir::verify_ok(*after_nest, pass);
+    if (!verified) return verified.error();
+  }
+  if (differential_oracle_enabled() && side_oracle_eligible(before) &&
+      side_oracle_eligible(after)) {
+    if (auto diverged = diff_executions(before, after, options)) {
+      return support::make_error(
+          support::ErrorCode::kVerifyFailed,
+          std::string(pass) + ": differential oracle mismatch: " + *diverged);
+    }
+  }
+  return true;
+}
+
+Side as_side(const ir::LoopNest& nest) {
+  return Side{&nest.symbols, {nest.root.get()}};
+}
+
+Side as_side(const ir::Program& program) {
+  Side side{&program.symbols, {}};
+  side.roots.reserve(program.roots.size());
+  for (const auto& root : program.roots) side.roots.push_back(root.get());
+  return side;
+}
+
+}  // namespace
+
+void set_post_verify(bool enabled) noexcept {
+  g_post_verify.store(enabled, std::memory_order_relaxed);
+}
+
+bool post_verify_enabled() noexcept {
+  return g_post_verify.load(std::memory_order_relaxed);
+}
+
+void set_differential_oracle(bool enabled) noexcept {
+  g_oracle.store(enabled, std::memory_order_relaxed);
+}
+
+bool differential_oracle_enabled() noexcept {
+  return g_oracle.load(std::memory_order_relaxed);
+}
+
+support::Expected<bool> postcheck(const char* pass, const ir::LoopNest& before,
+                                  const ir::LoopNest& after,
+                                  const PostcheckOptions& options) {
+  return postcheck_impl(pass, as_side(before), as_side(after), options,
+                        nullptr, &after);
+}
+
+support::Expected<bool> postcheck(const char* pass, const ir::LoopNest& before,
+                                  const ir::Program& after,
+                                  const PostcheckOptions& options) {
+  return postcheck_impl(pass, as_side(before), as_side(after), options, &after,
+                        nullptr);
+}
+
+support::Expected<bool> postcheck(const char* pass, const ir::Program& before,
+                                  const ir::Program& after,
+                                  const PostcheckOptions& options) {
+  return postcheck_impl(pass, as_side(before), as_side(after), options, &after,
+                        nullptr);
+}
+
+}  // namespace coalesce::transform

@@ -1,0 +1,61 @@
+// Post-pass verification hooks.
+//
+// Every transformation pass in this directory re-validates its output
+// before handing it back: the structural IR verifier (ir/verify.hpp) always,
+// and — when the differential oracle is enabled — a shadow execution that
+// interprets the nest before and after the rewrite on deterministically
+// seeded arrays and diffs the resulting array and scalar state bit-exactly.
+// A pass that corrupts the IR or miscompiles a small nest therefore fails
+// at its own boundary with ErrorCode::kVerifyFailed instead of handing
+// wrong code downstream.
+//
+// The oracle only runs on nests it can afford: constant bounds, no opaque
+// calls or unbound parameters, and at most kOracleIterationCap loop
+// iterations per side. Anything larger silently skips the oracle (the
+// structural verifier still runs). Debug builds enable the oracle by
+// default; release builds leave it opt-in (tests opt in, and coalescec's
+// --no-verify opts everything out).
+#pragma once
+
+#include <cstdint>
+
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::transform {
+
+/// Iteration budget per side above which the oracle skips a nest.
+inline constexpr std::uint64_t kOracleIterationCap = 1u << 14;
+
+/// Structural verifier toggle (default on). --no-verify clears it.
+void set_post_verify(bool enabled) noexcept;
+[[nodiscard]] bool post_verify_enabled() noexcept;
+
+/// Differential oracle toggle (default: on in debug builds, off otherwise).
+void set_differential_oracle(bool enabled) noexcept;
+[[nodiscard]] bool differential_oracle_enabled() noexcept;
+
+struct PostcheckOptions {
+  /// Compare final scalar bindings in addition to arrays. Passes that
+  /// intentionally retire scalars (scalar expansion) turn this off.
+  bool compare_scalars = true;
+};
+
+/// Verifies `after` structurally and, when the oracle is enabled and both
+/// sides are small enough, diffs shadow executions of `before` and `after`.
+/// Returns true, or a kVerifyFailed Error naming `pass`.
+[[nodiscard]] support::Expected<bool> postcheck(
+    const char* pass, const ir::LoopNest& before, const ir::LoopNest& after,
+    const PostcheckOptions& options = {});
+
+/// Same, for passes whose output is a multi-root program.
+[[nodiscard]] support::Expected<bool> postcheck(
+    const char* pass, const ir::LoopNest& before, const ir::Program& after,
+    const PostcheckOptions& options = {});
+
+/// Same, for program-to-program passes (root fusion).
+[[nodiscard]] support::Expected<bool> postcheck(
+    const char* pass, const ir::Program& before, const ir::Program& after,
+    const PostcheckOptions& options = {});
+
+}  // namespace coalesce::transform

@@ -5,6 +5,7 @@
 #include "analysis/doall.hpp"
 #include "support/assert.hpp"
 #include "support/strings.hpp"
+#include "transform/postcheck.hpp"
 
 namespace coalesce::transform {
 
@@ -115,7 +116,15 @@ support::Expected<LoopNest> expand_scalar(const LoopNest& nest,
   for (const ir::Stmt& s : root.body) {
     out->body.push_back(expand_stmt(s, scalar, array, index));
   }
-  return LoopNest{std::move(symbols), std::move(out)};
+  LoopNest result{std::move(symbols), std::move(out)};
+  // The scalar's value now lives in the expansion array and the scalar
+  // itself goes dead, so final scalar state intentionally differs.
+  if (auto checked = postcheck("scalar-expand", nest, result,
+                               PostcheckOptions{.compare_scalars = false});
+      !checked.ok()) {
+    return checked.error();
+  }
+  return result;
 }
 
 support::Expected<ExpandAllResult> expand_all_scalars(const LoopNest& nest) {

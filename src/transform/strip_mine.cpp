@@ -3,6 +3,7 @@
 #include "support/assert.hpp"
 #include "support/int_math.hpp"
 #include "support/strings.hpp"
+#include "transform/postcheck.hpp"
 
 namespace coalesce::transform {
 
@@ -58,7 +59,11 @@ support::Expected<LoopNest> strip_mine(const LoopNest& nest,
   outer->parallel = loop.parallel;
   outer->body.push_back(std::move(inner));
 
-  return LoopNest{std::move(symbols), std::move(outer)};
+  LoopNest out{std::move(symbols), std::move(outer)};
+  if (auto checked = postcheck("strip-mine", nest, out); !checked.ok()) {
+    return checked.error();
+  }
+  return out;
 }
 
 }  // namespace coalesce::transform

@@ -3,6 +3,7 @@
 #include "support/assert.hpp"
 #include "support/int_math.hpp"
 #include "support/strings.hpp"
+#include "transform/postcheck.hpp"
 
 namespace coalesce::transform {
 
@@ -93,7 +94,11 @@ support::Expected<LoopNest> tile2(const LoopNest& nest, i64 tile_i,
   it_loop->parallel = true;
   it_loop->body.push_back(std::move(jt_loop));
 
-  return LoopNest{std::move(symbols), std::move(it_loop)};
+  LoopNest out{std::move(symbols), std::move(it_loop)};
+  if (auto checked = postcheck("tile2", nest, out); !checked.ok()) {
+    return checked.error();
+  }
+  return out;
 }
 
 support::Expected<CoalesceResult> tile_and_coalesce(

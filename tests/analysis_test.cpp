@@ -406,6 +406,125 @@ TEST(Doall, JacobiInPlaceIsNotParallel) {
   EXPECT_TRUE(verdict_for(report, nest, "j").parallelizable);
 }
 
+// ---- negative-coefficient (reversed-traversal) subscripts -------------------
+
+TEST(Dependence, ZivNegativeConstantsProvenIndependent) {
+  // A(i, -5) = A(i, -7) after folding: ZIV on distinct negative constants.
+  NestBuilder b;
+  const VarId a = b.array("A", {8, 16});
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(b.element_expr(a, {var_ref(i), ir::neg(int_const(5))}),
+           ir::array_read(a, {var_ref(i), ir::neg(int_const(7))}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_TRUE(compute_dependences(*nest.root).empty());
+}
+
+TEST(Dependence, SivNegativeCoefficientCarried) {
+  // A(22 - 2i) = A(24 - 2i), i in 1..10: 22-2i == 24-2i' at i = i'+1 ->
+  // strong SIV with coefficient -2, |distance| 1, carried.
+  NestBuilder b;
+  const VarId a = b.array("A", {30});
+  const VarId i = b.begin_parallel_loop("i", 1, 10);
+  b.assign(b.element_expr(
+               a, {ir::sub(int_const(22), ir::mul(int_const(2), var_ref(i)))}),
+           ir::array_read(a, {ir::sub(int_const(24),
+                                      ir::mul(int_const(2), var_ref(i)))}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto deps = compute_dependences(*nest.root);
+  ASSERT_FALSE(deps.empty());
+  bool carried = false;
+  for (const auto& dep : deps) {
+    if (!dep.may_be_carried_at(0)) continue;
+    carried = true;
+    ASSERT_EQ(dep.distance.size(), 1u);
+    if (dep.distance[0].has_value()) {
+      EXPECT_TRUE(*dep.distance[0] == 1 || *dep.distance[0] == -1);
+    }
+  }
+  EXPECT_TRUE(carried);
+}
+
+TEST(Dependence, SivNegativeCoefficientGcdDisproven) {
+  // A(22 - 2i) = A(23 - 2i): -2i + 22 == -2i' + 23 needs gcd 2 | 1 -> never.
+  NestBuilder b;
+  const VarId a = b.array("A", {30});
+  const VarId i = b.begin_parallel_loop("i", 1, 10);
+  b.assign(b.element_expr(
+               a, {ir::sub(int_const(22), ir::mul(int_const(2), var_ref(i)))}),
+           ir::array_read(a, {ir::sub(int_const(23),
+                                      ir::mul(int_const(2), var_ref(i)))}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_TRUE(compute_dependences(*nest.root).empty());
+}
+
+TEST(Dependence, OpposedCoefficientsOutOfRange) {
+  // A(i) = A(40 - i), i in 1..10: i == 40 - i' needs i + i' == 40, but
+  // max(i + i') == 20 -> Banerjee range disproves it.
+  NestBuilder b;
+  const VarId a = b.array("A", {40});
+  const VarId i = b.begin_parallel_loop("i", 1, 10);
+  b.assign(b.element(a, {i}),
+           ir::array_read(a, {ir::sub(int_const(40), var_ref(i))}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  EXPECT_TRUE(compute_dependences(*nest.root).empty());
+}
+
+// ---- INT64_MAX-adjacent trip counts: overflow must degrade to kMaybe -------
+// (The UBSan CI job fails these loudly if any intermediate wraps.)
+
+TEST(Dependence, HugeTripCountStrongSivStaysExact) {
+  // A(i) = A(i + 1) with i in 1..INT64_MAX-2: the distance-1 answer fits
+  // even though bound arithmetic brushes against the i64 edge.
+  NestBuilder b;
+  const VarId a = b.array("A", {4});  // never executed; analysis only
+  const VarId i = b.begin_parallel_loop("i", 1, INT64_MAX - 2);
+  b.assign(b.element(a, {i}),
+           ir::array_read(a, {ir::add(var_ref(i), int_const(1))}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto deps = compute_dependences(*nest.root);
+  ASSERT_FALSE(deps.empty());
+  EXPECT_TRUE(deps[0].may_be_carried_at(0));
+}
+
+TEST(Dependence, HugeTripCountScaledBoundsDegradeToMaybe) {
+  // A(2i) = A(3i + 1) with i up to 2^61: Banerjee's coeff * bound products
+  // overflow; the test must answer kMaybe (serial), not wrap and "prove"
+  // independence.
+  NestBuilder b;
+  const VarId a = b.array("A", {4});
+  const VarId i = b.begin_parallel_loop("i", 1, std::int64_t{1} << 61);
+  b.assign(b.element_expr(a, {ir::mul(int_const(2), var_ref(i))}),
+           ir::array_read(a, {ir::add(ir::mul(int_const(3), var_ref(i)),
+                                      int_const(1))}));
+  b.end_loop();
+  LoopNest nest = b.build();
+  const auto deps = compute_dependences(*nest.root);
+  ASSERT_FALSE(deps.empty());
+  EXPECT_EQ(deps[0].answer, DepAnswer::kMaybe);
+  EXPECT_FALSE(verdict_for(analyze_parallelism(nest), nest, "i").parallelizable);
+}
+
+TEST(Dependence, HugeConstantDifferenceDegradesToMaybe) {
+  // Subscript constants straddle the i64 range so their difference
+  // overflows: the SIV test must refuse to answer, conservatively.
+  const std::int64_t huge = std::int64_t{1} << 62;
+  NestBuilder b;
+  const VarId a = b.array("A", {4});
+  const VarId i = b.begin_parallel_loop("i", 1, 10);
+  b.assign(b.element_expr(a, {ir::add(var_ref(i), int_const(huge))}),
+           ir::array_read(a, {ir::sub(var_ref(i), int_const(huge))}));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto deps = compute_dependences(*nest.root);
+  ASSERT_FALSE(deps.empty());
+  EXPECT_EQ(deps[0].answer, DepAnswer::kMaybe);
+}
+
 TEST(Doall, ReportFindByPointer) {
   LoopNest nest = ir::make_matmul(3, 3, 3);
   const auto report = analyze_parallelism(nest);

@@ -3,17 +3,25 @@
 //
 // The generators are deliberately small-shaped (extents <= 6, depth <= 4)
 // so each case sweeps its whole iteration space; breadth comes from count.
+//
+// Every generated nest is routed through the IR verifier before any
+// transform touches it, and the sweep runs with the differential
+// shadow-execution oracle forced on, so each accepted case is re-checked
+// inside the passes themselves in addition to the explicit
+// equivalent_by_execution assertions here.
 #include <gtest/gtest.h>
 
 #include "core/api.hpp"
 #include "ir/builder.hpp"
 #include "ir/printer.hpp"
+#include "ir/verify.hpp"
 #include "support/rng.hpp"
 #include "transform/coalesce.hpp"
 #include "transform/distribute.hpp"
 #include "transform/guarded.hpp"
 #include "frontend/parser.hpp"
 #include "transform/normalize.hpp"
+#include "transform/postcheck.hpp"
 
 namespace coalesce {
 namespace {
@@ -113,12 +121,43 @@ LoopNest random_triangular(Rng& rng) {
   return b.build();
 }
 
-class FuzzSweep : public ::testing::TestWithParam<int> {};
+/// Asserts the generated nest is structurally well-formed before any
+/// transform consumes it; dumps the verifier findings and the nest on
+/// failure so the offending generator seed is reproducible.
+void expect_verified(const LoopNest& nest) {
+  const auto issues = ir::verify_nest(nest);
+  for (const auto& issue : issues) {
+    ADD_FAILURE() << ir::to_string(issue) << "\n" << ir::to_string(nest);
+  }
+  ASSERT_TRUE(issues.empty());
+}
+
+/// The sweep runs with post-pass verification AND the differential oracle
+/// forced on: every transform call below shadow-executes its own output
+/// against its input, independently of the explicit assertions here.
+class FuzzSweep : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    saved_verify_ = transform::post_verify_enabled();
+    saved_oracle_ = transform::differential_oracle_enabled();
+    transform::set_post_verify(true);
+    transform::set_differential_oracle(true);
+  }
+  void TearDown() override {
+    transform::set_post_verify(saved_verify_);
+    transform::set_differential_oracle(saved_oracle_);
+  }
+
+ private:
+  bool saved_verify_ = true;
+  bool saved_oracle_ = false;
+};
 
 TEST_P(FuzzSweep, CoalesceNestPreservesSemantics) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
   for (int trial = 0; trial < 60; ++trial) {
     const RandomNest rn = random_rectangular(rng);
+    expect_verified(rn.nest);
     for (auto style : {transform::RecoveryStyle::kPaperClosedForm,
                        transform::RecoveryStyle::kMixedRadix}) {
       transform::CoalesceOptions options;
@@ -137,6 +176,7 @@ TEST_P(FuzzSweep, PartialCoalescePreservesSemantics) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
   for (int trial = 0; trial < 40; ++trial) {
     const RandomNest rn = random_rectangular(rng);
+    expect_verified(rn.nest);
     transform::CoalesceOptions options;
     options.levels = static_cast<std::size_t>(
         rng.uniform_int(2, static_cast<i64>(rn.depth)));
@@ -150,6 +190,7 @@ TEST_P(FuzzSweep, NormalizeThenCoalescePreservesSemantics) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 1299709);
   for (int trial = 0; trial < 40; ++trial) {
     const RandomNest rn = random_rectangular(rng);
+    expect_verified(rn.nest);
     const auto normalized = transform::normalize_nest(rn.nest);
     ASSERT_TRUE(normalized.ok());
     ASSERT_TRUE(core::equivalent_by_execution(rn.nest, normalized.value()));
@@ -163,6 +204,7 @@ TEST_P(FuzzSweep, GuardedCoalescePreservesTriangles) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863);
   for (int trial = 0; trial < 60; ++trial) {
     const LoopNest nest = random_triangular(rng);
+    expect_verified(nest);
     const auto result = transform::coalesce_guarded(nest);
     ASSERT_TRUE(result.ok()) << result.error().to_string();
     ASSERT_GE(result.value().active_points, 1);
@@ -194,6 +236,7 @@ TEST_P(FuzzSweep, DistributionPreservesSemantics) {
     }
     b.end_loop();
     const LoopNest nest = b.build();
+    expect_verified(nest);
 
     const auto program = transform::distribute_root(nest);
     ASSERT_TRUE(program.ok());
@@ -218,6 +261,7 @@ TEST_P(FuzzSweep, MakePerfectThenCoalesceProgram) {
     b.end_loop();
     b.end_loop();
     const LoopNest nest = b.build();
+    expect_verified(nest);
 
     auto program = transform::make_perfect(nest);
     ASSERT_TRUE(program.ok());
@@ -231,6 +275,7 @@ TEST_P(FuzzSweep, FrontendRoundTripsRandomNests) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 86028121);
   for (int trial = 0; trial < 40; ++trial) {
     const RandomNest rn = random_rectangular(rng);
+    expect_verified(rn.nest);
     const std::string text =
         frontend::declarations_to_string(rn.nest.symbols) +
         ir::to_string(rn.nest);
@@ -249,6 +294,7 @@ TEST_P(FuzzSweep, FrontendRoundTripsTransformedTriangles) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 472882027);
   for (int trial = 0; trial < 25; ++trial) {
     const ir::LoopNest nest = random_triangular(rng);
+    expect_verified(nest);
     const auto result = transform::coalesce_guarded(nest);
     ASSERT_TRUE(result.ok());
     const std::string text =

@@ -1,0 +1,412 @@
+// Tests for the static-analysis stack this repo calls coalesce-lint:
+// the structural IR verifier (ir/verify.hpp), the overflow/legality linter
+// (analysis/lint.hpp) with its text/JSON/SARIF renderers, and the post-pass
+// verification hooks with the differential shadow-execution oracle
+// (transform/postcheck.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "ir/builder.hpp"
+#include "ir/expr.hpp"
+#include "ir/verify.hpp"
+#include "transform/coalesce.hpp"
+#include "transform/postcheck.hpp"
+
+namespace coalesce {
+namespace {
+
+using ir::int_const;
+using ir::LoopNest;
+using ir::NestBuilder;
+using ir::VarId;
+using ir::var_ref;
+
+bool any_rule(const std::vector<analysis::Diagnostic>& diags,
+              const std::string& id) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const analysis::Diagnostic& d) {
+                       return id == d.rule->id;
+                     });
+}
+
+std::string messages(const std::vector<analysis::Diagnostic>& diags) {
+  std::string out;
+  for (const auto& d : diags) out += std::string(d.rule->id) + ": " + d.message + "\n";
+  return out;
+}
+
+/// doall i = 1, n { OUT[i] = i }
+LoopNest simple_parallel(std::int64_t n) {
+  NestBuilder b;
+  const VarId out = b.array("OUT", {n});
+  const VarId i = b.begin_parallel_loop("i", 1, n);
+  b.assign(b.element(out, {i}), var_ref(i));
+  b.end_loop();
+  return b.build();
+}
+
+// ---- structural verifier --------------------------------------------------
+
+TEST(Verify, AcceptsWellFormedNests) {
+  EXPECT_TRUE(ir::verify_nest(ir::make_matmul(4, 5, 3)).empty());
+  EXPECT_TRUE(ir::verify_nest(ir::make_triangular_witness(6)).empty());
+  EXPECT_TRUE(ir::verify_nest(ir::make_pi_strips(4, 8)).empty());
+}
+
+TEST(Verify, AcceptsCoalescedOutput) {
+  const LoopNest nest = ir::make_matmul(4, 5, 3);
+  const auto result = transform::coalesce_nest(nest);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ir::verify_nest(result.value().nest).empty());
+}
+
+TEST(Verify, FlagsDanglingSymbolReference) {
+  LoopNest nest = simple_parallel(4);
+  nest.root->upper = var_ref(VarId{9999});
+  const auto issues = ir::verify_nest(nest);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("outside the table"), std::string::npos)
+      << issues[0].message;
+}
+
+TEST(Verify, FlagsNonPositiveStep) {
+  LoopNest nest = simple_parallel(4);
+  nest.root->step = 0;
+  const auto issues = ir::verify_nest(nest);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("non-positive step"), std::string::npos);
+}
+
+TEST(Verify, FlagsSelfReferencingBound) {
+  LoopNest nest = simple_parallel(4);
+  nest.root->upper = ir::add(var_ref(nest.root->var), int_const(1));
+  const auto issues = ir::verify_nest(nest);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("loop's own"), std::string::npos);
+}
+
+TEST(Verify, FlagsShadowedInductionVariable) {
+  LoopNest nest = simple_parallel(4);
+  auto inner = std::make_shared<ir::Loop>();
+  inner->var = nest.root->var;  // shadows the outer variable
+  inner->lower = int_const(1);
+  inner->upper = int_const(2);
+  inner->body = std::move(nest.root->body);
+  nest.root->body.clear();
+  nest.root->body.push_back(inner);
+  const auto issues = ir::verify_nest(nest);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("shadows"), std::string::npos);
+}
+
+TEST(Verify, FlagsAssignmentToLiveInductionVariable) {
+  LoopNest nest = simple_parallel(4);
+  nest.root->body.push_back(ir::AssignStmt{nest.root->var, int_const(7)});
+  const auto issues = ir::verify_nest(nest);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("live induction"), std::string::npos);
+}
+
+TEST(Verify, FlagsRankMismatch) {
+  NestBuilder b;
+  const VarId out = b.array("OUT", {4, 4});
+  const VarId i = b.begin_parallel_loop("i", 1, 4);
+  b.assign(b.element(out, {i}), int_const(0));  // rank 2, one subscript
+  b.end_loop();
+  const auto issues = ir::verify_nest(b.build());
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("rank"), std::string::npos);
+}
+
+TEST(Verify, FlagsConstantZeroDivisor) {
+  NestBuilder b;
+  const VarId out = b.array("OUT", {4});
+  const VarId i = b.begin_parallel_loop("i", 1, 4);
+  b.assign(b.element(out, {i}), ir::floor_div(var_ref(i), int_const(0)));
+  b.end_loop();
+  const auto issues = ir::verify_nest(b.build());
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("zero divisor"), std::string::npos);
+}
+
+TEST(Verify, VerifyOkWrapsIssuesAsError) {
+  LoopNest nest = simple_parallel(4);
+  nest.root->step = -1;
+  const auto result = ir::verify_ok(nest, "unit-test");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, support::ErrorCode::kVerifyFailed);
+  EXPECT_NE(result.error().message.find("unit-test"), std::string::npos);
+}
+
+// ---- linter rules ---------------------------------------------------------
+
+TEST(Lint, CleanNestHasNoFindings) {
+  const auto diags = analysis::lint_nest(ir::make_matmul(4, 5, 3));
+  EXPECT_TRUE(diags.empty()) << messages(diags);
+  EXPECT_FALSE(analysis::has_errors(diags));
+}
+
+TEST(Lint, FlagsUnprivatizedScalar) {
+  NestBuilder b;
+  const VarId a = b.array("A", {8});
+  const VarId s = b.scalar("s");
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(s, ir::add(var_ref(s), b.read(a, {i})));
+  b.assign(b.element(a, {i}), var_ref(s));
+  b.end_loop();
+  const auto diags = analysis::lint_nest(b.build());
+  EXPECT_TRUE(any_rule(diags, "unprivatized-scalar")) << messages(diags);
+  EXPECT_TRUE(analysis::has_errors(diags));
+}
+
+TEST(Lint, FlagsUnprovenDoall) {
+  NestBuilder b;
+  const VarId a = b.array("A", {10});
+  const VarId i = b.begin_parallel_loop("i", 2, 9);
+  b.assign(b.element(a, {i}),
+           ir::array_read(a, {ir::sub(var_ref(i), int_const(1))}));
+  b.end_loop();
+  const auto diags = analysis::lint_nest(b.build());
+  EXPECT_TRUE(any_rule(diags, "doall-unproven")) << messages(diags);
+}
+
+TEST(Lint, NotesMissedParallelism) {
+  NestBuilder b;
+  const VarId out = b.array("OUT", {6});
+  const VarId i = b.begin_loop("i", 1, 6);  // sequential, but provably DOALL
+  b.assign(b.element(out, {i}), var_ref(i));
+  b.end_loop();
+  const LoopNest nest = b.build();
+
+  const auto diags = analysis::lint_nest(nest);
+  EXPECT_TRUE(any_rule(diags, "missed-parallelism")) << messages(diags);
+  EXPECT_FALSE(analysis::has_errors(diags));
+
+  analysis::LintOptions quiet;
+  quiet.include_notes = false;
+  EXPECT_FALSE(any_rule(analysis::lint_nest(nest, quiet),
+                        "missed-parallelism"));
+}
+
+TEST(Lint, FlagsNonrectangularBand) {
+  const auto diags = analysis::lint_nest(ir::make_triangular_witness(6));
+  EXPECT_TRUE(any_rule(diags, "nonrectangular-band")) << messages(diags);
+  EXPECT_FALSE(analysis::has_errors(diags));
+}
+
+TEST(Lint, FlagsNonperfectBand) {
+  NestBuilder b;
+  const VarId row = b.array("ROW", {4});
+  const VarId a = b.array("A", {4, 5});
+  const VarId i = b.begin_parallel_loop("i", 1, 4);
+  b.assign(b.element(row, {i}), var_ref(i));
+  const VarId j = b.begin_parallel_loop("j", 1, 5);
+  b.assign(b.element(a, {i, j}), var_ref(j));
+  b.end_loop();
+  b.end_loop();
+  const auto diags = analysis::lint_nest(b.build());
+  EXPECT_TRUE(any_rule(diags, "nonperfect-band")) << messages(diags);
+}
+
+TEST(Lint, FlagsProductOverflow) {
+  NestBuilder b;
+  const VarId out = b.array("OUT", {1});
+  const VarId i = b.begin_parallel_loop("i", 1, INT64_C(4000000000));
+  const VarId j = b.begin_parallel_loop("j", 1, INT64_C(4000000000));
+  b.assign(b.element_expr(out, {int_const(1)}),
+           ir::add(var_ref(i), var_ref(j)));
+  b.end_loop();
+  b.end_loop();
+  const auto diags = analysis::lint_nest(b.build());
+  EXPECT_TRUE(any_rule(diags, "product-overflow")) << messages(diags);
+  EXPECT_TRUE(analysis::has_errors(diags));
+}
+
+TEST(Lint, FlagsZeroTripBand) {
+  NestBuilder b;
+  const VarId out = b.array("OUT", {4, 4});
+  const VarId i = b.begin_parallel_loop("i", 1, 4);
+  const VarId j = b.begin_parallel_loop("j", 5, 2);  // empty range
+  b.assign(b.element(out, {i, j}), int_const(0));
+  b.end_loop();
+  b.end_loop();
+  const auto diags = analysis::lint_nest(b.build());
+  EXPECT_TRUE(any_rule(diags, "zero-trip-band")) << messages(diags);
+}
+
+TEST(Lint, MapsZeroDivisorToDivByZero) {
+  NestBuilder b;
+  const VarId out = b.array("OUT", {4});
+  const VarId i = b.begin_parallel_loop("i", 1, 4);
+  b.assign(b.element(out, {i}), ir::mod(var_ref(i), int_const(0)));
+  b.end_loop();
+  const auto diags = analysis::lint_nest(b.build());
+  EXPECT_TRUE(any_rule(diags, "div-by-zero")) << messages(diags);
+  EXPECT_TRUE(analysis::has_errors(diags));
+}
+
+TEST(Lint, BrokenIrShortCircuitsToIrInvalid) {
+  LoopNest nest = simple_parallel(4);
+  nest.root->step = 0;
+  const auto diags = analysis::lint_nest(nest);
+  EXPECT_TRUE(any_rule(diags, "ir-invalid")) << messages(diags);
+  EXPECT_TRUE(analysis::has_errors(diags));
+}
+
+// ---- renderers ------------------------------------------------------------
+
+TEST(LintRender, TextIncludesRuleIdAndFixit) {
+  const auto diags = analysis::lint_nest(ir::make_triangular_witness(6));
+  const std::string text = analysis::render_text(diags, "tri.loop");
+  EXPECT_NE(text.find("tri.loop"), std::string::npos);
+  EXPECT_NE(text.find("[nonrectangular-band]"), std::string::npos);
+  EXPECT_NE(text.find("fix-it:"), std::string::npos);
+  EXPECT_EQ(analysis::render_text({}, "x"), "no findings\n");
+}
+
+TEST(LintRender, JsonListsFindings) {
+  const auto diags = analysis::lint_nest(ir::make_triangular_witness(6));
+  const std::string json = analysis::render_json(diags);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"rule\": \"nonrectangular-band\""), std::string::npos)
+      << json;
+  EXPECT_EQ(analysis::render_json({}), "[]\n");
+}
+
+TEST(LintRender, SarifCarriesRuleCatalogAndResults) {
+  const auto diags = analysis::lint_nest(ir::make_triangular_witness(6));
+  const std::string sarif = analysis::render_sarif(diags, "tri.loop");
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  // Every catalog rule appears in tool.driver.rules.
+  for (const auto& rule : analysis::lint_rules()) {
+    EXPECT_NE(sarif.find(rule.id), std::string::npos) << rule.id;
+  }
+  EXPECT_NE(sarif.find("\"results\""), std::string::npos);
+}
+
+// ---- post-pass hooks and the differential oracle --------------------------
+
+class Postcheck : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    verify_was_ = transform::post_verify_enabled();
+    oracle_was_ = transform::differential_oracle_enabled();
+    transform::set_post_verify(true);
+    transform::set_differential_oracle(true);
+  }
+  void TearDown() override {
+    transform::set_post_verify(verify_was_);
+    transform::set_differential_oracle(oracle_was_);
+  }
+
+ private:
+  bool verify_was_ = true;
+  bool oracle_was_ = false;
+};
+
+TEST_F(Postcheck, PassesEquivalentNests) {
+  const LoopNest before = simple_parallel(8);
+  const LoopNest after{before.symbols, ir::clone(*before.root)};
+  EXPECT_TRUE(transform::postcheck("unit", before, after).ok());
+}
+
+TEST_F(Postcheck, OracleCatchesWrongArrayContents) {
+  const LoopNest before = simple_parallel(8);
+  LoopNest after{before.symbols, ir::clone(*before.root)};
+  auto* assign = std::get_if<ir::AssignStmt>(&after.root->body[0]);
+  ASSERT_NE(assign, nullptr);
+  assign->rhs = ir::add(var_ref(after.root->var), int_const(1));
+  const auto result = transform::postcheck("unit", before, after);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, support::ErrorCode::kVerifyFailed);
+  EXPECT_NE(result.error().message.find("differential oracle"),
+            std::string::npos)
+      << result.error().message;
+}
+
+TEST_F(Postcheck, VerifierCatchesStructuralCorruption) {
+  const LoopNest before = simple_parallel(8);
+  LoopNest after{before.symbols, ir::clone(*before.root)};
+  after.root->step = 0;
+  const auto result = transform::postcheck("unit", before, after);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, support::ErrorCode::kVerifyFailed);
+}
+
+TEST_F(Postcheck, NoVerifyEscapeHatchDisablesBothChecks) {
+  transform::set_post_verify(false);
+  transform::set_differential_oracle(false);
+  const LoopNest before = simple_parallel(8);
+  LoopNest after{before.symbols, ir::clone(*before.root)};
+  after.root->step = 0;  // structurally broken AND semantically different
+  EXPECT_TRUE(transform::postcheck("unit", before, after).ok());
+}
+
+TEST_F(Postcheck, ScalarDivergenceRespectsCompareScalarsOption) {
+  NestBuilder b1;
+  const VarId out1 = b1.array("OUT", {4});
+  const VarId s1 = b1.scalar("s");
+  const VarId i1 = b1.begin_parallel_loop("i", 1, 4);
+  b1.assign(s1, var_ref(i1));
+  b1.assign(b1.element(out1, {i1}), var_ref(i1));
+  b1.end_loop();
+  const LoopNest before = b1.build();
+
+  NestBuilder b2;
+  const VarId out2 = b2.array("OUT", {4});
+  const VarId s2 = b2.scalar("s");
+  const VarId i2 = b2.begin_parallel_loop("i", 1, 4);
+  b2.assign(s2, int_const(0));  // arrays agree, final scalar differs
+  b2.assign(b2.element(out2, {i2}), var_ref(i2));
+  b2.end_loop();
+  const LoopNest after = b2.build();
+
+  EXPECT_FALSE(transform::postcheck("unit", before, after).ok());
+  transform::PostcheckOptions tolerant;
+  tolerant.compare_scalars = false;
+  EXPECT_TRUE(transform::postcheck("unit", before, after, tolerant).ok());
+}
+
+TEST_F(Postcheck, OracleSkipsParamBoundNests) {
+  NestBuilder b;
+  const VarId out = b.array("OUT", {4});
+  const VarId n = b.param("N");
+  const VarId i = b.begin_loop_expr("i", int_const(1), var_ref(n));
+  b.assign(b.element(out, {i}), var_ref(i));
+  b.end_loop();
+  const LoopNest before = b.build();
+  // The evaluator cannot run an unbound param, so the oracle must skip —
+  // postcheck still succeeds via the structural verifier alone.
+  const LoopNest after{before.symbols, ir::clone(*before.root)};
+  EXPECT_TRUE(transform::postcheck("unit", before, after).ok());
+}
+
+TEST_F(Postcheck, OracleSkipsOverBudgetNests) {
+  const LoopNest before = simple_parallel(4);
+  NestBuilder b;
+  const VarId out = b.array("OUT", {4});
+  const VarId i = b.begin_parallel_loop("i", 1, INT64_C(1000000000));
+  b.assign(b.element_expr(out, {ir::min_expr(var_ref(i), int_const(4))}),
+           var_ref(i));
+  b.end_loop();
+  const LoopNest after = b.build();
+  // A billion iterations is far over kOracleIterationCap: the oracle skips
+  // rather than hanging, and the (structurally valid) nest passes.
+  EXPECT_TRUE(transform::postcheck("unit", before, after).ok());
+}
+
+TEST_F(Postcheck, TransformPassSurfacesOracleFailureAsError) {
+  // End to end through a real pass: coalesce_nest on a valid nest succeeds
+  // and its result re-verifies under the enabled oracle.
+  const LoopNest nest = ir::make_gauss_jordan_backsolve(5, 5);
+  const auto result = transform::coalesce_nest(nest);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+}
+
+}  // namespace
+}  // namespace coalesce

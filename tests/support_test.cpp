@@ -117,6 +117,17 @@ TEST(IntMath, CheckedAddDetectsOverflow) {
   EXPECT_EQ(checked_add(big, -1).value(), big - 1);
 }
 
+TEST(IntMath, CheckedSubDetectsOverflow) {
+  const i64 big = std::numeric_limits<i64>::max();
+  const i64 small = std::numeric_limits<i64>::min();
+  EXPECT_FALSE(checked_sub(small, 1).has_value());
+  EXPECT_FALSE(checked_sub(0, small).has_value());  // |INT64_MIN| unrepresentable
+  EXPECT_FALSE(checked_sub(big, -1).has_value());
+  EXPECT_EQ(checked_sub(big, big).value(), 0);
+  EXPECT_EQ(checked_sub(small, small).value(), 0);
+  EXPECT_EQ(checked_sub(-5, 7).value(), -12);
+}
+
 TEST(IntMath, CheckedProductEmptyIsOne) {
   EXPECT_EQ(checked_product({}).value(), 1);
 }

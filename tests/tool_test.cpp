@@ -207,6 +207,70 @@ TEST(Coalescec, TraceWritesChromeTraceJson) {
   std::remove(trace_path.c_str());
 }
 
+// ---- lint / verify flags ----------------------------------------------------
+
+constexpr const char* kRacyScalar = R"(
+array A[8]; scalar s;
+doall i = 1, 8 {
+  s = s + A[i];
+  A[i] = s;
+}
+)";
+
+TEST(Coalescec, LintCleanNestExitsZero) {
+  const RunResult r = run_tool("--lint", kMatmul);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("no findings"), std::string::npos);
+}
+
+TEST(Coalescec, LintErrorExitsNonZeroWithLocation) {
+  const RunResult r = run_tool("--lint", kRacyScalar);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+  EXPECT_NE(r.output.find("[unprivatized-scalar]"), std::string::npos);
+  // Findings carry file:line:col anchors into the input file.
+  EXPECT_NE(r.output.find(".loop:"), std::string::npos);
+}
+
+TEST(Coalescec, LintWarningAloneExitsZero) {
+  const RunResult r = run_tool("--lint", kTriangle);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("[nonrectangular-band]"), std::string::npos);
+}
+
+TEST(Coalescec, LintJsonFormat) {
+  const RunResult r = run_tool("--lint --lint-format=json", kRacyScalar);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(r.output.find('['), 0u);
+  EXPECT_NE(r.output.find("\"rule\": \"unprivatized-scalar\""),
+            std::string::npos);
+}
+
+TEST(Coalescec, LintSarifFormat) {
+  const RunResult r = run_tool("--lint --lint-format=sarif", kRacyScalar);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(r.output.find("unprivatized-scalar"), std::string::npos);
+}
+
+TEST(Coalescec, LintRejectsUnknownFormat) {
+  const RunResult r = run_tool("--lint --lint-format=xml", kMatmul);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Coalescec, VerifyIrAcceptsWellFormedInput) {
+  const RunResult r = run_tool("--verify-ir --verify", kMatmul);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("verified equivalent"), std::string::npos);
+}
+
+TEST(Coalescec, NoVerifyStillCoalesces) {
+  const RunResult r = run_tool("--no-verify --verify", kMatmul);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("verified equivalent"), std::string::npos);
+}
+
 TEST(Coalescec, TraceSummaryRendersWorkerGantt) {
   const std::string trace_path = ::testing::TempDir() + "/tool_trace_s_" +
                                  std::to_string(::getpid()) + ".json";

@@ -19,6 +19,13 @@
 //   --emit=ir|c|c-main emit transformed IR (default), a C kernel, or a
 //                      standalone C program
 //   --openmp           add OpenMP pragmas to emitted C
+//   --lint             run coalesce-lint on the parsed program, print the
+//                      findings, and exit (1 when any finding is an error)
+//   --lint-format=F    lint output format: text (default), json, or sarif
+//   --verify-ir        run the structural IR verifier on the parsed program
+//                      before any pass; exit 1 on violations
+//   --no-verify        disable the post-pass IR verifier and differential
+//                      oracle (escape hatch; passes run unchecked)
 //   --verify           interpret original and result; fail on divergence
 //   --stats            print before/after static metrics to stderr
 //   --report           print the dependence/parallelism report to stderr
@@ -39,7 +46,10 @@
 #include <string>
 #include <thread>
 
+#include "analysis/lint.hpp"
 #include "core/coalesce.hpp"
+#include "ir/verify.hpp"
+#include "transform/postcheck.hpp"
 
 namespace {
 
@@ -55,6 +65,10 @@ struct Options {
   bool expand_scalars = false;
   std::string emit = "ir";
   bool openmp = false;
+  bool lint = false;
+  std::string lint_format = "text";
+  bool verify_ir = false;
+  bool post_checks = true;  // --no-verify clears
   bool verify = false;
   bool stats = false;
   bool report = false;
@@ -70,8 +84,10 @@ int usage(const char* argv0) {
                "usage: %s [--analyze|--no-analyze] [--make-perfect] "
                "[--coalesce|--no-coalesce] [--guarded] [--collapse=K] "
                "[--mixed-radix] [--expand-scalars] [--emit=ir|c|c-main] "
-               "[--openmp] [--verify] [--stats] [--trace=FILE] "
-               "[--trace-workers=P] [--trace-summary] [file]\n",
+               "[--openmp] [--lint] [--lint-format=text|json|sarif] "
+               "[--verify-ir] [--no-verify] [--verify] [--stats] "
+               "[--trace=FILE] [--trace-workers=P] [--trace-summary] "
+               "[file]\n",
                argv0);
   return 2;
 }
@@ -92,6 +108,11 @@ bool parse_args(int argc, char** argv, Options& options) {
     else if (arg == "--expand-scalars") options.expand_scalars = true;
     else if (arg.rfind("--emit=", 0) == 0) options.emit = arg.substr(7);
     else if (arg == "--openmp") options.openmp = true;
+    else if (arg == "--lint") options.lint = true;
+    else if (arg.rfind("--lint-format=", 0) == 0)
+      options.lint_format = arg.substr(14);
+    else if (arg == "--verify-ir") options.verify_ir = true;
+    else if (arg == "--no-verify") options.post_checks = false;
     else if (arg == "--verify") options.verify = true;
     else if (arg == "--stats") options.stats = true;
     else if (arg.rfind("--trace=", 0) == 0) options.trace_path = arg.substr(8);
@@ -103,6 +124,10 @@ bool parse_args(int argc, char** argv, Options& options) {
     else if (arg == "--dot") options.dot = true;
     else if (!arg.empty() && arg[0] == '-') return false;
     else options.input_path = arg;
+  }
+  if (options.lint_format != "text" && options.lint_format != "json" &&
+      options.lint_format != "sarif") {
+    return false;
   }
   return options.emit == "ir" || options.emit == "c" ||
          options.emit == "c-main";
@@ -166,6 +191,34 @@ int main(int argc, char** argv) {
     return 1;
   }
   ir::Program original = std::move(parsed).value();
+
+  if (!options.post_checks) {
+    transform::set_post_verify(false);
+    transform::set_differential_oracle(false);
+  }
+
+  if (options.verify_ir) {
+    const auto issues = ir::verify_program(original);
+    for (const auto& issue : issues) {
+      std::fprintf(stderr, "coalescec: verify: %s\n",
+                   ir::to_string(issue).c_str());
+    }
+    if (!issues.empty()) return 1;
+  }
+
+  if (options.lint) {
+    const auto diags = analysis::lint_program(original);
+    const std::string file =
+        options.input_path.empty() ? "<stdin>" : options.input_path;
+    if (options.lint_format == "json") {
+      std::fputs(analysis::render_json(diags).c_str(), stdout);
+    } else if (options.lint_format == "sarif") {
+      std::fputs(analysis::render_sarif(diags, file).c_str(), stdout);
+    } else {
+      std::fputs(analysis::render_text(diags, file).c_str(), stdout);
+    }
+    return analysis::has_errors(diags) ? 1 : 0;
+  }
 
   if (options.dot) {
     for (const auto& root : original.roots) {
