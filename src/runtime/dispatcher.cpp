@@ -103,6 +103,15 @@ std::uint64_t FetchAddDispatcher::dispatch_ops() const noexcept {
   return ops_.load(std::memory_order_relaxed);
 }
 
+void FetchAddDispatcher::cancel() noexcept {
+  // Poison the shared counter past N: the exact state a normal drain ends
+  // in, so every exhaustion check already in next() handles it. One plain
+  // atomic store — wait-free, division-free, and racing fetch_adds only
+  // move the cursor further past N (the overshoot the exhausted-poll clamp
+  // already bounds).
+  next_.store(total_ + 1, std::memory_order_relaxed);
+}
+
 ChunkScheduleDispatcher::ChunkScheduleDispatcher(index::ChunkSchedule schedule)
     : schedule_(std::move(schedule)) {}
 
@@ -128,6 +137,13 @@ index::Chunk ChunkScheduleDispatcher::next() {
 
 std::uint64_t ChunkScheduleDispatcher::dispatch_ops() const noexcept {
   return ops_.load(std::memory_order_relaxed);
+}
+
+void ChunkScheduleDispatcher::cancel() noexcept {
+  // Jump the table cursor to one past the last slot; every subsequent
+  // next() takes the exhausted-poll path. Racing fetch_adds overshoot
+  // further, which next() already treats as "lost the race to the end".
+  cursor_.store(schedule_.chunk_count(), std::memory_order_relaxed);
 }
 
 PolicyDispatcher::PolicyDispatcher(i64 total,
@@ -173,6 +189,11 @@ index::Chunk PolicyDispatcher::next() {
 
 std::uint64_t PolicyDispatcher::dispatch_ops() const noexcept {
   return ops_.load(std::memory_order_relaxed);
+}
+
+void PolicyDispatcher::cancel() noexcept {
+  std::scoped_lock lock(mutex_);
+  remaining_ = 0;  // the serialized path's exhaustion condition
 }
 
 namespace {

@@ -67,6 +67,15 @@ class Dispatcher {
   /// Synchronized dispatch operations performed so far. Exhausted calls
   /// (empty chunks) are polls, not dispatches, and are never counted.
   [[nodiscard]] virtual std::uint64_t dispatch_ops() const noexcept = 0;
+
+  /// Poisons the dispatcher: every subsequent next() returns an empty
+  /// chunk, so workers stop at their next chunk grant (cancel latency is
+  /// bounded by the one chunk each worker already owns). Wait-free on the
+  /// wait-free dispatchers — the shared counter is stored past the end,
+  /// the same exhaustion the normal drain reaches; no check is added to
+  /// the hot fetch&add. Thread-safe and idempotent; at most one already-
+  /// in-flight grant per worker can still complete.
+  virtual void cancel() noexcept = 0;
 };
 
 /// Wait-free dispatcher for fixed chunk sizes (k = 1 is unit
@@ -82,6 +91,7 @@ class FetchAddDispatcher final : public Dispatcher {
 
   index::Chunk next() override;
   std::uint64_t dispatch_ops() const noexcept override;
+  void cancel() noexcept override;
 
  private:
   const i64 total_;
@@ -99,6 +109,7 @@ class ChunkScheduleDispatcher final : public Dispatcher {
 
   index::Chunk next() override;
   std::uint64_t dispatch_ops() const noexcept override;
+  void cancel() noexcept override;
 
   [[nodiscard]] const index::ChunkSchedule& schedule() const noexcept {
     return schedule_;
@@ -125,6 +136,7 @@ class PolicyDispatcher final : public Dispatcher {
 
   index::Chunk next() override;
   std::uint64_t dispatch_ops() const noexcept override;
+  void cancel() noexcept override;
 
  private:
   std::mutex mutex_;

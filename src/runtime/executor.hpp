@@ -1,4 +1,5 @@
-// Templated region executors: the zero-type-erasure hot path.
+// Templated region executors: the zero-type-erasure hot path, now fault-
+// tolerant.
 //
 // The per-worker scheduling loop — pull a chunk, decode, run the body per
 // iteration — is where the runtime spends its life, and an indirect call
@@ -10,11 +11,25 @@
 // std::function entry points in parallel_for.hpp are thin wrappers over
 // the same template and remain the measurable "before" (E16 reports the
 // erased-vs-inlined per-iteration gap).
+//
+// drive is also the runtime's single fault boundary (bench E17 prices it):
+//  * cancellation / deadlines (support/cancel.hpp) are observed at chunk-
+//    grant granularity: the shared dispatcher is poisoned past N, every
+//    worker stops after the chunk it already owns;
+//  * a body exception is captured, first-exception-wins; the siblings are
+//    drained through the same poison path, the join completes normally,
+//    and the winning exception is rethrown at the join point — a throwing
+//    body never reaches std::terminate and the pool stays reusable;
+//  * the deterministic fault harness (runtime/fault.hpp) is consulted at
+//    the same choke point when compiled in.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <exception>
 #include <memory>
+#include <string>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -23,8 +38,10 @@
 #include "index/coalesced_space.hpp"
 #include "index/incremental.hpp"
 #include "runtime/dispatcher.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/assert.hpp"
+#include "support/cancel.hpp"
 #include "trace/recorder.hpp"
 
 namespace coalesce::trace {
@@ -33,16 +50,52 @@ class Recorder;
 
 namespace coalesce::runtime {
 
+/// Caller-side controls for one parallel region: an optional cancellation
+/// token and an optional deadline. Default-constructed = run to completion
+/// (the hot path then pays two branches per chunk grant and nothing else).
+struct RunControl {
+  support::CancellationToken token;
+  support::Deadline deadline;
+
+  [[nodiscard]] bool active() const noexcept {
+    return token.valid() || deadline.is_set();
+  }
+};
+
 /// Execution report (what E5/E6 print).
 struct ForStats {
   std::uint64_t dispatch_ops = 0;      ///< synchronized allocation points
   std::uint64_t chunks_executed = 0;
   std::vector<std::uint64_t> iterations_per_worker;
   double wall_seconds = 0.0;
+  /// Iterations the caller asked for (the coalesced total N). With
+  /// cancellation or a deadline, compare against iterations_done() for
+  /// partial progress.
+  std::uint64_t iterations_requested = 0;
+  /// True when the region stopped early because the caller's token was
+  /// cancelled (or the fault harness injected a cancel).
+  bool cancelled = false;
+  /// True when the region stopped early because the deadline expired; the
+  /// overshoot is bounded by the one chunk each worker already owned.
+  bool deadline_expired = false;
   /// The recorder that collected this run's events, when tracing was
   /// enabled during the run (trace::Recorder::current() at entry); null
   /// otherwise. Borrowed, not owned — valid while that recorder lives.
   const trace::Recorder* trace = nullptr;
+
+  /// Iterations actually executed, summed over workers. Equal to
+  /// iterations_requested iff the region ran to completion.
+  [[nodiscard]] std::uint64_t iterations_done() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t n : iterations_per_worker) sum += n;
+    return sum;
+  }
+
+  /// Ran to completion: nothing stopped it early and every iteration ran.
+  [[nodiscard]] bool completed() const noexcept {
+    return !cancelled && !deadline_expired &&
+           iterations_done() == iterations_requested;
+  }
 
   /// max/mean of iterations_per_worker; 1.0 = perfectly balanced. Defined
   /// as 1.0 for the degenerate cases (no workers recorded, or no
@@ -54,15 +107,25 @@ namespace detail {
 
 /// Shared driver: runs one region in which each worker pulls chunks (from
 /// the dispatcher or its static partition) and feeds them to `run_chunk`,
-/// a callable of shape void(index::Chunk, std::uint64_t* iters). Templated
-/// so run_chunk — and through it the loop body — inlines into the
-/// scheduling loop.
+/// a callable of shape void(std::size_t worker, index::Chunk,
+/// std::uint64_t* iters). Templated so run_chunk — and through it the loop
+/// body — inlines into the scheduling loop.
+///
+/// Stop conditions (token, deadline, sibling failure) are polled between
+/// chunks only: a worker never abandons a chunk it has started, which is
+/// what bounds cancel latency to one chunk per worker and keeps the
+/// per-iteration path untouched. A run_chunk exception is captured
+/// (first-exception-wins), the dispatcher is poisoned so the other
+/// workers drain, and the winner is rethrown HERE, after the join — the
+/// pool is idle and reusable whether or not this throws.
 template <typename RunChunk>
 ForStats drive(ThreadPool& pool, i64 total, ScheduleParams params,
-               RunChunk&& run_chunk) {
+               RunChunk&& run_chunk, const RunControl& control = {}) {
   using Clock = std::chrono::steady_clock;
   const std::size_t workers = pool.worker_count();
   ForStats stats;
+  stats.iterations_requested =
+      total > 0 ? static_cast<std::uint64_t>(total) : 0;
   stats.iterations_per_worker.assign(workers, 0);
   std::vector<std::uint64_t> chunks(workers, 0);
 
@@ -71,38 +134,111 @@ ForStats drive(ThreadPool& pool, i64 total, ScheduleParams params,
                       "invalid schedule parameters (see make_dispatcher)");
   const std::unique_ptr<Dispatcher> dispatcher =
       std::move(dispatcher_or).value();
+
+  // Shared stop machinery. `stop` is advisory (static schedules poll it);
+  // the dispatcher poison is what bounds latency on the dynamic path.
+  // `first_error` is written by exactly one claimant (the error_claimed
+  // exchange) and read after the pool join, which provides the
+  // happens-before edge.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> cancelled{false};
+  std::atomic<bool> deadline_expired{false};
+  std::atomic<bool> error_claimed{false};
+  std::exception_ptr first_error;
+
+  const bool check_token = control.token.valid();
+  const bool check_deadline = control.deadline.is_set();
+
+  auto request_stop = [&](trace::CancelCause cause) {
+    stop.store(true, std::memory_order_relaxed);
+    if (dispatcher != nullptr) dispatcher->cancel();
+    trace::mark(trace::EventKind::kCancel, static_cast<i64>(cause));
+    trace::count(trace::Counter::kCancels);
+  };
+
   const auto start = Clock::now();
 
   pool.run_region([&](std::size_t w) {
     std::uint64_t local_iters = 0;
     std::uint64_t local_chunks = 0;
+    // Returns false when the region should stop before taking more work.
+    auto should_continue = [&]() -> bool {
+      if (stop.load(std::memory_order_relaxed)) return false;
+      if (check_token && control.token.cancelled()) {
+        cancelled.store(true, std::memory_order_relaxed);
+        request_stop(trace::CancelCause::kToken);
+        return false;
+      }
+      if (check_deadline && control.deadline.expired()) {
+        deadline_expired.store(true, std::memory_order_relaxed);
+        request_stop(trace::CancelCause::kDeadline);
+        return false;
+      }
+      return true;
+    };
     auto traced_chunk = [&](index::Chunk chunk) {
+      if constexpr (fault::kEnabled) {
+        if (fault::FaultPlan* plan = fault::FaultPlan::current()) {
+          const fault::FaultDecision decision =
+              plan->on_chunk_grant(w, chunk);
+          if (decision.stall_ns > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(decision.stall_ns));
+          }
+          if (decision.cancel) {
+            cancelled.store(true, std::memory_order_relaxed);
+            request_stop(trace::CancelCause::kInjected);
+            return;
+          }
+          if (decision.throw_at > 0) {
+            // Run the prefix below the fault point, then fail exactly at
+            // it — deterministic in WHICH iteration faults.
+            const index::Chunk prefix{chunk.first, decision.throw_at};
+            if (!prefix.empty()) {
+              run_chunk(w, prefix, &local_iters);
+            }
+            throw fault::FaultInjected(
+                "injected fault at iteration " +
+                std::to_string(decision.throw_at));
+          }
+        }
+      }
       trace::ScopedSpan span(trace::EventKind::kChunkExec, chunk.first,
                              chunk.size());
       const std::uint64_t before = local_iters;
-      run_chunk(chunk, &local_iters);
+      run_chunk(w, chunk, &local_iters);
       ++local_chunks;
       trace::count(trace::Counter::kChunksExecuted);
       trace::count(trace::Counter::kIterations, local_iters - before);
     };
-    if (dispatcher != nullptr) {
-      while (true) {
-        const index::Chunk chunk = dispatcher->next();
-        if (chunk.empty()) break;
-        traced_chunk(chunk);
+    try {
+      if (dispatcher != nullptr) {
+        while (should_continue()) {
+          const index::Chunk chunk = dispatcher->next();
+          if (chunk.empty()) break;
+          traced_chunk(chunk);
+        }
+      } else if (params.kind == Schedule::kStaticBlock) {
+        const auto blocks =
+            index::static_blocks(total, static_cast<i64>(workers));
+        const index::Chunk mine = blocks[w];
+        if (!mine.empty() && should_continue()) {
+          traced_chunk(mine);
+        }
+      } else {  // kStaticCyclic: unit chunks w+1, w+1+P, ...
+        for (i64 j = static_cast<i64>(w) + 1; j <= total;
+             j += static_cast<i64>(workers)) {
+          if (!should_continue()) break;
+          traced_chunk(index::Chunk{j, j + 1});
+        }
       }
-    } else if (params.kind == Schedule::kStaticBlock) {
-      const auto blocks =
-          index::static_blocks(total, static_cast<i64>(workers));
-      const index::Chunk mine = blocks[w];
-      if (!mine.empty()) {
-        traced_chunk(mine);
+    } catch (...) {
+      // First exception wins; the rest of the pool drains via the poison
+      // path and the winner is rethrown after the join below.
+      if (!error_claimed.exchange(true, std::memory_order_acq_rel)) {
+        first_error = std::current_exception();
       }
-    } else {  // kStaticCyclic: unit chunks w+1, w+1+P, ...
-      for (i64 j = static_cast<i64>(w) + 1; j <= total;
-           j += static_cast<i64>(workers)) {
-        traced_chunk(index::Chunk{j, j + 1});
-      }
+      request_stop(trace::CancelCause::kException);
     }
     stats.iterations_per_worker[w] = local_iters;
     chunks[w] = local_chunks;
@@ -112,7 +248,12 @@ ForStats drive(ThreadPool& pool, i64 total, ScheduleParams params,
       std::chrono::duration<double>(Clock::now() - start).count();
   for (auto c : chunks) stats.chunks_executed += c;
   stats.dispatch_ops = dispatcher != nullptr ? dispatcher->dispatch_ops() : 0;
+  stats.cancelled = cancelled.load(std::memory_order_relaxed);
+  stats.deadline_expired = deadline_expired.load(std::memory_order_relaxed);
   stats.trace = trace::Recorder::current();
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
   return stats;
 }
 
@@ -126,15 +267,17 @@ ForStats drive(ThreadPool& pool, i64 total, ScheduleParams params,
 template <typename Body,
           std::enable_if_t<std::is_invocable_v<Body&, i64>, int> = 0>
 ForStats parallel_for(ThreadPool& pool, i64 total, ScheduleParams params,
-                      Body&& body) {
+                      Body&& body, const RunControl& control = {}) {
   COALESCE_ASSERT(total >= 0);
-  return detail::drive(pool, total, params,
-                       [&body](index::Chunk chunk, std::uint64_t* iters) {
-                         for (i64 j = chunk.first; j < chunk.last; ++j) {
-                           body(j);
-                           ++*iters;
-                         }
-                       });
+  return detail::drive(
+      pool, total, params,
+      [&body](std::size_t, index::Chunk chunk, std::uint64_t* iters) {
+        for (i64 j = chunk.first; j < chunk.last; ++j) {
+          body(j);
+          ++*iters;
+        }
+      },
+      control);
 }
 
 /// The coalesced nest executor, body inlined: one dispatcher over the
@@ -144,10 +287,12 @@ template <typename Body,
               std::is_invocable_v<Body&, std::span<const i64>>, int> = 0>
 ForStats parallel_for_collapsed(ThreadPool& pool,
                                 const index::CoalescedSpace& space,
-                                ScheduleParams params, Body&& body) {
+                                ScheduleParams params, Body&& body,
+                                const RunControl& control = {}) {
   return detail::drive(
       pool, space.total(), params,
-      [&body, &space](index::Chunk chunk, std::uint64_t* iters) {
+      [&body, &space](std::size_t, index::Chunk chunk,
+                      std::uint64_t* iters) {
         // One full decode per chunk, odometer within: the strength-reduced
         // recovery (index/incremental.hpp).
         const std::uint64_t t0 = trace::span_begin();
@@ -162,7 +307,8 @@ ForStats parallel_for_collapsed(ThreadPool& pool,
           if (decoder.position() + 1 >= chunk.last) break;
           decoder.advance();
         }
-      });
+      },
+      control);
 }
 
 }  // namespace coalesce::runtime

@@ -1,0 +1,130 @@
+#include "runtime/fault.hpp"
+
+#if !defined(COALESCE_FAULTS_DISABLED)
+
+#include "support/assert.hpp"
+#include "trace/recorder.hpp"
+
+namespace coalesce::runtime::fault {
+
+std::atomic<FaultPlan*> FaultPlan::current_{nullptr};
+
+namespace {
+
+/// splitmix64: the plan generator must not depend on support::Rng's
+/// stream layout, so a failing fuzz seed stays a stable repro even if the
+/// general-purpose RNG evolves.
+std::uint64_t mix(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void trace_fired(FaultKind kind, i64 arg) noexcept {
+  trace::mark(trace::EventKind::kFaultInject, static_cast<i64>(kind), arg);
+  trace::count(trace::Counter::kFaultsInjected);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultPlan& other) noexcept
+    : throw_at_iteration(other.throw_at_iteration),
+      cancel_at_chunk(other.cancel_at_chunk),
+      stall_worker(other.stall_worker),
+      stall_ns(other.stall_ns) {}
+
+FaultPlan& FaultPlan::operator=(const FaultPlan& other) noexcept {
+  throw_at_iteration = other.throw_at_iteration;
+  cancel_at_chunk = other.cancel_at_chunk;
+  stall_worker = other.stall_worker;
+  stall_ns = other.stall_ns;
+  reset();
+  return *this;
+}
+
+FaultPlan* FaultPlan::current() noexcept {
+  return current_.load(std::memory_order_relaxed);
+}
+
+void FaultPlan::install() noexcept {
+  FaultPlan* expected = nullptr;
+  const bool installed = current_.compare_exchange_strong(
+      expected, this, std::memory_order_release);
+  COALESCE_ASSERT_MSG(installed || expected == this,
+                      "another fault::FaultPlan is already installed");
+}
+
+void FaultPlan::uninstall() noexcept {
+  FaultPlan* expected = this;
+  current_.compare_exchange_strong(expected, nullptr,
+                                   std::memory_order_release);
+}
+
+FaultPlan FaultPlan::from_seed(std::uint64_t seed, i64 total,
+                               std::size_t workers) {
+  FaultPlan plan;
+  std::uint64_t state = seed;
+  if (total <= 0) return plan;  // nothing to fault
+  switch (mix(state) % 3) {
+    case 0:
+      plan.throw_at_iteration =
+          1 + static_cast<i64>(mix(state) % static_cast<std::uint64_t>(total));
+      break;
+    case 1:
+      plan.stall_worker =
+          static_cast<i64>(mix(state) % static_cast<std::uint64_t>(workers));
+      plan.stall_ns = 1'000'000 +
+                      static_cast<i64>(mix(state) % 4'000'000ull);  // 1..5 ms
+      break;
+    default:
+      // Chunk ordinals start at 1; any loop grants at least one chunk, and
+      // small ordinals are where cancellation races live.
+      plan.cancel_at_chunk = 1 + static_cast<i64>(mix(state) % 8);
+      break;
+  }
+  return plan;
+}
+
+FaultDecision FaultPlan::on_chunk_grant_armed(std::size_t worker,
+                                              index::Chunk chunk) noexcept {
+  FaultDecision decision;
+  const std::uint64_t ordinal =
+      chunks_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  if (cancel_at_chunk > 0 &&
+      ordinal >= static_cast<std::uint64_t>(cancel_at_chunk) &&
+      !cancelled_.exchange(true, std::memory_order_relaxed)) {
+    decision.cancel = true;
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    trace_fired(FaultKind::kCancel, static_cast<i64>(ordinal));
+  }
+
+  if (stall_worker >= 0 && static_cast<i64>(worker) == stall_worker &&
+      stall_ns > 0 && !stalled_.exchange(true, std::memory_order_relaxed)) {
+    decision.stall_ns = stall_ns;
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    trace_fired(FaultKind::kStall, stall_worker);
+  }
+
+  if (throw_at_iteration >= chunk.first && throw_at_iteration < chunk.last &&
+      !threw_.exchange(true, std::memory_order_relaxed)) {
+    decision.throw_at = throw_at_iteration;
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    trace_fired(FaultKind::kThrow, throw_at_iteration);
+  }
+  return decision;
+}
+
+void FaultPlan::reset() noexcept {
+  chunks_.store(0, std::memory_order_relaxed);
+  fired_.store(0, std::memory_order_relaxed);
+  threw_.store(false, std::memory_order_relaxed);
+  stalled_.store(false, std::memory_order_relaxed);
+  cancelled_.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace coalesce::runtime::fault
+
+#endif  // !COALESCE_FAULTS_DISABLED

@@ -1,0 +1,176 @@
+// Deterministic fault injection for the coalesced runtime.
+//
+// Every interesting runtime failure mode — a body that throws, a worker
+// that stalls, a caller that cancels mid-flight — is reachable through ONE
+// choke point: the chunk grant. A FaultPlan installed process-wide is
+// consulted by the scheduling driver once per granted chunk and can order
+// three faults, each pinned to a deterministic coordinate:
+//
+//  * throw-at-iteration-k — the chunk containing coalesced index k runs
+//    its prefix [first, k) normally, then throws FaultInjected from the
+//    worker that owns the chunk (which worker that is may vary run to run;
+//    WHICH iteration faults never does);
+//  * stall-worker-w — the first chunk worker w is granted is preceded by a
+//    sleep, simulating a straggler or a descheduled thread;
+//  * cancel-at-chunk-c — the c-th chunk grant (a global, atomically
+//    numbered ordinal) triggers the runtime's cancel path, exactly as if
+//    the caller's CancellationToken had fired at that grant.
+//
+// The harness mirrors the trace flag: -DCOALESCE_ENABLE_FAULTS=OFF defines
+// COALESCE_FAULTS_DISABLED and compiles every hook out; when ON (the
+// default) an uninstalled plan costs one relaxed load per chunk grant.
+// Fired faults are recorded as trace events (EventKind::kFaultInject).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+#include "index/chunk.hpp"
+#include "support/int_math.hpp"
+
+namespace coalesce::runtime::fault {
+
+using support::i64;
+
+/// The exception an injected throw raises inside a worker body. Public so
+/// tests can catch it specifically at the join point.
+class FaultInjected : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Fault kinds, recorded as kFaultInject's arg0.
+enum class FaultKind : std::uint8_t {
+  kThrow = 1,
+  kStall = 2,
+  kCancel = 3,
+};
+
+/// What the driver must do with the chunk it was just granted.
+struct FaultDecision {
+  i64 throw_at = 0;    ///< > 0: run [chunk.first, throw_at) then throw
+  i64 stall_ns = 0;    ///< > 0: sleep this long before running the chunk
+  bool cancel = false; ///< trigger the cancel path before running the chunk
+};
+
+#if defined(COALESCE_FAULTS_DISABLED)
+
+inline constexpr bool kEnabled = false;
+
+/// Stub: never installed, decisions never consulted. The driver guards
+/// every use with `if constexpr (fault::kEnabled)`, so this compiles out.
+class FaultPlan {
+ public:
+  [[nodiscard]] static constexpr FaultPlan* current() noexcept {
+    return nullptr;
+  }
+  [[nodiscard]] static FaultPlan from_seed(std::uint64_t, i64,
+                                           std::size_t) noexcept {
+    return {};
+  }
+  void install() noexcept {}
+  void uninstall() noexcept {}
+  void reset() noexcept {}
+  [[nodiscard]] FaultDecision on_chunk_grant(std::size_t,
+                                             index::Chunk) noexcept {
+    return {};
+  }
+  [[nodiscard]] std::uint64_t chunks_seen() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t faults_fired() const noexcept { return 0; }
+  [[nodiscard]] bool armed() const noexcept { return false; }
+
+  i64 throw_at_iteration = 0;
+  i64 cancel_at_chunk = 0;
+  i64 stall_worker = -1;
+  i64 stall_ns = 0;
+};
+
+#else
+
+inline constexpr bool kEnabled = true;
+
+/// A seeded, deterministic plan of runtime faults. Configure the public
+/// fields (0 / -1 disables each fault), install(), run the region, read
+/// the fired counters, uninstall(). One plan may arm all three faults at
+/// once; each fires at most once per plan (reset() re-arms).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Copying transfers configuration only: the copy's counters start at
+  /// zero and the copy is not installed (the atomics are per-instance).
+  FaultPlan(const FaultPlan& other) noexcept;
+  FaultPlan& operator=(const FaultPlan& other) noexcept;
+
+  /// Derives a random single-fault plan from `seed` over a loop of `total`
+  /// iterations on `workers` workers — the fuzz harness's generator. The
+  /// mapping is pure (splitmix64 over the seed), so a failing seed is a
+  /// complete repro.
+  [[nodiscard]] static FaultPlan from_seed(std::uint64_t seed, i64 total,
+                                           std::size_t workers);
+
+  // ---- installation (mirrors trace::Recorder) -------------------------------
+
+  [[nodiscard]] static FaultPlan* current() noexcept;
+  /// Makes this plan the process-wide fault source; only one at a time.
+  void install() noexcept;
+  void uninstall() noexcept;
+
+  // ---- driver hook ----------------------------------------------------------
+
+  /// Called by the scheduling driver once per granted chunk. Numbers the
+  /// grant globally, fires any armed fault whose coordinate matches, and
+  /// returns what the driver must do. Thread-safe; each fault fires once.
+  /// An unarmed plan returns immediately — no shared-counter traffic — so
+  /// installing an empty plan costs read-only config loads per grant (E17
+  /// prices this; chunks_seen() stays 0 in that case).
+  [[nodiscard]] FaultDecision on_chunk_grant(std::size_t worker,
+                                             index::Chunk chunk) noexcept {
+    if (!armed()) return {};
+    return on_chunk_grant_armed(worker, chunk);
+  }
+
+  /// True when any fault is configured. The config fields are written
+  /// before install() and read-only during the run, so this is safe to
+  /// call from workers without synchronization.
+  [[nodiscard]] bool armed() const noexcept {
+    return throw_at_iteration > 0 || cancel_at_chunk > 0 ||
+           (stall_worker >= 0 && stall_ns > 0);
+  }
+
+  // ---- assertions / re-arm --------------------------------------------------
+
+  [[nodiscard]] std::uint64_t chunks_seen() const noexcept {
+    return chunks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t faults_fired() const noexcept {
+    return fired_.load(std::memory_order_relaxed);
+  }
+  /// Re-arms every fault and resets the grant ordinal (for reuse across
+  /// regions in one test).
+  void reset() noexcept;
+
+  // ---- configuration --------------------------------------------------------
+
+  i64 throw_at_iteration = 0;  ///< 1-based coalesced index; 0 disables
+  i64 cancel_at_chunk = 0;     ///< 1-based global grant ordinal; 0 disables
+  i64 stall_worker = -1;       ///< worker id; -1 disables
+  i64 stall_ns = 0;            ///< stall duration (once, at first grant)
+
+ private:
+  [[nodiscard]] FaultDecision on_chunk_grant_armed(std::size_t worker,
+                                                   index::Chunk chunk) noexcept;
+
+  std::atomic<std::uint64_t> chunks_{0};
+  std::atomic<std::uint64_t> fired_{0};
+  std::atomic<bool> threw_{false};
+  std::atomic<bool> stalled_{false};
+  std::atomic<bool> cancelled_{false};
+
+  static std::atomic<FaultPlan*> current_;
+};
+
+#endif  // COALESCE_FAULTS_DISABLED
+
+}  // namespace coalesce::runtime::fault

@@ -12,7 +12,8 @@ namespace coalesce::runtime {
 support::Expected<ForStats> execute_parallel(ThreadPool& pool,
                                              const ir::LoopNest& nest,
                                              ScheduleParams params,
-                                             ir::ArrayStore& store) {
+                                             ir::ArrayStore& store,
+                                             const RunControl& control) {
   COALESCE_ASSERT(nest.root != nullptr);
   const ir::Loop& root = *nest.root;
   if (!root.parallel) {
@@ -27,7 +28,19 @@ support::Expected<ForStats> execute_parallel(ThreadPool& pool,
                                "parallel execution requires constant bounds");
   }
 
-  // One private evaluator per worker, all sharing `store`.
+  // Propagate invalid schedule parameters (negative total, chunk_size < 1)
+  // as the caller-facing error this entry point already reports, before
+  // handing off to the asserting driver.
+  {
+    auto dispatcher_or = make_dispatcher(params, *trips, pool.worker_count());
+    if (!dispatcher_or.ok()) return dispatcher_or.error();
+  }
+
+  // One private evaluator per worker, all sharing `store` — the
+  // privatization model the emitted OpenMP code expresses with
+  // `private(...)`. drive() passes the worker id with every chunk, so each
+  // chunk runs on its worker's evaluator; scheduling, cancellation,
+  // deadline, and exception handling are all the shared driver's.
   std::vector<std::unique_ptr<ir::Evaluator>> workers;
   workers.reserve(pool.worker_count());
   for (std::size_t w = 0; w < pool.worker_count(); ++w) {
@@ -35,86 +48,49 @@ support::Expected<ForStats> execute_parallel(ThreadPool& pool,
         std::make_unique<ir::Evaluator>(nest.symbols, store));
   }
 
-  // The flat index j in [1, trips] maps to value lo + (j-1)*step. Workers
-  // are distinguished by... the drive loop passes chunks, not worker ids,
-  // so we key private evaluators off the thread via a slot handed out in
-  // the region: easiest correct form is one evaluator per worker id,
-  // resolved inside run_region — parallel_for's body callback doesn't see
-  // the worker id, so we run the region directly here.
-  const std::size_t worker_count = pool.worker_count();
-  ForStats stats;
-  stats.iterations_per_worker.assign(worker_count, 0);
-
-  // Propagate invalid schedule parameters (negative total, chunk_size < 1)
-  // as the caller-facing error this entry point already reports.
-  auto dispatcher_or = make_dispatcher(params, *trips, worker_count);
-  if (!dispatcher_or.ok()) return dispatcher_or.error();
-  const std::unique_ptr<Dispatcher> dispatcher =
-      std::move(dispatcher_or).value();
-  std::vector<std::uint64_t> chunks(worker_count, 0);
-
-  pool.run_region([&](std::size_t w) {
-    ir::Evaluator& eval = *workers[w];
-    std::uint64_t local_iters = 0;
-    std::uint64_t local_chunks = 0;
-    auto run_chunk = [&](index::Chunk chunk) {
-      trace::ScopedSpan span(trace::EventKind::kChunkExec, chunk.first,
-                             chunk.size());
-      for (support::i64 j = chunk.first; j < chunk.last; ++j) {
-        eval.run_body_once(root, *lo + (j - 1) * root.step);
-        ++local_iters;
-      }
-      trace::count(trace::Counter::kChunksExecuted);
-      trace::count(trace::Counter::kIterations,
-                   static_cast<std::uint64_t>(chunk.size()));
-    };
-    if (dispatcher != nullptr) {
-      while (true) {
-        const index::Chunk chunk = dispatcher->next();
-        if (chunk.empty()) break;
-        ++local_chunks;
-        run_chunk(chunk);
-      }
-    } else if (params.kind == Schedule::kStaticBlock) {
-      const auto blocks = index::static_blocks(
-          *trips, static_cast<support::i64>(worker_count));
-      if (!blocks[w].empty()) {
-        ++local_chunks;
-        run_chunk(blocks[w]);
-      }
-    } else {  // static cyclic
-      for (support::i64 j = static_cast<support::i64>(w) + 1; j <= *trips;
-           j += static_cast<support::i64>(worker_count)) {
-        ++local_chunks;
-        run_chunk(index::Chunk{j, j + 1});
-      }
-    }
-    stats.iterations_per_worker[w] = local_iters;
-    chunks[w] = local_chunks;
-  });
-
-  for (auto c : chunks) stats.chunks_executed += c;
-  stats.dispatch_ops = dispatcher != nullptr ? dispatcher->dispatch_ops() : 0;
-  stats.trace = trace::Recorder::current();
-  return stats;
+  // The flat index j in [1, trips] maps to value lo + (j-1)*step.
+  return detail::drive(
+      pool, *trips, params,
+      [&](std::size_t w, index::Chunk chunk, std::uint64_t* iters) {
+        ir::Evaluator& eval = *workers[w];
+        for (support::i64 j = chunk.first; j < chunk.last; ++j) {
+          eval.run_body_once(root, *lo + (j - 1) * root.step);
+          ++*iters;
+        }
+      },
+      control);
 }
 
 support::Expected<ProgramStats> execute_program(ThreadPool& pool,
                                                 const ir::Program& program,
                                                 ScheduleParams params,
-                                                ir::ArrayStore& store) {
+                                                ir::ArrayStore& store,
+                                                const RunControl& control) {
   ProgramStats totals;
   for (const ir::LoopPtr& root : program.roots) {
     COALESCE_ASSERT(root != nullptr);
+    // Stop granularity between roots: a cancel or expired deadline
+    // observed here skips every remaining root. (Within a parallel root
+    // the bound is one chunk per worker; a sequential root, once started,
+    // runs to completion — the interpreter has no dispatch points.)
+    if (control.token.valid() && control.token.cancelled()) {
+      totals.cancelled = true;
+      break;
+    }
+    if (control.deadline.is_set() && control.deadline.expired()) {
+      totals.deadline_expired = true;
+      break;
+    }
     if (root->parallel && ir::constant_trip_count(*root).has_value()) {
       auto stats = execute_parallel(
-          pool, ir::LoopNest{program.symbols, root}, params, store);
+          pool, ir::LoopNest{program.symbols, root}, params, store, control);
       if (!stats.ok()) return stats.error();
       totals.parallel_roots += 1;
       totals.dispatch_ops += stats.value().dispatch_ops;
-      for (auto n : stats.value().iterations_per_worker) {
-        totals.iterations += n;
-      }
+      totals.iterations += stats.value().iterations_done();
+      totals.cancelled |= stats.value().cancelled;
+      totals.deadline_expired |= stats.value().deadline_expired;
+      if (totals.cancelled || totals.deadline_expired) break;
     } else {
       ir::Evaluator eval(program.symbols, store);
       eval.run(*root);

@@ -24,22 +24,29 @@ namespace coalesce::runtime {
 
 /// Executes `nest.root` with its iterations scheduled across the pool.
 /// Requires: root marked parallel, constant bounds, positive step.
-/// Returns the scheduling stats; array results land in `store`.
+/// Returns the scheduling stats; array results land in `store`. An
+/// optional RunControl stops the region early at chunk-grant granularity
+/// (stats.cancelled / deadline_expired report how it ended); a body/eval
+/// exception is rethrown once at the join and the pool stays reusable.
 [[nodiscard]] support::Expected<ForStats> execute_parallel(
     ThreadPool& pool, const ir::LoopNest& nest, ScheduleParams params,
-    ir::ArrayStore& store);
+    ir::ArrayStore& store, const RunControl& control = {});
 
 /// Executes a whole program (e.g. the output of distribute + coalesce):
 /// parallel roots run across the pool, sequential roots are interpreted on
-/// the calling thread, in order, against one shared store.
+/// the calling thread, in order, against one shared store. The control is
+/// observed between roots and inside parallel roots; a stop leaves the
+/// store holding the partial results of the roots that ran.
 struct ProgramStats {
   std::uint64_t parallel_roots = 0;
   std::uint64_t sequential_roots = 0;
   std::uint64_t dispatch_ops = 0;
   std::uint64_t iterations = 0;
+  bool cancelled = false;         ///< stopped by the caller's token
+  bool deadline_expired = false;  ///< stopped by the caller's deadline
 };
 [[nodiscard]] support::Expected<ProgramStats> execute_program(
     ThreadPool& pool, const ir::Program& program, ScheduleParams params,
-    ir::ArrayStore& store);
+    ir::ArrayStore& store, const RunControl& control = {});
 
 }  // namespace coalesce::runtime

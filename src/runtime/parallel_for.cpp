@@ -50,49 +50,53 @@ double ForStats::imbalance() const {
 }
 
 ForStats parallel_for(ThreadPool& pool, i64 total, ScheduleParams params,
-                      const FlatBody& body) {
+                      const FlatBody& body, const RunControl& control) {
   COALESCE_ASSERT(total >= 0);
   // Erased variant: the scheduling loop is the shared template, but each
   // iteration goes through the std::function — the E16 "before" path.
-  return detail::drive(pool, total, params,
-                       [&](index::Chunk chunk, std::uint64_t* iters) {
-                         for (i64 j = chunk.first; j < chunk.last; ++j) {
-                           body(j);
-                           ++*iters;
-                         }
-                       });
+  return detail::drive(
+      pool, total, params,
+      [&](std::size_t, index::Chunk chunk, std::uint64_t* iters) {
+        for (i64 j = chunk.first; j < chunk.last; ++j) {
+          body(j);
+          ++*iters;
+        }
+      },
+      control);
 }
 
 ForStats parallel_for_collapsed(ThreadPool& pool,
                                 const index::CoalescedSpace& space,
                                 ScheduleParams params,
-                                const IndexedBody& body) {
-  return detail::drive(pool, space.total(), params,
-                       [&](index::Chunk chunk, std::uint64_t* iters) {
-                         // One full decode per chunk, odometer within: the
-                         // strength-reduced recovery (index/incremental.hpp).
-                         const std::uint64_t t0 = trace::span_begin();
-                         index::IncrementalDecoder decoder(space, chunk.first);
-                         trace::span_end(trace::EventKind::kIndexRecovery, t0,
-                                         chunk.first);
-                         trace::count(trace::Counter::kRecoveryDecodes);
-                         trace::count(trace::Counter::kRecoverySteps,
-                                      static_cast<std::uint64_t>(
-                                          chunk.size() - 1));
-                         while (true) {
-                           body(decoder.original());
-                           ++*iters;
-                           if (decoder.position() + 1 >= chunk.last) break;
-                           decoder.advance();
-                         }
-                       });
+                                const IndexedBody& body,
+                                const RunControl& control) {
+  return detail::drive(
+      pool, space.total(), params,
+      [&](std::size_t, index::Chunk chunk, std::uint64_t* iters) {
+        // One full decode per chunk, odometer within: the
+        // strength-reduced recovery (index/incremental.hpp).
+        const std::uint64_t t0 = trace::span_begin();
+        index::IncrementalDecoder decoder(space, chunk.first);
+        trace::span_end(trace::EventKind::kIndexRecovery, t0, chunk.first);
+        trace::count(trace::Counter::kRecoveryDecodes);
+        trace::count(trace::Counter::kRecoverySteps,
+                     static_cast<std::uint64_t>(chunk.size() - 1));
+        while (true) {
+          body(decoder.original());
+          ++*iters;
+          if (decoder.position() + 1 >= chunk.last) break;
+          decoder.advance();
+        }
+      },
+      control);
 }
 
 ForStats parallel_for_collapsed_tiled(ThreadPool& pool,
                                       const index::CoalescedSpace& space,
                                       std::span<const i64> tile_sizes,
                                       ScheduleParams params,
-                                      const IndexedBody& body) {
+                                      const IndexedBody& body,
+                                      const RunControl& control) {
   COALESCE_ASSERT(tile_sizes.size() == space.depth());
   const std::size_t depth = space.depth();
 
@@ -104,9 +108,9 @@ ForStats parallel_for_collapsed_tiled(ThreadPool& pool,
   }
   const auto tile_space = index::CoalescedSpace::create(grid).value();
 
-  return detail::drive(
+  ForStats stats = detail::drive(
       pool, tile_space.total(), params,
-      [&](index::Chunk chunk, std::uint64_t* iters) {
+      [&](std::size_t, index::Chunk chunk, std::uint64_t* iters) {
         std::vector<i64> tile(depth);
         std::vector<i64> point(depth);
         for (i64 t = chunk.first; t < chunk.last; ++t) {
@@ -142,40 +146,61 @@ ForStats parallel_for_collapsed_tiled(ThreadPool& pool,
             tile_done = !advanced;
           }
         }
-      });
+      },
+      control);
+  // drive counted tiles as its total; report progress in points.
+  stats.iterations_requested = static_cast<std::uint64_t>(space.total());
+  return stats;
 }
 
 ForStats parallel_for_nested_outer(ThreadPool& pool,
                                    std::span<const i64> extents,
                                    ScheduleParams params,
-                                   const IndexedBody& body) {
+                                   const IndexedBody& body,
+                                   const RunControl& control) {
   COALESCE_ASSERT(!extents.empty());
   const i64 outer = extents[0];
-  return detail::drive(pool, outer, params,
-                       [&, extents](index::Chunk chunk, std::uint64_t* iters) {
-                         std::vector<i64> indices(extents.size(), 1);
-                         for (i64 i = chunk.first; i < chunk.last; ++i) {
-                           indices[0] = i;
-                           sweep_tail(extents, 1, indices,
-                                      [&](std::span<const i64> idx) {
-                                        body(idx);
-                                        ++*iters;
-                                      });
-                         }
-                       });
+  // Note the granularity consequence: one "chunk" here spans whole inner
+  // sweeps, so cancel latency is bounded by (chunk size) * inner volume —
+  // the coalesced executor's tighter bound is itself an argument for
+  // coalescing.
+  ForStats stats = detail::drive(
+      pool, outer, params,
+      [&, extents](std::size_t, index::Chunk chunk, std::uint64_t* iters) {
+        std::vector<i64> indices(extents.size(), 1);
+        for (i64 i = chunk.first; i < chunk.last; ++i) {
+          indices[0] = i;
+          sweep_tail(extents, 1, indices, [&](std::span<const i64> idx) {
+            body(idx);
+            ++*iters;
+          });
+        }
+      },
+      control);
+  // drive counted outer iterations as its total; report points.
+  std::uint64_t volume = 1;
+  for (const i64 e : extents) volume *= static_cast<std::uint64_t>(e);
+  stats.iterations_requested = volume;
+  return stats;
 }
 
 ForStats parallel_for_nested_forkjoin(ThreadPool& pool,
                                       std::span<const i64> extents,
                                       ScheduleParams params,
-                                      const IndexedBody& body) {
+                                      const IndexedBody& body,
+                                      const RunControl& control) {
   COALESCE_ASSERT(!extents.empty());
   // Execution shape of nested DOALLs without coalescing: all levels but the
   // innermost run sequentially here, and every instance of the innermost
   // loop is its own fork-join over the pool — prod(extents[0..m-2])
-  // parallel-loop initiations in total.
+  // parallel-loop initiations in total. The control is threaded into every
+  // inner region; once one stops early the remaining instances are skipped
+  // entirely.
   ForStats total_stats;
   total_stats.iterations_per_worker.assign(pool.worker_count(), 0);
+  std::uint64_t volume = 1;
+  for (const i64 e : extents) volume *= static_cast<std::uint64_t>(e);
+  total_stats.iterations_requested = volume;
   const auto start = Clock::now();
 
   std::vector<i64> prefix(extents.size(), 1);
@@ -183,20 +208,24 @@ ForStats parallel_for_nested_forkjoin(ThreadPool& pool,
 
   // Iterate the outer product space sequentially.
   std::function<void(std::size_t)> outer_sweep = [&](std::size_t level) {
+    if (total_stats.cancelled || total_stats.deadline_expired) return;
     if (level == last) {
       const i64 inner = extents[last];
       const ForStats inner_stats = detail::drive(
           pool, inner, params,
-          [&](index::Chunk chunk, std::uint64_t* iters) {
+          [&](std::size_t, index::Chunk chunk, std::uint64_t* iters) {
             std::vector<i64> indices(prefix.begin(), prefix.end());
             for (i64 j = chunk.first; j < chunk.last; ++j) {
               indices[last] = j;
               body(indices);
               ++*iters;
             }
-          });
+          },
+          control);
       total_stats.dispatch_ops += inner_stats.dispatch_ops;
       total_stats.chunks_executed += inner_stats.chunks_executed;
+      total_stats.cancelled |= inner_stats.cancelled;
+      total_stats.deadline_expired |= inner_stats.deadline_expired;
       for (std::size_t w = 0; w < total_stats.iterations_per_worker.size();
            ++w) {
         total_stats.iterations_per_worker[w] +=
@@ -205,6 +234,7 @@ ForStats parallel_for_nested_forkjoin(ThreadPool& pool,
       return;
     }
     for (i64 v = 1; v <= extents[level]; ++v) {
+      if (total_stats.cancelled || total_stats.deadline_expired) return;
       prefix[level] = v;
       outer_sweep(level + 1);
     }

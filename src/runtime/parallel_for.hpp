@@ -30,10 +30,16 @@ namespace coalesce::runtime {
 using FlatBody = std::function<void(i64 j)>;
 using IndexedBody = std::function<void(std::span<const i64> indices)>;
 
+// Every entry point takes an optional RunControl (executor.hpp): a
+// cancellation token and/or deadline observed at chunk-grant granularity.
+// A stopped run returns partial ForStats (cancelled / deadline_expired
+// set); a body exception is rethrown once at the join point and the pool
+// stays reusable either way.
+
 /// Runs `body(j)` for every j in [1, total] on the pool (erased entry
 /// point; see executor.hpp for the inlining overload).
 ForStats parallel_for(ThreadPool& pool, i64 total, ScheduleParams params,
-                      const FlatBody& body);
+                      const FlatBody& body, const RunControl& control = {});
 
 /// The coalesced nest executor: one dispatcher over the flattened space,
 /// strength-reduced index recovery per chunk. This is loop coalescing as a
@@ -42,7 +48,8 @@ ForStats parallel_for(ThreadPool& pool, i64 total, ScheduleParams params,
 ForStats parallel_for_collapsed(ThreadPool& pool,
                                 const index::CoalescedSpace& space,
                                 ScheduleParams params,
-                                const IndexedBody& body);
+                                const IndexedBody& body,
+                                const RunControl& control = {});
 
 /// Tiled coalesced executor: the space is partitioned into rectangular
 /// tiles of the given per-level sizes; the scheduler hands out whole tiles
@@ -55,7 +62,8 @@ ForStats parallel_for_collapsed_tiled(ThreadPool& pool,
                                       const index::CoalescedSpace& space,
                                       std::span<const i64> tile_sizes,
                                       ScheduleParams params,
-                                      const IndexedBody& body);
+                                      const IndexedBody& body,
+                                      const RunControl& control = {});
 
 /// Baseline 1 — "parallelize outer only": the outer level is scheduled
 /// across workers; inner levels run sequentially inside each outer
@@ -64,7 +72,8 @@ ForStats parallel_for_collapsed_tiled(ThreadPool& pool,
 ForStats parallel_for_nested_outer(ThreadPool& pool,
                                    std::span<const i64> extents,
                                    ScheduleParams params,
-                                   const IndexedBody& body);
+                                   const IndexedBody& body,
+                                   const RunControl& control = {});
 
 /// Baseline 2 — fully nested DOALL execution: every parallel level is a
 /// fresh fork-join over the pool (one per enclosing iteration), the
@@ -72,6 +81,7 @@ ForStats parallel_for_nested_outer(ThreadPool& pool,
 ForStats parallel_for_nested_forkjoin(ThreadPool& pool,
                                       std::span<const i64> extents,
                                       ScheduleParams params,
-                                      const IndexedBody& body);
+                                      const IndexedBody& body,
+                                      const RunControl& control = {});
 
 }  // namespace coalesce::runtime

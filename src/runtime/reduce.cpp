@@ -19,68 +19,32 @@ struct alignas(64) Partial {
 ReduceResult parallel_reduce(ThreadPool& pool, i64 total,
                              ScheduleParams params, double identity,
                              const std::function<double(i64)>& body,
-                             const Combine& combine) {
+                             const Combine& combine,
+                             const RunControl& control) {
   COALESCE_ASSERT(total >= 0);
+  // One padded accumulator per worker; drive() hands every chunk the id of
+  // the worker executing it, so chunks fold straight into their worker's
+  // slot. All scheduling, cancellation, deadline, and exception behavior is
+  // inherited from the shared driver.
   std::vector<Partial> partials(pool.worker_count(), Partial{identity});
 
-  // parallel_for's body has no worker id; run the dispatch loop ourselves
-  // via the flat driver by folding into a per-worker slot selected once in
-  // the region — simplest: reuse parallel_for with a slot captured through
-  // thread-local binding is fragile; instead use the same structure as the
-  // executor: one region, per-worker dispatch loop.
-  const std::size_t workers = pool.worker_count();
-  ForStats stats;
-  stats.iterations_per_worker.assign(workers, 0);
-  auto dispatcher_or = make_dispatcher(params, total, workers);
-  COALESCE_ASSERT_MSG(dispatcher_or.ok(),
-                      "invalid schedule parameters (see make_dispatcher)");
-  const std::unique_ptr<Dispatcher> dispatcher =
-      std::move(dispatcher_or).value();
-  std::vector<std::uint64_t> chunks(workers, 0);
-
-  pool.run_region([&](std::size_t w) {
-    double acc = identity;
-    std::uint64_t local_iters = 0;
-    std::uint64_t local_chunks = 0;
-    auto run_chunk = [&](index::Chunk chunk) {
-      for (i64 j = chunk.first; j < chunk.last; ++j) {
-        acc = combine(acc, body(j));
-        ++local_iters;
-      }
-    };
-    if (dispatcher != nullptr) {
-      while (true) {
-        const index::Chunk chunk = dispatcher->next();
-        if (chunk.empty()) break;
-        ++local_chunks;
-        run_chunk(chunk);
-      }
-    } else if (params.kind == Schedule::kStaticBlock) {
-      const auto blocks =
-          index::static_blocks(total, static_cast<i64>(workers));
-      if (!blocks[w].empty()) {
-        ++local_chunks;
-        run_chunk(blocks[w]);
-      }
-    } else {
-      for (i64 j = static_cast<i64>(w) + 1; j <= total;
-           j += static_cast<i64>(workers)) {
-        ++local_chunks;
-        run_chunk(index::Chunk{j, j + 1});
-      }
-    }
-    partials[w].value = acc;
-    stats.iterations_per_worker[w] = local_iters;
-    chunks[w] = local_chunks;
-  });
+  ForStats stats = detail::drive(
+      pool, total, params,
+      [&](std::size_t w, index::Chunk chunk, std::uint64_t* iters) {
+        double acc = partials[w].value;
+        for (i64 j = chunk.first; j < chunk.last; ++j) {
+          acc = combine(acc, body(j));
+          ++*iters;
+        }
+        partials[w].value = acc;
+      },
+      control);
 
   ReduceResult result;
   result.value = identity;
   for (const Partial& p : partials) {
     result.value = combine(result.value, p.value);
   }
-  for (auto c : chunks) stats.chunks_executed += c;
-  stats.dispatch_ops = dispatcher != nullptr ? dispatcher->dispatch_ops() : 0;
   result.stats = std::move(stats);
   return result;
 }
@@ -89,7 +53,7 @@ ReduceResult parallel_reduce_collapsed(
     ThreadPool& pool, const index::CoalescedSpace& space,
     ScheduleParams params, double identity,
     const std::function<double(std::span<const i64>)>& body,
-    const Combine& combine) {
+    const Combine& combine, const RunControl& control) {
   // Decode per iteration with a per-call buffer: correct and thread-safe.
   // (The strength-reduced odometer matters for tiny bodies — measured in
   // E7 — but reductions fold a value per point anyway; the decode is a
@@ -101,21 +65,25 @@ ReduceResult parallel_reduce_collapsed(
         space.decode_original(j, indices);
         return body(indices);
       },
-      combine);
+      combine, control);
 }
 
 ReduceResult parallel_sum(ThreadPool& pool, i64 total, ScheduleParams params,
-                          const std::function<double(i64)>& body) {
-  return parallel_reduce(pool, total, params, 0.0, body,
-                         [](double a, double v) { return a + v; });
+                          const std::function<double(i64)>& body,
+                          const RunControl& control) {
+  return parallel_reduce(
+      pool, total, params, 0.0, body,
+      [](double a, double v) { return a + v; }, control);
 }
 
 ReduceResult parallel_sum_collapsed(
     ThreadPool& pool, const index::CoalescedSpace& space,
     ScheduleParams params,
-    const std::function<double(std::span<const i64>)>& body) {
-  return parallel_reduce_collapsed(pool, space, params, 0.0, body,
-                                   [](double a, double v) { return a + v; });
+    const std::function<double(std::span<const i64>)>& body,
+    const RunControl& control) {
+  return parallel_reduce_collapsed(
+      pool, space, params, 0.0, body,
+      [](double a, double v) { return a + v; }, control);
 }
 
 }  // namespace coalesce::runtime

@@ -30,25 +30,31 @@ struct ReduceResult {
 };
 
 /// Reduces body(j) over j in [1, total]: each worker folds locally from
-/// `identity`, partials are combined in worker order.
+/// `identity`, partials are combined in worker order. A stopped run
+/// (cancelled / deadline-expired, see RunControl) returns the fold over
+/// only the iterations that executed — check result.stats.completed()
+/// before trusting the value.
 ReduceResult parallel_reduce(ThreadPool& pool, i64 total,
                              ScheduleParams params, double identity,
                              const std::function<double(i64)>& body,
-                             const Combine& combine);
+                             const Combine& combine,
+                             const RunControl& control = {});
 
 /// Reduces body(indices) over every point of the coalesced space.
 ReduceResult parallel_reduce_collapsed(
     ThreadPool& pool, const index::CoalescedSpace& space,
     ScheduleParams params, double identity,
     const std::function<double(std::span<const i64>)>& body,
-    const Combine& combine);
+    const Combine& combine, const RunControl& control = {});
 
 /// Convenience sum-reductions.
 ReduceResult parallel_sum(ThreadPool& pool, i64 total, ScheduleParams params,
-                          const std::function<double(i64)>& body);
+                          const std::function<double(i64)>& body,
+                          const RunControl& control = {});
 ReduceResult parallel_sum_collapsed(
     ThreadPool& pool, const index::CoalescedSpace& space,
     ScheduleParams params,
-    const std::function<double(std::span<const i64>)>& body);
+    const std::function<double(std::span<const i64>)>& body,
+    const RunControl& control = {});
 
 }  // namespace coalesce::runtime

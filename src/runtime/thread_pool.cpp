@@ -1,5 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
+#include <exception>
+
 #include "support/assert.hpp"
 #include "trace/recorder.hpp"
 
@@ -38,16 +40,29 @@ void ThreadPool::run_region(support::function_ref<void(std::size_t)> body) {
   }
   cv_start_.notify_all();
 
+  // Worker 0 is the calling thread. If its body throws, the region must
+  // STILL join: the other workers hold a borrowed reference to `body` and
+  // are possibly mid-chunk, so unwinding past them would dangle the
+  // callable and leave remaining_ > 0 (poisoning every later region and
+  // the destructor assert). Capture, join, then rethrow.
+  std::exception_ptr error;
   {
-    trace::set_thread_worker(0);  // the calling thread is worker 0
+    trace::set_thread_worker(0);
     trace::ScopedSpan run(trace::EventKind::kWorkerRun,
                           trace::Hist::kWorkerBusyNs);
-    body(0);
+    try {
+      body(0);
+    } catch (...) {
+      error = std::current_exception();
+    }
   }
 
-  std::unique_lock lock(mutex_);
-  cv_done_.wait(lock, [this] { return remaining_ == 0; });
-  body_ = {};
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [this] { return remaining_ == 0; });
+    body_ = {};
+  }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_main(std::size_t id, std::stop_token stop) {

@@ -41,6 +41,13 @@ class ThreadPool {
   /// reentrant. The callable is borrowed, never copied: run_region blocks
   /// until every worker is done with it, so a caller's local lambda is
   /// safe and region entry costs no allocation.
+  ///
+  /// Exception contract: if worker 0's body (the calling thread) throws,
+  /// the region still joins — every pool worker finishes its pass first —
+  /// and the exception is rethrown after the join, leaving the pool
+  /// reusable. Pool workers (id > 0) must not let exceptions escape the
+  /// body (the executor's driver guarantees this by capturing them);
+  /// an escape there would reach the jthread and std::terminate.
   void run_region(support::function_ref<void(std::size_t)> body);
 
  private:

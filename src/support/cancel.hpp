@@ -1,0 +1,126 @@
+// Cooperative cancellation and deadlines for long-running parallel work.
+//
+// The runtime's scheduling model makes bounded-latency cancellation cheap:
+// a coalesced nest has exactly ONE shared counter handing out chunks, so a
+// cancel needs to do exactly one thing — stop that counter — and every
+// worker observes it at its next chunk grant. These types are the caller's
+// half of that contract:
+//
+//  * CancellationSource owns the shared cancel flag and requests the stop;
+//  * CancellationToken is the cheap copyable view the runtime polls
+//    (one relaxed atomic load per chunk grant, nothing when default-
+//    constructed);
+//  * Deadline is an absolute steady-clock cutoff the runtime checks at the
+//    same granularity.
+//
+// Both are observed at chunk-grant granularity only: a worker always
+// finishes the chunk it already owns, so cancel latency is bounded by one
+// chunk per worker and the wait-free dispatch path stays wait-free (the
+// runtime "poisons" the shared counter past N instead of adding any check
+// to the fetch&add itself).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace coalesce::support {
+
+/// Copyable, thread-safe view of a cancellation flag. Default-constructed
+/// tokens are inert: valid() is false and cancelled() is always false, so
+/// "no cancellation support" costs one branch.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// True when this token is connected to a CancellationSource.
+  [[nodiscard]] bool valid() const noexcept { return flag_ != nullptr; }
+
+  /// True once the connected source requested cancellation. Relaxed load:
+  /// the runtime re-checks at every chunk grant, so no ordering is needed
+  /// beyond eventual visibility.
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> flag) noexcept
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Owner of a cancellation flag. Copyable (copies share the flag); safe to
+/// signal from any thread, including after every token holder returned —
+/// the flag is shared_ptr-backed, so no lifetime coupling to the runtime.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  [[nodiscard]] CancellationToken token() const noexcept {
+    return CancellationToken(flag_);
+  }
+
+  /// Idempotent; wakes nothing (cancellation is polled, never signalled).
+  void request_cancel() noexcept {
+    flag_->store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Absolute steady-clock cutoff. Default-constructed deadlines never
+/// expire; is_set() gates the clock read so an unset deadline costs one
+/// branch per chunk grant, no syscall.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;  ///< never expires
+
+  [[nodiscard]] static Deadline never() noexcept { return Deadline{}; }
+
+  /// Expires `d` from now (negative or zero durations are already expired).
+  [[nodiscard]] static Deadline after(Clock::duration d) noexcept {
+    return Deadline(Clock::now() + d);
+  }
+
+  [[nodiscard]] static Deadline after_ms(std::int64_t ms) noexcept {
+    return after(std::chrono::milliseconds(ms));
+  }
+
+  [[nodiscard]] static Deadline at(Clock::time_point when) noexcept {
+    return Deadline(when);
+  }
+
+  [[nodiscard]] bool is_set() const noexcept { return set_; }
+
+  /// True once now >= the cutoff. Always false for an unset deadline.
+  [[nodiscard]] bool expired() const noexcept {
+    return set_ && Clock::now() >= when_;
+  }
+
+  /// Time left before expiry; zero once expired, Clock::duration::max()
+  /// when unset.
+  [[nodiscard]] Clock::duration remaining() const noexcept {
+    if (!set_) return Clock::duration::max();
+    const auto now = Clock::now();
+    return now >= when_ ? Clock::duration::zero() : when_ - now;
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when) noexcept
+      : when_(when), set_(true) {}
+
+  Clock::time_point when_{};
+  bool set_ = false;
+};
+
+}  // namespace coalesce::support

@@ -18,6 +18,8 @@ const char* to_string(Counter counter) noexcept {
     case Counter::kRecoveryDecodes: return "recovery_decodes";
     case Counter::kRecoverySteps: return "recovery_steps";
     case Counter::kSimChunks: return "sim_chunks";
+    case Counter::kCancels: return "cancels";
+    case Counter::kFaultsInjected: return "faults_injected";
     case Counter::kCount_: break;
   }
   return "?";

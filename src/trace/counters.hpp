@@ -24,6 +24,8 @@ enum class Counter : std::uint8_t {
   kRecoveryDecodes,  ///< full index decodes (one per chunk entry)
   kRecoverySteps,    ///< strength-reduced odometer advances
   kSimChunks,        ///< simulated chunk executions
+  kCancels,          ///< early stops observed (token, deadline, exception)
+  kFaultsInjected,   ///< faults fired by the injection harness
   kCount_            ///< sentinel
 };
 

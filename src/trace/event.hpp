@@ -24,7 +24,19 @@ enum class EventKind : std::uint8_t {
   kIndexRecovery, ///< full index decode at chunk entry; arg0 = coalesced j
   kSimChunk,      ///< simulated chunk execution; timestamps are sim cycles
   kMark,          ///< instantaneous marker; arg0/arg1 free-form
+  kCancel,        ///< instant: a worker observed a stop; arg0 = CancelCause
+  kFaultInject,   ///< instant: fault harness fired; arg0 = fault kind
 };
+
+/// Why a region stopped early (Event::arg0 of kCancel).
+enum class CancelCause : std::uint8_t {
+  kToken,      ///< caller's CancellationToken was cancelled
+  kDeadline,   ///< the Deadline expired
+  kException,  ///< a worker body threw; siblings drained via the cancel path
+  kInjected,   ///< the fault harness requested a cancel
+};
+
+[[nodiscard]] const char* to_string(CancelCause cause) noexcept;
 
 /// Stable display name (used as the Chrome trace-event "name" field).
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

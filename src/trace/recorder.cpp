@@ -17,6 +17,18 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kIndexRecovery: return "index_recovery";
     case EventKind::kSimChunk: return "sim_chunk";
     case EventKind::kMark: return "mark";
+    case EventKind::kCancel: return "cancel";
+    case EventKind::kFaultInject: return "fault_inject";
+  }
+  return "?";
+}
+
+const char* to_string(CancelCause cause) noexcept {
+  switch (cause) {
+    case CancelCause::kToken: return "token";
+    case CancelCause::kDeadline: return "deadline";
+    case CancelCause::kException: return "exception";
+    case CancelCause::kInjected: return "injected";
   }
   return "?";
 }

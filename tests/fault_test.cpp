@@ -1,0 +1,754 @@
+// Fault-tolerance property suite: cancellation, deadlines, exception
+// propagation, and the deterministic fault-injection harness.
+//
+// The properties under test are the runtime's robustness contract
+// (docs/ROBUSTNESS.md):
+//  * a body exception is rethrown EXACTLY once, at the join point, and the
+//    pool is reusable afterwards;
+//  * cancel latency is bounded by one chunk per worker (chunk-grant
+//    granularity);
+//  * deadline overshoot is bounded the same way;
+//  * partial runs report honest, monotonic ForStats;
+//  * every injected fault is deterministic in its coordinate (which
+//    iteration throws, which grant cancels) under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/dispatcher.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/reduce.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/cancel.hpp"
+#include "trace/recorder.hpp"
+
+namespace coalesce::runtime {
+namespace {
+
+using support::CancellationSource;
+using support::Deadline;
+
+// ---- cancellation --------------------------------------------------------------
+
+TEST(Cancel, AlreadyCancelledTokenRunsNothing) {
+  ThreadPool pool(4);
+  CancellationSource source;
+  source.request_cancel();
+  std::atomic<std::uint64_t> ran{0};
+  const ForStats stats = parallel_for(
+      pool, 10'000, {Schedule::kChunked, 64},
+      [&](i64) { ran.fetch_add(1); }, RunControl{source.token(), {}});
+  EXPECT_EQ(ran.load(), 0u);
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_FALSE(stats.deadline_expired);
+  EXPECT_FALSE(stats.completed());
+  EXPECT_EQ(stats.iterations_done(), 0u);
+}
+
+TEST(Cancel, SingleWorkerStopsAtExactChunkBoundary) {
+  // One worker, fixed chunks of 10 aligned at 1-10, 11-20, ...: a cancel
+  // requested at j == 55 is observed at the next grant, so the worker
+  // finishes exactly chunk [51, 60] and stops — done == 60, not one more.
+  ThreadPool pool(1);
+  CancellationSource source;
+  std::atomic<std::uint64_t> ran{0};
+  const ForStats stats = parallel_for(
+      pool, 1'000, {Schedule::kChunked, 10},
+      [&](i64 j) {
+        ran.fetch_add(1);
+        if (j == 55) source.request_cancel();
+      },
+      RunControl{source.token(), {}});
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_EQ(ran.load(), 60u);
+  EXPECT_EQ(stats.iterations_done(), 60u);
+  EXPECT_EQ(stats.iterations_requested, 1'000u);
+}
+
+TEST(Cancel, LatencyBoundedByOneChunkPerWorker) {
+  // P workers, chunk size C: after the cancel flag is raised, each worker
+  // may finish only the chunk it already owns, so the iteration count can
+  // grow by at most P * C beyond its value at the cancel.
+  constexpr std::size_t kWorkers = 4;
+  constexpr i64 kChunk = 16;
+  ThreadPool pool(kWorkers);
+  CancellationSource source;
+  std::atomic<std::uint64_t> ran{0};
+  std::atomic<std::uint64_t> at_cancel{0};
+  const ForStats stats = parallel_for(
+      pool, 1'000'000, {Schedule::kChunked, kChunk},
+      [&](i64 j) {
+        const std::uint64_t n = ran.fetch_add(1) + 1;
+        if (j == 5'000) {
+          source.request_cancel();
+          at_cancel.store(n);
+        }
+      },
+      RunControl{source.token(), {}});
+  ASSERT_TRUE(stats.cancelled);
+  // Workers mid-iteration when the flag went up still finish their chunk.
+  EXPECT_LE(stats.iterations_done(),
+            at_cancel.load() + kWorkers * static_cast<std::uint64_t>(kChunk));
+  EXPECT_LT(stats.iterations_done(), 1'000'000u);
+}
+
+TEST(Cancel, PoolIsReusableAfterCancelledRun) {
+  ThreadPool pool(4);
+  CancellationSource source;
+  source.request_cancel();
+  (void)parallel_for(pool, 1'000, {Schedule::kChunked, 8}, [&](i64) {},
+                     RunControl{source.token(), {}});
+  // Same pool, fresh control: the follow-up region must run to completion.
+  std::atomic<std::uint64_t> ran{0};
+  const ForStats stats = parallel_for(pool, 1'000, {Schedule::kChunked, 8},
+                                      [&](i64) { ran.fetch_add(1); });
+  EXPECT_TRUE(stats.completed());
+  EXPECT_EQ(ran.load(), 1'000u);
+}
+
+TEST(Cancel, WorksUnderEverySchedule) {
+  const ScheduleParams kinds[] = {
+      {Schedule::kStaticBlock, 1},  {Schedule::kStaticCyclic, 1},
+      {Schedule::kSelf, 1},         {Schedule::kChunked, 32},
+      {Schedule::kGuided, 1},       {Schedule::kFactoring, 1},
+      {Schedule::kTrapezoid, 1},    {Schedule::kGuided, 1, true},
+  };
+  ThreadPool pool(4);
+  for (const ScheduleParams params : kinds) {
+    CancellationSource source;
+    source.request_cancel();
+    const ForStats stats =
+        parallel_for(pool, 50'000, params, [&](i64) {},
+                     RunControl{source.token(), {}});
+    EXPECT_TRUE(stats.cancelled) << to_string(params.kind);
+    EXPECT_EQ(stats.iterations_done(), 0u) << to_string(params.kind);
+  }
+}
+
+TEST(Cancel, InactiveControlReportsCompletion) {
+  ThreadPool pool(2);
+  const RunControl control;
+  EXPECT_FALSE(control.active());
+  const ForStats stats =
+      parallel_for(pool, 500, {Schedule::kGuided, 1}, [](i64) {}, control);
+  EXPECT_TRUE(stats.completed());
+  EXPECT_FALSE(stats.cancelled);
+  EXPECT_FALSE(stats.deadline_expired);
+  EXPECT_EQ(stats.iterations_done(), stats.iterations_requested);
+}
+
+TEST(Cancel, CancelledCollapsedNestReportsPartialProgress) {
+  ThreadPool pool(4);
+  const auto space = index::CoalescedSpace::create({40, 40}).value();
+  CancellationSource source;
+  std::atomic<std::uint64_t> ran{0};
+  const ForStats stats = parallel_for_collapsed(
+      pool, space, {Schedule::kChunked, 16},
+      [&](std::span<const i64>) {
+        if (ran.fetch_add(1) + 1 == 100) source.request_cancel();
+      },
+      RunControl{source.token(), {}});
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_GE(stats.iterations_done(), 100u);
+  EXPECT_LT(stats.iterations_done(), 1600u);
+  EXPECT_EQ(stats.iterations_done(), ran.load());
+}
+
+TEST(Cancel, NestedForkjoinSkipsRemainingInnerRegions) {
+  ThreadPool pool(2);
+  CancellationSource source;
+  source.request_cancel();
+  const i64 extents[] = {8, 8, 8};
+  std::atomic<std::uint64_t> ran{0};
+  const ForStats stats = parallel_for_nested_forkjoin(
+      pool, extents, {Schedule::kSelf, 1},
+      [&](std::span<const i64>) { ran.fetch_add(1); },
+      RunControl{source.token(), {}});
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_EQ(ran.load(), 0u);
+  EXPECT_EQ(stats.iterations_requested, 512u);
+}
+
+// ---- deadlines -----------------------------------------------------------------
+
+TEST(Deadline, AlreadyExpiredRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> ran{0};
+  const ForStats stats = parallel_for(
+      pool, 10'000, {Schedule::kGuided, 1}, [&](i64) { ran.fetch_add(1); },
+      RunControl{{}, Deadline::after_ms(0)});
+  EXPECT_EQ(ran.load(), 0u);
+  EXPECT_TRUE(stats.deadline_expired);
+  EXPECT_FALSE(stats.cancelled);
+  EXPECT_FALSE(stats.completed());
+}
+
+TEST(Deadline, UnsetDeadlineNeverStopsTheRun) {
+  ThreadPool pool(2);
+  const ForStats stats =
+      parallel_for(pool, 2'000, {Schedule::kChunked, 32}, [](i64) {},
+                   RunControl{{}, Deadline::never()});
+  EXPECT_TRUE(stats.completed());
+  EXPECT_FALSE(stats.deadline_expired);
+}
+
+TEST(Deadline, FarDeadlineCompletesNormally) {
+  ThreadPool pool(4);
+  const ForStats stats =
+      parallel_for(pool, 5'000, {Schedule::kGuided, 1}, [](i64) {},
+                   RunControl{{}, Deadline::after_ms(60'000)});
+  EXPECT_TRUE(stats.completed());
+}
+
+TEST(Deadline, OvershootBoundedByOneChunkPerWorker) {
+  // One worker, chunks of 8, ~1ms body: the deadline expires mid-run and
+  // the worker stops at the next grant, so progress lands on a chunk
+  // boundary well short of the total.
+  ThreadPool pool(1);
+  std::atomic<std::uint64_t> ran{0};
+  const ForStats stats = parallel_for(
+      pool, 512, {Schedule::kChunked, 8},
+      [&](i64) {
+        ran.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      },
+      RunControl{{}, Deadline::after_ms(20)});
+  ASSERT_TRUE(stats.deadline_expired);
+  EXPECT_LT(stats.iterations_done(), 512u);
+  EXPECT_GT(stats.iterations_done(), 0u);
+  // Chunk-grant granularity: a single worker's progress is whole chunks.
+  EXPECT_EQ(stats.iterations_done() % 8, 0u);
+}
+
+TEST(Deadline, RemainingAndExpiredAreConsistent) {
+  const Deadline never = Deadline::never();
+  EXPECT_FALSE(never.is_set());
+  EXPECT_FALSE(never.expired());
+  EXPECT_EQ(never.remaining(), Deadline::Clock::duration::max());
+
+  const Deadline past = Deadline::after_ms(-5);
+  EXPECT_TRUE(past.is_set());
+  EXPECT_TRUE(past.expired());
+  EXPECT_EQ(past.remaining(), Deadline::Clock::duration::zero());
+
+  const Deadline future = Deadline::after_ms(60'000);
+  EXPECT_TRUE(future.is_set());
+  EXPECT_FALSE(future.expired());
+  EXPECT_GT(future.remaining(), Deadline::Clock::duration::zero());
+}
+
+// ---- exception propagation -----------------------------------------------------
+
+TEST(Exceptions, BodyThrowIsRethrownAtJoin) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 1'000, {Schedule::kChunked, 8},
+                            [](i64 j) {
+                              if (j == 500) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(Exceptions, RethrownExactlyOnceEvenWhenEveryIterationThrows) {
+  ThreadPool pool(4);
+  int caught = 0;
+  try {
+    parallel_for(pool, 1'000, {Schedule::kSelf, 1},
+                 [](i64) { throw std::runtime_error("everyone throws"); });
+  } catch (const std::runtime_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+  // And the losers were swallowed, not terminated: the pool still works.
+  std::atomic<std::uint64_t> ran{0};
+  const ForStats stats = parallel_for(pool, 100, {Schedule::kSelf, 1},
+                                      [&](i64) { ran.fetch_add(1); });
+  EXPECT_TRUE(stats.completed());
+  EXPECT_EQ(ran.load(), 100u);
+}
+
+TEST(Exceptions, SiblingsDrainInsteadOfRunningToCompletion) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> ran{0};
+  try {
+    parallel_for(pool, 1'000'000, {Schedule::kChunked, 16}, [&](i64 j) {
+      ran.fetch_add(1);
+      if (j == 1'000) throw std::runtime_error("early");
+    });
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  // The poison path stops the other workers at their next grant — nowhere
+  // near the full million iterations.
+  EXPECT_LT(ran.load(), 1'000'000u);
+}
+
+TEST(Exceptions, ExceptionTypeAndMessageSurviveTheJoin) {
+  ThreadPool pool(2);
+  try {
+    parallel_for(pool, 100, {Schedule::kSelf, 1}, [](i64 j) {
+      if (j == 42) throw std::out_of_range("iteration 42 misbehaved");
+    });
+    FAIL() << "expected rethrow";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "iteration 42 misbehaved");
+  }
+}
+
+TEST(Exceptions, ErasedEntryPointPropagatesToo) {
+  ThreadPool pool(2);
+  const FlatBody body = [](i64 j) {
+    if (j == 7) throw std::runtime_error("erased");
+  };
+  EXPECT_THROW(parallel_for(pool, 100, {Schedule::kGuided, 1}, body),
+               std::runtime_error);
+}
+
+TEST(Exceptions, CollapsedExecutorPropagates) {
+  ThreadPool pool(4);
+  const auto space = index::CoalescedSpace::create({30, 30}).value();
+  EXPECT_THROW(
+      parallel_for_collapsed(pool, space, {Schedule::kGuided, 1},
+                             [](std::span<const i64> idx) {
+                               if (idx[0] == 15 && idx[1] == 15) {
+                                 throw std::runtime_error("collapsed");
+                               }
+                             }),
+      std::runtime_error);
+  // Reusable afterwards.
+  const ForStats stats = parallel_for_collapsed(
+      pool, space, {Schedule::kGuided, 1}, [](std::span<const i64>) {});
+  EXPECT_TRUE(stats.completed());
+}
+
+TEST(Exceptions, ReduceRethrowsAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_sum(pool, 10'000, {Schedule::kChunked, 32},
+                            [](i64 j) -> double {
+                              if (j == 5'000) {
+                                throw std::runtime_error("reduce");
+                              }
+                              return 1.0;
+                            }),
+               std::runtime_error);
+  const ReduceResult ok = parallel_sum(pool, 1'000, {Schedule::kChunked, 32},
+                                       [](i64) { return 1.0; });
+  EXPECT_DOUBLE_EQ(ok.value, 1'000.0);
+  EXPECT_TRUE(ok.stats.completed());
+}
+
+TEST(Exceptions, WorkerZeroThrowOutOfRunRegionStillJoins) {
+  // The ThreadPool contract: worker 0 (the caller) may throw out of its
+  // body; the region joins first, then rethrows, and the pool is intact.
+  ThreadPool pool(4);
+  std::atomic<int> others{0};
+  EXPECT_THROW(pool.run_region([&](std::size_t w) {
+    if (w == 0) throw std::runtime_error("caller failed");
+    others.fetch_add(1);
+  }),
+               std::runtime_error);
+  EXPECT_EQ(others.load(), 3);
+  std::atomic<int> hits{0};
+  pool.run_region([&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+// ---- stats under partial completion --------------------------------------------
+
+TEST(PartialStats, MonotonicAndBoundedUnderCancellation) {
+  ThreadPool pool(4);
+  const ScheduleParams kinds[] = {
+      {Schedule::kSelf, 1},      {Schedule::kChunked, 32},
+      {Schedule::kGuided, 1},    {Schedule::kFactoring, 1},
+      {Schedule::kTrapezoid, 1},
+  };
+  for (const ScheduleParams params : kinds) {
+    CancellationSource source;
+    std::atomic<std::uint64_t> ran{0};
+    const ForStats stats = parallel_for(
+        pool, 100'000, params,
+        [&](i64) {
+          if (ran.fetch_add(1) + 1 == 1'000) source.request_cancel();
+        },
+        RunControl{source.token(), {}});
+    EXPECT_TRUE(stats.cancelled) << to_string(params.kind);
+    EXPECT_EQ(stats.iterations_done(), ran.load()) << to_string(params.kind);
+    EXPECT_LE(stats.iterations_done(), stats.iterations_requested)
+        << to_string(params.kind);
+    // Every executed chunk was granted: execution never exceeds dispatch.
+    EXPECT_LE(stats.chunks_executed, stats.dispatch_ops)
+        << to_string(params.kind);
+    EXPECT_FALSE(stats.completed()) << to_string(params.kind);
+  }
+}
+
+TEST(PartialStats, IterationsDoneSumsPerWorkerCounts) {
+  ThreadPool pool(3);
+  const ForStats stats =
+      parallel_for(pool, 777, {Schedule::kGuided, 1}, [](i64) {});
+  std::uint64_t sum = 0;
+  for (const auto n : stats.iterations_per_worker) sum += n;
+  EXPECT_EQ(stats.iterations_done(), sum);
+  EXPECT_EQ(sum, 777u);
+}
+
+// ---- dispatcher cancel ---------------------------------------------------------
+
+TEST(DispatcherCancel, FetchAddPoisonExhaustsImmediately) {
+  FetchAddDispatcher d(1'000, 10);
+  EXPECT_FALSE(d.next().empty());
+  const std::uint64_t ops = d.dispatch_ops();
+  d.cancel();
+  EXPECT_TRUE(d.next().empty());
+  EXPECT_TRUE(d.next().empty());
+  EXPECT_EQ(d.dispatch_ops(), ops);  // exhausted polls are not dispatches
+}
+
+TEST(DispatcherCancel, ChunkSchedulePoisonExhaustsImmediately) {
+  index::GuidedPolicy policy(4);
+  ChunkScheduleDispatcher d(index::ChunkSchedule::precompute(policy, 1'000));
+  EXPECT_FALSE(d.next().empty());
+  d.cancel();
+  EXPECT_TRUE(d.next().empty());
+}
+
+TEST(DispatcherCancel, PolicyPoisonExhaustsImmediately) {
+  PolicyDispatcher d(1'000, std::make_unique<index::GuidedPolicy>(4));
+  EXPECT_FALSE(d.next().empty());
+  d.cancel();
+  EXPECT_TRUE(d.next().empty());
+}
+
+TEST(DispatcherCancel, CancelIsIdempotent) {
+  FetchAddDispatcher d(100, 5);
+  d.cancel();
+  d.cancel();
+  EXPECT_TRUE(d.next().empty());
+  d.cancel();  // after exhaustion, still fine
+  EXPECT_TRUE(d.next().empty());
+}
+
+// ---- fault-injection harness ---------------------------------------------------
+
+class FaultHarness : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault::kEnabled) {
+      GTEST_SKIP() << "built with COALESCE_ENABLE_FAULTS=OFF";
+    }
+  }
+};
+
+TEST_F(FaultHarness, ThrowAtIterationFiresAtExactlyThatIteration) {
+  constexpr i64 kFaultAt = 137;
+  ThreadPool pool(4);
+  fault::FaultPlan plan;
+  plan.throw_at_iteration = kFaultAt;
+  plan.install();
+  std::vector<std::atomic<int>> executed(1'001);
+  bool caught = false;
+  try {
+    parallel_for(pool, 1'000, {Schedule::kChunked, 16},
+                 [&](i64 j) { executed[static_cast<std::size_t>(j)] = 1; });
+  } catch (const fault::FaultInjected& e) {
+    caught = true;
+    EXPECT_NE(std::string(e.what()).find("137"), std::string::npos);
+  }
+  plan.uninstall();
+  ASSERT_TRUE(caught);
+  EXPECT_EQ(plan.faults_fired(), 1u);
+  // The faulting iteration itself never ran; its chunk-prefix did.
+  EXPECT_EQ(executed[kFaultAt].load(), 0);
+  const i64 chunk_first = ((kFaultAt - 1) / 16) * 16 + 1;
+  for (i64 j = chunk_first; j < kFaultAt; ++j) {
+    EXPECT_EQ(executed[static_cast<std::size_t>(j)].load(), 1) << j;
+  }
+}
+
+TEST_F(FaultHarness, ThrowIsDeterministicAcrossRuns) {
+  ThreadPool pool(4);
+  fault::FaultPlan plan;
+  plan.throw_at_iteration = 500;
+  plan.install();
+  for (int run = 0; run < 3; ++run) {
+    plan.reset();
+    std::atomic<int> hit_fault_iteration{0};
+    EXPECT_THROW(
+        parallel_for(pool, 1'000, {Schedule::kGuided, 1},
+                     [&](i64 j) {
+                       if (j == 500) hit_fault_iteration.store(1);
+                     }),
+        fault::FaultInjected)
+        << "run " << run;
+    EXPECT_EQ(hit_fault_iteration.load(), 0) << "run " << run;
+    EXPECT_EQ(plan.faults_fired(), 1u) << "run " << run;
+  }
+  plan.uninstall();
+}
+
+TEST_F(FaultHarness, StallDelaysButLosesNothing) {
+  // Static blocks so worker 0 is guaranteed a grant (under a dynamic
+  // schedule the other worker can drain every chunk first and the stall,
+  // armed on a worker that never takes work, legitimately never fires).
+  ThreadPool pool(2);
+  fault::FaultPlan plan;
+  plan.stall_worker = 0;
+  plan.stall_ns = 2'000'000;  // 2 ms
+  plan.install();
+  const ForStats stats =
+      parallel_for(pool, 5'000, {Schedule::kStaticBlock}, [](i64) {});
+  plan.uninstall();
+  EXPECT_TRUE(stats.completed());
+  EXPECT_EQ(plan.faults_fired(), 1u);
+  EXPECT_EQ(stats.iterations_done(), 5'000u);
+  EXPECT_GE(stats.wall_seconds, 0.002);  // the stall really delayed the run
+}
+
+TEST_F(FaultHarness, InjectedCancelStopsWithoutException) {
+  ThreadPool pool(4);
+  fault::FaultPlan plan;
+  plan.cancel_at_chunk = 2;
+  plan.install();
+  const ForStats stats =
+      parallel_for(pool, 100'000, {Schedule::kChunked, 64}, [](i64) {});
+  plan.uninstall();
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_FALSE(stats.completed());
+  EXPECT_LT(stats.iterations_done(), 100'000u);
+  EXPECT_EQ(plan.faults_fired(), 1u);
+}
+
+TEST_F(FaultHarness, EachFaultFiresAtMostOncePerPlan) {
+  ThreadPool pool(2);
+  fault::FaultPlan plan;
+  plan.cancel_at_chunk = 1;
+  plan.install();
+  (void)parallel_for(pool, 10'000, {Schedule::kChunked, 16}, [](i64) {});
+  const std::uint64_t fired_once = plan.faults_fired();
+  // Second region, same (un-reset) plan: the cancel is already spent.
+  const ForStats second =
+      parallel_for(pool, 1'000, {Schedule::kChunked, 16}, [](i64) {});
+  plan.uninstall();
+  EXPECT_EQ(fired_once, 1u);
+  EXPECT_EQ(plan.faults_fired(), 1u);
+  EXPECT_TRUE(second.completed());
+}
+
+TEST_F(FaultHarness, ResetRearmsTheFaults) {
+  ThreadPool pool(2);
+  fault::FaultPlan plan;
+  plan.cancel_at_chunk = 1;
+  plan.install();
+  const ForStats first =
+      parallel_for(pool, 10'000, {Schedule::kChunked, 16}, [](i64) {});
+  plan.reset();
+  const ForStats second =
+      parallel_for(pool, 10'000, {Schedule::kChunked, 16}, [](i64) {});
+  plan.uninstall();
+  EXPECT_TRUE(first.cancelled);
+  EXPECT_TRUE(second.cancelled);
+  EXPECT_EQ(plan.faults_fired(), 1u);  // reset cleared the first firing
+}
+
+TEST_F(FaultHarness, ChunksSeenCountsEveryGrantWhileArmed) {
+  ThreadPool pool(1);
+  fault::FaultPlan plan;
+  plan.cancel_at_chunk = 1'000'000;  // armed but out of reach: pure observer
+  ASSERT_TRUE(plan.armed());
+  plan.install();
+  (void)parallel_for(pool, 100, {Schedule::kChunked, 10}, [](i64) {});
+  plan.uninstall();
+  EXPECT_EQ(plan.chunks_seen(), 10u);
+  EXPECT_EQ(plan.faults_fired(), 0u);
+}
+
+TEST_F(FaultHarness, UnarmedPlanTakesTheFastPathAndCountsNothing) {
+  ThreadPool pool(1);
+  fault::FaultPlan plan;  // nothing armed: grants bypass the counters
+  ASSERT_FALSE(plan.armed());
+  plan.install();
+  const ForStats stats =
+      parallel_for(pool, 100, {Schedule::kChunked, 10}, [](i64) {});
+  plan.uninstall();
+  EXPECT_TRUE(stats.completed());
+  EXPECT_EQ(plan.chunks_seen(), 0u);
+  EXPECT_EQ(plan.faults_fired(), 0u);
+}
+
+TEST_F(FaultHarness, InstallUninstallManageTheProcessSlot) {
+  EXPECT_EQ(fault::FaultPlan::current(), nullptr);
+  fault::FaultPlan plan;
+  plan.install();
+  EXPECT_EQ(fault::FaultPlan::current(), &plan);
+  plan.uninstall();
+  EXPECT_EQ(fault::FaultPlan::current(), nullptr);
+}
+
+TEST_F(FaultHarness, CopyTransfersConfigurationNotCounters) {
+  ThreadPool pool(1);
+  fault::FaultPlan original;
+  original.throw_at_iteration = 42;
+  original.install();
+  EXPECT_THROW(parallel_for(pool, 100, {Schedule::kSelf, 1}, [](i64) {}),
+               fault::FaultInjected);
+  original.uninstall();
+  ASSERT_GT(original.chunks_seen(), 0u);
+
+  const fault::FaultPlan copy(original);
+  EXPECT_EQ(copy.throw_at_iteration, 42);
+  EXPECT_EQ(copy.chunks_seen(), 0u);
+  EXPECT_EQ(copy.faults_fired(), 0u);
+}
+
+TEST_F(FaultHarness, FromSeedIsDeterministic) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const auto a = fault::FaultPlan::from_seed(seed, 10'000, 8);
+    const auto b = fault::FaultPlan::from_seed(seed, 10'000, 8);
+    EXPECT_EQ(a.throw_at_iteration, b.throw_at_iteration) << seed;
+    EXPECT_EQ(a.cancel_at_chunk, b.cancel_at_chunk) << seed;
+    EXPECT_EQ(a.stall_worker, b.stall_worker) << seed;
+    EXPECT_EQ(a.stall_ns, b.stall_ns) << seed;
+  }
+}
+
+TEST_F(FaultHarness, FromSeedCoversAllThreeFaultKinds) {
+  bool saw_throw = false;
+  bool saw_stall = false;
+  bool saw_cancel = false;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const auto plan = fault::FaultPlan::from_seed(seed, 1'000, 4);
+    if (plan.throw_at_iteration > 0) {
+      saw_throw = true;
+      EXPECT_GE(plan.throw_at_iteration, 1);
+      EXPECT_LE(plan.throw_at_iteration, 1'000);
+    } else if (plan.stall_worker >= 0) {
+      saw_stall = true;
+      EXPECT_LT(plan.stall_worker, 4);
+      EXPECT_GE(plan.stall_ns, 1'000'000);
+    } else {
+      saw_cancel = plan.cancel_at_chunk > 0 || saw_cancel;
+    }
+  }
+  EXPECT_TRUE(saw_throw);
+  EXPECT_TRUE(saw_stall);
+  EXPECT_TRUE(saw_cancel);
+}
+
+TEST_F(FaultHarness, FromSeedOnEmptyLoopArmsNothing) {
+  const auto plan = fault::FaultPlan::from_seed(7, 0, 4);
+  EXPECT_EQ(plan.throw_at_iteration, 0);
+  EXPECT_EQ(plan.cancel_at_chunk, 0);
+  EXPECT_EQ(plan.stall_worker, -1);
+}
+
+TEST_F(FaultHarness, UninstalledPlanCostsNoBehaviorChange) {
+  ThreadPool pool(4);
+  const ForStats stats =
+      parallel_for(pool, 10'000, {Schedule::kGuided, 1}, [](i64) {});
+  EXPECT_TRUE(stats.completed());
+  EXPECT_EQ(fault::FaultPlan::current(), nullptr);
+}
+
+TEST_F(FaultHarness, PoolReusableAfterEveryFaultKind) {
+  ThreadPool pool(4);
+  for (int kind = 0; kind < 3; ++kind) {
+    fault::FaultPlan plan;
+    if (kind == 0) plan.throw_at_iteration = 100;
+    if (kind == 1) plan.cancel_at_chunk = 1;
+    if (kind == 2) {
+      plan.stall_worker = 1;
+      plan.stall_ns = 500'000;
+    }
+    plan.install();
+    try {
+      (void)parallel_for(pool, 10'000, {Schedule::kChunked, 16}, [](i64) {});
+    } catch (const fault::FaultInjected&) {
+    }
+    plan.uninstall();
+    std::atomic<std::uint64_t> ran{0};
+    const ForStats after = parallel_for(pool, 1'000, {Schedule::kSelf, 1},
+                                        [&](i64) { ran.fetch_add(1); });
+    EXPECT_TRUE(after.completed()) << "fault kind " << kind;
+    EXPECT_EQ(ran.load(), 1'000u) << "fault kind " << kind;
+  }
+}
+
+// ---- trace integration ---------------------------------------------------------
+
+TEST(FaultTrace, CancelEmitsTraceEventAndCounter) {
+  if (!trace::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  ThreadPool pool(2);
+  trace::Recorder recorder;
+  recorder.install();
+  CancellationSource source;
+  source.request_cancel();
+  (void)parallel_for(pool, 1'000, {Schedule::kChunked, 8}, [](i64) {},
+                     RunControl{source.token(), {}});
+  recorder.uninstall();
+  bool saw_cancel = false;
+  for (const trace::Event& e : recorder.all_events()) {
+    if (e.kind == trace::EventKind::kCancel) {
+      saw_cancel = true;
+      EXPECT_EQ(e.arg0, static_cast<i64>(trace::CancelCause::kToken));
+    }
+  }
+  EXPECT_TRUE(saw_cancel);
+  EXPECT_GE(recorder.counters().total(trace::Counter::kCancels), 1u);
+}
+
+TEST(FaultTrace, InjectedThrowEmitsFaultEvent) {
+  if (!trace::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  if (!fault::kEnabled) GTEST_SKIP() << "faults compiled out";
+  ThreadPool pool(2);
+  trace::Recorder recorder;
+  recorder.install();
+  fault::FaultPlan plan;
+  plan.throw_at_iteration = 50;
+  plan.install();
+  EXPECT_THROW(parallel_for(pool, 1'000, {Schedule::kChunked, 8}, [](i64) {}),
+               fault::FaultInjected);
+  plan.uninstall();
+  recorder.uninstall();
+  bool saw_fault = false;
+  bool saw_exception_cancel = false;
+  for (const trace::Event& e : recorder.all_events()) {
+    if (e.kind == trace::EventKind::kFaultInject) {
+      saw_fault = true;
+      EXPECT_EQ(e.arg0, static_cast<i64>(fault::FaultKind::kThrow));
+      EXPECT_EQ(e.arg1, 50);
+    }
+    if (e.kind == trace::EventKind::kCancel &&
+        e.arg0 == static_cast<i64>(trace::CancelCause::kException)) {
+      saw_exception_cancel = true;
+    }
+  }
+  EXPECT_TRUE(saw_fault);
+  EXPECT_TRUE(saw_exception_cancel);
+  EXPECT_EQ(recorder.counters().total(trace::Counter::kFaultsInjected), 1u);
+}
+
+TEST(FaultTrace, DeadlineCancelCauseIsRecorded) {
+  if (!trace::kEnabled) GTEST_SKIP() << "tracing compiled out";
+  ThreadPool pool(2);
+  trace::Recorder recorder;
+  recorder.install();
+  (void)parallel_for(pool, 1'000, {Schedule::kChunked, 8}, [](i64) {},
+                     RunControl{{}, Deadline::after_ms(0)});
+  recorder.uninstall();
+  bool saw = false;
+  for (const trace::Event& e : recorder.all_events()) {
+    if (e.kind == trace::EventKind::kCancel &&
+        e.arg0 == static_cast<i64>(trace::CancelCause::kDeadline)) {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace coalesce::runtime

@@ -11,8 +11,17 @@
 // equivalent_by_execution assertions here.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
 #include "core/api.hpp"
 #include "ir/builder.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/ir_executor.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/cancel.hpp"
 #include "ir/printer.hpp"
 #include "ir/verify.hpp"
 #include "support/rng.hpp"
@@ -308,6 +317,176 @@ TEST_P(FuzzSweep, FrontendRoundTripsTransformedTriangles) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- fault fuzzing -------------------------------------------------------------
+//
+// Randomized robustness: random nests are coalesced and EXECUTED on a real
+// pool while a seeded FaultPlan (or a random cancellation point) disturbs
+// the run. Properties checked per trial:
+//  * an armed throw-fault surfaces as exactly one FaultInjected at the
+//    join — never std::terminate, never a second rethrow;
+//  * a cancelled run executes each point AT MOST once and reports honest
+//    partial stats;
+//  * ONE pool survives the whole random sequence of faulted runs (the
+//    reusability property, asserted with a clean follow-up region).
+// Every assertion message carries the derived seed, so a failure line is a
+// complete repro; the nest text is printed for the IR-driven trials.
+class FaultFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultFuzz, SeededFaultPlansOverCoalescedNests) {
+  if (!runtime::fault::kEnabled) {
+    GTEST_SKIP() << "built with COALESCE_ENABLE_FAULTS=OFF";
+  }
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u);
+  runtime::ThreadPool pool(4);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::uint64_t fault_seed =
+        static_cast<std::uint64_t>(GetParam()) * 1'000 +
+        static_cast<std::uint64_t>(trial);
+    const RandomNest rn = random_rectangular(rng);
+    expect_verified(rn.nest);
+    const auto coalesced = transform::coalesce_nest(rn.nest);
+    ASSERT_TRUE(coalesced.ok()) << "seed=" << fault_seed;
+    const ir::LoopNest& flat = coalesced.value().nest;
+    const auto trips = ir::constant_trip_count(*flat.root);
+    ASSERT_TRUE(trips.has_value()) << "seed=" << fault_seed;
+
+    runtime::fault::FaultPlan plan = runtime::fault::FaultPlan::from_seed(
+        fault_seed, *trips, pool.worker_count());
+    plan.install();
+    ir::ArrayStore store(flat.symbols);
+    bool threw = false;
+    int rethrows = 0;
+    try {
+      const auto stats = runtime::execute_parallel(
+          pool, flat, {runtime::Schedule::kChunked, 4}, store);
+      ASSERT_TRUE(stats.ok()) << "seed=" << fault_seed;
+      if (plan.throw_at_iteration > 0) {
+        ADD_FAILURE() << "armed throw@" << plan.throw_at_iteration
+                      << " never fired; seed=" << fault_seed << "\n"
+                      << ir::to_string(rn.nest);
+      }
+      if (plan.cancel_at_chunk > 0) {
+        // A cancel ordinal beyond the run's chunk count never fires.
+        EXPECT_TRUE(stats.value().cancelled || stats.value().completed())
+            << "seed=" << fault_seed;
+      } else {
+        EXPECT_TRUE(stats.value().completed()) << "seed=" << fault_seed;
+      }
+    } catch (const runtime::fault::FaultInjected&) {
+      threw = true;
+      ++rethrows;
+    }
+    plan.uninstall();
+    EXPECT_EQ(threw, plan.throw_at_iteration > 0)
+        << "seed=" << fault_seed << "\n" << ir::to_string(rn.nest);
+    EXPECT_LE(rethrows, 1) << "seed=" << fault_seed;
+
+    // The same pool must come back clean after every faulted trial.
+    std::atomic<std::uint64_t> ran{0};
+    const runtime::ForStats after =
+        runtime::parallel_for(pool, 64, {runtime::Schedule::kSelf, 1},
+                              [&](i64) { ran.fetch_add(1); });
+    ASSERT_TRUE(after.completed()) << "seed=" << fault_seed;
+    ASSERT_EQ(ran.load(), 64u) << "seed=" << fault_seed;
+  }
+}
+
+TEST_P(FaultFuzz, RandomCancellationPointsExecuteEachPointAtMostOnce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7368787u);
+  runtime::ThreadPool pool(4);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t depth = static_cast<std::size_t>(rng.uniform_int(2, 4));
+    std::vector<i64> extents;
+    i64 total = 1;
+    for (std::size_t d = 0; d < depth; ++d) {
+      extents.push_back(rng.uniform_int(2, 6));
+      total *= extents.back();
+    }
+    const auto space = index::CoalescedSpace::create(extents).value();
+    const i64 cancel_at = rng.uniform_int(1, total);
+    const i64 chunk = rng.uniform_int(1, 8);
+
+    support::CancellationSource source;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(total));
+    std::atomic<std::uint64_t> ordinal{0};
+    const runtime::ForStats stats = runtime::parallel_for_collapsed(
+        pool, space, {runtime::Schedule::kChunked, chunk},
+        [&](std::span<const i64> idx) {
+          i64 flat = 0;
+          for (std::size_t d = 0; d < depth; ++d) {
+            flat = flat * extents[d] + (idx[d] - 1);
+          }
+          hits[static_cast<std::size_t>(flat)].fetch_add(1);
+          if (static_cast<i64>(ordinal.fetch_add(1) + 1) == cancel_at) {
+            source.request_cancel();
+          }
+        },
+        runtime::RunControl{source.token(), {}});
+
+    const std::string repro = "seed=" + std::to_string(GetParam()) +
+                              " trial=" + std::to_string(trial) +
+                              " cancel_at=" + std::to_string(cancel_at) +
+                              " chunk=" + std::to_string(chunk);
+    std::uint64_t executed = 0;
+    for (auto& h : hits) {
+      ASSERT_LE(h.load(), 1) << "point executed twice; " << repro;
+      executed += static_cast<std::uint64_t>(h.load());
+    }
+    EXPECT_EQ(executed, stats.iterations_done()) << repro;
+    EXPECT_LE(stats.iterations_done(), stats.iterations_requested) << repro;
+    // The body requested the cancel at a live iteration, so it must have
+    // been observed (even if every remaining chunk was already granted).
+    EXPECT_TRUE(stats.cancelled) << repro;
+  }
+  // One clean region after the whole random sequence.
+  std::atomic<std::uint64_t> ran{0};
+  const runtime::ForStats after = runtime::parallel_for(
+      pool, 100, {runtime::Schedule::kGuided, 1}, [&](i64) { ran.fetch_add(1); });
+  EXPECT_TRUE(after.completed());
+  EXPECT_EQ(ran.load(), 100u);
+}
+
+TEST_P(FaultFuzz, RandomBodyThrowsAlwaysRethrownOnceOverSchedules) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 179424673u);
+  runtime::ThreadPool pool(4);
+  const runtime::ScheduleParams kinds[] = {
+      {runtime::Schedule::kSelf, 1},
+      {runtime::Schedule::kChunked, 8},
+      {runtime::Schedule::kGuided, 1},
+      {runtime::Schedule::kFactoring, 1},
+      {runtime::Schedule::kTrapezoid, 1},
+      {runtime::Schedule::kStaticBlock, 1},
+      {runtime::Schedule::kStaticCyclic, 1},
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    const runtime::ScheduleParams params =
+        kinds[static_cast<std::size_t>(rng.uniform_int(0, 6))];
+    const i64 total = rng.uniform_int(1, 5'000);
+    const i64 throw_at = rng.uniform_int(1, total);
+    const std::string repro = "seed=" + std::to_string(GetParam()) +
+                              " trial=" + std::to_string(trial) +
+                              " schedule=" + to_string(params.kind) +
+                              " total=" + std::to_string(total) +
+                              " throw_at=" + std::to_string(throw_at);
+    int caught = 0;
+    try {
+      runtime::parallel_for(pool, total, params, [&](i64 j) {
+        if (j == throw_at) throw std::runtime_error(repro);
+      });
+    } catch (const std::runtime_error& e) {
+      ++caught;
+      EXPECT_EQ(std::string(e.what()), repro);
+    }
+    ASSERT_EQ(caught, 1) << repro;
+    // Pool reusable after every single rethrow.
+    const runtime::ForStats after =
+        runtime::parallel_for(pool, 32, params, [](i64) {});
+    ASSERT_TRUE(after.completed()) << repro;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Values(1, 2, 3, 4, 5));
 
 }  // namespace
 }  // namespace coalesce

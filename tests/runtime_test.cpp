@@ -4,15 +4,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "index/chunk.hpp"
 #include "runtime/dispatcher.hpp"
 #include "runtime/parallel_for.hpp"
+#include "runtime/reduce.hpp"
 #include "runtime/thread_pool.hpp"
+#include "support/cancel.hpp"
 #include "support/rng.hpp"
 
 namespace coalesce::runtime {
@@ -508,6 +513,154 @@ TEST(ForStats, ZeroTripParallelForReportsBalancedStats) {
   const ForStats stats = parallel_for(
       pool, 0, {Schedule::kGuided, 1}, [](i64) { FAIL() << "no iterations"; });
   EXPECT_DOUBLE_EQ(stats.imbalance(), 1.0);
+}
+
+// ---- shutdown ordering under cancellation --------------------------------------
+//
+// The destructor contract: a pool may be destroyed the instant run_region
+// returns, including when that region was cancelled from another thread a
+// moment earlier. These run under TSan in CI (the destroy-while-cancelling
+// regression) — the join inside run_region must fully order every worker's
+// last access to the region state before the jthreads are stopped.
+
+TEST(Shutdown, DestroyImmediatelyAfterExternallyCancelledRegion) {
+  support::CancellationSource source;
+  std::atomic<bool> region_started{false};
+  std::thread canceller([&] {
+    while (!region_started.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    source.request_cancel();
+  });
+  {
+    ThreadPool pool(4);
+    const ForStats stats = parallel_for(
+        pool, 5'000'000, {Schedule::kChunked, 16},
+        [&](i64) { region_started.store(true, std::memory_order_release); },
+        RunControl{source.token(), {}});
+    EXPECT_LE(stats.iterations_done(), 5'000'000u);
+  }  // pool destroyed with the cancel possibly racing the final chunks
+  canceller.join();
+}
+
+TEST(Shutdown, DestroyImmediatelyAfterThrowingRegion) {
+  support::CancellationSource source;
+  {
+    ThreadPool pool(4);
+    EXPECT_THROW(parallel_for(pool, 100'000, {Schedule::kSelf, 1},
+                              [](i64 j) {
+                                if (j == 100) {
+                                  throw std::runtime_error("mid-region");
+                                }
+                              }),
+                 std::runtime_error);
+  }  // destructor runs right after the rethrow; workers must all be parked
+}
+
+TEST(Shutdown, RepeatedCancelledRegionsLeaveNoResidue) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    support::CancellationSource source;
+    std::atomic<std::uint64_t> ran{0};
+    (void)parallel_for(
+        pool, 10'000, {Schedule::kChunked, 8},
+        [&](i64) {
+          if (ran.fetch_add(1) + 1 == 50) source.request_cancel();
+        },
+        RunControl{source.token(), {}});
+    // Every cancelled region is followed by a full one on the same pool.
+    std::atomic<std::uint64_t> full{0};
+    const ForStats stats = parallel_for(pool, 500, {Schedule::kSelf, 1},
+                                        [&](i64) { full.fetch_add(1); });
+    ASSERT_TRUE(stats.completed()) << "round " << round;
+    ASSERT_EQ(full.load(), 500u) << "round " << round;
+  }
+}
+
+TEST(Shutdown, ConcurrentCancelRequestsAreRaceFree) {
+  // Several outside threads hammer the same source while the region runs:
+  // request_cancel is idempotent and the token read is a relaxed load, so
+  // TSan must stay quiet and the region must stop exactly once.
+  ThreadPool pool(4);
+  support::CancellationSource source;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> cancellers;
+  for (int t = 0; t < 3; ++t) {
+    cancellers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < 100; ++i) source.request_cancel();
+    });
+  }
+  std::atomic<std::uint64_t> ran{0};
+  const ForStats stats = parallel_for(
+      pool, 5'000'000, {Schedule::kChunked, 32},
+      [&](i64) {
+        go.store(true, std::memory_order_release);
+        // The body also cancels at a fixed point, so the region is
+        // guaranteed to stop even if the outside threads lose the race;
+        // their concurrent stores are what TSan scrutinizes.
+        if (ran.fetch_add(1) + 1 == 10'000) source.request_cancel();
+      },
+      RunControl{source.token(), {}});
+  for (auto& t : cancellers) t.join();
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_LT(stats.iterations_done(), 5'000'000u);
+}
+
+TEST(Shutdown, ZeroTripRegionWithActiveControlIsClean) {
+  ThreadPool pool(2);
+  support::CancellationSource source;
+  const ForStats stats =
+      parallel_for(pool, 0, {Schedule::kGuided, 1},
+                   [](i64) { FAIL() << "no iterations"; },
+                   RunControl{source.token(), support::Deadline::after_ms(60'000)});
+  EXPECT_TRUE(stats.completed());
+  EXPECT_FALSE(stats.cancelled);
+  EXPECT_FALSE(stats.deadline_expired);
+}
+
+TEST(Shutdown, DeadlineExpiryRacesDestructionSafely) {
+  // A deadline that expires while workers are mid-chunk, with the pool
+  // destroyed immediately after the join.
+  {
+    ThreadPool pool(4);
+    const ForStats stats = parallel_for(
+        pool, 200'000, {Schedule::kChunked, 64},
+        [](i64) { std::this_thread::yield(); },
+        RunControl{{}, support::Deadline::after(std::chrono::microseconds(200))});
+    EXPECT_TRUE(stats.deadline_expired || stats.completed());
+  }
+}
+
+TEST(Shutdown, ReduceOnCancelledPoolThenReuse) {
+  ThreadPool pool(4);
+  support::CancellationSource source;
+  source.request_cancel();
+  const ReduceResult partial =
+      parallel_sum(pool, 10'000, {Schedule::kChunked, 16},
+                   [](i64) { return 1.0; }, RunControl{source.token(), {}});
+  EXPECT_TRUE(partial.stats.cancelled);
+  EXPECT_DOUBLE_EQ(partial.value, 0.0);
+  const ReduceResult full = parallel_sum(pool, 10'000, {Schedule::kChunked, 16},
+                                         [](i64) { return 1.0; });
+  EXPECT_DOUBLE_EQ(full.value, 10'000.0);
+  EXPECT_TRUE(full.stats.completed());
+}
+
+TEST(Shutdown, ManyShortLivedPoolsWithCancellationInFlight) {
+  for (int round = 0; round < 8; ++round) {
+    support::CancellationSource source;
+    ThreadPool pool(3);
+    std::atomic<std::uint64_t> ran{0};
+    (void)parallel_for(
+        pool, 100'000, {Schedule::kSelf, 1},
+        [&](i64) {
+          if (ran.fetch_add(1) + 1 == 10) source.request_cancel();
+        },
+        RunControl{source.token(), {}});
+    // Pool destroyed at scope exit each round.
+  }
+  SUCCEED();
 }
 
 }  // namespace

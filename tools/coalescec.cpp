@@ -37,6 +37,15 @@
 //                      checked against the original's interpretation.
 //   --trace-workers=P  worker count for --trace (default: hardware)
 //   --trace-summary    also print the per-worker Gantt summary to stderr
+//   --deadline-ms=N    give the traced execution a deadline of N ms; on
+//                      expiry workers stop at their next chunk grant and
+//                      the partial progress is reported (exit 0)
+//   --inject-fault=S   arm the deterministic fault harness for the traced
+//                      execution. S is throw@K (throw at coalesced
+//                      iteration K), stall@W:MS (stall worker W for MS ms),
+//                      or cancel@C (cancel at the C-th chunk grant). The
+//                      fault is recorded in the trace; an injected throw
+//                      exits 3 after writing the trace file.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -49,6 +58,8 @@
 #include "analysis/lint.hpp"
 #include "core/coalesce.hpp"
 #include "ir/verify.hpp"
+#include "runtime/fault.hpp"
+#include "support/cancel.hpp"
 #include "transform/postcheck.hpp"
 
 namespace {
@@ -76,6 +87,8 @@ struct Options {
   std::string trace_path;
   std::size_t trace_workers = 0;  // 0: hardware_concurrency
   bool trace_summary = false;
+  long long deadline_ms = 0;  // 0: no deadline
+  std::string inject_fault;   // empty: no injected fault
   std::string input_path;
 };
 
@@ -87,6 +100,8 @@ int usage(const char* argv0) {
                "[--openmp] [--lint] [--lint-format=text|json|sarif] "
                "[--verify-ir] [--no-verify] [--verify] [--stats] "
                "[--trace=FILE] [--trace-workers=P] [--trace-summary] "
+               "[--deadline-ms=N] "
+               "[--inject-fault=throw@K|stall@W:MS|cancel@C] "
                "[file]\n",
                argv0);
   return 2;
@@ -120,6 +135,10 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.trace_workers = static_cast<std::size_t>(
           std::strtoull(arg.c_str() + 16, nullptr, 10));
     else if (arg == "--trace-summary") options.trace_summary = true;
+    else if (arg.rfind("--deadline-ms=", 0) == 0)
+      options.deadline_ms = std::strtoll(arg.c_str() + 14, nullptr, 10);
+    else if (arg.rfind("--inject-fault=", 0) == 0)
+      options.inject_fault = arg.substr(15);
     else if (arg == "--report") options.report = true;
     else if (arg == "--dot") options.dot = true;
     else if (!arg.empty() && arg[0] == '-') return false;
@@ -131,6 +150,32 @@ bool parse_args(int argc, char** argv, Options& options) {
   }
   return options.emit == "ir" || options.emit == "c" ||
          options.emit == "c-main";
+}
+
+/// Parses throw@K | stall@W:MS | cancel@C into the plan's config fields.
+bool parse_fault_spec(const std::string& spec,
+                      runtime::fault::FaultPlan& plan) {
+  const auto at = spec.find('@');
+  if (at == std::string::npos || at + 1 >= spec.size()) return false;
+  const std::string kind = spec.substr(0, at);
+  const std::string rest = spec.substr(at + 1);
+  char* end = nullptr;
+  if (kind == "throw") {
+    plan.throw_at_iteration = std::strtoll(rest.c_str(), &end, 10);
+    return *end == '\0' && plan.throw_at_iteration >= 1;
+  }
+  if (kind == "stall") {
+    plan.stall_worker = std::strtoll(rest.c_str(), &end, 10);
+    if (end == nullptr || *end != ':') return false;
+    const long long ms = std::strtoll(end + 1, &end, 10);
+    plan.stall_ns = ms * 1'000'000;
+    return *end == '\0' && plan.stall_worker >= 0 && ms >= 1;
+  }
+  if (kind == "cancel") {
+    plan.cancel_at_chunk = std::strtoll(rest.c_str(), &end, 10);
+    return *end == '\0' && plan.cancel_at_chunk >= 1;
+  }
+  return false;
 }
 
 std::string read_input(const Options& options) {
@@ -182,6 +227,13 @@ void print_stats(const char* label, const ir::Program& program) {
 int main(int argc, char** argv) {
   Options options;
   if (!parse_args(argc, argv, options)) return usage(argv[0]);
+  if ((options.deadline_ms > 0 || !options.inject_fault.empty()) &&
+      options.trace_path.empty()) {
+    std::fprintf(stderr,
+                 "coalescec: --deadline-ms / --inject-fault apply to the "
+                 "pool execution path; combine them with --trace=FILE\n");
+    return 2;
+  }
 
   const std::string source = read_input(options);
   auto parsed = frontend::parse_program(source);
@@ -333,32 +385,81 @@ int main(int argc, char** argv) {
     for (const auto& root : original.roots) eval_a.run(*root);
 
     ir::ArrayStore store_b(current.symbols);
+    bool partial = false;  // stopped early: skip the equivalence check
     if (tracing) {
+      runtime::RunControl control;
+      if (options.deadline_ms > 0) {
+        control.deadline = support::Deadline::after_ms(options.deadline_ms);
+      }
+      runtime::fault::FaultPlan plan;
+      if (!options.inject_fault.empty()) {
+        if (!runtime::fault::kEnabled) {
+          std::fprintf(stderr,
+                       "coalescec: --inject-fault requires a build with "
+                       "COALESCE_ENABLE_FAULTS=ON\n");
+          return 2;
+        }
+        if (!parse_fault_spec(options.inject_fault, plan)) {
+          std::fprintf(stderr,
+                       "coalescec: bad --inject-fault spec '%s' "
+                       "(throw@K | stall@W:MS | cancel@C)\n",
+                       options.inject_fault.c_str());
+          return 2;
+        }
+        plan.install();
+      }
       trace::Recorder recorder;
       recorder.install();
+      std::string failure;
       {
         const std::size_t workers =
             options.trace_workers > 0
                 ? options.trace_workers
                 : std::max(1u, std::thread::hardware_concurrency());
         runtime::ThreadPool pool(workers);
-        const auto stats = runtime::execute_program(
-            pool, current, {runtime::Schedule::kGuided, 1}, store_b);
-        if (!stats.ok()) {
-          std::fprintf(stderr, "coalescec: %s\n",
-                       stats.error().to_string().c_str());
-          return 1;
+        try {
+          const auto stats = runtime::execute_program(
+              pool, current, {runtime::Schedule::kGuided, 1}, store_b,
+              control);
+          if (!stats.ok()) {
+            std::fprintf(stderr, "coalescec: %s\n",
+                         stats.error().to_string().c_str());
+            return 1;
+          }
+          std::fprintf(stderr,
+                       "coalescec: traced %llu parallel / %llu sequential "
+                       "roots, %llu iterations, %llu dispatch ops on %zu "
+                       "workers\n",
+                       static_cast<unsigned long long>(stats.value().parallel_roots),
+                       static_cast<unsigned long long>(stats.value().sequential_roots),
+                       static_cast<unsigned long long>(stats.value().iterations),
+                       static_cast<unsigned long long>(stats.value().dispatch_ops),
+                       workers);
+          if (stats.value().cancelled) {
+            std::fprintf(stderr,
+                         "coalescec: execution cancelled after %llu "
+                         "iterations (partial results)\n",
+                         static_cast<unsigned long long>(
+                             stats.value().iterations));
+            partial = true;
+          }
+          if (stats.value().deadline_expired) {
+            std::fprintf(stderr,
+                         "coalescec: deadline (%lld ms) expired after %llu "
+                         "iterations (partial results)\n",
+                         options.deadline_ms,
+                         static_cast<unsigned long long>(
+                             stats.value().iterations));
+            partial = true;
+          }
+        } catch (const std::exception& e) {
+          // The executor rethrows the first body exception at the join
+          // point; the pool is already drained, so the trace can still be
+          // written below.
+          failure = e.what();
         }
-        std::fprintf(stderr,
-                     "coalescec: traced %llu parallel / %llu sequential "
-                     "roots, %llu iterations, %llu dispatch ops on %zu "
-                     "workers\n",
-                     static_cast<unsigned long long>(stats.value().parallel_roots),
-                     static_cast<unsigned long long>(stats.value().sequential_roots),
-                     static_cast<unsigned long long>(stats.value().iterations),
-                     static_cast<unsigned long long>(stats.value().dispatch_ops),
-                     workers);
       }  // pool joins before the recorder is read
+      plan.uninstall();
       recorder.uninstall();
       std::ofstream out(options.trace_path);
       if (!out) {
@@ -372,13 +473,22 @@ int main(int argc, char** argv) {
       if (options.trace_summary) {
         std::fputs(trace::worker_summary(recorder).c_str(), stderr);
       }
+      if (!failure.empty()) {
+        std::fprintf(stderr, "coalescec: execution failed: %s\n",
+                     failure.c_str());
+        return 3;
+      }
     } else {
       ir::Evaluator eval_b(current.symbols);
       for (const auto& root : current.roots) eval_b.run(*root);
       store_b = std::move(eval_b.store());
     }
 
-    if (options.verify) {
+    if (options.verify && partial) {
+      std::fprintf(stderr,
+                   "coalescec: skipping verification (execution stopped "
+                   "early; results are partial)\n");
+    } else if (options.verify) {
       for (std::uint32_t raw = 0; raw < original.symbols.size(); ++raw) {
         const ir::VarId id{raw};
         if (original.symbols.kind(id) != ir::SymbolKind::kArray) continue;
