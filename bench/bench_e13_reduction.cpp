@@ -10,7 +10,7 @@
 //                       dispatch of that cost);
 //   partials + chunks — per-worker accumulators, chunked dispatch, one
 //                       combine per worker after the join.
-// Plus a real-machine measurement of parallel_sum vs a CAS accumulator.
+// Plus a real-machine measurement of run_sum (partials) vs a CAS accumulator.
 //
 // Shape claims: atomic saturates once P*atomic_cost exceeds the body time;
 // partials scale like a plain DOALL; the combine cost (P adds) is noise.
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
   }
   table.print();
 
-  // Real machine: parallel_sum (partials) vs a CAS accumulator.
+  // Real machine: run_sum (partials) vs a CAS accumulator.
   runtime::ThreadPool pool(4);
   const i64 real_n = 1 << 18;
   auto body = [](i64 j) {
@@ -91,19 +91,20 @@ int main(int argc, char** argv) {
   };
 
   const auto t0 = std::chrono::steady_clock::now();
-  const auto partials = runtime::parallel_sum(
-      pool, real_n, {runtime::Schedule::kChunked, 1024}, body);
+  const auto partials = runtime::run_sum(
+      pool, real_n, body, {.schedule = {runtime::Schedule::kChunked, 1024}});
   const auto t1 = std::chrono::steady_clock::now();
 
   std::atomic<double> cas_sum{0.0};
-  runtime::parallel_for(pool, real_n, {runtime::Schedule::kChunked, 1024},
-                        [&](i64 j) {
-                          const double v = body(j);
-                          double seen = cas_sum.load(std::memory_order_relaxed);
-                          while (!cas_sum.compare_exchange_weak(
-                              seen, seen + v, std::memory_order_relaxed)) {
-                          }
-                        });
+  runtime::run(pool, real_n,
+               [&](i64 j) {
+                 const double v = body(j);
+                 double seen = cas_sum.load(std::memory_order_relaxed);
+                 while (!cas_sum.compare_exchange_weak(
+                     seen, seen + v, std::memory_order_relaxed)) {
+                 }
+               },
+               {.schedule = {runtime::Schedule::kChunked, 1024}});
   const auto t2 = std::chrono::steady_clock::now();
 
   const double partials_ms =

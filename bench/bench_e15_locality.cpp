@@ -71,7 +71,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "note: the runtime analogue is parallel_for_collapsed_tiled, which "
-      "dispatches whole rectangular tiles (one dispatch, contiguous rows).\n");
+      "note: the runtime analogue is run() with LaunchOptions::tile_sizes, "
+      "which dispatches whole rectangular tiles (one dispatch, contiguous "
+      "rows).\n");
   return 0;
 }

@@ -201,7 +201,7 @@ int main(int argc, char** argv) {
     double erased_ns = 0.0;
     for (int r = 0; r < rounds; ++r) {
       const auto start = Clock::now();
-      (void)runtime::parallel_for(pool, n, params, erased_body);
+      (void)runtime::run(pool, n, erased_body, {.schedule = params});
       erased_ns += ns_since(start);
     }
 
@@ -210,7 +210,8 @@ int main(int argc, char** argv) {
     double inlined_ns = 0.0;
     for (int r = 0; r < rounds; ++r) {
       const auto start = Clock::now();
-      (void)runtime::parallel_for(pool, n, params, [](i64 j) { escape(j); });
+      (void)runtime::run(pool, n, [](i64 j) { escape(j); },
+                         {.schedule = params});
       inlined_ns += ns_since(start);
     }
 
@@ -313,7 +314,8 @@ int main(int argc, char** argv) {
       recorder.install();
       runtime::ScheduleParams params{runtime::Schedule::kGuided};
       params.serialized = serialized;
-      (void)runtime::parallel_for(pool, n, params, [](i64 j) { escape(j); });
+      (void)runtime::run(pool, n, [](i64 j) { escape(j); },
+                         {.schedule = params});
       recorder.uninstall();
       const auto hist =
           recorder.counters().snapshot(trace::Hist::kDispatchLatencyNs);

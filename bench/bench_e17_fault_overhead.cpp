@@ -64,7 +64,7 @@ struct Variant {
   bool install_plan = false;
 };
 
-/// Times one parallel_for sweep of `n` iterations under `variant` and
+/// Times one run() sweep of `n` iterations under `variant` and
 /// returns wall ns. With `realistic_body` false the body is empty and the
 /// figure is pure runtime overhead; true runs a ~5 ns dependent multiply
 /// chain per iteration — roughly the lightest body a real nest has. The
@@ -77,8 +77,8 @@ double time_one_sweep(runtime::ThreadPool& pool, i64 n, i64 chunk,
   if (variant.install_plan) plan.install();
   const auto start = Clock::now();
   if (realistic_body) {
-    (void)runtime::parallel_for(
-        pool, n, params,
+    (void)runtime::run(
+        pool, n,
         [](i64 j) {
           // Three dependent multiply-xor rounds: ~10 ns of real latency
           // the optimizer cannot collapse across iterations.
@@ -91,10 +91,10 @@ double time_one_sweep(runtime::ThreadPool& pool, i64 n, i64 chunk,
           x ^= x >> 27;
           escape(x);
         },
-        variant.control);
+        {.schedule = params, .control = variant.control});
   } else {
-    (void)runtime::parallel_for(pool, n, params, [](i64 j) { escape(j); },
-                                variant.control);
+    (void)runtime::run(pool, n, [](i64 j) { escape(j); },
+                       {.schedule = params, .control = variant.control});
   }
   const double ns = ns_since(start);
   if (variant.install_plan) plan.uninstall();

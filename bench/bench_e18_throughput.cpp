@@ -1,0 +1,147 @@
+// E18 — Region throughput: queued asynchronous submission vs back-to-back
+// fork-join launches.
+//
+// The paper coalesces a nest so ONE loop's iterations self-schedule over
+// the machine; a real program is a *sequence* of such regions. The
+// synchronous path pays a full fork-join per region: wake the pool,
+// drain the dispatcher, hit the barrier, park — and the next region
+// starts from cold. The engine (runtime/engine.hpp) queues regions and
+// lets workers hand off from one region's dispatcher straight to the
+// next, so the inter-region barrier and the park/unpark round trip
+// disappear from the steady state.
+//
+// This bench prices exactly that seam: K small regions, identical bodies
+// and schedules, executed (a) back-to-back with run() on a ThreadPool and
+// (b) submitted all at once to an Engine and awaited with wait_all().
+// Regions are deliberately short — the barrier is a per-region constant,
+// so the smaller the region, the larger its share. Reported as
+// completed-regions/second, min-of-rounds (least-interference estimate),
+// plus the async/sync speedup. The acceptance gate from the experiment
+// plan: >= 1.3x at K=64, 8 workers.
+//
+// Flags: --json=FILE (bench_harness), --tiny (CI smoke sizes).
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "bench_harness.hpp"
+#include "core/coalesce.hpp"
+
+namespace {
+
+using namespace coalesce;
+using support::i64;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter("e18_throughput", argc, argv);
+  bool tiny = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--tiny") == 0) tiny = true;
+  }
+
+  const std::size_t workers = 8;
+  const int regions = tiny ? 16 : 64;
+  const i64 n = tiny ? 1024 : 4096;  // iterations per region
+  const int rounds = tiny ? 3 : 10;
+  const runtime::LaunchOptions opts{
+      .schedule = {runtime::Schedule::kChunked, 256}};
+
+  // Every region writes its own slice of one shared buffer; summing it
+  // afterwards both validates coverage and keeps the stores live.
+  std::vector<double> out(static_cast<std::size_t>(regions) *
+                          static_cast<std::size_t>(n));
+  auto region_body = [&out, n](int region) {
+    double* slice = out.data() + static_cast<std::size_t>(region) *
+                                     static_cast<std::size_t>(n);
+    // The coalesced index is 1-based, [1, n].
+    return [slice](i64 i) {
+      slice[static_cast<std::size_t>(i - 1)] =
+          static_cast<double>(i & 0xff) + 1.0;
+    };
+  };
+  const double expected_sum = [&] {
+    double s = 0.0;
+    for (i64 i = 1; i <= n; ++i) s += static_cast<double>(i & 0xff) + 1.0;
+    return s * regions;
+  }();
+  auto checksum = [&] {
+    double s = 0.0;
+    for (double v : out) s += v;
+    return s;
+  };
+
+  double sync_best = 0.0, async_best = 0.0;
+  bool valid = true;
+
+  // The two modes are timed interleaved round-robin so clock drift and
+  // machine noise cannot bias one against the other.
+  for (int round = 0; round < rounds; ++round) {
+    {
+      runtime::ThreadPool pool(workers);
+      std::fill(out.begin(), out.end(), 0.0);
+      const auto t0 = Clock::now();
+      for (int r = 0; r < regions; ++r) {
+        (void)runtime::run(pool, n, region_body(r), opts);
+      }
+      const double s = seconds_since(t0);
+      if (round == 0 || s < sync_best) sync_best = s;
+      valid = valid && checksum() == expected_sum;
+    }
+    {
+      runtime::Engine engine(workers,
+                             static_cast<std::size_t>(regions));
+      std::fill(out.begin(), out.end(), 0.0);
+      const auto t0 = Clock::now();
+      std::vector<runtime::RegionFuture<runtime::ForStats>> futures;
+      futures.reserve(static_cast<std::size_t>(regions));
+      for (int r = 0; r < regions; ++r) {
+        futures.push_back(engine.submit(n, region_body(r), opts));
+      }
+      engine.wait_all();
+      const double s = seconds_since(t0);
+      if (round == 0 || s < async_best) async_best = s;
+      for (auto& f : futures) valid = valid && f.get().completed();
+      valid = valid && checksum() == expected_sum;
+    }
+  }
+
+  const double sync_rps = regions / sync_best;
+  const double async_rps = regions / async_best;
+  const double speedup = async_rps / sync_rps;
+
+  support::Table table("E18: region throughput, K regions of N iterations, "
+                       "8 workers, min of rounds");
+  table.header({"mode", "K", "N", "regions/sec", "speedup"});
+  table.cell("sync run()")
+      .cell(static_cast<std::int64_t>(regions))
+      .cell(static_cast<std::int64_t>(n))
+      .cell(sync_rps, 1)
+      .cell(1.0, 2)
+      .end_row();
+  table.cell("engine submit")
+      .cell(static_cast<std::int64_t>(regions))
+      .cell(static_cast<std::int64_t>(n))
+      .cell(async_rps, 1)
+      .cell(speedup, 2)
+      .end_row();
+  table.print();
+  std::printf("\nresults valid: %s   async/sync speedup: %.2fx "
+              "(gate: >= 1.3x at K=64)\n",
+              valid ? "yes" : "NO", speedup);
+
+  reporter.record("throughput")
+      .field("regions", static_cast<std::size_t>(regions))
+      .field("iters_per_region", static_cast<std::size_t>(n))
+      .field("workers", workers)
+      .field("sync_regions_per_sec", sync_rps)
+      .field("async_regions_per_sec", async_rps)
+      .field("speedup", speedup);
+  return valid ? 0 : 1;
+}

@@ -42,7 +42,7 @@ void BM_Collapsed(benchmark::State& state, runtime::ScheduleParams params) {
   std::uint64_t rounds = 0;
   for (auto _ : state) {
     const runtime::ForStats stats =
-        runtime::parallel_for_collapsed(pool(), space(), params, consume);
+        runtime::run(pool(), space(), consume, {.schedule = params});
     dispatches += stats.dispatch_ops;
     ++rounds;
   }
@@ -56,8 +56,9 @@ void BM_Collapsed(benchmark::State& state, runtime::ScheduleParams params) {
 void BM_NestedOuter(benchmark::State& state) {
   const std::vector<i64> extents{kN1, kN2};
   for (auto _ : state) {
-    runtime::parallel_for_nested_outer(pool(), extents,
-                                       {runtime::Schedule::kSelf, 1}, consume);
+    runtime::run(pool(), extents, consume,
+                 {.schedule = {runtime::Schedule::kSelf, 1},
+                  .mode = runtime::NestMode::kNestedOuter});
   }
   state.SetItemsProcessed(state.iterations() * kN1 * kN2);
 }
@@ -65,8 +66,9 @@ void BM_NestedOuter(benchmark::State& state) {
 void BM_NestedForkJoin(benchmark::State& state) {
   const std::vector<i64> extents{kN1, kN2};
   for (auto _ : state) {
-    runtime::parallel_for_nested_forkjoin(
-        pool(), extents, {runtime::Schedule::kChunked, 16}, consume);
+    runtime::run(pool(), extents, consume,
+                 {.schedule = {runtime::Schedule::kChunked, 16},
+                  .mode = runtime::NestMode::kNestedForkJoin});
   }
   state.SetItemsProcessed(state.iterations() * kN1 * kN2);
 }

@@ -10,7 +10,7 @@
 // bounding box with a membership guard.
 #include <cstdio>
 
-#include "core/coalesce.hpp"
+#include "coalesce.hpp"
 
 int main() {
   using namespace coalesce;

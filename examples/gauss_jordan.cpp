@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/coalesce.hpp"
+#include "coalesce.hpp"
 
 namespace {
 
@@ -62,11 +62,12 @@ int main() {
     // Pre-compute multipliers (a 1-D DOALL).
     std::vector<double> mult(static_cast<std::size_t>(n) + 1, 0.0);
     const double denom = ab.at(pivot, pivot);
-    runtime::parallel_for(pool, n, {runtime::Schedule::kChunked, 8},
-                          [&](i64 i) {
-                            mult[static_cast<std::size_t>(i)] =
-                                i == pivot ? 0.0 : ab.at(i, pivot) / denom;
-                          });
+    runtime::run(pool, n,
+                 [&](i64 i) {
+                   mult[static_cast<std::size_t>(i)] =
+                       i == pivot ? 0.0 : ab.at(i, pivot) / denom;
+                 },
+                 {.schedule = {runtime::Schedule::kChunked, 8}});
 
     // Update plane: rows 1..n (except pivot) x columns pivot..n+m.
     const auto plane =
@@ -74,13 +75,14 @@ int main() {
             {index::LevelGeometry{1, n, 1},
              index::LevelGeometry{pivot, n + m - pivot + 1, 1}})
             .value();
-    const runtime::ForStats stats = runtime::parallel_for_collapsed(
-        pool, plane, {runtime::Schedule::kGuided},
+    const runtime::ForStats stats = runtime::run(
+        pool, plane,
         [&](std::span<const i64> ik) {
           const i64 i = ik[0], k = ik[1];
           if (i == pivot) return;
           ab.at(i, k) -= mult[static_cast<std::size_t>(i)] * ab.at(pivot, k);
-        });
+        },
+        {.schedule = {runtime::Schedule::kGuided}});
     total_dispatches += stats.dispatch_ops;
   }
 
@@ -88,11 +90,12 @@ int main() {
   Dense x(n, m);
   const auto backsolve_space =
       index::CoalescedSpace::create(std::vector<i64>{n, m}).value();
-  const runtime::ForStats back_stats = runtime::parallel_for_collapsed(
-      pool, backsolve_space, {runtime::Schedule::kGuided},
+  const runtime::ForStats back_stats = runtime::run(
+      pool, backsolve_space,
       [&](std::span<const i64> ij) {
         x.at(ij[0], ij[1]) = ab.at(ij[0], n + ij[1]) / ab.at(ij[0], ij[0]);
-      });
+      },
+      {.schedule = {runtime::Schedule::kGuided}});
   total_dispatches += back_stats.dispatch_ops;
 
   double max_err = 0.0;
@@ -104,7 +107,7 @@ int main() {
 
   std::printf("gauss-jordan n=%lld m=%lld on %zu workers\n",
               static_cast<long long>(n), static_cast<long long>(m),
-              pool.worker_count());
+              pool.concurrency());
   std::printf("  total synchronized dispatches: %llu\n",
               static_cast<unsigned long long>(total_dispatches));
   std::printf("  max |X - X*| = %.3e  (%s)\n", max_err,

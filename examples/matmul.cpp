@@ -6,11 +6,11 @@
 // The program runs the same multiplication three ways and cross-checks:
 //   serial            — reference
 //   nested-outer      — rows scheduled across workers (the usual baseline)
-//   coalesced         — parallel_for_collapsed over the (i, j) space
+//   coalesced         — run() over the collapsed (i, j) space
 #include <cstdio>
 #include <vector>
 
-#include "core/coalesce.hpp"
+#include "coalesce.hpp"
 
 namespace {
 
@@ -65,24 +65,27 @@ int main() {
   // Baseline: parallelize the outer row loop only.
   Matrix nested(n, m);
   const std::vector<i64> extents{n, m};
-  const runtime::ForStats nested_stats = runtime::parallel_for_nested_outer(
-      pool, extents, {runtime::Schedule::kSelf},
+  const runtime::ForStats nested_stats = runtime::run(
+      pool, extents,
       [&](std::span<const i64> ij) {
         nested.at(ij[0], ij[1]) = dot(a, b, ij[0], ij[1]);
-      });
+      },
+      {.schedule = {runtime::Schedule::kSelf},
+       .mode = runtime::NestMode::kNestedOuter});
 
   // Coalesced: one counter over all n*m dot products, guided chunks.
   Matrix coalesced(n, m);
   const auto space = index::CoalescedSpace::create(extents).value();
-  const runtime::ForStats coal_stats = runtime::parallel_for_collapsed(
-      pool, space, {runtime::Schedule::kGuided},
+  const runtime::ForStats coal_stats = runtime::run(
+      pool, space,
       [&](std::span<const i64> ij) {
         coalesced.at(ij[0], ij[1]) = dot(a, b, ij[0], ij[1]);
-      });
+      },
+      {.schedule = {runtime::Schedule::kGuided}});
 
   std::printf("matmul %lldx%lldx%lld on %zu workers\n",
               static_cast<long long>(n), static_cast<long long>(p),
-              static_cast<long long>(m), pool.worker_count());
+              static_cast<long long>(m), pool.concurrency());
   std::printf("  nested-outer: dispatches=%llu imbalance=%.3f  correct=%s\n",
               static_cast<unsigned long long>(nested_stats.dispatch_ops),
               nested_stats.imbalance(), same(serial, nested) ? "yes" : "NO");

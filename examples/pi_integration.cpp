@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/coalesce.hpp"
+#include "coalesce.hpp"
 
 int main() {
   using namespace coalesce;
@@ -42,8 +42,9 @@ int main() {
   for (const auto& params : schedules) {
     std::atomic<double> sum{0.0};
 
-    const runtime::ForStats stats = runtime::parallel_for_collapsed(
-        pool, space, params, [&](std::span<const i64> sr) {
+    const runtime::ForStats stats = runtime::run(
+        pool, space,
+        [&](std::span<const i64> sr) {
           const double g =
               static_cast<double>((sr[0] - 1) * intervals + sr[1]);
           const double x = (g - 0.5) / total;
@@ -54,7 +55,8 @@ int main() {
           while (!sum.compare_exchange_weak(expected, expected + area,
                                             std::memory_order_relaxed)) {
           }
-        });
+        },
+        {.schedule = params});
 
     const double pi = sum.load();
     const double err = std::fabs(pi - M_PI);

@@ -9,7 +9,7 @@
 // Build & run:  ./examples/quickstart
 #include <cstdio>
 
-#include "core/coalesce.hpp"
+#include "coalesce.hpp"
 
 int main() {
   using namespace coalesce;
@@ -40,13 +40,14 @@ int main() {
   runtime::ThreadPool pool(4);
   const index::CoalescedSpace& space = result.coalesced.space;
   std::vector<double> out(static_cast<std::size_t>(space.total()), 0.0);
-  const runtime::ForStats stats = runtime::parallel_for_collapsed(
-      pool, space, {runtime::Schedule::kGuided},
+  const runtime::ForStats stats = runtime::run(
+      pool, space,
       [&](std::span<const support::i64> ij) {
         const auto flat =
             static_cast<std::size_t>((ij[0] - 1) * 6 + (ij[1] - 1));
         out[flat] = static_cast<double>(10 * ij[0] + ij[1]);
-      });
+      },
+      {.schedule = {runtime::Schedule::kGuided}});
 
   std::printf("== runtime execution ==\n");
   std::printf("iterations: %lld   dispatch ops: %llu   chunks: %llu\n",

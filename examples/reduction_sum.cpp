@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/coalesce.hpp"
+#include "coalesce.hpp"
 
 int main() {
   using namespace coalesce;
@@ -44,19 +44,20 @@ int main() {
   runtime::ThreadPool pool(4);
   const auto space =
       index::CoalescedSpace::create(std::vector<i64>{rows, cols}).value();
-  const auto result = runtime::parallel_sum_collapsed(
-      pool, space, {runtime::Schedule::kGuided},
+  const auto result = runtime::run_sum(
+      pool, space,
       [&](std::span<const i64> ij) {
         const double v =
             matrix[static_cast<std::size_t>((ij[0] - 1) * cols + (ij[1] - 1))];
         return v * v;
-      });
+      },
+      {.schedule = {runtime::Schedule::kGuided}});
 
   std::printf("Frobenius^2: serial=%.6f parallel=%.6f (delta %.2e)\n",
               serial, result.value, std::fabs(serial - result.value));
   std::printf("dispatches=%llu chunks=%llu workers=%zu\n",
               static_cast<unsigned long long>(result.stats.dispatch_ops),
               static_cast<unsigned long long>(result.stats.chunks_executed),
-              pool.worker_count());
+              pool.concurrency());
   return std::fabs(serial - result.value) < 1e-6 ? 0 : 1;
 }

@@ -7,7 +7,7 @@
 // self-scheduling, and GSS's shrinking chunks absorbing the imbalance.
 #include <cstdio>
 
-#include "core/coalesce.hpp"
+#include "coalesce.hpp"
 
 int main() {
   using namespace coalesce;

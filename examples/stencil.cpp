@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/coalesce.hpp"
+#include "coalesce.hpp"
 
 int main() {
   using namespace coalesce;
@@ -45,8 +45,8 @@ int main() {
     // Convergence metric: atomic max over all points (CAS only when a new
     // maximum is observed, so contention stays negligible).
     std::atomic<double> sweep_delta{0.0};
-    const runtime::ForStats stats = runtime::parallel_for_collapsed(
-        pool, interior, {runtime::Schedule::kChunked, 256},
+    const runtime::ForStats stats = runtime::run(
+        pool, interior,
         [&](std::span<const i64> ij) {
           const i64 i = ij[0], j = ij[1];
           const double next = 0.25 * (at(*src, i - 1, j) + at(*src, i + 1, j) +
@@ -57,7 +57,8 @@ int main() {
           while (seen < delta && !sweep_delta.compare_exchange_weak(
                                      seen, delta, std::memory_order_relaxed)) {
           }
-        });
+        },
+        {.schedule = {runtime::Schedule::kChunked, 256}});
     dispatches += stats.dispatch_ops;
     max_delta = sweep_delta.load();
     std::swap(src, dst);
@@ -70,7 +71,7 @@ int main() {
 
   std::printf("jacobi %lldx%lld interior, %zu workers\n",
               static_cast<long long>(n), static_cast<long long>(n),
-              pool.worker_count());
+              pool.concurrency());
   std::printf("  converged to %.1e in %d sweeps, %llu dispatches total\n",
               max_delta, sweeps,
               static_cast<unsigned long long>(dispatches));

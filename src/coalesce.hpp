@@ -1,0 +1,76 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include "coalesce.hpp"
+//
+//   using namespace coalesce;
+//   ir::LoopNest nest = ir::make_matmul(64, 64, 64);
+//   analysis::analyze_and_mark(nest);                    // prove DOALLs
+//   auto result = transform::coalesce_nest(nest);        // fuse the band
+//   std::string c = codegen::emit_c(result.value().nest);// inspect output
+//
+// Or skip the IR and run a coalesced loop directly (runtime/launch.hpp):
+//
+//   runtime::ThreadPool pool(8);
+//   auto space = index::CoalescedSpace::create({64, 64}).value();
+//   runtime::run(pool, space,
+//                [&](std::span<const support::i64> ij) { ... },
+//                {.schedule = {runtime::Schedule::kGuided}});
+//
+// Or asynchronously, many regions deep (runtime/engine.hpp):
+//
+//   runtime::Engine engine(8);
+//   auto future = engine.submit(space, body);
+//   ... // caller keeps working; future.get() joins that one region
+//
+// docs/API.md draws the public-vs-internal line and carries the migration
+// table from the deprecated parallel_for*/parallel_reduce* spellings.
+#pragma once
+
+#include "analysis/dependence.hpp"
+#include "analysis/doall.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/reduction.hpp"
+#include "analysis/report.hpp"
+#include "analysis/subscript.hpp"
+#include "codegen/c_emitter.hpp"
+#include "codegen/cost_model.hpp"
+#include "core/api.hpp"
+#include "frontend/parser.hpp"
+#include "index/chunk.hpp"
+#include "index/coalesced_space.hpp"
+#include "index/grid.hpp"
+#include "index/incremental.hpp"
+#include "ir/builder.hpp"
+#include "ir/eval.hpp"
+#include "ir/printer.hpp"
+#include "ir/stmt.hpp"
+#include "ir/verify.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/ir_executor.hpp"
+#include "runtime/launch.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/reduce.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/machine.hpp"
+#include "sim/workload.hpp"
+#include "support/cancel.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "trace/counters.hpp"
+#include "trace/event.hpp"
+#include "trace/export.hpp"
+#include "trace/recorder.hpp"
+#include "transform/coalesce.hpp"
+#include "transform/distribute.hpp"
+#include "transform/fusion.hpp"
+#include "transform/guarded.hpp"
+#include "transform/interchange.hpp"
+#include "transform/normalize.hpp"
+#include "transform/permute.hpp"
+#include "transform/postcheck.hpp"
+#include "transform/scalar_expand.hpp"
+#include "transform/stats.hpp"
+#include "transform/strip_mine.hpp"
+#include "transform/tile.hpp"

@@ -1,61 +1,8 @@
-// Umbrella header: the library's public API in one include.
-//
-//   #include "core/coalesce.hpp"
-//
-//   using namespace coalesce;
-//   ir::LoopNest nest = ir::make_matmul(64, 64, 64);
-//   analysis::analyze_and_mark(nest);                    // prove DOALLs
-//   auto result = transform::coalesce_nest(nest);        // fuse the band
-//   std::string c = codegen::emit_c(result.value().nest);// inspect output
-//
-// Or skip the IR and run a coalesced loop directly:
-//
-//   runtime::ThreadPool pool(8);
-//   auto space = index::CoalescedSpace::create({64, 64}).value();
-//   runtime::parallel_for_collapsed(pool, space, {runtime::Schedule::kGuided},
-//                                   [&](std::span<const support::i64> ij) {
-//                                     ...
-//                                   });
+// Forwarder: the umbrella header moved to the include root in PR 5 so
+// downstream code writes `#include "coalesce.hpp"`. This spelling keeps
+// old includes compiling; prefer the new one.
 #pragma once
 
-#include "analysis/dependence.hpp"
-#include "analysis/doall.hpp"
-#include "analysis/reduction.hpp"
-#include "analysis/report.hpp"
-#include "analysis/subscript.hpp"
-#include "codegen/c_emitter.hpp"
-#include "codegen/cost_model.hpp"
-#include "core/api.hpp"
-#include "frontend/parser.hpp"
-#include "index/chunk.hpp"
-#include "index/coalesced_space.hpp"
-#include "index/grid.hpp"
-#include "index/incremental.hpp"
-#include "ir/builder.hpp"
-#include "ir/eval.hpp"
-#include "ir/printer.hpp"
-#include "ir/stmt.hpp"
-#include "runtime/ir_executor.hpp"
-#include "runtime/parallel_for.hpp"
-#include "runtime/reduce.hpp"
-#include "runtime/thread_pool.hpp"
-#include "sim/machine.hpp"
-#include "sim/workload.hpp"
-#include "support/stats.hpp"
-#include "support/strings.hpp"
-#include "support/table.hpp"
-#include "trace/counters.hpp"
-#include "trace/event.hpp"
-#include "trace/export.hpp"
-#include "trace/recorder.hpp"
-#include "transform/coalesce.hpp"
-#include "transform/distribute.hpp"
-#include "transform/interchange.hpp"
-#include "transform/normalize.hpp"
-#include "transform/permute.hpp"
-#include "transform/scalar_expand.hpp"
-#include "transform/stats.hpp"
-#include "transform/fusion.hpp"
-#include "transform/guarded.hpp"
-#include "transform/strip_mine.hpp"
-#include "transform/tile.hpp"
+// Relative path, not "coalesce.hpp": quoted lookup searches this file's
+// own directory first, which would resolve to this file itself.
+#include "../coalesce.hpp"

@@ -1,0 +1,183 @@
+#include "runtime/engine.hpp"
+
+#include <chrono>
+
+#include "trace/recorder.hpp"
+
+namespace coalesce::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t now_ticks() noexcept {
+  return Clock::now().time_since_epoch().count();
+}
+
+double seconds_between(std::int64_t start_ticks,
+                       std::int64_t end_ticks) noexcept {
+  return std::chrono::duration<double>(
+             Clock::duration(end_ticks - start_ticks))
+      .count();
+}
+
+}  // namespace
+
+Engine::Engine(std::size_t workers, std::size_t queue_capacity)
+    : queue_capacity_(queue_capacity) {
+  COALESCE_ASSERT(workers >= 1);
+  COALESCE_ASSERT(queue_capacity >= 1);
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads_.emplace_back(
+        [this, w](std::stop_token stop) { worker_main(w, stop); });
+  }
+}
+
+Engine::~Engine() {
+  drain();
+  {
+    std::scoped_lock lock(mutex_);
+    for (auto& t : threads_) t.request_stop();
+  }
+  cv_work_.notify_all();
+  // jthread destructors join.
+}
+
+std::size_t Engine::queue_depth() const {
+  std::scoped_lock lock(mutex_);
+  return queued_unlocked();
+}
+
+std::size_t Engine::inflight() const {
+  std::scoped_lock lock(mutex_);
+  return inflight_;
+}
+
+bool Engine::enqueue(std::shared_ptr<TaskBase> task, Priority priority,
+                     bool block) {
+  const i64 id = task->id;
+  std::size_t depth = 0;
+  {
+    std::unique_lock lock(mutex_);
+    if (block) {
+      cv_space_.wait(lock, [&] {
+        return !accepting_ || queued_unlocked() < queue_capacity_;
+      });
+    }
+    if (!accepting_) return false;
+    if (queued_unlocked() >= queue_capacity_) return false;  // try_submit
+    if (trace::Recorder* rec = trace::Recorder::current()) {
+      task->recorder_at_enqueue = rec;
+      task->enqueue_ns = rec->now_ns();
+    }
+    auto& queue = priority == Priority::kHigh ? high_ : normal_;
+    queue.push_back(std::move(task));
+    ++inflight_;
+    depth = queued_unlocked();
+  }
+  cv_work_.notify_all();
+  trace::mark(trace::EventKind::kRegionEnqueue, id,
+              static_cast<i64>(depth));
+  trace::count(trace::Counter::kRegionsEnqueued);
+  trace::observe(trace::Hist::kRegionQueueDepth, depth);
+  return true;
+}
+
+void Engine::wait_all() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+void Engine::drain() {
+  {
+    std::scoped_lock lock(mutex_);
+    accepting_ = false;
+  }
+  // Unblock submitters stuck on backpressure so they observe the close.
+  cv_space_.notify_all();
+  wait_all();
+}
+
+void Engine::worker_main(std::size_t w, std::stop_token stop) {
+  trace::set_thread_worker(static_cast<std::uint32_t>(w));
+  while (true) {
+    std::shared_ptr<TaskBase> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [&] {
+        return stop.stop_requested() || current_ != nullptr ||
+               queued_unlocked() > 0;
+      });
+      if (current_ == nullptr && queued_unlocked() == 0) {
+        // Stop only with no work left: the destructor drains first, so
+        // every accepted region still retires.
+        return;
+      }
+      if (current_ == nullptr) {
+        auto& queue = !high_.empty() ? high_ : normal_;
+        current_ = std::move(queue.front());
+        queue.pop_front();
+      }
+      task = current_;
+      ++task->joiners;
+    }
+    cv_space_.notify_all();  // a queue slot may have freed
+
+    // First worker in stamps the start (CAS so exactly one wins) and
+    // emits kRegionStart.
+    std::int64_t expected = 0;
+    if (task->start_ticks.compare_exchange_strong(
+            expected, now_ticks(), std::memory_order_acq_rel)) {
+      trace::mark(trace::EventKind::kRegionStart, task->id);
+    }
+
+    {
+      trace::ScopedSpan run(trace::EventKind::kWorkerRun,
+                            trace::Hist::kWorkerBusyNs);
+      task->run_worker(w);
+    }
+
+    // run_worker returning means the region has no more work to grant.
+    // Detach it as the current region (so the next joiner picks up the
+    // next queued one — the no-barrier handoff) and let the LAST worker
+    // out retire it.
+    bool last = false;
+    {
+      std::scoped_lock lock(mutex_);
+      if (current_ == task) {
+        current_ = nullptr;
+        task->detached = true;
+      }
+      --task->joiners;
+      last = task->detached && task->joiners == 0;
+    }
+    // No wake needed after detaching: the wait predicate is true whenever
+    // any region is current or queued, so no worker is parked while work
+    // exists — the next joiner hands off without a notify.
+
+    if (last) {
+      const double wall = seconds_between(
+          task->start_ticks.load(std::memory_order_relaxed), now_ticks());
+      const bool completed = task->ctx.first_error == nullptr &&
+                             !task->ctx.stop.load(std::memory_order_relaxed);
+      task->finalize(wall);
+      // Retire span [enqueue, now], recorded only against the recorder
+      // that saw the enqueue (it may have been uninstalled since).
+      if (trace::Recorder* rec = trace::Recorder::current();
+          rec != nullptr && rec == task->recorder_at_enqueue) {
+        rec->record(trace::EventKind::kRegionRetire,
+                    static_cast<std::uint32_t>(w), task->enqueue_ns,
+                    rec->now_ns(), task->id, completed ? 1 : 0);
+      }
+      trace::count(trace::Counter::kRegionsRetired);
+      {
+        std::scoped_lock lock(mutex_);
+        --inflight_;
+      }
+      cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace coalesce::runtime

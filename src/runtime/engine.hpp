@@ -1,0 +1,462 @@
+// Engine — asynchronous multi-region execution over the coalesced runtime.
+//
+// The synchronous verbs in runtime/launch.hpp are fork-join: the caller
+// blocks, every worker parks when the region drains, and back-to-back
+// regions pay a full wake/park cycle between them. The Engine removes that
+// barrier for pipelines of many independent regions:
+//
+//   Engine engine(8);
+//   auto a = engine.submit(n, bodyA);
+//   auto b = engine.submit(space, bodyB, {.schedule = {Schedule::kGuided}});
+//   auto c = engine.submit_sum(n, bodyC, {.priority = Priority::kHigh});
+//   ... caller keeps working ...
+//   ForStats sa = a.get();   // blocks only for a; rethrows a's exception
+//
+// Mechanics:
+//  * submit() enqueues a region task — the same RegionContext + chunk
+//    runner the synchronous path uses (runtime/executor.hpp) — into a
+//    bounded two-class queue (Priority::kHigh ahead of kNormal, FIFO
+//    within a class) and returns a RegionFuture immediately;
+//  * a fixed crew of dedicated workers executes regions one at a time at
+//    full width: each worker drains the current region's dispatcher via
+//    detail::worker_pass, and the first worker to see it exhausted flips
+//    the engine to the next queued region, so following workers hand off
+//    WITHOUT re-parking — no fork-join barrier between regions (bench E18
+//    prices exactly this against back-to-back synchronous run() calls);
+//  * the last worker out of a region retires it: computes ForStats,
+//    fulfills the future (value, or the region's first exception), and
+//    emits kRegionRetire;
+//  * backpressure: submit() blocks while `queue_capacity` regions are
+//    already queued (running regions don't count); try_submit() returns
+//    std::nullopt instead of blocking;
+//  * per-region RunControl: each submission carries its own cancellation
+//    token/deadline, observed at chunk-grant granularity, so one region
+//    can be cancelled while the rest of the pipeline runs on.
+//
+// Differences from the synchronous path, by design:
+//  * the caller is NOT a worker (unlike ThreadPool, where the calling
+//    thread participates as worker 0) — submission must return;
+//  * bodies and spaces are COPIED into the region task (the call returns
+//    before the region runs, so borrowing caller locals would dangle);
+//    data the body points at must outlive the region — hold it until the
+//    future resolves;
+//  * static schedules are remapped at submission: workers join a region
+//    as they free up, so a partition that assumes all workers show up
+//    would strand iterations. kStaticBlock becomes kChunked with
+//    ceil(N/P) chunks and kStaticCyclic becomes unit self-scheduling —
+//    same work, dynamically claimed. ForStats::dispatch_ops reflects the
+//    remapped schedule.
+//
+// Thread safety: submit/try_submit/wait_all/drain may be called from any
+// thread. RegionFuture is a handle to shared state; one future, one
+// get(). Destroying the engine drains it first: every accepted region
+// runs to retirement and every future resolves.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "index/coalesced_space.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/launch.hpp"
+#include "support/assert.hpp"
+#include "support/int_math.hpp"
+#include "trace/recorder.hpp"
+
+namespace coalesce::runtime {
+
+namespace detail {
+
+/// Shared slot a RegionFuture and its region task communicate through.
+template <typename T>
+struct FutureState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool ready = false;
+  std::optional<T> value;
+  std::exception_ptr error;
+  i64 region_id = 0;
+
+  void set_value(T v) {
+    {
+      std::scoped_lock lock(mutex);
+      value.emplace(std::move(v));
+      ready = true;
+    }
+    cv.notify_all();
+  }
+  void set_error(std::exception_ptr e) {
+    {
+      std::scoped_lock lock(mutex);
+      error = std::move(e);
+      ready = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+/// Handle to one submitted region's eventual result. Default-constructed
+/// (or returned by a closed engine's submit) it is invalid — check
+/// valid(). get() blocks until the region retires, then returns the result
+/// or rethrows the region's first exception; call it at most once.
+template <typename T>
+class RegionFuture {
+ public:
+  RegionFuture() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Engine-assigned region id (1-based); 0 for an invalid future.
+  [[nodiscard]] i64 region_id() const noexcept {
+    return state_ != nullptr ? state_->region_id : 0;
+  }
+
+  /// True once the region has retired (result or exception is set).
+  [[nodiscard]] bool ready() const {
+    COALESCE_ASSERT(valid());
+    std::scoped_lock lock(state_->mutex);
+    return state_->ready;
+  }
+
+  void wait() const {
+    COALESCE_ASSERT(valid());
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->ready; });
+  }
+
+  /// Blocks until retirement; returns the result or rethrows the region's
+  /// first exception. Consumes the value — at most one get() per future.
+  [[nodiscard]] T get() {
+    COALESCE_ASSERT(valid());
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->ready; });
+    if (state_->error != nullptr) {
+      std::rethrow_exception(state_->error);
+    }
+    COALESCE_ASSERT_MSG(state_->value.has_value(),
+                        "RegionFuture::get() called twice");
+    T out = std::move(*state_->value);
+    state_->value.reset();
+    return out;
+  }
+
+ private:
+  friend class Engine;
+  explicit RegionFuture(std::shared_ptr<detail::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/// try_submit's result: the future, or std::nullopt when the queue was
+/// full (or the engine closed).
+template <typename T>
+using TryResult = std::optional<RegionFuture<T>>;
+
+class Engine {
+ public:
+  /// Spawns `workers` dedicated threads (>= 1). `queue_capacity` bounds
+  /// regions that are queued but not yet running; submit() blocks (and
+  /// try_submit() refuses) beyond it.
+  explicit Engine(std::size_t workers, std::size_t queue_capacity = 64);
+
+  /// Drains — every accepted region runs to retirement, every future
+  /// resolves — then joins the workers.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Number of worker threads. The calling thread is NOT one of them
+  /// (contrast ThreadPool::concurrency()).
+  [[nodiscard]] std::size_t concurrency() const noexcept {
+    return threads_.size();
+  }
+  [[nodiscard]] std::size_t queue_capacity() const noexcept {
+    return queue_capacity_;
+  }
+  /// Regions queued but not yet picked up (racy snapshot, for monitoring).
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Regions accepted and not yet retired (queued + running).
+  [[nodiscard]] std::size_t inflight() const;
+
+  // ---- submission -----------------------------------------------------------
+
+  /// Flat coalesced loop: body(j) for j in [1, total]. The body is copied.
+  template <typename Body,
+            std::enable_if_t<std::is_invocable_v<Body&, i64>, int> = 0>
+  RegionFuture<ForStats> submit(i64 total, Body body,
+                                const LaunchOptions& opts = {}) {
+    COALESCE_ASSERT(total >= 0);
+    return submit_region<ForStats>(
+        total, detail::FlatRunner<Body>{std::move(body)}, stats_result(),
+        opts);
+  }
+
+  /// Collapsed (or, with opts.tile_sizes, tiled) nest over the space. The
+  /// space and body are copied; nested baseline modes are synchronous-only.
+  template <typename Body,
+            std::enable_if_t<
+                std::is_invocable_v<Body&, std::span<const i64>>, int> = 0>
+  RegionFuture<ForStats> submit(index::CoalescedSpace space, Body body,
+                                const LaunchOptions& opts = {}) {
+    const bool tiled =
+        opts.mode == NestMode::kTiled || !opts.tile_sizes.empty();
+    COALESCE_ASSERT_MSG(
+        tiled || opts.mode == NestMode::kCollapsed,
+        "nested baseline modes are synchronous-only (use run())");
+    if (!tiled) {
+      const i64 total = space.total();
+      return submit_region<ForStats>(
+          total,
+          detail::CollapsedRunner<index::CoalescedSpace, Body>{
+              std::move(space), std::move(body)},
+          stats_result(), opts);
+    }
+    const auto requested = static_cast<std::uint64_t>(space.total());
+    auto runner = detail::make_tiled_runner<index::CoalescedSpace, Body>(
+        std::move(space), std::move(body), opts.tile_sizes);
+    const i64 tiles = runner.tile_space.total();
+    return submit_region<ForStats>(tiles, std::move(runner), stats_result(),
+                                   opts, requested);
+  }
+
+  /// Non-blocking variants: std::nullopt when the queue is full.
+  template <typename Body,
+            std::enable_if_t<std::is_invocable_v<Body&, i64>, int> = 0>
+  TryResult<ForStats> try_submit(i64 total, Body body,
+                                 const LaunchOptions& opts = {}) {
+    COALESCE_ASSERT(total >= 0);
+    return try_submit_region<ForStats>(
+        total, detail::FlatRunner<Body>{std::move(body)}, stats_result(),
+        opts);
+  }
+
+  /// Asynchronous reduction; the future carries the folded value plus the
+  /// region report.
+  template <typename Body, typename Combine,
+            std::enable_if_t<std::is_invocable_r_v<double, Body&, i64>,
+                             int> = 0>
+  RegionFuture<ReduceResult> submit_reduce(i64 total, double identity,
+                                           Body body, Combine combine,
+                                           const LaunchOptions& opts = {}) {
+    COALESCE_ASSERT(total >= 0);
+    auto partials = std::make_shared<std::vector<detail::ReducePartial>>(
+        concurrency(), detail::ReducePartial{identity});
+    auto make_result = [partials, identity, combine](
+                           const detail::RegionContext& ctx,
+                           double wall_seconds) {
+      ReduceResult result;
+      result.value = identity;
+      for (const detail::ReducePartial& p : *partials) {
+        result.value = combine(result.value, p.value);
+      }
+      result.stats = ctx.make_stats(wall_seconds);
+      return result;
+    };
+    return submit_region<ReduceResult>(
+        total,
+        detail::ReduceRunner<Body, Combine>{std::move(partials),
+                                            std::move(body),
+                                            std::move(combine)},
+        std::move(make_result), opts);
+  }
+
+  template <typename Body,
+            std::enable_if_t<std::is_invocable_r_v<double, Body&, i64>,
+                             int> = 0>
+  RegionFuture<ReduceResult> submit_sum(i64 total, Body body,
+                                        const LaunchOptions& opts = {}) {
+    return submit_reduce(total, 0.0, std::move(body),
+                         [](double a, double v) { return a + v; }, opts);
+  }
+
+  // ---- generic submission (the extension point) -----------------------------
+
+  /// Enqueues an arbitrary region: `run_chunk` is a chunk runner of the
+  /// worker_pass shape (copied; must own everything it touches),
+  /// `make_result(ctx, wall_seconds) -> T` runs once, on the last worker
+  /// out. Used by submit_ir (runtime/ir_executor.hpp); public so other
+  /// region shapes can be layered on without editing the engine.
+  /// `requested_override` reports iterations in different units than the
+  /// scheduled total (tiles vs points). Returns an invalid future if the
+  /// engine is closed (draining or destroyed).
+  template <typename T, typename RunChunk, typename MakeResult>
+  RegionFuture<T> submit_region(i64 total, RunChunk run_chunk,
+                                MakeResult make_result,
+                                const LaunchOptions& opts = {},
+                                std::uint64_t requested_override = 0) {
+    auto [task, future] = make_task<T>(total, std::move(run_chunk),
+                                       std::move(make_result), opts,
+                                       requested_override);
+    if (!enqueue(std::move(task), opts.priority, /*block=*/true)) {
+      return {};
+    }
+    return future;
+  }
+
+  template <typename T, typename RunChunk, typename MakeResult>
+  TryResult<T> try_submit_region(i64 total, RunChunk run_chunk,
+                                 MakeResult make_result,
+                                 const LaunchOptions& opts = {},
+                                 std::uint64_t requested_override = 0) {
+    auto [task, future] = make_task<T>(total, std::move(run_chunk),
+                                       std::move(make_result), opts,
+                                       requested_override);
+    if (!enqueue(std::move(task), opts.priority, /*block=*/false)) {
+      return std::nullopt;
+    }
+    return future;
+  }
+
+  // ---- synchronization ------------------------------------------------------
+
+  /// Blocks until every region accepted so far has retired.
+  void wait_all();
+
+  /// Stops accepting new work (submit returns invalid futures, try_submit
+  /// refuses), then wait_all(). The engine stays closed afterwards; the
+  /// destructor is a drain() + join.
+  void drain();
+
+ private:
+  /// One queued region: the shared RegionContext plus the typed runner /
+  /// result-maker behind two virtual calls (per region, not per chunk —
+  /// the chunk loop itself is the fully inlined worker_pass).
+  struct TaskBase {
+    detail::RegionContext ctx;
+    const i64 id;
+    /// Set by the first worker to pick the region up.
+    std::atomic<std::int64_t> start_ticks{0};
+    /// Trace-recorder identity at enqueue, so the retire span is only
+    /// recorded against the recorder that saw the enqueue (same guard as
+    /// ThreadPool's kWorkerPark).
+    trace::Recorder* recorder_at_enqueue = nullptr;
+    std::uint64_t enqueue_ns = 0;
+    /// Workers currently inside run_worker; guarded by the engine mutex.
+    std::size_t joiners = 0;
+    /// True once some worker saw the region exhausted and detached it as
+    /// the current region; guarded by the engine mutex.
+    bool detached = false;
+
+    TaskBase(i64 total, ScheduleParams params, std::size_t workers,
+             const RunControl& control, i64 region_id)
+        : ctx(total, params, workers, control), id(region_id) {
+      ctx.region_id = region_id;
+    }
+    virtual ~TaskBase() = default;
+    virtual void run_worker(std::size_t w) noexcept = 0;
+    /// Fulfills the future. Runs exactly once, after every worker left.
+    virtual void finalize(double wall_seconds) noexcept = 0;
+  };
+
+  template <typename T, typename RunChunk, typename MakeResult>
+  struct Task final : TaskBase {
+    RunChunk run_chunk;
+    MakeResult make_result;
+    std::shared_ptr<detail::FutureState<T>> state;
+
+    Task(i64 total, ScheduleParams params, std::size_t workers,
+         const RunControl& control, i64 region_id, RunChunk run_chunk_arg,
+         MakeResult make_result_arg,
+         std::shared_ptr<detail::FutureState<T>> state_arg)
+        : TaskBase(total, params, workers, control, region_id),
+          run_chunk(std::move(run_chunk_arg)),
+          make_result(std::move(make_result_arg)),
+          state(std::move(state_arg)) {}
+
+    void run_worker(std::size_t w) noexcept override {
+      detail::worker_pass(ctx, run_chunk, w);
+    }
+
+    void finalize(double wall_seconds) noexcept override {
+      if (ctx.first_error != nullptr) {
+        state->set_error(ctx.first_error);
+        return;
+      }
+      try {
+        state->set_value(make_result(ctx, wall_seconds));
+      } catch (...) {
+        state->set_error(std::current_exception());
+      }
+    }
+  };
+
+  /// Workers join regions as they free up, so a static partition that
+  /// assumes all P workers show up would strand iterations; remap to the
+  /// dynamic schedule that claims the same chunks.
+  [[nodiscard]] ScheduleParams remap_static(ScheduleParams params,
+                                            i64 total) const {
+    if (params.kind == Schedule::kStaticBlock) {
+      const i64 chunk = std::max<i64>(
+          1, support::ceil_div(total, static_cast<i64>(concurrency())));
+      return {.kind = Schedule::kChunked, .chunk_size = chunk};
+    }
+    if (params.kind == Schedule::kStaticCyclic) {
+      return {.kind = Schedule::kSelf, .chunk_size = 1};
+    }
+    return params;
+  }
+
+  /// The shared result-maker for plain ForStats regions.
+  [[nodiscard]] static auto stats_result() {
+    return [](const detail::RegionContext& ctx, double wall_seconds) {
+      return ctx.make_stats(wall_seconds);
+    };
+  }
+
+  template <typename T, typename RunChunk, typename MakeResult>
+  std::pair<std::shared_ptr<TaskBase>, RegionFuture<T>> make_task(
+      i64 total, RunChunk run_chunk, MakeResult make_result,
+      const LaunchOptions& opts, std::uint64_t requested_override) {
+    const i64 id =
+        next_region_id_.fetch_add(1, std::memory_order_relaxed);
+    auto state = std::make_shared<detail::FutureState<T>>();
+    state->region_id = id;
+    auto task = std::make_shared<Task<T, RunChunk, MakeResult>>(
+        total, remap_static(opts.schedule, total), concurrency(),
+        opts.control, id, std::move(run_chunk), std::move(make_result),
+        state);
+    task->ctx.requested_override = requested_override;
+    return {std::move(task), RegionFuture<T>(std::move(state))};
+  }
+
+  /// Adds the task to its priority's queue. Blocking mode waits for queue
+  /// space; both modes return false when the engine is closed.
+  bool enqueue(std::shared_ptr<TaskBase> task, Priority priority,
+               bool block);
+
+  void worker_main(std::size_t w, std::stop_token stop);
+
+  [[nodiscard]] std::size_t queued_unlocked() const noexcept {
+    return high_.size() + normal_.size();
+  }
+
+  const std::size_t queue_capacity_;
+  std::atomic<i64> next_region_id_{1};
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;   ///< workers: region available
+  std::condition_variable cv_space_;  ///< submitters: queue slot free
+  std::condition_variable cv_idle_;   ///< wait_all: inflight_ hit zero
+  std::deque<std::shared_ptr<TaskBase>> high_;    // guarded by mutex_
+  std::deque<std::shared_ptr<TaskBase>> normal_;  // guarded by mutex_
+  std::shared_ptr<TaskBase> current_;             // guarded by mutex_
+  std::size_t inflight_ = 0;                      // guarded by mutex_
+  bool accepting_ = true;                         // guarded by mutex_
+
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace coalesce::runtime

@@ -1,29 +1,40 @@
-// Templated region executors: the zero-type-erasure hot path, now fault-
-// tolerant.
+// Templated region executors: the zero-type-erasure hot path, shared by
+// the synchronous fork-join pool and the asynchronous region engine.
 //
 // The per-worker scheduling loop — pull a chunk, decode, run the body per
 // iteration — is where the runtime spends its life, and an indirect call
 // per iteration through std::function can dominate a small body the same
-// way the 2m divisions the paper strength-reduces would. detail::drive is
-// the single scheduling loop, templated on the chunk runner so the
-// compiler inlines the body into it; the templated parallel_for overloads
-// below instantiate it directly on the caller's callable. The
-// std::function entry points in parallel_for.hpp are thin wrappers over
-// the same template and remain the measurable "before" (E16 reports the
-// erased-vs-inlined per-iteration gap).
+// way the 2m divisions the paper strength-reduces would. The loop is split
+// into two pieces so every execution mode shares one implementation:
 //
-// drive is also the runtime's single fault boundary (bench E17 prices it):
+//  * detail::RegionContext — the per-region shared state: the dispatcher,
+//    the stop/cancel/error machinery, and the per-worker tallies;
+//  * detail::worker_pass — ONE worker's scheduling pass over a context,
+//    templated on the chunk runner so the compiler inlines the body into
+//    the loop.
+//
+// detail::drive composes them into the classic synchronous shape (fork the
+// pool, every worker runs one pass, join, rethrow); runtime/engine.hpp
+// composes the same two pieces into queued multi-region execution where
+// workers hand off from one region's context to the next without a
+// fork-join barrier in between.
+//
+// worker_pass is also the runtime's single fault boundary (bench E17
+// prices it):
 //  * cancellation / deadlines (support/cancel.hpp) are observed at chunk-
 //    grant granularity: the shared dispatcher is poisoned past N, every
 //    worker stops after the chunk it already owns;
 //  * a body exception is captured, first-exception-wins; the siblings are
-//    drained through the same poison path, the join completes normally,
-//    and the winning exception is rethrown at the join point — a throwing
-//    body never reaches std::terminate and the pool stays reusable;
+//    drained through the same poison path, and the winning exception is
+//    rethrown once at the join point (sync) or stored into the region's
+//    future (async) — a throwing body never reaches std::terminate and
+//    the pool/engine stays reusable;
 //  * the deterministic fault harness (runtime/fault.hpp) is consulted at
-//    the same choke point when compiled in.
+//    the same choke point when compiled in; fault plans can be scoped to
+//    one region id (FaultPlan::only_region).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <exception>
@@ -42,6 +53,7 @@
 #include "runtime/thread_pool.hpp"
 #include "support/assert.hpp"
 #include "support/cancel.hpp"
+#include "support/int_math.hpp"
 #include "trace/recorder.hpp"
 
 namespace coalesce::trace {
@@ -82,6 +94,9 @@ struct ForStats {
   /// enabled during the run (trace::Recorder::current() at entry); null
   /// otherwise. Borrowed, not owned — valid while that recorder lives.
   const trace::Recorder* trace = nullptr;
+  /// Engine-assigned region id (1-based) for asynchronous submissions;
+  /// 0 for synchronous fork-join execution.
+  std::uint64_t region_id = 0;
 
   /// Iterations actually executed, summed over workers. Equal to
   /// iterations_requested iff the region ran to completion.
@@ -105,40 +120,33 @@ struct ForStats {
 
 namespace detail {
 
-/// Shared driver: runs one region in which each worker pulls chunks (from
-/// the dispatcher or its static partition) and feeds them to `run_chunk`,
-/// a callable of shape void(std::size_t worker, index::Chunk,
-/// std::uint64_t* iters). Templated so run_chunk — and through it the loop
-/// body — inlines into the scheduling loop.
-///
-/// Stop conditions (token, deadline, sibling failure) are polled between
-/// chunks only: a worker never abandons a chunk it has started, which is
-/// what bounds cancel latency to one chunk per worker and keeps the
-/// per-iteration path untouched. A run_chunk exception is captured
-/// (first-exception-wins), the dispatcher is poisoned so the other
-/// workers drain, and the winner is rethrown HERE, after the join — the
-/// pool is idle and reusable whether or not this throws.
-template <typename RunChunk>
-ForStats drive(ThreadPool& pool, i64 total, ScheduleParams params,
-               RunChunk&& run_chunk, const RunControl& control = {}) {
-  using Clock = std::chrono::steady_clock;
-  const std::size_t workers = pool.worker_count();
-  ForStats stats;
-  stats.iterations_requested =
-      total > 0 ? static_cast<std::uint64_t>(total) : 0;
-  stats.iterations_per_worker.assign(workers, 0);
-  std::vector<std::uint64_t> chunks(workers, 0);
+/// Shared state of one in-flight region: the dispatcher, the stop/error
+/// machinery, and the per-worker tallies. Built once at region entry
+/// (synchronous call or engine submission); workers touch it only through
+/// worker_pass. Not movable — the engine heap-allocates it inside the
+/// region task, the sync driver keeps it on the stack.
+struct RegionContext {
+  const i64 total;
+  const ScheduleParams params;
+  const std::size_t workers;
+  const RunControl control;
+  const bool check_token;
+  const bool check_deadline;
+  /// Engine-assigned region id (1-based); 0 = synchronous region. Read by
+  /// the fault harness to scope plans to one region.
+  i64 region_id = 0;
+  /// When nonzero, overrides iterations_requested in the final stats (the
+  /// tiled/nested shapes schedule tiles or outer iterations but report
+  /// progress in points).
+  std::uint64_t requested_override = 0;
 
-  auto dispatcher_or = make_dispatcher(params, total, workers);
-  COALESCE_ASSERT_MSG(dispatcher_or.ok(),
-                      "invalid schedule parameters (see make_dispatcher)");
-  const std::unique_ptr<Dispatcher> dispatcher =
-      std::move(dispatcher_or).value();
+  std::unique_ptr<Dispatcher> dispatcher;  ///< null for static schedules
 
   // Shared stop machinery. `stop` is advisory (static schedules poll it);
   // the dispatcher poison is what bounds latency on the dynamic path.
   // `first_error` is written by exactly one claimant (the error_claimed
-  // exchange) and read after the pool join, which provides the
+  // exchange) and read after every worker left the region — the pool join
+  // or the engine's last-worker-out retirement provides the
   // happens-before edge.
   std::atomic<bool> stop{false};
   std::atomic<bool> cancelled{false};
@@ -146,169 +154,301 @@ ForStats drive(ThreadPool& pool, i64 total, ScheduleParams params,
   std::atomic<bool> error_claimed{false};
   std::exception_ptr first_error;
 
-  const bool check_token = control.token.valid();
-  const bool check_deadline = control.deadline.is_set();
+  std::vector<std::uint64_t> iterations_per_worker;
+  std::vector<std::uint64_t> chunks_per_worker;
 
-  auto request_stop = [&](trace::CancelCause cause) {
+  RegionContext(i64 total_arg, ScheduleParams params_arg,
+                std::size_t workers_arg, const RunControl& control_arg)
+      : total(total_arg),
+        params(params_arg),
+        workers(workers_arg),
+        control(control_arg),
+        check_token(control_arg.token.valid()),
+        check_deadline(control_arg.deadline.is_set()) {
+    auto dispatcher_or = make_dispatcher(params, total, workers);
+    COALESCE_ASSERT_MSG(dispatcher_or.ok(),
+                        "invalid schedule parameters (see make_dispatcher)");
+    dispatcher = std::move(dispatcher_or).value();
+    iterations_per_worker.assign(workers, 0);
+    chunks_per_worker.assign(workers, 0);
+  }
+
+  RegionContext(const RegionContext&) = delete;
+  RegionContext& operator=(const RegionContext&) = delete;
+
+  void request_stop(trace::CancelCause cause) noexcept {
     stop.store(true, std::memory_order_relaxed);
     if (dispatcher != nullptr) dispatcher->cancel();
     trace::mark(trace::EventKind::kCancel, static_cast<i64>(cause));
     trace::count(trace::Counter::kCancels);
-  };
+  }
 
-  const auto start = Clock::now();
-
-  pool.run_region([&](std::size_t w) {
-    std::uint64_t local_iters = 0;
-    std::uint64_t local_chunks = 0;
-    // Returns false when the region should stop before taking more work.
-    auto should_continue = [&]() -> bool {
-      if (stop.load(std::memory_order_relaxed)) return false;
-      if (check_token && control.token.cancelled()) {
-        cancelled.store(true, std::memory_order_relaxed);
-        request_stop(trace::CancelCause::kToken);
-        return false;
-      }
-      if (check_deadline && control.deadline.expired()) {
-        deadline_expired.store(true, std::memory_order_relaxed);
-        request_stop(trace::CancelCause::kDeadline);
-        return false;
-      }
-      return true;
-    };
-    auto traced_chunk = [&](index::Chunk chunk) {
-      if constexpr (fault::kEnabled) {
-        if (fault::FaultPlan* plan = fault::FaultPlan::current()) {
-          const fault::FaultDecision decision =
-              plan->on_chunk_grant(w, chunk);
-          if (decision.stall_ns > 0) {
-            std::this_thread::sleep_for(
-                std::chrono::nanoseconds(decision.stall_ns));
-          }
-          if (decision.cancel) {
-            cancelled.store(true, std::memory_order_relaxed);
-            request_stop(trace::CancelCause::kInjected);
-            return;
-          }
-          if (decision.throw_at > 0) {
-            // Run the prefix below the fault point, then fail exactly at
-            // it — deterministic in WHICH iteration faults.
-            const index::Chunk prefix{chunk.first, decision.throw_at};
-            if (!prefix.empty()) {
-              run_chunk(w, prefix, &local_iters);
-            }
-            throw fault::FaultInjected(
-                "injected fault at iteration " +
-                std::to_string(decision.throw_at));
-          }
-        }
-      }
-      trace::ScopedSpan span(trace::EventKind::kChunkExec, chunk.first,
-                             chunk.size());
-      const std::uint64_t before = local_iters;
-      run_chunk(w, chunk, &local_iters);
-      ++local_chunks;
-      trace::count(trace::Counter::kChunksExecuted);
-      trace::count(trace::Counter::kIterations, local_iters - before);
-    };
-    try {
-      if (dispatcher != nullptr) {
-        while (should_continue()) {
-          const index::Chunk chunk = dispatcher->next();
-          if (chunk.empty()) break;
-          traced_chunk(chunk);
-        }
-      } else if (params.kind == Schedule::kStaticBlock) {
-        const auto blocks =
-            index::static_blocks(total, static_cast<i64>(workers));
-        const index::Chunk mine = blocks[w];
-        if (!mine.empty() && should_continue()) {
-          traced_chunk(mine);
-        }
-      } else {  // kStaticCyclic: unit chunks w+1, w+1+P, ...
-        for (i64 j = static_cast<i64>(w) + 1; j <= total;
-             j += static_cast<i64>(workers)) {
-          if (!should_continue()) break;
-          traced_chunk(index::Chunk{j, j + 1});
-        }
-      }
-    } catch (...) {
-      // First exception wins; the rest of the pool drains via the poison
-      // path and the winner is rethrown after the join below.
-      if (!error_claimed.exchange(true, std::memory_order_acq_rel)) {
-        first_error = std::current_exception();
-      }
-      request_stop(trace::CancelCause::kException);
+  /// Assembles the final report. Call only after every worker has left the
+  /// region (the caller owns that ordering); does not rethrow first_error.
+  [[nodiscard]] ForStats make_stats(double wall_seconds) const {
+    ForStats stats;
+    stats.iterations_requested =
+        requested_override != 0
+            ? requested_override
+            : (total > 0 ? static_cast<std::uint64_t>(total) : 0);
+    stats.iterations_per_worker = iterations_per_worker;
+    stats.wall_seconds = wall_seconds;
+    for (const std::uint64_t c : chunks_per_worker) {
+      stats.chunks_executed += c;
     }
-    stats.iterations_per_worker[w] = local_iters;
-    chunks[w] = local_chunks;
-  });
+    stats.dispatch_ops =
+        dispatcher != nullptr ? dispatcher->dispatch_ops() : 0;
+    stats.cancelled = cancelled.load(std::memory_order_relaxed);
+    stats.deadline_expired = deadline_expired.load(std::memory_order_relaxed);
+    stats.trace = trace::Recorder::current();
+    stats.region_id = static_cast<std::uint64_t>(region_id);
+    return stats;
+  }
+};
 
-  stats.wall_seconds =
-      std::chrono::duration<double>(Clock::now() - start).count();
-  for (auto c : chunks) stats.chunks_executed += c;
-  stats.dispatch_ops = dispatcher != nullptr ? dispatcher->dispatch_ops() : 0;
-  stats.cancelled = cancelled.load(std::memory_order_relaxed);
-  stats.deadline_expired = deadline_expired.load(std::memory_order_relaxed);
-  stats.trace = trace::Recorder::current();
-  if (first_error != nullptr) {
-    std::rethrow_exception(first_error);
+/// One worker's scheduling pass over a region: pull chunks (from the
+/// dispatcher or the static partition), feed them to `run_chunk` — a
+/// callable of shape void(std::size_t worker, index::Chunk, std::uint64_t*
+/// iters) — until the region is exhausted or stopped. Templated so
+/// run_chunk, and through it the loop body, inlines into the loop.
+///
+/// Stop conditions (token, deadline, sibling failure) are polled between
+/// chunks only: a worker never abandons a chunk it has started, which is
+/// what bounds cancel latency to one chunk per worker and keeps the
+/// per-iteration path untouched. A run_chunk exception is captured here
+/// (first-exception-wins) and the dispatcher poisoned so the siblings
+/// drain; no exception ever escapes this function, so it is safe to call
+/// from detached engine workers as well as pool workers.
+template <typename RunChunk>
+void worker_pass(RegionContext& ctx, RunChunk&& run_chunk,
+                 std::size_t w) noexcept {
+  std::uint64_t local_iters = 0;
+  std::uint64_t local_chunks = 0;
+  // Returns false when the region should stop before taking more work.
+  auto should_continue = [&]() -> bool {
+    if (ctx.stop.load(std::memory_order_relaxed)) return false;
+    if (ctx.check_token && ctx.control.token.cancelled()) {
+      ctx.cancelled.store(true, std::memory_order_relaxed);
+      ctx.request_stop(trace::CancelCause::kToken);
+      return false;
+    }
+    if (ctx.check_deadline && ctx.control.deadline.expired()) {
+      ctx.deadline_expired.store(true, std::memory_order_relaxed);
+      ctx.request_stop(trace::CancelCause::kDeadline);
+      return false;
+    }
+    return true;
+  };
+  auto traced_chunk = [&](index::Chunk chunk) {
+    if constexpr (fault::kEnabled) {
+      if (fault::FaultPlan* plan = fault::FaultPlan::current()) {
+        const fault::FaultDecision decision =
+            plan->on_chunk_grant(w, chunk, ctx.region_id);
+        if (decision.stall_ns > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(decision.stall_ns));
+        }
+        if (decision.cancel) {
+          ctx.cancelled.store(true, std::memory_order_relaxed);
+          ctx.request_stop(trace::CancelCause::kInjected);
+          return;
+        }
+        if (decision.throw_at > 0) {
+          // Run the prefix below the fault point, then fail exactly at
+          // it — deterministic in WHICH iteration faults.
+          const index::Chunk prefix{chunk.first, decision.throw_at};
+          if (!prefix.empty()) {
+            run_chunk(w, prefix, &local_iters);
+          }
+          throw fault::FaultInjected("injected fault at iteration " +
+                                     std::to_string(decision.throw_at));
+        }
+      }
+    }
+    trace::ScopedSpan span(trace::EventKind::kChunkExec, chunk.first,
+                           chunk.size());
+    const std::uint64_t before = local_iters;
+    run_chunk(w, chunk, &local_iters);
+    ++local_chunks;
+    trace::count(trace::Counter::kChunksExecuted);
+    trace::count(trace::Counter::kIterations, local_iters - before);
+  };
+  try {
+    if (ctx.dispatcher != nullptr) {
+      while (should_continue()) {
+        const index::Chunk chunk = ctx.dispatcher->next();
+        if (chunk.empty()) break;
+        traced_chunk(chunk);
+      }
+    } else if (ctx.params.kind == Schedule::kStaticBlock) {
+      const auto blocks =
+          index::static_blocks(ctx.total, static_cast<i64>(ctx.workers));
+      const index::Chunk mine = blocks[w];
+      if (!mine.empty() && should_continue()) {
+        traced_chunk(mine);
+      }
+    } else {  // kStaticCyclic: unit chunks w+1, w+1+P, ...
+      for (i64 j = static_cast<i64>(w) + 1; j <= ctx.total;
+           j += static_cast<i64>(ctx.workers)) {
+        if (!should_continue()) break;
+        traced_chunk(index::Chunk{j, j + 1});
+      }
+    }
+  } catch (...) {
+    // First exception wins; the rest of the workers drain via the poison
+    // path and the winner is rethrown at the sync join point or stored
+    // into the region's future.
+    if (!ctx.error_claimed.exchange(true, std::memory_order_acq_rel)) {
+      ctx.first_error = std::current_exception();
+    }
+    ctx.request_stop(trace::CancelCause::kException);
+  }
+  ctx.iterations_per_worker[w] += local_iters;
+  ctx.chunks_per_worker[w] += local_chunks;
+}
+
+/// Synchronous driver: fork the pool, every worker (and the caller, as
+/// worker 0) runs one worker_pass over a fresh context, join, rethrow the
+/// first captured exception. This is the one-region special case of the
+/// engine's multi-region worker loop (runtime/engine.hpp).
+template <typename RunChunk>
+ForStats drive(ThreadPool& pool, i64 total, ScheduleParams params,
+               RunChunk&& run_chunk, const RunControl& control = {}) {
+  using Clock = std::chrono::steady_clock;
+  RegionContext ctx(total, params, pool.concurrency(), control);
+  const auto start = Clock::now();
+  pool.run_region(
+      [&](std::size_t w) { worker_pass(ctx, run_chunk, w); });
+  ForStats stats = ctx.make_stats(
+      std::chrono::duration<double>(Clock::now() - start).count());
+  if (ctx.first_error != nullptr) {
+    std::rethrow_exception(ctx.first_error);
   }
   return stats;
 }
 
+// ---- chunk runners ----------------------------------------------------------
+//
+// The per-chunk execution bodies, factored out so the synchronous entry
+// points (runtime/launch.hpp) and the asynchronous engine submissions
+// (runtime/engine.hpp) instantiate the same code. The Space/Body template
+// parameters are either references (sync: the caller's objects are
+// borrowed for the duration of the blocking call) or values (async: the
+// region task must own everything it touches after submit returns).
+
+/// Flat loop: body(j) for every coalesced j in the chunk.
+template <typename Body>
+struct FlatRunner {
+  Body body;
+
+  void operator()(std::size_t, index::Chunk chunk, std::uint64_t* iters) {
+    for (i64 j = chunk.first; j < chunk.last; ++j) {
+      body(j);
+      ++*iters;
+    }
+  }
+};
+
+/// Coalesced nest: one full decode per chunk, strength-reduced odometer
+/// within (index/incremental.hpp).
+template <typename Space, typename Body>
+struct CollapsedRunner {
+  Space space;
+  Body body;
+
+  void operator()(std::size_t, index::Chunk chunk, std::uint64_t* iters) {
+    const index::CoalescedSpace& s = space;
+    const std::uint64_t t0 = trace::span_begin();
+    index::IncrementalDecoder decoder(s, chunk.first);
+    trace::span_end(trace::EventKind::kIndexRecovery, t0, chunk.first);
+    trace::count(trace::Counter::kRecoveryDecodes);
+    trace::count(trace::Counter::kRecoverySteps,
+                 static_cast<std::uint64_t>(chunk.size() - 1));
+    while (true) {
+      body(decoder.original());
+      ++*iters;
+      if (decoder.position() + 1 >= chunk.last) break;
+      decoder.advance();
+    }
+  }
+};
+
+/// Tiled coalesced sweep: the scheduled index space is the tile grid; each
+/// granted chunk is a run of tiles, swept box-by-box in row-major order
+/// over ORIGINAL index values (honoring per-level steps).
+template <typename Space, typename Body>
+struct TiledRunner {
+  Space space;                     ///< the point space
+  index::CoalescedSpace tile_space;  ///< the tile grid (what is scheduled)
+  std::vector<i64> tile_sizes;
+  Body body;
+
+  void operator()(std::size_t, index::Chunk chunk, std::uint64_t* iters) {
+    const index::CoalescedSpace& s = space;
+    const std::size_t depth = s.depth();
+    std::vector<i64> tile(depth);
+    std::vector<i64> point(depth);
+    for (i64 t = chunk.first; t < chunk.last; ++t) {
+      const std::uint64_t t0 = trace::span_begin();
+      tile_space.decode_paper(t, tile);
+      trace::span_end(trace::EventKind::kIndexRecovery, t0, t);
+      trace::count(trace::Counter::kRecoveryDecodes);
+      // Sweep the tile's box in row-major order over ORIGINAL values.
+      std::vector<i64> lo(depth), hi(depth);
+      for (std::size_t k = 0; k < depth; ++k) {
+        const i64 first_norm = (tile[k] - 1) * tile_sizes[k] + 1;
+        const i64 last_norm =
+            std::min(first_norm + tile_sizes[k] - 1, s.extent(k));
+        lo[k] = s.original_value(k, first_norm);
+        hi[k] = s.original_value(k, last_norm);
+        point[k] = lo[k];
+      }
+      bool tile_done = false;
+      while (!tile_done) {
+        body(point);
+        ++*iters;
+        // Odometer over the tile box, honoring per-level steps.
+        bool advanced = false;
+        for (std::size_t k = depth; k-- > 0;) {
+          const i64 step = s.level(k).step;
+          if (point[k] + step <= hi[k]) {
+            point[k] += step;
+            advanced = true;
+            break;
+          }
+          point[k] = lo[k];
+        }
+        tile_done = !advanced;
+      }
+    }
+  }
+};
+
+/// One accumulator per worker, cache-line padded so workers never share.
+struct alignas(64) ReducePartial {
+  double value = 0.0;
+};
+
+/// Flat reduction: each granted chunk folds into its worker's padded
+/// partial; the partials are combined in worker order after the region
+/// retires. The partials vector is shared (not owned) so the finalizer —
+/// which runs after the last worker leaves — can read it.
+template <typename Body, typename Combine>
+struct ReduceRunner {
+  std::shared_ptr<std::vector<ReducePartial>> partials;
+  Body body;
+  Combine combine;
+
+  void operator()(std::size_t w, index::Chunk chunk, std::uint64_t* iters) {
+    double acc = (*partials)[w].value;
+    for (i64 j = chunk.first; j < chunk.last; ++j) {
+      acc = combine(acc, body(j));
+      ++*iters;
+    }
+    (*partials)[w].value = acc;
+  }
+};
+
 }  // namespace detail
-
-/// Runs `body(j)` for every j in [1, total] on the pool, with the body
-/// inlined into the scheduling loop (no type erasure anywhere on the hot
-/// path). Lambdas and function objects land here by overload resolution;
-/// an exact std::function argument still takes the erased entry point in
-/// parallel_for.hpp.
-template <typename Body,
-          std::enable_if_t<std::is_invocable_v<Body&, i64>, int> = 0>
-ForStats parallel_for(ThreadPool& pool, i64 total, ScheduleParams params,
-                      Body&& body, const RunControl& control = {}) {
-  COALESCE_ASSERT(total >= 0);
-  return detail::drive(
-      pool, total, params,
-      [&body](std::size_t, index::Chunk chunk, std::uint64_t* iters) {
-        for (i64 j = chunk.first; j < chunk.last; ++j) {
-          body(j);
-          ++*iters;
-        }
-      },
-      control);
-}
-
-/// The coalesced nest executor, body inlined: one dispatcher over the
-/// flattened space, strength-reduced index recovery per chunk.
-template <typename Body,
-          std::enable_if_t<
-              std::is_invocable_v<Body&, std::span<const i64>>, int> = 0>
-ForStats parallel_for_collapsed(ThreadPool& pool,
-                                const index::CoalescedSpace& space,
-                                ScheduleParams params, Body&& body,
-                                const RunControl& control = {}) {
-  return detail::drive(
-      pool, space.total(), params,
-      [&body, &space](std::size_t, index::Chunk chunk,
-                      std::uint64_t* iters) {
-        // One full decode per chunk, odometer within: the strength-reduced
-        // recovery (index/incremental.hpp).
-        const std::uint64_t t0 = trace::span_begin();
-        index::IncrementalDecoder decoder(space, chunk.first);
-        trace::span_end(trace::EventKind::kIndexRecovery, t0, chunk.first);
-        trace::count(trace::Counter::kRecoveryDecodes);
-        trace::count(trace::Counter::kRecoverySteps,
-                     static_cast<std::uint64_t>(chunk.size() - 1));
-        while (true) {
-          body(decoder.original());
-          ++*iters;
-          if (decoder.position() + 1 >= chunk.last) break;
-          decoder.advance();
-        }
-      },
-      control);
-}
 
 }  // namespace coalesce::runtime

@@ -33,13 +33,15 @@ FaultPlan::FaultPlan(const FaultPlan& other) noexcept
     : throw_at_iteration(other.throw_at_iteration),
       cancel_at_chunk(other.cancel_at_chunk),
       stall_worker(other.stall_worker),
-      stall_ns(other.stall_ns) {}
+      stall_ns(other.stall_ns),
+      only_region(other.only_region) {}
 
 FaultPlan& FaultPlan::operator=(const FaultPlan& other) noexcept {
   throw_at_iteration = other.throw_at_iteration;
   cancel_at_chunk = other.cancel_at_chunk;
   stall_worker = other.stall_worker;
   stall_ns = other.stall_ns;
+  only_region = other.only_region;
   reset();
   return *this;
 }

@@ -72,8 +72,8 @@ class FaultPlan {
   void install() noexcept {}
   void uninstall() noexcept {}
   void reset() noexcept {}
-  [[nodiscard]] FaultDecision on_chunk_grant(std::size_t,
-                                             index::Chunk) noexcept {
+  [[nodiscard]] FaultDecision on_chunk_grant(std::size_t, index::Chunk,
+                                             i64 /*region*/ = 0) noexcept {
     return {};
   }
   [[nodiscard]] std::uint64_t chunks_seen() const noexcept { return 0; }
@@ -84,6 +84,7 @@ class FaultPlan {
   i64 cancel_at_chunk = 0;
   i64 stall_worker = -1;
   i64 stall_ns = 0;
+  i64 only_region = -1;
 };
 
 #else
@@ -125,9 +126,16 @@ class FaultPlan {
   /// An unarmed plan returns immediately — no shared-counter traffic — so
   /// installing an empty plan costs read-only config loads per grant (E17
   /// prices this; chunks_seen() stays 0 in that case).
+  ///
+  /// `region` is the engine-assigned region id (0 for synchronous
+  /// regions). With only_region set, grants from other regions pass
+  /// through untouched — and are not numbered, so cancel_at_chunk
+  /// ordinals count the target region's grants only.
   [[nodiscard]] FaultDecision on_chunk_grant(std::size_t worker,
-                                             index::Chunk chunk) noexcept {
+                                             index::Chunk chunk,
+                                             i64 region = 0) noexcept {
     if (!armed()) return {};
+    if (only_region >= 0 && region != only_region) return {};
     return on_chunk_grant_armed(worker, chunk);
   }
 
@@ -157,6 +165,10 @@ class FaultPlan {
   i64 cancel_at_chunk = 0;     ///< 1-based global grant ordinal; 0 disables
   i64 stall_worker = -1;       ///< worker id; -1 disables
   i64 stall_ns = 0;            ///< stall duration (once, at first grant)
+  /// Scope the plan to one engine region id; -1 (default) matches every
+  /// region, including synchronous ones (region 0). Lets a test fault ONE
+  /// submission while sibling regions run clean.
+  i64 only_region = -1;
 
  private:
   [[nodiscard]] FaultDecision on_chunk_grant_armed(std::size_t worker,

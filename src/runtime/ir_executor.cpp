@@ -32,7 +32,7 @@ support::Expected<ForStats> execute_parallel(ThreadPool& pool,
   // as the caller-facing error this entry point already reports, before
   // handing off to the asserting driver.
   {
-    auto dispatcher_or = make_dispatcher(params, *trips, pool.worker_count());
+    auto dispatcher_or = make_dispatcher(params, *trips, pool.concurrency());
     if (!dispatcher_or.ok()) return dispatcher_or.error();
   }
 
@@ -42,8 +42,8 @@ support::Expected<ForStats> execute_parallel(ThreadPool& pool,
   // chunk runs on its worker's evaluator; scheduling, cancellation,
   // deadline, and exception handling are all the shared driver's.
   std::vector<std::unique_ptr<ir::Evaluator>> workers;
-  workers.reserve(pool.worker_count());
-  for (std::size_t w = 0; w < pool.worker_count(); ++w) {
+  workers.reserve(pool.concurrency());
+  for (std::size_t w = 0; w < pool.concurrency(); ++w) {
     workers.push_back(
         std::make_unique<ir::Evaluator>(nest.symbols, store));
   }
@@ -99,6 +99,64 @@ support::Expected<ProgramStats> execute_program(ThreadPool& pool,
     }
   }
   return totals;
+}
+
+support::Expected<RegionFuture<ForStats>> submit_ir(Engine& engine,
+                                                    const ir::LoopNest& nest,
+                                                    ir::ArrayStore& store,
+                                                    const LaunchOptions& opts) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  const ir::Loop& root = *nest.root;
+  if (!root.parallel) {
+    return support::make_error(
+        support::ErrorCode::kIllegalTransform,
+        "submit_ir requires a DOALL root (run analyze_and_mark)");
+  }
+  const auto lo = ir::as_constant(root.lower);
+  const auto trips = ir::constant_trip_count(root);
+  if (!lo || !trips) {
+    return support::make_error(support::ErrorCode::kUnsupported,
+                               "parallel execution requires constant bounds");
+  }
+  {
+    auto dispatcher_or =
+        make_dispatcher(opts.schedule, *trips, engine.concurrency());
+    if (!dispatcher_or.ok()) return dispatcher_or.error();
+  }
+
+  /// Everything the region touches after submit returns must be owned by
+  /// the runner: the nest (retains the root's shared_ptr) and one private
+  /// evaluator per worker. `store` alone is borrowed — documented contract.
+  struct IrRunner {
+    ir::LoopNest nest;
+    i64 lower;
+    i64 step;
+    std::shared_ptr<std::vector<std::unique_ptr<ir::Evaluator>>> evaluators;
+
+    void operator()(std::size_t w, index::Chunk chunk,
+                    std::uint64_t* iters) {
+      ir::Evaluator& eval = *(*evaluators)[w];
+      for (support::i64 j = chunk.first; j < chunk.last; ++j) {
+        eval.run_body_once(*nest.root, lower + (j - 1) * step);
+        ++*iters;
+      }
+    }
+  };
+
+  auto evaluators =
+      std::make_shared<std::vector<std::unique_ptr<ir::Evaluator>>>();
+  evaluators->reserve(engine.concurrency());
+  for (std::size_t w = 0; w < engine.concurrency(); ++w) {
+    evaluators->push_back(
+        std::make_unique<ir::Evaluator>(nest.symbols, store));
+  }
+
+  return engine.submit_region<ForStats>(
+      *trips, IrRunner{nest, *lo, root.step, std::move(evaluators)},
+      [](const detail::RegionContext& ctx, double wall_seconds) {
+        return ctx.make_stats(wall_seconds);
+      },
+      opts);
 }
 
 }  // namespace coalesce::runtime

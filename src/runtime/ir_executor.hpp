@@ -16,7 +16,8 @@
 
 #include "ir/eval.hpp"
 #include "ir/stmt.hpp"
-#include "runtime/parallel_for.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/launch.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/error.hpp"
 
@@ -48,5 +49,15 @@ struct ProgramStats {
 [[nodiscard]] support::Expected<ProgramStats> execute_program(
     ThreadPool& pool, const ir::Program& program, ScheduleParams params,
     ir::ArrayStore& store, const RunControl& control = {});
+
+/// Asynchronous variant of execute_parallel: validates the nest up front
+/// (same errors as execute_parallel), then enqueues it on the engine and
+/// returns the region's future. The nest is COPIED into the region task
+/// (the LoopNest's shared_ptr root is retained); `store` is borrowed and
+/// MUST outlive the region — hold it until the future resolves. Per-region
+/// cancellation/deadline and priority travel in `opts`.
+[[nodiscard]] support::Expected<RegionFuture<ForStats>> submit_ir(
+    Engine& engine, const ir::LoopNest& nest, ir::ArrayStore& store,
+    const LaunchOptions& opts = {});
 
 }  // namespace coalesce::runtime

@@ -1,0 +1,362 @@
+// The unified launch API: run() / run_reduce() / run_sum() + LaunchOptions.
+//
+// PR 5 collapses the nine historical entry points (five parallel_for*
+// shapes, four parallel_reduce* shapes — see parallel_for.hpp/reduce.hpp,
+// now deprecated forwarding shims) behind three verbs and one options
+// struct:
+//
+//   run(pool, total, body)                        // flat coalesced loop
+//   run(pool, space, body)                        // collapsed nest
+//   run(pool, space, body, {.tile_sizes = ts})    // tiled collapsed nest
+//   run(pool, extents, body, {.mode = NestMode::kNestedOuter})  // baseline
+//   run_sum(pool, total, body)                    // reduction conveniences
+//   run_reduce(pool, total, identity, body, combine)
+//
+// Everything orthogonal — schedule, cancellation/deadline, tiling, nest
+// execution mode, engine priority — travels in LaunchOptions, so adding a
+// knob never multiplies signatures again. Designated initializers make
+// call sites read like keyword arguments:
+//
+//   run(pool, space, body,
+//       {.schedule = {Schedule::kGuided}, .control = {token, deadline}});
+//
+// The same LaunchOptions drives asynchronous submission: Engine::submit
+// (runtime/engine.hpp) takes the identical struct and additionally honors
+// .priority. Bodies passed here are borrowed (the call blocks); bodies
+// passed to an Engine are copied into the region task.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "index/coalesced_space.hpp"
+#include "runtime/dispatcher.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/assert.hpp"
+#include "support/int_math.hpp"
+
+namespace coalesce::runtime {
+
+/// How a multi-level nest is executed by run(pool, extents/space, ...).
+enum class NestMode : std::uint8_t {
+  kCollapsed,       ///< one coalesced space, one dispatcher (the default)
+  kTiled,           ///< schedule whole tiles, sweep points within each
+  kNestedOuter,     ///< baseline: schedule outer level, inner sequential
+  kNestedForkJoin,  ///< baseline: one fork-join per innermost instance
+};
+
+/// Queue class for asynchronous submission (Engine::submit). High-priority
+/// regions are dequeued before any normal-priority region; within a class,
+/// FIFO. Ignored by the synchronous run() verbs.
+enum class Priority : std::uint8_t {
+  kNormal,
+  kHigh,
+};
+
+/// Everything about a launch except the pool, the iteration space, and the
+/// body. Default-constructed = unit self-scheduling, no cancellation, no
+/// tiling, collapsed execution, normal priority.
+struct LaunchOptions {
+  ScheduleParams schedule{};
+  RunControl control{};
+  /// Per-level tile edge lengths. Non-empty selects tiled execution (must
+  /// match the space's depth); implies mode kTiled.
+  std::span<const i64> tile_sizes{};
+  NestMode mode = NestMode::kCollapsed;
+  /// Asynchronous submissions only (Engine::submit).
+  Priority priority = Priority::kNormal;
+};
+
+/// Result of a reduction launch: the folded value plus the region report.
+struct ReduceResult {
+  double value = 0.0;
+  ForStats stats;
+};
+
+namespace detail {
+
+/// Builds the tile-grid runner for one tiled launch: level k of the grid
+/// has ceil(extent_k / tile_k) tiles. Space/Body are reference types on
+/// the synchronous path and value types on the engine path.
+template <typename Space, typename Body>
+TiledRunner<Space, Body> make_tiled_runner(Space&& space, Body&& body,
+                                           std::span<const i64> tile_sizes) {
+  const index::CoalescedSpace& s = space;
+  COALESCE_ASSERT(tile_sizes.size() == s.depth());
+  std::vector<i64> grid(s.depth());
+  for (std::size_t k = 0; k < s.depth(); ++k) {
+    COALESCE_ASSERT(tile_sizes[k] >= 1);
+    grid[k] = support::ceil_div(s.extent(k), tile_sizes[k]);
+  }
+  return TiledRunner<Space, Body>{
+      std::forward<Space>(space),
+      index::CoalescedSpace::create(grid).value(),
+      std::vector<i64>(tile_sizes.begin(), tile_sizes.end()),
+      std::forward<Body>(body)};
+}
+
+/// Sequentially visits every point of a rectangular space with a fixed
+/// prefix; `indices` holds the full index vector, levels [from, end) are
+/// swept here.
+template <typename Visit>
+void sweep_tail(std::span<const i64> extents, std::size_t from,
+                std::vector<i64>& indices, Visit&& visit) {
+  if (from == extents.size()) {
+    visit(std::span<const i64>(indices));
+    return;
+  }
+  for (i64 v = 1; v <= extents[from]; ++v) {
+    indices[from] = v;
+    sweep_tail(extents, from + 1, indices, visit);
+  }
+}
+
+template <typename Body>
+ForStats run_nested_outer(ThreadPool& pool, std::span<const i64> extents,
+                          Body&& body, const LaunchOptions& opts) {
+  COALESCE_ASSERT(!extents.empty());
+  const i64 outer = extents[0];
+  // Note the granularity consequence: one "chunk" here spans whole inner
+  // sweeps, so cancel latency is bounded by (chunk size) * inner volume —
+  // the coalesced executor's tighter bound is itself an argument for
+  // coalescing.
+  ForStats stats = drive(
+      pool, outer, opts.schedule,
+      [&body, extents](std::size_t, index::Chunk chunk,
+                       std::uint64_t* iters) {
+        std::vector<i64> indices(extents.size(), 1);
+        for (i64 i = chunk.first; i < chunk.last; ++i) {
+          indices[0] = i;
+          sweep_tail(extents, 1, indices, [&](std::span<const i64> idx) {
+            body(idx);
+            ++*iters;
+          });
+        }
+      },
+      opts.control);
+  // drive counted outer iterations as its total; report points.
+  std::uint64_t volume = 1;
+  for (const i64 e : extents) volume *= static_cast<std::uint64_t>(e);
+  stats.iterations_requested = volume;
+  return stats;
+}
+
+template <typename Body>
+ForStats run_nested_forkjoin(ThreadPool& pool, std::span<const i64> extents,
+                             Body&& body, const LaunchOptions& opts) {
+  COALESCE_ASSERT(!extents.empty());
+  using Clock = std::chrono::steady_clock;
+  // Execution shape of nested DOALLs without coalescing: all levels but the
+  // innermost run sequentially here, and every instance of the innermost
+  // loop is its own fork-join over the pool — prod(extents[0..m-2])
+  // parallel-loop initiations in total. The control is threaded into every
+  // inner region; once one stops early the remaining instances are skipped
+  // entirely.
+  ForStats total_stats;
+  total_stats.iterations_per_worker.assign(pool.concurrency(), 0);
+  std::uint64_t volume = 1;
+  for (const i64 e : extents) volume *= static_cast<std::uint64_t>(e);
+  total_stats.iterations_requested = volume;
+  const auto start = Clock::now();
+
+  std::vector<i64> prefix(extents.size(), 1);
+  const std::size_t last = extents.size() - 1;
+
+  // Iterate the outer product space sequentially (recursive lambda so the
+  // body type stays un-erased).
+  auto outer_sweep = [&](auto&& self, std::size_t level) -> void {
+    if (total_stats.cancelled || total_stats.deadline_expired) return;
+    if (level == last) {
+      const i64 inner = extents[last];
+      const ForStats inner_stats = drive(
+          pool, inner, opts.schedule,
+          [&](std::size_t, index::Chunk chunk, std::uint64_t* iters) {
+            std::vector<i64> indices(prefix.begin(), prefix.end());
+            for (i64 j = chunk.first; j < chunk.last; ++j) {
+              indices[last] = j;
+              body(std::span<const i64>(indices));
+              ++*iters;
+            }
+          },
+          opts.control);
+      total_stats.dispatch_ops += inner_stats.dispatch_ops;
+      total_stats.chunks_executed += inner_stats.chunks_executed;
+      total_stats.cancelled |= inner_stats.cancelled;
+      total_stats.deadline_expired |= inner_stats.deadline_expired;
+      for (std::size_t w = 0; w < total_stats.iterations_per_worker.size();
+           ++w) {
+        total_stats.iterations_per_worker[w] +=
+            inner_stats.iterations_per_worker[w];
+      }
+      return;
+    }
+    for (i64 v = 1; v <= extents[level]; ++v) {
+      if (total_stats.cancelled || total_stats.deadline_expired) return;
+      prefix[level] = v;
+      self(self, level + 1);
+    }
+  };
+  outer_sweep(outer_sweep, 0);
+
+  total_stats.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return total_stats;
+}
+
+}  // namespace detail
+
+/// Runs `body(j)` for every j in [1, total] on the pool, body inlined into
+/// the scheduling loop (no type erasure anywhere on the hot path unless
+/// the body itself is a std::function).
+template <typename Body,
+          std::enable_if_t<std::is_invocable_v<Body&, i64>, int> = 0>
+ForStats run(ThreadPool& pool, i64 total, Body&& body,
+             const LaunchOptions& opts = {}) {
+  COALESCE_ASSERT(total >= 0);
+  return detail::drive(pool, total, opts.schedule,
+                       detail::FlatRunner<Body&>{body}, opts.control);
+}
+
+/// Executes `body(i1..im)` for every point of the coalesced space — loop
+/// coalescing as a library. Default mode: one dispatcher over the
+/// flattened space, strength-reduced index recovery per chunk. With
+/// opts.tile_sizes set (or mode kTiled), the scheduler hands out whole
+/// rectangular tiles and the body sweeps each tile's points in row-major
+/// order — scheduling granularity traded for spatial locality.
+template <typename Body,
+          std::enable_if_t<
+              std::is_invocable_v<Body&, std::span<const i64>>, int> = 0>
+ForStats run(ThreadPool& pool, const index::CoalescedSpace& space,
+             Body&& body, const LaunchOptions& opts = {}) {
+  const bool tiled =
+      opts.mode == NestMode::kTiled || !opts.tile_sizes.empty();
+  COALESCE_ASSERT_MSG(
+      tiled || opts.mode == NestMode::kCollapsed,
+      "nested baseline modes take raw extents, not a CoalescedSpace");
+  if (!tiled) {
+    return detail::drive(
+        pool, space.total(), opts.schedule,
+        detail::CollapsedRunner<const index::CoalescedSpace&, Body&>{space,
+                                                                     body},
+        opts.control);
+  }
+  auto runner =
+      detail::make_tiled_runner<const index::CoalescedSpace&, Body&>(
+          space, body, opts.tile_sizes);
+  const i64 tiles = runner.tile_space.total();
+  ForStats stats =
+      detail::drive(pool, tiles, opts.schedule, runner, opts.control);
+  // drive counted tiles as its total; report progress in points.
+  stats.iterations_requested = static_cast<std::uint64_t>(space.total());
+  return stats;
+}
+
+/// Executes `body(i1..im)` over the rectangular space given by raw
+/// per-level extents (all levels 1-based, unit step). The mode selects the
+/// execution shape: kCollapsed/kTiled build the coalesced space and take
+/// the paths above; kNestedOuter and kNestedForkJoin are the paper's
+/// measured baselines (outer-level-only scheduling, and one fork-join per
+/// innermost loop instance).
+template <typename Body,
+          std::enable_if_t<
+              std::is_invocable_v<Body&, std::span<const i64>>, int> = 0>
+ForStats run(ThreadPool& pool, std::span<const i64> extents, Body&& body,
+             const LaunchOptions& opts = {}) {
+  switch (opts.mode) {
+    case NestMode::kNestedOuter:
+      return detail::run_nested_outer(pool, extents, body, opts);
+    case NestMode::kNestedForkJoin:
+      return detail::run_nested_forkjoin(pool, extents, body, opts);
+    case NestMode::kCollapsed:
+    case NestMode::kTiled: {
+      const auto space =
+          index::CoalescedSpace::create(
+              std::vector<i64>(extents.begin(), extents.end()))
+              .value();
+      return run(pool, space, body, opts);
+    }
+  }
+  COALESCE_ASSERT_MSG(false, "invalid NestMode");
+  return {};
+}
+
+/// Reduces body(j) over j in [1, total]: each worker folds locally from
+/// `identity` into a cache-line-padded partial, partials are combined in
+/// worker order after the join. A stopped run (cancelled /
+/// deadline-expired) returns the fold over only the iterations that
+/// executed — check result.stats.completed() before trusting the value.
+///
+/// Determinism: combining order is fixed, but iteration-to-worker
+/// assignment varies with dynamic schedules, so floating-point results can
+/// differ run to run at rounding level. Use Schedule::kStaticBlock for
+/// bitwise-reproducible results.
+template <typename Body, typename Combine,
+          std::enable_if_t<std::is_invocable_r_v<double, Body&, i64>, int> = 0>
+ReduceResult run_reduce(ThreadPool& pool, i64 total, double identity,
+                        Body&& body, Combine&& combine,
+                        const LaunchOptions& opts = {}) {
+  COALESCE_ASSERT(total >= 0);
+  auto partials = std::make_shared<std::vector<detail::ReducePartial>>(
+      pool.concurrency(), detail::ReducePartial{identity});
+  ForStats stats = detail::drive(
+      pool, total, opts.schedule,
+      detail::ReduceRunner<Body&, Combine&>{partials, body, combine},
+      opts.control);
+  ReduceResult result;
+  result.value = identity;
+  for (const detail::ReducePartial& p : *partials) {
+    result.value = combine(result.value, p.value);
+  }
+  result.stats = std::move(stats);
+  return result;
+}
+
+/// Reduces body(indices) over every point of the coalesced space. Decodes
+/// per iteration with a per-call buffer: correct and thread-safe. (The
+/// strength-reduced odometer matters for tiny bodies — measured in E7 —
+/// but reductions fold a value per point anyway; the decode is a constant
+/// factor, not a scaling term.)
+template <typename Body, typename Combine,
+          std::enable_if_t<
+              std::is_invocable_r_v<double, Body&, std::span<const i64>>,
+              int> = 0>
+ReduceResult run_reduce(ThreadPool& pool, const index::CoalescedSpace& space,
+                        double identity, Body&& body, Combine&& combine,
+                        const LaunchOptions& opts = {}) {
+  return run_reduce(
+      pool, space.total(), identity,
+      [&space, &body](i64 j) {
+        std::vector<i64> indices(space.depth());
+        space.decode_original(j, indices);
+        return body(std::span<const i64>(indices));
+      },
+      combine, opts);
+}
+
+/// Convenience sum-reductions.
+template <typename Body,
+          std::enable_if_t<std::is_invocable_r_v<double, Body&, i64>, int> = 0>
+ReduceResult run_sum(ThreadPool& pool, i64 total, Body&& body,
+                     const LaunchOptions& opts = {}) {
+  return run_reduce(pool, total, 0.0, body,
+                    [](double a, double v) { return a + v; }, opts);
+}
+
+template <typename Body,
+          std::enable_if_t<
+              std::is_invocable_r_v<double, Body&, std::span<const i64>>,
+              int> = 0>
+ReduceResult run_sum(ThreadPool& pool, const index::CoalescedSpace& space,
+                     Body&& body, const LaunchOptions& opts = {}) {
+  return run_reduce(pool, space, 0.0, body,
+                    [](double a, double v) { return a + v; }, opts);
+}
+
+}  // namespace coalesce::runtime

@@ -1,39 +1,11 @@
 #include "runtime/parallel_for.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "support/assert.hpp"
-#include "support/int_math.hpp"
-#include "support/stats.hpp"
 #include "trace/recorder.hpp"
 
 namespace coalesce::runtime {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// Sequentially visits every point of a rectangular space with a fixed
-/// prefix; `indices` holds the full index vector, levels [from, end) are
-/// swept here.
-void sweep_tail(std::span<const i64> extents, std::size_t from,
-                std::vector<i64>& indices, const IndexedBody& body) {
-  if (from == extents.size()) {
-    body(indices);
-    return;
-  }
-  for (i64 v = 1; v <= extents[from]; ++v) {
-    indices[from] = v;
-    sweep_tail(extents, from + 1, indices, body);
-  }
-}
-
-}  // namespace
 
 double ForStats::imbalance() const {
   if (iterations_per_worker.empty()) return 1.0;
@@ -49,20 +21,13 @@ double ForStats::imbalance() const {
   return static_cast<double>(max) / mean;
 }
 
+// Erased shims: the scheduling loop is the shared template either way, but
+// each iteration goes through the std::function — the E16 "before" path.
+// (Defining a [[deprecated]] function does not warn; calling one does.)
+
 ForStats parallel_for(ThreadPool& pool, i64 total, ScheduleParams params,
                       const FlatBody& body, const RunControl& control) {
-  COALESCE_ASSERT(total >= 0);
-  // Erased variant: the scheduling loop is the shared template, but each
-  // iteration goes through the std::function — the E16 "before" path.
-  return detail::drive(
-      pool, total, params,
-      [&](std::size_t, index::Chunk chunk, std::uint64_t* iters) {
-        for (i64 j = chunk.first; j < chunk.last; ++j) {
-          body(j);
-          ++*iters;
-        }
-      },
-      control);
+  return run(pool, total, body, {.schedule = params, .control = control});
 }
 
 ForStats parallel_for_collapsed(ThreadPool& pool,
@@ -70,25 +35,7 @@ ForStats parallel_for_collapsed(ThreadPool& pool,
                                 ScheduleParams params,
                                 const IndexedBody& body,
                                 const RunControl& control) {
-  return detail::drive(
-      pool, space.total(), params,
-      [&](std::size_t, index::Chunk chunk, std::uint64_t* iters) {
-        // One full decode per chunk, odometer within: the
-        // strength-reduced recovery (index/incremental.hpp).
-        const std::uint64_t t0 = trace::span_begin();
-        index::IncrementalDecoder decoder(space, chunk.first);
-        trace::span_end(trace::EventKind::kIndexRecovery, t0, chunk.first);
-        trace::count(trace::Counter::kRecoveryDecodes);
-        trace::count(trace::Counter::kRecoverySteps,
-                     static_cast<std::uint64_t>(chunk.size() - 1));
-        while (true) {
-          body(decoder.original());
-          ++*iters;
-          if (decoder.position() + 1 >= chunk.last) break;
-          decoder.advance();
-        }
-      },
-      control);
+  return run(pool, space, body, {.schedule = params, .control = control});
 }
 
 ForStats parallel_for_collapsed_tiled(ThreadPool& pool,
@@ -97,60 +44,11 @@ ForStats parallel_for_collapsed_tiled(ThreadPool& pool,
                                       ScheduleParams params,
                                       const IndexedBody& body,
                                       const RunControl& control) {
-  COALESCE_ASSERT(tile_sizes.size() == space.depth());
-  const std::size_t depth = space.depth();
-
-  // Tile grid: level k has ceil(extent_k / tile_k) tiles.
-  std::vector<i64> grid(depth);
-  for (std::size_t k = 0; k < depth; ++k) {
-    COALESCE_ASSERT(tile_sizes[k] >= 1);
-    grid[k] = support::ceil_div(space.extent(k), tile_sizes[k]);
-  }
-  const auto tile_space = index::CoalescedSpace::create(grid).value();
-
-  ForStats stats = detail::drive(
-      pool, tile_space.total(), params,
-      [&](std::size_t, index::Chunk chunk, std::uint64_t* iters) {
-        std::vector<i64> tile(depth);
-        std::vector<i64> point(depth);
-        for (i64 t = chunk.first; t < chunk.last; ++t) {
-          const std::uint64_t t0 = trace::span_begin();
-          tile_space.decode_paper(t, tile);
-          trace::span_end(trace::EventKind::kIndexRecovery, t0, t);
-          trace::count(trace::Counter::kRecoveryDecodes);
-          // Sweep the tile's box in row-major order over ORIGINAL values.
-          std::vector<i64> lo(depth), hi(depth);
-          for (std::size_t k = 0; k < depth; ++k) {
-            const i64 first_norm = (tile[k] - 1) * tile_sizes[k] + 1;
-            const i64 last_norm =
-                std::min(first_norm + tile_sizes[k] - 1, space.extent(k));
-            lo[k] = space.original_value(k, first_norm);
-            hi[k] = space.original_value(k, last_norm);
-            point[k] = lo[k];
-          }
-          bool tile_done = false;
-          while (!tile_done) {
-            body(point);
-            ++*iters;
-            // Odometer over the tile box, honoring per-level steps.
-            bool advanced = false;
-            for (std::size_t k = depth; k-- > 0;) {
-              const i64 step = space.level(k).step;
-              if (point[k] + step <= hi[k]) {
-                point[k] += step;
-                advanced = true;
-                break;
-              }
-              point[k] = lo[k];
-            }
-            tile_done = !advanced;
-          }
-        }
-      },
-      control);
-  // drive counted tiles as its total; report progress in points.
-  stats.iterations_requested = static_cast<std::uint64_t>(space.total());
-  return stats;
+  return run(pool, space, body,
+             {.schedule = params,
+              .control = control,
+              .tile_sizes = tile_sizes,
+              .mode = NestMode::kTiled});
 }
 
 ForStats parallel_for_nested_outer(ThreadPool& pool,
@@ -158,30 +56,10 @@ ForStats parallel_for_nested_outer(ThreadPool& pool,
                                    ScheduleParams params,
                                    const IndexedBody& body,
                                    const RunControl& control) {
-  COALESCE_ASSERT(!extents.empty());
-  const i64 outer = extents[0];
-  // Note the granularity consequence: one "chunk" here spans whole inner
-  // sweeps, so cancel latency is bounded by (chunk size) * inner volume —
-  // the coalesced executor's tighter bound is itself an argument for
-  // coalescing.
-  ForStats stats = detail::drive(
-      pool, outer, params,
-      [&, extents](std::size_t, index::Chunk chunk, std::uint64_t* iters) {
-        std::vector<i64> indices(extents.size(), 1);
-        for (i64 i = chunk.first; i < chunk.last; ++i) {
-          indices[0] = i;
-          sweep_tail(extents, 1, indices, [&](std::span<const i64> idx) {
-            body(idx);
-            ++*iters;
-          });
-        }
-      },
-      control);
-  // drive counted outer iterations as its total; report points.
-  std::uint64_t volume = 1;
-  for (const i64 e : extents) volume *= static_cast<std::uint64_t>(e);
-  stats.iterations_requested = volume;
-  return stats;
+  return run(pool, extents, body,
+             {.schedule = params,
+              .control = control,
+              .mode = NestMode::kNestedOuter});
 }
 
 ForStats parallel_for_nested_forkjoin(ThreadPool& pool,
@@ -189,60 +67,10 @@ ForStats parallel_for_nested_forkjoin(ThreadPool& pool,
                                       ScheduleParams params,
                                       const IndexedBody& body,
                                       const RunControl& control) {
-  COALESCE_ASSERT(!extents.empty());
-  // Execution shape of nested DOALLs without coalescing: all levels but the
-  // innermost run sequentially here, and every instance of the innermost
-  // loop is its own fork-join over the pool — prod(extents[0..m-2])
-  // parallel-loop initiations in total. The control is threaded into every
-  // inner region; once one stops early the remaining instances are skipped
-  // entirely.
-  ForStats total_stats;
-  total_stats.iterations_per_worker.assign(pool.worker_count(), 0);
-  std::uint64_t volume = 1;
-  for (const i64 e : extents) volume *= static_cast<std::uint64_t>(e);
-  total_stats.iterations_requested = volume;
-  const auto start = Clock::now();
-
-  std::vector<i64> prefix(extents.size(), 1);
-  const std::size_t last = extents.size() - 1;
-
-  // Iterate the outer product space sequentially.
-  std::function<void(std::size_t)> outer_sweep = [&](std::size_t level) {
-    if (total_stats.cancelled || total_stats.deadline_expired) return;
-    if (level == last) {
-      const i64 inner = extents[last];
-      const ForStats inner_stats = detail::drive(
-          pool, inner, params,
-          [&](std::size_t, index::Chunk chunk, std::uint64_t* iters) {
-            std::vector<i64> indices(prefix.begin(), prefix.end());
-            for (i64 j = chunk.first; j < chunk.last; ++j) {
-              indices[last] = j;
-              body(indices);
-              ++*iters;
-            }
-          },
-          control);
-      total_stats.dispatch_ops += inner_stats.dispatch_ops;
-      total_stats.chunks_executed += inner_stats.chunks_executed;
-      total_stats.cancelled |= inner_stats.cancelled;
-      total_stats.deadline_expired |= inner_stats.deadline_expired;
-      for (std::size_t w = 0; w < total_stats.iterations_per_worker.size();
-           ++w) {
-        total_stats.iterations_per_worker[w] +=
-            inner_stats.iterations_per_worker[w];
-      }
-      return;
-    }
-    for (i64 v = 1; v <= extents[level]; ++v) {
-      if (total_stats.cancelled || total_stats.deadline_expired) return;
-      prefix[level] = v;
-      outer_sweep(level + 1);
-    }
-  };
-  outer_sweep(0);
-
-  total_stats.wall_seconds = seconds_since(start);
-  return total_stats;
+  return run(pool, extents, body,
+             {.schedule = params,
+              .control = control,
+              .mode = NestMode::kNestedForkJoin});
 }
 
 }  // namespace coalesce::runtime

@@ -1,26 +1,32 @@
-// The public runtime API: coalesced parallel-for — the OpenMP-collapse
-// equivalent the paper's transformation targets — plus a flat parallel-for
-// and the nested-execution baseline it is measured against.
+// DEPRECATED compatibility shims for the pre-LaunchOptions runtime API.
 //
-// Two ways in:
-//  * pass any lambda/function object — overload resolution selects the
-//    templated executors in runtime/executor.hpp and the body inlines into
-//    the per-worker scheduling loop (the fast path);
-//  * pass a std::function (FlatBody / IndexedBody) — the erased entry
-//    points below are thin wrappers over the same driver, kept for ABI
-//    stability across translation units and as the E16 "before" variant.
+// PR 5 unified the five parallel_for* entry points (flat, collapsed,
+// tiled, nested-outer, nested-forkjoin) behind run() + LaunchOptions in
+// runtime/launch.hpp; see docs/API.md for the migration table. Everything
+// here forwards to the unified API and produces identical ForStats — the
+// shims exist so out-of-tree callers keep compiling (with a deprecation
+// warning) for one release.
+//
+// Two body forms remain, as before:
+//  * any lambda/function object — the templated shims forward to run()
+//    and the body inlines into the scheduling loop (the fast path);
+//  * a std::function (FlatBody / IndexedBody) — the erased entry points
+//    are compiled in parallel_for.cpp, kept for ABI stability across
+//    translation units and as the E16 "before" variant.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "index/chunk.hpp"
 #include "index/coalesced_space.hpp"
 #include "runtime/dispatcher.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/launch.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace coalesce::runtime {
@@ -30,34 +36,23 @@ namespace coalesce::runtime {
 using FlatBody = std::function<void(i64 j)>;
 using IndexedBody = std::function<void(std::span<const i64> indices)>;
 
-// Every entry point takes an optional RunControl (executor.hpp): a
-// cancellation token and/or deadline observed at chunk-grant granularity.
-// A stopped run returns partial ForStats (cancelled / deadline_expired
-// set); a body exception is rethrown once at the join point and the pool
-// stays reusable either way.
+// ---- erased entry points (definitions in parallel_for.cpp) ------------------
 
-/// Runs `body(j)` for every j in [1, total] on the pool (erased entry
-/// point; see executor.hpp for the inlining overload).
+[[deprecated("use run(pool, total, body, {.schedule = params, .control = "
+             "control}) — see docs/API.md")]]
 ForStats parallel_for(ThreadPool& pool, i64 total, ScheduleParams params,
                       const FlatBody& body, const RunControl& control = {});
 
-/// The coalesced nest executor: one dispatcher over the flattened space,
-/// strength-reduced index recovery per chunk. This is loop coalescing as a
-/// library: `parallel_for_collapsed(pool, space, {kGuided}, body)` executes
-/// `body(i1..im)` for every point of the rectangular space.
+[[deprecated("use run(pool, space, body, {.schedule = params, .control = "
+             "control}) — see docs/API.md")]]
 ForStats parallel_for_collapsed(ThreadPool& pool,
                                 const index::CoalescedSpace& space,
                                 ScheduleParams params,
                                 const IndexedBody& body,
                                 const RunControl& control = {});
 
-/// Tiled coalesced executor: the space is partitioned into rectangular
-/// tiles of the given per-level sizes; the scheduler hands out whole tiles
-/// (one dispatch per tile), and the body sweeps each tile's points in
-/// row-major order — the runtime form of transform::tile_and_coalesce,
-/// trading scheduling granularity for spatial locality within a tile.
-/// tile_sizes.size() must equal space.depth(); sizes need not divide the
-/// extents (edge tiles are ragged).
+[[deprecated("use run(pool, space, body, {.schedule = params, .tile_sizes "
+             "= tile_sizes, ...}) — see docs/API.md")]]
 ForStats parallel_for_collapsed_tiled(ThreadPool& pool,
                                       const index::CoalescedSpace& space,
                                       std::span<const i64> tile_sizes,
@@ -65,23 +60,49 @@ ForStats parallel_for_collapsed_tiled(ThreadPool& pool,
                                       const IndexedBody& body,
                                       const RunControl& control = {});
 
-/// Baseline 1 — "parallelize outer only": the outer level is scheduled
-/// across workers; inner levels run sequentially inside each outer
-/// iteration. One fork-join total, but outer-level granularity (the
-/// imbalance victim when P does not divide extents[0]).
+[[deprecated("use run(pool, extents, body, {.schedule = params, .mode = "
+             "NestMode::kNestedOuter, ...}) — see docs/API.md")]]
 ForStats parallel_for_nested_outer(ThreadPool& pool,
                                    std::span<const i64> extents,
                                    ScheduleParams params,
                                    const IndexedBody& body,
                                    const RunControl& control = {});
 
-/// Baseline 2 — fully nested DOALL execution: every parallel level is a
-/// fresh fork-join over the pool (one per enclosing iteration), the
-/// execution shape nested parallel loops have without coalescing.
+[[deprecated("use run(pool, extents, body, {.schedule = params, .mode = "
+             "NestMode::kNestedForkJoin, ...}) — see docs/API.md")]]
 ForStats parallel_for_nested_forkjoin(ThreadPool& pool,
                                       std::span<const i64> extents,
                                       ScheduleParams params,
                                       const IndexedBody& body,
                                       const RunControl& control = {});
+
+// ---- templated shims (the former executor.hpp fast-path overloads) ----------
+
+/// Pre-LaunchOptions spelling of run(pool, total, body, ...). Lambdas and
+/// function objects land here by overload resolution; an exact
+/// std::function argument still takes the erased entry point above.
+template <typename Body,
+          std::enable_if_t<std::is_invocable_v<Body&, i64>, int> = 0>
+[[deprecated("use run(pool, total, body, {.schedule = params, .control = "
+             "control}) — see docs/API.md")]]
+ForStats parallel_for(ThreadPool& pool, i64 total, ScheduleParams params,
+                      Body&& body, const RunControl& control = {}) {
+  return run(pool, total, std::forward<Body>(body),
+             {.schedule = params, .control = control});
+}
+
+/// Pre-LaunchOptions spelling of run(pool, space, body, ...).
+template <typename Body,
+          std::enable_if_t<
+              std::is_invocable_v<Body&, std::span<const i64>>, int> = 0>
+[[deprecated("use run(pool, space, body, {.schedule = params, .control = "
+             "control}) — see docs/API.md")]]
+ForStats parallel_for_collapsed(ThreadPool& pool,
+                                const index::CoalescedSpace& space,
+                                ScheduleParams params, Body&& body,
+                                const RunControl& control = {}) {
+  return run(pool, space, std::forward<Body>(body),
+             {.schedule = params, .control = control});
+}
 
 }  // namespace coalesce::runtime

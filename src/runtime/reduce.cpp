@@ -1,52 +1,17 @@
 #include "runtime/reduce.hpp"
 
-#include <vector>
-
-#include "index/incremental.hpp"
-#include "support/assert.hpp"
-
 namespace coalesce::runtime {
 
-namespace {
-
-/// One accumulator per worker, cache-line padded.
-struct alignas(64) Partial {
-  double value = 0.0;
-};
-
-}  // namespace
+// Erased shims over run_reduce()/run_sum(); each iteration goes through
+// the std::function body, exactly as before the unification.
 
 ReduceResult parallel_reduce(ThreadPool& pool, i64 total,
                              ScheduleParams params, double identity,
                              const std::function<double(i64)>& body,
                              const Combine& combine,
                              const RunControl& control) {
-  COALESCE_ASSERT(total >= 0);
-  // One padded accumulator per worker; drive() hands every chunk the id of
-  // the worker executing it, so chunks fold straight into their worker's
-  // slot. All scheduling, cancellation, deadline, and exception behavior is
-  // inherited from the shared driver.
-  std::vector<Partial> partials(pool.worker_count(), Partial{identity});
-
-  ForStats stats = detail::drive(
-      pool, total, params,
-      [&](std::size_t w, index::Chunk chunk, std::uint64_t* iters) {
-        double acc = partials[w].value;
-        for (i64 j = chunk.first; j < chunk.last; ++j) {
-          acc = combine(acc, body(j));
-          ++*iters;
-        }
-        partials[w].value = acc;
-      },
-      control);
-
-  ReduceResult result;
-  result.value = identity;
-  for (const Partial& p : partials) {
-    result.value = combine(result.value, p.value);
-  }
-  result.stats = std::move(stats);
-  return result;
+  return run_reduce(pool, total, identity, body, combine,
+                    {.schedule = params, .control = control});
 }
 
 ReduceResult parallel_reduce_collapsed(
@@ -54,26 +19,15 @@ ReduceResult parallel_reduce_collapsed(
     ScheduleParams params, double identity,
     const std::function<double(std::span<const i64>)>& body,
     const Combine& combine, const RunControl& control) {
-  // Decode per iteration with a per-call buffer: correct and thread-safe.
-  // (The strength-reduced odometer matters for tiny bodies — measured in
-  // E7 — but reductions fold a value per point anyway; the decode is a
-  // constant factor, not a scaling term.)
-  return parallel_reduce(
-      pool, space.total(), params, identity,
-      [&space, &body](i64 j) {
-        std::vector<i64> indices(space.depth());
-        space.decode_original(j, indices);
-        return body(indices);
-      },
-      combine, control);
+  return run_reduce(pool, space, identity, body, combine,
+                    {.schedule = params, .control = control});
 }
 
 ReduceResult parallel_sum(ThreadPool& pool, i64 total, ScheduleParams params,
                           const std::function<double(i64)>& body,
                           const RunControl& control) {
-  return parallel_reduce(
-      pool, total, params, 0.0, body,
-      [](double a, double v) { return a + v; }, control);
+  return run_sum(pool, total, body,
+                 {.schedule = params, .control = control});
 }
 
 ReduceResult parallel_sum_collapsed(
@@ -81,9 +35,8 @@ ReduceResult parallel_sum_collapsed(
     ScheduleParams params,
     const std::function<double(std::span<const i64>)>& body,
     const RunControl& control) {
-  return parallel_reduce_collapsed(
-      pool, space, params, 0.0, body,
-      [](double a, double v) { return a + v; }, control);
+  return run_sum(pool, space, body,
+                 {.schedule = params, .control = control});
 }
 
 }  // namespace coalesce::runtime

@@ -1,21 +1,16 @@
-// Parallel reductions over coalesced spaces.
+// DEPRECATED compatibility shims for the pre-LaunchOptions reduction API.
 //
-// Reduction loops (sum += f(i)) carry a dependence on the accumulator, so
-// they are not DOALLs — but the classic runtime answer is per-worker
-// partial accumulators combined after the join, which this header provides
-// for the flat and collapsed iteration spaces. Partials are padded to cache
-// lines so workers never share one.
-//
-// Determinism note: combining order is worker-id order, which is fixed, but
-// the *assignment* of iterations to workers varies with dynamic schedules,
-// so floating-point results can differ run to run at rounding level (as
-// with any parallel reduction). Use kStaticBlock for bitwise-reproducible
-// results.
+// PR 5 unified the four parallel_reduce* entry points behind run_reduce()
+// / run_sum() + LaunchOptions in runtime/launch.hpp; see docs/API.md for
+// the migration table. Everything here forwards to the unified API and
+// produces identical results — the shims exist so out-of-tree callers
+// keep compiling (with a deprecation warning) for one release.
 #pragma once
 
 #include <functional>
 
 #include "index/coalesced_space.hpp"
+#include "runtime/launch.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -24,33 +19,30 @@ namespace coalesce::runtime {
 /// result-combining function: fold `value` into `accumulator`.
 using Combine = std::function<double(double accumulator, double value)>;
 
-struct ReduceResult {
-  double value = 0.0;
-  ForStats stats;
-};
-
-/// Reduces body(j) over j in [1, total]: each worker folds locally from
-/// `identity`, partials are combined in worker order. A stopped run
-/// (cancelled / deadline-expired, see RunControl) returns the fold over
-/// only the iterations that executed — check result.stats.completed()
-/// before trusting the value.
+[[deprecated("use run_reduce(pool, total, identity, body, combine, "
+             "{.schedule = params, .control = control}) — see docs/API.md")]]
 ReduceResult parallel_reduce(ThreadPool& pool, i64 total,
                              ScheduleParams params, double identity,
                              const std::function<double(i64)>& body,
                              const Combine& combine,
                              const RunControl& control = {});
 
-/// Reduces body(indices) over every point of the coalesced space.
+[[deprecated("use run_reduce(pool, space, identity, body, combine, "
+             "{.schedule = params, .control = control}) — see docs/API.md")]]
 ReduceResult parallel_reduce_collapsed(
     ThreadPool& pool, const index::CoalescedSpace& space,
     ScheduleParams params, double identity,
     const std::function<double(std::span<const i64>)>& body,
     const Combine& combine, const RunControl& control = {});
 
-/// Convenience sum-reductions.
+[[deprecated("use run_sum(pool, total, body, {.schedule = params, .control "
+             "= control}) — see docs/API.md")]]
 ReduceResult parallel_sum(ThreadPool& pool, i64 total, ScheduleParams params,
                           const std::function<double(i64)>& body,
                           const RunControl& control = {});
+
+[[deprecated("use run_sum(pool, space, body, {.schedule = params, .control "
+             "= control}) — see docs/API.md")]]
 ReduceResult parallel_sum_collapsed(
     ThreadPool& pool, const index::CoalescedSpace& space,
     ScheduleParams params,

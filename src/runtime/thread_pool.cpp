@@ -29,7 +29,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::run_region(support::function_ref<void(std::size_t)> body) {
   COALESCE_ASSERT(static_cast<bool>(body));
   trace::ScopedSpan region(trace::EventKind::kRegion,
-                           static_cast<trace::i64>(worker_count()));
+                           static_cast<trace::i64>(concurrency()));
   trace::count(trace::Counter::kRegions);
   {
     std::scoped_lock lock(mutex_);

@@ -32,8 +32,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  [[nodiscard]] std::size_t worker_count() const noexcept {
+  /// Number of workers that execute a region: the spawned threads PLUS the
+  /// calling thread, which participates as worker 0. Named concurrency()
+  /// precisely because it is NOT threads_.size() — a ThreadPool(4) runs
+  /// regions at concurrency 4 with only 3 spawned threads.
+  [[nodiscard]] std::size_t concurrency() const noexcept {
     return threads_.size() + 1;  // workers plus the calling thread
+  }
+
+  [[deprecated("use concurrency(); the old name hid that the calling "
+               "thread is counted")]]
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size() + 1;
   }
 
   /// Fork-join: every worker (and the calling thread, as worker 0) runs

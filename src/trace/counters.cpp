@@ -20,6 +20,8 @@ const char* to_string(Counter counter) noexcept {
     case Counter::kSimChunks: return "sim_chunks";
     case Counter::kCancels: return "cancels";
     case Counter::kFaultsInjected: return "faults_injected";
+    case Counter::kRegionsEnqueued: return "regions_enqueued";
+    case Counter::kRegionsRetired: return "regions_retired";
     case Counter::kCount_: break;
   }
   return "?";
@@ -30,6 +32,7 @@ const char* to_string(Hist hist) noexcept {
     case Hist::kDispatchLatencyNs: return "dispatch_latency_ns";
     case Hist::kChunkSize: return "chunk_size";
     case Hist::kWorkerBusyNs: return "worker_busy_ns";
+    case Hist::kRegionQueueDepth: return "region_queue_depth";
     case Hist::kCount_: break;
   }
   return "?";

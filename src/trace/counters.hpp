@@ -26,6 +26,8 @@ enum class Counter : std::uint8_t {
   kSimChunks,        ///< simulated chunk executions
   kCancels,          ///< early stops observed (token, deadline, exception)
   kFaultsInjected,   ///< faults fired by the injection harness
+  kRegionsEnqueued,  ///< regions accepted into an engine's queue
+  kRegionsRetired,   ///< engine regions finalized (future fulfilled)
   kCount_            ///< sentinel
 };
 
@@ -34,6 +36,7 @@ enum class Hist : std::uint8_t {
   kDispatchLatencyNs,  ///< wall time of one dispatcher->next() call
   kChunkSize,          ///< iterations per dispatched chunk
   kWorkerBusyNs,       ///< per-region busy span of one worker
+  kRegionQueueDepth,   ///< engine queue depth sampled at each enqueue/pop
   kCount_              ///< sentinel
 };
 

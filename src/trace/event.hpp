@@ -26,6 +26,12 @@ enum class EventKind : std::uint8_t {
   kMark,          ///< instantaneous marker; arg0/arg1 free-form
   kCancel,        ///< instant: a worker observed a stop; arg0 = CancelCause
   kFaultInject,   ///< instant: fault harness fired; arg0 = fault kind
+  kRegionEnqueue, ///< instant: engine accepted a region; arg0 = region id,
+                  ///< arg1 = queue depth after the enqueue
+  kRegionStart,   ///< instant: first worker granted a chunk of the region;
+                  ///< arg0 = region id
+  kRegionRetire,  ///< span start..retire of one engine region; arg0 = region
+                  ///< id, arg1 = 1 if the region ran to completion
 };
 
 /// Why a region stopped early (Event::arg0 of kCancel).

@@ -106,10 +106,13 @@ std::string chrome_trace_json(const Recorder& recorder) {
       out += "\",\"cat\":\"";
       out += event.kind == EventKind::kSimChunk ? "sim" : "runtime";
       out += "\",\"ph\":\"";
-      out += event.kind == EventKind::kMark ? "i" : "X";
+      // Zero-duration events (kMark, kCancel, region enqueue/start, ...)
+      // render as instants so Chrome draws a tick, not an invisible slice.
+      const bool instant = event.begin_ns == event.end_ns;
+      out += instant ? "i" : "X";
       out += "\",\"ts\":";
       append_us(out, event.begin_ns);
-      if (event.kind != EventKind::kMark) {
+      if (!instant) {
         out += ",\"dur\":";
         append_us(out, event.end_ns - event.begin_ns);
       } else {

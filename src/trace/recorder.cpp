@@ -19,6 +19,9 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kMark: return "mark";
     case EventKind::kCancel: return "cancel";
     case EventKind::kFaultInject: return "fault_inject";
+    case EventKind::kRegionEnqueue: return "region_enqueue";
+    case EventKind::kRegionStart: return "region_start";
+    case EventKind::kRegionRetire: return "region_retire";
   }
   return "?";
 }

@@ -132,9 +132,10 @@ TEST(CrossCheck, TiledRuntimeMatchesSimulatedTileCount) {
   runtime::ThreadPool pool(2);
   const auto space =
       index::CoalescedSpace::create(std::vector<i64>{n, m}).value();
-  const auto stats = runtime::parallel_for_collapsed_tiled(
-      pool, space, std::vector<i64>{ti, tj}, {runtime::Schedule::kSelf, 1},
-      [](std::span<const i64>) {});
+  const auto stats =
+      runtime::run(pool, space, [](std::span<const i64>) {},
+                   {.schedule = {runtime::Schedule::kSelf, 1},
+                    .tile_sizes = std::vector<i64>{ti, tj}});
   EXPECT_EQ(static_cast<i64>(stats.dispatch_ops),
             result.value().space.total());
 }
@@ -150,16 +151,16 @@ TEST(CrossCheck, SimulatorAndRuntimeAgreeOnDispatchCounts) {
 
   const auto sim_self = sim::simulate_coalesced_dynamic(
       space, 4, {sim::SimSchedule::kSelf, 1}, costs, work);
-  const auto run_self = runtime::parallel_for_collapsed(
-      pool, space, {runtime::Schedule::kSelf, 1},
-      [](std::span<const i64>) {});
+  const auto run_self =
+      runtime::run(pool, space, [](std::span<const i64>) {},
+                   {.schedule = {runtime::Schedule::kSelf, 1}});
   EXPECT_EQ(sim_self.dispatch_ops, run_self.dispatch_ops);
 
   const auto sim_chunk = sim::simulate_coalesced_dynamic(
       space, 4, {sim::SimSchedule::kChunked, 7}, costs, work);
-  const auto run_chunk = runtime::parallel_for_collapsed(
-      pool, space, {runtime::Schedule::kChunked, 7},
-      [](std::span<const i64>) {});
+  const auto run_chunk =
+      runtime::run(pool, space, [](std::span<const i64>) {},
+                   {.schedule = {runtime::Schedule::kChunked, 7}});
   EXPECT_EQ(sim_chunk.dispatch_ops, run_chunk.dispatch_ops);
 }
 

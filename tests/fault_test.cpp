@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -22,8 +23,7 @@
 
 #include "runtime/dispatcher.hpp"
 #include "runtime/fault.hpp"
-#include "runtime/parallel_for.hpp"
-#include "runtime/reduce.hpp"
+#include "runtime/launch.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/cancel.hpp"
 #include "trace/recorder.hpp"
@@ -41,9 +41,10 @@ TEST(Cancel, AlreadyCancelledTokenRunsNothing) {
   CancellationSource source;
   source.request_cancel();
   std::atomic<std::uint64_t> ran{0};
-  const ForStats stats = parallel_for(
-      pool, 10'000, {Schedule::kChunked, 64},
-      [&](i64) { ran.fetch_add(1); }, RunControl{source.token(), {}});
+  const ForStats stats = run(
+      pool, 10'000, [&](i64) { ran.fetch_add(1); },
+      {.schedule = {Schedule::kChunked, 64},
+       .control = RunControl{source.token(), {}}});
   EXPECT_EQ(ran.load(), 0u);
   EXPECT_TRUE(stats.cancelled);
   EXPECT_FALSE(stats.deadline_expired);
@@ -58,13 +59,14 @@ TEST(Cancel, SingleWorkerStopsAtExactChunkBoundary) {
   ThreadPool pool(1);
   CancellationSource source;
   std::atomic<std::uint64_t> ran{0};
-  const ForStats stats = parallel_for(
-      pool, 1'000, {Schedule::kChunked, 10},
+  const ForStats stats = run(
+      pool, 1'000,
       [&](i64 j) {
         ran.fetch_add(1);
         if (j == 55) source.request_cancel();
       },
-      RunControl{source.token(), {}});
+      {.schedule = {Schedule::kChunked, 10},
+       .control = RunControl{source.token(), {}}});
   EXPECT_TRUE(stats.cancelled);
   EXPECT_EQ(ran.load(), 60u);
   EXPECT_EQ(stats.iterations_done(), 60u);
@@ -81,8 +83,8 @@ TEST(Cancel, LatencyBoundedByOneChunkPerWorker) {
   CancellationSource source;
   std::atomic<std::uint64_t> ran{0};
   std::atomic<std::uint64_t> at_cancel{0};
-  const ForStats stats = parallel_for(
-      pool, 1'000'000, {Schedule::kChunked, kChunk},
+  const ForStats stats = run(
+      pool, 1'000'000,
       [&](i64 j) {
         const std::uint64_t n = ran.fetch_add(1) + 1;
         if (j == 5'000) {
@@ -90,7 +92,8 @@ TEST(Cancel, LatencyBoundedByOneChunkPerWorker) {
           at_cancel.store(n);
         }
       },
-      RunControl{source.token(), {}});
+      {.schedule = {Schedule::kChunked, kChunk},
+       .control = RunControl{source.token(), {}}});
   ASSERT_TRUE(stats.cancelled);
   // Workers mid-iteration when the flag went up still finish their chunk.
   EXPECT_LE(stats.iterations_done(),
@@ -102,12 +105,13 @@ TEST(Cancel, PoolIsReusableAfterCancelledRun) {
   ThreadPool pool(4);
   CancellationSource source;
   source.request_cancel();
-  (void)parallel_for(pool, 1'000, {Schedule::kChunked, 8}, [&](i64) {},
-                     RunControl{source.token(), {}});
+  (void)run(pool, 1'000, [&](i64) {},
+            {.schedule = {Schedule::kChunked, 8},
+             .control = RunControl{source.token(), {}}});
   // Same pool, fresh control: the follow-up region must run to completion.
   std::atomic<std::uint64_t> ran{0};
-  const ForStats stats = parallel_for(pool, 1'000, {Schedule::kChunked, 8},
-                                      [&](i64) { ran.fetch_add(1); });
+  const ForStats stats = run(pool, 1'000, [&](i64) { ran.fetch_add(1); },
+                             {.schedule = {Schedule::kChunked, 8}});
   EXPECT_TRUE(stats.completed());
   EXPECT_EQ(ran.load(), 1'000u);
 }
@@ -124,8 +128,8 @@ TEST(Cancel, WorksUnderEverySchedule) {
     CancellationSource source;
     source.request_cancel();
     const ForStats stats =
-        parallel_for(pool, 50'000, params, [&](i64) {},
-                     RunControl{source.token(), {}});
+        run(pool, 50'000, [&](i64) {},
+            {.schedule = params, .control = RunControl{source.token(), {}}});
     EXPECT_TRUE(stats.cancelled) << to_string(params.kind);
     EXPECT_EQ(stats.iterations_done(), 0u) << to_string(params.kind);
   }
@@ -136,7 +140,8 @@ TEST(Cancel, InactiveControlReportsCompletion) {
   const RunControl control;
   EXPECT_FALSE(control.active());
   const ForStats stats =
-      parallel_for(pool, 500, {Schedule::kGuided, 1}, [](i64) {}, control);
+      run(pool, 500, [](i64) {},
+          {.schedule = {Schedule::kGuided, 1}, .control = control});
   EXPECT_TRUE(stats.completed());
   EXPECT_FALSE(stats.cancelled);
   EXPECT_FALSE(stats.deadline_expired);
@@ -148,12 +153,13 @@ TEST(Cancel, CancelledCollapsedNestReportsPartialProgress) {
   const auto space = index::CoalescedSpace::create({40, 40}).value();
   CancellationSource source;
   std::atomic<std::uint64_t> ran{0};
-  const ForStats stats = parallel_for_collapsed(
-      pool, space, {Schedule::kChunked, 16},
+  const ForStats stats = run(
+      pool, space,
       [&](std::span<const i64>) {
         if (ran.fetch_add(1) + 1 == 100) source.request_cancel();
       },
-      RunControl{source.token(), {}});
+      {.schedule = {Schedule::kChunked, 16},
+       .control = RunControl{source.token(), {}}});
   EXPECT_TRUE(stats.cancelled);
   EXPECT_GE(stats.iterations_done(), 100u);
   EXPECT_LT(stats.iterations_done(), 1600u);
@@ -166,10 +172,11 @@ TEST(Cancel, NestedForkjoinSkipsRemainingInnerRegions) {
   source.request_cancel();
   const i64 extents[] = {8, 8, 8};
   std::atomic<std::uint64_t> ran{0};
-  const ForStats stats = parallel_for_nested_forkjoin(
-      pool, extents, {Schedule::kSelf, 1},
-      [&](std::span<const i64>) { ran.fetch_add(1); },
-      RunControl{source.token(), {}});
+  const ForStats stats =
+      run(pool, extents, [&](std::span<const i64>) { ran.fetch_add(1); },
+          {.schedule = {Schedule::kSelf, 1},
+           .control = RunControl{source.token(), {}},
+           .mode = NestMode::kNestedForkJoin});
   EXPECT_TRUE(stats.cancelled);
   EXPECT_EQ(ran.load(), 0u);
   EXPECT_EQ(stats.iterations_requested, 512u);
@@ -180,9 +187,10 @@ TEST(Cancel, NestedForkjoinSkipsRemainingInnerRegions) {
 TEST(Deadline, AlreadyExpiredRunsNothing) {
   ThreadPool pool(4);
   std::atomic<std::uint64_t> ran{0};
-  const ForStats stats = parallel_for(
-      pool, 10'000, {Schedule::kGuided, 1}, [&](i64) { ran.fetch_add(1); },
-      RunControl{{}, Deadline::after_ms(0)});
+  const ForStats stats =
+      run(pool, 10'000, [&](i64) { ran.fetch_add(1); },
+          {.schedule = {Schedule::kGuided, 1},
+           .control = RunControl{{}, Deadline::after_ms(0)}});
   EXPECT_EQ(ran.load(), 0u);
   EXPECT_TRUE(stats.deadline_expired);
   EXPECT_FALSE(stats.cancelled);
@@ -192,8 +200,9 @@ TEST(Deadline, AlreadyExpiredRunsNothing) {
 TEST(Deadline, UnsetDeadlineNeverStopsTheRun) {
   ThreadPool pool(2);
   const ForStats stats =
-      parallel_for(pool, 2'000, {Schedule::kChunked, 32}, [](i64) {},
-                   RunControl{{}, Deadline::never()});
+      run(pool, 2'000, [](i64) {},
+          {.schedule = {Schedule::kChunked, 32},
+           .control = RunControl{{}, Deadline::never()}});
   EXPECT_TRUE(stats.completed());
   EXPECT_FALSE(stats.deadline_expired);
 }
@@ -201,8 +210,9 @@ TEST(Deadline, UnsetDeadlineNeverStopsTheRun) {
 TEST(Deadline, FarDeadlineCompletesNormally) {
   ThreadPool pool(4);
   const ForStats stats =
-      parallel_for(pool, 5'000, {Schedule::kGuided, 1}, [](i64) {},
-                   RunControl{{}, Deadline::after_ms(60'000)});
+      run(pool, 5'000, [](i64) {},
+          {.schedule = {Schedule::kGuided, 1},
+           .control = RunControl{{}, Deadline::after_ms(60'000)}});
   EXPECT_TRUE(stats.completed());
 }
 
@@ -212,13 +222,14 @@ TEST(Deadline, OvershootBoundedByOneChunkPerWorker) {
   // boundary well short of the total.
   ThreadPool pool(1);
   std::atomic<std::uint64_t> ran{0};
-  const ForStats stats = parallel_for(
-      pool, 512, {Schedule::kChunked, 8},
+  const ForStats stats = run(
+      pool, 512,
       [&](i64) {
         ran.fetch_add(1);
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       },
-      RunControl{{}, Deadline::after_ms(20)});
+      {.schedule = {Schedule::kChunked, 8},
+       .control = RunControl{{}, Deadline::after_ms(20)}});
   ASSERT_TRUE(stats.deadline_expired);
   EXPECT_LT(stats.iterations_done(), 512u);
   EXPECT_GT(stats.iterations_done(), 0u);
@@ -247,10 +258,11 @@ TEST(Deadline, RemainingAndExpiredAreConsistent) {
 
 TEST(Exceptions, BodyThrowIsRethrownAtJoin) {
   ThreadPool pool(4);
-  EXPECT_THROW(parallel_for(pool, 1'000, {Schedule::kChunked, 8},
-                            [](i64 j) {
-                              if (j == 500) throw std::runtime_error("boom");
-                            }),
+  EXPECT_THROW(run(pool, 1'000,
+                   [](i64 j) {
+                     if (j == 500) throw std::runtime_error("boom");
+                   },
+                   {.schedule = {Schedule::kChunked, 8}}),
                std::runtime_error);
 }
 
@@ -258,16 +270,16 @@ TEST(Exceptions, RethrownExactlyOnceEvenWhenEveryIterationThrows) {
   ThreadPool pool(4);
   int caught = 0;
   try {
-    parallel_for(pool, 1'000, {Schedule::kSelf, 1},
-                 [](i64) { throw std::runtime_error("everyone throws"); });
+    run(pool, 1'000, [](i64) { throw std::runtime_error("everyone throws"); },
+        {.schedule = {Schedule::kSelf, 1}});
   } catch (const std::runtime_error&) {
     ++caught;
   }
   EXPECT_EQ(caught, 1);
   // And the losers were swallowed, not terminated: the pool still works.
   std::atomic<std::uint64_t> ran{0};
-  const ForStats stats = parallel_for(pool, 100, {Schedule::kSelf, 1},
-                                      [&](i64) { ran.fetch_add(1); });
+  const ForStats stats = run(pool, 100, [&](i64) { ran.fetch_add(1); },
+                             {.schedule = {Schedule::kSelf, 1}});
   EXPECT_TRUE(stats.completed());
   EXPECT_EQ(ran.load(), 100u);
 }
@@ -276,10 +288,12 @@ TEST(Exceptions, SiblingsDrainInsteadOfRunningToCompletion) {
   ThreadPool pool(4);
   std::atomic<std::uint64_t> ran{0};
   try {
-    parallel_for(pool, 1'000'000, {Schedule::kChunked, 16}, [&](i64 j) {
-      ran.fetch_add(1);
-      if (j == 1'000) throw std::runtime_error("early");
-    });
+    run(pool, 1'000'000,
+        [&](i64 j) {
+          ran.fetch_add(1);
+          if (j == 1'000) throw std::runtime_error("early");
+        },
+        {.schedule = {Schedule::kChunked, 16}});
     FAIL() << "expected rethrow";
   } catch (const std::runtime_error&) {
   }
@@ -291,9 +305,11 @@ TEST(Exceptions, SiblingsDrainInsteadOfRunningToCompletion) {
 TEST(Exceptions, ExceptionTypeAndMessageSurviveTheJoin) {
   ThreadPool pool(2);
   try {
-    parallel_for(pool, 100, {Schedule::kSelf, 1}, [](i64 j) {
-      if (j == 42) throw std::out_of_range("iteration 42 misbehaved");
-    });
+    run(pool, 100,
+        [](i64 j) {
+          if (j == 42) throw std::out_of_range("iteration 42 misbehaved");
+        },
+        {.schedule = {Schedule::kSelf, 1}});
     FAIL() << "expected rethrow";
   } catch (const std::out_of_range& e) {
     EXPECT_STREQ(e.what(), "iteration 42 misbehaved");
@@ -302,42 +318,43 @@ TEST(Exceptions, ExceptionTypeAndMessageSurviveTheJoin) {
 
 TEST(Exceptions, ErasedEntryPointPropagatesToo) {
   ThreadPool pool(2);
-  const FlatBody body = [](i64 j) {
+  const std::function<void(i64)> body = [](i64 j) {
     if (j == 7) throw std::runtime_error("erased");
   };
-  EXPECT_THROW(parallel_for(pool, 100, {Schedule::kGuided, 1}, body),
+  EXPECT_THROW(run(pool, 100, body, {.schedule = {Schedule::kGuided, 1}}),
                std::runtime_error);
 }
 
 TEST(Exceptions, CollapsedExecutorPropagates) {
   ThreadPool pool(4);
   const auto space = index::CoalescedSpace::create({30, 30}).value();
-  EXPECT_THROW(
-      parallel_for_collapsed(pool, space, {Schedule::kGuided, 1},
-                             [](std::span<const i64> idx) {
-                               if (idx[0] == 15 && idx[1] == 15) {
-                                 throw std::runtime_error("collapsed");
-                               }
-                             }),
-      std::runtime_error);
+  EXPECT_THROW(run(pool, space,
+                   [](std::span<const i64> idx) {
+                     if (idx[0] == 15 && idx[1] == 15) {
+                       throw std::runtime_error("collapsed");
+                     }
+                   },
+                   {.schedule = {Schedule::kGuided, 1}}),
+               std::runtime_error);
   // Reusable afterwards.
-  const ForStats stats = parallel_for_collapsed(
-      pool, space, {Schedule::kGuided, 1}, [](std::span<const i64>) {});
+  const ForStats stats = run(pool, space, [](std::span<const i64>) {},
+                             {.schedule = {Schedule::kGuided, 1}});
   EXPECT_TRUE(stats.completed());
 }
 
 TEST(Exceptions, ReduceRethrowsAndPoolSurvives) {
   ThreadPool pool(4);
-  EXPECT_THROW(parallel_sum(pool, 10'000, {Schedule::kChunked, 32},
-                            [](i64 j) -> double {
-                              if (j == 5'000) {
-                                throw std::runtime_error("reduce");
-                              }
-                              return 1.0;
-                            }),
+  EXPECT_THROW(run_sum(pool, 10'000,
+                       [](i64 j) -> double {
+                         if (j == 5'000) {
+                           throw std::runtime_error("reduce");
+                         }
+                         return 1.0;
+                       },
+                       {.schedule = {Schedule::kChunked, 32}}),
                std::runtime_error);
-  const ReduceResult ok = parallel_sum(pool, 1'000, {Schedule::kChunked, 32},
-                                       [](i64) { return 1.0; });
+  const ReduceResult ok = run_sum(pool, 1'000, [](i64) { return 1.0; },
+                                  {.schedule = {Schedule::kChunked, 32}});
   EXPECT_DOUBLE_EQ(ok.value, 1'000.0);
   EXPECT_TRUE(ok.stats.completed());
 }
@@ -370,12 +387,12 @@ TEST(PartialStats, MonotonicAndBoundedUnderCancellation) {
   for (const ScheduleParams params : kinds) {
     CancellationSource source;
     std::atomic<std::uint64_t> ran{0};
-    const ForStats stats = parallel_for(
-        pool, 100'000, params,
+    const ForStats stats = run(
+        pool, 100'000,
         [&](i64) {
           if (ran.fetch_add(1) + 1 == 1'000) source.request_cancel();
         },
-        RunControl{source.token(), {}});
+        {.schedule = params, .control = RunControl{source.token(), {}}});
     EXPECT_TRUE(stats.cancelled) << to_string(params.kind);
     EXPECT_EQ(stats.iterations_done(), ran.load()) << to_string(params.kind);
     EXPECT_LE(stats.iterations_done(), stats.iterations_requested)
@@ -390,7 +407,7 @@ TEST(PartialStats, MonotonicAndBoundedUnderCancellation) {
 TEST(PartialStats, IterationsDoneSumsPerWorkerCounts) {
   ThreadPool pool(3);
   const ForStats stats =
-      parallel_for(pool, 777, {Schedule::kGuided, 1}, [](i64) {});
+      run(pool, 777, [](i64) {}, {.schedule = {Schedule::kGuided, 1}});
   std::uint64_t sum = 0;
   for (const auto n : stats.iterations_per_worker) sum += n;
   EXPECT_EQ(stats.iterations_done(), sum);
@@ -453,8 +470,9 @@ TEST_F(FaultHarness, ThrowAtIterationFiresAtExactlyThatIteration) {
   std::vector<std::atomic<int>> executed(1'001);
   bool caught = false;
   try {
-    parallel_for(pool, 1'000, {Schedule::kChunked, 16},
-                 [&](i64 j) { executed[static_cast<std::size_t>(j)] = 1; });
+    run(pool, 1'000,
+        [&](i64 j) { executed[static_cast<std::size_t>(j)] = 1; },
+        {.schedule = {Schedule::kChunked, 16}});
   } catch (const fault::FaultInjected& e) {
     caught = true;
     EXPECT_NE(std::string(e.what()).find("137"), std::string::npos);
@@ -475,18 +493,18 @@ TEST_F(FaultHarness, ThrowIsDeterministicAcrossRuns) {
   fault::FaultPlan plan;
   plan.throw_at_iteration = 500;
   plan.install();
-  for (int run = 0; run < 3; ++run) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
     plan.reset();
     std::atomic<int> hit_fault_iteration{0};
-    EXPECT_THROW(
-        parallel_for(pool, 1'000, {Schedule::kGuided, 1},
+    EXPECT_THROW(run(pool, 1'000,
                      [&](i64 j) {
                        if (j == 500) hit_fault_iteration.store(1);
-                     }),
-        fault::FaultInjected)
-        << "run " << run;
-    EXPECT_EQ(hit_fault_iteration.load(), 0) << "run " << run;
-    EXPECT_EQ(plan.faults_fired(), 1u) << "run " << run;
+                     },
+                     {.schedule = {Schedule::kGuided, 1}}),
+                 fault::FaultInjected)
+        << "attempt " << attempt;
+    EXPECT_EQ(hit_fault_iteration.load(), 0) << "attempt " << attempt;
+    EXPECT_EQ(plan.faults_fired(), 1u) << "attempt " << attempt;
   }
   plan.uninstall();
 }
@@ -501,7 +519,7 @@ TEST_F(FaultHarness, StallDelaysButLosesNothing) {
   plan.stall_ns = 2'000'000;  // 2 ms
   plan.install();
   const ForStats stats =
-      parallel_for(pool, 5'000, {Schedule::kStaticBlock}, [](i64) {});
+      run(pool, 5'000, [](i64) {}, {.schedule = {Schedule::kStaticBlock}});
   plan.uninstall();
   EXPECT_TRUE(stats.completed());
   EXPECT_EQ(plan.faults_fired(), 1u);
@@ -515,7 +533,7 @@ TEST_F(FaultHarness, InjectedCancelStopsWithoutException) {
   plan.cancel_at_chunk = 2;
   plan.install();
   const ForStats stats =
-      parallel_for(pool, 100'000, {Schedule::kChunked, 64}, [](i64) {});
+      run(pool, 100'000, [](i64) {}, {.schedule = {Schedule::kChunked, 64}});
   plan.uninstall();
   EXPECT_TRUE(stats.cancelled);
   EXPECT_FALSE(stats.completed());
@@ -528,11 +546,11 @@ TEST_F(FaultHarness, EachFaultFiresAtMostOncePerPlan) {
   fault::FaultPlan plan;
   plan.cancel_at_chunk = 1;
   plan.install();
-  (void)parallel_for(pool, 10'000, {Schedule::kChunked, 16}, [](i64) {});
+  (void)run(pool, 10'000, [](i64) {}, {.schedule = {Schedule::kChunked, 16}});
   const std::uint64_t fired_once = plan.faults_fired();
   // Second region, same (un-reset) plan: the cancel is already spent.
   const ForStats second =
-      parallel_for(pool, 1'000, {Schedule::kChunked, 16}, [](i64) {});
+      run(pool, 1'000, [](i64) {}, {.schedule = {Schedule::kChunked, 16}});
   plan.uninstall();
   EXPECT_EQ(fired_once, 1u);
   EXPECT_EQ(plan.faults_fired(), 1u);
@@ -545,10 +563,10 @@ TEST_F(FaultHarness, ResetRearmsTheFaults) {
   plan.cancel_at_chunk = 1;
   plan.install();
   const ForStats first =
-      parallel_for(pool, 10'000, {Schedule::kChunked, 16}, [](i64) {});
+      run(pool, 10'000, [](i64) {}, {.schedule = {Schedule::kChunked, 16}});
   plan.reset();
   const ForStats second =
-      parallel_for(pool, 10'000, {Schedule::kChunked, 16}, [](i64) {});
+      run(pool, 10'000, [](i64) {}, {.schedule = {Schedule::kChunked, 16}});
   plan.uninstall();
   EXPECT_TRUE(first.cancelled);
   EXPECT_TRUE(second.cancelled);
@@ -561,7 +579,7 @@ TEST_F(FaultHarness, ChunksSeenCountsEveryGrantWhileArmed) {
   plan.cancel_at_chunk = 1'000'000;  // armed but out of reach: pure observer
   ASSERT_TRUE(plan.armed());
   plan.install();
-  (void)parallel_for(pool, 100, {Schedule::kChunked, 10}, [](i64) {});
+  (void)run(pool, 100, [](i64) {}, {.schedule = {Schedule::kChunked, 10}});
   plan.uninstall();
   EXPECT_EQ(plan.chunks_seen(), 10u);
   EXPECT_EQ(plan.faults_fired(), 0u);
@@ -573,7 +591,7 @@ TEST_F(FaultHarness, UnarmedPlanTakesTheFastPathAndCountsNothing) {
   ASSERT_FALSE(plan.armed());
   plan.install();
   const ForStats stats =
-      parallel_for(pool, 100, {Schedule::kChunked, 10}, [](i64) {});
+      run(pool, 100, [](i64) {}, {.schedule = {Schedule::kChunked, 10}});
   plan.uninstall();
   EXPECT_TRUE(stats.completed());
   EXPECT_EQ(plan.chunks_seen(), 0u);
@@ -594,7 +612,7 @@ TEST_F(FaultHarness, CopyTransfersConfigurationNotCounters) {
   fault::FaultPlan original;
   original.throw_at_iteration = 42;
   original.install();
-  EXPECT_THROW(parallel_for(pool, 100, {Schedule::kSelf, 1}, [](i64) {}),
+  EXPECT_THROW(run(pool, 100, [](i64) {}, {.schedule = {Schedule::kSelf, 1}}),
                fault::FaultInjected);
   original.uninstall();
   ASSERT_GT(original.chunks_seen(), 0u);
@@ -649,7 +667,7 @@ TEST_F(FaultHarness, FromSeedOnEmptyLoopArmsNothing) {
 TEST_F(FaultHarness, UninstalledPlanCostsNoBehaviorChange) {
   ThreadPool pool(4);
   const ForStats stats =
-      parallel_for(pool, 10'000, {Schedule::kGuided, 1}, [](i64) {});
+      run(pool, 10'000, [](i64) {}, {.schedule = {Schedule::kGuided, 1}});
   EXPECT_TRUE(stats.completed());
   EXPECT_EQ(fault::FaultPlan::current(), nullptr);
 }
@@ -666,13 +684,14 @@ TEST_F(FaultHarness, PoolReusableAfterEveryFaultKind) {
     }
     plan.install();
     try {
-      (void)parallel_for(pool, 10'000, {Schedule::kChunked, 16}, [](i64) {});
+      (void)run(pool, 10'000, [](i64) {},
+                {.schedule = {Schedule::kChunked, 16}});
     } catch (const fault::FaultInjected&) {
     }
     plan.uninstall();
     std::atomic<std::uint64_t> ran{0};
-    const ForStats after = parallel_for(pool, 1'000, {Schedule::kSelf, 1},
-                                        [&](i64) { ran.fetch_add(1); });
+    const ForStats after = run(pool, 1'000, [&](i64) { ran.fetch_add(1); },
+                               {.schedule = {Schedule::kSelf, 1}});
     EXPECT_TRUE(after.completed()) << "fault kind " << kind;
     EXPECT_EQ(ran.load(), 1'000u) << "fault kind " << kind;
   }
@@ -687,8 +706,9 @@ TEST(FaultTrace, CancelEmitsTraceEventAndCounter) {
   recorder.install();
   CancellationSource source;
   source.request_cancel();
-  (void)parallel_for(pool, 1'000, {Schedule::kChunked, 8}, [](i64) {},
-                     RunControl{source.token(), {}});
+  (void)run(pool, 1'000, [](i64) {},
+            {.schedule = {Schedule::kChunked, 8},
+             .control = RunControl{source.token(), {}}});
   recorder.uninstall();
   bool saw_cancel = false;
   for (const trace::Event& e : recorder.all_events()) {
@@ -710,7 +730,8 @@ TEST(FaultTrace, InjectedThrowEmitsFaultEvent) {
   fault::FaultPlan plan;
   plan.throw_at_iteration = 50;
   plan.install();
-  EXPECT_THROW(parallel_for(pool, 1'000, {Schedule::kChunked, 8}, [](i64) {}),
+  EXPECT_THROW(run(pool, 1'000, [](i64) {},
+                   {.schedule = {Schedule::kChunked, 8}}),
                fault::FaultInjected);
   plan.uninstall();
   recorder.uninstall();
@@ -737,8 +758,9 @@ TEST(FaultTrace, DeadlineCancelCauseIsRecorded) {
   ThreadPool pool(2);
   trace::Recorder recorder;
   recorder.install();
-  (void)parallel_for(pool, 1'000, {Schedule::kChunked, 8}, [](i64) {},
-                     RunControl{{}, Deadline::after_ms(0)});
+  (void)run(pool, 1'000, [](i64) {},
+            {.schedule = {Schedule::kChunked, 8},
+             .control = RunControl{{}, Deadline::after_ms(0)}});
   recorder.uninstall();
   bool saw = false;
   for (const trace::Event& e : recorder.all_events()) {

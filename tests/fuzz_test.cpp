@@ -19,7 +19,7 @@
 #include "ir/builder.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/ir_executor.hpp"
-#include "runtime/parallel_for.hpp"
+#include "runtime/launch.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/cancel.hpp"
 #include "ir/printer.hpp"
@@ -352,7 +352,7 @@ TEST_P(FaultFuzz, SeededFaultPlansOverCoalescedNests) {
     ASSERT_TRUE(trips.has_value()) << "seed=" << fault_seed;
 
     runtime::fault::FaultPlan plan = runtime::fault::FaultPlan::from_seed(
-        fault_seed, *trips, pool.worker_count());
+        fault_seed, *trips, pool.concurrency());
     plan.install();
     ir::ArrayStore store(flat.symbols);
     bool threw = false;
@@ -385,8 +385,8 @@ TEST_P(FaultFuzz, SeededFaultPlansOverCoalescedNests) {
     // The same pool must come back clean after every faulted trial.
     std::atomic<std::uint64_t> ran{0};
     const runtime::ForStats after =
-        runtime::parallel_for(pool, 64, {runtime::Schedule::kSelf, 1},
-                              [&](i64) { ran.fetch_add(1); });
+        runtime::run(pool, 64, [&](i64) { ran.fetch_add(1); },
+                     {.schedule = {runtime::Schedule::kSelf, 1}});
     ASSERT_TRUE(after.completed()) << "seed=" << fault_seed;
     ASSERT_EQ(ran.load(), 64u) << "seed=" << fault_seed;
   }
@@ -410,8 +410,8 @@ TEST_P(FaultFuzz, RandomCancellationPointsExecuteEachPointAtMostOnce) {
     support::CancellationSource source;
     std::vector<std::atomic<int>> hits(static_cast<std::size_t>(total));
     std::atomic<std::uint64_t> ordinal{0};
-    const runtime::ForStats stats = runtime::parallel_for_collapsed(
-        pool, space, {runtime::Schedule::kChunked, chunk},
+    const runtime::ForStats stats = runtime::run(
+        pool, space,
         [&](std::span<const i64> idx) {
           i64 flat = 0;
           for (std::size_t d = 0; d < depth; ++d) {
@@ -422,7 +422,8 @@ TEST_P(FaultFuzz, RandomCancellationPointsExecuteEachPointAtMostOnce) {
             source.request_cancel();
           }
         },
-        runtime::RunControl{source.token(), {}});
+        {.schedule = {runtime::Schedule::kChunked, chunk},
+         .control = runtime::RunControl{source.token(), {}}});
 
     const std::string repro = "seed=" + std::to_string(GetParam()) +
                               " trial=" + std::to_string(trial) +
@@ -441,8 +442,9 @@ TEST_P(FaultFuzz, RandomCancellationPointsExecuteEachPointAtMostOnce) {
   }
   // One clean region after the whole random sequence.
   std::atomic<std::uint64_t> ran{0};
-  const runtime::ForStats after = runtime::parallel_for(
-      pool, 100, {runtime::Schedule::kGuided, 1}, [&](i64) { ran.fetch_add(1); });
+  const runtime::ForStats after =
+      runtime::run(pool, 100, [&](i64) { ran.fetch_add(1); },
+                   {.schedule = {runtime::Schedule::kGuided, 1}});
   EXPECT_TRUE(after.completed());
   EXPECT_EQ(ran.load(), 100u);
 }
@@ -471,9 +473,11 @@ TEST_P(FaultFuzz, RandomBodyThrowsAlwaysRethrownOnceOverSchedules) {
                               " throw_at=" + std::to_string(throw_at);
     int caught = 0;
     try {
-      runtime::parallel_for(pool, total, params, [&](i64 j) {
-        if (j == throw_at) throw std::runtime_error(repro);
-      });
+      runtime::run(pool, total,
+                   [&](i64 j) {
+                     if (j == throw_at) throw std::runtime_error(repro);
+                   },
+                   {.schedule = params});
     } catch (const std::runtime_error& e) {
       ++caught;
       EXPECT_EQ(std::string(e.what()), repro);
@@ -481,7 +485,7 @@ TEST_P(FaultFuzz, RandomBodyThrowsAlwaysRethrownOnceOverSchedules) {
     ASSERT_EQ(caught, 1) << repro;
     // Pool reusable after every single rethrow.
     const runtime::ForStats after =
-        runtime::parallel_for(pool, 32, params, [](i64) {});
+        runtime::run(pool, 32, [](i64) {}, {.schedule = params});
     ASSERT_TRUE(after.completed()) << repro;
   }
 }

@@ -6,7 +6,7 @@
 
 #include "analysis/reduction.hpp"
 #include "ir/builder.hpp"
-#include "runtime/reduce.hpp"
+#include "runtime/launch.hpp"
 
 namespace coalesce {
 namespace {
@@ -177,29 +177,29 @@ TEST(ParallelReduce, SumOfFirstNIntegers) {
   runtime::ThreadPool pool(4);
   for (auto kind : {runtime::Schedule::kStaticBlock, runtime::Schedule::kSelf,
                     runtime::Schedule::kChunked, runtime::Schedule::kGuided}) {
-    const auto result = runtime::parallel_sum(
-        pool, 1000, {kind, 16},
-        [](i64 j) { return static_cast<double>(j); });
+    const auto result =
+        runtime::run_sum(pool, 1000, [](i64 j) { return static_cast<double>(j); },
+                         {.schedule = {kind, 16}});
     EXPECT_DOUBLE_EQ(result.value, 500500.0) << runtime::to_string(kind);
   }
 }
 
 TEST(ParallelReduce, ProductViaCustomCombine) {
   runtime::ThreadPool pool(4);
-  const auto result = runtime::parallel_reduce(
-      pool, 10, {runtime::Schedule::kStaticBlock, 1}, 1.0,
-      [](i64 j) { return static_cast<double>(j); },
-      [](double a, double v) { return a * v; });
+  const auto result = runtime::run_reduce(
+      pool, 10, 1.0, [](i64 j) { return static_cast<double>(j); },
+      [](double a, double v) { return a * v; },
+      {.schedule = {runtime::Schedule::kStaticBlock, 1}});
   EXPECT_DOUBLE_EQ(result.value, 3628800.0);  // 10!
 }
 
 TEST(ParallelReduce, MaxReduction) {
   runtime::ThreadPool pool(3);
-  const auto result = runtime::parallel_reduce(
-      pool, 257, {runtime::Schedule::kGuided, 1},
-      -std::numeric_limits<double>::infinity(),
+  const auto result = runtime::run_reduce(
+      pool, 257, -std::numeric_limits<double>::infinity(),
       [](i64 j) { return static_cast<double>((j * 37) % 101); },
-      [](double a, double v) { return std::max(a, v); });
+      [](double a, double v) { return std::max(a, v); },
+      {.schedule = {runtime::Schedule::kGuided, 1}});
   EXPECT_DOUBLE_EQ(result.value, 100.0);
 }
 
@@ -207,25 +207,26 @@ TEST(ParallelReduce, CollapsedSpaceSum) {
   runtime::ThreadPool pool(4);
   const auto space =
       index::CoalescedSpace::create(std::vector<i64>{12, 9}).value();
-  const auto result = runtime::parallel_sum_collapsed(
-      pool, space, {runtime::Schedule::kChunked, 8},
+  const auto result = runtime::run_sum(
+      pool, space,
       [](std::span<const i64> ij) {
         return static_cast<double>(ij[0] * ij[1]);
-      });
+      },
+      {.schedule = {runtime::Schedule::kChunked, 8}});
   // sum(i) * sum(j) = 78 * 45.
   EXPECT_DOUBLE_EQ(result.value, 78.0 * 45.0);
 }
 
 TEST(ParallelReduce, StaticBlockIsBitwiseReproducible) {
   runtime::ThreadPool pool(4);
-  auto run = [&] {
-    return runtime::parallel_sum(
-               pool, 4096, {runtime::Schedule::kStaticBlock, 1},
-               [](i64 j) { return 1.0 / static_cast<double>(j); })
+  auto once = [&] {
+    return runtime::run_sum(pool, 4096,
+                            [](i64 j) { return 1.0 / static_cast<double>(j); },
+                            {.schedule = {runtime::Schedule::kStaticBlock, 1}})
         .value;
   };
-  const double first = run();
-  for (int trial = 0; trial < 5; ++trial) EXPECT_EQ(run(), first);
+  const double first = once();
+  for (int trial = 0; trial < 5; ++trial) EXPECT_EQ(once(), first);
 }
 
 TEST(ParallelReduce, MatmulViaReductionPerCell) {
@@ -240,8 +241,8 @@ TEST(ParallelReduce, MatmulViaReductionPerCell) {
   const auto space =
       index::CoalescedSpace::create(std::vector<i64>{n, n}).value();
   std::vector<double> c(n * n, 0.0);
-  runtime::parallel_for_collapsed(
-      pool, space, {runtime::Schedule::kGuided},
+  runtime::run(
+      pool, space,
       [&](std::span<const i64> ij) {
         double acc = 0.0;
         for (i64 k = 0; k < n; ++k) {
@@ -249,7 +250,8 @@ TEST(ParallelReduce, MatmulViaReductionPerCell) {
                  bmat[static_cast<std::size_t>(k * n + (ij[1] - 1))];
         }
         c[static_cast<std::size_t>((ij[0] - 1) * n + (ij[1] - 1))] = acc;
-      });
+      },
+      {.schedule = {runtime::Schedule::kGuided}});
   // Spot check one cell against a direct computation.
   double expect = 0.0;
   for (i64 k = 0; k < n; ++k) {

@@ -138,9 +138,9 @@ TEST(Stress, ParallelReduceRepeatability) {
   // though iteration-to-worker assignment varies.
   runtime::ThreadPool pool(4);
   for (int round = 0; round < 20; ++round) {
-    const auto result = runtime::parallel_sum(
-        pool, 10000, {runtime::Schedule::kGuided, 1},
-        [](i64 j) { return static_cast<double>(j % 97); });
+    const auto result = runtime::run_sum(
+        pool, 10000, [](i64 j) { return static_cast<double>(j % 97); },
+        {.schedule = {runtime::Schedule::kGuided, 1}});
     double expect = 0;
     for (i64 j = 1; j <= 10000; ++j) expect += static_cast<double>(j % 97);
     ASSERT_EQ(result.value, expect);

@@ -14,8 +14,7 @@
 
 #include "index/chunk.hpp"
 #include "runtime/dispatcher.hpp"
-#include "runtime/parallel_for.hpp"
-#include "runtime/reduce.hpp"
+#include "runtime/launch.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/cancel.hpp"
 #include "support/rng.hpp"
@@ -25,7 +24,7 @@ namespace {
 
 TEST(ThreadPool, RunsBodyOncePerWorker) {
   ThreadPool pool(4);
-  EXPECT_EQ(pool.worker_count(), 4u);
+  EXPECT_EQ(pool.concurrency(), 4u);
   std::vector<std::atomic<int>> hits(4);
   pool.run_region([&](std::size_t w) { hits[w].fetch_add(1); });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
@@ -229,7 +228,7 @@ TEST(MakeDispatcher, PolicySchedulesTakeTheWaitFreePathUnlessSerialized) {
   }
 }
 
-// ---- parallel_for ----------------------------------------------------------------
+// ---- run() ----------------------------------------------------------------
 
 class ScheduleSweep : public ::testing::TestWithParam<ScheduleParams> {};
 
@@ -237,9 +236,10 @@ TEST_P(ScheduleSweep, FlatLoopExecutesEveryIterationExactlyOnce) {
   ThreadPool pool(4);
   const i64 total = 503;  // prime: exercises ragged chunking
   std::vector<std::atomic<int>> hits(total);
-  const ForStats stats = parallel_for(pool, total, GetParam(), [&](i64 j) {
-    hits[static_cast<std::size_t>(j - 1)].fetch_add(1);
-  });
+  const ForStats stats = run(
+      pool, total,
+      [&](i64 j) { hits[static_cast<std::size_t>(j - 1)].fetch_add(1); },
+      {.schedule = GetParam()});
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
   std::uint64_t iter_sum = 0;
   for (auto n : stats.iterations_per_worker) iter_sum += n;
@@ -252,13 +252,15 @@ TEST_P(ScheduleSweep, CollapsedLoopVisitsWholeSpaceExactlyOnce) {
       index::CoalescedSpace::create(std::vector<i64>{11, 7, 3}).value();
   std::vector<std::atomic<int>> hits(
       static_cast<std::size_t>(space.total()));
-  const ForStats stats = parallel_for_collapsed(
-      pool, space, GetParam(), [&](std::span<const i64> idx) {
+  const ForStats stats = run(
+      pool, space,
+      [&](std::span<const i64> idx) {
         ASSERT_EQ(idx.size(), 3u);
         const i64 flat =
             ((idx[0] - 1) * 7 + (idx[1] - 1)) * 3 + (idx[2] - 1);
         hits[static_cast<std::size_t>(flat)].fetch_add(1);
-      });
+      },
+      {.schedule = GetParam()});
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
   EXPECT_GE(stats.imbalance(), 1.0);
 }
@@ -295,31 +297,33 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ParallelFor, SelfScheduleDispatchOpsEqualIterations) {
   ThreadPool pool(4);
   const ForStats stats =
-      parallel_for(pool, 256, {Schedule::kSelf, 1}, [](i64) {});
+      run(pool, 256, [](i64) {}, {.schedule = {Schedule::kSelf, 1}});
   EXPECT_EQ(stats.dispatch_ops, 256u);
 }
 
 TEST(ParallelFor, ChunkedDispatchOpsAreCeilTotalOverK) {
   ThreadPool pool(4);
   const ForStats stats =
-      parallel_for(pool, 250, {Schedule::kChunked, 32}, [](i64) {});
+      run(pool, 250, [](i64) {}, {.schedule = {Schedule::kChunked, 32}});
   EXPECT_EQ(stats.dispatch_ops, 8u);  // ceil(250/32)
 }
 
 TEST(ParallelFor, GuidedDispatchOpsFarBelowIterations) {
   ThreadPool pool(4);
   const ForStats stats =
-      parallel_for(pool, 10000, {Schedule::kGuided, 1}, [](i64) {});
+      run(pool, 10000, [](i64) {}, {.schedule = {Schedule::kGuided, 1}});
   EXPECT_LT(stats.dispatch_ops, 200u);
   EXPECT_GT(stats.dispatch_ops, 0u);
 }
 
 TEST(ParallelFor, StaticSchedulesNeedNoDispatchOps) {
   ThreadPool pool(4);
-  EXPECT_EQ(parallel_for(pool, 100, {Schedule::kStaticBlock, 1}, [](i64) {})
+  EXPECT_EQ(run(pool, 100, [](i64) {},
+                {.schedule = {Schedule::kStaticBlock, 1}})
                 .dispatch_ops,
             0u);
-  EXPECT_EQ(parallel_for(pool, 100, {Schedule::kStaticCyclic, 1}, [](i64) {})
+  EXPECT_EQ(run(pool, 100, [](i64) {},
+                {.schedule = {Schedule::kStaticCyclic, 1}})
                 .dispatch_ops,
             0u);
 }
@@ -327,7 +331,7 @@ TEST(ParallelFor, StaticSchedulesNeedNoDispatchOps) {
 TEST(ParallelFor, ZeroIterationsIsANoop) {
   ThreadPool pool(2);
   const ForStats stats =
-      parallel_for(pool, 0, {Schedule::kSelf, 1}, [](i64) { FAIL(); });
+      run(pool, 0, [](i64) { FAIL(); }, {.schedule = {Schedule::kSelf, 1}});
   EXPECT_EQ(stats.dispatch_ops, 0u);
   EXPECT_EQ(stats.chunks_executed, 0u);
 }
@@ -340,12 +344,12 @@ TEST(ParallelFor, CollapsedIndicesAreInBoundsAndOrderedPerChunk) {
           .value();
   std::mutex mu;
   std::set<std::pair<i64, i64>> seen;
-  parallel_for_collapsed(pool, space, {Schedule::kChunked, 3},
-                         [&](std::span<const i64> idx) {
-                           std::scoped_lock lock(mu);
-                           EXPECT_TRUE(
-                               seen.emplace(idx[0], idx[1]).second);
-                         });
+  run(pool, space,
+      [&](std::span<const i64> idx) {
+        std::scoped_lock lock(mu);
+        EXPECT_TRUE(seen.emplace(idx[0], idx[1]).second);
+      },
+      {.schedule = {Schedule::kChunked, 3}});
   EXPECT_EQ(seen.size(), 20u);
   // Original values on the lattices.
   for (const auto& [a, b] : seen) {
@@ -366,12 +370,13 @@ TEST(ParallelForTiled, CoversWholeSpaceExactlyOnce) {
       index::CoalescedSpace::create(std::vector<i64>{10, 12}).value();
   const std::vector<i64> tiles{4, 5};  // ragged edges
   std::vector<std::atomic<int>> hits(120);
-  const ForStats stats = parallel_for_collapsed_tiled(
-      pool, space, tiles, {Schedule::kSelf, 1},
+  const ForStats stats = run(
+      pool, space,
       [&](std::span<const i64> ij) {
         hits[static_cast<std::size_t>((ij[0] - 1) * 12 + (ij[1] - 1))]
             .fetch_add(1);
-      });
+      },
+      {.schedule = {Schedule::kSelf, 1}, .tile_sizes = tiles});
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
   // One dispatch per tile: ceil(10/4) * ceil(12/5) = 3 * 3.
   EXPECT_EQ(stats.dispatch_ops, 9u);
@@ -386,13 +391,13 @@ TEST(ParallelForTiled, HonorsOffsetAndSteppedGeometry) {
           .value();
   std::mutex mu;
   std::set<std::pair<i64, i64>> seen;
-  parallel_for_collapsed_tiled(pool, space, std::vector<i64>{2, 3},
-                               {Schedule::kGuided, 1},
-                               [&](std::span<const i64> xy) {
-                                 std::scoped_lock lock(mu);
-                                 EXPECT_TRUE(
-                                     seen.emplace(xy[0], xy[1]).second);
-                               });
+  run(pool, space,
+      [&](std::span<const i64> xy) {
+        std::scoped_lock lock(mu);
+        EXPECT_TRUE(seen.emplace(xy[0], xy[1]).second);
+      },
+      {.schedule = {Schedule::kGuided, 1},
+       .tile_sizes = std::vector<i64>{2, 3}});
   EXPECT_EQ(seen.size(), 16u);
   for (const auto& [x, y] : seen) {
     EXPECT_EQ((x - 5) % 3, 0);
@@ -406,9 +411,10 @@ TEST(ParallelForTiled, TileLargerThanSpaceIsOneDispatch) {
   const auto space =
       index::CoalescedSpace::create(std::vector<i64>{3, 3}).value();
   std::atomic<int> count{0};
-  const ForStats stats = parallel_for_collapsed_tiled(
-      pool, space, std::vector<i64>{100, 100}, {Schedule::kSelf, 1},
-      [&](std::span<const i64>) { count.fetch_add(1); });
+  const ForStats stats = run(
+      pool, space, [&](std::span<const i64>) { count.fetch_add(1); },
+      {.schedule = {Schedule::kSelf, 1},
+       .tile_sizes = std::vector<i64>{100, 100}});
   EXPECT_EQ(count.load(), 9);
   EXPECT_EQ(stats.dispatch_ops, 1u);
 }
@@ -425,9 +431,10 @@ TEST(ParallelForTiled, MatchesUntiledResults) {
           static_cast<double>(idx[0] * 100 + idx[1] * 10 + idx[2]);
     };
   };
-  parallel_for_collapsed_tiled(pool, space, std::vector<i64>{4, 3, 2},
-                               {Schedule::kGuided, 1}, fill(tiled));
-  parallel_for_collapsed(pool, space, {Schedule::kGuided, 1}, fill(flat));
+  run(pool, space, fill(tiled),
+      {.schedule = {Schedule::kGuided, 1},
+       .tile_sizes = std::vector<i64>{4, 3, 2}});
+  run(pool, space, fill(flat), {.schedule = {Schedule::kGuided, 1}});
   EXPECT_EQ(tiled, flat);
 }
 
@@ -437,11 +444,13 @@ TEST(NestedOuter, VisitsWholeSpaceOnce) {
   ThreadPool pool(4);
   const std::vector<i64> extents{6, 5, 4};
   std::vector<std::atomic<int>> hits(6 * 5 * 4);
-  const ForStats stats = parallel_for_nested_outer(
-      pool, extents, {Schedule::kSelf, 1}, [&](std::span<const i64> idx) {
+  const ForStats stats = run(
+      pool, extents,
+      [&](std::span<const i64> idx) {
         const i64 flat = ((idx[0] - 1) * 5 + (idx[1] - 1)) * 4 + (idx[2] - 1);
         hits[static_cast<std::size_t>(flat)].fetch_add(1);
-      });
+      },
+      {.schedule = {Schedule::kSelf, 1}, .mode = NestMode::kNestedOuter});
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
   // Only the outer level is dispatched.
   EXPECT_EQ(stats.dispatch_ops, 6u);
@@ -451,11 +460,13 @@ TEST(NestedForkJoin, VisitsWholeSpaceOnceWithManyForkJoins) {
   ThreadPool pool(4);
   const std::vector<i64> extents{3, 4, 5};
   std::vector<std::atomic<int>> hits(3 * 4 * 5);
-  const ForStats stats = parallel_for_nested_forkjoin(
-      pool, extents, {Schedule::kSelf, 1}, [&](std::span<const i64> idx) {
+  const ForStats stats = run(
+      pool, extents,
+      [&](std::span<const i64> idx) {
         const i64 flat = ((idx[0] - 1) * 4 + (idx[1] - 1)) * 5 + (idx[2] - 1);
         hits[static_cast<std::size_t>(flat)].fetch_add(1);
-      });
+      },
+      {.schedule = {Schedule::kSelf, 1}, .mode = NestMode::kNestedForkJoin});
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
   // One unit dispatch per iteration, regardless of instance structure.
   EXPECT_EQ(stats.dispatch_ops, 60u);
@@ -466,17 +477,23 @@ TEST(NestedVsCollapsed, CoalescedNeedsFewerDispatchesUnderChunking) {
   const std::vector<i64> extents{16, 16};
   const auto space = index::CoalescedSpace::create(extents).value();
 
-  const ForStats collapsed = parallel_for_collapsed(
-      pool, space, {Schedule::kChunked, 16}, [](std::span<const i64>) {});
-  const ForStats nested = parallel_for_nested_forkjoin(
-      pool, extents, {Schedule::kChunked, 16}, [](std::span<const i64>) {});
+  const ForStats collapsed =
+      run(pool, space, [](std::span<const i64>) {},
+          {.schedule = {Schedule::kChunked, 16}});
+  const ForStats nested =
+      run(pool, extents, [](std::span<const i64>) {},
+          {.schedule = {Schedule::kChunked, 16},
+           .mode = NestMode::kNestedForkJoin});
   // Coalesced: ceil(256/16) = 16 dispatches. Nested: 16 instances x 1 = 16
   // dispatches but ALSO 16 fork-joins vs 1; with unit chunks the dispatch
   // gap shows directly:
-  const ForStats collapsed_unit = parallel_for_collapsed(
-      pool, space, {Schedule::kGuided, 1}, [](std::span<const i64>) {});
-  const ForStats nested_unit = parallel_for_nested_forkjoin(
-      pool, extents, {Schedule::kGuided, 1}, [](std::span<const i64>) {});
+  const ForStats collapsed_unit =
+      run(pool, space, [](std::span<const i64>) {},
+          {.schedule = {Schedule::kGuided, 1}});
+  const ForStats nested_unit =
+      run(pool, extents, [](std::span<const i64>) {},
+          {.schedule = {Schedule::kGuided, 1},
+           .mode = NestMode::kNestedForkJoin});
   EXPECT_EQ(collapsed.dispatch_ops, 16u);
   EXPECT_EQ(nested.dispatch_ops, 16u);
   // Guided over the full space dispatches far fewer chunks than guided
@@ -510,8 +527,9 @@ TEST(ForStats, ImbalanceOfAllZeroDistributionIsBalanced) {
 
 TEST(ForStats, ZeroTripParallelForReportsBalancedStats) {
   ThreadPool pool(4);
-  const ForStats stats = parallel_for(
-      pool, 0, {Schedule::kGuided, 1}, [](i64) { FAIL() << "no iterations"; });
+  const ForStats stats =
+      run(pool, 0, [](i64) { FAIL() << "no iterations"; },
+          {.schedule = {Schedule::kGuided, 1}});
   EXPECT_DOUBLE_EQ(stats.imbalance(), 1.0);
 }
 
@@ -534,10 +552,11 @@ TEST(Shutdown, DestroyImmediatelyAfterExternallyCancelledRegion) {
   });
   {
     ThreadPool pool(4);
-    const ForStats stats = parallel_for(
-        pool, 5'000'000, {Schedule::kChunked, 16},
+    const ForStats stats = run(
+        pool, 5'000'000,
         [&](i64) { region_started.store(true, std::memory_order_release); },
-        RunControl{source.token(), {}});
+        {.schedule = {Schedule::kChunked, 16},
+         .control = RunControl{source.token(), {}}});
     EXPECT_LE(stats.iterations_done(), 5'000'000u);
   }  // pool destroyed with the cancel possibly racing the final chunks
   canceller.join();
@@ -547,12 +566,13 @@ TEST(Shutdown, DestroyImmediatelyAfterThrowingRegion) {
   support::CancellationSource source;
   {
     ThreadPool pool(4);
-    EXPECT_THROW(parallel_for(pool, 100'000, {Schedule::kSelf, 1},
-                              [](i64 j) {
-                                if (j == 100) {
-                                  throw std::runtime_error("mid-region");
-                                }
-                              }),
+    EXPECT_THROW(run(pool, 100'000,
+                     [](i64 j) {
+                       if (j == 100) {
+                         throw std::runtime_error("mid-region");
+                       }
+                     },
+                     {.schedule = {Schedule::kSelf, 1}}),
                  std::runtime_error);
   }  // destructor runs right after the rethrow; workers must all be parked
 }
@@ -562,16 +582,17 @@ TEST(Shutdown, RepeatedCancelledRegionsLeaveNoResidue) {
   for (int round = 0; round < 20; ++round) {
     support::CancellationSource source;
     std::atomic<std::uint64_t> ran{0};
-    (void)parallel_for(
-        pool, 10'000, {Schedule::kChunked, 8},
+    (void)run(
+        pool, 10'000,
         [&](i64) {
           if (ran.fetch_add(1) + 1 == 50) source.request_cancel();
         },
-        RunControl{source.token(), {}});
+        {.schedule = {Schedule::kChunked, 8},
+         .control = RunControl{source.token(), {}}});
     // Every cancelled region is followed by a full one on the same pool.
     std::atomic<std::uint64_t> full{0};
-    const ForStats stats = parallel_for(pool, 500, {Schedule::kSelf, 1},
-                                        [&](i64) { full.fetch_add(1); });
+    const ForStats stats = run(pool, 500, [&](i64) { full.fetch_add(1); },
+                               {.schedule = {Schedule::kSelf, 1}});
     ASSERT_TRUE(stats.completed()) << "round " << round;
     ASSERT_EQ(full.load(), 500u) << "round " << round;
   }
@@ -592,8 +613,8 @@ TEST(Shutdown, ConcurrentCancelRequestsAreRaceFree) {
     });
   }
   std::atomic<std::uint64_t> ran{0};
-  const ForStats stats = parallel_for(
-      pool, 5'000'000, {Schedule::kChunked, 32},
+  const ForStats stats = run(
+      pool, 5'000'000,
       [&](i64) {
         go.store(true, std::memory_order_release);
         // The body also cancels at a fixed point, so the region is
@@ -601,7 +622,8 @@ TEST(Shutdown, ConcurrentCancelRequestsAreRaceFree) {
         // their concurrent stores are what TSan scrutinizes.
         if (ran.fetch_add(1) + 1 == 10'000) source.request_cancel();
       },
-      RunControl{source.token(), {}});
+      {.schedule = {Schedule::kChunked, 32},
+       .control = RunControl{source.token(), {}}});
   for (auto& t : cancellers) t.join();
   EXPECT_TRUE(stats.cancelled);
   EXPECT_LT(stats.iterations_done(), 5'000'000u);
@@ -610,10 +632,11 @@ TEST(Shutdown, ConcurrentCancelRequestsAreRaceFree) {
 TEST(Shutdown, ZeroTripRegionWithActiveControlIsClean) {
   ThreadPool pool(2);
   support::CancellationSource source;
-  const ForStats stats =
-      parallel_for(pool, 0, {Schedule::kGuided, 1},
-                   [](i64) { FAIL() << "no iterations"; },
-                   RunControl{source.token(), support::Deadline::after_ms(60'000)});
+  const ForStats stats = run(
+      pool, 0, [](i64) { FAIL() << "no iterations"; },
+      {.schedule = {Schedule::kGuided, 1},
+       .control =
+           RunControl{source.token(), support::Deadline::after_ms(60'000)}});
   EXPECT_TRUE(stats.completed());
   EXPECT_FALSE(stats.cancelled);
   EXPECT_FALSE(stats.deadline_expired);
@@ -624,10 +647,11 @@ TEST(Shutdown, DeadlineExpiryRacesDestructionSafely) {
   // destroyed immediately after the join.
   {
     ThreadPool pool(4);
-    const ForStats stats = parallel_for(
-        pool, 200'000, {Schedule::kChunked, 64},
-        [](i64) { std::this_thread::yield(); },
-        RunControl{{}, support::Deadline::after(std::chrono::microseconds(200))});
+    const ForStats stats = run(
+        pool, 200'000, [](i64) { std::this_thread::yield(); },
+        {.schedule = {Schedule::kChunked, 64},
+         .control = RunControl{
+             {}, support::Deadline::after(std::chrono::microseconds(200))}});
     EXPECT_TRUE(stats.deadline_expired || stats.completed());
   }
 }
@@ -637,12 +661,13 @@ TEST(Shutdown, ReduceOnCancelledPoolThenReuse) {
   support::CancellationSource source;
   source.request_cancel();
   const ReduceResult partial =
-      parallel_sum(pool, 10'000, {Schedule::kChunked, 16},
-                   [](i64) { return 1.0; }, RunControl{source.token(), {}});
+      run_sum(pool, 10'000, [](i64) { return 1.0; },
+              {.schedule = {Schedule::kChunked, 16},
+               .control = RunControl{source.token(), {}}});
   EXPECT_TRUE(partial.stats.cancelled);
   EXPECT_DOUBLE_EQ(partial.value, 0.0);
-  const ReduceResult full = parallel_sum(pool, 10'000, {Schedule::kChunked, 16},
-                                         [](i64) { return 1.0; });
+  const ReduceResult full = run_sum(pool, 10'000, [](i64) { return 1.0; },
+                                    {.schedule = {Schedule::kChunked, 16}});
   EXPECT_DOUBLE_EQ(full.value, 10'000.0);
   EXPECT_TRUE(full.stats.completed());
 }
@@ -652,12 +677,13 @@ TEST(Shutdown, ManyShortLivedPoolsWithCancellationInFlight) {
     support::CancellationSource source;
     ThreadPool pool(3);
     std::atomic<std::uint64_t> ran{0};
-    (void)parallel_for(
-        pool, 100'000, {Schedule::kSelf, 1},
+    (void)run(
+        pool, 100'000,
         [&](i64) {
           if (ran.fetch_add(1) + 1 == 10) source.request_cancel();
         },
-        RunControl{source.token(), {}});
+        {.schedule = {Schedule::kSelf, 1},
+         .control = RunControl{source.token(), {}}});
     // Pool destroyed at scope exit each round.
   }
   SUCCEED();

@@ -18,7 +18,7 @@
 #include "index/chunk.hpp"
 #include "index/coalesced_space.hpp"
 #include "runtime/dispatcher.hpp"
-#include "runtime/parallel_for.hpp"
+#include "runtime/launch.hpp"
 #include "runtime/thread_pool.hpp"
 #include "trace/counters.hpp"
 #include "trace/event.hpp"
@@ -319,9 +319,9 @@ TEST(TraceIntegration, ParallelForEmitsEventsOnEveryWorker) {
     runtime::ThreadPool pool(4);
     const auto space =
         index::CoalescedSpace::create(std::vector<i64>{32, 32}).value();
-    const runtime::ForStats stats = runtime::parallel_for_collapsed(
-        pool, space, {runtime::Schedule::kGuided, 1},
-        [](std::span<const i64>) {});
+    const runtime::ForStats stats =
+        runtime::run(pool, space, [](std::span<const i64>) {},
+                     {.schedule = {runtime::Schedule::kGuided, 1}});
     EXPECT_EQ(stats.trace, &rec);
   }  // pool joined: safe to read
   rec.uninstall();
@@ -385,8 +385,9 @@ TEST(TraceIntegration, WaitFreeDispatcherEmitsDispatchSpansAndLatency) {
 
 TEST(TraceIntegration, StatsTraceIsNullWithoutInstalledRecorder) {
   runtime::ThreadPool pool(2);
-  const runtime::ForStats stats = runtime::parallel_for(
-      pool, 100, {runtime::Schedule::kChunked, 10}, [](i64) {});
+  const runtime::ForStats stats =
+      runtime::run(pool, 100, [](i64) {},
+                   {.schedule = {runtime::Schedule::kChunked, 10}});
   EXPECT_EQ(stats.trace, nullptr);
 }
 
@@ -399,9 +400,8 @@ TEST(Export, ChromeTraceIsValidJsonWithOneRowPerWorker) {
     runtime::ThreadPool pool(3);
     const auto space =
         index::CoalescedSpace::create(std::vector<i64>{16, 16}).value();
-    runtime::parallel_for_collapsed(pool, space,
-                                    {runtime::Schedule::kChunked, 8},
-                                    [](std::span<const i64>) {});
+    runtime::run(pool, space, [](std::span<const i64>) {},
+                 {.schedule = {runtime::Schedule::kChunked, 8}});
   }
   rec.uninstall();
 

@@ -55,12 +55,7 @@
 #include <string>
 #include <thread>
 
-#include "analysis/lint.hpp"
-#include "core/coalesce.hpp"
-#include "ir/verify.hpp"
-#include "runtime/fault.hpp"
-#include "support/cancel.hpp"
-#include "transform/postcheck.hpp"
+#include "coalesce.hpp"
 
 namespace {
 
