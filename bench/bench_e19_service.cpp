@@ -1,0 +1,224 @@
+// E19 — Service throughput and tail latency: the coalesced daemon under a
+// multi-threaded load generator.
+//
+// The paper's machine runs one program; the service turns the runtime into
+// a shared resource — many clients, one Engine, admission control at the
+// front door. This bench prices that seam end to end: framed submission
+// over a real socket, parse + verify + lint admission, analyze + coalesce,
+// scheduling through the engine's bounded queue, and the framed reply.
+//
+// Two phases:
+//   latency     T client threads x R requests each against a healthy
+//               server (default queue). Reports req/s, regions/s, and
+//               p50/p99/max latency per thread count. The default sweep
+//               (1, 4, 8 threads x 128 requests) submits >= 1000 programs.
+//   saturation  the same load against a server whose engine queue holds
+//               only 2 regions. Overload must surface as Status::kShed
+//               responses (counted and reported) while p99 stays bounded —
+//               shedding at the edge, not unbounded queueing.
+//
+// Flags: --json=FILE (bench_harness), --tiny (CI smoke sizes).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_harness.hpp"
+#include "coalesce.hpp"
+
+namespace {
+
+using namespace coalesce;
+using Clock = std::chrono::steady_clock;
+
+// One parallel root, enough work per request that scheduling is visible
+// but short enough that the sweep stays in benchmark territory.
+const char* kProgram =
+    "array A[64][32];\n"
+    "doall i = 1, 64 {\n"
+    "  doall j = 1, 32 {\n"
+    "    A[i][j] = i * j + i - j;\n"
+    "  }\n"
+    "}\n";
+
+struct LoadResult {
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  std::size_t errors = 0;
+  double wall_s = 0;
+  std::vector<double> latencies_ms;  // sorted on return
+};
+
+LoadResult drive(const service::Server& server, std::size_t threads,
+                 std::size_t per_thread) {
+  service::Request request;
+  request.type = service::MessageType::kSubmit;
+  request.submit.source = kProgram;
+
+  LoadResult result;
+  std::mutex mutex;
+  std::atomic<std::size_t> ok{0}, shed{0}, errors{0};
+  const auto t0 = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      auto socket = support::connect_tcp("127.0.0.1", server.tcp_port());
+      if (!socket.ok()) {
+        errors += per_thread;
+        return;
+      }
+      std::vector<double> local;
+      local.reserve(per_thread);
+      for (std::size_t r = 0; r < per_thread; ++r) {
+        const auto s0 = Clock::now();
+        auto reply = service::call(socket.value(), request);
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - s0)
+                .count();
+        if (!reply.ok()) {
+          ++errors;
+          continue;
+        }
+        local.push_back(ms);
+        switch (reply.value().status) {
+          case service::Status::kOk: ++ok; break;
+          case service::Status::kShed: ++shed; break;
+          default: ++errors; break;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      result.latencies_ms.insert(result.latencies_ms.end(), local.begin(),
+                                 local.end());
+    });
+  }
+  for (auto& w : workers) w.join();
+  result.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.ok = ok;
+  result.shed = shed;
+  result.errors = errors;
+  std::sort(result.latencies_ms.begin(), result.latencies_ms.end());
+  return result;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  return sorted[static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1))];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter("e19_service", argc, argv);
+  bool tiny = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--tiny") == 0) tiny = true;
+  }
+
+  const std::vector<std::size_t> thread_counts =
+      tiny ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 4, 8};
+  const std::size_t per_thread = tiny ? 8 : 128;
+
+  // Phase 1: healthy server, latency sweep.
+  {
+    service::ServerOptions options;
+    options.tcp = true;
+    options.tcp_port = 0;
+    options.engine_workers = tiny ? 2 : 4;
+    auto server = service::Server::create(options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "bench_e19: %s\n",
+                   server.error().to_string().c_str());
+      return 1;
+    }
+    server.value()->start();
+
+    std::printf("# E19 latency: %zu requests/thread against a healthy "
+                "server (%zu workers)\n",
+                per_thread, server.value()->engine_workers());
+    std::printf("%8s %9s %10s %12s %9s %9s %9s\n", "threads", "requests",
+                "req/s", "regions/s", "p50 ms", "p99 ms", "max ms");
+    for (const std::size_t threads : thread_counts) {
+      const LoadResult r = drive(*server.value(), threads, per_thread);
+      const double rps =
+          r.wall_s > 0 ? static_cast<double>(r.ok + r.shed) / r.wall_s : 0;
+      // One parallel root per accepted program: regions/s == accepted/s.
+      const double regions_s =
+          r.wall_s > 0 ? static_cast<double>(r.ok) / r.wall_s : 0;
+      const double p50 = percentile(r.latencies_ms, 0.50);
+      const double p99 = percentile(r.latencies_ms, 0.99);
+      const double mx = r.latencies_ms.empty() ? 0 : r.latencies_ms.back();
+      std::printf("%8zu %9zu %10.1f %12.1f %9.3f %9.3f %9.3f\n", threads,
+                  threads * per_thread, rps, regions_s, p50, p99, mx);
+      if (r.errors != 0) {
+        std::fprintf(stderr, "bench_e19: %zu transport errors at T=%zu\n",
+                     r.errors, threads);
+        return 1;
+      }
+      reporter.record("latency")
+          .field("threads", threads)
+          .field("requests", threads * per_thread)
+          .field("ok", r.ok)
+          .field("shed", r.shed)
+          .field("wall_s", r.wall_s)
+          .field("rps", rps)
+          .field("regions_per_sec", regions_s)
+          .field("p50_ms", p50)
+          .field("p99_ms", p99)
+          .field("max_ms", mx);
+    }
+    server.value()->stop();
+  }
+
+  // Phase 2: saturation against a 2-slot engine queue. The interesting
+  // number is the shed fraction: overload must be refused at the edge
+  // (clients retry with backoff) instead of growing an unbounded queue.
+  {
+    service::ServerOptions options;
+    options.tcp = true;
+    options.tcp_port = 0;
+    options.engine_workers = 1;
+    options.queue_capacity = 2;
+    options.tenant_quota = 1 << 20;  // quota out of the way; queue governs
+    auto server = service::Server::create(options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "bench_e19: %s\n",
+                   server.error().to_string().c_str());
+      return 1;
+    }
+    server.value()->start();
+
+    const std::size_t threads = tiny ? 4 : 8;
+    const LoadResult r = drive(*server.value(), threads, per_thread);
+    const std::size_t total = r.ok + r.shed;
+    const double shed_fraction =
+        total > 0 ? static_cast<double>(r.shed) / static_cast<double>(total)
+                  : 0;
+    const double p99 = percentile(r.latencies_ms, 0.99);
+    std::printf("\n# E19 saturation: %zu threads vs 1 worker, 2-slot "
+                "queue\n",
+                threads);
+    std::printf("completed=%zu shed=%zu (%.1f%%) p99=%.3f ms\n", r.ok,
+                r.shed, 100.0 * shed_fraction, p99);
+    if (r.errors != 0) {
+      std::fprintf(stderr, "bench_e19: %zu transport errors saturated\n",
+                   r.errors);
+      return 1;
+    }
+    reporter.record("saturation")
+        .field("threads", threads)
+        .field("requests", threads * per_thread)
+        .field("ok", r.ok)
+        .field("shed", r.shed)
+        .field("shed_fraction", shed_fraction)
+        .field("p50_ms", percentile(r.latencies_ms, 0.50))
+        .field("p99_ms", p99);
+    server.value()->stop();
+  }
+  return 0;
+}

@@ -36,6 +36,7 @@
 #include "codegen/cost_model.hpp"
 #include "core/api.hpp"
 #include "frontend/parser.hpp"
+#include "frontend/source.hpp"
 #include "index/chunk.hpp"
 #include "index/coalesced_space.hpp"
 #include "index/grid.hpp"
@@ -52,9 +53,13 @@
 #include "runtime/parallel_for.hpp"
 #include "runtime/reduce.hpp"
 #include "runtime/thread_pool.hpp"
+#include "service/admission.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "sim/machine.hpp"
 #include "sim/workload.hpp"
 #include "support/cancel.hpp"
+#include "support/socket.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"

@@ -1,0 +1,29 @@
+#include "frontend/source.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+
+namespace coalesce::frontend {
+
+support::Expected<std::string> read_source(const std::string& path) {
+  if (path.empty() || path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+  }
+  std::ifstream in(path);
+  if (!in) {
+    return support::make_error(support::ErrorCode::kNotFound,
+                               "cannot open " + path);
+  }
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string source_name(const std::string& path) {
+  return (path.empty() || path == "-") ? "<stdin>" : path;
+}
+
+}  // namespace coalesce::frontend

@@ -1,0 +1,23 @@
+// The one program-loading path shared by coalescec, coalesce-client, and
+// the coalesced daemon: bytes come from a file or stdin here, and from a
+// wire frame in the daemon — all three then feed the same
+// frontend::parse_program buffer entry point.
+#pragma once
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace coalesce::frontend {
+
+/// Reads a whole program source. An empty path or "-" reads stdin (the
+/// CLI's --stdin spelling); anything else is opened as a file. The error
+/// carries the path so tools can print it verbatim.
+[[nodiscard]] support::Expected<std::string> read_source(
+    const std::string& path);
+
+/// The name tools should report for a source loaded via `path` —
+/// "<stdin>" for the stdin spellings, the path itself otherwise.
+[[nodiscard]] std::string source_name(const std::string& path);
+
+}  // namespace coalesce::frontend

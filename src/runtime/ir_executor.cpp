@@ -1,6 +1,7 @@
 #include "runtime/ir_executor.hpp"
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "support/assert.hpp"
@@ -101,10 +102,30 @@ support::Expected<ProgramStats> execute_program(ThreadPool& pool,
   return totals;
 }
 
-support::Expected<RegionFuture<ForStats>> submit_ir(Engine& engine,
-                                                    const ir::LoopNest& nest,
-                                                    ir::ArrayStore& store,
-                                                    const LaunchOptions& opts) {
+namespace {
+
+/// Everything the region touches after submit returns must be owned by
+/// the runner: the nest (retains the root's shared_ptr) and one private
+/// evaluator per worker. The store alone is borrowed — documented contract.
+struct IrRunner {
+  ir::LoopNest nest;
+  i64 lower;
+  i64 step;
+  std::shared_ptr<std::vector<std::unique_ptr<ir::Evaluator>>> evaluators;
+
+  void operator()(std::size_t w, index::Chunk chunk, std::uint64_t* iters) {
+    ir::Evaluator& eval = *(*evaluators)[w];
+    for (support::i64 j = chunk.first; j < chunk.last; ++j) {
+      eval.run_body_once(*nest.root, lower + (j - 1) * step);
+      ++*iters;
+    }
+  }
+};
+
+/// Shared validation + runner construction for submit_ir / try_submit_ir.
+support::Expected<std::pair<i64, IrRunner>> make_ir_region(
+    Engine& engine, const ir::LoopNest& nest, ir::ArrayStore& store,
+    const LaunchOptions& opts) {
   COALESCE_ASSERT(nest.root != nullptr);
   const ir::Loop& root = *nest.root;
   if (!root.parallel) {
@@ -124,25 +145,6 @@ support::Expected<RegionFuture<ForStats>> submit_ir(Engine& engine,
     if (!dispatcher_or.ok()) return dispatcher_or.error();
   }
 
-  /// Everything the region touches after submit returns must be owned by
-  /// the runner: the nest (retains the root's shared_ptr) and one private
-  /// evaluator per worker. `store` alone is borrowed — documented contract.
-  struct IrRunner {
-    ir::LoopNest nest;
-    i64 lower;
-    i64 step;
-    std::shared_ptr<std::vector<std::unique_ptr<ir::Evaluator>>> evaluators;
-
-    void operator()(std::size_t w, index::Chunk chunk,
-                    std::uint64_t* iters) {
-      ir::Evaluator& eval = *(*evaluators)[w];
-      for (support::i64 j = chunk.first; j < chunk.last; ++j) {
-        eval.run_body_once(*nest.root, lower + (j - 1) * step);
-        ++*iters;
-      }
-    }
-  };
-
   auto evaluators =
       std::make_shared<std::vector<std::unique_ptr<ir::Evaluator>>>();
   evaluators->reserve(engine.concurrency());
@@ -150,13 +152,42 @@ support::Expected<RegionFuture<ForStats>> submit_ir(Engine& engine,
     evaluators->push_back(
         std::make_unique<ir::Evaluator>(nest.symbols, store));
   }
+  return std::pair<i64, IrRunner>(
+      *trips, IrRunner{nest, *lo, root.step, std::move(evaluators)});
+}
 
-  return engine.submit_region<ForStats>(
-      *trips, IrRunner{nest, *lo, root.step, std::move(evaluators)},
-      [](const detail::RegionContext& ctx, double wall_seconds) {
-        return ctx.make_stats(wall_seconds);
-      },
-      opts);
+auto ir_stats_result() {
+  return [](const detail::RegionContext& ctx, double wall_seconds) {
+    return ctx.make_stats(wall_seconds);
+  };
+}
+
+}  // namespace
+
+support::Expected<RegionFuture<ForStats>> submit_ir(Engine& engine,
+                                                    const ir::LoopNest& nest,
+                                                    ir::ArrayStore& store,
+                                                    const LaunchOptions& opts) {
+  auto region = make_ir_region(engine, nest, store, opts);
+  if (!region.ok()) return region.error();
+  auto future = engine.submit_region<ForStats>(
+      region.value().first, std::move(region.value().second),
+      ir_stats_result(), opts);
+  if (!future.valid()) {
+    return support::make_error(support::ErrorCode::kUnavailable,
+                               "engine is closed (drained or destroyed)");
+  }
+  return future;
+}
+
+support::Expected<TryResult<ForStats>> try_submit_ir(
+    Engine& engine, const ir::LoopNest& nest, ir::ArrayStore& store,
+    const LaunchOptions& opts) {
+  auto region = make_ir_region(engine, nest, store, opts);
+  if (!region.ok()) return region.error();
+  return engine.try_submit_region<ForStats>(
+      region.value().first, std::move(region.value().second),
+      ir_stats_result(), opts);
 }
 
 }  // namespace coalesce::runtime

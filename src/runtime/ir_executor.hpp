@@ -55,8 +55,18 @@ struct ProgramStats {
 /// returns the region's future. The nest is COPIED into the region task
 /// (the LoopNest's shared_ptr root is retained); `store` is borrowed and
 /// MUST outlive the region — hold it until the future resolves. Per-region
-/// cancellation/deadline and priority travel in `opts`.
+/// cancellation/deadline and priority travel in `opts`. Submitting to a
+/// closed engine (drain() ran or destruction started) is an
+/// ErrorCode::kUnavailable error, never a hang and never an invalid
+/// future — the daemon's shutdown path relies on this.
 [[nodiscard]] support::Expected<RegionFuture<ForStats>> submit_ir(
+    Engine& engine, const ir::LoopNest& nest, ir::ArrayStore& store,
+    const LaunchOptions& opts = {});
+
+/// Non-blocking submit_ir: same validation, but refuses instead of waiting
+/// for queue space. std::nullopt means the engine's queue was full (or the
+/// engine is closed) — the service layer's signal to shed the request.
+[[nodiscard]] support::Expected<TryResult<ForStats>> try_submit_ir(
     Engine& engine, const ir::LoopNest& nest, ir::ArrayStore& store,
     const LaunchOptions& opts = {});
 

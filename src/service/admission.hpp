@@ -1,0 +1,46 @@
+// Admission control for the coalesced service: the static half of the
+// static/dynamic split. Before a program touches the shared engine it must
+// (1) parse, (2) pass the structural IR verifier, and (3) pass the 11-rule
+// overflow/legality linter with no error-severity finding. Anything that
+// fails is rejected at the front door with structured diagnostics —
+// exactly the `coalescec --lint` verdict, delivered over the wire instead
+// of an exit code — so a `*.bad.loop`-class input never consumes engine
+// capacity or risks UB inside a worker.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ir/stmt.hpp"
+
+namespace coalesce::service {
+
+/// Wire format for the diagnostics attached to a rejection.
+enum class DiagnosticsFormat : std::uint8_t {
+  kJson,   ///< analysis::render_json
+  kSarif,  ///< analysis::render_sarif (SARIF 2.1.0)
+};
+
+struct AdmissionResult {
+  bool admitted = false;
+  /// Which gate refused: "parse", "verify", or "lint" ("" when admitted).
+  std::string reject_phase;
+  /// One-line human-readable reason (or warning tally when admitted).
+  std::string message;
+  /// Rendered lint findings. On rejection this is the full finding list in
+  /// the requested format; parse/verify failures carry a JSON array with
+  /// the same {rule,severity,message,...} shape so clients parse one form.
+  std::string diagnostics;
+  /// The parsed program, valid only when admitted. Analysis flags are NOT
+  /// yet set — scheduling (analyze + coalesce) is the dynamic half's job.
+  ir::Program program;
+};
+
+/// Runs the full admission pipeline on one program source. `source_name`
+/// labels diagnostics (SARIF artifact URI); pass the tenant or connection
+/// id the daemon knows the request by.
+[[nodiscard]] AdmissionResult admit(std::string_view source,
+                                    std::string_view source_name,
+                                    DiagnosticsFormat format);
+
+}  // namespace coalesce::service

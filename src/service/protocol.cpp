@@ -1,0 +1,323 @@
+#include "service/protocol.hpp"
+
+#include <cstring>
+
+namespace coalesce::service {
+
+namespace {
+
+using support::ErrorCode;
+using support::make_error;
+
+// Explicit little-endian shifts: the encoding is identical on every host.
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// Bounds-checked read cursor over an untrusted payload.
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return pos_ == bytes_.size();
+  }
+
+  std::uint8_t u8() { return take(1) ? bytes_[pos_ - 1] : 0; }
+
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    const std::size_t p = pos_ - 4;
+    return static_cast<std::uint32_t>(bytes_[p]) |
+           static_cast<std::uint32_t>(bytes_[p + 1]) << 8 |
+           static_cast<std::uint32_t>(bytes_[p + 2]) << 16 |
+           static_cast<std::uint32_t>(bytes_[p + 3]) << 24;
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | hi << 32;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string string() {
+    const std::uint32_t len = u32();
+    if (!take(len)) return {};
+    return std::string(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ - len),
+                       bytes_.begin() + static_cast<std::ptrdiff_t>(pos_));
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+support::Error truncated(const char* what) {
+  return make_error(ErrorCode::kInvalidArgument,
+                    std::string("malformed payload: truncated ") + what);
+}
+
+}  // namespace
+
+const char* to_string(Status status) noexcept {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kShed: return "shed";
+    case Status::kError: return "error";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_request(const Request& request) {
+  std::vector<std::uint8_t> out;
+  put_u8(out, static_cast<std::uint8_t>(request.type));
+  if (request.type == MessageType::kSubmit) {
+    const SubmitRequest& s = request.submit;
+    put_u8(out, s.priority);
+    put_u8(out, s.want_data ? 1 : 0);
+    put_u32(out, s.deadline_ms);
+    put_string(out, s.tenant);
+    put_string(out, s.source);
+  }
+  return out;
+}
+
+support::Expected<Request> decode_request(
+    const std::vector<std::uint8_t>& payload) {
+  Cursor cur(payload);
+  Request request;
+  const std::uint8_t type = cur.u8();
+  if (!cur.ok()) return truncated("message type");
+  switch (type) {
+    case static_cast<std::uint8_t>(MessageType::kPing):
+    case static_cast<std::uint8_t>(MessageType::kStats):
+    case static_cast<std::uint8_t>(MessageType::kShutdown):
+      request.type = static_cast<MessageType>(type);
+      break;
+    case static_cast<std::uint8_t>(MessageType::kSubmit): {
+      request.type = MessageType::kSubmit;
+      SubmitRequest& s = request.submit;
+      s.priority = cur.u8();
+      s.want_data = cur.u8() != 0;
+      s.deadline_ms = cur.u32();
+      s.tenant = cur.string();
+      s.source = cur.string();
+      if (!cur.ok()) return truncated("submit request");
+      if (s.priority > 1) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "priority must be 0 (normal) or 1 (high)");
+      }
+      break;
+    }
+    default:
+      return make_error(ErrorCode::kInvalidArgument,
+                        "unknown message type " + std::to_string(type));
+  }
+  if (!cur.exhausted()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "trailing bytes after request payload");
+  }
+  return request;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& response) {
+  std::vector<std::uint8_t> out;
+  put_u8(out, static_cast<std::uint8_t>(MessageType::kResponse));
+  put_u8(out, static_cast<std::uint8_t>(response.status));
+  put_string(out, response.message);
+  put_string(out, response.diagnostics);
+
+  const RunSummary& r = response.run;
+  put_u64(out, r.parallel_roots);
+  put_u64(out, r.sequential_roots);
+  put_u64(out, r.iterations);
+  put_u64(out, r.iterations_requested);
+  put_u64(out, r.dispatch_ops);
+  put_u64(out, r.wall_ns);
+  put_u8(out, r.cancelled ? 1 : 0);
+  put_u8(out, r.deadline_expired ? 1 : 0);
+
+  put_u32(out, static_cast<std::uint32_t>(response.arrays.size()));
+  for (const ArrayResult& a : response.arrays) {
+    put_string(out, a.name);
+    put_u64(out, a.data.size());
+    for (const double v : a.data) put_f64(out, v);
+  }
+
+  const ServerCounters& c = response.counters;
+  put_u64(out, c.accepted);
+  put_u64(out, c.rejected);
+  put_u64(out, c.shed);
+  put_u64(out, c.completed);
+  put_u64(out, c.connections);
+  put_u64(out, c.queue_depth);
+  return out;
+}
+
+support::Expected<Response> decode_response(
+    const std::vector<std::uint8_t>& payload) {
+  Cursor cur(payload);
+  const std::uint8_t type = cur.u8();
+  if (!cur.ok() || type != static_cast<std::uint8_t>(MessageType::kResponse)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "payload is not a response frame");
+  }
+  Response response;
+  const std::uint8_t status = cur.u8();
+  if (status > static_cast<std::uint8_t>(Status::kError)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "unknown status " + std::to_string(status));
+  }
+  response.status = static_cast<Status>(status);
+  response.message = cur.string();
+  response.diagnostics = cur.string();
+
+  RunSummary& r = response.run;
+  r.parallel_roots = cur.u64();
+  r.sequential_roots = cur.u64();
+  r.iterations = cur.u64();
+  r.iterations_requested = cur.u64();
+  r.dispatch_ops = cur.u64();
+  r.wall_ns = cur.u64();
+  r.cancelled = cur.u8() != 0;
+  r.deadline_expired = cur.u8() != 0;
+
+  const std::uint32_t array_count = cur.u32();
+  if (!cur.ok()) return truncated("response header");
+  response.arrays.reserve(array_count);
+  for (std::uint32_t a = 0; a < array_count; ++a) {
+    ArrayResult array;
+    array.name = cur.string();
+    const std::uint64_t elems = cur.u64();
+    if (!cur.ok() || elems > kMaxFrameBytes / sizeof(double)) {
+      return truncated("array result");
+    }
+    array.data.reserve(elems);
+    for (std::uint64_t e = 0; e < elems; ++e) array.data.push_back(cur.f64());
+    if (!cur.ok()) return truncated("array data");
+    response.arrays.push_back(std::move(array));
+  }
+
+  ServerCounters& c = response.counters;
+  c.accepted = cur.u64();
+  c.rejected = cur.u64();
+  c.shed = cur.u64();
+  c.completed = cur.u64();
+  c.connections = cur.u64();
+  c.queue_depth = cur.u64();
+  if (!cur.ok()) return truncated("counters");
+  if (!cur.exhausted()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "trailing bytes after response payload");
+  }
+  return response;
+}
+
+bool write_frame(support::Socket& socket,
+                 const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return socket.send_all(frame);
+}
+
+support::Expected<std::optional<std::vector<std::uint8_t>>> read_frame(
+    support::Socket& socket) {
+  std::uint8_t prefix[4];
+  switch (socket.recv_exact(prefix)) {
+    case support::Socket::RecvStatus::kOk:
+      break;
+    case support::Socket::RecvStatus::kEof:
+      return std::optional<std::vector<std::uint8_t>>(std::nullopt);
+    case support::Socket::RecvStatus::kTruncated:
+      return make_error(ErrorCode::kInvalidArgument,
+                        "connection closed mid-length-prefix");
+    case support::Socket::RecvStatus::kError:
+      return make_error(ErrorCode::kUnavailable, "recv failed");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
+                            static_cast<std::uint32_t>(prefix[1]) << 8 |
+                            static_cast<std::uint32_t>(prefix[2]) << 16 |
+                            static_cast<std::uint32_t>(prefix[3]) << 24;
+  if (len > kMaxFrameBytes) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "frame length " + std::to_string(len) +
+                          " exceeds the " + std::to_string(kMaxFrameBytes) +
+                          "-byte limit");
+  }
+  std::vector<std::uint8_t> payload(len);
+  if (len > 0) {
+    switch (socket.recv_exact(payload)) {
+      case support::Socket::RecvStatus::kOk:
+        break;
+      case support::Socket::RecvStatus::kEof:
+      case support::Socket::RecvStatus::kTruncated:
+        return make_error(ErrorCode::kInvalidArgument,
+                          "connection closed mid-frame (truncated payload)");
+      case support::Socket::RecvStatus::kError:
+        return make_error(ErrorCode::kUnavailable, "recv failed");
+    }
+  }
+  return std::optional<std::vector<std::uint8_t>>(std::move(payload));
+}
+
+support::Expected<Response> call(support::Socket& socket,
+                                 const Request& request) {
+  if (!write_frame(socket, encode_request(request))) {
+    return make_error(ErrorCode::kUnavailable, "send failed (peer gone?)");
+  }
+  auto frame = read_frame(socket);
+  if (!frame.ok()) return frame.error();
+  if (!frame.value().has_value()) {
+    return make_error(ErrorCode::kUnavailable,
+                      "server closed the connection without replying");
+  }
+  return decode_response(*frame.value());
+}
+
+}  // namespace coalesce::service

@@ -1,0 +1,145 @@
+// The coalesced wire protocol: length-prefixed frames over a stream socket.
+//
+// Every message travels as one frame:
+//
+//   [u32 payload_len (little-endian)] [payload_len bytes of payload]
+//
+// payload_len is bounded by kMaxFrameBytes; a longer prefix is a protocol
+// error and the server closes the connection. The payload's first byte is
+// the MessageType; the rest is that type's fixed-order field encoding
+// (little-endian integers, length-prefixed strings — see docs/SERVICE.md
+// for the byte-exact layout). There is no version negotiation yet; the
+// first payload byte doubles as the version discriminator if one is ever
+// needed (type values stay below 0x80 for requests, responses use the
+// 0x80 bit).
+//
+// Requests:
+//   kSubmit    a .loop program + execution options (priority, deadline,
+//              tenant, want_data)
+//   kPing      liveness probe; answered with Status::kOk and no body
+//   kStats     server counters snapshot (accepted/rejected/shed/…)
+//   kShutdown  graceful stop: the server finishes in-flight programs,
+//              acknowledges, and closes its listeners
+//
+// Responses carry a Status plus, depending on it: the execution summary
+// (run stats incl. partial-progress flags), lint diagnostics rendered as
+// JSON or SARIF (kRejected), or the counters report (for kStats).
+//
+// Encode/decode are exact inverses and never throw; decoding untrusted
+// bytes returns Expected errors for truncation, trailing garbage, and
+// out-of-range discriminators.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/socket.hpp"
+
+namespace coalesce::service {
+
+/// Frames larger than this are refused outright — a garbage length prefix
+/// must not make the server try to allocate gigabytes.
+inline constexpr std::uint32_t kMaxFrameBytes = 8u << 20;
+
+enum class MessageType : std::uint8_t {
+  kSubmit = 0x01,
+  kPing = 0x02,
+  kStats = 0x03,
+  kShutdown = 0x04,
+  kResponse = 0x81,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,        ///< program ran; stats (and arrays, if asked) attached
+  kRejected = 1,  ///< refused at admission; diagnostics attached
+  kShed = 2,      ///< refused by overload control (quota / queue full)
+  kError = 3,     ///< transport/protocol/internal failure; message says why
+};
+
+/// A kSubmit payload.
+struct SubmitRequest {
+  std::uint8_t priority = 0;      ///< 0 = normal, 1 = high (engine class)
+  bool want_data = false;         ///< return final array contents
+  std::uint32_t deadline_ms = 0;  ///< 0 = none; else per-request deadline
+  std::string tenant;             ///< quota bucket ("" = anonymous tenant)
+  std::string source;             ///< the .loop program text
+};
+
+struct Request {
+  MessageType type = MessageType::kPing;
+  SubmitRequest submit;  ///< meaningful only when type == kSubmit
+};
+
+/// Execution summary for an accepted program — the ProgramStats/ForStats
+/// story flattened onto the wire, including partial-progress truth.
+struct RunSummary {
+  std::uint64_t parallel_roots = 0;
+  std::uint64_t sequential_roots = 0;
+  std::uint64_t iterations = 0;            ///< executed (partial counts less)
+  std::uint64_t iterations_requested = 0;  ///< total the program asked for
+  std::uint64_t dispatch_ops = 0;
+  std::uint64_t wall_ns = 0;
+  bool cancelled = false;
+  bool deadline_expired = false;
+};
+
+/// One array's final contents (response to want_data).
+struct ArrayResult {
+  std::string name;
+  std::vector<double> data;  ///< row-major, bit-exact from the store
+};
+
+/// Server counters snapshot (response to kStats).
+struct ServerCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;    ///< accepted runs that finished fully
+  std::uint64_t connections = 0;  ///< connections served so far
+  std::uint64_t queue_depth = 0;  ///< engine queue depth at snapshot time
+};
+
+struct Response {
+  Status status = Status::kOk;
+  std::string message;      ///< human-readable summary / failure detail
+  std::string diagnostics;  ///< lint findings (JSON or SARIF) when rejected
+  RunSummary run;           ///< valid when a submit ran (status kOk)
+  std::vector<ArrayResult> arrays;  ///< kOk + want_data only
+  ServerCounters counters;          ///< valid for kStats replies
+};
+
+// ---- payload encoding -----------------------------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const Request& request);
+[[nodiscard]] support::Expected<Request> decode_request(
+    const std::vector<std::uint8_t>& payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_response(
+    const Response& response);
+[[nodiscard]] support::Expected<Response> decode_response(
+    const std::vector<std::uint8_t>& payload);
+
+// ---- frame I/O ------------------------------------------------------------
+
+/// Writes one frame (length prefix + payload). False on a dead peer or a
+/// payload exceeding kMaxFrameBytes.
+[[nodiscard]] bool write_frame(support::Socket& socket,
+                               const std::vector<std::uint8_t>& payload);
+
+/// Reads one frame. std::nullopt = the peer closed cleanly between frames
+/// (the normal end of a connection); errors cover truncated frames,
+/// oversized prefixes, and transport failures.
+[[nodiscard]] support::Expected<std::optional<std::vector<std::uint8_t>>>
+read_frame(support::Socket& socket);
+
+/// Convenience round-trip used by clients: send `request`, read the reply,
+/// decode it. Every transport/protocol failure is folded into the Expected.
+[[nodiscard]] support::Expected<Response> call(support::Socket& socket,
+                                               const Request& request);
+
+[[nodiscard]] const char* to_string(Status status) noexcept;
+
+}  // namespace coalesce::service

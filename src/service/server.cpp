@@ -1,0 +1,399 @@
+#include "service/server.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "analysis/doall.hpp"
+#include "ir/eval.hpp"
+#include "ir/symbol.hpp"
+#include "runtime/ir_executor.hpp"
+#include "support/cancel.hpp"
+#include "trace/recorder.hpp"
+#include "transform/coalesce.hpp"
+
+namespace coalesce::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::size_t default_workers(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+support::Expected<std::unique_ptr<Server>> Server::create(
+    ServerOptions options) {
+  if (options.unix_path.empty() && !options.tcp) {
+    return support::make_error(
+        support::ErrorCode::kInvalidArgument,
+        "server needs at least one listener (unix_path or tcp)");
+  }
+  support::Socket unix_listener;
+  if (!options.unix_path.empty()) {
+    auto listener = support::listen_unix(options.unix_path);
+    if (!listener.ok()) return listener.error();
+    unix_listener = std::move(listener).value();
+  }
+  support::Socket tcp_listener;
+  std::uint16_t bound_port = 0;
+  if (options.tcp) {
+    auto listener = support::listen_tcp(options.tcp_port, &bound_port);
+    if (!listener.ok()) return listener.error();
+    tcp_listener = std::move(listener).value();
+  }
+  return std::unique_ptr<Server>(
+      new Server(std::move(options), std::move(unix_listener),
+                 std::move(tcp_listener), bound_port));
+}
+
+Server::Server(ServerOptions options, support::Socket unix_listener,
+               support::Socket tcp_listener, std::uint16_t bound_tcp_port)
+    : options_(std::move(options)),
+      unix_listener_(std::move(unix_listener)),
+      tcp_listener_(std::move(tcp_listener)),
+      bound_tcp_port_(bound_tcp_port),
+      engine_(std::make_unique<runtime::Engine>(
+          default_workers(options_.engine_workers),
+          options_.queue_capacity)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  COALESCE_ASSERT_MSG(!started_, "Server::start() called twice");
+  started_ = true;
+  if (unix_listener_.valid()) {
+    accept_threads_.emplace_back([this] { accept_loop(&unix_listener_); });
+  }
+  if (tcp_listener_.valid()) {
+    accept_threads_.emplace_back([this] { accept_loop(&tcp_listener_); });
+  }
+}
+
+void Server::request_stop() {
+  {
+    std::scoped_lock lock(stop_mutex_);
+    stop_requested_ = true;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  stop_cv_.notify_all();
+}
+
+bool Server::wait_for_stop(int timeout_ms) {
+  std::unique_lock lock(stop_mutex_);
+  return stop_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [&] { return stop_requested_; });
+}
+
+void Server::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  request_stop();
+
+  // 1. No new connections: half-close the listeners so the accept loops'
+  //    blocking accept returns, then join them.
+  unix_listener_.shutdown();
+  tcp_listener_.shutdown();
+  for (std::thread& t : accept_threads_) {
+    if (t.joinable()) t.join();
+  }
+
+  // 2. No new requests: half-close every live connection. A thread parked
+  //    in recv returns immediately; one mid-request finishes that request
+  //    (the engine is still open) and exits on its next read.
+  {
+    std::scoped_lock lock(conn_mutex_);
+    for (auto& conn : connections_) conn->socket.shutdown();
+  }
+  // Joining needs the connections_ list stable, and connection threads
+  // never mutate the list (only stop() and the accept loops, both done by
+  // now), so join outside the lock — a connection thread blocked on a
+  // future must not find stop() holding conn_mutex_ forever.
+  for (auto& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+
+  // 3. Every accepted region retires, every future resolves.
+  engine_->drain();
+
+  if (!options_.unix_path.empty()) {
+    ::unlink(options_.unix_path.c_str());
+  }
+}
+
+ServerCounters Server::counters() const {
+  ServerCounters c;
+  c.accepted = accepted_.load(std::memory_order_relaxed);
+  c.rejected = rejected_.load(std::memory_order_relaxed);
+  c.shed = shed_.load(std::memory_order_relaxed);
+  c.completed = completed_.load(std::memory_order_relaxed);
+  c.connections = connections_served_.load(std::memory_order_relaxed);
+  c.queue_depth = engine_->queue_depth();
+  return c;
+}
+
+void Server::accept_loop(support::Socket* listener) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto accepted = support::accept_connection(*listener);
+    if (!accepted.ok()) return;             // listener broke: give up
+    if (!accepted.value().valid()) return;  // listener shut down: clean exit
+    connections_served_.fetch_add(1, std::memory_order_relaxed);
+
+    auto conn = std::make_unique<Connection>();
+    conn->socket = std::move(accepted).value();
+    Connection* raw = conn.get();
+    {
+      std::scoped_lock lock(conn_mutex_);
+      // Late race: stop() may have swept connections_ already. Serve the
+      // straggler inline-closed instead of leaking an unjoined thread.
+      if (stopping_.load(std::memory_order_relaxed)) {
+        conn->socket.shutdown();
+        continue;
+      }
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { serve_connection(raw); });
+  }
+}
+
+void Server::serve_connection(Connection* connection) {
+  support::Socket& socket = connection->socket;
+  while (true) {
+    auto frame = read_frame(socket);
+    if (!frame.ok()) {
+      // Oversized prefix / truncated frame / transport error: the stream
+      // can no longer be re-synchronized. Best-effort error reply, close.
+      Response err;
+      err.status = Status::kError;
+      err.message = frame.error().to_string();
+      (void)write_frame(socket, encode_response(err));
+      return;
+    }
+    if (!frame.value().has_value()) return;  // clean EOF between frames
+
+    Response response;
+    bool shutdown = false;
+    auto request = decode_request(*frame.value());
+    if (!request.ok()) {
+      // The frame was delimited correctly but its payload is garbage; the
+      // stream is still in sync, so report and keep serving.
+      response.status = Status::kError;
+      response.message = request.error().to_string();
+    } else {
+      response = handle(request.value(), &shutdown);
+    }
+    if (!write_frame(socket, encode_response(response))) return;
+    if (shutdown) {
+      request_stop();
+      return;
+    }
+  }
+}
+
+Response Server::handle(const Request& request, bool* shutdown) {
+  Response response;
+  switch (request.type) {
+    case MessageType::kPing:
+      response.status = Status::kOk;
+      response.message = "pong";
+      return response;
+    case MessageType::kStats:
+      response.status = Status::kOk;
+      response.message = "stats";
+      response.counters = counters();
+      return response;
+    case MessageType::kShutdown:
+      response.status = Status::kOk;
+      response.message = "stopping";
+      *shutdown = true;
+      return response;
+    case MessageType::kSubmit:
+      return handle_submit(request.submit);
+    case MessageType::kResponse:
+      break;
+  }
+  response.status = Status::kError;
+  response.message = "unexpected message type";
+  return response;
+}
+
+bool Server::acquire_tenant_slot(const std::string& tenant) {
+  std::scoped_lock lock(tenant_mutex_);
+  std::size_t& inflight = tenant_inflight_[tenant];
+  if (inflight >= options_.tenant_quota) return false;
+  ++inflight;
+  return true;
+}
+
+void Server::release_tenant_slot(const std::string& tenant) {
+  std::scoped_lock lock(tenant_mutex_);
+  auto it = tenant_inflight_.find(tenant);
+  COALESCE_ASSERT(it != tenant_inflight_.end() && it->second > 0);
+  if (--it->second == 0) tenant_inflight_.erase(it);
+}
+
+Response Server::handle_submit(const SubmitRequest& request) {
+  Response response;
+
+  // ---- static half: admission --------------------------------------------
+  const std::string source_name =
+      request.tenant.empty() ? "<request>" : request.tenant;
+  AdmissionResult admission =
+      admit(request.source, source_name, options_.diagnostics);
+  if (!admission.admitted) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    trace::count(trace::Counter::kRequestsRejected);
+    response.status = Status::kRejected;
+    response.message = admission.reject_phase + ": " + admission.message;
+    response.diagnostics = std::move(admission.diagnostics);
+    return response;
+  }
+
+  // ---- overload control: per-tenant in-flight quota ----------------------
+  if (!acquire_tenant_slot(request.tenant)) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    trace::count(trace::Counter::kRequestsShed);
+    response.status = Status::kShed;
+    response.message = "tenant quota exhausted (" +
+                       std::to_string(options_.tenant_quota) +
+                       " in flight); retry with backoff";
+    return response;
+  }
+  struct SlotRelease {
+    Server* server;
+    const std::string& tenant;
+    ~SlotRelease() { server->release_tenant_slot(tenant); }
+  } slot_release{this, request.tenant};
+
+  // ---- dynamic half: analyze, coalesce, schedule on the shared engine ----
+  ir::Program current{admission.program.symbols, {}};
+  for (const auto& root : admission.program.roots) {
+    current.roots.push_back(ir::clone(*root));
+  }
+  {
+    ir::Program next{current.symbols, {}};
+    for (const auto& root : current.roots) {
+      ir::LoopNest nest{current.symbols, root};
+      analysis::analyze_and_mark(nest);
+      next.symbols = std::move(nest.symbols);
+      next.roots.push_back(nest.root);
+    }
+    current = std::move(next);
+  }
+  {
+    auto result = transform::coalesce_program(current);
+    current = ir::Program{std::move(result.program.symbols),
+                          std::move(result.program.roots)};
+  }
+
+  runtime::LaunchOptions opts;
+  opts.schedule = options_.schedule;
+  opts.priority = request.priority == 1 ? runtime::Priority::kHigh
+                                        : runtime::Priority::kNormal;
+  if (request.deadline_ms > 0) {
+    opts.control.deadline = support::Deadline::after_ms(
+        static_cast<std::int64_t>(request.deadline_ms));
+  }
+
+  ir::ArrayStore store(current.symbols);
+  RunSummary& run = response.run;
+  const auto start = Clock::now();
+  bool first_parallel = true;
+  for (const ir::LoopPtr& root : current.roots) {
+    if (run.cancelled || run.deadline_expired) break;
+    if (opts.control.deadline.is_set() && opts.control.deadline.expired()) {
+      run.deadline_expired = true;
+      break;
+    }
+    const bool parallel =
+        root->parallel && ir::constant_trip_count(*root).has_value();
+    if (parallel) {
+      const ir::LoopNest nest{current.symbols, root};
+      runtime::RegionFuture<runtime::ForStats> future;
+      if (first_parallel) {
+        // The first parallel root is the load-shedding point: a full
+        // engine queue refuses the whole request instead of queueing
+        // without bound. Later roots submit blocking — the request is
+        // already half-run, so finishing it beats fairness.
+        auto tried = runtime::try_submit_ir(*engine_, nest, store, opts);
+        if (!tried.ok()) {
+          response.status = Status::kError;
+          response.message = tried.error().to_string();
+          return response;
+        }
+        if (!tried.value().has_value()) {
+          shed_.fetch_add(1, std::memory_order_relaxed);
+          trace::count(trace::Counter::kRequestsShed);
+          response.status = Status::kShed;
+          response.message =
+              "engine queue full; retry with backoff";
+          return response;
+        }
+        future = std::move(*tried.value());
+        first_parallel = false;
+      } else {
+        auto submitted = runtime::submit_ir(*engine_, nest, store, opts);
+        if (!submitted.ok()) {
+          response.status = Status::kError;
+          response.message = submitted.error().to_string();
+          return response;
+        }
+        future = std::move(submitted).value();
+      }
+      try {
+        const runtime::ForStats stats = future.get();
+        run.parallel_roots += 1;
+        run.iterations += stats.iterations_done();
+        run.iterations_requested += stats.iterations_requested;
+        run.dispatch_ops += stats.dispatch_ops;
+        run.cancelled |= stats.cancelled;
+        run.deadline_expired |= stats.deadline_expired;
+      } catch (const std::exception& e) {
+        response.status = Status::kError;
+        response.message = std::string("execution failed: ") + e.what();
+        return response;
+      }
+    } else {
+      // Sequential roots interpret on the connection thread; the engine
+      // stays free for parallel work from other requests.
+      ir::Evaluator eval(current.symbols, store);
+      eval.run(*root);
+      run.sequential_roots += 1;
+      run.iterations += eval.iterations_executed();
+      run.iterations_requested += eval.iterations_executed();
+    }
+  }
+  run.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  trace::count(trace::Counter::kRequestsAccepted);
+  const bool partial = run.cancelled || run.deadline_expired;
+  if (!partial) completed_.fetch_add(1, std::memory_order_relaxed);
+  response.status = Status::kOk;
+  response.message =
+      partial ? "partial: stopped early (see run flags)" : admission.message;
+
+  if (request.want_data) {
+    const ir::SymbolTable& symbols = current.symbols;
+    for (std::uint32_t raw = 0; raw < symbols.size(); ++raw) {
+      const ir::VarId id{raw};
+      if (symbols.kind(id) != ir::SymbolKind::kArray) continue;
+      const auto data = store.data(id);
+      response.arrays.push_back(ArrayResult{
+          symbols.name(id), std::vector<double>(data.begin(), data.end())});
+    }
+  }
+  return response;
+}
+
+}  // namespace coalesce::service

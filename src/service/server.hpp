@@ -1,0 +1,160 @@
+// The coalesced service: a persistent loop-program server over one shared
+// Engine — the "front door" the runtime grew everything else for.
+//
+//   Server::create({.unix_path = "/run/coalesced.sock"}) -> start() ->
+//     accept loop (unix and/or loopback TCP)
+//       -> one thread per connection, many framed requests per connection
+//         -> admission (parse + IR verify + 11-rule lint; reject with
+//            JSON/SARIF diagnostics)                        [static half]
+//         -> per-tenant in-flight quota (over quota => Status::kShed)
+//         -> analyze + coalesce, then schedule through the ONE shared
+//            Engine: first parallel root via try_submit (a full queue is
+//            load shedding, not unbounded buffering), per-request
+//            priority class and deadline                    [dynamic half]
+//         -> reply with the run summary (partial-progress flags included)
+//            and, on request, bit-exact final array contents
+//
+// Fairness comes from three mechanisms working together: admission keeps
+// malformed work out entirely, per-tenant quotas stop any one tenant from
+// monopolizing the engine's in-flight slots, and the engine's bounded
+// two-class queue (Priority::kHigh overtakes, FIFO within a class) orders
+// what remains. Saturation therefore degrades by shedding at the edge —
+// clients see Status::kShed and retry with backoff — never by growing an
+// unbounded queue.
+//
+// Shutdown: request_stop() (from a kShutdown frame, a signal, or the
+// owner) flips the flag; stop() closes listeners, half-closes live
+// connections so their reads return, joins every thread, and drains the
+// engine — every accepted program still retires. Submissions that race
+// the drain fail cleanly (ErrorCode::kUnavailable; see engine_test).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "service/admission.hpp"
+#include "service/protocol.hpp"
+#include "support/error.hpp"
+#include "support/socket.hpp"
+
+namespace coalesce::service {
+
+struct ServerOptions {
+  /// Unix-domain socket path ("" disables; at least one listener must be
+  /// enabled). The file is unlinked on construction and on stop().
+  std::string unix_path;
+  /// Loopback TCP listener; port 0 picks an ephemeral port (read it back
+  /// via tcp_port()).
+  bool tcp = false;
+  std::uint16_t tcp_port = 0;
+  /// Engine sizing. 0 workers = hardware concurrency.
+  std::size_t engine_workers = 0;
+  std::size_t queue_capacity = 64;
+  /// Max in-flight submissions per tenant; one more is shed. 0 sheds every
+  /// submission (useful to verify a client's backoff handling).
+  std::size_t tenant_quota = 8;
+  /// Rendering of admission-rejection diagnostics.
+  DiagnosticsFormat diagnostics = DiagnosticsFormat::kJson;
+  /// Schedule used for every parallel root the service runs.
+  runtime::ScheduleParams schedule{runtime::Schedule::kGuided, 1};
+};
+
+class Server {
+ public:
+  /// Binds the listeners and spins up the engine; no connection is
+  /// accepted until start(). Fails on bind/listen errors (socket path too
+  /// long, port in use, no listener enabled).
+  [[nodiscard]] static support::Expected<std::unique_ptr<Server>> create(
+      ServerOptions options);
+
+  /// stop()s if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Starts the accept loop(s). Call once.
+  void start();
+
+  /// Signals shutdown without blocking (safe from connection threads and
+  /// the owner alike; idempotent).
+  void request_stop();
+
+  /// Waits up to timeout_ms for a stop request; true when one arrived.
+  /// The daemon's main loop interleaves this with signal-flag checks.
+  [[nodiscard]] bool wait_for_stop(int timeout_ms);
+
+  /// Full graceful shutdown: close listeners, unblock + join every
+  /// connection thread, drain the engine. Idempotent; must not be called
+  /// from a connection thread (they call request_stop()).
+  void stop();
+
+  [[nodiscard]] const std::string& unix_path() const noexcept {
+    return options_.unix_path;
+  }
+  /// Bound TCP port (meaningful when options.tcp; resolves port 0).
+  [[nodiscard]] std::uint16_t tcp_port() const noexcept {
+    return bound_tcp_port_;
+  }
+  [[nodiscard]] std::size_t engine_workers() const noexcept {
+    return engine_->concurrency();
+  }
+
+  /// Snapshot of the counters a kStats request reports.
+  [[nodiscard]] ServerCounters counters() const;
+
+ private:
+  Server(ServerOptions options, support::Socket unix_listener,
+         support::Socket tcp_listener, std::uint16_t bound_tcp_port);
+
+  struct Connection {
+    support::Socket socket;
+    std::thread thread;
+  };
+
+  void accept_loop(support::Socket* listener);
+  void serve_connection(Connection* connection);
+  [[nodiscard]] Response handle(const Request& request, bool* shutdown);
+  [[nodiscard]] Response handle_submit(const SubmitRequest& request);
+
+  /// Quota gate: true (and counts the tenant) when under quota.
+  [[nodiscard]] bool acquire_tenant_slot(const std::string& tenant);
+  void release_tenant_slot(const std::string& tenant);
+
+  ServerOptions options_;
+  support::Socket unix_listener_;
+  support::Socket tcp_listener_;
+  std::uint16_t bound_tcp_port_ = 0;
+
+  std::unique_ptr<runtime::Engine> engine_;
+
+  std::vector<std::thread> accept_threads_;
+  std::mutex conn_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;  // guarded by conn_mutex_
+
+  std::mutex tenant_mutex_;
+  std::unordered_map<std::string, std::size_t> tenant_inflight_;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;  // guarded by stop_mutex_
+  std::atomic<bool> stopping_{false};  // fast-path mirror for loops
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> connections_served_{0};
+};
+
+}  // namespace coalesce::service

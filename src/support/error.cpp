@@ -16,6 +16,8 @@ const char* to_string(ErrorCode code) noexcept {
       return "not_found";
     case ErrorCode::kVerifyFailed:
       return "verify_failed";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -20,6 +20,7 @@ enum class ErrorCode {
   kOverflow,          ///< 64-bit arithmetic would overflow
   kNotFound,          ///< named entity missing from a symbol table
   kVerifyFailed,      ///< post-pass IR verification or oracle check failed
+  kUnavailable,       ///< resource closed or unreachable (engine, socket)
 };
 
 [[nodiscard]] const char* to_string(ErrorCode code) noexcept;

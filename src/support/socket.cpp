@@ -1,0 +1,182 @@
+#include "support/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace coalesce::support {
+
+namespace {
+
+Error errno_error(const char* what) {
+  return make_error(ErrorCode::kUnavailable,
+                    std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown() noexcept {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+bool Socket::send_all(std::span<const std::uint8_t> bytes) noexcept {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Socket::RecvStatus Socket::recv_exact(std::span<std::uint8_t> bytes) noexcept {
+  if (fd_ < 0) return RecvStatus::kError;
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const ssize_t n =
+        ::recv(fd_, bytes.data() + got, bytes.size() - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return RecvStatus::kError;
+    }
+    if (n == 0) {
+      return got == 0 ? RecvStatus::kEof : RecvStatus::kTruncated;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return RecvStatus::kOk;
+}
+
+Expected<Socket> listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "unix socket path empty or longer than " +
+                          std::to_string(sizeof(addr.sun_path) - 1) +
+                          " bytes: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) return errno_error("socket");
+  ::unlink(path.c_str());  // a stale socket file from a previous run
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return errno_error(("bind " + path).c_str());
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    return errno_error("listen");
+  }
+  return sock;
+}
+
+Expected<Socket> connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "unix socket path empty or too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) return errno_error("socket");
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return errno_error(("connect " + path).c_str());
+  }
+  return sock;
+}
+
+Expected<Socket> listen_tcp(std::uint16_t port, std::uint16_t* bound_port,
+                            int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return errno_error("socket");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return errno_error("bind");
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    return errno_error("listen");
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual),
+                      &len) != 0) {
+      return errno_error("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return sock;
+}
+
+Expected<Socket> connect_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "connect_tcp wants a dotted-quad address, got " + host);
+  }
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return errno_error("socket");
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return errno_error("connect");
+  }
+  return sock;
+}
+
+Expected<Socket> accept_connection(Socket& listener) {
+  while (true) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // shutdown() on the listener surfaces as EINVAL (or ECONNABORTED on
+    // some kernels); report it as the clean no-more-connections signal.
+    if (errno == EINVAL || errno == ECONNABORTED || errno == EBADF) {
+      return Socket();
+    }
+    return errno_error("accept");
+  }
+}
+
+int poll_readable(const Socket& socket, int timeout_ms) {
+  pollfd pfd{socket.fd(), POLLIN, 0};
+  while (true) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r < 0 && errno == EINTR) continue;
+    return r < 0 ? -1 : r;
+  }
+}
+
+}  // namespace coalesce::support

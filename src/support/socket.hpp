@@ -1,0 +1,93 @@
+// Thin RAII layer over POSIX stream sockets — the transport under the
+// coalesced service (src/service). Unix-domain sockets are the default
+// (same-host clients, filesystem permissions); loopback TCP is optional.
+//
+// Scope is deliberately narrow: blocking stream sockets, whole-buffer
+// send/recv (the framing layer above never wants partial I/O), EINTR
+// retried, SIGPIPE suppressed per-send. Anything fancier (non-blocking,
+// TLS, multiplexing) belongs to a future revision; the protocol layer
+// (service/protocol.hpp) only depends on the surface here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace coalesce::support {
+
+/// Movable owner of one socket file descriptor. Default-constructed (or
+/// moved-from) sockets are invalid; every operation on an invalid socket
+/// fails cleanly rather than asserting, because peers close connections
+/// whenever they like.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  void close() noexcept;
+
+  /// Half-closes both directions without releasing the fd. A thread blocked
+  /// in recv_exact()/accept_connection() on this socket returns promptly —
+  /// the server's shutdown path uses exactly this to unblock connection
+  /// threads it does not own.
+  void shutdown() noexcept;
+
+  /// Writes the entire span, retrying short writes and EINTR. SIGPIPE is
+  /// suppressed (MSG_NOSIGNAL); a dead peer surfaces as `false`.
+  [[nodiscard]] bool send_all(std::span<const std::uint8_t> bytes) noexcept;
+
+  enum class RecvStatus : std::uint8_t {
+    kOk,         ///< buffer completely filled
+    kEof,        ///< peer closed cleanly before the first byte
+    kTruncated,  ///< peer closed mid-buffer (a cut-off frame)
+    kError,      ///< transport error
+  };
+
+  /// Reads exactly bytes.size() bytes (retrying short reads and EINTR).
+  [[nodiscard]] RecvStatus recv_exact(std::span<std::uint8_t> bytes) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on a Unix-domain socket at `path`, unlinking any stale
+/// socket file first. Fails when the path exceeds sockaddr_un capacity.
+[[nodiscard]] Expected<Socket> listen_unix(const std::string& path,
+                                           int backlog = 128);
+[[nodiscard]] Expected<Socket> connect_unix(const std::string& path);
+
+/// Binds + listens on loopback TCP. `port` 0 picks an ephemeral port; the
+/// bound port is written to *bound_port when non-null.
+[[nodiscard]] Expected<Socket> listen_tcp(std::uint16_t port,
+                                          std::uint16_t* bound_port = nullptr,
+                                          int backlog = 128);
+[[nodiscard]] Expected<Socket> connect_tcp(const std::string& host,
+                                           std::uint16_t port);
+
+/// Blocking accept. An invalid returned socket (with ok() true) means the
+/// listener was shut down — the accept loop's clean exit signal.
+[[nodiscard]] Expected<Socket> accept_connection(Socket& listener);
+
+/// poll(2) for readability: 1 ready, 0 timed out, -1 error. The daemon's
+/// accept loop uses the timeout to interleave signal-flag checks.
+[[nodiscard]] int poll_readable(const Socket& socket, int timeout_ms);
+
+}  // namespace coalesce::support

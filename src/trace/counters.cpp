@@ -22,6 +22,9 @@ const char* to_string(Counter counter) noexcept {
     case Counter::kFaultsInjected: return "faults_injected";
     case Counter::kRegionsEnqueued: return "regions_enqueued";
     case Counter::kRegionsRetired: return "regions_retired";
+    case Counter::kRequestsAccepted: return "requests_accepted";
+    case Counter::kRequestsRejected: return "requests_rejected";
+    case Counter::kRequestsShed: return "requests_shed";
     case Counter::kCount_: break;
   }
   return "?";

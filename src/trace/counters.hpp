@@ -28,6 +28,9 @@ enum class Counter : std::uint8_t {
   kFaultsInjected,   ///< faults fired by the injection harness
   kRegionsEnqueued,  ///< regions accepted into an engine's queue
   kRegionsRetired,   ///< engine regions finalized (future fulfilled)
+  kRequestsAccepted,  ///< service submissions past admission + quota
+  kRequestsRejected,  ///< service submissions refused at admission
+  kRequestsShed,      ///< service submissions shed (quota / queue full)
   kCount_            ///< sentinel
 };
 

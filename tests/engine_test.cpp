@@ -407,5 +407,51 @@ TEST(Engine, SubmitIrMatchesSequentialEvaluation) {
   EXPECT_TRUE(ir::ArrayStore::identical(sequential.store(), store));
 }
 
+TEST(Engine, SubmitAfterDrainFailsCleanlyOnEveryEntryPoint) {
+  // The daemon's shutdown path drains the shared engine while connection
+  // threads may still be submitting: every late submission must fail
+  // cleanly — invalid future / nullopt / kUnavailable — never hang.
+  const ir::LoopNest nest = ir::make_rectangular_witness({4, 3});
+  Engine engine(1);
+  engine.drain();
+
+  EXPECT_FALSE(engine.submit(8, [](i64) {}).valid());
+  EXPECT_FALSE(engine.try_submit(8, [](i64) {}).has_value());
+  EXPECT_FALSE(engine.submit_sum(8, [](i64) { return 1.0; }).valid());
+
+  ir::ArrayStore store(nest.symbols);
+  auto submitted = submit_ir(engine, nest, store);
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.error().code, support::ErrorCode::kUnavailable);
+
+  auto tried = try_submit_ir(engine, nest, store);
+  ASSERT_TRUE(tried.ok());
+  EXPECT_FALSE(tried.value().has_value());
+}
+
+TEST(Engine, SubmitBlockedOnBackpressureObservesDrain) {
+  // A submitter parked on a full queue must wake when drain() closes the
+  // engine and come back with an invalid future (or, if it won the race,
+  // a future that still resolves) — not deadlock against the drainer.
+  Engine engine(1, /*queue_capacity=*/1);
+  Gate gate;
+  auto running = engine.submit(1, gate.body());
+  gate.wait_entered();
+  auto queued = engine.submit(1, [](i64) {});  // fills the only queue slot
+
+  RegionFuture<ForStats> late;
+  std::thread submitter([&] { late = engine.submit(1, [](i64) {}); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread drainer([&] { engine.drain(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.release();
+  submitter.join();
+  drainer.join();
+
+  EXPECT_TRUE(running.get().completed());
+  EXPECT_TRUE(queued.get().completed());
+  if (late.valid()) EXPECT_TRUE(late.get().completed());
+}
+
 }  // namespace
 }  // namespace coalesce::runtime

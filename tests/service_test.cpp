@@ -1,0 +1,487 @@
+// The coalesced service, attacked from the wire inward: protocol framing
+// against truncation/oversize/garbage, admission against every
+// examples/loops/*.bad.loop, overload control (tenant quotas, engine-queue
+// shedding), and an N-clients-by-M-programs end-to-end run whose response
+// arrays are bit-checked against the sequential interpreter.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "coalesce.hpp"
+
+namespace {
+
+using namespace coalesce;
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::vector<std::filesystem::path> example_files(bool bad) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(EXAMPLES_LOOPS_DIR)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".loop") continue;
+    const bool is_bad = name.find(".bad.loop") != std::string::npos;
+    if (is_bad == bad) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// A connected (client, server) TCP socket pair for raw-byte protocol tests.
+struct SocketPair {
+  support::Socket listener;
+  support::Socket client;
+  support::Socket server;
+};
+
+SocketPair make_pair() {
+  SocketPair pair;
+  std::uint16_t port = 0;
+  auto listener = support::listen_tcp(0, &port);
+  EXPECT_TRUE(listener.ok());
+  pair.listener = std::move(listener).value();
+  auto client = support::connect_tcp("127.0.0.1", port);
+  EXPECT_TRUE(client.ok());
+  pair.client = std::move(client).value();
+  auto server = support::accept_connection(pair.listener);
+  EXPECT_TRUE(server.ok());
+  pair.server = std::move(server).value();
+  return pair;
+}
+
+service::ServerOptions tcp_options() {
+  service::ServerOptions options;
+  options.tcp = true;
+  options.tcp_port = 0;  // ephemeral
+  options.engine_workers = 4;
+  return options;
+}
+
+support::Socket connect_to(const service::Server& server) {
+  auto socket = support::connect_tcp("127.0.0.1", server.tcp_port());
+  EXPECT_TRUE(socket.ok());
+  return std::move(socket).value();
+}
+
+service::Request submit_request(std::string source, std::string tenant = "",
+                                bool want_data = false) {
+  service::Request request;
+  request.type = service::MessageType::kSubmit;
+  request.submit.source = std::move(source);
+  request.submit.tenant = std::move(tenant);
+  request.submit.want_data = want_data;
+  return request;
+}
+
+// ---- framing --------------------------------------------------------------
+
+TEST(ServiceProtocol, RequestRoundTripsThroughEncodeDecode) {
+  service::Request request;
+  request.type = service::MessageType::kSubmit;
+  request.submit.priority = 1;
+  request.submit.want_data = true;
+  request.submit.deadline_ms = 1234;
+  request.submit.tenant = "tenant-a";
+  request.submit.source = "doall i = 1, 4 { }";
+
+  const auto payload = service::encode_request(request);
+  auto decoded = service::decode_request(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded.value().type, request.type);
+  EXPECT_EQ(decoded.value().submit.priority, 1);
+  EXPECT_TRUE(decoded.value().submit.want_data);
+  EXPECT_EQ(decoded.value().submit.deadline_ms, 1234u);
+  EXPECT_EQ(decoded.value().submit.tenant, "tenant-a");
+  EXPECT_EQ(decoded.value().submit.source, request.submit.source);
+}
+
+TEST(ServiceProtocol, ResponseRoundTripsWithArraysAndCounters) {
+  service::Response response;
+  response.status = service::Status::kOk;
+  response.message = "ok";
+  response.diagnostics = "[]";
+  response.run.parallel_roots = 2;
+  response.run.iterations = 100;
+  response.run.iterations_requested = 128;
+  response.run.wall_ns = 5'000'000;
+  response.run.deadline_expired = true;
+  response.arrays.push_back({"A", {1.0, 2.5, -3.75}});
+  response.counters.accepted = 7;
+  response.counters.queue_depth = 3;
+
+  const auto payload = service::encode_response(response);
+  auto decoded = service::decode_response(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded.value().status, service::Status::kOk);
+  EXPECT_EQ(decoded.value().run.iterations, 100u);
+  EXPECT_TRUE(decoded.value().run.deadline_expired);
+  ASSERT_EQ(decoded.value().arrays.size(), 1u);
+  EXPECT_EQ(decoded.value().arrays[0].name, "A");
+  EXPECT_EQ(decoded.value().arrays[0].data,
+            (std::vector<double>{1.0, 2.5, -3.75}));
+  EXPECT_EQ(decoded.value().counters.accepted, 7u);
+}
+
+TEST(ServiceProtocol, FrameRoundTripsOverASocket) {
+  SocketPair pair = make_pair();
+  const std::vector<std::uint8_t> payload = {0x01, 0xAB, 0x00, 0xFF};
+  ASSERT_TRUE(service::write_frame(pair.client, payload));
+  auto frame = service::read_frame(pair.server);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame.value().has_value());
+  EXPECT_EQ(*frame.value(), payload);
+}
+
+TEST(ServiceProtocol, CleanCloseBetweenFramesReadsAsEndOfStream) {
+  SocketPair pair = make_pair();
+  pair.client.close();
+  auto frame = service::read_frame(pair.server);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(frame.value().has_value());
+}
+
+TEST(ServiceProtocol, TruncatedFrameIsAnError) {
+  SocketPair pair = make_pair();
+  // Prefix promises 100 bytes; send 3 and hang up.
+  const std::vector<std::uint8_t> bytes = {100, 0, 0, 0, 0xDE, 0xAD, 0xBE};
+  ASSERT_TRUE(pair.client.send_all(bytes));
+  pair.client.close();
+  auto frame = service::read_frame(pair.server);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.error().code, support::ErrorCode::kInvalidArgument);
+}
+
+TEST(ServiceProtocol, OversizedLengthPrefixIsRefusedWithoutAllocating) {
+  SocketPair pair = make_pair();
+  const std::uint32_t huge = service::kMaxFrameBytes + 1;
+  const std::vector<std::uint8_t> bytes = {
+      static_cast<std::uint8_t>(huge & 0xFF),
+      static_cast<std::uint8_t>((huge >> 8) & 0xFF),
+      static_cast<std::uint8_t>((huge >> 16) & 0xFF),
+      static_cast<std::uint8_t>((huge >> 24) & 0xFF)};
+  ASSERT_TRUE(pair.client.send_all(bytes));
+  auto frame = service::read_frame(pair.server);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.error().code, support::ErrorCode::kInvalidArgument);
+}
+
+TEST(ServiceProtocol, GarbagePayloadFailsDecodeNotTheProcess) {
+  const std::vector<std::uint8_t> garbage = {0x7F, 0xFF, 0xFF, 0xFF, 0x00};
+  EXPECT_FALSE(service::decode_request(garbage).ok());
+  EXPECT_FALSE(service::decode_response(garbage).ok());
+  EXPECT_FALSE(service::decode_request({}).ok());
+  // Truncated mid-string: kSubmit whose tenant length runs past the end.
+  const std::vector<std::uint8_t> cut = {0x01, 0x00, 0x00, 0x00,
+                                         0x00, 0x00, 0x00, 0xFF, 0xFF};
+  EXPECT_FALSE(service::decode_request(cut).ok());
+}
+
+// ---- admission ------------------------------------------------------------
+
+TEST(ServiceAdmission, EveryBadExampleIsRejectedWithDiagnostics) {
+  const auto files = example_files(/*bad=*/true);
+  ASSERT_GE(files.size(), 3u) << "expected racy_scalar, overflow, div_zero";
+  for (const auto& file : files) {
+    const auto result =
+        service::admit(read_file(file), file.filename().string(),
+                       service::DiagnosticsFormat::kJson);
+    EXPECT_FALSE(result.admitted) << file;
+    EXPECT_FALSE(result.reject_phase.empty()) << file;
+    EXPECT_FALSE(result.diagnostics.empty()) << file;
+    EXPECT_NE(result.diagnostics.find("\"rule\""), std::string::npos)
+        << file << ": diagnostics should carry structured findings:\n"
+        << result.diagnostics;
+  }
+}
+
+TEST(ServiceAdmission, EveryGoodExampleIsAdmitted) {
+  const auto files = example_files(/*bad=*/false);
+  ASSERT_GE(files.size(), 3u);
+  for (const auto& file : files) {
+    const auto result =
+        service::admit(read_file(file), file.filename().string(),
+                       service::DiagnosticsFormat::kJson);
+    EXPECT_TRUE(result.admitted) << file << ": " << result.message;
+    EXPECT_FALSE(result.program.roots.empty()) << file;
+  }
+}
+
+TEST(ServiceAdmission, ParseFailureReportsThePhase) {
+  const auto result = service::admit("doall i = {", "<test>",
+                                     service::DiagnosticsFormat::kJson);
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(result.reject_phase, "parse");
+  EXPECT_FALSE(result.diagnostics.empty());
+}
+
+TEST(ServiceAdmission, SarifFormatIsHonoredForLintRejections) {
+  const auto source = read_file(
+      std::filesystem::path(EXAMPLES_LOOPS_DIR) / "racy_scalar.bad.loop");
+  const auto result = service::admit(source, "racy_scalar.bad.loop",
+                                     service::DiagnosticsFormat::kSarif);
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(result.reject_phase, "lint");
+  EXPECT_NE(result.diagnostics.find("sarif"), std::string::npos)
+      << result.diagnostics;
+}
+
+// ---- the server over the wire ---------------------------------------------
+
+TEST(ServiceServer, AnswersPingAndStats) {
+  auto server = service::Server::create(tcp_options());
+  ASSERT_TRUE(server.ok()) << server.error().to_string();
+  server.value()->start();
+
+  auto socket = connect_to(*server.value());
+  service::Request ping;
+  ping.type = service::MessageType::kPing;
+  auto reply = service::call(socket, ping);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().status, service::Status::kOk);
+
+  service::Request stats;
+  stats.type = service::MessageType::kStats;
+  reply = service::call(socket, stats);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().status, service::Status::kOk);
+  EXPECT_EQ(reply.value().counters.accepted, 0u);
+  server.value()->stop();
+}
+
+TEST(ServiceServer, ServesOverAUnixSocketToo) {
+  service::ServerOptions options;
+  options.unix_path = "/tmp/coalesced_test_" +
+                      std::to_string(::getpid()) + ".sock";
+  options.engine_workers = 2;
+  auto server = service::Server::create(options);
+  ASSERT_TRUE(server.ok()) << server.error().to_string();
+  server.value()->start();
+
+  auto socket = support::connect_unix(options.unix_path);
+  ASSERT_TRUE(socket.ok());
+  auto reply = service::call(
+      socket.value(), submit_request("array A[8];\n"
+                                     "doall i = 1, 8 { A[i] = i * 2; }\n"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().status, service::Status::kOk);
+  EXPECT_EQ(reply.value().run.iterations, 8u);
+  server.value()->stop();
+  EXPECT_FALSE(std::filesystem::exists(options.unix_path))
+      << "stop() should unlink the socket file";
+}
+
+TEST(ServiceServer, RejectsEveryBadExampleOverTheWire) {
+  auto server = service::Server::create(tcp_options());
+  ASSERT_TRUE(server.ok());
+  server.value()->start();
+  auto socket = connect_to(*server.value());
+
+  for (const auto& file : example_files(/*bad=*/true)) {
+    auto reply =
+        service::call(socket, submit_request(read_file(file)));
+    ASSERT_TRUE(reply.ok()) << file;
+    EXPECT_EQ(reply.value().status, service::Status::kRejected) << file;
+    EXPECT_FALSE(reply.value().diagnostics.empty()) << file;
+  }
+  const auto counters = server.value()->counters();
+  EXPECT_EQ(counters.rejected, example_files(true).size());
+  EXPECT_EQ(counters.accepted, 0u);
+  server.value()->stop();
+}
+
+TEST(ServiceServer, GarbageFrameGetsAnErrorResponseAndTheConnectionLives) {
+  auto server = service::Server::create(tcp_options());
+  ASSERT_TRUE(server.ok());
+  server.value()->start();
+  auto socket = connect_to(*server.value());
+
+  // Undecodable payload: unknown message type.
+  ASSERT_TRUE(service::write_frame(socket, {0x6E, 0x01, 0x02}));
+  auto frame = service::read_frame(socket);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame.value().has_value());
+  auto decoded = service::decode_response(*frame.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().status, service::Status::kError);
+
+  // The connection survives a decode error; a good request still works.
+  service::Request ping;
+  ping.type = service::MessageType::kPing;
+  auto reply = service::call(socket, ping);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().status, service::Status::kOk);
+  server.value()->stop();
+}
+
+TEST(ServiceServer, ZeroQuotaShedsEverySubmission) {
+  auto options = tcp_options();
+  options.tenant_quota = 0;
+  auto server = service::Server::create(options);
+  ASSERT_TRUE(server.ok());
+  server.value()->start();
+  auto socket = connect_to(*server.value());
+
+  auto reply = service::call(
+      socket, submit_request("array A[4];\ndoall i = 1, 4 { A[i] = 1; }\n",
+                             "greedy"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().status, service::Status::kShed);
+  EXPECT_EQ(server.value()->counters().shed, 1u);
+  server.value()->stop();
+}
+
+TEST(ServiceServer, SaturationShedsInsteadOfQueueingUnboundedly) {
+  auto options = tcp_options();
+  options.engine_workers = 1;
+  options.queue_capacity = 1;
+  options.tenant_quota = 1024;
+  auto server = service::Server::create(options);
+  ASSERT_TRUE(server.ok());
+  server.value()->start();
+
+  // A band big enough that requests overlap. Every response must be kOk or
+  // kShed — never an error, never a hang.
+  const std::string source =
+      "array A[256][64];\n"
+      "doall i = 1, 256 {\n"
+      "  doall j = 1, 64 {\n"
+      "    A[i][j] = i * j + i - j;\n"
+      "  }\n"
+      "}\n";
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 16;
+  std::atomic<int> ok{0}, shed{0}, other{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      auto socket = connect_to(*server.value());
+      for (int r = 0; r < kPerThread; ++r) {
+        auto reply = service::call(socket, submit_request(source));
+        if (!reply.ok()) {
+          ++other;
+          continue;
+        }
+        switch (reply.value().status) {
+          case service::Status::kOk: ++ok; break;
+          case service::Status::kShed: ++shed; break;
+          default: ++other; break;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(ok + shed, kThreads * kPerThread);
+  EXPECT_EQ(other, 0);
+  EXPECT_GT(ok, 0);
+  const auto counters = server.value()->counters();
+  EXPECT_EQ(counters.accepted,
+            static_cast<std::uint64_t>(ok.load()));
+  EXPECT_EQ(counters.shed, static_cast<std::uint64_t>(shed.load()));
+  server.value()->stop();
+}
+
+TEST(ServiceServer, ShutdownRequestStopsTheServerGracefully) {
+  auto server = service::Server::create(tcp_options());
+  ASSERT_TRUE(server.ok());
+  server.value()->start();
+  auto socket = connect_to(*server.value());
+
+  service::Request shutdown;
+  shutdown.type = service::MessageType::kShutdown;
+  auto reply = service::call(socket, shutdown);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().status, service::Status::kOk);
+  EXPECT_TRUE(server.value()->wait_for_stop(5000));
+  server.value()->stop();
+}
+
+// ---- end-to-end: concurrent clients, bit-checked results ------------------
+
+/// Runs `source` through the sequential interpreter and returns each
+/// array's final contents by name — the ground truth the service's
+/// want_data replies must match bit-for-bit.
+std::map<std::string, std::vector<double>> reference_run(
+    const std::string& source) {
+  auto parsed = frontend::parse_program(source);
+  EXPECT_TRUE(parsed.ok());
+  ir::Program program = std::move(parsed).value();
+  ir::Evaluator eval(program.symbols);
+  for (const auto& root : program.roots) eval.run(*root);
+  std::map<std::string, std::vector<double>> arrays;
+  for (std::uint32_t raw = 0; raw < program.symbols.size(); ++raw) {
+    const ir::VarId id{raw};
+    if (program.symbols.kind(id) != ir::SymbolKind::kArray) continue;
+    const auto data = eval.store().data(id);
+    arrays[program.symbols.name(id)] =
+        std::vector<double>(data.begin(), data.end());
+  }
+  return arrays;
+}
+
+TEST(ServiceServer, ConcurrentClientsGetBitExactResults) {
+  auto server = service::Server::create(tcp_options());
+  ASSERT_TRUE(server.ok());
+  server.value()->start();
+
+  std::vector<std::string> sources;
+  std::vector<std::map<std::string, std::vector<double>>> expected;
+  for (const auto& file : example_files(/*bad=*/false)) {
+    sources.push_back(read_file(file));
+    expected.push_back(reference_run(sources.back()));
+  }
+  ASSERT_GE(sources.size(), 3u);
+
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 4;
+  std::atomic<int> mismatches{0}, failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      auto socket = connect_to(*server.value());
+      for (int r = 0; r < kRounds; ++r) {
+        const std::size_t which = (t + r) % sources.size();
+        auto reply = service::call(
+            socket, submit_request(sources[which],
+                                   "tenant-" + std::to_string(t),
+                                   /*want_data=*/true));
+        if (!reply.ok() ||
+            reply.value().status != service::Status::kOk) {
+          ++failures;
+          continue;
+        }
+        std::map<std::string, std::vector<double>> got;
+        for (const auto& array : reply.value().arrays) {
+          got[array.name] = array.data;
+        }
+        if (got != expected[which]) ++mismatches;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(mismatches, 0);
+
+  const auto counters = server.value()->counters();
+  EXPECT_EQ(counters.accepted,
+            static_cast<std::uint64_t>(kThreads * kRounds));
+  EXPECT_EQ(counters.completed, counters.accepted);
+  server.value()->stop();
+}
+
+}  // namespace

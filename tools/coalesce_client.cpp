@@ -1,0 +1,341 @@
+// coalesce-client — CLI client and load generator for the coalesced daemon.
+//
+// Single-shot mode submits one .loop program and prints the run summary
+// (or the rejection diagnostics). Load-generator mode (--threads/--repeat)
+// hammers the daemon from T concurrent connections and reports throughput
+// and p50/p99 latency — the same loop bench_e19_service runs in-process.
+//
+// Usage:
+//   coalesce-client --socket=PATH [options] [file]
+//   coalesce-client --tcp=HOST:PORT [options] [file]
+//
+// The program is read from `file`, or stdin with --stdin / "-" / no file.
+//
+// Options:
+//   --stdin              read the program from stdin
+//   --priority=P         normal (default) | high (engine priority class)
+//   --deadline-ms=N      per-request deadline (0 = none)
+//   --tenant=NAME        quota bucket to submit under ("" = anonymous)
+//   --want-data          print final array contents from the response
+//   --threads=T          load generator: T concurrent client connections
+//   --repeat=R           load generator: R submissions per connection
+//   --ping               liveness probe instead of a submission
+//   --stats              print the server's counters snapshot
+//   --shutdown           ask the daemon to stop gracefully
+//
+// Exit codes: 0 ok, 1 rejected at admission, 2 usage/connect failure,
+// 3 transport or server error, 4 shed (retry with backoff).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coalesce.hpp"
+
+namespace {
+
+using namespace coalesce;
+
+struct Options {
+  std::string socket_path;
+  std::string tcp_host;
+  std::uint16_t tcp_port = 0;
+  bool use_tcp = false;
+  std::string input_path;
+  std::uint8_t priority = 0;
+  std::uint32_t deadline_ms = 0;
+  std::string tenant;
+  bool want_data = false;
+  std::size_t threads = 0;  // 0: single-shot mode
+  std::size_t repeat = 1;
+  bool ping = false;
+  bool stats = false;
+  bool shutdown = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--socket=PATH | --tcp=HOST:PORT) [--stdin] "
+               "[--priority=normal|high] [--deadline-ms=N] [--tenant=NAME] "
+               "[--want-data] [--threads=T] [--repeat=R] "
+               "[--ping|--stats|--shutdown] [file]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--socket=", 0) == 0) {
+      options.socket_path = arg.substr(9);
+    } else if (arg.rfind("--tcp=", 0) == 0) {
+      const std::string spec = arg.substr(6);
+      const auto colon = spec.rfind(':');
+      if (colon == std::string::npos || colon + 1 >= spec.size()) return false;
+      options.tcp_host = spec.substr(0, colon);
+      const long long port = std::strtoll(spec.c_str() + colon + 1, nullptr, 10);
+      if (port <= 0 || port > 65535) return false;
+      options.tcp_port = static_cast<std::uint16_t>(port);
+      options.use_tcp = true;
+    } else if (arg == "--stdin") {
+      options.input_path = "-";
+    } else if (arg.rfind("--priority=", 0) == 0) {
+      const std::string p = arg.substr(11);
+      if (p == "normal") options.priority = 0;
+      else if (p == "high") options.priority = 1;
+      else return false;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      options.deadline_ms = static_cast<std::uint32_t>(
+          std::strtoul(arg.c_str() + 14, nullptr, 10));
+    } else if (arg.rfind("--tenant=", 0) == 0) {
+      options.tenant = arg.substr(9);
+    } else if (arg == "--want-data") {
+      options.want_data = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 10, nullptr, 10));
+      if (options.threads == 0) return false;
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      options.repeat = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 9, nullptr, 10));
+      if (options.repeat == 0) return false;
+    } else if (arg == "--ping") {
+      options.ping = true;
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else if (arg == "--shutdown") {
+      options.shutdown = true;
+    } else if (arg != "-" && !arg.empty() && arg[0] == '-') {
+      return false;
+    } else {
+      options.input_path = arg;
+    }
+  }
+  return !options.socket_path.empty() || options.use_tcp;
+}
+
+support::Expected<support::Socket> connect(const Options& options) {
+  if (options.use_tcp) {
+    return support::connect_tcp(options.tcp_host, options.tcp_port);
+  }
+  return support::connect_unix(options.socket_path);
+}
+
+int status_exit_code(service::Status status) {
+  switch (status) {
+    case service::Status::kOk: return 0;
+    case service::Status::kRejected: return 1;
+    case service::Status::kShed: return 4;
+    case service::Status::kError: return 3;
+  }
+  return 3;
+}
+
+void print_summary(const service::Response& response) {
+  const auto& run = response.run;
+  std::fprintf(stderr,
+               "coalesce-client: %s: %llu parallel / %llu sequential roots, "
+               "%llu/%llu iterations, %llu dispatch ops, %.3f ms%s%s\n",
+               service::to_string(response.status),
+               static_cast<unsigned long long>(run.parallel_roots),
+               static_cast<unsigned long long>(run.sequential_roots),
+               static_cast<unsigned long long>(run.iterations),
+               static_cast<unsigned long long>(run.iterations_requested),
+               static_cast<unsigned long long>(run.dispatch_ops),
+               static_cast<double>(run.wall_ns) / 1e6,
+               run.cancelled ? " [cancelled]" : "",
+               run.deadline_expired ? " [deadline expired]" : "");
+}
+
+int run_single(const Options& options, const service::Request& request) {
+  auto socket = connect(options);
+  if (!socket.ok()) {
+    std::fprintf(stderr, "coalesce-client: %s\n",
+                 socket.error().to_string().c_str());
+    return 2;
+  }
+  auto response = service::call(socket.value(), request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "coalesce-client: %s\n",
+                 response.error().to_string().c_str());
+    return 3;
+  }
+  const service::Response& reply = response.value();
+  switch (reply.status) {
+    case service::Status::kOk:
+      if (request.type == service::MessageType::kSubmit) {
+        print_summary(reply);
+        for (const auto& array : reply.arrays) {
+          std::fprintf(stdout, "%s:", array.name.c_str());
+          for (const double v : array.data) std::fprintf(stdout, " %g", v);
+          std::fputc('\n', stdout);
+        }
+      } else if (request.type == service::MessageType::kStats) {
+        const auto& c = reply.counters;
+        std::fprintf(stdout,
+                     "accepted=%llu rejected=%llu shed=%llu completed=%llu "
+                     "connections=%llu queue_depth=%llu\n",
+                     static_cast<unsigned long long>(c.accepted),
+                     static_cast<unsigned long long>(c.rejected),
+                     static_cast<unsigned long long>(c.shed),
+                     static_cast<unsigned long long>(c.completed),
+                     static_cast<unsigned long long>(c.connections),
+                     static_cast<unsigned long long>(c.queue_depth));
+      } else if (!reply.message.empty()) {
+        std::fprintf(stderr, "coalesce-client: %s\n", reply.message.c_str());
+      }
+      break;
+    case service::Status::kRejected:
+      std::fprintf(stderr, "coalesce-client: rejected: %s\n",
+                   reply.message.c_str());
+      if (!reply.diagnostics.empty()) {
+        std::fputs(reply.diagnostics.c_str(), stdout);
+        std::fputc('\n', stdout);
+      }
+      break;
+    case service::Status::kShed:
+      std::fprintf(stderr, "coalesce-client: shed: %s\n",
+                   reply.message.c_str());
+      break;
+    case service::Status::kError:
+      std::fprintf(stderr, "coalesce-client: server error: %s\n",
+                   reply.message.c_str());
+      break;
+  }
+  return status_exit_code(reply.status);
+}
+
+/// One load-generator connection: `repeat` submissions, per-request
+/// latency appended to `latencies_ns` (under `mutex`).
+struct LoadCounts {
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  std::size_t shed = 0;
+  std::size_t errors = 0;
+};
+
+void load_worker(const Options& options, const service::Request& request,
+                 std::mutex& mutex, std::vector<double>& latencies_ns,
+                 LoadCounts& counts) {
+  auto socket = connect(options);
+  if (!socket.ok()) {
+    std::lock_guard<std::mutex> lock(mutex);
+    counts.errors += options.repeat;
+    return;
+  }
+  std::vector<double> local;
+  LoadCounts local_counts;
+  local.reserve(options.repeat);
+  for (std::size_t r = 0; r < options.repeat; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto response = service::call(socket.value(), request);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!response.ok()) {
+      ++local_counts.errors;
+      continue;
+    }
+    local.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+    switch (response.value().status) {
+      case service::Status::kOk: ++local_counts.ok; break;
+      case service::Status::kRejected: ++local_counts.rejected; break;
+      case service::Status::kShed: ++local_counts.shed; break;
+      case service::Status::kError: ++local_counts.errors; break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex);
+  latencies_ns.insert(latencies_ns.end(), local.begin(), local.end());
+  counts.ok += local_counts.ok;
+  counts.rejected += local_counts.rejected;
+  counts.shed += local_counts.shed;
+  counts.errors += local_counts.errors;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+int run_load(const Options& options, const service::Request& request) {
+  std::mutex mutex;
+  std::vector<double> latencies_ns;
+  LoadCounts counts;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(options.threads);
+  for (std::size_t t = 0; t < options.threads; ++t) {
+    workers.emplace_back([&] {
+      load_worker(options, request, mutex, latencies_ns, counts);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_s =
+      std::chrono::duration<double>(t1 - t0).count();
+
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  const std::size_t total = options.threads * options.repeat;
+  std::fprintf(stdout,
+               "coalesce-client: %zu requests (%zu threads x %zu) in %.3f s "
+               "(%.1f req/s)\n",
+               total, options.threads, options.repeat, wall_s,
+               wall_s > 0 ? static_cast<double>(total) / wall_s : 0.0);
+  std::fprintf(stdout,
+               "  ok=%zu rejected=%zu shed=%zu errors=%zu\n",
+               counts.ok, counts.rejected, counts.shed, counts.errors);
+  std::fprintf(stdout, "  latency p50=%.3f ms p99=%.3f ms max=%.3f ms\n",
+               percentile(latencies_ns, 0.50) / 1e6,
+               percentile(latencies_ns, 0.99) / 1e6,
+               latencies_ns.empty() ? 0.0 : latencies_ns.back() / 1e6);
+  return counts.errors == 0 ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) return usage(argv[0]);
+  const int modes = (options.ping ? 1 : 0) + (options.stats ? 1 : 0) +
+                    (options.shutdown ? 1 : 0);
+  if (modes > 1) return usage(argv[0]);
+
+  service::Request request;
+  if (options.ping) {
+    request.type = service::MessageType::kPing;
+  } else if (options.stats) {
+    request.type = service::MessageType::kStats;
+  } else if (options.shutdown) {
+    request.type = service::MessageType::kShutdown;
+  } else {
+    auto source = frontend::read_source(options.input_path);
+    if (!source.ok()) {
+      std::fprintf(stderr, "coalesce-client: %s\n",
+                   source.error().to_string().c_str());
+      return 2;
+    }
+    request.type = service::MessageType::kSubmit;
+    request.submit.priority = options.priority;
+    request.submit.want_data = options.want_data;
+    request.submit.deadline_ms = options.deadline_ms;
+    request.submit.tenant = options.tenant;
+    request.submit.source = std::move(source).value();
+  }
+
+  if (options.threads > 0) {
+    if (request.type != service::MessageType::kSubmit) {
+      std::fprintf(stderr,
+                   "coalesce-client: --threads applies to submissions\n");
+      return 2;
+    }
+    return run_load(options, request);
+  }
+  return run_single(options, request);
+}

@@ -8,6 +8,8 @@
 //   coalescec [options] [file]          (file defaults to stdin)
 //
 // Options:
+//   --stdin            read the program from stdin explicitly (same as
+//                      passing "-" or omitting the file argument)
 //   --analyze          prove and set DOALL flags (default on; --no-analyze)
 //   --make-perfect     distribute loops to maximize perfect bands
 //   --coalesce         coalesce every maximal parallel band (default)
@@ -50,8 +52,6 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <iostream>
-#include <sstream>
 #include <string>
 #include <thread>
 
@@ -89,7 +89,7 @@ struct Options {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--analyze|--no-analyze] [--make-perfect] "
+               "usage: %s [--stdin] [--analyze|--no-analyze] [--make-perfect] "
                "[--coalesce|--no-coalesce] [--guarded] [--collapse=K] "
                "[--mixed-radix] [--expand-scalars] [--emit=ir|c|c-main] "
                "[--openmp] [--lint] [--lint-format=text|json|sarif] "
@@ -105,7 +105,8 @@ int usage(const char* argv0) {
 bool parse_args(int argc, char** argv, Options& options) {
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
-    if (arg == "--analyze") options.analyze = true;
+    if (arg == "--stdin") options.input_path = "-";
+    else if (arg == "--analyze") options.analyze = true;
     else if (arg == "--no-analyze") options.analyze = false;
     else if (arg == "--make-perfect") options.make_perfect = true;
     else if (arg == "--coalesce") options.do_coalesce = true;
@@ -136,7 +137,7 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.inject_fault = arg.substr(15);
     else if (arg == "--report") options.report = true;
     else if (arg == "--dot") options.dot = true;
-    else if (!arg.empty() && arg[0] == '-') return false;
+    else if (arg != "-" && !arg.empty() && arg[0] == '-') return false;
     else options.input_path = arg;
   }
   if (options.lint_format != "text" && options.lint_format != "json" &&
@@ -174,19 +175,13 @@ bool parse_fault_spec(const std::string& spec,
 }
 
 std::string read_input(const Options& options) {
-  if (options.input_path.empty()) {
-    std::ostringstream buffer;
-    buffer << std::cin.rdbuf();
-    return buffer.str();
-  }
-  std::ifstream in(options.input_path);
-  if (!in) {
-    std::fprintf(stderr, "coalescec: cannot open %s\n",
-                 options.input_path.c_str());
+  auto source = frontend::read_source(options.input_path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "coalescec: %s\n",
+                 source.error().to_string().c_str());
     std::exit(1);
   }
-  return std::string(std::istreambuf_iterator<char>(in),
-                     std::istreambuf_iterator<char>());
+  return std::move(source).value();
 }
 
 void print_stats(const char* label, const ir::Program& program) {
@@ -255,8 +250,7 @@ int main(int argc, char** argv) {
 
   if (options.lint) {
     const auto diags = analysis::lint_program(original);
-    const std::string file =
-        options.input_path.empty() ? "<stdin>" : options.input_path;
+    const std::string file = frontend::source_name(options.input_path);
     if (options.lint_format == "json") {
       std::fputs(analysis::render_json(diags).c_str(), stdout);
     } else if (options.lint_format == "sarif") {

@@ -1,0 +1,181 @@
+// coalesced — the persistent loop-program service daemon.
+//
+// Accepts framed .loop submissions over a Unix-domain socket (and
+// optionally loopback TCP), admission-checks each one (parse + IR verify +
+// coalesce-lint), and schedules the survivors through one shared Engine.
+// See docs/SERVICE.md for the protocol and coalesce-client for the
+// matching CLI.
+//
+// Usage:
+//   coalesced --socket=PATH [options]
+//
+// Options:
+//   --socket=PATH        Unix-domain socket to listen on (unlinked on exit)
+//   --tcp=PORT           also listen on loopback TCP (0 = ephemeral; the
+//                        bound port is printed at startup)
+//   --workers=N          engine worker threads (default: hardware)
+//   --queue=N            engine region-queue capacity (default 64); a full
+//                        queue sheds new submissions instead of buffering
+//   --tenant-quota=N     max in-flight submissions per tenant (default 8)
+//   --diag-format=F      rejection diagnostics format: json (default)|sarif
+//   --pidfile=PATH       write the daemon pid to PATH (removed on exit)
+//
+// Shutdown: SIGINT/SIGTERM or a kShutdown frame. Either way the daemon
+// finishes in-flight programs, drains the engine, prints a counters
+// summary to stderr, and exits 0.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "coalesce.hpp"
+
+namespace {
+
+using namespace coalesce;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+
+struct Options {
+  std::string socket_path;
+  bool tcp = false;
+  std::uint16_t tcp_port = 0;
+  std::size_t workers = 0;
+  std::size_t queue = 64;
+  std::size_t tenant_quota = 8;
+  std::string diag_format = "json";
+  std::string pidfile;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket=PATH [--tcp=PORT] [--workers=N] "
+               "[--queue=N] [--tenant-quota=N] [--diag-format=json|sarif] "
+               "[--pidfile=PATH]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_size(const std::string& text, std::size_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--socket=", 0) == 0) {
+      options.socket_path = arg.substr(9);
+    } else if (arg.rfind("--tcp=", 0) == 0) {
+      std::size_t port = 0;
+      if (!parse_size(arg.substr(6), &port) || port > 65535) return false;
+      options.tcp = true;
+      options.tcp_port = static_cast<std::uint16_t>(port);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      if (!parse_size(arg.substr(10), &options.workers)) return false;
+    } else if (arg.rfind("--queue=", 0) == 0) {
+      if (!parse_size(arg.substr(8), &options.queue) || options.queue == 0)
+        return false;
+    } else if (arg.rfind("--tenant-quota=", 0) == 0) {
+      if (!parse_size(arg.substr(15), &options.tenant_quota)) return false;
+    } else if (arg.rfind("--diag-format=", 0) == 0) {
+      options.diag_format = arg.substr(14);
+      if (options.diag_format != "json" && options.diag_format != "sarif")
+        return false;
+    } else if (arg.rfind("--pidfile=", 0) == 0) {
+      options.pidfile = arg.substr(10);
+    } else {
+      return false;
+    }
+  }
+  return !options.socket_path.empty() || options.tcp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) return usage(argv[0]);
+
+  service::ServerOptions server_options;
+  server_options.unix_path = options.socket_path;
+  server_options.tcp = options.tcp;
+  server_options.tcp_port = options.tcp_port;
+  server_options.engine_workers = options.workers;
+  server_options.queue_capacity = options.queue;
+  server_options.tenant_quota = options.tenant_quota;
+  server_options.diagnostics = options.diag_format == "sarif"
+                                   ? service::DiagnosticsFormat::kSarif
+                                   : service::DiagnosticsFormat::kJson;
+
+  auto server = service::Server::create(std::move(server_options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "coalesced: %s\n",
+                 server.error().to_string().c_str());
+    return 1;
+  }
+
+  if (!options.pidfile.empty()) {
+    std::FILE* pid = std::fopen(options.pidfile.c_str(), "w");
+    if (pid == nullptr) {
+      std::fprintf(stderr, "coalesced: cannot write pidfile %s\n",
+                   options.pidfile.c_str());
+      return 1;
+    }
+    std::fprintf(pid, "%ld\n", static_cast<long>(::getpid()));
+    std::fclose(pid);
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  service::Server& daemon = *server.value();
+  daemon.start();
+  if (!daemon.unix_path().empty()) {
+    std::fprintf(stdout, "coalesced: listening on %s\n",
+                 daemon.unix_path().c_str());
+  }
+  if (options.tcp) {
+    std::fprintf(stdout, "coalesced: listening on tcp 127.0.0.1:%u\n",
+                 static_cast<unsigned>(daemon.tcp_port()));
+  }
+  std::fprintf(stdout, "coalesced: %zu engine workers, queue %zu, "
+               "tenant quota %zu\n",
+               daemon.engine_workers(), options.queue, options.tenant_quota);
+  std::fflush(stdout);
+
+  // The stop request can come from a kShutdown frame (daemon.wait_for_stop
+  // sees it) or from a signal (g_signal); poll both.
+  for (;;) {
+    if (daemon.wait_for_stop(200)) break;
+    if (g_signal != 0) {
+      std::fprintf(stderr, "coalesced: caught signal %d, shutting down\n",
+                   static_cast<int>(g_signal));
+      daemon.request_stop();
+      break;
+    }
+  }
+  daemon.stop();
+
+  const auto counters = daemon.counters();
+  std::fprintf(stderr,
+               "coalesced: served %llu connections: %llu accepted "
+               "(%llu completed), %llu rejected, %llu shed\n",
+               static_cast<unsigned long long>(counters.connections),
+               static_cast<unsigned long long>(counters.accepted),
+               static_cast<unsigned long long>(counters.completed),
+               static_cast<unsigned long long>(counters.rejected),
+               static_cast<unsigned long long>(counters.shed));
+
+  if (!options.pidfile.empty()) std::remove(options.pidfile.c_str());
+  return 0;
+}
