@@ -70,9 +70,70 @@ int main(int argc, char** argv) {
     table.print();
   }
 
+  // ---- E20 analogues: the kernels bench_e20_contiguity times for real,
+  // replayed through the simulator's row-switch model. An access walk with
+  // inner contiguous run length L is the space {total/L, L}: the simulator
+  // charges row_switch each time execution leaves a length-L row, which is
+  // exactly what the locality permutation changes. "default" is the
+  // written order (runs of 1), "locality" the permuted/tiled order.
+  {
+    sim::CostModel costs;
+    costs.dispatch = 8;
+    costs.row_switch = 100;
+
+    struct Geometry {
+      const char* name;
+      std::vector<i64> default_extents;
+      i64 default_chunk;
+      std::vector<i64> locality_extents;
+      i64 locality_chunk;
+    };
+    const Geometry geometries[] = {
+        // stride-N inner walk -> stride-1 inner after the reversal
+        {"transposed", {4096, 1}, 64, {64, 64}, 64},
+        // stride-16 inner walk -> contiguous runs of 16 after the reversal
+        {"strided16", {4096, 1}, 64, {256, 16}, 16},
+        // naive transpose rows -> 8x64 tiles (one tile per dispatch)
+        {"blocked", {4096, 1}, 64, {64, 64}, 512},
+    };
+    support::Table table(support::format(
+        "E15: E20 kernel geometries, P=%zu, sigma=8, row-switch=100u",
+        procs));
+    table.header({"kernel", "default", "locality", "ratio"});
+    for (const auto& g : geometries) {
+      const auto run_geometry = [&](const std::vector<i64>& extents,
+                                    i64 chunk) {
+        const auto geo_space = index::CoalescedSpace::create(extents).value();
+        return sim::simulate_coalesced_dynamic(
+            geo_space, procs, {sim::SimSchedule::kChunked, chunk}, costs,
+            sim::Workload::constant(geo_space.total(), 25));
+      };
+      const auto with_default = run_geometry(g.default_extents,
+                                             g.default_chunk);
+      const auto with_locality = run_geometry(g.locality_extents,
+                                              g.locality_chunk);
+      const double ratio = static_cast<double>(with_default.completion) /
+                           static_cast<double>(with_locality.completion);
+      table.cell(g.name)
+          .cell(with_default.completion)
+          .cell(with_locality.completion)
+          .cell(ratio, 2)
+          .end_row();
+      reporter.record("e20_geometry")
+          .field("kernel", g.name)
+          .field("P", procs)
+          .field("row_switch", i64{100})
+          .field("default_completion", with_default.completion)
+          .field("locality_completion", with_locality.completion)
+          .field("ratio", ratio);
+    }
+    table.print();
+  }
+
   std::printf(
       "note: the runtime analogue is run() with LaunchOptions::tile_sizes, "
       "which dispatches whole rectangular tiles (one dispatch, contiguous "
-      "rows).\n");
+      "rows); bench_e20_contiguity measures the same three kernels on real "
+      "arrays.\n");
   return 0;
 }

@@ -1,0 +1,90 @@
+#include "analysis/contiguity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "analysis/subscript.hpp"
+
+namespace coalesce::analysis {
+
+namespace {
+
+/// Elements per 64-byte cache line at double granularity: the stride at
+/// which every advance of an axis touches a fresh line.
+constexpr double kLineElements = 8.0;
+
+/// Expected misses per advance for one reference at element stride `s`.
+double miss_cost_of_stride(std::int64_t s) noexcept {
+  if (s == 0) return 0.0;  // loop-invariant w.r.t. this axis
+  const double hops = static_cast<double>(s < 0 ? -s : s) / kLineElements;
+  return std::min(1.0, hops);
+}
+
+/// Row-major linearized strides of an array's subscript dimensions:
+/// stride of dim d = product of extents d+1..D-1. Empty (= unscorable)
+/// when any extent is missing or non-positive.
+std::vector<std::int64_t> row_strides(const std::vector<std::int64_t>& shape) {
+  std::vector<std::int64_t> strides(shape.size(), 1);
+  std::int64_t acc = 1;
+  for (std::size_t d = shape.size(); d-- > 0;) {
+    strides[d] = acc;
+    if (shape[d] <= 0) return {};
+    acc *= shape[d];
+  }
+  return strides;
+}
+
+}  // namespace
+
+ContiguityInfo analyze_contiguity(const ir::LoopNest& nest) {
+  ContiguityInfo info;
+  if (nest.root == nullptr) return info;
+  const std::vector<const ir::Loop*> band = ir::perfect_band(*nest.root);
+
+  info.axes.reserve(band.size());
+  for (std::size_t level = 0; level < band.size(); ++level) {
+    info.axes.push_back(AxisContiguity{band[level]->var, level, 0.0, 0});
+  }
+
+  const std::vector<ArrayRef> refs = collect_array_refs(*nest.root);
+  info.refs_total = refs.size();
+  for (const ArrayRef& ref : refs) {
+    const ir::Symbol& symbol = nest.symbols[ref.array];
+    const std::vector<std::int64_t> strides = row_strides(symbol.shape);
+    const bool affine =
+        std::all_of(ref.subscripts.begin(), ref.subscripts.end(),
+                    [](const auto& s) { return s.has_value(); });
+    if (!affine || strides.size() != ref.subscripts.size()) {
+      // Non-affine subscript, rank/shape mismatch, or unknown extents: we
+      // cannot place this reference in memory, so no order derived from
+      // the scored refs alone is trustworthy.
+      ++info.refs_skipped;
+      info.conservative = true;
+      continue;
+    }
+    for (AxisContiguity& axis : info.axes) {
+      // Element stride of this reference when `axis` advances one step:
+      // each subscript dimension moves by step * coeff, scaled by its
+      // row-major stride.
+      std::int64_t stride = 0;
+      for (std::size_t d = 0; d < strides.size(); ++d) {
+        stride += ref.subscripts[d]->coeff(axis.var) * strides[d];
+      }
+      stride *= band[axis.level]->step;
+      if (stride != 0) ++axis.moving_refs;
+      const double weight = ref.kind == RefKind::kWrite ? 2.0 : 1.0;
+      axis.miss_cost += weight * miss_cost_of_stride(stride);
+    }
+  }
+
+  info.ranked.resize(info.axes.size());
+  std::iota(info.ranked.begin(), info.ranked.end(), std::size_t{0});
+  std::stable_sort(info.ranked.begin(), info.ranked.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return info.axes[a].miss_cost > info.axes[b].miss_cost;
+                   });
+  return info;
+}
+
+}  // namespace coalesce::analysis

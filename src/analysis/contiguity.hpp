@@ -1,0 +1,75 @@
+// Access-contiguity analysis: which nest axis should run innermost?
+//
+// Coalescing fixes the DISPATCH order of a nest to the row-major sweep of
+// whatever loop order the nest arrived in. On a real memory hierarchy that
+// order is not neutral: stepping the axis that moves array references by
+// one element walks cache lines sequentially, while stepping an axis that
+// moves them by a whole row misses on every iteration. This analysis ranks
+// the axes of a perfect band by how expensive it is to step them, using
+// the affine subscript views of analysis/subscript.hpp and the array
+// shapes recorded in the symbol table:
+//
+//   element_stride(axis, ref) = step(axis) * sum_d coeff_d(axis) * rowstride_d
+//
+// where rowstride_d is the row-major linearized stride of subscript
+// dimension d (product of the trailing extents). The per-step miss cost of
+// one reference is 0 for a stride of 0 (the axis does not move the
+// reference — it stays in registers/cache), and min(1, |stride| / 8)
+// otherwise: 8 elements per 64-byte line at double granularity, saturating
+// at one miss per iteration. Writes count double (a miss costs the
+// read-for-ownership plus the eventual writeback).
+//
+// Anything non-affine — or an array whose declared shape does not match
+// its subscript count — flips the `conservative` flag and contributes
+// nothing; the cost model (codegen/cost_model.hpp) treats a conservative
+// analysis as "leave the order alone".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ir/stmt.hpp"
+
+namespace coalesce::analysis {
+
+/// One band axis's contiguity verdict.
+struct AxisContiguity {
+  ir::VarId var;           ///< the axis's induction variable
+  std::size_t level = 0;   ///< band level, 0 = outermost
+  /// Weighted expected cache-miss cost of advancing this axis by one step,
+  /// summed over every affine array reference in the band body. Lower =
+  /// more contiguous = better innermost candidate.
+  double miss_cost = 0.0;
+  /// References this axis actually moves (nonzero element stride).
+  std::uint64_t moving_refs = 0;
+};
+
+/// Contiguity ranking of a nest's perfect band.
+struct ContiguityInfo {
+  /// Per-axis verdicts in band order (outermost first).
+  std::vector<AxisContiguity> axes;
+  /// Band levels sorted most-expensive-first (stable: ties keep band
+  /// order). A locality-aware order runs ranked.front() outermost and
+  /// ranked.back() innermost; a fully tied ranking is the identity.
+  std::vector<std::size_t> ranked;
+  /// True when some reference could not be scored (non-affine subscript,
+  /// shape/subscript mismatch, missing extents). Consumers should keep the
+  /// original order.
+  bool conservative = false;
+  std::size_t refs_total = 0;    ///< array references seen
+  std::size_t refs_skipped = 0;  ///< references that could not be scored
+
+  /// Convenience: the band level a locality-aware order would run
+  /// innermost (the cheapest axis); band order's last level when empty.
+  [[nodiscard]] std::size_t innermost() const noexcept {
+    return ranked.empty() ? 0 : ranked.back();
+  }
+};
+
+/// Ranks the perfect band of `nest` by access contiguity. Always returns a
+/// verdict for every band axis; `conservative` says whether the scores can
+/// be trusted for reordering.
+[[nodiscard]] ContiguityInfo analyze_contiguity(const ir::LoopNest& nest);
+
+}  // namespace coalesce::analysis

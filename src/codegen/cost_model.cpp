@@ -1,7 +1,11 @@
 #include "codegen/cost_model.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 #include "support/assert.hpp"
 #include "support/strings.hpp"
+#include "transform/permute.hpp"
 
 namespace coalesce::codegen {
 
@@ -91,6 +95,85 @@ OpCounts count_body_ops(const ir::Loop& loop) {
   OpCounts c;
   count_body(loop.body, c);
   return c;
+}
+
+double memory_cost_per_iteration(const analysis::ContiguityInfo& info,
+                                 const std::vector<std::size_t>& order) {
+  if (order.empty()) return 0.0;
+  const std::size_t innermost = order.back();
+  COALESCE_ASSERT(innermost < info.axes.size());
+  return info.axes[innermost].miss_cost;
+}
+
+namespace {
+
+std::vector<std::size_t> identity_perm(std::size_t depth) {
+  std::vector<std::size_t> perm(depth);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  return perm;
+}
+
+/// Tile edges for the post-permutation order: a long innermost edge (runs
+/// of whole cache lines) and short outer edges (keep the working set of
+/// one tile small), each clamped to the axis's constant trip count when
+/// known.
+std::vector<std::int64_t> tile_hint_for(
+    const std::vector<const ir::Loop*>& band,
+    const std::vector<std::size_t>& perm) {
+  constexpr std::int64_t kInnerEdge = 64;
+  constexpr std::int64_t kOuterEdge = 8;
+  if (perm.size() < 2) return {};
+  std::vector<std::int64_t> hint(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    const std::int64_t edge = k + 1 == perm.size() ? kInnerEdge : kOuterEdge;
+    const auto trip = ir::constant_trip_count(*band[perm[k]]);
+    hint[k] = trip.has_value() && *trip >= 1 ? std::min(edge, *trip) : edge;
+  }
+  return hint;
+}
+
+}  // namespace
+
+PermutationChoice choose_permutation(const ir::LoopNest& nest) {
+  PermutationChoice choice;
+  if (nest.root == nullptr) return choice;
+  const std::vector<const ir::Loop*> band = ir::perfect_band(*nest.root);
+  const analysis::ContiguityInfo info = analysis::analyze_contiguity(nest);
+  choice.perm = identity_perm(band.size());
+  choice.conservative = info.conservative;
+  choice.cost_before = memory_cost_per_iteration(info, choice.perm);
+  choice.cost_after = choice.cost_before;
+  choice.tile_hint = tile_hint_for(band, choice.perm);
+  if (band.size() < 2 || info.conservative) return choice;
+
+  // The ranking IS the desired order: most-expensive axis outermost,
+  // cheapest innermost.
+  const std::vector<std::size_t>& desired = info.ranked;
+  const double cost_after = memory_cost_per_iteration(info, desired);
+  if (desired == choice.perm || cost_after >= choice.cost_before) {
+    return choice;  // already optimal (or tied — prefer the given order)
+  }
+  const auto legal = transform::permutation_legal(nest, desired);
+  if (!legal.ok() || !legal.value()) {
+    choice.legal = false;  // profitable but dependence-illegal: keep order
+    return choice;
+  }
+  choice.perm = desired;
+  choice.cost_after = cost_after;
+  choice.tile_hint = tile_hint_for(band, choice.perm);
+  return choice;
+}
+
+ir::LoopNest permute_for_locality(const ir::LoopNest& nest) {
+  const PermutationChoice choice = choose_permutation(nest);
+  if (choice.worthwhile()) {
+    auto permuted = transform::permute(nest, choice.perm);
+    if (permuted.ok()) return std::move(permuted).value();
+    // permute re-verifies against the shadow oracle internally; a failure
+    // here means "don't touch it", not "give up on the nest".
+  }
+  return ir::LoopNest{nest.symbols,
+                      nest.root != nullptr ? ir::clone(*nest.root) : nullptr};
 }
 
 }  // namespace coalesce::codegen

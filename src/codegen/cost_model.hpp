@@ -1,12 +1,24 @@
-// Static operation counting for emitted code — the reproduction's analogue
-// of the paper era's "number of instructions" accounting. Experiment E7
-// reports these counts for the two index-recovery styles next to measured
-// per-iteration times.
+// Static cost modelling for emitted code.
+//
+// Two layers:
+//  * OpCounts — the reproduction's analogue of the paper era's "number of
+//    instructions" accounting (experiment E7 reports these next to
+//    measured per-iteration times);
+//  * the memory term — a cache-miss estimate over the contiguity analysis
+//    (analysis/contiguity.hpp) that choose_permutation() uses to pick the
+//    axis order a nest should be coalesced in: most-contiguous axis
+//    innermost, so the flattened dispatch order walks memory sequentially.
+//    permute_for_locality() is the pipeline stage form — contiguity ->
+//    transform/permute -> (caller's) transform/coalesce — surfaced as
+//    --locality in coalescec and LaunchOptions::locality at runtime.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "analysis/contiguity.hpp"
 #include "ir/stmt.hpp"
 
 namespace coalesce::codegen {
@@ -34,5 +46,62 @@ struct OpCounts {
 /// excluding iterations of nested loops (their headers count as nothing;
 /// use transform::compute_stats for whole-nest dynamic counts).
 [[nodiscard]] OpCounts count_body_ops(const ir::Loop& loop);
+
+// ---- memory term -----------------------------------------------------------
+
+/// Estimated cache-miss cost per innermost iteration of executing the band
+/// in the level order `order` (a permutation of 0..depth-1, outermost
+/// first): the miss cost of the axis that runs innermost. Outer axes
+/// advance once per full inner sweep, so their misses amortize to noise;
+/// the innermost axis advances every iteration and dominates.
+[[nodiscard]] double memory_cost_per_iteration(
+    const analysis::ContiguityInfo& info,
+    const std::vector<std::size_t>& order);
+
+/// The cost model's verdict on how a nest's band should be ordered before
+/// coalescing fixes the dispatch order.
+struct PermutationChoice {
+  /// Band permutation, outermost first: new level k runs old level
+  /// perm[k]. Identity when no reorder is wanted (or allowed).
+  std::vector<std::size_t> perm;
+  /// Per-level tile-size hint for the POST-permutation order (usable as
+  /// LaunchOptions::tile_sizes): generous innermost edge (line-friendly
+  /// runs), short outer edges. Empty when depth < 2.
+  std::vector<std::int64_t> tile_hint;
+  double cost_before = 0.0;  ///< memory cost/iter of the original order
+  double cost_after = 0.0;   ///< memory cost/iter of `perm`
+  /// The contiguity analysis could not score every reference; perm is the
+  /// identity and the costs are not trustworthy.
+  bool conservative = false;
+  /// False when the profitable order failed the dependence legality check
+  /// (perm is then the identity).
+  bool legal = true;
+
+  [[nodiscard]] bool is_identity() const noexcept {
+    for (std::size_t k = 0; k < perm.size(); ++k) {
+      if (perm[k] != k) return false;
+    }
+    return true;
+  }
+  /// True when applying `perm` is expected to pay: a legal, confidently
+  /// scored, non-identity order with strictly lower memory cost.
+  [[nodiscard]] bool worthwhile() const noexcept {
+    return !conservative && legal && !is_identity() &&
+           cost_after < cost_before;
+  }
+};
+
+/// Ranks the nest's band by contiguity and picks the axis order with the
+/// cheapest innermost axis, validated against the dependence legality
+/// check (transform::permutation_legal). Falls back to the identity when
+/// the analysis is conservative, the band is trivial, the ranking already
+/// matches, or the reorder is illegal.
+[[nodiscard]] PermutationChoice choose_permutation(const ir::LoopNest& nest);
+
+/// Pipeline-stage form: applies choose_permutation's order via
+/// transform::permute (shadow-oracle-verified inside) when worthwhile;
+/// otherwise returns a clone of the nest unchanged. Compose as
+/// contiguity -> permute_for_locality -> transform/coalesce.
+[[nodiscard]] ir::LoopNest permute_for_locality(const ir::LoopNest& nest);
 
 }  // namespace coalesce::codegen

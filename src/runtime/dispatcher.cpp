@@ -1,6 +1,7 @@
 #include "runtime/dispatcher.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "support/assert.hpp"
 #include "support/strings.hpp"
@@ -146,6 +147,225 @@ void ChunkScheduleDispatcher::cancel() noexcept {
   cursor_.store(schedule_.chunk_count(), std::memory_order_relaxed);
 }
 
+namespace {
+
+// The sharded dispatcher's per-cluster state is one packed 64-bit word,
+// (limit << 32) | next, both 1-based iteration numbers. The caps in the
+// header guarantee the low half never carries into the high half: next
+// stays below total + workers * chunk <= 2^30 + 2^10 * 2^20 < 2^32.
+constexpr std::uint64_t lo32(std::uint64_t word) noexcept {
+  return word & 0xffff'ffffu;
+}
+constexpr std::uint64_t hi32(std::uint64_t word) noexcept {
+  return word >> 32;
+}
+constexpr std::uint64_t pack_range(std::uint64_t next,
+                                   std::uint64_t limit) noexcept {
+  return (limit << 32) | next;
+}
+
+/// Instrumentation tail of one completed steal: a kSteal span (arg0 =
+/// first stolen iteration, arg1 = range size) plus the steals counter.
+void trace_steal(std::uint64_t t0, i64 first, i64 size) {
+  if constexpr (trace::kEnabled) {
+    trace::Recorder* rec = trace::Recorder::current();
+    if (rec == nullptr) return;
+    const std::uint64_t t1 = rec->now_ns();
+    const std::uint32_t worker = trace::thread_worker();
+    rec->record(trace::EventKind::kSteal, worker, t0, t1, first, size);
+    rec->counters().add(worker, trace::Counter::kSteals);
+  } else {
+    (void)t0;
+    (void)first;
+    (void)size;
+  }
+}
+
+}  // namespace
+
+ShardedDispatcher::ShardedDispatcher(i64 total, i64 chunk_size,
+                                     std::size_t workers)
+    : total_(total),
+      chunk_(chunk_size),
+      workers_(workers),
+      shards_(std::max<std::size_t>(workers / kClusterWorkers, 1)) {
+  COALESCE_ASSERT(total >= 0 && total <= kMaxTotal);
+  COALESCE_ASSERT(chunk_size >= 1 && chunk_size <= kMaxChunk);
+  COALESCE_ASSERT(workers >= 1 && workers <= kMaxWorkers);
+  const auto blocks =
+      index::static_blocks(total_, static_cast<i64>(shards_.size()));
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].range.store(
+        pack_range(static_cast<std::uint64_t>(blocks[s].first),
+                   static_cast<std::uint64_t>(blocks[s].last)),
+        std::memory_order_relaxed);
+  }
+}
+
+support::Expected<std::unique_ptr<ShardedDispatcher>> ShardedDispatcher::create(
+    i64 total, i64 chunk_size, std::size_t workers) {
+  if (total < 0 || total > kMaxTotal) {
+    return support::make_error(
+        support::ErrorCode::kInvalidArgument,
+        support::format("sharded dispatcher total must be in [0, 2^30], "
+                        "got %lld",
+                        static_cast<long long>(total)));
+  }
+  if (chunk_size < 1 || chunk_size > kMaxChunk) {
+    return support::make_error(
+        support::ErrorCode::kInvalidArgument,
+        support::format("sharded chunk size must be in [1, 2^20], got %lld",
+                        static_cast<long long>(chunk_size)));
+  }
+  if (workers == 0 || workers > kMaxWorkers) {
+    return support::make_error(
+        support::ErrorCode::kInvalidArgument,
+        support::format("sharded dispatcher needs 1..1024 workers, got %zu",
+                        workers));
+  }
+  return std::make_unique<ShardedDispatcher>(total, chunk_size, workers);
+}
+
+index::Chunk ShardedDispatcher::next() {
+  const std::size_t home = cluster_of(trace::thread_worker());
+  Shard& mine = shards_[home];
+  for (;;) {
+    // Fast path: one fetch&add on the home cluster's word. The pre-check
+    // keeps exhausted polls from growing the cursor (same clamp rule as
+    // FetchAddDispatcher); at most one overshooting fetch_add per cluster
+    // mate can slip past it, bounded by workers * chunk < 2^31.
+    const std::uint64_t word = mine.range.load(std::memory_order_relaxed);
+    if (lo32(word) < hi32(word)) {
+      const std::uint64_t t0 = trace_clock();
+      const std::uint64_t prev = mine.range.fetch_add(
+          static_cast<std::uint64_t>(chunk_), std::memory_order_relaxed);
+      const i64 first = static_cast<i64>(lo32(prev));
+      const i64 limit = static_cast<i64>(hi32(prev));
+      // next and limit come from ONE atomic read (the fetch_add's return
+      // value), so a concurrent steal of the upper half either happened
+      // before the claim (limit already lowered) or after it (the CAS saw
+      // our bumped next) — never overlapping the grant.
+      if (first < limit) {
+        mine.ops.fetch_add(1, std::memory_order_relaxed);
+        const index::Chunk chunk{first, std::min(first + chunk_, limit)};
+        trace_dispatch(t0, chunk);
+        return chunk;
+      }
+    }
+    // Slow path: home shard drained (or poisoned).
+    if (cancelled_.load(std::memory_order_seq_cst)) return empty_chunk();
+    if (try_steal(home)) continue;  // fresh range installed: re-claim
+    if (exhausted()) return empty_chunk();
+    std::this_thread::yield();
+  }
+}
+
+bool ShardedDispatcher::try_steal(std::size_t home) {
+  Shard& mine = shards_[home];
+  if (mine.steal_lock.test_and_set(std::memory_order_acquire)) {
+    // A cluster mate is already stealing on our behalf; re-poll the shard
+    // and pick up whatever it installs.
+    return false;
+  }
+  // Re-check under the lock: a mate may have refilled the shard while we
+  // raced for the flag.
+  const std::uint64_t current = mine.range.load(std::memory_order_seq_cst);
+  if (lo32(current) < hi32(current)) {
+    mine.steal_lock.clear(std::memory_order_release);
+    return true;
+  }
+  // Steal protocol order matters for exhausted(): pending++ happens before
+  // the victim CAS (which makes the range invisible) and pending-- after
+  // the install CAS + epoch bump (which make it visible again).
+  pending_steals_.fetch_add(1, std::memory_order_seq_cst);
+  const std::uint64_t t0 = trace_clock();
+  bool installed = false;
+  for (std::size_t probe = 1; probe < shards_.size() && !installed; ++probe) {
+    Shard& victim = shards_[(home + probe) % shards_.size()];
+    std::uint64_t word = victim.range.load(std::memory_order_seq_cst);
+    // Bounded CAS attempts per victim: under load the word moves with
+    // every claim, so try a few times and move on rather than spin.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::uint64_t next = lo32(word);
+      const std::uint64_t limit = hi32(word);
+      if (next >= limit) break;  // victim drained; move to the next one
+      // Keep [next, mid) with the victim; take [mid, limit). A lone
+      // iteration cannot be split, so take it whole (mid == next) — a
+      // victim cluster with no active worker would otherwise strand it and
+      // livelock every thief in the exhaustion poll. A full-word CAS: any
+      // concurrent claim changes the word and fails us.
+      const std::uint64_t mid = next + (limit - next) / 2;
+      if (victim.range.compare_exchange_weak(word, pack_range(next, mid),
+                                             std::memory_order_seq_cst)) {
+        // Install the stolen range as the home shard's new word. Only
+        // cluster mates' overshooting fetch_adds contend here (the steal
+        // lock excludes other installers), so the retry loop terminates.
+        std::uint64_t expected = mine.range.load(std::memory_order_seq_cst);
+        while (!mine.range.compare_exchange_weak(
+            expected, pack_range(mid, limit), std::memory_order_seq_cst)) {
+        }
+        install_epoch_.fetch_add(1, std::memory_order_seq_cst);
+        mine.steal_count.fetch_add(1, std::memory_order_relaxed);
+        trace_steal(t0, static_cast<i64>(mid), static_cast<i64>(limit - mid));
+        if (cancelled_.load(std::memory_order_seq_cst)) {
+          // cancel() may have poisoned the shards before our install
+          // resurrected this one; re-poison so the stolen range dies too.
+          mine.range.store(0, std::memory_order_seq_cst);
+        }
+        installed = true;
+        break;
+      }
+      // compare_exchange reloaded `word`; retry against the fresh value.
+    }
+  }
+  pending_steals_.fetch_sub(1, std::memory_order_seq_cst);
+  mine.steal_lock.clear(std::memory_order_release);
+  return installed;
+}
+
+bool ShardedDispatcher::exhausted() const {
+  // Exact-exhaustion protocol; all five checks must pass. A steal that
+  // completed before the epoch read left its range visible to the scan; one
+  // in flight during the scan trips a pending check; one that completed
+  // mid-scan (victim CAS after its shard was scanned, install before the
+  // thief's shard was scanned) trips the epoch re-read.
+  const std::uint64_t epoch =
+      install_epoch_.load(std::memory_order_seq_cst);
+  if (pending_steals_.load(std::memory_order_seq_cst) != 0) return false;
+  for (const Shard& shard : shards_) {
+    const std::uint64_t word = shard.range.load(std::memory_order_seq_cst);
+    if (lo32(word) < hi32(word)) return false;
+  }
+  if (pending_steals_.load(std::memory_order_seq_cst) != 0) return false;
+  return install_epoch_.load(std::memory_order_seq_cst) == epoch;
+}
+
+std::uint64_t ShardedDispatcher::dispatch_ops() const noexcept {
+  std::uint64_t sum = 0;
+  for (const Shard& shard : shards_) {
+    sum += shard.ops.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::uint64_t ShardedDispatcher::steals() const noexcept {
+  std::uint64_t sum = 0;
+  for (const Shard& shard : shards_) {
+    sum += shard.steal_count.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void ShardedDispatcher::cancel() noexcept {
+  // Order matters: set the flag first, then poison. An install racing the
+  // poison either sees the flag afterwards (and re-poisons itself) or its
+  // install is overwritten by our store — either way the range dies.
+  cancelled_.store(true, std::memory_order_seq_cst);
+  for (Shard& shard : shards_) {
+    shard.range.store(0, std::memory_order_seq_cst);
+  }
+}
+
 PolicyDispatcher::PolicyDispatcher(i64 total,
                                    std::unique_ptr<index::ChunkPolicy> policy)
     : cursor_(1), remaining_(total), policy_(std::move(policy)) {
@@ -215,6 +435,16 @@ std::unique_ptr<index::ChunkPolicy> make_policy(Schedule kind, i64 total,
   }
 }
 
+/// True when a sharded shape fits the packed-word caps and has at least
+/// two clusters (one cluster has nobody to steal from — the plain
+/// single-counter dispatcher is strictly simpler there).
+bool sharded_eligible(i64 total, i64 chunk, std::size_t workers) {
+  return workers >= 2 * ShardedDispatcher::kClusterWorkers &&
+         workers <= ShardedDispatcher::kMaxWorkers &&
+         total <= ShardedDispatcher::kMaxTotal && chunk >= 1 &&
+         chunk <= ShardedDispatcher::kMaxChunk;
+}
+
 }  // namespace
 
 support::Expected<std::unique_ptr<Dispatcher>> make_dispatcher(
@@ -234,6 +464,10 @@ support::Expected<std::unique_ptr<Dispatcher>> make_dispatcher(
     case Schedule::kStaticCyclic:
       return std::unique_ptr<Dispatcher>{};  // static: no dispatcher
     case Schedule::kSelf:
+      if (params.sharded && sharded_eligible(total, 1, workers)) {
+        return std::unique_ptr<Dispatcher>{
+            std::make_unique<ShardedDispatcher>(total, 1, workers)};
+      }
       return std::unique_ptr<Dispatcher>{
           std::make_unique<FetchAddDispatcher>(total, 1)};
     case Schedule::kChunked: {
@@ -243,12 +477,29 @@ support::Expected<std::unique_ptr<Dispatcher>> make_dispatcher(
             support::format("chunk size must be >= 1, got %lld",
                             static_cast<long long>(params.chunk_size)));
       }
+      if (params.sharded &&
+          sharded_eligible(total, params.chunk_size, workers)) {
+        return std::unique_ptr<Dispatcher>{std::make_unique<ShardedDispatcher>(
+            total, params.chunk_size, workers)};
+      }
       return std::unique_ptr<Dispatcher>{
           std::make_unique<FetchAddDispatcher>(total, params.chunk_size)};
     }
     case Schedule::kGuided:
     case Schedule::kFactoring:
     case Schedule::kTrapezoid: {
+      if (params.sharded && !params.serialized) {
+        // The decreasing-chunk policies assume one global counter; under
+        // sharding, approximate their granularity with a fixed chunk of
+        // ~total / (16 P) — small enough to balance, big enough to stay
+        // off the counter.
+        const i64 chunk = std::max<i64>(
+            1, total / (static_cast<i64>(workers) * 16));
+        if (sharded_eligible(total, chunk, workers)) {
+          return std::unique_ptr<Dispatcher>{
+              std::make_unique<ShardedDispatcher>(total, chunk, workers)};
+        }
+      }
       auto policy =
           make_policy(params.kind, total, static_cast<i64>(workers));
       if (params.serialized) {

@@ -23,8 +23,9 @@ double seconds_between(std::int64_t start_ticks,
 
 }  // namespace
 
-Engine::Engine(std::size_t workers, std::size_t queue_capacity)
-    : queue_capacity_(queue_capacity) {
+Engine::Engine(std::size_t workers, std::size_t queue_capacity,
+               bool pin_workers)
+    : queue_capacity_(queue_capacity), pin_workers_(pin_workers) {
   COALESCE_ASSERT(workers >= 1);
   COALESCE_ASSERT(queue_capacity >= 1);
   threads_.reserve(workers);
@@ -101,6 +102,7 @@ void Engine::drain() {
 
 void Engine::worker_main(std::size_t w, std::stop_token stop) {
   trace::set_thread_worker(static_cast<std::uint32_t>(w));
+  if (pin_workers_) pin_current_thread_to_cpu(w);
   while (true) {
     std::shared_ptr<TaskBase> task;
     {

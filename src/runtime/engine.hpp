@@ -168,8 +168,11 @@ class Engine {
  public:
   /// Spawns `workers` dedicated threads (>= 1). `queue_capacity` bounds
   /// regions that are queued but not yet running; submit() blocks (and
-  /// try_submit() refuses) beyond it.
-  explicit Engine(std::size_t workers, std::size_t queue_capacity = 64);
+  /// try_submit() refuses) beyond it. With pin_workers, each worker is
+  /// pinned to CPU (id mod online CPUs); best-effort, see
+  /// pin_current_thread_to_cpu.
+  explicit Engine(std::size_t workers, std::size_t queue_capacity = 64,
+                  bool pin_workers = false);
 
   /// Drains — every accepted region runs to retirement, every future
   /// resolves — then joins the workers.
@@ -401,10 +404,14 @@ class Engine {
     if (params.kind == Schedule::kStaticBlock) {
       const i64 chunk = std::max<i64>(
           1, support::ceil_div(total, static_cast<i64>(concurrency())));
-      return {.kind = Schedule::kChunked, .chunk_size = chunk};
+      params.kind = Schedule::kChunked;
+      params.chunk_size = chunk;
+      return params;  // serialized/sharded preserved
     }
     if (params.kind == Schedule::kStaticCyclic) {
-      return {.kind = Schedule::kSelf, .chunk_size = 1};
+      params.kind = Schedule::kSelf;
+      params.chunk_size = 1;
+      return params;  // serialized/sharded preserved
     }
     return params;
   }
@@ -425,9 +432,9 @@ class Engine {
     auto state = std::make_shared<detail::FutureState<T>>();
     state->region_id = id;
     auto task = std::make_shared<Task<T, RunChunk, MakeResult>>(
-        total, remap_static(opts.schedule, total), concurrency(),
-        opts.control, id, std::move(run_chunk), std::move(make_result),
-        state);
+        total, remap_static(detail::effective_schedule(opts), total),
+        concurrency(), opts.control, id, std::move(run_chunk),
+        std::move(make_result), state);
     task->ctx.requested_override = requested_override;
     return {std::move(task), RegionFuture<T>(std::move(state))};
   }
@@ -456,6 +463,7 @@ class Engine {
   std::size_t inflight_ = 0;                      // guarded by mutex_
   bool accepting_ = true;                         // guarded by mutex_
 
+  const bool pin_workers_;
   std::vector<std::jthread> threads_;
 };
 

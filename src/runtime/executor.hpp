@@ -78,6 +78,8 @@ struct RunControl {
 struct ForStats {
   std::uint64_t dispatch_ops = 0;      ///< synchronized allocation points
   std::uint64_t chunks_executed = 0;
+  /// Inter-cluster range steals (sharded dispatcher only; 0 otherwise).
+  std::uint64_t steals = 0;
   std::vector<std::uint64_t> iterations_per_worker;
   double wall_seconds = 0.0;
   /// Iterations the caller asked for (the coalesced total N). With
@@ -198,6 +200,7 @@ struct RegionContext {
     }
     stats.dispatch_ops =
         dispatcher != nullptr ? dispatcher->dispatch_ops() : 0;
+    stats.steals = dispatcher != nullptr ? dispatcher->steals() : 0;
     stats.cancelled = cancelled.load(std::memory_order_relaxed);
     stats.deadline_expired = deadline_expired.load(std::memory_order_relaxed);
     stats.trace = trace::Recorder::current();

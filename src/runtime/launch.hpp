@@ -72,6 +72,12 @@ struct LaunchOptions {
   NestMode mode = NestMode::kCollapsed;
   /// Asynchronous submissions only (Engine::submit).
   Priority priority = Priority::kNormal;
+  /// Locality-aware execution: dispatch through the cache-sharded
+  /// dispatcher (ShardedDispatcher) so worker clusters claim contiguous
+  /// ranges instead of interleaving on one counter. Sets
+  /// ScheduleParams::sharded on whatever schedule kind is chosen; falls
+  /// back to the normal path when the shape is ineligible.
+  bool locality = false;
 };
 
 /// Result of a reduction launch: the folded value plus the region report.
@@ -81,6 +87,16 @@ struct ReduceResult {
 };
 
 namespace detail {
+
+/// The schedule actually handed to the dispatcher: the caller's schedule
+/// with LaunchOptions::locality folded into ScheduleParams::sharded. Every
+/// launch verb (and Engine::make_task) routes through this, so the knob
+/// means the same thing on every path.
+inline ScheduleParams effective_schedule(const LaunchOptions& opts) noexcept {
+  ScheduleParams params = opts.schedule;
+  params.sharded = params.sharded || opts.locality;
+  return params;
+}
 
 /// Builds the tile-grid runner for one tiled launch: level k of the grid
 /// has ceil(extent_k / tile_k) tiles. Space/Body are reference types on
@@ -128,7 +144,7 @@ ForStats run_nested_outer(ThreadPool& pool, std::span<const i64> extents,
   // the coalesced executor's tighter bound is itself an argument for
   // coalescing.
   ForStats stats = drive(
-      pool, outer, opts.schedule,
+      pool, outer, effective_schedule(opts),
       [&body, extents](std::size_t, index::Chunk chunk,
                        std::uint64_t* iters) {
         std::vector<i64> indices(extents.size(), 1);
@@ -176,7 +192,7 @@ ForStats run_nested_forkjoin(ThreadPool& pool, std::span<const i64> extents,
     if (level == last) {
       const i64 inner = extents[last];
       const ForStats inner_stats = drive(
-          pool, inner, opts.schedule,
+          pool, inner, effective_schedule(opts),
           [&](std::size_t, index::Chunk chunk, std::uint64_t* iters) {
             std::vector<i64> indices(prefix.begin(), prefix.end());
             for (i64 j = chunk.first; j < chunk.last; ++j) {
@@ -188,6 +204,7 @@ ForStats run_nested_forkjoin(ThreadPool& pool, std::span<const i64> extents,
           opts.control);
       total_stats.dispatch_ops += inner_stats.dispatch_ops;
       total_stats.chunks_executed += inner_stats.chunks_executed;
+      total_stats.steals += inner_stats.steals;
       total_stats.cancelled |= inner_stats.cancelled;
       total_stats.deadline_expired |= inner_stats.deadline_expired;
       for (std::size_t w = 0; w < total_stats.iterations_per_worker.size();
@@ -220,7 +237,7 @@ template <typename Body,
 ForStats run(ThreadPool& pool, i64 total, Body&& body,
              const LaunchOptions& opts = {}) {
   COALESCE_ASSERT(total >= 0);
-  return detail::drive(pool, total, opts.schedule,
+  return detail::drive(pool, total, detail::effective_schedule(opts),
                        detail::FlatRunner<Body&>{body}, opts.control);
 }
 
@@ -242,7 +259,7 @@ ForStats run(ThreadPool& pool, const index::CoalescedSpace& space,
       "nested baseline modes take raw extents, not a CoalescedSpace");
   if (!tiled) {
     return detail::drive(
-        pool, space.total(), opts.schedule,
+        pool, space.total(), detail::effective_schedule(opts),
         detail::CollapsedRunner<const index::CoalescedSpace&, Body&>{space,
                                                                      body},
         opts.control);
@@ -251,8 +268,8 @@ ForStats run(ThreadPool& pool, const index::CoalescedSpace& space,
       detail::make_tiled_runner<const index::CoalescedSpace&, Body&>(
           space, body, opts.tile_sizes);
   const i64 tiles = runner.tile_space.total();
-  ForStats stats =
-      detail::drive(pool, tiles, opts.schedule, runner, opts.control);
+  ForStats stats = detail::drive(pool, tiles, detail::effective_schedule(opts),
+                                 runner, opts.control);
   // drive counted tiles as its total; report progress in points.
   stats.iterations_requested = static_cast<std::uint64_t>(space.total());
   return stats;
@@ -306,7 +323,7 @@ ReduceResult run_reduce(ThreadPool& pool, i64 total, double identity,
   auto partials = std::make_shared<std::vector<detail::ReducePartial>>(
       pool.concurrency(), detail::ReducePartial{identity});
   ForStats stats = detail::drive(
-      pool, total, opts.schedule,
+      pool, total, detail::effective_schedule(opts),
       detail::ReduceRunner<Body&, Combine&>{partials, body, combine},
       opts.control);
   ReduceResult result;

@@ -2,13 +2,33 @@
 
 #include <exception>
 
+#ifdef __linux__
+#include <sched.h>
+#endif
+
 #include "support/assert.hpp"
 #include "trace/recorder.hpp"
 
 namespace coalesce::runtime {
 
-ThreadPool::ThreadPool(std::size_t workers) {
+bool pin_current_thread_to_cpu(std::size_t cpu) noexcept {
+#ifdef __linux__
+  const unsigned online = std::thread::hardware_concurrency();
+  if (online == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % online, &set);
+  return sched_setaffinity(0, sizeof set, &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+ThreadPool::ThreadPool(std::size_t workers, bool pin_workers)
+    : pin_workers_(pin_workers) {
   COALESCE_ASSERT(workers >= 1);
+  if (pin_workers_) pin_current_thread_to_cpu(0);  // caller is worker 0
   threads_.reserve(workers - 1);  // caller participates as worker 0
   for (std::size_t id = 1; id < workers; ++id) {
     threads_.emplace_back(
@@ -67,6 +87,7 @@ void ThreadPool::run_region(support::function_ref<void(std::size_t)> body) {
 
 void ThreadPool::worker_main(std::size_t id, std::stop_token stop) {
   trace::set_thread_worker(static_cast<std::uint32_t>(id));
+  if (pin_workers_) pin_current_thread_to_cpu(id);
   std::size_t seen_generation = 0;
   while (true) {
     support::function_ref<void(std::size_t)> body;

@@ -21,10 +21,21 @@
 
 namespace coalesce::runtime {
 
+/// Pins the calling thread to one CPU (worker affinity). `cpu` is taken
+/// modulo the machine's online CPU count, so worker ids can be passed
+/// directly. Linux sched_setaffinity; a no-op returning false elsewhere
+/// (and when the kernel refuses, e.g. restricted cpusets). Best-effort by
+/// design — callers must not depend on it for correctness.
+bool pin_current_thread_to_cpu(std::size_t cpu) noexcept;
+
 class ThreadPool {
  public:
   /// Spawns `workers` threads (>= 1). They park until run_region is called.
-  explicit ThreadPool(std::size_t workers);
+  /// With pin_workers, each worker (including the calling thread, which is
+  /// worker 0 — pinned here, in the constructor) is pinned to CPU
+  /// (worker id mod online CPUs); best-effort, see
+  /// pin_current_thread_to_cpu.
+  explicit ThreadPool(std::size_t workers, bool pin_workers = false);
 
   /// Joins all workers. Must not be called while a region is running.
   ~ThreadPool();
@@ -69,6 +80,7 @@ class ThreadPool {
   support::function_ref<void(std::size_t)> body_;  // guarded by mutex_
   std::size_t generation_ = 0;   ///< bumped per region; wakes workers
   std::size_t remaining_ = 0;    ///< workers still running current region
+  const bool pin_workers_;
   std::vector<std::jthread> threads_;
 };
 

@@ -194,6 +194,7 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
   put_u64(out, c.completed);
   put_u64(out, c.connections);
   put_u64(out, c.queue_depth);
+  put_u64(out, c.steals);
   return out;
 }
 
@@ -248,6 +249,7 @@ support::Expected<Response> decode_response(
   c.completed = cur.u64();
   c.connections = cur.u64();
   c.queue_depth = cur.u64();
+  c.steals = cur.u64();
   if (!cur.ok()) return truncated("counters");
   if (!cur.exhausted()) {
     return make_error(ErrorCode::kInvalidArgument,

@@ -100,6 +100,9 @@ struct ServerCounters {
   std::uint64_t completed = 0;    ///< accepted runs that finished fully
   std::uint64_t connections = 0;  ///< connections served so far
   std::uint64_t queue_depth = 0;  ///< engine queue depth at snapshot time
+  /// Inter-cluster range steals summed over every run (nonzero only when
+  /// the server runs with locality and the sharded dispatcher engages).
+  std::uint64_t steals = 0;
 };
 
 struct Response {

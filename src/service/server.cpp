@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "analysis/doall.hpp"
+#include "codegen/cost_model.hpp"
 #include "ir/eval.hpp"
 #include "ir/symbol.hpp"
 #include "runtime/ir_executor.hpp"
@@ -61,8 +62,8 @@ Server::Server(ServerOptions options, support::Socket unix_listener,
       tcp_listener_(std::move(tcp_listener)),
       bound_tcp_port_(bound_tcp_port),
       engine_(std::make_unique<runtime::Engine>(
-          default_workers(options_.engine_workers),
-          options_.queue_capacity)) {}
+          default_workers(options_.engine_workers), options_.queue_capacity,
+          options_.pin_workers)) {}
 
 Server::~Server() { stop(); }
 
@@ -136,6 +137,7 @@ ServerCounters Server::counters() const {
   c.completed = completed_.load(std::memory_order_relaxed);
   c.connections = connections_served_.load(std::memory_order_relaxed);
   c.queue_depth = engine_->queue_depth();
+  c.steals = steals_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -277,6 +279,19 @@ Response Server::handle_submit(const SubmitRequest& request) {
   for (const auto& root : admission.program.roots) {
     current.roots.push_back(ir::clone(*root));
   }
+  if (options_.locality) {
+    // Locality stage: reorder each nest so its most contiguous axis runs
+    // innermost BEFORE coalescing fixes the dispatch order. Runs ahead of
+    // the DOALL marking so parallel flags describe the permuted order.
+    ir::Program next{current.symbols, {}};
+    for (const auto& root : current.roots) {
+      ir::LoopNest nest =
+          codegen::permute_for_locality(ir::LoopNest{current.symbols, root});
+      next.symbols = std::move(nest.symbols);
+      next.roots.push_back(nest.root);
+    }
+    current = std::move(next);
+  }
   {
     ir::Program next{current.symbols, {}};
     for (const auto& root : current.roots) {
@@ -295,6 +310,7 @@ Response Server::handle_submit(const SubmitRequest& request) {
 
   runtime::LaunchOptions opts;
   opts.schedule = options_.schedule;
+  opts.locality = options_.locality;
   opts.priority = request.priority == 1 ? runtime::Priority::kHigh
                                         : runtime::Priority::kNormal;
   if (request.deadline_ms > 0) {
@@ -353,6 +369,7 @@ Response Server::handle_submit(const SubmitRequest& request) {
         run.iterations += stats.iterations_done();
         run.iterations_requested += stats.iterations_requested;
         run.dispatch_ops += stats.dispatch_ops;
+        steals_.fetch_add(stats.steals, std::memory_order_relaxed);
         run.cancelled |= stats.cancelled;
         run.deadline_expired |= stats.deadline_expired;
       } catch (const std::exception& e) {

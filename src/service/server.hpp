@@ -65,6 +65,13 @@ struct ServerOptions {
   DiagnosticsFormat diagnostics = DiagnosticsFormat::kJson;
   /// Schedule used for every parallel root the service runs.
   runtime::ScheduleParams schedule{runtime::Schedule::kGuided, 1};
+  /// Locality-aware execution: permute each admitted nest so its most
+  /// contiguous axis runs innermost (codegen::permute_for_locality) before
+  /// coalescing, and dispatch through the cache-sharded dispatcher
+  /// (LaunchOptions::locality).
+  bool locality = false;
+  /// Pin engine workers to CPUs (best-effort; Linux sched_setaffinity).
+  bool pin_workers = false;
 };
 
 class Server {
@@ -155,6 +162,9 @@ class Server {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> connections_served_{0};
+  /// Inter-cluster range steals accumulated from every run's ForStats
+  /// (nonzero only with locality + the sharded dispatcher).
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 }  // namespace coalesce::service

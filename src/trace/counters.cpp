@@ -25,6 +25,7 @@ const char* to_string(Counter counter) noexcept {
     case Counter::kRequestsAccepted: return "requests_accepted";
     case Counter::kRequestsRejected: return "requests_rejected";
     case Counter::kRequestsShed: return "requests_shed";
+    case Counter::kSteals: return "steals";
     case Counter::kCount_: break;
   }
   return "?";

@@ -31,6 +31,7 @@ enum class Counter : std::uint8_t {
   kRequestsAccepted,  ///< service submissions past admission + quota
   kRequestsRejected,  ///< service submissions refused at admission
   kRequestsShed,      ///< service submissions shed (quota / queue full)
+  kSteals,            ///< inter-cluster range steals (ShardedDispatcher)
   kCount_            ///< sentinel
 };
 

@@ -32,6 +32,8 @@ enum class EventKind : std::uint8_t {
                   ///< arg0 = region id
   kRegionRetire,  ///< span start..retire of one engine region; arg0 = region
                   ///< id, arg1 = 1 if the region ran to completion
+  kSteal,         ///< span of one inter-cluster range steal (ShardedDispatcher);
+                  ///< arg0 = first stolen iteration, arg1 = range size
 };
 
 /// Why a region stopped early (Event::arg0 of kCancel).

@@ -22,6 +22,7 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kRegionEnqueue: return "region_enqueue";
     case EventKind::kRegionStart: return "region_start";
     case EventKind::kRegionRetire: return "region_retire";
+    case EventKind::kSteal: return "steal";
   }
   return "?";
 }

@@ -2,6 +2,7 @@
 // foundation under the coalescing transformation.
 #include <gtest/gtest.h>
 
+#include "analysis/contiguity.hpp"
 #include "analysis/dependence.hpp"
 #include "analysis/doall.hpp"
 #include "analysis/subscript.hpp"
@@ -530,6 +531,113 @@ TEST(Doall, ReportFindByPointer) {
   const auto report = analyze_parallelism(nest);
   EXPECT_NE(report.find(nest.root.get()), nullptr);
   EXPECT_EQ(report.find(nullptr), nullptr);
+}
+
+// ---- access contiguity ------------------------------------------------------
+
+TEST(Contiguity, UnitStrideAxisIsCheapRowStrideAxisIsExpensive) {
+  NestBuilder b;
+  const VarId a = b.array("A", {64, 64});
+  const VarId i = b.begin_parallel_loop("i", 1, 64);
+  const VarId j = b.begin_parallel_loop("j", 1, 64);
+  b.assign(b.element(a, {i, j}), var_ref(j));
+  b.end_loop();
+  b.end_loop();
+  const auto info = analyze_contiguity(b.build());
+  ASSERT_EQ(info.axes.size(), 2u);
+  EXPECT_FALSE(info.conservative);
+  EXPECT_EQ(info.refs_total, 1u);
+  EXPECT_EQ(info.refs_skipped, 0u);
+  // i moves A[i][j] by a whole 64-element row: saturated miss, doubled for
+  // the write. j moves it by one element: 1/8 of a line, doubled.
+  EXPECT_DOUBLE_EQ(info.axes[0].miss_cost, 2.0);
+  EXPECT_DOUBLE_EQ(info.axes[1].miss_cost, 0.25);
+  EXPECT_EQ(info.axes[0].moving_refs, 1u);
+  EXPECT_EQ(info.axes[1].moving_refs, 1u);
+  // Most-expensive-first ranking: i outermost, j innermost.
+  EXPECT_EQ(info.ranked, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(info.innermost(), 1u);
+}
+
+TEST(Contiguity, ReadsCostHalfOfWrites) {
+  NestBuilder b;
+  const VarId a = b.array("A", {64, 64});
+  const VarId s = b.scalar("s");
+  const VarId i = b.begin_parallel_loop("i", 1, 64);
+  const VarId j = b.begin_parallel_loop("j", 1, 64);
+  b.assign(ir::LValue{s}, b.read(a, {i, j}));
+  b.end_loop();
+  b.end_loop();
+  const auto info = analyze_contiguity(b.build());
+  ASSERT_EQ(info.axes.size(), 2u);
+  // Same strides as the write case above, but unweighted.
+  EXPECT_DOUBLE_EQ(info.axes[0].miss_cost, 1.0);
+  EXPECT_DOUBLE_EQ(info.axes[1].miss_cost, 0.125);
+}
+
+TEST(Contiguity, StationaryAxisCostsNothing) {
+  NestBuilder b;
+  const VarId a = b.array("A", {64});
+  const VarId i = b.begin_parallel_loop("i", 1, 64);
+  const VarId j = b.begin_parallel_loop("j", 1, 64);
+  b.assign(b.element(a, {j}), var_ref(i));
+  b.end_loop();
+  b.end_loop();
+  const auto info = analyze_contiguity(b.build());
+  ASSERT_EQ(info.axes.size(), 2u);
+  // A[j] does not mention i: stride 0, no misses charged to that axis.
+  EXPECT_DOUBLE_EQ(info.axes[0].miss_cost, 0.0);
+  EXPECT_EQ(info.axes[0].moving_refs, 0u);
+  EXPECT_GT(info.axes[1].miss_cost, 0.0);
+}
+
+TEST(Contiguity, TiedRankingKeepsBandOrder) {
+  NestBuilder b;
+  const VarId a = b.array("A", {32, 32});
+  const VarId i = b.begin_parallel_loop("i", 1, 32);
+  const VarId j = b.begin_parallel_loop("j", 1, 32);
+  b.assign(b.element(a, {i, j}), ir::add(var_ref(i), var_ref(j)));
+  const VarId a2 = a;  // same array, transposed access in a second stmt
+  b.assign(b.element(a2, {j, i}), var_ref(i));
+  b.end_loop();
+  b.end_loop();
+  const auto info = analyze_contiguity(b.build());
+  ASSERT_EQ(info.axes.size(), 2u);
+  // Each axis is unit-stride for one write and row-stride for the other:
+  // identical totals, so the stable sort keeps band order (identity).
+  EXPECT_DOUBLE_EQ(info.axes[0].miss_cost, info.axes[1].miss_cost);
+  EXPECT_EQ(info.ranked, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Contiguity, NonAffineSubscriptFlipsConservative) {
+  NestBuilder b;
+  const VarId a = b.array("A", {16, 16});
+  const VarId i = b.begin_parallel_loop("i", 1, 16);
+  const VarId j = b.begin_parallel_loop("j", 1, 16);
+  b.assign(b.element_expr(a, {ir::mul(var_ref(i), var_ref(i)), var_ref(j)}),
+           int_const(0));
+  b.assign(b.element(a, {i, j}), int_const(1));
+  b.end_loop();
+  b.end_loop();
+  const auto info = analyze_contiguity(b.build());
+  EXPECT_TRUE(info.conservative);
+  EXPECT_EQ(info.refs_total, 2u);
+  EXPECT_EQ(info.refs_skipped, 1u);
+  // The affine reference still contributes a usable per-axis verdict.
+  ASSERT_EQ(info.axes.size(), 2u);
+  EXPECT_GT(info.axes[0].miss_cost, info.axes[1].miss_cost);
+}
+
+TEST(Contiguity, LoopStepScalesElementStride) {
+  NestBuilder b;
+  const VarId a = b.array("A", {4096});
+  const VarId i = b.begin_parallel_loop("i", 1, 4096, 16);
+  b.assign(b.element(a, {i}), var_ref(i));
+  b.end_loop();
+  const auto info = analyze_contiguity(b.build());
+  ASSERT_EQ(info.axes.size(), 1u);
+  // Step 16 jumps two cache lines per iteration: saturated, write-weighted.
+  EXPECT_DOUBLE_EQ(info.axes[0].miss_cost, 2.0);
 }
 
 }  // namespace

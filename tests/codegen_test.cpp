@@ -11,6 +11,8 @@
 #include "codegen/c_emitter.hpp"
 #include "codegen/cost_model.hpp"
 #include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "ir/verify.hpp"
 #include "transform/coalesce.hpp"
 #include "transform/distribute.hpp"
 
@@ -180,6 +182,105 @@ TEST(CostModel, SummaryMentionsAllClasses) {
   const std::string s = c.summary();
   EXPECT_NE(s.find("adds=1"), std::string::npos);
   EXPECT_NE(s.find("total=1"), std::string::npos);
+}
+
+// ---- locality permutation choice ---------------------------------------------------
+
+/// i-outer walk over A(j,i)-shaped references: the written order strides by
+/// N innermost, the reversal is stride 1.
+LoopNest transposed_nest(std::int64_t n) {
+  ir::NestBuilder b;
+  const VarId a = b.array("A", {n, n});
+  const VarId out = b.array("B", {n, n});
+  const VarId i = b.begin_parallel_loop("i", 1, n);
+  const VarId j = b.begin_parallel_loop("j", 1, n);
+  b.assign(b.element(out, {j, i}), b.read(a, {j, i}));
+  b.end_loop();
+  b.end_loop();
+  return b.build();
+}
+
+TEST(ChoosePermutation, PicksReversalForTransposedAccesses) {
+  const auto choice = choose_permutation(transposed_nest(64));
+  EXPECT_EQ(choice.perm, (std::vector<std::size_t>{1, 0}));
+  EXPECT_TRUE(choice.legal);
+  EXPECT_FALSE(choice.conservative);
+  EXPECT_LT(choice.cost_after, choice.cost_before);
+  EXPECT_TRUE(choice.worthwhile());
+}
+
+TEST(ChoosePermutation, KeepsIdentityForContiguousAccesses) {
+  ir::NestBuilder b;
+  const VarId a = b.array("A", {32, 32});
+  const VarId i = b.begin_parallel_loop("i", 1, 32);
+  const VarId j = b.begin_parallel_loop("j", 1, 32);
+  b.assign(b.element(a, {i, j}), ir::add(var_ref(i), var_ref(j)));
+  b.end_loop();
+  b.end_loop();
+  const auto choice = choose_permutation(b.build());
+  EXPECT_TRUE(choice.is_identity());
+  EXPECT_FALSE(choice.worthwhile());
+}
+
+TEST(ChoosePermutation, ConservativeOnNonAffineSubscripts) {
+  ir::NestBuilder b;
+  const VarId a = b.array("A", {16, 16});
+  const VarId i = b.begin_parallel_loop("i", 1, 16);
+  const VarId j = b.begin_parallel_loop("j", 1, 16);
+  b.assign(b.element_expr(a, {ir::mul(var_ref(j), var_ref(j)),
+                              var_ref(i)}),
+           int_const(1));
+  b.end_loop();
+  b.end_loop();
+  const auto choice = choose_permutation(b.build());
+  EXPECT_TRUE(choice.conservative);
+  EXPECT_TRUE(choice.is_identity());
+  EXPECT_FALSE(choice.worthwhile());
+}
+
+TEST(ChoosePermutation, TileHintIsEdgeSizedAndClamped) {
+  // 64x64: innermost tile edge 64, outer edge 8.
+  const auto big = choose_permutation(transposed_nest(64));
+  ASSERT_EQ(big.tile_hint.size(), 2u);
+  EXPECT_EQ(big.tile_hint[0], 8);
+  EXPECT_EQ(big.tile_hint[1], 64);
+  // 5x5: both edges clamp to the trip count.
+  const auto small = choose_permutation(transposed_nest(5));
+  ASSERT_EQ(small.tile_hint.size(), 2u);
+  EXPECT_EQ(small.tile_hint[0], 5);
+  EXPECT_EQ(small.tile_hint[1], 5);
+}
+
+TEST(PermuteForLocality, AppliesChosenOrderAndVerifies) {
+  const LoopNest nest = transposed_nest(6);
+  const LoopNest permuted = permute_for_locality(nest);
+  ASSERT_NE(permuted.root, nullptr);
+  // Outermost is now the formerly inner j loop.
+  EXPECT_EQ(permuted.symbols.name(permuted.root->var), "j");
+  EXPECT_TRUE(ir::verify_nest(permuted).empty());
+}
+
+TEST(PermuteForLocality, IdentityChoiceReturnsClone) {
+  ir::NestBuilder b;
+  const VarId a = b.array("A", {8, 8});
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  const VarId j = b.begin_parallel_loop("j", 1, 8);
+  b.assign(b.element(a, {i, j}), ir::add(var_ref(i), var_ref(j)));
+  b.end_loop();
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const LoopNest same = permute_for_locality(nest);
+  ASSERT_NE(same.root, nullptr);
+  EXPECT_NE(same.root.get(), nest.root.get());  // a clone, not an alias
+  EXPECT_EQ(ir::to_string(same), ir::to_string(nest));
+}
+
+TEST(MemoryCost, InnermostAxisDominates) {
+  const auto info = analysis::analyze_contiguity(transposed_nest(64));
+  ASSERT_EQ(info.axes.size(), 2u);
+  // Identity order ends on the stride-N axis; the reversal ends stride-1.
+  EXPECT_GT(memory_cost_per_iteration(info, {0, 1}),
+            memory_cost_per_iteration(info, {1, 0}));
 }
 
 // ---- end-to-end: compile and run emitted code -------------------------------------

@@ -18,6 +18,7 @@
 #include "runtime/thread_pool.hpp"
 #include "support/cancel.hpp"
 #include "support/rng.hpp"
+#include "trace/recorder.hpp"
 
 namespace coalesce::runtime {
 namespace {
@@ -191,6 +192,144 @@ TEST(ChunkScheduleDispatcher, ConcurrentDrainCoversSpaceExactlyOnce) {
   EXPECT_EQ(d.dispatch_ops(), chunk_count);  // polls never count
 }
 
+// ---- cache-sharded dispatcher ---------------------------------------------------
+
+TEST(ShardedDispatcher, SerialDrainCoversSpaceAndStealsAcrossClusters) {
+  // One worker, eight-worker geometry (two clusters): its home shard
+  // drains first, then every remaining range arrives via steals.
+  trace::set_thread_worker(0);
+  ShardedDispatcher d(100, 7, 8);
+  EXPECT_EQ(d.cluster_count(), 2u);
+  std::set<i64> seen;
+  std::uint64_t grants = 0;
+  while (true) {
+    const index::Chunk c = d.next();
+    if (c.empty()) break;
+    ++grants;
+    for (i64 j = c.first; j < c.last; ++j) {
+      EXPECT_TRUE(seen.insert(j).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 100);
+  EXPECT_EQ(d.dispatch_ops(), grants);
+  EXPECT_GE(d.steals(), 1u);
+}
+
+TEST(ShardedDispatcher, ConcurrentDrainCoversSpaceExactlyOnce) {
+  // Contended drain with real worker identities: every iteration claimed
+  // exactly once even while drained clusters steal half-ranges from
+  // siblings mid-claim. Runs under TSan in CI.
+  const i64 total = 20011;  // prime: ragged shard boundaries + chunk tails
+  ShardedDispatcher d(total, 16, 8);
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(total));
+  std::vector<std::thread> crew;
+  for (std::uint32_t t = 0; t < 8; ++t) {
+    crew.emplace_back([&, t] {
+      trace::set_thread_worker(t);
+      while (true) {
+        const index::Chunk c = d.next();
+        if (c.empty()) break;
+        for (i64 j = c.first; j < c.last; ++j) {
+          hits[static_cast<std::size_t>(j - 1)].fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : crew) th.join();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_TRUE(d.next().empty());
+}
+
+TEST(ShardedDispatcher, CoverageMatchesFetchAddOnRandomizedShapes) {
+  // Differential property: whatever the shard geometry and the claiming
+  // worker's cluster, the set of granted iterations is exactly the set the
+  // single-counter dispatcher grants.
+  support::Rng rng(0xE20);
+  for (int trial = 0; trial < 40; ++trial) {
+    const i64 total = rng.uniform_int(0, 3000);
+    const i64 chunk = rng.uniform_int(1, 64);
+    const std::size_t workers =
+        static_cast<std::size_t>(rng.uniform_int(8, 64));
+    trace::set_thread_worker(
+        static_cast<std::uint32_t>(rng.uniform_int(0, 63)));
+
+    FetchAddDispatcher reference(total, chunk);
+    std::set<i64> expected;
+    while (true) {
+      const index::Chunk c = reference.next();
+      if (c.empty()) break;
+      for (i64 j = c.first; j < c.last; ++j) expected.insert(j);
+    }
+
+    ShardedDispatcher d(total, chunk, workers);
+    std::set<i64> actual;
+    while (true) {
+      const index::Chunk c = d.next();
+      if (c.empty()) break;
+      for (i64 j = c.first; j < c.last; ++j) {
+        EXPECT_TRUE(actual.insert(j).second);
+      }
+    }
+    EXPECT_EQ(actual, expected)
+        << "total=" << total << " chunk=" << chunk << " workers=" << workers;
+  }
+  trace::set_thread_worker(0);
+}
+
+TEST(ShardedDispatcher, CancelStopsGrantsEverywhere) {
+  trace::set_thread_worker(0);
+  ShardedDispatcher d(1000, 10, 8);
+  EXPECT_FALSE(d.next().empty());
+  d.cancel();
+  // Cancelled from any cluster's point of view: no grants, no steals.
+  for (std::uint32_t w : {0u, 3u, 4u, 7u}) {
+    trace::set_thread_worker(w);
+    EXPECT_TRUE(d.next().empty());
+  }
+  trace::set_thread_worker(0);
+}
+
+TEST(ShardedDispatcher, ExhaustedPollingIsStable) {
+  trace::set_thread_worker(0);
+  ShardedDispatcher d(30, 7, 8);
+  i64 covered = 0;
+  while (true) {
+    const index::Chunk c = d.next();
+    if (c.empty()) break;
+    covered += c.size();
+  }
+  EXPECT_EQ(covered, 30);
+  const std::uint64_t ops = d.dispatch_ops();
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(d.next().empty());
+  EXPECT_EQ(d.dispatch_ops(), ops);  // exhausted polls never count
+}
+
+TEST(ShardedDispatcher, ZeroIterationsIsImmediatelyExhausted) {
+  trace::set_thread_worker(0);
+  ShardedDispatcher d(0, 1, 8);
+  EXPECT_TRUE(d.next().empty());
+  EXPECT_EQ(d.dispatch_ops(), 0u);
+  EXPECT_EQ(d.steals(), 0u);
+}
+
+TEST(ShardedDispatcher, CreateRejectsInvalidArguments) {
+  EXPECT_FALSE(ShardedDispatcher::create(-1, 1, 8).ok());
+  EXPECT_FALSE(ShardedDispatcher::create(10, 0, 8).ok());
+  EXPECT_FALSE(ShardedDispatcher::create(10, -5, 8).ok());
+  EXPECT_FALSE(ShardedDispatcher::create(10, 1, 0).ok());
+  EXPECT_FALSE(
+      ShardedDispatcher::create(ShardedDispatcher::kMaxTotal + 1, 1, 8).ok());
+  EXPECT_FALSE(
+      ShardedDispatcher::create(10, ShardedDispatcher::kMaxChunk + 1, 8).ok());
+  EXPECT_FALSE(
+      ShardedDispatcher::create(10, 1, ShardedDispatcher::kMaxWorkers + 1)
+          .ok());
+  ASSERT_TRUE(ShardedDispatcher::create(0, 1, 8).ok());
+}
+
 // ---- make_dispatcher validation -------------------------------------------------
 
 TEST(MakeDispatcher, RejectsInvalidParameters) {
@@ -293,6 +432,96 @@ INSTANTIATE_TEST_SUITE_P(
       if (info.param.serialized) name += "_mutex";
       return name;
     });
+
+TEST(MakeDispatcher, ShardedFlagRoutesEligibleShapesToShardedDispatcher) {
+  // Every dynamic kind routes to the sharded dispatcher at >= 8 workers...
+  for (const Schedule kind : {Schedule::kSelf, Schedule::kChunked,
+                              Schedule::kGuided, Schedule::kFactoring,
+                              Schedule::kTrapezoid}) {
+    auto d = make_dispatcher(
+        ScheduleParams{.kind = kind, .chunk_size = 16, .sharded = true}, 1000,
+        8);
+    ASSERT_TRUE(d.ok());
+    EXPECT_NE(dynamic_cast<ShardedDispatcher*>(d.value().get()), nullptr)
+        << to_string(kind);
+  }
+  // ...while static kinds still need no dispatcher at all.
+  auto block = make_dispatcher(
+      ScheduleParams{.kind = Schedule::kStaticBlock, .sharded = true}, 10, 8);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block.value(), nullptr);
+}
+
+TEST(MakeDispatcher, ShardedFallsBackOnIneligibleShapes) {
+  // Too few workers for two clusters: the plain single-counter path.
+  auto few = make_dispatcher(
+      ScheduleParams{.kind = Schedule::kChunked, .chunk_size = 16,
+                     .sharded = true},
+      1000, 4);
+  ASSERT_TRUE(few.ok());
+  EXPECT_NE(dynamic_cast<FetchAddDispatcher*>(few.value().get()), nullptr);
+
+  // Chunk beyond the packed-word cap.
+  auto fat = make_dispatcher(
+      ScheduleParams{.kind = Schedule::kChunked,
+                     .chunk_size = ShardedDispatcher::kMaxChunk + 1,
+                     .sharded = true},
+      1000, 8);
+  ASSERT_TRUE(fat.ok());
+  EXPECT_NE(dynamic_cast<FetchAddDispatcher*>(fat.value().get()), nullptr);
+
+  // Total beyond the cap.
+  auto big = make_dispatcher(
+      ScheduleParams{.kind = Schedule::kChunked, .chunk_size = 16,
+                     .sharded = true},
+      ShardedDispatcher::kMaxTotal + 1, 8);
+  ASSERT_TRUE(big.ok());
+  EXPECT_NE(dynamic_cast<FetchAddDispatcher*>(big.value().get()), nullptr);
+
+  // serialized wins over sharded: the mutex oracle must stay reachable.
+  auto oracle = make_dispatcher(
+      ScheduleParams{.kind = Schedule::kGuided, .chunk_size = 1,
+                     .serialized = true, .sharded = true},
+      1000, 8);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_NE(dynamic_cast<PolicyDispatcher*>(oracle.value().get()), nullptr);
+}
+
+TEST(ParallelFor, LocalityOptionCoversSpaceExactlyOnce) {
+  // LaunchOptions::locality flips the dispatch onto the sharded path; the
+  // executor contract (every iteration exactly once, steals reported) must
+  // hold end to end.
+  ThreadPool pool(8);
+  const i64 total = 20011;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(total));
+  const auto stats = run(
+      pool, total,
+      [&](i64 j) {
+        hits[static_cast<std::size_t>(j - 1)].fetch_add(
+            1, std::memory_order_relaxed);
+      },
+      {.schedule = {Schedule::kChunked, 16}, .locality = true});
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(stats.iterations_done(), static_cast<std::uint64_t>(total));
+  EXPECT_GT(stats.dispatch_ops, 0u);
+}
+
+TEST(ParallelFor, LocalityOnSmallPoolFallsBackAndStaysCorrect) {
+  // Below two clusters the sharded path is ineligible; locality must
+  // degrade to the normal dispatcher without losing iterations.
+  ThreadPool pool(2);
+  const i64 total = 5000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(total));
+  const auto stats = run(
+      pool, total,
+      [&](i64 j) {
+        hits[static_cast<std::size_t>(j - 1)].fetch_add(
+            1, std::memory_order_relaxed);
+      },
+      {.schedule = {Schedule::kChunked, 16}, .locality = true});
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(stats.steals, 0u);  // FetchAddDispatcher: nothing to steal
+}
 
 TEST(ParallelFor, SelfScheduleDispatchOpsEqualIterations) {
   ThreadPool pool(4);

@@ -176,15 +176,19 @@ int run_single(const Options& options, const service::Request& request) {
           std::fputc('\n', stdout);
         }
       } else if (request.type == service::MessageType::kStats) {
+        // Same block format as the daemon's shutdown summary, so the two
+        // outputs diff cleanly.
         const auto& c = reply.counters;
         std::fprintf(stdout,
-                     "accepted=%llu rejected=%llu shed=%llu completed=%llu "
-                     "connections=%llu queue_depth=%llu\n",
+                     "counters: connections=%llu accepted=%llu "
+                     "completed=%llu rejected=%llu shed=%llu steals=%llu "
+                     "queue_depth=%llu\n",
+                     static_cast<unsigned long long>(c.connections),
                      static_cast<unsigned long long>(c.accepted),
+                     static_cast<unsigned long long>(c.completed),
                      static_cast<unsigned long long>(c.rejected),
                      static_cast<unsigned long long>(c.shed),
-                     static_cast<unsigned long long>(c.completed),
-                     static_cast<unsigned long long>(c.connections),
+                     static_cast<unsigned long long>(c.steals),
                      static_cast<unsigned long long>(c.queue_depth));
       } else if (!reply.message.empty()) {
         std::fprintf(stderr, "coalesce-client: %s\n", reply.message.c_str());

@@ -18,6 +18,13 @@
 //   --collapse=K       partially coalesce only K levels
 //   --mixed-radix      use mixed-radix index recovery
 //   --expand-scalars   scalar-expand privatizable temporaries first
+//   --locality         locality-aware ordering: permute each nest so its
+//                      most contiguous axis runs innermost (cost-model
+//                      driven, oracle-checked) before coalescing; with
+//                      --trace the pool dispatches through the
+//                      cache-sharded dispatcher
+//   --pin              pin --trace pool workers to CPUs (best-effort;
+//                      Linux sched_setaffinity, no-op elsewhere)
 //   --emit=ir|c|c-main emit transformed IR (default), a C kernel, or a
 //                      standalone C program
 //   --openmp           add OpenMP pragmas to emitted C
@@ -69,6 +76,8 @@ struct Options {
   std::size_t collapse = 0;
   bool mixed_radix = false;
   bool expand_scalars = false;
+  bool locality = false;
+  bool pin = false;
   std::string emit = "ir";
   bool openmp = false;
   bool lint = false;
@@ -91,7 +100,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--stdin] [--analyze|--no-analyze] [--make-perfect] "
                "[--coalesce|--no-coalesce] [--guarded] [--collapse=K] "
-               "[--mixed-radix] [--expand-scalars] [--emit=ir|c|c-main] "
+               "[--mixed-radix] [--expand-scalars] [--locality] [--pin] "
+               "[--emit=ir|c|c-main] "
                "[--openmp] [--lint] [--lint-format=text|json|sarif] "
                "[--verify-ir] [--no-verify] [--verify] [--stats] "
                "[--trace=FILE] [--trace-workers=P] [--trace-summary] "
@@ -117,6 +127,8 @@ bool parse_args(int argc, char** argv, Options& options) {
           std::strtoull(arg.c_str() + 11, nullptr, 10));
     else if (arg == "--mixed-radix") options.mixed_radix = true;
     else if (arg == "--expand-scalars") options.expand_scalars = true;
+    else if (arg == "--locality") options.locality = true;
+    else if (arg == "--pin") options.pin = true;
     else if (arg.rfind("--emit=", 0) == 0) options.emit = arg.substr(7);
     else if (arg == "--openmp") options.openmp = true;
     else if (arg == "--lint") options.lint = true;
@@ -336,6 +348,19 @@ int main(int argc, char** argv) {
     current = std::move(next);
   }
 
+  if (options.locality) {
+    // Locality stage: reorder each nest so its most contiguous axis runs
+    // innermost BEFORE coalescing fixes the dispatch order. DOALL flags are
+    // re-proved for the permuted order so coalescing sees fresh marks.
+    per_root([&](ir::LoopNest nest, ir::Program& next) {
+      ir::LoopNest permuted = codegen::permute_for_locality(nest);
+      if (options.analyze) analysis::analyze_and_mark(permuted);
+      next.symbols = std::move(permuted.symbols);
+      next.roots.push_back(permuted.root);
+      return true;
+    });
+  }
+
   if (options.do_coalesce) {
     transform::CoalesceOptions copts;
     copts.levels = options.collapse;
@@ -405,11 +430,12 @@ int main(int argc, char** argv) {
             options.trace_workers > 0
                 ? options.trace_workers
                 : std::max(1u, std::thread::hardware_concurrency());
-        runtime::ThreadPool pool(workers);
+        runtime::ThreadPool pool(workers, options.pin);
+        runtime::ScheduleParams schedule{runtime::Schedule::kGuided, 1};
+        schedule.sharded = options.locality;
         try {
           const auto stats = runtime::execute_program(
-              pool, current, {runtime::Schedule::kGuided, 1}, store_b,
-              control);
+              pool, current, schedule, store_b, control);
           if (!stats.ok()) {
             std::fprintf(stderr, "coalescec: %s\n",
                          stats.error().to_string().c_str());

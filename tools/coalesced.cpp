@@ -18,6 +18,11 @@
 //                        queue sheds new submissions instead of buffering
 //   --tenant-quota=N     max in-flight submissions per tenant (default 8)
 //   --diag-format=F      rejection diagnostics format: json (default)|sarif
+//   --locality           locality-aware execution: permute admitted nests
+//                        for contiguity before coalescing and dispatch
+//                        through the cache-sharded dispatcher
+//   --pin                pin engine workers to CPUs (best-effort; Linux
+//                        sched_setaffinity, no-op elsewhere)
 //   --pidfile=PATH       write the daemon pid to PATH (removed on exit)
 //
 // Shutdown: SIGINT/SIGTERM or a kShutdown frame. Either way the daemon
@@ -49,6 +54,8 @@ struct Options {
   std::size_t queue = 64;
   std::size_t tenant_quota = 8;
   std::string diag_format = "json";
+  bool locality = false;
+  bool pin = false;
   std::string pidfile;
 };
 
@@ -56,7 +63,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket=PATH [--tcp=PORT] [--workers=N] "
                "[--queue=N] [--tenant-quota=N] [--diag-format=json|sarif] "
-               "[--pidfile=PATH]\n",
+               "[--locality] [--pin] [--pidfile=PATH]\n",
                argv0);
   return 2;
 }
@@ -90,6 +97,10 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.diag_format = arg.substr(14);
       if (options.diag_format != "json" && options.diag_format != "sarif")
         return false;
+    } else if (arg == "--locality") {
+      options.locality = true;
+    } else if (arg == "--pin") {
+      options.pin = true;
     } else if (arg.rfind("--pidfile=", 0) == 0) {
       options.pidfile = arg.substr(10);
     } else {
@@ -115,6 +126,8 @@ int main(int argc, char** argv) {
   server_options.diagnostics = options.diag_format == "sarif"
                                    ? service::DiagnosticsFormat::kSarif
                                    : service::DiagnosticsFormat::kJson;
+  server_options.locality = options.locality;
+  server_options.pin_workers = options.pin;
 
   auto server = service::Server::create(std::move(server_options));
   if (!server.ok()) {
@@ -166,15 +179,19 @@ int main(int argc, char** argv) {
   }
   daemon.stop();
 
+  // Same block format as coalesce-client --stats, so logs diff cleanly.
   const auto counters = daemon.counters();
   std::fprintf(stderr,
-               "coalesced: served %llu connections: %llu accepted "
-               "(%llu completed), %llu rejected, %llu shed\n",
+               "coalesced: counters: connections=%llu accepted=%llu "
+               "completed=%llu rejected=%llu shed=%llu steals=%llu "
+               "queue_depth=%llu\n",
                static_cast<unsigned long long>(counters.connections),
                static_cast<unsigned long long>(counters.accepted),
                static_cast<unsigned long long>(counters.completed),
                static_cast<unsigned long long>(counters.rejected),
-               static_cast<unsigned long long>(counters.shed));
+               static_cast<unsigned long long>(counters.shed),
+               static_cast<unsigned long long>(counters.steals),
+               static_cast<unsigned long long>(counters.queue_depth));
 
   if (!options.pidfile.empty()) std::remove(options.pidfile.c_str());
   return 0;
