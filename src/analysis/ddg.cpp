@@ -1,0 +1,105 @@
+#include "analysis/ddg.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace coalesce::analysis {
+
+std::optional<std::size_t> outermost_carried_level(const Dependence& dep) {
+  for (std::size_t l = 0; l < dep.common.size(); ++l) {
+    if (dep.may_be_carried_at(l)) return l;
+  }
+  return std::nullopt;
+}
+
+Ddg build_ddg(const ir::Loop& root) {
+  Ddg g;
+  g.refs = collect_array_refs(root);
+  g.deps = compute_dependences(root, g.refs);
+  for (const ArrayRef& ref : g.refs) {
+    g.statements = std::max(g.statements, ref.stmt_ordinal + 1);
+  }
+  g.edges.reserve(g.deps.size());
+  for (std::size_t d = 0; d < g.deps.size(); ++d) {
+    const Dependence& dep = g.deps[d];
+    g.edges.push_back(DdgEdge{dep.src_ref, dep.dst_ref, d,
+                              outermost_carried_level(dep)});
+  }
+  return g;
+}
+
+std::vector<std::size_t> Ddg::recurrence_statements(std::size_t level) const {
+  if (statements == 0) return {};
+  // Allen-Kennedy view at `level`: keep edges that may be carried at this
+  // level or deeper, plus loop-independent edges between DISTINCT statements
+  // (a loop-independent self-edge orders two accesses of one instance and
+  // cannot close a cycle). Anything carried strictly outside `level` is
+  // already sequenced by the outer loops and drops out.
+  std::vector<bool> adj(statements * statements, false);
+  for (const DdgEdge& e : edges) {
+    const Dependence& dep = deps[e.dep];
+    const std::size_t src = refs[e.src_ref].stmt_ordinal;
+    const std::size_t dst = refs[e.dst_ref].stmt_ordinal;
+    bool keep = false;
+    if (dep.is_loop_independent()) {
+      keep = src != dst;
+    } else {
+      for (std::size_t m = level; m < dep.common.size() && !keep; ++m) {
+        keep = dep.may_be_carried_at(m);
+      }
+    }
+    if (keep) adj[src * statements + dst] = true;
+  }
+  // Transitive closure (statement counts are tiny); a statement is on a
+  // recurrence iff it reaches itself through at least one edge.
+  for (std::size_t k = 0; k < statements; ++k) {
+    for (std::size_t i = 0; i < statements; ++i) {
+      if (!adj[i * statements + k]) continue;
+      for (std::size_t j = 0; j < statements; ++j) {
+        if (adj[k * statements + j]) adj[i * statements + j] = true;
+      }
+    }
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < statements; ++s) {
+    if (adj[s * statements + s]) out.push_back(s);
+  }
+  return out;
+}
+
+std::string Ddg::to_dot(const ir::SymbolTable& symbols) const {
+  std::string out = "digraph ddg {\n  rankdir=LR;\n";
+  for (std::size_t s = 0; s < statements; ++s) {
+    // Label each statement with the arrays it writes (its identity for a
+    // human reading the graph).
+    std::vector<std::string> writes;
+    for (const ArrayRef& ref : refs) {
+      if (ref.stmt_ordinal != s || ref.kind != RefKind::kWrite) continue;
+      const std::string& name = symbols.name(ref.array);
+      if (std::find(writes.begin(), writes.end(), name) == writes.end()) {
+        writes.push_back(name);
+      }
+    }
+    out += support::format("  s%zu [label=\"s%zu: %s\"];\n", s, s,
+                           writes.empty() ? "(read only)"
+                                          : support::join(writes, ",").c_str());
+  }
+  for (const DdgEdge& e : edges) {
+    const Dependence& dep = deps[e.dep];
+    const std::string carried =
+        e.carried_level.has_value()
+            ? support::format("@%zu", *e.carried_level)
+            : std::string("indep");
+    out += support::format(
+        "  s%zu -> s%zu [label=\"%s %s %s %s%s\"];\n",
+        refs[e.src_ref].stmt_ordinal, refs[e.dst_ref].stmt_ordinal,
+        to_string(dep.kind), symbols.name(refs[e.src_ref].array).c_str(),
+        dep.direction_string().c_str(), carried.c_str(),
+        dep.answer == DepAnswer::kMaybe ? " ?" : "");
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace coalesce::analysis

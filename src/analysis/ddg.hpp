@@ -1,0 +1,66 @@
+// Data-dependence graph over the array references of a loop tree.
+//
+// Nodes are the references collect_array_refs() finds (each one knows the
+// statement it belongs to); edges are the Dependence records the pairwise
+// tests produce, annotated with the outermost common level each dependence
+// may be carried at. On top of the raw graph the module answers the two
+// questions the race detector and the (future) parallelizing pipeline ask:
+//
+//   * which statements sit on a dependence cycle carried at level >= l
+//     (an Allen-Kennedy style recurrence — the reason a loop cannot be
+//     DOALL no matter how the body is reordered), and
+//   * what does the graph look like (to_dot, for debugging and docs).
+//
+// The graph is a snapshot: it borrows Loop pointers from the tree it was
+// built from and must not outlive it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/dependence.hpp"
+#include "analysis/subscript.hpp"
+#include "ir/stmt.hpp"
+
+namespace coalesce::analysis {
+
+/// One edge of the graph: dependence `dep` runs refs[deps[dep].src_ref] ->
+/// refs[deps[dep].dst_ref].
+struct DdgEdge {
+  std::size_t src_ref = 0;  ///< node: index into Ddg::refs
+  std::size_t dst_ref = 0;
+  std::size_t dep = 0;  ///< payload: index into Ddg::deps
+  /// Outermost common level the dependence may be carried at; nullopt when
+  /// it is provably loop-independent (all distances known zero).
+  std::optional<std::size_t> carried_level;
+};
+
+struct Ddg {
+  std::vector<ArrayRef> refs;    ///< nodes, collect_array_refs() order
+  std::vector<Dependence> deps;  ///< edge payloads
+  std::vector<DdgEdge> edges;
+  /// Number of statements (max stmt_ordinal + 1) for SCC computations.
+  std::size_t statements = 0;
+
+  /// Statement ordinals that lie on a dependence cycle whose every edge may
+  /// be carried at level >= `level` or is loop-independent — the statements
+  /// of a recurrence at `level`. Sorted ascending, no duplicates.
+  [[nodiscard]] std::vector<std::size_t> recurrence_statements(
+      std::size_t level) const;
+
+  /// Graphviz rendering: one node per statement, one edge per dependence,
+  /// labelled kind/answer/direction.
+  [[nodiscard]] std::string to_dot(const ir::SymbolTable& symbols) const;
+};
+
+/// Builds the graph for one loop tree.
+[[nodiscard]] Ddg build_ddg(const ir::Loop& root);
+
+/// Outermost common level `dep` may be carried at, or nullopt when the
+/// dependence is loop-independent (helper shared with the race detector).
+[[nodiscard]] std::optional<std::size_t> outermost_carried_level(
+    const Dependence& dep);
+
+}  // namespace coalesce::analysis

@@ -225,6 +225,86 @@ DimVerdict test_dimension(const AffineForm& fa, const AffineForm& fb,
     return verdict;
   }
 
+  // Weak-zero SIV: one common-level instance against a loop-invariant value
+  // (a*i + c1 vs. c2, or c1 vs. a*i' + c2). The pinned instance must land
+  // exactly on v = -const_diff / a, and v must be an actual iterate: inside
+  // the bounds AND on the step lattice from the lower bound. The lattice
+  // membership check is strictly stronger than GCD + Banerjee, which accept
+  // any integer in range.
+  if (terms.size() == 1 && !terms[0].is_delta && terms[0].level.has_value() &&
+      !unresolvable) {
+    const Term& t = terms[0];
+    if (support::mod_floor(-const_diff, t.coeff) != 0) {
+      verdict.answer = DepAnswer::kIndependent;
+      return verdict;
+    }
+    const int64_t v = -const_diff / t.coeff;
+    const Loop& loop = *common[*t.level];
+    if (t.bounds) {
+      const auto rel = support::checked_sub(v, t.bounds->lo);
+      if (!rel.has_value()) return verdict;  // kMaybe: arithmetic overflow
+      if (v < t.bounds->lo || v > t.bounds->hi ||
+          support::mod_floor(*rel, loop.step) != 0) {
+        verdict.answer = DepAnswer::kIndependent;
+        return verdict;
+      }
+      // One instance pinned to iterate v, the other instance free: the
+      // dependence exists, between v and every iteration (distance unknown).
+      verdict.answer = DepAnswer::kDependent;
+      return verdict;
+    }
+    return verdict;  // kMaybe: bounds unknown, v may fall outside the loop
+  }
+
+  // Weak-crossing SIV: both instances of one common level with coefficients
+  // of opposite sign (a*i + c1 vs. -a*i' + c2, folded here to two terms with
+  // the SAME residual coefficient a): a*(i + i') == -const_diff. With
+  // i = lo + m*step and i' = lo + n*step, the sum i + i' sweeps exactly
+  // 2*lo + step*{0, 1, ..., 2*(trips-1)}; exact lattice membership decides.
+  if (terms.size() == 2 && !unresolvable && !terms[0].is_delta &&
+      !terms[1].is_delta && terms[0].level.has_value() &&
+      terms[1].level == terms[0].level &&
+      terms[0].coeff == terms[1].coeff) {
+    const Term& t = terms[0];
+    if (support::mod_floor(-const_diff, t.coeff) != 0) {
+      verdict.answer = DepAnswer::kIndependent;
+      return verdict;
+    }
+    const int64_t sum = -const_diff / t.coeff;  // i + i'
+    const Loop& loop = *common[*t.level];
+    if (t.bounds) {
+      const auto two_lo = support::checked_mul(int64_t{2}, t.bounds->lo);
+      const auto span = support::checked_sub(t.bounds->hi, t.bounds->lo);
+      if (!two_lo.has_value() || !span.has_value()) {
+        return verdict;  // kMaybe: arithmetic overflow
+      }
+      const auto rel = support::checked_sub(sum, *two_lo);
+      const auto two_k = support::checked_mul(*span / loop.step, int64_t{2});
+      const auto max_rel =
+          two_k ? support::checked_mul(*two_k, loop.step) : std::nullopt;
+      if (!rel.has_value() || !max_rel.has_value()) {
+        return verdict;  // kMaybe: arithmetic overflow
+      }
+      if (*rel < 0 || *rel > *max_rel ||
+          support::mod_floor(*rel, loop.step) != 0) {
+        verdict.answer = DepAnswer::kIndependent;
+        return verdict;
+      }
+      verdict.answer = DepAnswer::kDependent;
+      if (*rel == 0 || *rel == *max_rel) {
+        // The crossing point sits on the iteration-space boundary: the only
+        // feasible pair is i == i' (first or last iterate with itself), so
+        // the dependence is exactly loop-independent at this level.
+        verdict.level = t.level;
+        verdict.distance = 0;
+      }
+      // Otherwise crossing pairs with i != i' exist; which (i, i') split the
+      // sum takes stays open, so the distance at this level is unknown.
+      return verdict;
+    }
+    return verdict;  // kMaybe: bounds unknown
+  }
+
   // Banerjee range test: requires every term bounded, with every product
   // and partial sum representable (overflow widens the range to unknown).
   bool all_bounded = !unresolvable;

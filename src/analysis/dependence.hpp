@@ -1,9 +1,10 @@
 // Data-dependence testing between array references.
 //
 // Implements the classical test hierarchy the paper's compiler setting
-// assumes (Parafrase-style): per-dimension ZIV / strong-SIV exact tests,
-// with GCD and Banerjee range tests as the conservative backstop for MIV
-// subscripts. Results are *sound for parallelization*: kIndependent is only
+// assumes (Parafrase-style): per-dimension ZIV / strong-SIV / weak-zero-SIV
+// / weak-crossing-SIV exact tests, with GCD and Banerjee range tests as the
+// conservative backstop for MIV subscripts (docs/ANALYSIS.md walks the
+// hierarchy). Results are *sound for parallelization*: kIndependent is only
 // returned when independence is proven; anything unproven stays kMaybe and
 // blocks DOALL marking.
 //

@@ -42,9 +42,15 @@ const std::vector<LintRule>& lint_rules() {
       {"unprivatized-scalar", Severity::kError,
        "a loop marked doall writes a scalar that is read before assigned: a "
        "data race under parallel execution"},
+      {"race-carried-dependence", Severity::kError,
+       "a proven dependence is carried by a loop planned for parallel "
+       "execution: a definite data race"},
       {"doall-unproven", Severity::kWarning,
        "a loop is marked doall but the dependence analyzer cannot prove its "
        "iterations independent"},
+      {"maybe-dependence", Severity::kWarning,
+       "an unproven dependence may be carried by a loop about to run "
+       "parallel; the direction vector shows where independence was lost"},
       {"nonperfect-band", Severity::kWarning,
        "imperfect nesting caps the coalescible band depth; distribution "
        "could deepen it"},
@@ -149,10 +155,10 @@ class Linter {
 
  private:
   void emit(const char* id, std::string message, ir::SourceLoc loc,
-            std::string fixit = {}) {
+            std::string fixit = {}, std::vector<RelatedLocation> related = {}) {
     const LintRule* r = rule(id);
     diags_.push_back(Diagnostic{r, r->severity, std::move(message), loc,
-                                std::move(fixit)});
+                                std::move(fixit), std::move(related)});
   }
 
   const char* name(VarId v) const { return nest_.symbols.name(v).c_str(); }
@@ -193,6 +199,46 @@ class Linter {
                              name(loop.var)),
              loop.loc, "mark the loop 'doall' (or run --analyze)");
       }
+    }
+
+    // Per-dependence detail: every unproven (kMaybe) dependence that may be
+    // carried by a loop planned parallel, with its direction vector and both
+    // references attached as related locations.
+    const std::vector<ArrayRef> refs = collect_array_refs(*nest_.root);
+    for (const Dependence& dep : report.dependences) {
+      if (dep.answer != DepAnswer::kMaybe) continue;
+      const Loop* carrier = nullptr;
+      std::size_t carrier_level = 0;
+      for (std::size_t l = 0; l < dep.common.size(); ++l) {
+        if (dep.common[l]->parallel && dep.may_be_carried_at(l)) {
+          carrier = dep.common[l];
+          carrier_level = l;
+          break;
+        }
+      }
+      if (carrier == nullptr) continue;
+      const ArrayRef& src = refs[dep.src_ref];
+      const ArrayRef& dst = refs[dep.dst_ref];
+      std::vector<RelatedLocation> related;
+      for (const ArrayRef* ref : {&src, &dst}) {
+        if (ref->enclosing.empty()) continue;
+        related.push_back(RelatedLocation{
+            ref->enclosing.back()->loc,
+            support::format("%s of '%s' in statement %zu",
+                            ref->kind == RefKind::kWrite ? "write" : "read",
+                            name(ref->array), ref->stmt_ordinal)});
+      }
+      emit("maybe-dependence",
+           support::format(
+               "unproven %s dependence on '%s' with direction %s may be "
+               "carried by doall '%s' (level %zu)",
+               to_string(dep.kind), name(src.array),
+               dep.direction_string().c_str(), name(carrier->var),
+               carrier_level),
+           carrier->loc,
+           "prove independence (affine subscripts, constant bounds) or mark "
+           "the loop 'do'",
+           std::move(related));
     }
   }
 
@@ -425,6 +471,11 @@ std::string render_text(const std::vector<Diagnostic>& diags,
     if (!d.fixit.empty()) {
       out += support::format("  fix-it: %s\n", d.fixit.c_str());
     }
+    for (const RelatedLocation& rel : d.related) {
+      out += support::format("  related: %s: %s\n",
+                             location_prefix(file, rel.loc).c_str(),
+                             rel.message.c_str());
+    }
   }
   if (diags.empty()) out = "no findings\n";
   return out;
@@ -482,14 +533,34 @@ std::string render_sarif(const std::vector<Diagnostic>& diags,
     }
     std::string text = d.message;
     if (!d.fixit.empty()) text += " (fix-it: " + d.fixit + ")";
+    std::string related;
+    if (!d.related.empty()) {
+      related = ", \"relatedLocations\": [";
+      for (std::size_t r = 0; r < d.related.size(); ++r) {
+        const RelatedLocation& rel = d.related[r];
+        if (r > 0) related += ",";
+        std::string rel_region;
+        if (rel.loc.valid()) {
+          rel_region = support::format(", \"region\": {\"startLine\": %d, "
+                                       "\"startColumn\": %d}",
+                                       rel.loc.line, rel.loc.column);
+        }
+        related += support::format(
+            "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": "
+            "\"%s\"}%s}, \"message\": {\"text\": \"%s\"}}",
+            json_escape(uri).c_str(), rel_region.c_str(),
+            json_escape(rel.message).c_str());
+      }
+      related += "]";
+    }
     out += support::format(
         "\n      {\"ruleId\": \"%s\", \"ruleIndex\": %zu, \"level\": "
         "\"%s\", \"message\": {\"text\": \"%s\"}, \"locations\": "
         "[{\"physicalLocation\": {\"artifactLocation\": {\"uri\": "
-        "\"%s\"}%s}}]}",
+        "\"%s\"}%s}}]%s}",
         d.rule->id, rule_index(d.rule), to_string(d.severity),
         json_escape(text).c_str(), json_escape(uri).c_str(),
-        region.c_str());
+        region.c_str(), related.c_str());
   }
   out +=
       "\n    ]\n"

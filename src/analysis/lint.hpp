@@ -16,7 +16,12 @@
 //   product-overflow        error    prod N_k of a DOALL band > INT64_MAX
 //   box-overflow            error    guarded bounding box > INT64_MAX
 //   unprivatized-scalar     error    parallel loop races on a scalar
+//   race-carried-dependence error    proven dependence carried by a loop
+//                                    planned parallel (race.hpp emits it)
 //   doall-unproven          warning  'doall' flag the analyzer cannot prove
+//   maybe-dependence        warning  unproven dependence on a loop about to
+//                                    run parallel, with direction vector and
+//                                    both references as related locations
 //   nonperfect-band         warning  imperfect nesting caps the band depth
 //   nonrectangular-band     warning  inner bounds read outer band variables
 //   nonconstant-bounds      warning  band bounds do not fold to constants
@@ -53,6 +58,13 @@ struct LintRule {
 /// The full rule catalog, in the order listed above.
 [[nodiscard]] const std::vector<LintRule>& lint_rules();
 
+/// A secondary source position attached to a finding — e.g. the two array
+/// references of a dependence. Rendered as SARIF relatedLocations.
+struct RelatedLocation {
+  ir::SourceLoc loc;
+  std::string message;  ///< role of this location ("source reference", ...)
+};
+
 /// One finding. `rule` points into lint_rules(); `loc` is the offending
 /// loop's source position when the program was parsed from text.
 struct Diagnostic {
@@ -61,6 +73,7 @@ struct Diagnostic {
   std::string message;
   ir::SourceLoc loc;
   std::string fixit;  ///< suggested remedy ("" when none applies)
+  std::vector<RelatedLocation> related;  ///< secondary positions (may be empty)
 };
 
 struct LintOptions {

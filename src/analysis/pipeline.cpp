@@ -1,0 +1,79 @@
+#include "analysis/pipeline.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "analysis/race.hpp"
+#include "ir/verify.hpp"
+#include "support/assert.hpp"
+
+namespace coalesce::analysis {
+
+namespace {
+
+const LintRule* find_rule(const char* id) {
+  for (const LintRule& r : lint_rules()) {
+    if (std::strcmp(r.id, id) == 0) return &r;
+  }
+  COALESCE_ASSERT_MSG(false, "unknown lint rule id");
+  return nullptr;
+}
+
+std::vector<Diagnostic> run_verify(const ir::Program& program) {
+  std::vector<Diagnostic> out;
+  const LintRule* rule = find_rule("ir-invalid");
+  for (const ir::VerifyIssue& issue : ir::verify_program(program)) {
+    out.push_back(Diagnostic{rule, rule->severity, issue.message, issue.loc,
+                             /*fixit=*/{}, /*related=*/{}});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<AnalysisPass> default_analysis_passes(
+    const LintOptions& lint_options) {
+  std::vector<AnalysisPass> passes;
+  passes.push_back(AnalysisPass{"verify", run_verify});
+  passes.push_back(AnalysisPass{
+      "lint", [lint_options](const ir::Program& program) {
+        return lint_program(program, lint_options);
+      }});
+  passes.push_back(AnalysisPass{"race", race_diagnostics});
+  return passes;
+}
+
+PipelineResult run_analysis_pipeline(const ir::Program& program,
+                                     const std::vector<AnalysisPass>& passes) {
+  PipelineResult result;
+  for (const AnalysisPass& pass : passes) {
+    std::vector<Diagnostic> found = pass.run(program);
+    const bool failed = has_errors(found);
+    // Passes overlap on purpose (lint and race both speak maybe-dependence);
+    // keep the first copy of any identical finding.
+    for (Diagnostic& d : found) {
+      const bool dup = std::any_of(
+          result.diagnostics.begin(), result.diagnostics.end(),
+          [&d](const Diagnostic& prior) {
+            return prior.rule == d.rule && prior.message == d.message &&
+                   prior.loc.line == d.loc.line &&
+                   prior.loc.column == d.loc.column;
+          });
+      if (!dup) result.diagnostics.push_back(std::move(d));
+    }
+    if (failed) {
+      result.ok = false;
+      result.failed_pass = pass.name;
+      break;
+    }
+  }
+  return result;
+}
+
+PipelineResult run_analysis_pipeline(const ir::Program& program,
+                                     const LintOptions& lint_options) {
+  return run_analysis_pipeline(program, default_analysis_passes(lint_options));
+}
+
+}  // namespace coalesce::analysis

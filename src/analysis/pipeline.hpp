@@ -1,0 +1,51 @@
+// The static-analysis pass pipeline.
+//
+// Every consumer that vets a program before acting on it (the coalescec
+// driver, the service admission gate, a future JIT) runs the same ordered
+// pass list instead of hand-rolling its own verify-then-lint sequence:
+//
+//   verify  — structural invariants (ir/verify.hpp), as ir-invalid findings
+//   lint    — overflow & legality linter (analysis/lint.hpp)
+//   race    — planned parallelism vs. the dependence graph (analysis/race.hpp)
+//
+// The pipeline stops at the first pass that produces an error-severity
+// finding: later passes assume the earlier ones held (lint assumes a valid
+// tree, race assumes lint's scalar model), so running them on damaged input
+// would only produce noise. Warnings and notes flow through and accumulate.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "ir/stmt.hpp"
+
+namespace coalesce::analysis {
+
+/// One named pass: inspects the program, returns findings, mutates nothing.
+struct AnalysisPass {
+  std::string name;
+  std::function<std::vector<Diagnostic>(const ir::Program&)> run;
+};
+
+/// The default pass list (verify, lint, race), in run order.
+[[nodiscard]] std::vector<AnalysisPass> default_analysis_passes(
+    const LintOptions& lint_options = {});
+
+struct PipelineResult {
+  bool ok = true;             ///< no pass produced an error-severity finding
+  std::string failed_pass;    ///< name of the first failing pass ("" if ok)
+  std::vector<Diagnostic> diagnostics;  ///< findings of every pass that ran
+};
+
+/// Runs `passes` in order over `program`, stopping after the first pass
+/// whose findings contain an error.
+[[nodiscard]] PipelineResult run_analysis_pipeline(
+    const ir::Program& program, const std::vector<AnalysisPass>& passes);
+
+/// Convenience: the default pass list.
+[[nodiscard]] PipelineResult run_analysis_pipeline(
+    const ir::Program& program, const LintOptions& lint_options = {});
+
+}  // namespace coalesce::analysis

@@ -1,0 +1,235 @@
+#include "analysis/race.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "analysis/doall.hpp"
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::analysis {
+
+using ir::Loop;
+
+const char* to_string(RaceVerdict v) noexcept {
+  switch (v) {
+    case RaceVerdict::kRaceFree: return "race-free";
+    case RaceVerdict::kMaybeRacy: return "maybe-racy";
+    case RaceVerdict::kRacy: return "racy";
+  }
+  return "?";
+}
+
+RaceVerdict RaceReport::verdict() const {
+  if (definite_count() > 0) return RaceVerdict::kRacy;
+  return findings.empty() ? RaceVerdict::kRaceFree : RaceVerdict::kMaybeRacy;
+}
+
+std::size_t RaceReport::definite_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [](const RaceFinding& f) { return f.definite; }));
+}
+
+namespace {
+
+/// Is the dependence *proven* to be carried at `level` (not merely not
+/// refuted)? "Proven" here means a conflicting pair of *executed* iteration
+/// instances must exist, which is strictly stronger than the dependence
+/// tests' kDependent: those reason over one subscript dimension at a time
+/// against a rectangular iteration space, so an answer of kDependent with an
+/// unknown entry at `level` can simply mean the tests never looked at that
+/// loop (e.g. the inner loop of a strip-mined band, whose bounds couple to
+/// the carrier and partition the index range — no real pair crosses it).
+///
+/// The criterion:
+///  - proven dependence, every outer distance entry known zero;
+///  - neither endpoint is shielded by an if-guard;
+///  - every common loop has constant bounds with >= 1 trip (uncoupled,
+///    non-empty space), and every loop enclosing an endpoint *below* the
+///    common prefix likewise (both instances actually execute);
+///  - and either a known nonzero distance at `level` (strong-SIV proof,
+///    in-range checked against constant bounds), or — the shared-cell shape —
+///    both endpoints address the *same* cell, fixed while the carrier and
+///    everything inside it iterate, with the carrier running >= 2 trips, so
+///    at least two distinct carrier iterations must collide.
+bool definitely_carried_at(const Ddg& ddg, const Dependence& dep,
+                           std::size_t level) {
+  if (dep.answer != DepAnswer::kDependent) return false;
+  for (std::size_t l = 0; l < level; ++l) {
+    if (!dep.distance[l].has_value() || *dep.distance[l] != 0) return false;
+  }
+  const ArrayRef& src = ddg.refs[dep.src_ref];
+  const ArrayRef& dst = ddg.refs[dep.dst_ref];
+  if (src.guarded || dst.guarded) return false;
+  for (const Loop* loop : dep.common) {
+    const auto trips = ir::constant_trip_count(*loop);
+    if (!trips.has_value() || *trips < 1) return false;
+  }
+  for (const ArrayRef* ref : {&src, &dst}) {
+    for (std::size_t l = dep.common.size(); l < ref->enclosing.size(); ++l) {
+      const auto trips = ir::constant_trip_count(*ref->enclosing[l]);
+      if (!trips.has_value() || *trips < 1) return false;
+    }
+  }
+  const auto& d = dep.distance[level];
+  if (d.has_value()) return *d != 0;
+  const auto trips = ir::constant_trip_count(*dep.common[level]);
+  if (!trips.has_value() || *trips < 2) return false;
+  // Shared-cell shape: identical affine subscripts in every dimension, none
+  // of which mention the carrier, any deeper common loop, or any loop below
+  // the common prefix of either endpoint.
+  std::vector<ir::VarId> banned;
+  for (std::size_t l = level; l < dep.common.size(); ++l) {
+    banned.push_back(dep.common[l]->var);
+  }
+  for (const ArrayRef* ref : {&src, &dst}) {
+    for (std::size_t l = dep.common.size(); l < ref->enclosing.size(); ++l) {
+      banned.push_back(ref->enclosing[l]->var);
+    }
+  }
+  if (src.subscripts.size() != dst.subscripts.size()) return false;
+  for (std::size_t i = 0; i < src.subscripts.size(); ++i) {
+    const auto& fa = src.subscripts[i];
+    const auto& fb = dst.subscripts[i];
+    if (!fa.has_value() || !fb.has_value() || *fa != *fb) return false;
+    for (const auto& [var, coeff] : fa->coeffs) {
+      if (coeff != 0 &&
+          std::find(banned.begin(), banned.end(), var) != banned.end()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void scan_scalars(const ir::SymbolTable& symbols, const Loop& loop,
+                  std::vector<RaceFinding>& out) {
+  if (loop.parallel) {
+    for (ir::VarId s : ir::scalars_written(loop)) {
+      if (scalar_privatizable(loop, s)) continue;
+      RaceFinding f;
+      f.loop = &loop;
+      f.variable = s;
+      f.definite = false;  // guards may shield the exposed read at runtime
+      f.message = support::format(
+          "scalar '%s' may be read before assigned in an iteration of "
+          "doall '%s': a race on the shared cell",
+          symbols.name(s).c_str(), symbols.name(loop.var).c_str());
+      out.push_back(std::move(f));
+    }
+  }
+  for (const ir::Stmt& s : loop.body) {
+    if (const auto* inner = std::get_if<ir::LoopPtr>(&s)) {
+      scan_scalars(symbols, **inner, out);
+    } else if (const auto* guard = std::get_if<ir::IfPtr>(&s)) {
+      for (const ir::Stmt& t : (*guard)->then_body) {
+        if (const auto* gl = std::get_if<ir::LoopPtr>(&t)) {
+          scan_scalars(symbols, **gl, out);
+        }
+      }
+    }
+  }
+}
+
+const LintRule* find_rule(const char* id) {
+  for (const LintRule& r : lint_rules()) {
+    if (std::strcmp(r.id, id) == 0) return &r;
+  }
+  COALESCE_ASSERT_MSG(false, "unknown lint rule id");
+  return nullptr;
+}
+
+}  // namespace
+
+RaceReport check_races(const ir::SymbolTable& symbols, const ir::Loop& root) {
+  RaceReport report;
+  report.ddg = build_ddg(root);
+
+  for (std::size_t d = 0; d < report.ddg.deps.size(); ++d) {
+    const Dependence& dep = report.ddg.deps[d];
+    // The outermost level that is planned parallel and may carry the
+    // dependence is where the race would happen: everything outside it is
+    // either sequential (ordered) or provably not the carrier.
+    for (std::size_t l = 0; l < dep.common.size(); ++l) {
+      if (!dep.common[l]->parallel || !dep.may_be_carried_at(l)) continue;
+      RaceFinding f;
+      f.loop = dep.common[l];
+      f.level = l;
+      f.dep = d;
+      f.definite = definitely_carried_at(report.ddg, dep, l);
+      f.variable = report.ddg.refs[dep.src_ref].array;
+      // The unproven wording matches the linter's maybe-dependence finding
+      // verbatim so the pipeline can deduplicate the shared diagnosis.
+      f.message = support::format(
+          "%s %s dependence on '%s' with direction %s %s carried by doall "
+          "'%s' (level %zu)",
+          f.definite ? "proven" : "unproven", to_string(dep.kind),
+          symbols.name(f.variable).c_str(), dep.direction_string().c_str(),
+          f.definite ? "is" : "may be", symbols.name(f.loop->var).c_str(), l);
+      report.findings.push_back(std::move(f));
+      break;
+    }
+  }
+
+  scan_scalars(symbols, root, report.findings);
+  return report;
+}
+
+RaceReport check_races(const ir::LoopNest& nest) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  return check_races(nest.symbols, *nest.root);
+}
+
+std::vector<RaceReport> check_races(const ir::Program& program) {
+  std::vector<RaceReport> out;
+  out.reserve(program.roots.size());
+  for (const ir::LoopPtr& root : program.roots) {
+    out.push_back(check_races(program.symbols, *root));
+  }
+  return out;
+}
+
+std::vector<Diagnostic> race_diagnostics(const ir::Program& program) {
+  std::vector<Diagnostic> out;
+  for (const ir::LoopPtr& root : program.roots) {
+    const RaceReport report = check_races(program.symbols, *root);
+    for (const RaceFinding& f : report.findings) {
+      Diagnostic diag;
+      if (f.is_scalar()) {
+        diag.rule = find_rule("unprivatized-scalar");
+        diag.fixit =
+            "privatize with --expand-scalars (scalar expansion) or mark the "
+            "loop 'do'";
+      } else if (f.definite) {
+        diag.rule = find_rule("race-carried-dependence");
+        diag.fixit = "the dependence is proven; mark the loop 'do'";
+      } else {
+        diag.rule = find_rule("maybe-dependence");
+        diag.fixit =
+            "prove independence (affine subscripts, constant bounds) or mark "
+            "the loop 'do'";
+      }
+      diag.severity = diag.rule->severity;
+      diag.message = f.message;
+      diag.loc = f.loop->loc;
+      if (!f.is_scalar()) {
+        const Dependence& dep = report.ddg.deps[f.dep];
+        for (std::size_t ref_index : {dep.src_ref, dep.dst_ref}) {
+          const ArrayRef& ref = report.ddg.refs[ref_index];
+          if (ref.enclosing.empty()) continue;
+          diag.related.push_back(RelatedLocation{
+              ref.enclosing.back()->loc,
+              support::format("%s of '%s' in statement %zu",
+                              ref.kind == RefKind::kWrite ? "write" : "read",
+                              program.symbols.name(ref.array).c_str(),
+                              ref.stmt_ordinal)});
+        }
+      }
+      out.push_back(std::move(diag));
+    }
+  }
+  return out;
+}
+
+}  // namespace coalesce::analysis

@@ -1,0 +1,83 @@
+// Static race detection: planned parallelism vs. the dependence graph.
+//
+// A `doall` flag is a *plan*; this module is the adversary that checks the
+// plan against the facts the analyses can prove (docs/ANALYSIS.md):
+//
+//   * every dependence in the DDG that may be carried by a loop planned
+//     parallel is a candidate race. It is *definite* (kRacy) when the
+//     dependence is proven and the carrier provably executes two conflicting
+//     iterations; otherwise it stays a *maybe* (kMaybeRacy).
+//   * every scalar written under a parallel loop must be privatizable
+//     (assigned before read in each iteration); an exposed read is a race on
+//     the shared cell.
+//
+// The soundness contract, enforced dynamically by runtime/race_oracle.hpp
+// and the fuzz suite: verdict kRaceFree implies NO execution of the nest
+// exhibits a cross-iteration conflict on a parallel loop. kMaybeRacy makes
+// no promise either way; kRacy means a conflict is statically proven (up to
+// the per-dimension independence of the subscript tests).
+//
+// Findings also come out as lint Diagnostics (race-carried-dependence /
+// maybe-dependence / unprivatized-scalar) so the text/JSON/SARIF renderers
+// and the service admission pipeline can surface them unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/ddg.hpp"
+#include "analysis/lint.hpp"
+#include "ir/stmt.hpp"
+
+namespace coalesce::analysis {
+
+enum class RaceVerdict : std::uint8_t {
+  kRaceFree,   ///< no finding: the parallel plan is provably race-free
+  kMaybeRacy,  ///< unproven dependences only; must be assumed racy
+  kRacy,       ///< at least one proven carried dependence or exposed scalar
+};
+
+[[nodiscard]] const char* to_string(RaceVerdict v) noexcept;
+
+/// One candidate race.
+struct RaceFinding {
+  /// Sentinel for `dep` on scalar findings (no DDG edge involved).
+  static constexpr std::size_t kScalarFinding = static_cast<std::size_t>(-1);
+
+  const ir::Loop* loop = nullptr;  ///< the parallel loop the race rides on
+  std::size_t level = 0;           ///< its index in the dependence's `common`
+  std::size_t dep = kScalarFinding;  ///< index into RaceReport::ddg.deps
+  bool definite = false;           ///< true: proven, not merely unrefuted
+  ir::VarId variable{};            ///< the array or scalar fought over
+  std::string message;
+
+  [[nodiscard]] bool is_scalar() const { return dep == kScalarFinding; }
+};
+
+struct RaceReport {
+  Ddg ddg;  ///< the graph the array findings index into
+  std::vector<RaceFinding> findings;
+
+  [[nodiscard]] RaceVerdict verdict() const;
+  [[nodiscard]] std::size_t definite_count() const;
+};
+
+/// Checks one loop tree. The report borrows Loop pointers from the tree and
+/// must not outlive it.
+[[nodiscard]] RaceReport check_races(const ir::SymbolTable& symbols,
+                                     const ir::Loop& root);
+[[nodiscard]] RaceReport check_races(const ir::LoopNest& nest);
+
+/// One report per root, in program order.
+[[nodiscard]] std::vector<RaceReport> check_races(const ir::Program& program);
+
+/// Every finding of every root as a lint Diagnostic (rules
+/// race-carried-dependence, maybe-dependence, unprivatized-scalar), with
+/// both dependence endpoints attached as related locations — ready for
+/// render_text / render_json / render_sarif.
+[[nodiscard]] std::vector<Diagnostic> race_diagnostics(
+    const ir::Program& program);
+
+}  // namespace coalesce::analysis

@@ -1,5 +1,7 @@
 #include "analysis/subscript.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 
 namespace coalesce::analysis {
@@ -8,7 +10,8 @@ namespace {
 /// Recursively collect kArrayRead nodes in an expression.
 void collect_reads(const ir::ExprRef& e,
                    const std::vector<const ir::Loop*>& chain,
-                   std::size_t ordinal, std::vector<ArrayRef>& out) {
+                   std::size_t ordinal, bool guarded,
+                   std::vector<ArrayRef>& out) {
   if (e == nullptr) return;
   if (e->op == ir::ExprOp::kArrayRead) {
     ArrayRef ref;
@@ -16,33 +19,36 @@ void collect_reads(const ir::ExprRef& e,
     ref.kind = RefKind::kRead;
     ref.enclosing = chain;
     ref.stmt_ordinal = ordinal;
+    ref.guarded = guarded;
     ref.subscripts.reserve(e->kids.size());
     for (const auto& sub : e->kids) {
       ref.subscripts.push_back(ir::to_affine(sub));
       // Subscripts can themselves contain array reads (indirection); those
       // inner reads are still reads of the inner array.
-      collect_reads(sub, chain, ordinal, out);
+      collect_reads(sub, chain, ordinal, guarded, out);
     }
     out.push_back(std::move(ref));
     return;
   }
-  for (const auto& k : e->kids) collect_reads(k, chain, ordinal, out);
+  for (const auto& k : e->kids) collect_reads(k, chain, ordinal, guarded, out);
 }
 
 void collect_assign_refs(const ir::AssignStmt& assign,
                          const std::vector<const ir::Loop*>& chain,
-                         std::size_t ordinal, std::vector<ArrayRef>& out) {
-  collect_reads(assign.rhs, chain, ordinal, out);
+                         std::size_t ordinal, bool guarded,
+                         std::vector<ArrayRef>& out) {
+  collect_reads(assign.rhs, chain, ordinal, guarded, out);
   if (const auto* access = std::get_if<ir::ArrayAccess>(&assign.lhs)) {
     ArrayRef ref;
     ref.array = access->array;
     ref.kind = RefKind::kWrite;
     ref.enclosing = chain;
     ref.stmt_ordinal = ordinal;
+    ref.guarded = guarded;
     ref.subscripts.reserve(access->subscripts.size());
     for (const auto& sub : access->subscripts) {
       ref.subscripts.push_back(ir::to_affine(sub));
-      collect_reads(sub, chain, ordinal, out);
+      collect_reads(sub, chain, ordinal, guarded, out);
     }
     out.push_back(std::move(ref));
   }
@@ -50,23 +56,26 @@ void collect_assign_refs(const ir::AssignStmt& assign,
 
 void collect_stmt_refs(const ir::Stmt& stmt,
                        std::vector<const ir::Loop*>& chain,
-                       std::size_t& ordinal, std::vector<ArrayRef>& out) {
+                       std::size_t& ordinal, bool guarded,
+                       std::vector<ArrayRef>& out) {
   if (const auto* assign = std::get_if<ir::AssignStmt>(&stmt)) {
-    collect_assign_refs(*assign, chain, ordinal++, out);
+    collect_assign_refs(*assign, chain, ordinal++, guarded, out);
   } else if (const auto* guard = std::get_if<ir::IfPtr>(&stmt)) {
-    collect_reads((*guard)->condition, chain, ordinal++, out);
+    // The condition itself evaluates unconditionally; only the body is
+    // shielded by it.
+    collect_reads((*guard)->condition, chain, ordinal++, guarded, out);
     for (const ir::Stmt& s : (*guard)->then_body) {
-      collect_stmt_refs(s, chain, ordinal, out);
+      collect_stmt_refs(s, chain, ordinal, /*guarded=*/true, out);
     }
   } else {
     const ir::Loop& loop = *std::get<ir::LoopPtr>(stmt);
     chain.push_back(&loop);
     // Bound expressions can read arrays too (rare, but sound to include).
-    collect_reads(loop.lower, chain, ordinal, out);
-    collect_reads(loop.upper, chain, ordinal, out);
+    collect_reads(loop.lower, chain, ordinal, guarded, out);
+    collect_reads(loop.upper, chain, ordinal, guarded, out);
     ++ordinal;
     for (const ir::Stmt& s : loop.body) {
-      collect_stmt_refs(s, chain, ordinal, out);
+      collect_stmt_refs(s, chain, ordinal, guarded, out);
     }
     chain.pop_back();
   }
@@ -80,7 +89,28 @@ std::vector<ArrayRef> collect_array_refs(const ir::Loop& root) {
   chain.push_back(&root);
   std::size_t ordinal = 0;
   for (const ir::Stmt& s : root.body) {
-    collect_stmt_refs(s, chain, ordinal, out);
+    collect_stmt_refs(s, chain, ordinal, /*guarded=*/false, out);
+  }
+  // A subscript reading a scalar that is *assigned inside the nest* (e.g.
+  // the index-recovery temporaries a coalesced body computes) is not an
+  // affine function of the induction variables, even though to_affine()
+  // cannot see that: the dependence tests would treat the scalar as
+  // loop-invariant and "prove" facts about a value that changes every
+  // iteration. Demote such dimensions to non-affine so every test stays at
+  // kMaybe.
+  const std::vector<ir::VarId> written = ir::scalars_written(root);
+  if (!written.empty()) {
+    for (ArrayRef& ref : out) {
+      for (auto& sub : ref.subscripts) {
+        if (!sub.has_value()) continue;
+        const bool loop_varying = std::any_of(
+            sub->coeffs.begin(), sub->coeffs.end(), [&](const auto& entry) {
+              return std::find(written.begin(), written.end(), entry.first) !=
+                     written.end();
+            });
+        if (loop_varying) sub = std::nullopt;
+      }
+    }
   }
   return out;
 }
@@ -90,7 +120,7 @@ std::vector<ArrayRef> collect_array_refs_of_stmt(
   std::vector<ArrayRef> out;
   std::vector<const ir::Loop*> chain = prefix;
   std::size_t ordinal = 0;
-  collect_stmt_refs(stmt, chain, ordinal, out);
+  collect_stmt_refs(stmt, chain, ordinal, /*guarded=*/false, out);
   return out;
 }
 

@@ -28,6 +28,9 @@ struct ArrayRef {
   /// Index of the owning assignment in collect_assignments() order; used to
   /// distinguish intra-statement (read & write in the same stmt) pairs.
   std::size_t stmt_ordinal = 0;
+  /// True when the reference sits inside an if-guard: it may not execute on
+  /// every iteration, so a dependence through it can never be *proven*.
+  bool guarded = false;
 };
 
 /// All array references in the tree, execution order. Reads include those in

@@ -26,9 +26,12 @@
 // table from the deprecated parallel_for*/parallel_reduce* spellings.
 #pragma once
 
+#include "analysis/ddg.hpp"
 #include "analysis/dependence.hpp"
 #include "analysis/doall.hpp"
 #include "analysis/lint.hpp"
+#include "analysis/pipeline.hpp"
+#include "analysis/race.hpp"
 #include "analysis/reduction.hpp"
 #include "analysis/report.hpp"
 #include "analysis/subscript.hpp"
@@ -51,6 +54,7 @@
 #include "runtime/ir_executor.hpp"
 #include "runtime/launch.hpp"
 #include "runtime/parallel_for.hpp"
+#include "runtime/race_oracle.hpp"
 #include "runtime/reduce.hpp"
 #include "runtime/thread_pool.hpp"
 #include "service/admission.hpp"

@@ -146,12 +146,18 @@ void Evaluator::register_default_builtins() {
 void Evaluator::run_body_once(const Loop& loop, std::int64_t value) {
   env_[loop.var.raw] = Value{value};
   ++iterations_;
+  if (observer_ != nullptr) observer_->on_iteration(loop, value);
   for (const Stmt& s : loop.body) exec(s);
 }
 
 void Evaluator::set_param(VarId param, std::int64_t value) {
   COALESCE_ASSERT(symbols_->kind(param) == SymbolKind::kParam);
   env_[param.raw] = Value{value};
+}
+
+void Evaluator::bind_scalar(VarId scalar, Value value) {
+  COALESCE_ASSERT(symbols_->kind(scalar) == SymbolKind::kScalar);
+  env_[scalar.raw] = value;
 }
 
 void Evaluator::register_builtin(std::string name, Builtin fn) {
@@ -171,6 +177,7 @@ void Evaluator::run(const Loop& root) {
   for (std::int64_t v = lo; v <= hi; v += root.step) {
     run_body_once(root, v);
   }
+  if (observer_ != nullptr && lo <= hi) observer_->on_loop_exit(root);
   env_[root.var.raw].reset();  // induction var dead outside its loop
 }
 
@@ -189,6 +196,10 @@ void Evaluator::exec(const Stmt& stmt) {
 void Evaluator::exec_assign(const AssignStmt& assign) {
   const Value rhs = eval(assign.rhs);
   if (const auto* scalar = std::get_if<VarId>(&assign.lhs)) {
+    if (observer_ != nullptr &&
+        symbols_->kind(*scalar) == SymbolKind::kScalar) {
+      observer_->on_scalar_access(*scalar, /*is_write=*/true);
+    }
     env_[scalar->raw] = rhs;
     return;
   }
@@ -196,6 +207,11 @@ void Evaluator::exec_assign(const AssignStmt& assign) {
   std::vector<std::int64_t> subs;
   subs.reserve(access.subscripts.size());
   for (const auto& sub : access.subscripts) subs.push_back(eval_int(sub));
+  if (observer_ != nullptr) {
+    observer_->on_array_access(access.array,
+                               store_->offset(access.array, subs),
+                               /*is_write=*/true);
+  }
   store_->set(access.array, subs, as_double(rhs));
 }
 
@@ -209,6 +225,10 @@ Value Evaluator::eval(const ExprRef& expr) {
     case ExprOp::kIntConst:
       return Value{expr->literal};
     case ExprOp::kVarRef: {
+      if (observer_ != nullptr &&
+          symbols_->kind(expr->var) == SymbolKind::kScalar) {
+        observer_->on_scalar_access(expr->var, /*is_write=*/false);
+      }
       const auto& bound = env_[expr->var.raw];
       COALESCE_ASSERT_MSG(bound.has_value(), "read of unbound variable");
       return *bound;
@@ -217,6 +237,11 @@ Value Evaluator::eval(const ExprRef& expr) {
       std::vector<std::int64_t> subs;
       subs.reserve(expr->kids.size());
       for (const auto& sub : expr->kids) subs.push_back(eval_int(sub));
+      if (observer_ != nullptr) {
+        observer_->on_array_access(expr->var,
+                                   store_->offset(expr->var, subs),
+                                   /*is_write=*/false);
+      }
       return Value{store_->get(expr->var, subs)};
     }
     case ExprOp::kCall: {

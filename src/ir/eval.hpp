@@ -64,6 +64,37 @@ class ArrayStore {
 /// Builtin function: pure mapping from argument values to a value.
 using Builtin = std::function<Value(std::span<const Value>)>;
 
+/// Observation hooks for instrumented interpretation. The shadow-conflict
+/// race oracle (runtime/race_oracle.hpp) installs one to log every memory
+/// access with the iteration vector it happened under; all callbacks default
+/// to no-ops and the evaluator pays one pointer test per site when none is
+/// installed.
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+  /// A loop iteration begins: `loop`'s induction variable was just bound to
+  /// `value`, before any body statement runs.
+  virtual void on_iteration(const Loop& loop, std::int64_t value) {
+    (void)loop;
+    (void)value;
+  }
+  /// A sequential run() of `loop` finished its last iteration.
+  virtual void on_loop_exit(const Loop& loop) { (void)loop; }
+  /// An array element at flat row-major `offset` was read or written.
+  virtual void on_array_access(VarId array, std::size_t offset,
+                               bool is_write) {
+    (void)array;
+    (void)offset;
+    (void)is_write;
+  }
+  /// A SymbolKind::kScalar variable was read or written (induction variables
+  /// and parameters are not reported).
+  virtual void on_scalar_access(VarId scalar, bool is_write) {
+    (void)scalar;
+    (void)is_write;
+  }
+};
+
 class Evaluator {
  public:
   explicit Evaluator(const SymbolTable& symbols);
@@ -75,6 +106,18 @@ class Evaluator {
 
   /// Binds an integer parameter (SymbolKind::kParam) for the whole run.
   void set_param(VarId param, std::int64_t value);
+
+  /// Pre-binds a scalar before execution. The race oracle binds every
+  /// scalar to 0 so nests that read a scalar before assigning it — exactly
+  /// the racy inputs it exists to execute — do not trip the unbound-variable
+  /// assertion.
+  void bind_scalar(VarId scalar, Value value);
+
+  /// Installs (or clears, with nullptr) the access observer. The observer
+  /// must outlive every run()/eval() call made while installed.
+  void set_observer(ExecutionObserver* observer) noexcept {
+    observer_ = observer;
+  }
 
   /// Registers/overrides a builtin callable by kCall expressions.
   /// "real_div", "avg4", and "pi_height" are pre-registered.
@@ -117,6 +160,7 @@ class Evaluator {
   std::vector<std::optional<Value>> env_;    // by VarId raw
   std::map<std::string, Builtin, std::less<>> builtins_;
   std::uint64_t iterations_ = 0;
+  ExecutionObserver* observer_ = nullptr;
 };
 
 }  // namespace coalesce::ir

@@ -1,0 +1,432 @@
+#include "runtime/race_oracle.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ir/eval.hpp"
+#include "support/int_math.hpp"
+#include "support/strings.hpp"
+
+namespace coalesce::runtime {
+
+using support::i64;
+
+const char* to_string(ScanOutcome o) noexcept {
+  switch (o) {
+    case ScanOutcome::kNoConflict: return "no-conflict";
+    case ScanOutcome::kConflict: return "conflict";
+    case ScanOutcome::kIneligible: return "ineligible";
+  }
+  return "?";
+}
+
+std::string ConflictRecord::describe(const ir::SymbolTable& symbols) const {
+  if (loop == nullptr) return "(no conflict)";
+  if (scalar) {
+    return support::format(
+        "exposed read of scalar '%s' races with a write across iterations "
+        "of doall '%s'",
+        symbols.name(variable).c_str(), symbols.name(loop->var).c_str());
+  }
+  return support::format(
+      "conflicting accesses to '%s' (flat index %zu) across iterations of "
+      "doall '%s'",
+      symbols.name(variable).c_str(), offset,
+      symbols.name(loop->var).c_str());
+}
+
+namespace {
+
+// ---- eligibility ----------------------------------------------------------
+
+// Mirrors the differential oracle's gate (transform/postcheck.cpp): the
+// interpreter cannot execute calls to unregistered builtins or read unbound
+// parameters, and the scan must know an iteration budget up front.
+
+struct Traits {
+  bool has_call = false;
+  bool reads_param = false;
+};
+
+void scan_expr(const ir::ExprRef& e, const ir::SymbolTable& symbols,
+               Traits& t) {
+  if (!e) return;
+  if (e->op == ir::ExprOp::kCall) t.has_call = true;
+  if (e->op == ir::ExprOp::kVarRef && e->var.valid() &&
+      e->var.raw < symbols.size() &&
+      symbols.kind(e->var) == ir::SymbolKind::kParam) {
+    t.reads_param = true;
+  }
+  for (const auto& kid : e->kids) scan_expr(kid, symbols, t);
+}
+
+void scan_loop(const ir::Loop& loop, const ir::SymbolTable& symbols,
+               Traits& t);
+
+void scan_stmt(const ir::Stmt& stmt, const ir::SymbolTable& symbols,
+               Traits& t) {
+  if (const auto* assign = std::get_if<ir::AssignStmt>(&stmt)) {
+    if (const auto* access = std::get_if<ir::ArrayAccess>(&assign->lhs)) {
+      for (const auto& sub : access->subscripts) scan_expr(sub, symbols, t);
+    }
+    scan_expr(assign->rhs, symbols, t);
+  } else if (const auto* inner = std::get_if<ir::LoopPtr>(&stmt)) {
+    if (*inner) scan_loop(**inner, symbols, t);
+  } else if (const auto* guard = std::get_if<ir::IfPtr>(&stmt)) {
+    if (*guard) {
+      scan_expr((*guard)->condition, symbols, t);
+      for (const auto& s : (*guard)->then_body) scan_stmt(s, symbols, t);
+    }
+  }
+}
+
+void scan_loop(const ir::Loop& loop, const ir::SymbolTable& symbols,
+               Traits& t) {
+  scan_expr(loop.lower, symbols, t);
+  scan_expr(loop.upper, symbols, t);
+  for (const auto& stmt : loop.body) scan_stmt(stmt, symbols, t);
+}
+
+// Interval-arithmetic upper bound on total iterations over the live
+// induction variables, so triangular bounds still get a finite estimate.
+struct Interval {
+  i64 lo = 0;
+  i64 hi = 0;
+};
+
+std::optional<Interval> expr_range(
+    const ir::ExprRef& e, const std::map<std::uint32_t, Interval>& env) {
+  if (!e) return std::nullopt;
+  switch (e->op) {
+    case ir::ExprOp::kIntConst:
+      return Interval{e->literal, e->literal};
+    case ir::ExprOp::kVarRef: {
+      const auto it = env.find(e->var.raw);
+      if (it == env.end()) return std::nullopt;
+      return it->second;
+    }
+    case ir::ExprOp::kAdd:
+    case ir::ExprOp::kSub: {
+      const auto a = expr_range(e->kids[0], env);
+      const auto b = expr_range(e->kids[1], env);
+      if (!a || !b) return std::nullopt;
+      const bool add = e->op == ir::ExprOp::kAdd;
+      const auto lo = add ? support::checked_add(a->lo, b->lo)
+                          : support::checked_sub(a->lo, b->hi);
+      const auto hi = add ? support::checked_add(a->hi, b->hi)
+                          : support::checked_sub(a->hi, b->lo);
+      if (!lo || !hi) return std::nullopt;
+      return Interval{*lo, *hi};
+    }
+    case ir::ExprOp::kMul: {
+      const auto a = expr_range(e->kids[0], env);
+      const auto b = expr_range(e->kids[1], env);
+      if (!a || !b) return std::nullopt;
+      Interval out{INT64_MAX, INT64_MIN};
+      for (const i64 x : {a->lo, a->hi}) {
+        for (const i64 y : {b->lo, b->hi}) {
+          const auto p = support::checked_mul(x, y);
+          if (!p) return std::nullopt;
+          out.lo = std::min(out.lo, *p);
+          out.hi = std::max(out.hi, *p);
+        }
+      }
+      return out;
+    }
+    case ir::ExprOp::kNeg: {
+      const auto a = expr_range(e->kids[0], env);
+      if (!a || a->lo == INT64_MIN) return std::nullopt;
+      return Interval{-a->hi, -a->lo};
+    }
+    case ir::ExprOp::kMin:
+    case ir::ExprOp::kMax: {
+      const auto a = expr_range(e->kids[0], env);
+      const auto b = expr_range(e->kids[1], env);
+      if (!a || !b) return std::nullopt;
+      if (e->op == ir::ExprOp::kMin) {
+        return Interval{std::min(a->lo, b->lo), std::min(a->hi, b->hi)};
+      }
+      return Interval{std::max(a->lo, b->lo), std::max(a->hi, b->hi)};
+    }
+    default:
+      return std::nullopt;  // division, reads, calls: give up conservatively
+  }
+}
+
+std::optional<i64> max_iterations(const ir::Loop& loop,
+                                  std::map<std::uint32_t, Interval>& env);
+
+std::optional<i64> max_iterations_in(const std::vector<ir::Stmt>& body,
+                                     std::map<std::uint32_t, Interval>& env) {
+  i64 total = 0;
+  for (const auto& stmt : body) {
+    std::optional<i64> inner;
+    if (const auto* loop = std::get_if<ir::LoopPtr>(&stmt)) {
+      if (!*loop) return std::nullopt;
+      inner = max_iterations(**loop, env);
+    } else if (const auto* guard = std::get_if<ir::IfPtr>(&stmt)) {
+      if (!*guard) return std::nullopt;
+      inner = max_iterations_in((*guard)->then_body, env);
+    } else {
+      continue;
+    }
+    if (!inner) return std::nullopt;
+    const auto sum = support::checked_add(total, *inner);
+    if (!sum) return std::nullopt;
+    total = *sum;
+  }
+  return total;
+}
+
+std::optional<i64> max_iterations(const ir::Loop& loop,
+                                  std::map<std::uint32_t, Interval>& env) {
+  const auto lower = expr_range(loop.lower, env);
+  const auto upper = expr_range(loop.upper, env);
+  if (!lower || !upper || loop.step < 1) return std::nullopt;
+  const auto span = support::checked_sub(upper->hi, lower->lo);
+  i64 trips = 0;
+  if (span && *span >= 0) {
+    trips = *span / loop.step + 1;
+  }
+  if (!span && upper->hi > lower->lo) return std::nullopt;  // span overflowed
+
+  env[loop.var.raw] = Interval{lower->lo, std::max(lower->lo, upper->hi)};
+  const auto inner = max_iterations_in(loop.body, env);
+  env.erase(loop.var.raw);
+  if (!inner) return std::nullopt;
+
+  const auto per = support::checked_add(1, *inner);
+  if (!per) return std::nullopt;
+  return support::checked_mul(trips, *per);
+}
+
+// ---- the observer ---------------------------------------------------------
+
+/// One live enclosing loop with its current induction value.
+struct Frame {
+  const ir::Loop* loop;
+  i64 value;
+};
+
+/// First stack position where both chains hold the SAME loop object with a
+/// DIFFERENT value — the loop whose iterations separate the two accesses.
+/// nullopt when one chain prefixes the other (same iteration, ordered) or
+/// the chains split across sibling loops (ordered by statement sequence).
+std::optional<std::size_t> divergence(const std::vector<Frame>& a,
+                                      const std::vector<Frame>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t p = 0; p < n; ++p) {
+    if (a[p].loop != b[p].loop) return std::nullopt;
+    if (a[p].value != b[p].value) return p;
+  }
+  return std::nullopt;
+}
+
+/// Length of the common (same loop, same value) prefix of two chains.
+std::size_t agreement_depth(const std::vector<Frame>& a,
+                            const std::vector<Frame>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t p = 0;
+  while (p < n && a[p].loop == b[p].loop && a[p].value == b[p].value) ++p;
+  return p;
+}
+
+class ConflictObserver final : public ir::ExecutionObserver {
+ public:
+  explicit ConflictObserver(const ScanOptions& options) : options_(options) {}
+
+  void on_iteration(const ir::Loop& loop, i64 value) override {
+    if (!stack_.empty() && stack_.back().loop == &loop) {
+      stack_.back().value = value;
+    } else {
+      stack_.push_back(Frame{&loop, value});
+    }
+  }
+
+  void on_loop_exit(const ir::Loop& loop) override {
+    if (!stack_.empty() && stack_.back().loop == &loop) stack_.pop_back();
+  }
+
+  void on_array_access(ir::VarId array, std::size_t offset,
+                       bool is_write) override {
+    if (conflict_.has_value()) return;
+    ++accesses_;
+    auto& log = cells_[std::make_pair(array.raw, offset)];
+    for (const ArrayAccess& prior : log) {
+      if (!prior.is_write && !is_write) continue;
+      const auto p = divergence(prior.stack, stack_);
+      if (p.has_value() && stack_[*p].loop->parallel) {
+        conflict_ = ConflictRecord{/*scalar=*/false, array, offset,
+                                   stack_[*p].loop};
+        return;
+      }
+    }
+    if (log.size() >= options_.max_accesses_per_cell) {
+      truncated_ = true;
+      return;
+    }
+    log.push_back(ArrayAccess{stack_, is_write});
+  }
+
+  void on_scalar_access(ir::VarId scalar, bool is_write) override {
+    if (conflict_.has_value()) return;
+    ++accesses_;
+    ScalarState& st = scalars_[scalar.raw];
+    if (is_write) {
+      // A new write endangers every earlier exposed read whose exposing
+      // parallel loop separates the two chains.
+      for (const ExposedRead& er : st.exposed_reads) {
+        const auto p = divergence(er.stack, stack_);
+        if (p.has_value() && *p >= er.agreement &&
+            er.stack[*p].loop->parallel) {
+          conflict_ =
+              ConflictRecord{/*scalar=*/true, scalar, 0, er.stack[*p].loop};
+          return;
+        }
+      }
+      if (st.writes.size() < options_.max_accesses_per_cell) {
+        st.writes.push_back(stack_);
+      } else {
+        truncated_ = true;
+      }
+      st.last_write = stack_;
+      st.has_write = true;
+      return;
+    }
+    // Exposure: a read is covered at depth p iff some earlier write landed
+    // inside the same iteration of the loop at p. Sequential execution makes
+    // iteration time-intervals contiguous, so the LAST write has maximal
+    // agreement with this read among all earlier writes; its agreement depth
+    // is exactly the cover boundary.
+    const std::size_t agreement =
+        st.has_write ? agreement_depth(st.last_write, stack_) : 0;
+    for (const std::vector<Frame>& w : st.writes) {
+      const auto p = divergence(w, stack_);
+      if (p.has_value() && *p >= agreement && stack_[*p].loop->parallel) {
+        conflict_ = ConflictRecord{/*scalar=*/true, scalar, 0,
+                                   stack_[*p].loop};
+        return;
+      }
+    }
+    if (agreement < stack_.size()) {
+      if (st.exposed_reads.size() < options_.max_accesses_per_cell) {
+        st.exposed_reads.push_back(ExposedRead{stack_, agreement});
+      } else {
+        truncated_ = true;
+      }
+    }
+  }
+
+  [[nodiscard]] const std::optional<ConflictRecord>& conflict() const {
+    return conflict_;
+  }
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+  [[nodiscard]] bool truncated() const { return truncated_; }
+
+ private:
+  struct ArrayAccess {
+    std::vector<Frame> stack;
+    bool is_write;
+  };
+  struct ExposedRead {
+    std::vector<Frame> stack;
+    std::size_t agreement;  ///< exposed at every depth >= this
+  };
+  struct ScalarState {
+    std::vector<std::vector<Frame>> writes;
+    std::vector<ExposedRead> exposed_reads;
+    std::vector<Frame> last_write;
+    bool has_write = false;
+  };
+
+  const ScanOptions& options_;
+  std::vector<Frame> stack_;
+  std::map<std::pair<std::uint32_t, std::size_t>, std::vector<ArrayAccess>>
+      cells_;
+  std::map<std::uint32_t, ScalarState> scalars_;
+  std::optional<ConflictRecord> conflict_;
+  std::uint64_t accesses_ = 0;
+  bool truncated_ = false;
+};
+
+// Matches the differential oracle's deterministic seeding so both shadow
+// executions observe identical addresses under indirect subscripts.
+void seed_arrays(ir::Evaluator& eval, const ir::SymbolTable& symbols) {
+  for (std::uint32_t raw = 0; raw < symbols.size(); ++raw) {
+    const ir::VarId id{raw};
+    if (symbols.kind(id) != ir::SymbolKind::kArray) continue;
+    auto data = eval.store().data(id);
+    for (std::size_t q = 0; q < data.size(); ++q) {
+      data[q] = static_cast<double>((q * 31 + 17) % 97) / 7.0;
+    }
+  }
+}
+
+ScanResult scan(const ir::SymbolTable& symbols,
+                const std::vector<const ir::Loop*>& roots,
+                const ScanOptions& options) {
+  ScanResult result;
+
+  Traits traits;
+  std::map<std::uint32_t, Interval> env;
+  i64 total = 0;
+  for (const ir::Loop* root : roots) {
+    if (root == nullptr) return result;
+    scan_loop(*root, symbols, traits);
+    const auto iters = max_iterations(*root, env);
+    if (!iters) return result;
+    const auto sum = support::checked_add(total, *iters);
+    if (!sum) return result;
+    total = *sum;
+  }
+  if (traits.has_call || traits.reads_param) return result;
+  if (static_cast<std::uint64_t>(total) > options.max_iterations) {
+    return result;
+  }
+
+  ir::Evaluator eval(symbols);
+  seed_arrays(eval, symbols);
+  // Racy nests may read a scalar before any iteration writes it; the real
+  // machine would read whatever the cell holds, so give every scalar a
+  // defined starting value instead of tripping the unbound-read assert.
+  for (std::uint32_t raw = 0; raw < symbols.size(); ++raw) {
+    const ir::VarId id{raw};
+    if (symbols.kind(id) == ir::SymbolKind::kScalar) {
+      eval.bind_scalar(id, ir::Value{std::int64_t{0}});
+    }
+  }
+
+  ConflictObserver observer(options);
+  eval.set_observer(&observer);
+  for (const ir::Loop* root : roots) eval.run(*root);
+  eval.set_observer(nullptr);
+
+  result.iterations = eval.iterations_executed();
+  result.accesses = observer.accesses();
+  result.truncated = observer.truncated();
+  result.conflict = observer.conflict();
+  result.outcome = result.conflict.has_value() ? ScanOutcome::kConflict
+                                               : ScanOutcome::kNoConflict;
+  return result;
+}
+
+}  // namespace
+
+ScanResult shadow_conflict_scan(const ir::LoopNest& nest,
+                                const ScanOptions& options) {
+  return scan(nest.symbols, {nest.root.get()}, options);
+}
+
+ScanResult shadow_conflict_scan(const ir::Program& program,
+                                const ScanOptions& options) {
+  std::vector<const ir::Loop*> roots;
+  roots.reserve(program.roots.size());
+  for (const auto& root : program.roots) roots.push_back(root.get());
+  return scan(program.symbols, roots, options);
+}
+
+}  // namespace coalesce::runtime

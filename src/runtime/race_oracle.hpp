@@ -1,0 +1,77 @@
+// Dynamic shadow-conflict oracle: the runtime half of the race detector.
+//
+// The static half (analysis/race.hpp) reasons about what *may* happen; this
+// module observes what *does*. It interprets the nest sequentially under an
+// ExecutionObserver that records, for every memory access, the iteration
+// vector of the loops enclosing it. Two accesses to one cell conflict when
+//
+//   * at least one is a write, and
+//   * the first stack position where their iteration vectors diverge (same
+//     loop object, different induction value) is a loop planned parallel.
+//
+// Divergence at a sequential loop, or at sibling loops, means the accesses
+// are ordered by sequential semantics no matter the schedule — no conflict.
+// Scalars use the per-worker-private model the parallel executor implements:
+// a write never conflicts with a write, and a read conflicts only when it is
+// *exposed* (no earlier write in the same iteration of the parallel loop),
+// because only then does it observe another iteration's value.
+//
+// The soundness contract with the static half, enforced by the fuzz suite:
+// if check_races() returns kRaceFree, no run of this oracle may ever report
+// a conflict. The converse (kMaybeRacy nests that scan clean) is the
+// measured precision gap. See docs/ANALYSIS.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ir/stmt.hpp"
+#include "ir/symbol.hpp"
+
+namespace coalesce::runtime {
+
+enum class ScanOutcome : std::uint8_t {
+  kNoConflict,  ///< the whole execution was observed; no conflict
+  kConflict,    ///< a cross-iteration conflict on a parallel loop occurred
+  kIneligible,  ///< the nest cannot be interpreted (calls, unbound params,
+                ///< unbounded or over-budget iteration count)
+};
+
+[[nodiscard]] const char* to_string(ScanOutcome o) noexcept;
+
+/// The first conflict found.
+struct ConflictRecord {
+  bool scalar = false;             ///< scalar cell vs. array element
+  ir::VarId variable{};            ///< the array or scalar
+  std::size_t offset = 0;          ///< flat element index (arrays only)
+  const ir::Loop* loop = nullptr;  ///< the parallel loop the conflict crosses
+
+  [[nodiscard]] std::string describe(const ir::SymbolTable& symbols) const;
+};
+
+struct ScanOptions {
+  /// Refuse nests whose statically-bounded iteration total exceeds this.
+  std::uint64_t max_iterations = std::uint64_t{1} << 14;
+  /// Per-cell access-log cap; hitting it sets `truncated` (a kNoConflict
+  /// with truncated=true may have missed conflicts on hot cells).
+  std::size_t max_accesses_per_cell = 512;
+};
+
+struct ScanResult {
+  ScanOutcome outcome = ScanOutcome::kIneligible;
+  std::optional<ConflictRecord> conflict;  ///< set iff outcome == kConflict
+  std::uint64_t iterations = 0;            ///< loop-body iterations executed
+  std::uint64_t accesses = 0;              ///< memory accesses observed
+  bool truncated = false;
+};
+
+/// Interprets the nest / program with deterministically seeded arrays and
+/// zero-initialized scalars, logging every access. Stops logging at the
+/// first conflict (the execution itself runs to completion).
+[[nodiscard]] ScanResult shadow_conflict_scan(const ir::LoopNest& nest,
+                                              const ScanOptions& options = {});
+[[nodiscard]] ScanResult shadow_conflict_scan(const ir::Program& program,
+                                              const ScanOptions& options = {});
+
+}  // namespace coalesce::runtime

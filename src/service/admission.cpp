@@ -2,18 +2,17 @@
 
 #include <utility>
 
-#include "analysis/lint.hpp"
+#include "analysis/pipeline.hpp"
 #include "frontend/parser.hpp"
-#include "ir/verify.hpp"
 #include "trace/export.hpp"  // json_escape
 
 namespace coalesce::service {
 
 namespace {
 
-/// Parse/verify failures predate lint Diagnostics, but clients should only
-/// have to understand one rejection shape: render them as the same JSON
-/// array render_json produces, one object per finding.
+/// Parse failures predate lint Diagnostics, but clients should only have to
+/// understand one rejection shape: render them as the same JSON array
+/// render_json produces, one object per finding.
 std::string one_finding_json(const std::string& rule,
                              const std::string& message) {
   return "[{\"rule\":\"" + trace::json_escape(rule) +
@@ -36,54 +35,39 @@ AdmissionResult admit(std::string_view source, std::string_view source_name,
   }
   ir::Program program = std::move(parsed).value();
 
-  // The linter's ir-invalid rule folds verifier violations in, but run the
-  // verifier separately first: a structurally broken program must never
-  // reach the lint rules that walk it assuming well-formed shape.
-  const auto issues = ir::verify_program(program);
-  if (!issues.empty()) {
-    result.reject_phase = "verify";
-    result.message = ir::to_string(issues.front());
-    if (issues.size() > 1) {
-      result.message +=
-          " (+" + std::to_string(issues.size() - 1) + " more)";
-    }
-    std::string all = "[";
-    for (std::size_t i = 0; i < issues.size(); ++i) {
-      if (i > 0) all += ",";
-      all += "{\"rule\":\"ir-invalid\",\"severity\":\"error\",\"message\":\"" +
-             trace::json_escape(ir::to_string(issues[i])) + "\"}";
-    }
-    all += "]";
-    result.diagnostics = std::move(all);
-    return result;
-  }
-
-  const auto diags = analysis::lint_program(program);
-  if (analysis::has_errors(diags)) {
-    result.reject_phase = "lint";
+  // The ordered analysis pass list (verify -> lint -> race); the first pass
+  // with an error finding names the rejection phase. Later passes assume the
+  // earlier ones held, so a structurally broken program never reaches the
+  // rules that walk it assuming well-formed shape.
+  const analysis::PipelineResult pipeline =
+      analysis::run_analysis_pipeline(program);
+  if (!pipeline.ok) {
+    result.reject_phase = pipeline.failed_pass;
     std::size_t errors = 0;
-    for (const auto& d : diags) {
+    for (const auto& d : pipeline.diagnostics) {
       if (d.severity == analysis::Severity::kError) ++errors;
     }
-    result.message = std::to_string(errors) + " lint error" +
+    result.message = pipeline.failed_pass + " rejected: " +
+                     std::to_string(errors) + " error" +
                      (errors == 1 ? "" : "s") + " (" +
-                     std::to_string(diags.size()) + " findings total)";
+                     std::to_string(pipeline.diagnostics.size()) +
+                     " findings total)";
     result.diagnostics =
         format == DiagnosticsFormat::kSarif
-            ? analysis::render_sarif(diags, source_name)
-            : analysis::render_json(diags);
+            ? analysis::render_sarif(pipeline.diagnostics, source_name)
+            : analysis::render_json(pipeline.diagnostics);
     return result;
   }
 
   result.admitted = true;
   std::size_t warnings = 0;
-  for (const auto& d : diags) {
+  for (const auto& d : pipeline.diagnostics) {
     if (d.severity == analysis::Severity::kWarning) ++warnings;
   }
   result.message = warnings == 0
                        ? "admitted"
                        : "admitted (" + std::to_string(warnings) +
-                             " lint warnings)";
+                             " analysis warnings)";
   result.program = std::move(program);
   return result;
 }

@@ -1,10 +1,12 @@
 // Admission control for the coalesced service: the static half of the
 // static/dynamic split. Before a program touches the shared engine it must
-// (1) parse, (2) pass the structural IR verifier, and (3) pass the 11-rule
-// overflow/legality linter with no error-severity finding. Anything that
-// fails is rejected at the front door with structured diagnostics —
-// exactly the `coalescec --lint` verdict, delivered over the wire instead
-// of an exit code — so a `*.bad.loop`-class input never consumes engine
+// (1) parse, then (2) pass the ordered analysis pipeline
+// (analysis/pipeline.hpp) — the structural IR verifier, the
+// overflow/legality linter, and the race detector — with no error-severity
+// finding. Anything that fails is rejected at the front door with
+// structured diagnostics — exactly the `coalescec --lint` / `--race-check`
+// verdict, delivered over the wire instead of an exit code — so a
+// `*.bad.loop`- or `*.racy.loop`-class input never consumes engine
 // capacity or risks UB inside a worker.
 #pragma once
 
@@ -23,7 +25,8 @@ enum class DiagnosticsFormat : std::uint8_t {
 
 struct AdmissionResult {
   bool admitted = false;
-  /// Which gate refused: "parse", "verify", or "lint" ("" when admitted).
+  /// Which gate refused: "parse" or the failing analysis pass ("verify",
+  /// "lint", "race"); "" when admitted.
   std::string reject_phase;
   /// One-line human-readable reason (or warning tally when admitted).
   std::string message;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/race.hpp"
 #include "ir/eval.hpp"
 #include "ir/verify.hpp"
 #include "support/int_math.hpp"
@@ -24,6 +25,7 @@ std::atomic<bool> g_oracle{false};
 #else
 std::atomic<bool> g_oracle{true};
 #endif
+std::atomic<bool> g_race_check{true};
 
 // ---- oracle eligibility ---------------------------------------------------
 
@@ -295,6 +297,16 @@ std::optional<std::string> diff_executions(const Side& before,
   return std::nullopt;
 }
 
+/// Proven (definite) races across every root of one side.
+std::size_t definite_races(const Side& side) {
+  std::size_t total = 0;
+  for (const ir::Loop* root : side.roots) {
+    if (root == nullptr) continue;
+    total += analysis::check_races(*side.symbols, *root).definite_count();
+  }
+  return total;
+}
+
 support::Expected<bool> postcheck_impl(const char* pass, const Side& before,
                                        const Side& after,
                                        const PostcheckOptions& options,
@@ -305,6 +317,17 @@ support::Expected<bool> postcheck_impl(const char* pass, const Side& before,
                         ? ir::verify_ok(*after_program, pass)
                         : ir::verify_ok(*after_nest, pass);
     if (!verified) return verified.error();
+  }
+  // The race gate reasons over the dependence tests, which assume the
+  // structural invariants the verifier just checked — so it only runs when
+  // the verifier did (--no-verify turns both off).
+  if (post_verify_enabled() && race_check_enabled() &&
+      definite_races(after) > 0 && definite_races(before) == 0) {
+    return support::make_error(
+        support::ErrorCode::kVerifyFailed,
+        std::string(pass) +
+            ": race regression: the rewrite introduced a proven carried "
+            "dependence on a parallel loop");
   }
   if (differential_oracle_enabled() && side_oracle_eligible(before) &&
       side_oracle_eligible(after)) {
@@ -344,6 +367,14 @@ void set_differential_oracle(bool enabled) noexcept {
 
 bool differential_oracle_enabled() noexcept {
   return g_oracle.load(std::memory_order_relaxed);
+}
+
+void set_race_check(bool enabled) noexcept {
+  g_race_check.store(enabled, std::memory_order_relaxed);
+}
+
+bool race_check_enabled() noexcept {
+  return g_race_check.load(std::memory_order_relaxed);
 }
 
 support::Expected<bool> postcheck(const char* pass, const ir::LoopNest& before,

@@ -35,6 +35,13 @@ void set_post_verify(bool enabled) noexcept;
 void set_differential_oracle(bool enabled) noexcept;
 [[nodiscard]] bool differential_oracle_enabled() noexcept;
 
+/// Race-regression gate toggle (default on): a pass whose input had zero
+/// *definite* races (analysis/race.hpp) must not produce output with one —
+/// a transformation may lose precision (new kMaybe findings are fine) but
+/// must never introduce a proven race.
+void set_race_check(bool enabled) noexcept;
+[[nodiscard]] bool race_check_enabled() noexcept;
+
 struct PostcheckOptions {
   /// Compare final scalar bindings in addition to arrays. Passes that
   /// intentionally retire scalars (scalar expansion) turn this off.

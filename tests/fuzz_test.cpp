@@ -12,10 +12,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <iostream>
 #include <stdexcept>
 #include <string>
 
+#include "analysis/race.hpp"
 #include "codegen/cost_model.hpp"
+#include "runtime/race_oracle.hpp"
 #include "core/api.hpp"
 #include "ir/builder.hpp"
 #include "runtime/fault.hpp"
@@ -379,6 +382,143 @@ TEST_P(FuzzSweep, FrontendRoundTripsTransformedTriangles) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- race-detector fuzz: static verdict vs. dynamic oracle ----------------
+//
+// Every generated nest goes through BOTH halves of the race detector. The
+// property enforced is the soundness contract of analysis/race.hpp: a nest
+// the static half declares race-free must never exhibit a dynamic conflict
+// in the shadow scan. The converse gap — kMaybeRacy nests that scan clean —
+// is the detector's imprecision, tallied and printed per seed (and rolled
+// up in EXPERIMENTS.md E21).
+
+/// Random 1-2 deep nest with randomized doall flags and subscripts drawn
+/// from the shapes the dependence tests care about: shifted (strong SIV),
+/// constant cell (ZIV / weak-zero), strided, multi-variable, and a
+/// non-affine mod shape the tests must leave at kMaybe. Subscripts are
+/// range-safe by construction (loops start at 3, offsets >= -2, arrays of
+/// 32), so the shadow scan can always execute the nest.
+LoopNest random_race_nest(Rng& rng) {
+  NestBuilder b;
+  const VarId a = b.array("A", {32});
+  const VarId x = b.array("X", {32});
+  const VarId s = b.scalar("s");
+  std::vector<VarId> ivs;
+  ivs.push_back(b.begin_loop("i", 3, rng.uniform_int(1, 6) + 2, 1,
+                             rng.uniform01() < 0.7));
+  if (rng.uniform01() < 0.4) {
+    ivs.push_back(b.begin_loop("j", 3, rng.uniform_int(1, 5) + 2, 1,
+                               rng.uniform01() < 0.5));
+  }
+  auto subscript = [&](bool allow_nonaffine) -> ExprRef {
+    const VarId v = ivs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<i64>(ivs.size()) - 1))];
+    switch (rng.uniform_int(0, allow_nonaffine ? 4 : 3)) {
+      case 0:  // shifted: the strong-SIV shape
+        return ir::add(var_ref(v), int_const(rng.uniform_int(-2, 2)));
+      case 1:  // one shared cell: ZIV / weak-zero
+        return int_const(rng.uniform_int(1, 4));
+      case 2:  // strided
+        return ir::add(ir::mul(int_const(2), var_ref(v)),
+                       int_const(rng.uniform_int(0, 1)));
+      case 3:  // multi-variable when the nest is 2-deep
+        return ivs.size() == 2
+                   ? ir::add(var_ref(ivs[0]), var_ref(ivs[1]))
+                   : ir::add(var_ref(v), int_const(rng.uniform_int(-1, 1)));
+      default:  // non-affine: folds everything into cells 1..8
+        return ir::add(
+            ir::mod(ir::mul(var_ref(v), int_const(3)), int_const(8)),
+            int_const(1));
+    }
+  };
+  const int stmts = static_cast<int>(rng.uniform_int(1, 2));
+  for (int k = 0; k < stmts; ++k) {
+    if (rng.uniform01() < 0.15) {
+      if (rng.uniform01() < 0.5) {  // read-before-write: unprivatizable
+        b.assign(s, ir::add(var_ref(s), ir::array_read(x, {subscript(false)})));
+      } else {  // assigned-before-read: privatizable
+        b.assign(s, ir::array_read(x, {subscript(false)}));
+      }
+      continue;
+    }
+    b.assign(b.element_expr(a, {subscript(true)}),
+             ir::add(ir::array_read(rng.uniform01() < 0.5 ? a : x,
+                                    {subscript(true)}),
+                     int_const(rng.uniform_int(0, 3))));
+  }
+  for (std::size_t d = 0; d < ivs.size(); ++d) b.end_loop();
+  return b.build();
+}
+
+class RaceFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RaceFuzz, StaticallyRaceFreeNestsNeverConflictDynamically) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 87178291199ull);
+  int free_count = 0, maybe_count = 0, racy_count = 0;
+  int maybe_scanned = 0, maybe_clean = 0;
+  constexpr int kTrials = 120;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const LoopNest nest = random_race_nest(rng);
+    expect_verified(nest);
+    const analysis::RaceReport report = analysis::check_races(nest);
+    const runtime::ScanResult scan = runtime::shadow_conflict_scan(nest);
+    ASSERT_NE(scan.outcome, runtime::ScanOutcome::kIneligible)
+        << ir::to_string(nest);
+    const bool complete =
+        scan.outcome != runtime::ScanOutcome::kIneligible && !scan.truncated;
+    switch (report.verdict()) {
+      case analysis::RaceVerdict::kRaceFree:
+        ++free_count;
+        // The soundness contract: race-free is a proof, not an opinion.
+        ASSERT_NE(scan.outcome, runtime::ScanOutcome::kConflict)
+            << "statically race-free nest conflicted dynamically on "
+            << (scan.conflict ? scan.conflict->describe(nest.symbols)
+                              : std::string("?"))
+            << "\nseed=" << GetParam() << " trial=" << trial << "\n"
+            << ir::to_string(nest);
+        break;
+      case analysis::RaceVerdict::kMaybeRacy:
+        ++maybe_count;
+        if (complete) {
+          ++maybe_scanned;
+          if (scan.outcome == runtime::ScanOutcome::kNoConflict) ++maybe_clean;
+        }
+        break;
+      case analysis::RaceVerdict::kRacy:
+        ++racy_count;
+        // A definite race is likewise a proof: the (guard-free) nest must
+        // exhibit the conflict when actually run.
+        if (complete) {
+          EXPECT_EQ(scan.outcome, runtime::ScanOutcome::kConflict)
+              << "proven race never materialized\nseed=" << GetParam()
+              << " trial=" << trial << "\n" << ir::to_string(nest);
+        }
+        break;
+    }
+  }
+  // Precision: the fraction of unproven (kMaybeRacy) verdicts that were
+  // false alarms on this input distribution. Printed per seed; E21 rolls
+  // the seeds up.
+  const double precision_gap =
+      maybe_scanned > 0
+          ? static_cast<double>(maybe_clean) / maybe_scanned
+          : 0.0;
+  std::cout << "[race-fuzz] seed=" << GetParam() << " nests=" << kTrials
+            << " race-free=" << free_count << " maybe=" << maybe_count
+            << " racy=" << racy_count << " maybe-dynamically-clean="
+            << maybe_clean << "/" << maybe_scanned
+            << " (false-alarm rate " << precision_gap << ")\n";
+  RecordProperty("race_fuzz_nests", kTrials);
+  RecordProperty("race_fuzz_maybe_clean", maybe_clean);
+  RecordProperty("race_fuzz_maybe_scanned", maybe_scanned);
+  // The sweep must exercise all three verdicts, or it is not testing the
+  // boundary between them.
+  EXPECT_GT(free_count, 0);
+  EXPECT_GT(maybe_count, 0);
+  EXPECT_GT(racy_count, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaceFuzz, ::testing::Values(1, 2, 3, 4, 5));
 
 // ---- fault fuzzing -------------------------------------------------------------
 //

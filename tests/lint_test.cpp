@@ -175,6 +175,46 @@ TEST(Lint, FlagsUnprovenDoall) {
   EXPECT_TRUE(any_rule(diags, "doall-unproven")) << messages(diags);
 }
 
+TEST(Lint, FlagsMaybeDependenceWithBothEndpoints) {
+  // A[i*i] = A[i] + 1 under doall: the non-affine subscript leaves the
+  // dependence unproven, so the per-dependence detail rule fires with the
+  // direction vector and both references as related locations.
+  NestBuilder b;
+  const VarId a = b.array("A", {37});
+  const VarId i = b.begin_parallel_loop("i", 1, 6);
+  b.assign(b.element_expr(a, {ir::mul(var_ref(i), var_ref(i))}),
+           ir::add(b.read(a, {i}), int_const(1)));
+  b.end_loop();
+  const auto diags = analysis::lint_nest(b.build());
+  ASSERT_TRUE(any_rule(diags, "maybe-dependence")) << messages(diags);
+  const auto it = std::find_if(diags.begin(), diags.end(),
+                               [](const analysis::Diagnostic& d) {
+                                 return std::string("maybe-dependence") ==
+                                        d.rule->id;
+                               });
+  EXPECT_NE(it->message.find("direction"), std::string::npos) << it->message;
+  EXPECT_EQ(it->related.size(), 2u);
+  // The related locations survive every renderer.
+  EXPECT_NE(analysis::render_text(diags, "x.loop").find("related:"),
+            std::string::npos);
+  EXPECT_NE(analysis::render_sarif(diags, "x.loop").find("relatedLocations"),
+            std::string::npos);
+}
+
+TEST(Lint, ProvenDependencesDoNotTriggerMaybeRule) {
+  // The recurrence's dependence is *proven*, so the unproven-dependence
+  // rule stays quiet (the race pass owns the definite diagnosis).
+  NestBuilder b;
+  const VarId a = b.array("A", {10});
+  const VarId i = b.begin_parallel_loop("i", 2, 9);
+  b.assign(b.element(a, {i}),
+           ir::array_read(a, {ir::sub(var_ref(i), int_const(1))}));
+  b.end_loop();
+  const auto diags = analysis::lint_nest(b.build());
+  EXPECT_TRUE(any_rule(diags, "doall-unproven")) << messages(diags);
+  EXPECT_FALSE(any_rule(diags, "maybe-dependence")) << messages(diags);
+}
+
 TEST(Lint, NotesMissedParallelism) {
   NestBuilder b;
   const VarId out = b.array("OUT", {6});

@@ -1,0 +1,588 @@
+// Tests for the race-detection subsystem: the data-dependence graph
+// (analysis/ddg.hpp), the static race detector (analysis/race.hpp), the
+// ordered analysis pipeline (analysis/pipeline.hpp), the dynamic
+// shadow-conflict oracle (runtime/race_oracle.hpp), the postcheck race
+// gate (transform/postcheck.hpp), and the exact weak-zero / weak-crossing
+// SIV tests validated against brute-force pair enumeration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/ddg.hpp"
+#include "analysis/dependence.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/pipeline.hpp"
+#include "analysis/race.hpp"
+#include "analysis/subscript.hpp"
+#include "ir/builder.hpp"
+#include "ir/expr.hpp"
+#include "runtime/race_oracle.hpp"
+#include "transform/postcheck.hpp"
+
+namespace coalesce {
+namespace {
+
+using analysis::DepAnswer;
+using analysis::Dependence;
+using analysis::RaceVerdict;
+using ir::int_const;
+using ir::LoopNest;
+using ir::NestBuilder;
+using ir::VarId;
+using ir::var_ref;
+
+bool any_rule(const std::vector<analysis::Diagnostic>& diags,
+              const std::string& id) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const analysis::Diagnostic& d) {
+                       return id == d.rule->id;
+                     });
+}
+
+std::string messages(const std::vector<analysis::Diagnostic>& diags) {
+  std::string out;
+  for (const auto& d : diags) out += std::string(d.rule->id) + ": " + d.message + "\n";
+  return out;
+}
+
+/// doall i = 2, n { A[i] = A[i-1] + 1 } — a proven carried dependence on a
+/// loop planned parallel: the canonical definite race.
+LoopNest racy_recurrence(std::int64_t n) {
+  NestBuilder b;
+  const VarId a = b.array("A", {n + 1});
+  const VarId i = b.begin_parallel_loop("i", 2, n);
+  b.assign(b.element(a, {i}),
+           ir::add(ir::array_read(a, {ir::sub(var_ref(i), int_const(1))}),
+                   int_const(1)));
+  b.end_loop();
+  return b.build();
+}
+
+/// doall i = 1, n { A[i*i] = A[i] + 1 } — a non-affine subscript the tests
+/// cannot decide: an unproven (kMaybe) dependence on a parallel loop.
+LoopNest maybe_racy(std::int64_t n) {
+  NestBuilder b;
+  const VarId a = b.array("A", {n * n + 1});
+  const VarId i = b.begin_parallel_loop("i", 1, n);
+  b.assign(b.element_expr(a, {ir::mul(var_ref(i), var_ref(i))}),
+           ir::add(b.read(a, {i}), int_const(1)));
+  b.end_loop();
+  return b.build();
+}
+
+/// doall i = 1, n { OUT[i] = i } — provably race-free.
+LoopNest clean_parallel(std::int64_t n) {
+  NestBuilder b;
+  const VarId out = b.array("OUT", {n});
+  const VarId i = b.begin_parallel_loop("i", 1, n);
+  b.assign(b.element(out, {i}), var_ref(i));
+  b.end_loop();
+  return b.build();
+}
+
+ir::Program as_program(const LoopNest& nest) {
+  ir::Program program;
+  program.symbols = nest.symbols;
+  program.roots.push_back(nest.root);
+  return program;
+}
+
+// ---- data-dependence graph ------------------------------------------------
+
+TEST(Ddg, RecurrenceBuildsCarriedSelfEdge) {
+  const LoopNest nest = racy_recurrence(16);
+  const analysis::Ddg ddg = analysis::build_ddg(*nest.root);
+  ASSERT_EQ(ddg.refs.size(), 2u);  // write A[i], read A[i-1]
+  EXPECT_EQ(ddg.statements, 1u);
+  ASSERT_FALSE(ddg.edges.empty());
+  // The flow dependence is carried by the (only) loop: level 0.
+  const bool carried_at_root = std::any_of(
+      ddg.edges.begin(), ddg.edges.end(), [](const analysis::DdgEdge& e) {
+        return e.carried_level.has_value() && *e.carried_level == 0;
+      });
+  EXPECT_TRUE(carried_at_root);
+}
+
+TEST(Ddg, RecurrenceStatementsFindTheCycle) {
+  const LoopNest nest = racy_recurrence(16);
+  const analysis::Ddg ddg = analysis::build_ddg(*nest.root);
+  const auto stmts = ddg.recurrence_statements(0);
+  ASSERT_EQ(stmts.size(), 1u);
+  EXPECT_EQ(stmts[0], 0u);
+}
+
+TEST(Ddg, MatmulRecurrenceSitsAtTheSequentialLevel) {
+  const LoopNest nest = ir::make_matmul(4, 5, 3);
+  const analysis::Ddg ddg = analysis::build_ddg(*nest.root);
+  ASSERT_FALSE(ddg.edges.empty());
+  // C(i,j) += A(i,k)*B(k,j): the C->C dependences of the update statement
+  // have distance (0, 0, *) — carried by the sequential k loop only. The
+  // init/update statement pairs are loop-independent (no carried level).
+  bool carried_at_k = false;
+  for (const analysis::DdgEdge& e : ddg.edges) {
+    if (!e.carried_level.has_value()) continue;
+    EXPECT_EQ(*e.carried_level, 2u);
+    EXPECT_EQ(analysis::outermost_carried_level(ddg.deps[e.dep]),
+              std::optional<std::size_t>(2));
+    carried_at_k = true;
+  }
+  EXPECT_TRUE(carried_at_k);
+  EXPECT_FALSE(ddg.recurrence_statements(2).empty());
+}
+
+TEST(Ddg, IndependentNestHasNoEdges) {
+  const LoopNest nest = ir::make_rectangular_witness({4, 4});
+  const analysis::Ddg ddg = analysis::build_ddg(*nest.root);
+  EXPECT_TRUE(ddg.edges.empty());
+  EXPECT_TRUE(ddg.recurrence_statements(0).empty());
+}
+
+TEST(Ddg, ToDotRendersNodesAndEdgeLabels) {
+  const LoopNest nest = racy_recurrence(8);
+  const analysis::Ddg ddg = analysis::build_ddg(*nest.root);
+  const std::string dot = ddg.to_dot(nest.symbols);
+  EXPECT_NE(dot.find("digraph"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("A"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("flow"), std::string::npos) << dot;
+}
+
+// ---- static race detector -------------------------------------------------
+
+TEST(Race, RecurrenceUnderDoallIsDefinite) {
+  const LoopNest nest = racy_recurrence(16);
+  const analysis::RaceReport report = analysis::check_races(nest);
+  EXPECT_EQ(report.verdict(), RaceVerdict::kRacy);
+  EXPECT_GE(report.definite_count(), 1u);
+  ASSERT_FALSE(report.findings.empty());
+  const analysis::RaceFinding& f = report.findings[0];
+  EXPECT_TRUE(f.definite);
+  EXPECT_FALSE(f.is_scalar());
+  EXPECT_EQ(f.loop, nest.root.get());
+  EXPECT_NE(f.message.find("is carried"), std::string::npos) << f.message;
+}
+
+TEST(Race, SequentialRecurrenceIsRaceFree) {
+  // The same dependence, but the plan keeps the loop sequential: no race.
+  const LoopNest nest = ir::make_recurrence(16);
+  const analysis::RaceReport report = analysis::check_races(nest);
+  EXPECT_EQ(report.verdict(), RaceVerdict::kRaceFree);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(Race, MatmulPlanIsRaceFree) {
+  const analysis::RaceReport report =
+      analysis::check_races(ir::make_matmul(4, 5, 3));
+  EXPECT_EQ(report.verdict(), RaceVerdict::kRaceFree);
+}
+
+TEST(Race, NonAffineSubscriptStaysMaybe) {
+  const analysis::RaceReport report = analysis::check_races(maybe_racy(6));
+  EXPECT_EQ(report.verdict(), RaceVerdict::kMaybeRacy);
+  EXPECT_EQ(report.definite_count(), 0u);
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_FALSE(report.findings[0].definite);
+  EXPECT_NE(report.findings[0].message.find("may be carried"),
+            std::string::npos);
+}
+
+TEST(Race, UnprivatizedScalarIsAFinding) {
+  NestBuilder b;
+  const VarId a = b.array("A", {8});
+  const VarId s = b.scalar("s");
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(s, ir::add(var_ref(s), b.read(a, {i})));  // read before write
+  b.end_loop();
+  const analysis::RaceReport report = analysis::check_races(b.build());
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_TRUE(report.findings[0].is_scalar());
+  EXPECT_FALSE(report.findings[0].definite);
+  EXPECT_EQ(report.verdict(), RaceVerdict::kMaybeRacy);
+}
+
+TEST(Race, DiagnosticsMapDefiniteRaceToErrorRule) {
+  const auto diags = analysis::race_diagnostics(as_program(racy_recurrence(16)));
+  EXPECT_TRUE(any_rule(diags, "race-carried-dependence")) << messages(diags);
+  EXPECT_TRUE(analysis::has_errors(diags));
+  ASSERT_FALSE(diags.empty());
+  // Both dependence endpoints ride along as related locations.
+  ASSERT_EQ(diags[0].related.size(), 2u);
+  const std::string sarif = analysis::render_sarif(diags, "racy.loop");
+  EXPECT_NE(sarif.find("relatedLocations"), std::string::npos);
+}
+
+TEST(Race, DiagnosticsMapMaybeToWarningRule) {
+  const auto diags = analysis::race_diagnostics(as_program(maybe_racy(6)));
+  EXPECT_TRUE(any_rule(diags, "maybe-dependence")) << messages(diags);
+  EXPECT_FALSE(analysis::has_errors(diags));
+}
+
+TEST(Race, CleanProgramHasNoDiagnostics) {
+  const auto diags = analysis::race_diagnostics(as_program(clean_parallel(8)));
+  EXPECT_TRUE(diags.empty()) << messages(diags);
+}
+
+// ---- analysis pipeline ----------------------------------------------------
+
+TEST(Pipeline, CleanProgramPassesAllPasses) {
+  const auto result =
+      analysis::run_analysis_pipeline(as_program(ir::make_matmul(4, 5, 3)));
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.failed_pass.empty());
+}
+
+TEST(Pipeline, BrokenIrStopsAtVerify) {
+  LoopNest nest = clean_parallel(4);
+  nest.root->step = 0;
+  const auto result = analysis::run_analysis_pipeline(as_program(nest));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failed_pass, "verify");
+  EXPECT_TRUE(any_rule(result.diagnostics, "ir-invalid"));
+}
+
+TEST(Pipeline, DefiniteRaceStopsAtRace) {
+  // The recurrence passes verify, draws only warnings from lint
+  // (doall-unproven), and errors out at the race pass.
+  const auto result =
+      analysis::run_analysis_pipeline(as_program(racy_recurrence(16)));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failed_pass, "race");
+  EXPECT_TRUE(any_rule(result.diagnostics, "doall-unproven"))
+      << messages(result.diagnostics);
+  EXPECT_TRUE(any_rule(result.diagnostics, "race-carried-dependence"))
+      << messages(result.diagnostics);
+}
+
+TEST(Pipeline, SharedMaybeDependenceFindingIsDeduplicated) {
+  // Both lint and race diagnose every unproven dependence with identical
+  // wording; the pipeline must report each one exactly once.
+  const auto result =
+      analysis::run_analysis_pipeline(as_program(maybe_racy(6)));
+  EXPECT_TRUE(result.ok);  // warnings only
+  EXPECT_TRUE(any_rule(result.diagnostics, "maybe-dependence"))
+      << messages(result.diagnostics);
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const auto& a = result.diagnostics[i];
+      const auto& b = result.diagnostics[j];
+      EXPECT_FALSE(a.rule == b.rule && a.message == b.message)
+          << "duplicate finding survived: " << a.message;
+    }
+  }
+}
+
+TEST(Pipeline, PassListNamesComeInOrder) {
+  const auto passes = analysis::default_analysis_passes();
+  ASSERT_EQ(passes.size(), 3u);
+  EXPECT_EQ(passes[0].name, "verify");
+  EXPECT_EQ(passes[1].name, "lint");
+  EXPECT_EQ(passes[2].name, "race");
+}
+
+// ---- dynamic shadow-conflict oracle ---------------------------------------
+
+TEST(RaceOracle, DoallRecurrenceConflicts) {
+  const LoopNest nest = racy_recurrence(16);
+  const auto result = runtime::shadow_conflict_scan(nest);
+  ASSERT_EQ(result.outcome, runtime::ScanOutcome::kConflict);
+  ASSERT_TRUE(result.conflict.has_value());
+  EXPECT_FALSE(result.conflict->scalar);
+  EXPECT_EQ(result.conflict->loop, nest.root.get());
+  EXPECT_FALSE(result.conflict->describe(nest.symbols).empty());
+}
+
+TEST(RaceOracle, SequentialRecurrenceIsOrdered) {
+  // Divergence at a sequential loop means the accesses are ordered by
+  // program semantics no matter the schedule: not a conflict.
+  const auto result = runtime::shadow_conflict_scan(ir::make_recurrence(16));
+  EXPECT_EQ(result.outcome, runtime::ScanOutcome::kNoConflict);
+  EXPECT_GT(result.iterations, 0u);
+}
+
+TEST(RaceOracle, SharedCellUnderDoallConflicts) {
+  NestBuilder b;
+  const VarId h = b.array("H", {4});
+  const VarId x = b.array("X", {64});
+  const VarId i = b.begin_parallel_loop("i", 1, 64);
+  b.assign(b.element_expr(h, {int_const(1)}),
+           ir::add(ir::array_read(h, {int_const(1)}), b.read(x, {i})));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto result = runtime::shadow_conflict_scan(nest);
+  ASSERT_EQ(result.outcome, runtime::ScanOutcome::kConflict);
+  EXPECT_FALSE(result.conflict->scalar);
+}
+
+TEST(RaceOracle, CleanNestsScanClean) {
+  EXPECT_EQ(runtime::shadow_conflict_scan(clean_parallel(16)).outcome,
+            runtime::ScanOutcome::kNoConflict);
+  EXPECT_EQ(runtime::shadow_conflict_scan(ir::make_matmul(4, 5, 3)).outcome,
+            runtime::ScanOutcome::kNoConflict);
+}
+
+TEST(RaceOracle, PrivatizedScalarIsNotAConflict) {
+  NestBuilder b;
+  const VarId out = b.array("OUT", {8});
+  const VarId s = b.scalar("s");
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(s, var_ref(i));  // assigned before read in every iteration
+  b.assign(b.element(out, {i}), var_ref(s));
+  b.end_loop();
+  EXPECT_EQ(runtime::shadow_conflict_scan(b.build()).outcome,
+            runtime::ScanOutcome::kNoConflict);
+}
+
+TEST(RaceOracle, ExposedScalarReadConflicts) {
+  NestBuilder b;
+  const VarId out = b.array("OUT", {8});
+  const VarId s = b.scalar("s");
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(b.element(out, {i}), var_ref(s));  // read before any write
+  b.assign(s, var_ref(i));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  const auto result = runtime::shadow_conflict_scan(nest);
+  ASSERT_EQ(result.outcome, runtime::ScanOutcome::kConflict);
+  EXPECT_TRUE(result.conflict->scalar);
+  EXPECT_FALSE(result.conflict->describe(nest.symbols).empty());
+}
+
+TEST(RaceOracle, UnboundParamIsIneligible) {
+  NestBuilder b;
+  const VarId out = b.array("OUT", {4});
+  const VarId n = b.param("N");
+  const VarId i = b.begin_loop_expr("i", int_const(1), var_ref(n));
+  b.assign(b.element(out, {i}), var_ref(i));
+  b.end_loop();
+  EXPECT_EQ(runtime::shadow_conflict_scan(b.build()).outcome,
+            runtime::ScanOutcome::kIneligible);
+}
+
+TEST(RaceOracle, OverBudgetNestIsIneligible) {
+  NestBuilder b;
+  const VarId out = b.array("OUT", {4});
+  const VarId i = b.begin_parallel_loop("i", 1, INT64_C(1000000000));
+  b.assign(b.element_expr(out, {ir::min_expr(var_ref(i), int_const(4))}),
+           var_ref(i));
+  b.end_loop();
+  EXPECT_EQ(runtime::shadow_conflict_scan(b.build()).outcome,
+            runtime::ScanOutcome::kIneligible);
+}
+
+TEST(RaceOracle, SoundnessSpotCheck) {
+  // The contract the fuzz suite enforces at scale, in miniature: a nest the
+  // static half declares race-free must scan clean.
+  for (const LoopNest& nest :
+       {clean_parallel(8), ir::make_matmul(3, 4, 2), ir::make_recurrence(12),
+        ir::make_rectangular_witness({3, 3, 3})}) {
+    const analysis::RaceReport report = analysis::check_races(nest);
+    if (report.verdict() != RaceVerdict::kRaceFree) continue;
+    const auto scan = runtime::shadow_conflict_scan(nest);
+    if (scan.outcome == runtime::ScanOutcome::kIneligible) continue;
+    EXPECT_NE(scan.outcome, runtime::ScanOutcome::kConflict);
+  }
+}
+
+// ---- postcheck race gate --------------------------------------------------
+
+class RaceGate : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    verify_was_ = transform::post_verify_enabled();
+    oracle_was_ = transform::differential_oracle_enabled();
+    race_was_ = transform::race_check_enabled();
+    transform::set_post_verify(true);
+    // The gate's job is visible only with the differential oracle quiet
+    // (the racy "after" nests below are also semantically different).
+    transform::set_differential_oracle(false);
+    transform::set_race_check(true);
+  }
+  void TearDown() override {
+    transform::set_post_verify(verify_was_);
+    transform::set_differential_oracle(oracle_was_);
+    transform::set_race_check(race_was_);
+  }
+
+ private:
+  bool verify_was_ = true;
+  bool oracle_was_ = false;
+  bool race_was_ = true;
+};
+
+TEST_F(RaceGate, RejectsARewriteThatIntroducesADefiniteRace) {
+  const LoopNest before = clean_parallel(8);
+  const LoopNest after = racy_recurrence(8);
+  const auto result = transform::postcheck("unit", before, after);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, support::ErrorCode::kVerifyFailed);
+  EXPECT_NE(result.error().message.find("race regression"), std::string::npos)
+      << result.error().message;
+}
+
+TEST_F(RaceGate, PassesWhenTheRaceWasAlreadyThere) {
+  // Gating is differential: a pass that merely preserves an existing race
+  // is not the culprit.
+  const LoopNest before = racy_recurrence(8);
+  const LoopNest after{before.symbols, ir::clone(*before.root)};
+  EXPECT_TRUE(transform::postcheck("unit", before, after).ok());
+}
+
+TEST_F(RaceGate, ToggleDisablesTheGate) {
+  transform::set_race_check(false);
+  EXPECT_FALSE(transform::race_check_enabled());
+  const LoopNest before = clean_parallel(8);
+  const LoopNest after = racy_recurrence(8);
+  EXPECT_TRUE(transform::postcheck("unit", before, after).ok());
+}
+
+// ---- exact SIV tests vs. brute force --------------------------------------
+
+/// do i = lo, hi { A[a*i + c1] = A[b*i + c2] + 1 }
+LoopNest siv_nest(std::int64_t a, std::int64_t c1, std::int64_t b,
+                  std::int64_t c2, std::int64_t lo, std::int64_t hi) {
+  NestBuilder nb;
+  const VarId arr = nb.array("A", {64});
+  const VarId i = nb.begin_loop("i", lo, hi);
+  nb.assign(nb.element_expr(
+                arr, {ir::add(ir::mul(int_const(a), var_ref(i)), int_const(c1))}),
+            ir::add(ir::array_read(arr, {ir::add(ir::mul(int_const(b), var_ref(i)),
+                                                 int_const(c2))}),
+                    int_const(1)));
+  nb.end_loop();
+  return nb.build();
+}
+
+TEST(SivExact, MatchesBruteForcePairEnumeration) {
+  const std::int64_t lo = 0, hi = 6;
+  const std::int64_t coeffs[] = {-2, -1, 0, 1, 2};
+  const std::int64_t consts[] = {-3, 0, 2, 5};
+  for (std::int64_t a : coeffs) {
+    for (std::int64_t b : coeffs) {
+      for (std::int64_t c1 : consts) {
+        for (std::int64_t c2 : consts) {
+          const LoopNest nest = siv_nest(a, c1, b, c2, lo, hi);
+          const auto refs = analysis::collect_array_refs(*nest.root);
+          ASSERT_EQ(refs.size(), 2u);
+          const auto& write =
+              refs[0].kind == analysis::RefKind::kWrite ? refs[0] : refs[1];
+          const auto& read =
+              refs[0].kind == analysis::RefKind::kWrite ? refs[1] : refs[0];
+          const analysis::PairTest pt = analysis::test_pair(write, read, 1);
+
+          // Ground truth: does any (i, i') pair touch one cell?
+          bool any_pair = false;
+          bool pair_at_distance = !pt.distance.empty() &&
+                                  !pt.distance[0].has_value();
+          for (std::int64_t i = lo; i <= hi; ++i) {
+            for (std::int64_t i2 = lo; i2 <= hi; ++i2) {
+              if (a * i + c1 != b * i2 + c2) continue;
+              any_pair = true;
+              if (!pt.distance.empty() && pt.distance[0].has_value() &&
+                  std::llabs(i2 - i) ==
+                      std::llabs(*pt.distance[0])) {
+                pair_at_distance = true;
+              }
+            }
+          }
+          const std::string label =
+              "A[" + std::to_string(a) + "*i+" + std::to_string(c1) +
+              "] = A[" + std::to_string(b) + "*i+" + std::to_string(c2) + "]";
+          if (pt.answer == DepAnswer::kIndependent) {
+            EXPECT_FALSE(any_pair) << "unsound independence for " << label;
+          } else if (pt.answer == DepAnswer::kDependent) {
+            EXPECT_TRUE(any_pair) << "phantom dependence for " << label;
+            EXPECT_TRUE(pair_at_distance)
+                << "wrong exact distance for " << label;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SivExact, WeakZeroDetectsBoundaryHit) {
+  // A[5] = A[i]: the only conflicting iteration is i == 5.
+  {
+    const LoopNest nest = siv_nest(0, 5, 1, 0, 1, 8);
+    const auto refs = analysis::collect_array_refs(*nest.root);
+    ASSERT_EQ(refs.size(), 2u);
+    EXPECT_NE(analysis::test_pair(refs[0], refs[1], 1).answer,
+              DepAnswer::kIndependent);
+  }
+  {
+    // Same subscripts, but i ranges 6..8: the hit is outside the space.
+    const LoopNest nest = siv_nest(0, 5, 1, 0, 6, 8);
+    const auto refs = analysis::collect_array_refs(*nest.root);
+    EXPECT_EQ(analysis::test_pair(refs[0], refs[1], 1).answer,
+              DepAnswer::kIndependent);
+  }
+}
+
+TEST(SivExact, WeakCrossingBoundaryIsLoopIndependent) {
+  // A[i] = A[10 - i], i in 1..5: i + i' = 10 has exactly one solution in
+  // range, i == i' == 5 — a loop-independent dependence, distance 0.
+  const LoopNest nest = siv_nest(1, 0, -1, 10, 1, 5);
+  const auto refs = analysis::collect_array_refs(*nest.root);
+  const analysis::PairTest pt = analysis::test_pair(refs[0], refs[1], 1);
+  EXPECT_EQ(pt.answer, DepAnswer::kDependent);
+  ASSERT_EQ(pt.distance.size(), 1u);
+  ASSERT_TRUE(pt.distance[0].has_value());
+  EXPECT_EQ(*pt.distance[0], 0);
+}
+
+TEST(SivExact, WeakCrossingInteriorIsCarried) {
+  // A[i] = A[10 - i], i in 1..9: pairs like (1,9) cross iterations; the
+  // distance is not a single value, so it stays unknown — but dependent.
+  const LoopNest nest = siv_nest(1, 0, -1, 10, 1, 9);
+  const auto refs = analysis::collect_array_refs(*nest.root);
+  const analysis::PairTest pt = analysis::test_pair(refs[0], refs[1], 1);
+  EXPECT_EQ(pt.answer, DepAnswer::kDependent);
+  ASSERT_EQ(pt.distance.size(), 1u);
+  EXPECT_FALSE(pt.distance[0].has_value());
+}
+
+// ---- direction vectors ----------------------------------------------------
+
+TEST(Direction, RendersEverySymbol) {
+  Dependence dep{};
+  dep.distance = {std::optional<std::int64_t>{1}, std::optional<std::int64_t>{0},
+                  std::optional<std::int64_t>{-2}, std::nullopt};
+  EXPECT_EQ(dep.direction_string(), "(<, =, >, *)");
+  EXPECT_FALSE(dep.is_loop_independent());
+}
+
+TEST(Direction, EmptyVectorIsLoopIndependent) {
+  Dependence dep{};
+  EXPECT_EQ(dep.direction_string(), "()");
+  EXPECT_TRUE(dep.is_loop_independent());
+}
+
+TEST(Direction, AllUnknownMayBeCarriedAnywhere) {
+  Dependence dep{};
+  dep.distance = {std::nullopt, std::nullopt};
+  EXPECT_EQ(dep.direction_string(), "(*, *)");
+  EXPECT_TRUE(dep.may_be_carried_at(0));
+  EXPECT_TRUE(dep.may_be_carried_at(1));
+  EXPECT_FALSE(dep.is_loop_independent());
+}
+
+TEST(Direction, KnownZeroOuterCannotCarry) {
+  Dependence dep{};
+  dep.distance = {std::optional<std::int64_t>{0}, std::nullopt};
+  EXPECT_FALSE(dep.may_be_carried_at(0));
+  EXPECT_TRUE(dep.may_be_carried_at(1));
+}
+
+TEST(Direction, NonzeroOuterBlocksInnerLevels) {
+  Dependence dep{};
+  dep.distance = {std::optional<std::int64_t>{2}, std::optional<std::int64_t>{0}};
+  EXPECT_TRUE(dep.may_be_carried_at(0));
+  EXPECT_FALSE(dep.may_be_carried_at(1));
+}
+
+}  // namespace
+}  // namespace coalesce

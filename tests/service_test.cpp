@@ -28,13 +28,16 @@ std::string read_file(const std::filesystem::path& path) {
                      std::istreambuf_iterator<char>());
 }
 
+// Both *.bad.loop (lint-rejected) and *.racy.loop (race-rejected) examples
+// are expected to bounce off admission; everything else must be admitted.
 std::vector<std::filesystem::path> example_files(bool bad) {
   std::vector<std::filesystem::path> files;
   for (const auto& entry :
        std::filesystem::directory_iterator(EXAMPLES_LOOPS_DIR)) {
     const std::string name = entry.path().filename().string();
     if (name.size() < 5 || name.substr(name.size() - 5) != ".loop") continue;
-    const bool is_bad = name.find(".bad.loop") != std::string::npos;
+    const bool is_bad = name.find(".bad.loop") != std::string::npos ||
+                        name.find(".racy.loop") != std::string::npos;
     if (is_bad == bad) files.push_back(entry.path());
   }
   std::sort(files.begin(), files.end());
@@ -226,6 +229,21 @@ TEST(ServiceAdmission, ParseFailureReportsThePhase) {
   EXPECT_FALSE(result.admitted);
   EXPECT_EQ(result.reject_phase, "parse");
   EXPECT_FALSE(result.diagnostics.empty());
+}
+
+TEST(ServiceAdmission, RacyExamplesAreRejectedAtTheRacePhase) {
+  for (const char* name : {"recurrence.racy.loop", "histogram.racy.loop"}) {
+    const auto source =
+        read_file(std::filesystem::path(EXAMPLES_LOOPS_DIR) / name);
+    const auto result =
+        service::admit(source, name, service::DiagnosticsFormat::kJson);
+    EXPECT_FALSE(result.admitted) << name;
+    EXPECT_EQ(result.reject_phase, "race") << name << ": " << result.message;
+    EXPECT_NE(result.diagnostics.find("race-carried-dependence"),
+              std::string::npos)
+        << name << ":\n"
+        << result.diagnostics;
+  }
 }
 
 TEST(ServiceAdmission, SarifFormatIsHonoredForLintRejections) {

@@ -31,6 +31,10 @@
 //   --lint             run coalesce-lint on the parsed program, print the
 //                      findings, and exit (1 when any finding is an error)
 //   --lint-format=F    lint output format: text (default), json, or sarif
+//   --race-check       check the parsed program's doall plan against the
+//                      dependence graph (analysis/race.hpp), print the
+//                      findings in --lint-format, and exit (1 when any
+//                      proven race or exposed scalar is found)
 //   --verify-ir        run the structural IR verifier on the parsed program
 //                      before any pass; exit 1 on violations
 //   --no-verify        disable the post-pass IR verifier and differential
@@ -81,6 +85,7 @@ struct Options {
   std::string emit = "ir";
   bool openmp = false;
   bool lint = false;
+  bool race_check = false;
   std::string lint_format = "text";
   bool verify_ir = false;
   bool post_checks = true;  // --no-verify clears
@@ -102,7 +107,8 @@ int usage(const char* argv0) {
                "[--coalesce|--no-coalesce] [--guarded] [--collapse=K] "
                "[--mixed-radix] [--expand-scalars] [--locality] [--pin] "
                "[--emit=ir|c|c-main] "
-               "[--openmp] [--lint] [--lint-format=text|json|sarif] "
+               "[--openmp] [--lint] [--race-check] "
+               "[--lint-format=text|json|sarif] "
                "[--verify-ir] [--no-verify] [--verify] [--stats] "
                "[--trace=FILE] [--trace-workers=P] [--trace-summary] "
                "[--deadline-ms=N] "
@@ -132,6 +138,7 @@ bool parse_args(int argc, char** argv, Options& options) {
     else if (arg.rfind("--emit=", 0) == 0) options.emit = arg.substr(7);
     else if (arg == "--openmp") options.openmp = true;
     else if (arg == "--lint") options.lint = true;
+    else if (arg == "--race-check") options.race_check = true;
     else if (arg.rfind("--lint-format=", 0) == 0)
       options.lint_format = arg.substr(14);
     else if (arg == "--verify-ir") options.verify_ir = true;
@@ -262,6 +269,29 @@ int main(int argc, char** argv) {
 
   if (options.lint) {
     const auto diags = analysis::lint_program(original);
+    const std::string file = frontend::source_name(options.input_path);
+    if (options.lint_format == "json") {
+      std::fputs(analysis::render_json(diags).c_str(), stdout);
+    } else if (options.lint_format == "sarif") {
+      std::fputs(analysis::render_sarif(diags, file).c_str(), stdout);
+    } else {
+      std::fputs(analysis::render_text(diags, file).c_str(), stdout);
+    }
+    return analysis::has_errors(diags) ? 1 : 0;
+  }
+
+  if (options.race_check) {
+    // The race detector reads the *planned* flags of the program as written;
+    // it runs before --analyze could overwrite them with proven verdicts.
+    const auto issues = ir::verify_program(original);
+    if (!issues.empty()) {
+      for (const auto& issue : issues) {
+        std::fprintf(stderr, "coalescec: verify: %s\n",
+                     ir::to_string(issue).c_str());
+      }
+      return 1;
+    }
+    const auto diags = analysis::race_diagnostics(original);
     const std::string file = frontend::source_name(options.input_path);
     if (options.lint_format == "json") {
       std::fputs(analysis::render_json(diags).c_str(), stdout);
