@@ -1,0 +1,181 @@
+// E22 — JIT native backend vs the IR interpreter.
+//
+// The coalesced nest can be *executed* two ways: walking the IR per
+// iteration (ir::Evaluator under runtime::execute_parallel) or compiling
+// the band once into a native chunk kernel (codegen::JitCache) and driving
+// that kernel with the same dispatchers. The interpreter pays a tree walk
+// per body statement per point; the kernel pays it once, at compile time.
+// This bench prices all three legs of that trade:
+//
+//   * interpreter wall time on a full-size matmul nest,
+//   * JIT cold cost (prepare + emit + host-compiler + dlopen),
+//   * JIT warm wall time (cache hit, kernel dispatch only),
+//
+// plus the cache-hit lookup latency, which is what every launch after the
+// first actually pays. Acceptance gate (EXPERIMENTS.md E22): warm JIT
+// >= 1.5x over the interpreter on the full-size workload; bit-exact
+// results are a hard failure either way.
+//
+// Flags: --json=FILE (bench_harness), --tiny (CI smoke sizes; the perf
+// gate is reported but not enforced). Exits 0 when no host C compiler is
+// available — the same graceful degradation the runtime implements.
+#include <chrono>
+#include <cstring>
+
+#include "bench_harness.hpp"
+#include "coalesce.hpp"
+
+namespace {
+
+using namespace coalesce;
+using support::i64;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter("e22_jit", argc, argv);
+  bool tiny = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--tiny") == 0) tiny = true;
+  }
+
+  if (!codegen::compiler_available()) {
+    std::printf("E22: no host C compiler; JIT unavailable, nothing to "
+                "measure (this is the runtime's fallback path, not an "
+                "error)\n");
+    reporter.record("skip").field("reason", "no host C compiler");
+    return 0;
+  }
+
+  const i64 n = tiny ? 12 : 64;  // C(n,n) = A(n,n) * B(n,n)
+  const int rounds = tiny ? 2 : 5;
+  const std::size_t workers = 4;
+  const ir::LoopNest nest = ir::make_matmul(n, n, n);
+  const runtime::ScheduleParams schedule{runtime::Schedule::kChunked, 16};
+
+  runtime::ThreadPool pool(workers);
+
+  // Leg 1: the interpreter, best of rounds.
+  double interp_best = 0.0;
+  ir::ArrayStore interp_store(nest.symbols);
+  for (int round = 0; round < rounds; ++round) {
+    ir::ArrayStore store(nest.symbols);
+    const auto t0 = Clock::now();
+    const auto stats =
+        runtime::execute_parallel(pool, nest, schedule, store);
+    const double s = seconds_since(t0);
+    if (!stats.ok() || !stats.value().completed()) {
+      std::fprintf(stderr, "E22: interpreter run failed\n");
+      return 1;
+    }
+    if (round == 0 || s < interp_best) interp_best = s;
+    if (round == rounds - 1) interp_store = std::move(store);
+  }
+
+  // Leg 2: cold compile cost, measured on a private cache so the warm leg
+  // below still sees a true first-compile through the default cache.
+  const auto prepared = codegen::prepare(nest);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "E22: prepare failed: %s\n",
+                 prepared.error().to_string().c_str());
+    return 1;
+  }
+  codegen::JitCache private_cache;
+  const auto cold_t0 = Clock::now();
+  const auto cold = private_cache.get_or_compile(prepared.value());
+  const double cold_seconds = seconds_since(cold_t0);
+  if (!cold.ok()) {
+    std::fprintf(stderr, "E22: compile failed: %s\n",
+                 cold.error().to_string().c_str());
+    return 1;
+  }
+
+  // Leg 3: warm JIT execution through the runtime path (default cache).
+  runtime::LaunchOptions jit_opts;
+  jit_opts.schedule = schedule;
+  jit_opts.exec = runtime::ExecMode::kJit;
+  double jit_best = 0.0;
+  bool identical = true;
+  {
+    ir::ArrayStore warmup(nest.symbols);  // first call pays the compile
+    if (!runtime::run(pool, nest, warmup, jit_opts).ok()) {
+      std::fprintf(stderr, "E22: JIT warmup failed\n");
+      return 1;
+    }
+  }
+  for (int round = 0; round < rounds; ++round) {
+    ir::ArrayStore store(nest.symbols);
+    const auto t0 = Clock::now();
+    const auto stats = runtime::run(pool, nest, store, jit_opts);
+    const double s = seconds_since(t0);
+    if (!stats.ok() || !stats.value().completed()) {
+      std::fprintf(stderr, "E22: JIT run failed\n");
+      return 1;
+    }
+    if (round == 0 || s < jit_best) jit_best = s;
+    identical =
+        identical && ir::ArrayStore::identical(interp_store, store);
+  }
+
+  // Cache-hit latency: what a warm launch pays before dispatch begins.
+  const int lookups = 1000;
+  const auto hit_t0 = Clock::now();
+  for (int k = 0; k < lookups; ++k) {
+    if (!private_cache.get_or_compile(prepared.value()).ok()) return 1;
+  }
+  const double hit_ns = seconds_since(hit_t0) * 1e9 / lookups;
+
+  const double speedup = interp_best / jit_best;
+  const auto jit_stats = codegen::default_jit_cache().stats();
+
+  support::Table table("E22: JIT vs interpreter, matmul n^3, 4 workers, "
+                       "best of rounds");
+  table.header({"mode", "n", "wall ms", "speedup"});
+  table.cell("interpreter")
+      .cell(static_cast<std::int64_t>(n))
+      .cell(interp_best * 1e3, 3)
+      .cell(1.0, 2)
+      .end_row();
+  table.cell("jit cold (compile)")
+      .cell(static_cast<std::int64_t>(n))
+      .cell(cold_seconds * 1e3, 3)
+      .cell(interp_best / cold_seconds, 2)
+      .end_row();
+  table.cell("jit warm")
+      .cell(static_cast<std::int64_t>(n))
+      .cell(jit_best * 1e3, 3)
+      .cell(speedup, 2)
+      .end_row();
+  table.print();
+  std::printf("\nbit-exact vs interpreter: %s   cache-hit lookup: %.0f ns"
+              "   warm speedup: %.2fx (gate: >= 1.5x full size)\n",
+              identical ? "yes" : "NO", hit_ns, speedup);
+  std::printf("default cache: compiles=%llu hits=%llu failures=%llu\n",
+              static_cast<unsigned long long>(jit_stats.compiles),
+              static_cast<unsigned long long>(jit_stats.hits),
+              static_cast<unsigned long long>(jit_stats.failures));
+
+  reporter.record("jit")
+      .field("n", n)
+      .field("workers", workers)
+      .field("interpreter_seconds", interp_best)
+      .field("jit_cold_seconds", cold_seconds)
+      .field("jit_warm_seconds", jit_best)
+      .field("speedup", speedup)
+      .field("cache_hit_ns", hit_ns)
+      .field("bit_exact", identical ? 1 : 0);
+
+  if (!identical) return 1;
+  // The perf gate only binds at full size; --tiny is a smoke run.
+  if (!tiny && speedup < 1.5) {
+    std::fprintf(stderr, "E22: warm speedup %.2fx below the 1.5x gate\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -37,6 +37,8 @@
 #include "analysis/subscript.hpp"
 #include "codegen/c_emitter.hpp"
 #include "codegen/cost_model.hpp"
+#include "codegen/jit.hpp"
+#include "codegen/pipeline.hpp"
 #include "core/api.hpp"
 #include "frontend/parser.hpp"
 #include "frontend/source.hpp"

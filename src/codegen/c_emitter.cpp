@@ -19,7 +19,8 @@ namespace {
 // The runtime preamble every emitted unit carries: exact mathematical
 // floor/ceiling division (C's `/` truncates) and the builtin functions the
 // IR's opaque calls may use.
-constexpr const char* kPreamble = R"(#include <stdint.h>
+constexpr const char* kPreamble = R"(#include <inttypes.h>
+#include <stdint.h>
 #include <stdio.h>
 
 static inline int64_t cg_fdiv(int64_t a, int64_t b) {
@@ -319,6 +320,8 @@ void emit_kernel(const Loop& root, const SymbolTable& symbols,
 }
 
 /// main(): deterministic init of every array, run the driver, dump arrays.
+/// Element counts are emitted as INT64_C literals and printed through
+/// PRId64 — never %lld, whose width is platform-defined for int64_t.
 void emit_main(const std::vector<VarId>& arrays, const SymbolTable& symbols,
                const std::string& driver, std::string& out) {
   out += "\nint main(void) {\n";
@@ -326,24 +329,23 @@ void emit_main(const std::vector<VarId>& arrays, const SymbolTable& symbols,
     const ir::Symbol& sym = symbols[a];
     std::int64_t total = 1;
     for (std::int64_t extent : sym.shape) total *= extent;
-    out += support::format(
-        "  { double* p = &%s%s; for (int64_t q = 0; q < %lld; ++q) "
-        "p[q] = (double)((q * 31 + 17) %% 97) / 7.0; }\n",
-        sym.name.c_str(),
-        support::repeat("[0]", sym.shape.size()).c_str(),
-        static_cast<long long>(total));
+    const std::string count = "INT64_C(" + std::to_string(total) + ")";
+    out += "  { double* p = &" + sym.name +
+           support::repeat("[0]", sym.shape.size()) +
+           "; for (int64_t q = 0; q < " + count +
+           "; ++q) p[q] = (double)((q * 31 + 17) % 97) / 7.0; }\n";
   }
   out += "  " + driver + "();\n";
   for (VarId a : arrays) {
     const ir::Symbol& sym = symbols[a];
     std::int64_t total = 1;
     for (std::int64_t extent : sym.shape) total *= extent;
-    out += support::format(
-        "  { const double* p = &%s%s; for (int64_t q = 0; q < %lld; ++q) "
-        "printf(\"%%.17g\\n\", p[q]); }\n",
-        sym.name.c_str(),
-        support::repeat("[0]", sym.shape.size()).c_str(),
-        static_cast<long long>(total));
+    const std::string count = "INT64_C(" + std::to_string(total) + ")";
+    out += "  { const double* p = &" + sym.name +
+           support::repeat("[0]", sym.shape.size()) +
+           "; printf(\"# " + sym.name + " %\" PRId64 \"\\n\", " + count +
+           "); for (int64_t q = 0; q < " + count +
+           "; ++q) printf(\"%.17g\\n\", p[q]); }\n";
   }
   out += "  return 0;\n}\n";
 }
@@ -382,6 +384,98 @@ std::string emit_c_program(const ir::Program& program,
   if (options.standalone_main) {
     emit_main(arrays, program.symbols, base, out);
   }
+  return out;
+}
+
+std::string emit_chunk_kernel(const PreparedNest& prepared,
+                              const char* kernel_name) {
+  const LoopNest& nest = prepared.normalized;
+  COALESCE_ASSERT(nest.root != nullptr);
+  COALESCE_ASSERT(!prepared.band.empty());
+  COALESCE_ASSERT(prepared.band.size() == prepared.extents.size());
+  const SymbolTable& symbols = nest.symbols;
+  const std::size_t depth = prepared.band.size();
+
+  // The innermost band loop: its body is the per-point work the kernel
+  // runs once per flat index (the band levels above it are perfect).
+  const Loop* inner = nest.root.get();
+  for (std::size_t level = 1; level < depth; ++level) {
+    inner = std::get<ir::LoopPtr>(inner->body.front()).get();
+  }
+
+  std::string out = kPreamble;
+  out += "\nvoid ";
+  out += kernel_name;
+  out += "(int64_t cg_first, int64_t cg_last, double* const* cg_arrays) {\n";
+  if (prepared.arrays.empty()) out += "  (void)cg_arrays;\n";
+  // Positional array binding (PreparedNest::arrays order): rebind each slot
+  // to a pointer with the array's row shape so the body's subscripts work
+  // unchanged.
+  for (std::size_t k = 0; k < prepared.arrays.size(); ++k) {
+    const ir::Symbol& sym = symbols[prepared.arrays[k]];
+    const std::string slot = "cg_arrays[" + std::to_string(k) + "]";
+    if (sym.shape.size() <= 1) {
+      out += "  double* " + sym.name + " = " + slot + ";\n";
+    } else {
+      std::string dims;
+      for (std::size_t d = 1; d < sym.shape.size(); ++d) {
+        dims += "[" + std::to_string(sym.shape[d]) + "]";
+      }
+      out += "  double (*" + sym.name + ")" + dims + " = (double (*)" + dims +
+             ")" + slot + ";\n";
+    }
+  }
+  out += "  if (cg_first >= cg_last) return;\n";
+
+  // Decode the chunk's first flat index once — the only divisions in the
+  // kernel. j in [1, total] maps to band indices innermost-fastest; the
+  // operands are non-negative so C's truncating / and % are exact here.
+  if (depth == 1) {
+    out += "  int64_t " + symbols.name(prepared.band[0]) + " = cg_first;\n";
+  } else {
+    out += "  int64_t cg_rem = cg_first - 1;\n";
+    for (std::size_t level = depth; level-- > 1;) {
+      const std::string n =
+          "INT64_C(" + std::to_string(prepared.extents[level]) + ")";
+      out += "  int64_t " + symbols.name(prepared.band[level]) +
+             " = cg_rem % " + n + " + 1;\n";
+      out += "  cg_rem /= " + n + ";\n";
+    }
+    out += "  int64_t " + symbols.name(prepared.band[0]) + " = cg_rem + 1;\n";
+  }
+
+  std::vector<VarId> scalars;
+  collect_assigned_scalars_body(inner->body, scalars);
+  for (VarId s : scalars) {
+    out += "  int64_t " + symbols.name(s) + " = 0;\n";
+  }
+
+  out += "  for (int64_t cg_j = cg_first; cg_j < cg_last; ++cg_j) {\n";
+  EmitOptions options;  // no pragmas: scheduling belongs to the host runtime
+  options.standalone_main = false;
+  for (const ir::Stmt& s : inner->body) {
+    emit_stmt(s, symbols, options, scalars, 2, out);
+  }
+  // Division-free incremental recovery: advance the band indices as a
+  // mixed-radix odometer, innermost digit fastest.
+  if (depth == 1) {
+    out += "    ++" + symbols.name(prepared.band[0]) + ";\n";
+  } else {
+    std::string pad = "    ";
+    for (std::size_t level = depth; level-- > 1;) {
+      out += pad + "if (++" + symbols.name(prepared.band[level]) +
+             " > INT64_C(" + std::to_string(prepared.extents[level]) +
+             ")) {\n";
+      pad += "  ";
+      out += pad + symbols.name(prepared.band[level]) + " = 1;\n";
+    }
+    out += pad + "++" + symbols.name(prepared.band[0]) + ";\n";
+    for (std::size_t level = 1; level < depth; ++level) {
+      pad.resize(pad.size() - 2);
+      out += pad + "}\n";
+    }
+  }
+  out += "  }\n}\n";
   return out;
 }
 

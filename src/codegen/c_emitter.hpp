@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "codegen/pipeline.hpp"
 #include "ir/stmt.hpp"
 
 namespace coalesce::codegen {
@@ -37,5 +38,22 @@ struct EmitOptions {
 /// Emits just one expression as C (used by tests and the E7 report).
 [[nodiscard]] std::string emit_expr_c(const ir::ExprRef& expr,
                                       const ir::SymbolTable& symbols);
+
+/// The emit pass of the JIT pipeline: a chunk-range kernel over a prepared
+/// nest, no file-scope arrays and no main. Signature of the emitted symbol:
+///
+///   void <kernel_name>(int64_t cg_first, int64_t cg_last,
+///                      double* const* cg_arrays);
+///
+/// [cg_first, cg_last) is a half-open slice of the flattened band space
+/// j in [1, total] — the exact contract the runtime dispatchers hand out,
+/// so cancellation, deadlines, and every schedule keep working. Arrays are
+/// bound positionally in PreparedNest::arrays order. Index recovery is
+/// division-free after entry: cg_first is decoded once with divisions,
+/// then the band indices advance as a mixed-radix odometer (compare
+/// index/incremental.hpp, measured in E4/E7).
+inline constexpr const char* kJitKernelSymbol = "coalesce_jit_kernel";
+[[nodiscard]] std::string emit_chunk_kernel(
+    const PreparedNest& prepared, const char* kernel_name = kJitKernelSymbol);
 
 }  // namespace coalesce::codegen

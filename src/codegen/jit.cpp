@@ -1,0 +1,241 @@
+#include "codegen/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "codegen/c_emitter.hpp"
+#include "support/assert.hpp"
+#include "trace/recorder.hpp"
+
+namespace coalesce::codegen {
+
+namespace {
+
+std::string resolve_compiler(const JitOptions& options) {
+  if (!options.compiler.empty()) return options.compiler;
+  if (const char* env = std::getenv("COALESCE_JIT_CC");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  if (const char* env = std::getenv("CC"); env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return "cc";
+}
+
+std::string shell_quote(const std::string& s) { return "'" + s + "'"; }
+
+/// Last ~12 lines of the compiler log, for the error message.
+std::string log_tail(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  std::string tail;
+  const std::size_t from = lines.size() > 12 ? lines.size() - 12 : 0;
+  for (std::size_t k = from; k < lines.size(); ++k) {
+    tail += "\n  " + lines[k];
+  }
+  return tail;
+}
+
+}  // namespace
+
+CompiledKernel::~CompiledKernel() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+bool compiler_available(const JitOptions& options) {
+  static std::mutex mutex;
+  static std::unordered_map<std::string, bool> probed;
+  const std::string compiler = resolve_compiler(options);
+  std::scoped_lock lock(mutex);
+  auto it = probed.find(compiler);
+  if (it != probed.end()) return it->second;
+  const std::string cmd =
+      "command -v " + shell_quote(compiler) + " > /dev/null 2>&1";
+  const bool available = std::system(cmd.c_str()) == 0;
+  probed.emplace(compiler, available);
+  return available;
+}
+
+struct JitCache::Entry {
+  enum class State { kCompiling, kReady, kFailed };
+  State state = State::kCompiling;
+  std::shared_ptr<const CompiledKernel> kernel;
+  support::Error error{support::ErrorCode::kUnavailable, ""};
+  std::list<std::string>::iterator lru_pos{};
+  bool in_lru = false;
+};
+
+JitCache::JitCache(JitOptions options) : options_(std::move(options)) {
+  if (options_.cache_capacity == 0) options_.cache_capacity = 1;
+  std::error_code ec;
+  const auto base = std::filesystem::temp_directory_path(ec);
+  if (ec) return;  // no scratch space: every compile reports kUnavailable
+  std::string tmpl = (base / "coalesce-jit-XXXXXX").string();
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) != nullptr) work_dir_ = buf.data();
+}
+
+JitCache::~JitCache() {
+  entries_.clear();  // dlclose before the .so files disappear
+  if (!work_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(work_dir_, ec);
+  }
+}
+
+void JitCache::touch(const std::string& key) {
+  auto it = entries_.find(key);
+  COALESCE_ASSERT(it != entries_.end());
+  Entry& entry = *it->second;
+  if (entry.in_lru) lru_.erase(entry.lru_pos);
+  lru_.push_front(key);
+  entry.lru_pos = lru_.begin();
+  entry.in_lru = true;
+}
+
+void JitCache::evict_over_capacity() {
+  while (lru_.size() > options_.cache_capacity) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);  // running regions keep their shared_ptr alive
+  }
+}
+
+JitCache::Stats JitCache::stats() const {
+  std::scoped_lock lock(mutex_);
+  Stats s;
+  s.compiles = compiles_;
+  s.hits = hits_;
+  s.failures = failures_;
+  s.entries = entries_.size();
+  return s;
+}
+
+support::Expected<std::shared_ptr<const CompiledKernel>>
+JitCache::get_or_compile(const PreparedNest& prepared) {
+  const std::string& key = prepared.cache_key;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) break;
+    Entry& entry = *it->second;
+    if (entry.state == Entry::State::kCompiling) {
+      // Single flight: someone else is compiling this key; wait for the
+      // publish instead of racing a second compiler process.
+      ready_cv_.wait(lock);
+      continue;  // re-find: the entry may have been evicted since
+    }
+    ++hits_;
+    trace::count(trace::Counter::kJitCacheHits);
+    touch(key);
+    if (entry.state == Entry::State::kReady) return entry.kernel;
+    return entry.error;  // negative cache: don't shell out again
+  }
+
+  const std::size_t sequence = next_sequence_++;
+  entries_.emplace(key, std::make_unique<Entry>());
+  lock.unlock();
+
+  auto result = compile(prepared, sequence);
+
+  lock.lock();
+  Entry& entry = *entries_.at(key);  // compiling entries are never evicted
+  if (result.ok()) {
+    entry.state = Entry::State::kReady;
+    entry.kernel = result.value();
+    ++compiles_;
+    trace::count(trace::Counter::kJitCompiles);
+  } else {
+    entry.state = Entry::State::kFailed;
+    entry.error = result.error();
+    ++failures_;
+  }
+  touch(key);
+  evict_over_capacity();
+  ready_cv_.notify_all();
+  return result;
+}
+
+support::Expected<std::shared_ptr<const CompiledKernel>> JitCache::compile(
+    const PreparedNest& prepared, std::size_t sequence) {
+  if (!compiler_available(options_)) {
+    return support::make_error(
+        support::ErrorCode::kUnavailable,
+        "jit compiler '" + resolve_compiler(options_) + "' not found");
+  }
+  if (work_dir_.empty()) {
+    return support::make_error(support::ErrorCode::kUnavailable,
+                               "jit scratch directory unavailable");
+  }
+
+  std::string source = emit_chunk_kernel(prepared);
+  const std::string stem =
+      work_dir_ + "/k" + std::to_string(sequence);
+  const std::string c_path = stem + ".c";
+  const std::string so_path = stem + ".so";
+  const std::string log_path = stem + ".log";
+  {
+    std::ofstream out(c_path);
+    if (!out) {
+      return support::make_error(support::ErrorCode::kUnavailable,
+                                 "cannot write " + c_path);
+    }
+    out << source;
+  }
+
+  const std::string cmd = shell_quote(resolve_compiler(options_)) +
+                          " -O2 -fPIC -shared " + options_.extra_flags +
+                          " -x c " + shell_quote(c_path) + " -o " +
+                          shell_quote(so_path) + " > " +
+                          shell_quote(log_path) + " 2>&1";
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const int rc = std::system(cmd.c_str());
+  trace::observe(trace::Hist::kJitCompileNs,
+                 static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         Clock::now() - start)
+                         .count()));
+  if (rc != 0) {
+    return support::make_error(
+        support::ErrorCode::kUnavailable,
+        "jit compile failed (exit " + std::to_string(rc) + "):" +
+            log_tail(log_path));
+  }
+
+  void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* why = ::dlerror();
+    return support::make_error(
+        support::ErrorCode::kUnavailable,
+        std::string("dlopen failed: ") + (why != nullptr ? why : "?"));
+  }
+  void* sym = ::dlsym(handle, kJitKernelSymbol);
+  if (sym == nullptr) {
+    ::dlclose(handle);
+    return support::make_error(
+        support::ErrorCode::kUnavailable,
+        std::string("dlsym failed for ") + kJitKernelSymbol);
+  }
+  return std::shared_ptr<const CompiledKernel>(new CompiledKernel(
+      handle, reinterpret_cast<JitKernelFn>(sym), std::move(source)));
+}
+
+JitCache& default_jit_cache() {
+  static JitCache cache;
+  return cache;
+}
+
+}  // namespace coalesce::codegen

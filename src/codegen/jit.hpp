@@ -1,0 +1,130 @@
+// The compile pass of the codegen pipeline: turn an emitted chunk kernel
+// into executable native code and cache it.
+//
+//   prepare(nest) -> emit_chunk_kernel -> JitCache::get_or_compile
+//     -> CompiledKernel::run_chunk(first, last, arrays)
+//
+// Compilation shells out to the system C compiler ($COALESCE_JIT_CC, then
+// $CC, then "cc") to build a shared object, then dlopen()s it. The cache is
+// keyed on PreparedNest::cache_key — the canonical alpha-renamed
+// serialization of the normalized IR — so alpha-equivalent nests share one
+// kernel and repeat traffic (Engine, src/service/) pays the compile cost
+// once. Concurrent first compiles of one key are single-flighted: exactly
+// one thread compiles, the rest wait on the entry. Eviction is LRU over a
+// fixed entry cap; running regions hold shared_ptr ownership, so evicting a
+// kernel mid-run is safe.
+//
+// Failure is a value, never an abort: a missing compiler or a failed
+// compile returns ErrorCode::kUnavailable and callers fall back to the
+// interpreter (counted as Counter::kJitFallbacks).
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "codegen/pipeline.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::codegen {
+
+/// Signature of the emitted kernel symbol (see emit_chunk_kernel).
+using JitKernelFn = void (*)(std::int64_t first, std::int64_t last,
+                             double* const* arrays);
+
+/// One dlopen()ed kernel. Immutable after construction; share freely.
+class CompiledKernel {
+ public:
+  ~CompiledKernel();
+  CompiledKernel(const CompiledKernel&) = delete;
+  CompiledKernel& operator=(const CompiledKernel&) = delete;
+
+  /// Runs the kernel over the half-open flat range [first, last); `arrays`
+  /// is the positional binding from PreparedNest::arrays.
+  void run_chunk(std::int64_t first, std::int64_t last,
+                 double* const* arrays) const {
+    fn_(first, last, arrays);
+  }
+
+  /// The C source this kernel was compiled from (tests, debugging).
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
+
+ private:
+  friend class JitCache;
+  CompiledKernel(void* handle, JitKernelFn fn, std::string source)
+      : handle_(handle), fn_(fn), source_(std::move(source)) {}
+
+  void* handle_;
+  JitKernelFn fn_;
+  std::string source_;
+};
+
+struct JitOptions {
+  /// Compiler executable; "" resolves $COALESCE_JIT_CC, then $CC, then "cc".
+  std::string compiler;
+  /// Extra flags appended after the defaults (-O2 -fPIC -shared).
+  std::string extra_flags;
+  /// Max cached kernels; the least recently used entry is evicted beyond
+  /// this (in-flight compiles never count against the cap).
+  std::size_t cache_capacity = 64;
+};
+
+class JitCache {
+ public:
+  explicit JitCache(JitOptions options = {});
+  ~JitCache();
+  JitCache(const JitCache&) = delete;
+  JitCache& operator=(const JitCache&) = delete;
+
+  /// The pipeline's compile pass. Cached kernels return immediately
+  /// (Counter::kJitCacheHits); a miss emits, compiles (kJitCompiles,
+  /// latency in Hist::kJitCompileNs), and publishes. Failed compiles are
+  /// negatively cached so a bad nest shells out once, not per request.
+  [[nodiscard]] support::Expected<std::shared_ptr<const CompiledKernel>>
+  get_or_compile(const PreparedNest& prepared);
+
+  /// Monotonic totals since construction (trace-recorder independent, so
+  /// the CLI can report them without installing a Recorder).
+  struct Stats {
+    std::uint64_t compiles = 0;  ///< compiler invocations that succeeded
+    std::uint64_t hits = 0;      ///< lookups served from the cache
+    std::uint64_t failures = 0;  ///< compiler invocations that failed
+    std::size_t entries = 0;     ///< resident entries right now
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry;
+
+  support::Expected<std::shared_ptr<const CompiledKernel>> compile(
+      const PreparedNest& prepared, std::size_t sequence);
+  void touch(const std::string& key);  // LRU bump; lock held
+  void evict_over_capacity();          // lock held
+
+  JitOptions options_;
+  std::string work_dir_;  ///< scratch dir for .c/.so/.log; removed in dtor
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
+  std::list<std::string> lru_;  ///< most recent at front
+  std::size_t next_sequence_ = 0;
+  std::uint64_t compiles_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+/// The process-wide cache shared by the runtime launch path, the Engine,
+/// the service, and coalescec --jit.
+[[nodiscard]] JitCache& default_jit_cache();
+
+/// True when the configured compiler exists and can build a shared object
+/// (probed once per distinct compiler string, result cached). The runtime
+/// uses this to fall back to the interpreter without shelling out per nest.
+[[nodiscard]] bool compiler_available(const JitOptions& options = {});
+
+}  // namespace coalesce::codegen

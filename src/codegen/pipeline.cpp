@@ -1,0 +1,286 @@
+#include "codegen/pipeline.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "transform/normalize.hpp"
+
+namespace coalesce::codegen {
+
+using ir::ExprOp;
+using ir::ExprRef;
+using ir::Loop;
+using ir::LoopNest;
+using ir::SymbolTable;
+using ir::VarId;
+using support::i64;
+
+namespace {
+
+// ---- type gate -------------------------------------------------------------
+
+/// True when the interpreter evaluates `e` to an int64 and the emitted C
+/// computes the identical value as int64_t: constants, variable reads
+/// (induction variables, and scalars — which the gate below forces to be
+/// integer-assigned), and closed integer arithmetic over those. Array reads
+/// and calls yield doubles; params are unbound in the kernel.
+bool integer_typed(const ExprRef& e, const SymbolTable& symbols) {
+  switch (e->op) {
+    case ExprOp::kIntConst:
+      return true;
+    case ExprOp::kVarRef:
+      return symbols.kind(e->var) != ir::SymbolKind::kParam;
+    case ExprOp::kArrayRead:
+    case ExprOp::kCall:
+      return false;
+    default:
+      for (const ExprRef& kid : e->kids) {
+        if (!integer_typed(kid, symbols)) return false;
+      }
+      return true;
+  }
+}
+
+/// The emitter prints kFloorDiv/kCeilDiv/kMod/kMin/kMax as int64_t helper
+/// calls and declares assigned scalars as int64_t; reject any tree where
+/// those assumptions would silently truncate a double.
+bool expr_compatible(const ExprRef& e, const SymbolTable& symbols,
+                     std::string* why) {
+  switch (e->op) {
+    case ExprOp::kFloorDiv:
+    case ExprOp::kCeilDiv:
+    case ExprOp::kMod:
+    case ExprOp::kMin:
+    case ExprOp::kMax:
+      if (!integer_typed(e, symbols)) {
+        if (why != nullptr) {
+          *why = std::string(ir::to_string(e->op)) +
+                 " over non-integer operands";
+        }
+        return false;
+      }
+      break;
+    case ExprOp::kVarRef:
+      if (symbols.kind(e->var) == ir::SymbolKind::kParam) {
+        if (why != nullptr) {
+          *why = "param " + symbols.name(e->var) + " unbound in a kernel";
+        }
+        return false;
+      }
+      break;
+    default:
+      break;
+  }
+  for (const ExprRef& kid : e->kids) {
+    if (!expr_compatible(kid, symbols, why)) return false;
+  }
+  return true;
+}
+
+bool body_compatible(const std::vector<ir::Stmt>& body,
+                     const SymbolTable& symbols, std::string* why);
+
+bool stmt_compatible(const ir::Stmt& stmt, const SymbolTable& symbols,
+                     std::string* why) {
+  if (const auto* assign = std::get_if<ir::AssignStmt>(&stmt)) {
+    if (const auto* scalar = std::get_if<VarId>(&assign->lhs)) {
+      if (!integer_typed(assign->rhs, symbols)) {
+        if (why != nullptr) {
+          *why = "scalar " + symbols.name(*scalar) +
+                 " assigned a non-integer value (emitted as int64_t)";
+        }
+        return false;
+      }
+    } else {
+      const auto& access = std::get<ir::ArrayAccess>(assign->lhs);
+      for (const ExprRef& sub : access.subscripts) {
+        if (!expr_compatible(sub, symbols, why)) return false;
+      }
+    }
+    return expr_compatible(assign->rhs, symbols, why);
+  }
+  if (const auto* guard = std::get_if<ir::IfPtr>(&stmt)) {
+    if (!expr_compatible((*guard)->condition, symbols, why)) return false;
+    return body_compatible((*guard)->then_body, symbols, why);
+  }
+  const Loop& loop = *std::get<ir::LoopPtr>(stmt);
+  if (!expr_compatible(loop.lower, symbols, why) ||
+      !expr_compatible(loop.upper, symbols, why)) {
+    return false;
+  }
+  return body_compatible(loop.body, symbols, why);
+}
+
+bool body_compatible(const std::vector<ir::Stmt>& body,
+                     const SymbolTable& symbols, std::string* why) {
+  for (const ir::Stmt& s : body) {
+    if (!stmt_compatible(s, symbols, why)) return false;
+  }
+  return true;
+}
+
+// ---- canonical serialization -----------------------------------------------
+
+/// Serializer with alpha renaming: every variable becomes "v<N>" by first
+/// appearance, every array "@<K>" with its shape recorded at first mention.
+/// Names never enter the key, so alpha-equivalent nests collide — which is
+/// the point. The array first-appearance order doubles as the kernel's
+/// positional binding order.
+struct KeyBuilder {
+  const SymbolTable& symbols;
+  std::string out;
+  std::unordered_map<std::uint32_t, std::size_t> var_ords;
+  std::unordered_map<std::uint32_t, std::size_t> array_ords;
+  std::vector<VarId> arrays;
+
+  void var(VarId v) {
+    auto [it, fresh] = var_ords.try_emplace(v.raw, var_ords.size());
+    out += "v" + std::to_string(it->second);
+  }
+
+  void array(VarId a) {
+    auto [it, fresh] = array_ords.try_emplace(a.raw, array_ords.size());
+    out += "@" + std::to_string(it->second);
+    if (fresh) {
+      arrays.push_back(a);
+      for (i64 extent : symbols[a].shape) {
+        out += "x" + std::to_string(extent);
+      }
+    }
+  }
+
+  void expr(const ExprRef& e) {
+    switch (e->op) {
+      case ExprOp::kIntConst:
+        out += std::to_string(e->literal);
+        return;
+      case ExprOp::kVarRef:
+        var(e->var);
+        return;
+      case ExprOp::kArrayRead:
+        array(e->var);
+        break;
+      case ExprOp::kCall:
+        out += e->callee;
+        break;
+      default:
+        out += ir::to_string(e->op);
+        break;
+    }
+    out += "(";
+    for (std::size_t k = 0; k < e->kids.size(); ++k) {
+      if (k > 0) out += ",";
+      expr(e->kids[k]);
+    }
+    out += ")";
+  }
+
+  void stmt(const ir::Stmt& s) {
+    if (const auto* assign = std::get_if<ir::AssignStmt>(&s)) {
+      if (const auto* scalar = std::get_if<VarId>(&assign->lhs)) {
+        var(*scalar);
+      } else {
+        const auto& access = std::get<ir::ArrayAccess>(assign->lhs);
+        array(access.array);
+        out += "[";
+        for (std::size_t k = 0; k < access.subscripts.size(); ++k) {
+          if (k > 0) out += ",";
+          expr(access.subscripts[k]);
+        }
+        out += "]";
+      }
+      out += "=";
+      expr(assign->rhs);
+      out += ";";
+    } else if (const auto* guard = std::get_if<ir::IfPtr>(&s)) {
+      out += "if(";
+      expr((*guard)->condition);
+      out += "){";
+      for (const ir::Stmt& inner : (*guard)->then_body) stmt(inner);
+      out += "}";
+    } else {
+      loop(*std::get<ir::LoopPtr>(s));
+    }
+  }
+
+  void loop(const Loop& l) {
+    out += l.parallel ? "doall(" : "do(";
+    var(l.var);
+    out += "=";
+    expr(l.lower);
+    out += ",";
+    expr(l.upper);
+    out += ",";
+    out += std::to_string(l.step);
+    out += "){";
+    for (const ir::Stmt& s : l.body) stmt(s);
+    out += "}";
+  }
+};
+
+}  // namespace
+
+bool jit_compatible(const LoopNest& nest, std::string* why) {
+  COALESCE_ASSERT(nest.root != nullptr);
+  return stmt_compatible(ir::Stmt{nest.root}, nest.symbols, why);
+}
+
+support::Expected<PreparedNest> prepare(const LoopNest& nest) {
+  COALESCE_ASSERT(nest.root != nullptr);
+
+  // ---- analysis: DOALL + bounds + types ------------------------------------
+  if (!nest.root->parallel) {
+    return support::make_error(
+        support::ErrorCode::kIllegalTransform,
+        "jit requires a DOALL root (run analyze_and_mark)");
+  }
+  if (!ir::constant_trip_count(*nest.root).has_value()) {
+    return support::make_error(support::ErrorCode::kUnsupported,
+                               "jit requires constant root bounds");
+  }
+  std::string why;
+  if (!jit_compatible(nest, &why)) {
+    return support::make_error(support::ErrorCode::kUnsupported,
+                               "nest not jit-compatible: " + why);
+  }
+
+  // ---- transform: normalize + band extraction ------------------------------
+  auto normalized = transform::normalize_nest(nest);
+  if (!normalized.ok()) return normalized.error();
+
+  PreparedNest prepared;
+  prepared.normalized = std::move(normalized).value();
+
+  // The coalesced band: the longest parallel perfect prefix whose levels
+  // all have constant trip counts. Triangular or variable-bound inner
+  // levels stop the band and run inside the kernel body instead.
+  prepared.total = 1;
+  for (const Loop* level : ir::parallel_band(*prepared.normalized.root)) {
+    const auto trips = ir::constant_trip_count(*level);
+    if (!trips.has_value()) break;
+    prepared.band.push_back(level->var);
+    prepared.extents.push_back(*trips);
+    i64 total = 0;
+    if (__builtin_mul_overflow(prepared.total, *trips, &total)) {
+      return support::make_error(support::ErrorCode::kOverflow,
+                                 "flattened trip count exceeds 64 bits");
+    }
+    prepared.total = total;
+  }
+  COALESCE_ASSERT(!prepared.band.empty());
+  if (prepared.total == 0) {
+    // A zero-trip level would put `% 0` constants in the emitted kernel;
+    // the interpreter handles empty iteration spaces naturally, so bail.
+    return support::make_error(support::ErrorCode::kUnsupported,
+                               "empty iteration space");
+  }
+
+  KeyBuilder key{prepared.normalized.symbols, {}, {}, {}, {}};
+  key.loop(*prepared.normalized.root);
+  prepared.arrays = std::move(key.arrays);
+  prepared.cache_key = std::move(key.out);
+  return prepared;
+}
+
+}  // namespace coalesce::codegen

@@ -1,0 +1,66 @@
+// The explicit codegen pass pipeline: analysis -> transform -> emit ->
+// compile. This header covers the first two passes; emit lives in
+// c_emitter.hpp (emit_chunk_kernel) and compile in jit.hpp (JitCache).
+//
+//   prepare(nest)            analysis: DOALL/bounds/type checks
+//                            transform: normalize (transform/normalize) +
+//                            band extraction + canonical cache key
+//   emit_chunk_kernel(...)   emit: chunk-range C kernel, division-free
+//                            incremental index recovery
+//   JitCache::get_or_compile compile: shared object + dlopen, cached on
+//                            the canonical key
+//
+// Keeping the passes separate is what lets another backend slot in later:
+// an OpenMP-collapse emitter would reuse prepare() verbatim and replace
+// only the emit/compile pair.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+#include "support/int_math.hpp"
+
+namespace coalesce::codegen {
+
+/// A nest that passed the analysis pass and is ready for the emit pass.
+struct PreparedNest {
+  /// The nest after transform/normalize (every constant-bound loop rewritten
+  /// to lower 1, step 1). Its symbol table extends the input's: array ids
+  /// are valid in both.
+  ir::LoopNest normalized;
+  /// Induction variables of the coalesced band, outermost first. The band
+  /// is the maximal parallel perfect prefix with constant bounds; depth >= 1.
+  std::vector<ir::VarId> band;
+  /// Trip count per band level (after normalization: the upper bounds).
+  std::vector<support::i64> extents;
+  /// Flattened iteration count: product of extents.
+  support::i64 total = 0;
+  /// Arrays the nest touches, in canonical first-appearance order. This is
+  /// the positional binding order of the kernel's `cg_arrays` parameter —
+  /// alpha-equivalent nests bind their arrays to the same slots, which is
+  /// what makes sharing one compiled kernel across them sound.
+  std::vector<ir::VarId> arrays;
+  /// Canonical serialization of the normalized nest with alpha-renamed
+  /// variables (structure, bounds, steps, shapes — not names). Two nests
+  /// get the same key iff the same machine code can run both.
+  std::string cache_key;
+};
+
+/// The analysis + transform passes. Errors:
+///   kIllegalTransform  root not marked DOALL (run analyze_and_mark first)
+///   kUnsupported       non-constant root bounds, or a construct the C
+///                      emitter types differently from the interpreter
+///                      (scalar assigned from an array read or call,
+///                      div/mod/min/max over non-integer operands, params)
+///   kOverflow          flattened trip count exceeds 64 bits
+[[nodiscard]] support::Expected<PreparedNest> prepare(const ir::LoopNest& nest);
+
+/// The type gate of the analysis pass, exposed for tests: true when every
+/// scalar assignment and every integer intrinsic in the tree is integer-
+/// typed under both the interpreter and the emitted C.
+[[nodiscard]] bool jit_compatible(const ir::LoopNest& nest,
+                                  std::string* why = nullptr);
+
+}  // namespace coalesce::codegen

@@ -1,14 +1,62 @@
 #include "runtime/ir_executor.hpp"
 
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "codegen/jit.hpp"
+#include "codegen/pipeline.hpp"
 #include "support/assert.hpp"
 #include "support/strings.hpp"
 #include "trace/recorder.hpp"
 
 namespace coalesce::runtime {
+
+namespace {
+
+/// One ready-to-dispatch JIT region: the compiled kernel plus the store's
+/// array base pointers in the kernel's positional binding order. The
+/// shared_ptrs make the runner copyable into an engine task and keep the
+/// kernel alive even if the cache evicts it mid-run.
+struct JitRegion {
+  i64 total = 0;
+  std::shared_ptr<const codegen::CompiledKernel> kernel;
+  std::shared_ptr<const std::vector<double*>> arrays;
+};
+
+/// The chunk body of a JIT region: same contract as the interpreter's loop
+/// (half-open flat [first, last) over j in [1, total]), one native call
+/// per chunk instead of one IR walk per iteration.
+struct JitRunner {
+  std::shared_ptr<const codegen::CompiledKernel> kernel;
+  std::shared_ptr<const std::vector<double*>> arrays;
+
+  void operator()(std::size_t /*worker*/, index::Chunk chunk,
+                  std::uint64_t* iters) {
+    kernel->run_chunk(chunk.first, chunk.last, arrays->data());
+    *iters += static_cast<std::uint64_t>(chunk.last - chunk.first);
+  }
+};
+
+/// Runs the analysis/transform/emit/compile pipeline and binds the store.
+/// Any error here means "fall back to the interpreter", never "abort".
+support::Expected<JitRegion> make_jit_region(const ir::LoopNest& nest,
+                                             ir::ArrayStore& store) {
+  auto prepared = codegen::prepare(nest);
+  if (!prepared.ok()) return prepared.error();
+  auto kernel = codegen::default_jit_cache().get_or_compile(prepared.value());
+  if (!kernel.ok()) return kernel.error();
+  auto arrays = std::make_shared<std::vector<double*>>();
+  arrays->reserve(prepared.value().arrays.size());
+  for (const ir::VarId array : prepared.value().arrays) {
+    arrays->push_back(store.data(array).data());
+  }
+  return JitRegion{prepared.value().total, std::move(kernel).value(),
+                   std::move(arrays)};
+}
+
+}  // namespace
 
 support::Expected<ForStats> execute_parallel(ThreadPool& pool,
                                              const ir::LoopNest& nest,
@@ -62,11 +110,33 @@ support::Expected<ForStats> execute_parallel(ThreadPool& pool,
       control);
 }
 
+support::Expected<ForStats> run(ThreadPool& pool, const ir::LoopNest& nest,
+                                ir::ArrayStore& store,
+                                const LaunchOptions& opts) {
+  const ScheduleParams params = detail::effective_schedule(opts);
+  if (opts.exec == ExecMode::kJit) {
+    auto region = make_jit_region(nest, store);
+    if (region.ok()) {
+      JitRegion& jit = region.value();
+      auto dispatcher_or =
+          make_dispatcher(params, jit.total, pool.concurrency());
+      if (!dispatcher_or.ok()) return dispatcher_or.error();
+      return detail::drive(
+          pool, jit.total, params,
+          JitRunner{std::move(jit.kernel), std::move(jit.arrays)},
+          opts.control);
+    }
+    trace::count(trace::Counter::kJitFallbacks);
+  }
+  return execute_parallel(pool, nest, params, store, opts.control);
+}
+
 support::Expected<ProgramStats> execute_program(ThreadPool& pool,
                                                 const ir::Program& program,
                                                 ScheduleParams params,
                                                 ir::ArrayStore& store,
-                                                const RunControl& control) {
+                                                const RunControl& control,
+                                                ExecMode exec) {
   ProgramStats totals;
   for (const ir::LoopPtr& root : program.roots) {
     COALESCE_ASSERT(root != nullptr);
@@ -83,8 +153,12 @@ support::Expected<ProgramStats> execute_program(ThreadPool& pool,
       break;
     }
     if (root->parallel && ir::constant_trip_count(*root).has_value()) {
-      auto stats = execute_parallel(
-          pool, ir::LoopNest{program.symbols, root}, params, store, control);
+      LaunchOptions opts;
+      opts.schedule = params;
+      opts.control = control;
+      opts.exec = exec;
+      auto stats =
+          run(pool, ir::LoopNest{program.symbols, root}, store, opts);
       if (!stats.ok()) return stats.error();
       totals.parallel_roots += 1;
       totals.dispatch_ops += stats.value().dispatch_ops;
@@ -162,12 +236,45 @@ auto ir_stats_result() {
   };
 }
 
+/// JIT attempt for the submit paths. nullopt = fall back to the
+/// interpreter (already counted); an engaged error means the schedule
+/// itself was invalid and must surface to the caller.
+std::optional<support::Expected<JitRegion>> try_make_jit_region(
+    Engine& engine, const ir::LoopNest& nest, ir::ArrayStore& store,
+    const LaunchOptions& opts) {
+  if (opts.exec != ExecMode::kJit) return std::nullopt;
+  auto region = make_jit_region(nest, store);
+  if (!region.ok()) {
+    trace::count(trace::Counter::kJitFallbacks);
+    return std::nullopt;
+  }
+  auto dispatcher_or = make_dispatcher(opts.schedule, region.value().total,
+                                       engine.concurrency());
+  if (!dispatcher_or.ok()) {
+    return std::optional<support::Expected<JitRegion>>(dispatcher_or.error());
+  }
+  return region;
+}
+
 }  // namespace
 
 support::Expected<RegionFuture<ForStats>> submit_ir(Engine& engine,
                                                     const ir::LoopNest& nest,
                                                     ir::ArrayStore& store,
                                                     const LaunchOptions& opts) {
+  if (auto jit = try_make_jit_region(engine, nest, store, opts)) {
+    if (!jit->ok()) return jit->error();
+    JitRegion& region = jit->value();
+    auto future = engine.submit_region<ForStats>(
+        region.total,
+        JitRunner{std::move(region.kernel), std::move(region.arrays)},
+        ir_stats_result(), opts);
+    if (!future.valid()) {
+      return support::make_error(support::ErrorCode::kUnavailable,
+                                 "engine is closed (drained or destroyed)");
+    }
+    return future;
+  }
   auto region = make_ir_region(engine, nest, store, opts);
   if (!region.ok()) return region.error();
   auto future = engine.submit_region<ForStats>(
@@ -183,6 +290,14 @@ support::Expected<RegionFuture<ForStats>> submit_ir(Engine& engine,
 support::Expected<TryResult<ForStats>> try_submit_ir(
     Engine& engine, const ir::LoopNest& nest, ir::ArrayStore& store,
     const LaunchOptions& opts) {
+  if (auto jit = try_make_jit_region(engine, nest, store, opts)) {
+    if (!jit->ok()) return jit->error();
+    JitRegion& region = jit->value();
+    return engine.try_submit_region<ForStats>(
+        region.total,
+        JitRunner{std::move(region.kernel), std::move(region.arrays)},
+        ir_stats_result(), opts);
+  }
   auto region = make_ir_region(engine, nest, store, opts);
   if (!region.ok()) return region.error();
   return engine.try_submit_region<ForStats>(

@@ -33,6 +33,22 @@ namespace coalesce::runtime {
     ThreadPool& pool, const ir::LoopNest& nest, ScheduleParams params,
     ir::ArrayStore& store, const RunControl& control = {});
 
+/// The IR launch verb: executes `nest.root` on the pool under the full
+/// LaunchOptions. With opts.exec == ExecMode::kInterpret this is
+/// execute_parallel with the schedule/control unpacked. With kJit the nest
+/// goes through the codegen pipeline (codegen::prepare ->
+/// emit_chunk_kernel -> default_jit_cache) and the compiled chunk kernel
+/// runs on the same driver — identical chunk contract, so every schedule,
+/// cancellation, and deadline behaves the same; the kernel covers the whole
+/// coalesced band, not just the root level. Any JIT failure (no compiler,
+/// incompatible nest, compile error) counts Counter::kJitFallbacks and
+/// falls back to the interpreter; hard validation errors (non-DOALL root,
+/// non-constant bounds) still surface as errors from the fallback.
+[[nodiscard]] support::Expected<ForStats> run(ThreadPool& pool,
+                                              const ir::LoopNest& nest,
+                                              ir::ArrayStore& store,
+                                              const LaunchOptions& opts = {});
+
 /// Executes a whole program (e.g. the output of distribute + coalesce):
 /// parallel roots run across the pool, sequential roots are interpreted on
 /// the calling thread, in order, against one shared store. The control is
@@ -48,7 +64,8 @@ struct ProgramStats {
 };
 [[nodiscard]] support::Expected<ProgramStats> execute_program(
     ThreadPool& pool, const ir::Program& program, ScheduleParams params,
-    ir::ArrayStore& store, const RunControl& control = {});
+    ir::ArrayStore& store, const RunControl& control = {},
+    ExecMode exec = ExecMode::kInterpret);
 
 /// Asynchronous variant of execute_parallel: validates the nest up front
 /// (same errors as execute_parallel), then enqueues it on the engine and

@@ -52,6 +52,15 @@ enum class NestMode : std::uint8_t {
   kNestedForkJoin,  ///< baseline: one fork-join per innermost instance
 };
 
+/// How an IR nest's chunks are executed (IR launch paths only: the run()
+/// overload taking a LoopNest, submit_ir, and the service). The templated
+/// body-based verbs below ignore it — there is no IR to compile.
+enum class ExecMode : std::uint8_t {
+  kInterpret,  ///< walk the IR per iteration (ir::Evaluator; the default)
+  kJit,        ///< native chunk kernel via codegen::JitCache; falls back to
+               ///< the interpreter on any compile failure (kJitFallbacks)
+};
+
 /// Queue class for asynchronous submission (Engine::submit). High-priority
 /// regions are dequeued before any normal-priority region; within a class,
 /// FIFO. Ignored by the synchronous run() verbs.
@@ -72,6 +81,8 @@ struct LaunchOptions {
   NestMode mode = NestMode::kCollapsed;
   /// Asynchronous submissions only (Engine::submit).
   Priority priority = Priority::kNormal;
+  /// IR launch paths only (run(pool, nest, store), submit_ir, the service).
+  ExecMode exec = ExecMode::kInterpret;
   /// Locality-aware execution: dispatch through the cache-sharded
   /// dispatcher (ShardedDispatcher) so worker clusters claim contiguous
   /// ranges instead of interleaving on one counter. Sets

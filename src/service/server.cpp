@@ -311,6 +311,7 @@ Response Server::handle_submit(const SubmitRequest& request) {
   runtime::LaunchOptions opts;
   opts.schedule = options_.schedule;
   opts.locality = options_.locality;
+  if (options_.jit) opts.exec = runtime::ExecMode::kJit;
   opts.priority = request.priority == 1 ? runtime::Priority::kHigh
                                         : runtime::Priority::kNormal;
   if (request.deadline_ms > 0) {

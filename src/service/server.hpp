@@ -72,6 +72,11 @@ struct ServerOptions {
   bool locality = false;
   /// Pin engine workers to CPUs (best-effort; Linux sched_setaffinity).
   bool pin_workers = false;
+  /// Execute parallel roots through the JIT backend (LaunchOptions::exec =
+  /// ExecMode::kJit). The in-process compile cache is keyed on normalized
+  /// IR, so repeat traffic pays the compile cost once; any compile failure
+  /// falls back to the interpreter per root.
+  bool jit = false;
 };
 
 class Server {

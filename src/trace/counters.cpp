@@ -26,6 +26,9 @@ const char* to_string(Counter counter) noexcept {
     case Counter::kRequestsRejected: return "requests_rejected";
     case Counter::kRequestsShed: return "requests_shed";
     case Counter::kSteals: return "steals";
+    case Counter::kJitCompiles: return "jit_compiles";
+    case Counter::kJitCacheHits: return "jit_cache_hits";
+    case Counter::kJitFallbacks: return "jit_fallbacks";
     case Counter::kCount_: break;
   }
   return "?";
@@ -37,6 +40,7 @@ const char* to_string(Hist hist) noexcept {
     case Hist::kChunkSize: return "chunk_size";
     case Hist::kWorkerBusyNs: return "worker_busy_ns";
     case Hist::kRegionQueueDepth: return "region_queue_depth";
+    case Hist::kJitCompileNs: return "jit_compile_ns";
     case Hist::kCount_: break;
   }
   return "?";

@@ -32,6 +32,9 @@ enum class Counter : std::uint8_t {
   kRequestsRejected,  ///< service submissions refused at admission
   kRequestsShed,      ///< service submissions shed (quota / queue full)
   kSteals,            ///< inter-cluster range steals (ShardedDispatcher)
+  kJitCompiles,       ///< JIT kernels compiled to native code
+  kJitCacheHits,      ///< JIT lookups served from the compile cache
+  kJitFallbacks,      ///< JIT requests that fell back to the interpreter
   kCount_            ///< sentinel
 };
 
@@ -41,6 +44,7 @@ enum class Hist : std::uint8_t {
   kChunkSize,          ///< iterations per dispatched chunk
   kWorkerBusyNs,       ///< per-region busy span of one worker
   kRegionQueueDepth,   ///< engine queue depth sampled at each enqueue/pop
+  kJitCompileNs,       ///< wall time of one JIT compile (emit + cc + dlopen)
   kCount_              ///< sentinel
 };
 

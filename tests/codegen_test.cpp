@@ -424,5 +424,37 @@ TEST(EmittedEquivalence, MixedRadixStyleAlsoMatches) {
   EXPECT_EQ(original, coalesced);
 }
 
+// ---- portability of the standalone emission ---------------------------------
+
+TEST(EmitC, StandaloneMainUsesPortableFormatMacros) {
+  // int64_t values must print via <inttypes.h> PRId64, never a hardwired
+  // %lld (wrong on LP64 printf checking, and -Werror fodder below).
+  const std::string src = emit_c(ir::make_rectangular_witness({3, 4}));
+  EXPECT_NE(src.find("#include <inttypes.h>"), std::string::npos);
+  EXPECT_NE(src.find("PRId64"), std::string::npos);
+  EXPECT_EQ(src.find("%lld"), std::string::npos);
+}
+
+TEST(EmittedEquivalence, StandaloneProgramsCompileWarningFree) {
+  // Every witness emission must survive the strictest practical flag set;
+  // this is what keeps the emitter honest about types and formats.
+  const LoopNest nests[] = {make_witness_3d(), make_matmul_small(),
+                            make_jacobi_small(), make_gauss_small()};
+  int k = 0;
+  for (const LoopNest& nest : nests) {
+    const std::string tag = "werror_" + std::to_string(k++);
+    const std::string out = compile_and_run(emit_c(nest), tag.c_str(),
+                                            "-Wall -Wextra -Werror");
+    EXPECT_FALSE(out.empty()) << "warning-free compile failed for " << tag;
+    const auto coalesced = transform::coalesce_nest(nest);
+    ASSERT_TRUE(coalesced.ok());
+    const std::string tag2 = tag + "_coal";
+    const std::string out2 =
+        compile_and_run(emit_c(coalesced.value().nest), tag2.c_str(),
+                        "-Wall -Wextra -Werror");
+    EXPECT_EQ(out, out2);
+  }
+}
+
 }  // namespace
 }  // namespace coalesce::codegen

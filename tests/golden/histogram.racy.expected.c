@@ -1,0 +1,55 @@
+#include <inttypes.h>
+#include <stdint.h>
+#include <stdio.h>
+
+static inline int64_t cg_fdiv(int64_t a, int64_t b) {
+  int64_t q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+static inline int64_t cg_cdiv(int64_t a, int64_t b) {
+  int64_t q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) ++q;
+  return q;
+}
+static inline int64_t cg_mod(int64_t a, int64_t b) {
+  int64_t r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) r += b;
+  return r;
+}
+static inline int64_t cg_min(int64_t a, int64_t b) { return a < b ? a : b; }
+static inline int64_t cg_max(int64_t a, int64_t b) { return a > b ? a : b; }
+static inline double real_div(double a, double b) { return a / b; }
+static inline double avg4(double a, double b, double c, double d) {
+  return (a + b + c + d) / 4.0;
+}
+static inline double pi_height(int64_t strip, int64_t r, int64_t strips,
+                               int64_t ips) {
+  double total = (double)(strips * ips);
+  double g = (double)((strip - 1) * ips + r);
+  double x = (g - 0.5) / total;
+  return (4.0 / (1.0 + x * x)) / total;
+}
+
+static double H[4];
+static double X[64];
+
+static void kernel_0(void) {
+  /* doall */
+  for (int64_t i = INT64_C(1); i <= INT64_C(64); i += 1) {
+    H[INT64_C(1) - 1] = H[INT64_C(1) - 1] + X[i - 1];
+  }
+}
+
+static void kernel(void) {
+  kernel_0();
+}
+
+int main(void) {
+  { double* p = &H[0]; for (int64_t q = 0; q < INT64_C(4); ++q) p[q] = (double)((q * 31 + 17) % 97) / 7.0; }
+  { double* p = &X[0]; for (int64_t q = 0; q < INT64_C(64); ++q) p[q] = (double)((q * 31 + 17) % 97) / 7.0; }
+  kernel();
+  { const double* p = &H[0]; printf("# H %" PRId64 "\n", INT64_C(4)); for (int64_t q = 0; q < INT64_C(4); ++q) printf("%.17g\n", p[q]); }
+  { const double* p = &X[0]; printf("# X %" PRId64 "\n", INT64_C(64)); for (int64_t q = 0; q < INT64_C(64); ++q) printf("%.17g\n", p[q]); }
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include <inttypes.h>
+#include <stdint.h>
+#include <stdio.h>
+
+static inline int64_t cg_fdiv(int64_t a, int64_t b) {
+  int64_t q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+static inline int64_t cg_cdiv(int64_t a, int64_t b) {
+  int64_t q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) ++q;
+  return q;
+}
+static inline int64_t cg_mod(int64_t a, int64_t b) {
+  int64_t r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) r += b;
+  return r;
+}
+static inline int64_t cg_min(int64_t a, int64_t b) { return a < b ? a : b; }
+static inline int64_t cg_max(int64_t a, int64_t b) { return a > b ? a : b; }
+static inline double real_div(double a, double b) { return a / b; }
+static inline double avg4(double a, double b, double c, double d) {
+  return (a + b + c + d) / 4.0;
+}
+static inline double pi_height(int64_t strip, int64_t r, int64_t strips,
+                               int64_t ips) {
+  double total = (double)(strips * ips);
+  double g = (double)((strip - 1) * ips + r);
+  double x = (g - 0.5) / total;
+  return (4.0 / (1.0 + x * x)) / total;
+}
+
+static double A[32];
+
+static void kernel_0(void) {
+  int64_t s = 0;
+
+  /* doall */
+  for (int64_t i = INT64_C(1); i <= INT64_C(32); i += 1) {
+    s = s + A[i - 1];
+    A[i - 1] = s;
+  }
+}
+
+static void kernel(void) {
+  kernel_0();
+}
+
+int main(void) {
+  { double* p = &A[0]; for (int64_t q = 0; q < INT64_C(32); ++q) p[q] = (double)((q * 31 + 17) % 97) / 7.0; }
+  kernel();
+  { const double* p = &A[0]; printf("# A %" PRId64 "\n", INT64_C(32)); for (int64_t q = 0; q < INT64_C(32); ++q) printf("%.17g\n", p[q]); }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Golden-file snapshot tests for the C emitter: every example program is
+// parsed (no analysis, no transforms — the snapshot pins the emitter, not
+// the passes) and pushed through emit_c_program with default options; the
+// result must match the checked-in tests/golden/<name>.expected.c byte for
+// byte. An intentional emitter change regenerates the corpus with
+// tools/regen_golden.sh; an unintentional one fails here with a diff hint.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "codegen/c_emitter.hpp"
+#include "frontend/parser.hpp"
+
+namespace coalesce {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// First line where the two strings disagree, for a readable failure.
+std::string first_divergence(const std::string& expected,
+                             const std::string& actual) {
+  std::istringstream e(expected), a(actual);
+  std::string el, al;
+  int line = 0;
+  while (true) {
+    ++line;
+    const bool more_e = static_cast<bool>(std::getline(e, el));
+    const bool more_a = static_cast<bool>(std::getline(a, al));
+    if (!more_e && !more_a) return "identical";
+    if (el != al || more_e != more_a) {
+      return "line " + std::to_string(line) + ":\n  expected: " +
+             (more_e ? el : std::string("<eof>")) + "\n  actual:   " +
+             (more_a ? al : std::string("<eof>"));
+    }
+  }
+}
+
+class GoldenEmission : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenEmission, MatchesCheckedInSnapshot) {
+  const std::string name = GetParam();
+  const std::string loop_path =
+      std::string(EXAMPLES_LOOPS_DIR) + "/" + name + ".loop";
+  const std::string golden_path =
+      std::string(GOLDEN_DIR) + "/" + name + ".expected.c";
+
+  const std::string source = read_file(loop_path);
+  ASSERT_FALSE(source.empty()) << "cannot read " << loop_path;
+  const std::string golden = read_file(golden_path);
+  ASSERT_FALSE(golden.empty())
+      << "missing snapshot " << golden_path
+      << " — run tools/regen_golden.sh to create it";
+
+  const auto program = frontend::parse_program(source);
+  ASSERT_TRUE(program.ok()) << program.error().to_string();
+  const std::string emitted = codegen::emit_c_program(program.value());
+
+  EXPECT_EQ(emitted, golden)
+      << name << ".loop emission drifted from its snapshot; first "
+      << "divergence at " << first_divergence(golden, emitted)
+      << "\nIf the change is intentional, regenerate with "
+      << "tools/regen_golden.sh";
+}
+
+TEST_P(GoldenEmission, EmissionIsDeterministic) {
+  const std::string loop_path =
+      std::string(EXAMPLES_LOOPS_DIR) + "/" + GetParam() + ".loop";
+  const std::string source = read_file(loop_path);
+  ASSERT_FALSE(source.empty()) << "cannot read " << loop_path;
+  const auto program = frontend::parse_program(source);
+  ASSERT_TRUE(program.ok()) << program.error().to_string();
+  EXPECT_EQ(codegen::emit_c_program(program.value()),
+            codegen::emit_c_program(program.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Examples, GoldenEmission,
+                         ::testing::Values("div_zero.bad", "histogram.racy",
+                                           "matmul", "overflow.bad",
+                                           "racy_scalar.bad",
+                                           "recurrence.racy", "stencil",
+                                           "triangular"));
+
+}  // namespace
+}  // namespace coalesce

@@ -1,0 +1,290 @@
+// Differential tests for the JIT backend: every nest is executed three
+// ways — sequential reference interpreter, parallel interpreter, and the
+// native JIT chunk kernel — and all three must agree bit-exactly. Each
+// generated nest is additionally screened by the dynamic shadow-conflict
+// oracle so the suite never blesses agreement on a racy input.
+//
+// The sweeps are seeded and replayable: every assertion message carries the
+// seed and trial number. When the host has no C compiler the trio still
+// runs (the JIT path falls back to the interpreter, which must still be
+// bit-exact); the engagement assertions that prove the kernel actually ran
+// are gated on codegen::compiler_available().
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/doall.hpp"
+#include "codegen/jit.hpp"
+#include "codegen/pipeline.hpp"
+#include "frontend/parser.hpp"
+#include "ir/builder.hpp"
+#include "ir/eval.hpp"
+#include "ir/printer.hpp"
+#include "ir/verify.hpp"
+#include "runtime/ir_executor.hpp"
+#include "runtime/launch.hpp"
+#include "runtime/race_oracle.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/rng.hpp"
+
+namespace coalesce {
+namespace {
+
+using ir::ExprRef;
+using ir::int_const;
+using ir::LoopNest;
+using ir::NestBuilder;
+using ir::VarId;
+using ir::var_ref;
+using support::i64;
+using support::Rng;
+
+/// Random integer expression over the induction variables — the same
+/// distribution as the transform fuzzer, and deliberately inside the JIT
+/// type gate (no array reads, no calls, constant nonzero divisors).
+ExprRef random_expr(Rng& rng, const std::vector<VarId>& ivs, int depth) {
+  if (depth <= 0 || rng.uniform01() < 0.3) {
+    if (!ivs.empty() && rng.uniform01() < 0.7) {
+      return var_ref(ivs[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<i64>(ivs.size()) - 1))]);
+    }
+    return int_const(rng.uniform_int(-9, 9));
+  }
+  ExprRef a = random_expr(rng, ivs, depth - 1);
+  ExprRef b = random_expr(rng, ivs, depth - 1);
+  switch (rng.uniform_int(0, 6)) {
+    case 0: return ir::add(std::move(a), std::move(b));
+    case 1: return ir::sub(std::move(a), std::move(b));
+    case 2: return ir::mul(std::move(a), std::move(b));
+    case 3: return ir::min_expr(std::move(a), std::move(b));
+    case 4: return ir::max_expr(std::move(a), std::move(b));
+    case 5:
+      return ir::mod(std::move(a), int_const(rng.uniform_int(1, 7)));
+    default:
+      return ir::floor_div(std::move(a), int_const(rng.uniform_int(1, 5)));
+  }
+}
+
+/// Rectangular DOALL nest with random lower bounds, steps, and extents;
+/// each point writes its own cell of OUT (and sometimes OUT2), so the nest
+/// is race-free by construction — a property the shadow oracle re-checks.
+LoopNest random_rectangular(Rng& rng) {
+  NestBuilder b;
+  const std::size_t depth = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  std::vector<i64> lowers(depth), steps(depth), extents(depth);
+  std::vector<i64> shape;
+  for (std::size_t d = 0; d < depth; ++d) {
+    lowers[d] = rng.uniform_int(-3, 3);
+    steps[d] = rng.uniform_int(1, 3);
+    extents[d] = rng.uniform_int(1, 5);
+    shape.push_back(extents[d]);
+  }
+  const VarId out = b.array("OUT", shape);
+  const VarId out2 = b.array("OUT2", shape);
+  std::vector<VarId> ivs;
+  for (std::size_t d = 0; d < depth; ++d) {
+    ivs.push_back(b.begin_parallel_loop(
+        "v" + std::to_string(d), lowers[d],
+        lowers[d] + (extents[d] - 1) * steps[d], steps[d]));
+  }
+  std::vector<ExprRef> subs;
+  for (std::size_t d = 0; d < depth; ++d) {
+    subs.push_back(ir::simplify(ir::add(
+        ir::floor_div(ir::sub(var_ref(ivs[d]), int_const(lowers[d])),
+                      int_const(steps[d])),
+        int_const(1))));
+  }
+  b.assign(b.element_expr(out, subs), random_expr(rng, ivs, 3));
+  if (rng.uniform01() < 0.5) {
+    b.assign(b.element_expr(out2, subs), random_expr(rng, ivs, 2));
+  }
+  for (std::size_t d = 0; d < depth; ++d) b.end_loop();
+  return b.build();
+}
+
+/// 2-deep triangular nest: constant-trip outer level, variable inner bound.
+/// The JIT band stops at depth 1, so the inner loop executes inside the
+/// emitted kernel body — the other half of the emitter's loop handling.
+LoopNest random_triangular(Rng& rng) {
+  NestBuilder b;
+  const i64 n = rng.uniform_int(2, 7);
+  const i64 slope = rng.uniform_int(1, 2);
+  const i64 offset = rng.uniform_int(0, 2);
+  const i64 max_inner = slope * n + offset;
+  const VarId out = b.array("OUT", {n, max_inner});
+  const VarId i = b.begin_parallel_loop("i", 1, n);
+  const VarId j = b.begin_loop_expr(
+      "j", int_const(1),
+      ir::add(ir::mul(int_const(slope), var_ref(i)), int_const(offset)), 1,
+      /*parallel=*/true);
+  b.assign(b.element(out, {i, j}), random_expr(rng, {i, j}, 3));
+  b.end_loop();
+  b.end_loop();
+  return b.build();
+}
+
+/// Executes `nest` three ways and asserts bit-exact agreement. When the
+/// host has a compiler, additionally asserts the JIT path genuinely engaged
+/// (one cache compile-or-hit, no new failure) rather than silently falling
+/// back to the interpreter it is being tested against.
+void expect_trio_agrees(runtime::ThreadPool& pool, const LoopNest& nest,
+                        const std::string& repro) {
+  // Sequential reference.
+  ir::Evaluator reference(nest.symbols);
+  reference.run(*nest.root);
+
+  // Parallel interpreter.
+  ir::ArrayStore interpreted(nest.symbols);
+  const auto interp_stats = runtime::execute_parallel(
+      pool, nest, {runtime::Schedule::kChunked, 4}, interpreted);
+  ASSERT_TRUE(interp_stats.ok())
+      << interp_stats.error().to_string() << "\n" << repro;
+  ASSERT_TRUE(ir::ArrayStore::identical(reference.store(), interpreted))
+      << "parallel interpreter diverged from sequential reference\n"
+      << repro << "\n" << ir::to_string(nest);
+
+  // Native JIT kernel (or its documented interpreter fallback).
+  const auto before = codegen::default_jit_cache().stats();
+  ir::ArrayStore jitted(nest.symbols);
+  runtime::LaunchOptions opts;
+  opts.schedule = {runtime::Schedule::kChunked, 4};
+  opts.exec = runtime::ExecMode::kJit;
+  const auto jit_stats = runtime::run(pool, nest, jitted, opts);
+  ASSERT_TRUE(jit_stats.ok())
+      << jit_stats.error().to_string() << "\n" << repro;
+  ASSERT_TRUE(jit_stats.value().completed()) << repro;
+  ASSERT_TRUE(ir::ArrayStore::identical(reference.store(), jitted))
+      << "JIT diverged from sequential reference\n"
+      << repro << "\n" << ir::to_string(nest);
+
+  if (codegen::compiler_available()) {
+    const auto after = codegen::default_jit_cache().stats();
+    EXPECT_EQ(after.failures, before.failures)
+        << "JIT compile failed on a compatible nest\n" << repro;
+    EXPECT_EQ(after.compiles + after.hits, before.compiles + before.hits + 1)
+        << "JIT never engaged; the trio degenerated to interpreter-vs-"
+        << "interpreter\n" << repro;
+  }
+}
+
+/// The shadow-conflict oracle must clear the nest before agreement means
+/// anything: three executors agreeing on a racy nest proves nothing.
+void expect_oracle_clean(const LoopNest& nest, const std::string& repro) {
+  const runtime::ScanResult scan = runtime::shadow_conflict_scan(nest);
+  ASSERT_NE(scan.outcome, runtime::ScanOutcome::kConflict)
+      << "generated nest is racy; the differential result is void\n"
+      << (scan.conflict ? scan.conflict->describe(nest.symbols)
+                        : std::string("?"))
+      << "\n" << repro << "\n" << ir::to_string(nest);
+  EXPECT_NE(scan.outcome, runtime::ScanOutcome::kIneligible) << repro;
+}
+
+class JitDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(JitDifferential, RectangularNestsAgreeAcrossAllThreeExecutors) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6700417ull);
+  runtime::ThreadPool pool(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const LoopNest nest = random_rectangular(rng);
+    ASSERT_TRUE(ir::verify_nest(nest).empty()) << ir::to_string(nest);
+    const std::string repro = "seed=" + std::to_string(GetParam()) +
+                              " trial=" + std::to_string(trial);
+    expect_oracle_clean(nest, repro);
+    expect_trio_agrees(pool, nest, repro);
+  }
+}
+
+TEST_P(JitDifferential, TriangularNestsAgreeAcrossAllThreeExecutors) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2305843009ull);
+  runtime::ThreadPool pool(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const LoopNest nest = random_triangular(rng);
+    ASSERT_TRUE(ir::verify_nest(nest).empty()) << ir::to_string(nest);
+    const std::string repro = "seed=" + std::to_string(GetParam()) +
+                              " trial=" + std::to_string(trial) +
+                              " (triangular)";
+    expect_oracle_clean(nest, repro);
+    expect_trio_agrees(pool, nest, repro);
+  }
+}
+
+TEST_P(JitDifferential, EverySchedulePoliciesTheSameKernelIdentically) {
+  // One nest, one compiled kernel (cache hits after the first run), every
+  // dispatcher family: the chunk contract must make them indistinguishable.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 179426549ull);
+  runtime::ThreadPool pool(4);
+  const LoopNest nest = random_rectangular(rng);
+  ir::Evaluator reference(nest.symbols);
+  reference.run(*nest.root);
+  const runtime::ScheduleParams schedules[] = {
+      {runtime::Schedule::kSelf, 1},
+      {runtime::Schedule::kChunked, 3},
+      {runtime::Schedule::kGuided, 1},
+      {runtime::Schedule::kFactoring, 1},
+      {runtime::Schedule::kStaticBlock, 1},
+      {runtime::Schedule::kStaticCyclic, 1},
+  };
+  for (const auto& params : schedules) {
+    ir::ArrayStore jitted(nest.symbols);
+    runtime::LaunchOptions opts;
+    opts.schedule = params;
+    opts.exec = runtime::ExecMode::kJit;
+    const auto stats = runtime::run(pool, nest, jitted, opts);
+    ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+    ASSERT_TRUE(ir::ArrayStore::identical(reference.store(), jitted))
+        << "schedule " << to_string(params.kind)
+        << " diverged under the JIT\nseed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JitDifferential,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- example corpus ---------------------------------------------------------
+// The checked-in .loop examples that admit clean parallel execution, pushed
+// through the same trio. These are the exact nests the CLI smoke tests run,
+// so a divergence here reproduces from the shell.
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+class JitExampleDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JitExampleDifferential, ExampleAgreesAcrossAllThreeExecutors) {
+  const std::string path =
+      std::string(EXAMPLES_LOOPS_DIR) + "/" + GetParam() + ".loop";
+  const std::string text = read_file(path);
+  ASSERT_FALSE(text.empty()) << "cannot read " << path;
+  auto program = frontend::parse_program(text);
+  ASSERT_TRUE(program.ok()) << program.error().to_string();
+
+  runtime::ThreadPool pool(4);
+  int parallel_roots = 0;
+  for (std::size_t r = 0; r < program.value().roots.size(); ++r) {
+    LoopNest nest{program.value().symbols, program.value().roots[r]};
+    analysis::analyze_and_mark(nest);
+    if (!nest.root->parallel) continue;  // sequential roots have no JIT path
+    ++parallel_roots;
+    const std::string repro =
+        std::string(GetParam()) + ".loop root " + std::to_string(r);
+    expect_oracle_clean(nest, repro);
+    expect_trio_agrees(pool, nest, repro);
+  }
+  EXPECT_GT(parallel_roots, 0)
+      << GetParam() << ".loop has no parallel root; nothing was tested";
+}
+
+INSTANTIATE_TEST_SUITE_P(CleanExamples, JitExampleDifferential,
+                         ::testing::Values("matmul", "stencil", "triangular"));
+
+}  // namespace
+}  // namespace coalesce

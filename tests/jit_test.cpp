@@ -1,0 +1,371 @@
+// Tests for the JIT compile pass: the prepare() analysis/transform pipeline
+// (DOALL/bounds/type gates, band extraction, canonical cache key) and the
+// JitCache (hit/miss semantics, alpha-equivalent sharing, LRU eviction,
+// negative caching, single-flight concurrent compiles).
+//
+// Tests that need a real C compiler probe codegen::compiler_available() and
+// GTEST_SKIP when the host has none — the same graceful degradation the
+// runtime's fallback path implements.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codegen/c_emitter.hpp"
+#include "codegen/jit.hpp"
+#include "codegen/pipeline.hpp"
+#include "ir/builder.hpp"
+#include "ir/eval.hpp"
+#include "ir/stmt.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::codegen {
+namespace {
+
+using ir::int_const;
+using ir::LoopNest;
+using ir::NestBuilder;
+using ir::VarId;
+using ir::var_ref;
+using support::ErrorCode;
+using support::i64;
+
+/// 2-deep DOALL writing a distinct cell per point; names parameterized so
+/// alpha-equivalence is testable, the inner extent so key misses are.
+LoopNest make_named(const char* array, const char* outer_iv,
+                    i64 inner_extent = 5) {
+  NestBuilder b;
+  const VarId a = b.array(array, {6, inner_extent});
+  const VarId i = b.begin_parallel_loop(outer_iv, 1, 6);
+  const VarId j = b.begin_parallel_loop("j", 1, inner_extent);
+  b.assign(b.element(a, {i, j}),
+           ir::add(var_ref(i), ir::mul(var_ref(j), int_const(3))));
+  b.end_loop();
+  b.end_loop();
+  return b.build();
+}
+
+// ---- prepare(): analysis + transform ----------------------------------------
+
+TEST(JitPrepare, ExtractsBandExtentsAndArrays) {
+  const LoopNest nest = ir::make_rectangular_witness({3, 4, 5});
+  const auto prepared = prepare(nest);
+  ASSERT_TRUE(prepared.ok()) << prepared.error().to_string();
+  EXPECT_EQ(prepared.value().band.size(), 3u);
+  ASSERT_EQ(prepared.value().extents.size(), 3u);
+  EXPECT_EQ(prepared.value().extents[0], 3);
+  EXPECT_EQ(prepared.value().extents[1], 4);
+  EXPECT_EQ(prepared.value().extents[2], 5);
+  EXPECT_EQ(prepared.value().total, 60);
+  EXPECT_FALSE(prepared.value().arrays.empty());
+  EXPECT_FALSE(prepared.value().cache_key.empty());
+}
+
+TEST(JitPrepare, VariableInnerBoundStopsTheBand) {
+  // Triangular: i is the only constant-trip band level; the j loop runs
+  // inside the kernel body instead.
+  NestBuilder b;
+  const VarId out = b.array("OUT", {4, 4});
+  const VarId i = b.begin_parallel_loop("i", 1, 4);
+  const VarId j = b.begin_loop_expr("j", int_const(1), var_ref(i), 1,
+                                    /*parallel=*/true);
+  b.assign(b.element(out, {i, j}), ir::add(var_ref(i), var_ref(j)));
+  b.end_loop();
+  b.end_loop();
+  const auto prepared = prepare(b.build());
+  ASSERT_TRUE(prepared.ok()) << prepared.error().to_string();
+  EXPECT_EQ(prepared.value().band.size(), 1u);
+  EXPECT_EQ(prepared.value().total, 4);
+}
+
+TEST(JitPrepare, RejectsSequentialRoot) {
+  NestBuilder b;
+  const VarId a = b.array("A", {4});
+  const VarId i = b.begin_loop("i", 1, 4);  // not marked DOALL
+  b.assign(b.element(a, {i}), var_ref(i));
+  b.end_loop();
+  const auto prepared = prepare(b.build());
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_EQ(prepared.error().code, ErrorCode::kIllegalTransform);
+}
+
+TEST(JitPrepare, RejectsNonConstantRootBounds) {
+  NestBuilder b;
+  const VarId n = b.param("N");
+  const VarId a = b.array("A", {16});
+  const VarId i = b.begin_loop_expr("i", int_const(1), var_ref(n), 1,
+                                    /*parallel=*/true);
+  b.assign(b.element(a, {i}), var_ref(i));
+  b.end_loop();
+  const auto prepared = prepare(b.build());
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_EQ(prepared.error().code, ErrorCode::kUnsupported);
+}
+
+TEST(JitPrepare, RejectsEmptyIterationSpace) {
+  NestBuilder b;
+  const VarId a = b.array("A", {4});
+  const VarId i = b.begin_parallel_loop("i", 1, 0);  // zero trips
+  b.assign(b.element(a, {i}), var_ref(i));
+  b.end_loop();
+  const auto prepared = prepare(b.build());
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_EQ(prepared.error().code, ErrorCode::kUnsupported);
+  EXPECT_NE(prepared.error().message.find("empty"), std::string::npos);
+}
+
+// ---- the type gate ----------------------------------------------------------
+
+TEST(JitCompatible, RejectsScalarAssignedFromArrayRead) {
+  // The emitter declares assigned scalars as int64_t; an array read is a
+  // double, so this nest would silently truncate under the JIT.
+  NestBuilder b;
+  const VarId a = b.array("A", {4});
+  const VarId s = b.scalar("s");
+  const VarId i = b.begin_parallel_loop("i", 1, 4);
+  b.assign(s, ir::array_read(a, {var_ref(i)}));
+  b.assign(b.element(a, {i}), var_ref(s));
+  b.end_loop();
+  const LoopNest nest = b.build();
+  std::string why;
+  EXPECT_FALSE(jit_compatible(nest, &why));
+  EXPECT_NE(why.find("s"), std::string::npos);
+  const auto prepared = prepare(nest);
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_EQ(prepared.error().code, ErrorCode::kUnsupported);
+}
+
+TEST(JitCompatible, RejectsParamReferencesInTheBody) {
+  NestBuilder b;
+  const VarId n = b.param("N");
+  const VarId a = b.array("A", {4});
+  const VarId i = b.begin_parallel_loop("i", 1, 4);
+  b.assign(b.element(a, {i}), var_ref(n));
+  b.end_loop();
+  std::string why;
+  EXPECT_FALSE(jit_compatible(b.build(), &why));
+  EXPECT_NE(why.find("param"), std::string::npos);
+}
+
+TEST(JitCompatible, AcceptsIntegerScalarsAndDivMod) {
+  NestBuilder b;
+  const VarId a = b.array("A", {8});
+  const VarId s = b.scalar("s");
+  const VarId i = b.begin_parallel_loop("i", 1, 8);
+  b.assign(s, ir::mod(ir::mul(var_ref(i), int_const(5)), int_const(3)));
+  b.assign(b.element(a, {i}),
+           ir::add(var_ref(s), ir::floor_div(var_ref(i), int_const(2))));
+  b.end_loop();
+  EXPECT_TRUE(jit_compatible(b.build()));
+}
+
+// ---- the canonical cache key ------------------------------------------------
+
+TEST(JitKey, AlphaEquivalentNestsShareOneKey) {
+  const auto p1 = prepare(make_named("OUT", "i"));
+  const auto p2 = prepare(make_named("RESULT", "row"));
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1.value().cache_key, p2.value().cache_key);
+  // Positional binding: both nests bind their (single) array to slot 0.
+  EXPECT_EQ(p1.value().arrays.size(), p2.value().arrays.size());
+}
+
+TEST(JitKey, ChangedBoundChangesTheKey) {
+  const auto p1 = prepare(make_named("OUT", "i", 5));
+  const auto p2 = prepare(make_named("OUT", "i", 6));
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_NE(p1.value().cache_key, p2.value().cache_key);
+}
+
+TEST(JitKey, ShapeEntersTheKey) {
+  // Same loop structure, same body, different array shape: the kernel
+  // casts cg_arrays[0] to double(*)[extent], so the shape must split keys.
+  NestBuilder b1;
+  {
+    const VarId a = b1.array("A", {4, 8});
+    const VarId i = b1.begin_parallel_loop("i", 1, 4);
+    b1.assign(b1.element(a, {i, i}), var_ref(i));
+    b1.end_loop();
+  }
+  NestBuilder b2;
+  {
+    const VarId a = b2.array("A", {4, 9});
+    const VarId i = b2.begin_parallel_loop("i", 1, 4);
+    b2.assign(b2.element(a, {i, i}), var_ref(i));
+    b2.end_loop();
+  }
+  const auto p1 = prepare(b1.build());
+  const auto p2 = prepare(b2.build());
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_NE(p1.value().cache_key, p2.value().cache_key);
+}
+
+// ---- compiled execution -----------------------------------------------------
+
+/// Reference interpretation of `nest` + positional array pointers from a
+/// JIT-side store, for bit-exact comparison.
+void expect_kernel_matches_interpreter(const LoopNest& nest) {
+  const auto prepared = prepare(nest);
+  ASSERT_TRUE(prepared.ok()) << prepared.error().to_string();
+  JitCache cache;
+  const auto kernel = cache.get_or_compile(prepared.value());
+  ASSERT_TRUE(kernel.ok()) << kernel.error().to_string();
+
+  ir::ArrayStore jit_store(prepared.value().normalized.symbols);
+  std::vector<double*> arrays;
+  for (const VarId a : prepared.value().arrays) {
+    arrays.push_back(jit_store.data(a).data());
+  }
+  // Split the flat range at an uneven point so the incremental decode of a
+  // nontrivial cg_first is exercised, not just the j=1 entry.
+  const i64 total = prepared.value().total;
+  const i64 split = total / 3 + 1;
+  kernel.value()->run_chunk(1, split, arrays.data());
+  kernel.value()->run_chunk(split, total + 1, arrays.data());
+
+  ir::Evaluator eval(nest.symbols);
+  eval.run(*nest.root);
+  for (const VarId a : prepared.value().arrays) {
+    const auto expected = eval.store().data(a);
+    const auto actual = jit_store.data(a);
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      ASSERT_EQ(expected[k], actual[k]) << "array cell " << k;
+    }
+  }
+}
+
+TEST(JitExecute, KernelMatchesInterpreterOnWitness) {
+  if (!compiler_available()) GTEST_SKIP() << "no C compiler on PATH";
+  expect_kernel_matches_interpreter(ir::make_rectangular_witness({3, 4, 5}));
+}
+
+TEST(JitExecute, KernelMatchesInterpreterOnMatmul) {
+  if (!compiler_available()) GTEST_SKIP() << "no C compiler on PATH";
+  expect_kernel_matches_interpreter(ir::make_matmul(5, 6, 4));
+}
+
+TEST(JitExecute, KernelSourceIsRetained) {
+  if (!compiler_available()) GTEST_SKIP() << "no C compiler on PATH";
+  const auto prepared = prepare(make_named("OUT", "i"));
+  ASSERT_TRUE(prepared.ok());
+  JitCache cache;
+  const auto kernel = cache.get_or_compile(prepared.value());
+  ASSERT_TRUE(kernel.ok()) << kernel.error().to_string();
+  EXPECT_NE(kernel.value()->source().find(kJitKernelSymbol),
+            std::string::npos);
+}
+
+// ---- cache behavior ---------------------------------------------------------
+
+TEST(JitCacheBehavior, AlphaEquivalentNestsCompileOnce) {
+  if (!compiler_available()) GTEST_SKIP() << "no C compiler on PATH";
+  JitCache cache;
+  const auto p1 = prepare(make_named("OUT", "i"));
+  const auto p2 = prepare(make_named("RESULT", "row"));
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  const auto k1 = cache.get_or_compile(p1.value());
+  const auto k2 = cache.get_or_compile(p2.value());
+  ASSERT_TRUE(k1.ok());
+  ASSERT_TRUE(k2.ok());
+  EXPECT_EQ(k1.value().get(), k2.value().get());  // literally one kernel
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(JitCacheBehavior, ChangedBoundIsAMiss) {
+  if (!compiler_available()) GTEST_SKIP() << "no C compiler on PATH";
+  JitCache cache;
+  const auto p1 = prepare(make_named("OUT", "i", 5));
+  const auto p2 = prepare(make_named("OUT", "i", 6));
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  ASSERT_TRUE(cache.get_or_compile(p1.value()).ok());
+  ASSERT_TRUE(cache.get_or_compile(p2.value()).ok());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.compiles, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(JitCacheBehavior, EvictionRespectsTheCapacity) {
+  if (!compiler_available()) GTEST_SKIP() << "no C compiler on PATH";
+  JitOptions options;
+  options.cache_capacity = 2;
+  JitCache cache(options);
+  const auto p1 = prepare(make_named("OUT", "i", 4));
+  const auto p2 = prepare(make_named("OUT", "i", 5));
+  const auto p3 = prepare(make_named("OUT", "i", 6));
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  ASSERT_TRUE(p3.ok());
+  ASSERT_TRUE(cache.get_or_compile(p1.value()).ok());
+  ASSERT_TRUE(cache.get_or_compile(p2.value()).ok());
+  ASSERT_TRUE(cache.get_or_compile(p3.value()).ok());  // evicts p1 (LRU)
+  EXPECT_EQ(cache.stats().entries, 2u);
+  // p2 and p3 are resident; p1 must recompile.
+  ASSERT_TRUE(cache.get_or_compile(p2.value()).ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  ASSERT_TRUE(cache.get_or_compile(p1.value()).ok());
+  EXPECT_EQ(cache.stats().compiles, 4u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(JitCacheBehavior, MissingCompilerIsUnavailableAndNegativelyCached) {
+  JitOptions options;
+  options.compiler = "/nonexistent/coalesce-test-cc";
+  JitCache cache(options);
+  const auto prepared = prepare(make_named("OUT", "i"));
+  ASSERT_TRUE(prepared.ok());
+  const auto first = cache.get_or_compile(prepared.value());
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.error().code, ErrorCode::kUnavailable);
+  // The failed entry is cached: no second probe, a hit on the negative.
+  const auto second = cache.get_or_compile(prepared.value());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, ErrorCode::kUnavailable);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.compiles, 0u);
+}
+
+TEST(JitCacheBehavior, ConcurrentFirstCompileIsSingleFlight) {
+  if (!compiler_available()) GTEST_SKIP() << "no C compiler on PATH";
+  JitCache cache;
+  const auto prepared = prepare(make_named("OUT", "i"));
+  ASSERT_TRUE(prepared.ok());
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const CompiledKernel>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto kernel = cache.get_or_compile(prepared.value());
+      if (kernel.ok()) results[static_cast<std::size_t>(t)] = kernel.value();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.compiles, 1u) << "single flight violated";
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+  for (const auto& kernel : results) {
+    ASSERT_NE(kernel, nullptr);
+    EXPECT_EQ(kernel.get(), results[0].get());
+  }
+}
+
+TEST(JitCacheBehavior, DefaultCacheIsAProcessSingleton) {
+  EXPECT_EQ(&default_jit_cache(), &default_jit_cache());
+}
+
+}  // namespace
+}  // namespace coalesce::codegen

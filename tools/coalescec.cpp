@@ -25,6 +25,12 @@
 //                      cache-sharded dispatcher
 //   --pin              pin --trace pool workers to CPUs (best-effort;
 //                      Linux sched_setaffinity, no-op elsewhere)
+//   --jit              execute the transformed program on the thread pool
+//                      through the JIT backend (native chunk kernels,
+//                      IR-keyed compile cache) instead of the interpreter;
+//                      incompatible roots fall back to the interpreter and
+//                      the cache stats are printed to stderr. Combines
+//                      with --verify and --trace.
 //   --emit=ir|c|c-main emit transformed IR (default), a C kernel, or a
 //                      standalone C program
 //   --openmp           add OpenMP pragmas to emitted C
@@ -82,6 +88,7 @@ struct Options {
   bool expand_scalars = false;
   bool locality = false;
   bool pin = false;
+  bool jit = false;
   std::string emit = "ir";
   bool openmp = false;
   bool lint = false;
@@ -106,7 +113,7 @@ int usage(const char* argv0) {
                "usage: %s [--stdin] [--analyze|--no-analyze] [--make-perfect] "
                "[--coalesce|--no-coalesce] [--guarded] [--collapse=K] "
                "[--mixed-radix] [--expand-scalars] [--locality] [--pin] "
-               "[--emit=ir|c|c-main] "
+               "[--jit] [--emit=ir|c|c-main] "
                "[--openmp] [--lint] [--race-check] "
                "[--lint-format=text|json|sarif] "
                "[--verify-ir] [--no-verify] [--verify] [--stats] "
@@ -135,6 +142,7 @@ bool parse_args(int argc, char** argv, Options& options) {
     else if (arg == "--expand-scalars") options.expand_scalars = true;
     else if (arg == "--locality") options.locality = true;
     else if (arg == "--pin") options.pin = true;
+    else if (arg == "--jit") options.jit = true;
     else if (arg.rfind("--emit=", 0) == 0) options.emit = arg.substr(7);
     else if (arg == "--openmp") options.openmp = true;
     else if (arg == "--lint") options.lint = true;
@@ -419,18 +427,18 @@ int main(int argc, char** argv) {
   }
 
   const bool tracing = !options.trace_path.empty();
-  if (options.verify || tracing) {
+  if (options.verify || tracing || options.jit) {
     // Verify root-for-root is impossible after make_perfect; run both whole
     // programs and compare final array contents. The transformed program
-    // runs through the sequential interpreter, or — with --trace — on the
-    // thread pool with event tracing, so the trace shows the execution
-    // --verify actually checks.
+    // runs through the sequential interpreter, or — with --trace / --jit —
+    // on the thread pool, so the trace (and the JIT kernels) show the
+    // execution --verify actually checks.
     ir::Evaluator eval_a(original.symbols);
     for (const auto& root : original.roots) eval_a.run(*root);
 
     ir::ArrayStore store_b(current.symbols);
     bool partial = false;  // stopped early: skip the equivalence check
-    if (tracing) {
+    if (tracing || options.jit) {
       runtime::RunControl control;
       if (options.deadline_ms > 0) {
         control.deadline = support::Deadline::after_ms(options.deadline_ms);
@@ -453,7 +461,7 @@ int main(int argc, char** argv) {
         plan.install();
       }
       trace::Recorder recorder;
-      recorder.install();
+      if (tracing) recorder.install();
       std::string failure;
       {
         const std::size_t workers =
@@ -465,7 +473,9 @@ int main(int argc, char** argv) {
         schedule.sharded = options.locality;
         try {
           const auto stats = runtime::execute_program(
-              pool, current, schedule, store_b, control);
+              pool, current, schedule, store_b, control,
+              options.jit ? runtime::ExecMode::kJit
+                          : runtime::ExecMode::kInterpret);
           if (!stats.ok()) {
             std::fprintf(stderr, "coalescec: %s\n",
                          stats.error().to_string().c_str());
@@ -506,17 +516,29 @@ int main(int argc, char** argv) {
       }  // pool joins before the recorder is read
       plan.uninstall();
       recorder.uninstall();
-      std::ofstream out(options.trace_path);
-      if (!out) {
-        std::fprintf(stderr, "coalescec: cannot write %s\n",
-                     options.trace_path.c_str());
-        return 1;
+      if (options.jit) {
+        const auto jit_stats = codegen::default_jit_cache().stats();
+        std::fprintf(stderr,
+                     "coalescec: jit: compiles=%llu hits=%llu failures=%llu "
+                     "entries=%zu\n",
+                     static_cast<unsigned long long>(jit_stats.compiles),
+                     static_cast<unsigned long long>(jit_stats.hits),
+                     static_cast<unsigned long long>(jit_stats.failures),
+                     jit_stats.entries);
       }
-      trace::write_chrome_trace(recorder, out);
-      std::fprintf(stderr, "coalescec: wrote trace to %s\n",
-                   options.trace_path.c_str());
-      if (options.trace_summary) {
-        std::fputs(trace::worker_summary(recorder).c_str(), stderr);
+      if (tracing) {
+        std::ofstream out(options.trace_path);
+        if (!out) {
+          std::fprintf(stderr, "coalescec: cannot write %s\n",
+                       options.trace_path.c_str());
+          return 1;
+        }
+        trace::write_chrome_trace(recorder, out);
+        std::fprintf(stderr, "coalescec: wrote trace to %s\n",
+                     options.trace_path.c_str());
+        if (options.trace_summary) {
+          std::fputs(trace::worker_summary(recorder).c_str(), stderr);
+        }
       }
       if (!failure.empty()) {
         std::fprintf(stderr, "coalescec: execution failed: %s\n",

@@ -21,6 +21,10 @@
 //   --locality           locality-aware execution: permute admitted nests
 //                        for contiguity before coalescing and dispatch
 //                        through the cache-sharded dispatcher
+//   --jit                execute parallel roots through the JIT backend
+//                        (native chunk kernels, IR-keyed compile cache);
+//                        falls back to the interpreter per root when the
+//                        nest is incompatible or no compiler is on PATH
 //   --pin                pin engine workers to CPUs (best-effort; Linux
 //                        sched_setaffinity, no-op elsewhere)
 //   --pidfile=PATH       write the daemon pid to PATH (removed on exit)
@@ -55,6 +59,7 @@ struct Options {
   std::size_t tenant_quota = 8;
   std::string diag_format = "json";
   bool locality = false;
+  bool jit = false;
   bool pin = false;
   std::string pidfile;
 };
@@ -63,7 +68,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket=PATH [--tcp=PORT] [--workers=N] "
                "[--queue=N] [--tenant-quota=N] [--diag-format=json|sarif] "
-               "[--locality] [--pin] [--pidfile=PATH]\n",
+               "[--locality] [--jit] [--pin] [--pidfile=PATH]\n",
                argv0);
   return 2;
 }
@@ -99,6 +104,8 @@ bool parse_args(int argc, char** argv, Options& options) {
         return false;
     } else if (arg == "--locality") {
       options.locality = true;
+    } else if (arg == "--jit") {
+      options.jit = true;
     } else if (arg == "--pin") {
       options.pin = true;
     } else if (arg.rfind("--pidfile=", 0) == 0) {
@@ -127,6 +134,7 @@ int main(int argc, char** argv) {
                                    ? service::DiagnosticsFormat::kSarif
                                    : service::DiagnosticsFormat::kJson;
   server_options.locality = options.locality;
+  server_options.jit = options.jit;
   server_options.pin_workers = options.pin;
 
   auto server = service::Server::create(std::move(server_options));
@@ -192,6 +200,16 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(counters.shed),
                static_cast<unsigned long long>(counters.steals),
                static_cast<unsigned long long>(counters.queue_depth));
+  if (options.jit) {
+    const auto jit = codegen::default_jit_cache().stats();
+    std::fprintf(stderr,
+                 "coalesced: jit: compiles=%llu hits=%llu failures=%llu "
+                 "entries=%zu\n",
+                 static_cast<unsigned long long>(jit.compiles),
+                 static_cast<unsigned long long>(jit.hits),
+                 static_cast<unsigned long long>(jit.failures),
+                 jit.entries);
+  }
 
   if (!options.pidfile.empty()) std::remove(options.pidfile.c_str());
   return 0;

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Regenerates the golden C-emission snapshots in tests/golden/ from
+# examples/loops/. Run after an intentional emitter change, then review the
+# diff — the snapshots are the reviewable artifact of the change.
+#
+# Usage: tools/regen_golden.sh [path/to/coalescec]
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+coalescec="${1:-$root/build/tools/coalescec}"
+
+if [ ! -x "$coalescec" ]; then
+  echo "regen_golden: coalescec not found at $coalescec" >&2
+  echo "regen_golden: build first, or pass the binary path" >&2
+  exit 1
+fi
+
+mkdir -p "$root/tests/golden"
+for loop in "$root"/examples/loops/*.loop; do
+  name="$(basename "$loop" .loop)"
+  # Parse-only emission: no analysis, no coalescing — golden_test.cpp
+  # emits the same way (emit_c_program on the parsed program).
+  "$coalescec" --no-analyze --no-coalesce --emit=c-main "$loop" \
+    > "$root/tests/golden/$name.expected.c"
+  echo "regenerated tests/golden/$name.expected.c"
+done
