@@ -20,6 +20,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -195,7 +196,7 @@ int main(int argc, char** argv) {
 
     // The erased "before": every iteration is an indirect call through
     // std::function.
-    const runtime::FlatBody erased_body = [](i64 j) {
+    const std::function<void(i64)> erased_body = [](i64 j) {
       escape(j);  // empty body; keep j observable
     };
     double erased_ns = 0.0;

@@ -1,0 +1,307 @@
+// E23 — Adaptive scheduling (Schedule::kAuto) vs the static menu on a
+// mixed region stream.
+//
+// The claim under test: when one process serves several recurring region
+// shapes with different load profiles, no single static schedule is right
+// for all of them — but the adaptive controller, which keys its choice on
+// the region shape and trains on ForStats feedback, tracks the best static
+// choice per shape without being told the mix.
+//
+// The stream interleaves three flat DOALL shapes, each with a distinct
+// trip count (so each gets its own controller key):
+//
+//   uniform     equal work per iteration — big chunks win, dynamic
+//               self-scheduling only adds dispatch traffic
+//   triangular  work grows linearly with the index — one contiguous block
+//               per worker is maximally imbalanced (~2x), tapering
+//               schedules (guided/factoring/trapezoid) win
+//   bursty      heavy work confined to alternating bands — coarse static
+//               blocks strand whole bands on single workers
+//
+// Every candidate of the controller's own menu (AdaptiveController::
+// candidate 0..4) is run as a fixed schedule for the whole stream; the
+// fastest is "best-static", the slowest "worst-static". The adaptive run
+// resolves every launch through Schedule::kAuto after a warm-up phase long
+// enough for each key to explore the menu and settle.
+//
+// Gates (armed at full size on >= 8 hardware threads, E20-style — the
+// --tiny CI smoke never arms them):
+//   adaptive <= 1.10x best-static stream time
+//   adaptive >= 1.3x faster than worst-static
+// Correctness is always enforced: every policy's output arrays must be
+// bit-exact against a sequential reference (DOALL bodies write disjoint
+// elements, so any schedule must produce identical bits).
+//
+// Flags: --json=FILE, --tiny, --schedule=SPEC (extra fixed policy to run).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_harness.hpp"
+#include "core/coalesce.hpp"
+
+namespace {
+
+using namespace coalesce;
+using support::i64;
+using Clock = std::chrono::steady_clock;
+
+double ns_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - start)
+      .count();
+}
+
+/// One region shape in the stream: a flat DOALL of `total` iterations
+/// whose per-iteration work is `cost(j)` inner spins.
+struct Shape {
+  const char* name;
+  i64 total;
+  i64 (*cost)(i64 j, i64 total);
+};
+
+/// Deterministic spin: the work the schedules fight over. Returns a value
+/// derived from every spin so the optimizer cannot drop the loop and the
+/// output stays schedule-independent.
+double spin(i64 j, i64 spins) {
+  double acc = static_cast<double>(j);
+  for (i64 s = 0; s < spins; ++s) {
+    acc = acc * 1.0000001 + static_cast<double>(s & 7);
+  }
+  return acc;
+}
+
+i64 uniform_cost(i64, i64) { return 64; }
+
+i64 triangular_cost(i64 j, i64 total) {
+  return 16 + (j * 128) / total;  // grows linearly to ~144 spins
+}
+
+i64 bursty_cost(i64 j, i64 total) {
+  // Eight bands; alternating bands carry ~16x the work.
+  const i64 band = (j - 1) / std::max<i64>(1, total / 8);
+  return (band % 2 == 0) ? 128 : 8;
+}
+
+struct Policy {
+  std::string name;
+  bool adaptive = false;
+  std::size_t candidate = 0;  ///< menu index when !adaptive && !has_params
+  /// A --schedule= policy: fixed params for every shape instead of the
+  /// shape-scaled candidate menu.
+  bool has_params = false;
+  runtime::ScheduleParams params{};
+};
+
+/// Runs the whole stream once under `policy`, writing each shape's output
+/// into its slot of `out`. Returns wall ns for the pass.
+double stream_pass(runtime::ThreadPool& pool,
+                   const std::vector<Shape>& shapes, const Policy& policy,
+                   int launches_per_shape,
+                   std::vector<std::vector<double>>& out) {
+  const auto t0 = Clock::now();
+  for (int l = 0; l < launches_per_shape; ++l) {
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+      const Shape& shape = shapes[s];
+      std::vector<double>& sink = out[s];
+      runtime::ScheduleParams params{runtime::Schedule::kAuto, 1};
+      if (policy.has_params) {
+        params = policy.params;
+      } else if (!policy.adaptive) {
+        params = runtime::AdaptiveController::candidate(
+            policy.candidate, {runtime::Schedule::kChunked, 1}, shape.total,
+            pool.concurrency());
+      }
+      (void)runtime::run(
+          pool, shape.total,
+          [&sink, &shape](i64 j) {
+            sink[static_cast<std::size_t>(j - 1)] =
+                spin(j, shape.cost(j, shape.total));
+          },
+          {.schedule = params});
+    }
+  }
+  return ns_since(t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter("e23_adaptive", argc, argv);
+  bool tiny = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--tiny") == 0) tiny = true;
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t workers = hw > 0 ? hw : 1;
+  runtime::ThreadPool pool(workers);
+
+  const std::vector<Shape> shapes = {
+      {"uniform", tiny ? i64{4096} : i64{1} << 16, uniform_cost},
+      {"triangular", tiny ? i64{2048} : i64{1} << 15, triangular_cost},
+      {"bursty", tiny ? i64{3072} : i64{3} << 14, bursty_cost},
+  };
+  const int launches_per_shape = 2;
+  const int rounds = tiny ? 2 : 5;
+  // Warm-up passes for the adaptive run: every key must hand out the full
+  // menu (kCandidates x explore_trials = 10 launches) and settle before
+  // the measured rounds; 6 passes x 2 launches = 12 covers it.
+  const int warmup_passes = 6;
+
+  // Sequential reference, computed once per shape.
+  std::vector<std::vector<double>> reference;
+  for (const Shape& shape : shapes) {
+    std::vector<double> ref(static_cast<std::size_t>(shape.total), 0.0);
+    for (i64 j = 1; j <= shape.total; ++j) {
+      ref[static_cast<std::size_t>(j - 1)] = spin(j, shape.cost(j, shape.total));
+    }
+    reference.push_back(std::move(ref));
+  }
+
+  std::vector<Policy> policies;
+  for (std::size_t c = 0; c < runtime::AdaptiveController::kCandidates;
+       ++c) {
+    const runtime::ScheduleParams sample =
+        runtime::AdaptiveController::candidate(
+            c, {runtime::Schedule::kChunked, 1}, shapes[0].total, workers);
+    std::string name = runtime::to_string(sample.kind);
+    if (sample.kind == runtime::Schedule::kChunked) {
+      name += c == 0 ? ":block" : ":medium";
+    }
+    policies.push_back(Policy{name, false, c});
+  }
+  bool has_schedule_flag = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--schedule=", 11) == 0) {
+      has_schedule_flag = true;
+    }
+  }
+  if (has_schedule_flag) {
+    const runtime::ScheduleParams extra = bench::schedule_flag(
+        argc, argv, runtime::ScheduleParams{runtime::Schedule::kGuided, 1});
+    if (extra.kind != runtime::Schedule::kAuto) {
+      Policy policy;
+      policy.name = std::string("flag:") + runtime::to_string(extra.kind);
+      policy.has_params = true;
+      policy.params = extra;
+      policies.push_back(policy);
+    }
+  }
+  policies.push_back(Policy{"adaptive", true, 0});
+
+  runtime::AdaptiveController& controller = runtime::default_controller();
+  const std::uint64_t hits_before = controller.hits();
+  const std::uint64_t retunes_before = controller.retunes();
+
+  support::Table table("E23: mixed-stream wall time per scheduling policy");
+  table.header({"policy", "stream_ns", "bit_exact"});
+
+  bool all_exact = true;
+  double adaptive_ns = 0.0;
+  double best_static_ns = 0.0;
+  double worst_static_ns = 0.0;
+  std::string best_static;
+  std::string worst_static;
+
+  std::vector<std::vector<double>> out;
+  for (const Shape& shape : shapes) {
+    out.emplace_back(static_cast<std::size_t>(shape.total), 0.0);
+  }
+
+  for (const Policy& policy : policies) {
+    if (policy.adaptive) {
+      for (int w = 0; w < warmup_passes; ++w) {
+        (void)stream_pass(pool, shapes, policy, launches_per_shape, out);
+      }
+    }
+    double best = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+      const double ns =
+          stream_pass(pool, shapes, policy, launches_per_shape, out);
+      if (r == 0 || ns < best) best = ns;
+    }
+    bool exact = true;
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+      exact = exact && out[s] == reference[s];
+    }
+    all_exact = all_exact && exact;
+
+    if (policy.adaptive) {
+      adaptive_ns = best;
+    } else if (best_static.empty() || best < best_static_ns) {
+      best_static_ns = best;
+      best_static = policy.name;
+    }
+    if (!policy.adaptive &&
+        (worst_static.empty() || best > worst_static_ns)) {
+      worst_static_ns = best;
+      worst_static = policy.name;
+    }
+
+    table.cell(policy.name)
+        .cell(best, 0)
+        .cell(exact ? "yes" : "NO")
+        .end_row();
+    reporter.record("policy")
+        .field("policy", policy.name)
+        .field("workers", workers)
+        .field("stream_ns", best)
+        .field("bit_exact", exact ? 1 : 0);
+  }
+  table.print();
+
+  const double vs_best =
+      adaptive_ns > 0.0 ? best_static_ns / adaptive_ns : 0.0;
+  const double vs_worst =
+      adaptive_ns > 0.0 ? worst_static_ns / adaptive_ns : 0.0;
+  std::fprintf(stderr,
+               "E23: best-static=%s worst-static=%s adaptive/best=%.2fx "
+               "worst/adaptive=%.2fx (hits=%llu retunes=%llu keys=%zu)\n",
+               best_static.c_str(), worst_static.c_str(),
+               vs_best > 0.0 ? 1.0 / vs_best : 0.0, vs_worst,
+               static_cast<unsigned long long>(controller.hits() -
+                                               hits_before),
+               static_cast<unsigned long long>(controller.retunes() -
+                                               retunes_before),
+               controller.key_count());
+  reporter.record("vs_best")
+      .field("policy", "adaptive")
+      .field("baseline", best_static)
+      .field("ratio", vs_best);
+  reporter.record("vs_worst")
+      .field("policy", "adaptive")
+      .field("baseline", worst_static)
+      .field("ratio", vs_worst);
+
+  // Perf gates, E20-style: armed only where the claim is stated — full
+  // size, a machine with real parallelism — so CI's tiny smoke can't flake.
+  const bool gates_armed = !tiny && hw >= 8;
+  bool gates_pass = true;
+  if (gates_armed) {
+    const bool within_best = adaptive_ns <= best_static_ns * 1.10;
+    const bool beats_worst = vs_worst >= 1.3;
+    std::fprintf(stderr, "E23 gate: adaptive <= 1.10x best-static: %s\n",
+                 within_best ? "PASS" : "FAIL");
+    std::fprintf(stderr, "E23 gate: adaptive >= 1.3x worst-static: %s\n",
+                 beats_worst ? "PASS" : "FAIL");
+    gates_pass = within_best && beats_worst;
+  } else {
+    std::fprintf(stderr,
+                 "E23 gate: skipped (%s)\n",
+                 tiny ? "--tiny" : "fewer than 8 hardware threads");
+  }
+  reporter.record("verdict")
+      .field("correct", all_exact ? 1 : 0)
+      .field("gates_armed", gates_armed ? 1 : 0)
+      .field("gates_pass", gates_pass ? 1 : 0);
+
+  if (!all_exact) {
+    std::fprintf(stderr, "E23: FAIL (outputs not bit-exact)\n");
+    return 1;
+  }
+  return gates_armed && !gates_pass ? 1 : 0;
+}

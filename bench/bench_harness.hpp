@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <string_view>
@@ -23,9 +24,31 @@
 #include <variant>
 #include <vector>
 
+#include "support/parse_schedule.hpp"
 #include "trace/export.hpp"  // json_escape
 
 namespace coalesce::bench {
+
+/// Parses a --schedule=<spec> flag out of argv through the one shared
+/// grammar (support::parse_schedule; "guided", "chunked:64", "auto", ...).
+/// Returns `fallback` when the flag is absent; exits 2 with the parser's
+/// message on a bad spelling so every bench rejects typos identically.
+inline runtime::ScheduleParams schedule_flag(
+    int argc, char** argv, runtime::ScheduleParams fallback) {
+  for (int a = 1; a < argc; ++a) {
+    const std::string_view arg = argv[a];
+    if (arg.rfind("--schedule=", 0) == 0) {
+      auto parsed = support::parse_schedule(arg.substr(11));
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bench_harness: %s\n",
+                     parsed.error().to_string().c_str());
+        std::exit(2);
+      }
+      fallback = parsed.value();
+    }
+  }
+  return fallback;
+}
 
 class Reporter {
  public:

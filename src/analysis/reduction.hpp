@@ -8,7 +8,8 @@
 // where `target` is a scalar or an array element whose subscripts are
 // invariant in a loop L, makes L *parallelizable as a reduction*: the
 // carried dependence is the accumulation itself, and associative folding
-// (per-worker partials, see runtime/reduce.hpp) preserves the result up to
+// (per-worker partials, see run_reduce in runtime/launch.hpp) preserves
+// the result up to
 // floating-point reassociation.
 //
 // This module recognizes such statements and upgrades DOALL verdicts: a

@@ -22,8 +22,9 @@
 //   auto future = engine.submit(space, body);
 //   ... // caller keeps working; future.get() joins that one region
 //
-// docs/API.md draws the public-vs-internal line and carries the migration
-// table from the deprecated parallel_for*/parallel_reduce* spellings.
+// docs/API.md draws the public-vs-internal line and keeps the historical
+// migration table from the parallel_for*/parallel_reduce* spellings
+// (deprecated in PR 5, removed in PR 10).
 #pragma once
 
 #include "analysis/ddg.hpp"
@@ -51,13 +52,12 @@
 #include "ir/printer.hpp"
 #include "ir/stmt.hpp"
 #include "ir/verify.hpp"
+#include "runtime/adaptive.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/ir_executor.hpp"
 #include "runtime/launch.hpp"
-#include "runtime/parallel_for.hpp"
 #include "runtime/race_oracle.hpp"
-#include "runtime/reduce.hpp"
 #include "runtime/thread_pool.hpp"
 #include "service/admission.hpp"
 #include "service/protocol.hpp"
@@ -65,6 +65,7 @@
 #include "sim/machine.hpp"
 #include "sim/workload.hpp"
 #include "support/cancel.hpp"
+#include "support/parse_schedule.hpp"
 #include "support/socket.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"

@@ -1,0 +1,237 @@
+#include "runtime/adaptive.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "runtime/executor.hpp"
+#include "support/assert.hpp"
+#include "trace/counters.hpp"
+
+namespace coalesce::runtime {
+
+// Lived in parallel_for.cpp until the PR-5 shims were removed; the
+// controller is the main consumer now (imbalance is one of its feedback
+// signals and part of the service's exported stats).
+double ForStats::imbalance() const {
+  if (iterations_per_worker.empty()) return 1.0;
+  std::uint64_t max = 0;
+  std::uint64_t sum = 0;
+  for (const std::uint64_t n : iterations_per_worker) {
+    max = std::max(max, n);
+    sum += n;
+  }
+  if (sum == 0) return 1.0;
+  const double mean = static_cast<double>(sum) /
+                      static_cast<double>(iterations_per_worker.size());
+  return static_cast<double>(max) / mean;
+}
+
+/// Per-key controller state. Guarded by the owning controller's mutex_ —
+/// a Ticket's shared_ptr only extends lifetime, it never grants lock-free
+/// access.
+struct AdaptiveController::KeyState {
+  std::uint64_t epoch = 0;  ///< bumped on retune; stale tickets dropped
+  bool settled = false;
+  std::size_t choice = 0;  ///< winning candidate (valid when settled)
+  double settled_cost = 0.0;  ///< winner's EMA at settle time (drift ref)
+  std::size_t cursor = 0;  ///< next candidate to hand out while exploring
+  std::size_t handed = 0;  ///< resolves handed for the current cursor
+  std::vector<double> ema;            ///< ns/iteration EMA; < 0 = untried
+  std::vector<std::uint32_t> samples;  ///< completed reports per candidate
+
+  KeyState() : ema(kCandidates, -1.0), samples(kCandidates, 0) {}
+
+  void reset_exploration() {
+    settled = false;
+    cursor = 0;
+    handed = 0;
+    std::fill(ema.begin(), ema.end(), -1.0);
+    std::fill(samples.begin(), samples.end(), 0);
+  }
+};
+
+ScheduleParams AdaptiveController::candidate(std::size_t index,
+                                             ScheduleParams base, i64 total,
+                                             std::size_t workers) {
+  COALESCE_ASSERT(index < kCandidates);
+  COALESCE_ASSERT(workers > 0);
+  const i64 p = static_cast<i64>(workers);
+  const i64 n = std::max<i64>(total, 1);
+  ScheduleParams params = base;  // keep serialized/sharded
+  params.chunk_size = 1;
+  switch (index) {
+    case 0:  // one contiguous block per worker (static-block equivalent)
+      params.kind = Schedule::kChunked;
+      params.chunk_size = (n + p - 1) / p;
+      break;
+    case 1:  // fixed medium grain: 8 chunks per worker
+      params.kind = Schedule::kChunked;
+      params.chunk_size = std::max<i64>(1, n / (8 * p));
+      break;
+    case 2:
+      params.kind = Schedule::kGuided;
+      break;
+    case 3:
+      params.kind = Schedule::kFactoring;
+      break;
+    default:
+      params.kind = Schedule::kTrapezoid;
+      break;
+  }
+  return params;
+}
+
+AdaptiveController::Resolution AdaptiveController::resolve(
+    ScheduleParams params, std::string_view key, i64 total,
+    std::size_t workers) {
+  if (params.kind != Schedule::kAuto) {
+    return Resolution{params, Ticket{}};
+  }
+  COALESCE_ASSERT(workers > 0);
+
+  // The tuned choice depends on the shape, not just the nest: fold the
+  // trip count and worker count into the key so one nest tuned at a large
+  // N does not dictate the schedule for the same nest at a tiny N.
+  std::string internal_key;
+  internal_key.reserve(key.size() + 24);
+  internal_key.append(key.empty() ? "anon" : key);
+  internal_key.push_back('/');
+  internal_key.append(std::to_string(total));
+  internal_key.push_back('/');
+  internal_key.append(std::to_string(workers));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++clock_;
+  auto it = keys_.find(internal_key);
+  if (it == keys_.end()) {
+    if (keys_.size() >= config_.max_keys) {
+      // Evict the least-recently-resolved key. In-flight tickets keep the
+      // evicted state alive; a later re-creation starts a fresh KeyState,
+      // so those tickets report into the orphan and are harmless.
+      auto victim = keys_.begin();
+      for (auto cur = keys_.begin(); cur != keys_.end(); ++cur) {
+        if (cur->second.last_used < victim->second.last_used) victim = cur;
+      }
+      keys_.erase(victim);
+    }
+    it = keys_.emplace(internal_key, Entry{std::make_shared<KeyState>(), 0})
+             .first;
+  }
+  Entry& entry = it->second;
+  entry.last_used = clock_;
+  KeyState& state = *entry.state;
+
+  if (!state.settled && state.cursor >= kCandidates) {
+    // Exploration handed out the full menu; settle on the cheapest
+    // candidate that actually reported back. If nothing reported (every
+    // trial was cancelled or is still in flight), run another round.
+    std::size_t best = kCandidates;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < kCandidates; ++c) {
+      if (state.samples[c] > 0 && state.ema[c] < best_cost) {
+        best = c;
+        best_cost = state.ema[c];
+      }
+    }
+    if (best < kCandidates) {
+      state.settled = true;
+      state.choice = best;
+      state.settled_cost = best_cost;
+    } else {
+      state.cursor = 0;
+      state.handed = 0;
+    }
+  }
+
+  std::size_t chosen = 0;
+  if (state.settled) {
+    chosen = state.choice;
+    ++hits_;
+    trace::count(trace::Counter::kAdaptiveHits);
+  } else {
+    chosen = state.cursor;
+    if (++state.handed >= config_.explore_trials) {
+      ++state.cursor;
+      state.handed = 0;
+    }
+  }
+
+  Resolution resolution;
+  resolution.params = candidate(chosen, params, total, workers);
+  resolution.ticket = Ticket{entry.state, chosen, state.epoch};
+  return resolution;
+}
+
+void AdaptiveController::report(const Ticket& ticket, const ForStats& stats) {
+  if (!ticket.active()) return;
+  if (!stats.completed()) return;  // partial cost is not comparable
+  const std::uint64_t iterations = stats.iterations_done();
+  if (iterations == 0 || stats.wall_seconds <= 0.0) return;
+  const double ns_per_iter =
+      stats.wall_seconds * 1e9 / static_cast<double>(iterations);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  KeyState& state = *ticket.state;
+  if (state.epoch != ticket.epoch) return;  // retuned/evicted since launch
+  COALESCE_ASSERT(ticket.candidate < kCandidates);
+
+  double& ema = state.ema[ticket.candidate];
+  ema = ema < 0.0
+            ? ns_per_iter
+            : config_.ema_alpha * ns_per_iter + (1.0 - config_.ema_alpha) * ema;
+  ++state.samples[ticket.candidate];
+
+  if (state.settled && ticket.candidate == state.choice &&
+      state.settled_cost > 0.0 &&
+      ema > config_.retune_factor * state.settled_cost) {
+    // The workload drifted under the key: re-explore under a new epoch so
+    // still-in-flight tickets from this one cannot poison the fresh data.
+    ++state.epoch;
+    state.reset_exploration();
+    ++retunes_;
+    trace::count(trace::Counter::kAdaptiveRetunes);
+  }
+}
+
+std::size_t AdaptiveController::key_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return keys_.size();
+}
+
+std::uint64_t AdaptiveController::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t AdaptiveController::retunes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retunes_;
+}
+
+std::vector<AdaptiveController::KeySnapshot> AdaptiveController::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<KeySnapshot> out;
+  out.reserve(keys_.size());
+  for (const auto& [key, entry] : keys_) {
+    KeySnapshot snap;
+    snap.key = key;
+    snap.settled = entry.state->settled;
+    snap.choice = entry.state->choice;
+    snap.epoch = entry.state->epoch;
+    snap.ema_ns_per_iter = entry.state->ema;
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const KeySnapshot& a, const KeySnapshot& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+AdaptiveController& default_controller() {
+  static AdaptiveController controller;
+  return controller;
+}
+
+}  // namespace coalesce::runtime

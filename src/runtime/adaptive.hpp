@@ -1,0 +1,166 @@
+// Adaptive schedule selection: the trace-fed controller behind
+// Schedule::kAuto.
+//
+// The paper fixes one schedule per coalesced loop at compile time. Under a
+// shifting region mix (the service workload) no single static choice stays
+// fast, so kAuto defers the decision to run time: at every launch boundary
+// the controller maps the region's shape key to concrete ScheduleParams,
+// and after the region retires its measured cost feeds back in. Recurring
+// shapes are keyed by the same canonical alpha-renamed IR key the JIT
+// compile cache uses (codegen::prepare().cache_key), so a service replaying
+// the same nest at the same trip counts converges onto one tuned schedule.
+//
+// Per-key state machine (deterministic — a pure function of the
+// resolve/report call sequence, which is what the unit tests pin down):
+//
+//   Explore:  hand out each candidate schedule `explore_trials` times in
+//             round-robin order, recording an EMA of ns/iteration from the
+//             ForStats feedback of completed runs.
+//   Settled:  once every candidate has been handed out, settle on the
+//             argmin-EMA candidate; every later resolve returns it and
+//             counts trace::Counter::kAdaptiveHits.
+//   Retune:   while settled, feedback keeps updating the winner's EMA. If
+//             it drifts past retune_factor x its settle-time cost (the
+//             workload changed under the key), the key re-enters Explore
+//             with a bumped epoch and counts kAdaptiveRetunes. Tickets from
+//             the old epoch are dropped on report, so in-flight regions
+//             can never poison the new exploration.
+//
+// Incomplete runs (cancelled, deadline-expired, faulted) report nothing:
+// their ns/iteration is not comparable. Keys are evicted LRU past
+// max_keys; a Ticket keeps its KeyState alive via shared_ptr, so a report
+// racing an eviction is safe (and dropped by the epoch check).
+//
+// Two controller instances exist: a process-global one
+// (default_controller()) serving the synchronous ThreadPool entry points,
+// and one member per Engine (Engine::adaptive_controller()) so service
+// traffic trains the engine that carries it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/dispatcher.hpp"
+
+namespace coalesce::runtime {
+
+struct ForStats;
+
+/// Tuning knobs. The defaults are what the service and tools run with;
+/// tests shrink them to force transitions quickly.
+struct AdaptiveConfig {
+  /// Distinct (key, total, workers) shapes tracked before LRU eviction.
+  std::size_t max_keys = 256;
+  /// Times each candidate is handed out during exploration.
+  std::size_t explore_trials = 2;
+  /// EMA smoothing factor for ns/iteration feedback (weight of the newest
+  /// sample).
+  double ema_alpha = 0.3;
+  /// Re-explore when the settled candidate's EMA exceeds this multiple of
+  /// its settle-time cost.
+  double retune_factor = 1.5;
+};
+
+class AdaptiveController {
+ public:
+  struct KeyState;  // opaque; defined in adaptive.cpp
+
+  /// Feedback handle returned by resolve(): identifies the key, the
+  /// candidate that was handed out, and the exploration epoch it belongs
+  /// to. Inactive (state == nullptr) when no feedback is expected — the
+  /// schedule was not kAuto. Holding the KeyState alive through the
+  /// shared_ptr makes reporting safe across LRU eviction.
+  struct Ticket {
+    std::shared_ptr<KeyState> state;
+    std::size_t candidate = 0;
+    std::uint64_t epoch = 0;
+
+    [[nodiscard]] bool active() const noexcept { return state != nullptr; }
+  };
+
+  /// What a launch boundary gets back: concrete dispatchable params plus
+  /// the feedback ticket to attach to the region.
+  struct Resolution {
+    ScheduleParams params;
+    Ticket ticket;
+  };
+
+  /// Test/diagnostic view of one tracked key.
+  struct KeySnapshot {
+    std::string key;          ///< internal key: user key + "/total/workers"
+    bool settled = false;
+    std::size_t choice = 0;   ///< settled candidate index (when settled)
+    std::uint64_t epoch = 0;  ///< bumped on every retune
+    std::vector<double> ema_ns_per_iter;  ///< per candidate; < 0 = untried
+  };
+
+  /// The candidate menu size (see candidate()).
+  static constexpr std::size_t kCandidates = 5;
+
+  AdaptiveController() = default;
+  explicit AdaptiveController(AdaptiveConfig config) : config_(config) {}
+
+  AdaptiveController(const AdaptiveController&) = delete;
+  AdaptiveController& operator=(const AdaptiveController&) = delete;
+
+  /// Resolves `params` for one region launch. Non-kAuto params pass
+  /// through untouched with an inactive ticket; kAuto is replaced by the
+  /// controller's pick for (key, total, workers). `key` names the region
+  /// shape — the JIT cache key for IR launches, a shape tag for raw body
+  /// launches; total and workers are folded into the internal key, so one
+  /// user key tuned at N=1e6 does not pollute the same nest at N=100.
+  [[nodiscard]] Resolution resolve(ScheduleParams params,
+                                   std::string_view key, i64 total,
+                                   std::size_t workers);
+
+  /// Feeds one region's outcome back. No-op for inactive tickets,
+  /// incomplete runs, zero-iteration runs, and tickets from a superseded
+  /// epoch (retuned or evicted-and-recreated keys).
+  void report(const Ticket& ticket, const ForStats& stats);
+
+  /// The concrete schedule for candidate `index` over (total, workers).
+  /// Preserves the caller's serialized/sharded bits so kAuto composes with
+  /// --locality and the differential oracle. Menu:
+  ///   0  kChunked ceil(total/workers)   — static-block equivalent
+  ///   1  kChunked max(1, total/(8P))    — fixed medium grain
+  ///   2  kGuided                        — GSS
+  ///   3  kFactoring                     — batched halving
+  ///   4  kTrapezoid                     — TSS
+  [[nodiscard]] static ScheduleParams candidate(std::size_t index,
+                                                ScheduleParams base,
+                                                i64 total,
+                                                std::size_t workers);
+
+  // ---- introspection (tests, --stats style diagnostics) ----
+  [[nodiscard]] std::size_t key_count() const;
+  /// Resolves served from a settled key (mirrors kAdaptiveHits).
+  [[nodiscard]] std::uint64_t hits() const;
+  /// Settled keys sent back to exploration (mirrors kAdaptiveRetunes).
+  [[nodiscard]] std::uint64_t retunes() const;
+  [[nodiscard]] std::vector<KeySnapshot> snapshot() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<KeyState> state;
+    std::uint64_t last_used = 0;  ///< resolve sequence number (for LRU)
+  };
+
+  mutable std::mutex mutex_;
+  AdaptiveConfig config_;
+  std::unordered_map<std::string, Entry> keys_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t retunes_ = 0;
+};
+
+/// Process-global controller used by the synchronous ThreadPool launch
+/// paths (run/run_reduce/run_sum, execute_parallel). Engines carry their
+/// own instance.
+[[nodiscard]] AdaptiveController& default_controller();
+
+}  // namespace coalesce::runtime

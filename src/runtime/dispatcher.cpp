@@ -18,6 +18,7 @@ const char* to_string(Schedule schedule) noexcept {
     case Schedule::kGuided: return "guided";
     case Schedule::kFactoring: return "factoring";
     case Schedule::kTrapezoid: return "trapezoid";
+    case Schedule::kAuto: return "auto";
   }
   return "?";
 }
@@ -512,6 +513,15 @@ support::Expected<std::unique_ptr<Dispatcher>> make_dispatcher(
           std::make_unique<ChunkScheduleDispatcher>(
               index::ChunkSchedule::precompute(*policy, total))};
     }
+    case Schedule::kAuto:
+      // kAuto is a launch-surface kind, not a dispatchable one: the
+      // adaptive controller must replace it with a concrete schedule
+      // before the region is built. Reaching here means a launch path
+      // skipped the resolution step.
+      return support::make_error(
+          support::ErrorCode::kInvalidArgument,
+          "Schedule::kAuto must be resolved by the adaptive controller "
+          "before dispatch");
   }
   return support::make_error(support::ErrorCode::kInvalidArgument,
                              "unknown schedule kind");

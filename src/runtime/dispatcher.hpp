@@ -43,6 +43,11 @@ enum class Schedule : std::uint8_t {
   kGuided,        ///< guided self-scheduling (GSS)
   kFactoring,     ///< factoring (batched halving)
   kTrapezoid,     ///< trapezoid self-scheduling (TSS)
+  /// Defer the choice to the adaptive controller (runtime/adaptive.hpp):
+  /// resolved into one of the concrete kinds at the launch boundary, per
+  /// region-shape key. Never reaches make_dispatcher — passing it there is
+  /// an error by design (the resolution step was skipped).
+  kAuto,
 };
 
 [[nodiscard]] const char* to_string(Schedule schedule) noexcept;
@@ -63,6 +68,16 @@ struct ScheduleParams {
   /// make_dispatcher). Set by LaunchOptions::locality.
   bool sharded = false;
 };
+
+/// Stand-in used by call sites that validate a schedule BEFORE the kAuto
+/// resolution point (admission checks, region builders): kAuto maps to
+/// kSelf, everything else passes through. Sound because every candidate
+/// the controller can hand out is dispatchable whenever kSelf is.
+[[nodiscard]] inline ScheduleParams validation_schedule(
+    ScheduleParams params) noexcept {
+  if (params.kind == Schedule::kAuto) params.kind = Schedule::kSelf;
+  return params;
+}
 
 /// Abstract source of work chunks over [1, total].
 class Dispatcher {

@@ -61,6 +61,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -204,7 +205,7 @@ class Engine {
     COALESCE_ASSERT(total >= 0);
     return submit_region<ForStats>(
         total, detail::FlatRunner<Body>{std::move(body)}, stats_result(),
-        opts);
+        opts, 0, "flat");
   }
 
   /// Collapsed (or, with opts.tile_sizes, tiled) nest over the space. The
@@ -225,14 +226,14 @@ class Engine {
           total,
           detail::CollapsedRunner<index::CoalescedSpace, Body>{
               std::move(space), std::move(body)},
-          stats_result(), opts);
+          stats_result(), opts, 0, "nest");
     }
     const auto requested = static_cast<std::uint64_t>(space.total());
     auto runner = detail::make_tiled_runner<index::CoalescedSpace, Body>(
         std::move(space), std::move(body), opts.tile_sizes);
     const i64 tiles = runner.tile_space.total();
     return submit_region<ForStats>(tiles, std::move(runner), stats_result(),
-                                   opts, requested);
+                                   opts, requested, "tile");
   }
 
   /// Non-blocking variants: std::nullopt when the queue is full.
@@ -243,7 +244,7 @@ class Engine {
     COALESCE_ASSERT(total >= 0);
     return try_submit_region<ForStats>(
         total, detail::FlatRunner<Body>{std::move(body)}, stats_result(),
-        opts);
+        opts, 0, "flat");
   }
 
   /// Asynchronous reduction; the future carries the folded value plus the
@@ -273,7 +274,7 @@ class Engine {
         detail::ReduceRunner<Body, Combine>{std::move(partials),
                                             std::move(body),
                                             std::move(combine)},
-        std::move(make_result), opts);
+        std::move(make_result), opts, 0, "reduce");
   }
 
   template <typename Body,
@@ -293,16 +294,19 @@ class Engine {
   /// out. Used by submit_ir (runtime/ir_executor.hpp); public so other
   /// region shapes can be layered on without editing the engine.
   /// `requested_override` reports iterations in different units than the
-  /// scheduled total (tiles vs points). Returns an invalid future if the
-  /// engine is closed (draining or destroyed).
+  /// scheduled total (tiles vs points). `auto_key` names the region shape
+  /// for Schedule::kAuto resolution against this engine's controller (the
+  /// IR paths pass the JIT cache key; see runtime/adaptive.hpp). Returns
+  /// an invalid future if the engine is closed (draining or destroyed).
   template <typename T, typename RunChunk, typename MakeResult>
   RegionFuture<T> submit_region(i64 total, RunChunk run_chunk,
                                 MakeResult make_result,
                                 const LaunchOptions& opts = {},
-                                std::uint64_t requested_override = 0) {
+                                std::uint64_t requested_override = 0,
+                                std::string_view auto_key = {}) {
     auto [task, future] = make_task<T>(total, std::move(run_chunk),
                                        std::move(make_result), opts,
-                                       requested_override);
+                                       requested_override, auto_key);
     if (!enqueue(std::move(task), opts.priority, /*block=*/true)) {
       return {};
     }
@@ -313,14 +317,22 @@ class Engine {
   TryResult<T> try_submit_region(i64 total, RunChunk run_chunk,
                                  MakeResult make_result,
                                  const LaunchOptions& opts = {},
-                                 std::uint64_t requested_override = 0) {
+                                 std::uint64_t requested_override = 0,
+                                 std::string_view auto_key = {}) {
     auto [task, future] = make_task<T>(total, std::move(run_chunk),
                                        std::move(make_result), opts,
-                                       requested_override);
+                                       requested_override, auto_key);
     if (!enqueue(std::move(task), opts.priority, /*block=*/false)) {
       return std::nullopt;
     }
     return future;
+  }
+
+  /// The controller that resolves Schedule::kAuto submissions on this
+  /// engine. Per-engine (not process-global) so long-lived engines — the
+  /// service's, above all — are trained by exactly the traffic they carry.
+  [[nodiscard]] AdaptiveController& adaptive_controller() noexcept {
+    return adaptive_;
   }
 
   // ---- synchronization ------------------------------------------------------
@@ -426,16 +438,33 @@ class Engine {
   template <typename T, typename RunChunk, typename MakeResult>
   std::pair<std::shared_ptr<TaskBase>, RegionFuture<T>> make_task(
       i64 total, RunChunk run_chunk, MakeResult make_result,
-      const LaunchOptions& opts, std::uint64_t requested_override) {
+      const LaunchOptions& opts, std::uint64_t requested_override,
+      std::string_view auto_key = {}) {
     const i64 id =
         next_region_id_.fetch_add(1, std::memory_order_relaxed);
     auto state = std::make_shared<detail::FutureState<T>>();
     state->region_id = id;
+    // kAuto resolves HERE — before the task exists — because the
+    // RegionContext constructor asserts its params are dispatchable. The
+    // feedback hook is attached right after construction, so the
+    // finalize-time make_stats reports back to this engine's controller.
+    ScheduleParams params =
+        remap_static(detail::effective_schedule(opts), total);
+    AdaptiveController* controller = nullptr;
+    AdaptiveController::Ticket ticket;
+    if (params.kind == Schedule::kAuto) {
+      controller = &adaptive_;
+      AdaptiveController::Resolution resolution =
+          adaptive_.resolve(params, auto_key, total, concurrency());
+      params = resolution.params;
+      ticket = std::move(resolution.ticket);
+    }
     auto task = std::make_shared<Task<T, RunChunk, MakeResult>>(
-        total, remap_static(detail::effective_schedule(opts), total),
-        concurrency(), opts.control, id, std::move(run_chunk),
-        std::move(make_result), state);
+        total, params, concurrency(), opts.control, id,
+        std::move(run_chunk), std::move(make_result), state);
     task->ctx.requested_override = requested_override;
+    task->ctx.adaptive = controller;
+    task->ctx.adaptive_ticket = std::move(ticket);
     return {std::move(task), RegionFuture<T>(std::move(state))};
   }
 
@@ -465,6 +494,7 @@ class Engine {
 
   const bool pin_workers_;
   std::vector<std::jthread> threads_;
+  AdaptiveController adaptive_;
 };
 
 }  // namespace coalesce::runtime

@@ -40,6 +40,7 @@
 #include <exception>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -48,6 +49,7 @@
 #include "index/chunk.hpp"
 #include "index/coalesced_space.hpp"
 #include "index/incremental.hpp"
+#include "runtime/adaptive.hpp"
 #include "runtime/dispatcher.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/thread_pool.hpp"
@@ -159,6 +161,14 @@ struct RegionContext {
   std::vector<std::uint64_t> iterations_per_worker;
   std::vector<std::uint64_t> chunks_per_worker;
 
+  /// Adaptive feedback hook. When the launch boundary resolved a kAuto
+  /// schedule, it sets these AFTER construction (the constructor asserts
+  /// the already-resolved params are dispatchable) and make_stats — the
+  /// single per-region report point on every path — feeds the outcome
+  /// back under the ticket.
+  AdaptiveController* adaptive = nullptr;
+  AdaptiveController::Ticket adaptive_ticket;
+
   RegionContext(i64 total_arg, ScheduleParams params_arg,
                 std::size_t workers_arg, const RunControl& control_arg)
       : total(total_arg),
@@ -205,6 +215,9 @@ struct RegionContext {
     stats.deadline_expired = deadline_expired.load(std::memory_order_relaxed);
     stats.trace = trace::Recorder::current();
     stats.region_id = static_cast<std::uint64_t>(region_id);
+    if (adaptive != nullptr && adaptive_ticket.active()) {
+      adaptive->report(adaptive_ticket, stats);
+    }
     return stats;
   }
 };
@@ -314,11 +327,27 @@ void worker_pass(RegionContext& ctx, RunChunk&& run_chunk,
 /// worker 0) runs one worker_pass over a fresh context, join, rethrow the
 /// first captured exception. This is the one-region special case of the
 /// engine's multi-region worker loop (runtime/engine.hpp).
+///
+/// `auto_key` names the region shape for kAuto resolution (the sync paths
+/// resolve against the process-global default_controller()); ignored for
+/// concrete schedules.
 template <typename RunChunk>
 ForStats drive(ThreadPool& pool, i64 total, ScheduleParams params,
-               RunChunk&& run_chunk, const RunControl& control = {}) {
+               RunChunk&& run_chunk, const RunControl& control = {},
+               std::string_view auto_key = {}) {
   using Clock = std::chrono::steady_clock;
+  AdaptiveController* controller = nullptr;
+  AdaptiveController::Ticket ticket;
+  if (params.kind == Schedule::kAuto) {
+    controller = &default_controller();
+    AdaptiveController::Resolution resolution =
+        controller->resolve(params, auto_key, total, pool.concurrency());
+    params = resolution.params;
+    ticket = std::move(resolution.ticket);
+  }
   RegionContext ctx(total, params, pool.concurrency(), control);
+  ctx.adaptive = controller;
+  ctx.adaptive_ticket = std::move(ticket);
   const auto start = Clock::now();
   pool.run_region(
       [&](std::size_t w) { worker_pass(ctx, run_chunk, w); });

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -23,6 +24,9 @@ struct JitRegion {
   i64 total = 0;
   std::shared_ptr<const codegen::CompiledKernel> kernel;
   std::shared_ptr<const std::vector<double*>> arrays;
+  /// Canonical alpha-renamed pipeline key — doubles as the adaptive
+  /// controller's region-shape key under Schedule::kAuto.
+  std::string cache_key;
 };
 
 /// The chunk body of a JIT region: same contract as the interpreter's loop
@@ -53,7 +57,18 @@ support::Expected<JitRegion> make_jit_region(const ir::LoopNest& nest,
     arrays->push_back(store.data(array).data());
   }
   return JitRegion{prepared.value().total, std::move(kernel).value(),
-                   std::move(arrays)};
+                   std::move(arrays), prepared.value().cache_key};
+}
+
+/// Region-shape key for Schedule::kAuto over an interpreted IR nest: the
+/// same canonical alpha-renamed key the JIT compile cache uses when the
+/// codegen pipeline accepts the nest, else a trip-count tag. Computed only
+/// when the schedule is actually kAuto — prepare() runs full analysis.
+std::string ir_auto_key(Schedule kind, const ir::LoopNest& nest, i64 trips) {
+  if (kind != Schedule::kAuto) return {};
+  auto prepared = codegen::prepare(nest);
+  if (prepared.ok()) return std::move(prepared.value().cache_key);
+  return "ir/" + std::to_string(trips);
 }
 
 }  // namespace
@@ -79,9 +94,11 @@ support::Expected<ForStats> execute_parallel(ThreadPool& pool,
 
   // Propagate invalid schedule parameters (negative total, chunk_size < 1)
   // as the caller-facing error this entry point already reports, before
-  // handing off to the asserting driver.
+  // handing off to the asserting driver. kAuto validates via its kSelf
+  // stand-in (it resolves into a concrete kind only inside drive()).
   {
-    auto dispatcher_or = make_dispatcher(params, *trips, pool.concurrency());
+    auto dispatcher_or = make_dispatcher(validation_schedule(params), *trips,
+                                         pool.concurrency());
     if (!dispatcher_or.ok()) return dispatcher_or.error();
   }
 
@@ -98,6 +115,7 @@ support::Expected<ForStats> execute_parallel(ThreadPool& pool,
   }
 
   // The flat index j in [1, trips] maps to value lo + (j-1)*step.
+  const std::string auto_key = ir_auto_key(params.kind, nest, *trips);
   return detail::drive(
       pool, *trips, params,
       [&](std::size_t w, index::Chunk chunk, std::uint64_t* iters) {
@@ -107,7 +125,7 @@ support::Expected<ForStats> execute_parallel(ThreadPool& pool,
           ++*iters;
         }
       },
-      control);
+      control, auto_key);
 }
 
 support::Expected<ForStats> run(ThreadPool& pool, const ir::LoopNest& nest,
@@ -118,13 +136,13 @@ support::Expected<ForStats> run(ThreadPool& pool, const ir::LoopNest& nest,
     auto region = make_jit_region(nest, store);
     if (region.ok()) {
       JitRegion& jit = region.value();
-      auto dispatcher_or =
-          make_dispatcher(params, jit.total, pool.concurrency());
+      auto dispatcher_or = make_dispatcher(validation_schedule(params),
+                                           jit.total, pool.concurrency());
       if (!dispatcher_or.ok()) return dispatcher_or.error();
       return detail::drive(
           pool, jit.total, params,
           JitRunner{std::move(jit.kernel), std::move(jit.arrays)},
-          opts.control);
+          opts.control, jit.cache_key);
     }
     trace::count(trace::Counter::kJitFallbacks);
   }
@@ -214,8 +232,8 @@ support::Expected<std::pair<i64, IrRunner>> make_ir_region(
                                "parallel execution requires constant bounds");
   }
   {
-    auto dispatcher_or =
-        make_dispatcher(opts.schedule, *trips, engine.concurrency());
+    auto dispatcher_or = make_dispatcher(validation_schedule(opts.schedule),
+                                         *trips, engine.concurrency());
     if (!dispatcher_or.ok()) return dispatcher_or.error();
   }
 
@@ -248,8 +266,9 @@ std::optional<support::Expected<JitRegion>> try_make_jit_region(
     trace::count(trace::Counter::kJitFallbacks);
     return std::nullopt;
   }
-  auto dispatcher_or = make_dispatcher(opts.schedule, region.value().total,
-                                       engine.concurrency());
+  auto dispatcher_or =
+      make_dispatcher(validation_schedule(opts.schedule),
+                      region.value().total, engine.concurrency());
   if (!dispatcher_or.ok()) {
     return std::optional<support::Expected<JitRegion>>(dispatcher_or.error());
   }
@@ -268,7 +287,7 @@ support::Expected<RegionFuture<ForStats>> submit_ir(Engine& engine,
     auto future = engine.submit_region<ForStats>(
         region.total,
         JitRunner{std::move(region.kernel), std::move(region.arrays)},
-        ir_stats_result(), opts);
+        ir_stats_result(), opts, 0, region.cache_key);
     if (!future.valid()) {
       return support::make_error(support::ErrorCode::kUnavailable,
                                  "engine is closed (drained or destroyed)");
@@ -277,9 +296,11 @@ support::Expected<RegionFuture<ForStats>> submit_ir(Engine& engine,
   }
   auto region = make_ir_region(engine, nest, store, opts);
   if (!region.ok()) return region.error();
+  const std::string auto_key =
+      ir_auto_key(opts.schedule.kind, nest, region.value().first);
   auto future = engine.submit_region<ForStats>(
       region.value().first, std::move(region.value().second),
-      ir_stats_result(), opts);
+      ir_stats_result(), opts, 0, auto_key);
   if (!future.valid()) {
     return support::make_error(support::ErrorCode::kUnavailable,
                                "engine is closed (drained or destroyed)");
@@ -296,13 +317,15 @@ support::Expected<TryResult<ForStats>> try_submit_ir(
     return engine.try_submit_region<ForStats>(
         region.total,
         JitRunner{std::move(region.kernel), std::move(region.arrays)},
-        ir_stats_result(), opts);
+        ir_stats_result(), opts, 0, region.cache_key);
   }
   auto region = make_ir_region(engine, nest, store, opts);
   if (!region.ok()) return region.error();
+  const std::string auto_key =
+      ir_auto_key(opts.schedule.kind, nest, region.value().first);
   return engine.try_submit_region<ForStats>(
       region.value().first, std::move(region.value().second),
-      ir_stats_result(), opts);
+      ir_stats_result(), opts, 0, auto_key);
 }
 
 }  // namespace coalesce::runtime

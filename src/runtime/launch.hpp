@@ -1,9 +1,9 @@
 // The unified launch API: run() / run_reduce() / run_sum() + LaunchOptions.
 //
-// PR 5 collapses the nine historical entry points (five parallel_for*
-// shapes, four parallel_reduce* shapes — see parallel_for.hpp/reduce.hpp,
-// now deprecated forwarding shims) behind three verbs and one options
-// struct:
+// PR 5 collapsed the nine historical entry points (five parallel_for*
+// shapes, four parallel_reduce* shapes; the forwarding shims were deleted
+// in PR 10 — docs/API.md keeps the migration table) behind three verbs and
+// one options struct:
 //
 //   run(pool, total, body)                        // flat coalesced loop
 //   run(pool, space, body)                        // collapsed nest
@@ -167,7 +167,7 @@ ForStats run_nested_outer(ThreadPool& pool, std::span<const i64> extents,
           });
         }
       },
-      opts.control);
+      opts.control, "nest-outer");
   // drive counted outer iterations as its total; report points.
   std::uint64_t volume = 1;
   for (const i64 e : extents) volume *= static_cast<std::uint64_t>(e);
@@ -212,7 +212,7 @@ ForStats run_nested_forkjoin(ThreadPool& pool, std::span<const i64> extents,
               ++*iters;
             }
           },
-          opts.control);
+          opts.control, "nest-forkjoin");
       total_stats.dispatch_ops += inner_stats.dispatch_ops;
       total_stats.chunks_executed += inner_stats.chunks_executed;
       total_stats.steals += inner_stats.steals;
@@ -249,7 +249,8 @@ ForStats run(ThreadPool& pool, i64 total, Body&& body,
              const LaunchOptions& opts = {}) {
   COALESCE_ASSERT(total >= 0);
   return detail::drive(pool, total, detail::effective_schedule(opts),
-                       detail::FlatRunner<Body&>{body}, opts.control);
+                       detail::FlatRunner<Body&>{body}, opts.control,
+                       "flat");
 }
 
 /// Executes `body(i1..im)` for every point of the coalesced space — loop
@@ -273,14 +274,14 @@ ForStats run(ThreadPool& pool, const index::CoalescedSpace& space,
         pool, space.total(), detail::effective_schedule(opts),
         detail::CollapsedRunner<const index::CoalescedSpace&, Body&>{space,
                                                                      body},
-        opts.control);
+        opts.control, "nest");
   }
   auto runner =
       detail::make_tiled_runner<const index::CoalescedSpace&, Body&>(
           space, body, opts.tile_sizes);
   const i64 tiles = runner.tile_space.total();
   ForStats stats = detail::drive(pool, tiles, detail::effective_schedule(opts),
-                                 runner, opts.control);
+                                 runner, opts.control, "tile");
   // drive counted tiles as its total; report progress in points.
   stats.iterations_requested = static_cast<std::uint64_t>(space.total());
   return stats;
@@ -336,7 +337,7 @@ ReduceResult run_reduce(ThreadPool& pool, i64 total, double identity,
   ForStats stats = detail::drive(
       pool, total, detail::effective_schedule(opts),
       detail::ReduceRunner<Body&, Combine&>{partials, body, combine},
-      opts.control);
+      opts.control, "reduce");
   ReduceResult result;
   result.value = identity;
   for (const detail::ReducePartial& p : *partials) {

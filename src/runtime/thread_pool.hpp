@@ -51,12 +51,6 @@ class ThreadPool {
     return threads_.size() + 1;  // workers plus the calling thread
   }
 
-  [[deprecated("use concurrency(); the old name hid that the calling "
-               "thread is counted")]]
-  [[nodiscard]] std::size_t worker_count() const noexcept {
-    return threads_.size() + 1;
-  }
-
   /// Fork-join: every worker (and the calling thread, as worker 0) runs
   /// `body(worker_id)` once; returns after all have finished. Not
   /// reentrant. The callable is borrowed, never copied: run_region blocks

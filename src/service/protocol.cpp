@@ -121,6 +121,7 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
     put_u32(out, s.deadline_ms);
     put_string(out, s.tenant);
     put_string(out, s.source);
+    put_string(out, s.schedule);
   }
   return out;
 }
@@ -145,6 +146,7 @@ support::Expected<Request> decode_request(
       s.deadline_ms = cur.u32();
       s.tenant = cur.string();
       s.source = cur.string();
+      s.schedule = cur.string();
       if (!cur.ok()) return truncated("submit request");
       if (s.priority > 1) {
         return make_error(ErrorCode::kInvalidArgument,
@@ -195,6 +197,9 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
   put_u64(out, c.connections);
   put_u64(out, c.queue_depth);
   put_u64(out, c.steals);
+  put_f64(out, c.mean_imbalance);
+  put_u64(out, c.steals_p50);
+  put_u64(out, c.steals_p99);
   return out;
 }
 
@@ -250,6 +255,9 @@ support::Expected<Response> decode_response(
   c.connections = cur.u64();
   c.queue_depth = cur.u64();
   c.steals = cur.u64();
+  c.mean_imbalance = cur.f64();
+  c.steals_p50 = cur.u64();
+  c.steals_p99 = cur.u64();
   if (!cur.ok()) return truncated("counters");
   if (!cur.exhausted()) {
     return make_error(ErrorCode::kInvalidArgument,

@@ -66,6 +66,10 @@ struct SubmitRequest {
   std::uint32_t deadline_ms = 0;  ///< 0 = none; else per-request deadline
   std::string tenant;             ///< quota bucket ("" = anonymous tenant)
   std::string source;             ///< the .loop program text
+  /// Per-request schedule override in the support::parse_schedule grammar
+  /// ("guided", "chunked:64", "auto", ...). "" = use the server default.
+  /// An unparsable spelling is rejected at admission.
+  std::string schedule;
 };
 
 struct Request {
@@ -103,6 +107,12 @@ struct ServerCounters {
   /// Inter-cluster range steals summed over every run (nonzero only when
   /// the server runs with locality and the sharded dispatcher engages).
   std::uint64_t steals = 0;
+  /// Mean ForStats::imbalance (max/mean iterations per worker) over every
+  /// completed parallel root; 0 when nothing has run yet.
+  double mean_imbalance = 0.0;
+  /// Per-root steal-count distribution, log2-bucket lower bounds.
+  std::uint64_t steals_p50 = 0;
+  std::uint64_t steals_p99 = 0;
 };
 
 struct Response {

@@ -13,6 +13,7 @@
 #include "ir/symbol.hpp"
 #include "runtime/ir_executor.hpp"
 #include "support/cancel.hpp"
+#include "support/parse_schedule.hpp"
 #include "trace/recorder.hpp"
 #include "transform/coalesce.hpp"
 
@@ -138,7 +139,23 @@ ServerCounters Server::counters() const {
   c.connections = connections_served_.load(std::memory_order_relaxed);
   c.queue_depth = engine_->queue_depth();
   c.steals = steals_.load(std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(feedback_mutex_);
+    c.mean_imbalance =
+        imbalance_count_ > 0 ? imbalance_sum_ / static_cast<double>(
+                                                    imbalance_count_)
+                             : 0.0;
+    c.steals_p50 = steal_hist_.percentile(0.5);
+    c.steals_p99 = steal_hist_.percentile(0.99);
+  }
   return c;
+}
+
+void Server::record_root_stats(const runtime::ForStats& stats) {
+  std::scoped_lock lock(feedback_mutex_);
+  imbalance_sum_ += stats.imbalance();
+  ++imbalance_count_;
+  steal_hist_.buckets[trace::Counters::bucket_of(stats.steals)] += 1;
 }
 
 void Server::accept_loop(support::Socket* listener) {
@@ -258,6 +275,24 @@ Response Server::handle_submit(const SubmitRequest& request) {
     return response;
   }
 
+  // The per-request schedule override is part of admission: an unparsable
+  // spelling is a client error, rejected before the quota is charged.
+  runtime::ScheduleParams schedule =
+      options_.auto_schedule
+          ? runtime::ScheduleParams{runtime::Schedule::kAuto, 1}
+          : options_.schedule;
+  if (!request.schedule.empty()) {
+    auto parsed = support::parse_schedule(request.schedule);
+    if (!parsed.ok()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      trace::count(trace::Counter::kRequestsRejected);
+      response.status = Status::kRejected;
+      response.message = "schedule: " + parsed.error().to_string();
+      return response;
+    }
+    schedule = parsed.value();
+  }
+
   // ---- overload control: per-tenant in-flight quota ----------------------
   if (!acquire_tenant_slot(request.tenant)) {
     shed_.fetch_add(1, std::memory_order_relaxed);
@@ -309,7 +344,7 @@ Response Server::handle_submit(const SubmitRequest& request) {
   }
 
   runtime::LaunchOptions opts;
-  opts.schedule = options_.schedule;
+  opts.schedule = schedule;
   opts.locality = options_.locality;
   if (options_.jit) opts.exec = runtime::ExecMode::kJit;
   opts.priority = request.priority == 1 ? runtime::Priority::kHigh
@@ -371,6 +406,7 @@ Response Server::handle_submit(const SubmitRequest& request) {
         run.iterations_requested += stats.iterations_requested;
         run.dispatch_ops += stats.dispatch_ops;
         steals_.fetch_add(stats.steals, std::memory_order_relaxed);
+        record_root_stats(stats);
         run.cancelled |= stats.cancelled;
         run.deadline_expired |= stats.deadline_expired;
       } catch (const std::exception& e) {

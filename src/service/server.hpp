@@ -44,6 +44,7 @@
 #include "service/protocol.hpp"
 #include "support/error.hpp"
 #include "support/socket.hpp"
+#include "trace/counters.hpp"
 
 namespace coalesce::service {
 
@@ -65,6 +66,12 @@ struct ServerOptions {
   DiagnosticsFormat diagnostics = DiagnosticsFormat::kJson;
   /// Schedule used for every parallel root the service runs.
   runtime::ScheduleParams schedule{runtime::Schedule::kGuided, 1};
+  /// Resolve every root through the adaptive controller instead of the
+  /// fixed schedule above (Schedule::kAuto). The controller lives on the
+  /// shared Engine, so repeat traffic with the same coalesced shape trains
+  /// it across requests and tenants. A per-request schedule string still
+  /// wins over this default.
+  bool auto_schedule = false;
   /// Locality-aware execution: permute each admitted nest so its most
   /// contiguous axis runs innermost (codegen::permute_for_locality) before
   /// coalescing, and dispatch through the cache-sharded dispatcher
@@ -141,6 +148,10 @@ class Server {
   [[nodiscard]] bool acquire_tenant_slot(const std::string& tenant);
   void release_tenant_slot(const std::string& tenant);
 
+  /// Folds one parallel root's ForStats into the load-quality aggregates
+  /// (mean imbalance, steal distribution) that kStats reports.
+  void record_root_stats(const runtime::ForStats& stats);
+
   ServerOptions options_;
   support::Socket unix_listener_;
   support::Socket tcp_listener_;
@@ -170,6 +181,13 @@ class Server {
   /// Inter-cluster range steals accumulated from every run's ForStats
   /// (nonzero only with locality + the sharded dispatcher).
   std::atomic<std::uint64_t> steals_{0};
+
+  /// Load-quality feedback folded in per parallel root; reported by kStats
+  /// as mean_imbalance and the p50/p99 of the per-root steal counts.
+  mutable std::mutex feedback_mutex_;
+  double imbalance_sum_ = 0.0;         // guarded by feedback_mutex_
+  std::uint64_t imbalance_count_ = 0;  // guarded by feedback_mutex_
+  trace::HistogramSnapshot steal_hist_;  // guarded by feedback_mutex_
 };
 
 }  // namespace coalesce::service

@@ -1,0 +1,92 @@
+// One parser for every user-facing schedule spelling.
+//
+// coalescec --schedule=, coalesced --schedule=, coalesce-client
+// --schedule=, the wire protocol's per-request override, and the bench
+// harness all accept the same grammar through this function, so a
+// schedule that works on one surface works on all of them — and the
+// error message enumerates the menu exactly once, in one place.
+//
+// Header-only in support/ but aware of runtime/dispatcher.hpp: an
+// accepted include-order inversion — the parser produces ScheduleParams
+// and nothing in runtime/ depends back on it.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "runtime/dispatcher.hpp"
+#include "support/error.hpp"
+
+namespace coalesce::support {
+
+/// Parses a schedule spelling into ScheduleParams. Grammar (case-sensitive):
+///
+///   static-block | block      kStaticBlock
+///   static-cyclic | cyclic    kStaticCyclic
+///   self                      kSelf (fetch&add, chunk 1)
+///   chunked:N | chunk:N       kChunked with chunk size N >= 1
+///   guided                    kGuided (GSS)
+///   factoring                 kFactoring
+///   trapezoid | tss           kTrapezoid (TSS)
+///   auto                      kAuto (adaptive controller resolves at launch)
+///
+/// serialized/sharded are launch-surface knobs (--locality etc.), not part
+/// of the spelling; they default to false here.
+[[nodiscard]] inline Expected<runtime::ScheduleParams> parse_schedule(
+    std::string_view text) {
+  runtime::ScheduleParams params;
+  if (text == "static-block" || text == "block") {
+    params.kind = runtime::Schedule::kStaticBlock;
+    return params;
+  }
+  if (text == "static-cyclic" || text == "cyclic") {
+    params.kind = runtime::Schedule::kStaticCyclic;
+    return params;
+  }
+  if (text == "self") {
+    params.kind = runtime::Schedule::kSelf;
+    return params;
+  }
+  if (text == "guided") {
+    params.kind = runtime::Schedule::kGuided;
+    return params;
+  }
+  if (text == "factoring") {
+    params.kind = runtime::Schedule::kFactoring;
+    return params;
+  }
+  if (text == "trapezoid" || text == "tss") {
+    params.kind = runtime::Schedule::kTrapezoid;
+    return params;
+  }
+  if (text == "auto") {
+    params.kind = runtime::Schedule::kAuto;
+    return params;
+  }
+  constexpr std::string_view kChunkedPrefix = "chunked:";
+  constexpr std::string_view kChunkPrefix = "chunk:";
+  std::string_view size_text;
+  if (text.rfind(kChunkedPrefix, 0) == 0) {
+    size_text = text.substr(kChunkedPrefix.size());
+  } else if (text.rfind(kChunkPrefix, 0) == 0) {
+    size_text = text.substr(kChunkPrefix.size());
+  }
+  if (!size_text.empty()) {
+    const std::string digits(size_text);
+    char* end = nullptr;
+    const long long n = std::strtoll(digits.c_str(), &end, 10);
+    if (end != digits.c_str() && *end == '\0' && n >= 1) {
+      params.kind = runtime::Schedule::kChunked;
+      params.chunk_size = static_cast<i64>(n);
+      return params;
+    }
+  }
+  return make_error(
+      ErrorCode::kInvalidArgument,
+      "unknown schedule '" + std::string(text) +
+          "'; valid kinds: static-block, static-cyclic, self, chunked:N, "
+          "guided, factoring, trapezoid, auto");
+}
+
+}  // namespace coalesce::support

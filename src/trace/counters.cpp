@@ -29,6 +29,8 @@ const char* to_string(Counter counter) noexcept {
     case Counter::kJitCompiles: return "jit_compiles";
     case Counter::kJitCacheHits: return "jit_cache_hits";
     case Counter::kJitFallbacks: return "jit_fallbacks";
+    case Counter::kAdaptiveRetunes: return "adaptive_retunes";
+    case Counter::kAdaptiveHits: return "adaptive_hits";
     case Counter::kCount_: break;
   }
   return "?";
@@ -63,6 +65,24 @@ double HistogramSnapshot::approx_mean() const noexcept {
            std::exp2(static_cast<double>(b) + 0.5);
   }
   return sum / static_cast<double>(n);
+}
+
+std::uint64_t HistogramSnapshot::percentile(double q) const noexcept {
+  const std::uint64_t n = total();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, 1-based, ceiling — p100 is the last
+  // sample, p0 the first.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      return b == 0 ? 0 : (std::uint64_t{1} << b);
+    }
+  }
+  return std::uint64_t{1} << (kHistBuckets - 1);
 }
 
 std::string HistogramSnapshot::render(std::size_t width) const {

@@ -35,6 +35,8 @@ enum class Counter : std::uint8_t {
   kJitCompiles,       ///< JIT kernels compiled to native code
   kJitCacheHits,      ///< JIT lookups served from the compile cache
   kJitFallbacks,      ///< JIT requests that fell back to the interpreter
+  kAdaptiveRetunes,   ///< settled adaptive keys sent back to exploration
+  kAdaptiveHits,      ///< kAuto resolves served from a settled key
   kCount_            ///< sentinel
 };
 
@@ -64,6 +66,9 @@ struct HistogramSnapshot {
   [[nodiscard]] std::uint64_t total() const noexcept;
   /// Geometric midpoint estimate of the mean, 0 when empty.
   [[nodiscard]] double approx_mean() const noexcept;
+  /// Lower bound (2^bucket) of the bucket holding quantile q in [0, 1];
+  /// 0 when empty. Log2 resolution — good enough for p50/p99 reporting.
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
   [[nodiscard]] std::string render(std::size_t width = 40) const;
 };
 

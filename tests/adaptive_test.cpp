@@ -1,0 +1,414 @@
+// Tests for the adaptive schedule controller behind Schedule::kAuto.
+//
+// The controller is deterministic — a pure function of its resolve/report
+// call sequence — so the unit tests drive it with synthetic ForStats and
+// pin the state machine down exactly: explore order, settling, drift
+// retuning, stale-epoch drops, and LRU eviction. The launch-surface tests
+// then check the redesigned kAuto entry points end to end: run() and
+// Engine::submit resolve kAuto to a dispatchable schedule, feedback trains
+// the controller, and results stay bit-exact against a static schedule.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "index/coalesced_space.hpp"
+#include "runtime/adaptive.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/launch.hpp"
+#include "runtime/thread_pool.hpp"
+#include "support/int_math.hpp"
+
+namespace coalesce::runtime {
+namespace {
+
+using support::i64;
+
+/// A completed run: `iters` iterations on one worker in `wall_s` seconds.
+ForStats completed_stats(double wall_s, std::uint64_t iters) {
+  ForStats stats;
+  stats.iterations_requested = iters;
+  stats.iterations_per_worker = {iters};
+  stats.wall_seconds = wall_s;
+  return stats;
+}
+
+constexpr i64 kTotal = 10'000;
+constexpr std::size_t kWorkers = 4;
+
+// ---- candidate menu --------------------------------------------------------
+
+TEST(AdaptiveCandidates, MenuCoversTheScheduleFamilies) {
+  const ScheduleParams base{Schedule::kAuto, 1};
+
+  const ScheduleParams c0 =
+      AdaptiveController::candidate(0, base, kTotal, kWorkers);
+  EXPECT_EQ(c0.kind, Schedule::kChunked);
+  EXPECT_EQ(c0.chunk_size, (kTotal + kWorkers - 1) / kWorkers);
+
+  const ScheduleParams c1 =
+      AdaptiveController::candidate(1, base, kTotal, kWorkers);
+  EXPECT_EQ(c1.kind, Schedule::kChunked);
+  EXPECT_EQ(c1.chunk_size, kTotal / (8 * static_cast<i64>(kWorkers)));
+
+  EXPECT_EQ(AdaptiveController::candidate(2, base, kTotal, kWorkers).kind,
+            Schedule::kGuided);
+  EXPECT_EQ(AdaptiveController::candidate(3, base, kTotal, kWorkers).kind,
+            Schedule::kFactoring);
+  EXPECT_EQ(AdaptiveController::candidate(4, base, kTotal, kWorkers).kind,
+            Schedule::kTrapezoid);
+}
+
+TEST(AdaptiveCandidates, ChunkSizesStayPositiveOnTinyTotals) {
+  const ScheduleParams base{Schedule::kAuto, 1};
+  for (std::size_t c = 0; c < AdaptiveController::kCandidates; ++c) {
+    for (const i64 total : {i64{0}, i64{1}, i64{3}, i64{7}}) {
+      const ScheduleParams params =
+          AdaptiveController::candidate(c, base, total, 8);
+      EXPECT_GE(params.chunk_size, 1) << "candidate " << c << " N=" << total;
+    }
+  }
+}
+
+TEST(AdaptiveCandidates, PreservesSerializedAndShardedBits) {
+  ScheduleParams base{Schedule::kAuto, 1};
+  base.serialized = true;
+  base.sharded = true;
+  for (std::size_t c = 0; c < AdaptiveController::kCandidates; ++c) {
+    const ScheduleParams params =
+        AdaptiveController::candidate(c, base, kTotal, kWorkers);
+    EXPECT_TRUE(params.serialized) << "candidate " << c;
+    EXPECT_TRUE(params.sharded) << "candidate " << c;
+  }
+}
+
+// ---- resolution ------------------------------------------------------------
+
+TEST(AdaptiveResolve, NonAutoPassesThroughUntouched) {
+  AdaptiveController controller;
+  const ScheduleParams params{Schedule::kGuided, 7};
+  const auto resolution = controller.resolve(params, "k", kTotal, kWorkers);
+  EXPECT_EQ(resolution.params.kind, Schedule::kGuided);
+  EXPECT_EQ(resolution.params.chunk_size, 7);
+  EXPECT_FALSE(resolution.ticket.active());
+  EXPECT_EQ(controller.key_count(), 0u);  // non-auto must not allocate keys
+}
+
+TEST(AdaptiveResolve, AutoAlwaysReturnsDispatchableParams) {
+  AdaptiveController controller;
+  const ScheduleParams auto_params{Schedule::kAuto, 1};
+  for (int i = 0; i < 20; ++i) {
+    const auto resolution =
+        controller.resolve(auto_params, "k", kTotal, kWorkers);
+    EXPECT_NE(resolution.params.kind, Schedule::kAuto);
+    EXPECT_TRUE(resolution.ticket.active());
+    const auto dispatcher =
+        make_dispatcher(resolution.params, kTotal, kWorkers);
+    EXPECT_TRUE(dispatcher.ok()) << dispatcher.error().to_string();
+  }
+}
+
+TEST(AdaptiveResolve, ColdStartExploresRoundRobin) {
+  AdaptiveController controller(AdaptiveConfig{.explore_trials = 2});
+  const ScheduleParams auto_params{Schedule::kAuto, 1};
+  // With explore_trials = 2 the hand-out order is 0 0 1 1 2 2 3 3 4 4.
+  for (std::size_t c = 0; c < AdaptiveController::kCandidates; ++c) {
+    for (int trial = 0; trial < 2; ++trial) {
+      const auto resolution =
+          controller.resolve(auto_params, "k", kTotal, kWorkers);
+      EXPECT_EQ(resolution.ticket.candidate, c) << "trial " << trial;
+    }
+  }
+  EXPECT_EQ(controller.hits(), 0u);  // still exploring, nothing settled
+}
+
+TEST(AdaptiveResolve, DistinctShapesGetDistinctKeys) {
+  AdaptiveController controller;
+  const ScheduleParams auto_params{Schedule::kAuto, 1};
+  (void)controller.resolve(auto_params, "k", 100, kWorkers);
+  (void)controller.resolve(auto_params, "k", 200, kWorkers);
+  (void)controller.resolve(auto_params, "k", 100, 2 * kWorkers);
+  (void)controller.resolve(auto_params, "other", 100, kWorkers);
+  EXPECT_EQ(controller.key_count(), 4u);
+}
+
+TEST(AdaptiveResolve, EmptyKeyFallsBackToAnon) {
+  AdaptiveController controller;
+  (void)controller.resolve({Schedule::kAuto, 1}, "", kTotal, kWorkers);
+  const auto snaps = controller.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].key.rfind("anon/", 0), 0u) << snaps[0].key;
+}
+
+// ---- feedback and settling -------------------------------------------------
+
+/// Runs one full exploration round (explore_trials = 1) where candidate
+/// `winner` reports cost 1x and everyone else 10x, then returns the
+/// controller's post-settle resolution.
+AdaptiveController::Resolution explore_and_settle(
+    AdaptiveController& controller, std::size_t winner) {
+  const ScheduleParams auto_params{Schedule::kAuto, 1};
+  for (std::size_t c = 0; c < AdaptiveController::kCandidates; ++c) {
+    const auto resolution =
+        controller.resolve(auto_params, "k", kTotal, kWorkers);
+    EXPECT_EQ(resolution.ticket.candidate, c);
+    const double wall = c == winner ? 0.001 : 0.010;
+    controller.report(resolution.ticket, completed_stats(wall, kTotal));
+  }
+  return controller.resolve(auto_params, "k", kTotal, kWorkers);
+}
+
+TEST(AdaptiveFeedback, SettlesOnTheCheapestCandidate) {
+  for (std::size_t winner = 0; winner < AdaptiveController::kCandidates;
+       ++winner) {
+    AdaptiveController controller(AdaptiveConfig{.explore_trials = 1});
+    const auto resolution = explore_and_settle(controller, winner);
+    EXPECT_EQ(resolution.ticket.candidate, winner);
+    EXPECT_EQ(controller.hits(), 1u);
+
+    const auto snaps = controller.snapshot();
+    ASSERT_EQ(snaps.size(), 1u);
+    EXPECT_TRUE(snaps[0].settled);
+    EXPECT_EQ(snaps[0].choice, winner);
+    EXPECT_EQ(snaps[0].epoch, 0u);
+  }
+}
+
+TEST(AdaptiveFeedback, IncompleteRunsReportNothing) {
+  AdaptiveController controller(AdaptiveConfig{.explore_trials = 1});
+  const ScheduleParams auto_params{Schedule::kAuto, 1};
+  const auto resolution =
+      controller.resolve(auto_params, "k", kTotal, kWorkers);
+
+  ForStats cancelled = completed_stats(0.001, kTotal);
+  cancelled.cancelled = true;
+  controller.report(resolution.ticket, cancelled);
+
+  ForStats expired = completed_stats(0.001, kTotal);
+  expired.deadline_expired = true;
+  controller.report(resolution.ticket, expired);
+
+  ForStats partial = completed_stats(0.001, kTotal);
+  partial.iterations_per_worker = {kTotal / 2};  // short of requested
+  controller.report(resolution.ticket, partial);
+
+  controller.report(resolution.ticket, completed_stats(0.0, kTotal));
+
+  const auto snaps = controller.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  for (const double ema : snaps[0].ema_ns_per_iter) {
+    EXPECT_LT(ema, 0.0);  // every sample above must have been dropped
+  }
+}
+
+TEST(AdaptiveFeedback, SettlesEvenWhenSomeCandidatesNeverReported) {
+  AdaptiveController controller(AdaptiveConfig{.explore_trials = 1});
+  const ScheduleParams auto_params{Schedule::kAuto, 1};
+  // Only candidate 2 ever reports back (the rest were cancelled, say).
+  for (std::size_t c = 0; c < AdaptiveController::kCandidates; ++c) {
+    const auto resolution =
+        controller.resolve(auto_params, "k", kTotal, kWorkers);
+    if (c == 2) {
+      controller.report(resolution.ticket, completed_stats(0.002, kTotal));
+    }
+  }
+  const auto resolution =
+      controller.resolve(auto_params, "k", kTotal, kWorkers);
+  EXPECT_EQ(resolution.ticket.candidate, 2u);
+  EXPECT_EQ(controller.hits(), 1u);
+}
+
+TEST(AdaptiveFeedback, SilentExplorationRoundRestartsInsteadOfSettling) {
+  AdaptiveController controller(AdaptiveConfig{.explore_trials = 1});
+  const ScheduleParams auto_params{Schedule::kAuto, 1};
+  // A whole round with zero feedback must not settle on garbage; the
+  // cursor wraps and exploration starts over at candidate 0.
+  for (std::size_t c = 0; c < AdaptiveController::kCandidates; ++c) {
+    (void)controller.resolve(auto_params, "k", kTotal, kWorkers);
+  }
+  const auto resolution =
+      controller.resolve(auto_params, "k", kTotal, kWorkers);
+  EXPECT_EQ(resolution.ticket.candidate, 0u);
+  EXPECT_EQ(controller.hits(), 0u);
+}
+
+TEST(AdaptiveFeedback, DriftTriggersRetuneWithBumpedEpoch) {
+  AdaptiveController controller(
+      AdaptiveConfig{.explore_trials = 1, .ema_alpha = 1.0});
+  const auto settled = explore_and_settle(controller, /*winner=*/2);
+  EXPECT_EQ(controller.retunes(), 0u);
+
+  // alpha = 1.0 makes the EMA jump straight to the new sample: 10x the
+  // settle-time cost clears retune_factor (1.5) immediately.
+  controller.report(settled.ticket, completed_stats(0.010, kTotal));
+  EXPECT_EQ(controller.retunes(), 1u);
+
+  const auto snaps = controller.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_FALSE(snaps[0].settled);
+  EXPECT_EQ(snaps[0].epoch, 1u);
+
+  // The next resolve re-enters exploration at candidate 0, new epoch.
+  const auto resolution =
+      controller.resolve({Schedule::kAuto, 1}, "k", kTotal, kWorkers);
+  EXPECT_EQ(resolution.ticket.candidate, 0u);
+  EXPECT_EQ(resolution.ticket.epoch, 1u);
+}
+
+TEST(AdaptiveFeedback, StaleEpochReportsAreDropped) {
+  AdaptiveController controller(
+      AdaptiveConfig{.explore_trials = 1, .ema_alpha = 1.0});
+  const auto settled = explore_and_settle(controller, /*winner=*/1);
+  controller.report(settled.ticket, completed_stats(0.010, kTotal));
+  ASSERT_EQ(controller.retunes(), 1u);
+
+  // `settled.ticket` belongs to epoch 0; the retune moved the key to
+  // epoch 1, so reporting through it again must not touch the fresh state.
+  controller.report(settled.ticket, completed_stats(0.0001, kTotal));
+  const auto snaps = controller.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  for (const double ema : snaps[0].ema_ns_per_iter) {
+    EXPECT_LT(ema, 0.0);
+  }
+}
+
+TEST(AdaptiveFeedback, GoodFeedbackNeverRetunes) {
+  AdaptiveController controller(AdaptiveConfig{.explore_trials = 1});
+  (void)explore_and_settle(controller, /*winner=*/2);
+  const ScheduleParams auto_params{Schedule::kAuto, 1};
+  for (int i = 0; i < 50; ++i) {
+    const auto resolution =
+        controller.resolve(auto_params, "k", kTotal, kWorkers);
+    EXPECT_EQ(resolution.ticket.candidate, 2u);
+    controller.report(resolution.ticket, completed_stats(0.001, kTotal));
+  }
+  EXPECT_EQ(controller.retunes(), 0u);
+  EXPECT_GE(controller.hits(), 50u);
+}
+
+// ---- eviction --------------------------------------------------------------
+
+TEST(AdaptiveEviction, LeastRecentlyResolvedKeyIsEvicted) {
+  AdaptiveController controller(AdaptiveConfig{.max_keys = 2});
+  const ScheduleParams auto_params{Schedule::kAuto, 1};
+  (void)controller.resolve(auto_params, "a", kTotal, kWorkers);
+  (void)controller.resolve(auto_params, "b", kTotal, kWorkers);
+  (void)controller.resolve(auto_params, "a", kTotal, kWorkers);  // refresh a
+  (void)controller.resolve(auto_params, "c", kTotal, kWorkers);  // evicts b
+
+  EXPECT_EQ(controller.key_count(), 2u);
+  const auto snaps = controller.snapshot();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].key.rfind("a/", 0), 0u) << snaps[0].key;
+  EXPECT_EQ(snaps[1].key.rfind("c/", 0), 0u) << snaps[1].key;
+}
+
+TEST(AdaptiveEviction, TicketOutlivesEviction) {
+  AdaptiveController controller(AdaptiveConfig{.max_keys = 1});
+  const ScheduleParams auto_params{Schedule::kAuto, 1};
+  const auto doomed = controller.resolve(auto_params, "a", kTotal, kWorkers);
+  (void)controller.resolve(auto_params, "b", kTotal, kWorkers);  // evicts a
+  EXPECT_EQ(controller.key_count(), 1u);
+  // The ticket's shared_ptr kept the orphaned KeyState alive; reporting
+  // into it must be safe and must not resurrect the key.
+  controller.report(doomed.ticket, completed_stats(0.001, kTotal));
+  EXPECT_EQ(controller.key_count(), 1u);
+}
+
+// ---- launch surface (concurrency) ------------------------------------------
+
+TEST(AdaptiveLaunch, RunResolvesAutoAndCompletes) {
+  ThreadPool pool(4);
+  std::vector<std::int64_t> out(1000, 0);
+  const ForStats stats =
+      run(pool, static_cast<i64>(out.size()),
+          [&](i64 j) { out[static_cast<std::size_t>(j - 1)] = j; },
+          {.schedule = {Schedule::kAuto, 1}});
+  EXPECT_TRUE(stats.completed());
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    EXPECT_EQ(out[j], static_cast<std::int64_t>(j + 1));
+  }
+}
+
+TEST(AdaptiveLaunch, EngineTrainsItsOwnController) {
+  Engine engine(4);
+  EXPECT_EQ(engine.adaptive_controller().key_count(), 0u);
+
+  const i64 n = 5000;
+  std::vector<double> data(static_cast<std::size_t>(n), 0.0);
+  // Enough launches of one recurring shape to explore the full menu
+  // (5 candidates x 2 trials) and settle; later submissions are hits.
+  const int launches = 16;
+  for (int r = 0; r < launches; ++r) {
+    auto future = engine.submit(
+        n, [&](i64 j) { data[static_cast<std::size_t>(j - 1)] += 1.0; },
+        {.schedule = {Schedule::kAuto, 1}});
+    const ForStats stats = future.get();
+    EXPECT_TRUE(stats.completed()) << "launch " << r;
+  }
+  EXPECT_EQ(engine.adaptive_controller().key_count(), 1u);
+  EXPECT_GT(engine.adaptive_controller().hits(), 0u);
+
+  const auto snaps = engine.adaptive_controller().snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_TRUE(snaps[0].settled);
+
+  for (const double v : data) {
+    EXPECT_EQ(v, static_cast<double>(launches));
+  }
+}
+
+TEST(AdaptiveLaunch, AutoIsBitExactAgainstStaticSchedules) {
+  // DOALL bodies write disjoint elements, so the result is schedule
+  // independent; sweep shapes and repeats so kAuto cycles through every
+  // candidate while the reference uses a plain static schedule.
+  ThreadPool pool(4);
+  const std::vector<std::vector<i64>> shapes = {
+      {64}, {7, 11}, {5, 6, 7}, {1, 13}, {257}};
+  for (const auto& extents : shapes) {
+    const auto space = index::CoalescedSpace::create(extents).value();
+    const std::size_t volume = static_cast<std::size_t>(space.total());
+
+    std::vector<double> expected(volume, 0.0);
+    const auto body_into = [&](std::vector<double>& sink) {
+      return [&sink, &space](std::span<const i64> idx) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < idx.size(); ++k) {
+          acc = acc * 31.0 + static_cast<double>(idx[k]);
+        }
+        // encode_original is 1-based (the paper's j in [1, N]).
+        sink[static_cast<std::size_t>(space.encode_original(idx) - 1)] = acc;
+      };
+    };
+    const ForStats ref = run(pool, space, body_into(expected),
+                             {.schedule = {Schedule::kStaticBlock, 1}});
+    ASSERT_TRUE(ref.completed());
+
+    // Same shape resolved repeatedly: exploration hands out every
+    // candidate across these repeats (default explore_trials = 2).
+    for (int repeat = 0; repeat < 12; ++repeat) {
+      std::vector<double> actual(volume, 0.0);
+      const ForStats stats = run(pool, space, body_into(actual),
+                                 {.schedule = {Schedule::kAuto, 1}});
+      ASSERT_TRUE(stats.completed());
+      EXPECT_EQ(actual, expected)
+          << "shape " << extents.size() << "D repeat " << repeat;
+    }
+  }
+}
+
+TEST(AdaptiveLaunch, AutoComposesWithReduction) {
+  ThreadPool pool(4);
+  const i64 n = 4096;
+  const ReduceResult result = run_sum(
+      pool, n, [](i64 j) { return static_cast<double>(j); },
+      {.schedule = {Schedule::kAuto, 1}});
+  EXPECT_TRUE(result.stats.completed());
+  EXPECT_DOUBLE_EQ(result.value,
+                   static_cast<double>(n) * static_cast<double>(n + 1) / 2.0);
+}
+
+}  // namespace
+}  // namespace coalesce::runtime

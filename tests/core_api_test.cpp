@@ -1,19 +1,13 @@
-// Tests for the façade API: the analyze -> coalesce -> verify pipeline,
-// plus the deprecated-shim equivalence contract for the launch API.
+// Tests for the façade API: the analyze -> coalesce -> verify pipeline.
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <span>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "core/api.hpp"
-#include "index/coalesced_space.hpp"
 #include "ir/builder.hpp"
 #include "ir/printer.hpp"
-#include "runtime/launch.hpp"
-#include "runtime/parallel_for.hpp"
-#include "runtime/reduce.hpp"
-#include "runtime/thread_pool.hpp"
 
 namespace coalesce::core {
 namespace {
@@ -87,112 +81,6 @@ TEST(EquivalentByExecution, MismatchedArraysAreUnequal) {
   const ir::LoopNest b = ir::make_rectangular_witness({3, 4});
   EXPECT_FALSE(equivalent_by_execution(a, b));
 }
-
-// ---- deprecated launch shims ------------------------------------------
-//
-// The pre-LaunchOptions entry points (parallel_for*, parallel_reduce*,
-// parallel_sum*) survive as [[deprecated]] forwarding shims. These tests
-// pin the contract that makes the deprecation painless: a shim call and
-// the equivalent run()/run_reduce()/run_sum() call produce byte-identical
-// region reports (modulo wall-clock time) and identical side effects.
-// Deterministic schedules are used so the comparison is exact.
-
-namespace {
-
-/// Every ForStats field except wall_seconds (timing) and trace (a borrowed
-/// recorder pointer) must match exactly.
-void expect_same_stats(const runtime::ForStats& a, const runtime::ForStats& b) {
-  EXPECT_EQ(a.dispatch_ops, b.dispatch_ops);
-  EXPECT_EQ(a.chunks_executed, b.chunks_executed);
-  EXPECT_EQ(a.iterations_per_worker, b.iterations_per_worker);
-  EXPECT_EQ(a.iterations_requested, b.iterations_requested);
-  EXPECT_EQ(a.cancelled, b.cancelled);
-  EXPECT_EQ(a.deadline_expired, b.deadline_expired);
-  EXPECT_EQ(a.region_id, b.region_id);
-}
-
-}  // namespace
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(DeprecatedShims, ParallelForMatchesRun) {
-  runtime::ThreadPool pool(2);
-  const support::i64 n = 10'000;
-  std::vector<double> via_shim(static_cast<std::size_t>(n), 0.0);
-  std::vector<double> via_run(static_cast<std::size_t>(n), 0.0);
-
-  // The coalesced index is 1-based.
-  const auto old_stats = runtime::parallel_for(
-      pool, n, {runtime::Schedule::kStaticBlock}, [&](support::i64 i) {
-        via_shim[static_cast<std::size_t>(i - 1)] = 2.0 * i;
-      });
-  const auto new_stats = runtime::run(
-      pool, n,
-      [&](support::i64 i) {
-        via_run[static_cast<std::size_t>(i - 1)] = 2.0 * i;
-      },
-      {.schedule = {runtime::Schedule::kStaticBlock}});
-
-  expect_same_stats(old_stats, new_stats);
-  EXPECT_EQ(via_shim, via_run);
-}
-
-TEST(DeprecatedShims, ParallelForCollapsedMatchesRun) {
-  runtime::ThreadPool pool(2);
-  const auto space =
-      index::CoalescedSpace::create(std::vector<support::i64>{12, 9}).value();
-  std::atomic<support::i64> shim_sum{0};
-  std::atomic<support::i64> run_sum_acc{0};
-
-  const auto old_stats = runtime::parallel_for_collapsed(
-      pool, space, {runtime::Schedule::kStaticBlock},
-      [&](std::span<const support::i64> ij) {
-        shim_sum.fetch_add(ij[0] * 31 + ij[1], std::memory_order_relaxed);
-      });
-  const auto new_stats = runtime::run(
-      pool, space,
-      [&](std::span<const support::i64> ij) {
-        run_sum_acc.fetch_add(ij[0] * 31 + ij[1], std::memory_order_relaxed);
-      },
-      {.schedule = {runtime::Schedule::kStaticBlock}});
-
-  expect_same_stats(old_stats, new_stats);
-  EXPECT_EQ(shim_sum.load(), run_sum_acc.load());
-}
-
-TEST(DeprecatedShims, ParallelSumMatchesRunSum) {
-  runtime::ThreadPool pool(2);
-  auto body = [](support::i64 i) { return 1.0 / (1.0 + i); };
-
-  const auto old_result = runtime::parallel_sum(
-      pool, 50'000, {runtime::Schedule::kStaticBlock}, body);
-  const auto new_result =
-      runtime::run_sum(pool, 50'000, body,
-                       {.schedule = {runtime::Schedule::kStaticBlock}});
-
-  // Same partial-per-worker fold order under a deterministic schedule, so
-  // the doubles are bitwise equal, not merely close.
-  EXPECT_EQ(old_result.value, new_result.value);
-  expect_same_stats(old_result.stats, new_result.stats);
-}
-
-TEST(DeprecatedShims, ParallelReduceMatchesRunReduce) {
-  runtime::ThreadPool pool(2);
-  auto body = [](support::i64 i) { return static_cast<double>(i % 11); };
-  auto combine = [](double a, double b) { return a > b ? a : b; };
-
-  const auto old_result = runtime::parallel_reduce(
-      pool, 8'192, {runtime::Schedule::kStaticBlock}, 0.0, body, combine);
-  const auto new_result =
-      runtime::run_reduce(pool, 8'192, 0.0, body, combine,
-                          {.schedule = {runtime::Schedule::kStaticBlock}});
-
-  EXPECT_EQ(old_result.value, new_result.value);
-  expect_same_stats(old_result.stats, new_result.stats);
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace coalesce::core

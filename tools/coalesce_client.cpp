@@ -16,6 +16,9 @@
 //   --priority=P         normal (default) | high (engine priority class)
 //   --deadline-ms=N      per-request deadline (0 = none)
 //   --tenant=NAME        quota bucket to submit under ("" = anonymous)
+//   --schedule=SPEC      per-request schedule override (static-block,
+//                        static-cyclic, self, chunked:N, guided, factoring,
+//                        trapezoid, auto); default: the server's schedule
 //   --want-data          print final array contents from the response
 //   --threads=T          load generator: T concurrent client connections
 //   --repeat=R           load generator: R submissions per connection
@@ -50,6 +53,7 @@ struct Options {
   std::uint8_t priority = 0;
   std::uint32_t deadline_ms = 0;
   std::string tenant;
+  std::string schedule;
   bool want_data = false;
   std::size_t threads = 0;  // 0: single-shot mode
   std::size_t repeat = 1;
@@ -62,7 +66,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--socket=PATH | --tcp=HOST:PORT) [--stdin] "
                "[--priority=normal|high] [--deadline-ms=N] [--tenant=NAME] "
-               "[--want-data] [--threads=T] [--repeat=R] "
+               "[--schedule=SPEC] [--want-data] [--threads=T] [--repeat=R] "
                "[--ping|--stats|--shutdown] [file]\n",
                argv0);
   return 2;
@@ -94,6 +98,8 @@ bool parse_args(int argc, char** argv, Options& options) {
           std::strtoul(arg.c_str() + 14, nullptr, 10));
     } else if (arg.rfind("--tenant=", 0) == 0) {
       options.tenant = arg.substr(9);
+    } else if (arg.rfind("--schedule=", 0) == 0) {
+      options.schedule = arg.substr(11);
     } else if (arg == "--want-data") {
       options.want_data = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -182,14 +188,18 @@ int run_single(const Options& options, const service::Request& request) {
         std::fprintf(stdout,
                      "counters: connections=%llu accepted=%llu "
                      "completed=%llu rejected=%llu shed=%llu steals=%llu "
-                     "queue_depth=%llu\n",
+                     "queue_depth=%llu imbalance=%.3f steals_p50=%llu "
+                     "steals_p99=%llu\n",
                      static_cast<unsigned long long>(c.connections),
                      static_cast<unsigned long long>(c.accepted),
                      static_cast<unsigned long long>(c.completed),
                      static_cast<unsigned long long>(c.rejected),
                      static_cast<unsigned long long>(c.shed),
                      static_cast<unsigned long long>(c.steals),
-                     static_cast<unsigned long long>(c.queue_depth));
+                     static_cast<unsigned long long>(c.queue_depth),
+                     c.mean_imbalance,
+                     static_cast<unsigned long long>(c.steals_p50),
+                     static_cast<unsigned long long>(c.steals_p99));
       } else if (!reply.message.empty()) {
         std::fprintf(stderr, "coalesce-client: %s\n", reply.message.c_str());
       }
@@ -331,6 +341,17 @@ int main(int argc, char** argv) {
     request.submit.deadline_ms = options.deadline_ms;
     request.submit.tenant = options.tenant;
     request.submit.source = std::move(source).value();
+    if (!options.schedule.empty()) {
+      // Validate locally so a typo fails fast instead of costing a
+      // round-trip to be rejected at admission.
+      auto parsed = support::parse_schedule(options.schedule);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "coalesce-client: %s\n",
+                     parsed.error().to_string().c_str());
+        return 2;
+      }
+      request.submit.schedule = options.schedule;
+    }
   }
 
   if (options.threads > 0) {

@@ -55,6 +55,11 @@
 //                      --verify, the traced parallel execution is what is
 //                      checked against the original's interpretation.
 //   --trace-workers=P  worker count for --trace (default: hardware)
+//   --schedule=SPEC    schedule for the pool execution path (--trace /
+//                      --jit): static-block, static-cyclic, self,
+//                      chunked:N, guided, factoring, trapezoid, or auto
+//                      (adaptive controller, trained by run feedback);
+//                      default guided
 //   --trace-summary    also print the per-worker Gantt summary to stderr
 //   --deadline-ms=N    give the traced execution a deadline of N ms; on
 //                      expiry workers stop at their next chunk grant and
@@ -102,6 +107,7 @@ struct Options {
   bool dot = false;
   std::string trace_path;
   std::size_t trace_workers = 0;  // 0: hardware_concurrency
+  std::string schedule = "guided";
   bool trace_summary = false;
   long long deadline_ms = 0;  // 0: no deadline
   std::string inject_fault;   // empty: no injected fault
@@ -117,8 +123,8 @@ int usage(const char* argv0) {
                "[--openmp] [--lint] [--race-check] "
                "[--lint-format=text|json|sarif] "
                "[--verify-ir] [--no-verify] [--verify] [--stats] "
-               "[--trace=FILE] [--trace-workers=P] [--trace-summary] "
-               "[--deadline-ms=N] "
+               "[--trace=FILE] [--trace-workers=P] [--schedule=SPEC] "
+               "[--trace-summary] [--deadline-ms=N] "
                "[--inject-fault=throw@K|stall@W:MS|cancel@C] "
                "[file]\n",
                argv0);
@@ -157,6 +163,8 @@ bool parse_args(int argc, char** argv, Options& options) {
     else if (arg.rfind("--trace-workers=", 0) == 0)
       options.trace_workers = static_cast<std::size_t>(
           std::strtoull(arg.c_str() + 16, nullptr, 10));
+    else if (arg.rfind("--schedule=", 0) == 0)
+      options.schedule = arg.substr(11);
     else if (arg == "--trace-summary") options.trace_summary = true;
     else if (arg.rfind("--deadline-ms=", 0) == 0)
       options.deadline_ms = std::strtoll(arg.c_str() + 14, nullptr, 10);
@@ -244,6 +252,11 @@ void print_stats(const char* label, const ir::Program& program) {
 int main(int argc, char** argv) {
   Options options;
   if (!parse_args(argc, argv, options)) return usage(argv[0]);
+  if (const auto spec = support::parse_schedule(options.schedule);
+      !spec.ok()) {
+    std::fprintf(stderr, "coalescec: %s\n", spec.error().to_string().c_str());
+    return 2;
+  }
   if ((options.deadline_ms > 0 || !options.inject_fault.empty()) &&
       options.trace_path.empty()) {
     std::fprintf(stderr,
@@ -469,7 +482,13 @@ int main(int argc, char** argv) {
                 ? options.trace_workers
                 : std::max(1u, std::thread::hardware_concurrency());
         runtime::ThreadPool pool(workers, options.pin);
-        runtime::ScheduleParams schedule{runtime::Schedule::kGuided, 1};
+        auto parsed_schedule = support::parse_schedule(options.schedule);
+        if (!parsed_schedule.ok()) {
+          std::fprintf(stderr, "coalescec: %s\n",
+                       parsed_schedule.error().to_string().c_str());
+          return 2;
+        }
+        runtime::ScheduleParams schedule = parsed_schedule.value();
         schedule.sharded = options.locality;
         try {
           const auto stats = runtime::execute_program(

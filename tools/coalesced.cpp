@@ -18,6 +18,13 @@
 //                        queue sheds new submissions instead of buffering
 //   --tenant-quota=N     max in-flight submissions per tenant (default 8)
 //   --diag-format=F      rejection diagnostics format: json (default)|sarif
+//   --schedule=SPEC      schedule for every parallel root (static-block,
+//                        static-cyclic, self, chunked:N, guided, factoring,
+//                        trapezoid, auto; default guided); a per-request
+//                        schedule in the submission overrides it
+//   --auto-schedule      shorthand for --schedule=auto: resolve every root
+//                        through the engine's adaptive controller, which
+//                        learns per-shape schedules from run feedback
 //   --locality           locality-aware execution: permute admitted nests
 //                        for contiguity before coalescing and dispatch
 //                        through the cache-sharded dispatcher
@@ -58,6 +65,8 @@ struct Options {
   std::size_t queue = 64;
   std::size_t tenant_quota = 8;
   std::string diag_format = "json";
+  std::string schedule;
+  bool auto_schedule = false;
   bool locality = false;
   bool jit = false;
   bool pin = false;
@@ -68,6 +77,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket=PATH [--tcp=PORT] [--workers=N] "
                "[--queue=N] [--tenant-quota=N] [--diag-format=json|sarif] "
+               "[--schedule=SPEC] [--auto-schedule] "
                "[--locality] [--jit] [--pin] [--pidfile=PATH]\n",
                argv0);
   return 2;
@@ -102,6 +112,10 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.diag_format = arg.substr(14);
       if (options.diag_format != "json" && options.diag_format != "sarif")
         return false;
+    } else if (arg.rfind("--schedule=", 0) == 0) {
+      options.schedule = arg.substr(11);
+    } else if (arg == "--auto-schedule") {
+      options.auto_schedule = true;
     } else if (arg == "--locality") {
       options.locality = true;
     } else if (arg == "--jit") {
@@ -136,6 +150,20 @@ int main(int argc, char** argv) {
   server_options.locality = options.locality;
   server_options.jit = options.jit;
   server_options.pin_workers = options.pin;
+  server_options.auto_schedule = options.auto_schedule;
+  if (!options.schedule.empty()) {
+    auto parsed = support::parse_schedule(options.schedule);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "coalesced: %s\n",
+                   parsed.error().to_string().c_str());
+      return 2;
+    }
+    if (parsed.value().kind == runtime::Schedule::kAuto) {
+      server_options.auto_schedule = true;
+    } else {
+      server_options.schedule = parsed.value();
+    }
+  }
 
   auto server = service::Server::create(std::move(server_options));
   if (!server.ok()) {
@@ -192,14 +220,18 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "coalesced: counters: connections=%llu accepted=%llu "
                "completed=%llu rejected=%llu shed=%llu steals=%llu "
-               "queue_depth=%llu\n",
+               "queue_depth=%llu imbalance=%.3f steals_p50=%llu "
+               "steals_p99=%llu\n",
                static_cast<unsigned long long>(counters.connections),
                static_cast<unsigned long long>(counters.accepted),
                static_cast<unsigned long long>(counters.completed),
                static_cast<unsigned long long>(counters.rejected),
                static_cast<unsigned long long>(counters.shed),
                static_cast<unsigned long long>(counters.steals),
-               static_cast<unsigned long long>(counters.queue_depth));
+               static_cast<unsigned long long>(counters.queue_depth),
+               counters.mean_imbalance,
+               static_cast<unsigned long long>(counters.steals_p50),
+               static_cast<unsigned long long>(counters.steals_p99));
   if (options.jit) {
     const auto jit = codegen::default_jit_cache().stats();
     std::fprintf(stderr,
